@@ -1,0 +1,247 @@
+//! # f90y-backend — the target-specific compilation phase
+//!
+//! The paper's §5: "The problem of compiling a valid NIR program into
+//! code for the CM/2 is broken down into a hierarchy of NIR compilers
+//! for different levels of target abstraction."
+//!
+//! * **CM2/NIR** ([`split`]) — "models the CM/2 host and nodes together
+//!   as a single machine, and then partitions input NIR programs into
+//!   NIR subprograms for each half … just cuts out the computation
+//!   phases and patches the remaining program to include appropriate
+//!   NIR calling code."
+//! * **PE/NIR** ([`pe`]) — compiles each excised computation block to a
+//!   PEAC virtual-subgrid loop: vectorization, chained multiply-add
+//!   recognition, load chaining, lifetime-analysis register allocation
+//!   with spill placement, and load/store overlap scheduling.
+//! * **FE/NIR** ([`fe`]) — executes the remainder program as the host:
+//!   memory allocation, serial loops and scalar code, CM runtime
+//!   communication calls, and PEAC dispatch over the IFIFO. (In this
+//!   reproduction the "SPARC assembly" half of FE/NIR is an interpreted
+//!   host program with a per-operation cost model — the documented
+//!   substitution of DESIGN.md; the paper itself used "a simple
+//!   memory-to-memory load/store model" here.)
+//!
+//! [`compile`] runs CM2/NIR over an optimized program;
+//! [`fe::HostExecutor`] runs the result on a simulated machine.
+//!
+//! ## Example
+//!
+//! ```
+//! use f90y_cm2::{Cm2, Cm2Config};
+//!
+//! let unit = f90y_frontend::parse("INTEGER K(64,64)\nK = 2*K + 5\n")?;
+//! let nir = f90y_lowering::lower(&unit)?;
+//! let optimized = f90y_transform::optimize(&nir)?;
+//! let compiled = f90y_backend::compile(&optimized)?;
+//! assert_eq!(compiled.blocks.len(), 1);
+//!
+//! let mut cm = Cm2::new(Cm2Config::slicewise(64));
+//! let run = f90y_backend::fe::HostExecutor::new(&mut cm).run(&compiled)?;
+//! assert!(run.final_array("k")?.iter().all(|&x| x == 5.0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod fe;
+pub mod pe;
+pub mod split;
+
+use std::error::Error;
+use std::fmt;
+
+use f90y_nir::{Imp, MoveClause, Shape, Value};
+use f90y_peac::Routine;
+use f90y_transform::program::Binder;
+
+/// Errors from the target-specific phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// The program does not have the form the phase expects.
+    Malformed(String),
+    /// A static error surfaced while partitioning.
+    Nir(f90y_nir::NirError),
+    /// PEAC assembly failed.
+    Peac(f90y_peac::PeacError),
+    /// A machine/runtime error at host-execution time.
+    Machine(f90y_cm2::Cm2Error),
+    /// A dynamic error in host-executed code.
+    Host(String),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Malformed(m) => write!(f, "malformed input to backend: {m}"),
+            BackendError::Nir(e) => write!(f, "{e}"),
+            BackendError::Peac(e) => write!(f, "{e}"),
+            BackendError::Machine(e) => write!(f, "{e}"),
+            BackendError::Host(m) => write!(f, "host execution error: {m}"),
+        }
+    }
+}
+
+impl Error for BackendError {}
+
+impl From<f90y_nir::NirError> for BackendError {
+    fn from(e: f90y_nir::NirError) -> Self {
+        BackendError::Nir(e)
+    }
+}
+
+impl From<f90y_peac::PeacError> for BackendError {
+    fn from(e: f90y_peac::PeacError) -> Self {
+        BackendError::Peac(e)
+    }
+}
+
+impl From<f90y_cm2::Cm2Error> for BackendError {
+    fn from(e: f90y_cm2::Cm2Error) -> Self {
+        BackendError::Machine(e)
+    }
+}
+
+/// How one pointer argument of a node routine is fed at dispatch time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayParam {
+    /// A load stream over the named CM array.
+    Read(String),
+    /// A store stream over the named CM array.
+    Write(String),
+    /// A load stream over the runtime's coordinate subgrid for the given
+    /// 1-based axis of the block shape.
+    Coord(usize),
+}
+
+/// One excised computation block: its source clauses, compiled PEAC
+/// routine and dispatch signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeBlock {
+    /// Block index (the dispatch label).
+    pub index: usize,
+    /// The resolved parallel shape the block computes over.
+    pub shape: Shape,
+    /// The grid-local clauses the block came from.
+    pub clauses: Vec<MoveClause>,
+    /// The compiled PEAC routine.
+    pub routine: Routine,
+    /// Pointer arguments, in routine order.
+    pub array_params: Vec<ArrayParam>,
+    /// Scalar arguments: host expressions evaluated per dispatch, in
+    /// routine order.
+    pub scalar_params: Vec<Value>,
+}
+
+/// A statement of the host remainder program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostStmt {
+    /// Push arguments over the IFIFO and run node block `i`.
+    Dispatch(usize),
+    /// A grid communication: `dst = cshift/eoshift(src, shift[, boundary])`.
+    Comm {
+        /// Destination CM array variable.
+        dst: String,
+        /// Source CM array variable.
+        src: String,
+        /// 1-based axis, host-evaluated.
+        dim: Value,
+        /// Shift amount, host-evaluated.
+        shift: Value,
+        /// End-off boundary; `None` means circular.
+        boundary: Option<Value>,
+    },
+    /// A host-executed move (scalar assignments, element moves,
+    /// misaligned section copies, reductions into scalars).
+    HostMove(Vec<MoveClause>),
+    /// Serial iteration driven by the host.
+    Do {
+        /// Loop domain name (for `do_index`).
+        dom: String,
+        /// Loop shape (possibly referencing bound domains).
+        shape: Shape,
+        /// Body statements.
+        body: Vec<HostStmt>,
+    },
+    /// Host `WHILE`.
+    While {
+        /// Continuation condition (host-evaluated scalar).
+        cond: Value,
+        /// Body statements.
+        body: Vec<HostStmt>,
+    },
+    /// Host `IF`.
+    If {
+        /// Condition (host-evaluated scalar).
+        cond: Value,
+        /// Taken branch.
+        then_body: Vec<HostStmt>,
+        /// Untaken branch.
+        else_body: Vec<HostStmt>,
+    },
+    /// Scoped declarations executed by the host (allocation).
+    WithDecl {
+        /// The declarations.
+        decl: f90y_nir::Decl,
+        /// Scope body.
+        body: Vec<HostStmt>,
+    },
+    /// A domain binding.
+    WithDomain {
+        /// Domain name.
+        name: String,
+        /// Bound shape.
+        shape: Shape,
+        /// Scope body.
+        body: Vec<HostStmt>,
+    },
+}
+
+/// The output of the CM2/NIR compiler: node routines plus the host
+/// remainder program.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Compiled computation blocks.
+    pub blocks: Vec<NodeBlock>,
+    /// Outer binders of the unit (domains, global declarations).
+    pub binders: Vec<Binder>,
+    /// The host remainder program.
+    pub host: Vec<HostStmt>,
+}
+
+impl CompiledProgram {
+    /// Total PEAC instructions across all blocks (a Figure 12 metric).
+    pub fn total_node_instructions(&self) -> usize {
+        self.blocks.iter().map(|b| b.routine.len()).sum()
+    }
+
+    /// Pretty listing of every node routine (Figure 12 style).
+    pub fn listings(&self) -> String {
+        let mut out = String::new();
+        for b in &self.blocks {
+            out.push_str(&b.routine.listing());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Compile an optimized NIR program for the CM/2 (the CM2/NIR phase).
+///
+/// # Errors
+///
+/// Fails when the program is not a lowered unit or a computation block
+/// cannot be compiled.
+pub fn compile(optimized: &Imp) -> Result<CompiledProgram, BackendError> {
+    split::split(optimized)
+}
+
+/// [`compile`] with explicit PE code-generation switches (used by the
+/// baseline compilers).
+///
+/// # Errors
+///
+/// As [`compile`].
+pub fn compile_with_options(
+    optimized: &Imp,
+    options: pe::PeOptions,
+) -> Result<CompiledProgram, BackendError> {
+    split::split_with_options(optimized, options)
+}

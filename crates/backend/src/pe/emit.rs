@@ -1,0 +1,540 @@
+//! Register allocation, spill placement, overlap scheduling and PEAC
+//! emission.
+//!
+//! The virtual subgrid loop is "one basic block with a single back-edge,
+//! \[so\] register allocation can be optimized" (paper §5.2): lifetimes
+//! are exact use positions, and spilling uses Belady's
+//! furthest-next-use rule. Immediates are *rematerialized* on restore
+//! (an `fimmv` instead of an 18-cycle spill pair). The final pass marks
+//! memory accesses overlapped with arithmetic up to the machine's
+//! overlap budget ("spill/restore code may move up- or downstream from
+//! the actual spill site, as overlapping permits", §6).
+
+use std::collections::HashMap;
+
+use f90y_peac::isa::{
+    CmpOp, Instr, Mem, Operand, PReg, Routine, SReg, VReg, NUM_PREGS, NUM_SREGS, NUM_VREGS,
+};
+
+use crate::pe::lower::LoweredBlock;
+use crate::pe::vir::{VBin, VCmp, VUn, Vr, VirOp};
+use crate::BackendError;
+
+/// How a virtual register reaches its consumers without holding a
+/// machine vector register.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Folded {
+    /// A chained memory operand.
+    Mem(u8),
+    /// A broadcast scalar register operand.
+    Scalar(u8),
+}
+
+struct Allocator {
+    instrs: Vec<Instr>,
+    reg_of: HashMap<Vr, u8>,
+    content: [Option<Vr>; NUM_VREGS as usize],
+    spill_slot: HashMap<Vr, u16>,
+    next_slot: u16,
+    /// Register-operand use positions of each Vr (sorted).
+    uses: HashMap<Vr, Vec<usize>>,
+    /// Rematerializable immediates.
+    remat: HashMap<Vr, f64>,
+    folded: HashMap<Vr, Folded>,
+}
+
+impl Allocator {
+    fn next_use_after(&self, vr: Vr, pos: usize) -> Option<usize> {
+        self.uses
+            .get(&vr)
+            .and_then(|us| us.iter().copied().find(|&u| u > pos))
+    }
+
+    fn free_reg(&mut self, r: u8) {
+        if let Some(vr) = self.content[r as usize].take() {
+            self.reg_of.remove(&vr);
+        }
+    }
+
+    fn take_reg(&mut self, pos: usize, locked: &[u8]) -> Result<u8, BackendError> {
+        // Free any register holding a dead value.
+        for r in 0..NUM_VREGS {
+            if let Some(vr) = self.content[r as usize] {
+                if self.next_use_after(vr, pos).is_none() && !locked.contains(&r) {
+                    self.free_reg(r);
+                }
+            }
+        }
+        if let Some(r) = (0..NUM_VREGS).find(|r| self.content[*r as usize].is_none()) {
+            return Ok(r);
+        }
+        // Belady: evict the unlocked value used furthest in the future.
+        let victim = (0..NUM_VREGS)
+            .filter(|r| !locked.contains(r))
+            .max_by_key(|r| {
+                let vr = self.content[*r as usize].expect("occupied");
+                self.next_use_after(vr, pos).unwrap_or(usize::MAX)
+            })
+            .ok_or_else(|| {
+                BackendError::Malformed(
+                    "register pressure exceeds the vector file even with spilling".into(),
+                )
+            })?;
+        let vr = self.content[victim as usize].expect("occupied");
+        let needed_later = self.next_use_after(vr, pos).is_some();
+        if needed_later && !self.remat.contains_key(&vr) && !self.spill_slot.contains_key(&vr)
+        {
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            self.spill_slot.insert(vr, slot);
+            self.instrs.push(Instr::SpillStore {
+                src: VReg(victim),
+                slot,
+                overlapped: false,
+            });
+        }
+        self.free_reg(victim);
+        Ok(victim)
+    }
+
+    fn ensure(&mut self, vr: Vr, pos: usize, locked: &mut Vec<u8>) -> Result<u8, BackendError> {
+        if let Some(&r) = self.reg_of.get(&vr) {
+            locked.push(r);
+            return Ok(r);
+        }
+        let r = self.take_reg(pos, locked)?;
+        if let Some(&value) = self.remat.get(&vr) {
+            self.instrs.push(Instr::Fimmv { value, dst: VReg(r) });
+        } else if let Some(&slot) = self.spill_slot.get(&vr) {
+            self.instrs.push(Instr::SpillLoad { slot, dst: VReg(r), overlapped: false });
+        } else {
+            return Err(BackendError::Malformed(format!(
+                "virtual register {vr:?} used before definition"
+            )));
+        }
+        self.bind(vr, r);
+        locked.push(r);
+        Ok(r)
+    }
+
+    fn define(&mut self, vr: Vr, pos: usize, locked: &mut Vec<u8>) -> Result<u8, BackendError> {
+        let r = self.take_reg(pos, locked)?;
+        self.bind(vr, r);
+        locked.push(r);
+        Ok(r)
+    }
+
+    fn bind(&mut self, vr: Vr, r: u8) {
+        self.content[r as usize] = Some(vr);
+        self.reg_of.insert(vr, r);
+    }
+
+    fn operand(
+        &mut self,
+        vr: Vr,
+        pos: usize,
+        locked: &mut Vec<u8>,
+    ) -> Result<Operand, BackendError> {
+        match self.folded.get(&vr) {
+            Some(Folded::Mem(p)) => Ok(Operand::M(Mem { ptr: PReg(*p) })),
+            Some(Folded::Scalar(s)) => Ok(Operand::S(SReg(*s))),
+            None => Ok(Operand::V(VReg(self.ensure(vr, pos, locked)?))),
+        }
+    }
+}
+
+/// Emit a lowered block as a PEAC routine.
+///
+/// # Errors
+///
+/// Fails when the dispatch signature exceeds the register files (the
+/// caller splits the block and retries) or on a malformed VIR sequence.
+pub fn emit(name: &str, lowered: &LoweredBlock) -> Result<Routine, BackendError> {
+    emit_with(name, lowered, true)
+}
+
+/// [`emit`] with overlap scheduling switchable (the naive baselines do
+/// not hide memory traffic).
+///
+/// # Errors
+///
+/// As [`emit`].
+pub fn emit_with(
+    name: &str,
+    lowered: &LoweredBlock,
+    overlap: bool,
+) -> Result<Routine, BackendError> {
+    let nptr = lowered.array_params.len();
+    let nsc = lowered.scalar_params.len();
+    if nptr > NUM_PREGS as usize {
+        return Err(BackendError::Malformed(format!(
+            "block needs {nptr} pointer streams; the file has {NUM_PREGS}"
+        )));
+    }
+    if nsc > NUM_SREGS as usize {
+        return Err(BackendError::Malformed(format!(
+            "block needs {nsc} scalar arguments; the file has {NUM_SREGS}"
+        )));
+    }
+
+    let ops = &lowered.ops;
+
+    // Decide folding: chained loads become memory operands; scalar
+    // loads become S-register operands unless some use demands a vector
+    // register (a select's mask or a store source).
+    let mut folded: HashMap<Vr, Folded> = HashMap::new();
+    let mut needs_vreg: HashMap<Vr, bool> = HashMap::new();
+    for op in ops {
+        match op {
+            VirOp::Store { src, .. } => {
+                needs_vreg.insert(*src, true);
+            }
+            VirOp::Sel { mask, .. } => {
+                needs_vreg.insert(*mask, true);
+            }
+            _ => {}
+        }
+    }
+    for op in ops {
+        match op {
+            VirOp::LoadVar { param, dst, chained: true } => {
+                folded.insert(*dst, Folded::Mem(*param as u8));
+            }
+            VirOp::LoadScalar { param, dst }
+                if !needs_vreg.get(dst).copied().unwrap_or(false) => {
+                    folded.insert(*dst, Folded::Scalar(*param as u8));
+                }
+            _ => {}
+        }
+    }
+
+    // Register-operand use positions (folded operands need none).
+    let mut uses: HashMap<Vr, Vec<usize>> = HashMap::new();
+    for (pos, op) in ops.iter().enumerate() {
+        for u in op.uses() {
+            if !folded.contains_key(&u) {
+                uses.entry(u).or_default().push(pos);
+            }
+        }
+    }
+
+    let mut remat = HashMap::new();
+    for op in ops {
+        if let VirOp::Imm { value, dst } = op {
+            remat.insert(*dst, *value);
+        }
+    }
+
+    let mut alloc = Allocator {
+        instrs: Vec::new(),
+        reg_of: HashMap::new(),
+        content: [None; NUM_VREGS as usize],
+        spill_slot: HashMap::new(),
+        next_slot: 0,
+        uses,
+        remat,
+        folded,
+    };
+
+    for (pos, op) in ops.iter().enumerate() {
+        // Pre-lock every operand already resident: the dead-value sweep
+        // inside take_reg must not free a register whose *last* use is
+        // this very instruction (next_use_after is strictly-after).
+        let mut locked: Vec<u8> = op
+            .uses()
+            .iter()
+            .filter_map(|u| alloc.reg_of.get(u).copied())
+            .collect();
+        match op {
+            VirOp::Imm { value, dst } => {
+                // Defined lazily via rematerialization unless used right
+                // away; defining eagerly keeps the common case simple.
+                if alloc.uses.contains_key(dst) {
+                    let r = alloc.define(*dst, pos, &mut locked)?;
+                    alloc.instrs.push(Instr::Fimmv { value: *value, dst: VReg(r) });
+                }
+            }
+            VirOp::LoadVar { param, dst, chained } => {
+                if *chained {
+                    continue; // folded into its consumer
+                }
+                let r = alloc.define(*dst, pos, &mut locked)?;
+                alloc.instrs.push(Instr::Flodv {
+                    src: Mem { ptr: PReg(*param as u8) },
+                    dst: VReg(r),
+                    overlapped: false,
+                });
+            }
+            VirOp::LoadScalar { param, dst } => {
+                if alloc.folded.contains_key(dst) {
+                    continue; // consumed as an S operand
+                }
+                // Materialize the broadcast: r = 0; r = s + r.
+                let r = alloc.define(*dst, pos, &mut locked)?;
+                alloc.instrs.push(Instr::Fimmv { value: 0.0, dst: VReg(r) });
+                alloc.instrs.push(Instr::Faddv {
+                    a: Operand::S(SReg(*param as u8)),
+                    b: Operand::V(VReg(r)),
+                    dst: VReg(r),
+                });
+            }
+            VirOp::Bin { op: bop, a, b, dst } => {
+                let oa = alloc.operand(*a, pos, &mut locked)?;
+                let ob = alloc.operand(*b, pos, &mut locked)?;
+                let r = VReg(alloc.define(*dst, pos, &mut locked)?);
+                alloc.instrs.push(match bop {
+                    VBin::Add => Instr::Faddv { a: oa, b: ob, dst: r },
+                    VBin::Sub => Instr::Fsubv { a: oa, b: ob, dst: r },
+                    VBin::Mul => Instr::Fmulv { a: oa, b: ob, dst: r },
+                    VBin::Div => Instr::Fdivv { a: oa, b: ob, dst: r },
+                    VBin::Max => Instr::Fmaxv { a: oa, b: ob, dst: r },
+                    VBin::Min => Instr::Fminv { a: oa, b: ob, dst: r },
+                });
+            }
+            VirOp::Madd { a, b, c, dst } => {
+                let oa = alloc.operand(*a, pos, &mut locked)?;
+                let ob = alloc.operand(*b, pos, &mut locked)?;
+                let oc = alloc.operand(*c, pos, &mut locked)?;
+                let r = VReg(alloc.define(*dst, pos, &mut locked)?);
+                alloc.instrs.push(Instr::Fmaddv { a: oa, b: ob, c: oc, dst: r });
+            }
+            VirOp::Un { op: uop, a, dst } => {
+                let oa = alloc.operand(*a, pos, &mut locked)?;
+                let r = VReg(alloc.define(*dst, pos, &mut locked)?);
+                alloc.instrs.push(match uop {
+                    VUn::Neg => Instr::Fnegv { a: oa, dst: r },
+                    VUn::Abs => Instr::Fabsv { a: oa, dst: r },
+                    VUn::Trunc => Instr::Ftruncv { a: oa, dst: r },
+                });
+            }
+            VirOp::Cmp { op: cop, a, b, dst } => {
+                let oa = alloc.operand(*a, pos, &mut locked)?;
+                let ob = alloc.operand(*b, pos, &mut locked)?;
+                let r = VReg(alloc.define(*dst, pos, &mut locked)?);
+                let op = match cop {
+                    VCmp::Eq => CmpOp::Eq,
+                    VCmp::Ne => CmpOp::Ne,
+                    VCmp::Lt => CmpOp::Lt,
+                    VCmp::Le => CmpOp::Le,
+                    VCmp::Gt => CmpOp::Gt,
+                    VCmp::Ge => CmpOp::Ge,
+                };
+                alloc.instrs.push(Instr::Fcmpv { op, a: oa, b: ob, dst: r });
+            }
+            VirOp::Sel { mask, a, b, dst } => {
+                let m = VReg(alloc.ensure(*mask, pos, &mut locked)?);
+                let oa = alloc.operand(*a, pos, &mut locked)?;
+                let ob = alloc.operand(*b, pos, &mut locked)?;
+                let r = VReg(alloc.define(*dst, pos, &mut locked)?);
+                alloc.instrs.push(Instr::Fselv { mask: m, a: oa, b: ob, dst: r });
+            }
+            VirOp::Lib { op: lop, a, b, dst } => {
+                let oa = alloc.operand(*a, pos, &mut locked)?;
+                let ob = match b {
+                    Some(b) => Some(alloc.operand(*b, pos, &mut locked)?),
+                    None => None,
+                };
+                let r = VReg(alloc.define(*dst, pos, &mut locked)?);
+                alloc.instrs.push(Instr::Flib { op: *lop, a: oa, b: ob, dst: r });
+            }
+            VirOp::Store { param, src } => {
+                let r = VReg(alloc.ensure(*src, pos, &mut locked)?);
+                alloc.instrs.push(Instr::Fstrv {
+                    src: r,
+                    dst: Mem { ptr: PReg(*param as u8) },
+                    overlapped: false,
+                });
+            }
+        }
+    }
+
+    let mut instrs = alloc.instrs;
+    if overlap {
+        schedule_overlap(&mut instrs);
+    }
+    Ok(Routine::new(name, nptr, nsc, instrs)?)
+}
+
+/// Mark memory traffic overlapped with arithmetic: ordinary loads and
+/// stores first (they become free), then spill traffic (which keeps its
+/// issue cost). An access can only hide behind an arithmetic
+/// instruction that does not consume its result, which in a single
+/// dependence-chained block leaves about one pairing opportunity per
+/// two arithmetic instructions — hence the budget.
+fn schedule_overlap(instrs: &mut [Instr]) {
+    let mut budget = instrs.iter().filter(|i| i.is_arith()).count() / 2;
+    for i in instrs.iter_mut() {
+        if budget == 0 {
+            break;
+        }
+        match i {
+            Instr::Flodv { overlapped, .. } | Instr::Fstrv { overlapped, .. } => {
+                *overlapped = true;
+                budget -= 1;
+            }
+            _ => {}
+        }
+    }
+    for i in instrs.iter_mut() {
+        if budget == 0 {
+            break;
+        }
+        match i {
+            Instr::SpillStore { overlapped, .. } | Instr::SpillLoad { overlapped, .. } => {
+                *overlapped = true;
+                budget -= 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pe::lower::lower_block;
+    use crate::pe::peephole;
+    use f90y_nir::build::*;
+    use f90y_nir::typecheck::Ctx;
+    use f90y_nir::{MoveClause, Shape};
+    use f90y_peac::sim::{run_routine, NodeMemory};
+
+    fn compile_simple(clauses: Vec<MoveClause>, arrays: &[&str], n: i64) -> Routine {
+        let mut ctx = Ctx::new();
+        for a in arrays {
+            ctx.bind_var((*a).into(), dfield(grid(&[n]), float64()));
+        }
+        let shape = Shape::grid(&[n]);
+        let mut lowered = lower_block(&shape, &clauses, &mut ctx).unwrap();
+        peephole::dead_code(&mut lowered.ops);
+        peephole::fuse_madd(&mut lowered.ops);
+        peephole::chain_loads(&mut lowered.ops, &lowered.array_params);
+        emit("t", &lowered).unwrap()
+    }
+
+    #[test]
+    fn emitted_routine_executes_correctly() {
+        // c = 2*a + b
+        let r = compile_simple(
+            vec![MoveClause::unmasked(
+                avar("c", everywhere()),
+                add(
+                    mul(f64c(2.0), ld("a", everywhere())),
+                    ld("b", everywhere()),
+                ),
+            )],
+            &["a", "b", "c"],
+            8,
+        );
+        // Expect an fmaddv from peephole fusion.
+        assert!(r
+            .body()
+            .iter()
+            .any(|i| matches!(i, Instr::Fmaddv { .. })));
+        let mut mem = NodeMemory::new();
+        let a = mem.alloc(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = mem.alloc(&[10.0; 8]);
+        let c = mem.alloc_zeroed(8);
+        // Param order: reads first in first-use order, then writes.
+        run_routine(&r, &mut mem, &[a, b, c], &[], 8).unwrap();
+        let out = mem.read(c, 8);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 2.0 * (i as f64 + 1.0) + 10.0);
+        }
+    }
+
+    #[test]
+    fn high_pressure_block_spills_and_still_computes() {
+        // A 12-term sum of distinct arrays forces spills past 8 vregs
+        // only if values are kept alive; the allocator frees dead values
+        // eagerly, so build long-lived values via nested products.
+        let names: Vec<String> = (0..10).map(|i| format!("x{i}")).collect();
+        let mut sum = ld("x0", everywhere());
+        for name in &names[1..] {
+            sum = add(sum, ld(name, everywhere()));
+        }
+        // (x0*x1*…*x9) + sum: products keep many terms live.
+        let mut prod_v = ld("x0", everywhere());
+        for name in &names[1..] {
+            prod_v = mul(prod_v, ld(name, everywhere()));
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut arrays = refs.clone();
+        arrays.push("out");
+        let r = compile_simple(
+            vec![MoveClause::unmasked(
+                avar("out", everywhere()),
+                add(sum, prod_v),
+            )],
+            &arrays,
+            4,
+        );
+        let mut mem = NodeMemory::new();
+        let mut ptrs = Vec::new();
+        for i in 0..10 {
+            ptrs.push(mem.alloc(&[(i + 1) as f64; 4]));
+        }
+        let out = mem.alloc_zeroed(4);
+        ptrs.push(out);
+        run_routine(&r, &mut mem, &ptrs, &[], 4).unwrap();
+        let expect = (1..=10).sum::<i64>() as f64 + (1..=10).product::<i64>() as f64;
+        assert_eq!(mem.read(out, 4), vec![expect; 4]);
+    }
+
+    #[test]
+    fn overlap_marks_memory_behind_arithmetic() {
+        // Enough arithmetic (4+ ops) to grant a non-zero overlap budget.
+        let r = compile_simple(
+            vec![MoveClause::unmasked(
+                avar("c", everywhere()),
+                add(
+                    mul(ld("a", everywhere()), ld("b", everywhere())),
+                    div(
+                        sub(ld("a", everywhere()), ld("b", everywhere())),
+                        f64c(3.0),
+                    ),
+                ),
+            )],
+            &["a", "b", "c"],
+            8,
+        );
+        let arith = r.body().iter().filter(|i| i.is_arith()).count();
+        let overlapped = r.body().iter().filter(|i| i.is_overlapped()).count();
+        assert!(overlapped >= 1, "some memory traffic should hide");
+        assert!(
+            overlapped <= arith / 2,
+            "budget is half the arithmetic: {overlapped} vs {arith}"
+        );
+    }
+
+    #[test]
+    fn scalar_param_folds_into_operand() {
+        let mut ctx = Ctx::new();
+        ctx.bind_var("a".into(), dfield(grid(&[8]), float64()));
+        ctx.bind_var("s".into(), float64());
+        let shape = Shape::grid(&[8]);
+        let mut lowered = lower_block(
+            &shape,
+            &[MoveClause::unmasked(
+                avar("a", everywhere()),
+                mul(svar("s"), ld("a", everywhere())),
+            )],
+            &mut ctx,
+        )
+        .unwrap();
+        peephole::dead_code(&mut lowered.ops);
+        peephole::chain_loads(&mut lowered.ops, &lowered.array_params);
+        let r = emit("t", &lowered).unwrap();
+        // The multiply should carry an S operand directly.
+        assert!(r.body().iter().any(|i| matches!(
+            i,
+            Instr::Fmulv { a: Operand::S(_), .. } | Instr::Fmulv { b: Operand::S(_), .. }
+        )));
+        // a is both the load and the store stream of one buffer, as the
+        // dispatch layer arranges on the real machine.
+        let mut mem = NodeMemory::new();
+        let a = mem.alloc(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        run_routine(&r, &mut mem, &[a, a], &[3.0], 8).unwrap();
+        assert_eq!(mem.read(a, 8), vec![3.0, 6.0, 9.0, 12.0, 15.0, 18.0, 21.0, 24.0]);
+    }
+}

@@ -1,0 +1,622 @@
+//! Lowering a computation block's clauses to VIR.
+//!
+//! The lowerer keeps a per-variable value cache so that within one block
+//! each array is loaded at most once and values flow between clauses in
+//! registers — this is precisely why blocked computations allocate
+//! registers better than per-statement compilation (paper §6: "lifetime
+//! analysis allows optimal register assignment within the body of the
+//! virtual subgrid loop").
+
+use std::collections::HashMap;
+
+use f90y_nir::typecheck::{Checker, Ctx, Mode};
+use f90y_nir::{
+    BinOp, Const, FieldAction, LValue, MoveClause, ScalarType, Shape, UnOp, Value,
+};
+use f90y_peac::isa::LibOp;
+
+use crate::pe::vir::{VBin, VCmp, VUn, Vr, VirOp};
+use crate::{ArrayParam, BackendError};
+
+/// The result of lowering one block: VIR plus the dispatch signature.
+#[derive(Debug, Clone)]
+pub struct LoweredBlock {
+    /// The VIR body.
+    pub ops: Vec<VirOp>,
+    /// Pointer parameters in order.
+    pub array_params: Vec<ArrayParam>,
+    /// Scalar parameters in order (host expressions).
+    pub scalar_params: Vec<Value>,
+}
+
+pub(crate) struct BlockLowerer<'a> {
+    shape: &'a Shape,
+    checker: Checker,
+    ctx: &'a mut Ctx,
+    ops: Vec<VirOp>,
+    array_params: Vec<ArrayParam>,
+    scalar_params: Vec<Value>,
+    load_param: HashMap<String, usize>,
+    store_param: HashMap<String, usize>,
+    coord_param: HashMap<usize, usize>,
+    scalar_param: HashMap<String, usize>,
+    var_value: HashMap<String, Vr>,
+    /// Common-subexpression cache: printed term → (register, type,
+    /// variables the term reads). The paper calls this out for masks —
+    /// "the logical mask which is generated can be reused" across the
+    /// clauses of a blocked `WHERE`/`ELSEWHERE` — and it applies to any
+    /// repeated subterm within a block.
+    expr_cache: HashMap<String, (Vr, ScalarType, Vec<String>)>,
+    next: usize,
+}
+
+impl<'a> BlockLowerer<'a> {
+    pub(crate) fn new(shape: &'a Shape, ctx: &'a mut Ctx) -> Self {
+        BlockLowerer {
+            shape,
+            checker: Checker::new(Mode::Both),
+            ctx,
+            ops: Vec::new(),
+            array_params: Vec::new(),
+            scalar_params: Vec::new(),
+            load_param: HashMap::new(),
+            store_param: HashMap::new(),
+            coord_param: HashMap::new(),
+            scalar_param: HashMap::new(),
+            var_value: HashMap::new(),
+            expr_cache: HashMap::new(),
+            next: 0,
+        }
+    }
+
+    fn fresh(&mut self) -> Vr {
+        self.next += 1;
+        Vr(self.next - 1)
+    }
+
+    fn emit(&mut self, op: VirOp) -> Option<Vr> {
+        let d = op.def();
+        self.ops.push(op);
+        d
+    }
+
+    fn load_stream(&mut self, var: &str) -> usize {
+        if let Some(&p) = self.load_param.get(var) {
+            return p;
+        }
+        let p = self.array_params.len();
+        self.array_params.push(ArrayParam::Read(var.to_string()));
+        self.load_param.insert(var.to_string(), p);
+        p
+    }
+
+    fn store_stream(&mut self, var: &str) -> usize {
+        if let Some(&p) = self.store_param.get(var) {
+            return p;
+        }
+        let p = self.array_params.len();
+        self.array_params.push(ArrayParam::Write(var.to_string()));
+        self.store_param.insert(var.to_string(), p);
+        p
+    }
+
+    fn coord_stream(&mut self, dim: usize) -> usize {
+        if let Some(&p) = self.coord_param.get(&dim) {
+            return p;
+        }
+        let p = self.array_params.len();
+        self.array_params.push(ArrayParam::Coord(dim));
+        self.coord_param.insert(dim, p);
+        p
+    }
+
+    fn scalar_slot(&mut self, id: &str) -> usize {
+        if let Some(&p) = self.scalar_param.get(id) {
+            return p;
+        }
+        let p = self.scalar_params.len();
+        self.scalar_params.push(Value::SVar(id.to_string()));
+        self.scalar_param.insert(id.to_string(), p);
+        p
+    }
+
+    /// Lower one (possibly masked) clause.
+    pub(crate) fn lower_clause(&mut self, c: &MoveClause) -> Result<(), BackendError> {
+        let LValue::AVar(dst, FieldAction::Everywhere) = &c.dst else {
+            return Err(BackendError::Malformed(format!(
+                "computation block clause writes non-everywhere target {}",
+                c.dst
+            )));
+        };
+        let (src, _) = self.lower_value(&c.src)?;
+        let value = if c.is_unmasked() {
+            src
+        } else {
+            let (mask, mt) = self.lower_value(&c.mask)?;
+            if mt != ScalarType::Logical32 {
+                return Err(BackendError::Malformed("non-logical mask in block".into()));
+            }
+            // Masked move: dst = mask ? src : old dst.
+            let old = self.read_var(dst)?;
+            let d = self.fresh();
+            self.emit(VirOp::Sel { mask, a: src, b: old, dst: d });
+            d
+        };
+        let param = self.store_stream(dst);
+        self.emit(VirOp::Store { param, src: value });
+        // Later clauses of the block see the new value in a register,
+        // and any cached subterm that read the old value is stale.
+        self.var_value.insert(dst.clone(), value);
+        let dst_name = dst.clone();
+        self.expr_cache.retain(|_, (_, _, reads)| !reads.contains(&dst_name));
+        Ok(())
+    }
+
+    fn read_var(&mut self, var: &str) -> Result<Vr, BackendError> {
+        if let Some(&v) = self.var_value.get(var) {
+            return Ok(v);
+        }
+        let param = self.load_stream(var);
+        let d = self.fresh();
+        self.emit(VirOp::LoadVar { param, dst: d, chained: false });
+        self.var_value.insert(var.to_string(), d);
+        Ok(d)
+    }
+
+    fn scalar_type_of(&mut self, v: &Value) -> Result<ScalarType, BackendError> {
+        Ok(self.checker.type_of(v, self.ctx)?.elem)
+    }
+
+    fn lower_value(&mut self, v: &Value) -> Result<(Vr, ScalarType), BackendError> {
+        // Only compound terms are worth caching (leaves are already
+        // memoized through var_value / scalar slots / immediates).
+        let cacheable = matches!(v, Value::Unary(..) | Value::Binary(..));
+        let key = if cacheable { Some(v.to_string()) } else { None };
+        if let Some(k) = &key {
+            if let Some((vr, ty, _)) = self.expr_cache.get(k) {
+                return Ok((*vr, *ty));
+            }
+        }
+        let out = self.lower_value_uncached(v)?;
+        if let Some(k) = key {
+            let reads: Vec<String> = v.reads().into_iter().cloned().collect();
+            self.expr_cache.insert(k, (out.0, out.1, reads));
+        }
+        Ok(out)
+    }
+
+    fn lower_value_uncached(&mut self, v: &Value) -> Result<(Vr, ScalarType), BackendError> {
+        match v {
+            Value::Scalar(c) => {
+                let (value, ty) = match c {
+                    Const::I32(i) => (*i as f64, ScalarType::Integer32),
+                    Const::F32(x) => (*x as f64, ScalarType::Float32),
+                    Const::F64(x) => (*x, ScalarType::Float64),
+                    Const::Bool(b) => (
+                        if *b { 1.0 } else { 0.0 },
+                        ScalarType::Logical32,
+                    ),
+                };
+                let d = self.fresh();
+                self.emit(VirOp::Imm { value, dst: d });
+                Ok((d, ty))
+            }
+            Value::SVar(id) => {
+                let ty = self.scalar_type_of(v)?;
+                let p = self.scalar_slot(id);
+                let d = self.fresh();
+                self.emit(VirOp::LoadScalar { param: p, dst: d });
+                Ok((d, ty))
+            }
+            Value::AVar(id, FieldAction::Everywhere) => {
+                let ty = self.scalar_type_of(v)?;
+                Ok((self.read_var(id)?, ty))
+            }
+            Value::AVar(id, fa) => Err(BackendError::Malformed(format!(
+                "non-local reference AVAR('{id}',{fa}) inside a computation block"
+            ))),
+            Value::LocalUnder(shape, dim) => {
+                let resolved = self.ctx.resolve(shape)?;
+                if !resolved.conforms(self.shape) {
+                    return Err(BackendError::Malformed(format!(
+                        "coordinate field over {resolved} in a block over {}",
+                        self.shape
+                    )));
+                }
+                let p = self.coord_stream(*dim);
+                let d = self.fresh();
+                self.emit(VirOp::LoadVar { param: p, dst: d, chained: false });
+                Ok((d, ScalarType::Integer32))
+            }
+            Value::DoIndex(..) => Err(BackendError::Malformed(
+                "DO index inside a computation block".into(),
+            )),
+            Value::FcnCall(name, args) if name == "merge" => {
+                // Elemental select: dst = mask ? t : f (paper §2.2's
+                // masked move, straight to fselv).
+                let (t, tt) = self.lower_value(&args[0].1)?;
+                let (f, ft) = self.lower_value(&args[1].1)?;
+                let (m, mt) = self.lower_value(&args[2].1)?;
+                if mt != ScalarType::Logical32 {
+                    return Err(BackendError::Malformed(
+                        "merge mask must be logical".into(),
+                    ));
+                }
+                let d = self.fresh();
+                self.emit(VirOp::Sel { mask: m, a: t, b: f, dst: d });
+                Ok((d, tt.promote(ft).unwrap_or(ScalarType::Float64)))
+            }
+            Value::FcnCall(name, _) => Err(BackendError::Malformed(format!(
+                "function call '{name}' inside a computation block"
+            ))),
+            Value::Unary(op, a) => self.lower_unary(*op, a),
+            Value::Binary(op, a, b) => self.lower_binary(*op, a, b),
+        }
+    }
+
+    fn lower_unary(&mut self, op: UnOp, a: &Value) -> Result<(Vr, ScalarType), BackendError> {
+        let (av, at) = self.lower_value(a)?;
+        let out_ty = op.result_type(at).unwrap_or(at);
+        let d = match op {
+            UnOp::Neg => {
+                let d = self.fresh();
+                self.emit(VirOp::Un { op: VUn::Neg, a: av, dst: d });
+                d
+            }
+            UnOp::Abs => {
+                let d = self.fresh();
+                self.emit(VirOp::Un { op: VUn::Abs, a: av, dst: d });
+                d
+            }
+            UnOp::Not => {
+                // Masks are 1/0 lanes: NOT x = 1 - x.
+                let one = self.fresh();
+                self.emit(VirOp::Imm { value: 1.0, dst: one });
+                let d = self.fresh();
+                self.emit(VirOp::Bin { op: VBin::Sub, a: one, b: av, dst: d });
+                d
+            }
+            UnOp::Sqrt | UnOp::Sin | UnOp::Cos | UnOp::Exp | UnOp::Log => {
+                let lib = match op {
+                    UnOp::Sqrt => LibOp::Sqrt,
+                    UnOp::Sin => LibOp::Sin,
+                    UnOp::Cos => LibOp::Cos,
+                    UnOp::Exp => LibOp::Exp,
+                    _ => LibOp::Log,
+                };
+                let d = self.fresh();
+                self.emit(VirOp::Lib { op: lib, a: av, b: None, dst: d });
+                d
+            }
+            UnOp::ToFloat64 | UnOp::ToFloat32 => av, // numeric identity on the f64 path
+            UnOp::ToInt => {
+                let d = self.fresh();
+                self.emit(VirOp::Un { op: VUn::Trunc, a: av, dst: d });
+                d
+            }
+        };
+        Ok((d, out_ty))
+    }
+
+    fn lower_binary(
+        &mut self,
+        op: BinOp,
+        a: &Value,
+        b: &Value,
+    ) -> Result<(Vr, ScalarType), BackendError> {
+        // Integer exponent expansion before lowering the operands twice.
+        if op == BinOp::Pow {
+            if let Some(Const::I32(n)) = b.as_const() {
+                if (0..=4).contains(&n) {
+                    return self.lower_int_pow(a, n as u32);
+                }
+            }
+        }
+        let (av, at) = self.lower_value(a)?;
+        let (bv, bt) = self.lower_value(b)?;
+        let joined = at.promote(bt).unwrap_or(ScalarType::Float64);
+        let result_ty = op.result_type(joined);
+        let is_int = joined == ScalarType::Integer32;
+
+        let d = match op {
+            BinOp::Add => self.bin(VBin::Add, av, bv),
+            BinOp::Sub => self.bin(VBin::Sub, av, bv),
+            BinOp::Mul => self.bin(VBin::Mul, av, bv),
+            BinOp::Max => self.bin(VBin::Max, av, bv),
+            BinOp::Min => self.bin(VBin::Min, av, bv),
+            BinOp::Div => {
+                let q = self.bin(VBin::Div, av, bv);
+                if is_int {
+                    let d = self.fresh();
+                    self.emit(VirOp::Un { op: VUn::Trunc, a: q, dst: d });
+                    d
+                } else {
+                    q
+                }
+            }
+            BinOp::Mod => {
+                // MOD(a,b) = a - trunc(a/b)*b for floats and integers.
+                let q = self.bin(VBin::Div, av, bv);
+                let t = self.fresh();
+                self.emit(VirOp::Un { op: VUn::Trunc, a: q, dst: t });
+                let m = self.bin(VBin::Mul, t, bv);
+                self.bin(VBin::Sub, av, m)
+            }
+            BinOp::Pow => {
+                let d = self.fresh();
+                self.emit(VirOp::Lib { op: LibOp::Pow, a: av, b: Some(bv), dst: d });
+                if is_int {
+                    let t = self.fresh();
+                    self.emit(VirOp::Un { op: VUn::Trunc, a: d, dst: t });
+                    t
+                } else {
+                    d
+                }
+            }
+            BinOp::Eq => self.cmp(VCmp::Eq, av, bv),
+            BinOp::Ne => self.cmp(VCmp::Ne, av, bv),
+            BinOp::Lt => self.cmp(VCmp::Lt, av, bv),
+            BinOp::Le => self.cmp(VCmp::Le, av, bv),
+            BinOp::Gt => self.cmp(VCmp::Gt, av, bv),
+            BinOp::Ge => self.cmp(VCmp::Ge, av, bv),
+            // Masks are 1/0 lanes: AND = min, OR = max (exact on 0/1).
+            BinOp::And => self.bin(VBin::Min, av, bv),
+            BinOp::Or => self.bin(VBin::Max, av, bv),
+        };
+        Ok((d, result_ty))
+    }
+
+    fn lower_int_pow(&mut self, a: &Value, n: u32) -> Result<(Vr, ScalarType), BackendError> {
+        let (av, at) = self.lower_value(a)?;
+        if n == 0 {
+            let d = self.fresh();
+            self.emit(VirOp::Imm { value: 1.0, dst: d });
+            return Ok((d, at));
+        }
+        let mut acc = av;
+        for _ in 1..n {
+            acc = self.bin(VBin::Mul, acc, av);
+        }
+        Ok((acc, at))
+    }
+
+    fn bin(&mut self, op: VBin, a: Vr, b: Vr) -> Vr {
+        let d = self.fresh();
+        self.emit(VirOp::Bin { op, a, b, dst: d });
+        d
+    }
+
+    fn cmp(&mut self, op: VCmp, a: Vr, b: Vr) -> Vr {
+        let d = self.fresh();
+        self.emit(VirOp::Cmp { op, a, b, dst: d });
+        d
+    }
+
+    pub(crate) fn finish(self) -> LoweredBlock {
+        LoweredBlock {
+            ops: self.ops,
+            array_params: self.array_params,
+            scalar_params: self.scalar_params,
+        }
+    }
+}
+
+/// Lower a block's clauses to VIR.
+///
+/// # Errors
+///
+/// Fails when a clause is not grid-local (the CM2/NIR splitter only
+/// sends grid-local clauses here, so an error indicates a pipeline bug
+/// upstream).
+pub fn lower_block(
+    shape: &Shape,
+    clauses: &[MoveClause],
+    ctx: &mut Ctx,
+) -> Result<LoweredBlock, BackendError> {
+    let mut lw = BlockLowerer::new(shape, ctx);
+    for c in clauses {
+        lw.lower_clause(c)?;
+    }
+    Ok(lw.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90y_nir::build::*;
+
+    fn ctx_with_arrays(names: &[&str], n: i64) -> Ctx {
+        let mut ctx = Ctx::new();
+        for name in names {
+            ctx.bind_var(
+                (*name).into(),
+                dfield(grid(&[n]), float64()),
+            );
+        }
+        ctx
+    }
+
+    #[test]
+    fn fig8_block_loads_once_and_stores_once() {
+        // k = 2*k + 5
+        let mut ctx = Ctx::new();
+        ctx.bind_var("k".into(), dfield(grid(&[64]), int32()));
+        let shape = Shape::grid(&[64]);
+        let clause = MoveClause::unmasked(
+            avar("k", everywhere()),
+            add(mul(int(2), ld("k", everywhere())), int(5)),
+        );
+        let lowered = lower_block(&shape, &[clause], &mut ctx).unwrap();
+        let loads = lowered
+            .ops
+            .iter()
+            .filter(|o| matches!(o, VirOp::LoadVar { .. }))
+            .count();
+        let stores = lowered
+            .ops
+            .iter()
+            .filter(|o| matches!(o, VirOp::Store { .. }))
+            .count();
+        assert_eq!(loads, 1);
+        assert_eq!(stores, 1);
+        // Two streams: k-read and k-write.
+        assert_eq!(lowered.array_params.len(), 2);
+    }
+
+    #[test]
+    fn fused_clauses_share_registers() {
+        // a = b + 1; c = a * b : 'a' and 'b' flow in registers; only b
+        // is loaded, and 'a' is never re-loaded.
+        let mut ctx = ctx_with_arrays(&["a", "b", "c"], 32);
+        let shape = Shape::grid(&[32]);
+        let clauses = vec![
+            MoveClause::unmasked(
+                avar("a", everywhere()),
+                add(ld("b", everywhere()), f64c(1.0)),
+            ),
+            MoveClause::unmasked(
+                avar("c", everywhere()),
+                mul(ld("a", everywhere()), ld("b", everywhere())),
+            ),
+        ];
+        let lowered = lower_block(&shape, &clauses, &mut ctx).unwrap();
+        let loads = lowered
+            .ops
+            .iter()
+            .filter(|o| matches!(o, VirOp::LoadVar { .. }))
+            .count();
+        assert_eq!(loads, 1, "only b is loaded; a flows in a register");
+    }
+
+    #[test]
+    fn masked_clause_selects_against_old_value() {
+        let mut ctx = ctx_with_arrays(&["a", "b"], 32);
+        let shape = Shape::grid(&[32]);
+        let clause = MoveClause {
+            mask: bin(f90y_nir::BinOp::Gt, ld("b", everywhere()), f64c(0.0)),
+            src: f64c(1.0),
+            dst: avar("a", everywhere()),
+        };
+        let lowered = lower_block(&shape, &[clause], &mut ctx).unwrap();
+        assert!(lowered.ops.iter().any(|o| matches!(o, VirOp::Sel { .. })));
+        // Old value of a must be loaded for the unmasked lanes.
+        assert!(lowered
+            .array_params
+            .iter()
+            .any(|p| matches!(p, ArrayParam::Read(v) if v == "a")));
+    }
+
+    #[test]
+    fn scalar_variables_become_scalar_params() {
+        let mut ctx = ctx_with_arrays(&["a"], 32);
+        ctx.bind_var("n".into(), float64());
+        let shape = Shape::grid(&[32]);
+        let clause = MoveClause::unmasked(avar("a", everywhere()), svar("n"));
+        let lowered = lower_block(&shape, &[clause], &mut ctx).unwrap();
+        assert_eq!(lowered.scalar_params, vec![svar("n")]);
+    }
+
+    #[test]
+    fn integer_division_truncates() {
+        let mut ctx = Ctx::new();
+        ctx.bind_var("k".into(), dfield(grid(&[8]), int32()));
+        let shape = Shape::grid(&[8]);
+        let clause = MoveClause::unmasked(
+            avar("k", everywhere()),
+            div(ld("k", everywhere()), int(2)),
+        );
+        let lowered = lower_block(&shape, &[clause], &mut ctx).unwrap();
+        assert!(lowered
+            .ops
+            .iter()
+            .any(|o| matches!(o, VirOp::Un { op: VUn::Trunc, .. })));
+    }
+
+    #[test]
+    fn pow2_expands_to_multiply() {
+        let mut ctx = ctx_with_arrays(&["a", "b"], 8);
+        let shape = Shape::grid(&[8]);
+        let clause = MoveClause::unmasked(
+            avar("b", everywhere()),
+            bin(f90y_nir::BinOp::Pow, ld("a", everywhere()), int(2)),
+        );
+        let lowered = lower_block(&shape, &[clause], &mut ctx).unwrap();
+        assert!(
+            !lowered.ops.iter().any(|o| matches!(o, VirOp::Lib { .. })),
+            "x**2 should expand to a multiply, not a library call"
+        );
+    }
+
+    #[test]
+    fn communication_in_a_block_is_a_pipeline_bug() {
+        let mut ctx = ctx_with_arrays(&["a", "b"], 8);
+        let shape = Shape::grid(&[8]);
+        let clause = MoveClause::unmasked(
+            avar("b", everywhere()),
+            fcncall(
+                "cshift",
+                vec![
+                    (float64(), ld("a", everywhere())),
+                    (int32(), int(1)),
+                    (int32(), int(1)),
+                ],
+            ),
+        );
+        assert!(lower_block(&shape, &[clause], &mut ctx).is_err());
+    }
+
+    #[test]
+    fn where_elsewhere_mask_is_computed_once() {
+        // Two masked clauses over M and NOT M (the WHERE/ELSEWHERE
+        // blocking of paper §4.2): the comparison must lower once.
+        let mut ctx = ctx_with_arrays(&["a", "b", "x"], 16);
+        let shape = Shape::grid(&[16]);
+        let m = bin(f90y_nir::BinOp::Gt, ld("x", everywhere()), f64c(0.0));
+        let clauses = vec![
+            MoveClause {
+                mask: m.clone(),
+                src: f64c(1.0),
+                dst: avar("a", everywhere()),
+            },
+            MoveClause {
+                mask: un(f90y_nir::UnOp::Not, m),
+                src: f64c(2.0),
+                dst: avar("b", everywhere()),
+            },
+        ];
+        let lowered = lower_block(&shape, &clauses, &mut ctx).unwrap();
+        let cmps = lowered
+            .ops
+            .iter()
+            .filter(|o| matches!(o, VirOp::Cmp { .. }))
+            .count();
+        assert_eq!(cmps, 1, "the mask comparison must be reused, not recomputed");
+    }
+
+    #[test]
+    fn cse_invalidates_after_a_store() {
+        // b = a + 1; a = 0; c = a + 1 — the second a+1 must NOT reuse
+        // the first (a changed in between).
+        let mut ctx = ctx_with_arrays(&["a", "b", "c"], 16);
+        let shape = Shape::grid(&[16]);
+        let clauses = vec![
+            MoveClause::unmasked(
+                avar("b", everywhere()),
+                add(ld("a", everywhere()), f64c(1.0)),
+            ),
+            MoveClause::unmasked(avar("a", everywhere()), f64c(0.0)),
+            MoveClause::unmasked(
+                avar("c", everywhere()),
+                add(ld("a", everywhere()), f64c(1.0)),
+            ),
+        ];
+        let lowered = lower_block(&shape, &clauses, &mut ctx).unwrap();
+        let adds = lowered
+            .ops
+            .iter()
+            .filter(|o| matches!(o, VirOp::Bin { op: VBin::Add, .. }))
+            .count();
+        assert_eq!(adds, 2, "a+1 must be recomputed after a is overwritten");
+    }
+}
+

@@ -1,0 +1,178 @@
+//! The PE/NIR compiler: computation blocks → PEAC routines.
+//!
+//! "The prototype CM/PE node compiler is carefully tuned for optimizing
+//! the loop over local data in each processor … CM/PE therefore only
+//! needs to process procedures whose body is a single loop containing a
+//! sequence of (optionally masked) moves from the local points of source
+//! arrays to the corresponding points in the target." (paper §5.2)
+//!
+//! Pipeline: [`lower`] (clauses → VIR with cross-clause register
+//! flow) → [`peephole`] (dead code, chained multiply-add, load
+//! chaining) → [`emit`] (Belady register allocation with spill
+//! rematerialization, overlap scheduling, PEAC assembly).
+
+pub mod emit;
+pub mod lower;
+pub mod peephole;
+pub mod vir;
+
+use f90y_nir::typecheck::Ctx;
+use f90y_nir::{MoveClause, Shape, Value};
+use f90y_peac::Routine;
+
+use crate::{ArrayParam, BackendError};
+
+/// PE code-generation switches. The full prototype enables everything;
+/// the \*Lisp-fieldwise baseline compiler disables the Weitek-specific
+/// optimizations its interpreted elemental operations never got.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeOptions {
+    /// Recognise chained multiply-adds.
+    pub fuse_madd: bool,
+    /// Fold single-use loads into memory operands.
+    pub chain_loads: bool,
+    /// Overlap memory traffic with arithmetic.
+    pub overlap: bool,
+}
+
+impl PeOptions {
+    /// Everything on (the prototype and the CMF-like baseline).
+    pub fn full() -> Self {
+        PeOptions { fuse_madd: true, chain_loads: true, overlap: true }
+    }
+
+    /// Everything off (interpreted elemental operations).
+    pub fn naive() -> Self {
+        PeOptions { fuse_madd: false, chain_loads: false, overlap: false }
+    }
+}
+
+impl Default for PeOptions {
+    fn default() -> Self {
+        PeOptions::full()
+    }
+}
+
+/// One compiled sub-block (most blocks compile whole; blocks whose
+/// dispatch signature would overflow the pointer file are split).
+#[derive(Debug, Clone)]
+pub struct CompiledBlock {
+    /// The PEAC routine.
+    pub routine: Routine,
+    /// Pointer parameters in order.
+    pub array_params: Vec<ArrayParam>,
+    /// Scalar parameters in order.
+    pub scalar_params: Vec<Value>,
+    /// The clauses this sub-block implements.
+    pub clauses: Vec<MoveClause>,
+}
+
+/// Compile a computation block, splitting it as needed to fit the
+/// pointer/scalar register files.
+///
+/// # Errors
+///
+/// Fails when even a single clause cannot fit the files or the clauses
+/// are not grid-local.
+pub fn compile_block(
+    name: &str,
+    shape: &Shape,
+    clauses: &[MoveClause],
+    ctx: &mut Ctx,
+) -> Result<Vec<CompiledBlock>, BackendError> {
+    compile_block_with(name, shape, clauses, ctx, PeOptions::full())
+}
+
+/// [`compile_block`] with explicit code-generation switches.
+///
+/// # Errors
+///
+/// As [`compile_block`].
+pub fn compile_block_with(
+    name: &str,
+    shape: &Shape,
+    clauses: &[MoveClause],
+    ctx: &mut Ctx,
+    options: PeOptions,
+) -> Result<Vec<CompiledBlock>, BackendError> {
+    match try_compile(name, shape, clauses, ctx, options) {
+        Ok(block) => Ok(vec![block]),
+        Err(BackendError::Malformed(msg))
+            if msg.contains("pointer streams") || msg.contains("scalar arguments") =>
+        {
+            if clauses.len() <= 1 {
+                return Err(BackendError::Malformed(format!(
+                    "single clause exceeds the register files: {msg}"
+                )));
+            }
+            let mid = clauses.len() / 2;
+            let mut out =
+                compile_block_with(&format!("{name}a"), shape, &clauses[..mid], ctx, options)?;
+            out.extend(compile_block_with(
+                &format!("{name}b"),
+                shape,
+                &clauses[mid..],
+                ctx,
+                options,
+            )?);
+            Ok(out)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn try_compile(
+    name: &str,
+    shape: &Shape,
+    clauses: &[MoveClause],
+    ctx: &mut Ctx,
+    options: PeOptions,
+) -> Result<CompiledBlock, BackendError> {
+    let mut lowered = lower::lower_block(shape, clauses, ctx)?;
+    peephole::dead_code(&mut lowered.ops);
+    if options.fuse_madd {
+        peephole::fuse_madd(&mut lowered.ops);
+    }
+    if options.chain_loads {
+        peephole::chain_loads(&mut lowered.ops, &lowered.array_params);
+    }
+    // Fusing multiplies can orphan immediates; sweep once more.
+    peephole::dead_code(&mut lowered.ops);
+    let routine = emit::emit_with(name, &lowered, options.overlap)?;
+    Ok(CompiledBlock {
+        routine,
+        array_params: lowered.array_params,
+        scalar_params: lowered.scalar_params,
+        clauses: clauses.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90y_nir::build::*;
+
+    #[test]
+    fn oversized_block_splits() {
+        // 20 independent writes, each needing its own store stream:
+        // must split into sub-blocks of ≤ 16 streams.
+        let mut ctx = Ctx::new();
+        let mut clauses = Vec::new();
+        for i in 0..20 {
+            let name = format!("v{i}");
+            ctx.bind_var(name.clone(), dfield(grid(&[8]), float64()));
+            clauses.push(MoveClause::unmasked(
+                avar(&name, everywhere()),
+                f64c(i as f64),
+            ));
+        }
+        let shape = Shape::grid(&[8]);
+        let blocks = compile_block("big", &shape, &clauses, &mut ctx).unwrap();
+        assert!(blocks.len() >= 2);
+        let total: usize = blocks.iter().map(|b| b.clauses.len()).sum();
+        assert_eq!(total, 20);
+        for b in &blocks {
+            assert!(b.array_params.len() <= f90y_peac::isa::NUM_PREGS as usize);
+        }
+    }
+}

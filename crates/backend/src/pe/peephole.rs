@@ -1,0 +1,222 @@
+//! VIR peephole rewriting: dead-code removal, chained multiply-add
+//! recognition ("multiply-add sequences are converted to chained
+//! multiply-adds wherever possible", paper §5.2) and load chaining
+//! marking ("PEAC's support for load chaining also allows one in-memory
+//! operand to be substituted for a register operand").
+
+use std::collections::{HashMap, HashSet};
+
+use crate::pe::vir::{use_counts, VBin, Vr, VirOp};
+use crate::ArrayParam;
+
+/// Remove operations whose results are never used. Iterates to a
+/// fixpoint (removing one op can kill its operands' only uses).
+pub fn dead_code(ops: &mut Vec<VirOp>) -> usize {
+    let mut removed = 0;
+    loop {
+        let counts = use_counts(ops);
+        let before = ops.len();
+        ops.retain(|op| match op.def() {
+            Some(d) => counts.get(&d).copied().unwrap_or(0) > 0,
+            None => true, // stores are effects
+        });
+        removed += before - ops.len();
+        if ops.len() == before {
+            return removed;
+        }
+    }
+}
+
+/// Fuse `t = a*b; d = t+c` (or `d = c+t`) into `d = madd(a,b,c)` when
+/// `t` has exactly one use. Returns the number of fusions.
+pub fn fuse_madd(ops: &mut Vec<VirOp>) -> usize {
+    let counts = use_counts(ops);
+    // Map: result of a single-use multiply -> (a, b, defining index).
+    let mut mul_of: HashMap<Vr, (Vr, Vr, usize)> = HashMap::new();
+    for (ix, op) in ops.iter().enumerate() {
+        if let VirOp::Bin { op: VBin::Mul, a, b, dst } = op {
+            if counts.get(dst).copied().unwrap_or(0) == 1 {
+                mul_of.insert(*dst, (*a, *b, ix));
+            }
+        }
+    }
+    let mut kill: HashSet<usize> = HashSet::new();
+    let mut fused = 0;
+    for ix in 0..ops.len() {
+        let VirOp::Bin { op: VBin::Add, a, b, dst } = ops[ix] else {
+            continue;
+        };
+        // Prefer fusing the left multiply; either operand may be it.
+        let candidate = mul_of
+            .get(&a)
+            .map(|m| (*m, b))
+            .or_else(|| mul_of.get(&b).map(|m| (*m, a)));
+        let Some(((ma, mb, mix), addend)) = candidate else {
+            continue;
+        };
+        if kill.contains(&mix) {
+            continue; // already consumed by an earlier fusion
+        }
+        // The addend must be defined before the multiply is removed —
+        // VIR is SSA in program order, so any operand defined before
+        // `ix` stays valid; just ensure we are not using the multiply's
+        // own result as the addend.
+        if addend == ops[mix].def().expect("multiplies define") {
+            continue;
+        }
+        ops[ix] = VirOp::Madd { a: ma, b: mb, c: addend, dst };
+        kill.insert(mix);
+        fused += 1;
+    }
+    let mut ix = 0;
+    ops.retain(|_| {
+        let keep = !kill.contains(&ix);
+        ix += 1;
+        keep
+    });
+    fused
+}
+
+/// Mark single-use loads as chained memory operands of the instruction
+/// that consumes them, subject to:
+///
+/// * one chained operand per consuming instruction;
+/// * the consumer must accept folded operands;
+/// * never chain a load of a variable the block also stores (the load
+///   must not migrate past the store of the same stream's memory).
+///
+/// Returns the number of loads chained.
+pub fn chain_loads(ops: &mut [VirOp], params: &[ArrayParam]) -> usize {
+    let counts = use_counts(ops);
+    // Variables written by the block.
+    let stored_vars: HashSet<&str> = params
+        .iter()
+        .filter_map(|p| match p {
+            ArrayParam::Write(v) => Some(v.as_str()),
+            _ => None,
+        })
+        .collect();
+    let chainable_param = |p: usize| match &params[p] {
+        ArrayParam::Read(v) => !stored_vars.contains(v.as_str()),
+        ArrayParam::Coord(_) => true,
+        ArrayParam::Write(_) => false,
+    };
+
+    // Which load defines each Vr.
+    let mut load_ix: HashMap<Vr, usize> = HashMap::new();
+    for (ix, op) in ops.iter().enumerate() {
+        if let VirOp::LoadVar { param, dst, chained: false } = op {
+            if counts.get(dst).copied().unwrap_or(0) == 1 && chainable_param(*param) {
+                load_ix.insert(*dst, ix);
+            }
+        }
+    }
+
+    let mut total = 0;
+    for ix in 0..ops.len() {
+        if !ops[ix].accepts_folded_operands() {
+            continue;
+        }
+        // Chain at most one operand of this instruction. A select's
+        // mask slot must stay a register, so skip it.
+        let uses = ops[ix].uses();
+        let foldable = match &ops[ix] {
+            VirOp::Sel { .. } => &uses[1..],
+            _ => &uses[..],
+        };
+        for &u in foldable {
+            if let Some(lix) = load_ix.remove(&u) {
+                if let VirOp::LoadVar { chained, .. } = &mut ops[lix] {
+                    *chained = true;
+                }
+                total += 1;
+                break;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_code_removes_transitively() {
+        let mut ops = vec![
+            VirOp::Imm { value: 1.0, dst: Vr(0) },
+            VirOp::Bin { op: VBin::Add, a: Vr(0), b: Vr(0), dst: Vr(1) },
+            VirOp::Imm { value: 2.0, dst: Vr(2) },
+            VirOp::Store { param: 0, src: Vr(2) },
+        ];
+        let removed = dead_code(&mut ops);
+        assert_eq!(removed, 2, "the add and its imm are dead");
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn madd_fuses_single_use_multiplies() {
+        let mut ops = vec![
+            VirOp::Imm { value: 2.0, dst: Vr(0) },
+            VirOp::Imm { value: 3.0, dst: Vr(1) },
+            VirOp::Imm { value: 4.0, dst: Vr(2) },
+            VirOp::Bin { op: VBin::Mul, a: Vr(0), b: Vr(1), dst: Vr(3) },
+            VirOp::Bin { op: VBin::Add, a: Vr(3), b: Vr(2), dst: Vr(4) },
+            VirOp::Store { param: 0, src: Vr(4) },
+        ];
+        assert_eq!(fuse_madd(&mut ops), 1);
+        assert!(ops.iter().any(|o| matches!(o, VirOp::Madd { .. })));
+        assert!(!ops
+            .iter()
+            .any(|o| matches!(o, VirOp::Bin { op: VBin::Mul, .. })));
+    }
+
+    #[test]
+    fn multiply_with_two_uses_is_not_fused() {
+        let mut ops = vec![
+            VirOp::Imm { value: 2.0, dst: Vr(0) },
+            VirOp::Bin { op: VBin::Mul, a: Vr(0), b: Vr(0), dst: Vr(1) },
+            VirOp::Bin { op: VBin::Add, a: Vr(1), b: Vr(0), dst: Vr(2) },
+            VirOp::Store { param: 0, src: Vr(1) },
+            VirOp::Store { param: 1, src: Vr(2) },
+        ];
+        assert_eq!(fuse_madd(&mut ops), 0);
+    }
+
+    #[test]
+    fn chain_loads_marks_single_use_reads() {
+        let params = vec![
+            ArrayParam::Read("a".into()),
+            ArrayParam::Read("b".into()),
+            ArrayParam::Write("c".into()),
+        ];
+        let mut ops = vec![
+            VirOp::LoadVar { param: 0, dst: Vr(0), chained: false },
+            VirOp::LoadVar { param: 1, dst: Vr(1), chained: false },
+            VirOp::Bin { op: VBin::Sub, a: Vr(0), b: Vr(1), dst: Vr(2) },
+            VirOp::Store { param: 2, src: Vr(2) },
+        ];
+        let n = chain_loads(&mut ops, &params);
+        assert_eq!(n, 1, "one memory operand per instruction");
+        let chained = ops
+            .iter()
+            .filter(|o| matches!(o, VirOp::LoadVar { chained: true, .. }))
+            .count();
+        assert_eq!(chained, 1);
+    }
+
+    #[test]
+    fn loads_of_stored_variables_never_chain() {
+        let params = vec![
+            ArrayParam::Read("k".into()),
+            ArrayParam::Write("k".into()),
+        ];
+        let mut ops = vec![
+            VirOp::LoadVar { param: 0, dst: Vr(0), chained: false },
+            VirOp::Imm { value: 5.0, dst: Vr(1) },
+            VirOp::Bin { op: VBin::Add, a: Vr(0), b: Vr(1), dst: Vr(2) },
+            VirOp::Store { param: 1, src: Vr(2) },
+        ];
+        assert_eq!(chain_loads(&mut ops, &params), 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The PE compiler's vector intermediate form.
+//!
+//! A computation block lowers first to this SSA-style three-address form
+//! over unbounded virtual registers; peephole rewriting (chained
+//! multiply-add recognition, dead-code removal) and load chaining happen
+//! here, and register allocation maps it onto the eight PEAC vector
+//! registers.
+
+use f90y_peac::isa::LibOp;
+
+/// A virtual vector register (single-assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vr(pub usize);
+
+/// Two-operand arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VBin {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+}
+
+/// Comparison predicates (masks are 1.0/0.0 lanes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VCmp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+/// One-operand operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VUn {
+    /// Negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Truncation toward zero (integer semantics on the float path).
+    Trunc,
+}
+
+/// VIR operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VirOp {
+    /// Broadcast an immediate.
+    Imm {
+        /// The constant.
+        value: f64,
+        /// Defined register.
+        dst: Vr,
+    },
+    /// Load the next vector of pointer parameter `param`.
+    LoadVar {
+        /// Pointer-parameter index.
+        param: usize,
+        /// Defined register.
+        dst: Vr,
+        /// Set by load chaining: folded into its single use as a memory
+        /// operand instead of being a standalone `flodv`.
+        chained: bool,
+    },
+    /// Broadcast scalar parameter `param`.
+    LoadScalar {
+        /// Scalar-parameter index.
+        param: usize,
+        /// Defined register.
+        dst: Vr,
+    },
+    /// Two-operand arithmetic.
+    Bin {
+        /// Operation.
+        op: VBin,
+        /// Left operand.
+        a: Vr,
+        /// Right operand.
+        b: Vr,
+        /// Defined register.
+        dst: Vr,
+    },
+    /// Chained multiply-add `dst = a*b + c` (created by peephole
+    /// rewriting).
+    Madd {
+        /// Multiplicand.
+        a: Vr,
+        /// Multiplier.
+        b: Vr,
+        /// Addend.
+        c: Vr,
+        /// Defined register.
+        dst: Vr,
+    },
+    /// One-operand arithmetic.
+    Un {
+        /// Operation.
+        op: VUn,
+        /// Operand.
+        a: Vr,
+        /// Defined register.
+        dst: Vr,
+    },
+    /// Comparison producing a mask.
+    Cmp {
+        /// Predicate.
+        op: VCmp,
+        /// Left operand.
+        a: Vr,
+        /// Right operand.
+        b: Vr,
+        /// Defined register.
+        dst: Vr,
+    },
+    /// Masked select `dst = mask ? a : b`.
+    Sel {
+        /// Mask register.
+        mask: Vr,
+        /// Value where the mask holds.
+        a: Vr,
+        /// Value where it does not.
+        b: Vr,
+        /// Defined register.
+        dst: Vr,
+    },
+    /// Vector library call.
+    Lib {
+        /// The routine.
+        op: LibOp,
+        /// First operand.
+        a: Vr,
+        /// Second operand (`Pow`).
+        b: Option<Vr>,
+        /// Defined register.
+        dst: Vr,
+    },
+    /// Store to the next vector of pointer parameter `param`.
+    Store {
+        /// Pointer-parameter index.
+        param: usize,
+        /// Stored register.
+        src: Vr,
+    },
+}
+
+impl VirOp {
+    /// The register this op defines, if any.
+    pub fn def(&self) -> Option<Vr> {
+        use VirOp::*;
+        match self {
+            Imm { dst, .. }
+            | LoadVar { dst, .. }
+            | LoadScalar { dst, .. }
+            | Bin { dst, .. }
+            | Madd { dst, .. }
+            | Un { dst, .. }
+            | Cmp { dst, .. }
+            | Sel { dst, .. }
+            | Lib { dst, .. } => Some(*dst),
+            Store { .. } => None,
+        }
+    }
+
+    /// The registers this op reads, in operand order.
+    pub fn uses(&self) -> Vec<Vr> {
+        use VirOp::*;
+        match self {
+            Imm { .. } | LoadVar { .. } | LoadScalar { .. } => vec![],
+            Bin { a, b, .. } | Cmp { a, b, .. } => vec![*a, *b],
+            Madd { a, b, c, .. } => vec![*a, *b, *c],
+            Un { a, .. } => vec![*a],
+            Sel { mask, a, b, .. } => vec![*mask, *a, *b],
+            Lib { a, b, .. } => {
+                let mut v = vec![*a];
+                if let Some(b) = b {
+                    v.push(*b);
+                }
+                v
+            }
+            Store { src, .. } => vec![*src],
+        }
+    }
+
+    /// `true` for operations that accept a chained memory or broadcast
+    /// scalar operand in place of a vector register.
+    pub fn accepts_folded_operands(&self) -> bool {
+        matches!(
+            self,
+            VirOp::Bin { .. }
+                | VirOp::Madd { .. }
+                | VirOp::Cmp { .. }
+                | VirOp::Un { .. }
+                | VirOp::Lib { .. }
+                | VirOp::Sel { .. }
+        )
+    }
+}
+
+/// Count uses of every virtual register in a sequence.
+pub fn use_counts(ops: &[VirOp]) -> std::collections::HashMap<Vr, usize> {
+    let mut counts = std::collections::HashMap::new();
+    for op in ops {
+        for u in op.uses() {
+            *counts.entry(u).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_use_accounting() {
+        let op = VirOp::Madd { a: Vr(1), b: Vr(2), c: Vr(3), dst: Vr(4) };
+        assert_eq!(op.def(), Some(Vr(4)));
+        assert_eq!(op.uses(), vec![Vr(1), Vr(2), Vr(3)]);
+        let st = VirOp::Store { param: 0, src: Vr(4) };
+        assert_eq!(st.def(), None);
+        assert_eq!(st.uses(), vec![Vr(4)]);
+    }
+
+    #[test]
+    fn use_counts_sum_over_ops() {
+        let ops = vec![
+            VirOp::Imm { value: 1.0, dst: Vr(0) },
+            VirOp::Bin { op: VBin::Add, a: Vr(0), b: Vr(0), dst: Vr(1) },
+            VirOp::Store { param: 0, src: Vr(1) },
+        ];
+        let counts = use_counts(&ops);
+        assert_eq!(counts[&Vr(0)], 2);
+        assert_eq!(counts[&Vr(1)], 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! The CM2/NIR compiler: division of labour between host and nodes.
+//!
+//! "The CM2/NIR compiler just cuts out the computation phases and
+//! patches the remaining program to include appropriate NIR calling
+//! code. Each computation phase will be compiled as a single node
+//! procedure, and the remainder will become supporting host code."
+//! (paper §5.1)
+
+use f90y_nir::typecheck::Ctx;
+use f90y_nir::{FieldAction, Imp, LValue, NirError, Value};
+use f90y_transform::program::{classify_stmt, ProgramBody, StmtClass};
+
+use crate::pe::{self, PeOptions};
+use crate::{BackendError, CompiledProgram, HostStmt, NodeBlock};
+
+/// Partition an optimized program and compile its computation blocks.
+///
+/// # Errors
+///
+/// Fails when the program is not a lowered unit or a block fails to
+/// compile.
+pub fn split(optimized: &Imp) -> Result<CompiledProgram, BackendError> {
+    split_with_options(optimized, PeOptions::full())
+}
+
+/// [`split`] with explicit PE code-generation switches.
+///
+/// # Errors
+///
+/// As [`split`].
+pub fn split_with_options(
+    optimized: &Imp,
+    options: PeOptions,
+) -> Result<CompiledProgram, BackendError> {
+    let body = ProgramBody::decompose(optimized)?;
+    let mut ctx = body.ctx()?;
+    let mut blocks = Vec::new();
+    let host = split_stmts(&body.stmts, &mut ctx, &mut blocks, options)?;
+    Ok(CompiledProgram { blocks, binders: body.binders, host })
+}
+
+fn split_stmts(
+    stmts: &[Imp],
+    ctx: &mut Ctx,
+    blocks: &mut Vec<NodeBlock>,
+    options: PeOptions,
+) -> Result<Vec<HostStmt>, BackendError> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for stmt in stmts {
+        out.extend(split_stmt(stmt, ctx, blocks, options)?);
+    }
+    Ok(out)
+}
+
+fn split_stmt(
+    stmt: &Imp,
+    ctx: &mut Ctx,
+    blocks: &mut Vec<NodeBlock>,
+    options: PeOptions,
+) -> Result<Vec<HostStmt>, BackendError> {
+    match classify_stmt(stmt, ctx)? {
+        StmtClass::Compute(shape) => {
+            let Imp::Move(clauses) = stmt else {
+                unreachable!("computation phases are moves")
+            };
+            let name = format!("Pk{}vs1", blocks.len());
+            let compiled = pe::compile_block_with(&name, &shape, clauses, ctx, options)?;
+            let mut out = Vec::with_capacity(compiled.len());
+            for cb in compiled {
+                let index = blocks.len();
+                blocks.push(NodeBlock {
+                    index,
+                    shape: shape.clone(),
+                    clauses: cb.clauses,
+                    routine: cb.routine,
+                    array_params: cb.array_params,
+                    scalar_params: cb.scalar_params,
+                });
+                out.push(HostStmt::Dispatch(index));
+            }
+            Ok(out)
+        }
+        StmtClass::Comm(_) => {
+            let Imp::Move(clauses) = stmt else {
+                unreachable!("communication phases are moves")
+            };
+            let [clause] = clauses.as_slice() else {
+                unreachable!("communication phases are single-clause")
+            };
+            let LValue::AVar(dst, FieldAction::Everywhere) = &clause.dst else {
+                unreachable!("communication targets are whole arrays")
+            };
+            let Value::FcnCall(name, args) = &clause.src else {
+                unreachable!("communication sources are intrinsic calls")
+            };
+            // Argument layouts (see lowering): cshift(array, shift, dim),
+            // eoshift(array, shift, dim[, boundary]).
+            let src_var = match &args[0].1 {
+                Value::AVar(v, FieldAction::Everywhere) => v.clone(),
+                // A composite argument the transformations could not
+                // materialise (e.g. typed under a DO binding): the host
+                // evaluates it through the runtime instead.
+                _ => return Ok(vec![HostStmt::HostMove(clauses.clone())]),
+            };
+            let shift = args
+                .get(1)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| BackendError::Malformed("missing SHIFT".into()))?;
+            let dim = args
+                .get(2)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(Value::Scalar(f90y_nir::Const::I32(1)));
+            let boundary = if name == "eoshift" {
+                Some(
+                    args.get(3)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or(Value::Scalar(f90y_nir::Const::F64(0.0))),
+                )
+            } else {
+                None
+            };
+            Ok(vec![HostStmt::Comm {
+                dst: dst.clone(),
+                src: src_var,
+                dim,
+                shift,
+                boundary,
+            }])
+        }
+        StmtClass::Host => match stmt {
+            Imp::Move(clauses) => Ok(vec![HostStmt::HostMove(clauses.clone())]),
+            Imp::Do(dom, shape, b) => {
+                let resolved = ctx.resolve(shape)?;
+                ctx.push_do(dom.clone(), resolved.clone());
+                let body = split_body(b, ctx, blocks, options);
+                ctx.pop_do();
+                Ok(vec![HostStmt::Do { dom: dom.clone(), shape: resolved, body: body? }])
+            }
+            Imp::While(cond, b) => Ok(vec![HostStmt::While {
+                cond: cond.clone(),
+                body: split_body(b, ctx, blocks, options)?,
+            }]),
+            Imp::IfThenElse(cond, t, e) => Ok(vec![HostStmt::If {
+                cond: cond.clone(),
+                then_body: split_body(t, ctx, blocks, options)?,
+                else_body: split_body(e, ctx, blocks, options)?,
+            }]),
+            Imp::WithDecl(d, b) => {
+                let mut inner = ctx.clone();
+                for (id, ty, _) in d.bindings() {
+                    let resolved = resolve_type(ty, &inner)?;
+                    inner.bind_var(id.clone(), resolved);
+                }
+                Ok(vec![HostStmt::WithDecl {
+                    decl: d.clone(),
+                    body: split_body(b, &mut inner, blocks, options)?,
+                }])
+            }
+            Imp::WithDomain(name, shape, b) => {
+                let mut inner = ctx.clone();
+                inner.bind_domain(name.clone(), shape)?;
+                Ok(vec![HostStmt::WithDomain {
+                    name: name.clone(),
+                    shape: inner.resolve(shape)?,
+                    body: split_body(b, &mut inner, blocks, options)?,
+                }])
+            }
+            Imp::Sequentially(xs) | Imp::Concurrently(xs) => {
+                split_stmts(xs, ctx, blocks, options)
+            }
+            Imp::Program(b) => split_body(b, ctx, blocks, options),
+            Imp::Skip => Ok(vec![]),
+        },
+    }
+}
+
+fn split_body(
+    b: &Imp,
+    ctx: &mut Ctx,
+    blocks: &mut Vec<NodeBlock>,
+    options: PeOptions,
+) -> Result<Vec<HostStmt>, BackendError> {
+    match b {
+        Imp::Sequentially(xs) => split_stmts(xs, ctx, blocks, options),
+        Imp::Skip => Ok(vec![]),
+        other => split_stmt(other, ctx, blocks, options),
+    }
+}
+
+fn resolve_type(ty: &f90y_nir::Type, ctx: &Ctx) -> Result<f90y_nir::Type, NirError> {
+    match ty {
+        f90y_nir::Type::Scalar(s) => Ok(f90y_nir::Type::Scalar(*s)),
+        f90y_nir::Type::DField { shape, elem } => Ok(f90y_nir::Type::DField {
+            shape: ctx.resolve(shape)?,
+            elem: Box::new(resolve_type(elem, ctx)?),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90y_nir::build::*;
+
+    #[test]
+    fn fig11_partition_cuts_blocks_and_keeps_host_code() {
+        // compute(A) ; comm ; compute(A) inside a serial DO.
+        let p = program(with_domain(
+            "s",
+            interval(1, 16),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("t", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("v", everywhere()), local_under(domain("s"), 1)),
+                    do_over(
+                        "step",
+                        serial_interval(1, 3),
+                        seq(vec![
+                            mv(
+                                avar("t", everywhere()),
+                                fcncall(
+                                    "cshift",
+                                    vec![
+                                        (float64(), ld("v", everywhere())),
+                                        (int32(), int(1)),
+                                        (int32(), int(1)),
+                                    ],
+                                ),
+                            ),
+                            mv(
+                                avar("v", everywhere()),
+                                add(ld("v", everywhere()), ld("t", everywhere())),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
+        ));
+        let compiled = split(&p).unwrap();
+        assert_eq!(compiled.blocks.len(), 2, "init block + in-loop block");
+        // Host: dispatch, then DO containing comm + dispatch.
+        assert!(matches!(compiled.host[0], HostStmt::Dispatch(0)));
+        match &compiled.host[1] {
+            HostStmt::Do { body, .. } => {
+                assert!(matches!(body[0], HostStmt::Comm { .. }));
+                assert!(matches!(body[1], HostStmt::Dispatch(1)));
+            }
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+}

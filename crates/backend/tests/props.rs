@@ -1,0 +1,219 @@
+//! Property tests for the PE compiler: deep random expression trees
+//! (far past the 8-register vector file, forcing Belady spills and
+//! rematerialisation) must compute exactly what the NIR reference
+//! evaluator computes.
+
+use proptest::prelude::*;
+
+use f90y_backend::pe::compile_block;
+use f90y_cm2::{Cm2, Cm2Config};
+use f90y_nir::build::*;
+use f90y_nir::eval::Evaluator;
+use f90y_nir::typecheck::Ctx;
+use f90y_nir::{BinOp, Imp, MoveClause, Shape, UnOp, Value};
+
+const ARRAYS: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+const N: i64 = 8;
+
+fn arb_value(depth: u32) -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        (0usize..ARRAYS.len()).prop_map(|i| ld(ARRAYS[i], everywhere())),
+        (-4i32..5).prop_map(int),
+        (1u32..5).prop_map(|k| f64c(k as f64 / 2.0)),
+        // The coordinate field over the (rank-1) block shape.
+        Just(local_under(grid(&[N]), 1)),
+    ];
+    leaf.prop_recursive(depth, 64, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| add(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| sub(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| mul(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| bin(BinOp::Max, x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| bin(BinOp::Min, x, y)),
+            inner.clone().prop_map(|x| un(UnOp::Neg, x)),
+            inner.clone().prop_map(|x| un(UnOp::Abs, x)),
+        ]
+    })
+}
+
+/// Wrap a single-clause block into a whole program the evaluator can
+/// run: declare the arrays, initialise them deterministically, run the
+/// clause.
+fn as_program(clause: &MoveClause, inits: &[Vec<f64>]) -> Imp {
+    let mut decls = vec![decl("out", dfield(domain("s"), float64()))];
+    let mut stmts = Vec::new();
+    for (name, data) in ARRAYS.iter().zip(inits) {
+        decls.push(decl(name, dfield(domain("s"), float64())));
+        for (ix, v) in data.iter().enumerate() {
+            stmts.push(mv(
+                avar(name, subscript(vec![int(ix as i32 + 1)])),
+                f64c(*v),
+            ));
+        }
+    }
+    stmts.push(Imp::Move(vec![clause.clone()]));
+    program(with_domain(
+        "s",
+        interval(1, N),
+        with_decl(declset(decls), seq(stmts)),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn deep_expressions_compile_and_match_the_evaluator(
+        v in arb_value(6),
+        seeds in proptest::collection::vec(-8i32..9, 6),
+    ) {
+        // Deterministic input data per array.
+        let inits: Vec<Vec<f64>> = seeds
+            .iter()
+            .enumerate()
+            .map(|(k, &s)| {
+                (0..N)
+                    .map(|i| ((i as i32 * (k as i32 + 3) + s) % 7 - 3) as f64 / 2.0)
+                    .collect()
+            })
+            .collect();
+
+        let clause = MoveClause::unmasked(avar("out", everywhere()), v);
+
+        // Reference result.
+        let programmed = as_program(&clause, &inits);
+        let mut ev = Evaluator::new();
+        ev.run(&programmed).expect("reference evaluation");
+        let expect = ev.final_array_f64("out").expect("out captured");
+
+        // Compiled result: one block dispatched on a small machine.
+        let mut ctx = Ctx::new();
+        ctx.bind_var("out".into(), dfield(grid(&[N]), float64()));
+        for a in ARRAYS {
+            ctx.bind_var(a.into(), dfield(grid(&[N]), float64()));
+        }
+        let shape = Shape::grid(&[N]);
+        let blocks = compile_block("p", &shape, &[clause], &mut ctx)
+            .expect("compiles (splitting as needed)");
+
+        let mut cm = Cm2::new(Cm2Config::slicewise(2));
+        let mut ids = std::collections::HashMap::new();
+        ids.insert("out".to_string(), cm.alloc(&[N as usize]));
+        for (name, data) in ARRAYS.iter().zip(&inits) {
+            ids.insert((*name).to_string(), cm.alloc_from(&[N as usize], data.clone()));
+        }
+        for b in blocks {
+            let mut args = Vec::new();
+            for p in &b.array_params {
+                let id = match p {
+                    f90y_backend::ArrayParam::Read(v)
+                    | f90y_backend::ArrayParam::Write(v) => ids[v.as_str()],
+                    f90y_backend::ArrayParam::Coord(dim) => {
+                        cm.coordinates(&[N as usize], &[1], *dim - 1)
+                    }
+                };
+                args.push(id);
+            }
+            prop_assert!(b.scalar_params.is_empty());
+            cm.dispatch(&b.routine, &args, &[]).expect("dispatches");
+        }
+        let got = cm.read(ids["out"]).expect("readable");
+        for (i, (e, g)) in expect.iter().zip(&got).enumerate() {
+            prop_assert!(
+                (e - g).abs() <= 1e-9 * e.abs().max(1.0),
+                "out[{i}]: evaluator {e} vs machine {g}"
+            );
+        }
+    }
+
+    /// Every routine the PE compiler emits disassembles to a stable
+    /// listing: `parse_listing(listing) |> listing == listing`.
+    #[test]
+    fn emitted_listings_reassemble(v in arb_value(4)) {
+        let clause = MoveClause::unmasked(avar("out", everywhere()), v);
+        let mut ctx = Ctx::new();
+        ctx.bind_var("out".into(), dfield(grid(&[N]), float64()));
+        for a in ARRAYS {
+            ctx.bind_var(a.into(), dfield(grid(&[N]), float64()));
+        }
+        let shape = Shape::grid(&[N]);
+        let blocks = compile_block("p", &shape, &[clause], &mut ctx).expect("compiles");
+        for b in blocks {
+            let text = b.routine.listing();
+            let back = f90y_peac::parse_listing(&text).expect("reassembles");
+            prop_assert_eq!(back.listing(), text);
+        }
+    }
+
+    /// Spill-heavy kernels stay exact: a right-nested difference spine
+    /// of distinct products keeps all terms live at once, defeating both
+    /// the block CSE and multiply-add fusion, so the Belady allocator
+    /// must spill past the 8-register file.
+    #[test]
+    fn spill_pressure_preserves_values(terms in 8usize..16) {
+        let mut ctx = Ctx::new();
+        for a in ARRAYS {
+            ctx.bind_var(a.into(), dfield(grid(&[N]), float64()));
+        }
+        ctx.bind_var("out".into(), dfield(grid(&[N]), float64()));
+        let term: Vec<Value> = (0..terms)
+            .map(|k| {
+                mul(
+                    ld(ARRAYS[k % ARRAYS.len()], everywhere()),
+                    f64c(k as f64 / 2.0 + 1.0),
+                )
+            })
+            .collect();
+        let mut sum_v = term.last().expect("terms >= 8").clone();
+        for t in term[..terms - 1].iter().rev() {
+            sum_v = sub(t.clone(), sum_v);
+        }
+        let clause = MoveClause::unmasked(avar("out", everywhere()), sum_v);
+        let inits: Vec<Vec<f64>> = (0..ARRAYS.len())
+            .map(|k| (0..N).map(|i| 1.0 + ((i + k as i64) % 3) as f64 / 4.0).collect())
+            .collect();
+
+        let programmed = as_program(&clause, &inits);
+        let mut ev = Evaluator::new();
+        ev.run(&programmed).expect("reference evaluation");
+        let expect = ev.final_array_f64("out").expect("captured");
+
+        let shape = Shape::grid(&[N]);
+        let blocks = compile_block("s", &shape, &[clause], &mut ctx).expect("compiles");
+        // The kernel must actually spill — otherwise it tests nothing.
+        let spills: usize = blocks
+            .iter()
+            .flat_map(|b| b.routine.body())
+            .filter(|i| matches!(i, f90y_peac::Instr::SpillStore { .. }))
+            .count();
+        prop_assert!(spills > 0 || terms < 10, "expected spills at {terms} terms");
+        let mut cm = Cm2::new(Cm2Config::slicewise(2));
+        let out = cm.alloc(&[N as usize]);
+        let mut ids = std::collections::HashMap::new();
+        ids.insert("out".to_string(), out);
+        for (name, data) in ARRAYS.iter().zip(&inits) {
+            ids.insert((*name).to_string(), cm.alloc_from(&[N as usize], data.clone()));
+        }
+        for b in blocks {
+            let args: Vec<_> = b
+                .array_params
+                .iter()
+                .map(|p| match p {
+                    f90y_backend::ArrayParam::Read(v)
+                    | f90y_backend::ArrayParam::Write(v) => ids[v.as_str()],
+                    f90y_backend::ArrayParam::Coord(dim) => {
+                        cm.coordinates(&[N as usize], &[1], *dim - 1)
+                    }
+                })
+                .collect();
+            cm.dispatch(&b.routine, &args, &[]).expect("dispatches");
+        }
+        let got = cm.read(out).expect("readable");
+        for (i, (e, g)) in expect.iter().zip(&got).enumerate() {
+            prop_assert!(
+                (e - g).abs() <= 1e-9 * e.abs().max(1.0),
+                "out[{i}]: {e} vs {g} at {terms} terms"
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion benchmarks: compiler throughput and simulated-machine
+//! throughput for the paper's workloads. (The *tables* are regenerated
+//! by the `src/bin/*` harnesses; these benches time our own pipeline —
+//! the "rapid prototyping" half of the paper's pitch.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use f90y_core::{workloads, Compiler, Pipeline};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    for (name, src) in [
+        ("fig8", workloads::fig_section21_f90().to_string()),
+        ("fig10", workloads::fig10_source().to_string()),
+        ("swe64", workloads::swe_source(64, 3)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("f90y", name), &src, |b, src| {
+            b.iter(|| Compiler::new(Pipeline::F90y).compile(black_box(src)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_swe_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swe_simulate");
+    g.sample_size(10);
+    for n in [64usize, 128] {
+        let src = workloads::swe_source(n, 2);
+        let exe = Compiler::new(Pipeline::F90y).compile(&src).unwrap();
+        g.bench_with_input(BenchmarkId::new("cm2", n), &exe, |b, exe| {
+            b.iter(|| exe.run(black_box(256)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipelines_on_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_compile");
+    let src = workloads::fig12_source(64);
+    for p in [Pipeline::F90y, Pipeline::Cmf, Pipeline::StarLisp] {
+        g.bench_function(p.name(), |b| {
+            b.iter(|| Compiler::new(p).compile(black_box(&src)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let src = workloads::swe_source(64, 3);
+    let unit = f90y_frontend::parse(&src).unwrap();
+    let nir = f90y_lowering::lower(&unit).unwrap();
+    c.bench_function("transform/swe64", |b| {
+        b.iter(|| f90y_transform::optimize(black_box(&nir)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_swe_simulation,
+    bench_pipelines_on_fig12,
+    bench_transform
+);
+criterion_main!(benches);

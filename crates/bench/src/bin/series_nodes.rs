@@ -1,0 +1,46 @@
+//! Supplementary scaling series (no direct paper figure, but the
+//! motivation throughout): SWE throughput versus machine size for a
+//! fixed problem. With the problem fixed, the subgrid per node shrinks
+//! as nodes grow, so per-call overheads bite — the same VP-ratio effect
+//! the §5.2 and §6 discussions turn on.
+
+use f90y_bench::{compile, rule};
+use f90y_core::{workloads, Pipeline};
+
+fn main() {
+    let grid = 512;
+    println!("SWE {grid}x{grid}, 3 steps — throughput vs machine size (F90-Y pipeline)");
+    rule(76);
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14}",
+        "nodes", "subgrid/PE", "GFLOPS", "speedup", "efficiency"
+    );
+    rule(76);
+    let exe = compile(&workloads::swe_source(grid, 3), Pipeline::F90y);
+    let mut base: Option<(usize, f64)> = None;
+    let mut last_gf = 0.0;
+    for nodes in [32usize, 128, 512, 2048] {
+        let report = exe.run(nodes).expect("runs");
+        let (n0, t0) = *base.get_or_insert((nodes, report.elapsed_seconds));
+        let speedup = t0 / report.elapsed_seconds;
+        let efficiency = speedup / (nodes as f64 / n0 as f64);
+        println!(
+            "{:>8} {:>12} {:>12.3} {:>13.2}x {:>13.1}%",
+            nodes,
+            (grid * grid).div_ceil(nodes),
+            report.gflops,
+            speedup,
+            efficiency * 100.0,
+        );
+        assert!(
+            report.gflops >= last_gf,
+            "more nodes must not lower throughput"
+        );
+        last_gf = report.gflops;
+    }
+    rule(76);
+    println!(
+        "scaling is sublinear at fixed problem size (shrinking VP ratio exposes \
+         dispatch and\nruntime-call overheads) — the flip side of the §5.2 grid-size series"
+    );
+}

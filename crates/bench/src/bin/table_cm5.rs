@@ -1,0 +1,85 @@
+//! Regenerates the paper's §5.3.1 CM/5 retargeting exercise: the same
+//! compiled program — same front end, same blocking transformations,
+//! same PEAC-style node bodies — re-timed under the CM/5 three-way
+//! model (control processor / node SPARC / four vector units).
+//!
+//! "Porting effort is thus concentrated on taking advantage of the
+//! additional powers of the processing node. Most importantly, the new
+//! compiler can still take advantage of the machine-independent
+//! blocking and vectorizing NIR transformations defined in the front
+//! end."
+
+use f90y_bench::{compile, rule};
+use f90y_cm5::{run_and_estimate, split_block, Cm5Config};
+use f90y_core::{workloads, Pipeline};
+
+fn main() {
+    println!("§5.3.1 — CM/5 retarget: same compiled program, new cost model");
+    let src = workloads::swe_source(512, 3);
+    let exe = compile(&src, Pipeline::F90y);
+
+    println!("\nthree-way split of each computation block:");
+    rule(76);
+    println!(
+        "{:>6} {:>18} {:>24} {:>14}",
+        "block", "vector-unit instrs", "SPARC ops / iteration", "CP args"
+    );
+    rule(76);
+    for b in &exe.compiled.blocks {
+        let s = split_block(b);
+        println!(
+            "{:>6} {:>18} {:>24} {:>14}",
+            b.index, s.vector_instructions, s.sparc_ops_per_iteration, s.control_args
+        );
+    }
+    rule(76);
+
+    println!("\nSWE 512x512, 3 steps:");
+    rule(86);
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "nodes", "GFLOPS", "VU time", "SPARC time", "CP time", "net time", "of peak"
+    );
+    rule(86);
+    // CM/2 reference line.
+    let cm2_run = exe.run(2048).expect("runs");
+    println!(
+        "{:>8} {:>12.3} {:>12} {:>12} {:>12} {:>12} {:>9.1}%   (CM/2, 2048 nodes)",
+        "CM/2",
+        cm2_run.gflops,
+        "-",
+        "-",
+        "-",
+        "-",
+        cm2_run.gflops / f90y_cm2::Cm2Config::full_slicewise().peak_gflops() * 100.0,
+    );
+    for nodes in [64usize, 256, 1024] {
+        let config = Cm5Config::new(nodes);
+        let (_, stats) = run_and_estimate(&exe.compiled, &config).expect("estimates");
+        println!(
+            "{:>8} {:>12.3} {:>11.4}s {:>11.4}s {:>11.4}s {:>11.4}s {:>9.1}%",
+            nodes,
+            stats.gflops(),
+            stats.vu_seconds,
+            stats.sparc_exposed_seconds,
+            stats.control_seconds,
+            stats.network_seconds,
+            stats.gflops() / config.peak_gflops() * 100.0,
+        );
+    }
+    rule(86);
+    let full = run_and_estimate(&exe.compiled, &Cm5Config::new(1024))
+        .expect("estimates")
+        .1;
+    assert!(
+        full.gflops() > cm2_run.gflops,
+        "a full CM/5 ({:.2} GF) should outrun the full CM/2 ({:.2} GF) on the same program",
+        full.gflops(),
+        cm2_run.gflops,
+    );
+    println!(
+        "the 1024-node CM/5 sustains {:.2} GF on the unchanged program — the port is a cost\n\
+         model and a node-compiler split, not a new compiler (the paper's point)",
+        full.gflops()
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerates the paper's §6 performance comparison on the SWE
+//! benchmark:
+//!
+//! > "A hand-coded \*Lisp version of SWE running under fieldwise mode
+//! > peaked at 1.89 gigaflops. The slicewise CM Fortran compiler (v1.1)
+//! > reached an extrapolated 2.79 gigaflops. The prototype Fortran-90-Y
+//! > compiler … attained a competitive untuned peak rate of 2.99
+//! > gigaflops."
+
+use f90y_bench::{breakdown, rule, run, HEADLINE_GRID, HEADLINE_NODES, HEADLINE_STEPS};
+use f90y_core::{workloads, Pipeline};
+
+fn main() {
+    let paper: &[(Pipeline, f64)] = &[
+        (Pipeline::StarLisp, 1.89),
+        (Pipeline::Cmf, 2.79),
+        (Pipeline::F90y, 2.99),
+    ];
+
+    println!(
+        "SWE (shallow-water equations), {g}x{g} grid, {s} steps, {n}-node CM/2 @ 7 MHz",
+        g = HEADLINE_GRID,
+        s = HEADLINE_STEPS,
+        n = HEADLINE_NODES
+    );
+    rule(104);
+    println!(
+        "{:<24} {:>12} {:>12} {:>8}   cycle breakdown",
+        "compiler", "paper GF", "measured GF", "ratio"
+    );
+    rule(104);
+    let src = workloads::swe_source(HEADLINE_GRID, HEADLINE_STEPS);
+    let mut measured = Vec::new();
+    for &(pipeline, paper_gf) in paper {
+        let (_, report) = run(&src, pipeline, HEADLINE_NODES);
+        println!(
+            "{:<24} {:>12.2} {:>12.2} {:>8.3}   {}",
+            pipeline.name(),
+            paper_gf,
+            report.gflops,
+            report.gflops / paper_gf,
+            breakdown(&report),
+        );
+        measured.push((pipeline, report.gflops));
+    }
+    rule(104);
+
+    let gf = |p: Pipeline| {
+        measured
+            .iter()
+            .find(|(q, _)| *q == p)
+            .expect("measured above")
+            .1
+    };
+    println!(
+        "speedups   F90-Y/CMF: paper {:.3}, measured {:.3}   F90-Y/*Lisp: paper {:.3}, measured {:.3}",
+        2.99 / 2.79,
+        gf(Pipeline::F90y) / gf(Pipeline::Cmf),
+        2.99 / 1.89,
+        gf(Pipeline::F90y) / gf(Pipeline::StarLisp),
+    );
+    assert!(
+        gf(Pipeline::F90y) > gf(Pipeline::Cmf) && gf(Pipeline::Cmf) > gf(Pipeline::StarLisp),
+        "the paper's ordering F90-Y > CMF > *Lisp must hold"
+    );
+}

@@ -1,0 +1,86 @@
+//! # f90y-bench — harnesses that regenerate the paper's tables and figures
+//!
+//! Each binary in `src/bin/` reproduces one table, figure or quantified
+//! claim of the paper (the index lives in DESIGN.md §4; measured-vs-paper
+//! numbers are recorded in EXPERIMENTS.md). Run any of them with
+//! `cargo run -p f90y-bench --release --bin <name>`:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table_swe` | §6 SWE GFLOPS table (\*Lisp / CMF / F90-Y) |
+//! | `fig4_loop_rules` | Fig. 4 inductive LOOP expansion derivation |
+//! | `fig7_forall` | Fig. 7 FORALL → parallel array notation |
+//! | `fig8_lowering` | Fig. 8 shape-parameterised NIR |
+//! | `fig9_blocking` | Fig. 9 domain blocking transformation |
+//! | `fig10_masking` | Fig. 10 masked-assignment blocking + PEAC |
+//! | `fig11_partition` | Fig. 11 naive/blocked/partitioned program |
+//! | `fig12_peac` | Fig. 12 naive vs optimized PEAC encodings |
+//! | `series_host_fraction` | §5.2 claim: host time becomes negligible |
+//! | `ablation_spill` | §5.2 claim: 18-cycle spills, overlap placement |
+//! | `ablation_blocking` | §6 claim: blocking amortises dispatch |
+//! | `table_cm5` | §5.3.1 CM/5 retarget |
+//!
+//! The shared helpers here keep the binaries small and consistent.
+
+use f90y_core::{Compiler, Executable, Pipeline, RunReport};
+
+/// Compile a source text under a pipeline, panicking with context on
+/// failure (harness-level ergonomics).
+pub fn compile(src: &str, pipeline: Pipeline) -> Executable {
+    match Compiler::new(pipeline).compile(src) {
+        Ok(exe) => exe,
+        Err(e) => panic!("compilation failed under {}: {e}", pipeline.name()),
+    }
+}
+
+/// Compile and run on `nodes` nodes.
+pub fn run(src: &str, pipeline: Pipeline, nodes: usize) -> (Executable, RunReport) {
+    let exe = compile(src, pipeline);
+    let report = match exe.run(nodes) {
+        Ok(r) => r,
+        Err(e) => panic!("execution failed under {}: {e}", pipeline.name()),
+    };
+    (exe, report)
+}
+
+/// Print a horizontal rule sized to a table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Format a breakdown of machine cycles as percentages.
+pub fn breakdown(report: &RunReport) -> String {
+    let total = report.stats.node_cycles().max(1) as f64;
+    format!(
+        "compute {:4.1}%  comm {:4.1}%  dispatch {:4.1}%  host {:4.2}%",
+        report.stats.compute_cycles as f64 / total * 100.0,
+        report.stats.comm_cycles as f64 / total * 100.0,
+        report.stats.dispatch_overhead_cycles as f64 / total * 100.0,
+        report.host_fraction * 100.0,
+    )
+}
+
+/// The headline experiment configuration: the §6 table is regenerated
+/// at this grid size and node count (see EXPERIMENTS.md for the sweep).
+pub const HEADLINE_GRID: usize = 1024;
+/// Headline time steps.
+pub const HEADLINE_STEPS: usize = 3;
+/// Headline machine size (the full CM-2 of the paper).
+pub const HEADLINE_NODES: usize = 2048;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_compile_and_run() {
+        let (exe, report) = run(
+            "REAL a(64)\na = 1.0\n",
+            Pipeline::F90y,
+            16,
+        );
+        assert_eq!(exe.compiled.blocks.len(), 1);
+        assert!(report.stats.node_cycles() > 0);
+        assert!(!breakdown(&report).is_empty());
+    }
+}

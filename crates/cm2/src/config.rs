@@ -1,0 +1,124 @@
+//! Machine configuration.
+
+/// Configuration of a simulated CM/2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cm2Config {
+    /// Number of slicewise processing elements (power of two, up to
+    /// 2048 — the full machine of the paper's §2.2).
+    pub nodes: usize,
+    /// Node clock in Hz. The CM-2's sequencer/Weitek pipeline ran at
+    /// 7 MHz.
+    pub clock_hz: f64,
+    /// Multiplier on per-dispatch compute cycles. 1.0 for slicewise;
+    /// the fieldwise (\*Lisp) execution model pays the transposer tax
+    /// (see [`Cm2Config::fieldwise`]).
+    pub compute_multiplier: f64,
+    /// Multiplier on per-dispatch call overhead. Interpreted \*Lisp
+    /// dispatch is heavier than compiled PEAC dispatch.
+    pub dispatch_multiplier: f64,
+    /// The §5.3.2 "other computation models" study: when set, grid
+    /// communication is software-pipelined against independent
+    /// computation — each communication call may hide behind compute
+    /// cycles accumulated since the previous communication. This is an
+    /// optimistic bound (it assumes the compiler always finds an
+    /// independent block to overlap), offered as the model study the
+    /// paper sketches: "A more flexible model would allow the compiler
+    /// to pipeline communication and computation".
+    pub pipelined_comm: bool,
+}
+
+impl Cm2Config {
+    /// The full slicewise machine of the paper's evaluation: 2048 nodes
+    /// at 7 MHz.
+    pub fn full_slicewise() -> Self {
+        Cm2Config {
+            nodes: 2048,
+            clock_hz: 7.0e6,
+            compute_multiplier: 1.0,
+            dispatch_multiplier: 1.0,
+            pipelined_comm: false,
+        }
+    }
+
+    /// A smaller slicewise machine (for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nodes` is a power of two between 1 and 2048.
+    pub fn slicewise(nodes: usize) -> Self {
+        assert!(
+            nodes.is_power_of_two() && nodes <= 2048,
+            "CM/2 node count must be a power of two up to 2048, got {nodes}"
+        );
+        Cm2Config { nodes, ..Cm2Config::full_slicewise() }
+    }
+
+    /// The fieldwise (\*Lisp) execution model on the same hardware.
+    ///
+    /// Under fieldwise mode, data lives bit-transposed across the 32
+    /// bit-serial processors of each PE and must pass through the
+    /// transposer to reach the Weitek FPU, and elemental operations are
+    /// dispatched one at a time through the \*Lisp runtime. We model
+    /// both effects as multipliers rather than simulating bit-serial
+    /// memory: compute beats cost ~1.25× (the transposer occupies the
+    /// memory path) and per-operation dispatch costs ~1.5× (interpreted
+    /// runtime) — on top of the naive per-statement code the \*Lisp
+    /// baseline compiler generates (no chaining, no multiply-add fusion,
+    /// no overlap). The multipliers are calibrated so hand-coded
+    /// fieldwise SWE lands near the paper's measured 1.89 GFLOPS
+    /// relative to slicewise compiled code (see EXPERIMENTS.md).
+    pub fn fieldwise(nodes: usize) -> Self {
+        Cm2Config {
+            compute_multiplier: 1.25,
+            dispatch_multiplier: 1.5,
+            ..Cm2Config::slicewise(nodes)
+        }
+    }
+
+    /// Hypercube dimensionality for this node count (two wires per
+    /// dimension on the real machine).
+    pub fn hypercube_dims(&self) -> u32 {
+        self.nodes.trailing_zeros()
+    }
+
+    /// Peak GFLOPS with chained multiply-adds, for reference lines in
+    /// reports.
+    pub fn peak_gflops(&self) -> f64 {
+        // fmadd: 8 flops per 6-cycle vector instruction per node.
+        self.nodes as f64 * (8.0 / f90y_peac::costs::FMADD_CYCLES as f64) * self.clock_hz / 1e9
+    }
+}
+
+impl Default for Cm2Config {
+    fn default() -> Self {
+        Cm2Config::full_slicewise()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_machine_matches_paper() {
+        let c = Cm2Config::full_slicewise();
+        assert_eq!(c.nodes, 2048);
+        assert_eq!(c.hypercube_dims(), 11);
+        // Nominal peak in the tens of GFLOPS, same order as the CM-2's
+        // advertised 28 GFLOPS DP peak.
+        assert!(c.peak_gflops() > 10.0 && c.peak_gflops() < 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        Cm2Config::slicewise(100);
+    }
+
+    #[test]
+    fn fieldwise_is_slower() {
+        let f = Cm2Config::fieldwise(2048);
+        assert!(f.compute_multiplier > 1.0);
+        assert!(f.dispatch_multiplier > 1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! CM/2 runtime cost model: dispatch, grid communication, router,
+//! reductions.
+//!
+//! As with `f90y_peac::costs`, every constant is justified; the
+//! experiment tables depend on the *ratios*. Communication is charged in
+//! node cycles (the whole machine runs in SIMD lockstep, so elapsed time
+//! is per-node busy time).
+
+use crate::layout::Layout;
+use f90y_peac::costs::MEM_CYCLES;
+use f90y_peac::isa::VLEN;
+
+/// Cycles of sequencer + IFIFO overhead to call one PEAC routine
+/// (paper §6 blames "PEAC subroutine calling time and the overhead of
+/// receiving pointers and data from the front-end FIFO" for the cost the
+/// blocking transformation amortises). CM documentation puts elementwise
+/// operation launch overhead at one to two hundred microseconds; 1000
+/// node cycles at 7 MHz is ~140 µs per dispatch.
+pub const DISPATCH_BASE_CYCLES: u64 = 1000;
+
+/// Additional cycles per routine argument pushed over the IFIFO
+/// (pointer or broadcast scalar).
+pub const DISPATCH_PER_ARG_CYCLES: u64 = 40;
+
+/// Cycles of runtime-library entry overhead for a communication or
+/// reduction call (argument marshalling, geometry/grid-mapping lookup,
+/// send/receive buffer setup): ~170 µs at 7 MHz, the same order as a
+/// PEAC dispatch plus the NEWS setup work.
+pub const RT_CALL_CYCLES: u64 = 1200;
+
+/// Cycles to move one 64-bit element over a hypercube dimension's two
+/// 1-bit wires: 64 bits / 2 wires = 32 cycles.
+pub const WIRE_CYCLES_PER_ELEM: u64 = 32;
+
+/// Router multiplier over grid (NEWS) communication: a general
+/// permutation traverses ~log₂(P)/2 dimensions with conflicts, where
+/// grid neighbours need one. The paper (§2.2): special-purpose
+/// communication "can be substantially faster than the worst-case router
+/// alternative".
+pub const ROUTER_FACTOR: u64 = 6;
+
+/// Node cycles for a PEAC routine dispatch executing `iterations`
+/// subgrid-loop iterations of a body costing `body_cycles` per
+/// iteration.
+pub fn dispatch_cycles(nargs: usize, body_cycles: u64, iterations: u64) -> u64 {
+    DISPATCH_BASE_CYCLES + DISPATCH_PER_ARG_CYCLES * nargs as u64 + body_cycles * iterations
+}
+
+/// Node cycles for a grid (NEWS) `CSHIFT`/`EOSHIFT` by `shift` along
+/// `axis` over the given layout: every node copies its subgrid (in/out
+/// through the vector unit) and serialises its boundary-crossing
+/// elements onto the wires.
+pub fn grid_comm_cycles(layout: &Layout, axis: usize, shift: i64) -> u64 {
+    let local_copy = 2 * layout.iterations_per_node() * MEM_CYCLES;
+    let wire = layout.crossing_per_node(axis, shift) * WIRE_CYCLES_PER_ELEM;
+    RT_CALL_CYCLES + local_copy + wire
+}
+
+/// Node cycles for a general router copy moving every element to an
+/// arbitrary destination (the fallback when no grid pattern applies).
+pub fn router_comm_cycles(layout: &Layout) -> u64 {
+    RT_CALL_CYCLES + layout.subgrid() as u64 * WIRE_CYCLES_PER_ELEM * ROUTER_FACTOR
+}
+
+/// Node cycles for a full reduction (`SUM`/`MAXVAL`/`MINVAL`): a local
+/// vector reduction pass over the subgrid, then log₂(P) combine steps
+/// over the hypercube.
+pub fn reduction_cycles(layout: &Layout, nodes: usize) -> u64 {
+    let local = layout.iterations_per_node() * (MEM_CYCLES + f90y_peac::costs::VOP_CYCLES);
+    let combine = (nodes.max(2).trailing_zeros() as u64)
+        * (WIRE_CYCLES_PER_ELEM + f90y_peac::costs::VOP_CYCLES);
+    RT_CALL_CYCLES + local + combine
+}
+
+/// Node cycles to materialise a coordinate subgrid (`local_under`): one
+/// generation pass writing the subgrid through the vector unit. The real
+/// runtime caches these; so does [`crate::machine::Cm2`], charging this
+/// once per (shape, axis).
+pub fn coordinate_gen_cycles(layout: &Layout) -> u64 {
+    RT_CALL_CYCLES + layout.iterations_per_node() * (f90y_peac::costs::VOP_CYCLES + MEM_CYCLES)
+}
+
+/// Host-side cycles for one host program operation (scalar arithmetic,
+/// loop bookkeeping) — the paper's front end "uses a simple
+/// memory-to-memory load/store model with little attention to effective
+/// register use" (§5.2), so charge a flat, deliberately unflattering
+/// cost per host op. The host SPARC runs at its own clock; see
+/// [`crate::machine::MachineStats::elapsed_seconds`].
+pub const HOST_OP_CYCLES: u64 = 8;
+
+/// Host clock in Hz (a Sun-4 front end, ~25 MHz SPARC).
+pub const HOST_CLOCK_HZ: f64 = 25.0e6;
+
+/// Convenience: how many vector iterations an elementwise pass needs.
+pub fn elementwise_iterations(layout: &Layout) -> u64 {
+    layout.subgrid().div_ceil(VLEN) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbour_shift_is_cheaper_than_router() {
+        let l = Layout::grid(&[1024, 2048], 2048); // subgrid 1024
+        let grid = grid_comm_cycles(&l, 0, 1);
+        let router = router_comm_cycles(&l);
+        assert!(
+            grid * 5 < router,
+            "grid {grid} should be far cheaper than router {router}"
+        );
+    }
+
+    #[test]
+    fn long_axis_shift_costs_more_than_unit_shift() {
+        let l = Layout::grid(&[1024, 2048], 2048);
+        assert!(grid_comm_cycles(&l, 0, 100) > grid_comm_cycles(&l, 0, 1));
+    }
+
+    #[test]
+    fn dispatch_amortisation_favours_longer_blocks() {
+        // Two dispatches of half the work cost more than one of the
+        // whole: the premise of the blocking transformation.
+        let one = dispatch_cycles(4, 60, 32);
+        let two = 2 * dispatch_cycles(4, 30, 32);
+        assert!(two > one);
+    }
+
+    #[test]
+    fn reduction_scales_with_subgrid_and_log_nodes() {
+        let small = Layout::blockwise(2048 * 8, 2048);
+        let large = Layout::blockwise(2048 * 64, 2048);
+        assert!(reduction_cycles(&large, 2048) > reduction_cycles(&small, 2048));
+    }
+}

@@ -1,0 +1,346 @@
+//! CM arrays, machine state and accounting.
+
+use std::collections::HashMap;
+
+use crate::config::Cm2Config;
+use crate::costs;
+use crate::layout::Layout;
+use crate::Cm2Error;
+
+/// Handle to an array living in (simulated) CM memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+pub(crate) struct CmArray {
+    /// Per-axis extents (row-major storage).
+    pub dims: Vec<usize>,
+    /// Per-axis inclusive lower bounds (Fortran bounds for coordinate
+    /// generation).
+    pub lower: Vec<i64>,
+    /// The elements.
+    pub data: Vec<f64>,
+}
+
+impl CmArray {
+    pub(crate) fn len(&self) -> usize {
+        self.data.len()
+    }
+
+}
+
+/// Cycle, flop and call accounting for one simulated run.
+///
+/// The machine executes in SIMD lockstep, so `node_cycles` — per-node
+/// busy cycles summed over operations — is the machine's elapsed time in
+/// cycles. Host cycles accumulate separately at the host clock; the
+/// model serialises host and CM time (a conservative choice the
+/// host-fraction experiment quantifies).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Per-node CM cycles spent in dispatched computation.
+    pub compute_cycles: u64,
+    /// Per-node CM cycles spent in communication and reductions.
+    pub comm_cycles: u64,
+    /// Per-node CM cycles spent in dispatch/IFIFO overhead.
+    pub dispatch_overhead_cycles: u64,
+    /// Host (front end) cycles.
+    pub host_cycles: u64,
+    /// Floating-point operations executed machine-wide.
+    pub flops: u64,
+    /// PEAC routine dispatches.
+    pub dispatches: u64,
+    /// Communication runtime calls.
+    pub comm_calls: u64,
+    /// Reduction runtime calls.
+    pub reductions: u64,
+}
+
+impl MachineStats {
+    /// Total per-node CM cycles.
+    pub fn node_cycles(&self) -> u64 {
+        self.compute_cycles + self.comm_cycles + self.dispatch_overhead_cycles
+    }
+
+    /// Elapsed seconds: CM time plus host time, serialised.
+    pub fn elapsed_seconds(&self, clock_hz: f64) -> f64 {
+        self.node_cycles() as f64 / clock_hz + self.host_cycles as f64 / costs::HOST_CLOCK_HZ
+    }
+
+    /// Sustained GFLOPS over the run.
+    pub fn gflops(&self, clock_hz: f64) -> f64 {
+        let secs = self.elapsed_seconds(clock_hz);
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.flops as f64 / secs / 1e9
+        }
+    }
+
+    /// Fraction of elapsed time spent on the host.
+    pub fn host_fraction(&self, clock_hz: f64) -> f64 {
+        let total = self.elapsed_seconds(clock_hz);
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.host_cycles as f64 / costs::HOST_CLOCK_HZ) / total
+        }
+    }
+}
+
+/// One machine-level event, recorded when tracing is enabled. Traces
+/// let retargeting studies (the CM/5 estimator) replay a run under a
+/// different cost model without re-executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A PEAC routine dispatch.
+    Dispatch {
+        /// Per-node subgrid-loop iterations.
+        iterations: u64,
+        /// Total (machine-wide) elements computed.
+        elements: usize,
+        /// Charged vector-arithmetic instructions in the body.
+        arith: u64,
+        /// Charged (non-overlapped) memory instructions in the body.
+        mem: u64,
+        /// Division instructions in the body.
+        div: u64,
+        /// Library-call instructions in the body.
+        lib: u64,
+        /// Routine arguments pushed.
+        nargs: usize,
+        /// Machine-wide flops the dispatch performed.
+        flops: u64,
+    },
+    /// A grid (NEWS) communication.
+    GridComm {
+        /// Per-node subgrid vectors copied.
+        iterations: u64,
+        /// Per-node boundary elements crossing the network.
+        crossing: u64,
+    },
+    /// A router-path data movement.
+    Router {
+        /// Per-node elements moved.
+        subgrid: usize,
+    },
+    /// A global reduction.
+    Reduce {
+        /// Per-node subgrid vectors scanned.
+        iterations: u64,
+    },
+    /// Host work (front-end operations).
+    HostOps(u64),
+}
+
+/// A simulated CM/2: configuration, CM memory, and accounting.
+#[derive(Debug)]
+pub struct Cm2 {
+    pub(crate) config: Cm2Config,
+    pub(crate) arrays: Vec<Option<CmArray>>,
+    pub(crate) coord_cache: HashMap<(Vec<usize>, Vec<i64>, usize), ArrayId>,
+    pub(crate) stats: MachineStats,
+    pub(crate) trace: Option<Vec<TraceEvent>>,
+    /// Compute cycles accumulated since the last communication call,
+    /// available to hide pipelined communication behind (§5.3.2 model).
+    pub(crate) overlap_pool: u64,
+}
+
+impl Cm2 {
+    /// A machine with the given configuration.
+    pub fn new(config: Cm2Config) -> Self {
+        Cm2 {
+            config,
+            arrays: Vec::new(),
+            coord_cache: HashMap::new(),
+            stats: MachineStats::default(),
+            trace: None,
+            overlap_pool: 0,
+        }
+    }
+
+    /// Start recording machine events (clears any previous trace).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded events, if tracing was enabled.
+    pub fn trace(&self) -> Option<&[TraceEvent]> {
+        self.trace.as_deref()
+    }
+
+    pub(crate) fn record(&mut self, e: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(e);
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &Cm2Config {
+        &self.config
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// Reset the accounting (arrays survive).
+    pub fn reset_stats(&mut self) {
+        self.stats = MachineStats::default();
+    }
+
+    /// Allocate a zeroed CM array with the given extents and unit lower
+    /// bounds.
+    pub fn alloc(&mut self, dims: &[usize]) -> ArrayId {
+        self.alloc_with_bounds(dims, &vec![1; dims.len()])
+    }
+
+    /// Allocate a zeroed CM array with explicit lower bounds.
+    pub fn alloc_with_bounds(&mut self, dims: &[usize], lower: &[i64]) -> ArrayId {
+        let total = dims.iter().product();
+        let id = ArrayId(self.arrays.len());
+        self.arrays.push(Some(CmArray {
+            dims: dims.to_vec(),
+            lower: lower.to_vec(),
+            data: vec![0.0; total],
+        }));
+        id
+    }
+
+    /// Allocate and initialise a CM array.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` does not match the extents.
+    pub fn alloc_from(&mut self, dims: &[usize], data: Vec<f64>) -> ArrayId {
+        let total: usize = dims.iter().product();
+        assert_eq!(data.len(), total, "data length must match extents");
+        let id = ArrayId(self.arrays.len());
+        self.arrays.push(Some(CmArray {
+            dims: dims.to_vec(),
+            lower: vec![1; dims.len()],
+            data,
+        }));
+        id
+    }
+
+    /// Free an array.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the handle is stale.
+    pub fn free(&mut self, id: ArrayId) -> Result<(), Cm2Error> {
+        let slot = self
+            .arrays
+            .get_mut(id.0)
+            .ok_or_else(|| Cm2Error::Runtime(format!("unknown array {id:?}")))?;
+        if slot.take().is_none() {
+            return Err(Cm2Error::Runtime(format!("double free of {id:?}")));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn array(&self, id: ArrayId) -> Result<&CmArray, Cm2Error> {
+        self.arrays
+            .get(id.0)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| Cm2Error::Runtime(format!("unknown array {id:?}")))
+    }
+
+    pub(crate) fn array_mut(&mut self, id: ArrayId) -> Result<&mut CmArray, Cm2Error> {
+        self.arrays
+            .get_mut(id.0)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| Cm2Error::Runtime(format!("unknown array {id:?}")))
+    }
+
+    /// The extents of an array.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the handle is stale.
+    pub fn dims(&self, id: ArrayId) -> Result<Vec<usize>, Cm2Error> {
+        Ok(self.array(id)?.dims.clone())
+    }
+
+    /// A copy of an array's elements (row-major), free of charge — a
+    /// harness/verification affordance, not a runtime call.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the handle is stale.
+    pub fn read(&self, id: ArrayId) -> Result<Vec<f64>, Cm2Error> {
+        Ok(self.array(id)?.data.clone())
+    }
+
+    /// Overwrite an array's elements, free of charge (harness
+    /// affordance).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the handle is stale or the length mismatches.
+    pub fn write(&mut self, id: ArrayId, data: &[f64]) -> Result<(), Cm2Error> {
+        let arr = self.array_mut(id)?;
+        if arr.data.len() != data.len() {
+            return Err(Cm2Error::Runtime(format!(
+                "write of {} elements into array of {}",
+                data.len(),
+                arr.data.len()
+            )));
+        }
+        arr.data.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// The blockwise layout of an array on this machine.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the handle is stale.
+    pub fn layout(&self, id: ArrayId) -> Result<Layout, Cm2Error> {
+        Ok(Layout::grid(&self.array(id)?.dims, self.config.nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mut cm = Cm2::new(Cm2Config::slicewise(16));
+        let a = cm.alloc(&[4, 4]);
+        assert_eq!(cm.read(a).unwrap(), vec![0.0; 16]);
+        cm.write(a, &[1.5; 16]).unwrap();
+        assert_eq!(cm.read(a).unwrap(), vec![1.5; 16]);
+    }
+
+    #[test]
+    fn free_invalidates_handle() {
+        let mut cm = Cm2::new(Cm2Config::slicewise(16));
+        let a = cm.alloc(&[8]);
+        cm.free(a).unwrap();
+        assert!(cm.read(a).is_err());
+        assert!(cm.free(a).is_err());
+    }
+
+    #[test]
+    fn stats_start_at_zero_and_reset() {
+        let mut cm = Cm2::new(Cm2Config::slicewise(16));
+        assert_eq!(cm.stats().node_cycles(), 0);
+        cm.stats.compute_cycles = 100;
+        cm.reset_stats();
+        assert_eq!(cm.stats().node_cycles(), 0);
+    }
+
+    #[test]
+    fn gflops_accounting() {
+        let stats = MachineStats {
+            compute_cycles: 7_000_000, // one second at 7 MHz
+            flops: 3_000_000_000,
+            ..MachineStats::default()
+        };
+        assert!((stats.gflops(7.0e6) - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,540 @@
+//! The CM runtime system (CMRT) surface.
+//!
+//! The FE/NIR compiler "replaces certain primitive function calls which
+//! represent communication intrinsics by calls to their CM runtime
+//! library implementations" and "inserts calling code to push PEAC
+//! procedure arguments over the IFIFO to the processors" (paper §5.2).
+//! These are those runtime entry points, with the cost model of
+//! [`crate::costs`] attached.
+
+use f90y_peac::costs::body_cycles;
+use f90y_peac::isa::Routine;
+use f90y_peac::sim::{run_routine, NodeMemory};
+
+use crate::costs;
+use crate::machine::{ArrayId, Cm2};
+use crate::Cm2Error;
+
+/// Reduction operators supported by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Global sum.
+    Sum,
+    /// Global maximum.
+    Max,
+    /// Global minimum.
+    Min,
+}
+
+impl Cm2 {
+    /// Dispatch a PEAC routine elementwise over the given CM arrays.
+    ///
+    /// All pointer arguments must have equal element counts (they share
+    /// one shape and one blockwise layout). Every lane executes; results
+    /// land back in CM memory. Charges dispatch overhead plus the
+    /// per-node virtual-subgrid loop cost.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles, mismatched extents or PEAC faults.
+    pub fn dispatch(
+        &mut self,
+        routine: &Routine,
+        ptr_args: &[ArrayId],
+        scalar_args: &[f64],
+    ) -> Result<(), Cm2Error> {
+        if ptr_args.is_empty() {
+            return Err(Cm2Error::Runtime(
+                "dispatch needs at least one array argument".into(),
+            ));
+        }
+        let total = self.array(ptr_args[0])?.len();
+        for &id in ptr_args {
+            if self.array(id)?.len() != total {
+                return Err(Cm2Error::Runtime(format!(
+                    "dispatch arguments disagree on element count \
+                     ({} vs {total})",
+                    self.array(id)?.len()
+                )));
+            }
+        }
+        // Stage the blocks into a node memory image. Blockwise layout
+        // tiles the row-major element space contiguously, and the body
+        // is elementwise, so running the subgrid loop over the whole
+        // space computes exactly what the P lockstep nodes compute.
+        // An array passed through several pointer arguments (separate
+        // load and store streams of one variable) shares one buffer,
+        // just as it shares one region of real CM memory.
+        let mut mem = NodeMemory::new();
+        let mut base_of: std::collections::HashMap<ArrayId, usize> =
+            std::collections::HashMap::new();
+        let mut bases = Vec::with_capacity(ptr_args.len());
+        for &id in ptr_args {
+            let base = match base_of.get(&id) {
+                Some(&b) => b,
+                None => {
+                    let data = self.array(id)?.data.clone();
+                    let b = mem.alloc(&data);
+                    base_of.insert(id, b);
+                    b
+                }
+            };
+            bases.push(base);
+        }
+        run_routine(routine, &mut mem, &bases, scalar_args, total)?;
+        for (&id, &base) in base_of.iter() {
+            let out = mem.read(base, total);
+            self.array_mut(id)?.data.copy_from_slice(&out);
+        }
+
+        // Time: per-node subgrid iterations at the configured
+        // multipliers; flops: machine-wide over valid elements.
+        let layout = self.layout(ptr_args[0])?;
+        let iters = layout.iterations_per_node();
+        let body = body_cycles(routine.body());
+        let overhead = costs::DISPATCH_BASE_CYCLES
+            + costs::DISPATCH_PER_ARG_CYCLES
+                * (routine.nargs_ptr() + routine.nargs_scalar()) as u64;
+        self.stats.dispatch_overhead_cycles +=
+            (overhead as f64 * self.config.dispatch_multiplier) as u64;
+        let compute = (body as f64 * iters as f64 * self.config.compute_multiplier) as u64;
+        self.stats.compute_cycles += compute;
+        self.overlap_pool = self.overlap_pool.saturating_add(compute);
+        let flops_per_elem: u64 = routine
+            .body()
+            .iter()
+            .map(f90y_peac::isa::Instr::flops_per_elem)
+            .sum();
+        self.stats.flops += flops_per_elem * total as u64;
+        self.stats.dispatches += 1;
+        if self.trace.is_some() {
+            use f90y_peac::isa::Instr;
+            let mut arith = 0u64;
+            let mut mem = 0u64;
+            let mut div = 0u64;
+            let mut lib = 0u64;
+            for i in routine.body() {
+                match i {
+                    Instr::Fdivv { .. } => div += 1,
+                    Instr::Flib { .. } => lib += 1,
+                    Instr::Flodv { .. }
+                    | Instr::Fstrv { .. }
+                    | Instr::SpillLoad { .. }
+                    | Instr::SpillStore { .. } => mem += 1,
+                    other if other.is_arith() => arith += 1,
+                    _ => {}
+                }
+            }
+            self.record(crate::machine::TraceEvent::Dispatch {
+                iterations: iters,
+                elements: total,
+                arith,
+                mem,
+                div,
+                lib,
+                nargs: routine.nargs_ptr() + routine.nargs_scalar(),
+                flops: flops_per_elem * total as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Grid (NEWS) circular shift: a new array whose element `i` along
+    /// `axis` (0-based) holds the source's element `i + shift`, wrapped
+    /// (Fortran `CSHIFT` semantics).
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles or a bad axis.
+    pub fn cshift(&mut self, src: ArrayId, axis: usize, shift: i64) -> Result<ArrayId, Cm2Error> {
+        let (dims, lower, shifted) = {
+            let arr = self.array(src)?;
+            if axis >= arr.dims.len() {
+                return Err(Cm2Error::Runtime(format!(
+                    "cshift axis {axis} out of range for rank {}",
+                    arr.dims.len()
+                )));
+            }
+            let shifted = shift_data(&arr.data, &arr.dims, axis, shift, None);
+            (arr.dims.clone(), arr.lower.clone(), shifted)
+        };
+        let id = self.alloc_with_bounds(&dims, &lower);
+        self.array_mut(id)?.data = shifted;
+        self.charge_grid_comm(src, axis, shift)?;
+        Ok(id)
+    }
+
+    /// Grid end-off shift (Fortran `EOSHIFT`): vacated positions take
+    /// `boundary`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles or a bad axis.
+    pub fn eoshift(
+        &mut self,
+        src: ArrayId,
+        axis: usize,
+        shift: i64,
+        boundary: f64,
+    ) -> Result<ArrayId, Cm2Error> {
+        let (dims, lower, shifted) = {
+            let arr = self.array(src)?;
+            if axis >= arr.dims.len() {
+                return Err(Cm2Error::Runtime(format!(
+                    "eoshift axis {axis} out of range for rank {}",
+                    arr.dims.len()
+                )));
+            }
+            let shifted = shift_data(&arr.data, &arr.dims, axis, shift, Some(boundary));
+            (arr.dims.clone(), arr.lower.clone(), shifted)
+        };
+        let id = self.alloc_with_bounds(&dims, &lower);
+        self.array_mut(id)?.data = shifted;
+        self.charge_grid_comm(src, axis, shift)?;
+        Ok(id)
+    }
+
+    fn charge_grid_comm(&mut self, src: ArrayId, axis: usize, shift: i64) -> Result<(), Cm2Error> {
+        let layout = self.layout(src)?;
+        let mut cost = costs::grid_comm_cycles(&layout, axis, shift);
+        if self.config.pipelined_comm {
+            // §5.3.2 model study: hide the transfer behind compute
+            // accumulated since the last communication. The runtime-call
+            // entry overhead cannot hide (the sequencer is busy issuing
+            // it).
+            let hideable = cost.saturating_sub(costs::RT_CALL_CYCLES);
+            let hidden = hideable.min(self.overlap_pool);
+            self.overlap_pool -= hidden;
+            cost -= hidden;
+        }
+        self.stats.comm_cycles += cost;
+        self.stats.comm_calls += 1;
+        self.record(crate::machine::TraceEvent::GridComm {
+            iterations: layout.iterations_per_node(),
+            crossing: layout.crossing_per_node(axis, shift),
+        });
+        Ok(())
+    }
+
+    /// General router copy: clone an array paying worst-case
+    /// communication (used when no grid pattern applies).
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles.
+    pub fn router_copy(&mut self, src: ArrayId) -> Result<ArrayId, Cm2Error> {
+        let (dims, lower, data) = {
+            let arr = self.array(src)?;
+            (arr.dims.clone(), arr.lower.clone(), arr.data.clone())
+        };
+        let layout = self.layout(src)?;
+        let id = self.alloc_with_bounds(&dims, &lower);
+        self.array_mut(id)?.data = data;
+        self.stats.comm_cycles += costs::router_comm_cycles(&layout);
+        self.stats.comm_calls += 1;
+        self.record(crate::machine::TraceEvent::Router { subgrid: layout.subgrid() });
+        Ok(id)
+    }
+
+    /// Charge a general-router data movement over an array's layout
+    /// without moving data (the host executor moves the data itself
+    /// after computing a gather/scatter it could not express as a grid
+    /// pattern).
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles.
+    pub fn charge_router_move(&mut self, id: ArrayId) -> Result<(), Cm2Error> {
+        let layout = self.layout(id)?;
+        self.stats.comm_cycles += costs::router_comm_cycles(&layout);
+        self.stats.comm_calls += 1;
+        self.record(crate::machine::TraceEvent::Router { subgrid: layout.subgrid() });
+        Ok(())
+    }
+
+    /// Global reduction to the front end.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles.
+    pub fn reduce(&mut self, src: ArrayId, op: ReduceOp) -> Result<f64, Cm2Error> {
+        let value = {
+            let arr = self.array(src)?;
+            match op {
+                ReduceOp::Sum => arr.data.iter().sum(),
+                ReduceOp::Max => arr.data.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                ReduceOp::Min => arr.data.iter().copied().fold(f64::INFINITY, f64::min),
+            }
+        };
+        let layout = self.layout(src)?;
+        self.stats.comm_cycles += costs::reduction_cycles(&layout, self.config.nodes);
+        self.stats.reductions += 1;
+        self.record(crate::machine::TraceEvent::Reduce {
+            iterations: layout.iterations_per_node(),
+        });
+        Ok(value)
+    }
+
+    /// The coordinate subgrid of `axis` (0-based) for arrays of the
+    /// given extents and lower bounds: element values are the Fortran
+    /// coordinate along that axis. Cached per (extents, bounds, axis);
+    /// generation is charged once.
+    pub fn coordinates(
+        &mut self,
+        dims: &[usize],
+        lower: &[i64],
+        axis: usize,
+    ) -> ArrayId {
+        let key = (dims.to_vec(), lower.to_vec(), axis);
+        if let Some(&id) = self.coord_cache.get(&key) {
+            return id;
+        }
+        let total: usize = dims.iter().product();
+        let stride: usize = dims[axis + 1..].iter().product();
+        let extent = dims[axis];
+        let mut data = Vec::with_capacity(total);
+        for flat in 0..total {
+            let coord = (flat / stride) % extent;
+            data.push((lower[axis] + coord as i64) as f64);
+        }
+        let layout = crate::layout::Layout::blockwise(total, self.config.nodes);
+        self.stats.comm_cycles += costs::coordinate_gen_cycles(&layout);
+        let id = self.alloc_with_bounds(dims, lower);
+        self.array_mut(id)
+            .expect("array just allocated")
+            .data = data;
+        self.coord_cache.insert(key, id);
+        id
+    }
+
+    /// Charge host-side work: `n` host program operations.
+    pub fn charge_host_ops(&mut self, n: u64) {
+        self.stats.host_cycles += n * costs::HOST_OP_CYCLES;
+        self.record(crate::machine::TraceEvent::HostOps(n));
+    }
+
+    /// Read a single element from the front end (serial host access to
+    /// CM memory — slow, used by host-executed serial loops).
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles or out-of-range flat index.
+    pub fn host_read_elem(&mut self, id: ArrayId, flat: usize) -> Result<f64, Cm2Error> {
+        let arr = self.array(id)?;
+        let v = *arr.data.get(flat).ok_or_else(|| {
+            Cm2Error::Runtime(format!("element {flat} out of range"))
+        })?;
+        self.stats.host_cycles += costs::HOST_OP_CYCLES;
+        self.stats.comm_cycles += costs::WIRE_CYCLES_PER_ELEM;
+        Ok(v)
+    }
+
+    /// Write a single element from the front end.
+    ///
+    /// # Errors
+    ///
+    /// Fails on stale handles or out-of-range flat index.
+    pub fn host_write_elem(&mut self, id: ArrayId, flat: usize, v: f64) -> Result<(), Cm2Error> {
+        self.stats.host_cycles += costs::HOST_OP_CYCLES;
+        self.stats.comm_cycles += costs::WIRE_CYCLES_PER_ELEM;
+        let arr = self.array_mut(id)?;
+        let slot = arr.data.get_mut(flat).ok_or_else(|| {
+            Cm2Error::Runtime(format!("element {flat} out of range"))
+        })?;
+        *slot = v;
+        Ok(())
+    }
+}
+
+/// Row-major shift along an axis; `boundary: None` wraps (CSHIFT),
+/// `Some(b)` end-off fills (EOSHIFT).
+fn shift_data(
+    data: &[f64],
+    dims: &[usize],
+    axis: usize,
+    shift: i64,
+    boundary: Option<f64>,
+) -> Vec<f64> {
+    let inner: usize = dims[axis + 1..].iter().product();
+    let extent = dims[axis];
+    let outer: usize = dims[..axis].iter().product();
+    let n = extent as i64;
+    let mut out = vec![0.0; data.len()];
+    for o in 0..outer {
+        for a in 0..extent {
+            let src_a = a as i64 + shift;
+            for i in 0..inner {
+                let dst = (o * extent + a) * inner + i;
+                out[dst] = match boundary {
+                    None => {
+                        let sa = src_a.rem_euclid(n) as usize;
+                        data[(o * extent + sa) * inner + i]
+                    }
+                    Some(b) => {
+                        if src_a < 0 || src_a >= n {
+                            b
+                        } else {
+                            data[(o * extent + src_a as usize) * inner + i]
+                        }
+                    }
+                };
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Cm2Config;
+    use f90y_peac::isa::{Instr, Mem, Operand, VReg};
+
+    fn machine() -> Cm2 {
+        Cm2::new(Cm2Config::slicewise(16))
+    }
+
+    fn add_one_routine() -> Routine {
+        Routine::new(
+            "inc",
+            2,
+            0,
+            vec![
+                Instr::Fimmv { value: 1.0, dst: VReg(1) },
+                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
+                Instr::Faddv {
+                    a: Operand::V(VReg(0)),
+                    b: Operand::V(VReg(1)),
+                    dst: VReg(2),
+                },
+                Instr::Fstrv { src: VReg(2), dst: Mem::arg(1), overlapped: false },
+            ],
+        )
+        .expect("valid routine")
+    }
+
+    #[test]
+    fn dispatch_computes_and_charges() {
+        let mut cm = machine();
+        let a = cm.alloc_from(&[64], (0..64).map(|i| i as f64).collect());
+        let b = cm.alloc(&[64]);
+        cm.dispatch(&add_one_routine(), &[a, b], &[]).unwrap();
+        let out = cm.read(b).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as f64 + 1.0);
+        }
+        let s = cm.stats();
+        assert_eq!(s.dispatches, 1);
+        assert!(s.compute_cycles > 0);
+        assert!(s.dispatch_overhead_cycles > 0);
+        assert_eq!(s.flops, 64); // one add per element
+    }
+
+    #[test]
+    fn dispatch_time_uses_per_node_subgrid() {
+        // Same total work on more nodes → fewer compute cycles.
+        let mut small = Cm2::new(Cm2Config::slicewise(4));
+        let mut large = Cm2::new(Cm2Config::slicewise(64));
+        for cm in [&mut small, &mut large] {
+            let a = cm.alloc(&[1024]);
+            let b = cm.alloc(&[1024]);
+            cm.dispatch(&add_one_routine(), &[a, b], &[]).unwrap();
+        }
+        assert!(small.stats().compute_cycles > large.stats().compute_cycles);
+        assert_eq!(small.stats().flops, large.stats().flops);
+    }
+
+    #[test]
+    fn mismatched_extents_are_rejected() {
+        let mut cm = machine();
+        let a = cm.alloc(&[64]);
+        let b = cm.alloc(&[32]);
+        assert!(cm.dispatch(&add_one_routine(), &[a, b], &[]).is_err());
+    }
+
+    #[test]
+    fn cshift_matches_fortran_convention() {
+        let mut cm = machine();
+        let a = cm.alloc_from(&[5], vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = cm.cshift(a, 0, 1).unwrap();
+        assert_eq!(cm.read(s).unwrap(), vec![2.0, 3.0, 4.0, 5.0, 1.0]);
+        let s = cm.cshift(a, 0, -1).unwrap();
+        assert_eq!(cm.read(s).unwrap(), vec![5.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cm.stats().comm_calls, 2);
+        assert!(cm.stats().comm_cycles > 0);
+    }
+
+    #[test]
+    fn cshift_2d_axes() {
+        let mut cm = machine();
+        let a = cm.alloc_from(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let rows = cm.cshift(a, 0, 1).unwrap();
+        assert_eq!(cm.read(rows).unwrap(), vec![4.0, 5.0, 6.0, 1.0, 2.0, 3.0]);
+        let cols = cm.cshift(a, 1, -1).unwrap();
+        assert_eq!(cm.read(cols).unwrap(), vec![3.0, 1.0, 2.0, 6.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn eoshift_fills_boundary() {
+        let mut cm = machine();
+        let a = cm.alloc_from(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        let s = cm.eoshift(a, 0, 2, 0.0).unwrap();
+        assert_eq!(cm.read(s).unwrap(), vec![3.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn shifts_along_unsplit_axes_are_cheaper() {
+        // A tall array: all node splits land on axis 0, so axis-1
+        // shifts stay node-local and cost only the runtime call plus
+        // the local copy — no wire traffic.
+        let mut cm = Cm2::new(Cm2Config::slicewise(16));
+        let a = cm.alloc(&[1024, 4]);
+        cm.cshift(a, 1, 1).unwrap();
+        let cheap = cm.stats().comm_cycles;
+        cm.reset_stats();
+        cm.cshift(a, 0, 1).unwrap();
+        let dear = cm.stats().comm_cycles;
+        assert!(
+            dear > cheap,
+            "split-axis shift ({dear}) should out-cost node-local shift ({cheap})"
+        );
+    }
+
+    #[test]
+    fn reductions_reduce_and_charge() {
+        let mut cm = machine();
+        let a = cm.alloc_from(&[10], (1..=10).map(|i| i as f64).collect());
+        assert_eq!(cm.reduce(a, ReduceOp::Sum).unwrap(), 55.0);
+        assert_eq!(cm.reduce(a, ReduceOp::Max).unwrap(), 10.0);
+        assert_eq!(cm.reduce(a, ReduceOp::Min).unwrap(), 1.0);
+        assert_eq!(cm.stats().reductions, 3);
+    }
+
+    #[test]
+    fn coordinates_are_cached() {
+        let mut cm = machine();
+        let c1 = cm.coordinates(&[4, 4], &[1, 1], 0);
+        let after_first = cm.stats().comm_cycles;
+        let c2 = cm.coordinates(&[4, 4], &[1, 1], 0);
+        assert_eq!(c1, c2);
+        assert_eq!(cm.stats().comm_cycles, after_first, "second call is cached");
+        let data = cm.read(c1).unwrap();
+        assert_eq!(data[0], 1.0);
+        assert_eq!(data[4], 2.0); // row 2
+        let cc = cm.coordinates(&[4, 4], &[1, 1], 1);
+        let data = cm.read(cc).unwrap();
+        assert_eq!(data[0], 1.0);
+        assert_eq!(data[1], 2.0); // column 2
+    }
+
+    #[test]
+    fn host_element_access_charges_host_and_wire() {
+        let mut cm = machine();
+        let a = cm.alloc_from(&[4], vec![9.0, 8.0, 7.0, 6.0]);
+        assert_eq!(cm.host_read_elem(a, 2).unwrap(), 7.0);
+        cm.host_write_elem(a, 0, 1.0).unwrap();
+        assert_eq!(cm.read(a).unwrap()[0], 1.0);
+        assert!(cm.stats().host_cycles > 0);
+        assert!(cm.stats().comm_cycles > 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Tests of the machine trace facility and of machine behaviours the
+//! unit tests don't reach: coordinate bounds, pipelined-communication
+//! accounting, and stats decomposition.
+
+use f90y_cm2::{Cm2, Cm2Config, TraceEvent};
+use f90y_peac::isa::{Instr, Mem, Operand, Routine, VReg};
+
+fn incr_routine() -> Routine {
+    Routine::new(
+        "inc",
+        2,
+        0,
+        vec![
+            Instr::Fimmv { value: 1.0, dst: VReg(1) },
+            Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
+            Instr::Faddv { a: Operand::V(VReg(0)), b: Operand::V(VReg(1)), dst: VReg(2) },
+            Instr::Fstrv { src: VReg(2), dst: Mem::arg(1), overlapped: false },
+        ],
+    )
+    .expect("valid")
+}
+
+#[test]
+fn trace_records_dispatches_and_comm_in_order() {
+    let mut cm = Cm2::new(Cm2Config::slicewise(16));
+    cm.enable_trace();
+    let a = cm.alloc_from(&[64], (0..64).map(|i| i as f64).collect());
+    let b = cm.alloc(&[64]);
+    cm.dispatch(&incr_routine(), &[a, b], &[]).unwrap();
+    let s = cm.cshift(a, 0, 1).unwrap();
+    cm.reduce(s, f90y_cm2::runtime::ReduceOp::Sum).unwrap();
+
+    let trace = cm.trace().expect("tracing enabled");
+    assert!(matches!(
+        trace[0],
+        TraceEvent::Dispatch { elements: 64, nargs: 2, .. }
+    ));
+    assert!(matches!(trace[1], TraceEvent::GridComm { .. }));
+    assert!(matches!(trace[2], TraceEvent::Reduce { .. }));
+    // Dispatch flops recorded machine-wide (one add per element).
+    let TraceEvent::Dispatch { flops, arith, mem, .. } = trace[0] else {
+        panic!("first event is a dispatch")
+    };
+    assert_eq!(flops, 64);
+    assert_eq!(arith, 1, "only the add is arithmetic (fimmv is a move)");
+    assert_eq!(mem, 2);
+}
+
+#[test]
+fn tracing_off_records_nothing() {
+    let mut cm = Cm2::new(Cm2Config::slicewise(16));
+    let a = cm.alloc(&[32]);
+    cm.cshift(a, 0, 1).unwrap();
+    assert!(cm.trace().is_none());
+}
+
+#[test]
+fn coordinates_respect_lower_bounds() {
+    let mut cm = Cm2::new(Cm2Config::slicewise(4));
+    let c = cm.coordinates(&[3, 2], &[0, -1], 0);
+    assert_eq!(cm.read(c).unwrap(), vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+    let c = cm.coordinates(&[3, 2], &[0, -1], 1);
+    assert_eq!(cm.read(c).unwrap(), vec![-1.0, 0.0, -1.0, 0.0, -1.0, 0.0]);
+}
+
+#[test]
+fn pipelined_comm_hides_behind_compute() {
+    let plain_cfg = Cm2Config::slicewise(16);
+    let piped_cfg = Cm2Config { pipelined_comm: true, ..Cm2Config::slicewise(16) };
+    let run = |cfg: Cm2Config| {
+        let mut cm = Cm2::new(cfg);
+        let a = cm.alloc(&[1 << 14]);
+        let b = cm.alloc(&[1 << 14]);
+        // Plenty of compute, then one communication.
+        for _ in 0..4 {
+            cm.dispatch(&incr_routine(), &[a, b], &[]).unwrap();
+        }
+        cm.cshift(a, 0, 1).unwrap();
+        cm.stats()
+    };
+    let plain = run(plain_cfg);
+    let piped = run(piped_cfg);
+    assert_eq!(plain.compute_cycles, piped.compute_cycles);
+    assert!(
+        piped.comm_cycles < plain.comm_cycles,
+        "transfer should hide: {} vs {}",
+        piped.comm_cycles,
+        plain.comm_cycles
+    );
+    // The runtime-call entry overhead never hides.
+    assert!(piped.comm_cycles >= f90y_cm2::costs::RT_CALL_CYCLES);
+}
+
+#[test]
+fn pipelined_pool_drains() {
+    // Two back-to-back communications: the second finds no compute to
+    // hide behind and pays full price.
+    let mut cm = Cm2::new(Cm2Config { pipelined_comm: true, ..Cm2Config::slicewise(16) });
+    let a = cm.alloc(&[1 << 12]);
+    let b = cm.alloc(&[1 << 12]);
+    cm.dispatch(&incr_routine(), &[a, b], &[]).unwrap();
+    cm.cshift(a, 0, 1).unwrap();
+    let after_first = cm.stats().comm_cycles;
+    cm.cshift(a, 0, 1).unwrap();
+    let second = cm.stats().comm_cycles - after_first;
+    assert!(
+        second >= after_first,
+        "a drained pool cannot keep hiding: first {} vs second {}",
+        after_first,
+        second
+    );
+}
+
+#[test]
+fn stats_decompose_into_the_three_cm_categories() {
+    let mut cm = Cm2::new(Cm2Config::slicewise(16));
+    let a = cm.alloc(&[256]);
+    let b = cm.alloc(&[256]);
+    cm.dispatch(&incr_routine(), &[a, b], &[]).unwrap();
+    cm.cshift(a, 0, 1).unwrap();
+    cm.charge_host_ops(10);
+    let s = cm.stats();
+    assert_eq!(
+        s.node_cycles(),
+        s.compute_cycles + s.comm_cycles + s.dispatch_overhead_cycles
+    );
+    assert!(s.host_cycles > 0);
+    assert!(s.elapsed_seconds(7.0e6) > 0.0);
+    assert!(s.host_fraction(7.0e6) > 0.0 && s.host_fraction(7.0e6) < 1.0);
+}

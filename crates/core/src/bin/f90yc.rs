@@ -1,0 +1,182 @@
+//! `f90yc` — the Fortran-90-Y command-line compiler driver.
+//!
+//! ```text
+//! f90yc [options] <file.f90 | ->
+//!
+//!   --pipeline f90y|cmf|starlisp   compiler to model       (default f90y)
+//!   --nodes N                      CM/2 nodes, power of 2  (default 2048)
+//!   --emit nir|opt|peac|host       print a stage and stop
+//!   --run                          execute and report       (default)
+//!   --validate                     also check against the reference evaluator
+//!   --finals a,b,c                 print these variables after the run
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run -p f90y-core --bin f90yc -- --emit peac prog.f90
+//! echo 'INTEGER K(64,64)
+//! K = 2*K + 5' | cargo run -p f90y-core --bin f90yc -- --validate -
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use f90y_core::{Compiler, Pipeline};
+
+struct Options {
+    pipeline: Pipeline,
+    nodes: usize,
+    emit: Option<String>,
+    validate: bool,
+    finals: Vec<String>,
+    input: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: f90yc [--pipeline f90y|cmf|starlisp] [--nodes N] \
+         [--emit nir|opt|peac|host] [--validate] [--finals a,b,...] <file.f90 | ->"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        pipeline: Pipeline::F90y,
+        nodes: 2048,
+        emit: None,
+        validate: false,
+        finals: Vec::new(),
+        input: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--pipeline" => {
+                opts.pipeline = match args.next().as_deref() {
+                    Some("f90y") => Pipeline::F90y,
+                    Some("cmf") => Pipeline::Cmf,
+                    Some("starlisp") => Pipeline::StarLisp,
+                    _ => usage(),
+                }
+            }
+            "--nodes" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => opts.nodes = n,
+                None => usage(),
+            },
+            "--emit" => match args.next() {
+                Some(e) if ["nir", "opt", "peac", "host"].contains(&e.as_str()) => {
+                    opts.emit = Some(e)
+                }
+                _ => usage(),
+            },
+            "--validate" => opts.validate = true,
+            "--finals" => match args.next() {
+                Some(list) => {
+                    opts.finals = list.split(',').map(str::to_string).collect()
+                }
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') || other == "-" => {
+                opts.input = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    if opts.input.is_none() {
+        usage();
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let path = opts.input.as_deref().expect("checked in parse_args");
+    let source = if path == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("f90yc: cannot read stdin");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("f90yc: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let exe = match Compiler::new(opts.pipeline).compile(&source) {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("f90yc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match opts.emit.as_deref() {
+        Some("nir") => {
+            println!("{}", f90y_nir::pretty::print_imp(&exe.nir));
+            return ExitCode::SUCCESS;
+        }
+        Some("opt") => {
+            println!("{}", f90y_nir::pretty::print_imp(&exe.optimized));
+            return ExitCode::SUCCESS;
+        }
+        Some("peac") => {
+            print!("{}", exe.compiled.listings());
+            return ExitCode::SUCCESS;
+        }
+        Some("host") => {
+            for (i, s) in exe.compiled.host.iter().enumerate() {
+                println!("{i:4}: {s:?}");
+            }
+            return ExitCode::SUCCESS;
+        }
+        _ => {}
+    }
+
+    let run = match exe.run(opts.nodes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("f90yc: execution failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} on {} nodes: {:.4} GFLOPS sustained ({:.3} ms modelled, {} dispatches, \
+         {} comm calls, host {:.2}%)",
+        opts.pipeline.name(),
+        opts.nodes,
+        run.gflops,
+        run.elapsed_seconds * 1e3,
+        run.stats.dispatches,
+        run.stats.comm_calls,
+        run.host_fraction * 100.0,
+    );
+    for name in &opts.finals {
+        match run.finals.final_array(name) {
+            Ok(a) => {
+                let head: Vec<String> = a.iter().take(8).map(|x| format!("{x}")).collect();
+                println!("{name} = [{}{}]", head.join(", "), if a.len() > 8 { ", …" } else { "" });
+            }
+            Err(_) => match run.finals.final_scalar(name) {
+                Ok(s) => println!("{name} = {s}"),
+                Err(e) => eprintln!("f90yc: {e}"),
+            },
+        }
+    }
+    if opts.validate {
+        if let Err(e) = exe.validate() {
+            eprintln!("f90yc: VALIDATION FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("validated against the NIR reference evaluator");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,337 @@
+//! # f90y-core — the Fortran-90-Y compiler, assembled
+//!
+//! A Rust reproduction of Chen & Cowie, *Prototyping Fortran-90
+//! Compilers for Massively Parallel Machines* (PLDI 1992): a formally
+//! specified data-parallel Fortran 90 compiler for the Connection
+//! Machine CM/2, together with the machine simulator, the CM Fortran and
+//! \*Lisp comparator models, and the benchmark workloads of the paper's
+//! evaluation.
+//!
+//! This crate is the front door; the pipeline stages live in their own
+//! crates (see DESIGN.md for the inventory):
+//!
+//! ```text
+//! source ──f90y-frontend──► AST ──f90y-lowering──► NIR
+//!        ──f90y-transform──► blocked NIR ──f90y-backend──► PEAC + host
+//!        ──f90y-cm2 (simulated CM/2)──► results + cycle counts
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use f90y_core::{Compiler, Pipeline};
+//!
+//! let exe = Compiler::new(Pipeline::F90y)
+//!     .compile("INTEGER K(64,64)\nK = 2*K + 5\n")?;
+//! let run = exe.run(64)?; // a 64-node CM/2
+//! assert!(run.finals.final_array("k")?.iter().all(|&x| x == 5.0));
+//! println!("sustained: {:.2} GFLOPS", run.gflops);
+//! # Ok::<(), f90y_core::CompileError>(())
+//! ```
+
+pub mod workloads;
+
+use std::error::Error;
+use std::fmt;
+
+pub use f90y_backend::fe::HostRun;
+pub use f90y_backend::CompiledProgram;
+pub use f90y_cm2::{Cm2, Cm2Config, MachineStats};
+pub use f90y_nir::Imp;
+pub use f90y_transform::TransformReport;
+
+use f90y_backend::fe::HostExecutor;
+use f90y_baselines::Baseline;
+
+/// Which compiler to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pipeline {
+    /// The Fortran-90-Y prototype: full blocking and PE optimization.
+    F90y,
+    /// The CM Fortran slicewise v1.1 model: per-statement phases.
+    Cmf,
+    /// The \*Lisp fieldwise model: per-statement, naive PE code, the
+    /// fieldwise machine multipliers.
+    StarLisp,
+}
+
+impl Pipeline {
+    /// Display name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pipeline::F90y => "Fortran-90-Y",
+            Pipeline::Cmf => "CM Fortran (slicewise)",
+            Pipeline::StarLisp => "*Lisp (fieldwise)",
+        }
+    }
+
+    /// The machine configuration this pipeline's code runs on.
+    pub fn machine(self, nodes: usize) -> Cm2 {
+        match self {
+            Pipeline::StarLisp => Cm2::new(Cm2Config::fieldwise(nodes)),
+            _ => Cm2::new(Cm2Config::slicewise(nodes)),
+        }
+    }
+}
+
+/// Any error along the compilation pipeline.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Syntax error.
+    Parse(f90y_frontend::ParseError),
+    /// Semantic-lowering error.
+    Lower(f90y_lowering::LowerError),
+    /// Transformation error.
+    Transform(f90y_nir::NirError),
+    /// Backend or execution error.
+    Backend(f90y_backend::BackendError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Lower(e) => write!(f, "{e}"),
+            CompileError::Transform(e) => write!(f, "{e}"),
+            CompileError::Backend(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<f90y_frontend::ParseError> for CompileError {
+    fn from(e: f90y_frontend::ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<f90y_lowering::LowerError> for CompileError {
+    fn from(e: f90y_lowering::LowerError) -> Self {
+        CompileError::Lower(e)
+    }
+}
+
+impl From<f90y_nir::NirError> for CompileError {
+    fn from(e: f90y_nir::NirError) -> Self {
+        CompileError::Transform(e)
+    }
+}
+
+impl From<f90y_backend::BackendError> for CompileError {
+    fn from(e: f90y_backend::BackendError) -> Self {
+        CompileError::Backend(e)
+    }
+}
+
+/// The compiler driver.
+#[derive(Debug, Clone, Copy)]
+pub struct Compiler {
+    pipeline: Pipeline,
+}
+
+impl Compiler {
+    /// A driver for the given pipeline.
+    pub fn new(pipeline: Pipeline) -> Self {
+        Compiler { pipeline }
+    }
+
+    /// The selected pipeline.
+    pub fn pipeline(&self) -> Pipeline {
+        self.pipeline
+    }
+
+    /// Compile Fortran 90 source to an executable for the simulated
+    /// machine.
+    ///
+    /// # Errors
+    ///
+    /// Fails on syntax, semantic, transformation or code-generation
+    /// errors.
+    pub fn compile(&self, source: &str) -> Result<Executable, CompileError> {
+        let file = f90y_frontend::parse_file(source)?;
+        let nir = f90y_lowering::lower_file(&file)?;
+        let (optimized, report, compiled) = match self.pipeline {
+            Pipeline::F90y => {
+                let (optimized, report) = f90y_transform::optimize_with_report(&nir)?;
+                let compiled = f90y_backend::compile(&optimized)?;
+                (optimized, report, compiled)
+            }
+            Pipeline::Cmf => {
+                let (optimized, report) = f90y_transform::optimize_with_options(
+                    &nir,
+                    f90y_transform::OptimizeOptions::per_statement(),
+                )?;
+                let compiled = f90y_baselines::compile_baseline(&nir, Baseline::Cmf)?;
+                (optimized, report, compiled)
+            }
+            Pipeline::StarLisp => {
+                let (optimized, report) = f90y_transform::optimize_with_options(
+                    &nir,
+                    f90y_transform::OptimizeOptions::per_statement(),
+                )?;
+                let compiled = f90y_baselines::compile_baseline(&nir, Baseline::StarLisp)?;
+                (optimized, report, compiled)
+            }
+        };
+        Ok(Executable { pipeline: self.pipeline, nir, optimized, report, compiled })
+    }
+}
+
+/// A compiled program plus everything the harnesses want to inspect.
+#[derive(Debug)]
+pub struct Executable {
+    /// The pipeline that produced it.
+    pub pipeline: Pipeline,
+    /// The lowered (unoptimized) NIR.
+    pub nir: Imp,
+    /// The NIR after the transformation pipeline.
+    pub optimized: Imp,
+    /// What the transformations did.
+    pub report: TransformReport,
+    /// The node routines and host program.
+    pub compiled: CompiledProgram,
+}
+
+impl Executable {
+    /// Run on a fresh machine with the given node count.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any dynamic error during host execution.
+    pub fn run(&self, nodes: usize) -> Result<RunReport, CompileError> {
+        let mut cm = self.pipeline.machine(nodes);
+        self.run_on(&mut cm)
+    }
+
+    /// Run on an existing machine (stats accumulate).
+    ///
+    /// # Errors
+    ///
+    /// Fails on any dynamic error during host execution.
+    pub fn run_on(&self, cm: &mut Cm2) -> Result<RunReport, CompileError> {
+        let before = cm.stats();
+        let finals = HostExecutor::new(cm).run(&self.compiled)?;
+        let after = cm.stats();
+        let stats = MachineStats {
+            compute_cycles: after.compute_cycles - before.compute_cycles,
+            comm_cycles: after.comm_cycles - before.comm_cycles,
+            dispatch_overhead_cycles: after.dispatch_overhead_cycles
+                - before.dispatch_overhead_cycles,
+            host_cycles: after.host_cycles - before.host_cycles,
+            flops: after.flops - before.flops,
+            dispatches: after.dispatches - before.dispatches,
+            comm_calls: after.comm_calls - before.comm_calls,
+            reductions: after.reductions - before.reductions,
+        };
+        let clock = cm.config().clock_hz;
+        Ok(RunReport {
+            gflops: stats.gflops(clock),
+            elapsed_seconds: stats.elapsed_seconds(clock),
+            host_fraction: stats.host_fraction(clock),
+            stats,
+            finals,
+        })
+    }
+
+    /// Validate the compiled program against the NIR reference
+    /// evaluator on a small machine: every captured array and scalar
+    /// must agree to within floating-point roundoff.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any value disagrees, or on dynamic errors.
+    pub fn validate(&self) -> Result<(), CompileError> {
+        let mut ev = f90y_nir::eval::Evaluator::new();
+        ev.run(&self.nir)
+            .map_err(CompileError::Transform)?;
+        let run = self.run(16)?;
+        for (name, value) in run.finals.finals() {
+            // Transformation-introduced temporaries have no counterpart
+            // in the unoptimized program.
+            if ev.final_cell(name).is_none() {
+                continue;
+            }
+            match value {
+                f90y_backend::fe::Final::Array(got) => {
+                    let expect = ev
+                        .final_array_f64(name)
+                        .map_err(CompileError::Transform)?;
+                    for (i, (e, g)) in expect.iter().zip(got).enumerate() {
+                        if (e - g).abs() > 1e-9 * e.abs().max(1.0) {
+                            return Err(CompileError::Backend(
+                                f90y_backend::BackendError::Host(format!(
+                                    "validation failed: {name}[{i}] evaluator={e} machine={g}"
+                                )),
+                            ));
+                        }
+                    }
+                }
+                f90y_backend::fe::Final::Scalar(got) => {
+                    let expect = ev
+                        .final_scalar_f64(name)
+                        .map_err(CompileError::Transform)?;
+                    if (expect - got).abs() > 1e-9 * expect.abs().max(1.0) {
+                        return Err(CompileError::Backend(
+                            f90y_backend::BackendError::Host(format!(
+                                "validation failed: {name} evaluator={expect} machine={got}"
+                            )),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One run's results and accounting.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Sustained GFLOPS over the run.
+    pub gflops: f64,
+    /// Modelled elapsed time in seconds.
+    pub elapsed_seconds: f64,
+    /// Fraction of elapsed time spent on the front end.
+    pub host_fraction: f64,
+    /// Raw counters.
+    pub stats: MachineStats,
+    /// Final variable values.
+    pub finals: HostRun,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_compiles_and_runs() {
+        let exe = Compiler::new(Pipeline::F90y)
+            .compile("INTEGER K(64,64)\nK = 2*K + 5\n")
+            .unwrap();
+        let run = exe.run(64).unwrap();
+        assert!(run.finals.final_array("k").unwrap().iter().all(|&x| x == 5.0));
+        assert!(run.gflops > 0.0);
+    }
+
+    #[test]
+    fn validate_catches_nothing_on_correct_programs() {
+        let exe = Compiler::new(Pipeline::F90y)
+            .compile(&workloads::swe_source(16, 2))
+            .unwrap();
+        exe.validate().unwrap();
+    }
+
+    #[test]
+    fn all_three_pipelines_agree_on_swe() {
+        let src = workloads::swe_source(16, 2);
+        let mut finals = Vec::new();
+        for p in [Pipeline::F90y, Pipeline::Cmf, Pipeline::StarLisp] {
+            let exe = Compiler::new(p).compile(&src).unwrap();
+            let run = exe.run(16).unwrap();
+            finals.push(run.finals.final_array("p").unwrap());
+        }
+        assert_eq!(finals[0], finals[1]);
+        assert_eq!(finals[0], finals[2]);
+    }
+}

@@ -1,0 +1,288 @@
+//! End-to-end tests of the MERGE and TRANSPOSE intrinsics through the
+//! full pipeline, validated against the reference evaluator.
+
+use f90y_core::{Compiler, Pipeline};
+
+fn validate(src: &str) -> f90y_core::RunReport {
+    let exe = Compiler::new(Pipeline::F90y).compile(src).expect("compiles");
+    exe.validate().expect("matches the reference evaluator");
+    exe.run(16).expect("runs")
+}
+
+#[test]
+fn merge_is_elemental_and_reaches_the_node_code() {
+    let src = "
+        REAL a(16), b(16), c(16)
+        FORALL (i=1:16) a(i) = i
+        FORALL (i=1:16) b(i) = 100 + i
+        c = MERGE(a, b, a > 8.0)
+    ";
+    let exe = Compiler::new(Pipeline::F90y).compile(src).unwrap();
+    // MERGE must compile onto the PEs (fselv), not fall to the host.
+    let sel = exe
+        .compiled
+        .blocks
+        .iter()
+        .flat_map(|b| b.routine.body())
+        .filter(|i| matches!(i, f90y_peac::Instr::Fselv { .. }))
+        .count();
+    assert!(sel >= 1, "MERGE should emit a masked vector move");
+    let run = exe.run(16).unwrap();
+    let c = run.finals.final_array("c").unwrap();
+    for i in 1..=16usize {
+        let expect = if i > 8 { i as f64 } else { 100.0 + i as f64 };
+        assert_eq!(c[i - 1], expect, "C({i})");
+    }
+    exe.validate().unwrap();
+}
+
+#[test]
+fn merge_with_scalar_branches() {
+    let run = validate(
+        "
+        REAL a(12), s(12)
+        FORALL (i=1:12) a(i) = i - 6
+        s = MERGE(1.0, -1.0, a >= 0.0)
+        ",
+    );
+    let s = run.finals.final_array("s").unwrap();
+    for (i, &v) in s.iter().enumerate() {
+        let expect = if (i as f64 + 1.0) - 6.0 >= 0.0 { 1.0 } else { -1.0 };
+        assert_eq!(v, expect, "S({})", i + 1);
+    }
+}
+
+#[test]
+fn merge_fuses_into_blocks_with_neighbours() {
+    let src = "
+        REAL a(32), b(32), c(32), d(32)
+        FORALL (i=1:32) a(i) = i
+        b = 2.0*a
+        c = MERGE(a, b, a > 16.0)
+        d = c + a
+    ";
+    let exe = Compiler::new(Pipeline::F90y).compile(src).unwrap();
+    // b, c, d computations fuse into one block (a's init is separate
+    // only if the reorderer could not join it).
+    assert!(
+        exe.compiled.blocks.len() <= 2,
+        "MERGE must not break blocking: {} blocks",
+        exe.compiled.blocks.len()
+    );
+    exe.validate().unwrap();
+}
+
+#[test]
+fn transpose_round_trips() {
+    let run = validate(
+        "
+        REAL a(4,6), at(6,4), back(4,6)
+        FORALL (i=1:4, j=1:6) a(i,j) = 10*i + j
+        at = TRANSPOSE(a)
+        back = TRANSPOSE(at)
+        ",
+    );
+    let a = run.finals.final_array("a").unwrap();
+    let back = run.finals.final_array("back").unwrap();
+    assert_eq!(a, back, "double transpose is the identity");
+    let at = run.finals.final_array("at").unwrap();
+    assert_eq!(at[0], 11.0); // AT(1,1) = A(1,1)
+    assert_eq!(at[1], 21.0); // AT(1,2) = A(2,1)
+    assert_eq!(at[6 * 4 - 1], 46.0); // AT(6,4) = A(4,6)
+}
+
+#[test]
+fn transpose_is_charged_as_communication() {
+    let src = "
+        REAL a(32,32), at(32,32)
+        FORALL (i=1:32, j=1:32) a(i,j) = i*j
+        at = TRANSPOSE(a)
+    ";
+    let exe = Compiler::new(Pipeline::F90y).compile(src).unwrap();
+    let run = exe.run(16).unwrap();
+    assert!(
+        run.stats.comm_calls >= 1,
+        "a transpose is a general permutation (router)"
+    );
+}
+
+#[test]
+fn transpose_of_non_square_in_expressions() {
+    validate(
+        "
+        REAL a(3,5), b(5,3), c(5,3)
+        FORALL (i=1:3, j=1:5) a(i,j) = i + 10*j
+        FORALL (i=1:5, j=1:3) b(i,j) = 1
+        c = TRANSPOSE(a) + b
+        ",
+    );
+}
+
+#[test]
+fn rank_errors_are_static() {
+    let err = Compiler::new(Pipeline::F90y)
+        .compile("REAL a(4), b(4)\nb = TRANSPOSE(a)\n")
+        .unwrap_err();
+    assert!(err.to_string().contains("rank"), "{err}");
+}
+
+#[test]
+fn partial_sum_along_each_axis() {
+    let run = validate(
+        "
+        REAL a(3,4), rows(4), cols(3)
+        FORALL (i=1:3, j=1:4) a(i,j) = 10*i + j
+        rows = SUM(a, DIM=1)
+        cols = SUM(a, DIM=2)
+        ",
+    );
+    let rows = run.finals.final_array("rows").unwrap();
+    // SUM over i of 10*i + j = 60 + 3*j
+    for (j, &v) in rows.iter().enumerate() {
+        assert_eq!(v, 60.0 + 3.0 * (j as f64 + 1.0), "rows({})", j + 1);
+    }
+    let cols = run.finals.final_array("cols").unwrap();
+    // SUM over j of 10*i + j = 40*i + 10
+    for (i, &v) in cols.iter().enumerate() {
+        assert_eq!(v, 40.0 * (i as f64 + 1.0) + 10.0, "cols({})", i + 1);
+    }
+}
+
+#[test]
+fn partial_maxval_and_minval() {
+    let run = validate(
+        "
+        REAL a(4,5), mx(5), mn(4)
+        FORALL (i=1:4, j=1:5) a(i,j) = MOD(i*7 + j*3, 11)
+        mx = MAXVAL(a, DIM=1)
+        mn = MINVAL(a, DIM=2)
+        ",
+    );
+    assert_eq!(run.finals.final_array("mx").unwrap().len(), 5);
+    assert_eq!(run.finals.final_array("mn").unwrap().len(), 4);
+}
+
+#[test]
+fn spread_replicates_along_a_new_axis() {
+    let run = validate(
+        "
+        REAL v(4), m1(3,4), m2(4,3)
+        FORALL (i=1:4) v(i) = i*i
+        m1 = SPREAD(v, 1, 3)
+        m2 = SPREAD(v, 2, 3)
+        ",
+    );
+    let m1 = run.finals.final_array("m1").unwrap();
+    for r in 0..3 {
+        for c in 0..4usize {
+            assert_eq!(m1[r * 4 + c], ((c + 1) * (c + 1)) as f64, "m1({},{})", r + 1, c + 1);
+        }
+    }
+    let m2 = run.finals.final_array("m2").unwrap();
+    for r in 0..4usize {
+        for c in 0..3 {
+            assert_eq!(m2[r * 3 + c], ((r + 1) * (r + 1)) as f64, "m2({},{})", r + 1, c + 1);
+        }
+    }
+}
+
+#[test]
+fn dot_product_matches_sum_of_products() {
+    let run = validate(
+        "
+        REAL a(8), b(8)
+        REAL d, s
+        FORALL (i=1:8) a(i) = i
+        FORALL (i=1:8) b(i) = 9 - i
+        d = DOT_PRODUCT(a, b)
+        s = SUM(a*b)
+        ",
+    );
+    let d = run.finals.final_scalar("d").unwrap();
+    let s = run.finals.final_scalar("s").unwrap();
+    assert_eq!(d, s);
+    let expect: f64 = (1..=8).map(|i| (i * (9 - i)) as f64).sum();
+    assert_eq!(d, expect);
+}
+
+#[test]
+fn sum_dim_requires_a_literal() {
+    let err = Compiler::new(Pipeline::F90y)
+        .compile("REAL a(4,4), r(4)\nINTEGER k\nk = 1\nr = SUM(a, k)\n")
+        .unwrap_err();
+    assert!(err.to_string().contains("literal"), "{err}");
+}
+
+#[test]
+fn spread_feeding_computation_blocks() {
+    // SPREAD result participates in whole-array arithmetic.
+    validate(
+        "
+        REAL v(6), m(6,6), out(6,6)
+        FORALL (i=1:6) v(i) = i
+        FORALL (i=1:6, j=1:6) m(i,j) = i*j
+        out = m + SPREAD(v, 1, 6)
+        ",
+    );
+}
+
+#[test]
+fn redblack_workload_validates_and_uses_masked_moves() {
+    use f90y_core::workloads;
+    let src = workloads::redblack_source(16, 2);
+    let exe = Compiler::new(Pipeline::F90y).compile(&src).unwrap();
+    exe.validate().unwrap();
+    // The strided half-sweeps must pad to masked full-array moves
+    // (Fig. 10 machinery in a real kernel).
+    assert!(exe.report.masked_pads >= 2, "pads: {}", exe.report.masked_pads);
+    let sel = exe
+        .compiled
+        .blocks
+        .iter()
+        .flat_map(|b| b.routine.body())
+        .filter(|i| matches!(i, f90y_peac::Instr::Fselv { .. }))
+        .count();
+    assert!(sel >= 2, "masked moves in node code: {sel}");
+}
+
+#[test]
+fn logical_arrays_flow_through_the_machine() {
+    let run = validate(
+        "
+        REAL a(16), b(16)
+        LOGICAL m(16)
+        FORALL (i=1:16) a(i) = i - 8
+        m = a > 0.0
+        b = MERGE(a, -a, m)
+        WHERE (m) b = b + 100.0
+        ",
+    );
+    let b = run.finals.final_array("b").unwrap();
+    let m = run.finals.final_array("m").unwrap();
+    for i in 0..16usize {
+        let a = (i as f64 + 1.0) - 8.0;
+        let expect_m = if a > 0.0 { 1.0 } else { 0.0 };
+        assert_eq!(m[i], expect_m, "m({})", i + 1);
+        let expect_b = if a > 0.0 { a + 100.0 } else { -a };
+        assert_eq!(b[i], expect_b, "b({})", i + 1);
+    }
+}
+
+#[test]
+fn logical_scalars_and_literals() {
+    let run = validate(
+        "
+        LOGICAL flag
+        REAL a(8)
+        flag = .TRUE.
+        IF (flag) THEN
+          a = 1.0
+        ELSE
+          a = 2.0
+        END IF
+        flag = .NOT. flag
+        ",
+    );
+    assert!(run.finals.final_array("a").unwrap().iter().all(|&x| x == 1.0));
+    assert_eq!(run.finals.final_scalar("flag").unwrap(), 0.0);
+}

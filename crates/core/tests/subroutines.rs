@@ -1,0 +1,225 @@
+//! End-to-end tests of subroutine inlining: the paper's "scientific
+//! library functions" motivation.
+
+use f90y_core::{Compiler, Pipeline};
+
+fn validate(src: &str) -> f90y_core::RunReport {
+    let exe = Compiler::new(Pipeline::F90y).compile(src).expect("compiles");
+    exe.validate().expect("matches the reference evaluator");
+    exe.run(16).expect("runs")
+}
+
+#[test]
+fn a_library_smoother_inlines_and_validates() {
+    let run = validate(
+        "
+PROGRAM main
+REAL t(32), s(32)
+FORALL (i=1:32) t(i) = MOD(i*13, 50)
+CALL smooth(t, s)
+CALL smooth(s, t)
+END PROGRAM main
+
+SUBROUTINE smooth(x, y)
+REAL x(32), y(32)
+y = 0.25*CSHIFT(x, -1, 1) + 0.5*x + 0.25*CSHIFT(x, 1, 1)
+END SUBROUTINE smooth
+",
+    );
+    let t = run.finals.final_array("t").unwrap();
+    assert_eq!(t.len(), 32);
+    // Smoothing twice preserves the mean (circular convolution with a
+    // unit-sum kernel).
+    let mean: f64 = t.iter().sum::<f64>() / 32.0;
+    let init_mean: f64 = (1..=32).map(|i| ((i * 13) % 50) as f64).sum::<f64>() / 32.0;
+    assert!((mean - init_mean).abs() < 1e-9);
+}
+
+#[test]
+fn scalar_arguments_by_reference_and_value() {
+    let run = validate(
+        "
+PROGRAM main
+REAL a(8)
+REAL total
+FORALL (i=1:8) a(i) = i
+CALL scale_and_sum(a, 2.0 + 1.0, total)
+END PROGRAM main
+
+SUBROUTINE scale_and_sum(v, factor, out)
+REAL v(8)
+REAL factor, out
+v = v * factor
+out = SUM(v)
+END SUBROUTINE scale_and_sum
+",
+    );
+    // factor = 3.0 by value; v scaled in place; out by reference.
+    assert_eq!(run.finals.final_scalar("total").unwrap(), 36.0 * 3.0);
+    let a = run.finals.final_array("a").unwrap();
+    assert_eq!(a[7], 24.0);
+}
+
+#[test]
+fn nested_calls_inline_transitively() {
+    let run = validate(
+        "
+PROGRAM main
+REAL x(16)
+FORALL (i=1:16) x(i) = i
+CALL twice(x)
+END PROGRAM main
+
+SUBROUTINE dbl(v)
+REAL v(16)
+v = 2.0*v
+END SUBROUTINE dbl
+
+SUBROUTINE twice(v)
+REAL v(16)
+CALL dbl(v)
+CALL dbl(v)
+END SUBROUTINE twice
+",
+    );
+    let x = run.finals.final_array("x").unwrap();
+    assert_eq!(x[0], 4.0);
+    assert_eq!(x[15], 64.0);
+}
+
+#[test]
+fn locals_rename_apart_across_call_sites() {
+    let run = validate(
+        "
+PROGRAM main
+REAL a(8), b(8)
+REAL tmp
+tmp = 99.0
+FORALL (i=1:8) a(i) = i
+FORALL (i=1:8) b(i) = 10*i
+CALL norm(a)
+CALL norm(b)
+END PROGRAM main
+
+SUBROUTINE norm(v)
+REAL v(8)
+REAL tmp
+tmp = MAXVAL(v)
+v = v / tmp
+END SUBROUTINE norm
+",
+    );
+    // The caller's tmp is untouched by the subroutine's local tmp.
+    assert_eq!(run.finals.final_scalar("tmp").unwrap(), 99.0);
+    let a = run.finals.final_array("a").unwrap();
+    assert_eq!(a[7], 1.0);
+    let b = run.finals.final_array("b").unwrap();
+    assert_eq!(b[7], 1.0);
+}
+
+#[test]
+fn inlined_library_code_fuses_with_caller_statements() {
+    // The motivation: library routines participate in blocking.
+    let src = "
+PROGRAM main
+REAL a(64), b(64)
+FORALL (i=1:64) a(i) = i
+CALL axpyish(a, b)
+b = b + 1.0
+END PROGRAM main
+
+SUBROUTINE axpyish(x, y)
+REAL x(64), y(64)
+y = 2.0*x + 3.0
+END SUBROUTINE axpyish
+";
+    let exe = Compiler::new(Pipeline::F90y).compile(src).unwrap();
+    // The subroutine's statement and the caller's `b = b + 1` fuse.
+    assert!(
+        exe.compiled.blocks.len() <= 2,
+        "inlined code must fuse with the caller: {} blocks",
+        exe.compiled.blocks.len()
+    );
+    exe.validate().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Error paths
+// ---------------------------------------------------------------------
+
+fn expect_error(src: &str, needle: &str) {
+    let err = Compiler::new(Pipeline::F90y).compile(src).unwrap_err();
+    assert!(
+        err.to_string().contains(needle),
+        "expected '{needle}' in: {err}"
+    );
+}
+
+#[test]
+fn unknown_subroutine_is_reported() {
+    expect_error("REAL a(4)\nCALL ghost(a)\n", "unknown subroutine");
+}
+
+#[test]
+fn arity_mismatch_is_reported() {
+    expect_error(
+        "
+REAL a(4)
+CALL f(a, a)
+END
+SUBROUTINE f(x)
+REAL x(4)
+x = 0.0
+END SUBROUTINE f
+",
+        "expects 1 arguments",
+    );
+}
+
+#[test]
+fn bounds_mismatch_is_reported() {
+    expect_error(
+        "
+REAL a(8)
+CALL f(a)
+END
+SUBROUTINE f(x)
+REAL x(4)
+x = 0.0
+END SUBROUTINE f
+",
+        "bounds",
+    );
+}
+
+#[test]
+fn expression_actual_for_written_dummy_is_reported() {
+    expect_error(
+        "
+REAL y
+CALL f(1.0 + 2.0)
+END
+SUBROUTINE f(x)
+REAL x
+x = 0.0
+END SUBROUTINE f
+",
+        "must be a variable",
+    );
+}
+
+#[test]
+fn recursion_is_reported() {
+    expect_error(
+        "
+REAL a(4)
+CALL f(a)
+END
+SUBROUTINE f(x)
+REAL x(4)
+CALL f(x)
+END SUBROUTINE f
+",
+        "recursion",
+    );
+}

@@ -1,0 +1,337 @@
+//! Abstract syntax for the Fortran 90 subset.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// A parsed source file: one main program plus any subroutines.
+///
+/// The paper notes that the CMF compiler "cannot be used for developing
+/// scientific library functions"; supporting `SUBROUTINE` units (inlined
+/// at lowering time — see `f90y-lowering`) is this reproduction's answer
+/// to that motivation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFile {
+    /// The main program unit.
+    pub program: ProgramUnit,
+    /// Subroutine units, in source order.
+    pub subroutines: Vec<Subroutine>,
+}
+
+/// A `SUBROUTINE` unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subroutine {
+    /// Lower-cased name.
+    pub name: String,
+    /// Dummy-argument names, in order.
+    pub params: Vec<String>,
+    /// Type declarations (covering dummies and locals).
+    pub decls: Vec<TypeDecl>,
+    /// Executable statements.
+    pub stmts: Vec<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A parsed program unit (main program).
+///
+/// The paper's prototype compiles "each complete procedural unit or main
+/// program" to a single imperative action; this reproduction supports main
+/// programs (procedures are listed as future work in DESIGN.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramUnit {
+    /// `PROGRAM name`, when present.
+    pub name: Option<String>,
+    /// Type declarations, in source order.
+    pub decls: Vec<TypeDecl>,
+    /// Executable statements, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// The intrinsic base types of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseType {
+    /// `INTEGER`.
+    Integer,
+    /// `REAL` (single precision).
+    Real,
+    /// `DOUBLE PRECISION`.
+    DoublePrecision,
+    /// `LOGICAL`.
+    Logical,
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BaseType::Integer => "INTEGER",
+            BaseType::Real => "REAL",
+            BaseType::DoublePrecision => "DOUBLE PRECISION",
+            BaseType::Logical => "LOGICAL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One axis of an array declarator: `lo:hi` or just `extent` (lower
+/// bound 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimSpec {
+    /// Inclusive lower bound (1 when omitted).
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl DimSpec {
+    /// Number of elements along the axis.
+    pub fn extent(&self) -> i64 {
+        (self.hi - self.lo + 1).max(0)
+    }
+}
+
+/// One declared entity: a name with optional per-entity dimensions and
+/// optional initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entity {
+    /// Lower-cased name.
+    pub name: String,
+    /// Per-entity array spec (`K(128,64)`), if any.
+    pub dims: Option<Vec<DimSpec>>,
+    /// `= expr` initializer, if any.
+    pub init: Option<Expr>,
+}
+
+/// One type declaration statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDecl {
+    /// The base type.
+    pub base: BaseType,
+    /// A `DIMENSION(...)`/`ARRAY(...)` attribute applying to all entities
+    /// without their own spec.
+    pub dimension: Option<Vec<DimSpec>>,
+    /// `PARAMETER` attribute: entities are named constants.
+    pub parameter: bool,
+    /// Declared entities.
+    pub entities: Vec<Entity>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One element of a subscript list: an index or a section triplet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Subscript {
+    /// A single index expression.
+    Index(Expr),
+    /// A triplet `lo:hi:step`; omitted parts are `None` (`:` is all
+    /// three `None`).
+    Triplet {
+        /// Lower bound, defaulting to the array's declared lower bound.
+        lo: Option<Expr>,
+        /// Upper bound, defaulting to the declared upper bound.
+        hi: Option<Expr>,
+        /// Stride, defaulting to 1.
+        step: Option<Expr>,
+    },
+}
+
+impl Subscript {
+    /// The full-axis section `:`.
+    pub fn all() -> Subscript {
+        Subscript::Triplet { lo: None, hi: None, step: None }
+    }
+
+    /// `true` for a triplet subscript.
+    pub fn is_triplet(&self) -> bool {
+        matches!(self, Subscript::Triplet { .. })
+    }
+}
+
+/// A data reference: `name` or `name(subscripts)`.
+///
+/// Until semantic analysis, `name(args)` is syntactically ambiguous
+/// between an array element/section and an intrinsic call; the parser
+/// produces a [`DataRef`] and lowering disambiguates against the symbol
+/// table (classic Fortran).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataRef {
+    /// Lower-cased name.
+    pub name: String,
+    /// Subscript list, when parenthesised.
+    pub subs: Option<Vec<Subscript>>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOpAst {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `**`
+    Pow,
+    /// `==`/`.EQ.`
+    Eq,
+    /// `/=`/`.NE.`
+    Ne,
+    /// `<`/`.LT.`
+    Lt,
+    /// `<=`/`.LE.`
+    Le,
+    /// `>`/`.GT.`
+    Gt,
+    /// `>=`/`.GE.`
+    Ge,
+    /// `.AND.`
+    And,
+    /// `.OR.`
+    Or,
+}
+
+/// Unary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOpAst {
+    /// Unary minus.
+    Neg,
+    /// Unary plus (no-op, kept for fidelity).
+    Plus,
+    /// `.NOT.`
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Single-precision literal.
+    Real(f64),
+    /// Double-precision literal.
+    Double(f64),
+    /// Logical literal.
+    Logical(bool),
+    /// A data reference (variable, array element, section, or — pending
+    /// semantic disambiguation — an intrinsic call).
+    Ref(DataRef),
+    /// Unary operation.
+    Unary(UnOpAst, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOpAst, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// The expression as a compile-time integer, when it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Expr::Int(v) => Some(*v),
+            Expr::Unary(UnOpAst::Neg, e) => e.as_int().map(|v| -v),
+            Expr::Unary(UnOpAst::Plus, e) => e.as_int(),
+            _ => None,
+        }
+    }
+}
+
+/// Executable statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lhs = rhs` — scalar, whole-array or section assignment.
+    Assign {
+        /// Destination reference.
+        lhs: DataRef,
+        /// Source expression.
+        rhs: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// A `DO` loop (both `do`…`end do` and labelled forms parse to
+    /// this).
+    Do {
+        /// Loop variable (lower-cased).
+        var: String,
+        /// Initial value.
+        lo: Expr,
+        /// Final value.
+        hi: Expr,
+        /// Stride (1 when omitted).
+        step: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `DO WHILE (cond)` … `END DO`.
+    DoWhile {
+        /// Continuation condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `FORALL (i=1:32, j=1:32) A(i,j) = expr`.
+    Forall {
+        /// Index triplets `(name, lo, hi, step)`.
+        triplets: Vec<(String, Expr, Expr, Option<Expr>)>,
+        /// The controlled assignment.
+        assign: Box<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `WHERE (mask) …` with optional `ELSEWHERE`.
+    Where {
+        /// The controlling mask expression.
+        mask: Expr,
+        /// Statements under the mask.
+        then_body: Vec<Stmt>,
+        /// Statements under the complement.
+        else_body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// Block `IF`/`ELSE IF`/`ELSE`.
+    If {
+        /// `(condition, body)` arms, first the `IF`, then `ELSE IF`s.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// The `ELSE` body.
+        else_body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `CONTINUE` (a no-op; loop-closing labels are consumed by `DO`
+    /// parsing).
+    Continue {
+        /// Source location.
+        span: Span,
+    },
+    /// `CALL name(args)`.
+    Call {
+        /// Lower-cased subroutine name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source location of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::Do { span, .. }
+            | Stmt::DoWhile { span, .. }
+            | Stmt::Forall { span, .. }
+            | Stmt::Where { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Call { span, .. }
+            | Stmt::Continue { span } => *span,
+        }
+    }
+}

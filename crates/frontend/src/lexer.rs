@@ -1,0 +1,630 @@
+//! Free-form Fortran 90 lexer.
+//!
+//! Handles `!` comments, `&` continuations (trailing `&`, with optional
+//! leading `&` on the continued line), `;` separators, case-insensitive
+//! keywords, dot-operators (`.EQ.`, `.AND.`, …) and the three numeric
+//! literal forms (integer, real, `d`-exponent double). Statement labels —
+//! integers in leading position — are lexed as [`TokenKind::Label`] so the
+//! parser can match dusty-deck `DO 10 … 10 CONTINUE` loops.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::token::{Span, Token, TokenKind};
+
+/// A lexical error with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the offending character sits.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    at_line_start: bool,
+    tokens: Vec<Token>,
+}
+
+/// Tokenise Fortran 90 source.
+///
+/// # Errors
+///
+/// Fails on malformed literals, unknown characters, or unterminated
+/// dot-operators.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        at_line_start: true,
+        tokens: Vec::new(),
+    };
+    lx.run()?;
+    Ok(lx.tokens)
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span { line: self.line, col: self.col }
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.at_line_start = matches!(kind, TokenKind::Newline);
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn run(&mut self) -> Result<(), LexError> {
+        while let Some(c) = self.peek() {
+            let span = self.span();
+            match c {
+                b' ' | b'\t' | b'\r' => {
+                    self.bump();
+                }
+                b'!' => {
+                    // Comment to end of line.
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'\n' | b';' => {
+                    self.bump();
+                    // Collapse repeated separators.
+                    if !matches!(
+                        self.tokens.last().map(|t| &t.kind),
+                        Some(TokenKind::Newline) | None
+                    ) {
+                        self.push(TokenKind::Newline, span);
+                    } else {
+                        self.at_line_start = true;
+                    }
+                }
+                b'&' => {
+                    // Continuation: skip to end of line, swallow the
+                    // newline, and any leading '&' on the next line.
+                    self.bump();
+                    while let Some(c) = self.peek() {
+                        match c {
+                            b' ' | b'\t' | b'\r' => {
+                                self.bump();
+                            }
+                            b'!' => {
+                                while let Some(c2) = self.peek() {
+                                    if c2 == b'\n' {
+                                        break;
+                                    }
+                                    self.bump();
+                                }
+                            }
+                            b'\n' => {
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                return Err(LexError {
+                                    message: "text after continuation '&'".into(),
+                                    span: self.span(),
+                                })
+                            }
+                        }
+                    }
+                    // Optional leading '&' on the continued line.
+                    let mut probe = self.pos;
+                    while let Some(&c) = self.src.get(probe) {
+                        if c == b' ' || c == b'\t' || c == b'\r' {
+                            probe += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if self.src.get(probe) == Some(&b'&') {
+                        while self.pos <= probe {
+                            self.bump();
+                        }
+                    }
+                }
+                b'0'..=b'9' => self.lex_number(span)?,
+                b'.' => {
+                    // Could be a real literal (.5), a dot-operator, or a
+                    // logical literal.
+                    if self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                        self.lex_number(span)?;
+                    } else {
+                        self.lex_dot_operator(span)?;
+                    }
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.lex_word(span),
+                b'(' => {
+                    self.bump();
+                    self.push(TokenKind::LParen, span);
+                }
+                b')' => {
+                    self.bump();
+                    self.push(TokenKind::RParen, span);
+                }
+                b',' => {
+                    self.bump();
+                    self.push(TokenKind::Comma, span);
+                }
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b':') {
+                        self.bump();
+                        self.push(TokenKind::DoubleColon, span);
+                    } else {
+                        self.push(TokenKind::Colon, span);
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Eq, span);
+                    } else {
+                        self.push(TokenKind::Assign, span);
+                    }
+                }
+                b'+' => {
+                    self.bump();
+                    self.push(TokenKind::Plus, span);
+                }
+                b'-' => {
+                    self.bump();
+                    self.push(TokenKind::Minus, span);
+                }
+                b'*' => {
+                    self.bump();
+                    if self.peek() == Some(b'*') {
+                        self.bump();
+                        self.push(TokenKind::Power, span);
+                    } else {
+                        self.push(TokenKind::Star, span);
+                    }
+                }
+                b'/' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Ne, span);
+                    } else {
+                        self.push(TokenKind::Slash, span);
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Le, span);
+                    } else {
+                        self.push(TokenKind::Lt, span);
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Ge, span);
+                    } else {
+                        self.push(TokenKind::Gt, span);
+                    }
+                }
+                other => {
+                    return Err(LexError {
+                        message: format!("unexpected character '{}'", other as char),
+                        span,
+                    })
+                }
+            }
+        }
+        let span = self.span();
+        if !matches!(
+            self.tokens.last().map(|t| &t.kind),
+            Some(TokenKind::Newline) | None
+        ) {
+            self.push(TokenKind::Newline, span);
+        }
+        self.push(TokenKind::Eof, span);
+        Ok(())
+    }
+
+    fn lex_number(&mut self, span: Span) -> Result<(), LexError> {
+        let start = self.pos;
+        let leading_statement_position = self.at_line_start;
+        let mut is_real = false;
+        let mut is_double = false;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        // Decimal point — but not a dot-operator like `1.eq.2`.
+        if self.peek() == Some(b'.') {
+            let after = self.peek2();
+            let is_dot_op = after.is_some_and(|c| c.is_ascii_alphabetic()) && {
+                // `.e` could start `.eq.` (operator) — a digit or
+                // end/operator after means a real literal exponent is
+                // impossible here anyway; treat alphabetic as operator.
+                true
+            };
+            if !is_dot_op {
+                is_real = true;
+                self.bump();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        // Exponent.
+        if let Some(e) = self.peek() {
+            if e == b'e' || e == b'E' || e == b'd' || e == b'D' {
+                let mut probe = self.pos + 1;
+                if matches!(self.src.get(probe), Some(b'+') | Some(b'-')) {
+                    probe += 1;
+                }
+                if self.src.get(probe).is_some_and(|c| c.is_ascii_digit()) {
+                    is_real = true;
+                    is_double = e == b'd' || e == b'D';
+                    self.bump(); // e/d
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        let text: String = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("source is str")
+            .to_ascii_lowercase();
+        if is_real {
+            let normalised = text.replace('d', "e");
+            let v: f64 = normalised.parse().map_err(|_| LexError {
+                message: format!("malformed real literal '{text}'"),
+                span,
+            })?;
+            let kind = if is_double {
+                TokenKind::DoubleLit(v)
+            } else {
+                TokenKind::RealLit(v)
+            };
+            self.push(kind, span);
+        } else {
+            let v: i64 = text.parse().map_err(|_| LexError {
+                message: format!("malformed integer literal '{text}'"),
+                span,
+            })?;
+            if leading_statement_position {
+                // A bare integer opening a statement is a label.
+                let label = u32::try_from(v).map_err(|_| LexError {
+                    message: format!("label {v} out of range"),
+                    span,
+                })?;
+                self.push(TokenKind::Label(label), span);
+            } else {
+                self.push(TokenKind::IntLit(v), span);
+            }
+        }
+        Ok(())
+    }
+
+    fn lex_dot_operator(&mut self, span: Span) -> Result<(), LexError> {
+        // Consume `.WORD.`
+        self.bump(); // '.'
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+            self.bump();
+        }
+        let word: String = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("source is str")
+            .to_ascii_lowercase();
+        if self.peek() != Some(b'.') {
+            return Err(LexError {
+                message: format!("unterminated dot-operator '.{word}'"),
+                span,
+            });
+        }
+        self.bump(); // closing '.'
+        let kind = match word.as_str() {
+            "eq" => TokenKind::Eq,
+            "ne" => TokenKind::Ne,
+            "lt" => TokenKind::Lt,
+            "le" => TokenKind::Le,
+            "gt" => TokenKind::Gt,
+            "ge" => TokenKind::Ge,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "not" => TokenKind::Not,
+            "true" => TokenKind::LogicalLit(true),
+            "false" => TokenKind::LogicalLit(false),
+            other => {
+                return Err(LexError {
+                    message: format!("unknown dot-operator '.{other}.'"),
+                    span,
+                })
+            }
+        };
+        self.push(kind, span);
+        Ok(())
+    }
+
+    fn lex_word(&mut self, span: Span) {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.bump();
+        }
+        let word: String = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("source is str")
+            .to_ascii_lowercase();
+        let kind = match word.as_str() {
+            "program" => TokenKind::KwProgram,
+            "end" => TokenKind::KwEnd,
+            "integer" => TokenKind::KwInteger,
+            "real" => TokenKind::KwReal,
+            "double" => TokenKind::KwDouble,
+            "precision" => TokenKind::KwPrecision,
+            "logical" => TokenKind::KwLogical,
+            "dimension" => TokenKind::KwDimension,
+            "parameter" => TokenKind::KwParameter,
+            "array" => TokenKind::KwArray,
+            "do" => TokenKind::KwDo,
+            "continue" => TokenKind::KwContinue,
+            "forall" => TokenKind::KwForall,
+            "where" => TokenKind::KwWhere,
+            "elsewhere" => TokenKind::KwElsewhere,
+            "if" => TokenKind::KwIf,
+            "then" => TokenKind::KwThen,
+            "else" => TokenKind::KwElse,
+            "endif" => TokenKind::KwEndif,
+            "enddo" => TokenKind::KwEnddo,
+            "endwhere" => TokenKind::KwEndwhere,
+            "while" => TokenKind::KwWhile,
+            "subroutine" => TokenKind::KwSubroutine,
+            "call" => TokenKind::KwCall,
+            _ => TokenKind::Ident(word),
+        };
+        self.push(kind, span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("Program End INTEGER"),
+            vec![KwProgram, KwEnd, KwInteger, Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn identifiers_lowercase() {
+        assert_eq!(
+            kinds("MyVar x_1"),
+            vec![Ident("myvar".into()), Ident("x_1".into()), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(
+            kinds("x = 42 + 1.5 + 2e3 + 1.5d0 + .25"),
+            vec![
+                Ident("x".into()),
+                Assign,
+                IntLit(42),
+                Plus,
+                RealLit(1.5),
+                Plus,
+                RealLit(2000.0),
+                Plus,
+                DoubleLit(1.5),
+                Plus,
+                RealLit(0.25),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn leading_integer_is_a_label() {
+        assert_eq!(
+            kinds("10 continue"),
+            vec![Label(10), KwContinue, Newline, Eof]
+        );
+        // But not mid-statement.
+        assert_eq!(
+            kinds("x = 10"),
+            vec![Ident("x".into()), Assign, IntLit(10), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn dot_operators_and_relationals() {
+        assert_eq!(
+            kinds("a .eq. b == c .AND. d"),
+            vec![
+                Ident("a".into()),
+                Eq,
+                Ident("b".into()),
+                Eq,
+                Ident("c".into()),
+                And,
+                Ident("d".into()),
+                Newline,
+                Eof
+            ]
+        );
+        assert_eq!(
+            kinds("a /= b"),
+            vec![Ident("a".into()), Ne, Ident("b".into()), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn real_vs_dot_operator_ambiguity() {
+        // `1.eq.2` must lex as 1 .eq. 2, not real 1. followed by garbage.
+        assert_eq!(
+            kinds("x = 1.eq.2"),
+            vec![Ident("x".into()), Assign, IntLit(1), Eq, IntLit(2), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn logical_literals() {
+        assert_eq!(
+            kinds("p = .true. .or. .false."),
+            vec![
+                Ident("p".into()),
+                Assign,
+                LogicalLit(true),
+                Or,
+                LogicalLit(false),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("x = 1 ! set x\ny = 2"),
+            vec![
+                Ident("x".into()),
+                Assign,
+                IntLit(1),
+                Newline,
+                Ident("y".into()),
+                Assign,
+                IntLit(2),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn continuation_joins_lines() {
+        assert_eq!(
+            kinds("x = 1 + &\n    2"),
+            vec![Ident("x".into()), Assign, IntLit(1), Plus, IntLit(2), Newline, Eof]
+        );
+        // With leading '&' on the continued line.
+        assert_eq!(
+            kinds("x = 1 + &\n  & 2"),
+            vec![Ident("x".into()), Assign, IntLit(1), Plus, IntLit(2), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn semicolons_separate_statements() {
+        assert_eq!(
+            kinds("x = 1; y = 2"),
+            vec![
+                Ident("x".into()),
+                Assign,
+                IntLit(1),
+                Newline,
+                Ident("y".into()),
+                Assign,
+                IntLit(2),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn blank_lines_collapse() {
+        assert_eq!(kinds("x = 1\n\n\ny = 2"), kinds("x = 1\ny = 2"));
+    }
+
+    #[test]
+    fn double_colon_and_sections() {
+        assert_eq!(
+            kinds("a(1:32:2,:)"),
+            vec![
+                Ident("a".into()),
+                LParen,
+                IntLit(1),
+                Colon,
+                IntLit(32),
+                Colon,
+                IntLit(2),
+                Comma,
+                Colon,
+                RParen,
+                Newline,
+                Eof
+            ]
+        );
+        assert_eq!(
+            kinds("integer :: a"),
+            vec![KwInteger, DoubleColon, Ident("a".into()), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn power_operator() {
+        assert_eq!(
+            kinds("k**2"),
+            vec![Ident("k".into()), Power, IntLit(2), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn unknown_character_is_an_error() {
+        assert!(lex("x = @").is_err());
+    }
+
+    #[test]
+    fn unknown_dot_operator_is_an_error() {
+        assert!(lex("a .xyz. b").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # f90y-frontend — Fortran 90 front end
+//!
+//! Lexer, parser and AST for the data-parallel Fortran 90 subset the
+//! Fortran-90-Y prototype accepts (Chen & Cowie, PLDI 1992, §2.1):
+//!
+//! * whole-array expressions and assignment (`K = 2*K + 5`);
+//! * array sections with strides (`B(1:32:2, :) = A(1:32:2, :)`);
+//! * `FORALL` assignments, `WHERE`/`ELSEWHERE` masked assignment;
+//! * serial `DO` loops in both modern (`do` … `end do`) and dusty-deck
+//!   labelled form (`DO 10 I=1,128` … `10 CONTINUE`);
+//! * the array intrinsics the paper's benchmarks exercise (`CSHIFT`,
+//!   `EOSHIFT`, `SUM`, `MAXVAL`, `MINVAL`) plus elemental intrinsics;
+//! * free-form source with `!` comments, `&` continuation, `;`
+//!   statement separators, and case-insensitive keywords.
+//!
+//! The front end performs *syntactic* analysis only; static semantics
+//! (types and shapes) are filtered out by the semantic lowering stage in
+//! `f90y-lowering`, matching the paper's phase structure (its Fig. 2).
+//!
+//! ## Example
+//!
+//! ```
+//! let source = "
+//!     PROGRAM demo
+//!       INTEGER K(128,64), L(128)
+//!       L = 6
+//!       K = 2*K + 5
+//!     END PROGRAM demo
+//! ";
+//! let unit = f90y_frontend::parse(source)?;
+//! assert_eq!(unit.name.as_deref(), Some("demo"));
+//! assert_eq!(unit.stmts.len(), 2);
+//! # Ok::<(), f90y_frontend::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    BaseType, DataRef, DimSpec, Entity, Expr, ProgramUnit, SourceFile, Stmt, Subroutine,
+    Subscript, TypeDecl,
+};
+pub use lexer::LexError;
+pub use parser::{parse, parse_file, ParseError};
+pub use token::{Span, Token, TokenKind};

@@ -1,0 +1,1154 @@
+//! Recursive-descent parser for the Fortran 90 subset.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{
+    BaseType, BinOpAst, DataRef, DimSpec, Entity, Expr, ProgramUnit, SourceFile, Stmt,
+    Subroutine, Subscript, TypeDecl, UnOpAst,
+};
+use crate::lexer::{lex, LexError};
+use crate::token::{Span, Token, TokenKind};
+
+/// A syntax error with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the offending token sits.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, span: e.span }
+    }
+}
+
+/// Parse a Fortran 90 program unit (no subroutines).
+///
+/// # Errors
+///
+/// Fails with a positioned [`ParseError`] on the first lexical or
+/// syntactic error.
+pub fn parse(source: &str) -> Result<ProgramUnit, ParseError> {
+    let file = parse_file(source)?;
+    if let Some(sub) = file.subroutines.first() {
+        return Err(ParseError {
+            message: format!(
+                "subroutine '{}' present; use parse_file for multi-unit sources",
+                sub.name
+            ),
+            span: sub.span,
+        });
+    }
+    Ok(file.program)
+}
+
+/// Parse a full source file: one main program plus any subroutines, in
+/// any order.
+///
+/// # Errors
+///
+/// Fails with a positioned [`ParseError`] on the first lexical or
+/// syntactic error.
+pub fn parse_file(source: &str) -> Result<SourceFile, ParseError> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0, last_closed_label: None };
+    p.parse_source_file()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Set when a labelled statement just closed an inner labelled DO;
+    /// outer loops sharing the terminator close on it too.
+    last_closed_label: Option<u32>,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        self.tokens
+            .get(self.pos + n)
+            .map(|t| &t.kind)
+            .unwrap_or(&TokenKind::Eof)
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError { message, span: self.span() }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), TokenKind::Newline) {
+            self.bump();
+        }
+    }
+
+    fn end_statement(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            TokenKind::Newline => {
+                self.bump();
+                Ok(())
+            }
+            TokenKind::Eof => Ok(()),
+            other => Err(self.error(format!("expected end of statement, found {other}"))),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Program structure
+    // -----------------------------------------------------------------
+
+    fn parse_source_file(&mut self) -> Result<SourceFile, ParseError> {
+        let mut program: Option<ProgramUnit> = None;
+        let mut subroutines = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::KwSubroutine => subroutines.push(self.parse_subroutine()?),
+                _ => {
+                    if program.is_some() {
+                        return Err(self.error(
+                            "only one main program per source file".into(),
+                        ));
+                    }
+                    program = Some(self.parse_unit()?);
+                }
+            }
+        }
+        let program = program.ok_or_else(|| ParseError {
+            message: "source file has no main program".into(),
+            span: Span::default(),
+        })?;
+        Ok(SourceFile { program, subroutines })
+    }
+
+    fn parse_subroutine(&mut self) -> Result<Subroutine, ParseError> {
+        let span = self.span();
+        self.expect(&TokenKind::KwSubroutine)?;
+        let name = match self.bump() {
+            TokenKind::Ident(n) => n,
+            other => {
+                return Err(self.error(format!("expected subroutine name, found {other}")))
+            }
+        };
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::LParen)
+            && !self.eat(&TokenKind::RParen) {
+                loop {
+                    match self.bump() {
+                        TokenKind::Ident(p) => params.push(p),
+                        other => {
+                            return Err(self.error(format!(
+                                "expected dummy-argument name, found {other}"
+                            )))
+                        }
+                    }
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+        self.end_statement()?;
+        self.skip_newlines();
+
+        let mut decls = Vec::new();
+        while self.at_decl_start() {
+            decls.push(self.parse_type_decl()?);
+            self.skip_newlines();
+        }
+        let stmts = self.parse_stmt_list(&mut |p| p.at_unit_end())?;
+
+        // END [SUBROUTINE [name]]
+        self.expect(&TokenKind::KwEnd)?;
+        self.eat(&TokenKind::KwSubroutine);
+        if let TokenKind::Ident(_) = self.peek() {
+            self.bump();
+        }
+        self.end_statement()?;
+        Ok(Subroutine { name, params, decls, stmts, span })
+    }
+
+    fn parse_unit(&mut self) -> Result<ProgramUnit, ParseError> {
+        self.skip_newlines();
+        let mut name = None;
+        if self.eat(&TokenKind::KwProgram) {
+            match self.bump() {
+                TokenKind::Ident(n) => name = Some(n),
+                other => return Err(self.error(format!("expected program name, found {other}"))),
+            }
+            self.end_statement()?;
+        }
+        self.skip_newlines();
+
+        let mut decls = Vec::new();
+        while self.at_decl_start() {
+            decls.push(self.parse_type_decl()?);
+            self.skip_newlines();
+        }
+
+        let stmts = self.parse_stmt_list(&mut |p| p.at_unit_end())?;
+
+        // END [PROGRAM [name]]
+        if self.eat(&TokenKind::KwEnd) {
+            self.eat(&TokenKind::KwProgram);
+            if let TokenKind::Ident(_) = self.peek() {
+                self.bump();
+            }
+            self.end_statement()?;
+        }
+        Ok(ProgramUnit { name, decls, stmts })
+    }
+
+    fn at_unit_end(&self) -> bool {
+        matches!(self.peek(), TokenKind::KwEnd | TokenKind::Eof)
+            && !matches!(self.peek_at(1), TokenKind::KwDo | TokenKind::KwIf | TokenKind::KwWhere)
+    }
+
+    fn at_decl_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::KwInteger
+                | TokenKind::KwReal
+                | TokenKind::KwDouble
+                | TokenKind::KwLogical
+        )
+    }
+
+    // -----------------------------------------------------------------
+    // Declarations
+    // -----------------------------------------------------------------
+
+    fn parse_type_decl(&mut self) -> Result<TypeDecl, ParseError> {
+        let span = self.span();
+        let base = match self.bump() {
+            TokenKind::KwInteger => BaseType::Integer,
+            TokenKind::KwReal => BaseType::Real,
+            TokenKind::KwLogical => BaseType::Logical,
+            TokenKind::KwDouble => {
+                self.expect(&TokenKind::KwPrecision)?;
+                BaseType::DoublePrecision
+            }
+            other => return Err(self.error(format!("expected a type, found {other}"))),
+        };
+
+        let mut dimension = None;
+        let mut parameter = false;
+        // Attribute list: , DIMENSION(...) , ARRAY(...) , PARAMETER
+        while matches!(self.peek(), TokenKind::Comma) {
+            self.bump();
+            match self.bump() {
+                TokenKind::KwDimension | TokenKind::KwArray => {
+                    self.expect(&TokenKind::LParen)?;
+                    dimension = Some(self.parse_dim_specs()?);
+                    self.expect(&TokenKind::RParen)?;
+                }
+                TokenKind::KwParameter => parameter = true,
+                other => {
+                    return Err(self.error(format!("unknown declaration attribute {other}")))
+                }
+            }
+        }
+        self.eat(&TokenKind::DoubleColon);
+
+        let mut entities = Vec::new();
+        loop {
+            let name = match self.bump() {
+                TokenKind::Ident(n) => n,
+                other => return Err(self.error(format!("expected entity name, found {other}"))),
+            };
+            let dims = if self.eat(&TokenKind::LParen) {
+                let d = self.parse_dim_specs()?;
+                self.expect(&TokenKind::RParen)?;
+                Some(d)
+            } else {
+                None
+            };
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            entities.push(Entity { name, dims, init });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.end_statement()?;
+        Ok(TypeDecl { base, dimension, parameter, entities, span })
+    }
+
+    fn parse_dim_specs(&mut self) -> Result<Vec<DimSpec>, ParseError> {
+        let mut specs = Vec::new();
+        loop {
+            let first = self.parse_const_int()?;
+            if self.eat(&TokenKind::Colon) {
+                let hi = self.parse_const_int()?;
+                specs.push(DimSpec { lo: first, hi });
+            } else {
+                specs.push(DimSpec { lo: 1, hi: first });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(specs)
+    }
+
+    fn parse_const_int(&mut self) -> Result<i64, ParseError> {
+        let e = self.parse_expr()?;
+        e.as_int()
+            .ok_or_else(|| self.error("array bounds must be integer constants".into()))
+    }
+
+    // -----------------------------------------------------------------
+    // Statements
+    // -----------------------------------------------------------------
+
+    fn parse_stmt_list(
+        &mut self,
+        done: &mut dyn FnMut(&Parser) -> bool,
+    ) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_newlines();
+            if done(self) || matches!(self.peek(), TokenKind::Eof) {
+                break;
+            }
+            let (label, stmt) = self.parse_labelled_stmt()?;
+            // A label closing a DO is handled inside parse_do_labelled;
+            // a stray label elsewhere is tolerated (dusty decks).
+            let _ = label;
+            if let Some(s) = stmt {
+                stmts.push(s);
+            }
+            // A labelled DO somewhere below just closed; the propagation
+            // only matters to enclosing labelled loops, so clear it here
+            // and keep parsing this (unlabelled) list.
+            self.last_closed_label = None;
+        }
+        Ok(stmts)
+    }
+
+    /// Parse one statement, returning its label (if any). `None`
+    /// statement means a bare `CONTINUE` that served as a loop
+    /// terminator.
+    fn parse_labelled_stmt(&mut self) -> Result<(Option<u32>, Option<Stmt>), ParseError> {
+        let label = match self.peek() {
+            TokenKind::Label(l) => {
+                let l = *l;
+                self.bump();
+                Some(l)
+            }
+            _ => None,
+        };
+        let stmt = self.parse_stmt()?;
+        Ok((label, Some(stmt)))
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::KwDo => self.parse_do(span),
+            TokenKind::KwForall => self.parse_forall(span),
+            TokenKind::KwWhere => self.parse_where(span),
+            TokenKind::KwIf => self.parse_if(span),
+            TokenKind::KwContinue => {
+                self.bump();
+                self.end_statement()?;
+                Ok(Stmt::Continue { span })
+            }
+            TokenKind::KwCall => {
+                self.bump();
+                let name = match self.bump() {
+                    TokenKind::Ident(n) => n,
+                    other => {
+                        return Err(self.error(format!(
+                            "expected subroutine name after CALL, found {other}"
+                        )))
+                    }
+                };
+                let mut args = Vec::new();
+                if self.eat(&TokenKind::LParen)
+                    && !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                    }
+                self.end_statement()?;
+                Ok(Stmt::Call { name, args, span })
+            }
+            TokenKind::Ident(_) => self.parse_assignment(span),
+            other => Err(self.error(format!("expected a statement, found {other}"))),
+        }
+    }
+
+    fn parse_assignment(&mut self, span: Span) -> Result<Stmt, ParseError> {
+        let lhs = self.parse_data_ref()?;
+        self.expect(&TokenKind::Assign)?;
+        let rhs = self.parse_expr()?;
+        self.end_statement()?;
+        Ok(Stmt::Assign { lhs, rhs, span })
+    }
+
+    fn parse_do(&mut self, span: Span) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwDo)?;
+        // DO WHILE (cond)
+        if self.eat(&TokenKind::KwWhile) {
+            self.expect(&TokenKind::LParen)?;
+            let cond = self.parse_expr()?;
+            self.expect(&TokenKind::RParen)?;
+            self.end_statement()?;
+            let body = self.parse_block_until_enddo()?;
+            return Ok(Stmt::DoWhile { cond, body, span });
+        }
+        // DO <label> var = ... (labelled form)
+        let label = match self.peek() {
+            TokenKind::IntLit(l) => {
+                let l = *l;
+                self.bump();
+                Some(u32::try_from(l).map_err(|_| self.error("label out of range".into()))?)
+            }
+            _ => None,
+        };
+        let var = match self.bump() {
+            TokenKind::Ident(n) => n,
+            other => return Err(self.error(format!("expected loop variable, found {other}"))),
+        };
+        self.expect(&TokenKind::Assign)?;
+        let lo = self.parse_expr()?;
+        self.expect(&TokenKind::Comma)?;
+        let hi = self.parse_expr()?;
+        let step = if self.eat(&TokenKind::Comma) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.end_statement()?;
+        let body = match label {
+            Some(l) => self.parse_do_labelled(l)?,
+            None => self.parse_block_until_enddo()?,
+        };
+        Ok(Stmt::Do { var, lo, hi, step, body, span })
+    }
+
+    fn parse_block_until_enddo(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let body = self.parse_stmt_list(&mut |p| {
+            matches!(p.peek(), TokenKind::KwEnddo)
+                || (matches!(p.peek(), TokenKind::KwEnd)
+                    && matches!(p.peek_at(1), TokenKind::KwDo))
+        })?;
+        if self.eat(&TokenKind::KwEnddo) {
+        } else {
+            self.expect(&TokenKind::KwEnd)?;
+            self.expect(&TokenKind::KwDo)?;
+        }
+        self.end_statement()?;
+        Ok(body)
+    }
+
+    fn parse_do_labelled(&mut self, label: u32) -> Result<Vec<Stmt>, ParseError> {
+        let mut body = Vec::new();
+        loop {
+            // A shared-terminator close propagating up from an inner
+            // labelled loop: if the label is ours, we close too (leaving
+            // the flag set for any enclosing loop with the same label);
+            // a different label cannot close us — clear and keep going.
+            match self.last_closed_label {
+                Some(l) if l == label => return Ok(body),
+                Some(_) => self.last_closed_label = None,
+                None => {}
+            }
+            self.skip_newlines();
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(self.error(format!("DO loop terminator label {label} not found")));
+            }
+            let stmt_label = match self.peek() {
+                TokenKind::Label(l) => Some(*l),
+                _ => None,
+            };
+            if stmt_label == Some(label) {
+                self.bump(); // label
+                let stmt = self.parse_stmt()?;
+                if !matches!(stmt, Stmt::Continue { .. }) {
+                    body.push(stmt);
+                }
+                self.last_closed_label = Some(label);
+                return Ok(body);
+            }
+            if stmt_label.is_some() {
+                self.bump();
+            }
+            let stmt = self.parse_stmt()?;
+            body.push(stmt);
+        }
+    }
+
+    fn parse_forall(&mut self, span: Span) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwForall)?;
+        self.expect(&TokenKind::LParen)?;
+        let mut triplets = Vec::new();
+        loop {
+            let name = match self.bump() {
+                TokenKind::Ident(n) => n,
+                other => {
+                    return Err(self.error(format!("expected FORALL index, found {other}")))
+                }
+            };
+            self.expect(&TokenKind::Assign)?;
+            let lo = self.parse_expr()?;
+            self.expect(&TokenKind::Colon)?;
+            let hi = self.parse_expr()?;
+            let step = if self.eat(&TokenKind::Colon) {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            triplets.push((name, lo, hi, step));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let span2 = self.span();
+        let assign = self.parse_assignment(span2)?;
+        Ok(Stmt::Forall { triplets, assign: Box::new(assign), span })
+    }
+
+    fn parse_where(&mut self, span: Span) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwWhere)?;
+        self.expect(&TokenKind::LParen)?;
+        let mask = self.parse_expr()?;
+        self.expect(&TokenKind::RParen)?;
+        // Single-statement form: WHERE (mask) a = b
+        if let TokenKind::Ident(_) = self.peek() {
+            let span2 = self.span();
+            let assign = self.parse_assignment(span2)?;
+            return Ok(Stmt::Where {
+                mask,
+                then_body: vec![assign],
+                else_body: Vec::new(),
+                span,
+            });
+        }
+        self.end_statement()?;
+        let then_body = self.parse_stmt_list(&mut |p| {
+            matches!(p.peek(), TokenKind::KwElsewhere | TokenKind::KwEndwhere)
+                || (matches!(p.peek(), TokenKind::KwEnd)
+                    && matches!(p.peek_at(1), TokenKind::KwWhere))
+        })?;
+        let mut else_body = Vec::new();
+        if self.eat(&TokenKind::KwElsewhere) {
+            self.end_statement()?;
+            else_body = self.parse_stmt_list(&mut |p| {
+                matches!(p.peek(), TokenKind::KwEndwhere)
+                    || (matches!(p.peek(), TokenKind::KwEnd)
+                        && matches!(p.peek_at(1), TokenKind::KwWhere))
+            })?;
+        }
+        if self.eat(&TokenKind::KwEndwhere) {
+        } else {
+            self.expect(&TokenKind::KwEnd)?;
+            self.expect(&TokenKind::KwWhere)?;
+        }
+        self.end_statement()?;
+        Ok(Stmt::Where { mask, then_body, else_body, span })
+    }
+
+    fn parse_if(&mut self, span: Span) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwIf)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.parse_expr()?;
+        self.expect(&TokenKind::RParen)?;
+        if !self.eat(&TokenKind::KwThen) {
+            // Single-line logical IF: IF (cond) stmt
+            let inner = self.parse_stmt()?;
+            return Ok(Stmt::If {
+                arms: vec![(cond, vec![inner])],
+                else_body: Vec::new(),
+                span,
+            });
+        }
+        self.end_statement()?;
+        let mut arms = Vec::new();
+        let mut else_body = Vec::new();
+        let mut current_cond = cond;
+        loop {
+            let body = self.parse_stmt_list(&mut |p| {
+                matches!(p.peek(), TokenKind::KwElse | TokenKind::KwEndif)
+                    || (matches!(p.peek(), TokenKind::KwEnd)
+                        && matches!(p.peek_at(1), TokenKind::KwIf))
+                    || matches!(p.peek(), TokenKind::Ident(s) if s == "elseif")
+            })?;
+            arms.push((current_cond.clone(), body));
+            let is_elseif_word = matches!(self.peek(), TokenKind::Ident(s) if s == "elseif");
+            if is_elseif_word || (self.peek() == &TokenKind::KwElse
+                && self.peek_at(1) == &TokenKind::KwIf)
+            {
+                if is_elseif_word {
+                    self.bump();
+                } else {
+                    self.bump();
+                    self.bump();
+                }
+                self.expect(&TokenKind::LParen)?;
+                current_cond = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::KwThen)?;
+                self.end_statement()?;
+                continue;
+            }
+            if self.eat(&TokenKind::KwElse) {
+                self.end_statement()?;
+                else_body = self.parse_stmt_list(&mut |p| {
+                    matches!(p.peek(), TokenKind::KwEndif)
+                        || (matches!(p.peek(), TokenKind::KwEnd)
+                            && matches!(p.peek_at(1), TokenKind::KwIf))
+                })?;
+            }
+            break;
+        }
+        if self.eat(&TokenKind::KwEndif) {
+        } else {
+            self.expect(&TokenKind::KwEnd)?;
+            self.expect(&TokenKind::KwIf)?;
+        }
+        self.end_statement()?;
+        Ok(Stmt::If { arms, else_body, span })
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions (Fortran precedence)
+    // -----------------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinOpAst::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_not()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.parse_not()?;
+            lhs = Expr::Binary(BinOpAst::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::Not) {
+            let inner = self.parse_not()?;
+            Ok(Expr::Unary(UnOpAst::Not, Box::new(inner)))
+        } else {
+            self.parse_relational()
+        }
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_addsub()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOpAst::Eq,
+            TokenKind::Ne => BinOpAst::Ne,
+            TokenKind::Lt => BinOpAst::Lt,
+            TokenKind::Le => BinOpAst::Le,
+            TokenKind::Gt => BinOpAst::Gt,
+            TokenKind::Ge => BinOpAst::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_addsub()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn parse_addsub(&mut self) -> Result<Expr, ParseError> {
+        // Leading unary sign binds looser than * and / in Fortran:
+        // -a*b parses as -(a*b).
+        let negate = if self.eat(&TokenKind::Minus) {
+            true
+        } else {
+            self.eat(&TokenKind::Plus);
+            false
+        };
+        let mut lhs = self.parse_term()?;
+        if negate {
+            lhs = Expr::Unary(UnOpAst::Neg, Box::new(lhs));
+        }
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOpAst::Add,
+                TokenKind::Minus => BinOpAst::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_term()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_power()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOpAst::Mul,
+                TokenKind::Slash => BinOpAst::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_power()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_power(&mut self) -> Result<Expr, ParseError> {
+        let base = self.parse_primary()?;
+        if self.eat(&TokenKind::Power) {
+            // Right-associative; exponent may carry a unary sign.
+            let negate = if self.eat(&TokenKind::Minus) {
+                true
+            } else {
+                self.eat(&TokenKind::Plus);
+                false
+            };
+            let mut exp = self.parse_power()?;
+            if negate {
+                exp = Expr::Unary(UnOpAst::Neg, Box::new(exp));
+            }
+            Ok(Expr::Binary(BinOpAst::Pow, Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::RealLit(v) => {
+                self.bump();
+                Ok(Expr::Real(v))
+            }
+            TokenKind::DoubleLit(v) => {
+                self.bump();
+                Ok(Expr::Double(v))
+            }
+            TokenKind::LogicalLit(v) => {
+                self.bump();
+                Ok(Expr::Logical(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(_) => Ok(Expr::Ref(self.parse_data_ref()?)),
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+
+    fn parse_data_ref(&mut self) -> Result<DataRef, ParseError> {
+        let span = self.span();
+        let name = match self.bump() {
+            TokenKind::Ident(n) => n,
+            other => return Err(self.error(format!("expected a name, found {other}"))),
+        };
+        let subs = if self.eat(&TokenKind::LParen) {
+            let mut subs = Vec::new();
+            if !self.eat(&TokenKind::RParen) {
+                loop {
+                    subs.push(self.parse_subscript()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+            Some(subs)
+        } else {
+            None
+        };
+        Ok(DataRef { name, subs, span })
+    }
+
+    fn parse_subscript(&mut self) -> Result<Subscript, ParseError> {
+        // Forms: expr | expr:expr | expr:expr:expr | : | :expr | expr: | ::expr
+        let lo = if matches!(self.peek(), TokenKind::Colon) {
+            None
+        } else {
+            Some(self.parse_keyword_or_expr()?)
+        };
+        if !self.eat(&TokenKind::Colon) {
+            return Ok(match lo {
+                Some(e) => Subscript::Index(e),
+                None => unreachable!("colon checked above"),
+            });
+        }
+        let hi = if matches!(
+            self.peek(),
+            TokenKind::Colon | TokenKind::Comma | TokenKind::RParen
+        ) {
+            None
+        } else {
+            Some(self.parse_expr()?)
+        };
+        let step = if self.eat(&TokenKind::Colon) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Subscript::Triplet { lo, hi, step })
+    }
+
+    /// Parse a subscript element that may be a keyword argument
+    /// (`DIM=1`, `SHIFT=-1` in intrinsic calls). The keyword is dropped —
+    /// lowering resolves intrinsics positionally with the standard
+    /// keyword order — but keyword syntax must not break parsing.
+    fn parse_keyword_or_expr(&mut self) -> Result<Expr, ParseError> {
+        if let TokenKind::Ident(_) = self.peek() {
+            if matches!(self.peek_at(1), TokenKind::Assign) {
+                let kw = match self.bump() {
+                    TokenKind::Ident(n) => n,
+                    _ => unreachable!("peeked Ident"),
+                };
+                self.bump(); // '='
+                let value = self.parse_expr()?;
+                // Re-encode as a tagged expression via a marker ref so
+                // lowering can reorder keyword arguments.
+                return Ok(Expr::Ref(DataRef {
+                    name: format!("{kw}="),
+                    subs: Some(vec![Subscript::Index(value)]),
+                    span: self.span(),
+                }));
+            }
+        }
+        self.parse_expr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn parse_ok(src: &str) -> ProgramUnit {
+        match parse(src) {
+            Ok(u) => u,
+            Err(e) => panic!("parse failed: {e}\nsource:\n{src}"),
+        }
+    }
+
+    #[test]
+    fn paper_fortran77_example_parses() {
+        // The paper's §2.1 dusty-deck fragment.
+        let unit = parse_ok(
+            "
+            INTEGER K(128,64), L(128)
+            DO 10 I=1,128
+               L(I) = 6
+               DO 20 J=1,64
+                  K(I,J) = 2*K(I,J) + 5
+  20           CONTINUE
+  10        CONTINUE
+            ",
+        );
+        assert_eq!(unit.decls.len(), 1);
+        assert_eq!(unit.decls[0].entities.len(), 2);
+        assert_eq!(unit.stmts.len(), 1);
+        match &unit.stmts[0] {
+            Stmt::Do { var, body, .. } => {
+                assert_eq!(var, "i");
+                assert_eq!(body.len(), 2);
+                assert!(matches!(&body[1], Stmt::Do { var, .. } if var == "j"));
+            }
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_fortran90_replacement_parses() {
+        let unit = parse_ok("INTEGER K(128,64), L(128)\nL = 6\nK = 2*K + 5\n");
+        assert_eq!(unit.stmts.len(), 2);
+        assert!(matches!(&unit.stmts[0], Stmt::Assign { lhs, .. } if lhs.name == "l"));
+    }
+
+    #[test]
+    fn paper_section_example_parses() {
+        let unit = parse_ok(
+            "INTEGER K(128,64), L(128)\nL(32:64) = L(96:128)\nK(32:64,:) = K(32:64,:)**2\n",
+        );
+        match &unit.stmts[1] {
+            Stmt::Assign { lhs, rhs, .. } => {
+                let subs = lhs.subs.as_ref().expect("subscripts");
+                assert_eq!(subs.len(), 2);
+                assert!(subs[0].is_triplet());
+                assert!(subs[1].is_triplet());
+                assert!(matches!(rhs, Expr::Binary(BinOpAst::Pow, _, _)));
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forall_parses() {
+        let unit = parse_ok(
+            "INTEGER, ARRAY(32,32) :: A\nFORALL (i=1:32, j=1:32) A(i,j) = i+j\n",
+        );
+        match &unit.stmts[0] {
+            Stmt::Forall { triplets, assign, .. } => {
+                assert_eq!(triplets.len(), 2);
+                assert_eq!(triplets[0].0, "i");
+                assert!(matches!(&**assign, Stmt::Assign { .. }));
+            }
+            other => panic!("expected FORALL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_elsewhere_parses() {
+        let unit = parse_ok(
+            "
+            REAL A(8), B(8)
+            WHERE (A > 0.0)
+              B = A
+            ELSEWHERE
+              B = -A
+            END WHERE
+            ",
+        );
+        match &unit.stmts[0] {
+            Stmt::Where { then_body, else_body, .. } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("expected WHERE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_line_where_parses() {
+        let unit = parse_ok("REAL A(8), B(8)\nWHERE (A > 0.0) B = A\n");
+        assert!(matches!(&unit.stmts[0], Stmt::Where { .. }));
+    }
+
+    #[test]
+    fn if_elseif_else_parses() {
+        let unit = parse_ok(
+            "
+            INTEGER x, y
+            IF (x > 0) THEN
+              y = 1
+            ELSE IF (x < 0) THEN
+              y = -1
+            ELSE
+              y = 0
+            END IF
+            ",
+        );
+        match &unit.stmts[0] {
+            Stmt::If { arms, else_body, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("expected IF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_line_if_parses() {
+        let unit = parse_ok("INTEGER x, y\nIF (x > 0) y = 1\n");
+        assert!(matches!(&unit.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn do_while_parses() {
+        let unit = parse_ok(
+            "
+            INTEGER x
+            DO WHILE (x < 10)
+              x = x + 1
+            END DO
+            ",
+        );
+        assert!(matches!(&unit.stmts[0], Stmt::DoWhile { .. }));
+    }
+
+    #[test]
+    fn modern_do_with_enddo() {
+        let unit = parse_ok("INTEGER i, s\ndo i = 1, 10, 2\n  s = s + i\nenddo\n");
+        match &unit.stmts[0] {
+            Stmt::Do { step, body, .. } => {
+                assert!(step.is_some());
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn program_wrapper_and_end_program() {
+        let unit = parse_ok("PROGRAM swe\nREAL u(8)\nu = 0.0\nEND PROGRAM swe\n");
+        assert_eq!(unit.name.as_deref(), Some("swe"));
+        assert_eq!(unit.stmts.len(), 1);
+    }
+
+    #[test]
+    fn cshift_call_with_keywords_parses() {
+        let unit = parse_ok(
+            "REAL v(16), z(16)\nz = v - CSHIFT(v, DIM=1, SHIFT=-1)\n",
+        );
+        match &unit.stmts[0] {
+            Stmt::Assign { rhs, .. } => {
+                // RHS is v - cshift(...)
+                assert!(matches!(rhs, Expr::Binary(BinOpAst::Sub, _, _)));
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declaration_forms() {
+        // Attribute DIMENSION, entity dims, double colon, initializer.
+        let unit = parse_ok(
+            "
+            INTEGER, DIMENSION(64,64) :: A, B
+            DOUBLE PRECISION m, n
+            REAL :: dt = 90.0
+            LOGICAL flags(10)
+            INTEGER, PARAMETER :: nx = 64
+            ",
+        );
+        assert_eq!(unit.decls.len(), 5);
+        assert_eq!(
+            unit.decls[0].dimension.as_ref().map(|d| d.len()),
+            Some(2)
+        );
+        assert_eq!(unit.decls[1].base, BaseType::DoublePrecision);
+        assert!(unit.decls[2].entities[0].init.is_some());
+        assert_eq!(
+            unit.decls[3].entities[0].dims.as_ref().map(|d| d.len()),
+            Some(1)
+        );
+        assert!(unit.decls[4].parameter);
+    }
+
+    #[test]
+    fn unary_minus_precedence() {
+        // -a*b parses as -(a*b)
+        let unit = parse_ok("REAL a, b, c\nc = -a*b\n");
+        match &unit.stmts[0] {
+            Stmt::Assign { rhs, .. } => match rhs {
+                Expr::Unary(UnOpAst::Neg, inner) => {
+                    assert!(matches!(**inner, Expr::Binary(BinOpAst::Mul, _, _)));
+                }
+                other => panic!("expected Neg, got {other:?}"),
+            },
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        let unit = parse_ok("REAL a, c\nc = a**2**3\n");
+        match &unit.stmts[0] {
+            Stmt::Assign { rhs, .. } => match rhs {
+                Expr::Binary(BinOpAst::Pow, _, exp) => {
+                    assert!(matches!(**exp, Expr::Binary(BinOpAst::Pow, _, _)));
+                }
+                other => panic!("expected Pow, got {other:?}"),
+            },
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_do_terminators() {
+        let unit = parse_ok(
+            "
+            INTEGER A(4,4)
+            DO 10 I=1,4
+            DO 10 J=1,4
+            A(I,J) = I+J
+  10        CONTINUE
+            ",
+        );
+        match &unit.stmts[0] {
+            Stmt::Do { body, .. } => match &body[0] {
+                Stmt::Do { body: inner, .. } => assert_eq!(inner.len(), 1),
+                other => panic!("expected inner DO, got {other:?}"),
+            },
+            other => panic!("expected DO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("INTEGER A(\n").unwrap_err();
+        assert!(err.span.line >= 1);
+        let err = parse("x = = 1\n").unwrap_err();
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn missing_do_terminator_is_an_error() {
+        assert!(parse("INTEGER i\nDO 10 i=1,4\ni = i\n").is_err());
+    }
+}

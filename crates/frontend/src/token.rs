@@ -1,0 +1,205 @@
+//! Tokens and source spans.
+
+use std::fmt;
+
+/// A half-open source region, used in diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds of the Fortran 90 subset.
+///
+/// Keywords are recognised case-insensitively by the lexer and carried as
+/// dedicated kinds; identifiers are lower-cased (Fortran names are
+/// case-insensitive).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or non-reserved keyword, lower-cased.
+    Ident(String),
+    /// An integer literal.
+    IntLit(i64),
+    /// A single-precision real literal (`1.5`, `1.5e3`).
+    RealLit(f64),
+    /// A double-precision real literal (`1.5d0`).
+    DoubleLit(f64),
+    /// `.true.` or `.false.`.
+    LogicalLit(bool),
+    /// A statement label at the start of a line (`10 CONTINUE`).
+    Label(u32),
+
+    // Keywords
+    /// `PROGRAM`.
+    KwProgram,
+    /// `END`.
+    KwEnd,
+    /// `INTEGER`.
+    KwInteger,
+    /// `REAL`.
+    KwReal,
+    /// `DOUBLE` (of `DOUBLE PRECISION`).
+    KwDouble,
+    /// `PRECISION`.
+    KwPrecision,
+    /// `LOGICAL`.
+    KwLogical,
+    /// `DIMENSION`.
+    KwDimension,
+    /// `PARAMETER`.
+    KwParameter,
+    /// `ARRAY` (CM Fortran style `INTEGER, ARRAY(32,32) :: A`).
+    KwArray,
+    /// `DO`.
+    KwDo,
+    /// `CONTINUE`.
+    KwContinue,
+    /// `FORALL`.
+    KwForall,
+    /// `WHERE`.
+    KwWhere,
+    /// `ELSEWHERE`.
+    KwElsewhere,
+    /// `IF`.
+    KwIf,
+    /// `THEN`.
+    KwThen,
+    /// `ELSE`.
+    KwElse,
+    /// `ENDIF` (also `END IF` via `KwEnd KwIf`).
+    KwEndif,
+    /// `ENDDO`.
+    KwEnddo,
+    /// `ENDWHERE`.
+    KwEndwhere,
+    /// `WHILE`.
+    KwWhile,
+    /// `SUBROUTINE`.
+    KwSubroutine,
+    /// `CALL`.
+    KwCall,
+
+    // Punctuation and operators
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `:`.
+    Colon,
+    /// `::`.
+    DoubleColon,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `**`.
+    Power,
+    /// `/`.
+    Slash,
+    /// `==` or `.EQ.`.
+    Eq,
+    /// `/=` or `.NE.`.
+    Ne,
+    /// `<` or `.LT.`.
+    Lt,
+    /// `<=` or `.LE.`.
+    Le,
+    /// `>` or `.GT.`.
+    Gt,
+    /// `>=` or `.GE.`.
+    Ge,
+    /// `.AND.`.
+    And,
+    /// `.OR.`.
+    Or,
+    /// `.NOT.`.
+    Not,
+
+    /// End of statement (newline or `;`).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Ident(s) => write!(f, "identifier '{s}'"),
+            IntLit(v) => write!(f, "integer {v}"),
+            RealLit(v) => write!(f, "real {v}"),
+            DoubleLit(v) => write!(f, "double {v}"),
+            LogicalLit(v) => write!(f, "logical {v}"),
+            Label(l) => write!(f, "label {l}"),
+            KwProgram => f.write_str("'PROGRAM'"),
+            KwEnd => f.write_str("'END'"),
+            KwInteger => f.write_str("'INTEGER'"),
+            KwReal => f.write_str("'REAL'"),
+            KwDouble => f.write_str("'DOUBLE'"),
+            KwPrecision => f.write_str("'PRECISION'"),
+            KwLogical => f.write_str("'LOGICAL'"),
+            KwDimension => f.write_str("'DIMENSION'"),
+            KwParameter => f.write_str("'PARAMETER'"),
+            KwArray => f.write_str("'ARRAY'"),
+            KwDo => f.write_str("'DO'"),
+            KwContinue => f.write_str("'CONTINUE'"),
+            KwForall => f.write_str("'FORALL'"),
+            KwWhere => f.write_str("'WHERE'"),
+            KwElsewhere => f.write_str("'ELSEWHERE'"),
+            KwIf => f.write_str("'IF'"),
+            KwThen => f.write_str("'THEN'"),
+            KwElse => f.write_str("'ELSE'"),
+            KwEndif => f.write_str("'ENDIF'"),
+            KwEnddo => f.write_str("'ENDDO'"),
+            KwEndwhere => f.write_str("'ENDWHERE'"),
+            KwWhile => f.write_str("'WHILE'"),
+            KwSubroutine => f.write_str("'SUBROUTINE'"),
+            KwCall => f.write_str("'CALL'"),
+            LParen => f.write_str("'('"),
+            RParen => f.write_str("')'"),
+            Comma => f.write_str("','"),
+            Colon => f.write_str("':'"),
+            DoubleColon => f.write_str("'::'"),
+            Assign => f.write_str("'='"),
+            Plus => f.write_str("'+'"),
+            Minus => f.write_str("'-'"),
+            Star => f.write_str("'*'"),
+            Power => f.write_str("'**'"),
+            Slash => f.write_str("'/'"),
+            Eq => f.write_str("'=='"),
+            Ne => f.write_str("'/='"),
+            Lt => f.write_str("'<'"),
+            Le => f.write_str("'<='"),
+            Gt => f.write_str("'>'"),
+            Ge => f.write_str("'>='"),
+            And => f.write_str("'.AND.'"),
+            Or => f.write_str("'.OR.'"),
+            Not => f.write_str("'.NOT.'"),
+            Newline => f.write_str("end of statement"),
+            Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A lexed token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}

@@ -1,0 +1,120 @@
+//! Property tests for the front end: totality on arbitrary input, and
+//! invariance of the parse under comments, continuations and case
+//! changes.
+
+use proptest::prelude::*;
+
+use f90y_frontend::parse;
+
+/// Compare ASTs modulo source positions (the properties here move text
+/// around, so spans legitimately differ).
+fn fingerprint(unit: &f90y_frontend::ProgramUnit) -> String {
+    let debug = format!("{unit:?}");
+    // Spans print as `Span { line: N, col: M }`; erase the payload.
+    let mut out = String::with_capacity(debug.len());
+    let mut rest = debug.as_str();
+    while let Some(ix) = rest.find("Span {") {
+        out.push_str(&rest[..ix]);
+        out.push_str("Span");
+        match rest[ix..].find('}') {
+            Some(end) => rest = &rest[ix + end + 1..],
+            None => {
+                rest = "";
+                break;
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+const BASE: &str = "PROGRAM p
+REAL a(16), b(16)
+INTEGER n
+n = 3
+FORALL (i=1:16) a(i) = i
+WHERE (a > 4.0) b = 2.0*a
+DO k = 1, 4
+  b = b + a*1.5 - MIN(a, b)
+END DO
+END PROGRAM p
+";
+
+proptest! {
+    /// The lexer and parser never panic on arbitrary bytes.
+    #[test]
+    fn parser_is_total(src in "\\PC{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Appending a comment to any line leaves the AST unchanged.
+    #[test]
+    fn comments_are_invisible(line in 0usize..10, text in "[ a-zA-Z0-9+*()=,]{0,20}") {
+        let reference = parse(BASE).expect("base parses");
+        let mut lines: Vec<String> = BASE.lines().map(str::to_string).collect();
+        if line < lines.len() {
+            lines[line].push_str(" ! ");
+            lines[line].push_str(&text);
+        }
+        let commented = lines.join("\n");
+        let got = parse(&commented).expect("commented program parses");
+        prop_assert_eq!(fingerprint(&got), fingerprint(&reference));
+    }
+
+    /// Changing keyword/identifier case leaves the AST unchanged
+    /// (Fortran is case-insensitive).
+    #[test]
+    fn case_is_insignificant(upper in proptest::collection::vec(any::<bool>(), 32)) {
+        let reference = parse(BASE).expect("base parses");
+        let mut flip = upper.into_iter().cycle();
+        let mangled: String = BASE
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphabetic() && flip.next().unwrap_or(false) {
+                    if c.is_ascii_lowercase() {
+                        c.to_ascii_uppercase()
+                    } else {
+                        c.to_ascii_lowercase()
+                    }
+                } else {
+                    c
+                }
+            })
+            .collect();
+        let got = parse(&mangled).expect("case-mangled program parses");
+        prop_assert_eq!(fingerprint(&got), fingerprint(&reference));
+    }
+
+    /// Splitting an expression line at a space with `&` continuation
+    /// leaves the AST unchanged.
+    #[test]
+    fn continuations_are_invisible(split_at in 1usize..20) {
+        let reference = parse(BASE).expect("base parses");
+        // Split the long DO-body line at the `split_at`-th space.
+        let target = "  b = b + a*1.5 - MIN(a, b)";
+        let spaces: Vec<usize> = target
+            .char_indices()
+            .filter(|(i, c)| *c == ' ' && *i > 6)
+            .map(|(i, _)| i)
+            .collect();
+        let pos = spaces[split_at % spaces.len()];
+        let continued = format!("{} &\n    {}", &target[..pos], &target[pos..]);
+        let src = BASE.replace(target, &continued);
+        let got = parse(&src).expect("continued program parses");
+        prop_assert_eq!(fingerprint(&got), fingerprint(&reference));
+    }
+
+    /// Extra blank lines and trailing whitespace never change the parse.
+    #[test]
+    fn whitespace_is_insignificant(extra_blanks in 0usize..4, line in 0usize..10) {
+        let reference = parse(BASE).expect("base parses");
+        let mut lines: Vec<String> = BASE.lines().map(str::to_string).collect();
+        if line < lines.len() {
+            for _ in 0..extra_blanks {
+                lines.insert(line, String::new());
+            }
+        }
+        let got = parse(&lines.join("\n")).expect("padded program parses");
+        prop_assert_eq!(fingerprint(&got), fingerprint(&reference));
+    }
+}

@@ -1,0 +1,464 @@
+//! Subroutine inlining: multi-unit source files flatten to one main
+//! program before semantic lowering.
+//!
+//! The paper's intro motivates this path: the production CMF compiler
+//! "cannot be used for developing scientific library functions for the
+//! CM/2; these critical routines must be developed by hand at great
+//! expense". Here library routines are ordinary `SUBROUTINE`s, expanded
+//! at their call sites — which also hands their statements to the
+//! blocking transformations, so a routine's whole-array operations fuse
+//! with the caller's.
+//!
+//! ## Calling convention (checked, with positioned errors)
+//!
+//! * Array dummies bind by reference to array actuals of identical
+//!   declared bounds.
+//! * Scalar dummies bind by reference to scalar variables, or by value
+//!   to expressions — but an expression actual must not be written by
+//!   the subroutine.
+//! * Locals are renamed apart per call site; recursion is rejected.
+
+use std::collections::HashMap;
+
+use f90y_frontend::ast::{
+    DataRef, Expr, ProgramUnit, SourceFile, Stmt, Subroutine, Subscript, TypeDecl,
+};
+use f90y_frontend::token::Span;
+
+use crate::LowerError;
+
+/// Flatten a source file by expanding every `CALL` in the main program.
+///
+/// # Errors
+///
+/// Fails on unknown subroutines, arity or binding mismatches, and
+/// (mutual) recursion.
+pub fn inline_file(file: &SourceFile) -> Result<ProgramUnit, LowerError> {
+    let subs: HashMap<&str, &Subroutine> = file
+        .subroutines
+        .iter()
+        .map(|s| (s.name.as_str(), s))
+        .collect();
+    if subs.len() != file.subroutines.len() {
+        return Err(LowerError {
+            message: "duplicate subroutine names".into(),
+            span: Span::default(),
+        });
+    }
+    let caller_dims = dims_of(&file.program.decls);
+    let mut ctx = InlineCtx { subs, counter: 0, extra_decls: Vec::new() };
+    let stmts = ctx.expand_stmts(&file.program.stmts, &caller_dims, 0)?;
+    let mut decls = file.program.decls.clone();
+    decls.extend(ctx.extra_decls);
+    Ok(ProgramUnit { name: file.program.name.clone(), decls, stmts })
+}
+
+/// Per-entity declared dims (`None` = scalar) for binding checks.
+type DimsMap = HashMap<String, Option<Vec<(i64, i64)>>>;
+
+fn dims_of(decls: &[TypeDecl]) -> DimsMap {
+    let mut map = DimsMap::new();
+    for d in decls {
+        for e in &d.entities {
+            let dims = e
+                .dims
+                .as_ref()
+                .or(d.dimension.as_ref())
+                .map(|specs| specs.iter().map(|s| (s.lo, s.hi)).collect());
+            map.insert(e.name.clone(), dims);
+        }
+    }
+    map
+}
+
+struct InlineCtx<'a> {
+    subs: HashMap<&'a str, &'a Subroutine>,
+    counter: usize,
+    extra_decls: Vec<TypeDecl>,
+}
+
+impl<'a> InlineCtx<'a> {
+    fn expand_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        caller_dims: &DimsMap,
+        depth: usize,
+    ) -> Result<Vec<Stmt>, LowerError> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            self.expand_stmt(s, caller_dims, depth, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn expand_stmt(
+        &mut self,
+        stmt: &Stmt,
+        caller_dims: &DimsMap,
+        depth: usize,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        match stmt {
+            Stmt::Call { name, args, span } => {
+                self.expand_call(name, args, *span, caller_dims, depth, out)
+            }
+            Stmt::Do { var, lo, hi, step, body, span } => {
+                let body = self.expand_stmts(body, caller_dims, depth)?;
+                out.push(Stmt::Do {
+                    var: var.clone(),
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                    step: step.clone(),
+                    body,
+                    span: *span,
+                });
+                Ok(())
+            }
+            Stmt::DoWhile { cond, body, span } => {
+                let body = self.expand_stmts(body, caller_dims, depth)?;
+                out.push(Stmt::DoWhile { cond: cond.clone(), body, span: *span });
+                Ok(())
+            }
+            Stmt::If { arms, else_body, span } => {
+                let arms = arms
+                    .iter()
+                    .map(|(c, b)| {
+                        Ok((c.clone(), self.expand_stmts(b, caller_dims, depth)?))
+                    })
+                    .collect::<Result<_, LowerError>>()?;
+                let else_body = self.expand_stmts(else_body, caller_dims, depth)?;
+                out.push(Stmt::If { arms, else_body, span: *span });
+                Ok(())
+            }
+            Stmt::Where { mask, then_body, else_body, span } => {
+                let then_body = self.expand_stmts(then_body, caller_dims, depth)?;
+                let else_body = self.expand_stmts(else_body, caller_dims, depth)?;
+                out.push(Stmt::Where {
+                    mask: mask.clone(),
+                    then_body,
+                    else_body,
+                    span: *span,
+                });
+                Ok(())
+            }
+            other => {
+                out.push(other.clone());
+                Ok(())
+            }
+        }
+    }
+
+    fn expand_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        span: Span,
+        caller_dims: &DimsMap,
+        depth: usize,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        if depth > 16 {
+            return Err(LowerError {
+                message: format!("CALL nesting exceeds 16 at '{name}' (recursion?)"),
+                span,
+            });
+        }
+        let Some(&sub) = self.subs.get(name) else {
+            return Err(LowerError {
+                message: format!("unknown subroutine '{name}'"),
+                span,
+            });
+        };
+        if args.len() != sub.params.len() {
+            return Err(LowerError {
+                message: format!(
+                    "'{name}' expects {} arguments, got {}",
+                    sub.params.len(),
+                    args.len()
+                ),
+                span,
+            });
+        }
+        let sub_dims = dims_of(&sub.decls);
+        let written = written_names(&sub.stmts);
+
+        // Build the renaming: formals first.
+        let mut rename: HashMap<String, String> = HashMap::new();
+        for (formal, actual) in sub.params.iter().zip(args) {
+            let formal_dims = sub_dims.get(formal).cloned().ok_or_else(|| LowerError {
+                message: format!("dummy argument '{formal}' of '{name}' is undeclared"),
+                span: sub.span,
+            })?;
+            match actual {
+                Expr::Ref(DataRef { name: aname, subs: None, .. }) => {
+                    // Variable actual: by reference. Array dummies need
+                    // matching declared bounds.
+                    let actual_dims =
+                        caller_dims.get(aname).cloned().ok_or_else(|| LowerError {
+                            message: format!("actual argument '{aname}' is undeclared"),
+                            span,
+                        })?;
+                    match (&formal_dims, &actual_dims) {
+                        (Some(fd), Some(ad)) => {
+                            if fd != ad {
+                                return Err(LowerError {
+                                    message: format!(
+                                        "array argument '{aname}' has bounds {ad:?} but \
+                                         dummy '{formal}' of '{name}' declares {fd:?}"
+                                    ),
+                                    span,
+                                });
+                            }
+                        }
+                        (None, None) => {}
+                        (Some(_), None) => {
+                            return Err(LowerError {
+                                message: format!(
+                                    "dummy '{formal}' of '{name}' is an array but \
+                                     '{aname}' is a scalar"
+                                ),
+                                span,
+                            })
+                        }
+                        (None, Some(_)) => {
+                            return Err(LowerError {
+                                message: format!(
+                                    "dummy '{formal}' of '{name}' is a scalar but \
+                                     '{aname}' is an array"
+                                ),
+                                span,
+                            })
+                        }
+                    }
+                    rename.insert(formal.clone(), aname.clone());
+                }
+                expr => {
+                    // Expression actual: by value into a fresh local.
+                    if formal_dims.is_some() {
+                        return Err(LowerError {
+                            message: format!(
+                                "array dummy '{formal}' of '{name}' needs an array \
+                                 variable actual"
+                            ),
+                            span,
+                        });
+                    }
+                    if written.contains(formal) {
+                        return Err(LowerError {
+                            message: format!(
+                                "'{name}' writes dummy '{formal}', so the actual must \
+                                 be a variable, not an expression"
+                            ),
+                            span,
+                        });
+                    }
+                    self.counter += 1;
+                    let fresh = format!("{name}__arg{}", self.counter);
+                    // Declare with the dummy's type.
+                    self.push_decl_for(sub, formal, &fresh, span)?;
+                    out.push(Stmt::Assign {
+                        lhs: DataRef { name: fresh.clone(), subs: None, span },
+                        rhs: expr.clone(),
+                        span,
+                    });
+                    rename.insert(formal.clone(), fresh);
+                }
+            }
+        }
+
+        // Locals rename apart.
+        for d in &sub.decls {
+            for e in &d.entities {
+                if sub.params.contains(&e.name) {
+                    continue;
+                }
+                self.counter += 1;
+                let fresh = format!("{name}__{}{}", e.name, self.counter);
+                self.push_decl_for(sub, &e.name, &fresh, span)?;
+                rename.insert(e.name.clone(), fresh);
+            }
+        }
+
+        // Substitute and expand nested calls.
+        let renamed: Vec<Stmt> = sub.stmts.iter().map(|s| subst_stmt(s, &rename)).collect();
+        let expanded = self.expand_stmts(&renamed, caller_dims, depth + 1)?;
+        out.extend(expanded);
+        Ok(())
+    }
+
+    /// Emit a declaration for `fresh` copying the base type and dims of
+    /// `original` inside `sub`.
+    fn push_decl_for(
+        &mut self,
+        sub: &Subroutine,
+        original: &str,
+        fresh: &str,
+        span: Span,
+    ) -> Result<(), LowerError> {
+        for d in &sub.decls {
+            for e in &d.entities {
+                if e.name == original {
+                    self.extra_decls.push(TypeDecl {
+                        base: d.base,
+                        dimension: None,
+                        parameter: false,
+                        entities: vec![f90y_frontend::ast::Entity {
+                            name: fresh.to_string(),
+                            dims: e.dims.clone().or_else(|| d.dimension.clone()),
+                            init: None,
+                        }],
+                        span,
+                    });
+                    return Ok(());
+                }
+            }
+        }
+        Err(LowerError {
+            message: format!(
+                "'{}' uses undeclared name '{original}'",
+                sub.name
+            ),
+            span: sub.span,
+        })
+    }
+}
+
+/// Names assigned anywhere in a statement list (conservative: includes
+/// names passed onward as `CALL` actuals).
+fn written_names(stmts: &[Stmt]) -> std::collections::HashSet<String> {
+    let mut out = std::collections::HashSet::new();
+    fn walk(stmts: &[Stmt], out: &mut std::collections::HashSet<String>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { lhs, .. } => {
+                    out.insert(lhs.name.clone());
+                }
+                Stmt::Do { body, .. } | Stmt::DoWhile { body, .. } => walk(body, out),
+                Stmt::If { arms, else_body, .. } => {
+                    for (_, b) in arms {
+                        walk(b, out);
+                    }
+                    walk(else_body, out);
+                }
+                Stmt::Where { then_body, else_body, .. } => {
+                    walk(then_body, out);
+                    walk(else_body, out);
+                }
+                Stmt::Forall { assign, .. } => walk(std::slice::from_ref(assign), out),
+                Stmt::Call { args, .. } => {
+                    for a in args {
+                        if let Expr::Ref(DataRef { name, subs: None, .. }) = a {
+                            out.insert(name.clone());
+                        }
+                    }
+                }
+                Stmt::Continue { .. } => {}
+            }
+        }
+    }
+    walk(stmts, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Capture-free substitution over the AST
+// ---------------------------------------------------------------------
+
+fn subst_name(name: &str, map: &HashMap<String, String>) -> String {
+    map.get(name).cloned().unwrap_or_else(|| name.to_string())
+}
+
+fn subst_ref(r: &DataRef, map: &HashMap<String, String>) -> DataRef {
+    DataRef {
+        name: subst_name(&r.name, map),
+        subs: r.subs.as_ref().map(|subs| {
+            subs.iter()
+                .map(|s| match s {
+                    Subscript::Index(e) => Subscript::Index(subst_expr(e, map)),
+                    Subscript::Triplet { lo, hi, step } => Subscript::Triplet {
+                        lo: lo.as_ref().map(|e| subst_expr(e, map)),
+                        hi: hi.as_ref().map(|e| subst_expr(e, map)),
+                        step: step.as_ref().map(|e| subst_expr(e, map)),
+                    },
+                })
+                .collect()
+        }),
+        span: r.span,
+    }
+}
+
+fn subst_expr(e: &Expr, map: &HashMap<String, String>) -> Expr {
+    match e {
+        Expr::Ref(r) => Expr::Ref(subst_ref(r, map)),
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(subst_expr(a, map))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(subst_expr(a, map)),
+            Box::new(subst_expr(b, map)),
+        ),
+        lit => lit.clone(),
+    }
+}
+
+fn subst_stmt(s: &Stmt, map: &HashMap<String, String>) -> Stmt {
+    match s {
+        Stmt::Assign { lhs, rhs, span } => Stmt::Assign {
+            lhs: subst_ref(lhs, map),
+            rhs: subst_expr(rhs, map),
+            span: *span,
+        },
+        Stmt::Do { var, lo, hi, step, body, span } => Stmt::Do {
+            var: subst_name(var, map),
+            lo: subst_expr(lo, map),
+            hi: subst_expr(hi, map),
+            step: step.as_ref().map(|e| subst_expr(e, map)),
+            body: body.iter().map(|b| subst_stmt(b, map)).collect(),
+            span: *span,
+        },
+        Stmt::DoWhile { cond, body, span } => Stmt::DoWhile {
+            cond: subst_expr(cond, map),
+            body: body.iter().map(|b| subst_stmt(b, map)).collect(),
+            span: *span,
+        },
+        Stmt::Forall { triplets, assign, span } => Stmt::Forall {
+            triplets: triplets
+                .iter()
+                .map(|(n, lo, hi, st)| {
+                    (
+                        n.clone(), // FORALL indices bind locally
+                        subst_expr(lo, map),
+                        subst_expr(hi, map),
+                        st.as_ref().map(|e| subst_expr(e, map)),
+                    )
+                })
+                .collect(),
+            assign: Box::new(subst_stmt(assign, map)),
+            span: *span,
+        },
+        Stmt::Where { mask, then_body, else_body, span } => Stmt::Where {
+            mask: subst_expr(mask, map),
+            then_body: then_body.iter().map(|b| subst_stmt(b, map)).collect(),
+            else_body: else_body.iter().map(|b| subst_stmt(b, map)).collect(),
+            span: *span,
+        },
+        Stmt::If { arms, else_body, span } => Stmt::If {
+            arms: arms
+                .iter()
+                .map(|(c, b)| {
+                    (
+                        subst_expr(c, map),
+                        b.iter().map(|x| subst_stmt(x, map)).collect(),
+                    )
+                })
+                .collect(),
+            else_body: else_body.iter().map(|b| subst_stmt(b, map)).collect(),
+            span: *span,
+        },
+        Stmt::Call { name, args, span } => Stmt::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| subst_expr(a, map)).collect(),
+            span: *span,
+        },
+        Stmt::Continue { span } => Stmt::Continue { span: *span },
+    }
+}

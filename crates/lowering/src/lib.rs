@@ -1,0 +1,1120 @@
+//! # f90y-lowering — semantic lowering from Fortran 90 ASTs to NIR
+//!
+//! The paper's front-end semantic lowering stage (§4.1): "consumes ASTs
+//! produced by syntactic analysis and performs pattern matching using a
+//! set of semantic equations. … There are five semantic equations, one
+//! for each of the semantic domains — declarations, types, values,
+//! imperatives, and shapes."
+//!
+//! The equations here are the same piecewise syntactic pattern matches,
+//! written as Rust methods on [`Lowerer`]:
+//!
+//! | Equation | Method | Maps |
+//! |---|---|---|
+//! | `D[…]` | [`Lowerer::lower_decls`] | declarations → `DECLSET` |
+//! | `T[…]` | [`Lowerer::lower_type`] | type specs → `dfield`/scalar types |
+//! | `S[…]` | [`Lowerer::lower_shape`] | array specs / triplets → shapes |
+//! | `V[…]` | [`Lowerer::lower_expr`] | expressions → value terms |
+//! | `I[…]` | [`Lowerer::lower_stmt`] | statements → imperative actions |
+//!
+//! Lowering "simply filters out the static semantics of the source
+//! language and expresses the residual as a valid NIR program without
+//! attempts at optimization" — blocking and masking transformations live
+//! in `f90y-transform`.
+//!
+//! ## Representation choices (documented deviations)
+//!
+//! * Fortran `REAL` lowers to `float_64`: the slicewise CM/2 computes on
+//!   64-bit Weitek units and our simulators keep all numeric buffers in
+//!   `f64`, so widening `REAL` avoids modelling float32 rounding twice.
+//!   `float_32` remains in the NIR type system.
+//! * Array sections lower to the staging `section[…]` field restrictor;
+//!   the mask-padding transformation (paper Fig. 10) rewrites them to
+//!   `everywhere` + parity masks before code generation.
+//! * Section bounds and `FORALL`/labelled-`DO` bounds must be integer
+//!   literals (benchmark generators emit literal sizes). Variable-bound
+//!   `DO` loops lower to `WHILE` with an explicit induction variable.
+//!
+//! ## Example
+//!
+//! ```
+//! let unit = f90y_frontend::parse("INTEGER K(128,64), L(128)\nL = 6\nK = 2*K + 5\n")?;
+//! let nir = f90y_lowering::lower(&unit)?;
+//! f90y_nir::typecheck::check(&nir).expect("lowered programs are well-typed");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod inline;
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use f90y_frontend::ast::{
+    BaseType, BinOpAst, DataRef, Expr, ProgramUnit, Stmt, Subscript, TypeDecl, UnOpAst,
+};
+use f90y_frontend::token::Span;
+use f90y_nir::build as nb;
+use f90y_nir::{
+    BinOp, Const, Decl, FieldAction, Imp, LValue, MoveClause, ScalarType, SectionRange, Shape,
+    Type, UnOp, Value,
+};
+
+/// A semantic error found during lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError {
+    /// Human-readable description.
+    pub message: String,
+    /// Source location of the offending construct.
+    pub span: Span,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for LowerError {}
+
+/// Lower a parsed program unit to a typechecked, shapechecked NIR
+/// imperative.
+///
+/// # Errors
+///
+/// Fails on semantic errors (unknown names, bad intrinsic usage,
+/// unsupported constructs) and on any residual type or shape error.
+pub fn lower(unit: &ProgramUnit) -> Result<Imp, LowerError> {
+    let mut lw = Lowerer::new(unit)?;
+    let program = lw.lower_unit(unit)?;
+    // Paper §4.1: each unit "has been typechecked and shapechecked".
+    f90y_nir::typecheck::check(&program).map_err(|e| LowerError {
+        message: format!("lowered program failed static checking: {e}"),
+        span: Span::default(),
+    })?;
+    Ok(program)
+}
+
+/// Lower a multi-unit source file: subroutines inline into the main
+/// program (see [`inline`]), then the flat unit lowers as usual.
+///
+/// # Errors
+///
+/// Fails on inlining errors (unknown routines, binding mismatches,
+/// recursion) or any error [`lower`] reports.
+pub fn lower_file(file: &f90y_frontend::ast::SourceFile) -> Result<Imp, LowerError> {
+    let flat = inline::inline_file(file)?;
+    lower(&flat)
+}
+
+/// How an identifier is classified during lowering.
+#[derive(Debug, Clone, PartialEq)]
+enum Sym {
+    /// A scalar variable.
+    Scalar(ScalarType),
+    /// An array over the named domain with the given bounds.
+    Array {
+        /// The bound domain name.
+        domain: String,
+        /// Element type.
+        elem: ScalarType,
+        /// Declared per-axis bounds.
+        bounds: Vec<(i64, i64)>,
+    },
+    /// A `DO`-loop index bound to a serial domain (referenced as
+    /// `do_index`).
+    LoopIndex {
+        /// The `DO` domain name.
+        domain: String,
+    },
+    /// A `FORALL` index: references become `local_under(shape, dim)`.
+    ForallIndex {
+        /// The `FORALL` shape.
+        shape: Shape,
+        /// 1-based axis.
+        dim: usize,
+    },
+    /// A `WHILE`-lowered loop variable (plain scalar).
+    WhileVar(ScalarType),
+}
+
+/// The semantic lowering engine. One instance lowers one program unit.
+#[derive(Debug)]
+pub struct Lowerer {
+    symbols: HashMap<String, Sym>,
+    /// Distinct array shapes in declaration order, with their domain
+    /// names.
+    domains: Vec<(String, Shape)>,
+    fresh: usize,
+}
+
+const DOMAIN_NAMES: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+];
+
+impl Lowerer {
+    /// Build the symbol table and domain bindings for a unit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate declarations.
+    pub fn new(unit: &ProgramUnit) -> Result<Self, LowerError> {
+        let mut lw = Lowerer { symbols: HashMap::new(), domains: Vec::new(), fresh: 0 };
+        for d in &unit.decls {
+            lw.declare(d)?;
+        }
+        Ok(lw)
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}{}", self.fresh)
+    }
+
+    fn domain_for(&mut self, bounds: &[(i64, i64)]) -> String {
+        let shape = Shape::Product(
+            bounds
+                .iter()
+                .map(|&(lo, hi)| Shape::Interval(lo, hi))
+                .collect(),
+        );
+        if let Some((name, _)) = self.domains.iter().find(|(_, s)| *s == shape) {
+            return name.clone();
+        }
+        let name = DOMAIN_NAMES
+            .get(self.domains.len())
+            .map(|s| (*s).to_string())
+            .unwrap_or_else(|| format!("dom{}", self.domains.len()));
+        self.domains.push((name.clone(), shape));
+        name
+    }
+
+    // -----------------------------------------------------------------
+    // Equation D: declarations, and T/S: types and shapes
+    // -----------------------------------------------------------------
+
+    fn declare(&mut self, d: &TypeDecl) -> Result<(), LowerError> {
+        let elem = Self::lower_base_type(d.base);
+        for e in &d.entities {
+            if self.symbols.contains_key(&e.name) {
+                return Err(LowerError {
+                    message: format!("'{}' declared twice", e.name),
+                    span: d.span,
+                });
+            }
+            let dims = e.dims.as_ref().or(d.dimension.as_ref());
+            let sym = match dims {
+                Some(specs) => {
+                    let bounds: Vec<(i64, i64)> =
+                        specs.iter().map(|s| (s.lo, s.hi)).collect();
+                    let domain = self.domain_for(&bounds);
+                    Sym::Array { domain, elem, bounds }
+                }
+                None => Sym::Scalar(elem),
+            };
+            self.symbols.insert(e.name.clone(), sym);
+        }
+        Ok(())
+    }
+
+    /// Equation `T[…]`: map a Fortran base type to an NIR scalar type.
+    ///
+    /// `REAL` widens to `float_64` (see the crate docs).
+    pub fn lower_base_type(base: BaseType) -> ScalarType {
+        match base {
+            BaseType::Integer => ScalarType::Integer32,
+            BaseType::Logical => ScalarType::Logical32,
+            BaseType::Real | BaseType::DoublePrecision => ScalarType::Float64,
+        }
+    }
+
+    /// Equation `T[…]`: the NIR type of a declared entity.
+    pub fn lower_type(&self, name: &str) -> Option<Type> {
+        match self.symbols.get(name)? {
+            Sym::Scalar(s) | Sym::WhileVar(s) => Some(Type::Scalar(*s)),
+            Sym::Array { domain, elem, .. } => Some(Type::dfield(
+                Shape::domain(domain),
+                Type::Scalar(*elem),
+            )),
+            Sym::LoopIndex { .. } | Sym::ForallIndex { .. } => {
+                Some(Type::Scalar(ScalarType::Integer32))
+            }
+        }
+    }
+
+    /// Equation `S[…]`: the declared shape of an array entity.
+    pub fn lower_shape(&self, name: &str) -> Option<Shape> {
+        match self.symbols.get(name)? {
+            Sym::Array { bounds, .. } => Some(Shape::Product(
+                bounds
+                    .iter()
+                    .map(|&(lo, hi)| Shape::Interval(lo, hi))
+                    .collect(),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Equation `D[…]`: all declarations of the unit as one `DECLSET`.
+    pub fn lower_decls(&mut self, unit: &ProgramUnit) -> Result<Decl, LowerError> {
+        let mut decls = Vec::new();
+        for d in &unit.decls {
+            let elem = Self::lower_base_type(d.base);
+            for e in &d.entities {
+                let ty = self
+                    .lower_type(&e.name)
+                    .expect("declared in constructor");
+                match &e.init {
+                    Some(init) => {
+                        let v = self.lower_expr_in(init, &HashMap::new())?;
+                        decls.push(Decl::Initialized(e.name.clone(), ty, v));
+                    }
+                    None => decls.push(Decl::Decl(e.name.clone(), ty)),
+                }
+                let _ = elem;
+            }
+        }
+        Ok(Decl::DeclSet(decls))
+    }
+
+    // -----------------------------------------------------------------
+    // Unit structure
+    // -----------------------------------------------------------------
+
+    /// Lower the whole unit: domains, declarations, then the statement
+    /// sequence.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any semantic error in the statements.
+    pub fn lower_unit(&mut self, unit: &ProgramUnit) -> Result<Imp, LowerError> {
+        let decls = self.lower_decls(unit)?;
+        let mut body_stmts = Vec::with_capacity(unit.stmts.len());
+        for s in &unit.stmts {
+            body_stmts.push(self.lower_stmt(s)?);
+        }
+        let mut program = Imp::WithDecl(decls, Box::new(Imp::seq(body_stmts)));
+        // Bind domains outermost, first-declared outermost.
+        for (name, shape) in self.domains.iter().rev() {
+            program = Imp::WithDomain(name.clone(), shape.clone(), Box::new(program));
+        }
+        Ok(Imp::Program(Box::new(program)))
+    }
+
+    // -----------------------------------------------------------------
+    // Equation I: imperatives
+    // -----------------------------------------------------------------
+
+    /// Equation `I[…]`: lower one statement.
+    ///
+    /// # Errors
+    ///
+    /// Fails on semantic errors.
+    pub fn lower_stmt(&mut self, stmt: &Stmt) -> Result<Imp, LowerError> {
+        match stmt {
+            Stmt::Continue { .. } => Ok(Imp::Skip),
+            Stmt::Assign { lhs, rhs, span } => self.lower_assign(lhs, rhs, *span, None),
+            Stmt::If { arms, else_body, span } => {
+                let mut lowered = self.lower_body(else_body)?;
+                for (cond, body) in arms.iter().rev() {
+                    let c = self.lower_expr(cond, *span)?;
+                    let t = self.lower_body(body)?;
+                    lowered = Imp::IfThenElse(c, Box::new(t), Box::new(lowered));
+                }
+                Ok(lowered)
+            }
+            Stmt::DoWhile { cond, body, span } => {
+                let c = self.lower_expr(cond, *span)?;
+                let b = self.lower_body(body)?;
+                Ok(Imp::While(c, Box::new(b)))
+            }
+            Stmt::Do { var, lo, hi, step, body, span } => {
+                self.lower_do(var, lo, hi, step.as_ref(), body, *span)
+            }
+            Stmt::Forall { triplets, assign, span } => {
+                self.lower_forall(triplets, assign, *span)
+            }
+            Stmt::Where { mask, then_body, else_body, span } => {
+                self.lower_where(mask, then_body, else_body, *span)
+            }
+            Stmt::Call { name, span, .. } => Err(LowerError {
+                message: format!(
+                    "CALL '{name}' reached lowering; use lower_file so subroutines inline"
+                ),
+                span: *span,
+            }),
+        }
+    }
+
+    fn lower_body(&mut self, body: &[Stmt]) -> Result<Imp, LowerError> {
+        let mut out = Vec::with_capacity(body.len());
+        for s in body {
+            out.push(self.lower_stmt(s)?);
+        }
+        Ok(Imp::seq(out))
+    }
+
+    fn lower_do(
+        &mut self,
+        var: &str,
+        lo: &Expr,
+        hi: &Expr,
+        step: Option<&Expr>,
+        body: &[Stmt],
+        span: Span,
+    ) -> Result<Imp, LowerError> {
+        let declared = match self.symbols.get(var) {
+            None => false,
+            Some(Sym::Scalar(ScalarType::Integer32)) | Some(Sym::WhileVar(_)) => true,
+            Some(_) => {
+                return Err(LowerError {
+                    message: format!("loop variable '{var}' is not an integer scalar"),
+                    span,
+                })
+            }
+        };
+        let step_const = match step {
+            None => Some(1),
+            Some(e) => e.as_int(),
+        };
+        let (lo_c, hi_c) = (lo.as_int(), hi.as_int());
+        if let (false, Some(lo), Some(hi), Some(1)) = (declared, lo_c, hi_c, step_const) {
+            // Constant unit-stride DO: a serial shape, the transformable
+            // form (paper Fig. 9 uses serial_interval domains).
+            self.symbols
+                .insert(var.to_string(), Sym::LoopIndex { domain: var.to_string() });
+            let b = self.lower_body(body);
+            self.symbols.remove(var);
+            return Ok(Imp::Do(
+                var.to_string(),
+                Shape::SerialInterval(lo, hi),
+                Box::new(b?),
+            ));
+        }
+        // General DO: explicit induction variable and WHILE.
+        let lo_v = self.lower_expr(lo, span)?;
+        let hi_v = self.lower_expr(hi, span)?;
+        let step_v = match step {
+            Some(e) => self.lower_expr(e, span)?,
+            None => nb::int(1),
+        };
+        let saved = self
+            .symbols
+            .insert(var.to_string(), Sym::WhileVar(ScalarType::Integer32));
+        let b = self.lower_body(body);
+        match saved {
+            Some(s) => {
+                self.symbols.insert(var.to_string(), s);
+            }
+            None => {
+                self.symbols.remove(var);
+            }
+        }
+        let b = b?;
+        // Positive-step loops only (negative constant steps could flip
+        // the comparison; reject them explicitly).
+        if step_const.is_some_and(|s| s <= 0) {
+            return Err(LowerError {
+                message: "non-positive DO step is not supported".into(),
+                span,
+            });
+        }
+        let cond = nb::bin(BinOp::Le, nb::svar(var), hi_v);
+        let advance = Imp::Move(vec![MoveClause::unmasked(
+            LValue::SVar(var.to_string()),
+            nb::add(nb::svar(var), step_v),
+        )]);
+        let looped = Imp::While(cond, Box::new(Imp::seq(vec![b, advance])));
+        if declared {
+            // The declared variable is the induction variable (F77
+            // semantics: it holds a defined value after the loop).
+            let init = Imp::Move(vec![MoveClause::unmasked(
+                LValue::SVar(var.to_string()),
+                lo_v,
+            )]);
+            Ok(Imp::seq(vec![init, looped]))
+        } else {
+            Ok(Imp::WithDecl(
+                Decl::Initialized(var.to_string(), Type::Scalar(ScalarType::Integer32), lo_v),
+                Box::new(looped),
+            ))
+        }
+    }
+
+    fn lower_forall(
+        &mut self,
+        triplets: &[(String, Expr, Expr, Option<Expr>)],
+        assign: &Stmt,
+        span: Span,
+    ) -> Result<Imp, LowerError> {
+        let Stmt::Assign { lhs, rhs, .. } = assign else {
+            return Err(LowerError {
+                message: "FORALL controls a non-assignment".into(),
+                span,
+            });
+        };
+        // Build the FORALL shape; bounds must be literals.
+        let mut dims = Vec::with_capacity(triplets.len());
+        for (name, lo, hi, step) in triplets {
+            let (Some(lo), Some(hi)) = (lo.as_int(), hi.as_int()) else {
+                return Err(LowerError {
+                    message: format!("FORALL bounds for '{name}' must be integer literals"),
+                    span,
+                });
+            };
+            if step.as_ref().and_then(|e| e.as_int()).unwrap_or(1) != 1 {
+                return Err(LowerError {
+                    message: "strided FORALL triplets are not supported".into(),
+                    span,
+                });
+            }
+            dims.push(Shape::Interval(lo, hi));
+        }
+        let shape = Shape::Product(dims);
+
+        // The canonical data-parallel case (paper Fig. 7): the target's
+        // subscripts are exactly the FORALL indices in order and the
+        // shape covers the whole array — lower to a single MOVE with
+        // everywhere and local_under coordinates.
+        let canonical = {
+            let target_shape = self.lower_shape(&lhs.name);
+            let subs_match = lhs.subs.as_ref().is_some_and(|subs| {
+                subs.len() == triplets.len()
+                    && subs.iter().zip(triplets).all(|(s, (name, ..))| match s {
+                        Subscript::Index(Expr::Ref(r)) => {
+                            r.subs.is_none() && r.name == *name
+                        }
+                        _ => false,
+                    })
+            });
+            subs_match && target_shape.as_ref().is_some_and(|t| t.conforms(&shape))
+        };
+        if canonical {
+            for (dim, (name, ..)) in triplets.iter().enumerate() {
+                self.symbols.insert(
+                    name.clone(),
+                    Sym::ForallIndex { shape: shape.clone(), dim: dim + 1 },
+                );
+            }
+            let src = self.lower_expr(rhs, span);
+            for (name, ..) in triplets {
+                self.symbols.remove(name);
+            }
+            match src {
+                Ok(src) => {
+                    return Ok(Imp::Move(vec![MoveClause::unmasked(
+                        LValue::AVar(lhs.name.clone(), FieldAction::Everywhere),
+                        src,
+                    )]))
+                }
+                // A non-identity gather on the right-hand side: fall
+                // through to the general (serial) lowering below.
+                Err(e) if e.message.contains("non-identity FORALL subscript") => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // General FORALL: a parallel DO with subscripted moves. Correct
+        // only when the right-hand side does not read the target (the
+        // full semantics needs a temporary; see DESIGN.md).
+        let mut reads_target = false;
+        expr_reads(rhs, &lhs.name, &mut reads_target);
+        if reads_target {
+            return Err(LowerError {
+                message: format!(
+                    "general FORALL reading its own target '{}' is not supported",
+                    lhs.name
+                ),
+                span,
+            });
+        }
+        let dom = self.fresh_name("forall");
+        for (dim, (name, ..)) in triplets.iter().enumerate() {
+            self.symbols
+                .insert(name.clone(), Sym::LoopIndex { domain: dom.clone() });
+            // Remember which axis this index names.
+            if let Some(Sym::LoopIndex { .. }) = self.symbols.get(name) {
+                // Axis is recovered via position when lowering refs.
+            }
+            let _ = dim;
+        }
+        // Map each index to its axis for DoIndex lowering.
+        let axis_of: HashMap<String, usize> = triplets
+            .iter()
+            .enumerate()
+            .map(|(i, (n, ..))| (n.clone(), i + 1))
+            .collect();
+        let body = self.lower_assign(lhs, rhs, span, Some((&dom, &axis_of)));
+        for (name, ..) in triplets {
+            self.symbols.remove(name);
+        }
+        Ok(Imp::Do(dom, shape, Box::new(body?)))
+    }
+
+    fn lower_where(
+        &mut self,
+        mask: &Expr,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+        span: Span,
+    ) -> Result<Imp, LowerError> {
+        let mask_v = self.lower_expr(mask, span)?;
+        let not_mask = nb::un(UnOp::Not, mask_v.clone());
+        let mut moves = Vec::new();
+        for (body, m) in [(then_body, &mask_v), (else_body, &not_mask)] {
+            for s in body {
+                let Stmt::Assign { lhs, rhs, span } = s else {
+                    return Err(LowerError {
+                        message: "WHERE bodies may contain only array assignments".into(),
+                        span: s.span(),
+                    });
+                };
+                let imp = self.lower_assign(lhs, rhs, *span, None)?;
+                let Imp::Move(clauses) = imp else {
+                    return Err(LowerError {
+                        message: "WHERE assignment did not lower to a MOVE".into(),
+                        span: *span,
+                    });
+                };
+                for c in clauses {
+                    if !matches!(c.dst, LValue::AVar(_, FieldAction::Everywhere)) {
+                        return Err(LowerError {
+                            message: "WHERE assignments must be whole-array".into(),
+                            span: *span,
+                        });
+                    }
+                    let guarded_mask = if c.is_unmasked() {
+                        m.clone()
+                    } else {
+                        nb::bin(BinOp::And, m.clone(), c.mask)
+                    };
+                    moves.push(Imp::Move(vec![MoveClause {
+                        mask: guarded_mask,
+                        src: c.src,
+                        dst: c.dst,
+                    }]));
+                }
+            }
+        }
+        Ok(Imp::seq(moves))
+    }
+
+    fn lower_assign(
+        &mut self,
+        lhs: &DataRef,
+        rhs: &Expr,
+        span: Span,
+        do_ctx: Option<(&str, &HashMap<String, usize>)>,
+    ) -> Result<Imp, LowerError> {
+        let axis_env = do_ctx.map(|(d, m)| (d.to_string(), m.clone()));
+        let axis_map = axis_env.as_ref().map(|(_, m)| m.clone()).unwrap_or_default();
+        let src = self.lower_expr_in(rhs, &axis_map)?;
+        let dst = self.lower_lvalue(lhs, span, &axis_map)?;
+        Ok(Imp::Move(vec![MoveClause::unmasked(dst, src)]))
+    }
+
+    fn lower_lvalue(
+        &mut self,
+        r: &DataRef,
+        span: Span,
+        axis_map: &HashMap<String, usize>,
+    ) -> Result<LValue, LowerError> {
+        match self.symbols.get(&r.name).cloned() {
+            None => Err(LowerError {
+                message: format!("assignment to undeclared '{}'", r.name),
+                span,
+            }),
+            Some(Sym::Scalar(_)) | Some(Sym::WhileVar(_)) => {
+                if r.subs.is_some() {
+                    return Err(LowerError {
+                        message: format!("subscripts on scalar '{}'", r.name),
+                        span,
+                    });
+                }
+                Ok(LValue::SVar(r.name.clone()))
+            }
+            Some(Sym::LoopIndex { .. }) | Some(Sym::ForallIndex { .. }) => Err(LowerError {
+                message: format!("assignment to loop index '{}'", r.name),
+                span,
+            }),
+            Some(Sym::Array { bounds, .. }) => {
+                let fa = self.lower_field_action(r, &bounds, span, axis_map)?;
+                Ok(LValue::AVar(r.name.clone(), fa))
+            }
+        }
+    }
+
+    fn lower_field_action(
+        &mut self,
+        r: &DataRef,
+        bounds: &[(i64, i64)],
+        span: Span,
+        axis_map: &HashMap<String, usize>,
+    ) -> Result<FieldAction, LowerError> {
+        let Some(subs) = &r.subs else {
+            return Ok(FieldAction::Everywhere);
+        };
+        if subs.len() != bounds.len() {
+            return Err(LowerError {
+                message: format!(
+                    "'{}' has rank {} but {} subscripts given",
+                    r.name,
+                    bounds.len(),
+                    subs.len()
+                ),
+                span,
+            });
+        }
+        let any_triplet = subs.iter().any(Subscript::is_triplet);
+        if any_triplet {
+            // A section; every axis becomes a range, indices degenerate.
+            let mut ranges = Vec::with_capacity(subs.len());
+            for (s, &(blo, bhi)) in subs.iter().zip(bounds) {
+                let range = match s {
+                    Subscript::Index(e) => {
+                        let Some(i) = e.as_int() else {
+                            return Err(LowerError {
+                                message: "mixed index/section subscripts must use \
+                                          integer literals"
+                                    .into(),
+                                span,
+                            });
+                        };
+                        SectionRange::new(i, i)
+                    }
+                    Subscript::Triplet { lo, hi, step } => {
+                        let lo = match lo {
+                            Some(e) => e.as_int().ok_or_else(|| LowerError {
+                                message: "section bounds must be integer literals".into(),
+                                span,
+                            })?,
+                            None => blo,
+                        };
+                        let hi = match hi {
+                            Some(e) => e.as_int().ok_or_else(|| LowerError {
+                                message: "section bounds must be integer literals".into(),
+                                span,
+                            })?,
+                            None => bhi,
+                        };
+                        let step = match step {
+                            Some(e) => e.as_int().ok_or_else(|| LowerError {
+                                message: "section strides must be integer literals".into(),
+                                span,
+                            })?,
+                            None => 1,
+                        };
+                        if step < 1 {
+                            return Err(LowerError {
+                                message: "negative section strides are not supported".into(),
+                                span,
+                            });
+                        }
+                        SectionRange::strided(lo, hi, step)
+                    }
+                };
+                ranges.push(range);
+            }
+            // A full-array unit-stride section is just `everywhere`.
+            let full = ranges
+                .iter()
+                .zip(bounds)
+                .all(|(r, &(blo, bhi))| r.lo == blo && r.hi == bhi && r.step == 1);
+            if full {
+                return Ok(FieldAction::Everywhere);
+            }
+            return Ok(FieldAction::Section(ranges));
+        }
+        // Identity FORALL subscripting — `B(i,j)` where `i, j` are the
+        // active FORALL indices in axis order — denotes the whole field
+        // in parallel (paper Fig. 7 uses `everywhere` for exactly this).
+        let identity = subs.iter().enumerate().all(|(axis, s)| match s {
+            Subscript::Index(Expr::Ref(r)) if r.subs.is_none() => matches!(
+                self.symbols.get(&r.name),
+                Some(Sym::ForallIndex { dim, .. }) if *dim == axis + 1
+            ),
+            _ => false,
+        });
+        if identity {
+            return Ok(FieldAction::Everywhere);
+        }
+        // All plain indices: shapewise subscripting.
+        let mut ixs = Vec::with_capacity(subs.len());
+        for s in subs {
+            let Subscript::Index(e) = s else {
+                unreachable!("triplets handled above")
+            };
+            let ix = self.lower_expr_in(e, axis_map)?;
+            // A non-identity use of a FORALL coordinate inside a
+            // subscript would denote a gather (communication); the
+            // canonical data-parallel path does not support it.
+            let mut has_coord = false;
+            ix.walk(&mut |v| {
+                if matches!(v, Value::LocalUnder(..)) {
+                    has_coord = true;
+                }
+            });
+            if has_coord {
+                return Err(LowerError {
+                    message: format!(
+                        "non-identity FORALL subscript on '{}' requires communication \
+                         (unsupported in the canonical path)",
+                        r.name
+                    ),
+                    span,
+                });
+            }
+            ixs.push(ix);
+        }
+        Ok(FieldAction::Subscript(ixs))
+    }
+
+    // -----------------------------------------------------------------
+    // Equation V: values
+    // -----------------------------------------------------------------
+
+    /// Equation `V[…]`: lower an expression.
+    ///
+    /// # Errors
+    ///
+    /// Fails on semantic errors in the expression.
+    pub fn lower_expr(&mut self, e: &Expr, span: Span) -> Result<Value, LowerError> {
+        let _ = span;
+        self.lower_expr_in(e, &HashMap::new())
+    }
+
+    fn lower_expr_in(
+        &mut self,
+        e: &Expr,
+        axis_map: &HashMap<String, usize>,
+    ) -> Result<Value, LowerError> {
+        match e {
+            Expr::Int(v) => {
+                let v32 = i32::try_from(*v).map_err(|_| LowerError {
+                    message: format!("integer literal {v} exceeds 32 bits"),
+                    span: Span::default(),
+                })?;
+                Ok(Value::Scalar(Const::I32(v32)))
+            }
+            Expr::Real(v) | Expr::Double(v) => Ok(Value::Scalar(Const::F64(*v))),
+            Expr::Logical(v) => Ok(Value::Scalar(Const::Bool(*v))),
+            Expr::Unary(op, a) => {
+                let av = self.lower_expr_in(a, axis_map)?;
+                Ok(match op {
+                    UnOpAst::Neg => nb::un(UnOp::Neg, av),
+                    UnOpAst::Plus => av,
+                    UnOpAst::Not => nb::un(UnOp::Not, av),
+                })
+            }
+            Expr::Binary(op, a, b) => {
+                let av = self.lower_expr_in(a, axis_map)?;
+                let bv = self.lower_expr_in(b, axis_map)?;
+                Ok(nb::bin(Self::lower_binop(*op), av, bv))
+            }
+            Expr::Ref(r) => self.lower_ref(r, axis_map),
+        }
+    }
+
+    fn lower_binop(op: BinOpAst) -> BinOp {
+        match op {
+            BinOpAst::Add => BinOp::Add,
+            BinOpAst::Sub => BinOp::Sub,
+            BinOpAst::Mul => BinOp::Mul,
+            BinOpAst::Div => BinOp::Div,
+            BinOpAst::Pow => BinOp::Pow,
+            BinOpAst::Eq => BinOp::Eq,
+            BinOpAst::Ne => BinOp::Ne,
+            BinOpAst::Lt => BinOp::Lt,
+            BinOpAst::Le => BinOp::Le,
+            BinOpAst::Gt => BinOp::Gt,
+            BinOpAst::Ge => BinOp::Ge,
+            BinOpAst::And => BinOp::And,
+            BinOpAst::Or => BinOp::Or,
+        }
+    }
+
+    fn lower_ref(
+        &mut self,
+        r: &DataRef,
+        axis_map: &HashMap<String, usize>,
+    ) -> Result<Value, LowerError> {
+        match self.symbols.get(&r.name).cloned() {
+            Some(Sym::Scalar(_)) | Some(Sym::WhileVar(_)) => {
+                if r.subs.is_some() {
+                    return Err(LowerError {
+                        message: format!("subscripts on scalar '{}'", r.name),
+                        span: r.span,
+                    });
+                }
+                Ok(Value::SVar(r.name.clone()))
+            }
+            Some(Sym::LoopIndex { domain }) => {
+                if r.subs.is_some() {
+                    return Err(LowerError {
+                        message: format!("subscripts on loop index '{}'", r.name),
+                        span: r.span,
+                    });
+                }
+                let dim = axis_map.get(&r.name).copied().unwrap_or(1);
+                Ok(Value::DoIndex(domain, dim))
+            }
+            Some(Sym::ForallIndex { shape, dim }) => {
+                Ok(Value::LocalUnder(shape, dim))
+            }
+            Some(Sym::Array { bounds, .. }) => {
+                let fa = self.lower_field_action(r, &bounds, r.span, axis_map)?;
+                Ok(Value::AVar(r.name.clone(), fa))
+            }
+            None => self.lower_intrinsic(r, axis_map),
+        }
+    }
+
+    fn lower_intrinsic(
+        &mut self,
+        r: &DataRef,
+        axis_map: &HashMap<String, usize>,
+    ) -> Result<Value, LowerError> {
+        let Some(subs) = &r.subs else {
+            return Err(LowerError {
+                message: format!("undeclared variable '{}'", r.name),
+                span: r.span,
+            });
+        };
+        // Collect positional and keyword arguments.
+        let mut positional = Vec::new();
+        let mut keywords: HashMap<String, Value> = HashMap::new();
+        for s in subs {
+            match s {
+                Subscript::Index(Expr::Ref(kw))
+                    if kw.name.ends_with('=') && kw.subs.as_ref().is_some_and(|x| x.len() == 1) =>
+                {
+                    let key = kw.name.trim_end_matches('=').to_string();
+                    let Some(Subscript::Index(value)) =
+                        kw.subs.as_ref().and_then(|x| x.first())
+                    else {
+                        return Err(LowerError {
+                            message: format!("malformed keyword argument '{key}'"),
+                            span: r.span,
+                        });
+                    };
+                    keywords.insert(key, self.lower_expr_in(value, axis_map)?);
+                }
+                Subscript::Index(e) => positional.push(self.lower_expr_in(e, axis_map)?),
+                Subscript::Triplet { .. } => {
+                    return Err(LowerError {
+                        message: format!(
+                            "'{}' is not declared as an array (section on unknown name)",
+                            r.name
+                        ),
+                        span: r.span,
+                    })
+                }
+            }
+        }
+        let arg =
+            |n: usize, key: &str, keywords: &mut HashMap<String, Value>| -> Option<Value> {
+                keywords.remove(key).or_else(|| positional.get(n).cloned())
+            };
+        let int_ty = || Type::Scalar(ScalarType::Integer32);
+        let f64_ty = || Type::Scalar(ScalarType::Float64);
+        let name = r.name.as_str();
+        let v = match name {
+            "cshift" | "eoshift" => {
+                let array = arg(0, "array", &mut keywords).ok_or_else(|| LowerError {
+                    message: format!("{name} requires an ARRAY argument"),
+                    span: r.span,
+                })?;
+                let shift = arg(1, "shift", &mut keywords).ok_or_else(|| LowerError {
+                    message: format!("{name} requires a SHIFT argument"),
+                    span: r.span,
+                })?;
+                let mut args = vec![(f64_ty(), array), (int_ty(), shift)];
+                if name == "eoshift" {
+                    let dim = keywords
+                        .remove("dim")
+                        .or_else(|| positional.get(3).cloned())
+                        .unwrap_or(nb::int(1));
+                    let boundary = keywords
+                        .remove("boundary")
+                        .or_else(|| positional.get(2).cloned());
+                    args.push((int_ty(), dim));
+                    if let Some(b) = boundary {
+                        args.push((f64_ty(), b));
+                    }
+                    // NIR eoshift order: (array, shift, dim[, boundary]).
+                    if args.len() == 4 {
+                        args.swap(2, 3);
+                    }
+                } else {
+                    let dim = arg(2, "dim", &mut keywords).unwrap_or(nb::int(1));
+                    args.push((int_ty(), dim));
+                }
+                Value::FcnCall(name.to_string(), args)
+            }
+            "merge" => {
+                if positional.len() != 3 || !keywords.is_empty() {
+                    return Err(LowerError {
+                        message: "MERGE requires (TSOURCE, FSOURCE, MASK)".into(),
+                        span: r.span,
+                    });
+                }
+                let mut it = positional.into_iter();
+                let t = it.next().expect("len checked");
+                let f = it.next().expect("len checked");
+                let m = it.next().expect("len checked");
+                Value::FcnCall(
+                    "merge".into(),
+                    vec![
+                        (f64_ty(), t),
+                        (f64_ty(), f),
+                        (Type::Scalar(ScalarType::Logical32), m),
+                    ],
+                )
+            }
+            "transpose" => {
+                let array = arg(0, "array", &mut keywords).ok_or_else(|| LowerError {
+                    message: "TRANSPOSE requires an ARRAY argument".into(),
+                    span: r.span,
+                })?;
+                Value::FcnCall("transpose".into(), vec![(f64_ty(), array)])
+            }
+            "sum" | "maxval" | "minval" => {
+                let array = arg(0, "array", &mut keywords).ok_or_else(|| LowerError {
+                    message: format!("{name} requires an ARRAY argument"),
+                    span: r.span,
+                })?;
+                let mut call_args = vec![(f64_ty(), array)];
+                if let Some(dim) = arg(1, "dim", &mut keywords) {
+                    call_args.push((int_ty(), dim));
+                }
+                Value::FcnCall(name.to_string(), call_args)
+            }
+            "spread" => {
+                let source = arg(0, "source", &mut keywords).ok_or_else(|| LowerError {
+                    message: "SPREAD requires a SOURCE argument".into(),
+                    span: r.span,
+                })?;
+                let dim = arg(1, "dim", &mut keywords).ok_or_else(|| LowerError {
+                    message: "SPREAD requires a DIM argument".into(),
+                    span: r.span,
+                })?;
+                let ncopies = arg(2, "ncopies", &mut keywords).ok_or_else(|| LowerError {
+                    message: "SPREAD requires an NCOPIES argument".into(),
+                    span: r.span,
+                })?;
+                Value::FcnCall(
+                    "spread".into(),
+                    vec![(f64_ty(), source), (int_ty(), dim), (int_ty(), ncopies)],
+                )
+            }
+            "dot_product" => {
+                // DOT_PRODUCT(a, b) ≡ SUM(a*b) — rewritten at lowering.
+                if positional.len() != 2 {
+                    return Err(LowerError {
+                        message: "DOT_PRODUCT requires two vector arguments".into(),
+                        span: r.span,
+                    });
+                }
+                let mut it = positional.into_iter();
+                let a = it.next().expect("len checked");
+                let b = it.next().expect("len checked");
+                Value::FcnCall(
+                    "sum".into(),
+                    vec![(f64_ty(), nb::mul(a, b))],
+                )
+            }
+            "sin" | "cos" | "sqrt" | "exp" | "log" | "abs" => {
+                let a = positional.first().cloned().ok_or_else(|| LowerError {
+                    message: format!("{name} requires one argument"),
+                    span: r.span,
+                })?;
+                let op = match name {
+                    "sin" => UnOp::Sin,
+                    "cos" => UnOp::Cos,
+                    "sqrt" => UnOp::Sqrt,
+                    "exp" => UnOp::Exp,
+                    "log" => UnOp::Log,
+                    _ => UnOp::Abs,
+                };
+                nb::un(op, a)
+            }
+            "dble" | "real" | "int" => {
+                let a = positional.first().cloned().ok_or_else(|| LowerError {
+                    message: format!("{name} requires one argument"),
+                    span: r.span,
+                })?;
+                let op = match name {
+                    "dble" => UnOp::ToFloat64,
+                    // REAL widens like declarations do (crate docs).
+                    "real" => UnOp::ToFloat64,
+                    _ => UnOp::ToInt,
+                };
+                nb::un(op, a)
+            }
+            "mod" | "max" | "min" => {
+                if positional.len() < 2 {
+                    return Err(LowerError {
+                        message: format!("{name} requires at least two arguments"),
+                        span: r.span,
+                    });
+                }
+                let op = match name {
+                    "mod" => BinOp::Mod,
+                    "max" => BinOp::Max,
+                    _ => BinOp::Min,
+                };
+                if name == "mod" && positional.len() != 2 {
+                    return Err(LowerError {
+                        message: "MOD requires exactly two arguments".into(),
+                        span: r.span,
+                    });
+                }
+                let mut it = positional.into_iter();
+                let first = it.next().expect("len checked");
+                it.fold(first, |acc, x| nb::bin(op, acc, x))
+            }
+            other => {
+                return Err(LowerError {
+                    message: format!("unknown function or undeclared array '{other}'"),
+                    span: r.span,
+                })
+            }
+        };
+        if !keywords.is_empty() {
+            let names: Vec<&str> = keywords.keys().map(String::as_str).collect();
+            return Err(LowerError {
+                message: format!("unknown keyword arguments {names:?} for {name}"),
+                span: r.span,
+            });
+        }
+        Ok(v)
+    }
+}
+
+fn expr_reads(e: &Expr, name: &str, found: &mut bool) {
+    match e {
+        Expr::Ref(r) => {
+            if r.name == name {
+                *found = true;
+            }
+            if let Some(subs) = &r.subs {
+                for s in subs {
+                    match s {
+                        Subscript::Index(e) => expr_reads(e, name, found),
+                        Subscript::Triplet { lo, hi, step } => {
+                            for part in [lo, hi, step].into_iter().flatten() {
+                                expr_reads(part, name, found);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Expr::Unary(_, a) => expr_reads(a, name, found),
+        Expr::Binary(_, a, b) => {
+            expr_reads(a, name, found);
+            expr_reads(b, name, found);
+        }
+        _ => {}
+    }
+}

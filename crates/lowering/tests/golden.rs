@@ -1,0 +1,418 @@
+//! Golden tests: lowering the paper's worked examples and checking the
+//! produced NIR against the figures (structure and printed syntax) and
+//! against the reference evaluator (semantics).
+
+use f90y_frontend::parse;
+use f90y_lowering::lower;
+use f90y_nir::eval::Evaluator;
+use f90y_nir::pretty::print_imp;
+use f90y_nir::{FieldAction, Imp, LValue};
+
+fn lower_src(src: &str) -> Imp {
+    let unit = parse(src).expect("parses");
+    lower(&unit).expect("lowers")
+}
+
+fn run(src: &str) -> Evaluator {
+    let p = lower_src(src);
+    let mut ev = Evaluator::new();
+    ev.run(&p).expect("evaluates");
+    ev
+}
+
+/// Walk to the first MOVE in a program.
+fn first_move(imp: &Imp) -> &Imp {
+    let mut found = None;
+    imp.walk(&mut |i| {
+        if found.is_none() && matches!(i, Imp::Move(_)) {
+            found = Some(i as *const Imp);
+        }
+    });
+    let ptr = found.expect("program contains a MOVE");
+    // Safety: pointer derived from the borrowed tree above and the tree
+    // outlives the call.
+    unsafe { &*ptr }
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: FORALL → parallel array notation
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig7_forall_lowers_to_single_move_with_local_under() {
+    let p = lower_src(
+        "INTEGER, ARRAY(32,32) :: A\nFORALL (i=1:32, j=1:32) A(i,j) = i+j\n",
+    );
+    // One MOVE, target everywhere, source BINARY(Add, local_under 1, local_under 2).
+    assert_eq!(p.count_moves(), 1);
+    let Imp::Move(clauses) = first_move(&p) else {
+        unreachable!("first_move returns a Move")
+    };
+    assert_eq!(clauses.len(), 1);
+    let c = &clauses[0];
+    assert!(c.is_unmasked());
+    assert!(matches!(
+        &c.dst,
+        LValue::AVar(name, FieldAction::Everywhere) if name == "a"
+    ));
+    let text = c.src.to_string();
+    assert!(
+        text.contains("BINARY(Add,local_under"),
+        "source should add coordinate fields: {text}"
+    );
+    assert!(text.contains(",1)") && text.contains(",2)"));
+}
+
+#[test]
+fn fig7_printed_program_has_paper_shape_bindings() {
+    let p = lower_src(
+        "INTEGER, ARRAY(32,32) :: A\nFORALL (i=1:32, j=1:32) A(i,j) = i+j\n",
+    );
+    let text = print_imp(&p);
+    assert!(text.contains(
+        "WITH_DOMAIN(('alpha',prod_dom[interval(point 1,point 32),interval(point 1,point 32)])"
+    ));
+    assert!(text.contains("WITH_DECL"));
+    assert!(text.contains("AVAR('a',everywhere)"));
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: K/L whole-array program
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig8_lowering_structure_and_semantics() {
+    let src = "INTEGER K(128,64), L(128)\nL = 6\nK = 2*K + 5\n";
+    let p = lower_src(src);
+    let text = print_imp(&p);
+    // Two distinct domains: one for K(128,64), one for L(128).
+    assert!(text.contains("WITH_DOMAIN(('alpha'"));
+    assert!(text.contains("WITH_DOMAIN(('beta'"));
+    assert!(text.contains("MOVE[(True,(SCALAR(integer_32,'6'),AVAR('l',everywhere)))]"));
+    assert!(text.contains(
+        "BINARY(Add,BINARY(Mul,SCALAR(integer_32,'2'),AVAR('k',everywhere)),SCALAR(integer_32,'5'))"
+    ));
+
+    let ev = run(src);
+    assert!(ev.final_array_f64("l").unwrap().iter().all(|&x| x == 6.0));
+    assert!(ev.final_array_f64("k").unwrap().iter().all(|&x| x == 5.0));
+}
+
+// ---------------------------------------------------------------------
+// §2.1 section examples
+// ---------------------------------------------------------------------
+
+#[test]
+fn section_assignment_semantics_match_f77_loop() {
+    // Paper §2.1: L(32:64) = L(96:128); K(32:64,:) = K(32:64,:)**2
+    let src = "
+        INTEGER K(128,64), L(128)
+        FORALL (i=1:128) L(i) = i
+        FORALL (i=1:128, j=1:64) K(i,j) = i+j
+        L(32:64) = L(96:128)
+        K(32:64,:) = K(32:64,:)**2
+    ";
+    let ev = run(src);
+    let l = ev.final_array_f64("l").unwrap();
+    for i in 1..=128i64 {
+        let expect = if (32..=64).contains(&i) { (i + 64) as f64 } else { i as f64 };
+        assert_eq!(l[(i - 1) as usize], expect, "L({i})");
+    }
+    let k = ev.final_array_f64("k").unwrap();
+    for i in 1..=128i64 {
+        for j in 1..=64i64 {
+            let base = (i + j) as f64;
+            let expect = if (32..=64).contains(&i) { base * base } else { base };
+            assert_eq!(k[((i - 1) * 64 + (j - 1)) as usize], expect, "K({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn dusty_deck_do_loops_match_array_statements() {
+    // The same computation written both ways must agree.
+    let f77 = "
+        INTEGER K(128,64), L(128)
+        DO 10 I=1,128
+           L(I) = 6
+           DO 20 J=1,64
+              K(I,J) = 2*K(I,J) + 5
+  20       CONTINUE
+  10    CONTINUE
+    ";
+    let f90 = "INTEGER K(128,64), L(128)\nL = 6\nK = 2*K + 5\n";
+    let ev77 = run(f77);
+    let ev90 = run(f90);
+    assert_eq!(
+        ev77.final_array_f64("l").unwrap(),
+        ev90.final_array_f64("l").unwrap()
+    );
+    assert_eq!(
+        ev77.final_array_f64("k").unwrap(),
+        ev90.final_array_f64("k").unwrap()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Figure 10 source: strided masked assignment
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig10_source_program_evaluates() {
+    let src = "
+        INTEGER, ARRAY(32,32) :: A, B
+        INTEGER, ARRAY(32) :: C
+        INTEGER N
+        N = 7
+        A = N
+        B(1:31:2,:) = A(1:31:2,:)
+        C = N+1
+        B(2:32:2,:) = 5*A(2:32:2,:)
+    ";
+    let ev = run(src);
+    let b = ev.final_array_f64("b").unwrap();
+    for i in 1..=32i64 {
+        for j in 1..=32i64 {
+            let expect = if i % 2 == 1 { 7.0 } else { 35.0 };
+            assert_eq!(b[((i - 1) * 32 + (j - 1)) as usize], expect, "B({i},{j})");
+        }
+    }
+    assert!(ev.final_array_f64("c").unwrap().iter().all(|&x| x == 8.0));
+}
+
+#[test]
+fn where_elsewhere_lowers_to_disjoint_masked_moves() {
+    let src = "
+        REAL A(16), B(16)
+        FORALL (i=1:16) A(i) = i - 8
+        WHERE (A > 0.0)
+          B = A
+        ELSEWHERE
+          B = -A
+        END WHERE
+    ";
+    let p = lower_src(src);
+    // Two masked MOVEs (one per arm).
+    let mut masked = 0;
+    p.walk(&mut |i| {
+        if let Imp::Move(clauses) = i {
+            masked += clauses.iter().filter(|c| !c.is_unmasked()).count();
+        }
+    });
+    assert_eq!(masked, 2);
+    let ev = run(src);
+    let b = ev.final_array_f64("b").unwrap();
+    for (ix, &x) in b.iter().enumerate() {
+        let a = (ix as f64 + 1.0) - 8.0;
+        assert_eq!(x, a.abs().max(a.abs()), "B({})", ix + 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 9 source program
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig9_source_program_evaluates() {
+    let src = "
+        INTEGER, ARRAY(64,64) :: A, B
+        INTEGER, ARRAY(64) :: C
+        FORALL (i=1:64, j=1:64) B(i,j) = 10*i + j
+        FORALL (i=1:64, j=1:64) A(i,j) = B(i,j) + j
+        DO 20 I=1,64
+           C(I) = A(I,I)
+  20    CONTINUE
+        B = A
+    ";
+    let ev = run(src);
+    let c = ev.final_array_f64("c").unwrap();
+    for i in 1..=64i64 {
+        assert_eq!(c[(i - 1) as usize], (10 * i + i + i) as f64, "C({i})");
+    }
+    let b = ev.final_array_f64("b").unwrap();
+    assert_eq!(b, ev.final_array_f64("a").unwrap());
+}
+
+// ---------------------------------------------------------------------
+// Intrinsics and the SWE excerpt (Figure 12 source form)
+// ---------------------------------------------------------------------
+
+#[test]
+fn cshift_keyword_form_matches_positional() {
+    let kw = "
+        REAL v(16), z(16)
+        FORALL (i=1:16) v(i) = i
+        z = v - CSHIFT(v, DIM=1, SHIFT=-1)
+    ";
+    let pos = "
+        REAL v(16), z(16)
+        FORALL (i=1:16) v(i) = i
+        z = v - CSHIFT(v, -1, 1)
+    ";
+    assert_eq!(
+        run(kw).final_array_f64("z").unwrap(),
+        run(pos).final_array_f64("z").unwrap()
+    );
+}
+
+#[test]
+fn swe_excerpt_statement_evaluates() {
+    // Fig. 12: z = (fsdx*(v - cshift(v,...)) - fsdy*(u - cshift(u,...))) / (p + ...)
+    let src = "
+        REAL u(8,8), v(8,8), p(8,8), z(8,8)
+        REAL fsdx, fsdy
+        fsdx = 4.0
+        fsdy = 5.0
+        FORALL (i=1:8, j=1:8) u(i,j) = i
+        FORALL (i=1:8, j=1:8) v(i,j) = j
+        FORALL (i=1:8, j=1:8) p(i,j) = 100
+        z = (fsdx*(v - CSHIFT(v, DIM=1, SHIFT=-1)) - fsdy*(u - CSHIFT(u, DIM=2, SHIFT=-1))) &
+            / (p + CSHIFT(p, DIM=1, SHIFT=-1))
+    ";
+    let ev = run(src);
+    let z = ev.final_array_f64("z").unwrap();
+    assert_eq!(z.len(), 64);
+    // v is constant along dim 1, so v - cshift(v, dim=1) == 0 everywhere;
+    // u is constant along dim 2, so the second term is also 0.
+    assert!(z.iter().all(|&x| x == 0.0));
+}
+
+#[test]
+fn reductions_lower_and_evaluate() {
+    let src = "
+        REAL a(10)
+        REAL s, mx, mn
+        FORALL (i=1:10) a(i) = i
+        s = SUM(a)
+        mx = MAXVAL(a)
+        mn = MINVAL(a)
+    ";
+    let ev = run(src);
+    assert_eq!(ev.final_scalar_f64("s").unwrap(), 55.0);
+    assert_eq!(ev.final_scalar_f64("mx").unwrap(), 10.0);
+    assert_eq!(ev.final_scalar_f64("mn").unwrap(), 1.0);
+}
+
+#[test]
+fn variable_bound_do_lowers_to_while() {
+    let src = "
+        INTEGER n, i, s
+        n = 5
+        s = 0
+        DO i = 1, n
+          s = s + i
+        END DO
+    ";
+    let p = lower_src(src);
+    let mut whiles = 0;
+    p.walk(&mut |i| {
+        if matches!(i, Imp::While(..)) {
+            whiles += 1;
+        }
+    });
+    assert_eq!(whiles, 1, "variable bounds need WHILE lowering");
+    let ev = run(src);
+    assert_eq!(ev.final_scalar_f64("s").unwrap(), 15.0);
+}
+
+#[test]
+fn strided_do_lowers_and_evaluates() {
+    let src = "
+        INTEGER s
+        s = 0
+        DO i = 1, 10, 3
+          s = s + i
+        END DO
+    ";
+    let ev = run(src);
+    assert_eq!(ev.final_scalar_f64("s").unwrap(), (1 + 4 + 7 + 10) as f64);
+}
+
+#[test]
+fn scalar_control_flow_lowers() {
+    let src = "
+        INTEGER x, y
+        x = 3
+        IF (x > 2) THEN
+          y = 10
+        ELSE IF (x > 0) THEN
+          y = 5
+        ELSE
+          y = 0
+        END IF
+    ";
+    let ev = run(src);
+    assert_eq!(ev.final_scalar_f64("y").unwrap(), 10.0);
+}
+
+// ---------------------------------------------------------------------
+// Error paths
+// ---------------------------------------------------------------------
+
+#[test]
+fn undeclared_variable_is_reported() {
+    let unit = parse("x = 1\n").unwrap();
+    let err = lower(&unit).unwrap_err();
+    assert!(err.message.contains("undeclared"), "{}", err.message);
+}
+
+#[test]
+fn unknown_function_is_reported() {
+    let unit = parse("REAL x\nx = frobnicate(3)\n").unwrap();
+    let err = lower(&unit).unwrap_err();
+    assert!(err.message.contains("unknown function"), "{}", err.message);
+}
+
+#[test]
+fn rank_mismatch_is_reported() {
+    let unit = parse("REAL a(4,4)\na(1) = 0.0\n").unwrap();
+    let err = lower(&unit).unwrap_err();
+    assert!(err.message.contains("rank"), "{}", err.message);
+}
+
+#[test]
+fn shape_disagreement_is_caught_by_checking() {
+    let unit = parse("REAL a(4), b(8)\na = b\n").unwrap();
+    let err = lower(&unit).unwrap_err();
+    assert!(
+        err.message.contains("shape"),
+        "expected shape error, got: {}",
+        err.message
+    );
+}
+
+#[test]
+fn negative_stride_sections_are_rejected() {
+    let unit = parse("REAL a(8)\na(8:1:-1) = 0.0\n").unwrap();
+    assert!(lower(&unit).is_err());
+}
+
+#[test]
+fn forall_reading_its_target_in_general_form_is_rejected() {
+    // Permuted indices (general path) + self-read: needs a temporary.
+    let unit = parse(
+        "REAL a(4,4)\nFORALL (i=1:4, j=1:4) a(j,i) = a(i,j)\n",
+    )
+    .unwrap();
+    assert!(lower(&unit).is_err());
+}
+
+#[test]
+fn general_forall_with_permuted_indices_works_without_self_read() {
+    let src = "
+        REAL a(4,4), b(4,4)
+        FORALL (i=1:4, j=1:4) b(i,j) = 10*i + j
+        FORALL (i=1:4, j=1:4) a(j,i) = b(i,j)
+    ";
+    let ev = run(src);
+    let a = ev.final_array_f64("a").unwrap();
+    for i in 1..=4i64 {
+        for j in 1..=4i64 {
+            assert_eq!(
+                a[((j - 1) * 4 + (i - 1)) as usize],
+                (10 * i + j) as f64,
+                "A({j},{i})"
+            );
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! Dense multidimensional array values used by the reference evaluator
+//! and, as `f64` buffers, by the machine simulators.
+
+use std::fmt;
+
+use crate::error::NirError;
+use crate::types::ScalarType;
+
+/// A runtime scalar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// 32-bit integer.
+    I32(i32),
+    /// Logical.
+    Bool(bool),
+    /// Single precision.
+    F32(f32),
+    /// Double precision.
+    F64(f64),
+}
+
+impl Scalar {
+    /// The scalar's type.
+    pub fn scalar_type(self) -> ScalarType {
+        match self {
+            Scalar::I32(_) => ScalarType::Integer32,
+            Scalar::Bool(_) => ScalarType::Logical32,
+            Scalar::F32(_) => ScalarType::Float32,
+            Scalar::F64(_) => ScalarType::Float64,
+        }
+    }
+
+    /// Numeric view as `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for logical scalars.
+    pub fn to_f64(self) -> Result<f64, NirError> {
+        match self {
+            Scalar::I32(v) => Ok(v as f64),
+            Scalar::F32(v) => Ok(v as f64),
+            Scalar::F64(v) => Ok(v),
+            Scalar::Bool(_) => Err(NirError::Eval("logical used as number".into())),
+        }
+    }
+
+    /// Logical view.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-logical scalars.
+    pub fn to_bool(self) -> Result<bool, NirError> {
+        match self {
+            Scalar::Bool(b) => Ok(b),
+            other => Err(NirError::Eval(format!("{other:?} used as logical"))),
+        }
+    }
+
+    /// Integer view (exact).
+    ///
+    /// # Errors
+    ///
+    /// Fails for logical scalars and non-integral floats.
+    pub fn to_i64(self) -> Result<i64, NirError> {
+        match self {
+            Scalar::I32(v) => Ok(v as i64),
+            Scalar::F32(v) if v.fract() == 0.0 => Ok(v as i64),
+            Scalar::F64(v) if v.fract() == 0.0 => Ok(v as i64),
+            other => Err(NirError::Eval(format!("{other:?} used as index"))),
+        }
+    }
+
+    /// Convert the scalar to the given type following Fortran assignment
+    /// conversion (truncation toward zero for float→integer).
+    ///
+    /// Logical↔numeric conversions use the machine representation
+    /// (`.true.` = 1, nonzero = `.true.`): the simulated CM stores
+    /// logicals as 0/1 words, and static typechecking already rejects
+    /// *source-level* logical/numeric mixing — this dynamic conversion
+    /// only crosses the representation boundary.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` keeps call sites stable if a
+    /// stricter mode returns.
+    pub fn convert(self, to: ScalarType) -> Result<Scalar, NirError> {
+        if self.scalar_type() == to {
+            return Ok(self);
+        }
+        let raw = match self {
+            Scalar::Bool(b) => {
+                if b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            other => other.to_f64().expect("non-bool scalars are numeric"),
+        };
+        Ok(match to {
+            ScalarType::Logical32 => Scalar::Bool(raw != 0.0),
+            ScalarType::Integer32 => Scalar::I32(raw.trunc() as i32),
+            ScalarType::Float32 => Scalar::F32(raw as f32),
+            ScalarType::Float64 => Scalar::F64(raw),
+        })
+    }
+
+    /// The zero value of a scalar type (`.false.` for logicals).
+    pub fn zero(ty: ScalarType) -> Scalar {
+        match ty {
+            ScalarType::Integer32 => Scalar::I32(0),
+            ScalarType::Logical32 => Scalar::Bool(false),
+            ScalarType::Float32 => Scalar::F32(0.0),
+            ScalarType::Float64 => Scalar::F64(0.0),
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::I32(v) => write!(f, "{v}"),
+            Scalar::Bool(v) => write!(f, "{}", if *v { "T" } else { "F" }),
+            Scalar::F32(v) => write!(f, "{v}"),
+            Scalar::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A dense row-major array with per-axis inclusive bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayData {
+    bounds: Vec<(i64, i64)>,
+    elem: ScalarType,
+    data: Vec<Scalar>,
+}
+
+impl ArrayData {
+    /// Create an array of zeros with the given per-axis inclusive bounds.
+    pub fn zeros(bounds: Vec<(i64, i64)>, elem: ScalarType) -> ArrayData {
+        let n: usize = bounds
+            .iter()
+            .map(|&(lo, hi)| if hi < lo { 0 } else { (hi - lo + 1) as usize })
+            .product();
+        ArrayData { bounds, elem, data: vec![Scalar::zero(elem); n] }
+    }
+
+    /// Create an array from existing data in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `data.len()` does not match the bounds.
+    pub fn from_vec(
+        bounds: Vec<(i64, i64)>,
+        elem: ScalarType,
+        data: Vec<Scalar>,
+    ) -> Result<ArrayData, NirError> {
+        let n: usize = bounds
+            .iter()
+            .map(|&(lo, hi)| if hi < lo { 0 } else { (hi - lo + 1) as usize })
+            .product();
+        if data.len() != n {
+            return Err(NirError::Eval(format!(
+                "array data length {} does not match bounds (expect {n})",
+                data.len()
+            )));
+        }
+        Ok(ArrayData { bounds, elem, data })
+    }
+
+    /// Per-axis inclusive bounds.
+    pub fn bounds(&self) -> &[(i64, i64)] {
+        &self.bounds
+    }
+
+    /// Per-axis lengths.
+    pub fn dims(&self) -> Vec<usize> {
+        self.bounds
+            .iter()
+            .map(|&(lo, hi)| if hi < lo { 0 } else { (hi - lo + 1) as usize })
+            .collect()
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element type.
+    pub fn elem_type(&self) -> ScalarType {
+        self.elem
+    }
+
+    /// Flat row-major view of the elements.
+    pub fn as_slice(&self) -> &[Scalar] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the elements.
+    pub fn as_mut_slice(&mut self) -> &mut [Scalar] {
+        &mut self.data
+    }
+
+    /// Row-major linear offset of a coordinate vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the coordinate is out of bounds or has wrong rank.
+    pub fn offset(&self, coords: &[i64]) -> Result<usize, NirError> {
+        if coords.len() != self.bounds.len() {
+            return Err(NirError::Eval(format!(
+                "rank mismatch: {} subscripts for rank-{} array",
+                coords.len(),
+                self.bounds.len()
+            )));
+        }
+        let mut off = 0usize;
+        for (i, (&c, &(lo, hi))) in coords.iter().zip(&self.bounds).enumerate() {
+            if c < lo || c > hi {
+                return Err(NirError::Eval(format!(
+                    "subscript {c} out of bounds {lo}..{hi} in axis {}",
+                    i + 1
+                )));
+            }
+            let extent = (hi - lo + 1) as usize;
+            off = off * extent + (c - lo) as usize;
+        }
+        Ok(off)
+    }
+
+    /// Read the element at a coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the coordinate is invalid.
+    pub fn get(&self, coords: &[i64]) -> Result<Scalar, NirError> {
+        Ok(self.data[self.offset(coords)?])
+    }
+
+    /// Write the element at a coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the coordinate is invalid; the value is converted to the
+    /// array's element type.
+    pub fn set(&mut self, coords: &[i64], v: Scalar) -> Result<(), NirError> {
+        let off = self.offset(coords)?;
+        self.data[off] = v.convert(self.elem)?;
+        Ok(())
+    }
+
+    /// Fill every element with (the converted) `v`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `v` cannot convert to the element type.
+    pub fn fill(&mut self, v: Scalar) -> Result<(), NirError> {
+        let v = v.convert(self.elem)?;
+        self.data.fill(v);
+        Ok(())
+    }
+
+    /// Circular shift along `axis` (0-based) by `shift` (positive shifts
+    /// toward lower indices, Fortran `CSHIFT` convention: element `i`
+    /// receives old element `i + shift`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `axis` is out of range.
+    pub fn cshift(&self, axis: usize, shift: i64) -> Result<ArrayData, NirError> {
+        let dims = self.dims();
+        if axis >= dims.len() {
+            return Err(NirError::Eval(format!(
+                "cshift axis {} out of range for rank {}",
+                axis + 1,
+                dims.len()
+            )));
+        }
+        let n = dims[axis] as i64;
+        if n == 0 {
+            return Ok(self.clone());
+        }
+        let mut out = self.clone();
+        // stride of the axis and the size of one "row block" containing it
+        let inner: usize = dims[axis + 1..].iter().product();
+        let axis_len = dims[axis];
+        let outer: usize = dims[..axis].iter().product();
+        for o in 0..outer {
+            for a in 0..axis_len {
+                let src_a = ((a as i64 + shift).rem_euclid(n)) as usize;
+                for i in 0..inner {
+                    let dst = (o * axis_len + a) * inner + i;
+                    let src = (o * axis_len + src_a) * inner + i;
+                    out.data[dst] = self.data[src];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// End-off shift along `axis` (0-based): like [`ArrayData::cshift`]
+    /// but vacated positions take `boundary`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `axis` is out of range or `boundary` cannot convert.
+    pub fn eoshift(&self, axis: usize, shift: i64, boundary: Scalar) -> Result<ArrayData, NirError> {
+        let dims = self.dims();
+        if axis >= dims.len() {
+            return Err(NirError::Eval(format!(
+                "eoshift axis {} out of range for rank {}",
+                axis + 1,
+                dims.len()
+            )));
+        }
+        let boundary = boundary.convert(self.elem)?;
+        let n = dims[axis] as i64;
+        let mut out = self.clone();
+        let inner: usize = dims[axis + 1..].iter().product();
+        let axis_len = dims[axis];
+        let outer: usize = dims[..axis].iter().product();
+        for o in 0..outer {
+            for a in 0..axis_len {
+                let src_a = a as i64 + shift;
+                for i in 0..inner {
+                    let dst = (o * axis_len + a) * inner + i;
+                    out.data[dst] = if src_a < 0 || src_a >= n {
+                        boundary
+                    } else {
+                        self.data[(o * axis_len + src_a as usize) * inner + i]
+                    };
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix transpose (rank-2 arrays only).
+    ///
+    /// # Errors
+    ///
+    /// Fails for arrays of other ranks.
+    pub fn transpose(&self) -> Result<ArrayData, NirError> {
+        let dims = self.dims();
+        if dims.len() != 2 {
+            return Err(NirError::Eval(format!(
+                "TRANSPOSE requires a rank-2 array, got rank {}",
+                dims.len()
+            )));
+        }
+        let (r, c) = (dims[0], dims[1]);
+        let mut out = ArrayData::zeros(
+            vec![self.bounds[1], self.bounds[0]],
+            self.elem,
+        );
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Partial reduction along `axis` (0-based): the result drops that
+    /// axis; `op` is 0=sum, 1=max, 2=min.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `axis` is out of range or the array is logical.
+    pub fn reduce_axis(&self, axis: usize, op: u8) -> Result<ArrayData, NirError> {
+        let dims = self.dims();
+        if axis >= dims.len() {
+            return Err(NirError::Eval(format!(
+                "reduction DIM={} out of range for rank {}",
+                axis + 1,
+                dims.len()
+            )));
+        }
+        let mut out_bounds = self.bounds.clone();
+        out_bounds.remove(axis);
+        let mut out = ArrayData::zeros(out_bounds, self.elem);
+        let inner: usize = dims[axis + 1..].iter().product();
+        let extent = dims[axis];
+        let outer: usize = dims[..axis].iter().product();
+        for o in 0..outer {
+            for i in 0..inner {
+                let mut acc = match op {
+                    0 => 0.0,
+                    1 => f64::NEG_INFINITY,
+                    _ => f64::INFINITY,
+                };
+                for a in 0..extent {
+                    let v = self.data[(o * extent + a) * inner + i].to_f64()?;
+                    acc = match op {
+                        0 => acc + v,
+                        1 => acc.max(v),
+                        _ => acc.min(v),
+                    };
+                }
+                out.data[o * inner + i] = Scalar::F64(acc).convert(self.elem)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fortran `SPREAD`: replicate the array `ncopies` times along a new
+    /// axis inserted at position `axis` (0-based).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `axis > rank`.
+    pub fn spread(&self, axis: usize, ncopies: usize) -> Result<ArrayData, NirError> {
+        let dims = self.dims();
+        if axis > dims.len() {
+            return Err(NirError::Eval(format!(
+                "SPREAD DIM={} out of range for rank {}",
+                axis + 1,
+                dims.len()
+            )));
+        }
+        let mut out_bounds = self.bounds.clone();
+        out_bounds.insert(axis, (1, ncopies as i64));
+        let mut out = ArrayData::zeros(out_bounds, self.elem);
+        let inner: usize = dims[axis..].iter().product();
+        let outer: usize = dims[..axis].iter().product();
+        for o in 0..outer {
+            for c in 0..ncopies {
+                for i in 0..inner {
+                    out.data[(o * ncopies + c) * inner + i] = self.data[o * inner + i];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum of all elements as `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for logical arrays.
+    pub fn sum(&self) -> Result<f64, NirError> {
+        let mut acc = 0.0;
+        for s in &self.data {
+            acc += s.to_f64()?;
+        }
+        Ok(acc)
+    }
+
+    /// Maximum element as `f64` (`-inf` when empty).
+    ///
+    /// # Errors
+    ///
+    /// Fails for logical arrays.
+    pub fn maxval(&self) -> Result<f64, NirError> {
+        let mut acc = f64::NEG_INFINITY;
+        for s in &self.data {
+            acc = acc.max(s.to_f64()?);
+        }
+        Ok(acc)
+    }
+
+    /// Minimum element as `f64` (`+inf` when empty).
+    ///
+    /// # Errors
+    ///
+    /// Fails for logical arrays.
+    pub fn minval(&self) -> Result<f64, NirError> {
+        let mut acc = f64::INFINITY;
+        for s in &self.data {
+            acc = acc.min(s.to_f64()?);
+        }
+        Ok(acc)
+    }
+
+    /// The whole array as an `f64` buffer (row-major); logicals map to
+    /// 0/1 (the machine representation).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` keeps call sites stable.
+    pub fn to_f64_vec(&self) -> Result<Vec<f64>, NirError> {
+        self.data
+            .iter()
+            .map(|s| match s {
+                Scalar::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+                other => other.to_f64(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(n: i64) -> ArrayData {
+        let data = (1..=n).map(|i| Scalar::I32(i as i32)).collect();
+        ArrayData::from_vec(vec![(1, n)], ScalarType::Integer32, data).expect("well-formed")
+    }
+
+    #[test]
+    fn offset_is_row_major() {
+        let a = ArrayData::zeros(vec![(1, 3), (1, 4)], ScalarType::Float64);
+        assert_eq!(a.offset(&[1, 1]).unwrap(), 0);
+        assert_eq!(a.offset(&[1, 2]).unwrap(), 1);
+        assert_eq!(a.offset(&[2, 1]).unwrap(), 4);
+        assert_eq!(a.offset(&[3, 4]).unwrap(), 11);
+    }
+
+    #[test]
+    fn non_unit_lower_bounds() {
+        let a = ArrayData::zeros(vec![(0, 2), (-1, 1)], ScalarType::Integer32);
+        assert_eq!(a.len(), 9);
+        assert_eq!(a.offset(&[0, -1]).unwrap(), 0);
+        assert_eq!(a.offset(&[2, 1]).unwrap(), 8);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let a = ArrayData::zeros(vec![(1, 3)], ScalarType::Integer32);
+        assert!(a.get(&[0]).is_err());
+        assert!(a.get(&[4]).is_err());
+        assert!(a.get(&[1, 1]).is_err());
+    }
+
+    #[test]
+    fn set_converts_to_element_type() {
+        let mut a = ArrayData::zeros(vec![(1, 2)], ScalarType::Integer32);
+        a.set(&[1], Scalar::F64(3.9)).unwrap();
+        assert_eq!(a.get(&[1]).unwrap(), Scalar::I32(3)); // truncation
+    }
+
+    #[test]
+    fn cshift_matches_fortran_convention() {
+        // CSHIFT([1,2,3,4,5], SHIFT=1) == [2,3,4,5,1]
+        let a = iota(5);
+        let s = a.cshift(0, 1).unwrap();
+        let got: Vec<i64> = s.as_slice().iter().map(|x| x.to_i64().unwrap()).collect();
+        assert_eq!(got, vec![2, 3, 4, 5, 1]);
+        // CSHIFT(..., SHIFT=-1) == [5,1,2,3,4]
+        let s = a.cshift(0, -1).unwrap();
+        let got: Vec<i64> = s.as_slice().iter().map(|x| x.to_i64().unwrap()).collect();
+        assert_eq!(got, vec![5, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cshift_along_each_axis_of_2d() {
+        // 2x3 array [[1,2,3],[4,5,6]]
+        let a = ArrayData::from_vec(
+            vec![(1, 2), (1, 3)],
+            ScalarType::Integer32,
+            (1..=6).map(Scalar::I32).collect(),
+        )
+        .unwrap();
+        let rows = a.cshift(0, 1).unwrap();
+        let got: Vec<i64> = rows.as_slice().iter().map(|x| x.to_i64().unwrap()).collect();
+        assert_eq!(got, vec![4, 5, 6, 1, 2, 3]);
+        let cols = a.cshift(1, -1).unwrap();
+        let got: Vec<i64> = cols.as_slice().iter().map(|x| x.to_i64().unwrap()).collect();
+        assert_eq!(got, vec![3, 1, 2, 6, 4, 5]);
+    }
+
+    #[test]
+    fn eoshift_fills_with_boundary() {
+        let a = iota(4);
+        let s = a.eoshift(0, 2, Scalar::I32(0)).unwrap();
+        let got: Vec<i64> = s.as_slice().iter().map(|x| x.to_i64().unwrap()).collect();
+        assert_eq!(got, vec![3, 4, 0, 0]);
+        let s = a.eoshift(0, -1, Scalar::I32(9)).unwrap();
+        let got: Vec<i64> = s.as_slice().iter().map(|x| x.to_i64().unwrap()).collect();
+        assert_eq!(got, vec![9, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cshift_full_cycle_is_identity() {
+        let a = iota(7);
+        assert_eq!(a.cshift(0, 7).unwrap(), a);
+        assert_eq!(a.cshift(0, -14).unwrap(), a);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = iota(5);
+        assert_eq!(a.sum().unwrap(), 15.0);
+        assert_eq!(a.maxval().unwrap(), 5.0);
+        assert_eq!(a.minval().unwrap(), 1.0);
+    }
+}

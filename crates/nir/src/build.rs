@@ -1,0 +1,291 @@
+//! Ergonomic constructors for writing NIR terms in Rust.
+//!
+//! These free functions mirror the paper's operator names closely enough
+//! that transcriptions of its figures read almost verbatim; see the golden
+//! tests in the lowering crate.
+//!
+//! ```
+//! use f90y_nir::build::*;
+//!
+//! // MOVE[(True,(BINARY(Add, SVAR 'n', SCALAR(integer_32,'1')), AVAR('c', everywhere)))]
+//! let m = mv(avar("c", everywhere()), add(svar("n"), int(1)));
+//! ```
+
+use crate::decl::Decl;
+use crate::imp::{Imp, LValue, MoveClause};
+use crate::ops::{BinOp, UnOp};
+use crate::shape::{Shape, ShapeExpr};
+use crate::types::{ScalarType, Type};
+use crate::value::{Const, FieldAction, SectionRange, Value};
+
+// ---------------------------------------------------------------------
+// Shapes
+// ---------------------------------------------------------------------
+
+/// `point p`.
+pub fn point(p: i64) -> Shape {
+    Shape::Point(p)
+}
+
+/// `interval(point lo, point hi)` — parallel.
+pub fn interval(lo: i64, hi: i64) -> Shape {
+    Shape::Interval(lo, hi)
+}
+
+/// `serial_interval(point lo, point hi)`.
+pub fn serial_interval(lo: i64, hi: i64) -> Shape {
+    Shape::SerialInterval(lo, hi)
+}
+
+/// `prod_dom[...]`.
+pub fn prod(dims: Vec<Shape>) -> Shape {
+    Shape::Product(dims)
+}
+
+/// A parallel grid with axes `1..=e`.
+pub fn grid(extents: &[i64]) -> Shape {
+    Shape::grid(extents)
+}
+
+/// `domain 'name'`.
+pub fn domain(name: &str) -> Shape {
+    Shape::domain(name)
+}
+
+// ---------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------
+
+/// `integer_32`.
+pub fn int32() -> Type {
+    Type::Scalar(ScalarType::Integer32)
+}
+
+/// `logical_32`.
+pub fn logical32() -> Type {
+    Type::Scalar(ScalarType::Logical32)
+}
+
+/// `float_32`.
+pub fn float32() -> Type {
+    Type::Scalar(ScalarType::Float32)
+}
+
+/// `float_64`.
+pub fn float64() -> Type {
+    Type::Scalar(ScalarType::Float64)
+}
+
+/// `dfield{shape=S, element=T}`.
+pub fn dfield(shape: impl Into<ShapeExpr>, elem: Type) -> Type {
+    Type::dfield(shape, elem)
+}
+
+// ---------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------
+
+/// `DECL(id, T)`.
+pub fn decl(id: &str, ty: Type) -> Decl {
+    Decl::Decl(id.into(), ty)
+}
+
+/// `DECLSET[...]`.
+pub fn declset(ds: Vec<Decl>) -> Decl {
+    Decl::DeclSet(ds)
+}
+
+/// `INITIALIZED(id, T, V)`.
+pub fn initialized(id: &str, ty: Type, v: Value) -> Decl {
+    Decl::Initialized(id.into(), ty, v)
+}
+
+// ---------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------
+
+/// `SCALAR(integer_32, v)`.
+pub fn int(v: i32) -> Value {
+    Value::Scalar(Const::I32(v))
+}
+
+/// `SCALAR(float_64, v)`.
+pub fn f64c(v: f64) -> Value {
+    Value::Scalar(Const::F64(v))
+}
+
+/// `SCALAR(logical_32, v)`.
+pub fn boolc(v: bool) -> Value {
+    Value::Scalar(Const::Bool(v))
+}
+
+/// `SVAR id`.
+pub fn svar(id: &str) -> Value {
+    Value::SVar(id.into())
+}
+
+/// `AVAR(id, F)` as a value (right-hand side read).
+pub fn ld(id: &str, fa: FieldAction) -> Value {
+    Value::AVar(id.into(), fa)
+}
+
+/// `everywhere`.
+pub fn everywhere() -> FieldAction {
+    FieldAction::Everywhere
+}
+
+/// `subscript[...]`.
+pub fn subscript(ixs: Vec<Value>) -> FieldAction {
+    FieldAction::Subscript(ixs)
+}
+
+/// `section[...]` — lowering-stage staging restrictor.
+pub fn section(ranges: Vec<SectionRange>) -> FieldAction {
+    FieldAction::Section(ranges)
+}
+
+/// `local_under(S, dim)` with 1-based `dim`.
+pub fn local_under(s: impl Into<ShapeExpr>, dim: usize) -> Value {
+    Value::LocalUnder(s.into(), dim)
+}
+
+/// The running coordinate of axis `dim` (1-based) of the enclosing
+/// `DO` over domain `dom`.
+pub fn do_index(dom: &str, dim: usize) -> Value {
+    Value::DoIndex(dom.into(), dim)
+}
+
+/// `BINARY(op, a, b)`.
+pub fn bin(op: BinOp, a: Value, b: Value) -> Value {
+    Value::Binary(op, Box::new(a), Box::new(b))
+}
+
+/// `BINARY(Add, a, b)`.
+pub fn add(a: Value, b: Value) -> Value {
+    bin(BinOp::Add, a, b)
+}
+
+/// `BINARY(Sub, a, b)`.
+pub fn sub(a: Value, b: Value) -> Value {
+    bin(BinOp::Sub, a, b)
+}
+
+/// `BINARY(Mul, a, b)`.
+pub fn mul(a: Value, b: Value) -> Value {
+    bin(BinOp::Mul, a, b)
+}
+
+/// `BINARY(Div, a, b)`.
+pub fn div(a: Value, b: Value) -> Value {
+    bin(BinOp::Div, a, b)
+}
+
+/// `UNARY(op, a)`.
+pub fn un(op: UnOp, a: Value) -> Value {
+    Value::Unary(op, Box::new(a))
+}
+
+/// `FCNCALL(name, args)` with types inferred later.
+pub fn fcncall(name: &str, args: Vec<(Type, Value)>) -> Value {
+    Value::FcnCall(name.into(), args)
+}
+
+// ---------------------------------------------------------------------
+// Imperatives
+// ---------------------------------------------------------------------
+
+/// An `AVAR` assignment target.
+pub fn avar(id: &str, fa: FieldAction) -> LValue {
+    LValue::AVar(id.into(), fa)
+}
+
+/// An `SVAR` assignment target.
+pub fn svar_lv(id: &str) -> LValue {
+    LValue::SVar(id.into())
+}
+
+/// `MOVE[(True,(src,dst))]` — a single unmasked move.
+pub fn mv(dst: LValue, src: Value) -> Imp {
+    Imp::Move(vec![MoveClause::unmasked(dst, src)])
+}
+
+/// `MOVE[(mask,(src,dst))]` — a single masked move.
+pub fn mv_masked(mask: Value, dst: LValue, src: Value) -> Imp {
+    Imp::Move(vec![MoveClause { mask, src, dst }])
+}
+
+/// A multi-clause `MOVE`.
+pub fn mv_multi(clauses: Vec<MoveClause>) -> Imp {
+    Imp::Move(clauses)
+}
+
+/// `SEQUENTIALLY[...]` (flattened).
+pub fn seq(actions: Vec<Imp>) -> Imp {
+    Imp::seq(actions)
+}
+
+/// `CONCURRENTLY[...]`.
+pub fn conc(actions: Vec<Imp>) -> Imp {
+    Imp::Concurrently(actions)
+}
+
+/// `DO(S, I)` over a named domain, binding the index name.
+pub fn do_over(dom: &str, shape: impl Into<ShapeExpr>, body: Imp) -> Imp {
+    Imp::Do(dom.into(), shape.into(), Box::new(body))
+}
+
+/// `WITH_DECL(d, I)`.
+pub fn with_decl(d: Decl, body: Imp) -> Imp {
+    Imp::WithDecl(d, Box::new(body))
+}
+
+/// `WITH_DOMAIN((name, S), I)`.
+pub fn with_domain(name: &str, shape: impl Into<ShapeExpr>, body: Imp) -> Imp {
+    Imp::WithDomain(name.into(), shape.into(), Box::new(body))
+}
+
+/// `IFTHENELSE(c, t, e)`.
+pub fn ifte(c: Value, t: Imp, e: Imp) -> Imp {
+    Imp::IfThenElse(c, Box::new(t), Box::new(e))
+}
+
+/// `WHILE(c, body)`.
+pub fn while_loop(c: Value, body: Imp) -> Imp {
+    Imp::While(c, Box::new(body))
+}
+
+/// `PROGRAM(I)`.
+pub fn program(body: Imp) -> Imp {
+    Imp::Program(Box::new(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_terms() {
+        let m = mv(avar("c", everywhere()), add(svar("n"), int(1)));
+        match m {
+            Imp::Move(clauses) => {
+                assert_eq!(clauses.len(), 1);
+                assert!(clauses[0].is_unmasked());
+                assert_eq!(clauses[0].dst.ident(), "c");
+            }
+            other => panic!("expected Move, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn program_shape_binders_nest() {
+        let p = with_domain(
+            "alpha",
+            interval(1, 8),
+            with_decl(
+                decl("a", dfield(domain("alpha"), float64())),
+                mv(avar("a", everywhere()), f64c(0.0)),
+            ),
+        );
+        assert_eq!(p.count_moves(), 1);
+    }
+}

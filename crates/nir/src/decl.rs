@@ -1,0 +1,91 @@
+//! The declaration domain `D` (paper Figure 5).
+
+use std::fmt;
+
+use crate::types::Type;
+use crate::value::Value;
+use crate::Ident;
+
+/// Declarative terms. Declarations bind identifiers to types (optionally
+/// with initial values); scoping is achieved by the imperative bridge
+/// operator `WITH_DECL` (see [`crate::imp::Imp::WithDecl`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `DECL : id*T -> D` — simple declaration.
+    Decl(Ident, Type),
+    /// `DECLSET : D list -> D` — multiple declarations.
+    DeclSet(Vec<Decl>),
+    /// `INITIALIZED : id*T*V -> D` — declaration plus initial value.
+    Initialized(Ident, Type, Value),
+}
+
+impl Decl {
+    /// Iterate over every `(id, type, initializer)` binding introduced,
+    /// flattening `DECLSET`s.
+    pub fn bindings(&self) -> Vec<(&Ident, &Type, Option<&Value>)> {
+        let mut out = Vec::new();
+        self.push_bindings(&mut out);
+        out
+    }
+
+    fn push_bindings<'a>(&'a self, out: &mut Vec<(&'a Ident, &'a Type, Option<&'a Value>)>) {
+        match self {
+            Decl::Decl(id, ty) => out.push((id, ty, None)),
+            Decl::Initialized(id, ty, v) => out.push((id, ty, Some(v))),
+            Decl::DeclSet(ds) => {
+                for d in ds {
+                    d.push_bindings(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Decl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decl::Decl(id, ty) => write!(f, "DECL('{id}',{ty})"),
+            Decl::Initialized(id, ty, v) => write!(f, "INITIALIZED('{id}',{ty},{v})"),
+            Decl::DeclSet(ds) => {
+                f.write_str("DECLSET[")?;
+                for (i, d) in ds.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ScalarType;
+
+    #[test]
+    fn bindings_flatten_declsets() {
+        let d = Decl::DeclSet(vec![
+            Decl::Decl("m".into(), ScalarType::Float64.into()),
+            Decl::DeclSet(vec![Decl::Decl("n".into(), ScalarType::Float64.into())]),
+        ]);
+        let bs = d.bindings();
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0].0, "m");
+        assert_eq!(bs[1].0, "n");
+    }
+
+    #[test]
+    fn display_matches_paper_appendix() {
+        let d = Decl::DeclSet(vec![
+            Decl::Decl("m".into(), ScalarType::Float64.into()),
+            Decl::Decl("n".into(), ScalarType::Float64.into()),
+        ]);
+        assert_eq!(
+            d.to_string(),
+            "DECLSET[DECL('m',float_64),DECL('n',float_64)]"
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Read/write-set dependence analysis over NIR.
+//!
+//! The blocking transformations of the paper's §4.2 reorder statements to
+//! group computations over like shapes (Fig. 9) and to pair masked
+//! assignments with disjoint masks (Fig. 10) — "dependencies allow the
+//! code movement". This module provides the conservative dependence test
+//! those transformations consult: two imperatives *commute* when neither
+//! writes anything the other reads or writes.
+//!
+//! Accesses are tracked per identifier at section granularity, so the
+//! analysis can prove that `B(1:32:2,:)` and `B(2:32:2,:)` do not
+//! conflict (the Fig. 10 case) while remaining conservative for dynamic
+//! subscripts.
+
+use std::collections::HashMap;
+
+use crate::imp::{Imp, LValue};
+use crate::value::{FieldAction, SectionRange, Value};
+use crate::Ident;
+
+/// A conservative description of which part of a variable an access
+/// touches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Access {
+    /// Possibly the whole variable (scalars, `everywhere`, dynamic
+    /// subscripts).
+    Whole,
+    /// A strided rectangular section with statically known bounds.
+    Section(Vec<SectionRange>),
+}
+
+impl Access {
+    /// `true` when the two accesses may touch a common element.
+    pub fn overlaps(&self, other: &Access) -> bool {
+        match (self, other) {
+            (Access::Section(a), Access::Section(b)) => {
+                if a.len() != b.len() {
+                    // Rank confusion: be conservative.
+                    return true;
+                }
+                // Rectangles are disjoint if disjoint along any axis.
+                !a.iter().zip(b).any(|(ra, rb)| ra.disjoint(rb))
+            }
+            _ => true,
+        }
+    }
+}
+
+fn access_of_field_action(fa: &FieldAction) -> Access {
+    match fa {
+        FieldAction::Everywhere => Access::Whole,
+        FieldAction::Section(ranges) => Access::Section(ranges.clone()),
+        FieldAction::Subscript(ixs) => {
+            // Constant subscripts shrink to a degenerate section.
+            let mut ranges = Vec::with_capacity(ixs.len());
+            for ix in ixs {
+                match ix.as_const().and_then(|c| c.as_f64()) {
+                    Some(c) if c.fract() == 0.0 => {
+                        let c = c as i64;
+                        ranges.push(SectionRange::new(c, c));
+                    }
+                    _ => return Access::Whole,
+                }
+            }
+            Access::Section(ranges)
+        }
+    }
+}
+
+/// The read and write sets of an imperative.
+#[derive(Debug, Clone, Default)]
+pub struct RwSets {
+    reads: HashMap<Ident, Vec<Access>>,
+    writes: HashMap<Ident, Vec<Access>>,
+}
+
+impl RwSets {
+    /// Collect the read/write sets of an imperative.
+    pub fn of(imp: &Imp) -> RwSets {
+        let mut sets = RwSets::default();
+        sets.visit_imp(imp);
+        sets
+    }
+
+    /// Identifiers read (possibly partially).
+    pub fn read_idents(&self) -> impl Iterator<Item = &Ident> {
+        self.reads.keys()
+    }
+
+    /// Identifiers written (possibly partially).
+    pub fn written_idents(&self) -> impl Iterator<Item = &Ident> {
+        self.writes.keys()
+    }
+
+    /// `true` when some write of `self` may touch an element that
+    /// `other`'s accesses of the same variable touch.
+    fn writes_conflict_with(&self, other: &HashMap<Ident, Vec<Access>>) -> bool {
+        for (id, ws) in &self.writes {
+            if let Some(os) = other.get(id) {
+                for w in ws {
+                    if os.iter().any(|o| w.overlaps(o)) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn add_write(&mut self, id: &Ident, a: Access) {
+        self.writes.entry(id.clone()).or_default().push(a);
+    }
+
+    fn visit_value(&mut self, v: &Value) {
+        v.walk(&mut |node| match node {
+            Value::SVar(id) => {
+                // `walk` visits subterms; record and move on.
+                self.reads.entry(id.clone()).or_default().push(Access::Whole);
+            }
+            Value::AVar(id, fa) => {
+                let a = access_of_field_action(fa);
+                self.reads.entry(id.clone()).or_default().push(a);
+            }
+            _ => {}
+        });
+    }
+
+    fn visit_imp(&mut self, imp: &Imp) {
+        match imp {
+            Imp::Program(b) => self.visit_imp(b),
+            Imp::Skip => {}
+            Imp::Sequentially(xs) | Imp::Concurrently(xs) => {
+                for x in xs {
+                    self.visit_imp(x);
+                }
+            }
+            Imp::Move(clauses) => {
+                for c in clauses {
+                    self.visit_value(&c.mask);
+                    self.visit_value(&c.src);
+                    match &c.dst {
+                        LValue::SVar(id) => self.add_write(id, Access::Whole),
+                        LValue::AVar(id, fa) => {
+                            let a = access_of_field_action(fa);
+                            // A masked write may also be a partial write;
+                            // treating it as a write of the stated region
+                            // is conservative for reordering.
+                            self.add_write(id, a);
+                        }
+                    }
+                }
+            }
+            Imp::IfThenElse(c, t, e) => {
+                self.visit_value(c);
+                self.visit_imp(t);
+                self.visit_imp(e);
+            }
+            Imp::While(c, b) => {
+                self.visit_value(c);
+                self.visit_imp(b);
+            }
+            Imp::Do(_, _, b) => {
+                // Subscripts inside the body usually involve DoIndex and
+                // collapse to Whole accesses — conservative.
+                self.visit_imp(b);
+            }
+            Imp::WithDecl(d, b) => {
+                for (_, _, init) in d.bindings() {
+                    if let Some(v) = init {
+                        self.visit_value(v);
+                    }
+                }
+                self.visit_imp(b);
+                // Locally declared names cannot conflict outside, but
+                // removing them requires alpha-uniqueness; keep them —
+                // conservative.
+            }
+            Imp::WithDomain(_, _, b) => self.visit_imp(b),
+        }
+    }
+}
+
+/// `true` when the two imperatives may be executed in either order with
+/// the same result (no RAW, WAR or WAW hazard between them).
+pub fn commutes(a: &Imp, b: &Imp) -> bool {
+    let ra = RwSets::of(a);
+    let rb = RwSets::of(b);
+    !(ra.writes_conflict_with(&rb.reads)
+        || rb.writes_conflict_with(&ra.reads)
+        || ra.writes_conflict_with(&rb.writes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn independent_moves_commute() {
+        let a = mv(avar("a", everywhere()), int(1));
+        let b = mv(avar("b", everywhere()), int(2));
+        assert!(commutes(&a, &b));
+    }
+
+    #[test]
+    fn raw_hazard_blocks_reordering() {
+        let a = mv(avar("a", everywhere()), int(1));
+        let b = mv(avar("b", everywhere()), ld("a", everywhere()));
+        assert!(!commutes(&a, &b));
+    }
+
+    #[test]
+    fn waw_hazard_blocks_reordering() {
+        let a = mv(avar("a", everywhere()), int(1));
+        let b = mv(avar("a", everywhere()), int(2));
+        assert!(!commutes(&a, &b));
+    }
+
+    #[test]
+    fn war_hazard_blocks_reordering() {
+        let a = mv(avar("b", everywhere()), ld("a", everywhere()));
+        let b = mv(avar("a", everywhere()), int(1));
+        assert!(!commutes(&a, &b));
+    }
+
+    #[test]
+    fn disjoint_sections_commute() {
+        use crate::value::SectionRange;
+        // B(1:31:2,:) = ... and B(2:32:2,:) = ... (the Fig. 10 masks)
+        let odd = mv(
+            avar(
+                "b",
+                section(vec![
+                    SectionRange::strided(1, 31, 2),
+                    SectionRange::new(1, 32),
+                ]),
+            ),
+            int(1),
+        );
+        let even = mv(
+            avar(
+                "b",
+                section(vec![
+                    SectionRange::strided(2, 32, 2),
+                    SectionRange::new(1, 32),
+                ]),
+            ),
+            int(2),
+        );
+        assert!(commutes(&odd, &even));
+    }
+
+    #[test]
+    fn overlapping_sections_do_not_commute() {
+        use crate::value::SectionRange;
+        let a = mv(avar("b", section(vec![SectionRange::new(1, 16)])), int(1));
+        let b = mv(avar("b", section(vec![SectionRange::new(16, 32)])), int(2));
+        assert!(!commutes(&a, &b));
+    }
+
+    #[test]
+    fn constant_subscripts_shrink_to_points() {
+        let a = mv(avar("b", subscript(vec![int(1)])), int(1));
+        let b = mv(avar("b", subscript(vec![int(2)])), int(2));
+        assert!(commutes(&a, &b));
+        let c = mv(avar("b", subscript(vec![int(1)])), int(3));
+        assert!(!commutes(&a, &c));
+    }
+
+    #[test]
+    fn dynamic_subscripts_are_conservative() {
+        let a = mv(avar("b", subscript(vec![svar("i")])), int(1));
+        let b = mv(avar("b", subscript(vec![svar("j")])), int(2));
+        assert!(!commutes(&a, &b));
+    }
+
+    #[test]
+    fn scalar_reads_in_masks_count() {
+        let a = mv(svar_lv("n"), int(3));
+        let b = mv_masked(
+            bin(crate::ops::BinOp::Gt, svar("n"), int(0)),
+            avar("x", everywhere()),
+            int(1),
+        );
+        assert!(!commutes(&a, &b));
+    }
+
+    #[test]
+    fn fig9_diagonal_gather_conflicts_with_a_writes() {
+        // MOVE a = ... ; DO beta: c(i) = a(i,i) — RAW on 'a'.
+        let write_a = mv(avar("a", everywhere()), int(0));
+        let gather = do_over(
+            "i",
+            domain("beta"),
+            mv(
+                avar("c", subscript(vec![do_index("i", 1)])),
+                ld("a", subscript(vec![do_index("i", 1), do_index("i", 1)])),
+            ),
+        );
+        assert!(!commutes(&write_a, &gather));
+        // But it commutes with a write of unrelated 'b'.
+        let write_b = mv(avar("b", everywhere()), int(0));
+        assert!(commutes(&write_b, &gather));
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type shared by the NIR analyses and the reference evaluator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by typechecking, shapechecking or evaluation of NIR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NirError {
+    /// An identifier was referenced but never declared.
+    Unbound(String),
+    /// A domain name was referenced but never bound by `WITH_DOMAIN`.
+    UnboundDomain(String),
+    /// A type error, with a human-readable description.
+    Type(String),
+    /// A shape error: interacting arrays whose shapes do not agree.
+    Shape(String),
+    /// A malformed term (e.g. subscript arity mismatch).
+    Malformed(String),
+    /// A runtime evaluation error (division by zero, bad intrinsic
+    /// argument, out-of-bounds subscript).
+    Eval(String),
+}
+
+impl fmt::Display for NirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NirError::Unbound(id) => write!(f, "unbound identifier '{id}'"),
+            NirError::UnboundDomain(id) => write!(f, "unbound domain '{id}'"),
+            NirError::Type(msg) => write!(f, "type error: {msg}"),
+            NirError::Shape(msg) => write!(f, "shape error: {msg}"),
+            NirError::Malformed(msg) => write!(f, "malformed NIR: {msg}"),
+            NirError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl Error for NirError {}

@@ -1,0 +1,221 @@
+//! The imperative domain `I` (paper Figure 5, extended by `DO` from
+//! Figure 6).
+
+use std::fmt;
+
+use crate::decl::Decl;
+use crate::shape::ShapeExpr;
+use crate::value::{FieldAction, Value};
+use crate::Ident;
+
+/// An assignment target: the left-hand side of one `MOVE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    SVar(Ident),
+    /// An array variable specialised by a field action.
+    AVar(Ident, FieldAction),
+}
+
+impl LValue {
+    /// The identifier written by this target.
+    pub fn ident(&self) -> &Ident {
+        match self {
+            LValue::SVar(id) | LValue::AVar(id, _) => id,
+        }
+    }
+
+    /// The field action, for array targets.
+    pub fn field_action(&self) -> Option<&FieldAction> {
+        match self {
+            LValue::SVar(_) => None,
+            LValue::AVar(_, fa) => Some(fa),
+        }
+    }
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LValue::SVar(id) => write!(f, "SVAR '{id}'"),
+            LValue::AVar(id, fa) => write!(f, "AVAR('{id}',{fa})"),
+        }
+    }
+}
+
+/// One clause of a `MOVE`: under `mask`, move `src` to `dst`.
+///
+/// The paper's `MOVE : (V*(V*V))list -> I` moves multiple values under
+/// masks; a mask of constant `.true.` is the unmasked case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoveClause {
+    /// Guard; the move happens only at points where the mask is true.
+    pub mask: Value,
+    /// Source value.
+    pub src: Value,
+    /// Destination.
+    pub dst: LValue,
+}
+
+impl MoveClause {
+    /// An unmasked clause (mask ≡ `.true.`).
+    pub fn unmasked(dst: LValue, src: Value) -> Self {
+        MoveClause { mask: Value::Scalar(crate::value::Const::Bool(true)), src, dst }
+    }
+
+    /// `true` when the mask is the constant `.true.`.
+    pub fn is_unmasked(&self) -> bool {
+        matches!(self.mask, Value::Scalar(crate::value::Const::Bool(true)))
+    }
+}
+
+impl fmt::Display for MoveClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unmasked() {
+            write!(f, "(True,({},{}))", self.src, self.dst)
+        } else {
+            write!(f, "({},({},{}))", self.mask, self.src, self.dst)
+        }
+    }
+}
+
+/// Imperative actions (paper Fig. 5, plus `DO` and `WITH_DOMAIN` from the
+/// shape extensions of Fig. 6 and the worked examples of Figs. 8–10).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Imp {
+    /// `PROGRAM : I -> I` — top-level program action.
+    Program(Box<Imp>),
+    /// `SEQUENTIALLY : I list -> I` — sequential composition.
+    Sequentially(Vec<Imp>),
+    /// `CONCURRENTLY : I list -> I` — concurrent composition: the actions
+    /// are independent and may run in any order or simultaneously.
+    Concurrently(Vec<Imp>),
+    /// `MOVE : (V*(V*V))list -> I` — move multiple values under masks.
+    Move(Vec<MoveClause>),
+    /// `IFTHENELSE : V*I*I -> I`.
+    IfThenElse(Value, Box<Imp>, Box<Imp>),
+    /// `WHILE : V*I -> I`.
+    While(Value, Box<Imp>),
+    /// `DO : S*I -> I` — carry out the action at each point of the shape
+    /// (Fig. 6). Serial or parallel execution is a property of the shape.
+    ///
+    /// The `Ident` names the domain so the body can reference the running
+    /// coordinates via [`Value::DoIndex`].
+    Do(Ident, ShapeExpr, Box<Imp>),
+    /// `WITH_DECL : D*I -> I` — execute in an environment extended with
+    /// the declaration.
+    WithDecl(Decl, Box<Imp>),
+    /// `WITH_DOMAIN : (id*S)*I -> I` — bind a shape to a domain name for
+    /// the duration of the body (used pervasively in paper Figs. 7–10).
+    WithDomain(Ident, ShapeExpr, Box<Imp>),
+    /// `SKIP : I` — defined as `SEQUENTIALLY nil`.
+    Skip,
+}
+
+impl Imp {
+    /// Sequential composition, flattening nested `SEQUENTIALLY` and
+    /// dropping `SKIP`s.
+    pub fn seq(actions: Vec<Imp>) -> Imp {
+        let mut flat = Vec::new();
+        for a in actions {
+            match a {
+                Imp::Skip => {}
+                Imp::Sequentially(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Imp::Skip,
+            1 => flat.pop().expect("len checked"),
+            _ => Imp::Sequentially(flat),
+        }
+    }
+
+    /// Visit every imperative node (including `self`), pre-order.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a Imp)) {
+        visit(self);
+        match self {
+            Imp::Program(b) | Imp::Do(_, _, b) | Imp::WithDecl(_, b) | Imp::WithDomain(_, _, b) => {
+                b.walk(visit)
+            }
+            Imp::Sequentially(xs) | Imp::Concurrently(xs) => {
+                for x in xs {
+                    x.walk(visit);
+                }
+            }
+            Imp::IfThenElse(_, t, e) => {
+                t.walk(visit);
+                e.walk(visit);
+            }
+            Imp::While(_, b) => b.walk(visit),
+            Imp::Move(_) | Imp::Skip => {}
+        }
+    }
+
+    /// Number of `MOVE` statements anywhere in the action.
+    pub fn count_moves(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |i| {
+            if matches!(i, Imp::Move(_)) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+impl fmt::Display for Imp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::write_imp(f, self, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Const;
+
+    fn mv(name: &str) -> Imp {
+        Imp::Move(vec![MoveClause::unmasked(
+            LValue::SVar(name.into()),
+            Value::Scalar(Const::I32(1)),
+        )])
+    }
+
+    #[test]
+    fn seq_flattens_and_drops_skip() {
+        let s = Imp::seq(vec![
+            Imp::Skip,
+            Imp::Sequentially(vec![mv("a"), mv("b")]),
+            mv("c"),
+        ]);
+        match s {
+            Imp::Sequentially(xs) => assert_eq!(xs.len(), 3),
+            other => panic!("expected Sequentially, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seq_of_nothing_is_skip() {
+        assert_eq!(Imp::seq(vec![]), Imp::Skip);
+        assert_eq!(Imp::seq(vec![Imp::Skip, Imp::Skip]), Imp::Skip);
+    }
+
+    #[test]
+    fn seq_of_one_unwraps() {
+        assert_eq!(Imp::seq(vec![mv("a")]), mv("a"));
+    }
+
+    #[test]
+    fn count_moves_walks_nesting() {
+        let p = Imp::Program(Box::new(Imp::seq(vec![
+            mv("a"),
+            Imp::IfThenElse(
+                Value::Scalar(Const::Bool(true)),
+                Box::new(mv("b")),
+                Box::new(Imp::Skip),
+            ),
+        ])));
+        assert_eq!(p.count_moves(), 2);
+    }
+}

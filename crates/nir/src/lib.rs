@@ -1,0 +1,88 @@
+//! # f90y-nir — Native Intermediate Language (NIR)
+//!
+//! The semantic algebra at the centre of the Fortran-90-Y compiler
+//! (Chen & Cowie, *Prototyping Fortran-90 Compilers for Massively Parallel
+//! Machines*, PLDI 1992).
+//!
+//! NIR models dynamic program behaviour with a small set of semantic
+//! domains — the four classical domains of the paper's appendix plus the
+//! paper's new **shape** domain (its Figure 6):
+//!
+//! | Domain | Module | Paper figure |
+//! |---|---|---|
+//! | Types `T` | [`types`] | Fig. 5 |
+//! | Declarations `D` | [`decl`] | Fig. 5 |
+//! | Values `V` | [`value`] | Fig. 5 |
+//! | Imperatives `I` | [`imp`] | Fig. 5 |
+//! | Shapes `S` + field restrictors `F` | [`shape`], [`value::FieldAction`] | Fig. 6 |
+//!
+//! On top of the algebra this crate provides everything a *specified*
+//! compiler needs to manipulate NIR programs:
+//!
+//! * [`typecheck`] — static typechecking of NIR terms;
+//! * [`shapecheck`] — static *shape*checking (the paper's analogue of
+//!   typechecking over the shape domain);
+//! * [`eval`] — a reference interpreter giving NIR its ground-truth
+//!   semantics, used for translation validation of every backend;
+//! * [`deps`] — read/write-set dependence analysis enabling the blocking
+//!   transformations of the paper's §4.2;
+//! * [`loop_rules`] — the inductive LOOP expansion rules of Figure 4;
+//! * [`pretty`] — a printer producing the paper's concrete NIR syntax;
+//! * [`build`] — ergonomic constructors for writing NIR in Rust.
+//!
+//! ## Example
+//!
+//! Build and evaluate the paper's `L = 6; L = 2*L + 5` example (cf. its
+//! Fig. 8):
+//!
+//! ```
+//! use f90y_nir::build::*;
+//! use f90y_nir::eval::Evaluator;
+//!
+//! let program = with_domain(
+//!     "alpha",
+//!     interval(1, 128),
+//!     with_decl(
+//!         decl("l", dfield(domain("alpha"), int32())),
+//!         seq(vec![
+//!             mv(avar("l", everywhere()), int(6)),
+//!             mv(avar("l", everywhere()),
+//!                add(mul(int(2), ld("l", everywhere())), int(5))),
+//!         ]),
+//!     ),
+//! );
+//! let mut ev = Evaluator::new();
+//! ev.run(&program)?;
+//! # Ok::<(), f90y_nir::NirError>(())
+//! ```
+
+pub mod array;
+pub mod build;
+pub mod decl;
+pub mod deps;
+pub mod error;
+pub mod eval;
+pub mod imp;
+pub mod loop_rules;
+pub mod ops;
+pub mod pretty;
+pub mod shape;
+pub mod shapecheck;
+pub mod typecheck;
+pub mod types;
+pub mod value;
+
+pub use array::{ArrayData, Scalar};
+pub use decl::Decl;
+pub use error::NirError;
+pub use imp::{Imp, LValue, MoveClause};
+pub use ops::{BinOp, UnOp};
+pub use shape::{Extent, Shape, ShapeExpr};
+pub use types::{ScalarType, Type};
+pub use value::{Const, FieldAction, SectionRange, Value};
+
+/// Identifiers for variables, domains and procedures.
+///
+/// A plain `String` keeps the algebra trivially printable and hashable; the
+/// compiler is nowhere identifier-bound.
+pub type Ident = String;

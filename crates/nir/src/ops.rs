@@ -1,0 +1,217 @@
+//! Operator vocabularies shared by the value domain and later pipeline
+//! stages (vectorizer, PEAC emitter).
+
+use std::fmt;
+
+use crate::types::ScalarType;
+
+/// Binary operators usable in `BINARY` value terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Exponentiation (`**`).
+    Pow,
+    /// Integer/float modulus (`MOD` intrinsic).
+    Mod,
+    /// Elementwise maximum (`MAX` intrinsic).
+    Max,
+    /// Elementwise minimum (`MIN` intrinsic).
+    Min,
+    /// Equality comparison; yields `logical_32`.
+    Eq,
+    /// Inequality comparison; yields `logical_32`.
+    Ne,
+    /// Less-than comparison; yields `logical_32`.
+    Lt,
+    /// Less-or-equal comparison; yields `logical_32`.
+    Le,
+    /// Greater-than comparison; yields `logical_32`.
+    Gt,
+    /// Greater-or-equal comparison; yields `logical_32`.
+    Ge,
+    /// Logical conjunction over `logical_32`.
+    And,
+    /// Logical disjunction over `logical_32`.
+    Or,
+}
+
+impl BinOp {
+    /// `true` for the six relational operators.
+    pub fn is_relational(self) -> bool {
+        use BinOp::*;
+        matches!(self, Eq | Ne | Lt | Le | Gt | Ge)
+    }
+
+    /// `true` for the two logical connectives.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// `true` for operators producing a value of the operands' type.
+    pub fn is_arithmetic(self) -> bool {
+        !self.is_relational() && !self.is_logical()
+    }
+
+    /// Result scalar type given the (already promoted) operand type.
+    pub fn result_type(self, operand: ScalarType) -> ScalarType {
+        if self.is_relational() || self.is_logical() {
+            ScalarType::Logical32
+        } else {
+            operand
+        }
+    }
+
+    /// Number of floating-point operations this operator contributes per
+    /// element, used for GFLOPS accounting. Comparisons and logical ops
+    /// count zero, `Pow` is expanded by the backend and counted there.
+    pub fn flops(self) -> u64 {
+        use BinOp::*;
+        match self {
+            Add | Sub | Mul | Div | Max | Min => 1,
+            Pow | Mod => 1,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "Add",
+            BinOp::Sub => "Sub",
+            BinOp::Mul => "Mul",
+            BinOp::Div => "Div",
+            BinOp::Pow => "Pow",
+            BinOp::Mod => "Mod",
+            BinOp::Max => "Max",
+            BinOp::Min => "Min",
+            BinOp::Eq => "Equals",
+            BinOp::Ne => "NotEquals",
+            BinOp::Lt => "Less",
+            BinOp::Le => "LessEq",
+            BinOp::Gt => "Greater",
+            BinOp::Ge => "GreaterEq",
+            BinOp::And => "And",
+            BinOp::Or => "Or",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators usable in `UNARY` value terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation over `logical_32`.
+    Not,
+    /// Absolute value.
+    Abs,
+    /// Square root.
+    Sqrt,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Conversion to `float_64` (`DBLE`).
+    ToFloat64,
+    /// Conversion to `float_32` (`REAL`).
+    ToFloat32,
+    /// Truncating conversion to `integer_32` (`INT`).
+    ToInt,
+}
+
+impl UnOp {
+    /// Result type given the operand type, or `None` when inapplicable.
+    pub fn result_type(self, operand: ScalarType) -> Option<ScalarType> {
+        use ScalarType::*;
+        use UnOp::*;
+        match self {
+            Neg | Abs => (operand != Logical32).then_some(operand),
+            Not => (operand == Logical32).then_some(Logical32),
+            Sqrt | Sin | Cos | Exp | Log => match operand {
+                Float32 => Some(Float32),
+                Float64 | Integer32 => Some(Float64),
+                Logical32 => None,
+            },
+            ToFloat64 => (operand != Logical32).then_some(Float64),
+            ToFloat32 => (operand != Logical32).then_some(Float32),
+            ToInt => (operand != Logical32).then_some(Integer32),
+        }
+    }
+
+    /// Floating-point operations contributed per element (transcendental
+    /// calls are counted as a single flop, matching how peak-rate
+    /// accounting treated them on the CM/2's Weitek units).
+    pub fn flops(self) -> u64 {
+        use UnOp::*;
+        match self {
+            Neg | Abs | Sqrt | Sin | Cos | Exp | Log => 1,
+            Not | ToFloat64 | ToFloat32 | ToInt => 0,
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "Neg",
+            UnOp::Not => "Not",
+            UnOp::Abs => "Abs",
+            UnOp::Sqrt => "Sqrt",
+            UnOp::Sin => "Sin",
+            UnOp::Cos => "Cos",
+            UnOp::Exp => "Exp",
+            UnOp::Log => "Log",
+            UnOp::ToFloat64 => "Dble",
+            UnOp::ToFloat32 => "Real",
+            UnOp::ToInt => "Int",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relational_ops_yield_logical() {
+        assert_eq!(
+            BinOp::Lt.result_type(ScalarType::Float64),
+            ScalarType::Logical32
+        );
+        assert_eq!(
+            BinOp::Add.result_type(ScalarType::Float64),
+            ScalarType::Float64
+        );
+    }
+
+    #[test]
+    fn not_requires_logical() {
+        assert_eq!(UnOp::Not.result_type(ScalarType::Float64), None);
+        assert_eq!(
+            UnOp::Not.result_type(ScalarType::Logical32),
+            Some(ScalarType::Logical32)
+        );
+    }
+
+    #[test]
+    fn transcendentals_promote_integers() {
+        assert_eq!(
+            UnOp::Sin.result_type(ScalarType::Integer32),
+            Some(ScalarType::Float64)
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! A pretty printer producing the paper's concrete NIR syntax.
+//!
+//! The output format follows the worked examples of Figures 7–10 closely:
+//! `WITH_DOMAIN`, `WITH_DECL`, `SEQUENTIALLY [...]`, `MOVE[...]`, `DO(...)`.
+//! Golden tests in the lowering crate compare printed programs against
+//! transcriptions of the paper's figures.
+
+use std::fmt::{self, Write as _};
+
+use crate::imp::Imp;
+
+/// Render an imperative action as paper-style NIR text.
+pub fn print_imp(imp: &Imp) -> String {
+    let mut s = String::new();
+    // Writing to a String cannot fail.
+    write_imp_fmt(&mut s, imp, 0).expect("string write");
+    s
+}
+
+/// Write an imperative at the given indent depth (used by `Display`).
+pub(crate) fn write_imp(f: &mut fmt::Formatter<'_>, imp: &Imp, depth: usize) -> fmt::Result {
+    let mut s = String::new();
+    write_imp_fmt(&mut s, imp, depth).expect("string write");
+    f.write_str(&s)
+}
+
+fn pad(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_imp_fmt(out: &mut String, imp: &Imp, depth: usize) -> fmt::Result {
+    match imp {
+        Imp::Program(body) => {
+            pad(out, depth);
+            out.push_str("PROGRAM(\n");
+            write_imp_fmt(out, body, depth + 1)?;
+            out.push(')');
+        }
+        Imp::Skip => {
+            pad(out, depth);
+            out.push_str("SKIP");
+        }
+        Imp::Sequentially(xs) => {
+            pad(out, depth);
+            out.push_str("SEQUENTIALLY\n");
+            pad(out, depth);
+            out.push_str("[ ");
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                    let mut inner = String::new();
+                    write_imp_fmt(&mut inner, x, depth + 1)?;
+                    out.push_str(&inner);
+                } else {
+                    let mut inner = String::new();
+                    write_imp_fmt(&mut inner, x, depth + 1)?;
+                    out.push_str(inner.trim_start());
+                }
+            }
+            out.push_str(" ]");
+        }
+        Imp::Concurrently(xs) => {
+            pad(out, depth);
+            out.push_str("CONCURRENTLY\n");
+            pad(out, depth);
+            out.push_str("[ ");
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                    let mut inner = String::new();
+                    write_imp_fmt(&mut inner, x, depth + 1)?;
+                    out.push_str(&inner);
+                } else {
+                    let mut inner = String::new();
+                    write_imp_fmt(&mut inner, x, depth + 1)?;
+                    out.push_str(inner.trim_start());
+                }
+            }
+            out.push_str(" ]");
+        }
+        Imp::Move(clauses) => {
+            pad(out, depth);
+            out.push_str("MOVE[");
+            for (i, c) in clauses.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                    pad(out, depth + 2);
+                }
+                write!(out, "{c}")?;
+            }
+            out.push(']');
+        }
+        Imp::IfThenElse(c, t, e) => {
+            pad(out, depth);
+            writeln!(out, "IFTHENELSE({c},")?;
+            write_imp_fmt(out, t, depth + 1)?;
+            out.push_str(",\n");
+            write_imp_fmt(out, e, depth + 1)?;
+            out.push(')');
+        }
+        Imp::While(c, b) => {
+            pad(out, depth);
+            writeln!(out, "WHILE({c},")?;
+            write_imp_fmt(out, b, depth + 1)?;
+            out.push(')');
+        }
+        Imp::Do(dom, shape, body) => {
+            pad(out, depth);
+            writeln!(out, "DO('{dom}',{shape},")?;
+            write_imp_fmt(out, body, depth + 1)?;
+            out.push(')');
+        }
+        Imp::WithDecl(d, body) => {
+            pad(out, depth);
+            writeln!(out, "WITH_DECL({d},")?;
+            write_imp_fmt(out, body, depth + 1)?;
+            out.push(')');
+        }
+        Imp::WithDomain(name, shape, body) => {
+            pad(out, depth);
+            writeln!(out, "WITH_DOMAIN(('{name}',{shape}),")?;
+            write_imp_fmt(out, body, depth + 1)?;
+            out.push(')');
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn move_prints_paper_style() {
+        let m = mv(avar("l", everywhere()), int(6));
+        assert_eq!(
+            print_imp(&m),
+            "MOVE[(True,(SCALAR(integer_32,'6'),AVAR('l',everywhere)))]"
+        );
+    }
+
+    #[test]
+    fn with_domain_nests() {
+        let p = with_domain("alpha", interval(1, 128), mv(avar("l", everywhere()), int(6)));
+        let text = print_imp(&p);
+        assert!(text.starts_with(
+            "WITH_DOMAIN(('alpha',interval(point 1,point 128)),"
+        ));
+        assert!(text.contains("MOVE[(True,(SCALAR(integer_32,'6'),AVAR('l',everywhere)))]"));
+    }
+
+    #[test]
+    fn sequence_brackets_items() {
+        let p = seq(vec![
+            mv(avar("a", everywhere()), int(1)),
+            mv(avar("b", everywhere()), int(2)),
+        ]);
+        let text = print_imp(&p);
+        assert!(text.starts_with("SEQUENTIALLY"));
+        assert!(text.contains("'1'"));
+        assert!(text.contains("'2'"));
+    }
+}

@@ -1,0 +1,400 @@
+//! The shape domain `S` (paper Figure 6).
+//!
+//! Shapes are the paper's central novelty: "a class of primitive semantic
+//! operators which model iteration" over abstract Cartesian product spaces.
+//! A shape describes *where* an action happens; whether the points of the
+//! space are visited serially or all at once is a property of the shape
+//! itself (`interval` is parallel, `serial_interval` is serial), so a single
+//! `DO(S, I)` imperative covers both `DO` loops and data-parallel execution.
+//!
+//! Shapes may reference named domains bound by `WITH_DOMAIN` (e.g. the
+//! paper's Fig. 8 binds `beta = prod_dom[domain 'alpha', interval(1,64)]`);
+//! [`Shape::resolve`] eliminates such references against a domain
+//! environment, and the geometric queries ([`Shape::extents`],
+//! [`Shape::size`], …) require a resolved shape.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::NirError;
+use crate::Ident;
+
+/// A shape: an abstract iteration space (paper Fig. 6, domain `S`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// `point : int -> S` — a single point.
+    Point(i64),
+    /// `interval : S*S -> S` — a **parallel** vector shape over
+    /// `lo..=hi`. All points may be visited concurrently.
+    Interval(i64, i64),
+    /// `serial_interval : S*S -> S` — a **serial** vector shape over
+    /// `lo..=hi`. Points must be visited in increasing order.
+    SerialInterval(i64, i64),
+    /// `prod_dom : S list -> S` — shape cross-product.
+    Product(Vec<Shape>),
+    /// `domain 'name'` — reference to a domain bound by `WITH_DOMAIN`.
+    Ref(Ident),
+}
+
+/// An environment resolving domain names to (resolved) shapes.
+pub type DomainEnv = HashMap<Ident, Shape>;
+
+/// One axis of a resolved shape: bounds plus serial/parallel flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Extent {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+    /// `true` when the axis must be iterated serially.
+    pub serial: bool,
+}
+
+impl Extent {
+    /// Number of points along this axis (zero when empty).
+    pub fn len(&self) -> usize {
+        if self.hi < self.lo {
+            0
+        } else {
+            (self.hi - self.lo + 1) as usize
+        }
+    }
+
+    /// `true` when the axis contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Shape {
+    /// A parallel one-dimensional shape `lo..=hi`.
+    pub fn interval(lo: i64, hi: i64) -> Self {
+        Shape::Interval(lo, hi)
+    }
+
+    /// A serial one-dimensional shape `lo..=hi`.
+    pub fn serial(lo: i64, hi: i64) -> Self {
+        Shape::SerialInterval(lo, hi)
+    }
+
+    /// A parallel grid with axes `1..=e` for each extent `e`.
+    ///
+    /// This is the shape of a Fortran array declared `A(e1, e2, ...)`.
+    pub fn grid(extents: &[i64]) -> Self {
+        Shape::Product(extents.iter().map(|&e| Shape::Interval(1, e)).collect())
+    }
+
+    /// A reference to a named domain.
+    pub fn domain(name: &str) -> Self {
+        Shape::Ref(name.into())
+    }
+
+    /// `true` when the shape contains no domain references.
+    pub fn is_resolved(&self) -> bool {
+        match self {
+            Shape::Ref(_) => false,
+            Shape::Product(dims) => dims.iter().all(Shape::is_resolved),
+            _ => true,
+        }
+    }
+
+    /// Replace every domain reference by its binding in `env`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`NirError::UnboundDomain`] when a referenced domain is
+    /// not bound.
+    pub fn resolve(&self, env: &DomainEnv) -> Result<Shape, NirError> {
+        match self {
+            Shape::Ref(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| NirError::UnboundDomain(name.clone())),
+            Shape::Product(dims) => Ok(Shape::Product(
+                dims.iter()
+                    .map(|d| d.resolve(env))
+                    .collect::<Result<_, _>>()?,
+            )),
+            other => Ok(other.clone()),
+        }
+    }
+
+    /// Number of axes after normalisation. Points are rank 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unresolved domain references; resolve first.
+    pub fn rank(&self) -> usize {
+        self.extents().len()
+    }
+
+    /// Total number of points in the space.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unresolved domain references; resolve first.
+    pub fn size(&self) -> usize {
+        self.extents().iter().map(Extent::len).product()
+    }
+
+    /// The flattened per-axis extents of the shape.
+    ///
+    /// `Point` contributes no axis (it selects, it does not iterate);
+    /// nested products are flattened, matching the paper's reading of the
+    /// cross-product as inductively defined iteration (Fig. 4, rule 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unresolved domain references; resolve first.
+    pub fn extents(&self) -> Vec<Extent> {
+        let mut out = Vec::new();
+        self.push_extents(&mut out);
+        out
+    }
+
+    fn push_extents(&self, out: &mut Vec<Extent>) {
+        match self {
+            Shape::Point(_) => {}
+            Shape::Interval(lo, hi) => out.push(Extent { lo: *lo, hi: *hi, serial: false }),
+            Shape::SerialInterval(lo, hi) => out.push(Extent { lo: *lo, hi: *hi, serial: true }),
+            Shape::Product(dims) => {
+                for d in dims {
+                    d.push_extents(out);
+                }
+            }
+            Shape::Ref(name) =>
+
+                panic!("geometric query on unresolved domain reference '{name}'"),
+        }
+    }
+
+    /// `true` when every axis may be visited concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unresolved domain references; resolve first.
+    pub fn is_parallel(&self) -> bool {
+        self.extents().iter().all(|e| !e.serial)
+    }
+
+    /// `true` when at least one axis must be visited serially.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unresolved domain references; resolve first.
+    pub fn has_serial_axis(&self) -> bool {
+        self.extents().iter().any(|e| e.serial)
+    }
+
+    /// Two shapes *conform* when their axis lengths agree pairwise.
+    ///
+    /// This is the agreement relation checked by static shapechecking: in
+    /// all direct computations between arrays, the shapes of interacting
+    /// arrays must conform. Serial/parallel flavour and absolute bounds do
+    /// not affect conformance (Fortran array conformance is by extent).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unresolved domain references; resolve first.
+    pub fn conforms(&self, other: &Shape) -> bool {
+        let a = self.extents();
+        let b = other.extents();
+        a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| x.len() == y.len())
+    }
+
+    /// Iterate over every point of the shape in row-major order.
+    ///
+    /// The iterator yields full coordinate vectors. Row-major order is the
+    /// canonical visiting order for serial axes and the storage order of
+    /// [`crate::array::ArrayData`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on unresolved domain references; resolve first.
+    pub fn points(&self) -> PointIter {
+        PointIter::new(self.extents())
+    }
+
+    /// The per-axis inclusive bounds, as used to allocate
+    /// [`crate::array::ArrayData`] for a field over this shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unresolved domain references; resolve first.
+    pub fn array_bounds(&self) -> Vec<(i64, i64)> {
+        self.extents().iter().map(|e| (e.lo, e.hi)).collect()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Shape::Point(p) => write!(f, "point {p}"),
+            Shape::Interval(lo, hi) => write!(f, "interval(point {lo},point {hi})"),
+            Shape::SerialInterval(lo, hi) => {
+                write!(f, "serial_interval(point {lo},point {hi})")
+            }
+            Shape::Product(dims) => {
+                write!(f, "prod_dom[")?;
+                for (i, d) in dims.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                write!(f, "]")
+            }
+            Shape::Ref(name) => write!(f, "domain '{name}'"),
+        }
+    }
+}
+
+/// Row-major iterator over the points of a shape.
+///
+/// Produced by [`Shape::points`].
+#[derive(Debug, Clone)]
+pub struct PointIter {
+    extents: Vec<Extent>,
+    next: Option<Vec<i64>>,
+}
+
+impl PointIter {
+    fn new(extents: Vec<Extent>) -> Self {
+        let empty = extents.iter().any(Extent::is_empty);
+        let next = if empty {
+            None
+        } else {
+            Some(extents.iter().map(|e| e.lo).collect())
+        };
+        PointIter { extents, next }
+    }
+}
+
+impl Iterator for PointIter {
+    type Item = Vec<i64>;
+
+    fn next(&mut self) -> Option<Vec<i64>> {
+        let current = self.next.clone()?;
+        // Advance odometer-style, last axis fastest.
+        let mut coords = current.clone();
+        let mut axis = self.extents.len();
+        loop {
+            if axis == 0 {
+                self.next = None;
+                break;
+            }
+            axis -= 1;
+            if coords[axis] < self.extents[axis].hi {
+                coords[axis] += 1;
+                self.next = Some(coords);
+                break;
+            }
+            coords[axis] = self.extents[axis].lo;
+        }
+        Some(current)
+    }
+}
+
+/// Legacy alias kept for API symmetry with the paper's prose, which
+/// distinguishes shape *expressions* (possibly containing `domain` refs)
+/// from resolved shapes. In this implementation both are [`Shape`].
+pub type ShapeExpr = Shape;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_parallel_unit_based_axes() {
+        let s = Shape::grid(&[128, 64]);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.size(), 128 * 64);
+        assert!(s.is_parallel());
+        assert_eq!(
+            s.extents(),
+            vec![
+                Extent { lo: 1, hi: 128, serial: false },
+                Extent { lo: 1, hi: 64, serial: false }
+            ]
+        );
+    }
+
+    #[test]
+    fn point_contributes_no_axis() {
+        let s = Shape::Product(vec![Shape::Point(7), Shape::Interval(1, 4)]);
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.size(), 4);
+    }
+
+    #[test]
+    fn nested_products_flatten() {
+        let inner = Shape::Product(vec![Shape::Interval(1, 2), Shape::Interval(1, 3)]);
+        let s = Shape::Product(vec![inner, Shape::SerialInterval(0, 4)]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.size(), 2 * 3 * 5);
+        assert!(s.has_serial_axis());
+        assert!(!s.is_parallel());
+    }
+
+    #[test]
+    fn resolve_substitutes_domain_refs() {
+        let mut env = DomainEnv::new();
+        env.insert("alpha".into(), Shape::Interval(1, 128));
+        let beta = Shape::Product(vec![Shape::domain("alpha"), Shape::Interval(1, 64)]);
+        assert!(!beta.is_resolved());
+        let resolved = beta.resolve(&env).unwrap();
+        assert!(resolved.is_resolved());
+        assert_eq!(resolved.size(), 128 * 64);
+    }
+
+    #[test]
+    fn resolve_unbound_domain_fails() {
+        let beta = Shape::domain("nowhere");
+        assert_eq!(
+            beta.resolve(&DomainEnv::new()),
+            Err(NirError::UnboundDomain("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn conformance_is_by_extent_not_bounds_or_flavour() {
+        let a = Shape::Interval(1, 64);
+        let b = Shape::SerialInterval(0, 63);
+        assert!(a.conforms(&b));
+        let c = Shape::Interval(1, 32);
+        assert!(!a.conforms(&c));
+    }
+
+    #[test]
+    fn empty_interval_has_no_points() {
+        let s = Shape::Interval(5, 4);
+        assert_eq!(s.size(), 0);
+        assert_eq!(s.points().count(), 0);
+    }
+
+    #[test]
+    fn points_are_row_major() {
+        let s = Shape::Product(vec![Shape::Interval(1, 2), Shape::Interval(1, 2)]);
+        let pts: Vec<Vec<i64>> = s.points().collect();
+        assert_eq!(pts, vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]);
+    }
+
+    #[test]
+    fn points_count_matches_size() {
+        let s = Shape::Product(vec![
+            Shape::Interval(2, 5),
+            Shape::SerialInterval(-1, 1),
+            Shape::Interval(1, 3),
+        ]);
+        assert_eq!(s.points().count(), s.size());
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let s = Shape::Product(vec![Shape::domain("alpha"), Shape::Interval(1, 64)]);
+        assert_eq!(
+            s.to_string(),
+            "prod_dom[domain 'alpha',interval(point 1,point 64)]"
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Static shapechecking (paper §4.1): "an analogous operation to static
+//! typechecking, but over the shape domain".
+//!
+//! The pass "satisfies assertions that in all direct computations between
+//! arrays, the shapes of interacting arrays agree". It is implemented as
+//! the shape mode of the common [`crate::typecheck::Checker`]; this module
+//! additionally exposes the shape queries the transformation phase builds
+//! on: what shape a value ranges over, and what common shape a `MOVE`
+//! executes over.
+
+use crate::error::NirError;
+use crate::imp::{Imp, LValue, MoveClause};
+use crate::shape::Shape;
+use crate::typecheck::{Checker, Ctx, Mode};
+use crate::value::Value;
+
+/// Shapecheck a whole program.
+///
+/// # Errors
+///
+/// Returns the first shape disagreement found.
+pub fn check(imp: &Imp) -> Result<(), NirError> {
+    Checker::new(Mode::Shapes).check_program(imp)
+}
+
+/// The shape a value ranges over in the given context (`None` when the
+/// value is scalar).
+///
+/// # Errors
+///
+/// Fails when the term contains static errors that prevent
+/// classification.
+pub fn shape_of(v: &Value, ctx: &mut Ctx) -> Result<Option<Shape>, NirError> {
+    Ok(Checker::new(Mode::Shapes).type_of(v, ctx)?.shape)
+}
+
+/// The shape an assignment target ranges over (`None` when scalar).
+///
+/// # Errors
+///
+/// Fails when the term contains static errors that prevent
+/// classification.
+pub fn shape_of_lvalue(lv: &LValue, ctx: &mut Ctx) -> Result<Option<Shape>, NirError> {
+    Ok(Checker::new(Mode::Shapes).type_of_lvalue(lv, ctx)?.shape)
+}
+
+/// The common shape a `MOVE` clause executes over, per the paper's
+/// equivalence `MOVE([(m,(src,tgt))]) ≡ DO(s, pointwise move)` where `s`
+/// is the common shape of the operands. `None` for purely scalar moves.
+///
+/// # Errors
+///
+/// Fails when the clause contains static errors.
+pub fn clause_shape(c: &MoveClause, ctx: &mut Ctx) -> Result<Option<Shape>, NirError> {
+    // The destination dictates; conformance of src/mask was checked
+    // separately. Fall back to src for scalar targets fed by reductions.
+    if let Some(s) = shape_of_lvalue(&c.dst, ctx)? {
+        return Ok(Some(s));
+    }
+    shape_of(&c.src, ctx)
+}
+
+/// The common shape of an entire `MOVE` imperative: the clauses' shapes
+/// must agree (scalar clauses broadcast); `None` when all clauses are
+/// scalar.
+///
+/// # Errors
+///
+/// Fails when the clauses range over non-conforming shapes or contain
+/// static errors.
+pub fn move_shape(clauses: &[MoveClause], ctx: &mut Ctx) -> Result<Option<Shape>, NirError> {
+    let mut common: Option<Shape> = None;
+    for c in clauses {
+        if let Some(s) = clause_shape(c, ctx)? {
+            match &common {
+                None => common = Some(s),
+                Some(prev) => {
+                    if !prev.conforms(&s) {
+                        return Err(NirError::Shape(format!(
+                            "clauses of blocked MOVE range over non-conforming shapes {prev} vs {s}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(common)
+}
+
+/// `true` when the imperative is a pure computation over a single
+/// parallel shape — the form the PE compiler accepts (paper §5.2: "CM/PE
+/// only needs to process procedures whose body is a single loop containing
+/// a sequence of (optionally masked) moves from the local points of source
+/// arrays to the corresponding points in the target").
+///
+/// # Errors
+///
+/// Fails when the term contains static errors.
+pub fn is_gridlocal_computation(imp: &Imp, ctx: &mut Ctx) -> Result<bool, NirError> {
+    match imp {
+        Imp::Move(clauses) => {
+            for c in clauses {
+                if !value_is_gridlocal(&c.mask) || !value_is_gridlocal(&c.src) {
+                    return Ok(false);
+                }
+                if let LValue::AVar(_, fa) = &c.dst {
+                    if !fa.is_everywhere() {
+                        return Ok(false);
+                    }
+                }
+                if matches!(c.dst, LValue::SVar(_)) {
+                    // Writing a front-end scalar is host work.
+                    return Ok(false);
+                }
+            }
+            match move_shape(clauses, ctx)? {
+                Some(s) => Ok(s.is_parallel()),
+                None => Ok(false),
+            }
+        }
+        _ => Ok(false),
+    }
+}
+
+/// `true` when the value references only local points: `everywhere`
+/// accesses, scalars, and coordinate fields. Communication intrinsics and
+/// subscripted accesses disqualify.
+pub fn value_is_gridlocal(v: &Value) -> bool {
+    let mut ok = true;
+    v.walk(&mut |node| match node {
+        // MERGE is elemental (a masked select at each point); every
+        // other primitive call communicates or reduces.
+        Value::FcnCall(name, _) if name != "merge" => ok = false,
+        Value::AVar(_, fa) if !fa.is_everywhere() => ok = false,
+        Value::DoIndex(..) => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    fn ctx_with(vars: &[(&str, crate::types::Type)]) -> Ctx {
+        let mut ctx = Ctx::new();
+        for (id, ty) in vars {
+            ctx.bind_var((*id).into(), ty.clone());
+        }
+        ctx
+    }
+
+    #[test]
+    fn clause_shape_prefers_destination() {
+        let mut ctx = ctx_with(&[
+            ("a", dfield(grid(&[8]), float64())),
+            ("x", float64()),
+        ]);
+        let c = crate::imp::MoveClause::unmasked(avar("a", everywhere()), svar("x"));
+        let s = clause_shape(&c, &mut ctx).unwrap().unwrap();
+        assert_eq!(s.size(), 8);
+    }
+
+    #[test]
+    fn scalar_move_has_no_shape() {
+        let mut ctx = ctx_with(&[("x", float64())]);
+        let c = crate::imp::MoveClause::unmasked(svar_lv("x"), f64c(1.0));
+        assert_eq!(clause_shape(&c, &mut ctx).unwrap(), None);
+    }
+
+    #[test]
+    fn gridlocal_requires_everywhere_accesses() {
+        let mut ctx = ctx_with(&[
+            ("a", dfield(grid(&[8]), float64())),
+            ("b", dfield(grid(&[8]), float64())),
+        ]);
+        let local = mv(avar("a", everywhere()), ld("b", everywhere()));
+        assert!(is_gridlocal_computation(&local, &mut ctx).unwrap());
+
+        let comm = mv(
+            avar("a", everywhere()),
+            fcncall(
+                "cshift",
+                vec![
+                    (float64(), ld("b", everywhere())),
+                    (int32(), int(1)),
+                    (int32(), int(1)),
+                ],
+            ),
+        );
+        assert!(!is_gridlocal_computation(&comm, &mut ctx).unwrap());
+    }
+
+    #[test]
+    fn serial_shapes_are_not_gridlocal() {
+        let mut ctx = ctx_with(&[(
+            "a",
+            dfield(serial_interval(1, 8), float64()),
+        )]);
+        let m = mv(avar("a", everywhere()), f64c(0.0));
+        assert!(!is_gridlocal_computation(&m, &mut ctx).unwrap());
+    }
+
+    #[test]
+    fn blocked_move_with_nonconforming_clauses_is_an_error() {
+        let mut ctx = ctx_with(&[
+            ("a", dfield(grid(&[8]), float64())),
+            ("b", dfield(grid(&[4]), float64())),
+        ]);
+        let clauses = vec![
+            crate::imp::MoveClause::unmasked(avar("a", everywhere()), f64c(0.0)),
+            crate::imp::MoveClause::unmasked(avar("b", everywhere()), f64c(0.0)),
+        ];
+        assert!(move_shape(&clauses, &mut ctx).is_err());
+    }
+}

@@ -1,0 +1,910 @@
+//! Static typechecking of NIR terms (paper §4.1).
+//!
+//! The semantic lowering stage produces imperatives that "have been
+//! typechecked and shapechecked". Both checks are implemented by one
+//! walker, [`Checker`], parameterised by a [`Mode`]: the type mode
+//! verifies scalar-type correctness, the shape mode verifies that in all
+//! direct computations between arrays the shapes of interacting arrays
+//! agree (see [`crate::shapecheck`]).
+
+use std::collections::HashMap;
+
+use crate::decl::Decl;
+use crate::error::NirError;
+use crate::imp::{Imp, LValue, MoveClause};
+use crate::ops::BinOp;
+use crate::shape::{DomainEnv, Shape};
+use crate::types::{ScalarType, Type};
+use crate::value::{FieldAction, Value};
+use crate::Ident;
+
+/// Which class of static error the checker reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Report scalar-type errors only (shape mismatches are ignored by
+    /// treating all conforming-or-not fields alike).
+    Types,
+    /// Report shape errors only (scalar types are unified to `float_64`).
+    Shapes,
+    /// Report both.
+    Both,
+}
+
+/// Static analysis context: variable types, domain bindings, enclosing
+/// `DO` loops.
+#[derive(Debug, Clone, Default)]
+pub struct Ctx {
+    vars: Vec<HashMap<Ident, Type>>,
+    domains: DomainEnv,
+    dos: Vec<(Ident, Shape)>,
+}
+
+impl Ctx {
+    /// An empty context.
+    pub fn new() -> Self {
+        Ctx { vars: vec![HashMap::new()], domains: DomainEnv::new(), dos: Vec::new() }
+    }
+
+    /// Look up a variable's type.
+    pub fn var(&self, id: &str) -> Option<&Type> {
+        self.vars.iter().rev().find_map(|scope| scope.get(id))
+    }
+
+    /// The domain environment accumulated so far.
+    pub fn domains(&self) -> &DomainEnv {
+        &self.domains
+    }
+
+    /// Bind a variable in the innermost scope.
+    pub fn bind_var(&mut self, id: Ident, ty: Type) {
+        self.vars
+            .last_mut()
+            .expect("context always has a scope")
+            .insert(id, ty);
+    }
+
+    /// Bind a domain name to a resolved shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shape itself references unbound domains.
+    pub fn bind_domain(&mut self, id: Ident, shape: &Shape) -> Result<(), NirError> {
+        let resolved = shape.resolve(&self.domains)?;
+        self.domains.insert(id, resolved);
+        Ok(())
+    }
+
+    /// Resolve a shape against the bound domains.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shape references unbound domains.
+    pub fn resolve(&self, shape: &Shape) -> Result<Shape, NirError> {
+        shape.resolve(&self.domains)
+    }
+
+    /// The shape of the innermost enclosing `DO` named `dom`.
+    pub fn do_shape(&self, dom: &str) -> Option<&Shape> {
+        self.dos
+            .iter()
+            .rev()
+            .find_map(|(name, s)| (name == dom).then_some(s))
+    }
+
+    /// Enter a `DO` binding (for analyses walking into loop bodies).
+    pub fn push_do(&mut self, dom: Ident, shape: Shape) {
+        self.dos.push((dom, shape));
+    }
+
+    /// Leave the innermost `DO` binding.
+    pub fn pop_do(&mut self) {
+        self.dos.pop();
+    }
+
+    fn push_scope(&mut self) {
+        self.vars.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.vars.pop();
+    }
+}
+
+/// The inferred classification of a value: its scalar element type and,
+/// for parallel values, the (resolved) shape it ranges over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueType {
+    /// Scalar element type.
+    pub elem: ScalarType,
+    /// `None` for scalars; the resolved shape for field values.
+    pub shape: Option<Shape>,
+}
+
+impl ValueType {
+    /// A scalar classification.
+    pub fn scalar(elem: ScalarType) -> Self {
+        ValueType { elem, shape: None }
+    }
+
+    /// A field classification.
+    pub fn field(elem: ScalarType, shape: Shape) -> Self {
+        ValueType { elem, shape: Some(shape) }
+    }
+
+    /// `true` when the value is a plain scalar.
+    pub fn is_scalar(&self) -> bool {
+        self.shape.is_none()
+    }
+}
+
+/// The NIR static checker. Construct with [`Checker::new`] and run with
+/// [`Checker::check_program`], or use the convenience function
+/// [`check`].
+#[derive(Debug)]
+pub struct Checker {
+    mode: Mode,
+}
+
+impl Checker {
+    /// A checker reporting the given class of errors.
+    pub fn new(mode: Mode) -> Self {
+        Checker { mode }
+    }
+
+    fn want_types(&self) -> bool {
+        matches!(self.mode, Mode::Types | Mode::Both)
+    }
+
+    fn want_shapes(&self) -> bool {
+        matches!(self.mode, Mode::Shapes | Mode::Both)
+    }
+
+    /// Check a whole program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first static error found, of the classes selected by
+    /// the checker's [`Mode`].
+    pub fn check_program(&self, imp: &Imp) -> Result<(), NirError> {
+        let mut ctx = Ctx::new();
+        self.check_imp(imp, &mut ctx)
+    }
+
+    /// Check one imperative in a given context.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first static error found.
+    pub fn check_imp(&self, imp: &Imp, ctx: &mut Ctx) -> Result<(), NirError> {
+        match imp {
+            Imp::Program(body) => self.check_imp(body, ctx),
+            Imp::Skip => Ok(()),
+            Imp::Sequentially(xs) | Imp::Concurrently(xs) => {
+                for x in xs {
+                    self.check_imp(x, ctx)?;
+                }
+                Ok(())
+            }
+            Imp::Move(clauses) => {
+                for c in clauses {
+                    self.check_move(c, ctx)?;
+                }
+                Ok(())
+            }
+            Imp::IfThenElse(c, t, e) => {
+                self.check_scalar_condition(c, ctx)?;
+                self.check_imp(t, ctx)?;
+                self.check_imp(e, ctx)
+            }
+            Imp::While(c, b) => {
+                self.check_scalar_condition(c, ctx)?;
+                self.check_imp(b, ctx)
+            }
+            Imp::Do(dom, shape, body) => {
+                let resolved = ctx.resolve(shape)?;
+                ctx.dos.push((dom.clone(), resolved));
+                let r = self.check_imp(body, ctx);
+                ctx.dos.pop();
+                r
+            }
+            Imp::WithDecl(d, body) => {
+                ctx.push_scope();
+                let r = self.check_decl(d, ctx).and_then(|()| self.check_imp(body, ctx));
+                ctx.pop_scope();
+                r
+            }
+            Imp::WithDomain(name, shape, body) => {
+                // Domain bindings shadow; keep the old binding to restore.
+                let old = ctx.domains.get(name).cloned();
+                ctx.bind_domain(name.clone(), shape)?;
+                let r = self.check_imp(body, ctx);
+                match old {
+                    Some(s) => {
+                        ctx.domains.insert(name.clone(), s);
+                    }
+                    None => {
+                        ctx.domains.remove(name);
+                    }
+                }
+                r
+            }
+        }
+    }
+
+    fn check_decl(&self, d: &Decl, ctx: &mut Ctx) -> Result<(), NirError> {
+        for (id, ty, init) in d.bindings() {
+            // Resolve dfield shapes now so later queries cannot fail.
+            let resolved_ty = resolve_type(ty, ctx)?;
+            if let Some(v) = init {
+                let vt = self.type_of(v, ctx)?;
+                if self.want_types() {
+                    check_assignable(vt.elem, resolved_ty.elem_scalar())?;
+                }
+                if self.want_shapes() {
+                    if let (Some(vs), Some(ds)) = (&vt.shape, resolved_ty.field_shape()) {
+                        if !vs.conforms(ds) {
+                            return Err(NirError::Shape(format!(
+                                "initializer shape {vs} does not conform to declared shape {ds} for '{id}'"
+                            )));
+                        }
+                    }
+                }
+            }
+            ctx.bind_var(id.clone(), resolved_ty);
+        }
+        Ok(())
+    }
+
+    fn check_scalar_condition(&self, c: &Value, ctx: &mut Ctx) -> Result<(), NirError> {
+        let vt = self.type_of(c, ctx)?;
+        if self.want_types() && vt.elem != ScalarType::Logical32 {
+            return Err(NirError::Type(format!(
+                "condition must be logical, found {}",
+                vt.elem
+            )));
+        }
+        if self.want_shapes() && !vt.is_scalar() {
+            return Err(NirError::Shape(
+                "control condition must be scalar, found a field".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_move(&self, c: &MoveClause, ctx: &mut Ctx) -> Result<(), NirError> {
+        let src_t = self.type_of(&c.src, ctx)?;
+        let mask_t = self.type_of(&c.mask, ctx)?;
+        if self.want_types() && mask_t.elem != ScalarType::Logical32 {
+            return Err(NirError::Type(format!(
+                "move mask must be logical, found {}",
+                mask_t.elem
+            )));
+        }
+        let dst_t = self.type_of_lvalue(&c.dst, ctx)?;
+        if self.want_types() {
+            check_assignable(src_t.elem, dst_t.elem)?;
+        }
+        if self.want_shapes() {
+            // Agreement among dst, src and mask shapes (scalars broadcast).
+            let shapes: Vec<&Shape> = [&dst_t.shape, &src_t.shape, &mask_t.shape]
+                .into_iter()
+                .filter_map(|s| s.as_ref())
+                .collect();
+            for w in shapes.windows(2) {
+                if !w[0].conforms(w[1]) {
+                    return Err(NirError::Shape(format!(
+                        "shapes in MOVE do not agree: {} vs {}",
+                        w[0], w[1]
+                    )));
+                }
+            }
+            if dst_t.is_scalar() && !src_t.is_scalar() {
+                return Err(NirError::Shape(
+                    "cannot move a field into a scalar".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Classify an assignment target.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unbound identifiers, rank mismatches or bad subscripts.
+    pub fn type_of_lvalue(&self, lv: &LValue, ctx: &mut Ctx) -> Result<ValueType, NirError> {
+        match lv {
+            LValue::SVar(id) => {
+                let ty = ctx
+                    .var(id)
+                    .ok_or_else(|| NirError::Unbound(id.clone()))?
+                    .clone();
+                if !ty.is_scalar() {
+                    return Err(NirError::Type(format!(
+                        "SVAR target '{id}' names a field; use AVAR"
+                    )));
+                }
+                Ok(ValueType::scalar(ty.elem_scalar()))
+            }
+            LValue::AVar(id, fa) => self.classify_avar(id, fa, ctx),
+        }
+    }
+
+    /// Infer the classification of a value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any static error in the term.
+    pub fn type_of(&self, v: &Value, ctx: &mut Ctx) -> Result<ValueType, NirError> {
+        match v {
+            Value::Scalar(c) => Ok(ValueType::scalar(c.scalar_type())),
+            Value::SVar(id) => {
+                let ty = ctx
+                    .var(id)
+                    .ok_or_else(|| NirError::Unbound(id.clone()))?
+                    .clone();
+                if !ty.is_scalar() {
+                    return Err(NirError::Type(format!(
+                        "SVAR '{id}' names a field; use AVAR"
+                    )));
+                }
+                Ok(ValueType::scalar(ty.elem_scalar()))
+            }
+            Value::AVar(id, fa) => self.classify_avar(id, fa, ctx),
+            Value::Unary(op, a) => {
+                let at = self.type_of(a, ctx)?;
+                let elem = if self.want_types() {
+                    op.result_type(at.elem).ok_or_else(|| {
+                        NirError::Type(format!("operator {op} inapplicable to {}", at.elem))
+                    })?
+                } else {
+                    op.result_type(at.elem).unwrap_or(at.elem)
+                };
+                Ok(ValueType { elem, shape: at.shape })
+            }
+            Value::Binary(op, a, b) => {
+                let at = self.type_of(a, ctx)?;
+                let bt = self.type_of(b, ctx)?;
+                let elem = self.join_binop(*op, at.elem, bt.elem)?;
+                let shape = match (&at.shape, &bt.shape) {
+                    (None, None) => None,
+                    (Some(s), None) | (None, Some(s)) => Some(s.clone()),
+                    (Some(sa), Some(sb)) => {
+                        if self.want_shapes() && !sa.conforms(sb) {
+                            return Err(NirError::Shape(format!(
+                                "operands of {op} have non-conforming shapes: {sa} vs {sb}"
+                            )));
+                        }
+                        Some(sa.clone())
+                    }
+                };
+                Ok(ValueType { elem, shape })
+            }
+            Value::FcnCall(name, args) => self.classify_call(name, args, ctx),
+            Value::LocalUnder(shape, dim) => {
+                let resolved = ctx.resolve(shape)?;
+                let rank = resolved.rank();
+                if *dim == 0 || *dim > rank {
+                    return Err(NirError::Malformed(format!(
+                        "local_under dimension {dim} out of range for rank {rank}"
+                    )));
+                }
+                Ok(ValueType::field(ScalarType::Integer32, resolved))
+            }
+            Value::DoIndex(dom, dim) => {
+                let shape = ctx
+                    .do_shape(dom)
+                    .ok_or_else(|| NirError::UnboundDomain(format!("DO index '{dom}'")))?;
+                let rank = shape.rank();
+                if *dim == 0 || *dim > rank {
+                    return Err(NirError::Malformed(format!(
+                        "do_index dimension {dim} out of range for rank {rank}"
+                    )));
+                }
+                Ok(ValueType::scalar(ScalarType::Integer32))
+            }
+        }
+    }
+
+    fn join_binop(
+        &self,
+        op: BinOp,
+        a: ScalarType,
+        b: ScalarType,
+    ) -> Result<ScalarType, NirError> {
+        if op.is_logical() {
+            if self.want_types() && (a != ScalarType::Logical32 || b != ScalarType::Logical32) {
+                return Err(NirError::Type(format!(
+                    "logical operator {op} on {a} and {b}"
+                )));
+            }
+            return Ok(ScalarType::Logical32);
+        }
+        let joined = match a.promote(b) {
+            Some(j) => j,
+            None => {
+                if self.want_types() {
+                    return Err(NirError::Type(format!(
+                        "operator {op} inapplicable to {a} and {b}"
+                    )));
+                }
+                ScalarType::Float64
+            }
+        };
+        Ok(op.result_type(joined))
+    }
+
+    fn classify_avar(
+        &self,
+        id: &Ident,
+        fa: &FieldAction,
+        ctx: &mut Ctx,
+    ) -> Result<ValueType, NirError> {
+        let ty = ctx
+            .var(id)
+            .ok_or_else(|| NirError::Unbound(id.clone()))?
+            .clone();
+        let (shape, elem) = match &ty {
+            Type::DField { shape, elem } => (ctx.resolve(shape)?, elem.elem_scalar()),
+            Type::Scalar(_) => {
+                return Err(NirError::Type(format!(
+                    "AVAR '{id}' names a scalar; use SVAR"
+                )))
+            }
+        };
+        let rank = shape.rank();
+        match fa {
+            FieldAction::Everywhere => Ok(ValueType::field(elem, shape)),
+            FieldAction::Subscript(ixs) => {
+                if ixs.len() != rank {
+                    return Err(NirError::Shape(format!(
+                        "'{id}' subscripted with {} indices but has rank {rank}",
+                        ixs.len()
+                    )));
+                }
+                for ix in ixs {
+                    let it = self.type_of(ix, ctx)?;
+                    if self.want_types() && !it.elem.is_integer() {
+                        return Err(NirError::Type(format!(
+                            "subscript of '{id}' must be integer, found {}",
+                            it.elem
+                        )));
+                    }
+                    if self.want_shapes() && !it.is_scalar() {
+                        return Err(NirError::Shape(format!(
+                            "subscript of '{id}' must be scalar (vector subscripts unsupported)"
+                        )));
+                    }
+                }
+                Ok(ValueType::scalar(elem))
+            }
+            FieldAction::Section(ranges) => {
+                if ranges.len() != rank {
+                    return Err(NirError::Shape(format!(
+                        "'{id}' sectioned with {} ranges but has rank {rank}",
+                        ranges.len()
+                    )));
+                }
+                let extents = shape.extents();
+                for (r, e) in ranges.iter().zip(&extents) {
+                    if r.lo < e.lo || r.hi > e.hi {
+                        return Err(NirError::Shape(format!(
+                            "section {r} of '{id}' exceeds bounds {}..{}",
+                            e.lo, e.hi
+                        )));
+                    }
+                }
+                let sec_shape = Shape::Product(
+                    ranges
+                        .iter()
+                        .map(|r| Shape::Interval(1, r.len() as i64))
+                        .collect(),
+                );
+                Ok(ValueType::field(elem, sec_shape))
+            }
+        }
+    }
+
+    fn classify_call(
+        &self,
+        name: &str,
+        args: &[(Type, Value)],
+        ctx: &mut Ctx,
+    ) -> Result<ValueType, NirError> {
+        let arg_types: Vec<ValueType> = args
+            .iter()
+            .map(|(_, v)| self.type_of(v, ctx))
+            .collect::<Result<_, _>>()?;
+        match name {
+            "cshift" | "eoshift" => {
+                let min_args = 3; // (array, shift, dim) for both shifts
+                if args.len() < min_args || args.len() > min_args + 1 {
+                    return Err(NirError::Malformed(format!(
+                        "{name} expects {min_args} arguments, got {}",
+                        args.len()
+                    )));
+                }
+                let arr = &arg_types[0];
+                let shape = arr.shape.clone().ok_or_else(|| {
+                    NirError::Shape(format!("{name} requires an array argument"))
+                })?;
+                for extra in &arg_types[1..] {
+                    if self.want_shapes() && !extra.is_scalar() {
+                        return Err(NirError::Shape(format!(
+                            "{name} shift/dim arguments must be scalar"
+                        )));
+                    }
+                }
+                Ok(ValueType::field(arr.elem, shape))
+            }
+            "merge" => {
+                if args.len() != 3 {
+                    return Err(NirError::Malformed(format!(
+                        "merge expects 3 arguments, got {}",
+                        args.len()
+                    )));
+                }
+                let (t, f, m) = (&arg_types[0], &arg_types[1], &arg_types[2]);
+                if self.want_types() {
+                    if m.elem != ScalarType::Logical32 {
+                        return Err(NirError::Type(format!(
+                            "merge mask must be logical, found {}",
+                            m.elem
+                        )));
+                    }
+                    if t.elem.promote(f.elem).is_none() {
+                        return Err(NirError::Type(format!(
+                            "merge branches have incompatible types {} and {}",
+                            t.elem, f.elem
+                        )));
+                    }
+                }
+                let mut shape = None;
+                for s in [&t.shape, &f.shape, &m.shape].into_iter().flatten() {
+                    match &shape {
+                        None => shape = Some(s.clone()),
+                        Some(prev) => {
+                            if self.want_shapes() && !prev.conforms(s) {
+                                return Err(NirError::Shape(format!(
+                                    "merge arguments have non-conforming shapes {prev} vs {s}"
+                                )));
+                            }
+                        }
+                    }
+                }
+                let elem = t.elem.promote(f.elem).unwrap_or(ScalarType::Float64);
+                Ok(ValueType { elem, shape })
+            }
+            "transpose" => {
+                if args.len() != 1 {
+                    return Err(NirError::Malformed(format!(
+                        "transpose expects 1 argument, got {}",
+                        args.len()
+                    )));
+                }
+                let arr = &arg_types[0];
+                let Some(shape) = &arr.shape else {
+                    return Err(NirError::Shape("transpose of a scalar".into()));
+                };
+                let extents = shape.extents();
+                if extents.len() != 2 {
+                    return Err(NirError::Shape(format!(
+                        "transpose requires rank 2, got rank {}",
+                        extents.len()
+                    )));
+                }
+                let flipped = Shape::Product(vec![
+                    Shape::Interval(extents[1].lo, extents[1].hi),
+                    Shape::Interval(extents[0].lo, extents[0].hi),
+                ]);
+                Ok(ValueType::field(arr.elem, flipped))
+            }
+            "sum" | "maxval" | "minval" => {
+                if args.is_empty() || args.len() > 2 {
+                    return Err(NirError::Malformed(format!(
+                        "{name} expects (array[, dim]), got {} arguments",
+                        args.len()
+                    )));
+                }
+                let arr = &arg_types[0];
+                let Some(shape) = &arr.shape else {
+                    return Err(NirError::Shape(format!(
+                        "{name} requires an array argument"
+                    )));
+                };
+                if let Some((_, dim_v)) = args.get(1) {
+                    // Partial reduction: result shape drops the axis.
+                    // DIM must be a literal — the result *shape* depends
+                    // on it.
+                    let Some(dim) = dim_v.as_const().and_then(|c| c.as_f64()) else {
+                        return Err(NirError::Malformed(format!(
+                            "{name} DIM must be an integer literal \
+                             (the result shape depends on it)"
+                        )));
+                    };
+                    let dim = dim as usize;
+                    let mut extents = shape.extents();
+                    if dim == 0 || dim > extents.len() {
+                        return Err(NirError::Shape(format!(
+                            "{name} DIM={dim} out of range for rank {}",
+                            extents.len()
+                        )));
+                    }
+                    extents.remove(dim - 1);
+                    if extents.is_empty() {
+                        return Ok(ValueType::scalar(arr.elem));
+                    }
+                    let shape = Shape::Product(
+                        extents
+                            .into_iter()
+                            .map(|e| Shape::Interval(e.lo, e.hi))
+                            .collect(),
+                    );
+                    return Ok(ValueType::field(arr.elem, shape));
+                }
+                Ok(ValueType::scalar(arr.elem))
+            }
+            "spread" => {
+                if args.len() != 3 {
+                    return Err(NirError::Malformed(format!(
+                        "spread expects (source, dim, ncopies), got {} arguments",
+                        args.len()
+                    )));
+                }
+                let arr = &arg_types[0];
+                let Some(shape) = &arr.shape else {
+                    return Err(NirError::Shape("spread of a scalar".into()));
+                };
+                let (Some(dim), Some(n)) = (
+                    args[1].1.as_const().and_then(|c| c.as_f64()),
+                    args[2].1.as_const().and_then(|c| c.as_f64()),
+                ) else {
+                    return Err(NirError::Malformed(
+                        "spread DIM and NCOPIES must be integer literals \
+                         (the result shape depends on them)"
+                            .into(),
+                    ));
+                };
+                let (dim, n) = (dim as usize, n as i64);
+                let mut extents = shape.extents();
+                if dim == 0 || dim > extents.len() + 1 {
+                    return Err(NirError::Shape(format!(
+                        "spread DIM={dim} out of range for rank {}",
+                        extents.len()
+                    )));
+                }
+                extents.insert(
+                    dim - 1,
+                    crate::shape::Extent { lo: 1, hi: n, serial: false },
+                );
+                let shape = Shape::Product(
+                    extents
+                        .into_iter()
+                        .map(|e| Shape::Interval(e.lo, e.hi))
+                        .collect(),
+                );
+                Ok(ValueType::field(arr.elem, shape))
+            }
+            other => Err(NirError::Malformed(format!(
+                "unknown primitive function '{other}'"
+            ))),
+        }
+    }
+}
+
+fn resolve_type(ty: &Type, ctx: &Ctx) -> Result<Type, NirError> {
+    match ty {
+        Type::Scalar(s) => Ok(Type::Scalar(*s)),
+        Type::DField { shape, elem } => Ok(Type::DField {
+            shape: ctx.resolve(shape)?,
+            elem: Box::new(resolve_type(elem, ctx)?),
+        }),
+    }
+}
+
+fn check_assignable(src: ScalarType, dst: ScalarType) -> Result<(), NirError> {
+    let ok = match (src.is_logical(), dst.is_logical()) {
+        (true, true) => true,
+        (false, false) => true, // numeric conversion on assignment
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(NirError::Type(format!("cannot assign {src} to {dst}")))
+    }
+}
+
+/// Typecheck and shapecheck a whole program (mode [`Mode::Both`]).
+///
+/// # Errors
+///
+/// Returns the first static error found.
+pub fn check(imp: &Imp) -> Result<(), NirError> {
+    Checker::new(Mode::Both).check_program(imp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    fn k_l_program(k_rhs: Value) -> Imp {
+        with_domain(
+            "alpha",
+            interval(1, 128),
+            with_domain(
+                "beta",
+                prod(vec![domain("alpha"), interval(1, 64)]),
+                with_decl(
+                    declset(vec![
+                        decl("k", dfield(domain("beta"), int32())),
+                        decl("l", dfield(domain("alpha"), int32())),
+                    ]),
+                    seq(vec![
+                        mv(avar("l", everywhere()), int(6)),
+                        mv(avar("k", everywhere()), k_rhs),
+                    ]),
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn paper_fig8_program_checks() {
+        let p = k_l_program(add(mul(int(2), ld("k", everywhere())), int(5)));
+        check(&p).unwrap();
+    }
+
+    #[test]
+    fn mixing_nonconforming_fields_is_a_shape_error() {
+        // K (128x64) = L (128) : rank mismatch
+        let p = k_l_program(ld("l", everywhere()));
+        match check(&p) {
+            Err(NirError::Shape(_)) => {}
+            other => panic!("expected shape error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_variable_is_reported() {
+        let p = mv(avar("ghost", everywhere()), int(0));
+        assert!(matches!(check(&p), Err(NirError::Unbound(_))));
+    }
+
+    #[test]
+    fn unbound_domain_is_reported() {
+        let p = with_decl(
+            decl("a", dfield(domain("nowhere"), float64())),
+            mv(avar("a", everywhere()), f64c(0.0)),
+        );
+        assert!(matches!(check(&p), Err(NirError::UnboundDomain(_))));
+    }
+
+    #[test]
+    fn logical_mask_is_required() {
+        let p = with_domain(
+            "s",
+            interval(1, 4),
+            with_decl(
+                decl("a", dfield(domain("s"), float64())),
+                mv_masked(int(1), avar("a", everywhere()), f64c(0.0)),
+            ),
+        );
+        assert!(matches!(check(&p), Err(NirError::Type(_))));
+    }
+
+    #[test]
+    fn subscript_arity_is_checked() {
+        let p = with_domain(
+            "s",
+            prod(vec![interval(1, 4), interval(1, 4)]),
+            with_decl(
+                decl("a", dfield(domain("s"), float64())),
+                mv(avar("a", subscript(vec![int(1)])), f64c(0.0)),
+            ),
+        );
+        assert!(matches!(check(&p), Err(NirError::Shape(_))));
+    }
+
+    #[test]
+    fn section_out_of_bounds_is_checked() {
+        use crate::value::SectionRange;
+        let p = with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                decl("a", dfield(domain("s"), float64())),
+                mv(
+                    avar("a", section(vec![SectionRange::new(1, 9)])),
+                    f64c(0.0),
+                ),
+            ),
+        );
+        assert!(matches!(check(&p), Err(NirError::Shape(_))));
+    }
+
+    #[test]
+    fn do_index_requires_enclosing_do() {
+        let p = with_domain(
+            "s",
+            serial_interval(1, 4),
+            with_decl(
+                decl("x", float64()),
+                mv(svar_lv("x"), do_index("s", 1)),
+            ),
+        );
+        assert!(check(&p).is_err());
+        // Inside a DO it is fine.
+        let p = with_domain(
+            "s",
+            serial_interval(1, 4),
+            with_decl(
+                decl("x", float64()),
+                do_over("i", domain("s"), mv(svar_lv("x"), do_index("i", 1))),
+            ),
+        );
+        check(&p).unwrap();
+    }
+
+    #[test]
+    fn cshift_preserves_classification() {
+        let p = with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![
+                    decl("a", dfield(domain("s"), float64())),
+                    decl("b", dfield(domain("s"), float64())),
+                ]),
+                mv(
+                    avar("b", everywhere()),
+                    fcncall(
+                        "cshift",
+                        vec![
+                            (float64(), ld("a", everywhere())),
+                            (int32(), int(1)),
+                            (int32(), int(1)),
+                        ],
+                    ),
+                ),
+            ),
+        );
+        check(&p).unwrap();
+    }
+
+    #[test]
+    fn shape_mode_ignores_scalar_type_errors() {
+        // Assign logical to float: a type error but not a shape error.
+        let p = with_decl(
+            decl("x", float64()),
+            mv(svar_lv("x"), boolc(true)),
+        );
+        assert!(Checker::new(Mode::Types).check_program(&p).is_err());
+        Checker::new(Mode::Shapes).check_program(&p).unwrap();
+    }
+
+    #[test]
+    fn domain_shadowing_restores_outer_binding() {
+        let p = with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                decl("a", dfield(domain("s"), float64())),
+                seq(vec![
+                    with_domain(
+                        "s",
+                        interval(1, 4),
+                        with_decl(
+                            decl("b", dfield(domain("s"), float64())),
+                            mv(avar("b", everywhere()), f64c(0.0)),
+                        ),
+                    ),
+                    // 'a' still sees the outer 8-point domain.
+                    mv(avar("a", everywhere()), f64c(1.0)),
+                ]),
+            ),
+        );
+        check(&p).unwrap();
+    }
+}

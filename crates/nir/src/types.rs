@@ -1,0 +1,155 @@
+//! The type domain `T` (paper Figure 5, extended by `dfield` from Figure 6).
+
+use std::fmt;
+
+use crate::shape::ShapeExpr;
+
+/// Machine-level scalar types (paper Fig. 5, type domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// `integer_32` — 32-bit integer.
+    Integer32,
+    /// `logical_32` — 32-bit logical.
+    Logical32,
+    /// `float_32` — single-precision floating point.
+    Float32,
+    /// `float_64` — double-precision floating point.
+    Float64,
+}
+
+impl ScalarType {
+    /// `true` for the two floating-point types.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::Float32 | ScalarType::Float64)
+    }
+
+    /// `true` for `integer_32`.
+    pub fn is_integer(self) -> bool {
+        self == ScalarType::Integer32
+    }
+
+    /// `true` for `logical_32`.
+    pub fn is_logical(self) -> bool {
+        self == ScalarType::Logical32
+    }
+
+    /// The joined type of a mixed-mode arithmetic operation, following
+    /// Fortran's promotion rules (integer < float_32 < float_64).
+    ///
+    /// Returns `None` when the two types cannot appear together in
+    /// arithmetic (e.g. a logical operand).
+    pub fn promote(self, other: ScalarType) -> Option<ScalarType> {
+        use ScalarType::*;
+        match (self, other) {
+            (Logical32, _) | (_, Logical32) => None,
+            (Float64, _) | (_, Float64) => Some(Float64),
+            (Float32, _) | (_, Float32) => Some(Float32),
+            (Integer32, Integer32) => Some(Integer32),
+        }
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarType::Integer32 => "integer_32",
+            ScalarType::Logical32 => "logical_32",
+            ScalarType::Float32 => "float_32",
+            ScalarType::Float64 => "float_64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An NIR type: a scalar, or a `dfield` of elements laid out over a shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A machine scalar.
+    Scalar(ScalarType),
+    /// `dfield : S*T -> T` — a field of elements of type `elem`, one per
+    /// point of `shape` (paper Fig. 6). `elem` may itself be a `dfield`,
+    /// one interpretation of the shape cross-product.
+    DField {
+        /// The shape of the field.
+        shape: ShapeExpr,
+        /// The per-point element type.
+        elem: Box<Type>,
+    },
+}
+
+impl Type {
+    /// Convenience constructor for a `dfield` type.
+    pub fn dfield(shape: impl Into<ShapeExpr>, elem: Type) -> Type {
+        Type::DField { shape: shape.into(), elem: Box::new(elem) }
+    }
+
+    /// The underlying scalar element type, drilling through nested
+    /// `dfield`s.
+    pub fn elem_scalar(&self) -> ScalarType {
+        match self {
+            Type::Scalar(s) => *s,
+            Type::DField { elem, .. } => elem.elem_scalar(),
+        }
+    }
+
+    /// `true` when this is a plain scalar type.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Scalar(_))
+    }
+
+    /// The shape of the outermost `dfield`, if any.
+    pub fn field_shape(&self) -> Option<&ShapeExpr> {
+        match self {
+            Type::Scalar(_) => None,
+            Type::DField { shape, .. } => Some(shape),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Scalar(s) => write!(f, "{s}"),
+            Type::DField { shape, elem } => {
+                write!(f, "dfield{{shape={shape},element={elem}}}")
+            }
+        }
+    }
+}
+
+impl From<ScalarType> for Type {
+    fn from(s: ScalarType) -> Self {
+        Type::Scalar(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn promotion_follows_fortran_rules() {
+        use ScalarType::*;
+        assert_eq!(Integer32.promote(Float64), Some(Float64));
+        assert_eq!(Float32.promote(Integer32), Some(Float32));
+        assert_eq!(Integer32.promote(Integer32), Some(Integer32));
+        assert_eq!(Logical32.promote(Integer32), None);
+    }
+
+    #[test]
+    fn elem_scalar_drills_through_nested_dfields() {
+        let inner = Type::dfield(Shape::interval(1, 4), ScalarType::Float64.into());
+        let outer = Type::dfield(Shape::interval(1, 8), inner);
+        assert_eq!(outer.elem_scalar(), ScalarType::Float64);
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let t = Type::dfield(Shape::domain("beta"), ScalarType::Integer32.into());
+        assert_eq!(
+            t.to_string(),
+            "dfield{shape=domain 'beta',element=integer_32}"
+        );
+    }
+}

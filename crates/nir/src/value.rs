@@ -1,0 +1,382 @@
+//! The value domain `V` and field-restrictor domain `F`
+//! (paper Figures 5 and 6).
+
+use std::fmt;
+
+use crate::ops::{BinOp, UnOp};
+use crate::shape::ShapeExpr;
+use crate::types::{ScalarType, Type};
+use crate::Ident;
+
+/// Scalar constants carried by `SCALAR` terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Const {
+    /// 32-bit integer constant.
+    I32(i32),
+    /// Logical constant.
+    Bool(bool),
+    /// Single-precision constant.
+    F32(f32),
+    /// Double-precision constant.
+    F64(f64),
+}
+
+impl Const {
+    /// The scalar type of the constant.
+    pub fn scalar_type(self) -> ScalarType {
+        match self {
+            Const::I32(_) => ScalarType::Integer32,
+            Const::Bool(_) => ScalarType::Logical32,
+            Const::F32(_) => ScalarType::Float32,
+            Const::F64(_) => ScalarType::Float64,
+        }
+    }
+
+    /// The constant as an `f64`, when numeric.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Const::I32(v) => Some(v as f64),
+            Const::F32(v) => Some(v as f64),
+            Const::F64(v) => Some(v),
+            Const::Bool(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::I32(v) => write!(f, "{v}"),
+            Const::Bool(v) => write!(f, "{}", if *v { ".true." } else { ".false." }),
+            Const::F32(v) => write!(f, "{v}"),
+            Const::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One axis of an array section: `lo : hi : step` with `step >= 1`.
+///
+/// Sections are a staging device used by semantic lowering for Fortran-90
+/// section syntax (`A(1:32:2, :)`); the mask-padding transformation of the
+/// paper's §4.2 (Fig. 10) rewrites them into `everywhere` accesses guarded
+/// by a parity mask before any backend sees them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SectionRange {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+    /// Stride, at least 1.
+    pub step: i64,
+}
+
+impl SectionRange {
+    /// A unit-stride section.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        SectionRange { lo, hi, step: 1 }
+    }
+
+    /// A strided section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step < 1`.
+    pub fn strided(lo: i64, hi: i64, step: i64) -> Self {
+        assert!(step >= 1, "section stride must be positive, got {step}");
+        SectionRange { lo, hi, step }
+    }
+
+    /// Number of selected indices.
+    pub fn len(&self) -> usize {
+        if self.hi < self.lo {
+            0
+        } else {
+            ((self.hi - self.lo) / self.step + 1) as usize
+        }
+    }
+
+    /// `true` when no index is selected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when index `i` belongs to the section.
+    pub fn contains(&self, i: i64) -> bool {
+        i >= self.lo && i <= self.hi && (i - self.lo) % self.step == 0
+    }
+
+    /// `true` when the two sections select no common index.
+    ///
+    /// Exact for equal strides (residue comparison); conservative (may
+    /// return `false` for actually-disjoint sections) otherwise. Used by
+    /// the disjoint-mask blocking transformation to prove that the
+    /// `WHERE/ELSEWHERE`-style masked assignments of Fig. 10 may share a
+    /// computation block.
+    pub fn disjoint(&self, other: &SectionRange) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return true;
+        }
+        // No overlap in the bounding intervals.
+        if self.hi < other.lo || other.hi < self.lo {
+            return true;
+        }
+        if self.step == other.step {
+            // Equal strides: disjoint iff residues differ mod step.
+            return (self.lo - other.lo).rem_euclid(self.step) != 0;
+        }
+        // Small sections: decide exactly by enumeration.
+        if self.len().min(other.len()) <= 4096 {
+            let (small, big) = if self.len() <= other.len() {
+                (self, other)
+            } else {
+                (other, self)
+            };
+            let mut i = small.lo;
+            while i <= small.hi {
+                if big.contains(i) {
+                    return false;
+                }
+                i += small.step;
+            }
+            return true;
+        }
+        false
+    }
+}
+
+impl fmt::Display for SectionRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.step == 1 {
+            write!(f, "{}:{}", self.lo, self.hi)
+        } else {
+            write!(f, "{}:{}:{}", self.lo, self.hi, self.step)
+        }
+    }
+}
+
+/// Field actions (the restrictor domain `F`, paper Fig. 6): how an `AVAR`
+/// reference specialises the declared shape of the array it names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldAction {
+    /// `subscript(S)` — shapewise subscripting: one index value per axis.
+    ///
+    /// The reference denotes a scalar (or lower-rank slice when some axes
+    /// use coordinate values inside a surrounding `DO`).
+    Subscript(Vec<Value>),
+    /// `everywhere` — universal selection: the reference denotes the whole
+    /// field, in parallel, with the shape specialised by context.
+    Everywhere,
+    /// A strided rectangular section, one range per axis (lowering-stage
+    /// staging form; see [`SectionRange`]).
+    Section(Vec<SectionRange>),
+}
+
+impl FieldAction {
+    /// `true` for the `everywhere` restrictor.
+    pub fn is_everywhere(&self) -> bool {
+        matches!(self, FieldAction::Everywhere)
+    }
+}
+
+impl fmt::Display for FieldAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldAction::Everywhere => f.write_str("everywhere"),
+            FieldAction::Subscript(ixs) => {
+                f.write_str("subscript[")?;
+                for (i, ix) in ixs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{ix}")?;
+                }
+                f.write_str("]")
+            }
+            FieldAction::Section(ranges) => {
+                f.write_str("section[")?;
+                for (i, r) in ranges.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+/// Value-producing terms (paper Fig. 5 plus the Fig. 6 extensions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `SCALAR : T*s_rep -> V` — a scalar constant.
+    Scalar(Const),
+    /// `SVAR : id -> V` — a scalar variable reference.
+    SVar(Ident),
+    /// `AVAR : id*F -> V` — an array variable reference through a field
+    /// action (Fig. 6).
+    AVar(Ident, FieldAction),
+    /// `UNARY : monop*V -> V`.
+    Unary(UnOp, Box<Value>),
+    /// `BINARY : binop*V*V -> V`.
+    Binary(BinOp, Box<Value>, Box<Value>),
+    /// `FCNCALL : id*(T*V)list -> V` — call of a primitive function.
+    ///
+    /// Communication intrinsics (`cshift`, `eoshift`, reductions) travel
+    /// through lowering as `FCNCALL`s and are replaced by CM runtime calls
+    /// in the front-end compiler, exactly as §5.2 describes.
+    FcnCall(Ident, Vec<(Type, Value)>),
+    /// `local_under : S*int -> F/V` — the coordinate matrix of axis `dim`
+    /// (1-based) over the given shape (Fig. 6): at each point of the
+    /// shape, the value of that point's `dim`-th coordinate.
+    LocalUnder(ShapeExpr, usize),
+    /// The loop index of the `dim`-th axis (1-based) of the nearest
+    /// enclosing `DO` over the named domain.
+    ///
+    /// This is how subscripted references inside serial `DO`s (paper
+    /// Fig. 9: `AVAR('a', subscript(prod_dom[local_under(beta,1), ...]))`)
+    /// name the running coordinate.
+    DoIndex(Ident, usize),
+}
+
+impl Value {
+    /// `true` when the value is a compile-time constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Value::Scalar(_))
+    }
+
+    /// The constant payload, if this is a `SCALAR` term.
+    pub fn as_const(&self) -> Option<Const> {
+        match self {
+            Value::Scalar(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Visit every sub-value (including `self`), pre-order.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a Value)) {
+        visit(self);
+        match self {
+            Value::Unary(_, a) => a.walk(visit),
+            Value::Binary(_, a, b) => {
+                a.walk(visit);
+                b.walk(visit);
+            }
+            Value::FcnCall(_, args) => {
+                for (_, a) in args {
+                    a.walk(visit);
+                }
+            }
+            Value::AVar(_, FieldAction::Subscript(ixs)) => {
+                for ix in ixs {
+                    ix.walk(visit);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Collect the identifiers of all variables read by this value.
+    pub fn reads(&self) -> Vec<&Ident> {
+        let mut out = Vec::new();
+        self.walk(&mut |v| match v {
+            Value::SVar(id) | Value::AVar(id, _) => out.push(id),
+            _ => {}
+        });
+        out
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Scalar(c) => write!(f, "SCALAR({},'{}')", c.scalar_type(), c),
+            Value::SVar(id) => write!(f, "SVAR '{id}'"),
+            Value::AVar(id, fa) => write!(f, "AVAR('{id}',{fa})"),
+            Value::Unary(op, a) => write!(f, "UNARY({op},{a})"),
+            Value::Binary(op, a, b) => write!(f, "BINARY({op},{a},{b})"),
+            Value::FcnCall(id, args) => {
+                write!(f, "FCNCALL('{id}',[")?;
+                for (i, (_, a)) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str("])")
+            }
+            Value::LocalUnder(s, d) => write!(f, "local_under({s},{d})"),
+            Value::DoIndex(dom, d) => write!(f, "do_index('{dom}',{d})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_len_and_contains() {
+        let s = SectionRange::strided(1, 31, 2); // 1,3,...,31
+        assert_eq!(s.len(), 16);
+        assert!(s.contains(1));
+        assert!(s.contains(31));
+        assert!(!s.contains(2));
+        assert!(!s.contains(33));
+    }
+
+    #[test]
+    fn odd_and_even_sections_are_disjoint() {
+        let odd = SectionRange::strided(1, 31, 2);
+        let even = SectionRange::strided(2, 32, 2);
+        assert!(odd.disjoint(&even));
+        assert!(even.disjoint(&odd));
+    }
+
+    #[test]
+    fn overlapping_sections_are_not_disjoint() {
+        let a = SectionRange::new(1, 16);
+        let b = SectionRange::new(16, 32);
+        assert!(!a.disjoint(&b));
+    }
+
+    #[test]
+    fn mixed_stride_disjointness_is_exact_for_small_sections() {
+        let a = SectionRange::strided(1, 30, 3); // 1,4,...,28
+        let b = SectionRange::strided(2, 30, 3); // 2,5,...,29
+        assert!(a.disjoint(&b));
+        let c = SectionRange::strided(1, 30, 2); // 1,3,5,...
+        assert!(!a.disjoint(&c)); // share 1,7,13,...
+    }
+
+    #[test]
+    fn empty_section_is_disjoint_from_everything() {
+        let e = SectionRange::new(5, 4);
+        let a = SectionRange::new(1, 100);
+        assert!(e.disjoint(&a));
+        assert!(a.disjoint(&e));
+    }
+
+    #[test]
+    fn reads_collects_variables() {
+        let v = Value::Binary(
+            BinOp::Add,
+            Box::new(Value::SVar("a".into())),
+            Box::new(Value::AVar("k".into(), FieldAction::Everywhere)),
+        );
+        let reads = v.reads();
+        assert_eq!(reads.len(), 2);
+        assert!(reads.iter().any(|id| *id == "a"));
+        assert!(reads.iter().any(|id| *id == "k"));
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let v = Value::Binary(
+            BinOp::Add,
+            Box::new(Value::SVar("a".into())),
+            Box::new(Value::Unary(UnOp::Sin, Box::new(Value::SVar("c".into())))),
+        );
+        assert_eq!(v.to_string(), "BINARY(Add,SVAR 'a',UNARY(Sin,SVAR 'c'))");
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests over the NIR semantic algebra: arithmetic laws the
+//! evaluator must respect, array-intrinsic algebra, shape geometry, and
+//! the Figure 4 loop rules against the point iterator.
+
+use proptest::prelude::*;
+
+use f90y_nir::array::{ArrayData, Scalar};
+use f90y_nir::eval::{apply_binop, apply_unop};
+use f90y_nir::loop_rules;
+use f90y_nir::{BinOp, ScalarType, SectionRange, Shape, UnOp};
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    prop_oneof![
+        (-50i32..50).prop_map(Scalar::I32),
+        (-50i64..50).prop_map(|v| Scalar::F64(v as f64 / 4.0)),
+        any::<bool>().prop_map(Scalar::Bool),
+    ]
+}
+
+fn arb_numeric() -> impl Strategy<Value = Scalar> {
+    prop_oneof![
+        (-50i32..50).prop_map(Scalar::I32),
+        (-50i64..50).prop_map(|v| Scalar::F64(v as f64 / 4.0)),
+    ]
+}
+
+proptest! {
+    // -----------------------------------------------------------------
+    // Evaluator arithmetic laws
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn add_mul_max_min_commute(a in arb_numeric(), b in arb_numeric()) {
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Max, BinOp::Min] {
+            let x = apply_binop(op, a, b).expect("numeric");
+            let y = apply_binop(op, b, a).expect("numeric");
+            prop_assert_eq!(x, y, "{} must commute", op);
+        }
+    }
+
+    #[test]
+    fn neg_is_an_involution(a in arb_numeric()) {
+        let once = apply_unop(UnOp::Neg, a).expect("numeric");
+        let twice = apply_unop(UnOp::Neg, once).expect("numeric");
+        prop_assert_eq!(twice, a);
+    }
+
+    #[test]
+    fn abs_is_idempotent_and_nonnegative(a in arb_numeric()) {
+        let x = apply_unop(UnOp::Abs, a).expect("numeric");
+        prop_assert!(x.to_f64().expect("numeric") >= 0.0);
+        prop_assert_eq!(apply_unop(UnOp::Abs, x).expect("numeric"), x);
+    }
+
+    #[test]
+    fn relational_trichotomy(a in arb_numeric(), b in arb_numeric()) {
+        let lt = apply_binop(BinOp::Lt, a, b).expect("numeric").to_bool().expect("bool");
+        let eq = apply_binop(BinOp::Eq, a, b).expect("numeric").to_bool().expect("bool");
+        let gt = apply_binop(BinOp::Gt, a, b).expect("numeric").to_bool().expect("bool");
+        prop_assert_eq!(
+            [lt, eq, gt].iter().filter(|&&x| x).count(),
+            1,
+            "exactly one of <, ==, > holds"
+        );
+    }
+
+    #[test]
+    fn integer_mod_matches_truncated_division(a in -60i32..60, p in 1i32..12) {
+        let q = apply_binop(BinOp::Div, Scalar::I32(a), Scalar::I32(p)).expect("ok");
+        let m = apply_binop(BinOp::Mod, Scalar::I32(a), Scalar::I32(p)).expect("ok");
+        let (q, m) = (q.to_i64().expect("int"), m.to_i64().expect("int"));
+        prop_assert_eq!(q * p as i64 + m, a as i64, "a = q*p + MOD(a,p)");
+        prop_assert!(m.abs() < p as i64);
+    }
+
+    #[test]
+    fn logical_ops_require_logicals(a in arb_scalar(), b in arb_scalar()) {
+        let r = apply_binop(BinOp::And, a, b);
+        let both_bool = matches!((a, b), (Scalar::Bool(_), Scalar::Bool(_)));
+        prop_assert_eq!(r.is_ok(), both_bool);
+    }
+
+    // -----------------------------------------------------------------
+    // Array intrinsics
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn cshift_roundtrips(
+        data in proptest::collection::vec(-100i32..100, 1..40),
+        shift in -50i64..50,
+    ) {
+        let n = data.len();
+        let arr = ArrayData::from_vec(
+            vec![(1, n as i64)],
+            ScalarType::Integer32,
+            data.iter().map(|&v| Scalar::I32(v)).collect(),
+        )
+        .expect("well-formed");
+        let there = arr.cshift(0, shift).expect("in range");
+        let back = there.cshift(0, -shift).expect("in range");
+        prop_assert_eq!(back, arr.clone());
+        // Shifting by a multiple of n is the identity.
+        let full = arr.cshift(0, n as i64 * shift.signum()).expect("in range");
+        prop_assert_eq!(full, arr);
+    }
+
+    #[test]
+    fn cshift_preserves_multiset(
+        data in proptest::collection::vec(-100i32..100, 1..40),
+        shift in -50i64..50,
+    ) {
+        let n = data.len();
+        let arr = ArrayData::from_vec(
+            vec![(1, n as i64)],
+            ScalarType::Integer32,
+            data.iter().map(|&v| Scalar::I32(v)).collect(),
+        )
+        .expect("well-formed");
+        let shifted = arr.cshift(0, shift).expect("in range");
+        let mut a: Vec<i64> = arr.as_slice().iter().map(|s| s.to_i64().unwrap()).collect();
+        let mut b: Vec<i64> = shifted.as_slice().iter().map(|s| s.to_i64().unwrap()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eoshift_composition_loses_at_the_ends(
+        data in proptest::collection::vec(1i32..100, 2..30),
+        shift in 1i64..10,
+    ) {
+        let n = data.len() as i64;
+        let arr = ArrayData::from_vec(
+            vec![(1, n)],
+            ScalarType::Integer32,
+            data.iter().map(|&v| Scalar::I32(v)).collect(),
+        )
+        .expect("well-formed");
+        let boundary = Scalar::I32(0);
+        let out = arr
+            .eoshift(0, shift, boundary)
+            .expect("in range")
+            .eoshift(0, -shift, boundary)
+            .expect("in range");
+        // Positive then negative shift: the first `shift` positions are
+        // shifted off the end and come back boundary-filled; the rest
+        // survive (y[i] = x[i+s] ⇒ z[i] = y[i-s] = x[i] for i ≥ s).
+        let k = shift.min(n) as usize;
+        for (i, s) in out.as_slice().iter().enumerate() {
+            let expect = if i < k { 0 } else { data[i] };
+            prop_assert_eq!(s.to_i64().unwrap(), expect as i64, "index {}", i);
+        }
+    }
+
+    #[test]
+    fn reductions_agree_with_std(
+        data in proptest::collection::vec(-100i32..100, 1..40),
+    ) {
+        let arr = ArrayData::from_vec(
+            vec![(1, data.len() as i64)],
+            ScalarType::Integer32,
+            data.iter().map(|&v| Scalar::I32(v)).collect(),
+        )
+        .expect("well-formed");
+        prop_assert_eq!(arr.sum().unwrap(), data.iter().map(|&v| v as f64).sum::<f64>());
+        prop_assert_eq!(
+            arr.maxval().unwrap(),
+            data.iter().copied().max().unwrap() as f64
+        );
+        prop_assert_eq!(
+            arr.minval().unwrap(),
+            data.iter().copied().min().unwrap() as f64
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Shapes and Figure 4
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn loop_rules_expand_in_point_iterator_order(
+        extents in proptest::collection::vec((1i64..5, -2i64..3), 1..4),
+    ) {
+        let dims: Vec<Shape> = extents
+            .iter()
+            .map(|&(len, lo)| Shape::SerialInterval(lo, lo + len - 1))
+            .collect();
+        let s = Shape::Product(dims);
+        let via_rules = loop_rules::expand(&s);
+        let via_points: Vec<Vec<i64>> = s.points().collect();
+        prop_assert_eq!(via_rules, via_points);
+    }
+
+    #[test]
+    fn grid_layout_bounds_roundtrip(extents in proptest::collection::vec(1i64..9, 1..4)) {
+        let s = Shape::grid(&extents);
+        let bounds = s.array_bounds();
+        prop_assert_eq!(bounds.len(), extents.len());
+        for ((lo, hi), e) in bounds.iter().zip(&extents) {
+            prop_assert_eq!(*lo, 1);
+            prop_assert_eq!(*hi, *e);
+        }
+    }
+
+    #[test]
+    fn section_len_counts_contained_points(
+        lo in 1i64..20, len in 0i64..30, step in 1i64..5,
+    ) {
+        let s = SectionRange::strided(lo, lo + len, step);
+        let counted = (lo..=lo + len).filter(|&i| s.contains(i)).count();
+        prop_assert_eq!(s.len(), counted);
+    }
+}

@@ -1,0 +1,347 @@
+//! The PEAC text assembler: parse Figure 12-style listings back into
+//! routines.
+//!
+//! This is the inverse of [`crate::isa::Routine::listing`]: a label
+//! line, one instruction per line (overlapped memory instructions share
+//! a line after a comma), and a closing `jnz ac2 <label>_`. The argument
+//! signature is inferred from the highest register indices used.
+//!
+//! Round-trip guarantee: for any routine `r`,
+//! `listing(parse_listing(r.listing())) == r.listing()` — the *text* is
+//! stable. (Body order of overlapped instructions is normalised to
+//! their printed position.)
+
+use crate::isa::{CmpOp, Instr, LibOp, Mem, Operand, PReg, Routine, SReg, VReg};
+use crate::PeacError;
+
+/// Parse a PEAC listing.
+///
+/// # Errors
+///
+/// Fails on malformed syntax or when the assembled body does not
+/// validate.
+pub fn parse_listing(text: &str) -> Result<Routine, PeacError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| PeacError::Invalid("empty listing".into()))?;
+    let name = header
+        .trim()
+        .strip_suffix('_')
+        .ok_or_else(|| PeacError::Invalid(format!("bad label line '{header}'")))?
+        .to_string();
+
+    let mut body: Vec<Instr> = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.starts_with("jnz") {
+            break;
+        }
+        for (k, part) in line.split(',').enumerate() {
+            let mut i = parse_instr(part.trim())?;
+            // Parts after the first on a line are overlapped.
+            if k > 0 {
+                set_overlapped(&mut i);
+            }
+            body.push(i);
+        }
+    }
+
+    // Infer the argument signature from register usage.
+    let mut max_p: i32 = -1;
+    let mut max_s: i32 = -1;
+    for i in &body {
+        // Direct memory forms first.
+        match i {
+            Instr::Flodv { src, .. } => max_p = max_p.max(src.ptr.0 as i32),
+            Instr::Fstrv { dst, .. } => max_p = max_p.max(dst.ptr.0 as i32),
+            _ => {}
+        }
+        // Chained memory and broadcast scalar operands.
+        for m in i.mem_operands() {
+            max_p = max_p.max(m.ptr.0 as i32);
+        }
+        for o in operand_list(i) {
+            if let Operand::S(s) = o {
+                max_s = max_s.max(s.0 as i32);
+            }
+        }
+    }
+    Routine::new(
+        &name,
+        (max_p + 1) as usize,
+        (max_s + 1) as usize,
+        body,
+    )
+}
+
+fn set_overlapped(i: &mut Instr) {
+    match i {
+        Instr::Flodv { overlapped, .. }
+        | Instr::Fstrv { overlapped, .. }
+        | Instr::SpillStore { overlapped, .. }
+        | Instr::SpillLoad { overlapped, .. } => *overlapped = true,
+        _ => {}
+    }
+}
+
+fn parse_instr(text: &str) -> Result<Instr, PeacError> {
+    let mut parts = text.split_whitespace();
+    let opcode = parts
+        .next()
+        .ok_or_else(|| PeacError::Invalid("empty instruction".into()))?;
+    let rest: Vec<&str> = parts.collect();
+    let bad = || PeacError::Invalid(format!("malformed instruction '{text}'"));
+
+    let vreg = |s: &str| -> Result<VReg, PeacError> {
+        s.strip_prefix("aV")
+            .and_then(|n| n.parse().ok())
+            .map(VReg)
+            .ok_or_else(bad)
+    };
+    let operand = |s: &str| -> Result<Operand, PeacError> {
+        if let Some(n) = s.strip_prefix("aV") {
+            return n.parse().map(|v| Operand::V(VReg(v))).map_err(|_| bad());
+        }
+        if let Some(n) = s.strip_prefix("aS") {
+            return n.parse().map(|v| Operand::S(SReg(v))).map_err(|_| bad());
+        }
+        mem(s).map(Operand::M)
+    };
+
+    match opcode {
+        "flodv" => {
+            let [src, dst] = rest.as_slice() else { return Err(bad()) };
+            if let Some(slot) = spill_slot(src) {
+                Ok(Instr::SpillLoad { slot, dst: vreg(dst)?, overlapped: false })
+            } else {
+                Ok(Instr::Flodv { src: mem(src)?, dst: vreg(dst)?, overlapped: false })
+            }
+        }
+        "fstrv" => {
+            let [src, dst] = rest.as_slice() else { return Err(bad()) };
+            if let Some(slot) = spill_slot(dst) {
+                Ok(Instr::SpillStore { src: vreg(src)?, slot, overlapped: false })
+            } else {
+                Ok(Instr::Fstrv { src: vreg(src)?, dst: mem(dst)?, overlapped: false })
+            }
+        }
+        "faddv" | "fsubv" | "fmulv" | "fdivv" | "fmaxv" | "fminv" => {
+            let [a, b, d] = rest.as_slice() else { return Err(bad()) };
+            let (a, b, dst) = (operand(a)?, operand(b)?, vreg(d)?);
+            Ok(match opcode {
+                "faddv" => Instr::Faddv { a, b, dst },
+                "fsubv" => Instr::Fsubv { a, b, dst },
+                "fmulv" => Instr::Fmulv { a, b, dst },
+                "fdivv" => Instr::Fdivv { a, b, dst },
+                "fmaxv" => Instr::Fmaxv { a, b, dst },
+                _ => Instr::Fminv { a, b, dst },
+            })
+        }
+        "fmaddv" => {
+            let [a, b, c, d] = rest.as_slice() else { return Err(bad()) };
+            Ok(Instr::Fmaddv {
+                a: operand(a)?,
+                b: operand(b)?,
+                c: operand(c)?,
+                dst: vreg(d)?,
+            })
+        }
+        "fnegv" | "fabsv" | "ftruncv" => {
+            let [a, d] = rest.as_slice() else { return Err(bad()) };
+            let (a, dst) = (operand(a)?, vreg(d)?);
+            Ok(match opcode {
+                "fnegv" => Instr::Fnegv { a, dst },
+                "fabsv" => Instr::Fabsv { a, dst },
+                _ => Instr::Ftruncv { a, dst },
+            })
+        }
+        "fselv" => {
+            let [m, a, b, d] = rest.as_slice() else { return Err(bad()) };
+            Ok(Instr::Fselv {
+                mask: vreg(m)?,
+                a: operand(a)?,
+                b: operand(b)?,
+                dst: vreg(d)?,
+            })
+        }
+        "fimmv" => {
+            let [v, d] = rest.as_slice() else { return Err(bad()) };
+            Ok(Instr::Fimmv {
+                value: v.parse().map_err(|_| bad())?,
+                dst: vreg(d)?,
+            })
+        }
+        "fsqrtv" | "fsinv" | "fcosv" | "fexpv" | "flogv" => {
+            let [a, d] = rest.as_slice() else { return Err(bad()) };
+            let op = match opcode {
+                "fsqrtv" => LibOp::Sqrt,
+                "fsinv" => LibOp::Sin,
+                "fcosv" => LibOp::Cos,
+                "fexpv" => LibOp::Exp,
+                _ => LibOp::Log,
+            };
+            Ok(Instr::Flib { op, a: operand(a)?, b: None, dst: vreg(d)? })
+        }
+        "fpowv" => {
+            let [a, b, d] = rest.as_slice() else { return Err(bad()) };
+            Ok(Instr::Flib {
+                op: LibOp::Pow,
+                a: operand(a)?,
+                b: Some(operand(b)?),
+                dst: vreg(d)?,
+            })
+        }
+        other if other.starts_with("fcmpv.") => {
+            let pred = &other["fcmpv.".len()..];
+            let op = match pred {
+                "eq" => CmpOp::Eq,
+                "ne" => CmpOp::Ne,
+                "lt" => CmpOp::Lt,
+                "le" => CmpOp::Le,
+                "gt" => CmpOp::Gt,
+                "ge" => CmpOp::Ge,
+                _ => return Err(bad()),
+            };
+            let [a, b, d] = rest.as_slice() else { return Err(bad()) };
+            Ok(Instr::Fcmpv { op, a: operand(a)?, b: operand(b)?, dst: vreg(d)? })
+        }
+        _ => Err(bad()),
+    }
+}
+
+fn operand_list(i: &Instr) -> Vec<Operand> {
+    use Instr::*;
+    match i {
+        Faddv { a, b, .. }
+        | Fsubv { a, b, .. }
+        | Fmulv { a, b, .. }
+        | Fdivv { a, b, .. }
+        | Fmaxv { a, b, .. }
+        | Fminv { a, b, .. }
+        | Fcmpv { a, b, .. } => vec![*a, *b],
+        Fmaddv { a, b, c, .. } => vec![*a, *b, *c],
+        Fselv { a, b, .. } => vec![*a, *b],
+        Fnegv { a, .. } | Fabsv { a, .. } | Ftruncv { a, .. } => vec![*a],
+        Flib { a, b, .. } => {
+            let mut v = vec![*a];
+            if let Some(b) = b {
+                v.push(*b);
+            }
+            v
+        }
+        _ => vec![],
+    }
+}
+
+fn mem(s: &str) -> Result<Mem, PeacError> {
+    // [aPn+0]1++
+    s.strip_prefix("[aP")
+        .and_then(|t| t.strip_suffix("+0]1++"))
+        .and_then(|n| n.parse().ok())
+        .map(|p| Mem { ptr: PReg(p) })
+        .ok_or_else(|| PeacError::Invalid(format!("malformed memory reference '{s}'")))
+}
+
+fn spill_slot(s: &str) -> Option<u16> {
+    s.strip_prefix("[spill+")
+        .and_then(|t| t.strip_suffix(']'))
+        .and_then(|n| n.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG12ISH: &str = "Pk51vs1_
+    flodv [aP7+0]1++ aV3
+    fsubv aV3 [aP4+0]1++ aV1
+    fmulv aS28 aV1 aV3
+    flodv [aP8+0]1++ aV4
+    fsubv aV3 aV4 aV1, flodv [aP5+0]1++ aV2
+    faddv aV2 [aP2+0]1++ aV3
+    fdivv aV1 aV3 aV3
+    fstrv aV3 [aP6+0]1++
+    jnz ac2 Pk51vs1_
+";
+
+    #[test]
+    fn parses_the_figure_listing() {
+        let r = parse_listing(FIG12ISH).unwrap();
+        assert_eq!(r.name(), "Pk51vs1");
+        assert_eq!(r.len(), 9);
+        assert_eq!(r.nargs_ptr(), 9); // aP8 is the highest pointer
+        assert_eq!(r.nargs_scalar(), 29); // aS28 is the highest scalar
+        // The comma-continued flodv is overlapped.
+        let overlapped = r.body().iter().filter(|i| i.is_overlapped()).count();
+        assert_eq!(overlapped, 1);
+    }
+
+    #[test]
+    fn listing_round_trips_textually() {
+        let r = parse_listing(FIG12ISH).unwrap();
+        let text = r.listing();
+        let r2 = parse_listing(&text).unwrap();
+        assert_eq!(r2.listing(), text);
+    }
+
+    #[test]
+    fn spills_round_trip() {
+        let text = "s_
+    flodv [aP0+0]1++ aV0
+    fstrv aV0 [spill+2]
+    faddv aV0 aV0 aV1
+    flodv [spill+2] aV3
+    fstrv aV3 [aP1+0]1++
+    jnz ac2 s_
+";
+        let r = parse_listing(text).unwrap();
+        assert_eq!(r.spill_slots(), 3);
+        assert!(r
+            .body()
+            .iter()
+            .any(|i| matches!(i, Instr::SpillStore { slot: 2, .. })));
+    }
+
+    #[test]
+    fn malformed_listings_are_rejected() {
+        assert!(parse_listing("").is_err());
+        assert!(parse_listing("noname\n").is_err());
+        assert!(parse_listing("x_\n    frobv aV0 aV1\n").is_err());
+        assert!(parse_listing("x_\n    faddv aV0\n").is_err());
+        // Valid syntax but invalid semantics (use before def).
+        assert!(parse_listing("x_\n    faddv aV0 aV1 aV2\n    jnz ac2 x_\n").is_err());
+    }
+
+    #[test]
+    fn compiled_listings_reassemble() {
+        // Every routine our own emitter prints must re-assemble.
+        use crate::isa::{Instr, Mem, Operand, Routine, VReg};
+        let r = Routine::new(
+            "t",
+            3,
+            0,
+            vec![
+                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
+                Instr::Flodv { src: Mem::arg(1), dst: VReg(1), overlapped: true },
+                Instr::Fmaddv {
+                    a: Operand::V(VReg(0)),
+                    b: Operand::V(VReg(0)),
+                    c: Operand::V(VReg(0)),
+                    dst: VReg(2),
+                },
+                Instr::Fselv {
+                    mask: VReg(2),
+                    a: Operand::V(VReg(0)),
+                    b: Operand::V(VReg(1)),
+                    dst: VReg(3),
+                },
+                Instr::Fstrv { src: VReg(3), dst: Mem::arg(2), overlapped: false },
+            ],
+        )
+        .unwrap();
+        let text = r.listing();
+        let back = parse_listing(&text).unwrap();
+        assert_eq!(back.listing(), text);
+    }
+}

@@ -1,0 +1,128 @@
+//! The PEAC cycle model.
+//!
+//! All constants are justified either by a sentence of the paper or by a
+//! public CM-2 fact; the performance tables depend on *ratios* between
+//! these numbers, not their absolute values.
+//!
+//! Derivation of the base vector-op cost: the paper states that "a single
+//! vector spill-restore pair costs 18 cycles — roughly equivalent to
+//! three single-precision floating point vector operations" (§5.2), i.e.
+//! one vector operation ≈ 6 cycles for a 4-element vector: 4 beats of the
+//! pipelined Weitek plus ~2 cycles of issue from the sequencer.
+
+use crate::isa::{Instr, LibOp};
+
+/// Cycles for a plain vector arithmetic operation (add/sub/mul/min/max,
+/// compare, select, negate, abs, trunc, immediate broadcast): 4 pipeline
+/// beats + 2 issue.
+pub const VOP_CYCLES: u64 = 6;
+
+/// Cycles for a chained multiply-add: same occupancy as a plain vector
+/// op — that is exactly why the chaining is profitable (2 flops/element
+/// in 6 cycles instead of 12).
+pub const FMADD_CYCLES: u64 = 6;
+
+/// Cycles for vector division. The WTL3164 divides iteratively; public
+/// datasheets put DP divide near 5–6× a multiply. 30 cycles ≈ 5× VOP.
+pub const FDIV_CYCLES: u64 = 30;
+
+/// Cycles for a standalone (non-overlapped) vector load or store: memory
+/// and arithmetic move at the same beat rate, so 6 cycles like a vector
+/// op. When the scheduler overlaps the access with arithmetic it costs
+/// nothing extra (paper §6: loads/stores "overlapped with unrelated
+/// computations").
+pub const MEM_CYCLES: u64 = 6;
+
+/// Cycles for one half of a spill/restore pair: the paper's 18-cycle
+/// pair, split evenly. Spill traffic is dearer than ordinary loads
+/// because the spill area is outside the chained datapath.
+pub const SPILL_HALF_CYCLES: u64 = 9;
+
+/// Cycles for a transcendental library call per vector (software on the
+/// Weitek: tens of cycles per element).
+pub const LIB_CYCLES: u64 = 60;
+
+/// Cycles for the general-power library call per vector.
+pub const POW_CYCLES: u64 = 90;
+
+/// Per-iteration loop overhead: decrement + conditional branch issued by
+/// the sequencer (`jnz ac2 …`).
+pub const LOOP_OVERHEAD_CYCLES: u64 = 2;
+
+/// Cycles charged for one instruction (per loop iteration), honouring
+/// the overlap flag.
+pub fn instr_cycles(i: &Instr) -> u64 {
+    use Instr::*;
+    match i {
+        Flodv { overlapped, .. } | Fstrv { overlapped, .. } => {
+            if *overlapped {
+                0
+            } else {
+                MEM_CYCLES
+            }
+        }
+        SpillStore { overlapped, .. } | SpillLoad { overlapped, .. } => {
+            if *overlapped {
+                // Overlap hides the transfer beats but not the issue:
+                // spills never become completely free (the paper only
+                // claims overlap "minimizes lost cycles").
+                2
+            } else {
+                SPILL_HALF_CYCLES
+            }
+        }
+        Fdivv { .. } => FDIV_CYCLES,
+        Fmaddv { .. } => FMADD_CYCLES,
+        Flib { op, .. } => match op {
+            LibOp::Pow => POW_CYCLES,
+            _ => LIB_CYCLES,
+        },
+        _ => VOP_CYCLES,
+    }
+}
+
+/// Cycles for one iteration of a routine body (without dispatch).
+pub fn body_cycles(body: &[Instr]) -> u64 {
+    body.iter().map(instr_cycles).sum::<u64>() + LOOP_OVERHEAD_CYCLES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Mem, Operand, VReg};
+
+    #[test]
+    fn spill_pair_costs_18_cycles_as_in_the_paper() {
+        let store = Instr::SpillStore { src: VReg(0), slot: 0, overlapped: false };
+        let load = Instr::SpillLoad { slot: 0, dst: VReg(0), overlapped: false };
+        assert_eq!(instr_cycles(&store) + instr_cycles(&load), 18);
+        // "roughly equivalent to three … vector operations"
+        assert_eq!(18 / VOP_CYCLES, 3);
+    }
+
+    #[test]
+    fn overlapped_memory_is_free() {
+        let i = Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: true };
+        assert_eq!(instr_cycles(&i), 0);
+        let i = Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false };
+        assert_eq!(instr_cycles(&i), MEM_CYCLES);
+    }
+
+    #[test]
+    fn chained_multiply_add_matches_plain_op_occupancy() {
+        let fmadd = Instr::Fmaddv {
+            a: Operand::V(VReg(0)),
+            b: Operand::V(VReg(1)),
+            c: Operand::V(VReg(2)),
+            dst: VReg(3),
+        };
+        let fmul = Instr::Fmulv {
+            a: Operand::V(VReg(0)),
+            b: Operand::V(VReg(1)),
+            dst: VReg(3),
+        };
+        assert_eq!(instr_cycles(&fmadd), instr_cycles(&fmul));
+        // Twice the flops for the same cycles.
+        assert_eq!(fmadd.flops_per_elem(), 2 * fmul.flops_per_elem());
+    }
+}

@@ -1,0 +1,483 @@
+//! The executing PEAC simulator.
+//!
+//! A routine runs its virtual subgrid loop over real node memory: every
+//! vector lane is computed, so translation validation can compare the
+//! bytes a compiled program produces against the NIR reference
+//! evaluator. Cycle accounting comes from [`crate::costs`] and is
+//! deterministic.
+//!
+//! Arrays are allocated padded to a whole number of vectors; the last
+//! iteration computes the pad lanes too (harmlessly — each array has its
+//! own pad region, and IEEE arithmetic on garbage lanes cannot fault),
+//! exactly like real vector hardware running a full final beat.
+
+use crate::costs;
+use crate::isa::{Instr, Mem, Operand, Routine, VLEN};
+use crate::PeacError;
+
+/// A processing node's local memory: a flat `f64` heap.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMemory {
+    heap: Vec<f64>,
+}
+
+/// A base offset into a [`NodeMemory`] heap, as passed over the IFIFO to
+/// a PEAC routine.
+pub type Ptr = usize;
+
+impl NodeMemory {
+    /// An empty node memory.
+    pub fn new() -> Self {
+        NodeMemory { heap: Vec::new() }
+    }
+
+    /// Allocate a buffer initialised from `data`, padded to a whole
+    /// number of vectors. Returns its base pointer.
+    pub fn alloc(&mut self, data: &[f64]) -> Ptr {
+        let base = self.heap.len();
+        self.heap.extend_from_slice(data);
+        let pad = (VLEN - data.len() % VLEN) % VLEN;
+        self.heap.extend(std::iter::repeat_n(0.0, pad));
+        base
+    }
+
+    /// Allocate an uninitialised (zeroed) buffer of `n` elements.
+    pub fn alloc_zeroed(&mut self, n: usize) -> Ptr {
+        let base = self.heap.len();
+        let padded = n.div_ceil(VLEN) * VLEN;
+        self.heap.extend(std::iter::repeat_n(0.0, padded));
+        base
+    }
+
+    /// Read `n` elements starting at `base`.
+    pub fn read(&self, base: Ptr, n: usize) -> Vec<f64> {
+        self.heap[base..base + n].to_vec()
+    }
+
+    /// Overwrite `n` elements starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is out of bounds.
+    pub fn write(&mut self, base: Ptr, data: &[f64]) {
+        self.heap[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Total words allocated.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Execution statistics for one routine dispatch on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Virtual subgrid loop iterations executed.
+    pub iterations: u64,
+    /// Node cycles consumed (deterministic, from the cost model).
+    pub cycles: u64,
+    /// Floating-point operations over the *valid* (unpadded) elements.
+    pub flops: u64,
+    /// Instructions executed (body length × iterations).
+    pub instructions: u64,
+}
+
+impl ExecStats {
+    /// Accumulate another dispatch's statistics.
+    pub fn add(&mut self, other: ExecStats) {
+        self.iterations += other.iterations;
+        self.cycles += other.cycles;
+        self.flops += other.flops;
+        self.instructions += other.instructions;
+    }
+}
+
+/// Execute a routine's virtual subgrid loop over `n_elems` elements.
+///
+/// `ptr_args` are base pointers (one per pointer argument), `scalar_args`
+/// fill the scalar registers. All pointer streams advance one vector per
+/// iteration.
+///
+/// # Errors
+///
+/// Fails when arguments do not match the routine signature or a pointer
+/// stream runs off the heap.
+pub fn run_routine(
+    routine: &Routine,
+    mem: &mut NodeMemory,
+    ptr_args: &[Ptr],
+    scalar_args: &[f64],
+    n_elems: usize,
+) -> Result<ExecStats, PeacError> {
+    if ptr_args.len() != routine.nargs_ptr() {
+        return Err(PeacError::Fault(format!(
+            "routine '{}' expects {} pointer arguments, got {}",
+            routine.name(),
+            routine.nargs_ptr(),
+            ptr_args.len()
+        )));
+    }
+    if scalar_args.len() != routine.nargs_scalar() {
+        return Err(PeacError::Fault(format!(
+            "routine '{}' expects {} scalar arguments, got {}",
+            routine.name(),
+            routine.nargs_scalar(),
+            scalar_args.len()
+        )));
+    }
+    let iterations = n_elems.div_ceil(VLEN);
+    let mut pointers: Vec<usize> = ptr_args.to_vec();
+    let mut spill = vec![[0.0f64; VLEN]; routine.spill_slots() as usize];
+    let mut vregs = [[0.0f64; VLEN]; crate::isa::NUM_VREGS as usize];
+
+    let body = routine.body();
+    for _ in 0..iterations {
+        // Per-iteration pointer cursor: each stream advances once per
+        // iteration regardless of how many instructions touch it —
+        // within an iteration all touches of aPn see the same vector.
+        for i in body {
+            step(i, mem, &pointers, scalar_args, &mut vregs, &mut spill)?;
+        }
+        for p in &mut pointers {
+            *p += VLEN;
+        }
+    }
+
+    let flops_per_elem: u64 = body.iter().map(Instr::flops_per_elem).sum();
+    Ok(ExecStats {
+        iterations: iterations as u64,
+        cycles: iterations as u64 * costs::body_cycles(body),
+        flops: flops_per_elem * n_elems as u64,
+        instructions: iterations as u64 * body.len() as u64,
+    })
+}
+
+fn load_vec(mem: &NodeMemory, pointers: &[usize], m: &Mem) -> Result<[f64; VLEN], PeacError> {
+    let base = pointers[m.ptr.0 as usize];
+    let slice = mem
+        .heap
+        .get(base..base + VLEN)
+        .ok_or_else(|| PeacError::Fault(format!("pointer {} ran off the heap", m.ptr)))?;
+    let mut v = [0.0; VLEN];
+    v.copy_from_slice(slice);
+    Ok(v)
+}
+
+fn store_vec(
+    mem: &mut NodeMemory,
+    pointers: &[usize],
+    m: &Mem,
+    v: &[f64; VLEN],
+) -> Result<(), PeacError> {
+    let base = pointers[m.ptr.0 as usize];
+    let slice = mem
+        .heap
+        .get_mut(base..base + VLEN)
+        .ok_or_else(|| PeacError::Fault(format!("pointer {} ran off the heap", m.ptr)))?;
+    slice.copy_from_slice(v);
+    Ok(())
+}
+
+fn step(
+    i: &Instr,
+    mem: &mut NodeMemory,
+    pointers: &[usize],
+    sregs: &[f64],
+    vregs: &mut [[f64; VLEN]],
+    spill: &mut [[f64; VLEN]],
+) -> Result<(), PeacError> {
+    use Instr::*;
+    let operand = |o: &Operand,
+                   mem: &NodeMemory,
+                   vregs: &[[f64; VLEN]]|
+     -> Result<[f64; VLEN], PeacError> {
+        Ok(match o {
+            Operand::V(r) => vregs[r.0 as usize],
+            Operand::S(r) => [sregs[r.0 as usize]; VLEN],
+            Operand::M(m) => load_vec_raw(mem, pointers, m)?,
+        })
+    };
+    match i {
+        Flodv { src, dst, .. } => {
+            vregs[dst.0 as usize] = load_vec(mem, pointers, src)?;
+        }
+        Fstrv { src, dst, .. } => {
+            let v = vregs[src.0 as usize];
+            store_vec(mem, pointers, dst, &v)?;
+        }
+        Faddv { a, b, dst } => {
+            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
+            vregs[dst.0 as usize] = lanewise(x, y, |p, q| p + q);
+        }
+        Fsubv { a, b, dst } => {
+            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
+            vregs[dst.0 as usize] = lanewise(x, y, |p, q| p - q);
+        }
+        Fmulv { a, b, dst } => {
+            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
+            vregs[dst.0 as usize] = lanewise(x, y, |p, q| p * q);
+        }
+        Fdivv { a, b, dst } => {
+            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
+            vregs[dst.0 as usize] = lanewise(x, y, |p, q| p / q);
+        }
+        Fmaxv { a, b, dst } => {
+            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
+            vregs[dst.0 as usize] = lanewise(x, y, f64::max);
+        }
+        Fminv { a, b, dst } => {
+            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
+            vregs[dst.0 as usize] = lanewise(x, y, f64::min);
+        }
+        Fmaddv { a, b, c, dst } => {
+            let x = operand(a, mem, vregs)?;
+            let y = operand(b, mem, vregs)?;
+            let z = operand(c, mem, vregs)?;
+            let mut out = [0.0; VLEN];
+            for l in 0..VLEN {
+                out[l] = x[l] * y[l] + z[l];
+            }
+            vregs[dst.0 as usize] = out;
+        }
+        Fnegv { a, dst } => {
+            let x = operand(a, mem, vregs)?;
+            vregs[dst.0 as usize] = x.map(|p| -p);
+        }
+        Fabsv { a, dst } => {
+            let x = operand(a, mem, vregs)?;
+            vregs[dst.0 as usize] = x.map(f64::abs);
+        }
+        Ftruncv { a, dst } => {
+            let x = operand(a, mem, vregs)?;
+            vregs[dst.0 as usize] = x.map(f64::trunc);
+        }
+        Fcmpv { op, a, b, dst } => {
+            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
+            let mut out = [0.0; VLEN];
+            for l in 0..VLEN {
+                out[l] = if op.apply(x[l], y[l]) { 1.0 } else { 0.0 };
+            }
+            vregs[dst.0 as usize] = out;
+        }
+        Fselv { mask, a, b, dst } => {
+            let m = vregs[mask.0 as usize];
+            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
+            let mut out = [0.0; VLEN];
+            for l in 0..VLEN {
+                out[l] = if m[l] != 0.0 { x[l] } else { y[l] };
+            }
+            vregs[dst.0 as usize] = out;
+        }
+        Fimmv { value, dst } => {
+            vregs[dst.0 as usize] = [*value; VLEN];
+        }
+        Flib { op, a, b, dst } => {
+            let x = operand(a, mem, vregs)?;
+            let y = match b {
+                Some(b) => Some(operand(b, mem, vregs)?),
+                None => None,
+            };
+            let mut out = [0.0; VLEN];
+            for l in 0..VLEN {
+                out[l] = match op {
+                    crate::isa::LibOp::Sqrt => x[l].sqrt(),
+                    crate::isa::LibOp::Sin => x[l].sin(),
+                    crate::isa::LibOp::Cos => x[l].cos(),
+                    crate::isa::LibOp::Exp => x[l].exp(),
+                    crate::isa::LibOp::Log => x[l].ln(),
+                    crate::isa::LibOp::Pow => {
+                        x[l].powf(y.expect("validator guarantees Pow arity")[l])
+                    }
+                };
+            }
+            vregs[dst.0 as usize] = out;
+        }
+        SpillStore { src, slot, .. } => {
+            spill[*slot as usize] = vregs[src.0 as usize];
+        }
+        SpillLoad { slot, dst, .. } => {
+            vregs[dst.0 as usize] = spill[*slot as usize];
+        }
+    }
+    Ok(())
+}
+
+fn load_vec_raw(
+    mem: &NodeMemory,
+    pointers: &[usize],
+    m: &Mem,
+) -> Result<[f64; VLEN], PeacError> {
+    load_vec(mem, pointers, m)
+}
+
+fn lanewise(a: [f64; VLEN], b: [f64; VLEN], f: impl Fn(f64, f64) -> f64) -> [f64; VLEN] {
+    let mut out = [0.0; VLEN];
+    for l in 0..VLEN {
+        out[l] = f(a[l], b[l]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{CmpOp, Operand, SReg, VReg};
+
+    fn routine(nptr: usize, nsc: usize, body: Vec<Instr>) -> Routine {
+        Routine::new("t", nptr, nsc, body).expect("valid test routine")
+    }
+
+    #[test]
+    fn axpy_computes_and_counts() {
+        // z = a*x + y over 10 elements (non-multiple of VLEN). The
+        // output stream is a distinct pointer: post-increment streams
+        // are single-direction, so in-place y would not validate.
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..10).map(|i| 100.0 + i as f64).collect();
+        let r2 = routine(
+            3,
+            1,
+            vec![
+                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
+                Instr::Flodv { src: Mem::arg(1), dst: VReg(1), overlapped: false },
+                Instr::Fmaddv {
+                    a: Operand::S(SReg(0)),
+                    b: Operand::V(VReg(0)),
+                    c: Operand::V(VReg(1)),
+                    dst: VReg(2),
+                },
+                Instr::Fstrv { src: VReg(2), dst: Mem::arg(2), overlapped: false },
+            ],
+        );
+        let mut mem = NodeMemory::new();
+        let px = mem.alloc(&x);
+        let py = mem.alloc(&y);
+        let pz = mem.alloc_zeroed(10);
+        let stats = run_routine(&r2, &mut mem, &[px, py, pz], &[2.0], 10).unwrap();
+        let z = mem.read(pz, 10);
+        for i in 0..10 {
+            assert_eq!(z[i], 2.0 * x[i] + y[i], "element {i}");
+        }
+        assert_eq!(stats.iterations, 3); // ceil(10/4)
+        assert_eq!(stats.flops, 2 * 10); // fmadd: 2 flops/element, 10 valid
+        assert!(stats.cycles > 0);
+
+    }
+
+    #[test]
+    fn chained_memory_operand_loads_inline() {
+        // out = in0 - in1 with in1 as a chained memory operand (Fig. 12
+        // optimized form: `fsubv aV3 [aP4+0]1++ aV1`).
+        let r = routine(
+            3,
+            0,
+            vec![
+                Instr::Flodv { src: Mem::arg(0), dst: VReg(3), overlapped: false },
+                Instr::Fsubv {
+                    a: Operand::V(VReg(3)),
+                    b: Operand::M(Mem::arg(1)),
+                    dst: VReg(1),
+                },
+                Instr::Fstrv { src: VReg(1), dst: Mem::arg(2), overlapped: false },
+            ],
+        );
+        let mut mem = NodeMemory::new();
+        let a = mem.alloc(&[10.0, 20.0, 30.0, 40.0]);
+        let b = mem.alloc(&[1.0, 2.0, 3.0, 4.0]);
+        let c = mem.alloc_zeroed(4);
+        run_routine(&r, &mut mem, &[a, b, c], &[], 4).unwrap();
+        assert_eq!(mem.read(c, 4), vec![9.0, 18.0, 27.0, 36.0]);
+    }
+
+    #[test]
+    fn masked_select_simulates_conditional_assignment() {
+        // The Fig. 10 pattern: B = (coord mod 2 == 0) ? A : 5*A.
+        let r = routine(
+            3,
+            0,
+            vec![
+                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false }, // coord
+                Instr::Flodv { src: Mem::arg(1), dst: VReg(1), overlapped: false }, // A
+                Instr::Fimmv { value: 2.0, dst: VReg(2) },
+                Instr::Fdivv { a: Operand::V(VReg(0)), b: Operand::V(VReg(2)), dst: VReg(3) },
+                Instr::Ftruncv { a: Operand::V(VReg(3)), dst: VReg(3) },
+                Instr::Fmulv { a: Operand::V(VReg(3)), b: Operand::V(VReg(2)), dst: VReg(3) },
+                Instr::Fsubv { a: Operand::V(VReg(0)), b: Operand::V(VReg(3)), dst: VReg(3) },
+                // mask = (coord mod 2) == 0
+                Instr::Fimmv { value: 0.0, dst: VReg(4) },
+                Instr::Fcmpv {
+                    op: CmpOp::Eq,
+                    a: Operand::V(VReg(3)),
+                    b: Operand::V(VReg(4)),
+                    dst: VReg(5),
+                },
+                Instr::Fimmv { value: 5.0, dst: VReg(6) },
+                Instr::Fmulv { a: Operand::V(VReg(6)), b: Operand::V(VReg(1)), dst: VReg(6) },
+                Instr::Fselv {
+                    mask: VReg(5),
+                    a: Operand::V(VReg(1)),
+                    b: Operand::V(VReg(6)),
+                    dst: VReg(7),
+                },
+                Instr::Fstrv { src: VReg(7), dst: Mem::arg(2), overlapped: false },
+            ],
+        );
+        let mut mem = NodeMemory::new();
+        let coord = mem.alloc(&[1.0, 2.0, 3.0, 4.0]);
+        let a = mem.alloc(&[10.0, 10.0, 10.0, 10.0]);
+        let b = mem.alloc_zeroed(4);
+        run_routine(&r, &mut mem, &[coord, a, b], &[], 4).unwrap();
+        assert_eq!(mem.read(b, 4), vec![50.0, 10.0, 50.0, 10.0]);
+    }
+
+    #[test]
+    fn spill_roundtrip_preserves_values() {
+        let r = routine(
+            2,
+            0,
+            vec![
+                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
+                Instr::SpillStore { src: VReg(0), slot: 0, overlapped: false },
+                Instr::Fimmv { value: 0.0, dst: VReg(0) },
+                Instr::SpillLoad { slot: 0, dst: VReg(1), overlapped: false },
+                Instr::Fstrv { src: VReg(1), dst: Mem::arg(1), overlapped: false },
+            ],
+        );
+        let mut mem = NodeMemory::new();
+        let a = mem.alloc(&[7.0, 8.0, 9.0, 10.0]);
+        let b = mem.alloc_zeroed(4);
+        run_routine(&r, &mut mem, &[a, b], &[], 4).unwrap();
+        assert_eq!(mem.read(b, 4), vec![7.0, 8.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn wrong_arity_faults() {
+        let r = routine(
+            1,
+            0,
+            vec![Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false }],
+        );
+        let mut mem = NodeMemory::new();
+        assert!(run_routine(&r, &mut mem, &[], &[], 4).is_err());
+        assert!(run_routine(&r, &mut mem, &[0], &[1.0], 4).is_err());
+    }
+
+    #[test]
+    fn zero_elements_runs_no_iterations() {
+        let r = routine(
+            1,
+            0,
+            vec![Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false }],
+        );
+        let mut mem = NodeMemory::new();
+        let a = mem.alloc(&[1.0; 4]);
+        let stats = run_routine(&r, &mut mem, &[a], &[], 0).unwrap();
+        assert_eq!(stats.iterations, 0);
+        assert_eq!(stats.cycles, 0);
+    }
+}

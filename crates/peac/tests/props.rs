@@ -1,0 +1,138 @@
+//! Property tests for the PEAC simulator: stream semantics, masked
+//! selection, arity of the cost model, and validator totality.
+
+use proptest::prelude::*;
+
+use f90y_peac::costs::body_cycles;
+use f90y_peac::isa::{CmpOp, Instr, Mem, Operand, Routine, VReg, VLEN};
+use f90y_peac::sim::{run_routine, NodeMemory};
+
+fn copy_routine() -> Routine {
+    Routine::new(
+        "copy",
+        2,
+        0,
+        vec![
+            Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
+            Instr::Fstrv { src: VReg(0), dst: Mem::arg(1), overlapped: false },
+        ],
+    )
+    .expect("valid")
+}
+
+proptest! {
+    /// A copy routine copies exactly, for any element count (including
+    /// counts that are not multiples of the vector length).
+    #[test]
+    fn copy_is_exact(data in proptest::collection::vec(-1e6f64..1e6, 0..70)) {
+        let r = copy_routine();
+        let mut mem = NodeMemory::new();
+        let src = mem.alloc(&data);
+        let dst = mem.alloc_zeroed(data.len());
+        let stats = run_routine(&r, &mut mem, &[src, dst], &[], data.len()).expect("runs");
+        prop_assert_eq!(mem.read(dst, data.len()), data.clone());
+        prop_assert_eq!(stats.iterations, data.len().div_ceil(VLEN) as u64);
+        // A pure copy performs no floating-point operations.
+        prop_assert_eq!(stats.flops, 0);
+    }
+
+    /// `fselv` selects per lane exactly like the scalar ternary.
+    #[test]
+    fn select_matches_ternary(
+        a in proptest::collection::vec(-100f64..100.0, 8),
+        b in proptest::collection::vec(-100f64..100.0, 8),
+        threshold in -50f64..50.0,
+    ) {
+        let r = Routine::new(
+            "sel",
+            3,
+            1,
+            vec![
+                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
+                Instr::Flodv { src: Mem::arg(1), dst: VReg(1), overlapped: false },
+                Instr::Fcmpv {
+                    op: CmpOp::Gt,
+                    a: Operand::V(VReg(0)),
+                    b: Operand::S(f90y_peac::isa::SReg(0)),
+                    dst: VReg(2),
+                },
+                Instr::Fselv {
+                    mask: VReg(2),
+                    a: Operand::V(VReg(0)),
+                    b: Operand::V(VReg(1)),
+                    dst: VReg(3),
+                },
+                Instr::Fstrv { src: VReg(3), dst: Mem::arg(2), overlapped: false },
+            ],
+        )
+        .expect("valid");
+        let mut mem = NodeMemory::new();
+        let pa = mem.alloc(&a);
+        let pb = mem.alloc(&b);
+        let pc = mem.alloc_zeroed(8);
+        run_routine(&r, &mut mem, &[pa, pb, pc], &[threshold], 8).expect("runs");
+        let out = mem.read(pc, 8);
+        for i in 0..8 {
+            let expect = if a[i] > threshold { a[i] } else { b[i] };
+            prop_assert_eq!(out[i], expect, "lane {}", i);
+        }
+    }
+
+    /// The cost model is additive over instructions: appending an
+    /// instruction never reduces the body cost, and the loop overhead is
+    /// charged exactly once.
+    #[test]
+    fn body_cycles_are_additive(extra in 0usize..12) {
+        let mut body = vec![
+            Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
+        ];
+        let mut last = body_cycles(&body);
+        for _ in 0..extra {
+            body.push(Instr::Faddv {
+                a: Operand::V(VReg(0)),
+                b: Operand::V(VReg(0)),
+                dst: VReg(0),
+            });
+            let now = body_cycles(&body);
+            prop_assert!(now > last);
+            prop_assert_eq!(now - last, f90y_peac::costs::VOP_CYCLES);
+            last = now;
+        }
+    }
+
+    /// Random register indices: the validator either accepts (indices in
+    /// range, defined before use) or rejects — never panics — and
+    /// whatever it accepts, the simulator runs.
+    #[test]
+    fn validator_is_total_and_sound(
+        ops in proptest::collection::vec((0u8..12, 0u8..12, 0u8..12, 0u8..4), 1..12)
+    ) {
+        let mut body: Vec<Instr> = vec![Instr::Flodv {
+            src: Mem::arg(0),
+            dst: VReg(0),
+            overlapped: false,
+        }];
+        for (a, b, d, kind) in ops {
+            body.push(match kind {
+                0 => Instr::Faddv {
+                    a: Operand::V(VReg(a)),
+                    b: Operand::V(VReg(b)),
+                    dst: VReg(d),
+                },
+                1 => Instr::Fmulv {
+                    a: Operand::V(VReg(a)),
+                    b: Operand::V(VReg(b)),
+                    dst: VReg(d),
+                },
+                2 => Instr::Fnegv { a: Operand::V(VReg(a)), dst: VReg(d) },
+                _ => Instr::Fimmv { value: a as f64, dst: VReg(d) },
+            });
+        }
+        // Rejection is fine; panicking is not.
+        if let Ok(r) = Routine::new("r", 1, 0, body) {
+            let mut mem = NodeMemory::new();
+            let p = mem.alloc(&[1.0; 8]);
+            run_routine(&r, &mut mem, &[p], &[], 8).expect("validated routines run");
+        }
+    }
+}

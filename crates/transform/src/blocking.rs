@@ -1,0 +1,301 @@
+//! Domain blocking: dependence-respecting reordering that groups
+//! computations over like shapes, then fusion of adjacent like-shape
+//! moves into computation blocks (paper §4.2, Figs. 9 and 10).
+//!
+//! "Successive loops over common, aligned domains appear in NIR as DO-
+//! or MOVE-constructs with common shapes, and as such are easily
+//! recognized and their actions composed sequentially — the shape
+//! equivalent of loop fusion."
+
+use f90y_nir::deps::commutes;
+use f90y_nir::{Extent, Imp, NirError};
+
+use crate::program::{classify_stmt, ProgramBody, StmtClass};
+
+/// The grouping key of a statement: computation phases group by their
+/// shape's extent vector; everything else never groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Key {
+    Compute(Vec<Extent>),
+    Other,
+}
+
+fn key_of(class: &StmtClass) -> Key {
+    match class {
+        StmtClass::Compute(s) => Key::Compute(s.extents()),
+        _ => Key::Other,
+    }
+}
+
+/// Reorder statements so computations over like shapes become adjacent,
+/// moving a statement only across statements that [`commutes`] proves
+/// independent of it. Returns the number of statements hoisted.
+///
+/// The algorithm mirrors the paper's examples as one greedy pass: each
+/// computation statement is hoisted up to sit directly below the nearest
+/// earlier statement of the same shape, provided it commutes with every
+/// statement it crosses (Fig. 9: the `b = a` move climbs past the serial
+/// `DO`; Fig. 10: the `c = n+1` move is lifted out from between the two
+/// masked `b` moves — equivalently, the second `b` move climbs past it).
+///
+/// # Errors
+///
+/// Fails on static errors while classifying shapes.
+pub fn reorder(body: &mut ProgramBody) -> Result<usize, NirError> {
+    let mut ctx = body.ctx()?;
+    reorder_stmts(&mut body.stmts, &mut ctx)
+}
+
+/// [`reorder`] over an arbitrary statement list in a context (used for
+/// nested loop bodies).
+///
+/// # Errors
+///
+/// Fails on static errors while classifying shapes.
+pub fn reorder_stmts(
+    stmts: &mut [Imp],
+    ctx: &mut f90y_nir::typecheck::Ctx,
+) -> Result<usize, NirError> {
+    let mut keys: Vec<Key> = stmts
+        .iter()
+        .map(|s| Ok(key_of(&classify_stmt(s, ctx)?)))
+        .collect::<Result<_, NirError>>()?;
+
+    let n = stmts.len();
+    let mut hoists = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        if !matches!(keys[i], Key::Compute(_)) {
+            i += 1;
+            continue;
+        }
+        // The nearest earlier statement with the same key.
+        let Some(j) = (0..i).rev().find(|&j| keys[j] == keys[i]) else {
+            i += 1;
+            continue;
+        };
+        if j + 1 == i {
+            i += 1;
+            continue; // already adjacent
+        }
+        // Crossable only if the statement commutes with everything in
+        // between.
+        let movable = (j + 1..i).all(|k| commutes(&stmts[k], &stmts[i]));
+        if movable {
+            // Rotate stmts[j+1..=i] right by one: stmts[i] lands at j+1.
+            stmts[j + 1..=i].rotate_right(1);
+            keys[j + 1..=i].rotate_right(1);
+            hoists += 1;
+        }
+        i += 1;
+    }
+    Ok(hoists)
+}
+
+/// Fuse adjacent like-shape computation moves into multi-clause `MOVE`
+/// blocks. Returns `(blocks_with_multiple_clauses, clauses_in_them)`.
+///
+/// Fusion is sound here because computation phases are grid-local: each
+/// point is independent, so executing the clauses pointwise-sequentially
+/// (what one PEAC routine does) equals executing them as successive
+/// whole-array moves.
+///
+/// # Errors
+///
+/// Fails on static errors while classifying shapes.
+pub fn fuse(body: &mut ProgramBody) -> Result<(usize, usize), NirError> {
+    let mut ctx = body.ctx()?;
+    fuse_stmts(&mut body.stmts, &mut ctx)
+}
+
+/// [`fuse`] over an arbitrary statement list in a context (used for
+/// nested loop bodies).
+///
+/// # Errors
+///
+/// Fails on static errors while classifying shapes.
+pub fn fuse_stmts(
+    stmts: &mut Vec<Imp>,
+    ctx: &mut f90y_nir::typecheck::Ctx,
+) -> Result<(usize, usize), NirError> {
+    let taken = std::mem::take(stmts);
+    let mut out: Vec<Imp> = Vec::with_capacity(taken.len());
+    let mut out_keys: Vec<Key> = Vec::with_capacity(taken.len());
+
+    for stmt in taken {
+        let key = key_of(&classify_stmt(&stmt, ctx)?);
+        if let (Some(Imp::Move(prev)), Some(prev_key)) = (out.last_mut(), out_keys.last()) {
+            if matches!(key, Key::Compute(_)) && *prev_key == key {
+                if let Imp::Move(cur) = stmt {
+                    prev.extend(cur);
+                    continue;
+                }
+            }
+        }
+        out.push(stmt);
+        out_keys.push(key);
+    }
+
+    let mut blocks = 0usize;
+    let mut clauses = 0usize;
+    for s in &out {
+        if let Imp::Move(cs) = s {
+            if cs.len() > 1 {
+                blocks += 1;
+                clauses += cs.len();
+            }
+        }
+    }
+    *stmts = out;
+    Ok((blocks, clauses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90y_nir::build::*;
+    use f90y_nir::eval::Evaluator;
+
+    fn two_shape_program() -> Imp {
+        // Alternating shapes: a(8), c(4), b(8), d(4) — all independent.
+        program(with_domain(
+            "s8",
+            interval(1, 8),
+            with_domain(
+                "s4",
+                interval(1, 4),
+                with_decl(
+                    declset(vec![
+                        decl("a", dfield(domain("s8"), int32())),
+                        decl("b", dfield(domain("s8"), int32())),
+                        decl("c", dfield(domain("s4"), int32())),
+                        decl("d", dfield(domain("s4"), int32())),
+                    ]),
+                    seq(vec![
+                        mv(avar("a", everywhere()), int(1)),
+                        mv(avar("c", everywhere()), int(2)),
+                        mv(avar("b", everywhere()), int(3)),
+                        mv(avar("d", everywhere()), int(4)),
+                    ]),
+                ),
+            ),
+        ))
+    }
+
+    #[test]
+    fn independent_alternating_shapes_group_fully() {
+        let p = two_shape_program();
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        let swaps = reorder(&mut body).unwrap();
+        assert!(swaps >= 1);
+        let (blocks, clauses) = fuse(&mut body).unwrap();
+        assert_eq!(blocks, 2, "one 8-block and one 4-block");
+        assert_eq!(clauses, 4);
+        assert_eq!(body.stmts.len(), 2);
+
+        let out = body.recompose();
+        let mut ev1 = Evaluator::new();
+        ev1.run(&p).unwrap();
+        let mut ev2 = Evaluator::new();
+        ev2.run(&out).unwrap();
+        for name in ["a", "b", "c", "d"] {
+            assert_eq!(
+                ev1.final_array_f64(name).unwrap(),
+                ev2.final_array_f64(name).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn dependences_block_reordering() {
+        // a = n (reads n); n = 5 (writes n); b = n (reads n). The scalar
+        // write conflicts with both neighbours, so nothing may cross it
+        // and the two like-shape moves stay apart.
+        let p = program(with_domain(
+            "s8",
+            interval(1, 8),
+            with_decl(
+                declset(vec![
+                    decl("a", dfield(domain("s8"), int32())),
+                    decl("b", dfield(domain("s8"), int32())),
+                    decl("n", int32()),
+                ]),
+                seq(vec![
+                    mv(avar("a", everywhere()), svar("n")),
+                    mv(svar_lv("n"), int(5)),
+                    mv(avar("b", everywhere()), svar("n")),
+                ]),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        let hoists = reorder(&mut body).unwrap();
+        assert_eq!(hoists, 0, "the scalar write must stay between the moves");
+        let (blocks, _) = fuse(&mut body).unwrap();
+        assert_eq!(blocks, 0);
+    }
+
+    #[test]
+    fn fusion_preserves_inter_clause_ordering_semantics() {
+        // a = 1 then b = a within one shape: fusing keeps order, and
+        // evaluation must still see a's new value in clause 2.
+        let p = program(with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![
+                    decl("a", dfield(domain("s"), int32())),
+                    decl("b", dfield(domain("s"), int32())),
+                ]),
+                seq(vec![
+                    mv(avar("a", everywhere()), int(7)),
+                    mv(avar("b", everywhere()), ld("a", everywhere())),
+                ]),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        reorder(&mut body).unwrap();
+        let (blocks, _) = fuse(&mut body).unwrap();
+        assert_eq!(blocks, 1);
+        let mut ev = Evaluator::new();
+        ev.run(&body.recompose()).unwrap();
+        assert!(ev.final_array_f64("b").unwrap().iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn comm_phases_do_not_fuse_with_compute() {
+        let p = program(with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("t", dfield(domain("s"), float64())),
+                    decl("z", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("v", everywhere()), local_under(domain("s"), 1)),
+                    mv(
+                        avar("t", everywhere()),
+                        fcncall(
+                            "cshift",
+                            vec![
+                                (float64(), ld("v", everywhere())),
+                                (int32(), int(1)),
+                                (int32(), int(1)),
+                            ],
+                        ),
+                    ),
+                    mv(
+                        avar("z", everywhere()),
+                        sub(ld("v", everywhere()), ld("t", everywhere())),
+                    ),
+                ]),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        reorder(&mut body).unwrap();
+        fuse(&mut body).unwrap();
+        // Three statements remain: compute, comm, compute.
+        assert_eq!(body.stmts.len(), 3);
+    }
+}

@@ -1,0 +1,483 @@
+//! Communication extraction: hoist `cshift`/`eoshift` calls out of
+//! computation expressions.
+//!
+//! After this pass every communication intrinsic stands alone as
+//! `MOVE[(True,(cshift(...), AVAR(tmpN, everywhere)))]` and computation
+//! moves read the temporaries — producing the clean alternation of
+//! communication and computation phases the paper's execution partition
+//! wants (§4.2), and the `tmp0`/`tmp1`/`tmp2` names visible in its
+//! Figure 12 NIR excerpt.
+
+use f90y_nir::typecheck::{Checker, Mode};
+use f90y_nir::{
+    Decl, FieldAction, Imp, LValue, MoveClause, NirError, Type, Value,
+};
+
+use crate::program::ProgramBody;
+
+/// Run the pass over every statement; returns the number of temporaries
+/// introduced.
+///
+/// # Errors
+///
+/// Fails on static errors while typing hoisted calls.
+pub fn run(body: &mut ProgramBody) -> Result<usize, NirError> {
+    let mut counter = 0usize;
+    let mut introduced = 0usize;
+    let mut out: Vec<Imp> = Vec::with_capacity(body.stmts.len());
+    let stmts = std::mem::take(&mut body.stmts);
+    for stmt in stmts {
+        let mut prefix: Vec<Imp> = Vec::new();
+        let rewritten = rewrite_stmt(stmt, body, &mut counter, &mut prefix, &mut introduced)?;
+        out.extend(prefix);
+        out.push(rewritten);
+    }
+    body.stmts = out;
+    Ok(introduced)
+}
+
+fn rewrite_stmt(
+    stmt: Imp,
+    body: &mut ProgramBody,
+    counter: &mut usize,
+    prefix: &mut Vec<Imp>,
+    introduced: &mut usize,
+) -> Result<Imp, NirError> {
+    match stmt {
+        Imp::Move(clauses) => {
+            let mut new_clauses = Vec::with_capacity(clauses.len());
+            for c in clauses {
+                // If the source IS a bare communication call into a
+                // whole-array unmasked target, it already is a
+                // communication phase; leave it.
+                let bare_comm = matches!(&c.src, Value::FcnCall(n, _) if is_comm(n))
+                    && c.is_unmasked()
+                    && matches!(c.dst, LValue::AVar(_, FieldAction::Everywhere));
+                if bare_comm {
+                    // Keep the outer call in place but still hoist any
+                    // communication nested in its arguments, and
+                    // materialise a composite array argument.
+                    let Value::FcnCall(name, args) = c.src else {
+                        unreachable!("bare_comm matched FcnCall")
+                    };
+                    let mut args: Vec<(Type, Value)> = args
+                        .into_iter()
+                        .map(|(t, a)| {
+                            Ok((t, hoist_value(a, body, counter, prefix, introduced)?))
+                        })
+                        .collect::<Result<_, NirError>>()?;
+                    if let Some((_, arg0)) = args.first() {
+                        let needs_temp = !matches!(
+                            arg0,
+                            Value::AVar(_, FieldAction::Everywhere) | Value::Scalar(_)
+                        );
+                        if needs_temp {
+                            let arg0 = args[0].1.clone();
+                            if let Some(tmp) =
+                                materialize(arg0, body, counter, prefix, introduced)?
+                            {
+                                args[0].1 = tmp;
+                            }
+                        }
+                    }
+                    new_clauses.push(MoveClause {
+                        mask: c.mask,
+                        src: Value::FcnCall(name, args),
+                        dst: c.dst,
+                    });
+                    continue;
+                }
+                let mask = hoist_value(c.mask, body, counter, prefix, introduced)?;
+                let src = hoist_value(c.src, body, counter, prefix, introduced)?;
+                new_clauses.push(MoveClause { mask, src, dst: c.dst });
+            }
+            Ok(Imp::Move(new_clauses))
+        }
+        Imp::IfThenElse(c, t, e) => {
+            let c = hoist_value(c, body, counter, prefix, introduced)?;
+            // Branch bodies get their own prefixes *inside* the branch
+            // (hoisting across a branch would compute unconditionally).
+            let t = rewrite_nested(*t, body, counter, introduced)?;
+            let e = rewrite_nested(*e, body, counter, introduced)?;
+            Ok(Imp::IfThenElse(c, Box::new(t), Box::new(e)))
+        }
+        Imp::While(c, b) => {
+            // The condition re-evaluates each iteration: hoisting it out
+            // once would be wrong. Communication inside scalar loop
+            // conditions is left in place (the host evaluates it).
+            let b = rewrite_nested(*b, body, counter, introduced)?;
+            Ok(Imp::While(c, Box::new(b)))
+        }
+        Imp::Do(dom, shape, b) => {
+            let b = rewrite_nested(*b, body, counter, introduced)?;
+            Ok(Imp::Do(dom, shape, Box::new(b)))
+        }
+        Imp::Sequentially(xs) => {
+            let mut out = Vec::with_capacity(xs.len());
+            for x in xs {
+                let mut p = Vec::new();
+                let r = rewrite_stmt(x, body, counter, &mut p, introduced)?;
+                out.extend(p);
+                out.push(r);
+            }
+            Ok(Imp::seq(out))
+        }
+        other => Ok(other),
+    }
+}
+
+fn rewrite_nested(
+    stmt: Imp,
+    body: &mut ProgramBody,
+    counter: &mut usize,
+    introduced: &mut usize,
+) -> Result<Imp, NirError> {
+    let mut prefix = Vec::new();
+    let r = rewrite_stmt(stmt, body, counter, &mut prefix, introduced)?;
+    prefix.push(r);
+    Ok(Imp::seq(prefix))
+}
+
+fn is_comm(name: &str) -> bool {
+    matches!(name, "cshift" | "eoshift")
+}
+
+/// Materialise an array-valued expression into a fresh temporary,
+/// emitting `tmp = expr` into `prefix`. Returns `None` (leaving the
+/// expression in place) when the expression cannot be typed in the
+/// binder-only context or is scalar.
+fn materialize(
+    v: Value,
+    body: &mut ProgramBody,
+    counter: &mut usize,
+    prefix: &mut Vec<Imp>,
+    introduced: &mut usize,
+) -> Result<Option<Value>, NirError> {
+    let mut ctx = body.ctx()?;
+    let vt = match Checker::new(Mode::Both).type_of(&v, &mut ctx) {
+        Ok(vt) => vt,
+        Err(_) => return Ok(None),
+    };
+    let Some(shape) = vt.shape else {
+        return Ok(None);
+    };
+    let tmp = body.fresh_temp(counter);
+    body.add_temp_decl(Decl::Decl(
+        tmp.clone(),
+        Type::dfield(shape, Type::Scalar(vt.elem)),
+    ));
+    prefix.push(Imp::Move(vec![MoveClause::unmasked(
+        LValue::AVar(tmp.clone(), FieldAction::Everywhere),
+        v,
+    )]));
+    *introduced += 1;
+    Ok(Some(Value::AVar(tmp, FieldAction::Everywhere)))
+}
+
+/// Hoist communication calls (post-order) out of a value, emitting
+/// `tmp = call` moves into `prefix`.
+fn hoist_value(
+    v: Value,
+    body: &mut ProgramBody,
+    counter: &mut usize,
+    prefix: &mut Vec<Imp>,
+    introduced: &mut usize,
+) -> Result<Value, NirError> {
+    match v {
+        Value::FcnCall(name, args) if is_comm(&name) => {
+            // Hoist nested communication in the array argument first.
+            let mut args: Vec<(Type, Value)> = args
+                .into_iter()
+                .map(|(t, a)| Ok((t, hoist_value(a, body, counter, prefix, introduced)?)))
+                .collect::<Result<_, NirError>>()?;
+            // A composite array argument (`CSHIFT(c + a, …)`) must be
+            // computed before it can be communicated: materialise it
+            // into its own temporary (a computation phase).
+            if let Some((_, arg0)) = args.first() {
+                let needs_temp = !matches!(
+                    arg0,
+                    Value::AVar(_, FieldAction::Everywhere) | Value::Scalar(_)
+                );
+                if needs_temp {
+                    let arg0 = args[0].1.clone();
+                    if let Some(tmp) =
+                        materialize(arg0.clone(), body, counter, prefix, introduced)?
+                    {
+                        args[0].1 = tmp;
+                    }
+                }
+            }
+            let call = Value::FcnCall(name, args);
+            // Type the call to size the temporary. If typing fails here
+            // — e.g. the shift amount references an enclosing DO index,
+            // which this binder-only context cannot see — leave the call
+            // in place for the host path rather than mis-hoisting.
+            let mut ctx = body.ctx()?;
+            let vt = match Checker::new(Mode::Both).type_of(&call, &mut ctx) {
+                Ok(vt) => vt,
+                Err(_) => return Ok(call),
+            };
+            let shape = vt.shape.ok_or_else(|| {
+                NirError::Shape("communication intrinsic on a scalar".into())
+            })?;
+            let elem = vt.elem;
+            let tmp = body.fresh_temp(counter);
+            body.add_temp_decl(Decl::Decl(
+                tmp.clone(),
+                Type::dfield(shape, Type::Scalar(elem)),
+            ));
+            prefix.push(Imp::Move(vec![MoveClause::unmasked(
+                LValue::AVar(tmp.clone(), FieldAction::Everywhere),
+                call,
+            )]));
+            *introduced += 1;
+            Ok(Value::AVar(tmp, FieldAction::Everywhere))
+        }
+        Value::FcnCall(name, args) => {
+            let args = args
+                .into_iter()
+                .map(|(t, a)| Ok((t, hoist_value(a, body, counter, prefix, introduced)?)))
+                .collect::<Result<_, NirError>>()?;
+            Ok(Value::FcnCall(name, args))
+        }
+        Value::Unary(op, a) => Ok(Value::Unary(
+            op,
+            Box::new(hoist_value(*a, body, counter, prefix, introduced)?),
+        )),
+        Value::Binary(op, a, b) => Ok(Value::Binary(
+            op,
+            Box::new(hoist_value(*a, body, counter, prefix, introduced)?),
+            Box::new(hoist_value(*b, body, counter, prefix, introduced)?),
+        )),
+        other => Ok(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{classify_stmt, StmtClass};
+    use f90y_nir::build::*;
+    use f90y_nir::eval::Evaluator;
+
+    fn cshift_call(arr: &str, shift: i32, dim: i32) -> Value {
+        fcncall(
+            "cshift",
+            vec![
+                (float64(), ld(arr, everywhere())),
+                (int32(), int(shift)),
+                (int32(), int(dim)),
+            ],
+        )
+    }
+
+    fn swe_like() -> Imp {
+        // z = v - cshift(v, -1, 1): the Fig. 12 source pattern.
+        program(with_domain(
+            "s",
+            interval(1, 16),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("z", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("v", everywhere()), local_under(domain("s"), 1)),
+                    mv(
+                        avar("z", everywhere()),
+                        sub(ld("v", everywhere()), cshift_call("v", -1, 1)),
+                    ),
+                ]),
+            ),
+        ))
+    }
+
+    #[test]
+    fn cshift_is_hoisted_to_a_temporary() {
+        let p = swe_like();
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        let n = run(&mut body).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(body.stmts.len(), 3);
+        let mut ctx = body.ctx().unwrap();
+        // Statement 1: comm phase; statement 2: pure computation.
+        assert!(matches!(
+            classify_stmt(&body.stmts[1], &mut ctx).unwrap(),
+            StmtClass::Comm(_)
+        ));
+        assert!(matches!(
+            classify_stmt(&body.stmts[2], &mut ctx).unwrap(),
+            StmtClass::Compute(_)
+        ));
+        // The recomposed program still checks and means the same.
+        let out = body.recompose();
+        f90y_nir::typecheck::check(&out).unwrap();
+        let mut ev1 = Evaluator::new();
+        ev1.run(&p).unwrap();
+        let mut ev2 = Evaluator::new();
+        ev2.run(&out).unwrap();
+        assert_eq!(
+            ev1.final_array_f64("z").unwrap(),
+            ev2.final_array_f64("z").unwrap()
+        );
+    }
+
+    #[test]
+    fn nested_cshifts_hoist_inner_first() {
+        let p = program(with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("z", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("v", everywhere()), local_under(domain("s"), 1)),
+                    mv(
+                        avar("z", everywhere()),
+                        fcncall(
+                            "cshift",
+                            vec![
+                                (float64(), cshift_call("v", 1, 1)),
+                                (int32(), int(1)),
+                                (int32(), int(1)),
+                            ],
+                        ),
+                    ),
+                ]),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        let n = run(&mut body).unwrap();
+        // Inner call becomes tmp0; the outer call is already a bare
+        // comm into z once its argument is a temporary.
+        assert_eq!(n, 1);
+        let out = body.recompose();
+        let mut ev1 = Evaluator::new();
+        ev1.run(&p).unwrap();
+        let mut ev2 = Evaluator::new();
+        ev2.run(&out).unwrap();
+        assert_eq!(
+            ev1.final_array_f64("z").unwrap(),
+            ev2.final_array_f64("z").unwrap()
+        );
+    }
+
+    #[test]
+    fn masked_moves_hoist_unconditionally_before_the_move() {
+        // WHERE-style masked move with communication inside.
+        let p = program(with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("z", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("v", everywhere()), local_under(domain("s"), 1)),
+                    mv_masked(
+                        bin(
+                            f90y_nir::BinOp::Gt,
+                            ld("v", everywhere()),
+                            f64c(4.0),
+                        ),
+                        avar("z", everywhere()),
+                        cshift_call("v", 1, 1),
+                    ),
+                ]),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        let n = run(&mut body).unwrap();
+        assert_eq!(n, 1, "masked comm must hoist (masks don't commute with shifts)");
+        let out = body.recompose();
+        let mut ev1 = Evaluator::new();
+        ev1.run(&p).unwrap();
+        let mut ev2 = Evaluator::new();
+        ev2.run(&out).unwrap();
+        assert_eq!(
+            ev1.final_array_f64("z").unwrap(),
+            ev2.final_array_f64("z").unwrap()
+        );
+    }
+
+    #[test]
+    fn reductions_are_left_alone() {
+        let p = program(with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("x", float64()),
+                ]),
+                mv(
+                    svar_lv("x"),
+                    fcncall("sum", vec![(float64(), ld("v", everywhere()))]),
+                ),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        assert_eq!(run(&mut body).unwrap(), 0);
+    }
+
+    #[test]
+    fn composite_comm_arguments_materialise_as_computation() {
+        // z = cshift(v + w, 1, 1): the sum must become its own
+        // computation phase feeding the communication.
+        let p = program(with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("w", dfield(domain("s"), float64())),
+                    decl("z", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("v", everywhere()), local_under(domain("s"), 1)),
+                    mv(avar("w", everywhere()), f64c(10.0)),
+                    mv(
+                        avar("z", everywhere()),
+                        fcncall(
+                            "cshift",
+                            vec![
+                                (
+                                    float64(),
+                                    add(ld("v", everywhere()), ld("w", everywhere())),
+                                ),
+                                (int32(), int(1)),
+                                (int32(), int(1)),
+                            ],
+                        ),
+                    ),
+                ]),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        let n = run(&mut body).unwrap();
+        assert_eq!(n, 1, "the composite argument becomes one temporary");
+        // Phases: init v, init w, tmp = v+w (compute), z = cshift(tmp) (comm).
+        let mut ctx = body.ctx().unwrap();
+        let classes: Vec<_> = body
+            .stmts
+            .iter()
+            .map(|s| classify_stmt(s, &mut ctx).unwrap())
+            .collect();
+        assert!(matches!(classes[2], StmtClass::Compute(_)));
+        assert!(matches!(classes[3], StmtClass::Comm(_)));
+
+        let out = body.recompose();
+        f90y_nir::typecheck::check(&out).unwrap();
+        let mut ev1 = Evaluator::new();
+        ev1.run(&p).unwrap();
+        let mut ev2 = Evaluator::new();
+        ev2.run(&out).unwrap();
+        assert_eq!(
+            ev1.final_array_f64("z").unwrap(),
+            ev2.final_array_f64("z").unwrap()
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! Mask padding: rewrite aligned array-section assignments into
+//! full-array masked moves (paper Fig. 10).
+//!
+//! "By generating mask code, the compiler pads computations over array
+//! subsections to full-array operations, increasing the pool of sibling
+//! computations which could be implemented in the same computation
+//! block."
+//!
+//! A section assignment is *pad-able* when every array reference on the
+//! right-hand side (and mask) uses the **same** section as the target —
+//! i.e. the statement is pointwise over the section. Misaligned sections
+//! (`L(32:64) = L(96:128)`) are shifted copies, which are communication,
+//! not computation; they are left alone for the host/router path.
+
+use f90y_nir::typecheck::{Checker, Mode};
+use f90y_nir::{
+    BinOp, Const, FieldAction, Imp, LValue, MoveClause, NirError, SectionRange, Shape, Value,
+};
+
+use crate::program::ProgramBody;
+
+/// Run the pass over the top-level statements; returns the number of
+/// statements padded. (The pipeline driver applies [`run_stmts`] inside
+/// nested loop and branch bodies too.)
+///
+/// # Errors
+///
+/// Fails on static errors while resolving target shapes.
+pub fn run(body: &mut ProgramBody) -> Result<usize, NirError> {
+    let mut ctx = body.ctx()?;
+    run_stmts(&mut body.stmts, &mut ctx)
+}
+
+/// Pad every statement of a list in a given context.
+///
+/// # Errors
+///
+/// Fails on static errors while resolving target shapes.
+pub fn run_stmts(
+    stmts: &mut Vec<Imp>,
+    ctx: &mut f90y_nir::typecheck::Ctx,
+) -> Result<usize, NirError> {
+    let mut padded = 0usize;
+    let taken = std::mem::take(stmts);
+    let mut out = Vec::with_capacity(taken.len());
+    for stmt in taken {
+        out.push(pad_stmt(stmt, ctx, &mut padded)?);
+    }
+    *stmts = out;
+    Ok(padded)
+}
+
+fn pad_stmt(
+    stmt: Imp,
+    ctx: &mut f90y_nir::typecheck::Ctx,
+    padded: &mut usize,
+) -> Result<Imp, NirError> {
+    let Imp::Move(clauses) = stmt else {
+        return Ok(stmt);
+    };
+    let mut out = Vec::with_capacity(clauses.len());
+    for c in clauses {
+        out.push(pad_clause(c, ctx, padded)?);
+    }
+    Ok(Imp::Move(out))
+}
+
+fn pad_clause(
+    c: MoveClause,
+    ctx: &mut f90y_nir::typecheck::Ctx,
+    padded: &mut usize,
+) -> Result<MoveClause, NirError> {
+    let LValue::AVar(dst_name, FieldAction::Section(ranges)) = &c.dst else {
+        return Ok(c);
+    };
+    // The target's full declared shape.
+    let full_shape = {
+        let checker = Checker::new(Mode::Shapes);
+        let full = checker.type_of_lvalue(
+            &LValue::AVar(dst_name.clone(), FieldAction::Everywhere),
+            ctx,
+        )?;
+        full.shape.expect("AVar targets have shapes")
+    };
+    let extents = full_shape.extents();
+
+    // Pad-able only if every array reference is aligned with the target
+    // section over a conforming base shape.
+    if !aligned(&c.src, ranges, &extents.len()) || !aligned(&c.mask, ranges, &extents.len()) {
+        return Ok(c);
+    }
+
+    // Build the parity/range mask over the full shape.
+    let mut mask_terms: Vec<Value> = Vec::new();
+    for (axis, (r, e)) in ranges.iter().zip(&extents).enumerate() {
+        let coord = Value::LocalUnder(full_shape.clone(), axis + 1);
+        if r.step > 1 {
+            // ((coord - lo) mod step) == 0
+            mask_terms.push(Value::Binary(
+                BinOp::Eq,
+                Box::new(Value::Binary(
+                    BinOp::Mod,
+                    Box::new(Value::Binary(
+                        BinOp::Sub,
+                        Box::new(coord.clone()),
+                        Box::new(Value::Scalar(Const::I32(r.lo as i32))),
+                    )),
+                    Box::new(Value::Scalar(Const::I32(r.step as i32))),
+                )),
+                Box::new(Value::Scalar(Const::I32(0))),
+            ));
+        }
+        if r.lo > e.lo {
+            mask_terms.push(Value::Binary(
+                BinOp::Ge,
+                Box::new(coord.clone()),
+                Box::new(Value::Scalar(Const::I32(r.lo as i32))),
+            ));
+        }
+        if r.hi < e.hi {
+            mask_terms.push(Value::Binary(
+                BinOp::Le,
+                Box::new(coord),
+                Box::new(Value::Scalar(Const::I32(r.hi as i32))),
+            ));
+        }
+    }
+    let section_mask = mask_terms
+        .into_iter()
+        .reduce(|a, b| Value::Binary(BinOp::And, Box::new(a), Box::new(b)));
+
+    // Rewrite references to everywhere.
+    let src = widen(&c.src, ranges);
+    let old_mask = widen(&c.mask, ranges);
+    let mask = match (section_mask, c.is_unmasked()) {
+        (None, _) => old_mask, // section was the whole array
+        (Some(sm), true) => sm,
+        (Some(sm), false) => Value::Binary(BinOp::And, Box::new(sm), Box::new(old_mask)),
+    };
+    *padded += 1;
+    Ok(MoveClause {
+        mask,
+        src,
+        dst: LValue::AVar(dst_name.clone(), FieldAction::Everywhere),
+    })
+}
+
+/// Every `AVAR` in the value must carry exactly the target's section
+/// (same rank); scalars, constants and operators are fine. `everywhere`
+/// or differently-sectioned references make the clause unpaddable.
+fn aligned(v: &Value, target: &[SectionRange], _rank: &usize) -> bool {
+    let mut ok = true;
+    v.walk(&mut |node| {
+        if let Value::AVar(_, fa) = node {
+            match fa {
+                FieldAction::Section(rs) if rs == target => {}
+                _ => ok = false,
+            }
+        }
+        if matches!(node, Value::LocalUnder(..) | Value::DoIndex(..)) {
+            ok = false;
+        }
+    });
+    ok
+}
+
+/// Replace aligned section references by `everywhere`.
+fn widen(v: &Value, target: &[SectionRange]) -> Value {
+    match v {
+        Value::AVar(id, FieldAction::Section(rs)) if rs == target => {
+            Value::AVar(id.clone(), FieldAction::Everywhere)
+        }
+        Value::Unary(op, a) => Value::Unary(*op, Box::new(widen(a, target))),
+        Value::Binary(op, a, b) => Value::Binary(
+            *op,
+            Box::new(widen(a, target)),
+            Box::new(widen(b, target)),
+        ),
+        Value::FcnCall(name, args) => Value::FcnCall(
+            name.clone(),
+            args.iter().map(|(t, a)| (t.clone(), widen(a, target))).collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// `true` if the shape's axes could make a statement over it pad into
+/// the given full shape — used by tests and the Fig. 10 harness.
+pub fn covers(full: &Shape, ranges: &[SectionRange]) -> bool {
+    full.extents().len() == ranges.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{classify_stmt, ProgramBody, StmtClass};
+    use f90y_nir::build::*;
+    use f90y_nir::eval::Evaluator;
+
+    fn fig10_program() -> Imp {
+        // A = N; B(1:31:2,:) = A(1:31:2,:); C = N+1; B(2:32:2,:) = 5*A(2:32:2,:)
+        let odd = vec![SectionRange::strided(1, 31, 2), SectionRange::new(1, 32)];
+        let even = vec![SectionRange::strided(2, 32, 2), SectionRange::new(1, 32)];
+        program(with_domain(
+            "s",
+            prod(vec![interval(1, 32), interval(1, 32)]),
+            with_domain(
+                "t",
+                interval(1, 32),
+                with_decl(
+                    declset(vec![
+                        decl("a", dfield(domain("s"), int32())),
+                        decl("b", dfield(domain("s"), int32())),
+                        decl("c", dfield(domain("t"), int32())),
+                        decl("n", int32()),
+                    ]),
+                    seq(vec![
+                        mv(svar_lv("n"), int(7)),
+                        mv(avar("a", everywhere()), svar("n")),
+                        mv(avar("b", section(odd.clone())), ld("a", section(odd))),
+                        mv(avar("c", everywhere()), add(svar("n"), int(1))),
+                        mv(
+                            avar("b", section(even.clone())),
+                            mul(int(5), ld("a", section(even))),
+                        ),
+                    ]),
+                ),
+            ),
+        ))
+    }
+
+    #[test]
+    fn fig10_sections_pad_to_masked_everywhere() {
+        let p = fig10_program();
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        let n = run(&mut body).unwrap();
+        assert_eq!(n, 2);
+        // Both padded statements are now grid-local computations.
+        let mut ctx = body.ctx().unwrap();
+        let classes: Vec<StmtClass> = body
+            .stmts
+            .iter()
+            .map(|s| classify_stmt(s, &mut ctx).unwrap())
+            .collect();
+        let computes = classes
+            .iter()
+            .filter(|c| matches!(c, StmtClass::Compute(_)))
+            .count();
+        // A=N, both B moves, and C=N+1 are all computations now.
+        assert_eq!(computes, 4);
+
+        // Semantics preserved.
+        let out = body.recompose();
+        f90y_nir::typecheck::check(&out).unwrap();
+        let mut ev1 = Evaluator::new();
+        ev1.run(&p).unwrap();
+        let mut ev2 = Evaluator::new();
+        ev2.run(&out).unwrap();
+        for name in ["a", "b", "c"] {
+            assert_eq!(
+                ev1.final_array_f64(name).unwrap(),
+                ev2.final_array_f64(name).unwrap(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn misaligned_sections_are_left_for_communication() {
+        // L(1:3) = L(5:7): a shifted copy, not pointwise.
+        let p = program(with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![decl("l", dfield(domain("s"), int32()))]),
+                mv(
+                    avar("l", section(vec![SectionRange::new(1, 3)])),
+                    ld("l", section(vec![SectionRange::new(5, 7)])),
+                ),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        assert_eq!(run(&mut body).unwrap(), 0);
+        assert_eq!(body.recompose(), p);
+    }
+
+    #[test]
+    fn contiguous_subrange_pads_with_range_mask() {
+        // K(2:7) = K(2:7) + 1 over K(8).
+        let sec = vec![SectionRange::new(2, 7)];
+        let p = program(with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![decl("k", dfield(domain("s"), int32()))]),
+                seq(vec![
+                    mv(avar("k", everywhere()), local_under(domain("s"), 1)),
+                    mv(
+                        avar("k", section(sec.clone())),
+                        add(ld("k", section(sec)), int(100)),
+                    ),
+                ]),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        assert_eq!(run(&mut body).unwrap(), 1);
+        let out = body.recompose();
+        let mut ev = Evaluator::new();
+        ev.run(&out).unwrap();
+        assert_eq!(
+            ev.final_array_f64("k").unwrap(),
+            vec![1.0, 102.0, 103.0, 104.0, 105.0, 106.0, 107.0, 8.0]
+        );
+    }
+
+    #[test]
+    fn scalar_rhs_pads_fine() {
+        // B(1:7:2) = 9 over B(8).
+        let sec = vec![SectionRange::strided(1, 7, 2)];
+        let p = program(with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![decl("b", dfield(domain("s"), int32()))]),
+                mv(avar("b", section(sec)), int(9)),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        assert_eq!(run(&mut body).unwrap(), 1);
+        let mut ev = Evaluator::new();
+        ev.run(&body.recompose()).unwrap();
+        assert_eq!(
+            ev.final_array_f64("b").unwrap(),
+            vec![9.0, 0.0, 9.0, 0.0, 9.0, 0.0, 9.0, 0.0]
+        );
+    }
+}

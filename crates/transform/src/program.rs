@@ -1,0 +1,322 @@
+//! Decomposing lowered programs into binders plus a statement list, and
+//! classifying statements for the blocking/partitioning passes.
+
+use f90y_nir::shapecheck;
+use f90y_nir::typecheck::{Ctx, Mode};
+use f90y_nir::{Decl, FieldAction, Imp, LValue, NirError, Shape, Value};
+
+/// One enclosing binder of the statement sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Binder {
+    /// `WITH_DOMAIN(name, shape)`.
+    Domain(String, Shape),
+    /// `WITH_DECL(decls)`.
+    Decls(Decl),
+}
+
+/// A lowered program split into its binders and top-level statements.
+///
+/// Lowered units have the form
+/// `PROGRAM(WITH_DOMAIN*(WITH_DECL(SEQUENTIALLY [...])))`; transformation
+/// passes operate on the statement vector and are reassembled by
+/// [`ProgramBody::recompose`].
+#[derive(Debug, Clone)]
+pub struct ProgramBody {
+    /// Enclosing binders, outermost first.
+    pub binders: Vec<Binder>,
+    /// The statement sequence.
+    pub stmts: Vec<Imp>,
+    /// Whether the original was wrapped in `PROGRAM`.
+    pub programmed: bool,
+}
+
+/// How a statement participates in phase partitioning (paper §4.2: each
+/// phase "either carries out a single computational action over data
+/// with a common shape and alignment, or expresses a single
+/// communication").
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtClass {
+    /// A grid-local parallel computation over the given (resolved)
+    /// shape — PE material.
+    Compute(Shape),
+    /// A communication move (its source is a communication intrinsic or
+    /// a non-aligned section copy) over the given shape.
+    Comm(Shape),
+    /// Host-executed work (serial loops, scalar control, reductions to
+    /// scalars, subscripted element moves).
+    Host,
+}
+
+impl StmtClass {
+    /// The computation shape, when this is a `Compute` phase.
+    pub fn compute_shape(&self) -> Option<&Shape> {
+        match self {
+            StmtClass::Compute(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl ProgramBody {
+    /// Split a lowered program.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the term does not have the lowered-unit form.
+    pub fn decompose(imp: &Imp) -> Result<ProgramBody, NirError> {
+        let (programmed, mut cur) = match imp {
+            Imp::Program(b) => (true, b.as_ref()),
+            other => (false, other),
+        };
+        let mut binders = Vec::new();
+        loop {
+            match cur {
+                Imp::WithDomain(name, shape, body) => {
+                    binders.push(Binder::Domain(name.clone(), shape.clone()));
+                    cur = body;
+                }
+                Imp::WithDecl(d, body) => {
+                    binders.push(Binder::Decls(d.clone()));
+                    cur = body;
+                }
+                _ => break,
+            }
+        }
+        let stmts = match cur {
+            Imp::Sequentially(xs) => xs.clone(),
+            Imp::Skip => Vec::new(),
+            other => vec![other.clone()],
+        };
+        Ok(ProgramBody { binders, stmts, programmed })
+    }
+
+    /// Reassemble the program.
+    pub fn recompose(&self) -> Imp {
+        let mut body = Imp::seq(self.stmts.clone());
+        for b in self.binders.iter().rev() {
+            body = match b {
+                Binder::Domain(name, shape) => {
+                    Imp::WithDomain(name.clone(), shape.clone(), Box::new(body))
+                }
+                Binder::Decls(d) => Imp::WithDecl(d.clone(), Box::new(body)),
+            };
+        }
+        if self.programmed {
+            Imp::Program(Box::new(body))
+        } else {
+            body
+        }
+    }
+
+    /// A static-analysis context with the binders applied.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a binder references an unbound domain.
+    pub fn ctx(&self) -> Result<Ctx, NirError> {
+        let mut ctx = Ctx::new();
+        for b in &self.binders {
+            match b {
+                Binder::Domain(name, shape) => ctx.bind_domain(name.clone(), shape)?,
+                Binder::Decls(d) => {
+                    for (id, ty, _) in d.bindings() {
+                        let resolved = resolve_type(ty, &ctx)?;
+                        ctx.bind_var(id.clone(), resolved);
+                    }
+                }
+            }
+        }
+        Ok(ctx)
+    }
+
+    /// Add a declaration for a transformation-introduced temporary.
+    pub fn add_temp_decl(&mut self, d: Decl) {
+        // Append into the innermost DECLSET binder (lowered units have
+        // exactly one); create one if the program had none.
+        for b in self.binders.iter_mut().rev() {
+            if let Binder::Decls(Decl::DeclSet(ds)) = b {
+                ds.push(d);
+                return;
+            }
+            if let Binder::Decls(existing) = b {
+                let prev = existing.clone();
+                *b = Binder::Decls(Decl::DeclSet(vec![prev, d]));
+                return;
+            }
+        }
+        self.binders.push(Binder::Decls(Decl::DeclSet(vec![d])));
+    }
+
+    /// All identifiers declared anywhere in the binders.
+    pub fn declared_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for b in &self.binders {
+            if let Binder::Decls(d) = b {
+                for (id, _, _) in d.bindings() {
+                    out.push(id.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// A temporary name not colliding with any declared name.
+    pub fn fresh_temp(&self, counter: &mut usize) -> String {
+        let taken = self.declared_names();
+        loop {
+            let name = format!("tmp{counter}");
+            *counter += 1;
+            if !taken.contains(&name) {
+                return name;
+            }
+        }
+    }
+
+    /// Classify one statement.
+    ///
+    /// # Errors
+    ///
+    /// Fails on static errors while computing shapes.
+    pub fn classify(&self, stmt: &Imp, ctx: &mut Ctx) -> Result<StmtClass, NirError> {
+        classify_stmt(stmt, ctx)
+    }
+}
+
+/// Classify a statement against a context (see [`StmtClass`]).
+///
+/// # Errors
+///
+/// Fails on static errors while computing shapes.
+pub fn classify_stmt(stmt: &Imp, ctx: &mut Ctx) -> Result<StmtClass, NirError> {
+    match stmt {
+        Imp::Move(clauses) => {
+            // A single clause whose source is a top-level communication
+            // intrinsic into a whole array: a communication phase.
+            if let [clause] = clauses.as_slice() {
+                if let Value::FcnCall(name, _) = &clause.src {
+                    if matches!(name.as_str(), "cshift" | "eoshift") && clause.is_unmasked() {
+                        if let LValue::AVar(_, FieldAction::Everywhere) = &clause.dst {
+                            if let Some(s) = shapecheck::clause_shape(clause, ctx)? {
+                                return Ok(StmtClass::Comm(s));
+                            }
+                        }
+                    }
+                }
+            }
+            if shapecheck::is_gridlocal_computation(stmt, ctx)? {
+                let shape = shapecheck::move_shape(clauses, ctx)?
+                    .expect("gridlocal computations have a shape");
+                return Ok(StmtClass::Compute(shape));
+            }
+            Ok(StmtClass::Host)
+        }
+        _ => Ok(StmtClass::Host),
+    }
+}
+
+fn resolve_type(
+    ty: &f90y_nir::Type,
+    ctx: &Ctx,
+) -> Result<f90y_nir::Type, NirError> {
+    match ty {
+        f90y_nir::Type::Scalar(s) => Ok(f90y_nir::Type::Scalar(*s)),
+        f90y_nir::Type::DField { shape, elem } => Ok(f90y_nir::Type::DField {
+            shape: ctx.resolve(shape)?,
+            elem: Box::new(resolve_type(elem, ctx)?),
+        }),
+    }
+}
+
+/// Shorthand used by passes: a checker in shape mode.
+pub fn shape_checker() -> f90y_nir::typecheck::Checker {
+    f90y_nir::typecheck::Checker::new(Mode::Shapes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90y_nir::build::*;
+
+    fn sample() -> Imp {
+        program(with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![decl("a", dfield(domain("s"), float64()))]),
+                seq(vec![
+                    mv(avar("a", everywhere()), f64c(1.0)),
+                    mv(avar("a", everywhere()), f64c(2.0)),
+                ]),
+            ),
+        ))
+    }
+
+    #[test]
+    fn decompose_recompose_roundtrips() {
+        let p = sample();
+        let body = ProgramBody::decompose(&p).unwrap();
+        assert_eq!(body.binders.len(), 2);
+        assert_eq!(body.stmts.len(), 2);
+        assert!(body.programmed);
+        assert_eq!(body.recompose(), p);
+    }
+
+    #[test]
+    fn classification() {
+        let p = sample();
+        let body = ProgramBody::decompose(&p).unwrap();
+        let mut ctx = body.ctx().unwrap();
+        assert!(matches!(
+            body.classify(&body.stmts[0], &mut ctx).unwrap(),
+            StmtClass::Compute(_)
+        ));
+        // A cshift move is Comm.
+        let comm = mv(
+            avar("a", everywhere()),
+            fcncall(
+                "cshift",
+                vec![
+                    (float64(), ld("a", everywhere())),
+                    (int32(), int(1)),
+                    (int32(), int(1)),
+                ],
+            ),
+        );
+        assert!(matches!(
+            body.classify(&comm, &mut ctx).unwrap(),
+            StmtClass::Comm(_)
+        ));
+        // A serial DO is Host.
+        let host = do_over("i", serial_interval(1, 4), Imp::Skip);
+        assert!(matches!(
+            body.classify(&host, &mut ctx).unwrap(),
+            StmtClass::Host
+        ));
+    }
+
+    #[test]
+    fn temp_decls_land_in_the_declset() {
+        let p = sample();
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        let mut counter = 0;
+        let name = body.fresh_temp(&mut counter);
+        assert_eq!(name, "tmp0");
+        body.add_temp_decl(decl(&name, dfield(domain("s"), float64())));
+        let names = body.declared_names();
+        assert!(names.contains(&"a".to_string()));
+        assert!(names.contains(&"tmp0".to_string()));
+        // Recomposed program still checks.
+        f90y_nir::typecheck::check(&body.recompose()).unwrap();
+    }
+
+    #[test]
+    fn fresh_temp_skips_collisions() {
+        let p = program(with_decl(
+            declset(vec![decl("tmp0", float64())]),
+            mv(svar_lv("tmp0"), f64c(0.0)),
+        ));
+        let body = ProgramBody::decompose(&p).unwrap();
+        let mut counter = 0;
+        assert_eq!(body.fresh_temp(&mut counter), "tmp1");
+    }
+}

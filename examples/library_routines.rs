@@ -1,0 +1,68 @@
+//! Scientific library routines, the paper's motivating gap:
+//!
+//! > "the CMF compiler in its current form cannot be used for developing
+//! > scientific library functions for the CM/2; these critical routines
+//! > must be developed by hand at great expense."
+//!
+//! Here a small smoothing/normalising library is written as ordinary
+//! `SUBROUTINE`s; inlining hands their whole-array statements to the
+//! blocking transformations, so library code fuses with caller code.
+//!
+//! ```text
+//! cargo run --release --example library_routines
+//! ```
+
+use f90y_core::{Compiler, Pipeline};
+
+const SOURCE: &str = "
+PROGRAM driver
+REAL field(256), work(256)
+REAL lo, hi
+FORALL (i=1:256) field(i) = MOD(i*37, 101)
+CALL smooth(field, work)
+CALL smooth(work, field)
+CALL rescale(field, 0.0 + 0.0, 1.0*1.0)
+lo = MINVAL(field)
+hi = MAXVAL(field)
+END PROGRAM driver
+
+SUBROUTINE smooth(x, y)
+REAL x(256), y(256)
+y = 0.25*CSHIFT(x, -1, 1) + 0.5*x + 0.25*CSHIFT(x, 1, 1)
+END SUBROUTINE smooth
+
+SUBROUTINE rescale(v, new_lo, new_hi)
+REAL v(256)
+REAL new_lo, new_hi
+REAL vmin, vmax
+vmin = MINVAL(v)
+vmax = MAXVAL(v)
+v = new_lo + (new_hi - new_lo)*(v - vmin)/(vmax - vmin)
+END SUBROUTINE rescale
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exe = Compiler::new(Pipeline::F90y).compile(SOURCE)?;
+    println!(
+        "library + driver inlined into {} computation blocks, {} PEAC instructions\n",
+        exe.compiled.blocks.len(),
+        exe.compiled.total_node_instructions()
+    );
+
+    let run = exe.run(256)?;
+    println!(
+        "after smooth·smooth·rescale: MINVAL = {}, MAXVAL = {}",
+        run.finals.final_scalar("lo")?,
+        run.finals.final_scalar("hi")?,
+    );
+    assert_eq!(run.finals.final_scalar("lo")?, 0.0);
+    assert_eq!(run.finals.final_scalar("hi")?, 1.0);
+
+    println!(
+        "{} dispatches, {} comm calls, {:.3} sustained GFLOPS on 256 nodes",
+        run.stats.dispatches, run.stats.comm_calls, run.gflops
+    );
+    exe.validate()?;
+    println!("validated against the NIR reference evaluator ✓");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: compile a small Fortran 90 program with the Fortran-90-Y
+//! pipeline, inspect every stage, and run it on a simulated CM/2.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use f90y_core::{Compiler, Pipeline};
+use f90y_nir::pretty::print_imp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's §2.1 example: whole-array Fortran 90.
+    let source = "
+        INTEGER K(128,64), L(128)
+        L = 6
+        K = 2*K + 5
+        L(32:64) = L(96:128)
+        K(32:64,:) = K(32:64,:)**2
+    ";
+    println!("=== Fortran 90 source ===\n{source}");
+
+    let exe = Compiler::new(Pipeline::F90y).compile(source)?;
+
+    println!("=== NIR after semantic lowering ===\n");
+    println!("{}\n", print_imp(&exe.nir));
+
+    println!("=== NIR after blocking/masking transformations ===\n");
+    println!("{}\n", print_imp(&exe.optimized));
+    println!(
+        "(transformations: {} section assignments padded to masks, {} statements hoisted, \
+         {} computation blocks fused)\n",
+        exe.report.masked_pads, exe.report.swaps, exe.report.blocks_after
+    );
+
+    println!("=== PEAC node routines ===\n");
+    println!("{}", exe.compiled.listings());
+
+    // Run on a 256-node machine and read the results back.
+    let run = exe.run(256)?;
+    let l = run.finals.final_array("l")?;
+    let k = run.finals.final_array("k")?;
+    println!("=== Execution on a 256-node CM/2 ===\n");
+    println!("L(1)  = {}   L(32) = {}   L(128) = {}", l[0], l[31], l[127]);
+    println!("K(1,1) = {}   K(40,7) = {}", k[0], k[39 * 64 + 6]);
+    println!(
+        "\n{} PEAC dispatches, {} runtime communication calls, {} node cycles, \
+         {:.3} sustained GFLOPS",
+        run.stats.dispatches,
+        run.stats.comm_calls,
+        run.stats.node_cycles(),
+        run.gflops
+    );
+
+    // Every run can be validated against the NIR reference evaluator.
+    exe.validate()?;
+    println!("validated against the NIR reference evaluator ✓");
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! Repo-level integration tests: the full pipeline across crates, the
+//! paper's worked examples end-to-end, and cross-pipeline agreement.
+
+use f90y_core::{workloads, Compiler, Pipeline};
+
+fn f90y(src: &str) -> f90y_core::Executable {
+    Compiler::new(Pipeline::F90y).compile(src).expect("compiles")
+}
+
+// ---------------------------------------------------------------------
+// The paper's worked examples, end to end
+// ---------------------------------------------------------------------
+
+#[test]
+fn section21_f77_and_f90_forms_agree_on_the_machine() {
+    let e77 = f90y(workloads::fig_section21_f77());
+    let e90 = f90y(workloads::fig_section21_f90());
+    let r77 = e77.run(32).unwrap();
+    let r90 = e90.run(32).unwrap();
+    assert_eq!(
+        r77.finals.final_array("k").unwrap(),
+        r90.finals.final_array("k").unwrap()
+    );
+    assert_eq!(
+        r77.finals.final_array("l").unwrap(),
+        r90.finals.final_array("l").unwrap()
+    );
+    // And the F90 form is far cheaper: whole-array statements dispatch
+    // node code, the dusty-deck loops run element-at-a-time on the host.
+    assert!(
+        r90.elapsed_seconds < r77.elapsed_seconds,
+        "data-parallel form must be faster: {} vs {}",
+        r90.elapsed_seconds,
+        r77.elapsed_seconds
+    );
+}
+
+#[test]
+fn every_paper_figure_validates_on_the_machine() {
+    for src in [
+        workloads::fig7_source().to_string(),
+        workloads::fig9_source().to_string(),
+        workloads::fig10_source().to_string(),
+        workloads::fig12_source(16),
+    ] {
+        f90y(&src).validate().unwrap();
+    }
+}
+
+#[test]
+fn all_three_pipelines_agree_on_every_workload() {
+    for src in [
+        workloads::swe_source(16, 2),
+        workloads::heat_source(16, 3),
+        workloads::life_source(16, 2),
+    ] {
+        let mut reference: Option<Vec<(String, f90y_backend::fe::Final)>> = None;
+        for p in [Pipeline::F90y, Pipeline::Cmf, Pipeline::StarLisp] {
+            let exe = Compiler::new(p).compile(&src).unwrap();
+            let run = exe.run(16).unwrap();
+            let mut finals: Vec<(String, f90y_backend::fe::Final)> = run
+                .finals
+                .finals()
+                .iter()
+                .filter(|(k, _)| !k.starts_with("tmp"))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            finals.sort_by(|a, b| a.0.cmp(&b.0));
+            match &reference {
+                None => reference = Some(finals),
+                Some(r) => assert_eq!(r, &finals, "{} disagrees", p.name()),
+            }
+        }
+    }
+}
+
+#[test]
+fn results_are_node_count_invariant() {
+    let exe = f90y(&workloads::swe_source(32, 2));
+    let mut previous: Option<Vec<f64>> = None;
+    for nodes in [1usize, 2, 16, 128, 2048] {
+        let run = exe.run(nodes).unwrap();
+        let p = run.finals.final_array("p").unwrap();
+        if let Some(prev) = &previous {
+            assert_eq!(prev, &p, "results changed at {nodes} nodes");
+        }
+        previous = Some(p);
+    }
+}
+
+#[test]
+fn performance_ordering_holds_at_scale() {
+    let src = workloads::swe_source(256, 2);
+    let mut gflops = Vec::new();
+    for p in [Pipeline::F90y, Pipeline::Cmf, Pipeline::StarLisp] {
+        let exe = Compiler::new(p).compile(&src).unwrap();
+        gflops.push(exe.run(2048).unwrap().gflops);
+    }
+    assert!(
+        gflops[0] > gflops[1] && gflops[1] > gflops[2],
+        "F90-Y > CMF > *Lisp must hold: {gflops:?}"
+    );
+}
+
+#[test]
+fn more_nodes_are_never_slower() {
+    let exe = f90y(&workloads::swe_source(128, 2));
+    let mut last = f64::INFINITY;
+    for nodes in [16usize, 64, 256, 1024] {
+        let t = exe.run(nodes).unwrap().elapsed_seconds;
+        assert!(
+            t <= last * 1.0001,
+            "scaling regressed at {nodes} nodes: {t} vs {last}"
+        );
+        last = t;
+    }
+}
+
+#[test]
+fn larger_problems_sustain_higher_gflops() {
+    // The VP-ratio effect: overheads amortise over longer subgrid loops.
+    let mut last = 0.0;
+    for n in [64usize, 128, 256] {
+        let exe = f90y(&workloads::swe_source(n, 2));
+        let g = exe.run(2048).unwrap().gflops;
+        assert!(g > last, "GFLOPS must grow with problem size: {g} vs {last}");
+        last = g;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-crate plumbing
+// ---------------------------------------------------------------------
+
+#[test]
+fn peac_listings_round_trip_the_figure_notation() {
+    let exe = f90y(&workloads::fig12_source(16));
+    let listing = exe.compiled.listings();
+    // Fig. 12 notation elements.
+    assert!(listing.contains("flodv [aP"));
+    assert!(listing.contains("]1++"));
+    assert!(listing.contains("jnz ac2"));
+    assert!(listing.contains("fdivv"));
+}
+
+#[test]
+fn transform_report_reflects_swe_structure() {
+    let exe = f90y(&workloads::swe_source(32, 2));
+    // 17 shifts per step appear once in the loop body: hoisted temps.
+    assert!(exe.report.comm_temps >= 14, "temps: {}", exe.report.comm_temps);
+    // The three update stages fuse into a few blocks.
+    assert!(exe.report.blocks_after >= 1);
+    assert!(exe.compiled.blocks.len() <= 12);
+}
+
+#[test]
+fn cm5_estimates_are_consistent_with_cm2_results() {
+    let exe = f90y(&workloads::heat_source(64, 2));
+    let cm2 = exe.run(256).unwrap();
+    let (run5, stats5) =
+        f90y_cm5::run_and_estimate(&exe.compiled, &f90y_cm5::Cm5Config::new(256)).unwrap();
+    assert_eq!(
+        cm2.finals.final_array("t").unwrap(),
+        run5.final_array("t").unwrap()
+    );
+    assert!(stats5.gflops() > 0.0);
+}
+
+#[test]
+fn errors_surface_with_positions() {
+    let err = Compiler::new(Pipeline::F90y)
+        .compile("REAL a(4)\na = b + 1\n")
+        .unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("undeclared"), "{text}");
+    assert!(text.contains("2:"), "position missing: {text}");
+}
+
+#[test]
+fn shape_errors_are_static_not_dynamic() {
+    let err = Compiler::new(Pipeline::F90y)
+        .compile("REAL a(4), b(8)\na = b\n")
+        .unwrap_err();
+    assert!(err.to_string().contains("shape"), "{err}");
+}

@@ -1,0 +1,195 @@
+//! Property-based tests over the whole pipeline.
+//!
+//! The central property is *translation validation on random programs*:
+//! any generated data-parallel program must produce identical results
+//! from (a) the NIR reference evaluator, (b) the fully optimized
+//! Fortran-90-Y pipeline on the simulated CM/2, and (c) both baseline
+//! pipelines — exercising lowering, every transformation, the PE
+//! compiler's register allocator, and the machine in one sweep.
+
+use proptest::prelude::*;
+
+use f90y_core::{Compiler, Pipeline};
+use f90y_nir::eval::Evaluator;
+use f90y_nir::Shape;
+use f90y_nir::SectionRange;
+
+// ---------------------------------------------------------------------
+// Random program generation (source level)
+// ---------------------------------------------------------------------
+
+/// A random arithmetic expression over arrays a, b, c, scalar s and the
+/// FORALL-style coordinates. Division is avoided (denominator zero) and
+/// `**` is limited to squares to keep values tame.
+fn arb_expr(depth: u32) -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string()),
+        Just("s".to_string()),
+        (1i32..9).prop_map(|k| k.to_string()),
+        (1i32..5).prop_map(|k| format!("{k}.5")),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("({x} + {y})")),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("({x} - {y})")),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("({x} * {y})")),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("MAX({x}, {y})")),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("MIN({x}, {y})")),
+            inner.clone().prop_map(|x| format!("(-{x})")),
+            inner.clone().prop_map(|x| format!("ABS({x})")),
+            inner
+                .clone()
+                .prop_map(|x| format!("CSHIFT({x} + a, 1, 1)")),
+        ]
+    })
+}
+
+/// One random statement: plain assignment, masked WHERE, or a strided
+/// section self-assignment.
+fn arb_stmt() -> impl Strategy<Value = String> {
+    let target = prop_oneof![Just("a"), Just("b"), Just("c")];
+    prop_oneof![
+        (target.clone(), arb_expr(2)).prop_map(|(t, e)| format!("{t} = {e}\n")),
+        (target.clone(), arb_expr(1), arb_expr(1), 0i32..6).prop_map(
+            |(t, e, m, k)| format!("WHERE ({m} > {k}.0) {t} = {e}\n")
+        ),
+        (target, arb_expr(1)).prop_map(|(t, e)| {
+            format!("{t}(1:15:2) = {e}(1:15:2)\n", e = e_guard(&e))
+        }),
+    ]
+}
+
+/// Section RHS must itself be a plain variable for a section-aligned
+/// statement; non-variables fall back to `a`.
+fn e_guard(e: &str) -> &str {
+    match e {
+        "a" | "b" | "c" => e,
+        _ => "a",
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = String> {
+    (proptest::collection::vec(arb_stmt(), 1..6), 1i32..9).prop_map(|(stmts, s0)| {
+        let mut src = String::from(
+            "REAL a(16), b(16), c(16)\nREAL s\n",
+        );
+        src.push_str(&format!("s = {s0}.25\n"));
+        src.push_str("FORALL (i=1:16) a(i) = MOD(i*3, 7) - 3\n");
+        src.push_str("FORALL (i=1:16) b(i) = MOD(i*5, 11) - 5\n");
+        src.push_str("FORALL (i=1:16) c(i) = i - 8\n");
+        for st in stmts {
+            src.push_str(&st);
+        }
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The centrepiece: random programs agree between the evaluator and
+    /// all three compiled pipelines.
+    #[test]
+    fn random_programs_translation_validate(src in arb_program()) {
+        let unit = f90y_frontend::parse(&src).expect("generated programs parse");
+        let nir = match f90y_lowering::lower(&unit) {
+            Ok(n) => n,
+            // Some generated programs are legitimately rejected (e.g.
+            // a masked section target); rejection is fine, miscompiling
+            // is not.
+            Err(_) => return Ok(()),
+        };
+        let mut ev = Evaluator::new();
+        ev.run(&nir).expect("reference evaluation succeeds");
+
+        for pipeline in [Pipeline::F90y, Pipeline::Cmf, Pipeline::StarLisp] {
+            let exe = Compiler::new(pipeline).compile(&src).expect("compiles");
+            let run = exe.run(8).expect("runs");
+            for name in ["a", "b", "c"] {
+                let expect = ev.final_array_f64(name).expect("captured");
+                let got = run.finals.final_array(name).expect("captured");
+                for (i, (e, g)) in expect.iter().zip(&got).enumerate() {
+                    prop_assert!(
+                        (e - g).abs() <= 1e-9 * e.abs().max(1.0),
+                        "{}: {name}[{i}] evaluator={e} machine={g}\n{src}",
+                        pipeline.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The lexer and parser never panic, whatever bytes arrive.
+    #[test]
+    fn frontend_is_total(src in "\\PC*") {
+        let _ = f90y_frontend::parse(&src);
+    }
+
+    /// Shape geometry: the point iterator agrees with the size formula,
+    /// and conformance is reflexive and symmetric.
+    #[test]
+    fn shape_points_match_size(
+        extents in proptest::collection::vec((0i64..6, -3i64..4), 1..4)
+    ) {
+        let dims: Vec<Shape> = extents
+            .iter()
+            .map(|&(len, lo)| Shape::Interval(lo, lo + len - 1))
+            .collect();
+        let s = Shape::Product(dims);
+        prop_assert_eq!(s.points().count(), s.size());
+        prop_assert!(s.conforms(&s));
+    }
+
+    /// Section disjointness is symmetric and sound: if `disjoint`, no
+    /// index is in both.
+    #[test]
+    fn section_disjointness_is_sound(
+        lo1 in 1i64..20, len1 in 0i64..20, st1 in 1i64..5,
+        lo2 in 1i64..20, len2 in 0i64..20, st2 in 1i64..5,
+    ) {
+        let s1 = SectionRange::strided(lo1, lo1 + len1, st1);
+        let s2 = SectionRange::strided(lo2, lo2 + len2, st2);
+        prop_assert_eq!(s1.disjoint(&s2), s2.disjoint(&s1));
+        if s1.disjoint(&s2) {
+            for i in lo1..=(lo1 + len1) {
+                prop_assert!(
+                    !(s1.contains(i) && s2.contains(i)),
+                    "{s1} and {s2} share {i}"
+                );
+            }
+        }
+    }
+
+    /// The blocking transformation preserves the number of clauses (no
+    /// computation is lost or duplicated).
+    #[test]
+    fn transforms_conserve_clauses(src in arb_program()) {
+        let unit = f90y_frontend::parse(&src).expect("parses");
+        let nir = match f90y_lowering::lower(&unit) {
+            Ok(n) => n,
+            Err(_) => return Ok(()),
+        };
+        let (optimized, _) = f90y_transform::optimize_with_report(&nir).expect("optimizes");
+        let count_clauses = |imp: &f90y_nir::Imp| {
+            let mut n = 0usize;
+            imp.walk(&mut |i| {
+                if let f90y_nir::Imp::Move(cs) = i {
+                    n += cs.len();
+                }
+            });
+            n
+        };
+        // comm_split adds one clause per hoisted temporary; blocking
+        // must not change the count further. Compare against the
+        // per-statement pipeline, which runs the same comm_split and
+        // mask padding.
+        let (per_stmt, _) = f90y_transform::optimize_with_options(
+            &nir,
+            f90y_transform::OptimizeOptions::per_statement(),
+        )
+        .expect("optimizes");
+        prop_assert_eq!(count_clauses(&optimized), count_clauses(&per_stmt));
+    }
+}
