@@ -51,9 +51,7 @@ impl HostRun {
     pub fn final_array(&self, name: &str) -> Result<Vec<f64>, BackendError> {
         match self.finals.get(name) {
             Some(Final::Array(v)) => Ok(v.clone()),
-            Some(Final::Scalar(_)) => {
-                Err(BackendError::Host(format!("'{name}' is a scalar")))
-            }
+            Some(Final::Scalar(_)) => Err(BackendError::Host(format!("'{name}' is a scalar"))),
             None => Err(BackendError::Host(format!("no final value for '{name}'"))),
         }
     }
@@ -66,9 +64,7 @@ impl HostRun {
     pub fn final_scalar(&self, name: &str) -> Result<f64, BackendError> {
         match self.finals.get(name) {
             Some(Final::Scalar(v)) => Ok(*v),
-            Some(Final::Array(_)) => {
-                Err(BackendError::Host(format!("'{name}' is an array")))
-            }
+            Some(Final::Array(_)) => Err(BackendError::Host(format!("'{name}' is an array"))),
             None => Err(BackendError::Host(format!("no final value for '{name}'"))),
         }
     }
@@ -132,9 +128,7 @@ impl<'m> HostExecutor<'m> {
         for b in &program.binders {
             match b {
                 Binder::Domain(name, shape) => {
-                    let resolved = shape
-                        .resolve(&self.domains)
-                        .map_err(BackendError::Nir)?;
+                    let resolved = shape.resolve(&self.domains).map_err(BackendError::Nir)?;
                     self.domains.insert(name.clone(), resolved);
                 }
                 Binder::Decls(d) => self.alloc_decls(d)?,
@@ -145,16 +139,21 @@ impl<'m> HostExecutor<'m> {
         while let Some(scope) = self.scopes.pop() {
             self.capture(scope)?;
         }
-        Ok(HostRun { finals: self.finals })
+        Ok(HostRun {
+            finals: self.finals,
+        })
     }
 
     fn capture(&mut self, scope: HashMap<String, Entry>) -> Result<(), BackendError> {
         for (name, entry) in scope {
             let value = match entry {
-                Entry::Scalar(s) => Final::Scalar(
-                    s.to_f64()
-                        .unwrap_or(if matches!(s, NScalar::Bool(true)) { 1.0 } else { 0.0 }),
-                ),
+                Entry::Scalar(s) => {
+                    Final::Scalar(s.to_f64().unwrap_or(if matches!(s, NScalar::Bool(true)) {
+                        1.0
+                    } else {
+                        0.0
+                    }))
+                }
                 Entry::Array(a) => Final::Array(self.cm.read(a.id)?),
             };
             self.finals.entry(name).or_insert(value);
@@ -174,9 +173,7 @@ impl<'m> HostExecutor<'m> {
                     Entry::Scalar(v)
                 }
                 Type::DField { shape, elem } => {
-                    let resolved = shape
-                        .resolve(&self.domains)
-                        .map_err(BackendError::Nir)?;
+                    let resolved = shape.resolve(&self.domains).map_err(BackendError::Nir)?;
                     let extents = resolved.extents();
                     let dims: Vec<usize> = extents.iter().map(|e| e.len()).collect();
                     let lower: Vec<i64> = extents.iter().map(|e| e.lo).collect();
@@ -237,7 +234,13 @@ impl<'m> HostExecutor<'m> {
     ) -> Result<(), BackendError> {
         match stmt {
             HostStmt::Dispatch(i) => self.dispatch(*i, program),
-            HostStmt::Comm { dst, src, dim, shift, boundary } => {
+            HostStmt::Comm {
+                dst,
+                src,
+                dim,
+                shift,
+                boundary,
+            } => {
                 let dim = self.eval_scalar(dim)?.to_i64().map_err(BackendError::Nir)?;
                 let shift = self
                     .eval_scalar(shift)?
@@ -251,10 +254,7 @@ impl<'m> HostExecutor<'m> {
                 let tmp = match boundary {
                     None => self.cm.cshift(src_ref.id, dim as usize - 1, shift)?,
                     Some(b) => {
-                        let b = self
-                            .eval_scalar(b)?
-                            .to_f64()
-                            .map_err(BackendError::Nir)?;
+                        let b = self.eval_scalar(b)?.to_f64().map_err(BackendError::Nir)?;
                         self.cm.eoshift(src_ref.id, dim as usize - 1, shift, b)?
                     }
                 };
@@ -271,9 +271,7 @@ impl<'m> HostExecutor<'m> {
                 Ok(())
             }
             HostStmt::Do { dom, shape, body } => {
-                let resolved = shape
-                    .resolve(&self.domains)
-                    .map_err(BackendError::Nir)?;
+                let resolved = shape.resolve(&self.domains).map_err(BackendError::Nir)?;
                 for p in resolved.points() {
                     self.cm.charge_host_ops(2); // loop bookkeeping
                     self.do_env.push((dom.clone(), p));
@@ -301,7 +299,11 @@ impl<'m> HostExecutor<'m> {
                     }
                 }
             }
-            HostStmt::If { cond, then_body, else_body } => {
+            HostStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 self.cm.charge_host_ops(value_size(cond));
                 if self
                     .eval_scalar(cond)?
@@ -392,9 +394,9 @@ impl<'m> HostExecutor<'m> {
                         *s = v.convert(s.scalar_type()).map_err(BackendError::Nir)?;
                         Ok(())
                     }
-                    Entry::Array(_) => {
-                        Err(BackendError::Host(format!("SVAR target '{name}' is an array")))
-                    }
+                    Entry::Array(_) => Err(BackendError::Host(format!(
+                        "SVAR target '{name}' is an array"
+                    ))),
                 }
             }
             LValue::AVar(name, FieldAction::Subscript(ixs)) => {
@@ -500,9 +502,7 @@ impl<'m> HostExecutor<'m> {
             })),
             Value::SVar(name) => match self.lookup(name)? {
                 Entry::Scalar(s) => Ok(HVal::Scalar(*s)),
-                Entry::Array(_) => {
-                    Err(BackendError::Host(format!("SVAR '{name}' is an array")))
-                }
+                Entry::Array(_) => Err(BackendError::Host(format!("SVAR '{name}' is an array"))),
             },
             Value::DoIndex(dom, dim) => {
                 let (_, coords) = self
@@ -510,9 +510,7 @@ impl<'m> HostExecutor<'m> {
                     .iter()
                     .rev()
                     .find(|(d, _)| d == dom)
-                    .ok_or_else(|| {
-                        BackendError::Host(format!("do_index outside DO '{dom}'"))
-                    })?;
+                    .ok_or_else(|| BackendError::Host(format!("do_index outside DO '{dom}'")))?;
                 let c = coords.get(*dim - 1).copied().ok_or_else(|| {
                     BackendError::Host(format!("do_index axis {dim} out of range"))
                 })?;
@@ -524,7 +522,9 @@ impl<'m> HostExecutor<'m> {
                 let flat = self.flat_index(&arr, &ixs)?;
                 let raw = self.cm.host_read_elem(arr.id, flat)?;
                 Ok(HVal::Scalar(
-                    NScalar::F64(raw).convert(arr.elem).map_err(BackendError::Nir)?,
+                    NScalar::F64(raw)
+                        .convert(arr.elem)
+                        .map_err(BackendError::Nir)?,
                 ))
             }
             Value::AVar(name, FieldAction::Everywhere) => {
@@ -550,15 +550,12 @@ impl<'m> HostExecutor<'m> {
                 Ok(HVal::Array(typed, dims))
             }
             Value::LocalUnder(shape, dim) => {
-                let resolved = shape
-                    .resolve(&self.domains)
-                    .map_err(BackendError::Nir)?;
+                let resolved = shape.resolve(&self.domains).map_err(BackendError::Nir)?;
                 let mut out = Vec::with_capacity(resolved.size());
                 for p in resolved.points() {
                     out.push(NScalar::I32(p[*dim - 1] as i32));
                 }
-                let dims: Vec<usize> =
-                    resolved.extents().iter().map(|e| e.len()).collect();
+                let dims: Vec<usize> = resolved.extents().iter().map(|e| e.len()).collect();
                 Ok(HVal::Array(out, dims))
             }
             Value::Unary(op, a) => {
@@ -568,17 +565,15 @@ impl<'m> HostExecutor<'m> {
             Value::Binary(op, a, b) => {
                 let a = self.eval_host(a)?;
                 let b = self.eval_host(b)?;
-                zip_hval(a, b, |x, y| apply_binop(*op, x, y).map_err(BackendError::Nir))
+                zip_hval(a, b, |x, y| {
+                    apply_binop(*op, x, y).map_err(BackendError::Nir)
+                })
             }
             Value::FcnCall(name, args) => self.eval_call(name, args),
         }
     }
 
-    fn eval_call(
-        &mut self,
-        name: &str,
-        args: &[(Type, Value)],
-    ) -> Result<HVal, BackendError> {
+    fn eval_call(&mut self, name: &str, args: &[(Type, Value)]) -> Result<HVal, BackendError> {
         match name {
             "sum" | "maxval" | "minval" if args.len() == 2 => {
                 // Partial reduction along an axis: computed by a grid
@@ -616,9 +611,7 @@ impl<'m> HostExecutor<'m> {
                             };
                         }
                         let elem = data[0].scalar_type();
-                        out.push(
-                            NScalar::F64(acc).convert(elem).map_err(BackendError::Nir)?,
-                        );
+                        out.push(NScalar::F64(acc).convert(elem).map_err(BackendError::Nir)?);
                     }
                 }
                 // Charge as a reduction over the source geometry.
@@ -683,11 +676,12 @@ impl<'m> HostExecutor<'m> {
                     let arr = self.lookup_array(v)?;
                     let x = self.cm.reduce(arr.id, op)?;
                     return Ok(HVal::Scalar(
-                        NScalar::F64(x).convert(match arr.elem {
-                            ScalarType::Integer32 => ScalarType::Integer32,
-                            other => other,
-                        })
-                        .map_err(BackendError::Nir)?,
+                        NScalar::F64(x)
+                            .convert(match arr.elem {
+                                ScalarType::Integer32 => ScalarType::Integer32,
+                                other => other,
+                            })
+                            .map_err(BackendError::Nir)?,
                     ));
                 }
                 // General case: materialise, reduce, free.
@@ -713,7 +707,9 @@ impl<'m> HostExecutor<'m> {
                     HVal::Scalar(_) => None,
                 });
                 let Some(n) = n else {
-                    let HVal::Scalar(ms) = m else { unreachable!("no arrays") };
+                    let HVal::Scalar(ms) = m else {
+                        unreachable!("no arrays")
+                    };
                     let cond = ms.to_bool().map_err(BackendError::Nir)?;
                     return Ok(if cond { t } else { f });
                 };
@@ -796,10 +792,7 @@ impl<'m> HostExecutor<'m> {
                     self.cm.cshift(tmp, dim as usize - 1, shift)?
                 } else {
                     let b = match args.get(3) {
-                        Some((_, v)) => self
-                            .eval_scalar(v)?
-                            .to_f64()
-                            .map_err(BackendError::Nir)?,
+                        Some((_, v)) => self.eval_scalar(v)?.to_f64().map_err(BackendError::Nir)?,
                         None => 0.0,
                     };
                     self.cm.eoshift(tmp, dim as usize - 1, shift, b)?

@@ -128,6 +128,8 @@ pub struct NodeBlock {
     /// Scalar arguments: host expressions evaluated per dispatch, in
     /// routine order.
     pub scalar_params: Vec<Value>,
+    /// What PE code generation did to this block.
+    pub stats: pe::PeStats,
 }
 
 /// A statement of the host remainder program.
@@ -210,6 +212,14 @@ impl CompiledProgram {
     /// Total PEAC instructions across all blocks (a Figure 12 metric).
     pub fn total_node_instructions(&self) -> usize {
         self.blocks.iter().map(|b| b.routine.len()).sum()
+    }
+
+    /// PE code-generation statistics aggregated over all blocks
+    /// (counts sum; register pressure takes the maximum).
+    pub fn pe_stats(&self) -> pe::PeStats {
+        self.blocks
+            .iter()
+            .fold(pe::PeStats::default(), |acc, b| acc.merge(&b.stats))
     }
 
     /// Pretty listing of every node routine (Figure 12 style).

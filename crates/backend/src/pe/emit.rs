@@ -17,7 +17,7 @@ use f90y_peac::isa::{
 };
 
 use crate::pe::lower::LoweredBlock;
-use crate::pe::vir::{VBin, VCmp, VUn, Vr, VirOp};
+use crate::pe::vir::{VBin, VCmp, VUn, VirOp, Vr};
 use crate::BackendError;
 
 /// How a virtual register reaches its consumers without holding a
@@ -82,8 +82,7 @@ impl Allocator {
             })?;
         let vr = self.content[victim as usize].expect("occupied");
         let needed_later = self.next_use_after(vr, pos).is_some();
-        if needed_later && !self.remat.contains_key(&vr) && !self.spill_slot.contains_key(&vr)
-        {
+        if needed_later && !self.remat.contains_key(&vr) && !self.spill_slot.contains_key(&vr) {
             let slot = self.next_slot;
             self.next_slot += 1;
             self.spill_slot.insert(vr, slot);
@@ -104,9 +103,16 @@ impl Allocator {
         }
         let r = self.take_reg(pos, locked)?;
         if let Some(&value) = self.remat.get(&vr) {
-            self.instrs.push(Instr::Fimmv { value, dst: VReg(r) });
+            self.instrs.push(Instr::Fimmv {
+                value,
+                dst: VReg(r),
+            });
         } else if let Some(&slot) = self.spill_slot.get(&vr) {
-            self.instrs.push(Instr::SpillLoad { slot, dst: VReg(r), overlapped: false });
+            self.instrs.push(Instr::SpillLoad {
+                slot,
+                dst: VReg(r),
+                overlapped: false,
+            });
         } else {
             return Err(BackendError::Malformed(format!(
                 "virtual register {vr:?} used before definition"
@@ -197,13 +203,16 @@ pub fn emit_with(
     }
     for op in ops {
         match op {
-            VirOp::LoadVar { param, dst, chained: true } => {
+            VirOp::LoadVar {
+                param,
+                dst,
+                chained: true,
+            } => {
                 folded.insert(*dst, Folded::Mem(*param as u8));
             }
-            VirOp::LoadScalar { param, dst }
-                if !needs_vreg.get(dst).copied().unwrap_or(false) => {
-                    folded.insert(*dst, Folded::Scalar(*param as u8));
-                }
+            VirOp::LoadScalar { param, dst } if !needs_vreg.get(dst).copied().unwrap_or(false) => {
+                folded.insert(*dst, Folded::Scalar(*param as u8));
+            }
             _ => {}
         }
     }
@@ -251,16 +260,25 @@ pub fn emit_with(
                 // away; defining eagerly keeps the common case simple.
                 if alloc.uses.contains_key(dst) {
                     let r = alloc.define(*dst, pos, &mut locked)?;
-                    alloc.instrs.push(Instr::Fimmv { value: *value, dst: VReg(r) });
+                    alloc.instrs.push(Instr::Fimmv {
+                        value: *value,
+                        dst: VReg(r),
+                    });
                 }
             }
-            VirOp::LoadVar { param, dst, chained } => {
+            VirOp::LoadVar {
+                param,
+                dst,
+                chained,
+            } => {
                 if *chained {
                     continue; // folded into its consumer
                 }
                 let r = alloc.define(*dst, pos, &mut locked)?;
                 alloc.instrs.push(Instr::Flodv {
-                    src: Mem { ptr: PReg(*param as u8) },
+                    src: Mem {
+                        ptr: PReg(*param as u8),
+                    },
                     dst: VReg(r),
                     overlapped: false,
                 });
@@ -271,7 +289,10 @@ pub fn emit_with(
                 }
                 // Materialize the broadcast: r = 0; r = s + r.
                 let r = alloc.define(*dst, pos, &mut locked)?;
-                alloc.instrs.push(Instr::Fimmv { value: 0.0, dst: VReg(r) });
+                alloc.instrs.push(Instr::Fimmv {
+                    value: 0.0,
+                    dst: VReg(r),
+                });
                 alloc.instrs.push(Instr::Faddv {
                     a: Operand::S(SReg(*param as u8)),
                     b: Operand::V(VReg(r)),
@@ -283,12 +304,36 @@ pub fn emit_with(
                 let ob = alloc.operand(*b, pos, &mut locked)?;
                 let r = VReg(alloc.define(*dst, pos, &mut locked)?);
                 alloc.instrs.push(match bop {
-                    VBin::Add => Instr::Faddv { a: oa, b: ob, dst: r },
-                    VBin::Sub => Instr::Fsubv { a: oa, b: ob, dst: r },
-                    VBin::Mul => Instr::Fmulv { a: oa, b: ob, dst: r },
-                    VBin::Div => Instr::Fdivv { a: oa, b: ob, dst: r },
-                    VBin::Max => Instr::Fmaxv { a: oa, b: ob, dst: r },
-                    VBin::Min => Instr::Fminv { a: oa, b: ob, dst: r },
+                    VBin::Add => Instr::Faddv {
+                        a: oa,
+                        b: ob,
+                        dst: r,
+                    },
+                    VBin::Sub => Instr::Fsubv {
+                        a: oa,
+                        b: ob,
+                        dst: r,
+                    },
+                    VBin::Mul => Instr::Fmulv {
+                        a: oa,
+                        b: ob,
+                        dst: r,
+                    },
+                    VBin::Div => Instr::Fdivv {
+                        a: oa,
+                        b: ob,
+                        dst: r,
+                    },
+                    VBin::Max => Instr::Fmaxv {
+                        a: oa,
+                        b: ob,
+                        dst: r,
+                    },
+                    VBin::Min => Instr::Fminv {
+                        a: oa,
+                        b: ob,
+                        dst: r,
+                    },
                 });
             }
             VirOp::Madd { a, b, c, dst } => {
@@ -296,7 +341,12 @@ pub fn emit_with(
                 let ob = alloc.operand(*b, pos, &mut locked)?;
                 let oc = alloc.operand(*c, pos, &mut locked)?;
                 let r = VReg(alloc.define(*dst, pos, &mut locked)?);
-                alloc.instrs.push(Instr::Fmaddv { a: oa, b: ob, c: oc, dst: r });
+                alloc.instrs.push(Instr::Fmaddv {
+                    a: oa,
+                    b: ob,
+                    c: oc,
+                    dst: r,
+                });
             }
             VirOp::Un { op: uop, a, dst } => {
                 let oa = alloc.operand(*a, pos, &mut locked)?;
@@ -319,14 +369,24 @@ pub fn emit_with(
                     VCmp::Gt => CmpOp::Gt,
                     VCmp::Ge => CmpOp::Ge,
                 };
-                alloc.instrs.push(Instr::Fcmpv { op, a: oa, b: ob, dst: r });
+                alloc.instrs.push(Instr::Fcmpv {
+                    op,
+                    a: oa,
+                    b: ob,
+                    dst: r,
+                });
             }
             VirOp::Sel { mask, a, b, dst } => {
                 let m = VReg(alloc.ensure(*mask, pos, &mut locked)?);
                 let oa = alloc.operand(*a, pos, &mut locked)?;
                 let ob = alloc.operand(*b, pos, &mut locked)?;
                 let r = VReg(alloc.define(*dst, pos, &mut locked)?);
-                alloc.instrs.push(Instr::Fselv { mask: m, a: oa, b: ob, dst: r });
+                alloc.instrs.push(Instr::Fselv {
+                    mask: m,
+                    a: oa,
+                    b: ob,
+                    dst: r,
+                });
             }
             VirOp::Lib { op: lop, a, b, dst } => {
                 let oa = alloc.operand(*a, pos, &mut locked)?;
@@ -335,13 +395,20 @@ pub fn emit_with(
                     None => None,
                 };
                 let r = VReg(alloc.define(*dst, pos, &mut locked)?);
-                alloc.instrs.push(Instr::Flib { op: *lop, a: oa, b: ob, dst: r });
+                alloc.instrs.push(Instr::Flib {
+                    op: *lop,
+                    a: oa,
+                    b: ob,
+                    dst: r,
+                });
             }
             VirOp::Store { param, src } => {
                 let r = VReg(alloc.ensure(*src, pos, &mut locked)?);
                 alloc.instrs.push(Instr::Fstrv {
                     src: r,
-                    dst: Mem { ptr: PReg(*param as u8) },
+                    dst: Mem {
+                        ptr: PReg(*param as u8),
+                    },
                     overlapped: false,
                 });
             }
@@ -418,19 +485,13 @@ mod tests {
         let r = compile_simple(
             vec![MoveClause::unmasked(
                 avar("c", everywhere()),
-                add(
-                    mul(f64c(2.0), ld("a", everywhere())),
-                    ld("b", everywhere()),
-                ),
+                add(mul(f64c(2.0), ld("a", everywhere())), ld("b", everywhere())),
             )],
             &["a", "b", "c"],
             8,
         );
         // Expect an fmaddv from peephole fusion.
-        assert!(r
-            .body()
-            .iter()
-            .any(|i| matches!(i, Instr::Fmaddv { .. })));
+        assert!(r.body().iter().any(|i| matches!(i, Instr::Fmaddv { .. })));
         let mut mem = NodeMemory::new();
         let a = mem.alloc(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
         let b = mem.alloc(&[10.0; 8]);
@@ -489,10 +550,7 @@ mod tests {
                 avar("c", everywhere()),
                 add(
                     mul(ld("a", everywhere()), ld("b", everywhere())),
-                    div(
-                        sub(ld("a", everywhere()), ld("b", everywhere())),
-                        f64c(3.0),
-                    ),
+                    div(sub(ld("a", everywhere()), ld("b", everywhere())), f64c(3.0)),
                 ),
             )],
             &["a", "b", "c"],
@@ -528,13 +586,22 @@ mod tests {
         // The multiply should carry an S operand directly.
         assert!(r.body().iter().any(|i| matches!(
             i,
-            Instr::Fmulv { a: Operand::S(_), .. } | Instr::Fmulv { b: Operand::S(_), .. }
+            Instr::Fmulv {
+                a: Operand::S(_),
+                ..
+            } | Instr::Fmulv {
+                b: Operand::S(_),
+                ..
+            }
         )));
         // a is both the load and the store stream of one buffer, as the
         // dispatch layer arranges on the real machine.
         let mut mem = NodeMemory::new();
         let a = mem.alloc(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
         run_routine(&r, &mut mem, &[a, a], &[3.0], 8).unwrap();
-        assert_eq!(mem.read(a, 8), vec![3.0, 6.0, 9.0, 12.0, 15.0, 18.0, 21.0, 24.0]);
+        assert_eq!(
+            mem.read(a, 8),
+            vec![3.0, 6.0, 9.0, 12.0, 15.0, 18.0, 21.0, 24.0]
+        );
     }
 }

@@ -10,12 +10,10 @@
 use std::collections::HashMap;
 
 use f90y_nir::typecheck::{Checker, Ctx, Mode};
-use f90y_nir::{
-    BinOp, Const, FieldAction, LValue, MoveClause, ScalarType, Shape, UnOp, Value,
-};
+use f90y_nir::{BinOp, Const, FieldAction, LValue, MoveClause, ScalarType, Shape, UnOp, Value};
 use f90y_peac::isa::LibOp;
 
-use crate::pe::vir::{VBin, VCmp, VUn, Vr, VirOp};
+use crate::pe::vir::{VBin, VCmp, VUn, VirOp, Vr};
 use crate::{ArrayParam, BackendError};
 
 /// The result of lowering one block: VIR plus the dispatch signature.
@@ -139,7 +137,12 @@ impl<'a> BlockLowerer<'a> {
             // Masked move: dst = mask ? src : old dst.
             let old = self.read_var(dst)?;
             let d = self.fresh();
-            self.emit(VirOp::Sel { mask, a: src, b: old, dst: d });
+            self.emit(VirOp::Sel {
+                mask,
+                a: src,
+                b: old,
+                dst: d,
+            });
             d
         };
         let param = self.store_stream(dst);
@@ -148,7 +151,8 @@ impl<'a> BlockLowerer<'a> {
         // and any cached subterm that read the old value is stale.
         self.var_value.insert(dst.clone(), value);
         let dst_name = dst.clone();
-        self.expr_cache.retain(|_, (_, _, reads)| !reads.contains(&dst_name));
+        self.expr_cache
+            .retain(|_, (_, _, reads)| !reads.contains(&dst_name));
         Ok(())
     }
 
@@ -158,7 +162,11 @@ impl<'a> BlockLowerer<'a> {
         }
         let param = self.load_stream(var);
         let d = self.fresh();
-        self.emit(VirOp::LoadVar { param, dst: d, chained: false });
+        self.emit(VirOp::LoadVar {
+            param,
+            dst: d,
+            chained: false,
+        });
         self.var_value.insert(var.to_string(), d);
         Ok(d)
     }
@@ -192,10 +200,7 @@ impl<'a> BlockLowerer<'a> {
                     Const::I32(i) => (*i as f64, ScalarType::Integer32),
                     Const::F32(x) => (*x as f64, ScalarType::Float32),
                     Const::F64(x) => (*x, ScalarType::Float64),
-                    Const::Bool(b) => (
-                        if *b { 1.0 } else { 0.0 },
-                        ScalarType::Logical32,
-                    ),
+                    Const::Bool(b) => (if *b { 1.0 } else { 0.0 }, ScalarType::Logical32),
                 };
                 let d = self.fresh();
                 self.emit(VirOp::Imm { value, dst: d });
@@ -225,7 +230,11 @@ impl<'a> BlockLowerer<'a> {
                 }
                 let p = self.coord_stream(*dim);
                 let d = self.fresh();
-                self.emit(VirOp::LoadVar { param: p, dst: d, chained: false });
+                self.emit(VirOp::LoadVar {
+                    param: p,
+                    dst: d,
+                    chained: false,
+                });
                 Ok((d, ScalarType::Integer32))
             }
             Value::DoIndex(..) => Err(BackendError::Malformed(
@@ -238,12 +247,15 @@ impl<'a> BlockLowerer<'a> {
                 let (f, ft) = self.lower_value(&args[1].1)?;
                 let (m, mt) = self.lower_value(&args[2].1)?;
                 if mt != ScalarType::Logical32 {
-                    return Err(BackendError::Malformed(
-                        "merge mask must be logical".into(),
-                    ));
+                    return Err(BackendError::Malformed("merge mask must be logical".into()));
                 }
                 let d = self.fresh();
-                self.emit(VirOp::Sel { mask: m, a: t, b: f, dst: d });
+                self.emit(VirOp::Sel {
+                    mask: m,
+                    a: t,
+                    b: f,
+                    dst: d,
+                });
                 Ok((d, tt.promote(ft).unwrap_or(ScalarType::Float64)))
             }
             Value::FcnCall(name, _) => Err(BackendError::Malformed(format!(
@@ -260,20 +272,36 @@ impl<'a> BlockLowerer<'a> {
         let d = match op {
             UnOp::Neg => {
                 let d = self.fresh();
-                self.emit(VirOp::Un { op: VUn::Neg, a: av, dst: d });
+                self.emit(VirOp::Un {
+                    op: VUn::Neg,
+                    a: av,
+                    dst: d,
+                });
                 d
             }
             UnOp::Abs => {
                 let d = self.fresh();
-                self.emit(VirOp::Un { op: VUn::Abs, a: av, dst: d });
+                self.emit(VirOp::Un {
+                    op: VUn::Abs,
+                    a: av,
+                    dst: d,
+                });
                 d
             }
             UnOp::Not => {
                 // Masks are 1/0 lanes: NOT x = 1 - x.
                 let one = self.fresh();
-                self.emit(VirOp::Imm { value: 1.0, dst: one });
+                self.emit(VirOp::Imm {
+                    value: 1.0,
+                    dst: one,
+                });
                 let d = self.fresh();
-                self.emit(VirOp::Bin { op: VBin::Sub, a: one, b: av, dst: d });
+                self.emit(VirOp::Bin {
+                    op: VBin::Sub,
+                    a: one,
+                    b: av,
+                    dst: d,
+                });
                 d
             }
             UnOp::Sqrt | UnOp::Sin | UnOp::Cos | UnOp::Exp | UnOp::Log => {
@@ -285,13 +313,22 @@ impl<'a> BlockLowerer<'a> {
                     _ => LibOp::Log,
                 };
                 let d = self.fresh();
-                self.emit(VirOp::Lib { op: lib, a: av, b: None, dst: d });
+                self.emit(VirOp::Lib {
+                    op: lib,
+                    a: av,
+                    b: None,
+                    dst: d,
+                });
                 d
             }
             UnOp::ToFloat64 | UnOp::ToFloat32 => av, // numeric identity on the f64 path
             UnOp::ToInt => {
                 let d = self.fresh();
-                self.emit(VirOp::Un { op: VUn::Trunc, a: av, dst: d });
+                self.emit(VirOp::Un {
+                    op: VUn::Trunc,
+                    a: av,
+                    dst: d,
+                });
                 d
             }
         };
@@ -328,7 +365,11 @@ impl<'a> BlockLowerer<'a> {
                 let q = self.bin(VBin::Div, av, bv);
                 if is_int {
                     let d = self.fresh();
-                    self.emit(VirOp::Un { op: VUn::Trunc, a: q, dst: d });
+                    self.emit(VirOp::Un {
+                        op: VUn::Trunc,
+                        a: q,
+                        dst: d,
+                    });
                     d
                 } else {
                     q
@@ -338,16 +379,29 @@ impl<'a> BlockLowerer<'a> {
                 // MOD(a,b) = a - trunc(a/b)*b for floats and integers.
                 let q = self.bin(VBin::Div, av, bv);
                 let t = self.fresh();
-                self.emit(VirOp::Un { op: VUn::Trunc, a: q, dst: t });
+                self.emit(VirOp::Un {
+                    op: VUn::Trunc,
+                    a: q,
+                    dst: t,
+                });
                 let m = self.bin(VBin::Mul, t, bv);
                 self.bin(VBin::Sub, av, m)
             }
             BinOp::Pow => {
                 let d = self.fresh();
-                self.emit(VirOp::Lib { op: LibOp::Pow, a: av, b: Some(bv), dst: d });
+                self.emit(VirOp::Lib {
+                    op: LibOp::Pow,
+                    a: av,
+                    b: Some(bv),
+                    dst: d,
+                });
                 if is_int {
                     let t = self.fresh();
-                    self.emit(VirOp::Un { op: VUn::Trunc, a: d, dst: t });
+                    self.emit(VirOp::Un {
+                        op: VUn::Trunc,
+                        a: d,
+                        dst: t,
+                    });
                     t
                 } else {
                     d
@@ -428,10 +482,7 @@ mod tests {
     fn ctx_with_arrays(names: &[&str], n: i64) -> Ctx {
         let mut ctx = Ctx::new();
         for name in names {
-            ctx.bind_var(
-                (*name).into(),
-                dfield(grid(&[n]), float64()),
-            );
+            ctx.bind_var((*name).into(), dfield(grid(&[n]), float64()));
         }
         ctx
     }
@@ -521,10 +572,8 @@ mod tests {
         let mut ctx = Ctx::new();
         ctx.bind_var("k".into(), dfield(grid(&[8]), int32()));
         let shape = Shape::grid(&[8]);
-        let clause = MoveClause::unmasked(
-            avar("k", everywhere()),
-            div(ld("k", everywhere()), int(2)),
-        );
+        let clause =
+            MoveClause::unmasked(avar("k", everywhere()), div(ld("k", everywhere()), int(2)));
         let lowered = lower_block(&shape, &[clause], &mut ctx).unwrap();
         assert!(lowered
             .ops
@@ -590,7 +639,10 @@ mod tests {
             .iter()
             .filter(|o| matches!(o, VirOp::Cmp { .. }))
             .count();
-        assert_eq!(cmps, 1, "the mask comparison must be reused, not recomputed");
+        assert_eq!(
+            cmps, 1,
+            "the mask comparison must be reused, not recomputed"
+        );
     }
 
     #[test]
@@ -619,4 +671,3 @@ mod tests {
         assert_eq!(adds, 2, "a+1 must be recomputed after a is overwritten");
     }
 }
-

@@ -38,18 +38,65 @@ pub struct PeOptions {
 impl PeOptions {
     /// Everything on (the prototype and the CMF-like baseline).
     pub fn full() -> Self {
-        PeOptions { fuse_madd: true, chain_loads: true, overlap: true }
+        PeOptions {
+            fuse_madd: true,
+            chain_loads: true,
+            overlap: true,
+        }
     }
 
     /// Everything off (interpreted elemental operations).
     pub fn naive() -> Self {
-        PeOptions { fuse_madd: false, chain_loads: false, overlap: false }
+        PeOptions {
+            fuse_madd: false,
+            chain_loads: false,
+            overlap: false,
+        }
     }
 }
 
 impl Default for PeOptions {
     fn default() -> Self {
         PeOptions::full()
+    }
+}
+
+/// What the PE code generator did to one sub-block — the Figure 12
+/// metrics, surfaced per block so the telemetry layer can aggregate
+/// them across a program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeStats {
+    /// VIR ops removed by the dead-code sweeps.
+    pub dead_ops_removed: usize,
+    /// Chained multiply-adds recognised.
+    pub madds_fused: usize,
+    /// Single-use loads folded into memory operands.
+    pub loads_chained: usize,
+    /// `SpillStore` instructions emitted (each begins one of the
+    /// paper's 18-cycle spill/restore pairs).
+    pub spill_stores: usize,
+    /// `SpillLoad` instructions emitted.
+    pub spill_loads: usize,
+    /// Distinct vector registers the emitted routine touches (≤
+    /// [`f90y_peac::isa::NUM_VREGS`]): the block's register pressure.
+    pub vregs_used: usize,
+    /// PEAC instructions in the emitted routine body.
+    pub instructions: usize,
+}
+
+impl PeStats {
+    /// Component-wise sum (aggregating across sub-blocks; `vregs_used`
+    /// takes the maximum, being a pressure not a volume).
+    pub fn merge(&self, other: &PeStats) -> PeStats {
+        PeStats {
+            dead_ops_removed: self.dead_ops_removed + other.dead_ops_removed,
+            madds_fused: self.madds_fused + other.madds_fused,
+            loads_chained: self.loads_chained + other.loads_chained,
+            spill_stores: self.spill_stores + other.spill_stores,
+            spill_loads: self.spill_loads + other.spill_loads,
+            vregs_used: self.vregs_used.max(other.vregs_used),
+            instructions: self.instructions + other.instructions,
+        }
     }
 }
 
@@ -65,6 +112,8 @@ pub struct CompiledBlock {
     pub scalar_params: Vec<Value>,
     /// The clauses this sub-block implements.
     pub clauses: Vec<MoveClause>,
+    /// Code-generation statistics.
+    pub stats: PeStats,
 }
 
 /// Compile a computation block, splitting it as needed to fit the
@@ -129,21 +178,36 @@ fn try_compile(
     options: PeOptions,
 ) -> Result<CompiledBlock, BackendError> {
     let mut lowered = lower::lower_block(shape, clauses, ctx)?;
-    peephole::dead_code(&mut lowered.ops);
+    let mut stats = PeStats::default();
+    stats.dead_ops_removed += peephole::dead_code(&mut lowered.ops);
     if options.fuse_madd {
-        peephole::fuse_madd(&mut lowered.ops);
+        stats.madds_fused = peephole::fuse_madd(&mut lowered.ops);
     }
     if options.chain_loads {
-        peephole::chain_loads(&mut lowered.ops, &lowered.array_params);
+        stats.loads_chained = peephole::chain_loads(&mut lowered.ops, &lowered.array_params);
     }
     // Fusing multiplies can orphan immediates; sweep once more.
-    peephole::dead_code(&mut lowered.ops);
+    stats.dead_ops_removed += peephole::dead_code(&mut lowered.ops);
     let routine = emit::emit_with(name, &lowered, options.overlap)?;
+    let mut vregs = std::collections::BTreeSet::new();
+    for instr in routine.body() {
+        use f90y_peac::isa::Instr;
+        match instr {
+            Instr::SpillStore { .. } => stats.spill_stores += 1,
+            Instr::SpillLoad { .. } => stats.spill_loads += 1,
+            _ => {}
+        }
+        vregs.extend(instr.def());
+        vregs.extend(instr.uses());
+    }
+    stats.vregs_used = vregs.len();
+    stats.instructions = routine.len();
     Ok(CompiledBlock {
         routine,
         array_params: lowered.array_params,
         scalar_params: lowered.scalar_params,
         clauses: clauses.to_vec(),
+        stats,
     })
 }
 

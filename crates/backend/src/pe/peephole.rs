@@ -6,7 +6,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use crate::pe::vir::{use_counts, VBin, Vr, VirOp};
+use crate::pe::vir::{use_counts, VBin, VirOp, Vr};
 use crate::ArrayParam;
 
 /// Remove operations whose results are never used. Iterates to a
@@ -34,7 +34,13 @@ pub fn fuse_madd(ops: &mut Vec<VirOp>) -> usize {
     // Map: result of a single-use multiply -> (a, b, defining index).
     let mut mul_of: HashMap<Vr, (Vr, Vr, usize)> = HashMap::new();
     for (ix, op) in ops.iter().enumerate() {
-        if let VirOp::Bin { op: VBin::Mul, a, b, dst } = op {
+        if let VirOp::Bin {
+            op: VBin::Mul,
+            a,
+            b,
+            dst,
+        } = op
+        {
             if counts.get(dst).copied().unwrap_or(0) == 1 {
                 mul_of.insert(*dst, (*a, *b, ix));
             }
@@ -43,7 +49,13 @@ pub fn fuse_madd(ops: &mut Vec<VirOp>) -> usize {
     let mut kill: HashSet<usize> = HashSet::new();
     let mut fused = 0;
     for ix in 0..ops.len() {
-        let VirOp::Bin { op: VBin::Add, a, b, dst } = ops[ix] else {
+        let VirOp::Bin {
+            op: VBin::Add,
+            a,
+            b,
+            dst,
+        } = ops[ix]
+        else {
             continue;
         };
         // Prefer fusing the left multiply; either operand may be it.
@@ -64,7 +76,12 @@ pub fn fuse_madd(ops: &mut Vec<VirOp>) -> usize {
         if addend == ops[mix].def().expect("multiplies define") {
             continue;
         }
-        ops[ix] = VirOp::Madd { a: ma, b: mb, c: addend, dst };
+        ops[ix] = VirOp::Madd {
+            a: ma,
+            b: mb,
+            c: addend,
+            dst,
+        };
         kill.insert(mix);
         fused += 1;
     }
@@ -105,7 +122,12 @@ pub fn chain_loads(ops: &mut [VirOp], params: &[ArrayParam]) -> usize {
     // Which load defines each Vr.
     let mut load_ix: HashMap<Vr, usize> = HashMap::new();
     for (ix, op) in ops.iter().enumerate() {
-        if let VirOp::LoadVar { param, dst, chained: false } = op {
+        if let VirOp::LoadVar {
+            param,
+            dst,
+            chained: false,
+        } = op
+        {
             if counts.get(dst).copied().unwrap_or(0) == 1 && chainable_param(*param) {
                 load_ix.insert(*dst, ix);
             }
@@ -144,10 +166,24 @@ mod tests {
     #[test]
     fn dead_code_removes_transitively() {
         let mut ops = vec![
-            VirOp::Imm { value: 1.0, dst: Vr(0) },
-            VirOp::Bin { op: VBin::Add, a: Vr(0), b: Vr(0), dst: Vr(1) },
-            VirOp::Imm { value: 2.0, dst: Vr(2) },
-            VirOp::Store { param: 0, src: Vr(2) },
+            VirOp::Imm {
+                value: 1.0,
+                dst: Vr(0),
+            },
+            VirOp::Bin {
+                op: VBin::Add,
+                a: Vr(0),
+                b: Vr(0),
+                dst: Vr(1),
+            },
+            VirOp::Imm {
+                value: 2.0,
+                dst: Vr(2),
+            },
+            VirOp::Store {
+                param: 0,
+                src: Vr(2),
+            },
         ];
         let removed = dead_code(&mut ops);
         assert_eq!(removed, 2, "the add and its imm are dead");
@@ -157,12 +193,34 @@ mod tests {
     #[test]
     fn madd_fuses_single_use_multiplies() {
         let mut ops = vec![
-            VirOp::Imm { value: 2.0, dst: Vr(0) },
-            VirOp::Imm { value: 3.0, dst: Vr(1) },
-            VirOp::Imm { value: 4.0, dst: Vr(2) },
-            VirOp::Bin { op: VBin::Mul, a: Vr(0), b: Vr(1), dst: Vr(3) },
-            VirOp::Bin { op: VBin::Add, a: Vr(3), b: Vr(2), dst: Vr(4) },
-            VirOp::Store { param: 0, src: Vr(4) },
+            VirOp::Imm {
+                value: 2.0,
+                dst: Vr(0),
+            },
+            VirOp::Imm {
+                value: 3.0,
+                dst: Vr(1),
+            },
+            VirOp::Imm {
+                value: 4.0,
+                dst: Vr(2),
+            },
+            VirOp::Bin {
+                op: VBin::Mul,
+                a: Vr(0),
+                b: Vr(1),
+                dst: Vr(3),
+            },
+            VirOp::Bin {
+                op: VBin::Add,
+                a: Vr(3),
+                b: Vr(2),
+                dst: Vr(4),
+            },
+            VirOp::Store {
+                param: 0,
+                src: Vr(4),
+            },
         ];
         assert_eq!(fuse_madd(&mut ops), 1);
         assert!(ops.iter().any(|o| matches!(o, VirOp::Madd { .. })));
@@ -174,11 +232,30 @@ mod tests {
     #[test]
     fn multiply_with_two_uses_is_not_fused() {
         let mut ops = vec![
-            VirOp::Imm { value: 2.0, dst: Vr(0) },
-            VirOp::Bin { op: VBin::Mul, a: Vr(0), b: Vr(0), dst: Vr(1) },
-            VirOp::Bin { op: VBin::Add, a: Vr(1), b: Vr(0), dst: Vr(2) },
-            VirOp::Store { param: 0, src: Vr(1) },
-            VirOp::Store { param: 1, src: Vr(2) },
+            VirOp::Imm {
+                value: 2.0,
+                dst: Vr(0),
+            },
+            VirOp::Bin {
+                op: VBin::Mul,
+                a: Vr(0),
+                b: Vr(0),
+                dst: Vr(1),
+            },
+            VirOp::Bin {
+                op: VBin::Add,
+                a: Vr(1),
+                b: Vr(0),
+                dst: Vr(2),
+            },
+            VirOp::Store {
+                param: 0,
+                src: Vr(1),
+            },
+            VirOp::Store {
+                param: 1,
+                src: Vr(2),
+            },
         ];
         assert_eq!(fuse_madd(&mut ops), 0);
     }
@@ -191,10 +268,26 @@ mod tests {
             ArrayParam::Write("c".into()),
         ];
         let mut ops = vec![
-            VirOp::LoadVar { param: 0, dst: Vr(0), chained: false },
-            VirOp::LoadVar { param: 1, dst: Vr(1), chained: false },
-            VirOp::Bin { op: VBin::Sub, a: Vr(0), b: Vr(1), dst: Vr(2) },
-            VirOp::Store { param: 2, src: Vr(2) },
+            VirOp::LoadVar {
+                param: 0,
+                dst: Vr(0),
+                chained: false,
+            },
+            VirOp::LoadVar {
+                param: 1,
+                dst: Vr(1),
+                chained: false,
+            },
+            VirOp::Bin {
+                op: VBin::Sub,
+                a: Vr(0),
+                b: Vr(1),
+                dst: Vr(2),
+            },
+            VirOp::Store {
+                param: 2,
+                src: Vr(2),
+            },
         ];
         let n = chain_loads(&mut ops, &params);
         assert_eq!(n, 1, "one memory operand per instruction");
@@ -207,15 +300,27 @@ mod tests {
 
     #[test]
     fn loads_of_stored_variables_never_chain() {
-        let params = vec![
-            ArrayParam::Read("k".into()),
-            ArrayParam::Write("k".into()),
-        ];
+        let params = vec![ArrayParam::Read("k".into()), ArrayParam::Write("k".into())];
         let mut ops = vec![
-            VirOp::LoadVar { param: 0, dst: Vr(0), chained: false },
-            VirOp::Imm { value: 5.0, dst: Vr(1) },
-            VirOp::Bin { op: VBin::Add, a: Vr(0), b: Vr(1), dst: Vr(2) },
-            VirOp::Store { param: 1, src: Vr(2) },
+            VirOp::LoadVar {
+                param: 0,
+                dst: Vr(0),
+                chained: false,
+            },
+            VirOp::Imm {
+                value: 5.0,
+                dst: Vr(1),
+            },
+            VirOp::Bin {
+                op: VBin::Add,
+                a: Vr(0),
+                b: Vr(1),
+                dst: Vr(2),
+            },
+            VirOp::Store {
+                param: 1,
+                src: Vr(2),
+            },
         ];
         assert_eq!(chain_loads(&mut ops, &params), 0);
     }

@@ -228,10 +228,18 @@ mod tests {
 
     #[test]
     fn def_use_accounting() {
-        let op = VirOp::Madd { a: Vr(1), b: Vr(2), c: Vr(3), dst: Vr(4) };
+        let op = VirOp::Madd {
+            a: Vr(1),
+            b: Vr(2),
+            c: Vr(3),
+            dst: Vr(4),
+        };
         assert_eq!(op.def(), Some(Vr(4)));
         assert_eq!(op.uses(), vec![Vr(1), Vr(2), Vr(3)]);
-        let st = VirOp::Store { param: 0, src: Vr(4) };
+        let st = VirOp::Store {
+            param: 0,
+            src: Vr(4),
+        };
         assert_eq!(st.def(), None);
         assert_eq!(st.uses(), vec![Vr(4)]);
     }
@@ -239,9 +247,20 @@ mod tests {
     #[test]
     fn use_counts_sum_over_ops() {
         let ops = vec![
-            VirOp::Imm { value: 1.0, dst: Vr(0) },
-            VirOp::Bin { op: VBin::Add, a: Vr(0), b: Vr(0), dst: Vr(1) },
-            VirOp::Store { param: 0, src: Vr(1) },
+            VirOp::Imm {
+                value: 1.0,
+                dst: Vr(0),
+            },
+            VirOp::Bin {
+                op: VBin::Add,
+                a: Vr(0),
+                b: Vr(0),
+                dst: Vr(1),
+            },
+            VirOp::Store {
+                param: 0,
+                src: Vr(1),
+            },
         ];
         let counts = use_counts(&ops);
         assert_eq!(counts[&Vr(0)], 2);

@@ -36,7 +36,11 @@ pub fn split_with_options(
     let mut ctx = body.ctx()?;
     let mut blocks = Vec::new();
     let host = split_stmts(&body.stmts, &mut ctx, &mut blocks, options)?;
-    Ok(CompiledProgram { blocks, binders: body.binders, host })
+    Ok(CompiledProgram {
+        blocks,
+        binders: body.binders,
+        host,
+    })
 }
 
 fn split_stmts(
@@ -75,6 +79,7 @@ fn split_stmt(
                     routine: cb.routine,
                     array_params: cb.array_params,
                     scalar_params: cb.scalar_params,
+                    stats: cb.stats,
                 });
                 out.push(HostStmt::Dispatch(index));
             }
@@ -134,7 +139,11 @@ fn split_stmt(
                 ctx.push_do(dom.clone(), resolved.clone());
                 let body = split_body(b, ctx, blocks, options);
                 ctx.pop_do();
-                Ok(vec![HostStmt::Do { dom: dom.clone(), shape: resolved, body: body? }])
+                Ok(vec![HostStmt::Do {
+                    dom: dom.clone(),
+                    shape: resolved,
+                    body: body?,
+                }])
             }
             Imp::While(cond, b) => Ok(vec![HostStmt::While {
                 cond: cond.clone(),
@@ -165,9 +174,7 @@ fn split_stmt(
                     body: split_body(b, &mut inner, blocks, options)?,
                 }])
             }
-            Imp::Sequentially(xs) | Imp::Concurrently(xs) => {
-                split_stmts(xs, ctx, blocks, options)
-            }
+            Imp::Sequentially(xs) | Imp::Concurrently(xs) => split_stmts(xs, ctx, blocks, options),
             Imp::Program(b) => split_body(b, ctx, blocks, options),
             Imp::Skip => Ok(vec![]),
         },

@@ -22,50 +22,47 @@ fn run(src: &str) -> (f90y_backend::fe::HostRun, f90y_cm2::MachineStats) {
 
 #[test]
 fn serial_do_with_element_moves_charges_host_and_wire() {
-    let (r, stats) = run(
-        "
+    let (r, stats) = run("
         INTEGER a(8), b(8)
         FORALL (i=1:8) a(i) = i*i
         DO 10 k=1,8
            b(k) = a(k) + 1
   10    CONTINUE
-        ",
-    );
+        ");
     let b = r.final_array("b").unwrap();
     let expect: Vec<f64> = (1..=8).map(|i| (i * i + 1) as f64).collect();
     assert_eq!(b, expect);
     assert!(stats.host_cycles > 0, "element moves run on the host");
-    assert!(stats.comm_cycles > 0, "host element access crosses the wire");
+    assert!(
+        stats.comm_cycles > 0,
+        "host element access crosses the wire"
+    );
 }
 
 #[test]
 fn dynamic_shift_amounts_evaluate_on_the_host() {
     // CSHIFT with a shift that depends on a host scalar.
-    let (r, _) = run(
-        "
+    let (r, _) = run("
         REAL v(8), w(8)
         INTEGER s
         FORALL (i=1:8) v(i) = i
         s = 2
         w = CSHIFT(v, s, 1)
-        ",
-    );
+        ");
     let w = r.final_array("w").unwrap();
     assert_eq!(w, vec![3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 1.0, 2.0]);
 }
 
 #[test]
 fn shift_depending_on_do_index_runs_each_iteration() {
-    let (r, _) = run(
-        "
+    let (r, _) = run("
         REAL v(8), acc(8)
         FORALL (i=1:8) v(i) = i
         acc = 0.0
         DO k = 1, 3
           acc = acc + CSHIFT(v, k, 1)
         END DO
-        ",
-    );
+        ");
     let acc = r.final_array("acc").unwrap();
     // acc(i) = v(i+1)+v(i+2)+v(i+3) cyclically.
     for (i, &got) in acc.iter().enumerate() {
@@ -76,15 +73,13 @@ fn shift_depending_on_do_index_runs_each_iteration() {
 
 #[test]
 fn reductions_of_expressions_materialise_temporaries() {
-    let (r, stats) = run(
-        "
+    let (r, stats) = run("
         REAL a(10), b(10)
         REAL s
         FORALL (i=1:10) a(i) = i
         FORALL (i=1:10) b(i) = 2*i
         s = SUM(a*b)
-        ",
-    );
+        ");
     let s = r.final_scalar("s").unwrap();
     let expect: f64 = (1..=10).map(|i| (i * 2 * i) as f64).sum();
     assert_eq!(s, expect);
@@ -93,13 +88,11 @@ fn reductions_of_expressions_materialise_temporaries() {
 
 #[test]
 fn misaligned_section_copy_takes_the_router() {
-    let (r, stats) = run(
-        "
+    let (r, stats) = run("
         INTEGER l(16)
         FORALL (i=1:16) l(i) = i
         l(1:4) = l(9:12)
-        ",
-    );
+        ");
     let l = r.final_array("l").unwrap();
     assert_eq!(&l[..4], &[9.0, 10.0, 11.0, 12.0]);
     let tail: Vec<f64> = (5..=16).map(|i| i as f64).collect();
@@ -109,8 +102,7 @@ fn misaligned_section_copy_takes_the_router() {
 
 #[test]
 fn host_while_loops_and_scalar_state() {
-    let (r, _) = run(
-        "
+    let (r, _) = run("
         INTEGER n, total
         n = 1
         total = 0
@@ -118,16 +110,14 @@ fn host_while_loops_and_scalar_state() {
           total = total + n
           n = n + 1
         END DO
-        ",
-    );
+        ");
     assert_eq!(r.final_scalar("total").unwrap(), 55.0);
     assert_eq!(r.final_scalar("n").unwrap(), 11.0);
 }
 
 #[test]
 fn host_if_branches_on_machine_reductions() {
-    let (r, _) = run(
-        "
+    let (r, _) = run("
         REAL a(8)
         INTEGER flag
         FORALL (i=1:8) a(i) = i
@@ -136,22 +126,19 @@ fn host_if_branches_on_machine_reductions() {
         ELSE
           flag = 0
         END IF
-        ",
-    );
+        ");
     assert_eq!(r.final_scalar("flag").unwrap(), 1.0);
 }
 
 #[test]
 fn masked_element_move_under_scalar_condition() {
-    let (r, _) = run(
-        "
+    let (r, _) = run("
         INTEGER a(6)
         FORALL (i=1:6) a(i) = i
         DO 10 k=1,6
            IF (a(k) > 3) a(k) = 0
   10    CONTINUE
-        ",
-    );
+        ");
     assert_eq!(
         r.final_array("a").unwrap(),
         vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0]
@@ -168,14 +155,12 @@ fn finals_report_missing_names_as_errors() {
 
 #[test]
 fn integer_division_on_host_truncates_like_the_evaluator() {
-    let (r, _) = run(
-        "
+    let (r, _) = run("
         INTEGER q
         INTEGER a(4)
         FORALL (i=1:4) a(i) = 10*i
         q = a(3) / 7
-        ",
-    );
+        ");
     assert_eq!(r.final_scalar("q").unwrap(), 4.0); // 30/7 = 4
 }
 
@@ -187,6 +172,9 @@ fn stats_isolate_per_run_when_machine_is_reused() {
     let first = cm.stats().node_cycles();
     HostExecutor::new(&mut cm).run(&compiled).unwrap();
     let second = cm.stats().node_cycles();
-    assert!(second > first, "stats accumulate across runs on one machine");
+    assert!(
+        second > first,
+        "stats accumulate across runs on one machine"
+    );
     assert_eq!(second - first, first, "equal work charges equal cycles");
 }

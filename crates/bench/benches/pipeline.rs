@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use f90y_core::{workloads, Compiler, Pipeline};
+use f90y_core::{workloads, Compiler, Pipeline, Telemetry};
 
 fn bench_compile(c: &mut Criterion) {
     let mut g = c.benchmark_group("compile");
@@ -16,7 +16,11 @@ fn bench_compile(c: &mut Criterion) {
         ("swe64", workloads::swe_source(64, 3)),
     ] {
         g.bench_with_input(BenchmarkId::new("f90y", name), &src, |b, src| {
-            b.iter(|| Compiler::new(Pipeline::F90y).compile(black_box(src)).unwrap())
+            b.iter(|| {
+                Compiler::new(Pipeline::F90y)
+                    .compile(black_box(src))
+                    .unwrap()
+            })
         });
     }
     g.finish();
@@ -46,6 +50,39 @@ fn bench_pipelines_on_fig12(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The off-by-default claim: a disabled collector must cost nothing
+    // measurable against the plain path (every instrumented call is one
+    // branch on a bool). Compare the two and eyeball that the means sit
+    // within run-to-run noise of each other.
+    let mut g = c.benchmark_group("telemetry_overhead");
+    let src = workloads::swe_source(64, 3);
+    g.bench_function("compile_plain", |b| {
+        b.iter(|| {
+            Compiler::new(Pipeline::F90y)
+                .compile(black_box(&src))
+                .unwrap()
+        })
+    });
+    g.bench_function("compile_disabled_telemetry", |b| {
+        b.iter(|| {
+            let mut tel = Telemetry::disabled();
+            Compiler::new(Pipeline::F90y)
+                .compile_with(black_box(&src), &mut tel)
+                .unwrap()
+        })
+    });
+    g.bench_function("compile_enabled_telemetry", |b| {
+        b.iter(|| {
+            let mut tel = Telemetry::new();
+            Compiler::new(Pipeline::F90y)
+                .compile_with(black_box(&src), &mut tel)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
 fn bench_transform(c: &mut Criterion) {
     let src = workloads::swe_source(64, 3);
     let unit = f90y_frontend::parse(&src).unwrap();
@@ -60,6 +97,7 @@ criterion_group!(
     bench_compile,
     bench_swe_simulation,
     bench_pipelines_on_fig12,
+    bench_telemetry_overhead,
     bench_transform
 );
 criterion_main!(benches);

@@ -18,7 +18,9 @@ use f90y_core::Pipeline;
 fn source(statements: usize, n: usize) -> String {
     let mut body = String::new();
     body.push_str(&format!("REAL a({n},{n}), b({n},{n})\n"));
-    body.push_str(&format!("FORALL (i=1:{n}, j=1:{n}) a(i,j) = MOD(i+j, 13)\n"));
+    body.push_str(&format!(
+        "FORALL (i=1:{n}, j=1:{n}) a(i,j) = MOD(i+j, 13)\n"
+    ));
     body.push_str("b = a\n");
     for k in 0..statements {
         // Alternate so each statement depends on the previous (no

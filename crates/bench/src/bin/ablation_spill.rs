@@ -79,7 +79,10 @@ fn main() {
             &shape,
             &clauses,
             &mut ctx,
-            PeOptions { overlap: false, ..PeOptions::full() },
+            PeOptions {
+                overlap: false,
+                ..PeOptions::full()
+            },
         )
         .expect("compiles");
         let over = compile_block_with("o", &shape, &clauses, &mut ctx, PeOptions::full())

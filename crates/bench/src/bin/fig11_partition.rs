@@ -44,7 +44,11 @@ fn count_host(stmts: &[HostStmt]) -> (usize, usize, usize) {
                 comm += c;
                 host += h + 1;
             }
-            HostStmt::If { then_body, else_body, .. } => {
+            HostStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 for b in [then_body, else_body] {
                     let (d, c, h) = count_host(b);
                     dispatch += d;
@@ -84,13 +88,22 @@ fn main() {
 
     let (d, c, h) = count_host(&blocked.compiled.host);
     println!("\npartitioned (CM2/NIR split of the blocked program):");
-    println!("  node side: {} PEAC procedures", blocked.compiled.blocks.len());
-    println!("  host side: {d} dispatch calls, {c} runtime communication calls, {h} host statements");
+    println!(
+        "  node side: {} PEAC procedures",
+        blocked.compiled.blocks.len()
+    );
+    println!(
+        "  host side: {d} dispatch calls, {c} runtime communication calls, {h} host statements"
+    );
     for b in &blocked.compiled.blocks {
         println!(
             "    block {}: shape {:?} extents, {} clauses, {} instructions",
             b.index,
-            b.shape.extents().iter().map(|e| e.len()).collect::<Vec<_>>(),
+            b.shape
+                .extents()
+                .iter()
+                .map(|e| e.len())
+                .collect::<Vec<_>>(),
             b.clauses.len(),
             b.routine.len(),
         );

@@ -29,11 +29,7 @@ fn main() {
         exe.compiled
             .blocks
             .iter()
-            .find(|b| {
-                b.clauses
-                    .iter()
-                    .any(|c| c.dst.ident() == "z")
-            })
+            .find(|b| b.clauses.iter().any(|c| c.dst.ident() == "z"))
             .expect("a block computes z")
             .clone()
     };
@@ -41,7 +37,10 @@ fn main() {
     let b_opt = find_z(&optimized);
 
     println!("FIGURE 12 — SWE excerpt, naive vs optimized PEAC encoding\n");
-    println!("NAIVE PEAC ENCODING ({} instructions):\n", b_naive.routine.len());
+    println!(
+        "NAIVE PEAC ENCODING ({} instructions):\n",
+        b_naive.routine.len()
+    );
     println!("{}", b_naive.routine.listing());
     println!(
         "OPTIMIZED PEAC ENCODING ({} instructions):\n",

@@ -21,10 +21,7 @@ fn main() {
     println!("FIGURE 4 — inductive LOOP expansion rules\n");
 
     // Rule-by-rule derivation for LOOP(action, interval(1..3)).
-    let mut form = LoopForm::Loop(
-        Box::new(LoopForm::At(vec![])),
-        Shape::SerialInterval(1, 3),
-    );
+    let mut form = LoopForm::Loop(Box::new(LoopForm::At(vec![])), Shape::SerialInterval(1, 3));
     println!("derivation for LOOP(action, serial_interval(point 1, point 3)):");
     println!("    {}", render(&form));
     let mut steps = 0;

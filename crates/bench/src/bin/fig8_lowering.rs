@@ -29,7 +29,17 @@ fn main() {
     }
 
     let run = exe.run(16).expect("runs");
-    assert!(run.finals.final_array("l").unwrap().iter().all(|&x| x == 6.0));
-    assert!(run.finals.final_array("k").unwrap().iter().all(|&x| x == 5.0));
+    assert!(run
+        .finals
+        .final_array("l")
+        .unwrap()
+        .iter()
+        .all(|&x| x == 6.0));
+    assert!(run
+        .finals
+        .final_array("k")
+        .unwrap()
+        .iter()
+        .all(|&x| x == 5.0));
     println!("\nverified: L = 6 everywhere, K = 5 everywhere (from zero-initialised K)");
 }

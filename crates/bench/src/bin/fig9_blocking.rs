@@ -8,7 +8,7 @@
 //! NIR before and after, the transformation report, and the dispatch
 //! cost either way.
 
-use f90y_bench::compile;
+use f90y_bench::{compile, emit_telemetry, run_instrumented};
 use f90y_core::{workloads, Pipeline};
 use f90y_nir::pretty::print_imp;
 
@@ -17,7 +17,8 @@ fn main() {
     println!("FIGURE 9 — domain blocking transformation\n");
     println!("Fortran 90 source:\n{src}");
 
-    let exe = compile(src, Pipeline::F90y);
+    let (exe, _, tel) = run_instrumented(src, Pipeline::F90y, 64);
+    emit_telemetry(&tel, "fig9_blocking");
     println!("NAIVE NIR (lowered, before transformation):\n");
     println!("{}\n", print_imp(&exe.nir));
     println!("BLOCKED NIR (after transformation):\n");

@@ -7,7 +7,10 @@
 //! > compiler … attained a competitive untuned peak rate of 2.99
 //! > gigaflops."
 
-use f90y_bench::{breakdown, rule, run, HEADLINE_GRID, HEADLINE_NODES, HEADLINE_STEPS};
+use f90y_bench::{
+    breakdown, emit_telemetry, rule, run_instrumented, HEADLINE_GRID, HEADLINE_NODES,
+    HEADLINE_STEPS,
+};
 use f90y_core::{workloads, Pipeline};
 
 fn main() {
@@ -32,7 +35,7 @@ fn main() {
     let src = workloads::swe_source(HEADLINE_GRID, HEADLINE_STEPS);
     let mut measured = Vec::new();
     for &(pipeline, paper_gf) in paper {
-        let (_, report) = run(&src, pipeline, HEADLINE_NODES);
+        let (_, report, tel) = run_instrumented(&src, pipeline, HEADLINE_NODES);
         println!(
             "{:<24} {:>12.2} {:>12.2} {:>8.3}   {}",
             pipeline.name(),
@@ -42,6 +45,12 @@ fn main() {
             breakdown(&report),
         );
         measured.push((pipeline, report.gflops));
+        let tag = match pipeline {
+            Pipeline::F90y => "table_swe_f90y",
+            Pipeline::Cmf => "table_swe_cmf",
+            Pipeline::StarLisp => "table_swe_starlisp",
+        };
+        emit_telemetry(&tel, tag);
     }
     rule(104);
 

@@ -22,7 +22,10 @@
 //!
 //! The shared helpers here keep the binaries small and consistent.
 
+use std::path::PathBuf;
+
 use f90y_core::{Compiler, Executable, Pipeline, RunReport};
+use f90y_obs::{JsonSink, Telemetry};
 
 /// Compile a source text under a pipeline, panicking with context on
 /// failure (harness-level ergonomics).
@@ -41,6 +44,43 @@ pub fn run(src: &str, pipeline: Pipeline, nodes: usize) -> (Executable, RunRepor
         Err(e) => panic!("execution failed under {}: {e}", pipeline.name()),
     };
     (exe, report)
+}
+
+/// [`run`] with telemetry recording: phase timings, compiler counters
+/// and per-phase simulator cycle attribution.
+pub fn run_instrumented(
+    src: &str,
+    pipeline: Pipeline,
+    nodes: usize,
+) -> (Executable, RunReport, Telemetry) {
+    let mut tel = Telemetry::new();
+    let exe = match Compiler::new(pipeline).compile_with(src, &mut tel) {
+        Ok(exe) => exe,
+        Err(e) => panic!("compilation failed under {}: {e}", pipeline.name()),
+    };
+    let report = match exe.run_with(nodes, &mut tel) {
+        Ok(r) => r,
+        Err(e) => panic!("execution failed under {}: {e}", pipeline.name()),
+    };
+    (exe, report, tel)
+}
+
+/// Write a telemetry report as JSON under `target/telemetry/<name>.json`
+/// (next to the printed results) and say where it went. Harnesses stay
+/// quiet about I/O failures — a read-only checkout still prints its
+/// table.
+pub fn emit_telemetry(tel: &Telemetry, name: &str) {
+    let dir = PathBuf::from("target/telemetry");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if JsonSink::create(&path)
+        .and_then(|mut sink| tel.emit(&mut sink))
+        .is_ok()
+    {
+        println!("telemetry: {}", path.display());
+    }
 }
 
 /// Print a horizontal rule sized to a table width.
@@ -74,11 +114,7 @@ mod tests {
 
     #[test]
     fn helpers_compile_and_run() {
-        let (exe, report) = run(
-            "REAL a(64)\na = 1.0\n",
-            Pipeline::F90y,
-            16,
-        );
+        let (exe, report) = run("REAL a(64)\na = 1.0\n", Pipeline::F90y, 16);
         assert_eq!(exe.compiled.blocks.len(), 1);
         assert!(report.stats.node_cycles() > 0);
         assert!(!breakdown(&report).is_empty());

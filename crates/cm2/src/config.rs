@@ -50,7 +50,10 @@ impl Cm2Config {
             nodes.is_power_of_two() && nodes <= 2048,
             "CM/2 node count must be a power of two up to 2048, got {nodes}"
         );
-        Cm2Config { nodes, ..Cm2Config::full_slicewise() }
+        Cm2Config {
+            nodes,
+            ..Cm2Config::full_slicewise()
+        }
     }
 
     /// The fieldwise (\*Lisp) execution model on the same hardware.

@@ -33,7 +33,11 @@ impl Layout {
     /// every tile axis reaches one element).
     pub fn grid(dims: &[usize], nodes: usize) -> Layout {
         let rank = dims.len().max(1);
-        let dims: Vec<usize> = if dims.is_empty() { vec![1] } else { dims.to_vec() };
+        let dims: Vec<usize> = if dims.is_empty() {
+            vec![1]
+        } else {
+            dims.to_vec()
+        };
         let mut splits = vec![1usize; rank];
         let tile_of = |dims: &[usize], splits: &[usize], k: usize| dims[k].div_ceil(splits[k]);
         let mut budget = nodes.max(1);
@@ -49,7 +53,12 @@ impl Layout {
             budget /= 2;
         }
         let tile: Vec<usize> = (0..rank).map(|k| tile_of(&dims, &splits, k)).collect();
-        Layout { dims, nodes, splits, tile }
+        Layout {
+            dims,
+            nodes,
+            splits,
+            tile,
+        }
     }
 
     /// 1-D convenience used for flat allocations.

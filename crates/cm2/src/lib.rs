@@ -36,7 +36,7 @@ pub mod runtime;
 
 pub use config::Cm2Config;
 pub use layout::Layout;
-pub use machine::{ArrayId, Cm2, MachineStats, TraceEvent};
+pub use machine::{ArrayId, Cm2, CycleProfile, MachineStats, PhaseCycles, TraceEvent};
 
 use std::error::Error;
 use std::fmt;

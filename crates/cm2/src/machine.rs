@@ -1,6 +1,6 @@
 //! CM arrays, machine state and accounting.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::config::Cm2Config;
 use crate::costs;
@@ -26,7 +26,6 @@ impl CmArray {
     pub(crate) fn len(&self) -> usize {
         self.data.len()
     }
-
 }
 
 /// Cycle, flop and call accounting for one simulated run.
@@ -88,6 +87,112 @@ impl MachineStats {
     }
 }
 
+/// Cycles one phase charged, split by the same categories as
+/// [`MachineStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCycles {
+    /// Per-node CM cycles of dispatched computation.
+    pub compute_cycles: u64,
+    /// Per-node CM cycles of communication and reductions.
+    pub comm_cycles: u64,
+    /// Per-node CM cycles of dispatch/IFIFO overhead.
+    pub dispatch_overhead_cycles: u64,
+    /// Host (front end) cycles.
+    pub host_cycles: u64,
+}
+
+impl PhaseCycles {
+    /// Total per-node CM cycles this phase charged.
+    pub fn node_cycles(&self) -> u64 {
+        self.compute_cycles + self.comm_cycles + self.dispatch_overhead_cycles
+    }
+}
+
+/// Per-phase cycle attribution: every cycle a run charges to
+/// [`MachineStats`] is also charged here under a phase tag (the
+/// dispatched routine's name, or a runtime-call category such as
+/// `news`, `router`, `reduce`, `coord`, `host`). Because all stat
+/// mutation is routed through the `charge_*` helpers, the per-phase
+/// cycles sum exactly to the totals — no lost or double-counted
+/// cycles, which `verify_against` asserts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleProfile {
+    phases: BTreeMap<String, PhaseCycles>,
+}
+
+impl CycleProfile {
+    /// The named phase's cycles, if the phase charged anything.
+    pub fn phase(&self, name: &str) -> Option<&PhaseCycles> {
+        self.phases.get(name)
+    }
+
+    /// All phases, sorted by name.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, &PhaseCycles)> {
+        self.phases.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Compute cycles summed over phases.
+    pub fn compute_total(&self) -> u64 {
+        self.phases.values().map(|p| p.compute_cycles).sum()
+    }
+
+    /// Communication cycles summed over phases.
+    pub fn comm_total(&self) -> u64 {
+        self.phases.values().map(|p| p.comm_cycles).sum()
+    }
+
+    /// Dispatch-overhead cycles summed over phases.
+    pub fn dispatch_overhead_total(&self) -> u64 {
+        self.phases
+            .values()
+            .map(|p| p.dispatch_overhead_cycles)
+            .sum()
+    }
+
+    /// Host cycles summed over phases.
+    pub fn host_total(&self) -> u64 {
+        self.phases.values().map(|p| p.host_cycles).sum()
+    }
+
+    /// Check the attribution invariant: per-phase sums equal the
+    /// machine totals in every category.
+    ///
+    /// # Errors
+    ///
+    /// Returns which category diverged, with both values.
+    pub fn verify_against(&self, stats: &MachineStats) -> Result<(), String> {
+        let checks = [
+            ("compute_cycles", self.compute_total(), stats.compute_cycles),
+            ("comm_cycles", self.comm_total(), stats.comm_cycles),
+            (
+                "dispatch_overhead_cycles",
+                self.dispatch_overhead_total(),
+                stats.dispatch_overhead_cycles,
+            ),
+            ("host_cycles", self.host_total(), stats.host_cycles),
+        ];
+        for (name, profiled, total) in checks {
+            if profiled != total {
+                return Err(format!(
+                    "cycle profile diverges on {name}: phases sum to {profiled}, \
+                     machine total is {total}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn entry(&mut self, phase: &str) -> &mut PhaseCycles {
+        // A plain `entry(phase.to_string())` would allocate on every
+        // charge; profile maps are small, so probe first.
+        if !self.phases.contains_key(phase) {
+            self.phases
+                .insert(phase.to_string(), PhaseCycles::default());
+        }
+        self.phases.get_mut(phase).expect("just inserted")
+    }
+}
+
 /// One machine-level event, recorded when tracing is enabled. Traces
 /// let retargeting studies (the CM/5 estimator) replay a run under a
 /// different cost model without re-executing.
@@ -141,6 +246,7 @@ pub struct Cm2 {
     pub(crate) coord_cache: HashMap<(Vec<usize>, Vec<i64>, usize), ArrayId>,
     pub(crate) stats: MachineStats,
     pub(crate) trace: Option<Vec<TraceEvent>>,
+    pub(crate) profile: Option<CycleProfile>,
     /// Compute cycles accumulated since the last communication call,
     /// available to hide pipelined communication behind (§5.3.2 model).
     pub(crate) overlap_pool: u64,
@@ -155,6 +261,7 @@ impl Cm2 {
             coord_cache: HashMap::new(),
             stats: MachineStats::default(),
             trace: None,
+            profile: None,
             overlap_pool: 0,
         }
     }
@@ -169,9 +276,56 @@ impl Cm2 {
         self.trace.as_deref()
     }
 
+    /// Start per-phase cycle attribution (clears any previous profile).
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(CycleProfile::default());
+    }
+
+    /// The cycle profile, if profiling was enabled.
+    pub fn profile(&self) -> Option<&CycleProfile> {
+        self.profile.as_ref()
+    }
+
     pub(crate) fn record(&mut self, e: TraceEvent) {
         if let Some(t) = &mut self.trace {
             t.push(e);
+        }
+    }
+
+    // Every cycle charged to `stats` goes through one of these four
+    // helpers, which mirror the charge into the phase profile. Keeping
+    // this the only mutation path is what makes the profile's
+    // sums-to-total invariant structural rather than accidental.
+
+    /// Charge dispatched-computation cycles to a phase.
+    pub(crate) fn charge_compute(&mut self, phase: &str, cycles: u64) {
+        self.stats.compute_cycles += cycles;
+        if let Some(p) = &mut self.profile {
+            p.entry(phase).compute_cycles += cycles;
+        }
+    }
+
+    /// Charge communication cycles to a phase.
+    pub(crate) fn charge_comm(&mut self, phase: &str, cycles: u64) {
+        self.stats.comm_cycles += cycles;
+        if let Some(p) = &mut self.profile {
+            p.entry(phase).comm_cycles += cycles;
+        }
+    }
+
+    /// Charge dispatch/IFIFO overhead cycles to a phase.
+    pub(crate) fn charge_dispatch_overhead(&mut self, phase: &str, cycles: u64) {
+        self.stats.dispatch_overhead_cycles += cycles;
+        if let Some(p) = &mut self.profile {
+            p.entry(phase).dispatch_overhead_cycles += cycles;
+        }
+    }
+
+    /// Charge host cycles to a phase.
+    pub(crate) fn charge_host(&mut self, phase: &str, cycles: u64) {
+        self.stats.host_cycles += cycles;
+        if let Some(p) = &mut self.profile {
+            p.entry(phase).host_cycles += cycles;
         }
     }
 
@@ -185,9 +339,13 @@ impl Cm2 {
         self.stats
     }
 
-    /// Reset the accounting (arrays survive).
+    /// Reset the accounting (arrays survive). An enabled cycle profile
+    /// is cleared with the stats so the sums-to-total invariant holds.
     pub fn reset_stats(&mut self) {
         self.stats = MachineStats::default();
+        if let Some(p) = &mut self.profile {
+            *p = CycleProfile::default();
+        }
     }
 
     /// Allocate a zeroed CM array with the given extents and unit lower

@@ -95,10 +95,13 @@ impl Cm2 {
         let overhead = costs::DISPATCH_BASE_CYCLES
             + costs::DISPATCH_PER_ARG_CYCLES
                 * (routine.nargs_ptr() + routine.nargs_scalar()) as u64;
-        self.stats.dispatch_overhead_cycles +=
-            (overhead as f64 * self.config.dispatch_multiplier) as u64;
+        let phase = format!("dispatch.{}", routine.name());
+        self.charge_dispatch_overhead(
+            &phase,
+            (overhead as f64 * self.config.dispatch_multiplier) as u64,
+        );
         let compute = (body as f64 * iters as f64 * self.config.compute_multiplier) as u64;
-        self.stats.compute_cycles += compute;
+        self.charge_compute(&phase, compute);
         self.overlap_pool = self.overlap_pool.saturating_add(compute);
         let flops_per_elem: u64 = routine
             .body()
@@ -207,7 +210,7 @@ impl Cm2 {
             self.overlap_pool -= hidden;
             cost -= hidden;
         }
-        self.stats.comm_cycles += cost;
+        self.charge_comm("news", cost);
         self.stats.comm_calls += 1;
         self.record(crate::machine::TraceEvent::GridComm {
             iterations: layout.iterations_per_node(),
@@ -230,9 +233,11 @@ impl Cm2 {
         let layout = self.layout(src)?;
         let id = self.alloc_with_bounds(&dims, &lower);
         self.array_mut(id)?.data = data;
-        self.stats.comm_cycles += costs::router_comm_cycles(&layout);
+        self.charge_comm("router", costs::router_comm_cycles(&layout));
         self.stats.comm_calls += 1;
-        self.record(crate::machine::TraceEvent::Router { subgrid: layout.subgrid() });
+        self.record(crate::machine::TraceEvent::Router {
+            subgrid: layout.subgrid(),
+        });
         Ok(id)
     }
 
@@ -246,9 +251,11 @@ impl Cm2 {
     /// Fails on stale handles.
     pub fn charge_router_move(&mut self, id: ArrayId) -> Result<(), Cm2Error> {
         let layout = self.layout(id)?;
-        self.stats.comm_cycles += costs::router_comm_cycles(&layout);
+        self.charge_comm("router", costs::router_comm_cycles(&layout));
         self.stats.comm_calls += 1;
-        self.record(crate::machine::TraceEvent::Router { subgrid: layout.subgrid() });
+        self.record(crate::machine::TraceEvent::Router {
+            subgrid: layout.subgrid(),
+        });
         Ok(())
     }
 
@@ -267,7 +274,10 @@ impl Cm2 {
             }
         };
         let layout = self.layout(src)?;
-        self.stats.comm_cycles += costs::reduction_cycles(&layout, self.config.nodes);
+        self.charge_comm(
+            "reduce",
+            costs::reduction_cycles(&layout, self.config.nodes),
+        );
         self.stats.reductions += 1;
         self.record(crate::machine::TraceEvent::Reduce {
             iterations: layout.iterations_per_node(),
@@ -279,12 +289,7 @@ impl Cm2 {
     /// given extents and lower bounds: element values are the Fortran
     /// coordinate along that axis. Cached per (extents, bounds, axis);
     /// generation is charged once.
-    pub fn coordinates(
-        &mut self,
-        dims: &[usize],
-        lower: &[i64],
-        axis: usize,
-    ) -> ArrayId {
+    pub fn coordinates(&mut self, dims: &[usize], lower: &[i64], axis: usize) -> ArrayId {
         let key = (dims.to_vec(), lower.to_vec(), axis);
         if let Some(&id) = self.coord_cache.get(&key) {
             return id;
@@ -298,18 +303,16 @@ impl Cm2 {
             data.push((lower[axis] + coord as i64) as f64);
         }
         let layout = crate::layout::Layout::blockwise(total, self.config.nodes);
-        self.stats.comm_cycles += costs::coordinate_gen_cycles(&layout);
+        self.charge_comm("coord", costs::coordinate_gen_cycles(&layout));
         let id = self.alloc_with_bounds(dims, lower);
-        self.array_mut(id)
-            .expect("array just allocated")
-            .data = data;
+        self.array_mut(id).expect("array just allocated").data = data;
         self.coord_cache.insert(key, id);
         id
     }
 
     /// Charge host-side work: `n` host program operations.
     pub fn charge_host_ops(&mut self, n: u64) {
-        self.stats.host_cycles += n * costs::HOST_OP_CYCLES;
+        self.charge_host("host", n * costs::HOST_OP_CYCLES);
         self.record(crate::machine::TraceEvent::HostOps(n));
     }
 
@@ -321,11 +324,12 @@ impl Cm2 {
     /// Fails on stale handles or out-of-range flat index.
     pub fn host_read_elem(&mut self, id: ArrayId, flat: usize) -> Result<f64, Cm2Error> {
         let arr = self.array(id)?;
-        let v = *arr.data.get(flat).ok_or_else(|| {
-            Cm2Error::Runtime(format!("element {flat} out of range"))
-        })?;
-        self.stats.host_cycles += costs::HOST_OP_CYCLES;
-        self.stats.comm_cycles += costs::WIRE_CYCLES_PER_ELEM;
+        let v = *arr
+            .data
+            .get(flat)
+            .ok_or_else(|| Cm2Error::Runtime(format!("element {flat} out of range")))?;
+        self.charge_host("host", costs::HOST_OP_CYCLES);
+        self.charge_comm("host", costs::WIRE_CYCLES_PER_ELEM);
         Ok(v)
     }
 
@@ -335,12 +339,13 @@ impl Cm2 {
     ///
     /// Fails on stale handles or out-of-range flat index.
     pub fn host_write_elem(&mut self, id: ArrayId, flat: usize, v: f64) -> Result<(), Cm2Error> {
-        self.stats.host_cycles += costs::HOST_OP_CYCLES;
-        self.stats.comm_cycles += costs::WIRE_CYCLES_PER_ELEM;
+        self.charge_host("host", costs::HOST_OP_CYCLES);
+        self.charge_comm("host", costs::WIRE_CYCLES_PER_ELEM);
         let arr = self.array_mut(id)?;
-        let slot = arr.data.get_mut(flat).ok_or_else(|| {
-            Cm2Error::Runtime(format!("element {flat} out of range"))
-        })?;
+        let slot = arr
+            .data
+            .get_mut(flat)
+            .ok_or_else(|| Cm2Error::Runtime(format!("element {flat} out of range")))?;
         *slot = v;
         Ok(())
     }
@@ -400,14 +405,25 @@ mod tests {
             2,
             0,
             vec![
-                Instr::Fimmv { value: 1.0, dst: VReg(1) },
-                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
+                Instr::Fimmv {
+                    value: 1.0,
+                    dst: VReg(1),
+                },
+                Instr::Flodv {
+                    src: Mem::arg(0),
+                    dst: VReg(0),
+                    overlapped: false,
+                },
                 Instr::Faddv {
                     a: Operand::V(VReg(0)),
                     b: Operand::V(VReg(1)),
                     dst: VReg(2),
                 },
-                Instr::Fstrv { src: VReg(2), dst: Mem::arg(1), overlapped: false },
+                Instr::Fstrv {
+                    src: VReg(2),
+                    dst: Mem::arg(1),
+                    overlapped: false,
+                },
             ],
         )
         .expect("valid routine")

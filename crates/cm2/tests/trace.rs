@@ -11,10 +11,25 @@ fn incr_routine() -> Routine {
         2,
         0,
         vec![
-            Instr::Fimmv { value: 1.0, dst: VReg(1) },
-            Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
-            Instr::Faddv { a: Operand::V(VReg(0)), b: Operand::V(VReg(1)), dst: VReg(2) },
-            Instr::Fstrv { src: VReg(2), dst: Mem::arg(1), overlapped: false },
+            Instr::Fimmv {
+                value: 1.0,
+                dst: VReg(1),
+            },
+            Instr::Flodv {
+                src: Mem::arg(0),
+                dst: VReg(0),
+                overlapped: false,
+            },
+            Instr::Faddv {
+                a: Operand::V(VReg(0)),
+                b: Operand::V(VReg(1)),
+                dst: VReg(2),
+            },
+            Instr::Fstrv {
+                src: VReg(2),
+                dst: Mem::arg(1),
+                overlapped: false,
+            },
         ],
     )
     .expect("valid")
@@ -33,12 +48,19 @@ fn trace_records_dispatches_and_comm_in_order() {
     let trace = cm.trace().expect("tracing enabled");
     assert!(matches!(
         trace[0],
-        TraceEvent::Dispatch { elements: 64, nargs: 2, .. }
+        TraceEvent::Dispatch {
+            elements: 64,
+            nargs: 2,
+            ..
+        }
     ));
     assert!(matches!(trace[1], TraceEvent::GridComm { .. }));
     assert!(matches!(trace[2], TraceEvent::Reduce { .. }));
     // Dispatch flops recorded machine-wide (one add per element).
-    let TraceEvent::Dispatch { flops, arith, mem, .. } = trace[0] else {
+    let TraceEvent::Dispatch {
+        flops, arith, mem, ..
+    } = trace[0]
+    else {
         panic!("first event is a dispatch")
     };
     assert_eq!(flops, 64);
@@ -66,7 +88,10 @@ fn coordinates_respect_lower_bounds() {
 #[test]
 fn pipelined_comm_hides_behind_compute() {
     let plain_cfg = Cm2Config::slicewise(16);
-    let piped_cfg = Cm2Config { pipelined_comm: true, ..Cm2Config::slicewise(16) };
+    let piped_cfg = Cm2Config {
+        pipelined_comm: true,
+        ..Cm2Config::slicewise(16)
+    };
     let run = |cfg: Cm2Config| {
         let mut cm = Cm2::new(cfg);
         let a = cm.alloc(&[1 << 14]);
@@ -95,7 +120,10 @@ fn pipelined_comm_hides_behind_compute() {
 fn pipelined_pool_drains() {
     // Two back-to-back communications: the second finds no compute to
     // hide behind and pays full price.
-    let mut cm = Cm2::new(Cm2Config { pipelined_comm: true, ..Cm2Config::slicewise(16) });
+    let mut cm = Cm2::new(Cm2Config {
+        pipelined_comm: true,
+        ..Cm2Config::slicewise(16)
+    });
     let a = cm.alloc(&[1 << 12]);
     let b = cm.alloc(&[1 << 12]);
     cm.dispatch(&incr_routine(), &[a, b], &[]).unwrap();
@@ -109,6 +137,65 @@ fn pipelined_pool_drains() {
         after_first,
         second
     );
+}
+
+#[test]
+fn profile_attributes_every_cycle_to_a_phase() {
+    // Exercise every charge path: dispatch (compute + overhead), NEWS,
+    // router, reduce, coordinate generation, bulk host ops, and host
+    // element access (host + wire comm).
+    let mut cm = Cm2::new(Cm2Config::slicewise(16));
+    cm.enable_profile();
+    let a = cm.alloc_from(&[64], (0..64).map(|i| i as f64).collect());
+    let b = cm.alloc(&[64]);
+    cm.dispatch(&incr_routine(), &[a, b], &[]).unwrap();
+    cm.dispatch(&incr_routine(), &[b, a], &[]).unwrap();
+    let s = cm.cshift(a, 0, 1).unwrap();
+    cm.router_copy(s).unwrap();
+    cm.reduce(s, f90y_cm2::runtime::ReduceOp::Sum).unwrap();
+    cm.coordinates(&[64], &[1], 0);
+    cm.charge_host_ops(10);
+    cm.host_read_elem(a, 3).unwrap();
+    cm.host_write_elem(a, 3, 0.5).unwrap();
+
+    let stats = cm.stats();
+    let profile = cm.profile().expect("profiling enabled").clone();
+
+    // The invariant the telemetry layer leans on: per-phase cycles sum
+    // exactly to the machine totals — no lost or double-counted cycles.
+    profile.verify_against(&stats).unwrap();
+    assert_eq!(
+        profile.compute_total() + profile.comm_total() + profile.dispatch_overhead_total(),
+        stats.node_cycles()
+    );
+
+    // Each runtime-call category shows up under its own tag.
+    let dispatch = profile.phase("dispatch.inc").expect("dispatch phase");
+    assert!(dispatch.compute_cycles > 0);
+    assert!(dispatch.dispatch_overhead_cycles > 0);
+    assert!(profile.phase("news").unwrap().comm_cycles > 0);
+    assert!(profile.phase("router").unwrap().comm_cycles > 0);
+    assert!(profile.phase("reduce").unwrap().comm_cycles > 0);
+    assert!(profile.phase("coord").unwrap().comm_cycles > 0);
+    let host = profile.phase("host").expect("host phase");
+    assert!(host.host_cycles > 0);
+    assert!(host.comm_cycles > 0, "host element access pays wire cycles");
+}
+
+#[test]
+fn profile_off_by_default_and_reset_clears_it() {
+    let mut cm = Cm2::new(Cm2Config::slicewise(16));
+    let a = cm.alloc(&[32]);
+    cm.cshift(a, 0, 1).unwrap();
+    assert!(cm.profile().is_none());
+
+    cm.enable_profile();
+    cm.cshift(a, 0, 1).unwrap();
+    assert!(cm.profile().unwrap().comm_total() > 0);
+    cm.reset_stats();
+    let profile = cm.profile().expect("still enabled");
+    assert_eq!(profile.comm_total(), 0, "reset keeps the sum invariant");
+    profile.verify_against(&cm.stats()).unwrap();
 }
 
 #[test]

@@ -129,8 +129,7 @@ pub struct Cm5Stats {
 impl Cm5Stats {
     /// Total modelled elapsed seconds.
     pub fn elapsed_seconds(&self) -> f64 {
-        self.vu_seconds + self.sparc_exposed_seconds + self.control_seconds
-            + self.network_seconds
+        self.vu_seconds + self.sparc_exposed_seconds + self.control_seconds + self.network_seconds
     }
 
     /// Sustained GFLOPS.
@@ -191,7 +190,16 @@ pub fn estimate(
     let vus = config.vus_per_node as f64;
     for e in trace {
         match *e {
-            TraceEvent::Dispatch { iterations, arith, mem, div, lib, nargs, flops, .. } => {
+            TraceEvent::Dispatch {
+                iterations,
+                arith,
+                mem,
+                div,
+                lib,
+                nargs,
+                flops,
+                ..
+            } => {
                 // Subgrid elements per node = iterations × 4 lanes; the
                 // four VUs share them, each pipelining one element per
                 // cycle per instruction. Divides and library calls cost
@@ -214,12 +222,14 @@ pub fn estimate(
                 if sparc_secs > vu_secs {
                     s.sparc_exposed_seconds += sparc_secs - vu_secs;
                 }
-                s.control_seconds += (CP_DISPATCH_CYCLES + CP_PER_ARG_CYCLES * nargs as u64)
-                    as f64
+                s.control_seconds += (CP_DISPATCH_CYCLES + CP_PER_ARG_CYCLES * nargs as u64) as f64
                     / config.sparc_clock_hz;
                 s.flops += flops;
             }
-            TraceEvent::GridComm { iterations, crossing } => {
+            TraceEvent::GridComm {
+                iterations,
+                crossing,
+            } => {
                 // Local copy streams through the VUs; crossing elements
                 // ride the fat tree at 8 bytes each.
                 let local = iterations as f64 * f90y_peac::isa::VLEN as f64 * 2.0
@@ -234,9 +244,8 @@ pub fn estimate(
                     NET_CALL_SECONDS + subgrid as f64 * 8.0 / config.network_bytes_per_sec;
             }
             TraceEvent::Reduce { iterations } => {
-                let local = iterations as f64 * f90y_peac::isa::VLEN as f64
-                    / vus
-                    / config.vu_clock_hz;
+                let local =
+                    iterations as f64 * f90y_peac::isa::VLEN as f64 / vus / config.vu_clock_hz;
                 // The CM-5 control network reduces in hardware.
                 s.network_seconds += NET_CALL_SECONDS + local;
             }
@@ -318,7 +327,9 @@ END DO
         let (run, stats) = run_and_estimate(&compiled, &config).unwrap();
         // Data identical to a plain CM/2 run.
         let mut cm = f90y_cm2::Cm2::new(f90y_cm2::Cm2Config::slicewise(256));
-        let plain = f90y_backend::fe::HostExecutor::new(&mut cm).run(&compiled).unwrap();
+        let plain = f90y_backend::fe::HostExecutor::new(&mut cm)
+            .run(&compiled)
+            .unwrap();
         assert_eq!(
             run.final_array("v").unwrap(),
             plain.final_array("v").unwrap()

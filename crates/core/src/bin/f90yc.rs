@@ -9,6 +9,8 @@
 //!   --run                          execute and report       (default)
 //!   --validate                     also check against the reference evaluator
 //!   --finals a,b,c                 print these variables after the run
+//!   --timings                      print a phase-timing/counter table on stderr
+//!   --emit-telemetry <path>        write the telemetry report as JSON
 //! ```
 //!
 //! Examples:
@@ -22,7 +24,7 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use f90y_core::{Compiler, Pipeline};
+use f90y_core::{Compiler, JsonSink, Pipeline, PrettySink, Telemetry};
 
 struct Options {
     pipeline: Pipeline,
@@ -30,14 +32,23 @@ struct Options {
     emit: Option<String>,
     validate: bool,
     finals: Vec<String>,
+    timings: bool,
+    emit_telemetry: Option<String>,
     input: Option<String>,
 }
 
+const USAGE: &str = "usage: f90yc [options] <file.f90 | ->
+
+  --pipeline f90y|cmf|starlisp   compiler to model       (default f90y)
+  --nodes N                      CM/2 nodes, power of 2  (default 2048)
+  --emit nir|opt|peac|host       print a stage and stop
+  --validate                     also check against the reference evaluator
+  --finals a,b,c                 print these variables after the run
+  --timings                      print a phase-timing/counter table on stderr
+  --emit-telemetry <path>        write the telemetry report as JSON";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: f90yc [--pipeline f90y|cmf|starlisp] [--nodes N] \
-         [--emit nir|opt|peac|host] [--validate] [--finals a,b,...] <file.f90 | ->"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -48,6 +59,8 @@ fn parse_args() -> Options {
         emit: None,
         validate: false,
         finals: Vec::new(),
+        timings: false,
+        emit_telemetry: None,
         input: None,
     };
     let mut args = std::env::args().skip(1);
@@ -72,13 +85,19 @@ fn parse_args() -> Options {
                 _ => usage(),
             },
             "--validate" => opts.validate = true,
-            "--finals" => match args.next() {
-                Some(list) => {
-                    opts.finals = list.split(',').map(str::to_string).collect()
-                }
+            "--timings" => opts.timings = true,
+            "--emit-telemetry" => match args.next() {
+                Some(path) => opts.emit_telemetry = Some(path),
                 None => usage(),
             },
-            "--help" | "-h" => usage(),
+            "--finals" => match args.next() {
+                Some(list) => opts.finals = list.split(',').map(str::to_string).collect(),
+                None => usage(),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
             other if !other.starts_with('-') || other == "-" => {
                 opts.input = Some(other.to_string())
             }
@@ -111,7 +130,13 @@ fn main() -> ExitCode {
         }
     };
 
-    let exe = match Compiler::new(opts.pipeline).compile(&source) {
+    let mut tel = if opts.timings || opts.emit_telemetry.is_some() {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
+
+    let exe = match Compiler::new(opts.pipeline).compile_with(&source, &mut tel) {
         Ok(exe) => exe,
         Err(e) => {
             eprintln!("f90yc: {e}");
@@ -122,26 +147,26 @@ fn main() -> ExitCode {
     match opts.emit.as_deref() {
         Some("nir") => {
             println!("{}", f90y_nir::pretty::print_imp(&exe.nir));
-            return ExitCode::SUCCESS;
+            return finish(&tel, &opts);
         }
         Some("opt") => {
             println!("{}", f90y_nir::pretty::print_imp(&exe.optimized));
-            return ExitCode::SUCCESS;
+            return finish(&tel, &opts);
         }
         Some("peac") => {
             print!("{}", exe.compiled.listings());
-            return ExitCode::SUCCESS;
+            return finish(&tel, &opts);
         }
         Some("host") => {
             for (i, s) in exe.compiled.host.iter().enumerate() {
                 println!("{i:4}: {s:?}");
             }
-            return ExitCode::SUCCESS;
+            return finish(&tel, &opts);
         }
         _ => {}
     }
 
-    let run = match exe.run(opts.nodes) {
+    let run = match exe.run_with(opts.nodes, &mut tel) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("f90yc: execution failed: {e}");
@@ -163,7 +188,11 @@ fn main() -> ExitCode {
         match run.finals.final_array(name) {
             Ok(a) => {
                 let head: Vec<String> = a.iter().take(8).map(|x| format!("{x}")).collect();
-                println!("{name} = [{}{}]", head.join(", "), if a.len() > 8 { ", …" } else { "" });
+                println!(
+                    "{name} = [{}{}]",
+                    head.join(", "),
+                    if a.len() > 8 { ", …" } else { "" }
+                );
             }
             Err(_) => match run.finals.final_scalar(name) {
                 Ok(s) => println!("{name} = {s}"),
@@ -177,6 +206,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("validated against the NIR reference evaluator");
+    }
+    finish(&tel, &opts)
+}
+
+/// Deliver collected telemetry to the requested sinks.
+fn finish(tel: &Telemetry, opts: &Options) -> ExitCode {
+    if opts.timings {
+        if let Err(e) = tel.emit(&mut PrettySink::stderr()) {
+            eprintln!("f90yc: cannot write timings: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.emit_telemetry {
+        let result = JsonSink::create(path).and_then(|mut sink| tel.emit(&mut sink));
+        if let Err(e) = result {
+            eprintln!("f90yc: cannot write telemetry to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

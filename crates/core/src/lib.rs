@@ -38,10 +38,12 @@ pub use f90y_backend::fe::HostRun;
 pub use f90y_backend::CompiledProgram;
 pub use f90y_cm2::{Cm2, Cm2Config, MachineStats};
 pub use f90y_nir::Imp;
+pub use f90y_obs::{EventSink, JsonSink, PrettySink, Telemetry, TelemetryReport};
 pub use f90y_transform::TransformReport;
 
 use f90y_backend::fe::HostExecutor;
 use f90y_baselines::Baseline;
+use f90y_frontend::ast::SourceFile;
 
 /// Which compiler to model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,33 +151,125 @@ impl Compiler {
     /// Fails on syntax, semantic, transformation or code-generation
     /// errors.
     pub fn compile(&self, source: &str) -> Result<Executable, CompileError> {
-        let file = f90y_frontend::parse_file(source)?;
-        let nir = f90y_lowering::lower_file(&file)?;
-        let (optimized, report, compiled) = match self.pipeline {
-            Pipeline::F90y => {
-                let (optimized, report) = f90y_transform::optimize_with_report(&nir)?;
-                let compiled = f90y_backend::compile(&optimized)?;
-                (optimized, report, compiled)
-            }
-            Pipeline::Cmf => {
-                let (optimized, report) = f90y_transform::optimize_with_options(
-                    &nir,
-                    f90y_transform::OptimizeOptions::per_statement(),
-                )?;
-                let compiled = f90y_baselines::compile_baseline(&nir, Baseline::Cmf)?;
-                (optimized, report, compiled)
-            }
-            Pipeline::StarLisp => {
-                let (optimized, report) = f90y_transform::optimize_with_options(
-                    &nir,
-                    f90y_transform::OptimizeOptions::per_statement(),
-                )?;
-                let compiled = f90y_baselines::compile_baseline(&nir, Baseline::StarLisp)?;
-                (optimized, report, compiled)
-            }
-        };
-        Ok(Executable { pipeline: self.pipeline, nir, optimized, report, compiled })
+        self.compile_with(source, &mut Telemetry::disabled())
     }
+
+    /// [`Compiler::compile`] with telemetry: every stage runs inside a
+    /// span, and each stage's characteristic counters land in `tel`
+    /// (see DESIGN.md "Observability" for the glossary). With a
+    /// disabled collector this is exactly [`Compiler::compile`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiler::compile`].
+    pub fn compile_with(
+        &self,
+        source: &str,
+        tel: &mut Telemetry,
+    ) -> Result<Executable, CompileError> {
+        let whole = tel.start("compile");
+
+        let span = tel.start("compile.frontend.parse");
+        let file = f90y_frontend::parse_file(source)?;
+        tel.finish(span);
+        if tel.is_enabled() {
+            // Re-lexing costs a second scan, but only when someone is
+            // listening; the parse above already proved it lexes.
+            if let Ok(tokens) = f90y_frontend::lexer::lex(source) {
+                tel.count("frontend.tokens", tokens.len() as u64);
+            }
+            tel.count("frontend.ast_stmts", ast_stmt_count(&file) as u64);
+            tel.count("frontend.ast_decls", ast_decl_count(&file) as u64);
+        }
+
+        let span = tel.start("compile.lowering");
+        let nir = f90y_lowering::lower_file(&file)?;
+        tel.finish(span);
+
+        let span = tel.start("compile.transform");
+        let (optimized, report) = match self.pipeline {
+            Pipeline::F90y => f90y_transform::optimize_with_report(&nir)?,
+            Pipeline::Cmf | Pipeline::StarLisp => f90y_transform::optimize_with_options(
+                &nir,
+                f90y_transform::OptimizeOptions::per_statement(),
+            )?,
+        };
+        tel.finish(span);
+        if tel.is_enabled() {
+            tel.count("transform.moves_before", report.moves_before as u64);
+            tel.count("transform.moves_after", report.moves_after as u64);
+            tel.count("transform.comm_temps", report.comm_temps as u64);
+            tel.count("transform.masked_pads", report.masked_pads as u64);
+            tel.count("transform.blocking_swaps", report.swaps as u64);
+            tel.count("transform.blocks_after", report.blocks_after as u64);
+            tel.count("transform.clauses_after", report.clauses_after as u64);
+        }
+
+        let span = tel.start("compile.backend");
+        let compiled = match self.pipeline {
+            Pipeline::F90y => f90y_backend::compile(&optimized)?,
+            Pipeline::Cmf => f90y_baselines::compile_baseline(&nir, Baseline::Cmf)?,
+            Pipeline::StarLisp => f90y_baselines::compile_baseline(&nir, Baseline::StarLisp)?,
+        };
+        tel.finish(span);
+        if tel.is_enabled() {
+            let pe = compiled.pe_stats();
+            tel.count("backend.pe.dead_ops_removed", pe.dead_ops_removed as u64);
+            tel.count("backend.pe.madds_fused", pe.madds_fused as u64);
+            tel.count("backend.pe.loads_chained", pe.loads_chained as u64);
+            tel.count("backend.pe.spill_stores", pe.spill_stores as u64);
+            tel.count("backend.pe.spill_loads", pe.spill_loads as u64);
+            tel.count("backend.pe.instructions", pe.instructions as u64);
+            tel.gauge_max("backend.pe.vreg_pressure", pe.vregs_used as f64);
+            tel.count("backend.node_blocks", compiled.blocks.len() as u64);
+            tel.count("backend.host_stmts", host_stmt_count(&compiled.host) as u64);
+        }
+
+        tel.finish(whole);
+        Ok(Executable {
+            pipeline: self.pipeline,
+            nir,
+            optimized,
+            report,
+            compiled,
+        })
+    }
+}
+
+/// Executable statements in a parsed file (main program plus
+/// subroutines), top level only — a size signal, not a deep node count.
+fn ast_stmt_count(file: &SourceFile) -> usize {
+    file.program.stmts.len()
+        + file
+            .subroutines
+            .iter()
+            .map(|s| s.stmts.len())
+            .sum::<usize>()
+}
+
+fn ast_decl_count(file: &SourceFile) -> usize {
+    file.program.decls.len()
+}
+
+/// Host-program statements, counted through every nesting level — the
+/// host half of the paper's host/node split.
+fn host_stmt_count(stmts: &[f90y_backend::HostStmt]) -> usize {
+    use f90y_backend::HostStmt;
+    stmts
+        .iter()
+        .map(|s| match s {
+            HostStmt::Do { body, .. }
+            | HostStmt::While { body, .. }
+            | HostStmt::WithDecl { body, .. }
+            | HostStmt::WithDomain { body, .. } => 1 + host_stmt_count(body),
+            HostStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => 1 + host_stmt_count(then_body) + host_stmt_count(else_body),
+            HostStmt::Dispatch(_) | HostStmt::Comm { .. } | HostStmt::HostMove(_) => 1,
+        })
+        .sum()
 }
 
 /// A compiled program plus everything the harnesses want to inspect.
@@ -204,15 +298,51 @@ impl Executable {
         self.run_on(&mut cm)
     }
 
+    /// [`Executable::run`] with telemetry (see
+    /// [`Executable::run_on_with`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Executable::run`].
+    pub fn run_with(&self, nodes: usize, tel: &mut Telemetry) -> Result<RunReport, CompileError> {
+        let mut cm = self.pipeline.machine(nodes);
+        self.run_on_with(&mut cm, tel)
+    }
+
     /// Run on an existing machine (stats accumulate).
     ///
     /// # Errors
     ///
     /// Fails on any dynamic error during host execution.
     pub fn run_on(&self, cm: &mut Cm2) -> Result<RunReport, CompileError> {
+        self.run_on_with(cm, &mut Telemetry::disabled())
+    }
+
+    /// [`Executable::run_on`] with telemetry: the execution runs inside
+    /// a `run` span, the run's cycle/flop deltas land as `sim.*`
+    /// counters, and — with a recording collector — the machine's
+    /// per-phase cycle profile is enabled for the run and lands as
+    /// `sim.phase.<tag>.*` counters whose sums equal the `sim.*`
+    /// category totals exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executable::run_on`].
+    pub fn run_on_with(
+        &self,
+        cm: &mut Cm2,
+        tel: &mut Telemetry,
+    ) -> Result<RunReport, CompileError> {
+        if tel.is_enabled() {
+            // A fresh profile for this run, so phase sums equal the
+            // stats delta reported below.
+            cm.enable_profile();
+        }
+        let span = tel.start("run");
         let before = cm.stats();
         let finals = HostExecutor::new(cm).run(&self.compiled)?;
         let after = cm.stats();
+        tel.finish(span);
         let stats = MachineStats {
             compute_cycles: after.compute_cycles - before.compute_cycles,
             comm_cycles: after.comm_cycles - before.comm_cycles,
@@ -224,6 +354,34 @@ impl Executable {
             comm_calls: after.comm_calls - before.comm_calls,
             reductions: after.reductions - before.reductions,
         };
+        if tel.is_enabled() {
+            tel.count("sim.compute_cycles", stats.compute_cycles);
+            tel.count("sim.comm_cycles", stats.comm_cycles);
+            tel.count(
+                "sim.dispatch_overhead_cycles",
+                stats.dispatch_overhead_cycles,
+            );
+            tel.count("sim.host_cycles", stats.host_cycles);
+            tel.count("sim.flops", stats.flops);
+            tel.count("sim.dispatches", stats.dispatches);
+            tel.count("sim.comm_calls", stats.comm_calls);
+            tel.count("sim.reductions", stats.reductions);
+            if let Some(profile) = cm.profile() {
+                for (phase, cycles) in profile.phases() {
+                    let categories = [
+                        ("compute_cycles", cycles.compute_cycles),
+                        ("comm_cycles", cycles.comm_cycles),
+                        ("dispatch_overhead_cycles", cycles.dispatch_overhead_cycles),
+                        ("host_cycles", cycles.host_cycles),
+                    ];
+                    for (category, value) in categories {
+                        if value > 0 {
+                            tel.count(&format!("sim.phase.{phase}.{category}"), value);
+                        }
+                    }
+                }
+            }
+        }
         let clock = cm.config().clock_hz;
         Ok(RunReport {
             gflops: stats.gflops(clock),
@@ -243,8 +401,7 @@ impl Executable {
     /// Fails if any value disagrees, or on dynamic errors.
     pub fn validate(&self) -> Result<(), CompileError> {
         let mut ev = f90y_nir::eval::Evaluator::new();
-        ev.run(&self.nir)
-            .map_err(CompileError::Transform)?;
+        ev.run(&self.nir).map_err(CompileError::Transform)?;
         let run = self.run(16)?;
         for (name, value) in run.finals.finals() {
             // Transformation-introduced temporaries have no counterpart
@@ -254,29 +411,21 @@ impl Executable {
             }
             match value {
                 f90y_backend::fe::Final::Array(got) => {
-                    let expect = ev
-                        .final_array_f64(name)
-                        .map_err(CompileError::Transform)?;
+                    let expect = ev.final_array_f64(name).map_err(CompileError::Transform)?;
                     for (i, (e, g)) in expect.iter().zip(got).enumerate() {
                         if (e - g).abs() > 1e-9 * e.abs().max(1.0) {
-                            return Err(CompileError::Backend(
-                                f90y_backend::BackendError::Host(format!(
-                                    "validation failed: {name}[{i}] evaluator={e} machine={g}"
-                                )),
-                            ));
+                            return Err(CompileError::Backend(f90y_backend::BackendError::Host(
+                                format!("validation failed: {name}[{i}] evaluator={e} machine={g}"),
+                            )));
                         }
                     }
                 }
                 f90y_backend::fe::Final::Scalar(got) => {
-                    let expect = ev
-                        .final_scalar_f64(name)
-                        .map_err(CompileError::Transform)?;
+                    let expect = ev.final_scalar_f64(name).map_err(CompileError::Transform)?;
                     if (expect - got).abs() > 1e-9 * expect.abs().max(1.0) {
-                        return Err(CompileError::Backend(
-                            f90y_backend::BackendError::Host(format!(
-                                "validation failed: {name} evaluator={expect} machine={got}"
-                            )),
-                        ));
+                        return Err(CompileError::Backend(f90y_backend::BackendError::Host(
+                            format!("validation failed: {name} evaluator={expect} machine={got}"),
+                        )));
                     }
                 }
             }
@@ -310,7 +459,12 @@ mod tests {
             .compile("INTEGER K(64,64)\nK = 2*K + 5\n")
             .unwrap();
         let run = exe.run(64).unwrap();
-        assert!(run.finals.final_array("k").unwrap().iter().all(|&x| x == 5.0));
+        assert!(run
+            .finals
+            .final_array("k")
+            .unwrap()
+            .iter()
+            .all(|&x| x == 5.0));
         assert!(run.gflops > 0.0);
     }
 

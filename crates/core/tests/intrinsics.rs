@@ -4,7 +4,9 @@
 use f90y_core::{Compiler, Pipeline};
 
 fn validate(src: &str) -> f90y_core::RunReport {
-    let exe = Compiler::new(Pipeline::F90y).compile(src).expect("compiles");
+    let exe = Compiler::new(Pipeline::F90y)
+        .compile(src)
+        .expect("compiles");
     exe.validate().expect("matches the reference evaluator");
     exe.run(16).expect("runs")
 }
@@ -47,7 +49,11 @@ fn merge_with_scalar_branches() {
     );
     let s = run.finals.final_array("s").unwrap();
     for (i, &v) in s.iter().enumerate() {
-        let expect = if (i as f64 + 1.0) - 6.0 >= 0.0 { 1.0 } else { -1.0 };
+        let expect = if (i as f64 + 1.0) - 6.0 >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        };
         assert_eq!(v, expect, "S({})", i + 1);
     }
 }
@@ -175,13 +181,25 @@ fn spread_replicates_along_a_new_axis() {
     let m1 = run.finals.final_array("m1").unwrap();
     for r in 0..3 {
         for c in 0..4usize {
-            assert_eq!(m1[r * 4 + c], ((c + 1) * (c + 1)) as f64, "m1({},{})", r + 1, c + 1);
+            assert_eq!(
+                m1[r * 4 + c],
+                ((c + 1) * (c + 1)) as f64,
+                "m1({},{})",
+                r + 1,
+                c + 1
+            );
         }
     }
     let m2 = run.finals.final_array("m2").unwrap();
     for r in 0..4usize {
         for c in 0..3 {
-            assert_eq!(m2[r * 3 + c], ((r + 1) * (r + 1)) as f64, "m2({},{})", r + 1, c + 1);
+            assert_eq!(
+                m2[r * 3 + c],
+                ((r + 1) * (r + 1)) as f64,
+                "m2({},{})",
+                r + 1,
+                c + 1
+            );
         }
     }
 }
@@ -234,7 +252,11 @@ fn redblack_workload_validates_and_uses_masked_moves() {
     exe.validate().unwrap();
     // The strided half-sweeps must pad to masked full-array moves
     // (Fig. 10 machinery in a real kernel).
-    assert!(exe.report.masked_pads >= 2, "pads: {}", exe.report.masked_pads);
+    assert!(
+        exe.report.masked_pads >= 2,
+        "pads: {}",
+        exe.report.masked_pads
+    );
     let sel = exe
         .compiled
         .blocks
@@ -283,6 +305,11 @@ fn logical_scalars_and_literals() {
         flag = .NOT. flag
         ",
     );
-    assert!(run.finals.final_array("a").unwrap().iter().all(|&x| x == 1.0));
+    assert!(run
+        .finals
+        .final_array("a")
+        .unwrap()
+        .iter()
+        .all(|&x| x == 1.0));
     assert_eq!(run.finals.final_scalar("flag").unwrap(), 0.0);
 }

@@ -4,7 +4,9 @@
 use f90y_core::{Compiler, Pipeline};
 
 fn validate(src: &str) -> f90y_core::RunReport {
-    let exe = Compiler::new(Pipeline::F90y).compile(src).expect("compiles");
+    let exe = Compiler::new(Pipeline::F90y)
+        .compile(src)
+        .expect("compiles");
     exe.validate().expect("matches the reference evaluator");
     exe.run(16).expect("runs")
 }

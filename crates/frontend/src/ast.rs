@@ -138,7 +138,11 @@ pub enum Subscript {
 impl Subscript {
     /// The full-axis section `:`.
     pub fn all() -> Subscript {
-        Subscript::Triplet { lo: None, hi: None, step: None }
+        Subscript::Triplet {
+            lo: None,
+            hi: None,
+            step: None,
+        }
     }
 
     /// `true` for a triplet subscript.

@@ -79,7 +79,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn span(&self) -> Span {
-        Span { line: self.line, col: self.col }
+        Span {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn push(&mut self, kind: TokenKind, span: Span) {
@@ -511,7 +514,15 @@ mod tests {
         // `1.eq.2` must lex as 1 .eq. 2, not real 1. followed by garbage.
         assert_eq!(
             kinds("x = 1.eq.2"),
-            vec![Ident("x".into()), Assign, IntLit(1), Eq, IntLit(2), Newline, Eof]
+            vec![
+                Ident("x".into()),
+                Assign,
+                IntLit(1),
+                Eq,
+                IntLit(2),
+                Newline,
+                Eof
+            ]
         );
     }
 
@@ -553,12 +564,28 @@ mod tests {
     fn continuation_joins_lines() {
         assert_eq!(
             kinds("x = 1 + &\n    2"),
-            vec![Ident("x".into()), Assign, IntLit(1), Plus, IntLit(2), Newline, Eof]
+            vec![
+                Ident("x".into()),
+                Assign,
+                IntLit(1),
+                Plus,
+                IntLit(2),
+                Newline,
+                Eof
+            ]
         );
         // With leading '&' on the continued line.
         assert_eq!(
             kinds("x = 1 + &\n  & 2"),
-            vec![Ident("x".into()), Assign, IntLit(1), Plus, IntLit(2), Newline, Eof]
+            vec![
+                Ident("x".into()),
+                Assign,
+                IntLit(1),
+                Plus,
+                IntLit(2),
+                Newline,
+                Eof
+            ]
         );
     }
 

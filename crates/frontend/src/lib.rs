@@ -39,8 +39,8 @@ pub mod parser;
 pub mod token;
 
 pub use ast::{
-    BaseType, DataRef, DimSpec, Entity, Expr, ProgramUnit, SourceFile, Stmt, Subroutine,
-    Subscript, TypeDecl,
+    BaseType, DataRef, DimSpec, Entity, Expr, ProgramUnit, SourceFile, Stmt, Subroutine, Subscript,
+    TypeDecl,
 };
 pub use lexer::LexError;
 pub use parser::{parse, parse_file, ParseError};

@@ -4,8 +4,8 @@ use std::error::Error;
 use std::fmt;
 
 use crate::ast::{
-    BaseType, BinOpAst, DataRef, DimSpec, Entity, Expr, ProgramUnit, SourceFile, Stmt,
-    Subroutine, Subscript, TypeDecl, UnOpAst,
+    BaseType, BinOpAst, DataRef, DimSpec, Entity, Expr, ProgramUnit, SourceFile, Stmt, Subroutine,
+    Subscript, TypeDecl, UnOpAst,
 };
 use crate::lexer::{lex, LexError};
 use crate::token::{Span, Token, TokenKind};
@@ -29,7 +29,10 @@ impl Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, span: e.span }
+        ParseError {
+            message: e.message,
+            span: e.span,
+        }
     }
 }
 
@@ -62,7 +65,11 @@ pub fn parse(source: &str) -> Result<ProgramUnit, ParseError> {
 /// syntactic error.
 pub fn parse_file(source: &str) -> Result<SourceFile, ParseError> {
     let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0, last_closed_label: None };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        last_closed_label: None,
+    };
     p.parse_source_file()
 }
 
@@ -116,7 +123,10 @@ impl Parser {
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { message, span: self.span() }
+        ParseError {
+            message,
+            span: self.span(),
+        }
     }
 
     fn skip_newlines(&mut self) {
@@ -150,9 +160,7 @@ impl Parser {
                 TokenKind::KwSubroutine => subroutines.push(self.parse_subroutine()?),
                 _ => {
                     if program.is_some() {
-                        return Err(self.error(
-                            "only one main program per source file".into(),
-                        ));
+                        return Err(self.error("only one main program per source file".into()));
                     }
                     program = Some(self.parse_unit()?);
                 }
@@ -162,7 +170,10 @@ impl Parser {
             message: "source file has no main program".into(),
             span: Span::default(),
         })?;
-        Ok(SourceFile { program, subroutines })
+        Ok(SourceFile {
+            program,
+            subroutines,
+        })
     }
 
     fn parse_subroutine(&mut self) -> Result<Subroutine, ParseError> {
@@ -170,28 +181,25 @@ impl Parser {
         self.expect(&TokenKind::KwSubroutine)?;
         let name = match self.bump() {
             TokenKind::Ident(n) => n,
-            other => {
-                return Err(self.error(format!("expected subroutine name, found {other}")))
-            }
+            other => return Err(self.error(format!("expected subroutine name, found {other}"))),
         };
         let mut params = Vec::new();
-        if self.eat(&TokenKind::LParen)
-            && !self.eat(&TokenKind::RParen) {
-                loop {
-                    match self.bump() {
-                        TokenKind::Ident(p) => params.push(p),
-                        other => {
-                            return Err(self.error(format!(
-                                "expected dummy-argument name, found {other}"
-                            )))
-                        }
-                    }
-                    if !self.eat(&TokenKind::Comma) {
-                        break;
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            loop {
+                match self.bump() {
+                    TokenKind::Ident(p) => params.push(p),
+                    other => {
+                        return Err(
+                            self.error(format!("expected dummy-argument name, found {other}"))
+                        )
                     }
                 }
-                self.expect(&TokenKind::RParen)?;
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
             }
+            self.expect(&TokenKind::RParen)?;
+        }
         self.end_statement()?;
         self.skip_newlines();
 
@@ -209,7 +217,13 @@ impl Parser {
             self.bump();
         }
         self.end_statement()?;
-        Ok(Subroutine { name, params, decls, stmts, span })
+        Ok(Subroutine {
+            name,
+            params,
+            decls,
+            stmts,
+            span,
+        })
     }
 
     fn parse_unit(&mut self) -> Result<ProgramUnit, ParseError> {
@@ -245,16 +259,16 @@ impl Parser {
 
     fn at_unit_end(&self) -> bool {
         matches!(self.peek(), TokenKind::KwEnd | TokenKind::Eof)
-            && !matches!(self.peek_at(1), TokenKind::KwDo | TokenKind::KwIf | TokenKind::KwWhere)
+            && !matches!(
+                self.peek_at(1),
+                TokenKind::KwDo | TokenKind::KwIf | TokenKind::KwWhere
+            )
     }
 
     fn at_decl_start(&self) -> bool {
         matches!(
             self.peek(),
-            TokenKind::KwInteger
-                | TokenKind::KwReal
-                | TokenKind::KwDouble
-                | TokenKind::KwLogical
+            TokenKind::KwInteger | TokenKind::KwReal | TokenKind::KwDouble | TokenKind::KwLogical
         )
     }
 
@@ -287,9 +301,7 @@ impl Parser {
                     self.expect(&TokenKind::RParen)?;
                 }
                 TokenKind::KwParameter => parameter = true,
-                other => {
-                    return Err(self.error(format!("unknown declaration attribute {other}")))
-                }
+                other => return Err(self.error(format!("unknown declaration attribute {other}"))),
             }
         }
         self.eat(&TokenKind::DoubleColon);
@@ -318,7 +330,13 @@ impl Parser {
             }
         }
         self.end_statement()?;
-        Ok(TypeDecl { base, dimension, parameter, entities, span })
+        Ok(TypeDecl {
+            base,
+            dimension,
+            parameter,
+            entities,
+            span,
+        })
     }
 
     fn parse_dim_specs(&mut self) -> Result<Vec<DimSpec>, ParseError> {
@@ -412,16 +430,15 @@ impl Parser {
                     }
                 };
                 let mut args = Vec::new();
-                if self.eat(&TokenKind::LParen)
-                    && !self.eat(&TokenKind::RParen) {
-                        loop {
-                            args.push(self.parse_expr()?);
-                            if !self.eat(&TokenKind::Comma) {
-                                break;
-                            }
+                if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+                    loop {
+                        args.push(self.parse_expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
                         }
-                        self.expect(&TokenKind::RParen)?;
                     }
+                    self.expect(&TokenKind::RParen)?;
+                }
                 self.end_statement()?;
                 Ok(Stmt::Call { name, args, span })
             }
@@ -476,14 +493,20 @@ impl Parser {
             Some(l) => self.parse_do_labelled(l)?,
             None => self.parse_block_until_enddo()?,
         };
-        Ok(Stmt::Do { var, lo, hi, step, body, span })
+        Ok(Stmt::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            span,
+        })
     }
 
     fn parse_block_until_enddo(&mut self) -> Result<Vec<Stmt>, ParseError> {
         let body = self.parse_stmt_list(&mut |p| {
             matches!(p.peek(), TokenKind::KwEnddo)
-                || (matches!(p.peek(), TokenKind::KwEnd)
-                    && matches!(p.peek_at(1), TokenKind::KwDo))
+                || (matches!(p.peek(), TokenKind::KwEnd) && matches!(p.peek_at(1), TokenKind::KwDo))
         })?;
         if self.eat(&TokenKind::KwEnddo) {
         } else {
@@ -538,9 +561,7 @@ impl Parser {
         loop {
             let name = match self.bump() {
                 TokenKind::Ident(n) => n,
-                other => {
-                    return Err(self.error(format!("expected FORALL index, found {other}")))
-                }
+                other => return Err(self.error(format!("expected FORALL index, found {other}"))),
             };
             self.expect(&TokenKind::Assign)?;
             let lo = self.parse_expr()?;
@@ -559,7 +580,11 @@ impl Parser {
         self.expect(&TokenKind::RParen)?;
         let span2 = self.span();
         let assign = self.parse_assignment(span2)?;
-        Ok(Stmt::Forall { triplets, assign: Box::new(assign), span })
+        Ok(Stmt::Forall {
+            triplets,
+            assign: Box::new(assign),
+            span,
+        })
     }
 
     fn parse_where(&mut self, span: Span) -> Result<Stmt, ParseError> {
@@ -599,7 +624,12 @@ impl Parser {
             self.expect(&TokenKind::KwWhere)?;
         }
         self.end_statement()?;
-        Ok(Stmt::Where { mask, then_body, else_body, span })
+        Ok(Stmt::Where {
+            mask,
+            then_body,
+            else_body,
+            span,
+        })
     }
 
     fn parse_if(&mut self, span: Span) -> Result<Stmt, ParseError> {
@@ -629,8 +659,8 @@ impl Parser {
             })?;
             arms.push((current_cond.clone(), body));
             let is_elseif_word = matches!(self.peek(), TokenKind::Ident(s) if s == "elseif");
-            if is_elseif_word || (self.peek() == &TokenKind::KwElse
-                && self.peek_at(1) == &TokenKind::KwIf)
+            if is_elseif_word
+                || (self.peek() == &TokenKind::KwElse && self.peek_at(1) == &TokenKind::KwIf)
             {
                 if is_elseif_word {
                     self.bump();
@@ -661,7 +691,11 @@ impl Parser {
             self.expect(&TokenKind::KwIf)?;
         }
         self.end_statement()?;
-        Ok(Stmt::If { arms, else_body, span })
+        Ok(Stmt::If {
+            arms,
+            else_body,
+            span,
+        })
     }
 
     // -----------------------------------------------------------------
@@ -949,11 +983,11 @@ mod tests {
 
     #[test]
     fn forall_parses() {
-        let unit = parse_ok(
-            "INTEGER, ARRAY(32,32) :: A\nFORALL (i=1:32, j=1:32) A(i,j) = i+j\n",
-        );
+        let unit = parse_ok("INTEGER, ARRAY(32,32) :: A\nFORALL (i=1:32, j=1:32) A(i,j) = i+j\n");
         match &unit.stmts[0] {
-            Stmt::Forall { triplets, assign, .. } => {
+            Stmt::Forall {
+                triplets, assign, ..
+            } => {
                 assert_eq!(triplets.len(), 2);
                 assert_eq!(triplets[0].0, "i");
                 assert!(matches!(&**assign, Stmt::Assign { .. }));
@@ -975,7 +1009,11 @@ mod tests {
             ",
         );
         match &unit.stmts[0] {
-            Stmt::Where { then_body, else_body, .. } => {
+            Stmt::Where {
+                then_body,
+                else_body,
+                ..
+            } => {
                 assert_eq!(then_body.len(), 1);
                 assert_eq!(else_body.len(), 1);
             }
@@ -1004,7 +1042,9 @@ mod tests {
             ",
         );
         match &unit.stmts[0] {
-            Stmt::If { arms, else_body, .. } => {
+            Stmt::If {
+                arms, else_body, ..
+            } => {
                 assert_eq!(arms.len(), 2);
                 assert_eq!(else_body.len(), 1);
             }
@@ -1052,9 +1092,7 @@ mod tests {
 
     #[test]
     fn cshift_call_with_keywords_parses() {
-        let unit = parse_ok(
-            "REAL v(16), z(16)\nz = v - CSHIFT(v, DIM=1, SHIFT=-1)\n",
-        );
+        let unit = parse_ok("REAL v(16), z(16)\nz = v - CSHIFT(v, DIM=1, SHIFT=-1)\n");
         match &unit.stmts[0] {
             Stmt::Assign { rhs, .. } => {
                 // RHS is v - cshift(...)
@@ -1077,10 +1115,7 @@ mod tests {
             ",
         );
         assert_eq!(unit.decls.len(), 5);
-        assert_eq!(
-            unit.decls[0].dimension.as_ref().map(|d| d.len()),
-            Some(2)
-        );
+        assert_eq!(unit.decls[0].dimension.as_ref().map(|d| d.len()), Some(2));
         assert_eq!(unit.decls[1].base, BaseType::DoublePrecision);
         assert!(unit.decls[2].entities[0].init.is_some());
         assert_eq!(

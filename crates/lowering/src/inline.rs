@@ -46,11 +46,19 @@ pub fn inline_file(file: &SourceFile) -> Result<ProgramUnit, LowerError> {
         });
     }
     let caller_dims = dims_of(&file.program.decls);
-    let mut ctx = InlineCtx { subs, counter: 0, extra_decls: Vec::new() };
+    let mut ctx = InlineCtx {
+        subs,
+        counter: 0,
+        extra_decls: Vec::new(),
+    };
     let stmts = ctx.expand_stmts(&file.program.stmts, &caller_dims, 0)?;
     let mut decls = file.program.decls.clone();
     decls.extend(ctx.extra_decls);
-    Ok(ProgramUnit { name: file.program.name.clone(), decls, stmts })
+    Ok(ProgramUnit {
+        name: file.program.name.clone(),
+        decls,
+        stmts,
+    })
 }
 
 /// Per-entity declared dims (`None` = scalar) for binding checks.
@@ -102,7 +110,14 @@ impl<'a> InlineCtx<'a> {
             Stmt::Call { name, args, span } => {
                 self.expand_call(name, args, *span, caller_dims, depth, out)
             }
-            Stmt::Do { var, lo, hi, step, body, span } => {
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                span,
+            } => {
                 let body = self.expand_stmts(body, caller_dims, depth)?;
                 out.push(Stmt::Do {
                     var: var.clone(),
@@ -116,21 +131,36 @@ impl<'a> InlineCtx<'a> {
             }
             Stmt::DoWhile { cond, body, span } => {
                 let body = self.expand_stmts(body, caller_dims, depth)?;
-                out.push(Stmt::DoWhile { cond: cond.clone(), body, span: *span });
+                out.push(Stmt::DoWhile {
+                    cond: cond.clone(),
+                    body,
+                    span: *span,
+                });
                 Ok(())
             }
-            Stmt::If { arms, else_body, span } => {
+            Stmt::If {
+                arms,
+                else_body,
+                span,
+            } => {
                 let arms = arms
                     .iter()
-                    .map(|(c, b)| {
-                        Ok((c.clone(), self.expand_stmts(b, caller_dims, depth)?))
-                    })
+                    .map(|(c, b)| Ok((c.clone(), self.expand_stmts(b, caller_dims, depth)?)))
                     .collect::<Result<_, LowerError>>()?;
                 let else_body = self.expand_stmts(else_body, caller_dims, depth)?;
-                out.push(Stmt::If { arms, else_body, span: *span });
+                out.push(Stmt::If {
+                    arms,
+                    else_body,
+                    span: *span,
+                });
                 Ok(())
             }
-            Stmt::Where { mask, then_body, else_body, span } => {
+            Stmt::Where {
+                mask,
+                then_body,
+                else_body,
+                span,
+            } => {
                 let then_body = self.expand_stmts(then_body, caller_dims, depth)?;
                 let else_body = self.expand_stmts(else_body, caller_dims, depth)?;
                 out.push(Stmt::Where {
@@ -190,7 +220,11 @@ impl<'a> InlineCtx<'a> {
                 span: sub.span,
             })?;
             match actual {
-                Expr::Ref(DataRef { name: aname, subs: None, .. }) => {
+                Expr::Ref(DataRef {
+                    name: aname,
+                    subs: None,
+                    ..
+                }) => {
                     // Variable actual: by reference. Array dummies need
                     // matching declared bounds.
                     let actual_dims =
@@ -257,7 +291,11 @@ impl<'a> InlineCtx<'a> {
                     // Declare with the dummy's type.
                     self.push_decl_for(sub, formal, &fresh, span)?;
                     out.push(Stmt::Assign {
-                        lhs: DataRef { name: fresh.clone(), subs: None, span },
+                        lhs: DataRef {
+                            name: fresh.clone(),
+                            subs: None,
+                            span,
+                        },
                         rhs: expr.clone(),
                         span,
                     });
@@ -314,10 +352,7 @@ impl<'a> InlineCtx<'a> {
             }
         }
         Err(LowerError {
-            message: format!(
-                "'{}' uses undeclared name '{original}'",
-                sub.name
-            ),
+            message: format!("'{}' uses undeclared name '{original}'", sub.name),
             span: sub.span,
         })
     }
@@ -334,20 +369,29 @@ fn written_names(stmts: &[Stmt]) -> std::collections::HashSet<String> {
                     out.insert(lhs.name.clone());
                 }
                 Stmt::Do { body, .. } | Stmt::DoWhile { body, .. } => walk(body, out),
-                Stmt::If { arms, else_body, .. } => {
+                Stmt::If {
+                    arms, else_body, ..
+                } => {
                     for (_, b) in arms {
                         walk(b, out);
                     }
                     walk(else_body, out);
                 }
-                Stmt::Where { then_body, else_body, .. } => {
+                Stmt::Where {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     walk(then_body, out);
                     walk(else_body, out);
                 }
                 Stmt::Forall { assign, .. } => walk(std::slice::from_ref(assign), out),
                 Stmt::Call { args, .. } => {
                     for a in args {
-                        if let Expr::Ref(DataRef { name, subs: None, .. }) = a {
+                        if let Expr::Ref(DataRef {
+                            name, subs: None, ..
+                        }) = a
+                        {
                             out.insert(name.clone());
                         }
                     }
@@ -407,7 +451,14 @@ fn subst_stmt(s: &Stmt, map: &HashMap<String, String>) -> Stmt {
             rhs: subst_expr(rhs, map),
             span: *span,
         },
-        Stmt::Do { var, lo, hi, step, body, span } => Stmt::Do {
+        Stmt::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            span,
+        } => Stmt::Do {
             var: subst_name(var, map),
             lo: subst_expr(lo, map),
             hi: subst_expr(hi, map),
@@ -420,7 +471,11 @@ fn subst_stmt(s: &Stmt, map: &HashMap<String, String>) -> Stmt {
             body: body.iter().map(|b| subst_stmt(b, map)).collect(),
             span: *span,
         },
-        Stmt::Forall { triplets, assign, span } => Stmt::Forall {
+        Stmt::Forall {
+            triplets,
+            assign,
+            span,
+        } => Stmt::Forall {
             triplets: triplets
                 .iter()
                 .map(|(n, lo, hi, st)| {
@@ -435,13 +490,22 @@ fn subst_stmt(s: &Stmt, map: &HashMap<String, String>) -> Stmt {
             assign: Box::new(subst_stmt(assign, map)),
             span: *span,
         },
-        Stmt::Where { mask, then_body, else_body, span } => Stmt::Where {
+        Stmt::Where {
+            mask,
+            then_body,
+            else_body,
+            span,
+        } => Stmt::Where {
             mask: subst_expr(mask, map),
             then_body: then_body.iter().map(|b| subst_stmt(b, map)).collect(),
             else_body: else_body.iter().map(|b| subst_stmt(b, map)).collect(),
             span: *span,
         },
-        Stmt::If { arms, else_body, span } => Stmt::If {
+        Stmt::If {
+            arms,
+            else_body,
+            span,
+        } => Stmt::If {
             arms: arms
                 .iter()
                 .map(|(c, b)| {

@@ -159,7 +159,11 @@ impl Lowerer {
     ///
     /// Fails on duplicate declarations.
     pub fn new(unit: &ProgramUnit) -> Result<Self, LowerError> {
-        let mut lw = Lowerer { symbols: HashMap::new(), domains: Vec::new(), fresh: 0 };
+        let mut lw = Lowerer {
+            symbols: HashMap::new(),
+            domains: Vec::new(),
+            fresh: 0,
+        };
         for d in &unit.decls {
             lw.declare(d)?;
         }
@@ -205,10 +209,13 @@ impl Lowerer {
             let dims = e.dims.as_ref().or(d.dimension.as_ref());
             let sym = match dims {
                 Some(specs) => {
-                    let bounds: Vec<(i64, i64)> =
-                        specs.iter().map(|s| (s.lo, s.hi)).collect();
+                    let bounds: Vec<(i64, i64)> = specs.iter().map(|s| (s.lo, s.hi)).collect();
                     let domain = self.domain_for(&bounds);
-                    Sym::Array { domain, elem, bounds }
+                    Sym::Array {
+                        domain,
+                        elem,
+                        bounds,
+                    }
                 }
                 None => Sym::Scalar(elem),
             };
@@ -232,10 +239,9 @@ impl Lowerer {
     pub fn lower_type(&self, name: &str) -> Option<Type> {
         match self.symbols.get(name)? {
             Sym::Scalar(s) | Sym::WhileVar(s) => Some(Type::Scalar(*s)),
-            Sym::Array { domain, elem, .. } => Some(Type::dfield(
-                Shape::domain(domain),
-                Type::Scalar(*elem),
-            )),
+            Sym::Array { domain, elem, .. } => {
+                Some(Type::dfield(Shape::domain(domain), Type::Scalar(*elem)))
+            }
             Sym::LoopIndex { .. } | Sym::ForallIndex { .. } => {
                 Some(Type::Scalar(ScalarType::Integer32))
             }
@@ -261,9 +267,7 @@ impl Lowerer {
         for d in &unit.decls {
             let elem = Self::lower_base_type(d.base);
             for e in &d.entities {
-                let ty = self
-                    .lower_type(&e.name)
-                    .expect("declared in constructor");
+                let ty = self.lower_type(&e.name).expect("declared in constructor");
                 match &e.init {
                     Some(init) => {
                         let v = self.lower_expr_in(init, &HashMap::new())?;
@@ -314,7 +318,11 @@ impl Lowerer {
         match stmt {
             Stmt::Continue { .. } => Ok(Imp::Skip),
             Stmt::Assign { lhs, rhs, span } => self.lower_assign(lhs, rhs, *span, None),
-            Stmt::If { arms, else_body, span } => {
+            Stmt::If {
+                arms,
+                else_body,
+                span,
+            } => {
                 let mut lowered = self.lower_body(else_body)?;
                 for (cond, body) in arms.iter().rev() {
                     let c = self.lower_expr(cond, *span)?;
@@ -328,15 +336,25 @@ impl Lowerer {
                 let b = self.lower_body(body)?;
                 Ok(Imp::While(c, Box::new(b)))
             }
-            Stmt::Do { var, lo, hi, step, body, span } => {
-                self.lower_do(var, lo, hi, step.as_ref(), body, *span)
-            }
-            Stmt::Forall { triplets, assign, span } => {
-                self.lower_forall(triplets, assign, *span)
-            }
-            Stmt::Where { mask, then_body, else_body, span } => {
-                self.lower_where(mask, then_body, else_body, *span)
-            }
+            Stmt::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                span,
+            } => self.lower_do(var, lo, hi, step.as_ref(), body, *span),
+            Stmt::Forall {
+                triplets,
+                assign,
+                span,
+            } => self.lower_forall(triplets, assign, *span),
+            Stmt::Where {
+                mask,
+                then_body,
+                else_body,
+                span,
+            } => self.lower_where(mask, then_body, else_body, *span),
             Stmt::Call { name, span, .. } => Err(LowerError {
                 message: format!(
                     "CALL '{name}' reached lowering; use lower_file so subroutines inline"
@@ -381,8 +399,12 @@ impl Lowerer {
         if let (false, Some(lo), Some(hi), Some(1)) = (declared, lo_c, hi_c, step_const) {
             // Constant unit-stride DO: a serial shape, the transformable
             // form (paper Fig. 9 uses serial_interval domains).
-            self.symbols
-                .insert(var.to_string(), Sym::LoopIndex { domain: var.to_string() });
+            self.symbols.insert(
+                var.to_string(),
+                Sym::LoopIndex {
+                    domain: var.to_string(),
+                },
+            );
             let b = self.lower_body(body);
             self.symbols.remove(var);
             return Ok(Imp::Do(
@@ -481,9 +503,7 @@ impl Lowerer {
             let subs_match = lhs.subs.as_ref().is_some_and(|subs| {
                 subs.len() == triplets.len()
                     && subs.iter().zip(triplets).all(|(s, (name, ..))| match s {
-                        Subscript::Index(Expr::Ref(r)) => {
-                            r.subs.is_none() && r.name == *name
-                        }
+                        Subscript::Index(Expr::Ref(r)) => r.subs.is_none() && r.name == *name,
                         _ => false,
                     })
             });
@@ -493,7 +513,10 @@ impl Lowerer {
             for (dim, (name, ..)) in triplets.iter().enumerate() {
                 self.symbols.insert(
                     name.clone(),
-                    Sym::ForallIndex { shape: shape.clone(), dim: dim + 1 },
+                    Sym::ForallIndex {
+                        shape: shape.clone(),
+                        dim: dim + 1,
+                    },
                 );
             }
             let src = self.lower_expr(rhs, span);
@@ -530,8 +553,12 @@ impl Lowerer {
         }
         let dom = self.fresh_name("forall");
         for (dim, (name, ..)) in triplets.iter().enumerate() {
-            self.symbols
-                .insert(name.clone(), Sym::LoopIndex { domain: dom.clone() });
+            self.symbols.insert(
+                name.clone(),
+                Sym::LoopIndex {
+                    domain: dom.clone(),
+                },
+            );
             // Remember which axis this index names.
             if let Some(Sym::LoopIndex { .. }) = self.symbols.get(name) {
                 // Axis is recovered via position when lowering refs.
@@ -607,7 +634,10 @@ impl Lowerer {
         do_ctx: Option<(&str, &HashMap<String, usize>)>,
     ) -> Result<Imp, LowerError> {
         let axis_env = do_ctx.map(|(d, m)| (d.to_string(), m.clone()));
-        let axis_map = axis_env.as_ref().map(|(_, m)| m.clone()).unwrap_or_default();
+        let axis_map = axis_env
+            .as_ref()
+            .map(|(_, m)| m.clone())
+            .unwrap_or_default();
         let src = self.lower_expr_in(rhs, &axis_map)?;
         let dst = self.lower_lvalue(lhs, span, &axis_map)?;
         Ok(Imp::Move(vec![MoveClause::unmasked(dst, src)]))
@@ -858,9 +888,7 @@ impl Lowerer {
                 let dim = axis_map.get(&r.name).copied().unwrap_or(1);
                 Ok(Value::DoIndex(domain, dim))
             }
-            Some(Sym::ForallIndex { shape, dim }) => {
-                Ok(Value::LocalUnder(shape, dim))
-            }
+            Some(Sym::ForallIndex { shape, dim }) => Ok(Value::LocalUnder(shape, dim)),
             Some(Sym::Array { bounds, .. }) => {
                 let fa = self.lower_field_action(r, &bounds, r.span, axis_map)?;
                 Ok(Value::AVar(r.name.clone(), fa))
@@ -889,8 +917,7 @@ impl Lowerer {
                     if kw.name.ends_with('=') && kw.subs.as_ref().is_some_and(|x| x.len() == 1) =>
                 {
                     let key = kw.name.trim_end_matches('=').to_string();
-                    let Some(Subscript::Index(value)) =
-                        kw.subs.as_ref().and_then(|x| x.first())
+                    let Some(Subscript::Index(value)) = kw.subs.as_ref().and_then(|x| x.first())
                     else {
                         return Err(LowerError {
                             message: format!("malformed keyword argument '{key}'"),
@@ -911,10 +938,9 @@ impl Lowerer {
                 }
             }
         }
-        let arg =
-            |n: usize, key: &str, keywords: &mut HashMap<String, Value>| -> Option<Value> {
-                keywords.remove(key).or_else(|| positional.get(n).cloned())
-            };
+        let arg = |n: usize, key: &str, keywords: &mut HashMap<String, Value>| -> Option<Value> {
+            keywords.remove(key).or_else(|| positional.get(n).cloned())
+        };
         let int_ty = || Type::Scalar(ScalarType::Integer32);
         let f64_ty = || Type::Scalar(ScalarType::Float64);
         let name = r.name.as_str();
@@ -1018,10 +1044,7 @@ impl Lowerer {
                 let mut it = positional.into_iter();
                 let a = it.next().expect("len checked");
                 let b = it.next().expect("len checked");
-                Value::FcnCall(
-                    "sum".into(),
-                    vec![(f64_ty(), nb::mul(a, b))],
-                )
+                Value::FcnCall("sum".into(), vec![(f64_ty(), nb::mul(a, b))])
             }
             "sin" | "cos" | "sqrt" | "exp" | "log" | "abs" => {
                 let a = positional.first().cloned().ok_or_else(|| LowerError {

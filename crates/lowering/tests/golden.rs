@@ -40,9 +40,7 @@ fn first_move(imp: &Imp) -> &Imp {
 
 #[test]
 fn fig7_forall_lowers_to_single_move_with_local_under() {
-    let p = lower_src(
-        "INTEGER, ARRAY(32,32) :: A\nFORALL (i=1:32, j=1:32) A(i,j) = i+j\n",
-    );
+    let p = lower_src("INTEGER, ARRAY(32,32) :: A\nFORALL (i=1:32, j=1:32) A(i,j) = i+j\n");
     // One MOVE, target everywhere, source BINARY(Add, local_under 1, local_under 2).
     assert_eq!(p.count_moves(), 1);
     let Imp::Move(clauses) = first_move(&p) else {
@@ -65,9 +63,7 @@ fn fig7_forall_lowers_to_single_move_with_local_under() {
 
 #[test]
 fn fig7_printed_program_has_paper_shape_bindings() {
-    let p = lower_src(
-        "INTEGER, ARRAY(32,32) :: A\nFORALL (i=1:32, j=1:32) A(i,j) = i+j\n",
-    );
+    let p = lower_src("INTEGER, ARRAY(32,32) :: A\nFORALL (i=1:32, j=1:32) A(i,j) = i+j\n");
     let text = print_imp(&p);
     assert!(text.contains(
         "WITH_DOMAIN(('alpha',prod_dom[interval(point 1,point 32),interval(point 1,point 32)])"
@@ -115,14 +111,22 @@ fn section_assignment_semantics_match_f77_loop() {
     let ev = run(src);
     let l = ev.final_array_f64("l").unwrap();
     for i in 1..=128i64 {
-        let expect = if (32..=64).contains(&i) { (i + 64) as f64 } else { i as f64 };
+        let expect = if (32..=64).contains(&i) {
+            (i + 64) as f64
+        } else {
+            i as f64
+        };
         assert_eq!(l[(i - 1) as usize], expect, "L({i})");
     }
     let k = ev.final_array_f64("k").unwrap();
     for i in 1..=128i64 {
         for j in 1..=64i64 {
             let base = (i + j) as f64;
-            let expect = if (32..=64).contains(&i) { base * base } else { base };
+            let expect = if (32..=64).contains(&i) {
+                base * base
+            } else {
+                base
+            };
             assert_eq!(k[((i - 1) * 64 + (j - 1)) as usize], expect, "K({i},{j})");
         }
     }
@@ -390,10 +394,7 @@ fn negative_stride_sections_are_rejected() {
 #[test]
 fn forall_reading_its_target_in_general_form_is_rejected() {
     // Permuted indices (general path) + self-read: needs a temporary.
-    let unit = parse(
-        "REAL a(4,4)\nFORALL (i=1:4, j=1:4) a(j,i) = a(i,j)\n",
-    )
-    .unwrap();
+    let unit = parse("REAL a(4,4)\nFORALL (i=1:4, j=1:4) a(j,i) = a(i,j)\n").unwrap();
     assert!(lower(&unit).is_err());
 }
 

@@ -142,7 +142,11 @@ impl ArrayData {
             .iter()
             .map(|&(lo, hi)| if hi < lo { 0 } else { (hi - lo + 1) as usize })
             .product();
-        ArrayData { bounds, elem, data: vec![Scalar::zero(elem); n] }
+        ArrayData {
+            bounds,
+            elem,
+            data: vec![Scalar::zero(elem); n],
+        }
     }
 
     /// Create an array from existing data in row-major order.
@@ -314,7 +318,12 @@ impl ArrayData {
     /// # Errors
     ///
     /// Fails when `axis` is out of range or `boundary` cannot convert.
-    pub fn eoshift(&self, axis: usize, shift: i64, boundary: Scalar) -> Result<ArrayData, NirError> {
+    pub fn eoshift(
+        &self,
+        axis: usize,
+        shift: i64,
+        boundary: Scalar,
+    ) -> Result<ArrayData, NirError> {
         let dims = self.dims();
         if axis >= dims.len() {
             return Err(NirError::Eval(format!(
@@ -359,10 +368,7 @@ impl ArrayData {
             )));
         }
         let (r, c) = (dims[0], dims[1]);
-        let mut out = ArrayData::zeros(
-            vec![self.bounds[1], self.bounds[0]],
-            self.elem,
-        );
+        let mut out = ArrayData::zeros(vec![self.bounds[1], self.bounds[0]], self.elem);
         for i in 0..r {
             for j in 0..c {
                 out.data[j * r + i] = self.data[i * c + j];
@@ -563,10 +569,18 @@ mod tests {
         )
         .unwrap();
         let rows = a.cshift(0, 1).unwrap();
-        let got: Vec<i64> = rows.as_slice().iter().map(|x| x.to_i64().unwrap()).collect();
+        let got: Vec<i64> = rows
+            .as_slice()
+            .iter()
+            .map(|x| x.to_i64().unwrap())
+            .collect();
         assert_eq!(got, vec![4, 5, 6, 1, 2, 3]);
         let cols = a.cshift(1, -1).unwrap();
-        let got: Vec<i64> = cols.as_slice().iter().map(|x| x.to_i64().unwrap()).collect();
+        let got: Vec<i64> = cols
+            .as_slice()
+            .iter()
+            .map(|x| x.to_i64().unwrap())
+            .collect();
         assert_eq!(got, vec![3, 1, 2, 6, 4, 5]);
     }
 

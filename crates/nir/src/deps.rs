@@ -115,7 +115,10 @@ impl RwSets {
         v.walk(&mut |node| match node {
             Value::SVar(id) => {
                 // `walk` visits subterms; record and move on.
-                self.reads.entry(id.clone()).or_default().push(Access::Whole);
+                self.reads
+                    .entry(id.clone())
+                    .or_default()
+                    .push(Access::Whole);
             }
             Value::AVar(id, fa) => {
                 let a = access_of_field_action(fa);

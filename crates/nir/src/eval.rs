@@ -240,7 +240,13 @@ impl Evaluator {
             self.scopes
                 .last_mut()
                 .expect("context always has a scope")
-                .insert(id.clone(), Binding { ty: resolved_ty, cell });
+                .insert(
+                    id.clone(),
+                    Binding {
+                        ty: resolved_ty,
+                        cell,
+                    },
+                );
         }
         Ok(())
     }
@@ -276,9 +282,7 @@ impl Evaluator {
                 let enabled = match mask {
                     Cell::Scalar(s) => s.to_bool()?,
                     Cell::Array(_) => {
-                        return Err(NirError::Eval(
-                            "array mask on scalar destination".into(),
-                        ))
+                        return Err(NirError::Eval("array mask on scalar destination".into()))
                     }
                 };
                 if enabled {
@@ -308,9 +312,7 @@ impl Evaluator {
         let binding = self.lookup_mut(id)?;
         let arr = match &mut binding.cell {
             Cell::Array(a) => a,
-            Cell::Scalar(_) => {
-                return Err(NirError::Eval(format!("AVAR '{id}' names a scalar")))
-            }
+            Cell::Scalar(_) => return Err(NirError::Eval(format!("AVAR '{id}' names a scalar"))),
         };
         match fa {
             FieldAction::Subscript(_) => {
@@ -462,9 +464,7 @@ impl Evaluator {
                     .iter()
                     .rev()
                     .find(|(name, _)| name == dom)
-                    .ok_or_else(|| {
-                        NirError::Eval(format!("do_index outside DO '{dom}'"))
-                    })?;
+                    .ok_or_else(|| NirError::Eval(format!("do_index outside DO '{dom}'")))?;
                 let c = *coords.get(*dim - 1).ok_or_else(|| {
                     NirError::Eval(format!("do_index dimension {dim} out of range"))
                 })?;
@@ -480,9 +480,7 @@ impl Evaluator {
                 let binding = self.lookup(id)?;
                 match &binding.cell {
                     Cell::Array(a) => Ok(Cell::Scalar(a.get(&coords)?)),
-                    Cell::Scalar(_) => {
-                        Err(NirError::Eval(format!("AVAR '{id}' names a scalar")))
-                    }
+                    Cell::Scalar(_) => Err(NirError::Eval(format!("AVAR '{id}' names a scalar"))),
                 }
             }
             FieldAction::Everywhere => match &self.lookup(id)?.cell {
@@ -558,7 +556,11 @@ impl Evaluator {
                     Some(c) => c.clone().into_scalar()?,
                     None => Scalar::zero(arr.elem_type()),
                 };
-                Ok(Cell::Array(arr.eoshift(dim as usize - 1, shift, boundary)?))
+                Ok(Cell::Array(arr.eoshift(
+                    dim as usize - 1,
+                    shift,
+                    boundary,
+                )?))
             }
             "merge" => {
                 if vals.len() != 3 {
@@ -569,12 +571,10 @@ impl Evaluator {
                 let mask = vals[2].clone();
                 let (t, f) = (vals[0].clone(), vals[1].clone());
                 // Elementwise select with scalar broadcast on any slot.
-                let n = [&t, &f, &mask]
-                    .iter()
-                    .find_map(|c| match c {
-                        Cell::Array(a) => Some(a.len()),
-                        Cell::Scalar(_) => None,
-                    });
+                let n = [&t, &f, &mask].iter().find_map(|c| match c {
+                    Cell::Array(a) => Some(a.len()),
+                    Cell::Scalar(_) => None,
+                });
                 match n {
                     None => {
                         let m = mask.into_scalar()?.to_bool()?;
@@ -588,10 +588,9 @@ impl Evaluator {
                                 Cell::Scalar(_) => None,
                             })
                             .or_else(|| match &mask {
-                                Cell::Array(m) => Some(ArrayData::zeros(
-                                    m.bounds().to_vec(),
-                                    ScalarType::Float64,
-                                )),
+                                Cell::Array(m) => {
+                                    Some(ArrayData::zeros(m.bounds().to_vec(), ScalarType::Float64))
+                                }
                                 Cell::Scalar(_) => None,
                             })
                             .expect("n came from an array");
@@ -622,9 +621,7 @@ impl Evaluator {
             }
             "sum" | "maxval" | "minval" => {
                 if vals.is_empty() || vals.len() > 2 {
-                    return Err(NirError::Eval(format!(
-                        "{name} expects (array[, dim])"
-                    )));
+                    return Err(NirError::Eval(format!("{name} expects (array[, dim])")));
                 }
                 let arr = vals[0].clone().into_array()?;
                 let elem = arr.elem_type();
@@ -696,11 +693,7 @@ fn coerce_into(src: Cell, template: &Cell) -> Result<Cell, NirError> {
                 ));
             }
             let mut out = a.clone();
-            for (o, s) in out
-                .as_mut_slice()
-                .iter_mut()
-                .zip(src.as_slice().iter())
-            {
+            for (o, s) in out.as_mut_slice().iter_mut().zip(src.as_slice().iter()) {
                 *o = s.convert(a.elem_type())?;
             }
             Ok(Cell::Array(out))
@@ -976,11 +969,7 @@ mod tests {
                     mv_masked(
                         bin(
                             crate::ops::BinOp::Eq,
-                            bin(
-                                crate::ops::BinOp::Mod,
-                                local_under(domain("s"), 1),
-                                int(2),
-                            ),
+                            bin(crate::ops::BinOp::Mod, local_under(domain("s"), 1), int(2)),
                             int(0),
                         ),
                         avar("a", everywhere()),
@@ -1071,10 +1060,7 @@ mod tests {
                                 domain("beta"),
                                 mv(
                                     avar("c", subscript(vec![do_index("i", 1)])),
-                                    ld(
-                                        "a",
-                                        subscript(vec![do_index("i", 1), do_index("i", 1)]),
-                                    ),
+                                    ld("a", subscript(vec![do_index("i", 1), do_index("i", 1)])),
                                 ),
                             ),
                         ]),

@@ -60,7 +60,11 @@ pub struct MoveClause {
 impl MoveClause {
     /// An unmasked clause (mask ≡ `.true.`).
     pub fn unmasked(dst: LValue, src: Value) -> Self {
-        MoveClause { mask: Value::Scalar(crate::value::Const::Bool(true)), src, dst }
+        MoveClause {
+            mask: Value::Scalar(crate::value::Const::Bool(true)),
+            src,
+            dst,
+        }
     }
 
     /// `true` when the mask is the constant `.true.`.

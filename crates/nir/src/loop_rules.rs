@@ -114,10 +114,7 @@ fn step_loop(action: &LoopForm, shape: &Shape) -> LoopForm {
             } else {
                 LoopForm::Seq(vec![
                     LoopForm::Loop(Box::new(action.clone()), Shape::Point(*lo)),
-                    LoopForm::Loop(
-                        Box::new(action.clone()),
-                        Shape::SerialInterval(lo + 1, *hi),
-                    ),
+                    LoopForm::Loop(Box::new(action.clone()), Shape::SerialInterval(lo + 1, *hi)),
                 ])
             }
         }
@@ -206,10 +203,7 @@ mod tests {
         let via_rules = expand(&s);
         // Shape::points drops Point axes; the rules keep them. Compare
         // after removing the constant coordinate.
-        let via_points: Vec<Vec<i64>> = s
-            .points()
-            .map(|p| vec![p[0], 9, p[1]])
-            .collect();
+        let via_points: Vec<Vec<i64>> = s.points().map(|p| vec![p[0], 9, p[1]]).collect();
         assert_eq!(via_rules, via_points);
     }
 
@@ -220,10 +214,7 @@ mod tests {
 
     #[test]
     fn symbolic_stepper_reaches_fixpoint() {
-        let mut form = LoopForm::Loop(
-            Box::new(LoopForm::At(vec![])),
-            Shape::SerialInterval(1, 3),
-        );
+        let mut form = LoopForm::Loop(Box::new(LoopForm::At(vec![])), Shape::SerialInterval(1, 3));
         let mut steps = 0;
         while let Some(next) = step(&form) {
             form = next;

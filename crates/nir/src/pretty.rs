@@ -144,11 +144,13 @@ mod tests {
 
     #[test]
     fn with_domain_nests() {
-        let p = with_domain("alpha", interval(1, 128), mv(avar("l", everywhere()), int(6)));
+        let p = with_domain(
+            "alpha",
+            interval(1, 128),
+            mv(avar("l", everywhere()), int(6)),
+        );
         let text = print_imp(&p);
-        assert!(text.starts_with(
-            "WITH_DOMAIN(('alpha',interval(point 1,point 128)),"
-        ));
+        assert!(text.starts_with("WITH_DOMAIN(('alpha',interval(point 1,point 128)),"));
         assert!(text.contains("MOVE[(True,(SCALAR(integer_32,'6'),AVAR('l',everywhere)))]"));
     }
 

@@ -155,16 +155,22 @@ impl Shape {
     fn push_extents(&self, out: &mut Vec<Extent>) {
         match self {
             Shape::Point(_) => {}
-            Shape::Interval(lo, hi) => out.push(Extent { lo: *lo, hi: *hi, serial: false }),
-            Shape::SerialInterval(lo, hi) => out.push(Extent { lo: *lo, hi: *hi, serial: true }),
+            Shape::Interval(lo, hi) => out.push(Extent {
+                lo: *lo,
+                hi: *hi,
+                serial: false,
+            }),
+            Shape::SerialInterval(lo, hi) => out.push(Extent {
+                lo: *lo,
+                hi: *hi,
+                serial: true,
+            }),
             Shape::Product(dims) => {
                 for d in dims {
                     d.push_extents(out);
                 }
             }
-            Shape::Ref(name) =>
-
-                panic!("geometric query on unresolved domain reference '{name}'"),
+            Shape::Ref(name) => panic!("geometric query on unresolved domain reference '{name}'"),
         }
     }
 
@@ -313,8 +319,16 @@ mod tests {
         assert_eq!(
             s.extents(),
             vec![
-                Extent { lo: 1, hi: 128, serial: false },
-                Extent { lo: 1, hi: 64, serial: false }
+                Extent {
+                    lo: 1,
+                    hi: 128,
+                    serial: false
+                },
+                Extent {
+                    lo: 1,
+                    hi: 64,
+                    serial: false
+                }
             ]
         );
     }

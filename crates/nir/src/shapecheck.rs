@@ -153,10 +153,7 @@ mod tests {
 
     #[test]
     fn clause_shape_prefers_destination() {
-        let mut ctx = ctx_with(&[
-            ("a", dfield(grid(&[8]), float64())),
-            ("x", float64()),
-        ]);
+        let mut ctx = ctx_with(&[("a", dfield(grid(&[8]), float64())), ("x", float64())]);
         let c = crate::imp::MoveClause::unmasked(avar("a", everywhere()), svar("x"));
         let s = clause_shape(&c, &mut ctx).unwrap().unwrap();
         assert_eq!(s.size(), 8);
@@ -194,10 +191,7 @@ mod tests {
 
     #[test]
     fn serial_shapes_are_not_gridlocal() {
-        let mut ctx = ctx_with(&[(
-            "a",
-            dfield(serial_interval(1, 8), float64()),
-        )]);
+        let mut ctx = ctx_with(&[("a", dfield(serial_interval(1, 8), float64()))]);
         let m = mv(avar("a", everywhere()), f64c(0.0));
         assert!(!is_gridlocal_computation(&m, &mut ctx).unwrap());
     }

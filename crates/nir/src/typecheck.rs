@@ -42,7 +42,11 @@ pub struct Ctx {
 impl Ctx {
     /// An empty context.
     pub fn new() -> Self {
-        Ctx { vars: vec![HashMap::new()], domains: DomainEnv::new(), dos: Vec::new() }
+        Ctx {
+            vars: vec![HashMap::new()],
+            domains: DomainEnv::new(),
+            dos: Vec::new(),
+        }
     }
 
     /// Look up a variable's type.
@@ -128,7 +132,10 @@ impl ValueType {
 
     /// A field classification.
     pub fn field(elem: ScalarType, shape: Shape) -> Self {
-        ValueType { elem, shape: Some(shape) }
+        ValueType {
+            elem,
+            shape: Some(shape),
+        }
     }
 
     /// `true` when the value is a plain scalar.
@@ -209,7 +216,9 @@ impl Checker {
             }
             Imp::WithDecl(d, body) => {
                 ctx.push_scope();
-                let r = self.check_decl(d, ctx).and_then(|()| self.check_imp(body, ctx));
+                let r = self
+                    .check_decl(d, ctx)
+                    .and_then(|()| self.check_imp(body, ctx));
                 ctx.pop_scope();
                 r
             }
@@ -299,9 +308,7 @@ impl Checker {
                 }
             }
             if dst_t.is_scalar() && !src_t.is_scalar() {
-                return Err(NirError::Shape(
-                    "cannot move a field into a scalar".into(),
-                ));
+                return Err(NirError::Shape("cannot move a field into a scalar".into()));
             }
         }
         Ok(())
@@ -360,7 +367,10 @@ impl Checker {
                 } else {
                     op.result_type(at.elem).unwrap_or(at.elem)
                 };
-                Ok(ValueType { elem, shape: at.shape })
+                Ok(ValueType {
+                    elem,
+                    shape: at.shape,
+                })
             }
             Value::Binary(op, a, b) => {
                 let at = self.type_of(a, ctx)?;
@@ -406,12 +416,7 @@ impl Checker {
         }
     }
 
-    fn join_binop(
-        &self,
-        op: BinOp,
-        a: ScalarType,
-        b: ScalarType,
-    ) -> Result<ScalarType, NirError> {
+    fn join_binop(&self, op: BinOp, a: ScalarType, b: ScalarType) -> Result<ScalarType, NirError> {
         if op.is_logical() {
             if self.want_types() && (a != ScalarType::Logical32 || b != ScalarType::Logical32) {
                 return Err(NirError::Type(format!(
@@ -525,9 +530,10 @@ impl Checker {
                     )));
                 }
                 let arr = &arg_types[0];
-                let shape = arr.shape.clone().ok_or_else(|| {
-                    NirError::Shape(format!("{name} requires an array argument"))
-                })?;
+                let shape = arr
+                    .shape
+                    .clone()
+                    .ok_or_else(|| NirError::Shape(format!("{name} requires an array argument")))?;
                 for extra in &arg_types[1..] {
                     if self.want_shapes() && !extra.is_scalar() {
                         return Err(NirError::Shape(format!(
@@ -675,7 +681,11 @@ impl Checker {
                 }
                 extents.insert(
                     dim - 1,
-                    crate::shape::Extent { lo: 1, hi: n, serial: false },
+                    crate::shape::Extent {
+                        lo: 1,
+                        hi: n,
+                        serial: false,
+                    },
                 );
                 let shape = Shape::Product(
                     extents
@@ -815,10 +825,7 @@ mod tests {
             interval(1, 8),
             with_decl(
                 decl("a", dfield(domain("s"), float64())),
-                mv(
-                    avar("a", section(vec![SectionRange::new(1, 9)])),
-                    f64c(0.0),
-                ),
+                mv(avar("a", section(vec![SectionRange::new(1, 9)])), f64c(0.0)),
             ),
         );
         assert!(matches!(check(&p), Err(NirError::Shape(_))));
@@ -829,10 +836,7 @@ mod tests {
         let p = with_domain(
             "s",
             serial_interval(1, 4),
-            with_decl(
-                decl("x", float64()),
-                mv(svar_lv("x"), do_index("s", 1)),
-            ),
+            with_decl(decl("x", float64()), mv(svar_lv("x"), do_index("s", 1))),
         );
         assert!(check(&p).is_err());
         // Inside a DO it is fine.
@@ -876,10 +880,7 @@ mod tests {
     #[test]
     fn shape_mode_ignores_scalar_type_errors() {
         // Assign logical to float: a type error but not a shape error.
-        let p = with_decl(
-            decl("x", float64()),
-            mv(svar_lv("x"), boolc(true)),
-        );
+        let p = with_decl(decl("x", float64()), mv(svar_lv("x"), boolc(true)));
         assert!(Checker::new(Mode::Types).check_program(&p).is_err());
         Checker::new(Mode::Shapes).check_program(&p).unwrap();
     }

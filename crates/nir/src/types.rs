@@ -80,7 +80,10 @@ pub enum Type {
 impl Type {
     /// Convenience constructor for a `dfield` type.
     pub fn dfield(shape: impl Into<ShapeExpr>, elem: Type) -> Type {
-        Type::DField { shape: shape.into(), elem: Box::new(elem) }
+        Type::DField {
+            shape: shape.into(),
+            elem: Box::new(elem),
+        }
     }
 
     /// The underlying scalar element type, drilling through nested

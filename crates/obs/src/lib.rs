@@ -1,0 +1,467 @@
+//! # f90y-obs — compiler and simulator telemetry
+//!
+//! The paper's whole argument is quantitative (its Figures 9–12 measure
+//! what domain blocking, mask padding and PEAC register allocation each
+//! bought); this crate is the shared spine every stage reports through
+//! so the reproduction can measure itself the same way:
+//!
+//! * [`Telemetry`] — hierarchical monotonic-clock phase spans plus named
+//!   counters and gauges. Off by default: a [`Telemetry::disabled`]
+//!   handle makes every call a cheap branch on one bool, so the compile
+//!   path pays nothing when nobody is listening.
+//! * [`TelemetryReport`] — the frozen snapshot: spans in start order
+//!   with durations, counters and gauges sorted by name. Serialises to
+//!   JSON ([`TelemetryReport::to_json`]) and parses back
+//!   ([`TelemetryReport::from_json`]) with the hand-rolled [`json`]
+//!   module — no external dependencies.
+//! * [`EventSink`] — where reports go: [`JsonSink`] writes the
+//!   machine-readable report (the CLI's `--emit-telemetry <path>`),
+//!   [`PrettySink`] renders a `-Ztimings`-style table (`--timings`).
+//!
+//! ## Example
+//!
+//! ```
+//! use f90y_obs::Telemetry;
+//!
+//! let mut tel = Telemetry::new();
+//! let compile = tel.start("compile");
+//! let parse = tel.start("frontend.parse");
+//! tel.count("frontend.tokens", 42);
+//! tel.finish(parse);
+//! tel.finish(compile);
+//!
+//! let report = tel.report();
+//! assert_eq!(report.counter("frontend.tokens"), Some(42));
+//! let round = f90y_obs::TelemetryReport::from_json(&report.to_json()).unwrap();
+//! assert_eq!(round.counter("frontend.tokens"), Some(42));
+//! ```
+
+pub mod json;
+pub mod sink;
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+pub use sink::{EventSink, JsonSink, PrettySink};
+
+/// Handle to an open span; pass back to [`Telemetry::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a span only gets a duration when finished"]
+pub struct SpanId(usize);
+
+const DISABLED_SPAN: SpanId = SpanId(usize::MAX);
+
+#[derive(Debug, Clone)]
+struct SpanRec {
+    name: String,
+    depth: usize,
+    started_nanos: u128,
+    nanos: Option<u128>,
+}
+
+/// The collector: spans, counters and gauges for one compilation or
+/// run. Create with [`Telemetry::new`] to record, or
+/// [`Telemetry::disabled`] for a free-to-call no-op handle.
+#[derive(Debug)]
+pub struct Telemetry {
+    enabled: bool,
+    epoch: Instant,
+    spans: Vec<SpanRec>,
+    stack: Vec<usize>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A recording collector.
+    pub fn new() -> Self {
+        Telemetry {
+            enabled: true,
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            stack: Vec::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+        }
+    }
+
+    /// A no-op collector: every method returns immediately after one
+    /// branch, so instrumented code costs nothing measurable when
+    /// telemetry is off.
+    pub fn disabled() -> Self {
+        Telemetry {
+            enabled: false,
+            ..Telemetry::new()
+        }
+    }
+
+    /// Whether this collector records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Open a span named `name`, nested under the innermost open span.
+    pub fn start(&mut self, name: &str) -> SpanId {
+        if !self.enabled {
+            return DISABLED_SPAN;
+        }
+        let id = self.spans.len();
+        self.spans.push(SpanRec {
+            name: name.to_string(),
+            depth: self.stack.len(),
+            started_nanos: self.epoch.elapsed().as_nanos(),
+            nanos: None,
+        });
+        self.stack.push(id);
+        SpanId(id)
+    }
+
+    /// Close a span. Any spans opened under it and still open are closed
+    /// with it (a forgiving discipline that keeps the ledger consistent
+    /// across early returns).
+    pub fn finish(&mut self, id: SpanId) {
+        if !self.enabled || id == DISABLED_SPAN {
+            return;
+        }
+        let now = self.epoch.elapsed().as_nanos();
+        while let Some(top) = self.stack.pop() {
+            let rec = &mut self.spans[top];
+            if rec.nanos.is_none() {
+                rec.nanos = Some(now.saturating_sub(rec.started_nanos));
+            }
+            if top == id.0 {
+                return;
+            }
+        }
+    }
+
+    /// Run `f` inside a span named `name`.
+    pub fn scope<T>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> T) -> T {
+        let id = self.start(name);
+        let out = f(self);
+        self.finish(id);
+        out
+    }
+
+    /// Add `delta` to the named counter.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set the named gauge (last write wins).
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record the larger of the current gauge and `value`.
+    pub fn gauge_max(&mut self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let slot = self
+            .gauges
+            .entry(name.to_string())
+            .or_insert(f64::NEG_INFINITY);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Freeze the current state into a report. Open spans are reported
+    /// with their duration so far.
+    pub fn report(&self) -> TelemetryReport {
+        let now = self.epoch.elapsed().as_nanos();
+        TelemetryReport {
+            spans: self
+                .spans
+                .iter()
+                .map(|s| SpanReport {
+                    name: s.name.clone(),
+                    depth: s.depth,
+                    nanos: s
+                        .nanos
+                        .unwrap_or_else(|| now.saturating_sub(s.started_nanos)),
+                })
+                .collect(),
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        }
+    }
+
+    /// Freeze and deliver to a sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O failures.
+    pub fn emit(&self, sink: &mut dyn EventSink) -> std::io::Result<()> {
+        sink.emit(&self.report())
+    }
+}
+
+/// One finished (or still-open) span in a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanReport {
+    /// Dotted phase name, e.g. `compile.frontend.parse`.
+    pub name: String,
+    /// Nesting depth at start (0 = top level).
+    pub depth: usize,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u128,
+}
+
+/// A frozen telemetry snapshot: what sinks consume and the CLI writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// Spans in start order (depth gives the hierarchy).
+    pub spans: Vec<SpanReport>,
+    /// Counters sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges sorted by name.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl TelemetryReport {
+    /// The named counter's value.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The named gauge's value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Duration of the first span with this name, in nanoseconds.
+    pub fn span_nanos(&self, name: &str) -> Option<u128> {
+        self.spans.iter().find(|s| s.name == name).map(|s| s.nanos)
+    }
+
+    /// Sum of the counters under a `prefix.` namespace.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        let dotted = format!("{prefix}.");
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(&dotted))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Serialise to JSON.
+    pub fn to_json(&self) -> String {
+        use json::Json;
+        let spans = Json::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::Str(s.name.clone())),
+                        ("depth".into(), Json::Num(s.depth as f64)),
+                        ("nanos".into(), Json::Num(s.nanos as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("spans".into(), spans),
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+        ])
+        .to_string()
+    }
+
+    /// Parse a report serialised by [`TelemetryReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a document without the report shape.
+    pub fn from_json(text: &str) -> Result<Self, json::JsonError> {
+        use json::Json;
+        let doc = json::parse(text)?;
+        let bad = |what: &str| json::JsonError::shape(format!("telemetry report: {what}"));
+        let Json::Obj(fields) = doc else {
+            return Err(bad("top level must be an object"));
+        };
+        let mut spans = Vec::new();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        for (key, value) in fields {
+            match (key.as_str(), value) {
+                ("spans", Json::Arr(items)) => {
+                    for item in items {
+                        let Json::Obj(f) = item else {
+                            return Err(bad("span entries must be objects"));
+                        };
+                        let mut name = None;
+                        let mut depth = None;
+                        let mut nanos = None;
+                        for (k, v) in f {
+                            match (k.as_str(), v) {
+                                ("name", Json::Str(s)) => name = Some(s),
+                                ("depth", Json::Num(n)) => depth = Some(n as usize),
+                                ("nanos", Json::Num(n)) => nanos = Some(n as u128),
+                                _ => return Err(bad("unexpected span field")),
+                            }
+                        }
+                        spans.push(SpanReport {
+                            name: name.ok_or_else(|| bad("span missing name"))?,
+                            depth: depth.ok_or_else(|| bad("span missing depth"))?,
+                            nanos: nanos.ok_or_else(|| bad("span missing nanos"))?,
+                        });
+                    }
+                }
+                ("counters", Json::Obj(f)) => {
+                    for (k, v) in f {
+                        let Json::Num(n) = v else {
+                            return Err(bad("counters must be numbers"));
+                        };
+                        counters.push((k, n as u64));
+                    }
+                }
+                ("gauges", Json::Obj(f)) => {
+                    for (k, v) in f {
+                        let Json::Num(n) = v else {
+                            return Err(bad("gauges must be numbers"));
+                        };
+                        gauges.push((k, n));
+                    }
+                }
+                _ => return Err(bad("unexpected top-level field")),
+            }
+        }
+        Ok(TelemetryReport {
+            spans,
+            counters,
+            gauges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_time() {
+        let mut tel = Telemetry::new();
+        let outer = tel.start("compile");
+        let inner = tel.start("compile.frontend");
+        tel.finish(inner);
+        let second = tel.start("compile.backend");
+        tel.finish(second);
+        tel.finish(outer);
+
+        let r = tel.report();
+        assert_eq!(r.spans.len(), 3);
+        assert_eq!(r.spans[0].name, "compile");
+        assert_eq!(r.spans[0].depth, 0);
+        assert_eq!(r.spans[1].depth, 1);
+        assert_eq!(r.spans[2].depth, 1);
+        // The parent covers its children.
+        assert!(r.spans[0].nanos >= r.spans[1].nanos + r.spans[2].nanos);
+    }
+
+    #[test]
+    fn finish_closes_abandoned_children() {
+        let mut tel = Telemetry::new();
+        let outer = tel.start("outer");
+        let _leaked = tel.start("leaked");
+        tel.finish(outer);
+        let r = tel.report();
+        assert_eq!(r.spans.len(), 2);
+        // Both spans have durations even though "leaked" never finished,
+        // and the stack fully unwound.
+        let after = tel.start("after");
+        tel.finish(after);
+        assert_eq!(tel.report().spans[2].depth, 0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut tel = Telemetry::new();
+        tel.count("a", 2);
+        tel.count("a", 3);
+        tel.gauge("g", 1.5);
+        tel.gauge("g", 2.5);
+        tel.gauge_max("m", 4.0);
+        tel.gauge_max("m", 3.0);
+        let r = tel.report();
+        assert_eq!(r.counter("a"), Some(5));
+        assert_eq!(r.gauge("g"), Some(2.5));
+        assert_eq!(r.gauge("m"), Some(4.0));
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut tel = Telemetry::disabled();
+        let id = tel.start("x");
+        tel.count("c", 1);
+        tel.gauge("g", 1.0);
+        tel.finish(id);
+        let r = tel.report();
+        assert!(r.spans.is_empty());
+        assert!(r.counters.is_empty());
+        assert!(r.gauges.is_empty());
+    }
+
+    #[test]
+    fn scope_is_equivalent_to_start_finish() {
+        let mut tel = Telemetry::new();
+        let out = tel.scope("phase", |t| {
+            t.count("inner", 1);
+            7
+        });
+        assert_eq!(out, 7);
+        let r = tel.report();
+        assert_eq!(r.spans[0].name, "phase");
+        assert_eq!(r.counter("inner"), Some(1));
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let mut tel = Telemetry::new();
+        let a = tel.start("compile");
+        tel.count("frontend.tokens", 123);
+        tel.count("backend.spills", 4);
+        tel.gauge("backend.vreg_pressure", 6.0);
+        tel.finish(a);
+        let report = tel.report();
+        let parsed = TelemetryReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn counter_sum_namespaces() {
+        let mut tel = Telemetry::new();
+        tel.count("sim.phase.a.cycles", 10);
+        tel.count("sim.phase.b.cycles", 32);
+        tel.count("sim.total", 1);
+        assert_eq!(tel.report().counter_sum("sim.phase"), 42);
+    }
+}

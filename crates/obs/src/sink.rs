@@ -1,0 +1,224 @@
+//! Where telemetry reports go.
+//!
+//! Sinks consume a frozen [`TelemetryReport`]; the collector never
+//! holds a sink, so the compile path is independent of output format.
+//! [`JsonSink`] writes the machine-readable document behind the CLI's
+//! `--emit-telemetry <path>`; [`PrettySink`] renders the human
+//! `--timings` table on stderr.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::TelemetryReport;
+
+/// Consumes frozen telemetry reports.
+pub trait EventSink {
+    /// Deliver one report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying writer.
+    fn emit(&mut self, report: &TelemetryReport) -> io::Result<()>;
+}
+
+/// Writes reports as single-line JSON documents.
+pub struct JsonSink<W: Write> {
+    writer: W,
+}
+
+impl JsonSink<File> {
+    /// A sink that writes (truncating) to the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonSink {
+            writer: File::create(path)?,
+        })
+    }
+}
+
+impl<W: Write> JsonSink<W> {
+    /// A sink over any writer.
+    pub fn new(writer: W) -> Self {
+        JsonSink { writer }
+    }
+
+    /// Unwrap the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> EventSink for JsonSink<W> {
+    fn emit(&mut self, report: &TelemetryReport) -> io::Result<()> {
+        writeln!(self.writer, "{}", report.to_json())?;
+        self.writer.flush()
+    }
+}
+
+/// Renders a `-Ztimings`-style table: spans indented by depth with
+/// durations, then counters and gauges sorted by name. Field ordering
+/// is stable; only the duration column varies run to run.
+pub struct PrettySink<W: Write> {
+    writer: W,
+}
+
+impl PrettySink<io::Stderr> {
+    /// The usual CLI destination.
+    pub fn stderr() -> Self {
+        PrettySink {
+            writer: io::stderr(),
+        }
+    }
+}
+
+impl<W: Write> PrettySink<W> {
+    /// A sink over any writer (tests capture output this way).
+    pub fn new(writer: W) -> Self {
+        PrettySink { writer }
+    }
+
+    /// Unwrap the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+/// Render nanoseconds with a unit that keeps 3 significant decimals.
+fn format_duration(nanos: u128) -> String {
+    let ns = nanos as f64;
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+impl<W: Write> EventSink for PrettySink<W> {
+    fn emit(&mut self, report: &TelemetryReport) -> io::Result<()> {
+        let w = &mut self.writer;
+        writeln!(w, "phase timings")?;
+        if report.spans.is_empty() {
+            writeln!(w, "  (no spans recorded)")?;
+        }
+        for span in &report.spans {
+            let indent = "  ".repeat(span.depth + 1);
+            let label = format!("{indent}{}", span.name);
+            writeln!(w, "{label:<44} {:>12}", format_duration(span.nanos))?;
+        }
+        if !report.counters.is_empty() {
+            writeln!(w, "counters")?;
+            for (name, value) in &report.counters {
+                writeln!(w, "  {name:<42} {value:>12}")?;
+            }
+        }
+        if !report.gauges.is_empty() {
+            writeln!(w, "gauges")?;
+            for (name, value) in &report.gauges {
+                writeln!(w, "  {name:<42} {value:>12.2}")?;
+            }
+        }
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanReport, Telemetry};
+
+    fn sample_report() -> TelemetryReport {
+        TelemetryReport {
+            spans: vec![
+                SpanReport {
+                    name: "compile".into(),
+                    depth: 0,
+                    nanos: 2_500_000,
+                },
+                SpanReport {
+                    name: "compile.frontend".into(),
+                    depth: 1,
+                    nanos: 1_000_000,
+                },
+                SpanReport {
+                    name: "compile.backend".into(),
+                    depth: 1,
+                    nanos: 1_500,
+                },
+            ],
+            counters: vec![
+                ("backend.pe.spills".into(), 4),
+                ("frontend.tokens".into(), 123),
+            ],
+            gauges: vec![("backend.pe.vreg_pressure".into(), 6.0)],
+        }
+    }
+
+    #[test]
+    fn json_sink_round_trips() {
+        let mut sink = JsonSink::new(Vec::new());
+        let report = sample_report();
+        sink.emit(&report).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(TelemetryReport::from_json(text.trim()).unwrap(), report);
+    }
+
+    #[test]
+    fn pretty_sink_field_order_is_stable() {
+        let mut sink = PrettySink::new(Vec::new());
+        sink.emit(&sample_report()).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        // Golden structure with durations stripped: section headers,
+        // indentation and name order are the stable contract.
+        let skeleton: Vec<String> = text
+            .lines()
+            .map(|l| l.split_whitespace().next().unwrap_or("").to_string())
+            .collect();
+        assert_eq!(
+            skeleton,
+            vec![
+                "phase",
+                "compile",
+                "compile.frontend",
+                "compile.backend",
+                "counters",
+                "backend.pe.spills",
+                "frontend.tokens",
+                "gauges",
+                "backend.pe.vreg_pressure",
+            ]
+        );
+        // Indentation tracks span depth.
+        assert!(text.contains("\n  compile "));
+        assert!(text.contains("\n    compile.frontend "));
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(format_duration(950), "950ns");
+        assert_eq!(format_duration(1_500), "1.500us");
+        assert_eq!(format_duration(2_500_000), "2.500ms");
+        assert_eq!(format_duration(3_000_000_000), "3.000s");
+    }
+
+    #[test]
+    fn emit_via_telemetry_handle() {
+        let mut tel = Telemetry::new();
+        let id = tel.start("compile");
+        tel.count("frontend.tokens", 7);
+        tel.finish(id);
+        let mut sink = JsonSink::new(Vec::new());
+        tel.emit(&mut sink).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let parsed = TelemetryReport::from_json(text.trim()).unwrap();
+        assert_eq!(parsed.counter("frontend.tokens"), Some(7));
+        assert!(parsed.span_nanos("compile").is_some());
+    }
+}

@@ -67,12 +67,7 @@ pub fn parse_listing(text: &str) -> Result<Routine, PeacError> {
             }
         }
     }
-    Routine::new(
-        &name,
-        (max_p + 1) as usize,
-        (max_s + 1) as usize,
-        body,
-    )
+    Routine::new(&name, (max_p + 1) as usize, (max_s + 1) as usize, body)
 }
 
 fn set_overlapped(i: &mut Instr) {
@@ -111,23 +106,45 @@ fn parse_instr(text: &str) -> Result<Instr, PeacError> {
 
     match opcode {
         "flodv" => {
-            let [src, dst] = rest.as_slice() else { return Err(bad()) };
+            let [src, dst] = rest.as_slice() else {
+                return Err(bad());
+            };
             if let Some(slot) = spill_slot(src) {
-                Ok(Instr::SpillLoad { slot, dst: vreg(dst)?, overlapped: false })
+                Ok(Instr::SpillLoad {
+                    slot,
+                    dst: vreg(dst)?,
+                    overlapped: false,
+                })
             } else {
-                Ok(Instr::Flodv { src: mem(src)?, dst: vreg(dst)?, overlapped: false })
+                Ok(Instr::Flodv {
+                    src: mem(src)?,
+                    dst: vreg(dst)?,
+                    overlapped: false,
+                })
             }
         }
         "fstrv" => {
-            let [src, dst] = rest.as_slice() else { return Err(bad()) };
+            let [src, dst] = rest.as_slice() else {
+                return Err(bad());
+            };
             if let Some(slot) = spill_slot(dst) {
-                Ok(Instr::SpillStore { src: vreg(src)?, slot, overlapped: false })
+                Ok(Instr::SpillStore {
+                    src: vreg(src)?,
+                    slot,
+                    overlapped: false,
+                })
             } else {
-                Ok(Instr::Fstrv { src: vreg(src)?, dst: mem(dst)?, overlapped: false })
+                Ok(Instr::Fstrv {
+                    src: vreg(src)?,
+                    dst: mem(dst)?,
+                    overlapped: false,
+                })
             }
         }
         "faddv" | "fsubv" | "fmulv" | "fdivv" | "fmaxv" | "fminv" => {
-            let [a, b, d] = rest.as_slice() else { return Err(bad()) };
+            let [a, b, d] = rest.as_slice() else {
+                return Err(bad());
+            };
             let (a, b, dst) = (operand(a)?, operand(b)?, vreg(d)?);
             Ok(match opcode {
                 "faddv" => Instr::Faddv { a, b, dst },
@@ -139,7 +156,9 @@ fn parse_instr(text: &str) -> Result<Instr, PeacError> {
             })
         }
         "fmaddv" => {
-            let [a, b, c, d] = rest.as_slice() else { return Err(bad()) };
+            let [a, b, c, d] = rest.as_slice() else {
+                return Err(bad());
+            };
             Ok(Instr::Fmaddv {
                 a: operand(a)?,
                 b: operand(b)?,
@@ -148,7 +167,9 @@ fn parse_instr(text: &str) -> Result<Instr, PeacError> {
             })
         }
         "fnegv" | "fabsv" | "ftruncv" => {
-            let [a, d] = rest.as_slice() else { return Err(bad()) };
+            let [a, d] = rest.as_slice() else {
+                return Err(bad());
+            };
             let (a, dst) = (operand(a)?, vreg(d)?);
             Ok(match opcode {
                 "fnegv" => Instr::Fnegv { a, dst },
@@ -157,7 +178,9 @@ fn parse_instr(text: &str) -> Result<Instr, PeacError> {
             })
         }
         "fselv" => {
-            let [m, a, b, d] = rest.as_slice() else { return Err(bad()) };
+            let [m, a, b, d] = rest.as_slice() else {
+                return Err(bad());
+            };
             Ok(Instr::Fselv {
                 mask: vreg(m)?,
                 a: operand(a)?,
@@ -166,14 +189,18 @@ fn parse_instr(text: &str) -> Result<Instr, PeacError> {
             })
         }
         "fimmv" => {
-            let [v, d] = rest.as_slice() else { return Err(bad()) };
+            let [v, d] = rest.as_slice() else {
+                return Err(bad());
+            };
             Ok(Instr::Fimmv {
                 value: v.parse().map_err(|_| bad())?,
                 dst: vreg(d)?,
             })
         }
         "fsqrtv" | "fsinv" | "fcosv" | "fexpv" | "flogv" => {
-            let [a, d] = rest.as_slice() else { return Err(bad()) };
+            let [a, d] = rest.as_slice() else {
+                return Err(bad());
+            };
             let op = match opcode {
                 "fsqrtv" => LibOp::Sqrt,
                 "fsinv" => LibOp::Sin,
@@ -181,10 +208,17 @@ fn parse_instr(text: &str) -> Result<Instr, PeacError> {
                 "fexpv" => LibOp::Exp,
                 _ => LibOp::Log,
             };
-            Ok(Instr::Flib { op, a: operand(a)?, b: None, dst: vreg(d)? })
+            Ok(Instr::Flib {
+                op,
+                a: operand(a)?,
+                b: None,
+                dst: vreg(d)?,
+            })
         }
         "fpowv" => {
-            let [a, b, d] = rest.as_slice() else { return Err(bad()) };
+            let [a, b, d] = rest.as_slice() else {
+                return Err(bad());
+            };
             Ok(Instr::Flib {
                 op: LibOp::Pow,
                 a: operand(a)?,
@@ -203,8 +237,15 @@ fn parse_instr(text: &str) -> Result<Instr, PeacError> {
                 "ge" => CmpOp::Ge,
                 _ => return Err(bad()),
             };
-            let [a, b, d] = rest.as_slice() else { return Err(bad()) };
-            Ok(Instr::Fcmpv { op, a: operand(a)?, b: operand(b)?, dst: vreg(d)? })
+            let [a, b, d] = rest.as_slice() else {
+                return Err(bad());
+            };
+            Ok(Instr::Fcmpv {
+                op,
+                a: operand(a)?,
+                b: operand(b)?,
+                dst: vreg(d)?,
+            })
         }
         _ => Err(bad()),
     }
@@ -272,7 +313,7 @@ mod tests {
         assert_eq!(r.len(), 9);
         assert_eq!(r.nargs_ptr(), 9); // aP8 is the highest pointer
         assert_eq!(r.nargs_scalar(), 29); // aS28 is the highest scalar
-        // The comma-continued flodv is overlapped.
+                                          // The comma-continued flodv is overlapped.
         let overlapped = r.body().iter().filter(|i| i.is_overlapped()).count();
         assert_eq!(overlapped, 1);
     }
@@ -322,8 +363,16 @@ mod tests {
             3,
             0,
             vec![
-                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
-                Instr::Flodv { src: Mem::arg(1), dst: VReg(1), overlapped: true },
+                Instr::Flodv {
+                    src: Mem::arg(0),
+                    dst: VReg(0),
+                    overlapped: false,
+                },
+                Instr::Flodv {
+                    src: Mem::arg(1),
+                    dst: VReg(1),
+                    overlapped: true,
+                },
                 Instr::Fmaddv {
                     a: Operand::V(VReg(0)),
                     b: Operand::V(VReg(0)),
@@ -336,7 +385,11 @@ mod tests {
                     b: Operand::V(VReg(1)),
                     dst: VReg(3),
                 },
-                Instr::Fstrv { src: VReg(3), dst: Mem::arg(2), overlapped: false },
+                Instr::Fstrv {
+                    src: VReg(3),
+                    dst: Mem::arg(2),
+                    overlapped: false,
+                },
             ],
         )
         .unwrap();

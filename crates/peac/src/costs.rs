@@ -93,8 +93,16 @@ mod tests {
 
     #[test]
     fn spill_pair_costs_18_cycles_as_in_the_paper() {
-        let store = Instr::SpillStore { src: VReg(0), slot: 0, overlapped: false };
-        let load = Instr::SpillLoad { slot: 0, dst: VReg(0), overlapped: false };
+        let store = Instr::SpillStore {
+            src: VReg(0),
+            slot: 0,
+            overlapped: false,
+        };
+        let load = Instr::SpillLoad {
+            slot: 0,
+            dst: VReg(0),
+            overlapped: false,
+        };
         assert_eq!(instr_cycles(&store) + instr_cycles(&load), 18);
         // "roughly equivalent to three … vector operations"
         assert_eq!(18 / VOP_CYCLES, 3);
@@ -102,9 +110,17 @@ mod tests {
 
     #[test]
     fn overlapped_memory_is_free() {
-        let i = Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: true };
+        let i = Instr::Flodv {
+            src: Mem::arg(0),
+            dst: VReg(0),
+            overlapped: true,
+        };
         assert_eq!(instr_cycles(&i), 0);
-        let i = Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false };
+        let i = Instr::Flodv {
+            src: Mem::arg(0),
+            dst: VReg(0),
+            overlapped: false,
+        };
         assert_eq!(instr_cycles(&i), MEM_CYCLES);
     }
 

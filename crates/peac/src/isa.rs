@@ -469,8 +469,7 @@ impl Instr {
                     op(b);
                 }
             }
-            Flodv { .. } | Fstrv { .. } | Fimmv { .. } | SpillStore { .. }
-            | SpillLoad { .. } => {}
+            Flodv { .. } | Fstrv { .. } | Fimmv { .. } | SpillStore { .. } | SpillLoad { .. } => {}
         }
         out
     }
@@ -492,10 +491,19 @@ impl Instr {
     pub fn is_overlapped(&self) -> bool {
         matches!(
             self,
-            Instr::Flodv { overlapped: true, .. }
-                | Instr::Fstrv { overlapped: true, .. }
-                | Instr::SpillStore { overlapped: true, .. }
-                | Instr::SpillLoad { overlapped: true, .. }
+            Instr::Flodv {
+                overlapped: true,
+                ..
+            } | Instr::Fstrv {
+                overlapped: true,
+                ..
+            } | Instr::SpillStore {
+                overlapped: true,
+                ..
+            } | Instr::SpillLoad {
+                overlapped: true,
+                ..
+            }
         )
     }
 
@@ -505,8 +513,14 @@ impl Instr {
     pub fn flops_per_elem(&self) -> u64 {
         use Instr::*;
         match self {
-            Faddv { .. } | Fsubv { .. } | Fmulv { .. } | Fdivv { .. } | Fmaxv { .. }
-            | Fminv { .. } | Fnegv { .. } | Fabsv { .. } => 1,
+            Faddv { .. }
+            | Fsubv { .. }
+            | Fmulv { .. }
+            | Fdivv { .. }
+            | Fmaxv { .. }
+            | Fminv { .. }
+            | Fnegv { .. }
+            | Fabsv { .. } => 1,
             Fmaddv { .. } => 2,
             Flib { .. } => 1,
             _ => 0,
@@ -645,7 +659,11 @@ mod tests {
 
     #[test]
     fn display_matches_fig12_syntax() {
-        let i = Instr::Flodv { src: Mem::arg(7), dst: VReg(3), overlapped: false };
+        let i = Instr::Flodv {
+            src: Mem::arg(7),
+            dst: VReg(3),
+            overlapped: false,
+        };
         assert_eq!(i.to_string(), "flodv [aP7+0]1++ aV3");
         let i = Instr::Fsubv {
             a: Operand::V(VReg(3)),
@@ -681,14 +699,26 @@ mod tests {
             3,
             0,
             vec![
-                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
-                Instr::Flodv { src: Mem::arg(1), dst: VReg(1), overlapped: true },
+                Instr::Flodv {
+                    src: Mem::arg(0),
+                    dst: VReg(0),
+                    overlapped: false,
+                },
+                Instr::Flodv {
+                    src: Mem::arg(1),
+                    dst: VReg(1),
+                    overlapped: true,
+                },
                 Instr::Faddv {
                     a: Operand::V(VReg(0)),
                     b: Operand::V(VReg(0)),
                     dst: VReg(2),
                 },
-                Instr::Fstrv { src: VReg(2), dst: Mem::arg(2), overlapped: false },
+                Instr::Fstrv {
+                    src: VReg(2),
+                    dst: Mem::arg(2),
+                    overlapped: false,
+                },
             ],
         )
         .unwrap();

@@ -192,16 +192,14 @@ fn step(
     spill: &mut [[f64; VLEN]],
 ) -> Result<(), PeacError> {
     use Instr::*;
-    let operand = |o: &Operand,
-                   mem: &NodeMemory,
-                   vregs: &[[f64; VLEN]]|
-     -> Result<[f64; VLEN], PeacError> {
-        Ok(match o {
-            Operand::V(r) => vregs[r.0 as usize],
-            Operand::S(r) => [sregs[r.0 as usize]; VLEN],
-            Operand::M(m) => load_vec_raw(mem, pointers, m)?,
-        })
-    };
+    let operand =
+        |o: &Operand, mem: &NodeMemory, vregs: &[[f64; VLEN]]| -> Result<[f64; VLEN], PeacError> {
+            Ok(match o {
+                Operand::V(r) => vregs[r.0 as usize],
+                Operand::S(r) => [sregs[r.0 as usize]; VLEN],
+                Operand::M(m) => load_vec_raw(mem, pointers, m)?,
+            })
+        };
     match i {
         Flodv { src, dst, .. } => {
             vregs[dst.0 as usize] = load_vec(mem, pointers, src)?;
@@ -307,11 +305,7 @@ fn step(
     Ok(())
 }
 
-fn load_vec_raw(
-    mem: &NodeMemory,
-    pointers: &[usize],
-    m: &Mem,
-) -> Result<[f64; VLEN], PeacError> {
+fn load_vec_raw(mem: &NodeMemory, pointers: &[usize], m: &Mem) -> Result<[f64; VLEN], PeacError> {
     load_vec(mem, pointers, m)
 }
 
@@ -343,15 +337,27 @@ mod tests {
             3,
             1,
             vec![
-                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
-                Instr::Flodv { src: Mem::arg(1), dst: VReg(1), overlapped: false },
+                Instr::Flodv {
+                    src: Mem::arg(0),
+                    dst: VReg(0),
+                    overlapped: false,
+                },
+                Instr::Flodv {
+                    src: Mem::arg(1),
+                    dst: VReg(1),
+                    overlapped: false,
+                },
                 Instr::Fmaddv {
                     a: Operand::S(SReg(0)),
                     b: Operand::V(VReg(0)),
                     c: Operand::V(VReg(1)),
                     dst: VReg(2),
                 },
-                Instr::Fstrv { src: VReg(2), dst: Mem::arg(2), overlapped: false },
+                Instr::Fstrv {
+                    src: VReg(2),
+                    dst: Mem::arg(2),
+                    overlapped: false,
+                },
             ],
         );
         let mut mem = NodeMemory::new();
@@ -366,7 +372,6 @@ mod tests {
         assert_eq!(stats.iterations, 3); // ceil(10/4)
         assert_eq!(stats.flops, 2 * 10); // fmadd: 2 flops/element, 10 valid
         assert!(stats.cycles > 0);
-
     }
 
     #[test]
@@ -377,13 +382,21 @@ mod tests {
             3,
             0,
             vec![
-                Instr::Flodv { src: Mem::arg(0), dst: VReg(3), overlapped: false },
+                Instr::Flodv {
+                    src: Mem::arg(0),
+                    dst: VReg(3),
+                    overlapped: false,
+                },
                 Instr::Fsubv {
                     a: Operand::V(VReg(3)),
                     b: Operand::M(Mem::arg(1)),
                     dst: VReg(1),
                 },
-                Instr::Fstrv { src: VReg(1), dst: Mem::arg(2), overlapped: false },
+                Instr::Fstrv {
+                    src: VReg(1),
+                    dst: Mem::arg(2),
+                    overlapped: false,
+                },
             ],
         );
         let mut mem = NodeMemory::new();
@@ -401,30 +414,70 @@ mod tests {
             3,
             0,
             vec![
-                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false }, // coord
-                Instr::Flodv { src: Mem::arg(1), dst: VReg(1), overlapped: false }, // A
-                Instr::Fimmv { value: 2.0, dst: VReg(2) },
-                Instr::Fdivv { a: Operand::V(VReg(0)), b: Operand::V(VReg(2)), dst: VReg(3) },
-                Instr::Ftruncv { a: Operand::V(VReg(3)), dst: VReg(3) },
-                Instr::Fmulv { a: Operand::V(VReg(3)), b: Operand::V(VReg(2)), dst: VReg(3) },
-                Instr::Fsubv { a: Operand::V(VReg(0)), b: Operand::V(VReg(3)), dst: VReg(3) },
+                Instr::Flodv {
+                    src: Mem::arg(0),
+                    dst: VReg(0),
+                    overlapped: false,
+                }, // coord
+                Instr::Flodv {
+                    src: Mem::arg(1),
+                    dst: VReg(1),
+                    overlapped: false,
+                }, // A
+                Instr::Fimmv {
+                    value: 2.0,
+                    dst: VReg(2),
+                },
+                Instr::Fdivv {
+                    a: Operand::V(VReg(0)),
+                    b: Operand::V(VReg(2)),
+                    dst: VReg(3),
+                },
+                Instr::Ftruncv {
+                    a: Operand::V(VReg(3)),
+                    dst: VReg(3),
+                },
+                Instr::Fmulv {
+                    a: Operand::V(VReg(3)),
+                    b: Operand::V(VReg(2)),
+                    dst: VReg(3),
+                },
+                Instr::Fsubv {
+                    a: Operand::V(VReg(0)),
+                    b: Operand::V(VReg(3)),
+                    dst: VReg(3),
+                },
                 // mask = (coord mod 2) == 0
-                Instr::Fimmv { value: 0.0, dst: VReg(4) },
+                Instr::Fimmv {
+                    value: 0.0,
+                    dst: VReg(4),
+                },
                 Instr::Fcmpv {
                     op: CmpOp::Eq,
                     a: Operand::V(VReg(3)),
                     b: Operand::V(VReg(4)),
                     dst: VReg(5),
                 },
-                Instr::Fimmv { value: 5.0, dst: VReg(6) },
-                Instr::Fmulv { a: Operand::V(VReg(6)), b: Operand::V(VReg(1)), dst: VReg(6) },
+                Instr::Fimmv {
+                    value: 5.0,
+                    dst: VReg(6),
+                },
+                Instr::Fmulv {
+                    a: Operand::V(VReg(6)),
+                    b: Operand::V(VReg(1)),
+                    dst: VReg(6),
+                },
                 Instr::Fselv {
                     mask: VReg(5),
                     a: Operand::V(VReg(1)),
                     b: Operand::V(VReg(6)),
                     dst: VReg(7),
                 },
-                Instr::Fstrv { src: VReg(7), dst: Mem::arg(2), overlapped: false },
+                Instr::Fstrv {
+                    src: VReg(7),
+                    dst: Mem::arg(2),
+                    overlapped: false,
+                },
             ],
         );
         let mut mem = NodeMemory::new();
@@ -441,11 +494,30 @@ mod tests {
             2,
             0,
             vec![
-                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
-                Instr::SpillStore { src: VReg(0), slot: 0, overlapped: false },
-                Instr::Fimmv { value: 0.0, dst: VReg(0) },
-                Instr::SpillLoad { slot: 0, dst: VReg(1), overlapped: false },
-                Instr::Fstrv { src: VReg(1), dst: Mem::arg(1), overlapped: false },
+                Instr::Flodv {
+                    src: Mem::arg(0),
+                    dst: VReg(0),
+                    overlapped: false,
+                },
+                Instr::SpillStore {
+                    src: VReg(0),
+                    slot: 0,
+                    overlapped: false,
+                },
+                Instr::Fimmv {
+                    value: 0.0,
+                    dst: VReg(0),
+                },
+                Instr::SpillLoad {
+                    slot: 0,
+                    dst: VReg(1),
+                    overlapped: false,
+                },
+                Instr::Fstrv {
+                    src: VReg(1),
+                    dst: Mem::arg(1),
+                    overlapped: false,
+                },
             ],
         );
         let mut mem = NodeMemory::new();
@@ -460,7 +532,11 @@ mod tests {
         let r = routine(
             1,
             0,
-            vec![Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false }],
+            vec![Instr::Flodv {
+                src: Mem::arg(0),
+                dst: VReg(0),
+                overlapped: false,
+            }],
         );
         let mut mem = NodeMemory::new();
         assert!(run_routine(&r, &mut mem, &[], &[], 4).is_err());
@@ -472,7 +548,11 @@ mod tests {
         let r = routine(
             1,
             0,
-            vec![Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false }],
+            vec![Instr::Flodv {
+                src: Mem::arg(0),
+                dst: VReg(0),
+                overlapped: false,
+            }],
         );
         let mut mem = NodeMemory::new();
         let a = mem.alloc(&[1.0; 4]);

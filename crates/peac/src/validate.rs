@@ -23,11 +23,7 @@ use std::collections::{HashMap, HashSet};
 use crate::isa::{Instr, Mem, Operand, NUM_PREGS, NUM_SREGS, NUM_VREGS};
 use crate::PeacError;
 
-fn check_operand(
-    o: &Operand,
-    nargs_ptr: usize,
-    nargs_scalar: usize,
-) -> Result<(), PeacError> {
+fn check_operand(o: &Operand, nargs_ptr: usize, nargs_scalar: usize) -> Result<(), PeacError> {
     match o {
         Operand::V(r) => {
             if r.0 >= NUM_VREGS {
@@ -74,11 +70,7 @@ fn check_mem(m: &Mem, nargs_ptr: usize) -> Result<(), PeacError> {
 /// # Errors
 ///
 /// Fails with [`PeacError::Invalid`] on any rule violation.
-pub fn validate(
-    nargs_ptr: usize,
-    nargs_scalar: usize,
-    body: &[Instr],
-) -> Result<u16, PeacError> {
+pub fn validate(nargs_ptr: usize, nargs_scalar: usize, body: &[Instr]) -> Result<u16, PeacError> {
     if nargs_ptr > NUM_PREGS as usize {
         return Err(PeacError::Invalid(format!(
             "{nargs_ptr} pointer arguments exceed the pointer file ({NUM_PREGS})"
@@ -221,11 +213,19 @@ mod tests {
     use crate::isa::{Mem, Operand, Routine, SReg, VReg};
 
     fn load(p: u8, v: u8) -> Instr {
-        Instr::Flodv { src: Mem::arg(p), dst: VReg(v), overlapped: false }
+        Instr::Flodv {
+            src: Mem::arg(p),
+            dst: VReg(v),
+            overlapped: false,
+        }
     }
 
     fn add(a: u8, b: u8, d: u8) -> Instr {
-        Instr::Faddv { a: Operand::V(VReg(a)), b: Operand::V(VReg(b)), dst: VReg(d) }
+        Instr::Faddv {
+            a: Operand::V(VReg(a)),
+            b: Operand::V(VReg(b)),
+            dst: VReg(d),
+        }
     }
 
     #[test]
@@ -237,7 +237,11 @@ mod tests {
             vec![
                 load(0, 0),
                 add(0, 0, 1),
-                Instr::Fstrv { src: VReg(1), dst: Mem::arg(1), overlapped: false },
+                Instr::Fstrv {
+                    src: VReg(1),
+                    dst: Mem::arg(1),
+                    overlapped: false,
+                },
             ],
         )
         .unwrap();
@@ -298,10 +302,22 @@ mod tests {
             3,
             0,
             vec![
-                Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: true },
-                Instr::Flodv { src: Mem::arg(1), dst: VReg(1), overlapped: true },
+                Instr::Flodv {
+                    src: Mem::arg(0),
+                    dst: VReg(0),
+                    overlapped: true,
+                },
+                Instr::Flodv {
+                    src: Mem::arg(1),
+                    dst: VReg(1),
+                    overlapped: true,
+                },
                 add(0, 1, 2),
-                Instr::Fstrv { src: VReg(2), dst: Mem::arg(2), overlapped: false },
+                Instr::Fstrv {
+                    src: VReg(2),
+                    dst: Mem::arg(2),
+                    overlapped: false,
+                },
             ],
         )
         .unwrap_err();
@@ -316,7 +332,11 @@ mod tests {
             0,
             vec![
                 load(0, 0),
-                Instr::Fstrv { src: VReg(0), dst: Mem::arg(0), overlapped: false },
+                Instr::Fstrv {
+                    src: VReg(0),
+                    dst: Mem::arg(0),
+                    overlapped: false,
+                },
             ],
         )
         .unwrap_err();
@@ -329,7 +349,11 @@ mod tests {
             "bad",
             1,
             0,
-            vec![Instr::SpillLoad { slot: 0, dst: VReg(0), overlapped: false }],
+            vec![Instr::SpillLoad {
+                slot: 0,
+                dst: VReg(0),
+                overlapped: false,
+            }],
         )
         .unwrap_err();
         assert!(err.to_string().contains("before any spill"));
@@ -343,8 +367,16 @@ mod tests {
             0,
             vec![
                 load(0, 0),
-                Instr::SpillStore { src: VReg(0), slot: 3, overlapped: false },
-                Instr::SpillLoad { slot: 3, dst: VReg(1), overlapped: false },
+                Instr::SpillStore {
+                    src: VReg(0),
+                    slot: 3,
+                    overlapped: false,
+                },
+                Instr::SpillLoad {
+                    slot: 3,
+                    dst: VReg(1),
+                    overlapped: false,
+                },
             ],
         )
         .unwrap();

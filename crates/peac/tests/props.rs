@@ -13,8 +13,16 @@ fn copy_routine() -> Routine {
         2,
         0,
         vec![
-            Instr::Flodv { src: Mem::arg(0), dst: VReg(0), overlapped: false },
-            Instr::Fstrv { src: VReg(0), dst: Mem::arg(1), overlapped: false },
+            Instr::Flodv {
+                src: Mem::arg(0),
+                dst: VReg(0),
+                overlapped: false,
+            },
+            Instr::Fstrv {
+                src: VReg(0),
+                dst: Mem::arg(1),
+                overlapped: false,
+            },
         ],
     )
     .expect("valid")

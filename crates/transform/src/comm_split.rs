@@ -9,9 +9,7 @@
 //! Figure 12 NIR excerpt.
 
 use f90y_nir::typecheck::{Checker, Mode};
-use f90y_nir::{
-    Decl, FieldAction, Imp, LValue, MoveClause, NirError, Type, Value,
-};
+use f90y_nir::{Decl, FieldAction, Imp, LValue, MoveClause, NirError, Type, Value};
 
 use crate::program::ProgramBody;
 
@@ -62,9 +60,7 @@ fn rewrite_stmt(
                     };
                     let mut args: Vec<(Type, Value)> = args
                         .into_iter()
-                        .map(|(t, a)| {
-                            Ok((t, hoist_value(a, body, counter, prefix, introduced)?))
-                        })
+                        .map(|(t, a)| Ok((t, hoist_value(a, body, counter, prefix, introduced)?)))
                         .collect::<Result<_, NirError>>()?;
                     if let Some((_, arg0)) = args.first() {
                         let needs_temp = !matches!(
@@ -73,8 +69,7 @@ fn rewrite_stmt(
                         );
                         if needs_temp {
                             let arg0 = args[0].1.clone();
-                            if let Some(tmp) =
-                                materialize(arg0, body, counter, prefix, introduced)?
+                            if let Some(tmp) = materialize(arg0, body, counter, prefix, introduced)?
                             {
                                 args[0].1 = tmp;
                             }
@@ -89,7 +84,11 @@ fn rewrite_stmt(
                 }
                 let mask = hoist_value(c.mask, body, counter, prefix, introduced)?;
                 let src = hoist_value(c.src, body, counter, prefix, introduced)?;
-                new_clauses.push(MoveClause { mask, src, dst: c.dst });
+                new_clauses.push(MoveClause {
+                    mask,
+                    src,
+                    dst: c.dst,
+                });
             }
             Ok(Imp::Move(new_clauses))
         }
@@ -200,8 +199,7 @@ fn hoist_value(
                 );
                 if needs_temp {
                     let arg0 = args[0].1.clone();
-                    if let Some(tmp) =
-                        materialize(arg0.clone(), body, counter, prefix, introduced)?
+                    if let Some(tmp) = materialize(arg0.clone(), body, counter, prefix, introduced)?
                     {
                         args[0].1 = tmp;
                     }
@@ -217,9 +215,9 @@ fn hoist_value(
                 Ok(vt) => vt,
                 Err(_) => return Ok(call),
             };
-            let shape = vt.shape.ok_or_else(|| {
-                NirError::Shape("communication intrinsic on a scalar".into())
-            })?;
+            let shape = vt
+                .shape
+                .ok_or_else(|| NirError::Shape("communication intrinsic on a scalar".into()))?;
             let elem = vt.elem;
             let tmp = body.fresh_temp(counter);
             body.add_temp_decl(Decl::Decl(
@@ -378,11 +376,7 @@ mod tests {
                 seq(vec![
                     mv(avar("v", everywhere()), local_under(domain("s"), 1)),
                     mv_masked(
-                        bin(
-                            f90y_nir::BinOp::Gt,
-                            ld("v", everywhere()),
-                            f64c(4.0),
-                        ),
+                        bin(f90y_nir::BinOp::Gt, ld("v", everywhere()), f64c(4.0)),
                         avar("z", everywhere()),
                         cshift_call("v", 1, 1),
                     ),
@@ -391,7 +385,10 @@ mod tests {
         ));
         let mut body = ProgramBody::decompose(&p).unwrap();
         let n = run(&mut body).unwrap();
-        assert_eq!(n, 1, "masked comm must hoist (masks don't commute with shifts)");
+        assert_eq!(
+            n, 1,
+            "masked comm must hoist (masks don't commute with shifts)"
+        );
         let out = body.recompose();
         let mut ev1 = Evaluator::new();
         ev1.run(&p).unwrap();
@@ -444,10 +441,7 @@ mod tests {
                         fcncall(
                             "cshift",
                             vec![
-                                (
-                                    float64(),
-                                    add(ld("v", everywhere()), ld("w", everywhere())),
-                                ),
+                                (float64(), add(ld("v", everywhere()), ld("w", everywhere()))),
                                 (int32(), int(1)),
                                 (int32(), int(1)),
                             ],

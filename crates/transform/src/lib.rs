@@ -71,12 +71,19 @@ pub struct OptimizeOptions {
 impl OptimizeOptions {
     /// The full Fortran-90-Y pipeline.
     pub fn full() -> Self {
-        OptimizeOptions { comm_split: true, mask_pad: true, blocking: true }
+        OptimizeOptions {
+            comm_split: true,
+            mask_pad: true,
+            blocking: true,
+        }
     }
 
     /// Per-statement compilation: everything except blocking.
     pub fn per_statement() -> Self {
-        OptimizeOptions { blocking: false, ..OptimizeOptions::full() }
+        OptimizeOptions {
+            blocking: false,
+            ..OptimizeOptions::full()
+        }
     }
 }
 
@@ -114,7 +121,10 @@ pub fn optimize_with_options(
     imp: &Imp,
     options: OptimizeOptions,
 ) -> Result<(Imp, TransformReport), NirError> {
-    let mut report = TransformReport { moves_before: imp.count_moves(), ..Default::default() };
+    let mut report = TransformReport {
+        moves_before: imp.count_moves(),
+        ..Default::default()
+    };
 
     let mut body = ProgramBody::decompose(imp)?;
     if options.comm_split {
@@ -243,10 +253,7 @@ mod tests {
                             // a = b + local_under(alpha, 2)
                             mv(
                                 avar("a", everywhere()),
-                                add(
-                                    ld("b", everywhere()),
-                                    local_under(domain("alpha"), 2),
-                                ),
+                                add(ld("b", everywhere()), local_under(domain("alpha"), 2)),
                             ),
                             // DO i over serial 1..64: c(i) = a(i,i)
                             do_over(
@@ -254,10 +261,7 @@ mod tests {
                                 serial_interval(1, 64),
                                 mv(
                                     avar("c", subscript(vec![do_index("i", 1)])),
-                                    ld(
-                                        "a",
-                                        subscript(vec![do_index("i", 1), do_index("i", 1)]),
-                                    ),
+                                    ld("a", subscript(vec![do_index("i", 1), do_index("i", 1)])),
                                 ),
                             ),
                             // b = a

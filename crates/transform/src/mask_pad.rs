@@ -171,14 +171,14 @@ fn widen(v: &Value, target: &[SectionRange]) -> Value {
             Value::AVar(id.clone(), FieldAction::Everywhere)
         }
         Value::Unary(op, a) => Value::Unary(*op, Box::new(widen(a, target))),
-        Value::Binary(op, a, b) => Value::Binary(
-            *op,
-            Box::new(widen(a, target)),
-            Box::new(widen(b, target)),
-        ),
+        Value::Binary(op, a, b) => {
+            Value::Binary(*op, Box::new(widen(a, target)), Box::new(widen(b, target)))
+        }
         Value::FcnCall(name, args) => Value::FcnCall(
             name.clone(),
-            args.iter().map(|(t, a)| (t.clone(), widen(a, target))).collect(),
+            args.iter()
+                .map(|(t, a)| (t.clone(), widen(a, target)))
+                .collect(),
         ),
         other => other.clone(),
     }

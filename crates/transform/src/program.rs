@@ -87,7 +87,11 @@ impl ProgramBody {
             Imp::Skip => Vec::new(),
             other => vec![other.clone()],
         };
-        Ok(ProgramBody { binders, stmts, programmed })
+        Ok(ProgramBody {
+            binders,
+            stmts,
+            programmed,
+        })
     }
 
     /// Reassemble the program.
@@ -214,10 +218,7 @@ pub fn classify_stmt(stmt: &Imp, ctx: &mut Ctx) -> Result<StmtClass, NirError> {
     }
 }
 
-fn resolve_type(
-    ty: &f90y_nir::Type,
-    ctx: &Ctx,
-) -> Result<f90y_nir::Type, NirError> {
+fn resolve_type(ty: &f90y_nir::Type, ctx: &Ctx) -> Result<f90y_nir::Type, NirError> {
     match ty {
         f90y_nir::Type::Scalar(s) => Ok(f90y_nir::Type::Scalar(*s)),
         f90y_nir::Type::DField { shape, elem } => Ok(f90y_nir::Type::DField {

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  node SPARC:   {} address/loop operations per subgrid iteration",
         split.sparc_ops_per_iteration
     );
-    println!("  control proc: dispatch of {} arguments\n", split.control_args);
+    println!(
+        "  control proc: dispatch of {} arguments\n",
+        split.control_args
+    );
 
     let cm2 = exe.run(2048)?;
     println!("CM/2, 2048 nodes: {:>7.2} GFLOPS", cm2.gflops);

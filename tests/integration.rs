@@ -4,7 +4,9 @@
 use f90y_core::{workloads, Compiler, Pipeline};
 
 fn f90y(src: &str) -> f90y_core::Executable {
-    Compiler::new(Pipeline::F90y).compile(src).expect("compiles")
+    Compiler::new(Pipeline::F90y)
+        .compile(src)
+        .expect("compiles")
 }
 
 // ---------------------------------------------------------------------
@@ -123,7 +125,10 @@ fn larger_problems_sustain_higher_gflops() {
     for n in [64usize, 128, 256] {
         let exe = f90y(&workloads::swe_source(n, 2));
         let g = exe.run(2048).unwrap().gflops;
-        assert!(g > last, "GFLOPS must grow with problem size: {g} vs {last}");
+        assert!(
+            g > last,
+            "GFLOPS must grow with problem size: {g} vs {last}"
+        );
         last = g;
     }
 }
@@ -147,7 +152,11 @@ fn peac_listings_round_trip_the_figure_notation() {
 fn transform_report_reflects_swe_structure() {
     let exe = f90y(&workloads::swe_source(32, 2));
     // 17 shifts per step appear once in the loop body: hoisted temps.
-    assert!(exe.report.comm_temps >= 14, "temps: {}", exe.report.comm_temps);
+    assert!(
+        exe.report.comm_temps >= 14,
+        "temps: {}",
+        exe.report.comm_temps
+    );
     // The three update stages fuse into a few blocks.
     assert!(exe.report.blocks_after >= 1);
     assert!(exe.compiled.blocks.len() <= 12);
@@ -164,6 +173,110 @@ fn cm5_estimates_are_consistent_with_cm2_results() {
         run5.final_array("t").unwrap()
     );
     assert!(stats5.gflops() > 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Telemetry: pass timings, counters, simulator cycle attribution
+// ---------------------------------------------------------------------
+
+#[test]
+fn telemetry_covers_every_stage_and_round_trips() {
+    use f90y_core::{Telemetry, TelemetryReport};
+
+    let mut tel = Telemetry::new();
+    let src = workloads::swe_source(32, 2);
+    let exe = Compiler::new(Pipeline::F90y)
+        .compile_with(&src, &mut tel)
+        .expect("compiles");
+    exe.run_with(64, &mut tel).expect("runs");
+    let report = tel.report();
+
+    // Every pipeline stage ran inside a span with a nonzero duration.
+    for stage in [
+        "compile",
+        "compile.frontend.parse",
+        "compile.lowering",
+        "compile.transform",
+        "compile.backend",
+        "run",
+    ] {
+        let nanos = report
+            .span_nanos(stage)
+            .unwrap_or_else(|| panic!("stage {stage} missing from telemetry spans"));
+        assert!(nanos > 0, "stage {stage} has zero duration");
+    }
+
+    // At least 8 distinct named counters spanning the frontend,
+    // transform, backend and simulator layers (the acceptance floor).
+    for counter in [
+        "frontend.tokens",
+        "frontend.ast_stmts",
+        "transform.comm_temps",
+        "transform.blocks_after",
+        "backend.pe.madds_fused",
+        "backend.pe.instructions",
+        "backend.node_blocks",
+        "sim.compute_cycles",
+        "sim.comm_cycles",
+        "sim.dispatches",
+    ] {
+        assert!(
+            report.counter(counter).is_some(),
+            "counter {counter} missing"
+        );
+    }
+    assert!(report.counter("frontend.tokens").unwrap() > 0);
+    assert!(report.counter("sim.compute_cycles").unwrap() > 0);
+    assert!(report.gauge("backend.pe.vreg_pressure").unwrap() > 0.0);
+
+    // Per-phase simulator cycle attribution sums exactly to the
+    // category totals — no lost or double-counted cycles.
+    for category in [
+        "compute_cycles",
+        "comm_cycles",
+        "dispatch_overhead_cycles",
+        "host_cycles",
+    ] {
+        let total = report.counter(&format!("sim.{category}")).unwrap();
+        let attributed: u64 = report
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("sim.phase.") && k.ends_with(&format!(".{category}")))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(
+            attributed, total,
+            "sim.phase.*.{category} must sum to sim.{category}"
+        );
+    }
+
+    // The JSON report round-trips exactly.
+    let parsed = TelemetryReport::from_json(&report.to_json()).expect("parses");
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn disabled_telemetry_is_a_true_no_op() {
+    use f90y_core::Telemetry;
+
+    let mut tel = Telemetry::disabled();
+    let src = workloads::heat_source(32, 2);
+    let exe = Compiler::new(Pipeline::F90y)
+        .compile_with(&src, &mut tel)
+        .expect("compiles");
+    let instrumented = exe.run_with(32, &mut tel).expect("runs");
+    let report = tel.report();
+    assert!(report.spans.is_empty());
+    assert!(report.counters.is_empty());
+    assert!(report.gauges.is_empty());
+
+    // And the results are identical to the uninstrumented path.
+    let plain = f90y(&src).run(32).expect("runs");
+    assert_eq!(plain.stats, instrumented.stats);
+    assert_eq!(
+        plain.finals.final_array("t").unwrap(),
+        instrumented.finals.final_array("t").unwrap()
+    );
 }
 
 #[test]

@@ -11,8 +11,8 @@ use proptest::prelude::*;
 
 use f90y_core::{Compiler, Pipeline};
 use f90y_nir::eval::Evaluator;
-use f90y_nir::Shape;
 use f90y_nir::SectionRange;
+use f90y_nir::Shape;
 
 // ---------------------------------------------------------------------
 // Random program generation (source level)
@@ -39,9 +39,7 @@ fn arb_expr(depth: u32) -> impl Strategy<Value = String> {
             (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("MIN({x}, {y})")),
             inner.clone().prop_map(|x| format!("(-{x})")),
             inner.clone().prop_map(|x| format!("ABS({x})")),
-            inner
-                .clone()
-                .prop_map(|x| format!("CSHIFT({x} + a, 1, 1)")),
+            inner.clone().prop_map(|x| format!("CSHIFT({x} + a, 1, 1)")),
         ]
     })
 }
@@ -52,12 +50,10 @@ fn arb_stmt() -> impl Strategy<Value = String> {
     let target = prop_oneof![Just("a"), Just("b"), Just("c")];
     prop_oneof![
         (target.clone(), arb_expr(2)).prop_map(|(t, e)| format!("{t} = {e}\n")),
-        (target.clone(), arb_expr(1), arb_expr(1), 0i32..6).prop_map(
-            |(t, e, m, k)| format!("WHERE ({m} > {k}.0) {t} = {e}\n")
-        ),
-        (target, arb_expr(1)).prop_map(|(t, e)| {
-            format!("{t}(1:15:2) = {e}(1:15:2)\n", e = e_guard(&e))
-        }),
+        (target.clone(), arb_expr(1), arb_expr(1), 0i32..6)
+            .prop_map(|(t, e, m, k)| format!("WHERE ({m} > {k}.0) {t} = {e}\n")),
+        (target, arb_expr(1))
+            .prop_map(|(t, e)| { format!("{t}(1:15:2) = {e}(1:15:2)\n", e = e_guard(&e)) }),
     ]
 }
 
@@ -72,9 +68,7 @@ fn e_guard(e: &str) -> &str {
 
 fn arb_program() -> impl Strategy<Value = String> {
     (proptest::collection::vec(arb_stmt(), 1..6), 1i32..9).prop_map(|(stmts, s0)| {
-        let mut src = String::from(
-            "REAL a(16), b(16), c(16)\nREAL s\n",
-        );
+        let mut src = String::from("REAL a(16), b(16), c(16)\nREAL s\n");
         src.push_str(&format!("s = {s0}.25\n"));
         src.push_str("FORALL (i=1:16) a(i) = MOD(i*3, 7) - 3\n");
         src.push_str("FORALL (i=1:16) b(i) = MOD(i*5, 11) - 5\n");

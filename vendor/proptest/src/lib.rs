@@ -1,0 +1,652 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors just enough of proptest's API for the repository's
+//! property suites: strategies over ranges, tuples, collections and
+//! simple regex-like string patterns, the `proptest!`/`prop_assert!`
+//! macro family, and a deterministic case runner. There is no shrinking
+//! and no failure persistence — a failing case panics with its inputs so
+//! it can be reproduced by hand.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Everything the test suites import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Deterministic RNG (splitmix64)
+// ---------------------------------------------------------------------
+
+/// A small deterministic generator; seeded per test from the test name
+/// so runs are reproducible without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from an arbitrary string (FNV-1a).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A generator of values. Unlike real proptest there is no shrink tree;
+/// `generate` draws one value.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::from_fn(move |rng| f(inner.generate(rng)))
+    }
+
+    /// Recursive strategies: `recurse` receives the strategy built so
+    /// far and returns a deeper one; leaves stay reachable at every
+    /// level so generation terminates.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth.max(1) {
+            let branch = recurse(strat.clone()).boxed();
+            let l = leaf.clone();
+            strat = BoxedStrategy::from_fn(move |rng| {
+                // Lean toward branches but keep leaves reachable.
+                if rng.below(4) == 0 {
+                    l.generate(rng)
+                } else {
+                    branch.generate(rng)
+                }
+            });
+        }
+        strat
+    }
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::from_fn(move |rng| inner.generate(rng))
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    fn from_fn<F: Fn(&mut TestRng) -> T + 'static>(f: F) -> Self {
+        BoxedStrategy(Rc::new(f))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy producing one constant value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// A union of the given alternatives (must be nonempty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union(self.0.clone())
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.below(self.0.len() as u64) as usize;
+        self.0[ix].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident $ix:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$ix.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+// ---------------------------------------------------------------------
+// Regex-ish string strategies
+// ---------------------------------------------------------------------
+
+/// String patterns: a single character class (`[ a-z0-9]`, or `\PC` for
+/// printable characters) followed by an optional `*` or `{m,n}`
+/// quantifier. This covers the patterns the repository's suites use;
+/// anything unrecognised generates from the printable-ASCII class.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, rest) = parse_class(self);
+        let (lo, hi) = parse_quantifier(rest);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| class[rng.below(class.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_class(pattern: &str) -> (Vec<char>, &str) {
+    if let Some(rest) = pattern.strip_prefix("\\PC") {
+        // "Any printable character": printable ASCII plus a few
+        // multibyte characters to keep lexers honest.
+        let mut class: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+        class.extend(['é', 'λ', '→', '\u{00a0}']);
+        return (class, rest);
+    }
+    if let Some(body) = pattern.strip_prefix('[') {
+        if let Some(close) = body.find(']') {
+            let mut class = Vec::new();
+            let chars: Vec<char> = body[..close].chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                if i + 2 < chars.len() && chars[i + 1] == '-' {
+                    let (a, b) = (chars[i] as u32, chars[i + 2] as u32);
+                    for c in a..=b {
+                        if let Some(c) = char::from_u32(c) {
+                            class.push(c);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    class.push(chars[i]);
+                    i += 1;
+                }
+            }
+            return (class, &body[close + 1..]);
+        }
+    }
+    ((0x20u8..0x7f).map(char::from).collect(), "")
+}
+
+fn parse_quantifier(rest: &str) -> (usize, usize) {
+    if rest == "*" {
+        return (0, 48);
+    }
+    if let Some(body) = rest.strip_prefix('{') {
+        if let Some(close) = body.find('}') {
+            let spec = &body[..close];
+            let mut parts = spec.splitn(2, ',');
+            let lo = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+            let hi = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(lo.max(1));
+            return (lo, hi.max(lo));
+        }
+    }
+    if rest.is_empty() {
+        (1, 1)
+    } else {
+        (0, 48)
+    }
+}
+
+// ---------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// Build the canonical strategy.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy::from_fn(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                BoxedStrategy::from_fn(|rng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// ---------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+
+    /// A size specification: an exact length or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::from_fn(move |rng: &mut TestRng| {
+            let len = size.lo + rng.below((size.hi - size.lo + 1) as u64) as usize;
+            (0..len).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner plumbing
+// ---------------------------------------------------------------------
+
+/// Per-test configuration (only `cases` matters here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused.
+    pub max_shrink_iters: u32,
+    /// Accepted for source compatibility; unused.
+    pub max_local_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+            max_local_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's inputs were rejected (e.g. by `prop_assume!`); it is
+    /// skipped, not failed.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+thread_local! {
+    static CASE_DESCRIPTION: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Record the current case's inputs so a panic can report them
+/// (used by the `proptest!` expansion).
+pub fn set_case_description(desc: String) {
+    CASE_DESCRIPTION.with(|d| *d.borrow_mut() = desc);
+}
+
+/// The recorded inputs of the case being run.
+pub fn case_description() -> String {
+    CASE_DESCRIPTION.with(|d| d.borrow().clone())
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Uniform choice between strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Fail the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The test-definition macro: each `fn name(x in strategy, ...) { .. }`
+/// becomes a `#[test]` (the attribute is written at the use site, as
+/// with real proptest) running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let inputs = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&format!("{:?}", &$arg));
+                            s.push_str("; ");
+                        )+
+                        s
+                    };
+                    let outcome = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {case} of {} failed: {msg}\n  inputs: {inputs}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..200 {
+            let v = (3i32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn char_classes_parse() {
+        let mut rng = TestRng::from_name("classes");
+        for _ in 0..100 {
+            let s = "[ a-c0-2]{2,5}".generate(&mut rng);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| " abc012".contains(c)));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_spec() {
+        let mut rng = TestRng::from_name("vecs");
+        for _ in 0..100 {
+            let v = collection::vec(0i32..5, 1..4).generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+        }
+        let v = collection::vec(0i32..5, 6usize).generate(&mut rng);
+        assert_eq!(v.len(), 6);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_round_trips(x in 0i32..100, flip in any::<bool>()) {
+            prop_assert!(x >= 0);
+            prop_assert_eq!(flip, flip);
+            if flip {
+                return Ok(());
+            }
+            prop_assert_ne!(x, -1);
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let leaf = (0i32..5).prop_map(|v| v.to_string());
+        let expr = leaf.prop_recursive(4, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        let mut rng = TestRng::from_name("recursion");
+        for _ in 0..50 {
+            let s = expr.generate(&mut rng);
+            assert!(!s.is_empty());
+        }
+    }
+}
