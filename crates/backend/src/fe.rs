@@ -17,14 +17,13 @@
 
 use std::collections::HashMap;
 
-use f90y_cm2::machine::ArrayId;
 use f90y_cm2::runtime::ReduceOp;
-use f90y_cm2::Cm2;
 use f90y_nir::array::Scalar as NScalar;
 use f90y_nir::eval::{apply_binop, apply_unop};
 use f90y_nir::{Const, Decl, FieldAction, LValue, MoveClause, ScalarType, Shape, Type, Value};
 use f90y_transform::program::Binder;
 
+use crate::machine::Machine;
 use crate::{ArrayParam, BackendError, CompiledProgram, HostStmt};
 
 /// A finalised program variable, captured when its scope exited.
@@ -76,17 +75,17 @@ impl HostRun {
 }
 
 #[derive(Debug, Clone)]
-struct ArrayRef {
-    id: ArrayId,
+struct ArrayRef<I> {
+    id: I,
     dims: Vec<usize>,
     lower: Vec<i64>,
     elem: ScalarType,
 }
 
 #[derive(Debug, Clone)]
-enum Entry {
+enum Entry<I> {
     Scalar(NScalar),
-    Array(ArrayRef),
+    Array(ArrayRef<I>),
 }
 
 /// A host value during expression evaluation.
@@ -96,19 +95,20 @@ enum HVal {
     Array(Vec<NScalar>, Vec<usize>),
 }
 
-/// The front-end executor: runs a [`CompiledProgram`] on a machine.
+/// The front-end executor: runs a [`CompiledProgram`] on any
+/// [`Machine`] — the CM/2 SIMD simulator or the CM/5 MIMD runtime.
 #[derive(Debug)]
-pub struct HostExecutor<'m> {
-    cm: &'m mut Cm2,
-    scopes: Vec<HashMap<String, Entry>>,
+pub struct HostExecutor<'m, M: Machine> {
+    cm: &'m mut M,
+    scopes: Vec<HashMap<String, Entry<M::Id>>>,
     domains: HashMap<String, Shape>,
     do_env: Vec<(String, Vec<i64>)>,
     finals: HashMap<String, Final>,
 }
 
-impl<'m> HostExecutor<'m> {
+impl<'m, M: Machine> HostExecutor<'m, M> {
     /// An executor over the given machine.
-    pub fn new(cm: &'m mut Cm2) -> Self {
+    pub fn new(cm: &'m mut M) -> Self {
         HostExecutor {
             cm,
             scopes: vec![HashMap::new()],
@@ -144,7 +144,7 @@ impl<'m> HostExecutor<'m> {
         })
     }
 
-    fn capture(&mut self, scope: HashMap<String, Entry>) -> Result<(), BackendError> {
+    fn capture(&mut self, scope: HashMap<String, Entry<M::Id>>) -> Result<(), BackendError> {
         for (name, entry) in scope {
             let value = match entry {
                 Entry::Scalar(s) => {
@@ -201,7 +201,7 @@ impl<'m> HostExecutor<'m> {
         Ok(())
     }
 
-    fn lookup(&self, name: &str) -> Result<&Entry, BackendError> {
+    fn lookup(&self, name: &str) -> Result<&Entry<M::Id>, BackendError> {
         self.scopes
             .iter()
             .rev()
@@ -209,7 +209,7 @@ impl<'m> HostExecutor<'m> {
             .ok_or_else(|| BackendError::Host(format!("unbound variable '{name}'")))
     }
 
-    fn lookup_array(&self, name: &str) -> Result<ArrayRef, BackendError> {
+    fn lookup_array(&self, name: &str) -> Result<ArrayRef<M::Id>, BackendError> {
         match self.lookup(name)? {
             Entry::Array(a) => Ok(a.clone()),
             Entry::Scalar(_) => Err(BackendError::Host(format!("'{name}' is a scalar"))),
@@ -456,7 +456,7 @@ impl<'m> HostExecutor<'m> {
         }
     }
 
-    fn flat_index(&mut self, arr: &ArrayRef, ixs: &[Value]) -> Result<usize, BackendError> {
+    fn flat_index(&mut self, arr: &ArrayRef<M::Id>, ixs: &[Value]) -> Result<usize, BackendError> {
         if ixs.len() != arr.dims.len() {
             return Err(BackendError::Host(format!(
                 "rank mismatch: {} subscripts for rank {}",
@@ -824,8 +824,8 @@ fn check_conforms(v: &HVal, n: usize, what: &str) -> Result<(), BackendError> {
     Ok(())
 }
 
-fn section_flats(
-    arr: &ArrayRef,
+fn section_flats<I>(
+    arr: &ArrayRef<I>,
     ranges: &[f90y_nir::SectionRange],
 ) -> Result<Vec<usize>, BackendError> {
     if ranges.len() != arr.dims.len() {

@@ -42,8 +42,11 @@
 //! ```
 
 pub mod fe;
+pub mod machine;
 pub mod pe;
 pub mod split;
+
+pub use machine::Machine;
 
 use std::error::Error;
 use std::fmt;
@@ -130,6 +133,28 @@ pub struct NodeBlock {
     pub scalar_params: Vec<Value>,
     /// What PE code generation did to this block.
     pub stats: pe::PeStats,
+}
+
+impl NodeBlock {
+    /// Whether this block can be sharded row-wise across MIMD nodes.
+    ///
+    /// A block is shardable when it computes a parallel shape of rank
+    /// ≥ 1 elementwise: PEAC routines advance every pointer stream one
+    /// vector per iteration and have no cross-element addressing, so
+    /// any contiguous row-major slice of the element space computes
+    /// independently of the rest. All blocks the CM2/NIR splitter
+    /// excises have this form (communication is hoisted into separate
+    /// `Comm` host statements first); the method exists so a MIMD
+    /// runtime can *check* the invariant instead of assuming it.
+    pub fn shardable(&self) -> bool {
+        !self.shape.extents().is_empty() && !self.routine.body().is_empty()
+    }
+
+    /// Extent of the outermost axis — the axis a MIMD runtime shards
+    /// the block's element space along (rows of the row-major layout).
+    pub fn shard_extent(&self) -> usize {
+        self.shape.extents().first().map_or(1, |e| e.len())
+    }
 }
 
 /// A statement of the host remainder program.

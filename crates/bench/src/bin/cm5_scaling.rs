@@ -1,0 +1,66 @@
+//! CM/5 MIMD scaling sweep: really execute the paper's workloads on the
+//! sharded multi-node engine at increasing node counts and report how
+//! sustained GFLOPS, message counts and time-per-phase scale.
+//!
+//! Unlike `table_cm5` (which *estimates* CM/5 time from a CM/2 trace),
+//! this harness runs the `f90y-mimd` engine: arrays are sharded across
+//! nodes, halo exchanges and reduction trees send counted messages, and
+//! the final arrays are checked bit-identical to the CM/2 simulator's.
+//!
+//! Telemetry for each node count lands under
+//! `target/telemetry/cm5_scaling_<workload>_n<N>.json`.
+
+use f90y_bench::{compile, emit_telemetry, rule};
+use f90y_core::{workloads, Executable, Pipeline};
+use f90y_obs::Telemetry;
+
+const NODE_COUNTS: [usize; 3] = [4, 16, 64];
+
+fn sweep(title: &str, slug: &str, exe: &Executable, check: &[&str]) {
+    // The CM/2 reference run: the MIMD finals must match it exactly.
+    let simd = exe.run(64).expect("CM/2 reference run");
+
+    println!("\n{title}:");
+    rule(92);
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "nodes", "GFLOPS", "elapsed", "compute", "halos", "reduces", "messages", "bytes"
+    );
+    rule(92);
+    for nodes in NODE_COUNTS {
+        let mut tel = Telemetry::new();
+        let run = exe.run_mimd_with(nodes, &mut tel).expect("MIMD run");
+        for &name in check {
+            assert_eq!(
+                run.finals.final_array(name).expect("final array"),
+                simd.finals.final_array(name).expect("final array"),
+                "array '{name}' diverged from the CM/2 simulator at {nodes} nodes"
+            );
+        }
+        run.stats.verify().expect("stats invariants");
+        println!(
+            "{:>6} {:>10.4} {:>11.4}s {:>11.4}s {:>10} {:>10} {:>12} {:>10}",
+            nodes,
+            run.gflops,
+            run.elapsed_seconds,
+            run.stats.compute_seconds,
+            run.stats.halo_exchanges,
+            run.stats.reductions,
+            run.stats.messages,
+            run.stats.bytes,
+        );
+        emit_telemetry(&tel, &format!("cm5_scaling_{slug}_n{nodes}"));
+    }
+    rule(92);
+    println!("finals bit-identical to the CM/2 simulator at every node count");
+}
+
+fn main() {
+    println!("CM/5 MIMD scaling — sharded execution with counted messages");
+
+    let swe = compile(&workloads::swe_source(64, 3), Pipeline::F90y);
+    sweep("SWE 64x64, 3 steps", "swe", &swe, &["u", "v", "p"]);
+
+    let fig9 = compile(workloads::fig9_source(), Pipeline::F90y);
+    sweep("Fig. 9 blocked stencil", "fig9", &fig9, &["a", "b", "c"]);
+}

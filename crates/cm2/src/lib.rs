@@ -37,6 +37,7 @@ pub mod runtime;
 pub use config::Cm2Config;
 pub use layout::Layout;
 pub use machine::{ArrayId, Cm2, CycleProfile, MachineStats, PhaseCycles, TraceEvent};
+pub use runtime::ReduceOp;
 
 use std::error::Error;
 use std::fmt;

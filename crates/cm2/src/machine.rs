@@ -198,6 +198,13 @@ impl CycleProfile {
 /// different cost model without re-executing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
+    /// The machine the trace was captured on: always the first event,
+    /// so replay consumers (the CM/5 estimator) can reject traces whose
+    /// subgrid geometry was baked in for a different node count.
+    Machine {
+        /// Node count of the traced machine.
+        nodes: usize,
+    },
     /// A PEAC routine dispatch.
     Dispatch {
         /// Per-node subgrid-loop iterations.
@@ -266,9 +273,12 @@ impl Cm2 {
         }
     }
 
-    /// Start recording machine events (clears any previous trace).
+    /// Start recording machine events (clears any previous trace). The
+    /// first event always identifies the traced machine's node count.
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        self.trace = Some(vec![TraceEvent::Machine {
+            nodes: self.config.nodes,
+        }]);
     }
 
     /// The recorded events, if tracing was enabled.

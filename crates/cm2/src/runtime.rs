@@ -353,7 +353,12 @@ impl Cm2 {
 
 /// Row-major shift along an axis; `boundary: None` wraps (CSHIFT),
 /// `Some(b)` end-off fills (EOSHIFT).
-fn shift_data(
+///
+/// Public because it is *the* reference semantics for Fortran shifts in
+/// this reproduction: the MIMD runtime's halo exchange and the property
+/// suites compare their distributed results against this single-image
+/// function.
+pub fn shift_data(
     data: &[f64],
     dims: &[usize],
     axis: usize,
@@ -499,6 +504,34 @@ mod tests {
     }
 
     #[test]
+    fn eoshift_negative_shift_fills_from_the_front() {
+        let mut cm = machine();
+        let a = cm.alloc_from(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        let s = cm.eoshift(a, 0, -1, -7.5).unwrap();
+        assert_eq!(cm.read(s).unwrap(), vec![-7.5, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn eoshift_nonzero_boundary_on_2d_axes() {
+        let mut cm = machine();
+        let a = cm.alloc_from(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // Shift whole rows up: the vacated row takes the boundary.
+        let rows = cm.eoshift(a, 0, 1, 9.0).unwrap();
+        assert_eq!(cm.read(rows).unwrap(), vec![4.0, 5.0, 6.0, 9.0, 9.0, 9.0]);
+        // Shift columns right: the vacated column takes the boundary.
+        let cols = cm.eoshift(a, 1, -1, 9.0).unwrap();
+        assert_eq!(cm.read(cols).unwrap(), vec![9.0, 1.0, 2.0, 9.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn eoshift_overlong_shift_is_all_boundary() {
+        let mut cm = machine();
+        let a = cm.alloc_from(&[3], vec![1.0, 2.0, 3.0]);
+        let s = cm.eoshift(a, 0, 5, 0.25).unwrap();
+        assert_eq!(cm.read(s).unwrap(), vec![0.25, 0.25, 0.25]);
+    }
+
+    #[test]
     fn shifts_along_unsplit_axes_are_cheaper() {
         // A tall array: all node splits land on axis 0, so axis-1
         // shifts stay node-local and cost only the runtime call plus
@@ -524,6 +557,26 @@ mod tests {
         assert_eq!(cm.reduce(a, ReduceOp::Max).unwrap(), 10.0);
         assert_eq!(cm.reduce(a, ReduceOp::Min).unwrap(), 1.0);
         assert_eq!(cm.stats().reductions, 3);
+    }
+
+    #[test]
+    fn reductions_over_negative_values() {
+        // MAX and MIN must not confuse magnitude with order, and SUM
+        // must not drop sign.
+        let mut cm = machine();
+        let a = cm.alloc_from(&[4], vec![-3.0, -1.0, -4.0, -2.0]);
+        assert_eq!(cm.reduce(a, ReduceOp::Sum).unwrap(), -10.0);
+        assert_eq!(cm.reduce(a, ReduceOp::Max).unwrap(), -1.0);
+        assert_eq!(cm.reduce(a, ReduceOp::Min).unwrap(), -4.0);
+    }
+
+    #[test]
+    fn reductions_on_a_singleton() {
+        let mut cm = machine();
+        let a = cm.alloc_from(&[1], vec![6.5]);
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+            assert_eq!(cm.reduce(a, op).unwrap(), 6.5);
+        }
     }
 
     #[test]

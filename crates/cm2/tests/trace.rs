@@ -46,22 +46,25 @@ fn trace_records_dispatches_and_comm_in_order() {
     cm.reduce(s, f90y_cm2::runtime::ReduceOp::Sum).unwrap();
 
     let trace = cm.trace().expect("tracing enabled");
+    // The machine identifies itself first, so replay consumers can
+    // check the trace matches their geometry.
+    assert!(matches!(trace[0], TraceEvent::Machine { nodes: 16 }));
     assert!(matches!(
-        trace[0],
+        trace[1],
         TraceEvent::Dispatch {
             elements: 64,
             nargs: 2,
             ..
         }
     ));
-    assert!(matches!(trace[1], TraceEvent::GridComm { .. }));
-    assert!(matches!(trace[2], TraceEvent::Reduce { .. }));
+    assert!(matches!(trace[2], TraceEvent::GridComm { .. }));
+    assert!(matches!(trace[3], TraceEvent::Reduce { .. }));
     // Dispatch flops recorded machine-wide (one add per element).
     let TraceEvent::Dispatch {
         flops, arith, mem, ..
-    } = trace[0]
+    } = trace[1]
     else {
-        panic!("first event is a dispatch")
+        panic!("second event is a dispatch")
     };
     assert_eq!(flops, 64);
     assert_eq!(arith, 1, "only the add is arithmetic (fimmv is a move)");

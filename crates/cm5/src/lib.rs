@@ -60,8 +60,27 @@ impl Cm5Config {
     /// Panics unless `nodes` is a power of two between 32 and 1024.
     pub fn new(nodes: usize) -> Self {
         assert!(
-            nodes.is_power_of_two() && (32..=1024).contains(&nodes),
+            (32..=1024).contains(&nodes),
             "CM/5 node count must be a power of two in 32..=1024, got {nodes}"
+        );
+        Cm5Config::custom(nodes)
+    }
+
+    /// A partition with the standard constants but without [`new`]'s
+    /// shipping-size restriction: any power-of-two node count ≥ 1.
+    /// Scaled-down partitions drive the MIMD execution engine in tests
+    /// and benchmarks where the real machine's 32-node minimum would
+    /// just waste simulation time.
+    ///
+    /// [`new`]: Cm5Config::new
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nodes` is a power of two.
+    pub fn custom(nodes: usize) -> Self {
+        assert!(
+            nodes.is_power_of_two(),
+            "CM/5 node count must be a power of two, got {nodes}"
         );
         Cm5Config {
             nodes,
@@ -75,6 +94,35 @@ impl Cm5Config {
     /// Peak GFLOPS (chained multiply-add on every VU).
     pub fn peak_gflops(&self) -> f64 {
         self.nodes as f64 * self.vus_per_node as f64 * 2.0 * self.vu_clock_hz / 1e9
+    }
+
+    /// This partition's constants as a [`f90y_mimd::MimdConfig`], so the
+    /// MIMD execution engine and the analytic estimator model the same
+    /// machine.
+    pub fn mimd_config(&self) -> f90y_mimd::MimdConfig {
+        let mut c = f90y_mimd::MimdConfig::new(self.nodes);
+        c.sparc_clock_hz = self.sparc_clock_hz;
+        c.vu_clock_hz = self.vu_clock_hz;
+        c.vus_per_node = self.vus_per_node;
+        c.network_bytes_per_sec = self.network_bytes_per_sec;
+        c.net_call_seconds = NET_CALL_SECONDS;
+        c.cp_dispatch_cycles = CP_DISPATCH_CYCLES;
+        c.cp_per_arg_cycles = CP_PER_ARG_CYCLES;
+        c
+    }
+
+    /// Execute a compiled program on this partition's MIMD engine
+    /// (genuinely distributed: sharded arrays, halo exchanges, combine
+    /// trees) rather than replaying a SIMD trace through [`estimate`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on host-execution or runtime errors.
+    pub fn run_mimd(
+        &self,
+        compiled: &CompiledProgram,
+    ) -> Result<(f90y_backend::fe::HostRun, f90y_mimd::MimdStats), f90y_backend::BackendError> {
+        f90y_mimd::run(compiled, &self.mimd_config())
     }
 }
 
@@ -177,7 +225,8 @@ pub const NET_CALL_SECONDS: f64 = 25.0e-6;
 ///
 /// # Errors
 ///
-/// Fails when the trace is empty (tracing was not enabled).
+/// Fails when the trace is empty (tracing was not enabled) or was
+/// captured on a machine whose node count disagrees with `config`.
 pub fn estimate(
     _compiled: &CompiledProgram,
     trace: &[TraceEvent],
@@ -190,6 +239,17 @@ pub fn estimate(
     let vus = config.vus_per_node as f64;
     for e in trace {
         match *e {
+            TraceEvent::Machine { nodes } => {
+                if nodes != config.nodes {
+                    return Err(Cm5Error(format!(
+                        "trace was captured on {nodes} nodes but the CM/5 config has {}: \
+                         per-node subgrid geometry is baked into the events, so the \
+                         replay would mis-time every dispatch; re-trace on a matching \
+                         machine",
+                        config.nodes
+                    )));
+                }
+            }
             TraceEvent::Dispatch {
                 iterations,
                 arith,
@@ -282,7 +342,11 @@ pub fn run_and_estimate(
 mod tests {
     use super::*;
 
-    fn compiled_swe(n: usize) -> CompiledProgram {
+    /// Compile the shallow-water kernel, naming the pipeline stage that
+    /// failed instead of panicking mid-chain: a test that dies here
+    /// should say *which* phase regressed, not just "called unwrap on
+    /// an Err".
+    fn compile_swe(n: usize) -> Result<CompiledProgram, String> {
         let src = format!(
             "
 REAL v({n},{n}), t({n},{n})
@@ -293,10 +357,14 @@ DO step = 1, 3
 END DO
 "
         );
-        let unit = f90y_frontend::parse(&src).unwrap();
-        let nir = f90y_lowering::lower(&unit).unwrap();
-        let optimized = f90y_transform::optimize(&nir).unwrap();
-        f90y_backend::compile(&optimized).unwrap()
+        let unit = f90y_frontend::parse(&src).map_err(|e| format!("frontend parse: {e}"))?;
+        let nir = f90y_lowering::lower(&unit).map_err(|e| format!("lowering: {e}"))?;
+        let optimized = f90y_transform::optimize(&nir).map_err(|e| format!("transform: {e}"))?;
+        f90y_backend::compile(&optimized).map_err(|e| format!("backend split: {e}"))
+    }
+
+    fn compiled_swe(n: usize) -> CompiledProgram {
+        compile_swe(n).expect("SWE kernel must compile")
     }
 
     #[test]
@@ -342,6 +410,69 @@ END DO
     fn empty_trace_is_an_error() {
         let compiled = compiled_swe(16);
         assert!(estimate(&compiled, &[], &Cm5Config::new(32)).is_err());
+    }
+
+    #[test]
+    fn node_count_mismatch_is_an_error() {
+        let compiled = compiled_swe(16);
+        // Trace on 64 nodes, estimate for 256: geometry disagrees.
+        let mut cm = f90y_cm2::Cm2::new(f90y_cm2::Cm2Config::slicewise(64));
+        cm.enable_trace();
+        f90y_backend::fe::HostExecutor::new(&mut cm)
+            .run(&compiled)
+            .expect("CM/2 run must succeed");
+        let trace = cm.trace().expect("trace was enabled").to_vec();
+        let err = estimate(&compiled, &trace, &Cm5Config::new(256))
+            .expect_err("mismatched node count must be rejected");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("64"),
+            "error should name the traced count: {msg}"
+        );
+        assert!(
+            msg.contains("256"),
+            "error should name the config count: {msg}"
+        );
+        // The matching count still estimates fine.
+        assert!(estimate(&compiled, &trace, &Cm5Config::new(64)).is_ok());
+    }
+
+    #[test]
+    fn mimd_engine_agrees_with_the_analytic_model() {
+        let compiled = compiled_swe(64);
+        let config = Cm5Config::new(64);
+        // The engine really executes on 64 sharded nodes…
+        let (mimd_run, mimd_stats) = config.run_mimd(&compiled).expect("MIMD run");
+        // …while the estimator replays a traced SIMD run of the same
+        // program.
+        let mut cm = f90y_cm2::Cm2::new(f90y_cm2::Cm2Config::slicewise(64));
+        cm.enable_trace();
+        let simd_run = f90y_backend::fe::HostExecutor::new(&mut cm)
+            .run(&compiled)
+            .expect("SIMD run");
+        let trace = cm.trace().expect("trace was enabled");
+
+        // Same program, same data: bit-identical arrays.
+        assert_eq!(
+            mimd_run.final_array("v").unwrap(),
+            simd_run.final_array("v").unwrap()
+        );
+        // Communication runtime calls counted call for call: the two
+        // models see the identical host program.
+        let traced_comm = trace
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::GridComm { .. }
+                        | TraceEvent::Router { .. }
+                        | TraceEvent::Reduce { .. }
+                )
+            })
+            .count() as u64;
+        assert_eq!(mimd_stats.comm_calls, traced_comm);
+        assert!(estimate(&compiled, trace, &config).is_ok());
+        mimd_stats.verify().expect("stats invariants");
     }
 
     #[test]

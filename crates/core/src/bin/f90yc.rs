@@ -4,7 +4,8 @@
 //! f90yc [options] <file.f90 | ->
 //!
 //!   --pipeline f90y|cmf|starlisp   compiler to model       (default f90y)
-//!   --nodes N                      CM/2 nodes, power of 2  (default 2048)
+//!   --target cm2|cm5               execution engine         (default cm2)
+//!   --nodes N                      nodes, power of 2        (default 2048)
 //!   --emit nir|opt|peac|host       print a stage and stop
 //!   --run                          execute and report       (default)
 //!   --validate                     also check against the reference evaluator
@@ -19,6 +20,7 @@
 //! cargo run -p f90y-core --bin f90yc -- --emit peac prog.f90
 //! echo 'INTEGER K(64,64)
 //! K = 2*K + 5' | cargo run -p f90y-core --bin f90yc -- --validate -
+//! cargo run -p f90y-core --bin f90yc -- --target cm5 --nodes 64 prog.f90
 //! ```
 
 use std::io::Read;
@@ -26,8 +28,18 @@ use std::process::ExitCode;
 
 use f90y_core::{Compiler, JsonSink, Pipeline, PrettySink, Telemetry};
 
+/// Which execution engine runs the compiled program.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Target {
+    /// The lock-step CM/2 SIMD simulator (the default).
+    Cm2,
+    /// The CM/5 MIMD engine: sharded arrays, real message passing.
+    Cm5,
+}
+
 struct Options {
     pipeline: Pipeline,
+    target: Target,
     nodes: usize,
     emit: Option<String>,
     validate: bool,
@@ -40,7 +52,8 @@ struct Options {
 const USAGE: &str = "usage: f90yc [options] <file.f90 | ->
 
   --pipeline f90y|cmf|starlisp   compiler to model       (default f90y)
-  --nodes N                      CM/2 nodes, power of 2  (default 2048)
+  --target cm2|cm5               execution engine         (default cm2)
+  --nodes N                      nodes, power of 2        (default 2048)
   --emit nir|opt|peac|host       print a stage and stop
   --validate                     also check against the reference evaluator
   --finals a,b,c                 print these variables after the run
@@ -55,6 +68,7 @@ fn usage() -> ! {
 fn parse_args() -> Options {
     let mut opts = Options {
         pipeline: Pipeline::F90y,
+        target: Target::Cm2,
         nodes: 2048,
         emit: None,
         validate: false,
@@ -71,6 +85,13 @@ fn parse_args() -> Options {
                     Some("f90y") => Pipeline::F90y,
                     Some("cmf") => Pipeline::Cmf,
                     Some("starlisp") => Pipeline::StarLisp,
+                    _ => usage(),
+                }
+            }
+            "--target" => {
+                opts.target = match args.next().as_deref() {
+                    Some("cm2") => Target::Cm2,
+                    Some("cm5") => Target::Cm5,
                     _ => usage(),
                 }
             }
@@ -166,26 +187,53 @@ fn main() -> ExitCode {
         _ => {}
     }
 
-    let run = match exe.run_with(opts.nodes, &mut tel) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("f90yc: execution failed: {e}");
-            return ExitCode::FAILURE;
+    let finals = match opts.target {
+        Target::Cm2 => {
+            let run = match exe.run_with(opts.nodes, &mut tel) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("f90yc: execution failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "{} on {} CM/2 nodes: {:.4} GFLOPS sustained ({:.3} ms modelled, \
+                 {} dispatches, {} comm calls, host {:.2}%)",
+                opts.pipeline.name(),
+                opts.nodes,
+                run.gflops,
+                run.elapsed_seconds * 1e3,
+                run.stats.dispatches,
+                run.stats.comm_calls,
+                run.host_fraction * 100.0,
+            );
+            run.finals
+        }
+        Target::Cm5 => {
+            let run = match exe.run_mimd_with(opts.nodes, &mut tel) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("f90yc: execution failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "{} on {} CM/5 nodes: {:.4} GFLOPS sustained ({:.3} ms modelled, \
+                 {} dispatches, {} comm calls, {} messages, {} bytes)",
+                opts.pipeline.name(),
+                opts.nodes,
+                run.gflops,
+                run.elapsed_seconds * 1e3,
+                run.stats.dispatches,
+                run.stats.comm_calls,
+                run.stats.messages,
+                run.stats.bytes,
+            );
+            run.finals
         }
     };
-    println!(
-        "{} on {} nodes: {:.4} GFLOPS sustained ({:.3} ms modelled, {} dispatches, \
-         {} comm calls, host {:.2}%)",
-        opts.pipeline.name(),
-        opts.nodes,
-        run.gflops,
-        run.elapsed_seconds * 1e3,
-        run.stats.dispatches,
-        run.stats.comm_calls,
-        run.host_fraction * 100.0,
-    );
     for name in &opts.finals {
-        match run.finals.final_array(name) {
+        match finals.final_array(name) {
             Ok(a) => {
                 let head: Vec<String> = a.iter().take(8).map(|x| format!("{x}")).collect();
                 println!(
@@ -194,7 +242,7 @@ fn main() -> ExitCode {
                     if a.len() > 8 { ", …" } else { "" }
                 );
             }
-            Err(_) => match run.finals.final_scalar(name) {
+            Err(_) => match finals.final_scalar(name) {
                 Ok(s) => println!("{name} = {s}"),
                 Err(e) => eprintln!("f90yc: {e}"),
             },

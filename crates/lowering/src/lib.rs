@@ -963,13 +963,10 @@ impl Lowerer {
                     let boundary = keywords
                         .remove("boundary")
                         .or_else(|| positional.get(2).cloned());
+                    // NIR eoshift order: (array, shift, dim[, boundary]).
                     args.push((int_ty(), dim));
                     if let Some(b) = boundary {
                         args.push((f64_ty(), b));
-                    }
-                    // NIR eoshift order: (array, shift, dim[, boundary]).
-                    if args.len() == 4 {
-                        args.swap(2, 3);
                     }
                 } else {
                     let dim = arg(2, "dim", &mut keywords).unwrap_or(nb::int(1));

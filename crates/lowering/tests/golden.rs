@@ -417,3 +417,21 @@ fn general_forall_with_permuted_indices_works_without_self_read() {
         }
     }
 }
+
+#[test]
+fn eoshift_keyword_arguments_keep_nir_order() {
+    // Regression: with both DIM and BOUNDARY given by keyword, lowering
+    // used to swap the two into each other's NIR slots, so the boundary
+    // value was read as the (invalid) dimension.
+    let src = "
+        REAL a(6), b(6), c(6)
+        FORALL (i=1:6) a(i) = i
+        b = EOSHIFT(a, DIM=1, SHIFT=2, BOUNDARY=-1.0)
+        c = EOSHIFT(a, 2, -1.0, 1)
+    ";
+    let ev = run(src);
+    let want = vec![3.0, 4.0, 5.0, 6.0, -1.0, -1.0];
+    assert_eq!(ev.final_array_f64("b").unwrap(), want);
+    // Positional Fortran order (ARRAY, SHIFT, BOUNDARY, DIM) agrees.
+    assert_eq!(ev.final_array_f64("c").unwrap(), want);
+}

@@ -1,0 +1,94 @@
+//! Configuration of the simulated CM/5 MIMD partition.
+
+/// Machine constants of a CM/5 partition running the MIMD engine.
+///
+/// The compute and network constants deliberately mirror the analytic
+/// estimator in `f90y-cm5` (33 MHz SPARC, 16 MHz vector units, four VUs
+/// per node, ~20 MB/s fat-tree bandwidth per node): the two crates model
+/// the *same machine* from opposite ends — the estimator replays a SIMD
+/// trace, this engine actually executes multi-node — and the
+/// differential tests lean on the constants agreeing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MimdConfig {
+    /// Number of processing nodes (any power of two ≥ 1; scaled-down
+    /// partitions keep tests fast).
+    pub nodes: usize,
+    /// Node SPARC clock (33 MHz).
+    pub sparc_clock_hz: f64,
+    /// Vector-unit clock (16 MHz).
+    pub vu_clock_hz: f64,
+    /// Vector units per node (4).
+    pub vus_per_node: usize,
+    /// Fat-tree per-node bandwidth in bytes/second (~20 MB/s).
+    pub network_bytes_per_sec: f64,
+    /// Software send/receive overhead per message batch touching a
+    /// node, in seconds.
+    pub net_call_seconds: f64,
+    /// Control-processor dispatch overhead per block launch, in SPARC
+    /// cycles.
+    pub cp_dispatch_cycles: u64,
+    /// Per-argument broadcast cost in control-processor cycles.
+    pub cp_per_arg_cycles: u64,
+    /// When `Some`, the machine keeps a log of every message it sends
+    /// (for tests and message-model debugging); the capacity bounds the
+    /// log so pathological runs cannot eat memory.
+    pub message_log_capacity: Option<usize>,
+}
+
+impl MimdConfig {
+    /// A partition of `nodes` nodes with the standard CM/5 constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nodes` is a power of two (the fat tree and the
+    /// combine trees assume it).
+    pub fn new(nodes: usize) -> Self {
+        assert!(
+            nodes.is_power_of_two(),
+            "MIMD node count must be a power of two, got {nodes}"
+        );
+        MimdConfig {
+            nodes,
+            sparc_clock_hz: 33.0e6,
+            vu_clock_hz: 16.0e6,
+            vus_per_node: 4,
+            network_bytes_per_sec: 20.0e6,
+            net_call_seconds: 25.0e-6,
+            cp_dispatch_cycles: 400,
+            cp_per_arg_cycles: 10,
+            message_log_capacity: None,
+        }
+    }
+
+    /// Same partition, with the message log enabled (unbounded is
+    /// spelled `usize::MAX`).
+    pub fn with_message_log(mut self, capacity: usize) -> Self {
+        self.message_log_capacity = Some(capacity);
+        self
+    }
+
+    /// Peak GFLOPS (chained multiply-add on every VU).
+    pub fn peak_gflops(&self) -> f64 {
+        self.nodes as f64 * self.vus_per_node as f64 * 2.0 * self.vu_clock_hz / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_constants() {
+        let c = MimdConfig::new(64);
+        assert_eq!(c.nodes, 64);
+        assert_eq!(c.vus_per_node, 4);
+        // 64 nodes × 128 MFLOPS.
+        assert!((c.peak_gflops() - 8.192).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        MimdConfig::new(48);
+    }
+}

@@ -1,0 +1,86 @@
+//! # f90y-mimd — the CM/5 MIMD execution engine
+//!
+//! The paper's §5.3.1 sketches retargeting the prototype from the SIMD
+//! CM/2 to the MIMD CM/5: "one part will go to the control processor,
+//! as before; a second part will be executed on the SPARC node
+//! processor, and a third part will carry out floating point vector
+//! operations on the CM/5 vector datapaths." The `f90y-cm5` crate
+//! models that machine *analytically* (it replays a CM/2 trace under a
+//! CM/5 cost model); this crate models it *operationally*: N simulated
+//! nodes each own a slab of every array and really execute the compiled
+//! program — per-node PEAC blocks, ghost-row halo exchanges behind
+//! `CSHIFT`/`EOSHIFT`, all-to-all router batches, log₂ N combine trees
+//! for reductions, and a host/control-processor protocol of broadcast
+//! dispatches and scalar read-backs.
+//!
+//! The crate divides into
+//!
+//! * [`config`] — the machine constants (shared with the analytic
+//!   model, so the two can be cross-checked);
+//! * [`shard`] — the outer-axis slab decomposition every array uses;
+//! * [`net`] — the deterministic message layer: batches of explicit
+//!   point-to-point messages, busiest-endpoint superstep timing, an
+//!   optional bounded log;
+//! * [`machine`] — [`MimdMachine`], implementing the backend's
+//!   [`f90y_backend::Machine`] trait so the *identical* compiled host
+//!   program drives either target;
+//! * [`stats`] — [`MimdStats`]: per-phase and per-node time
+//!   attribution plus message/byte counters.
+//!
+//! Two guarantees the tests enforce:
+//!
+//! 1. **Exactness** — final arrays are bit-identical to the CM/2
+//!    simulator's for the same program: dispatches compute the same
+//!    IEEE results on slabs, shifts move the same elements, and
+//!    reductions fold in canonical element order (the deterministic
+//!    combining the CM-5 control network guaranteed in hardware).
+//! 2. **Determinism** — no wall clock, no randomness, fixed iteration
+//!    and delivery orders: two runs of one program produce identical
+//!    arrays, stats and message logs.
+//!
+//! ## Example
+//!
+//! ```
+//! use f90y_mimd::{run, MimdConfig};
+//!
+//! let unit = f90y_frontend::parse("REAL A(32,32), S\nA = A + 1.0\nS = SUM(A)\n")?;
+//! let nir = f90y_lowering::lower(&unit)?;
+//! let optimized = f90y_transform::optimize(&nir)?;
+//! let compiled = f90y_backend::compile(&optimized)?;
+//!
+//! let (run, stats) = run(&compiled, &MimdConfig::new(16))?;
+//! assert_eq!(run.final_scalar("s")?, 1024.0);
+//! assert_eq!(stats.dispatches, 1);
+//! assert!(stats.reductions >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod config;
+pub mod machine;
+pub mod net;
+pub mod shard;
+pub mod stats;
+
+pub use config::MimdConfig;
+pub use machine::{MimdId, MimdMachine};
+pub use net::{Message, MessageKind};
+pub use stats::MimdStats;
+
+use f90y_backend::fe::{HostExecutor, HostRun};
+use f90y_backend::{BackendError, CompiledProgram};
+
+/// Execute a compiled program on a fresh MIMD machine; returns the
+/// host-run results and the machine statistics.
+///
+/// # Errors
+///
+/// Fails on host-execution or runtime errors.
+pub fn run(
+    compiled: &CompiledProgram,
+    config: &MimdConfig,
+) -> Result<(HostRun, MimdStats), BackendError> {
+    let mut machine = MimdMachine::new(config.clone());
+    let run = HostExecutor::new(&mut machine).run(compiled)?;
+    let stats = machine.stats().clone();
+    Ok((run, stats))
+}

@@ -1,0 +1,642 @@
+//! The MIMD machine: N simulated nodes really executing the compiled
+//! program's runtime calls.
+//!
+//! Every CM array is sharded along its outermost axis
+//! ([`crate::shard::ShardMap`]); each runtime call becomes one
+//! bulk-synchronous superstep:
+//!
+//! * **dispatch** — the control processor broadcasts the routine and
+//!   its arguments down a binomial tree, then every node runs the PEAC
+//!   routine over its own slab through `f90y-peac`'s executor. No data
+//!   moves: arrays of one shape shard identically, so each node already
+//!   holds matching slabs of every argument.
+//! * **grid shifts** — a halo exchange. Rows a node needs but does not
+//!   own arrive as one message per (owner → needer) pair; shifts along
+//!   inner axes never cross a shard boundary and stay message-free.
+//! * **router moves** — an all-to-all batch: each node scatters its
+//!   slab uniformly over the other N−1.
+//! * **reductions** — local partials combine up a binary tree
+//!   (N−1 messages), and the root returns the scalar to the host.
+//!   The *value* is computed in canonical element order, so it is
+//!   bit-identical to the single-image runtime — the determinism the
+//!   CM-5 control network guaranteed in hardware.
+//! * **host element access** — one message between the owning node and
+//!   the host.
+//!
+//! Supersteps make time attribution simple: each call advances the
+//! modelled clock by the busiest node's compute plus the batch's
+//! network time ([`crate::net::Net::deliver`]). There is no wall
+//! clock and no randomness anywhere — two runs of one program produce
+//! identical arrays, stats and message logs.
+
+use std::collections::HashMap;
+
+use f90y_backend::Machine;
+use f90y_cm2::runtime::{shift_data, ReduceOp};
+use f90y_cm2::Cm2Error;
+use f90y_peac::isa::Instr;
+use f90y_peac::sim::{run_routine, NodeMemory};
+use f90y_peac::Routine;
+
+use crate::config::MimdConfig;
+use crate::net::{Message, MessageKind, Net, HOST};
+use crate::shard::ShardMap;
+use crate::stats::MimdStats;
+
+/// Handle to an array in MIMD node memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MimdId(usize);
+
+/// One array, laid across the nodes as outer-axis slabs.
+#[derive(Debug, Clone)]
+struct MimdArray {
+    dims: Vec<usize>,
+    lower: Vec<i64>,
+    /// Row-major slab per node; concatenation in node order is the
+    /// whole array in row-major order.
+    shards: Vec<Vec<f64>>,
+}
+
+impl MimdArray {
+    fn rows(&self) -> usize {
+        self.dims.first().copied().unwrap_or(1)
+    }
+
+    fn inner(&self) -> usize {
+        self.dims.iter().skip(1).product()
+    }
+
+    fn total(&self) -> usize {
+        self.rows() * self.inner()
+    }
+
+    fn map(&self, nodes: usize) -> ShardMap {
+        ShardMap::new(self.rows(), nodes)
+    }
+
+    fn gather(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.total());
+        for s in &self.shards {
+            out.extend_from_slice(s);
+        }
+        out
+    }
+
+    /// One whole row in global coordinates.
+    fn row(&self, map: &ShardMap, r: usize) -> &[f64] {
+        let k = map.owner(r);
+        let local = r - map.row_start(k);
+        let inner = self.inner();
+        &self.shards[k][local * inner..(local + 1) * inner]
+    }
+}
+
+/// The sharded multi-node execution engine.
+#[derive(Debug, Clone)]
+pub struct MimdMachine {
+    config: MimdConfig,
+    arrays: HashMap<usize, MimdArray>,
+    next: usize,
+    coord_cache: HashMap<(Vec<usize>, Vec<i64>, usize), MimdId>,
+    stats: MimdStats,
+    net: Net,
+}
+
+impl MimdMachine {
+    /// A fresh machine.
+    pub fn new(config: MimdConfig) -> Self {
+        let net = Net::new(
+            config.nodes,
+            config.net_call_seconds,
+            config.network_bytes_per_sec,
+            config.message_log_capacity,
+        );
+        MimdMachine {
+            stats: MimdStats::new(config.nodes),
+            arrays: HashMap::new(),
+            next: 0,
+            coord_cache: HashMap::new(),
+            net,
+            config,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MimdConfig {
+        &self.config
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &MimdStats {
+        &self.stats
+    }
+
+    /// The message log, when [`MimdConfig::message_log_capacity`] is
+    /// set.
+    pub fn message_log(&self) -> Option<&[Message]> {
+        self.net.log()
+    }
+
+    fn array(&self, id: MimdId) -> Result<&MimdArray, Cm2Error> {
+        self.arrays
+            .get(&id.0)
+            .ok_or_else(|| Cm2Error::Runtime(format!("stale MIMD array handle {:?}", id)))
+    }
+
+    fn alloc_sharded(&mut self, dims: &[usize], lower: &[i64], data: Option<Vec<f64>>) -> MimdId {
+        let rows = dims.first().copied().unwrap_or(1);
+        let inner: usize = dims.iter().skip(1).product();
+        let map = ShardMap::new(rows, self.config.nodes);
+        let shards = (0..self.config.nodes)
+            .map(|k| {
+                let lo = map.row_start(k) * inner;
+                let hi = map.row_end(k) * inner;
+                match &data {
+                    Some(d) => d[lo..hi].to_vec(),
+                    None => vec![0.0; hi - lo],
+                }
+            })
+            .collect();
+        let id = self.next;
+        self.next += 1;
+        self.arrays.insert(
+            id,
+            MimdArray {
+                dims: dims.to_vec(),
+                lower: lower.to_vec(),
+                shards,
+            },
+        );
+        MimdId(id)
+    }
+
+    fn deliver(&mut self, batch: Vec<Message>) {
+        self.stats.network_seconds += self.net.deliver(batch);
+        self.stats.messages = self.net.messages();
+        self.stats.bytes = self.net.bytes();
+    }
+
+    /// The binomial broadcast tree rooted at the host: N−1 edges, built
+    /// doubling round by doubling round.
+    fn broadcast_batch(&self, bytes: u64) -> Vec<Message> {
+        let n = self.config.nodes;
+        let mut batch = Vec::with_capacity(n);
+        if n == 0 {
+            return batch;
+        }
+        batch.push(Message {
+            src: HOST,
+            dst: 0,
+            bytes,
+            kind: MessageKind::Broadcast,
+        });
+        let mut have = 1;
+        while have < n {
+            for src in 0..have.min(n - have) {
+                batch.push(Message {
+                    src,
+                    dst: src + have,
+                    bytes,
+                    kind: MessageKind::Broadcast,
+                });
+            }
+            have *= 2;
+        }
+        batch
+    }
+
+    /// Charge a per-node compute superstep: the clock advances by the
+    /// busiest node.
+    fn charge_compute(&mut self, busy: &[f64]) {
+        let max = busy.iter().cloned().fold(0.0, f64::max);
+        self.stats.compute_seconds += max;
+        for (k, b) in busy.iter().enumerate() {
+            self.stats.node_busy_seconds[k] += b;
+        }
+    }
+
+    /// Per-element VU beats of a routine body, classified the same way
+    /// the CM/2 tracer classifies instructions (so the analytic
+    /// estimator and this engine time identical beat counts).
+    fn beats_per_elem(routine: &Routine) -> f64 {
+        let mut beats = 0.0;
+        for i in routine.body() {
+            match i {
+                Instr::Fdivv { .. } => beats += 5.0,
+                Instr::Flib { .. } => beats += 10.0,
+                Instr::Flodv { .. }
+                | Instr::Fstrv { .. }
+                | Instr::SpillLoad { .. }
+                | Instr::SpillStore { .. } => beats += 0.5,
+                other if other.is_arith() => beats += 1.0,
+                _ => {}
+            }
+        }
+        beats
+    }
+
+    /// The shift superstep behind both `cshift` and `eoshift`:
+    /// `boundary: None` wraps, `Some(b)` end-off fills.
+    fn shift(
+        &mut self,
+        src: MimdId,
+        axis: usize,
+        shift: i64,
+        boundary: Option<f64>,
+    ) -> Result<MimdId, Cm2Error> {
+        let arr = self.array(src)?;
+        if axis >= arr.dims.len() {
+            return Err(Cm2Error::Runtime(format!(
+                "shift axis {axis} out of range for rank {}",
+                arr.dims.len()
+            )));
+        }
+        let dims = arr.dims.clone();
+        let lower = arr.lower.clone();
+        let nodes = self.config.nodes;
+        let map = arr.map(nodes);
+        let inner = arr.inner();
+        let rows = arr.rows();
+
+        let (shards, batch) = if axis == 0 {
+            // Halo exchange: destination row `a` takes source row
+            // `a + shift`; rows outside the local slab arrive as ghost
+            // rows, one message per (owner → needer) pair.
+            let mut shards = Vec::with_capacity(nodes);
+            let mut ghosts: HashMap<(usize, usize), u64> = HashMap::new();
+            for k in 0..nodes {
+                let mut slab = Vec::with_capacity(map.rows_of(k) * inner);
+                for a in map.row_start(k)..map.row_end(k) {
+                    let src_row = a as i64 + shift;
+                    match boundary {
+                        Some(b) if src_row < 0 || src_row >= rows as i64 => {
+                            slab.extend(std::iter::repeat_n(b, inner));
+                        }
+                        _ => {
+                            let r = src_row.rem_euclid(rows.max(1) as i64) as usize;
+                            let owner = map.owner(r);
+                            if owner != k {
+                                *ghosts.entry((owner, k)).or_insert(0) += 1;
+                            }
+                            slab.extend_from_slice(arr.row(&map, r));
+                        }
+                    }
+                }
+                shards.push(slab);
+            }
+            let batch = ghosts
+                .into_iter()
+                .map(|((owner, k), ghost_rows)| Message {
+                    src: owner,
+                    dst: k,
+                    bytes: ghost_rows * inner as u64 * 8,
+                    kind: MessageKind::Halo,
+                })
+                .collect();
+            (shards, batch)
+        } else {
+            // Inner-axis shifts never cross a slab boundary: each node
+            // shifts its own slab, viewed as an array whose outer
+            // extent is its row count.
+            let shards = (0..nodes)
+                .map(|k| {
+                    let mut local_dims = dims.clone();
+                    local_dims[0] = map.rows_of(k);
+                    shift_data(&arr.shards[k], &local_dims, axis, shift, boundary)
+                })
+                .collect();
+            (shards, Vec::new())
+        };
+
+        // Local copy work: two memory beats per element on each node.
+        let busy: Vec<f64> = (0..nodes)
+            .map(|k| {
+                let elems = map.rows_of(k) * inner;
+                2.0 * elems as f64 / self.config.vus_per_node as f64 / self.config.vu_clock_hz
+            })
+            .collect();
+        self.charge_compute(&busy);
+        self.stats.comm_calls += 1;
+        if !batch.is_empty() {
+            self.stats.halo_exchanges += 1;
+        }
+        // Every grid shift pays the runtime-call software overhead even
+        // when no ghost row moves — the same floor the analytic
+        // estimator charges per grid-communication event.
+        self.stats.network_seconds += self.config.net_call_seconds;
+        self.deliver(batch);
+
+        let id = self.next;
+        self.next += 1;
+        self.arrays.insert(
+            id,
+            MimdArray {
+                dims,
+                lower,
+                shards,
+            },
+        );
+        Ok(MimdId(id))
+    }
+}
+
+impl Machine for MimdMachine {
+    type Id = MimdId;
+
+    fn alloc_with_bounds(&mut self, dims: &[usize], lower: &[i64]) -> MimdId {
+        self.alloc_sharded(dims, lower, None)
+    }
+
+    fn alloc_from(&mut self, dims: &[usize], data: Vec<f64>) -> MimdId {
+        self.alloc_sharded(dims, &vec![1; dims.len()], Some(data))
+    }
+
+    fn free(&mut self, id: MimdId) -> Result<(), Cm2Error> {
+        self.arrays
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or_else(|| Cm2Error::Runtime(format!("stale MIMD array handle {:?}", id)))
+    }
+
+    fn read(&self, id: MimdId) -> Result<Vec<f64>, Cm2Error> {
+        Ok(self.array(id)?.gather())
+    }
+
+    fn write(&mut self, id: MimdId, data: &[f64]) -> Result<(), Cm2Error> {
+        let nodes = self.config.nodes;
+        let (map, inner, total) = {
+            let arr = self.array(id)?;
+            (arr.map(nodes), arr.inner(), arr.total())
+        };
+        if data.len() != total {
+            return Err(Cm2Error::Runtime(format!(
+                "write length {} disagrees with array size {total}",
+                data.len()
+            )));
+        }
+        let arr = self.arrays.get_mut(&id.0).expect("checked above");
+        for (k, shard) in arr.shards.iter_mut().enumerate() {
+            let lo = map.row_start(k) * inner;
+            let hi = map.row_end(k) * inner;
+            shard.copy_from_slice(&data[lo..hi]);
+        }
+        Ok(())
+    }
+
+    fn dispatch(
+        &mut self,
+        routine: &Routine,
+        ptr_args: &[MimdId],
+        scalar_args: &[f64],
+    ) -> Result<(), Cm2Error> {
+        if ptr_args.is_empty() {
+            return Err(Cm2Error::Runtime(
+                "dispatch needs at least one array argument".into(),
+            ));
+        }
+        // Stricter than the SIMD machine's element-count check: shards
+        // only align when the *shapes* agree, so a dispatch mixing
+        // dims would hand nodes mismatched slabs.
+        let dims = self.array(ptr_args[0])?.dims.clone();
+        for &id in ptr_args {
+            let d = &self.array(id)?.dims;
+            if *d != dims {
+                return Err(Cm2Error::Runtime(format!(
+                    "dispatch arguments disagree on shape ({d:?} vs {dims:?}): \
+                     shards would not align across nodes"
+                )));
+            }
+        }
+        let nodes = self.config.nodes;
+        let map = ShardMap::new(dims.first().copied().unwrap_or(1), nodes);
+        let inner: usize = dims.iter().skip(1).product();
+
+        // The control processor broadcasts the dispatch: routine handle
+        // plus every argument word, down the binomial tree.
+        let arg_bytes = 8 * (1 + ptr_args.len() + scalar_args.len()) as u64;
+        let batch = self.broadcast_batch(arg_bytes);
+        self.deliver(batch);
+        self.stats.control_seconds += (self.config.cp_dispatch_cycles
+            + self.config.cp_per_arg_cycles * (ptr_args.len() + scalar_args.len()) as u64)
+            as f64
+            / self.config.sparc_clock_hz;
+
+        // Every node runs the routine over its slab. An array passed
+        // through several pointer arguments shares one node buffer,
+        // exactly as on the SIMD machine.
+        let beats = Self::beats_per_elem(routine);
+        let mut busy = vec![0.0; nodes];
+        for (k, b) in busy.iter_mut().enumerate() {
+            let elems = map.rows_of(k) * inner;
+            if elems == 0 {
+                continue;
+            }
+            let mut mem = NodeMemory::new();
+            let mut base_of: HashMap<MimdId, usize> = HashMap::new();
+            let mut bases = Vec::with_capacity(ptr_args.len());
+            for &id in ptr_args {
+                let base = match base_of.get(&id) {
+                    Some(&b) => b,
+                    None => {
+                        let b = mem.alloc(&self.array(id)?.shards[k]);
+                        base_of.insert(id, b);
+                        b
+                    }
+                };
+                bases.push(base);
+            }
+            run_routine(routine, &mut mem, &bases, scalar_args, elems)?;
+            for (&id, &base) in base_of.iter() {
+                let out = mem.read(base, elems);
+                self.arrays.get_mut(&id.0).expect("checked above").shards[k].copy_from_slice(&out);
+            }
+            *b = beats * (elems as f64 / self.config.vus_per_node as f64) / self.config.vu_clock_hz;
+        }
+        self.charge_compute(&busy);
+
+        let flops_per_elem: u64 = routine.body().iter().map(Instr::flops_per_elem).sum();
+        self.stats.flops += flops_per_elem * (map.rows() * inner) as u64;
+        self.stats.dispatches += 1;
+        Ok(())
+    }
+
+    fn cshift(&mut self, src: MimdId, axis: usize, shift: i64) -> Result<MimdId, Cm2Error> {
+        self.shift(src, axis, shift, None)
+    }
+
+    fn eoshift(
+        &mut self,
+        src: MimdId,
+        axis: usize,
+        shift: i64,
+        boundary: f64,
+    ) -> Result<MimdId, Cm2Error> {
+        self.shift(src, axis, shift, Some(boundary))
+    }
+
+    fn reduce(&mut self, src: MimdId, op: ReduceOp) -> Result<f64, Cm2Error> {
+        let arr = self.array(src)?;
+        // The value folds in canonical element order — shard
+        // concatenation *is* row-major order — so it is bit-identical
+        // to the single-image runtime's fold, the determinism the CM-5
+        // control network guaranteed in hardware.
+        let elems = arr.shards.iter().flat_map(|s| s.iter().copied());
+        let value = match op {
+            ReduceOp::Sum => elems.sum(),
+            ReduceOp::Max => elems.fold(f64::NEG_INFINITY, f64::max),
+            ReduceOp::Min => elems.fold(f64::INFINITY, f64::min),
+        };
+        let nodes = self.config.nodes;
+        let map = arr.map(nodes);
+        let inner = arr.inner();
+
+        // Local partials: one beat per element.
+        let busy: Vec<f64> = (0..nodes)
+            .map(|k| {
+                let elems = map.rows_of(k) * inner;
+                elems as f64 / self.config.vus_per_node as f64 / self.config.vu_clock_hz
+            })
+            .collect();
+        self.charge_compute(&busy);
+
+        // Partials climb a binary tree: in round r, node k (with
+        // k mod 2^(r+1) = 2^r) sends its partial to k − 2^r. N−1 tree
+        // edges, then the root hands the scalar to the host.
+        let mut batch = Vec::with_capacity(nodes);
+        let mut stride = 1;
+        while stride < nodes {
+            let mut k = stride;
+            while k < nodes {
+                batch.push(Message {
+                    src: k,
+                    dst: k - stride,
+                    bytes: 8,
+                    kind: MessageKind::ReduceTree,
+                });
+                k += 2 * stride;
+            }
+            stride *= 2;
+        }
+        batch.push(Message {
+            src: 0,
+            dst: HOST,
+            bytes: 8,
+            kind: MessageKind::HostElem,
+        });
+        self.stats.network_seconds += self.config.net_call_seconds;
+        self.deliver(batch);
+        self.stats.comm_calls += 1;
+        self.stats.reductions += 1;
+        Ok(value)
+    }
+
+    fn coordinates(&mut self, dims: &[usize], lower: &[i64], axis: usize) -> MimdId {
+        let key = (dims.to_vec(), lower.to_vec(), axis);
+        if let Some(&id) = self.coord_cache.get(&key) {
+            if self.arrays.contains_key(&id.0) {
+                return id;
+            }
+        }
+        // Coordinates are a function of the global element index, so
+        // every node generates its slab locally — no messages.
+        let total: usize = dims.iter().product();
+        let stride: usize = dims[axis + 1..].iter().product();
+        let extent = dims[axis];
+        let mut data = Vec::with_capacity(total);
+        for flat in 0..total {
+            let coord = (flat / stride) % extent;
+            data.push((lower[axis] + coord as i64) as f64);
+        }
+        let id = self.alloc_sharded(dims, lower, Some(data));
+        let map = ShardMap::new(dims.first().copied().unwrap_or(1), self.config.nodes);
+        let inner: usize = dims.iter().skip(1).product();
+        let busy: Vec<f64> = (0..self.config.nodes)
+            .map(|k| {
+                let elems = map.rows_of(k) * inner;
+                elems as f64 / self.config.vus_per_node as f64 / self.config.vu_clock_hz
+            })
+            .collect();
+        self.charge_compute(&busy);
+        self.coord_cache.insert(key, id);
+        id
+    }
+
+    fn charge_router_move(&mut self, id: MimdId) -> Result<(), Cm2Error> {
+        let arr = self.array(id)?;
+        let nodes = self.config.nodes;
+        let map = arr.map(nodes);
+        let inner = arr.inner();
+        // All-to-all: each node scatters its slab uniformly over the
+        // other N−1 (the router has no grid pattern to exploit).
+        let mut batch = Vec::new();
+        if nodes > 1 {
+            for src in 0..nodes {
+                let slab_bytes = (map.rows_of(src) * inner * 8) as u64;
+                let per_peer = slab_bytes.div_ceil(nodes as u64 - 1);
+                for dst in 0..nodes {
+                    if src != dst {
+                        batch.push(Message {
+                            src,
+                            dst,
+                            bytes: per_peer,
+                            kind: MessageKind::Router,
+                        });
+                    }
+                }
+            }
+        }
+        self.stats.network_seconds += self.config.net_call_seconds;
+        self.deliver(batch);
+        self.stats.comm_calls += 1;
+        self.stats.router_batches += 1;
+        Ok(())
+    }
+
+    fn charge_host_ops(&mut self, n: u64) {
+        self.stats.host_seconds += n as f64 * 2.0 / self.config.sparc_clock_hz;
+    }
+
+    fn host_read_elem(&mut self, id: MimdId, flat: usize) -> Result<f64, Cm2Error> {
+        let arr = self.array(id)?;
+        if flat >= arr.total() {
+            return Err(Cm2Error::Runtime(format!("element {flat} out of range")));
+        }
+        let inner = arr.inner();
+        let map = arr.map(self.config.nodes);
+        let r = flat / inner.max(1);
+        let owner = map.owner(r);
+        let local = flat - map.row_start(owner) * inner;
+        let v = arr.shards[owner][local];
+        self.charge_host_ops(1);
+        self.deliver(vec![Message {
+            src: owner,
+            dst: HOST,
+            bytes: 8,
+            kind: MessageKind::HostElem,
+        }]);
+        Ok(v)
+    }
+
+    fn host_write_elem(&mut self, id: MimdId, flat: usize, v: f64) -> Result<(), Cm2Error> {
+        let nodes = self.config.nodes;
+        let (owner, local) = {
+            let arr = self.array(id)?;
+            if flat >= arr.total() {
+                return Err(Cm2Error::Runtime(format!("element {flat} out of range")));
+            }
+            let inner = arr.inner();
+            let map = arr.map(nodes);
+            let owner = map.owner(flat / inner.max(1));
+            (owner, flat - map.row_start(owner) * inner)
+        };
+        self.arrays.get_mut(&id.0).expect("checked above").shards[owner][local] = v;
+        self.charge_host_ops(1);
+        self.deliver(vec![Message {
+            src: HOST,
+            dst: owner,
+            bytes: 8,
+            kind: MessageKind::HostElem,
+        }]);
+        Ok(())
+    }
+}

@@ -1,0 +1,205 @@
+//! The deterministic message layer of the MIMD engine.
+//!
+//! Every inter-node transfer in the engine is expressed as a **batch**
+//! of point-to-point messages delivered in one bulk-synchronous
+//! superstep: the runtime call names the messages, [`Net::deliver`]
+//! accounts for them, and the modelled network time of the superstep is
+//! the busiest endpoint's serialization time —
+//!
+//! ```text
+//! t = net_call_seconds · max_k calls(k)  +  max_k bytes(k) / bandwidth
+//! ```
+//!
+//! where `calls(k)` and `bytes(k)` count messages node `k` sends *or*
+//! receives (each endpoint serializes its own traffic; the fat tree
+//! itself is never the bottleneck at these sizes). There is no clock,
+//! no randomness and no delivery reordering: batches are sorted by
+//! `(src, dst)` before accounting, so two runs of the same program
+//! produce byte-identical statistics and logs.
+
+use std::fmt;
+
+/// What a message carries (for the log and the per-kind counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageKind {
+    /// Control-processor dispatch broadcast (binomial tree edge).
+    Broadcast,
+    /// Ghost rows of a halo exchange backing a grid shift.
+    Halo,
+    /// An all-to-all slab fragment of a router move.
+    Router,
+    /// A partial value climbing a reduction combine tree.
+    ReduceTree,
+    /// A single element travelling between a node and the host.
+    HostElem,
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MessageKind::Broadcast => "broadcast",
+            MessageKind::Halo => "halo",
+            MessageKind::Router => "router",
+            MessageKind::ReduceTree => "reduce-tree",
+            MessageKind::HostElem => "host-elem",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One point-to-point message. `src == usize::MAX` stands for the host
+/// (control processor) endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Sending node (or [`HOST`]).
+    pub src: usize,
+    /// Receiving node (or [`HOST`]).
+    pub dst: usize,
+    /// Payload size.
+    pub bytes: u64,
+    /// Payload classification.
+    pub kind: MessageKind,
+}
+
+/// The host/control-processor endpoint in [`Message`] coordinates.
+pub const HOST: usize = usize::MAX;
+
+/// Accounting state of the message layer.
+#[derive(Debug, Clone)]
+pub struct Net {
+    nodes: usize,
+    net_call_seconds: f64,
+    bytes_per_sec: f64,
+    messages: u64,
+    bytes: u64,
+    log: Option<Vec<Message>>,
+    log_capacity: usize,
+    dropped: u64,
+}
+
+impl Net {
+    /// A quiet network of `nodes` endpoints plus the host.
+    pub fn new(
+        nodes: usize,
+        net_call_seconds: f64,
+        bytes_per_sec: f64,
+        log_capacity: Option<usize>,
+    ) -> Self {
+        Net {
+            nodes,
+            net_call_seconds,
+            bytes_per_sec,
+            messages: 0,
+            bytes: 0,
+            log: log_capacity.map(|c| Vec::with_capacity(c.min(1 << 16))),
+            log_capacity: log_capacity.unwrap_or(0),
+            dropped: 0,
+        }
+    }
+
+    /// Deliver one superstep's batch; returns its modelled network
+    /// seconds. The batch is sorted by `(src, dst)` first so logs and
+    /// float accounting are independent of caller iteration order.
+    pub fn deliver(&mut self, mut batch: Vec<Message>) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        batch.sort_by_key(|m| (m.src, m.dst));
+        // Per-endpoint load; index `nodes` is the host.
+        let mut calls = vec![0u64; self.nodes + 1];
+        let mut load = vec![0u64; self.nodes + 1];
+        let slot = |e: usize, n: usize| if e == HOST { n } else { e };
+        for m in &batch {
+            let (s, d) = (slot(m.src, self.nodes), slot(m.dst, self.nodes));
+            calls[s] += 1;
+            load[s] += m.bytes;
+            calls[d] += 1;
+            load[d] += m.bytes;
+            self.messages += 1;
+            self.bytes += m.bytes;
+        }
+        if let Some(log) = self.log.as_mut() {
+            for m in batch {
+                if log.len() < self.log_capacity {
+                    log.push(m);
+                } else {
+                    self.dropped += 1;
+                }
+            }
+        }
+        let max_calls = *calls.iter().max().unwrap_or(&0) as f64;
+        let max_bytes = *load.iter().max().unwrap_or(&0) as f64;
+        self.net_call_seconds * max_calls + max_bytes / self.bytes_per_sec
+    }
+
+    /// Total messages delivered.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total payload bytes delivered.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The message log, if enabled.
+    pub fn log(&self) -> Option<&[Message]> {
+        self.log.as_deref()
+    }
+
+    /// Messages the bounded log could not keep.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: usize, dst: usize, bytes: u64) -> Message {
+        Message {
+            src,
+            dst,
+            bytes,
+            kind: MessageKind::Halo,
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let mut net = Net::new(4, 25e-6, 20e6, None);
+        assert_eq!(net.deliver(Vec::new()), 0.0);
+        assert_eq!(net.messages(), 0);
+    }
+
+    #[test]
+    fn superstep_time_tracks_the_busiest_endpoint() {
+        let mut net = Net::new(4, 1e-6, 1e6, None);
+        // Node 0 sends to everyone: three calls at its port, 3 kB out.
+        let t = net.deliver(vec![msg(0, 1, 1000), msg(0, 2, 1000), msg(0, 3, 1000)]);
+        assert!((t - (3.0 * 1e-6 + 3000.0 / 1e6)).abs() < 1e-12);
+        assert_eq!(net.messages(), 3);
+        assert_eq!(net.bytes(), 3000);
+    }
+
+    #[test]
+    fn delivery_is_order_independent() {
+        let batch = vec![msg(2, 1, 64), msg(0, 3, 8), msg(1, 0, 16)];
+        let mut rev = batch.clone();
+        rev.reverse();
+        let mut a = Net::new(4, 25e-6, 20e6, Some(16));
+        let mut b = Net::new(4, 25e-6, 20e6, Some(16));
+        assert_eq!(a.deliver(batch), b.deliver(rev));
+        assert_eq!(a.log(), b.log());
+    }
+
+    #[test]
+    fn bounded_log_drops_and_counts() {
+        let mut net = Net::new(2, 25e-6, 20e6, Some(1));
+        net.deliver(vec![msg(0, 1, 8), msg(1, 0, 8)]);
+        assert_eq!(net.log().unwrap().len(), 1);
+        assert_eq!(net.dropped(), 1);
+        assert_eq!(net.messages(), 2, "accounting sees every message");
+    }
+}

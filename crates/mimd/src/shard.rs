@@ -1,0 +1,123 @@
+//! The shard map: how one CM array is laid across the MIMD nodes.
+//!
+//! Every array is sharded along its **outermost axis** into contiguous
+//! row-major slabs — node `k` of `n` owns rows `[k·d₀/n, (k+1)·d₀/n)`
+//! of an array whose outer extent is `d₀`. Two consequences the rest of
+//! the engine leans on:
+//!
+//! * concatenating the shards in node order reproduces the row-major
+//!   element order exactly, so gathers, reductions in canonical order
+//!   and whole-array reads need no permutation;
+//! * arrays of the same shape shard identically, so an elementwise
+//!   dispatch never needs communication — each node already holds
+//!   matching slabs of every argument.
+
+/// The slab decomposition of `rows` outer-axis rows over `nodes` nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    rows: usize,
+    nodes: usize,
+}
+
+impl ShardMap {
+    /// The balanced decomposition (slab sizes differ by at most one
+    /// row, smaller slabs last).
+    pub fn new(rows: usize, nodes: usize) -> Self {
+        assert!(nodes > 0, "a machine has at least one node");
+        ShardMap { rows, nodes }
+    }
+
+    /// Outer-axis rows in total.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// First row of node `k`'s slab.
+    pub fn row_start(&self, k: usize) -> usize {
+        k * self.rows / self.nodes
+    }
+
+    /// One past the last row of node `k`'s slab.
+    pub fn row_end(&self, k: usize) -> usize {
+        (k + 1) * self.rows / self.nodes
+    }
+
+    /// Rows in node `k`'s slab (possibly zero when there are more
+    /// nodes than rows).
+    pub fn rows_of(&self, k: usize) -> usize {
+        self.row_end(k) - self.row_start(k)
+    }
+
+    /// The node owning row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of range.
+    pub fn owner(&self, r: usize) -> usize {
+        assert!(r < self.rows, "row {r} out of range ({} rows)", self.rows);
+        // The start boundaries are non-decreasing: the owner is the
+        // last node whose slab starts at or before r.
+        let k = (r * self.nodes + self.nodes - 1) / self.rows.max(1);
+        // Floor arithmetic can land one node high or low at slab
+        // boundaries; settle locally.
+        let mut k = k.min(self.nodes - 1);
+        while self.row_start(k) > r {
+            k -= 1;
+        }
+        while self.row_end(k) <= r {
+            k += 1;
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slabs_partition_the_rows() {
+        for rows in [0usize, 1, 5, 16, 17, 100] {
+            for nodes in [1usize, 2, 4, 16, 64] {
+                let m = ShardMap::new(rows, nodes);
+                let mut covered = 0;
+                for k in 0..nodes {
+                    assert_eq!(m.row_start(k), covered, "rows={rows} nodes={nodes} k={k}");
+                    covered = m.row_end(k);
+                }
+                assert_eq!(covered, rows);
+            }
+        }
+    }
+
+    #[test]
+    fn slabs_are_balanced() {
+        let m = ShardMap::new(100, 16);
+        let sizes: Vec<usize> = (0..16).map(|k| m.rows_of(k)).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "unbalanced slabs: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn owner_inverts_the_slab_ranges() {
+        for rows in [1usize, 7, 16, 100] {
+            for nodes in [1usize, 2, 8, 64] {
+                let m = ShardMap::new(rows, nodes);
+                for r in 0..rows {
+                    let k = m.owner(r);
+                    assert!(
+                        m.row_start(k) <= r && r < m.row_end(k),
+                        "rows={rows} nodes={nodes} r={r} → k={k}"
+                    );
+                }
+            }
+        }
+    }
+}

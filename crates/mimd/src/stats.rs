@@ -1,0 +1,155 @@
+//! Execution statistics of a MIMD run.
+//!
+//! The same discipline as `f90y-cm2`'s `CycleProfile`: every modelled
+//! second is attributed to exactly one phase (compute, network,
+//! control, host), so the phase breakdown **sums to the elapsed time by
+//! construction** — `elapsed_seconds()` is derived from the parts, and
+//! [`MimdStats::verify`] checks the redundant counters agree. Per-node
+//! busy seconds expose load imbalance, which the bulk-synchronous model
+//! turns directly into lost time (each superstep ends when the slowest
+//! node does).
+
+/// Counters and modelled time of one [`crate::MimdMachine`] lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MimdStats {
+    /// Seconds the busiest node computed, summed over supersteps (the
+    /// compute critical path).
+    pub compute_seconds: f64,
+    /// Seconds of message traffic (busiest-endpoint serialization,
+    /// summed over supersteps).
+    pub network_seconds: f64,
+    /// Seconds of control-processor dispatch protocol.
+    pub control_seconds: f64,
+    /// Seconds of serial host work.
+    pub host_seconds: f64,
+    /// Machine-wide floating-point operations.
+    pub flops: u64,
+    /// PEAC routine dispatches.
+    pub dispatches: u64,
+    /// Communication runtime calls (grid shifts, router moves,
+    /// reductions) — the unit the analytic estimator also counts, so
+    /// the two models can be cross-checked call for call.
+    pub comm_calls: u64,
+    /// Grid shifts that actually exchanged ghost rows between nodes.
+    pub halo_exchanges: u64,
+    /// All-to-all router batches.
+    pub router_batches: u64,
+    /// Global reductions.
+    pub reductions: u64,
+    /// Point-to-point messages delivered (tree edges, halo rows, router
+    /// fragments, host element traffic).
+    pub messages: u64,
+    /// Total payload bytes those messages carried.
+    pub bytes: u64,
+    /// Per-node compute busy seconds (index = node).
+    pub node_busy_seconds: Vec<f64>,
+}
+
+impl MimdStats {
+    /// A zeroed record for `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        MimdStats {
+            compute_seconds: 0.0,
+            network_seconds: 0.0,
+            control_seconds: 0.0,
+            host_seconds: 0.0,
+            flops: 0,
+            dispatches: 0,
+            comm_calls: 0,
+            halo_exchanges: 0,
+            router_batches: 0,
+            reductions: 0,
+            messages: 0,
+            bytes: 0,
+            node_busy_seconds: vec![0.0; nodes],
+        }
+    }
+
+    /// Total modelled elapsed seconds — derived, so the phase
+    /// attribution cannot drift from the total.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.compute_seconds + self.network_seconds + self.control_seconds + self.host_seconds
+    }
+
+    /// Sustained GFLOPS.
+    pub fn gflops(&self) -> f64 {
+        let s = self.elapsed_seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.flops as f64 / s / 1e9
+        }
+    }
+
+    /// Compute imbalance: busiest node's busy time over the mean
+    /// (1.0 = perfectly balanced; 0.0 when nothing ran).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.node_busy_seconds.iter().cloned().fold(0.0, f64::max);
+        let sum: f64 = self.node_busy_seconds.iter().sum();
+        if sum == 0.0 {
+            0.0
+        } else {
+            max * self.node_busy_seconds.len() as f64 / sum
+        }
+    }
+
+    /// Check the redundant counters agree: no node can have been busy
+    /// longer than the compute critical path, and the breakdown of
+    /// communication calls sums to the total.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn verify(&self) -> Result<(), String> {
+        for (k, &b) in self.node_busy_seconds.iter().enumerate() {
+            if b > self.compute_seconds + 1e-12 {
+                return Err(format!(
+                    "node {k} busy {b}s exceeds the compute critical path {}s",
+                    self.compute_seconds
+                ));
+            }
+        }
+        let parts = self.halo_exchanges + self.router_batches + self.reductions;
+        if parts > self.comm_calls {
+            return Err(format!(
+                "comm breakdown {parts} exceeds comm_calls {}",
+                self.comm_calls
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_the_sum_of_phases() {
+        let mut s = MimdStats::new(4);
+        s.compute_seconds = 1.0;
+        s.network_seconds = 0.5;
+        s.control_seconds = 0.25;
+        s.host_seconds = 0.125;
+        assert_eq!(s.elapsed_seconds(), 1.875);
+    }
+
+    #[test]
+    fn imbalance_reads_one_when_balanced() {
+        let mut s = MimdStats::new(4);
+        s.node_busy_seconds = vec![2.0; 4];
+        assert!((s.imbalance() - 1.0).abs() < 1e-12);
+        s.node_busy_seconds = vec![4.0, 0.0, 0.0, 0.0];
+        assert!((s.imbalance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_catches_phase_drift() {
+        let mut s = MimdStats::new(2);
+        s.node_busy_seconds = vec![1.0, 0.0];
+        s.compute_seconds = 0.5; // less than the busiest node: impossible
+        assert!(s.verify().is_err());
+        s.compute_seconds = 1.0;
+        assert!(s.verify().is_ok());
+    }
+}

@@ -1,0 +1,194 @@
+//! Differential tests: the identical compiled program executed on the
+//! SIMD CM/2 simulator and on the MIMD engine must produce
+//! bit-identical final arrays and scalars — the retargeting guarantee
+//! the `Machine` trait exists to make testable.
+
+use f90y_backend::fe::{HostExecutor, HostRun};
+use f90y_backend::CompiledProgram;
+use f90y_cm2::{Cm2, Cm2Config};
+use f90y_mimd::{MimdConfig, MimdMachine, MimdStats};
+
+/// Compile a source program, naming the failing stage.
+fn compile(src: &str) -> CompiledProgram {
+    let unit = f90y_frontend::parse(src).expect("frontend parse");
+    let nir = f90y_lowering::lower(&unit).expect("lowering");
+    let optimized = f90y_transform::optimize(&nir).expect("transform");
+    f90y_backend::compile(&optimized).expect("backend split")
+}
+
+fn run_simd(compiled: &CompiledProgram) -> HostRun {
+    let mut cm = Cm2::new(Cm2Config::slicewise(64));
+    HostExecutor::new(&mut cm).run(compiled).expect("SIMD run")
+}
+
+fn run_mimd(compiled: &CompiledProgram, nodes: usize) -> (HostRun, MimdStats) {
+    f90y_mimd::run(compiled, &MimdConfig::new(nodes)).expect("MIMD run")
+}
+
+/// Assert one variable's final array is bit-identical on both targets
+/// at every tested node count.
+fn assert_identical(src: &str, arrays: &[&str], scalars: &[&str]) {
+    let compiled = compile(src);
+    let simd = run_simd(&compiled);
+    for nodes in [1, 4, 16, 64] {
+        let (mimd, stats) = run_mimd(&compiled, nodes);
+        for &a in arrays {
+            assert_eq!(
+                mimd.final_array(a).unwrap(),
+                simd.final_array(a).unwrap(),
+                "array '{a}' diverged at {nodes} nodes"
+            );
+        }
+        for &s in scalars {
+            assert_eq!(
+                mimd.final_scalar(s).unwrap(),
+                simd.final_scalar(s).unwrap(),
+                "scalar '{s}' diverged at {nodes} nodes"
+            );
+        }
+        stats.verify().expect("stats invariants");
+    }
+}
+
+#[test]
+fn elementwise_arithmetic() {
+    assert_identical(
+        "REAL a(33,17), b(33,17)\n\
+         FORALL (i=1:33, j=1:17) a(i,j) = MOD(i*j, 13) - 6\n\
+         b = 2.0*a*a - a/4.0 + 1.5\n\
+         a = MAX(a, b) - MIN(a, 0.5*b)\n",
+        &["a", "b"],
+        &[],
+    );
+}
+
+#[test]
+fn shifted_stencil_time_loop() {
+    // The SWE-style pattern: halo exchanges feeding an elementwise
+    // update inside a serial time loop.
+    assert_identical(
+        "REAL v(48,48), t(48,48), u(48,48)\n\
+         FORALL (i=1:48, j=1:48) v(i,j) = MOD(i+2*j, 9)\n\
+         DO step = 1, 4\n\
+           t = CSHIFT(v, DIM=1, SHIFT=1)\n\
+           u = CSHIFT(v, DIM=2, SHIFT=-1)\n\
+           v = 0.25*(v + t + u) + 0.125*t*u\n\
+         END DO\n",
+        &["v", "t", "u"],
+        &[],
+    );
+}
+
+#[test]
+fn eoshift_boundaries_cross_shards() {
+    assert_identical(
+        "REAL a(40), b(40), c(40)\n\
+         FORALL (i=1:40) a(i) = i\n\
+         b = EOSHIFT(a, DIM=1, SHIFT=3, BOUNDARY=-1.0)\n\
+         c = EOSHIFT(a, DIM=1, SHIFT=-7, BOUNDARY=2.5)\n",
+        &["a", "b", "c"],
+        &[],
+    );
+}
+
+#[test]
+fn reductions_feed_back_into_arrays() {
+    // A reduction whose scalar result re-enters array compute: any
+    // associativity drift in the combine tree would surface here as
+    // diverging arrays, not just a slightly-off scalar.
+    assert_identical(
+        "REAL a(35), s\n\
+         FORALL (i=1:35) a(i) = MOD(i*7, 11) - 5\n\
+         s = SUM(a)\n\
+         a = a*s + MAXVAL(a) - MINVAL(a)\n\
+         s = SUM(a)\n",
+        &["a"],
+        &["s"],
+    );
+}
+
+#[test]
+fn serial_host_loops_touch_remote_elements() {
+    // Host-driven element reads and writes must route to the owning
+    // shard at any node count.
+    assert_identical(
+        "REAL a(20), s\n\
+         FORALL (i=1:20) a(i) = 2*i\n\
+         s = 0.0\n\
+         DO i = 1, 20\n\
+           s = s + a(i)\n\
+           a(i) = s\n\
+         END DO\n",
+        &["a"],
+        &["s"],
+    );
+}
+
+#[test]
+fn more_nodes_exchange_more_ghost_rows() {
+    let compiled = compile(
+        "REAL v(64,8), t(64,8)\n\
+         FORALL (i=1:64, j=1:8) v(i,j) = i + j\n\
+         t = CSHIFT(v, DIM=1, SHIFT=1)\n",
+    );
+    let (_, one) = run_mimd(&compiled, 1);
+    let (_, many) = run_mimd(&compiled, 16);
+    assert_eq!(
+        one.halo_exchanges, 0,
+        "a single node has no one to exchange ghost rows with"
+    );
+    assert_eq!(
+        many.halo_exchanges, 1,
+        "the outer-axis shift on 16 nodes is one halo exchange"
+    );
+    assert!(
+        many.messages > one.messages,
+        "more nodes, more traffic: {} vs {}",
+        many.messages,
+        one.messages
+    );
+    assert_eq!(one.comm_calls, many.comm_calls, "same host program");
+}
+
+#[test]
+fn node_local_inner_shifts_send_nothing() {
+    let compiled = compile(
+        "REAL v(64,8), t(64,8)\n\
+         FORALL (i=1:64, j=1:8) v(i,j) = i + j\n\
+         t = CSHIFT(v, DIM=2, SHIFT=1)\n",
+    );
+    let (_, stats) = run_mimd(&compiled, 16);
+    assert_eq!(
+        stats.halo_exchanges, 0,
+        "inner-axis shifts never cross a slab boundary"
+    );
+    assert!(stats.comm_calls > 0, "it is still a communication call");
+}
+
+#[test]
+fn dispatch_rejects_mismatched_shapes() {
+    use f90y_backend::Machine;
+    let mut m = MimdMachine::new(MimdConfig::new(4));
+    let a = m.alloc(&[8, 4]);
+    let b = m.alloc(&[4, 8]); // same elements, different sharding
+    let routine = f90y_peac::isa::Routine::new(
+        "copy",
+        2,
+        0,
+        vec![
+            f90y_peac::isa::Instr::Flodv {
+                src: f90y_peac::isa::Mem::arg(0),
+                dst: f90y_peac::isa::VReg(0),
+                overlapped: false,
+            },
+            f90y_peac::isa::Instr::Fstrv {
+                src: f90y_peac::isa::VReg(0),
+                dst: f90y_peac::isa::Mem::arg(1),
+                overlapped: false,
+            },
+        ],
+    )
+    .expect("valid routine");
+    let err = m.dispatch(&routine, &[a, b], &[]).expect_err("must reject");
+    assert!(err.to_string().contains("shape"), "got: {err}");
+}

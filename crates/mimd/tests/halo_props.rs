@@ -1,0 +1,118 @@
+//! Property tests of the MIMD halo-exchange machinery: for random
+//! shapes, shifts and node counts, the distributed grid shifts must
+//! reproduce the single-image reference semantics
+//! (`f90y_cm2::runtime::shift_data`) bit for bit — and runs must be
+//! deterministic.
+
+use proptest::prelude::*;
+
+use f90y_backend::Machine;
+use f90y_cm2::runtime::shift_data;
+use f90y_mimd::{MimdConfig, MimdMachine};
+
+/// A random small shape of rank 1–3.
+fn arb_dims() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..9, 1..4)
+}
+
+/// Deterministic but irregular fill for a given element count.
+fn fill(total: usize) -> Vec<f64> {
+    (0..total)
+        .map(|i| ((i * 37 + 11) % 101) as f64 - 50.0)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn halo_cshift_matches_single_image(
+        dims in arb_dims(),
+        shift in -12i64..12,
+        axis_pick in 0usize..3,
+        node_pow in 0u32..7,
+    ) {
+        let axis = axis_pick % dims.len();
+        let nodes = 1usize << node_pow;
+        let total: usize = dims.iter().product();
+        let data = fill(total);
+
+        let mut m = MimdMachine::new(MimdConfig::new(nodes));
+        let a = m.alloc_from(&dims, data.clone());
+        let s = m.cshift(a, axis, shift).unwrap();
+        let got = m.read(s).unwrap();
+
+        let want = shift_data(&data, &dims, axis, shift, None);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn halo_eoshift_matches_single_image(
+        dims in arb_dims(),
+        shift in -12i64..12,
+        axis_pick in 0usize..3,
+        node_pow in 0u32..7,
+        boundary in -4i32..5,
+    ) {
+        let axis = axis_pick % dims.len();
+        let nodes = 1usize << node_pow;
+        let boundary = boundary as f64 + 0.5;
+        let total: usize = dims.iter().product();
+        let data = fill(total);
+
+        let mut m = MimdMachine::new(MimdConfig::new(nodes));
+        let a = m.alloc_from(&dims, data.clone());
+        let s = m.eoshift(a, axis, shift, boundary).unwrap();
+        let got = m.read(s).unwrap();
+
+        let want = shift_data(&data, &dims, axis, shift, Some(boundary));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reductions_match_single_image_folds(
+        dims in arb_dims(),
+        node_pow in 0u32..7,
+    ) {
+        use f90y_cm2::ReduceOp;
+        let nodes = 1usize << node_pow;
+        let total: usize = dims.iter().product();
+        let data = fill(total);
+
+        let mut m = MimdMachine::new(MimdConfig::new(nodes));
+        let a = m.alloc_from(&dims, data.clone());
+        // Canonical-order folds: bit-identical to the sequential ones.
+        prop_assert_eq!(m.reduce(a, ReduceOp::Sum).unwrap(), data.iter().sum::<f64>());
+        prop_assert_eq!(
+            m.reduce(a, ReduceOp::Max).unwrap(),
+            data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        );
+        prop_assert_eq!(
+            m.reduce(a, ReduceOp::Min).unwrap(),
+            data.iter().copied().fold(f64::INFINITY, f64::min)
+        );
+        // The combine tree spans the machine: N−1 edges plus the scalar
+        // read-back, three reductions' worth.
+        prop_assert_eq!(m.stats().messages, 3 * nodes as u64);
+        prop_assert_eq!(m.stats().reductions, 3);
+    }
+
+    #[test]
+    fn runs_are_deterministic(
+        dims in arb_dims(),
+        shift in -5i64..5,
+        node_pow in 0u32..5,
+    ) {
+        let nodes = 1usize << node_pow;
+        let total: usize = dims.iter().product();
+        let data = fill(total);
+
+        let once = |_| {
+            let mut m = MimdMachine::new(MimdConfig::new(nodes).with_message_log(1 << 12));
+            let a = m.alloc_from(&dims, data.clone());
+            let s = m.cshift(a, 0, shift).unwrap();
+            let v = m.reduce(s, f90y_cm2::ReduceOp::Sum).unwrap();
+            let log: Vec<_> = m.message_log().unwrap().to_vec();
+            (m.read(s).unwrap(), v, m.stats().clone(), log)
+        };
+        prop_assert_eq!(once(0), once(1));
+    }
+}

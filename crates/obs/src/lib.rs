@@ -179,6 +179,19 @@ impl Telemetry {
         }
     }
 
+    /// Record the smaller of the current gauge and `value` (the
+    /// counterpart of [`Telemetry::gauge_max`], e.g. the least-loaded
+    /// node of a MIMD run).
+    pub fn gauge_min(&mut self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let slot = self.gauges.entry(name.to_string()).or_insert(f64::INFINITY);
+        if value < *slot {
+            *slot = value;
+        }
+    }
+
     /// Freeze the current state into a report. Open spans are reported
     /// with their duration so far.
     pub fn report(&self) -> TelemetryReport {
@@ -411,10 +424,14 @@ mod tests {
         tel.gauge("g", 2.5);
         tel.gauge_max("m", 4.0);
         tel.gauge_max("m", 3.0);
+        tel.gauge_min("n", 4.0);
+        tel.gauge_min("n", 3.0);
+        tel.gauge_min("n", 5.0);
         let r = tel.report();
         assert_eq!(r.counter("a"), Some(5));
         assert_eq!(r.gauge("g"), Some(2.5));
         assert_eq!(r.gauge("m"), Some(4.0));
+        assert_eq!(r.gauge("n"), Some(3.0));
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! The MIMD acceptance suite: for the paper's workloads, the CM/5 MIMD
+//! engine must (a) produce final arrays bit-identical to the CM/2
+//! simulator's at every node count, and (b) agree with the analytic
+//! CM/5 estimator on how much communication the program performs —
+//! the engine counts real messages, the estimator counts trace events,
+//! and both see the identical host program.
+
+use f90y_core::{workloads, Compiler, Pipeline, Telemetry};
+
+fn f90y(src: &str) -> f90y_core::Executable {
+    Compiler::new(Pipeline::F90y)
+        .compile(src)
+        .expect("compiles")
+}
+
+/// Bit-identical finals on SIMD and MIMD targets for N ∈ {4, 16, 64},
+/// and comm-call agreement with the estimator's trace within ±10%.
+fn assert_mimd_matches(exe: &f90y_core::Executable, arrays: &[&str]) {
+    let simd = exe.run(64).expect("CM/2 run");
+
+    // The estimator's communication count: traced comm events.
+    let mut cm = f90y_cm2::Cm2::new(f90y_cm2::Cm2Config::slicewise(64));
+    cm.enable_trace();
+    f90y_backend::fe::HostExecutor::new(&mut cm)
+        .run(&exe.compiled)
+        .expect("traced CM/2 run");
+    let traced_comm = cm
+        .trace()
+        .expect("trace enabled")
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                f90y_cm2::TraceEvent::GridComm { .. }
+                    | f90y_cm2::TraceEvent::Router { .. }
+                    | f90y_cm2::TraceEvent::Reduce { .. }
+            )
+        })
+        .count() as f64;
+
+    for nodes in [4usize, 16, 64] {
+        let mimd = exe.run_mimd(nodes).expect("MIMD run");
+        for &name in arrays {
+            assert_eq!(
+                mimd.finals.final_array(name).unwrap(),
+                simd.finals.final_array(name).unwrap(),
+                "array '{name}' diverged at {nodes} nodes"
+            );
+        }
+        mimd.stats.verify().expect("stats invariants");
+        let measured = mimd.stats.comm_calls as f64;
+        assert!(
+            (measured - traced_comm).abs() <= 0.10 * traced_comm.max(1.0),
+            "comm calls at {nodes} nodes: engine {measured} vs estimator {traced_comm}"
+        );
+    }
+}
+
+#[test]
+fn swe_matches_bit_for_bit_at_every_node_count() {
+    let exe = f90y(&workloads::swe_source(64, 3));
+    assert_mimd_matches(&exe, &["u", "v", "p"]);
+}
+
+#[test]
+fn fig9_matches_bit_for_bit_at_every_node_count() {
+    let exe = f90y(workloads::fig9_source());
+    assert_mimd_matches(&exe, &["a", "b", "c"]);
+}
+
+#[test]
+fn heat_stencil_matches_bit_for_bit() {
+    let exe = f90y(&workloads::heat_source(48, 3));
+    assert_mimd_matches(&exe, &["t"]);
+}
+
+#[test]
+fn mimd_telemetry_lands_under_its_own_namespace() {
+    let exe = f90y(&workloads::swe_source(32, 2));
+    let mut tel = Telemetry::new();
+    let run = exe.run_mimd_with(16, &mut tel).expect("MIMD run");
+    let report = tel.report();
+
+    assert_eq!(report.counter("mimd.nodes"), Some(16));
+    assert_eq!(
+        report.counter("mimd.dispatches"),
+        Some(run.stats.dispatches)
+    );
+    assert_eq!(
+        report.counter("mimd.comm_calls"),
+        Some(run.stats.comm_calls)
+    );
+    assert_eq!(report.counter("mimd.messages"), Some(run.stats.messages));
+    assert!(report.counter("mimd.bytes").unwrap_or(0) > 0);
+    assert!(report.gauge("mimd.gflops").unwrap() > 0.0);
+    // Per-phase seconds sum to the elapsed gauge (derived identity).
+    let phases = report.gauge("mimd.compute_seconds").unwrap()
+        + report.gauge("mimd.network_seconds").unwrap()
+        + report.gauge("mimd.control_seconds").unwrap()
+        + report.gauge("mimd.host_seconds").unwrap();
+    let elapsed = report.gauge("mimd.elapsed_seconds").unwrap();
+    assert!((phases - elapsed).abs() <= 1e-12 * elapsed.max(1.0));
+    // Busiest node at least as busy as the least busy one.
+    let max = report.gauge("mimd.node_busy_max_seconds").unwrap();
+    let min = report.gauge("mimd.node_busy_min_seconds").unwrap();
+    assert!(max >= min && min >= 0.0);
+}
+
+#[test]
+fn mimd_scaling_shrinks_elapsed_time() {
+    // Weak form of the paper's scaling claim: on a fixed-size problem,
+    // more nodes must not be slower, and the compute phase must shrink.
+    let exe = f90y(&workloads::swe_source(64, 3));
+    let small = exe.run_mimd(4).expect("4 nodes");
+    let large = exe.run_mimd(64).expect("64 nodes");
+    assert!(
+        large.stats.compute_seconds < small.stats.compute_seconds,
+        "compute must scale down: {} vs {}",
+        large.stats.compute_seconds,
+        small.stats.compute_seconds
+    );
+    assert_eq!(small.stats.flops, large.stats.flops, "same work either way");
+}
