@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use f90y_core::{workloads, Compiler, Pipeline, Telemetry};
+use f90y_core::{workloads, Compiler, Pipeline, Target, Telemetry};
 
 fn bench_compile(c: &mut Criterion) {
     let mut g = c.benchmark_group("compile");
@@ -33,7 +33,13 @@ fn bench_swe_simulation(c: &mut Criterion) {
         let src = workloads::swe_source(n, 2);
         let exe = Compiler::new(Pipeline::F90y).compile(&src).unwrap();
         g.bench_with_input(BenchmarkId::new("cm2", n), &exe, |b, exe| {
-            b.iter(|| exe.run(black_box(256)).unwrap())
+            b.iter(|| {
+                exe.session(Target::Cm2 {
+                    nodes: black_box(256),
+                })
+                .run()
+                .unwrap()
+            })
         });
     }
     g.finish();

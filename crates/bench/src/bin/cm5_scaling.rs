@@ -7,18 +7,31 @@
 //! nodes, halo exchanges and reduction trees send counted messages, and
 //! the final arrays are checked bit-identical to the CM/2 simulator's.
 //!
+//! A second sweep injects deterministic message-drop fault plans and
+//! reports the recovery overhead (retries and added network time) while
+//! re-checking that finals stay bit-identical — the numbers behind the
+//! EXPERIMENTS.md fault-overhead table.
+//!
 //! Telemetry for each node count lands under
 //! `target/telemetry/cm5_scaling_<workload>_n<N>.json`.
 
 use f90y_bench::{compile, emit_telemetry, rule};
-use f90y_core::{workloads, Executable, Pipeline};
+use f90y_core::{workloads, Executable, FaultPlan, Pipeline, Target};
 use f90y_obs::Telemetry;
 
 const NODE_COUNTS: [usize; 3] = [4, 16, 64];
 
+/// Message-drop rates for the fault-overhead sweep, in per-mille
+/// (0 = fault-free baseline, then 1% and 5%).
+const DROP_RATES: [u16; 3] = [0, 10, 50];
+
 fn sweep(title: &str, slug: &str, exe: &Executable, check: &[&str]) {
     // The CM/2 reference run: the MIMD finals must match it exactly.
-    let simd = exe.run(64).expect("CM/2 reference run");
+    let simd = exe
+        .session(Target::Cm2 { nodes: 64 })
+        .run()
+        .expect("CM/2 reference run")
+        .into_cm2();
 
     println!("\n{title}:");
     rule(92);
@@ -29,7 +42,12 @@ fn sweep(title: &str, slug: &str, exe: &Executable, check: &[&str]) {
     rule(92);
     for nodes in NODE_COUNTS {
         let mut tel = Telemetry::new();
-        let run = exe.run_mimd_with(nodes, &mut tel).expect("MIMD run");
+        let run = exe
+            .session(Target::Cm5Mimd { nodes })
+            .telemetry(&mut tel)
+            .run()
+            .expect("MIMD run")
+            .into_mimd();
         for &name in check {
             assert_eq!(
                 run.finals.final_array(name).expect("final array"),
@@ -55,6 +73,49 @@ fn sweep(title: &str, slug: &str, exe: &Executable, check: &[&str]) {
     println!("finals bit-identical to the CM/2 simulator at every node count");
 }
 
+/// Inject message drops at increasing rates and report the overhead of
+/// reliable delivery: every drop costs one retransmission plus an
+/// acknowledgement timeout on the modelled clock.
+fn fault_sweep(title: &str, exe: &Executable, nodes: usize, check: &[&str]) {
+    let clean = exe
+        .session(Target::Cm5Mimd { nodes })
+        .run()
+        .expect("fault-free run")
+        .into_mimd();
+
+    println!("\n{title} — fault-injection overhead at {nodes} nodes:");
+    rule(76);
+    println!(
+        "{:>7} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "drop", "messages", "retries", "elapsed", "overhead", "finals"
+    );
+    rule(76);
+    for rate in DROP_RATES {
+        let mut session = exe.session(Target::Cm5Mimd { nodes });
+        if rate > 0 {
+            session = session.faults(FaultPlan::seeded(0xC0F_FEE).drop_per_mille(rate));
+        }
+        let run = session.run().expect("fault run").into_mimd();
+        let mut identical = true;
+        for &name in check {
+            identical &= run.finals.final_array(name).expect("final array")
+                == clean.finals.final_array(name).expect("final array");
+        }
+        assert!(identical, "faults changed final values at {rate} per-mille");
+        run.stats.verify().expect("stats invariants");
+        println!(
+            "{:>5}%o {:>12} {:>10} {:>11.4}s {:>11.2}% {:>12}",
+            rate,
+            run.stats.messages,
+            run.stats.retries,
+            run.elapsed_seconds,
+            (run.elapsed_seconds / clean.elapsed_seconds - 1.0) * 100.0,
+            "identical",
+        );
+    }
+    rule(76);
+}
+
 fn main() {
     println!("CM/5 MIMD scaling — sharded execution with counted messages");
 
@@ -63,4 +124,7 @@ fn main() {
 
     let fig9 = compile(workloads::fig9_source(), Pipeline::F90y);
     sweep("Fig. 9 blocked stencil", "fig9", &fig9, &["a", "b", "c"]);
+
+    fault_sweep("SWE 64x64, 3 steps", &swe, 16, &["u", "v", "p"]);
+    fault_sweep("Fig. 9 blocked stencil", &fig9, 16, &["a", "b", "c"]);
 }

@@ -9,7 +9,7 @@
 
 use f90y_backend::HostStmt;
 use f90y_bench::compile;
-use f90y_core::Pipeline;
+use f90y_core::{Pipeline, Target};
 
 fn source(n_a: usize, n_b: usize) -> String {
     // Alternating independent computations over shape A (1D) and shape
@@ -113,8 +113,16 @@ fn main() {
 
     // Dispatch overhead series: the figure's point is that fusing
     // like-shape iterations shrinks the cut.
-    let run_naive = naive.run(64).expect("runs");
-    let run_blocked = blocked.run(64).expect("runs");
+    let run_naive = naive
+        .session(Target::Cm2 { nodes: 64 })
+        .run()
+        .expect("runs")
+        .into_cm2();
+    let run_blocked = blocked
+        .session(Target::Cm2 { nodes: 64 })
+        .run()
+        .expect("runs")
+        .into_cm2();
     println!(
         "\ndispatch overhead: naive {} cycles vs blocked {} cycles ({:.2}x)",
         run_naive.stats.dispatch_overhead_cycles,

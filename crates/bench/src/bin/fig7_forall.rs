@@ -10,7 +10,7 @@
 //! `AVAR('a', everywhere)` under a `WITH_DOMAIN` binding.
 
 use f90y_bench::compile;
-use f90y_core::{workloads, Pipeline};
+use f90y_core::{workloads, Pipeline, Target};
 use f90y_nir::pretty::print_imp;
 
 fn main() {
@@ -28,7 +28,11 @@ fn main() {
 
     println!("\nnode code (one PEAC routine over the 32x32 shape):\n");
     println!("{}", exe.compiled.listings());
-    let run = exe.run(16).expect("runs");
+    let run = exe
+        .session(Target::Cm2 { nodes: 16 })
+        .run()
+        .expect("runs")
+        .into_cm2();
     let a = run.finals.final_array("a").expect("a");
     assert_eq!(a[0], 2.0);
     assert_eq!(a[32 * 32 - 1], 64.0);

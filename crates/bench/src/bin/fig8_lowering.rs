@@ -5,7 +5,7 @@
 //! `BINARY(Add, BINARY(Mul, 2, k), 5)` terms the figure shows.
 
 use f90y_bench::compile;
-use f90y_core::{workloads, Pipeline};
+use f90y_core::{workloads, Pipeline, Target};
 use f90y_nir::pretty::print_imp;
 
 fn main() {
@@ -28,7 +28,11 @@ fn main() {
         println!("contains figure element: {needle}");
     }
 
-    let run = exe.run(16).expect("runs");
+    let run = exe
+        .session(Target::Cm2 { nodes: 16 })
+        .run()
+        .expect("runs")
+        .into_cm2();
     assert!(run
         .finals
         .final_array("l")

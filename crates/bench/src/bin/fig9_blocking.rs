@@ -9,7 +9,7 @@
 //! cost either way.
 
 use f90y_bench::{compile, emit_telemetry, run_instrumented};
-use f90y_core::{workloads, Pipeline};
+use f90y_core::{workloads, Pipeline, Target};
 use f90y_nir::pretty::print_imp;
 
 fn main() {
@@ -35,8 +35,16 @@ fn main() {
     // Effect on the machine: dispatches and overhead with and without
     // blocking (per-statement = the CMF pipeline on the same source).
     let per_stmt = compile(src, Pipeline::Cmf);
-    let run_blocked = exe.run(64).expect("runs");
-    let run_naive = per_stmt.run(64).expect("runs");
+    let run_blocked = exe
+        .session(Target::Cm2 { nodes: 64 })
+        .run()
+        .expect("runs")
+        .into_cm2();
+    let run_naive = per_stmt
+        .session(Target::Cm2 { nodes: 64 })
+        .run()
+        .expect("runs")
+        .into_cm2();
     println!(
         "\nblocked:      {} PEAC routines, {} dispatches, {} overhead cycles",
         exe.compiled.blocks.len(),

@@ -5,7 +5,7 @@
 //! the §5.2 and §6 discussions turn on.
 
 use f90y_bench::{compile, rule};
-use f90y_core::{workloads, Pipeline};
+use f90y_core::{workloads, Pipeline, Target};
 
 fn main() {
     let grid = 512;
@@ -20,7 +20,11 @@ fn main() {
     let mut base: Option<(usize, f64)> = None;
     let mut last_gf = 0.0;
     for nodes in [32usize, 128, 512, 2048] {
-        let report = exe.run(nodes).expect("runs");
+        let report = exe
+            .session(Target::Cm2 { nodes })
+            .run()
+            .expect("runs")
+            .into_cm2();
         let (n0, t0) = *base.get_or_insert((nodes, report.elapsed_seconds));
         let speedup = t0 / report.elapsed_seconds;
         let efficiency = speedup / (nodes as f64 / n0 as f64);

@@ -11,7 +11,7 @@
 
 use f90y_bench::{compile, rule};
 use f90y_cm5::{run_and_estimate, split_block, Cm5Config};
-use f90y_core::{workloads, Pipeline};
+use f90y_core::{workloads, Pipeline, Target};
 
 fn main() {
     println!("§5.3.1 — CM/5 retarget: same compiled program, new cost model");
@@ -42,7 +42,11 @@ fn main() {
     );
     rule(86);
     // CM/2 reference line.
-    let cm2_run = exe.run(2048).expect("runs");
+    let cm2_run = exe
+        .session(Target::Cm2 { nodes: 2048 })
+        .run()
+        .expect("runs")
+        .into_cm2();
     println!(
         "{:>8} {:>12.3} {:>12} {:>12} {:>12} {:>12} {:>9.1}%   (CM/2, 2048 nodes)",
         "CM/2",

@@ -24,7 +24,7 @@
 
 use std::path::PathBuf;
 
-use f90y_core::{Compiler, Executable, Pipeline, RunReport};
+use f90y_core::{Compiler, Executable, Pipeline, RunReport, Target};
 use f90y_obs::{JsonSink, Telemetry};
 
 /// Compile a source text under a pipeline, panicking with context on
@@ -36,11 +36,11 @@ pub fn compile(src: &str, pipeline: Pipeline) -> Executable {
     }
 }
 
-/// Compile and run on `nodes` nodes.
+/// Compile and run on `nodes` CM/2 nodes.
 pub fn run(src: &str, pipeline: Pipeline, nodes: usize) -> (Executable, RunReport) {
     let exe = compile(src, pipeline);
-    let report = match exe.run(nodes) {
-        Ok(r) => r,
+    let report = match exe.session(Target::Cm2 { nodes }).run() {
+        Ok(r) => r.into_cm2(),
         Err(e) => panic!("execution failed under {}: {e}", pipeline.name()),
     };
     (exe, report)
@@ -58,8 +58,8 @@ pub fn run_instrumented(
         Ok(exe) => exe,
         Err(e) => panic!("compilation failed under {}: {e}", pipeline.name()),
     };
-    let report = match exe.run_with(nodes, &mut tel) {
-        Ok(r) => r,
+    let report = match exe.session(Target::Cm2 { nodes }).telemetry(&mut tel).run() {
+        Ok(r) => r.into_cm2(),
         Err(e) => panic!("execution failed under {}: {e}", pipeline.name()),
     };
     (exe, report, tel)

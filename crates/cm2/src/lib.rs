@@ -49,6 +49,12 @@ pub enum Cm2Error {
     Runtime(String),
     /// A PEAC-level fault surfaced through dispatch.
     Peac(String),
+    /// A fault-injected run exhausted its recovery budgets (message
+    /// retries or node restarts) and cannot make progress. Carried as a
+    /// distinct variant so drivers can tell "the program is wrong" from
+    /// "the injected faults exceeded what recovery was provisioned
+    /// for".
+    Unrecoverable(String),
 }
 
 impl fmt::Display for Cm2Error {
@@ -56,6 +62,7 @@ impl fmt::Display for Cm2Error {
         match self {
             Cm2Error::Runtime(m) => write!(f, "CM runtime error: {m}"),
             Cm2Error::Peac(m) => write!(f, "PEAC fault: {m}"),
+            Cm2Error::Unrecoverable(m) => write!(f, "unrecoverable fault: {m}"),
         }
     }
 }

@@ -242,10 +242,10 @@ pub fn estimate(
             TraceEvent::Machine { nodes } => {
                 if nodes != config.nodes {
                     return Err(Cm5Error(format!(
-                        "trace was captured on {nodes} nodes but the CM/5 config has {}: \
-                         per-node subgrid geometry is baked into the events, so the \
-                         replay would mis-time every dispatch; re-trace on a matching \
-                         machine",
+                        "node count mismatch: trace node count is {nodes} but config \
+                         node count is {}: per-node subgrid geometry is baked into the \
+                         events, so the replay would mis-time every dispatch; re-trace \
+                         on a matching machine",
                         config.nodes
                     )));
                 }
@@ -426,12 +426,12 @@ END DO
             .expect_err("mismatched node count must be rejected");
         let msg = err.to_string();
         assert!(
-            msg.contains("64"),
-            "error should name the traced count: {msg}"
+            msg.contains("trace node count is 64"),
+            "error should label and name the traced count: {msg}"
         );
         assert!(
-            msg.contains("256"),
-            "error should name the config count: {msg}"
+            msg.contains("config node count is 256"),
+            "error should label and name the config count: {msg}"
         );
         // The matching count still estimates fine.
         assert!(estimate(&compiled, &trace, &Cm5Config::new(64)).is_ok());

@@ -12,6 +12,9 @@
 //!   --finals a,b,c                 print these variables after the run
 //!   --timings                      print a phase-timing/counter table on stderr
 //!   --emit-telemetry <path>        write the telemetry report as JSON
+//!   --fault-seed S                 seed a deterministic fault plan (cm5 only)
+//!   --fault-drop P                 drop P‰ of messages      (implies a plan)
+//!   --fault-kill STEP:NODE         kill NODE at superstep STEP (repeatable)
 //! ```
 //!
 //! Examples:
@@ -21,16 +24,18 @@
 //! echo 'INTEGER K(64,64)
 //! K = 2*K + 5' | cargo run -p f90y-core --bin f90yc -- --validate -
 //! cargo run -p f90y-core --bin f90yc -- --target cm5 --nodes 64 prog.f90
+//! cargo run -p f90y-core --bin f90yc -- --target cm5 --nodes 16 \
+//!     --fault-seed 7 --fault-drop 20 --fault-kill 3:1 prog.f90
 //! ```
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use f90y_core::{Compiler, JsonSink, Pipeline, PrettySink, Telemetry};
+use f90y_core::{Compiler, FaultPlan, JsonSink, Pipeline, PrettySink, Run, Target, Telemetry};
 
 /// Which execution engine runs the compiled program.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Target {
+enum TargetKind {
     /// The lock-step CM/2 SIMD simulator (the default).
     Cm2,
     /// The CM/5 MIMD engine: sharded arrays, real message passing.
@@ -39,14 +44,34 @@ enum Target {
 
 struct Options {
     pipeline: Pipeline,
-    target: Target,
+    target: TargetKind,
     nodes: usize,
     emit: Option<String>,
     validate: bool,
     finals: Vec<String>,
     timings: bool,
     emit_telemetry: Option<String>,
+    fault_seed: Option<u64>,
+    fault_drop: Option<u16>,
+    fault_kills: Vec<(u64, usize)>,
     input: Option<String>,
+}
+
+impl Options {
+    /// The fault plan the fault flags describe, if any was asked for.
+    fn fault_plan(&self) -> Option<FaultPlan> {
+        if self.fault_seed.is_none() && self.fault_drop.is_none() && self.fault_kills.is_empty() {
+            return None;
+        }
+        let mut plan = FaultPlan::seeded(self.fault_seed.unwrap_or(0));
+        if let Some(p) = self.fault_drop {
+            plan = plan.drop_per_mille(p);
+        }
+        for &(step, node) in &self.fault_kills {
+            plan = plan.kill(step, node);
+        }
+        Some(plan)
+    }
 }
 
 const USAGE: &str = "usage: f90yc [options] <file.f90 | ->
@@ -58,7 +83,10 @@ const USAGE: &str = "usage: f90yc [options] <file.f90 | ->
   --validate                     also check against the reference evaluator
   --finals a,b,c                 print these variables after the run
   --timings                      print a phase-timing/counter table on stderr
-  --emit-telemetry <path>        write the telemetry report as JSON";
+  --emit-telemetry <path>        write the telemetry report as JSON
+  --fault-seed S                 seed a deterministic fault plan (cm5 only)
+  --fault-drop P                 drop P per-mille of messages (implies a plan)
+  --fault-kill STEP:NODE         kill NODE at superstep STEP (repeatable)";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -68,13 +96,16 @@ fn usage() -> ! {
 fn parse_args() -> Options {
     let mut opts = Options {
         pipeline: Pipeline::F90y,
-        target: Target::Cm2,
+        target: TargetKind::Cm2,
         nodes: 2048,
         emit: None,
         validate: false,
         finals: Vec::new(),
         timings: false,
         emit_telemetry: None,
+        fault_seed: None,
+        fault_drop: None,
+        fault_kills: Vec::new(),
         input: None,
     };
     let mut args = std::env::args().skip(1);
@@ -90,8 +121,8 @@ fn parse_args() -> Options {
             }
             "--target" => {
                 opts.target = match args.next().as_deref() {
-                    Some("cm2") => Target::Cm2,
-                    Some("cm5") => Target::Cm5,
+                    Some("cm2") => TargetKind::Cm2,
+                    Some("cm5") => TargetKind::Cm5,
                     _ => usage(),
                 }
             }
@@ -115,6 +146,18 @@ fn parse_args() -> Options {
                 Some(list) => opts.finals = list.split(',').map(str::to_string).collect(),
                 None => usage(),
             },
+            "--fault-seed" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(s) => opts.fault_seed = Some(s),
+                None => usage(),
+            },
+            "--fault-drop" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(p) if p <= 1000 => opts.fault_drop = Some(p),
+                _ => usage(),
+            },
+            "--fault-kill" => match args.next().as_deref().and_then(parse_kill) {
+                Some(kill) => opts.fault_kills.push(kill),
+                None => usage(),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -128,7 +171,17 @@ fn parse_args() -> Options {
     if opts.input.is_none() {
         usage();
     }
+    if opts.target == TargetKind::Cm2 && opts.fault_plan().is_some() {
+        eprintln!("f90yc: fault injection needs --target cm5");
+        std::process::exit(2);
+    }
     opts
+}
+
+/// Parse a `STEP:NODE` kill spec.
+fn parse_kill(spec: &str) -> Option<(u64, usize)> {
+    let (step, node) = spec.split_once(':')?;
+    Some((step.parse().ok()?, node.parse().ok()?))
 }
 
 fn main() -> ExitCode {
@@ -187,51 +240,64 @@ fn main() -> ExitCode {
         _ => {}
     }
 
-    let finals = match opts.target {
-        Target::Cm2 => {
-            let run = match exe.run_with(opts.nodes, &mut tel) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("f90yc: execution failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            println!(
-                "{} on {} CM/2 nodes: {:.4} GFLOPS sustained ({:.3} ms modelled, \
-                 {} dispatches, {} comm calls, host {:.2}%)",
-                opts.pipeline.name(),
-                opts.nodes,
-                run.gflops,
-                run.elapsed_seconds * 1e3,
-                run.stats.dispatches,
-                run.stats.comm_calls,
-                run.host_fraction * 100.0,
-            );
-            run.finals
+    let target = match opts.target {
+        TargetKind::Cm2 => Target::Cm2 { nodes: opts.nodes },
+        TargetKind::Cm5 => Target::Cm5Mimd { nodes: opts.nodes },
+    };
+    let mut session = exe.session(target).telemetry(&mut tel);
+    if let Some(plan) = opts.fault_plan() {
+        session = session.faults(plan);
+    }
+    let run = match session.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("f90yc: execution failed: {e}");
+            return ExitCode::FAILURE;
         }
-        Target::Cm5 => {
-            let run = match exe.run_mimd_with(opts.nodes, &mut tel) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("f90yc: execution failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+    };
+    match &run {
+        Run::Cm2(r) => println!(
+            "{} on {} CM/2 nodes: {:.4} GFLOPS sustained ({:.3} ms modelled, \
+             {} dispatches, {} comm calls, host {:.2}%)",
+            opts.pipeline.name(),
+            opts.nodes,
+            r.gflops,
+            r.elapsed_seconds * 1e3,
+            r.stats.dispatches,
+            r.stats.comm_calls,
+            r.host_fraction * 100.0,
+        ),
+        Run::Mimd(r) => {
             println!(
                 "{} on {} CM/5 nodes: {:.4} GFLOPS sustained ({:.3} ms modelled, \
                  {} dispatches, {} comm calls, {} messages, {} bytes)",
                 opts.pipeline.name(),
                 opts.nodes,
-                run.gflops,
-                run.elapsed_seconds * 1e3,
-                run.stats.dispatches,
-                run.stats.comm_calls,
-                run.stats.messages,
-                run.stats.bytes,
+                r.gflops,
+                r.elapsed_seconds * 1e3,
+                r.stats.dispatches,
+                r.stats.comm_calls,
+                r.stats.messages,
+                r.stats.bytes,
             );
-            run.finals
+            if opts.fault_plan().is_some() {
+                println!(
+                    "faults: {} injected ({} dropped, {} duplicated, {} delayed, \
+                     {} kills, {} stalls); {} retries, {} restarts, recovery {:.3} ms",
+                    r.stats.faults_injected(),
+                    r.stats.msgs_dropped,
+                    r.stats.msgs_duplicated,
+                    r.stats.msgs_delayed,
+                    r.stats.node_kills,
+                    r.stats.node_stalls,
+                    r.stats.retries,
+                    r.stats.node_restarts,
+                    r.stats.recovery_seconds * 1e3,
+                );
+            }
         }
-    };
+    }
+    let finals = run.finals();
     for name in &opts.finals {
         match finals.final_array(name) {
             Ok(a) => {

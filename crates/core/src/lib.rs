@@ -19,14 +19,38 @@
 //! ## Quickstart
 //!
 //! ```
-//! use f90y_core::{Compiler, Pipeline};
+//! use f90y_core::{Compiler, Pipeline, Target};
 //!
 //! let exe = Compiler::new(Pipeline::F90y)
 //!     .compile("INTEGER K(64,64)\nK = 2*K + 5\n")?;
-//! let run = exe.run(64)?; // a 64-node CM/2
-//! assert!(run.finals.final_array("k")?.iter().all(|&x| x == 5.0));
-//! println!("sustained: {:.2} GFLOPS", run.gflops);
-//! # Ok::<(), f90y_core::CompileError>(())
+//! let run = exe.session(Target::Cm2 { nodes: 64 }).run()?; // a 64-node CM/2
+//! assert!(run.finals().final_array("k")?.iter().all(|&x| x == 5.0));
+//! println!("sustained: {:.2} GFLOPS", run.gflops());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Running is one API for every target: [`Executable::session`] opens a
+//! [`Session`], chainable options configure it, and [`Session::run`]
+//! returns a [`Run`] report (or a typed [`RunError`]). The same
+//! executable retargets to the CM/5 MIMD engine — optionally under a
+//! deterministic fault plan — by swapping the [`Target`]:
+//!
+//! ```
+//! use f90y_core::{Compiler, FaultPlan, Pipeline, Target};
+//!
+//! let exe = Compiler::new(Pipeline::F90y)
+//!     .compile("REAL A(32,32), S\nA = A + 1.0\nS = SUM(A)\n")?;
+//! let clean = exe.session(Target::Cm5Mimd { nodes: 16 }).run()?;
+//! let faulty = exe
+//!     .session(Target::Cm5Mimd { nodes: 16 })
+//!     .faults(FaultPlan::seeded(7).drop_per_mille(20).duplicate_per_mille(10))
+//!     .run()?;
+//! // Reliable delivery + recovery keep finals bit-identical.
+//! assert_eq!(
+//!     clean.finals().final_scalar("s")?,
+//!     faulty.finals().final_scalar("s")?,
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod workloads;
@@ -37,6 +61,7 @@ use std::fmt;
 pub use f90y_backend::fe::HostRun;
 pub use f90y_backend::CompiledProgram;
 pub use f90y_cm2::{Cm2, Cm2Config, MachineStats};
+pub use f90y_mimd::{FaultPlan, MimdConfig, MimdStats};
 pub use f90y_nir::Imp;
 pub use f90y_obs::{EventSink, JsonSink, PrettySink, Telemetry, TelemetryReport};
 pub use f90y_transform::TransformReport;
@@ -123,6 +148,69 @@ impl From<f90y_nir::NirError> for CompileError {
 impl From<f90y_backend::BackendError> for CompileError {
     fn from(e: f90y_backend::BackendError) -> Self {
         CompileError::Backend(e)
+    }
+}
+
+/// A runtime error, distinct from [`CompileError`]: the latter means
+/// the *program* could not be built, these mean a built program's *run*
+/// went wrong (bad session configuration, a dynamic execution fault, an
+/// exhausted fault-recovery budget, a validation mismatch).
+#[derive(Debug)]
+pub enum RunError {
+    /// The session was configured inconsistently — a node count the
+    /// target cannot honour, a fault plan aimed at the wrong target or
+    /// at nodes the partition does not have.
+    InvalidSession(String),
+    /// A dynamic error during host execution.
+    Execution(f90y_backend::BackendError),
+    /// An injected fault plan exhausted its recovery budgets (message
+    /// retries or node restarts) and the run could not complete.
+    Unrecoverable(String),
+    /// The machine's results disagree with the NIR reference evaluator.
+    Validation(String),
+    /// The NIR reference evaluator itself failed.
+    Reference(f90y_nir::NirError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidSession(m) => write!(f, "invalid session: {m}"),
+            RunError::Execution(e) => write!(f, "{e}"),
+            RunError::Unrecoverable(m) => write!(f, "unrecoverable fault: {m}"),
+            RunError::Validation(m) => write!(f, "validation failed: {m}"),
+            RunError::Reference(e) => write!(f, "reference evaluator: {e}"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+impl From<f90y_backend::BackendError> for RunError {
+    fn from(e: f90y_backend::BackendError) -> Self {
+        match e {
+            f90y_backend::BackendError::Machine(f90y_cm2::Cm2Error::Unrecoverable(m)) => {
+                RunError::Unrecoverable(m)
+            }
+            other => RunError::Execution(other),
+        }
+    }
+}
+
+/// The lossy bridge the deprecated `run*` shims use to keep their
+/// historical [`CompileError`] signatures.
+impl From<RunError> for CompileError {
+    fn from(e: RunError) -> Self {
+        match e {
+            RunError::Execution(b) => CompileError::Backend(b),
+            RunError::Reference(n) => CompileError::Transform(n),
+            RunError::Unrecoverable(m) => CompileError::Backend(
+                f90y_backend::BackendError::Machine(f90y_cm2::Cm2Error::Unrecoverable(m)),
+            ),
+            RunError::InvalidSession(m) | RunError::Validation(m) => {
+                CompileError::Backend(f90y_backend::BackendError::Host(m))
+            }
+        }
     }
 }
 
@@ -288,25 +376,47 @@ pub struct Executable {
 }
 
 impl Executable {
+    /// Open a [`Session`] on `target` — the one entry point for running
+    /// a compiled program (it replaced the deprecated `run*` family).
+    /// Chain [`Session::telemetry`], [`Session::faults`] or
+    /// [`Session::on_machine`] to configure, then [`Session::run`].
+    pub fn session(&self, target: Target) -> Session<'_> {
+        Session {
+            exe: self,
+            target,
+            tel: None,
+            faults: None,
+            machine: None,
+        }
+    }
+
     /// Run on a fresh machine with the given node count.
     ///
     /// # Errors
     ///
     /// Fails on any dynamic error during host execution.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `exe.session(Target::Cm2 { nodes }).run()`"
+    )]
     pub fn run(&self, nodes: usize) -> Result<RunReport, CompileError> {
         let mut cm = self.pipeline.machine(nodes);
-        self.run_on(&mut cm)
+        self.run_cm2_impl(&mut cm, &mut Telemetry::disabled())
+            .map_err(CompileError::from)
     }
 
-    /// [`Executable::run`] with telemetry (see
-    /// [`Executable::run_on_with`]).
+    /// [`Executable::run`] with telemetry.
     ///
     /// # Errors
     ///
     /// As [`Executable::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `exe.session(Target::Cm2 { nodes }).telemetry(tel).run()`"
+    )]
     pub fn run_with(&self, nodes: usize, tel: &mut Telemetry) -> Result<RunReport, CompileError> {
         let mut cm = self.pipeline.machine(nodes);
-        self.run_on_with(&mut cm, tel)
+        self.run_cm2_impl(&mut cm, tel).map_err(CompileError::from)
     }
 
     /// Run on an existing machine (stats accumulate).
@@ -314,25 +424,38 @@ impl Executable {
     /// # Errors
     ///
     /// Fails on any dynamic error during host execution.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `exe.session(Target::Cm2 { nodes }).on_machine(cm).run()`"
+    )]
     pub fn run_on(&self, cm: &mut Cm2) -> Result<RunReport, CompileError> {
-        self.run_on_with(cm, &mut Telemetry::disabled())
+        self.run_cm2_impl(cm, &mut Telemetry::disabled())
+            .map_err(CompileError::from)
     }
 
-    /// [`Executable::run_on`] with telemetry: the execution runs inside
-    /// a `run` span, the run's cycle/flop deltas land as `sim.*`
-    /// counters, and — with a recording collector — the machine's
-    /// per-phase cycle profile is enabled for the run and lands as
-    /// `sim.phase.<tag>.*` counters whose sums equal the `sim.*`
-    /// category totals exactly.
+    /// [`Executable::run_on`] with telemetry.
     ///
     /// # Errors
     ///
     /// As [`Executable::run_on`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `exe.session(Target::Cm2 { nodes }).on_machine(cm).telemetry(tel).run()`"
+    )]
     pub fn run_on_with(
         &self,
         cm: &mut Cm2,
         tel: &mut Telemetry,
     ) -> Result<RunReport, CompileError> {
+        self.run_cm2_impl(cm, tel).map_err(CompileError::from)
+    }
+
+    /// The CM/2 execution behind every session: runs inside a `run`
+    /// span; the run's cycle/flop deltas land as `sim.*` counters, and
+    /// — with a recording collector — the machine's per-phase cycle
+    /// profile is enabled for the run and lands as `sim.phase.<tag>.*`
+    /// counters whose sums equal the `sim.*` category totals exactly.
+    fn run_cm2_impl(&self, cm: &mut Cm2, tel: &mut Telemetry) -> Result<RunReport, RunError> {
         if tel.is_enabled() {
             // A fresh profile for this run, so phase sums equal the
             // stats delta reported below.
@@ -394,33 +517,61 @@ impl Executable {
 
     /// Run on the CM/5 MIMD execution engine with the given node count
     /// (genuinely distributed: sharded arrays, halo exchanges, combine
-    /// trees — see `f90y-mimd`). Final values are bit-identical to
-    /// [`Executable::run`]'s; the accounting is the MIMD machine's own.
+    /// trees — see `f90y-mimd`). Final values are bit-identical to the
+    /// CM/2 target's; the accounting is the MIMD machine's own.
     ///
     /// # Errors
     ///
     /// Fails on any dynamic error during host execution.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `exe.session(Target::Cm5Mimd { nodes }).run()`"
+    )]
     pub fn run_mimd(&self, nodes: usize) -> Result<MimdRunReport, CompileError> {
-        self.run_mimd_with(nodes, &mut Telemetry::disabled())
+        self.run_mimd_impl(nodes, None, &mut Telemetry::disabled())
+            .map_err(CompileError::from)
     }
 
-    /// [`Executable::run_mimd`] with telemetry: the execution runs
-    /// inside a `run.mimd` span and the machine's counters land under
-    /// `mimd.*` — message/byte/collective counts plus per-phase seconds
-    /// (as gauges) and the busiest/least-busy node times.
+    /// [`Executable::run_mimd`] with telemetry.
     ///
     /// # Errors
     ///
     /// As [`Executable::run_mimd`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `exe.session(Target::Cm5Mimd { nodes }).telemetry(tel).run()`"
+    )]
     pub fn run_mimd_with(
         &self,
         nodes: usize,
         tel: &mut Telemetry,
     ) -> Result<MimdRunReport, CompileError> {
-        let mut machine = f90y_mimd::MimdMachine::new(f90y_mimd::MimdConfig::new(nodes));
+        self.run_mimd_impl(nodes, None, tel)
+            .map_err(CompileError::from)
+    }
+
+    /// The MIMD execution behind every session: runs inside a
+    /// `run.mimd` span and the machine's counters land under `mimd.*` —
+    /// message/byte/collective counts plus per-phase seconds (as
+    /// gauges) and the busiest/least-busy node times. With a fault
+    /// plan, the injection and recovery counters additionally land
+    /// under `mimd.fault.*`.
+    fn run_mimd_impl(
+        &self,
+        nodes: usize,
+        faults: Option<FaultPlan>,
+        tel: &mut Telemetry,
+    ) -> Result<MimdRunReport, RunError> {
+        let fault_run = faults.is_some();
+        let mut config = f90y_mimd::MimdConfig::new(nodes);
+        if let Some(plan) = faults {
+            config = config.with_faults(plan);
+        }
+        let mut machine = f90y_mimd::MimdMachine::new(config);
         let span = tel.start("run.mimd");
-        let finals = HostExecutor::new(&mut machine).run(&self.compiled)?;
+        let result = HostExecutor::new(&mut machine).run(&self.compiled);
         tel.finish(span);
+        let finals = result.map_err(RunError::from)?;
         let stats = machine.stats().clone();
         if tel.is_enabled() {
             tel.count("mimd.nodes", nodes as u64);
@@ -443,6 +594,21 @@ impl Executable {
                 tel.gauge_max("mimd.node_busy_max_seconds", busy);
                 tel.gauge_min("mimd.node_busy_min_seconds", busy);
             }
+            tel.count("mimd.supersteps", stats.supersteps);
+            if fault_run {
+                tel.count("mimd.fault.injected", stats.faults_injected());
+                tel.count("mimd.fault.msgs_dropped", stats.msgs_dropped);
+                tel.count("mimd.fault.msgs_duplicated", stats.msgs_duplicated);
+                tel.count("mimd.fault.msgs_delayed", stats.msgs_delayed);
+                tel.count("mimd.fault.retries", stats.retries);
+                tel.count("mimd.fault.dedup_suppressed", stats.dedup_suppressed);
+                tel.count("mimd.fault.node_kills", stats.node_kills);
+                tel.count("mimd.fault.node_restarts", stats.node_restarts);
+                tel.count("mimd.fault.node_stalls", stats.node_stalls);
+                tel.count("mimd.fault.checkpoints", stats.checkpoints);
+                tel.count("mimd.fault.checkpoint_bytes", stats.checkpoint_bytes);
+                tel.gauge("mimd.fault.recovery_seconds", stats.recovery_seconds);
+            }
         }
         Ok(MimdRunReport {
             gflops: stats.gflops(),
@@ -458,12 +624,14 @@ impl Executable {
     ///
     /// # Errors
     ///
-    /// Fails if any value disagrees, or on dynamic errors.
-    pub fn validate(&self) -> Result<(), CompileError> {
+    /// [`RunError::Validation`] if any value disagrees;
+    /// [`RunError::Reference`] or [`RunError::Execution`] when either
+    /// side fails to run.
+    pub fn validate(&self) -> Result<(), RunError> {
         let mut ev = f90y_nir::eval::Evaluator::new();
-        ev.run(&self.nir).map_err(CompileError::Transform)?;
-        let run = self.run(16)?;
-        for (name, value) in run.finals.finals() {
+        ev.run(&self.nir).map_err(RunError::Reference)?;
+        let run = self.session(Target::Cm2 { nodes: 16 }).run()?;
+        for (name, value) in run.finals().finals() {
             // Transformation-introduced temporaries have no counterpart
             // in the unoptimized program.
             if ev.final_cell(name).is_none() {
@@ -471,26 +639,239 @@ impl Executable {
             }
             match value {
                 f90y_backend::fe::Final::Array(got) => {
-                    let expect = ev.final_array_f64(name).map_err(CompileError::Transform)?;
+                    let expect = ev.final_array_f64(name).map_err(RunError::Reference)?;
                     for (i, (e, g)) in expect.iter().zip(got).enumerate() {
                         if (e - g).abs() > 1e-9 * e.abs().max(1.0) {
-                            return Err(CompileError::Backend(f90y_backend::BackendError::Host(
-                                format!("validation failed: {name}[{i}] evaluator={e} machine={g}"),
+                            return Err(RunError::Validation(format!(
+                                "{name}[{i}] evaluator={e} machine={g}"
                             )));
                         }
                     }
                 }
                 f90y_backend::fe::Final::Scalar(got) => {
-                    let expect = ev.final_scalar_f64(name).map_err(CompileError::Transform)?;
+                    let expect = ev.final_scalar_f64(name).map_err(RunError::Reference)?;
                     if (expect - got).abs() > 1e-9 * expect.abs().max(1.0) {
-                        return Err(CompileError::Backend(f90y_backend::BackendError::Host(
-                            format!("validation failed: {name} evaluator={expect} machine={got}"),
+                        return Err(RunError::Validation(format!(
+                            "{name} evaluator={expect} machine={got}"
                         )));
                     }
                 }
             }
         }
         Ok(())
+    }
+}
+
+/// Where a [`Session`] runs the compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// The simulated CM/2 SIMD machine — slicewise or fieldwise
+    /// according to the pipeline that compiled the executable.
+    Cm2 {
+        /// Processing-element (node) count.
+        nodes: usize,
+    },
+    /// The CM/5 MIMD execution engine: genuinely distributed sharded
+    /// arrays, halo exchanges, combine trees (see `f90y-mimd`).
+    Cm5Mimd {
+        /// Processing-node count (must be a power of two).
+        nodes: usize,
+    },
+}
+
+/// One configured run of an [`Executable`] — the single entry point
+/// that replaced the old `run*` family.
+///
+/// Built by [`Executable::session`], configured by chaining, executed
+/// by [`Session::run`]:
+///
+/// ```
+/// use f90y_core::{Compiler, Pipeline, Target, Telemetry};
+///
+/// let exe = Compiler::new(Pipeline::F90y).compile("REAL A(32)\nA = A + 1.0\n")?;
+/// let mut tel = Telemetry::new();
+/// let run = exe
+///     .session(Target::Cm5Mimd { nodes: 8 })
+///     .telemetry(&mut tel)
+///     .run()?;
+/// assert!(run.finals().final_array("a")?.iter().all(|&x| x == 1.0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Session<'a> {
+    exe: &'a Executable,
+    target: Target,
+    tel: Option<&'a mut Telemetry>,
+    faults: Option<FaultPlan>,
+    machine: Option<&'a mut Cm2>,
+}
+
+impl<'a> Session<'a> {
+    /// Record compilation-style telemetry for the run (spans plus
+    /// `sim.*` / `mimd.*` counters; `mimd.fault.*` under a fault plan).
+    #[must_use]
+    pub fn telemetry(mut self, tel: &'a mut Telemetry) -> Self {
+        self.tel = Some(tel);
+        self
+    }
+
+    /// Inject the plan's deterministic faults
+    /// ([`Target::Cm5Mimd`] only).
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Run on an existing CM/2 instead of a fresh one, accumulating its
+    /// stats ([`Target::Cm2`] only; the machine's node count must match
+    /// the target's).
+    #[must_use]
+    pub fn on_machine(mut self, cm: &'a mut Cm2) -> Self {
+        self.machine = Some(cm);
+        self
+    }
+
+    /// Execute the session.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::InvalidSession`] when the configuration is
+    /// inconsistent (non-power-of-two MIMD node count, a fault plan on
+    /// the CM/2 target or targeting absent nodes, a provided machine of
+    /// the wrong size); [`RunError::Unrecoverable`] when an injected
+    /// fault plan exhausts its recovery budgets;
+    /// [`RunError::Execution`] on any other dynamic error.
+    pub fn run(self) -> Result<Run, RunError> {
+        let Session {
+            exe,
+            target,
+            tel,
+            faults,
+            machine,
+        } = self;
+        let mut local = Telemetry::disabled();
+        let tel = tel.unwrap_or(&mut local);
+        match target {
+            Target::Cm2 { nodes } => {
+                if faults.is_some() {
+                    return Err(RunError::InvalidSession(
+                        "fault plans apply to Target::Cm5Mimd only — the SIMD machine \
+                         has no message layer to perturb"
+                            .into(),
+                    ));
+                }
+                match machine {
+                    Some(cm) => {
+                        let have = cm.config().nodes;
+                        if have != nodes {
+                            return Err(RunError::InvalidSession(format!(
+                                "on_machine provides a {have}-node CM/2 but the target \
+                                 asks for {nodes} nodes"
+                            )));
+                        }
+                        exe.run_cm2_impl(cm, tel).map(Run::Cm2)
+                    }
+                    None => {
+                        let mut cm = exe.pipeline.machine(nodes);
+                        exe.run_cm2_impl(&mut cm, tel).map(Run::Cm2)
+                    }
+                }
+            }
+            Target::Cm5Mimd { nodes } => {
+                if machine.is_some() {
+                    return Err(RunError::InvalidSession(
+                        "on_machine provides a CM/2; it cannot host a Target::Cm5Mimd \
+                         session"
+                            .into(),
+                    ));
+                }
+                if !nodes.is_power_of_two() {
+                    return Err(RunError::InvalidSession(format!(
+                        "MIMD node count must be a power of two, got {nodes}"
+                    )));
+                }
+                if let Some(plan) = &faults {
+                    plan.validate(nodes).map_err(RunError::InvalidSession)?;
+                }
+                exe.run_mimd_impl(nodes, faults, tel).map(Run::Mimd)
+            }
+        }
+    }
+}
+
+/// What a [`Session`] produced: one report type across targets, with
+/// target-independent accessors plus typed access to each report.
+#[derive(Debug)]
+pub enum Run {
+    /// A CM/2 (SIMD) run.
+    Cm2(RunReport),
+    /// A CM/5 MIMD-engine run.
+    Mimd(MimdRunReport),
+}
+
+impl Run {
+    /// Final variable values.
+    pub fn finals(&self) -> &HostRun {
+        match self {
+            Run::Cm2(r) => &r.finals,
+            Run::Mimd(r) => &r.finals,
+        }
+    }
+
+    /// Sustained GFLOPS over the run.
+    pub fn gflops(&self) -> f64 {
+        match self {
+            Run::Cm2(r) => r.gflops,
+            Run::Mimd(r) => r.gflops,
+        }
+    }
+
+    /// Modelled elapsed time in seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        match self {
+            Run::Cm2(r) => r.elapsed_seconds,
+            Run::Mimd(r) => r.elapsed_seconds,
+        }
+    }
+
+    /// The CM/2 report, when the session targeted the CM/2.
+    pub fn as_cm2(&self) -> Option<&RunReport> {
+        match self {
+            Run::Cm2(r) => Some(r),
+            Run::Mimd(_) => None,
+        }
+    }
+
+    /// The MIMD report, when the session targeted the MIMD engine.
+    pub fn as_mimd(&self) -> Option<&MimdRunReport> {
+        match self {
+            Run::Cm2(_) => None,
+            Run::Mimd(r) => Some(r),
+        }
+    }
+
+    /// Unwrap the CM/2 report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session ran on the MIMD engine.
+    pub fn into_cm2(self) -> RunReport {
+        match self {
+            Run::Cm2(r) => r,
+            Run::Mimd(_) => panic!("session ran on Target::Cm5Mimd; use into_mimd()"),
+        }
+    }
+
+    /// Unwrap the MIMD report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session ran on the CM/2.
+    pub fn into_mimd(self) -> MimdRunReport {
+        match self {
+            Run::Cm2(_) => panic!("session ran on Target::Cm2; use into_cm2()"),
+            Run::Mimd(r) => r,
+        }
     }
 }
 
@@ -532,14 +913,14 @@ mod tests {
         let exe = Compiler::new(Pipeline::F90y)
             .compile("INTEGER K(64,64)\nK = 2*K + 5\n")
             .unwrap();
-        let run = exe.run(64).unwrap();
+        let run = exe.session(Target::Cm2 { nodes: 64 }).run().unwrap();
         assert!(run
-            .finals
+            .finals()
             .final_array("k")
             .unwrap()
             .iter()
             .all(|&x| x == 5.0));
-        assert!(run.gflops > 0.0);
+        assert!(run.gflops() > 0.0);
     }
 
     #[test]
@@ -556,10 +937,87 @@ mod tests {
         let mut finals = Vec::new();
         for p in [Pipeline::F90y, Pipeline::Cmf, Pipeline::StarLisp] {
             let exe = Compiler::new(p).compile(&src).unwrap();
-            let run = exe.run(16).unwrap();
-            finals.push(run.finals.final_array("p").unwrap());
+            let run = exe.session(Target::Cm2 { nodes: 16 }).run().unwrap();
+            finals.push(run.finals().final_array("p").unwrap().to_vec());
         }
         assert_eq!(finals[0], finals[1]);
         assert_eq!(finals[0], finals[2]);
+    }
+
+    #[test]
+    fn deprecated_shims_still_run() {
+        let exe = Compiler::new(Pipeline::F90y)
+            .compile("REAL A(8)\nA = A + 1.0\n")
+            .unwrap();
+        #[allow(deprecated)]
+        let run = exe.run(8).unwrap();
+        assert!(run
+            .finals
+            .final_array("a")
+            .unwrap()
+            .iter()
+            .all(|&x| x == 1.0));
+        #[allow(deprecated)]
+        let run = exe.run_mimd(8).unwrap();
+        assert!(run
+            .finals
+            .final_array("a")
+            .unwrap()
+            .iter()
+            .all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn session_rejects_inconsistent_configurations() {
+        let exe = Compiler::new(Pipeline::F90y)
+            .compile("REAL A(8)\nA = A + 1.0\n")
+            .unwrap();
+        // Faults on the SIMD target.
+        let err = exe
+            .session(Target::Cm2 { nodes: 8 })
+            .faults(FaultPlan::seeded(1))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidSession(_)));
+        // Non-power-of-two MIMD partition.
+        let err = exe.session(Target::Cm5Mimd { nodes: 6 }).run().unwrap_err();
+        assert!(matches!(err, RunError::InvalidSession(_)));
+        // A fault plan aimed at a node the partition does not have.
+        let err = exe
+            .session(Target::Cm5Mimd { nodes: 4 })
+            .faults(FaultPlan::seeded(1).kill(1, 9))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidSession(_)));
+        // A machine of the wrong size.
+        let mut cm = Pipeline::F90y.machine(16);
+        let err = exe
+            .session(Target::Cm2 { nodes: 8 })
+            .on_machine(&mut cm)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidSession(_)));
+    }
+
+    #[test]
+    fn session_targets_agree_and_faults_keep_finals_identical() {
+        let exe = Compiler::new(Pipeline::F90y)
+            .compile("REAL A(32,32), S\nA = A + 3.0\nS = SUM(A)\n")
+            .unwrap();
+        let cm2 = exe.session(Target::Cm2 { nodes: 16 }).run().unwrap();
+        let mimd = exe.session(Target::Cm5Mimd { nodes: 16 }).run().unwrap();
+        let faulty = exe
+            .session(Target::Cm5Mimd { nodes: 16 })
+            .faults(
+                FaultPlan::seeded(11)
+                    .drop_per_mille(50)
+                    .duplicate_per_mille(20),
+            )
+            .run()
+            .unwrap();
+        let a = cm2.finals().final_array("a").unwrap().to_vec();
+        assert_eq!(a, mimd.finals().final_array("a").unwrap());
+        assert_eq!(a, faulty.finals().final_array("a").unwrap());
+        assert!(faulty.as_mimd().unwrap().stats.faults_injected() > 0);
     }
 }

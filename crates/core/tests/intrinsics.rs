@@ -1,14 +1,17 @@
 //! End-to-end tests of the MERGE and TRANSPOSE intrinsics through the
 //! full pipeline, validated against the reference evaluator.
 
-use f90y_core::{Compiler, Pipeline};
+use f90y_core::{Compiler, Pipeline, Target};
 
 fn validate(src: &str) -> f90y_core::RunReport {
     let exe = Compiler::new(Pipeline::F90y)
         .compile(src)
         .expect("compiles");
     exe.validate().expect("matches the reference evaluator");
-    exe.run(16).expect("runs")
+    exe.session(Target::Cm2 { nodes: 16 })
+        .run()
+        .expect("runs")
+        .into_cm2()
 }
 
 #[test]
@@ -29,7 +32,11 @@ fn merge_is_elemental_and_reaches_the_node_code() {
         .filter(|i| matches!(i, f90y_peac::Instr::Fselv { .. }))
         .count();
     assert!(sel >= 1, "MERGE should emit a masked vector move");
-    let run = exe.run(16).unwrap();
+    let run = exe
+        .session(Target::Cm2 { nodes: 16 })
+        .run()
+        .unwrap()
+        .into_cm2();
     let c = run.finals.final_array("c").unwrap();
     for i in 1..=16usize {
         let expect = if i > 8 { i as f64 } else { 100.0 + i as f64 };
@@ -105,7 +112,11 @@ fn transpose_is_charged_as_communication() {
         at = TRANSPOSE(a)
     ";
     let exe = Compiler::new(Pipeline::F90y).compile(src).unwrap();
-    let run = exe.run(16).unwrap();
+    let run = exe
+        .session(Target::Cm2 { nodes: 16 })
+        .run()
+        .unwrap()
+        .into_cm2();
     assert!(
         run.stats.comm_calls >= 1,
         "a transpose is a general permutation (router)"

@@ -1,14 +1,17 @@
 //! End-to-end tests of subroutine inlining: the paper's "scientific
 //! library functions" motivation.
 
-use f90y_core::{Compiler, Pipeline};
+use f90y_core::{Compiler, Pipeline, Target};
 
 fn validate(src: &str) -> f90y_core::RunReport {
     let exe = Compiler::new(Pipeline::F90y)
         .compile(src)
         .expect("compiles");
     exe.validate().expect("matches the reference evaluator");
-    exe.run(16).expect("runs")
+    exe.session(Target::Cm2 { nodes: 16 })
+        .run()
+        .expect("runs")
+        .into_cm2()
 }
 
 #[test]

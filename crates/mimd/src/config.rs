@@ -1,5 +1,7 @@
 //! Configuration of the simulated CM/5 MIMD partition.
 
+use crate::fault::FaultPlan;
+
 /// Machine constants of a CM/5 partition running the MIMD engine.
 ///
 /// The compute and network constants deliberately mirror the analytic
@@ -33,6 +35,12 @@ pub struct MimdConfig {
     /// (for tests and message-model debugging); the capacity bounds the
     /// log so pathological runs cannot eat memory.
     pub message_log_capacity: Option<usize>,
+    /// When `Some`, the run injects the plan's deterministic faults:
+    /// dropped/duplicated/delayed messages, node kills and stalls. The
+    /// network delivers reliably (retry + dedup) and killed nodes are
+    /// restored from barrier checkpoints, so in-budget plans leave
+    /// final values bit-identical to a fault-free run.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl MimdConfig {
@@ -57,6 +65,7 @@ impl MimdConfig {
             cp_dispatch_cycles: 400,
             cp_per_arg_cycles: 10,
             message_log_capacity: None,
+            fault_plan: None,
         }
     }
 
@@ -64,6 +73,12 @@ impl MimdConfig {
     /// spelled `usize::MAX`).
     pub fn with_message_log(mut self, capacity: usize) -> Self {
         self.message_log_capacity = Some(capacity);
+        self
+    }
+
+    /// Same partition, with the given fault plan injected.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 

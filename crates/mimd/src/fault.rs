@@ -1,0 +1,377 @@
+//! Deterministic fault injection: what goes wrong, and exactly when.
+//!
+//! A [`FaultPlan`] makes the simulated network and nodes unreliable in
+//! a **reproducible** way: every fault decision is a pure function of
+//! `(seed, superstep, msg_seq)` — no wall clock, no RNG state carried
+//! between calls — so the same plan replays the identical fault
+//! schedule on every run, and two runs with one plan produce identical
+//! arrays, statistics and fault counters. The supported faults:
+//!
+//! * **drop** — a message delivery attempt is lost; the sender's
+//!   acknowledgement timeout fires and it retransmits, up to
+//!   [`FaultPlan::max_retries`] times per message.
+//! * **duplicate** — a message arrives twice; the receiver's
+//!   sequence-number dedup suppresses the copy.
+//! * **delay** — a message arrives late, after the rest of its batch
+//!   (a reordering); delivery is idempotent and set-based, so order
+//!   does not affect the final state.
+//! * **kill** — a node loses its in-flight superstep; the machine
+//!   restores the barrier checkpoint and replays the superstep, up to
+//!   [`FaultPlan::max_restarts`] restarts per run.
+//! * **stall** — a node arrives late at a barrier; every node waits
+//!   (the bulk-synchronous model turns the stall into elapsed time).
+//!
+//! Rates are expressed per mille (0..=1000) so thresholds compare
+//! exactly against a hash residue — no float roundoff in the fault
+//! schedule. Kills and stalls are *named*: they target one node at one
+//! superstep. Message faults can be restricted to a superstep window
+//! and to one [`MessageKind`].
+
+use crate::net::MessageKind;
+
+/// SplitMix64: the standard 64-bit finalizer used as the plan's pure
+/// hash. Good avalanche, no state.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Salts keeping the drop/duplicate/delay decisions independent.
+const SALT_DROP: u64 = 0xD509;
+const SALT_DUP: u64 = 0xD0B1;
+const SALT_DELAY: u64 = 0xDE1A;
+
+/// Counters of message-level faults the network injected and absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Delivery attempts lost on the wire.
+    pub drops: u64,
+    /// Messages delivered twice.
+    pub duplicates: u64,
+    /// Messages delivered late (reordered past their batch).
+    pub delays: u64,
+    /// Retransmissions after an acknowledgement timeout (one per drop
+    /// in any run that completes).
+    pub retries: u64,
+    /// Duplicate deliveries the receiver's sequence-number dedup
+    /// suppressed.
+    pub dedup_suppressed: u64,
+}
+
+impl FaultCounters {
+    /// Total faults injected.
+    pub fn injected(&self) -> u64 {
+        self.drops + self.duplicates + self.delays
+    }
+}
+
+/// A deterministic, seeded schedule of injected faults.
+///
+/// Build one with [`FaultPlan::seeded`] and the chainable setters:
+///
+/// ```
+/// use f90y_mimd::{FaultPlan, MessageKind};
+///
+/// let plan = FaultPlan::seeded(42)
+///     .drop_per_mille(50)          // 5% of delivery attempts vanish
+///     .duplicate_per_mille(10)
+///     .delay_per_mille(10)
+///     .kill(3, 1)                  // node 1 dies in superstep 3
+///     .stall(5, 0, 2.0e-3)         // node 0 is 2 ms late at barrier 5
+///     .only_kind(MessageKind::Halo)
+///     .retries(16)
+///     .restarts(4);
+/// assert!(plan.validate(4).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The seed every fault decision hashes in.
+    pub seed: u64,
+    /// Probability (‰) that one delivery attempt is dropped.
+    pub drop_per_mille: u16,
+    /// Probability (‰) that a message is delivered twice.
+    pub dup_per_mille: u16,
+    /// Probability (‰) that a message is delayed past its batch.
+    pub delay_per_mille: u16,
+    /// Restrict message faults to this kind (`None` = any kind).
+    pub only_kind: Option<MessageKind>,
+    /// Restrict message faults to supersteps in `[lo, hi)` (`None` =
+    /// every superstep).
+    pub window: Option<(u64, u64)>,
+    /// Named node kills: `(superstep, node)`. Each fires once.
+    pub kills: Vec<(u64, usize)>,
+    /// Named node stalls: `(superstep, node, seconds)`. Each fires
+    /// once.
+    pub stalls: Vec<(u64, usize, f64)>,
+    /// Retransmission budget per message; a message dropped more than
+    /// this many times makes the run [unrecoverable].
+    ///
+    /// [unrecoverable]: crate::net::Unrecoverable
+    pub max_retries: u32,
+    /// Node-restart budget per run; more kills than this make the run
+    /// unrecoverable.
+    pub max_restarts: u32,
+    /// The acknowledgement timeout: modelled seconds a sender waits
+    /// before retransmitting (also the lateness of a delayed message).
+    pub retry_timeout_seconds: f64,
+}
+
+impl FaultPlan {
+    /// A quiet plan (no faults) with the given seed and the default
+    /// budgets: 8 retries per message, 4 restarts per run, a 100 µs
+    /// acknowledgement timeout.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            delay_per_mille: 0,
+            only_kind: None,
+            window: None,
+            kills: Vec::new(),
+            stalls: Vec::new(),
+            max_retries: 8,
+            max_restarts: 4,
+            retry_timeout_seconds: 100.0e-6,
+        }
+    }
+
+    /// Set the per-attempt drop rate (clamped to 1000‰).
+    #[must_use]
+    pub fn drop_per_mille(mut self, rate: u16) -> Self {
+        self.drop_per_mille = rate.min(1000);
+        self
+    }
+
+    /// Set the duplicate rate (clamped to 1000‰).
+    #[must_use]
+    pub fn duplicate_per_mille(mut self, rate: u16) -> Self {
+        self.dup_per_mille = rate.min(1000);
+        self
+    }
+
+    /// Set the delay/reorder rate (clamped to 1000‰).
+    #[must_use]
+    pub fn delay_per_mille(mut self, rate: u16) -> Self {
+        self.delay_per_mille = rate.min(1000);
+        self
+    }
+
+    /// Kill `node` at the barrier of `superstep` (supersteps number
+    /// from 1 in execution order; see `MimdStats::supersteps`).
+    #[must_use]
+    pub fn kill(mut self, superstep: u64, node: usize) -> Self {
+        self.kills.push((superstep, node));
+        self
+    }
+
+    /// Stall `node` for `seconds` at the barrier of `superstep`.
+    #[must_use]
+    pub fn stall(mut self, superstep: u64, node: usize, seconds: f64) -> Self {
+        self.stalls.push((superstep, node, seconds));
+        self
+    }
+
+    /// Restrict message faults to one message kind.
+    #[must_use]
+    pub fn only_kind(mut self, kind: MessageKind) -> Self {
+        self.only_kind = Some(kind);
+        self
+    }
+
+    /// Restrict message faults to supersteps in `[lo, hi)`.
+    #[must_use]
+    pub fn window(mut self, lo: u64, hi: u64) -> Self {
+        self.window = Some((lo, hi));
+        self
+    }
+
+    /// Set the per-message retransmission budget.
+    #[must_use]
+    pub fn retries(mut self, max: u32) -> Self {
+        self.max_retries = max;
+        self
+    }
+
+    /// Set the per-run node-restart budget.
+    #[must_use]
+    pub fn restarts(mut self, max: u32) -> Self {
+        self.max_restarts = max;
+        self
+    }
+
+    /// Set the acknowledgement timeout in seconds.
+    #[must_use]
+    pub fn retry_timeout(mut self, seconds: f64) -> Self {
+        self.retry_timeout_seconds = seconds;
+        self
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.drop_per_mille > 0
+            || self.dup_per_mille > 0
+            || self.delay_per_mille > 0
+            || !self.kills.is_empty()
+            || !self.stalls.is_empty()
+    }
+
+    /// Whether the plan names any node kills (the machine checkpoints
+    /// every superstep barrier exactly when it does).
+    pub fn has_kills(&self) -> bool {
+        !self.kills.is_empty()
+    }
+
+    /// Check the plan against the machine it will run on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming both the offending node index and the
+    /// machine's node count when a kill or stall targets a node the
+    /// partition does not have, or when the timeout is not positive.
+    pub fn validate(&self, nodes: usize) -> Result<(), String> {
+        for &(step, node) in &self.kills {
+            if node >= nodes {
+                return Err(format!(
+                    "fault plan kills node {node} at superstep {step}, but the machine \
+                     has only {nodes} nodes (valid indices 0..{nodes})"
+                ));
+            }
+        }
+        for &(step, node, _) in &self.stalls {
+            if node >= nodes {
+                return Err(format!(
+                    "fault plan stalls node {node} at superstep {step}, but the machine \
+                     has only {nodes} nodes (valid indices 0..{nodes})"
+                ));
+            }
+        }
+        // NaN must fail too, so avoid the `<=` complement.
+        if self.retry_timeout_seconds.is_nan() || self.retry_timeout_seconds <= 0.0 {
+            return Err(format!(
+                "fault plan retry timeout must be positive, got {}",
+                self.retry_timeout_seconds
+            ));
+        }
+        Ok(())
+    }
+
+    /// The pure fault hash: a uniform residue in `0..1000` for one
+    /// `(superstep, msg_seq, salt)` triple under this plan's seed.
+    fn roll(&self, superstep: u64, seq: u64, salt: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(superstep ^ splitmix64(seq ^ salt))) % 1000
+    }
+
+    /// Whether message faults apply to `kind` at `superstep` at all.
+    fn in_scope(&self, superstep: u64, kind: MessageKind) -> bool {
+        if let Some((lo, hi)) = self.window {
+            if superstep < lo || superstep >= hi {
+                return false;
+            }
+        }
+        match self.only_kind {
+            Some(k) => k == kind,
+            None => true,
+        }
+    }
+
+    /// Is delivery attempt `attempt` (0 = the original send) of message
+    /// `seq` dropped?
+    pub fn drops(&self, superstep: u64, seq: u64, attempt: u32, kind: MessageKind) -> bool {
+        self.drop_per_mille > 0
+            && self.in_scope(superstep, kind)
+            && self.roll(superstep, seq, SALT_DROP ^ u64::from(attempt))
+                < u64::from(self.drop_per_mille)
+    }
+
+    /// Is message `seq` delivered twice?
+    pub fn duplicates(&self, superstep: u64, seq: u64, kind: MessageKind) -> bool {
+        self.dup_per_mille > 0
+            && self.in_scope(superstep, kind)
+            && self.roll(superstep, seq, SALT_DUP) < u64::from(self.dup_per_mille)
+    }
+
+    /// Is message `seq` delayed past the rest of its batch?
+    pub fn delays(&self, superstep: u64, seq: u64, kind: MessageKind) -> bool {
+        self.delay_per_mille > 0
+            && self.in_scope(superstep, kind)
+            && self.roll(superstep, seq, SALT_DELAY) < u64::from(self.delay_per_mille)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_functions_of_the_coordinates() {
+        let plan = FaultPlan::seeded(7)
+            .drop_per_mille(500)
+            .duplicate_per_mille(500);
+        for step in 0..20 {
+            for seq in 0..50 {
+                assert_eq!(
+                    plan.drops(step, seq, 0, MessageKind::Halo),
+                    plan.drops(step, seq, 0, MessageKind::Halo)
+                );
+                assert_eq!(
+                    plan.duplicates(step, seq, MessageKind::Halo),
+                    plan.duplicates(step, seq, MessageKind::Halo)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan::seeded(123).drop_per_mille(100); // 10%
+        let n = 10_000;
+        let hits = (0..n)
+            .filter(|&seq| plan.drops(1, seq, 0, MessageKind::Router))
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.07..0.13).contains(&rate), "rate drifted: {rate}");
+    }
+
+    #[test]
+    fn different_seeds_differ_and_zero_rate_never_fires() {
+        let a = FaultPlan::seeded(1).drop_per_mille(500);
+        let b = FaultPlan::seeded(2).drop_per_mille(500);
+        let schedule = |p: &FaultPlan| -> Vec<bool> {
+            (0..256)
+                .map(|s| p.drops(1, s, 0, MessageKind::Halo))
+                .collect()
+        };
+        assert_ne!(schedule(&a), schedule(&b));
+        let quiet = FaultPlan::seeded(1);
+        assert!(!quiet.is_active());
+        assert!(schedule(&quiet).iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn window_and_kind_restrict_the_blast_radius() {
+        let plan = FaultPlan::seeded(9)
+            .drop_per_mille(1000)
+            .window(5, 10)
+            .only_kind(MessageKind::Router);
+        assert!(plan.drops(5, 0, 0, MessageKind::Router));
+        assert!(!plan.drops(4, 0, 0, MessageKind::Router), "before window");
+        assert!(!plan.drops(10, 0, 0, MessageKind::Router), "past window");
+        assert!(!plan.drops(5, 0, 0, MessageKind::Halo), "wrong kind");
+    }
+
+    #[test]
+    fn validate_names_both_node_and_machine_size() {
+        let plan = FaultPlan::seeded(0).kill(2, 9);
+        let msg = plan.validate(4).expect_err("node 9 of 4 must be rejected");
+        assert!(msg.contains("node 9"), "names the plan's node: {msg}");
+        assert!(msg.contains("4 nodes"), "names the machine's count: {msg}");
+        assert!(plan.validate(16).is_ok());
+
+        let stall = FaultPlan::seeded(0).stall(1, 5, 1e-3);
+        let msg = stall.validate(4).expect_err("stalled node out of range");
+        assert!(msg.contains("node 5") && msg.contains("4 nodes"), "{msg}");
+    }
+}

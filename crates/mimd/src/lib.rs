@@ -19,13 +19,19 @@
 //!   model, so the two can be cross-checked);
 //! * [`shard`] — the outer-axis slab decomposition every array uses;
 //! * [`net`] — the deterministic message layer: batches of explicit
-//!   point-to-point messages, busiest-endpoint superstep timing, an
+//!   point-to-point messages with sequence-numbered, acknowledged,
+//!   deduplicated delivery; busiest-endpoint superstep timing; an
 //!   optional bounded log;
+//! * [`fault`] — [`FaultPlan`]: seeded, reproducible fault injection
+//!   (message drops/duplicates/delays, node kills and stalls), every
+//!   decision a pure function of `(seed, superstep, msg_seq)`;
+//! * [`checkpoint`] — barrier snapshots of the sharded state, what a
+//!   killed node is restored from;
 //! * [`machine`] — [`MimdMachine`], implementing the backend's
 //!   [`f90y_backend::Machine`] trait so the *identical* compiled host
 //!   program drives either target;
 //! * [`stats`] — [`MimdStats`]: per-phase and per-node time
-//!   attribution plus message/byte counters.
+//!   attribution plus message/byte/fault counters.
 //!
 //! Two guarantees the tests enforce:
 //!
@@ -55,30 +61,46 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod checkpoint;
 pub mod config;
+pub mod fault;
 pub mod machine;
 pub mod net;
 pub mod shard;
 pub mod stats;
 
+pub use checkpoint::{Checkpoint, CheckpointEntry};
 pub use config::MimdConfig;
+pub use fault::{FaultCounters, FaultPlan};
 pub use machine::{MimdId, MimdMachine};
-pub use net::{Message, MessageKind};
+pub use net::{Inbox, Message, MessageKind, Unrecoverable};
 pub use stats::MimdStats;
 
 use f90y_backend::fe::{HostExecutor, HostRun};
 use f90y_backend::{BackendError, CompiledProgram};
+use f90y_cm2::Cm2Error;
 
 /// Execute a compiled program on a fresh MIMD machine; returns the
 /// host-run results and the machine statistics.
 ///
 /// # Errors
 ///
-/// Fails on host-execution or runtime errors.
+/// Fails on host-execution or runtime errors; on a fault plan that
+/// targets nodes the partition does not have; and with
+/// [`Cm2Error::Unrecoverable`] (wrapped in
+/// [`BackendError::Machine`]) when an injected fault plan exhausts its
+/// retry or restart budget.
 pub fn run(
     compiled: &CompiledProgram,
     config: &MimdConfig,
 ) -> Result<(HostRun, MimdStats), BackendError> {
+    if let Some(plan) = &config.fault_plan {
+        if let Err(msg) = plan.validate(config.nodes) {
+            return Err(BackendError::Machine(Cm2Error::Runtime(format!(
+                "invalid fault plan: {msg}"
+            ))));
+        }
+    }
     let mut machine = MimdMachine::new(config.clone());
     let run = HostExecutor::new(&mut machine).run(compiled)?;
     let stats = machine.stats().clone();

@@ -28,8 +28,22 @@
 //! network time ([`crate::net::Net::deliver`]). There is no wall
 //! clock and no randomness anywhere — two runs of one program produce
 //! identical arrays, stats and message logs.
+//!
+//! ## Fault recovery
+//!
+//! With a [`crate::fault::FaultPlan`] in the configuration, each
+//! runtime call is a numbered superstep and the machine survives the
+//! plan's faults: the network retries dropped messages and dedups
+//! duplicates ([`crate::net`]); stalled nodes make the barrier (and so
+//! the modelled clock) wait; and when the plan kills a node, the
+//! machine restores the barrier checkpoint captured at the superstep's
+//! start ([`crate::checkpoint`]) and replays the superstep. The replay
+//! recomputes the identical pure function of the restored state, so
+//! in-budget fault plans leave final values **bit-identical** to a
+//! fault-free run; exhausted budgets surface as
+//! [`Cm2Error::Unrecoverable`], never as a hang.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use f90y_backend::Machine;
 use f90y_cm2::runtime::{shift_data, ReduceOp};
@@ -38,6 +52,7 @@ use f90y_peac::isa::Instr;
 use f90y_peac::sim::{run_routine, NodeMemory};
 use f90y_peac::Routine;
 
+use crate::checkpoint::{Checkpoint, CheckpointEntry};
 use crate::config::MimdConfig;
 use crate::net::{Message, MessageKind, Net, HOST};
 use crate::shard::ShardMap;
@@ -100,16 +115,37 @@ pub struct MimdMachine {
     coord_cache: HashMap<(Vec<usize>, Vec<i64>, usize), MimdId>,
     stats: MimdStats,
     net: Net,
+    /// The superstep clock: one tick per runtime call.
+    superstep: u64,
+    /// Node restarts consumed against the plan's budget.
+    restarts_used: u32,
+    /// Plan kill entries already fired (a named kill fires once).
+    fired_kills: HashSet<usize>,
+    /// Plan stall entries already fired.
+    fired_stalls: HashSet<usize>,
 }
 
 impl MimdMachine {
     /// A fresh machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration's fault plan targets a node the
+    /// partition does not have (drivers that want a typed error call
+    /// [`crate::fault::FaultPlan::validate`] first, as
+    /// [`crate::run`] does).
     pub fn new(config: MimdConfig) -> Self {
+        if let Some(plan) = &config.fault_plan {
+            if let Err(msg) = plan.validate(config.nodes) {
+                panic!("invalid fault plan: {msg}");
+            }
+        }
         let net = Net::new(
             config.nodes,
             config.net_call_seconds,
             config.network_bytes_per_sec,
             config.message_log_capacity,
+            config.fault_plan.clone(),
         );
         MimdMachine {
             stats: MimdStats::new(config.nodes),
@@ -118,6 +154,10 @@ impl MimdMachine {
             coord_cache: HashMap::new(),
             net,
             config,
+            superstep: 0,
+            restarts_used: 0,
+            fired_kills: HashSet::new(),
+            fired_stalls: HashSet::new(),
         }
     }
 
@@ -170,10 +210,146 @@ impl MimdMachine {
         MimdId(id)
     }
 
-    fn deliver(&mut self, batch: Vec<Message>) {
-        self.stats.network_seconds += self.net.deliver(batch);
+    /// The superstep clock so far (one tick per runtime call).
+    pub fn superstep(&self) -> u64 {
+        self.superstep
+    }
+
+    /// A barrier snapshot of every sharded array plus the allocation
+    /// cursor — what node recovery restores from.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let entries = self
+            .arrays
+            .iter()
+            .map(|(&id, a)| CheckpointEntry {
+                id,
+                dims: a.dims.clone(),
+                lower: a.lower.clone(),
+                shards: a.shards.clone(),
+            })
+            .collect();
+        Checkpoint::new(entries, self.next)
+    }
+
+    /// Roll all sharded array state back to `ckpt`. Arrays allocated
+    /// after the capture vanish; the allocation cursor rewinds so a
+    /// replayed superstep reuses the same handles. (The coordinate
+    /// cache is left alone: stale entries miss the liveness check in
+    /// [`Machine::coordinates`] and are re-filled deterministically.)
+    pub fn restore(&mut self, ckpt: &Checkpoint) {
+        self.arrays = ckpt
+            .entries()
+            .iter()
+            .map(|e| {
+                (
+                    e.id,
+                    MimdArray {
+                        dims: e.dims.clone(),
+                        lower: e.lower.clone(),
+                        shards: e.shards.clone(),
+                    },
+                )
+            })
+            .collect();
+        self.next = ckpt.next_id();
+    }
+
+    fn sync_net_stats(&mut self) {
         self.stats.messages = self.net.messages();
         self.stats.bytes = self.net.bytes();
+        let c = *self.net.fault_counters();
+        self.stats.msgs_dropped = c.drops;
+        self.stats.msgs_duplicated = c.duplicates;
+        self.stats.msgs_delayed = c.delays;
+        self.stats.retries = c.retries;
+        self.stats.dedup_suppressed = c.dedup_suppressed;
+    }
+
+    fn deliver(&mut self, batch: Vec<Message>) -> Result<(), Cm2Error> {
+        let result = self.net.deliver(self.superstep, batch);
+        self.sync_net_stats();
+        match result {
+            Ok(secs) => {
+                self.stats.network_seconds += secs;
+                Ok(())
+            }
+            Err(u) => Err(Cm2Error::Unrecoverable(u.to_string())),
+        }
+    }
+
+    /// Run one runtime call as a numbered, recoverable superstep.
+    ///
+    /// Without a fault plan this is just the tick. With one: stalled
+    /// nodes hold the barrier; if the plan has kills, the sharded state
+    /// is checkpointed first, and a kill fired at this step discards
+    /// the superstep's effects, restores the checkpoint and replays —
+    /// `body` must therefore be a pure function of machine state, which
+    /// every runtime call is.
+    fn run_superstep<T>(
+        &mut self,
+        body: impl Fn(&mut Self) -> Result<T, Cm2Error>,
+    ) -> Result<T, Cm2Error> {
+        self.superstep += 1;
+        self.stats.supersteps += 1;
+        let step = self.superstep;
+        let Some(plan) = self.config.fault_plan.clone() else {
+            return body(self);
+        };
+        for (i, &(s, node, secs)) in plan.stalls.iter().enumerate() {
+            if s == step && self.fired_stalls.insert(i) {
+                // The whole barrier waits for the stalled node.
+                self.stats.node_stalls += 1;
+                self.stats.compute_seconds += secs;
+                self.stats.node_busy_seconds[node] += secs;
+            }
+        }
+        if !plan.has_kills() {
+            return body(self);
+        }
+        let ckpt = self.checkpoint();
+        self.stats.checkpoints += 1;
+        self.stats.checkpoint_bytes += ckpt.bytes();
+        // Agreeing to cut a checkpoint is one barrier synchronization.
+        self.stats.network_seconds += self.config.net_call_seconds;
+        let kills: Vec<usize> = plan
+            .kills
+            .iter()
+            .enumerate()
+            .filter(|&(i, &(s, _))| s == step && !self.fired_kills.contains(&i))
+            .map(|(i, _)| i)
+            .collect();
+        if kills.is_empty() {
+            return body(self);
+        }
+        if self.restarts_used + kills.len() as u32 > plan.max_restarts {
+            return Err(Cm2Error::Unrecoverable(format!(
+                "superstep {step} kills {} node(s) but only {} of {} restart(s) remain; \
+                 raise the fault plan's restart budget or name fewer kills",
+                kills.len(),
+                plan.max_restarts - self.restarts_used,
+                plan.max_restarts,
+            )));
+        }
+        // The doomed attempt: the work runs, the kill surfaces at the
+        // barrier, and the superstep's effects are thrown away.
+        body(self)?;
+        let mut restored_bytes = 0u64;
+        for &i in &kills {
+            let (_, node) = plan.kills[i];
+            self.fired_kills.insert(i);
+            self.stats.node_kills += 1;
+            self.stats.node_restarts += 1;
+            restored_bytes += ckpt.node_bytes(node);
+        }
+        self.restarts_used += kills.len() as u32;
+        // Recovery: re-ship the killed nodes' checkpointed shards, then
+        // replay the superstep from the restored barrier state.
+        let restore_secs =
+            plan.retry_timeout_seconds + restored_bytes as f64 / self.config.network_bytes_per_sec;
+        self.stats.network_seconds += restore_secs;
+        self.stats.recovery_seconds += restore_secs;
+        self.restore(&ckpt);
+        body(self)
     }
 
     /// The binomial broadcast tree rooted at the host: N−1 edges, built
@@ -237,7 +413,7 @@ impl MimdMachine {
 
     /// The shift superstep behind both `cshift` and `eoshift`:
     /// `boundary: None` wraps, `Some(b)` end-off fills.
-    fn shift(
+    fn shift_step(
         &mut self,
         src: MimdId,
         axis: usize,
@@ -324,7 +500,7 @@ impl MimdMachine {
         // when no ghost row moves — the same floor the analytic
         // estimator charges per grid-communication event.
         self.stats.network_seconds += self.config.net_call_seconds;
-        self.deliver(batch);
+        self.deliver(batch)?;
 
         let id = self.next;
         self.next += 1;
@@ -337,6 +513,222 @@ impl MimdMachine {
             },
         );
         Ok(MimdId(id))
+    }
+
+    /// The dispatch superstep body (see [`Machine::dispatch`]).
+    fn dispatch_step(
+        &mut self,
+        routine: &Routine,
+        ptr_args: &[MimdId],
+        scalar_args: &[f64],
+    ) -> Result<(), Cm2Error> {
+        if ptr_args.is_empty() {
+            return Err(Cm2Error::Runtime(
+                "dispatch needs at least one array argument".into(),
+            ));
+        }
+        // Stricter than the SIMD machine's element-count check: shards
+        // only align when the *shapes* agree, so a dispatch mixing
+        // dims would hand nodes mismatched slabs.
+        let dims = self.array(ptr_args[0])?.dims.clone();
+        for &id in ptr_args {
+            let d = &self.array(id)?.dims;
+            if *d != dims {
+                return Err(Cm2Error::Runtime(format!(
+                    "dispatch arguments disagree on shape ({d:?} vs {dims:?}): \
+                     shards would not align across nodes"
+                )));
+            }
+        }
+        let nodes = self.config.nodes;
+        let map = ShardMap::new(dims.first().copied().unwrap_or(1), nodes);
+        let inner: usize = dims.iter().skip(1).product();
+
+        // The control processor broadcasts the dispatch: routine handle
+        // plus every argument word, down the binomial tree.
+        let arg_bytes = 8 * (1 + ptr_args.len() + scalar_args.len()) as u64;
+        let batch = self.broadcast_batch(arg_bytes);
+        self.deliver(batch)?;
+        self.stats.control_seconds += (self.config.cp_dispatch_cycles
+            + self.config.cp_per_arg_cycles * (ptr_args.len() + scalar_args.len()) as u64)
+            as f64
+            / self.config.sparc_clock_hz;
+
+        // Every node runs the routine over its slab. An array passed
+        // through several pointer arguments shares one node buffer,
+        // exactly as on the SIMD machine.
+        let beats = Self::beats_per_elem(routine);
+        let mut busy = vec![0.0; nodes];
+        for (k, b) in busy.iter_mut().enumerate() {
+            let elems = map.rows_of(k) * inner;
+            if elems == 0 {
+                continue;
+            }
+            let mut mem = NodeMemory::new();
+            let mut base_of: HashMap<MimdId, usize> = HashMap::new();
+            let mut bases = Vec::with_capacity(ptr_args.len());
+            for &id in ptr_args {
+                let base = match base_of.get(&id) {
+                    Some(&b) => b,
+                    None => {
+                        let b = mem.alloc(&self.array(id)?.shards[k]);
+                        base_of.insert(id, b);
+                        b
+                    }
+                };
+                bases.push(base);
+            }
+            run_routine(routine, &mut mem, &bases, scalar_args, elems)?;
+            for (&id, &base) in base_of.iter() {
+                let out = mem.read(base, elems);
+                self.arrays.get_mut(&id.0).expect("checked above").shards[k].copy_from_slice(&out);
+            }
+            *b = beats * (elems as f64 / self.config.vus_per_node as f64) / self.config.vu_clock_hz;
+        }
+        self.charge_compute(&busy);
+
+        let flops_per_elem: u64 = routine.body().iter().map(Instr::flops_per_elem).sum();
+        self.stats.flops += flops_per_elem * (map.rows() * inner) as u64;
+        self.stats.dispatches += 1;
+        Ok(())
+    }
+
+    /// The reduction superstep body (see [`Machine::reduce`]).
+    fn reduce_step(&mut self, src: MimdId, op: ReduceOp) -> Result<f64, Cm2Error> {
+        let arr = self.array(src)?;
+        // The value folds in canonical element order — shard
+        // concatenation *is* row-major order — so it is bit-identical
+        // to the single-image runtime's fold, the determinism the CM-5
+        // control network guaranteed in hardware.
+        let elems = arr.shards.iter().flat_map(|s| s.iter().copied());
+        let value = match op {
+            ReduceOp::Sum => elems.sum(),
+            ReduceOp::Max => elems.fold(f64::NEG_INFINITY, f64::max),
+            ReduceOp::Min => elems.fold(f64::INFINITY, f64::min),
+        };
+        let nodes = self.config.nodes;
+        let map = arr.map(nodes);
+        let inner = arr.inner();
+
+        // Local partials: one beat per element.
+        let busy: Vec<f64> = (0..nodes)
+            .map(|k| {
+                let elems = map.rows_of(k) * inner;
+                elems as f64 / self.config.vus_per_node as f64 / self.config.vu_clock_hz
+            })
+            .collect();
+        self.charge_compute(&busy);
+
+        // Partials climb a binary tree: in round r, node k (with
+        // k mod 2^(r+1) = 2^r) sends its partial to k − 2^r. N−1 tree
+        // edges, then the root hands the scalar to the host.
+        let mut batch = Vec::with_capacity(nodes);
+        let mut stride = 1;
+        while stride < nodes {
+            let mut k = stride;
+            while k < nodes {
+                batch.push(Message {
+                    src: k,
+                    dst: k - stride,
+                    bytes: 8,
+                    kind: MessageKind::ReduceTree,
+                });
+                k += 2 * stride;
+            }
+            stride *= 2;
+        }
+        batch.push(Message {
+            src: 0,
+            dst: HOST,
+            bytes: 8,
+            kind: MessageKind::HostElem,
+        });
+        self.stats.network_seconds += self.config.net_call_seconds;
+        self.deliver(batch)?;
+        self.stats.comm_calls += 1;
+        self.stats.reductions += 1;
+        Ok(value)
+    }
+
+    /// The router all-to-all superstep body (see
+    /// [`Machine::charge_router_move`]).
+    fn router_move_step(&mut self, id: MimdId) -> Result<(), Cm2Error> {
+        let arr = self.array(id)?;
+        let nodes = self.config.nodes;
+        let map = arr.map(nodes);
+        let inner = arr.inner();
+        // All-to-all: each node scatters its slab uniformly over the
+        // other N−1 (the router has no grid pattern to exploit).
+        let mut batch = Vec::new();
+        if nodes > 1 {
+            for src in 0..nodes {
+                let slab_bytes = (map.rows_of(src) * inner * 8) as u64;
+                let per_peer = slab_bytes.div_ceil(nodes as u64 - 1);
+                for dst in 0..nodes {
+                    if src != dst {
+                        batch.push(Message {
+                            src,
+                            dst,
+                            bytes: per_peer,
+                            kind: MessageKind::Router,
+                        });
+                    }
+                }
+            }
+        }
+        self.stats.network_seconds += self.config.net_call_seconds;
+        self.deliver(batch)?;
+        self.stats.comm_calls += 1;
+        self.stats.router_batches += 1;
+        Ok(())
+    }
+
+    /// The host element-read superstep body (see
+    /// [`Machine::host_read_elem`]).
+    fn host_read_step(&mut self, id: MimdId, flat: usize) -> Result<f64, Cm2Error> {
+        let arr = self.array(id)?;
+        if flat >= arr.total() {
+            return Err(Cm2Error::Runtime(format!("element {flat} out of range")));
+        }
+        let inner = arr.inner();
+        let map = arr.map(self.config.nodes);
+        let r = flat / inner.max(1);
+        let owner = map.owner(r);
+        let local = flat - map.row_start(owner) * inner;
+        let v = arr.shards[owner][local];
+        self.charge_host_ops(1);
+        self.deliver(vec![Message {
+            src: owner,
+            dst: HOST,
+            bytes: 8,
+            kind: MessageKind::HostElem,
+        }])?;
+        Ok(v)
+    }
+
+    /// The host element-write superstep body (see
+    /// [`Machine::host_write_elem`]).
+    fn host_write_step(&mut self, id: MimdId, flat: usize, v: f64) -> Result<(), Cm2Error> {
+        let nodes = self.config.nodes;
+        let (owner, local) = {
+            let arr = self.array(id)?;
+            if flat >= arr.total() {
+                return Err(Cm2Error::Runtime(format!("element {flat} out of range")));
+            }
+            let inner = arr.inner();
+            let map = arr.map(nodes);
+            let owner = map.owner(flat / inner.max(1));
+            (owner, flat - map.row_start(owner) * inner)
+        };
+        self.arrays.get_mut(&id.0).expect("checked above").shards[owner][local] = v;
+        self.charge_host_ops(1);
+        self.deliver(vec![Message {
+            src: HOST,
+            dst: owner,
+            bytes: 8,
+            kind: MessageKind::HostElem,
+        }])?;
+        Ok(())
     }
 }
 
@@ -389,79 +781,11 @@ impl Machine for MimdMachine {
         ptr_args: &[MimdId],
         scalar_args: &[f64],
     ) -> Result<(), Cm2Error> {
-        if ptr_args.is_empty() {
-            return Err(Cm2Error::Runtime(
-                "dispatch needs at least one array argument".into(),
-            ));
-        }
-        // Stricter than the SIMD machine's element-count check: shards
-        // only align when the *shapes* agree, so a dispatch mixing
-        // dims would hand nodes mismatched slabs.
-        let dims = self.array(ptr_args[0])?.dims.clone();
-        for &id in ptr_args {
-            let d = &self.array(id)?.dims;
-            if *d != dims {
-                return Err(Cm2Error::Runtime(format!(
-                    "dispatch arguments disagree on shape ({d:?} vs {dims:?}): \
-                     shards would not align across nodes"
-                )));
-            }
-        }
-        let nodes = self.config.nodes;
-        let map = ShardMap::new(dims.first().copied().unwrap_or(1), nodes);
-        let inner: usize = dims.iter().skip(1).product();
-
-        // The control processor broadcasts the dispatch: routine handle
-        // plus every argument word, down the binomial tree.
-        let arg_bytes = 8 * (1 + ptr_args.len() + scalar_args.len()) as u64;
-        let batch = self.broadcast_batch(arg_bytes);
-        self.deliver(batch);
-        self.stats.control_seconds += (self.config.cp_dispatch_cycles
-            + self.config.cp_per_arg_cycles * (ptr_args.len() + scalar_args.len()) as u64)
-            as f64
-            / self.config.sparc_clock_hz;
-
-        // Every node runs the routine over its slab. An array passed
-        // through several pointer arguments shares one node buffer,
-        // exactly as on the SIMD machine.
-        let beats = Self::beats_per_elem(routine);
-        let mut busy = vec![0.0; nodes];
-        for (k, b) in busy.iter_mut().enumerate() {
-            let elems = map.rows_of(k) * inner;
-            if elems == 0 {
-                continue;
-            }
-            let mut mem = NodeMemory::new();
-            let mut base_of: HashMap<MimdId, usize> = HashMap::new();
-            let mut bases = Vec::with_capacity(ptr_args.len());
-            for &id in ptr_args {
-                let base = match base_of.get(&id) {
-                    Some(&b) => b,
-                    None => {
-                        let b = mem.alloc(&self.array(id)?.shards[k]);
-                        base_of.insert(id, b);
-                        b
-                    }
-                };
-                bases.push(base);
-            }
-            run_routine(routine, &mut mem, &bases, scalar_args, elems)?;
-            for (&id, &base) in base_of.iter() {
-                let out = mem.read(base, elems);
-                self.arrays.get_mut(&id.0).expect("checked above").shards[k].copy_from_slice(&out);
-            }
-            *b = beats * (elems as f64 / self.config.vus_per_node as f64) / self.config.vu_clock_hz;
-        }
-        self.charge_compute(&busy);
-
-        let flops_per_elem: u64 = routine.body().iter().map(Instr::flops_per_elem).sum();
-        self.stats.flops += flops_per_elem * (map.rows() * inner) as u64;
-        self.stats.dispatches += 1;
-        Ok(())
+        self.run_superstep(|m| m.dispatch_step(routine, ptr_args, scalar_args))
     }
 
     fn cshift(&mut self, src: MimdId, axis: usize, shift: i64) -> Result<MimdId, Cm2Error> {
-        self.shift(src, axis, shift, None)
+        self.run_superstep(|m| m.shift_step(src, axis, shift, None))
     }
 
     fn eoshift(
@@ -471,63 +795,11 @@ impl Machine for MimdMachine {
         shift: i64,
         boundary: f64,
     ) -> Result<MimdId, Cm2Error> {
-        self.shift(src, axis, shift, Some(boundary))
+        self.run_superstep(|m| m.shift_step(src, axis, shift, Some(boundary)))
     }
 
     fn reduce(&mut self, src: MimdId, op: ReduceOp) -> Result<f64, Cm2Error> {
-        let arr = self.array(src)?;
-        // The value folds in canonical element order — shard
-        // concatenation *is* row-major order — so it is bit-identical
-        // to the single-image runtime's fold, the determinism the CM-5
-        // control network guaranteed in hardware.
-        let elems = arr.shards.iter().flat_map(|s| s.iter().copied());
-        let value = match op {
-            ReduceOp::Sum => elems.sum(),
-            ReduceOp::Max => elems.fold(f64::NEG_INFINITY, f64::max),
-            ReduceOp::Min => elems.fold(f64::INFINITY, f64::min),
-        };
-        let nodes = self.config.nodes;
-        let map = arr.map(nodes);
-        let inner = arr.inner();
-
-        // Local partials: one beat per element.
-        let busy: Vec<f64> = (0..nodes)
-            .map(|k| {
-                let elems = map.rows_of(k) * inner;
-                elems as f64 / self.config.vus_per_node as f64 / self.config.vu_clock_hz
-            })
-            .collect();
-        self.charge_compute(&busy);
-
-        // Partials climb a binary tree: in round r, node k (with
-        // k mod 2^(r+1) = 2^r) sends its partial to k − 2^r. N−1 tree
-        // edges, then the root hands the scalar to the host.
-        let mut batch = Vec::with_capacity(nodes);
-        let mut stride = 1;
-        while stride < nodes {
-            let mut k = stride;
-            while k < nodes {
-                batch.push(Message {
-                    src: k,
-                    dst: k - stride,
-                    bytes: 8,
-                    kind: MessageKind::ReduceTree,
-                });
-                k += 2 * stride;
-            }
-            stride *= 2;
-        }
-        batch.push(Message {
-            src: 0,
-            dst: HOST,
-            bytes: 8,
-            kind: MessageKind::HostElem,
-        });
-        self.stats.network_seconds += self.config.net_call_seconds;
-        self.deliver(batch);
-        self.stats.comm_calls += 1;
-        self.stats.reductions += 1;
-        Ok(value)
+        self.run_superstep(|m| m.reduce_step(src, op))
     }
 
     fn coordinates(&mut self, dims: &[usize], lower: &[i64], axis: usize) -> MimdId {
@@ -562,34 +834,7 @@ impl Machine for MimdMachine {
     }
 
     fn charge_router_move(&mut self, id: MimdId) -> Result<(), Cm2Error> {
-        let arr = self.array(id)?;
-        let nodes = self.config.nodes;
-        let map = arr.map(nodes);
-        let inner = arr.inner();
-        // All-to-all: each node scatters its slab uniformly over the
-        // other N−1 (the router has no grid pattern to exploit).
-        let mut batch = Vec::new();
-        if nodes > 1 {
-            for src in 0..nodes {
-                let slab_bytes = (map.rows_of(src) * inner * 8) as u64;
-                let per_peer = slab_bytes.div_ceil(nodes as u64 - 1);
-                for dst in 0..nodes {
-                    if src != dst {
-                        batch.push(Message {
-                            src,
-                            dst,
-                            bytes: per_peer,
-                            kind: MessageKind::Router,
-                        });
-                    }
-                }
-            }
-        }
-        self.stats.network_seconds += self.config.net_call_seconds;
-        self.deliver(batch);
-        self.stats.comm_calls += 1;
-        self.stats.router_batches += 1;
-        Ok(())
+        self.run_superstep(|m| m.router_move_step(id))
     }
 
     fn charge_host_ops(&mut self, n: u64) {
@@ -597,46 +842,10 @@ impl Machine for MimdMachine {
     }
 
     fn host_read_elem(&mut self, id: MimdId, flat: usize) -> Result<f64, Cm2Error> {
-        let arr = self.array(id)?;
-        if flat >= arr.total() {
-            return Err(Cm2Error::Runtime(format!("element {flat} out of range")));
-        }
-        let inner = arr.inner();
-        let map = arr.map(self.config.nodes);
-        let r = flat / inner.max(1);
-        let owner = map.owner(r);
-        let local = flat - map.row_start(owner) * inner;
-        let v = arr.shards[owner][local];
-        self.charge_host_ops(1);
-        self.deliver(vec![Message {
-            src: owner,
-            dst: HOST,
-            bytes: 8,
-            kind: MessageKind::HostElem,
-        }]);
-        Ok(v)
+        self.run_superstep(|m| m.host_read_step(id, flat))
     }
 
     fn host_write_elem(&mut self, id: MimdId, flat: usize, v: f64) -> Result<(), Cm2Error> {
-        let nodes = self.config.nodes;
-        let (owner, local) = {
-            let arr = self.array(id)?;
-            if flat >= arr.total() {
-                return Err(Cm2Error::Runtime(format!("element {flat} out of range")));
-            }
-            let inner = arr.inner();
-            let map = arr.map(nodes);
-            let owner = map.owner(flat / inner.max(1));
-            (owner, flat - map.row_start(owner) * inner)
-        };
-        self.arrays.get_mut(&id.0).expect("checked above").shards[owner][local] = v;
-        self.charge_host_ops(1);
-        self.deliver(vec![Message {
-            src: HOST,
-            dst: owner,
-            bytes: 8,
-            kind: MessageKind::HostElem,
-        }]);
-        Ok(())
+        self.run_superstep(|m| m.host_write_step(id, flat, v))
     }
 }

@@ -10,14 +10,34 @@
 //! t = net_call_seconds · max_k calls(k)  +  max_k bytes(k) / bandwidth
 //! ```
 //!
-//! where `calls(k)` and `bytes(k)` count messages node `k` sends *or*
-//! receives (each endpoint serializes its own traffic; the fat tree
-//! itself is never the bottleneck at these sizes). There is no clock,
-//! no randomness and no delivery reordering: batches are sorted by
-//! `(src, dst)` before accounting, so two runs of the same program
-//! produce byte-identical statistics and logs.
+//! where `calls(k)` and `bytes(k)` count message copies node `k` sends
+//! *or* receives (each endpoint serializes its own traffic; the fat
+//! tree itself is never the bottleneck at these sizes).
+//!
+//! ## Reliable delivery under injected faults
+//!
+//! Every message carries a **sequence number** and is delivered with an
+//! acknowledged, idempotent protocol, so a [`FaultPlan`] can abuse the
+//! wire without changing program results:
+//!
+//! * a **dropped** copy triggers the sender's acknowledgement timeout
+//!   and a retransmission, bounded by [`FaultPlan::max_retries`] —
+//!   exhausting the budget surfaces as a typed [`Unrecoverable`] error,
+//!   never a hang;
+//! * a **duplicated** copy is suppressed by the receiver's
+//!   sequence-number dedup ([`Inbox`]);
+//! * a **delayed** copy arrives after the rest of the batch — harmless,
+//!   because delivery is a set keyed by sequence number, not an order.
+//!
+//! There is no clock and no randomness: batches are sorted by
+//! `(src, dst)` before sequence numbers are assigned, and every fault
+//! is a pure function of `(seed, superstep, msg_seq)`, so two runs of
+//! one program under one plan produce byte-identical statistics, logs
+//! and fault counters.
 
 use std::fmt;
+
+use crate::fault::{FaultCounters, FaultPlan};
 
 /// What a message carries (for the log and the per-kind counters).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +84,76 @@ pub struct Message {
 /// The host/control-processor endpoint in [`Message`] coordinates.
 pub const HOST: usize = usize::MAX;
 
+/// A message's per-message retry budget was exhausted: every delivery
+/// attempt was dropped. The run cannot make progress and stops with
+/// this typed error instead of hanging on a retransmission loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unrecoverable {
+    /// Superstep the message belonged to.
+    pub superstep: u64,
+    /// The message's sequence number.
+    pub seq: u64,
+    /// What it carried.
+    pub kind: MessageKind,
+    /// Delivery attempts made (original send plus retransmissions).
+    pub attempts: u32,
+    /// The plan's retry budget.
+    pub budget: u32,
+}
+
+impl fmt::Display for Unrecoverable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "message #{} ({}) in superstep {} was dropped on all {} delivery attempts \
+             (retry budget {}); raise the fault plan's retry budget or lower its drop rate",
+            self.seq, self.kind, self.superstep, self.attempts, self.budget
+        )
+    }
+}
+
+impl std::error::Error for Unrecoverable {}
+
+/// The receiver side of reliable delivery: accepts each sequence number
+/// at most once, making delivery idempotent under duplication and
+/// insensitive to ordering.
+#[derive(Debug, Clone, Default)]
+pub struct Inbox {
+    accepted: Vec<(u64, Message)>,
+}
+
+impl Inbox {
+    /// An empty inbox.
+    pub fn new() -> Self {
+        Inbox::default()
+    }
+
+    /// Offer one delivery; returns `true` when the message is new and
+    /// was accepted, `false` when its sequence number was already seen
+    /// (a duplicate, suppressed).
+    pub fn accept(&mut self, seq: u64, msg: Message) -> bool {
+        if self.accepted.iter().any(|&(s, _)| s == seq) {
+            return false;
+        }
+        self.accepted.push((seq, msg));
+        true
+    }
+
+    /// Accepted messages so far, in arrival order.
+    pub fn accepted(&self) -> &[(u64, Message)] {
+        &self.accepted
+    }
+
+    /// The canonical final state: accepted messages sorted by sequence
+    /// number. Two inboxes fed the same message set — in any order,
+    /// with any duplication — finish with equal state.
+    pub fn state(&self) -> Vec<(u64, Message)> {
+        let mut out = self.accepted.clone();
+        out.sort_by_key(|&(s, _)| s);
+        out
+    }
+}
+
 /// Accounting state of the message layer.
 #[derive(Debug, Clone)]
 pub struct Net {
@@ -72,18 +162,24 @@ pub struct Net {
     bytes_per_sec: f64,
     messages: u64,
     bytes: u64,
+    next_seq: u64,
+    plan: Option<FaultPlan>,
+    faults: FaultCounters,
     log: Option<Vec<Message>>,
     log_capacity: usize,
     dropped: u64,
 }
 
 impl Net {
-    /// A quiet network of `nodes` endpoints plus the host.
+    /// A quiet network of `nodes` endpoints plus the host. A fault
+    /// plan, when given, makes the wire lossy — reliably-delivered
+    /// results, deterministically perturbed accounting.
     pub fn new(
         nodes: usize,
         net_call_seconds: f64,
         bytes_per_sec: f64,
         log_capacity: Option<usize>,
+        plan: Option<FaultPlan>,
     ) -> Self {
         Net {
             nodes,
@@ -91,6 +187,9 @@ impl Net {
             bytes_per_sec,
             messages: 0,
             bytes: 0,
+            next_seq: 0,
+            plan,
+            faults: FaultCounters::default(),
             log: log_capacity.map(|c| Vec::with_capacity(c.min(1 << 16))),
             log_capacity: log_capacity.unwrap_or(0),
             dropped: 0,
@@ -98,26 +197,114 @@ impl Net {
     }
 
     /// Deliver one superstep's batch; returns its modelled network
-    /// seconds. The batch is sorted by `(src, dst)` first so logs and
-    /// float accounting are independent of caller iteration order.
-    pub fn deliver(&mut self, mut batch: Vec<Message>) -> f64 {
+    /// seconds. The batch is sorted by `(src, dst)` before sequence
+    /// numbers are assigned, so logs, fault decisions and float
+    /// accounting are all independent of caller iteration order.
+    ///
+    /// # Errors
+    ///
+    /// [`Unrecoverable`] when some message was dropped on every
+    /// delivery attempt the retry budget allows.
+    pub fn deliver(
+        &mut self,
+        superstep: u64,
+        mut batch: Vec<Message>,
+    ) -> Result<f64, Unrecoverable> {
         if batch.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
         batch.sort_by_key(|m| (m.src, m.dst));
-        // Per-endpoint load; index `nodes` is the host.
+        let first_seq = self.next_seq;
+        self.next_seq += batch.len() as u64;
+
+        // Per-endpoint load; index `nodes` is the host. Every wire copy
+        // (original send, retransmission, duplicate) costs its sender a
+        // serialization; receivers only pay for copies that arrive.
         let mut calls = vec![0u64; self.nodes + 1];
         let mut load = vec![0u64; self.nodes + 1];
         let slot = |e: usize, n: usize| if e == HOST { n } else { e };
-        for m in &batch {
+        // Timeouts spent waiting for lost acknowledgements, plus the
+        // lateness of delayed copies.
+        let mut stall_seconds = 0.0;
+
+        // The delivery schedule the receivers observe: prompt copies in
+        // batch order, then delayed and duplicated copies at the end
+        // (the reordering a real wire would produce).
+        let mut prompt: Vec<(u64, Message)> = Vec::with_capacity(batch.len());
+        let mut late: Vec<(u64, Message)> = Vec::new();
+
+        for (i, m) in batch.iter().enumerate() {
+            let seq = first_seq + i as u64;
             let (s, d) = (slot(m.src, self.nodes), slot(m.dst, self.nodes));
-            calls[s] += 1;
-            load[s] += m.bytes;
-            calls[d] += 1;
-            load[d] += m.bytes;
+            let mut sends = 1u64;
+            let mut arrivals = 1u64;
+            let mut delayed = false;
+            if let Some(plan) = &self.plan {
+                // Drop + retransmit until a copy gets through or the
+                // budget dies. Attempt indices salt the hash, so the
+                // schedule stays a pure function of (seed, step, seq).
+                let mut attempt = 0u32;
+                while plan.drops(superstep, seq, attempt, m.kind) {
+                    self.faults.drops += 1;
+                    stall_seconds += plan.retry_timeout_seconds;
+                    attempt += 1;
+                    if attempt > plan.max_retries {
+                        return Err(Unrecoverable {
+                            superstep,
+                            seq,
+                            kind: m.kind,
+                            attempts: attempt,
+                            budget: plan.max_retries,
+                        });
+                    }
+                    self.faults.retries += 1;
+                    sends += 1;
+                }
+                if plan.duplicates(superstep, seq, m.kind) {
+                    self.faults.duplicates += 1;
+                    sends += 1;
+                    arrivals += 1;
+                }
+                if plan.delays(superstep, seq, m.kind) {
+                    self.faults.delays += 1;
+                    stall_seconds += plan.retry_timeout_seconds;
+                    delayed = true;
+                }
+            }
+            calls[s] += sends;
+            load[s] += m.bytes * sends;
+            calls[d] += arrivals;
+            load[d] += m.bytes * arrivals;
+            // The application-level counters see each message once:
+            // reliable delivery makes the wire's misbehaviour invisible
+            // above this line.
             self.messages += 1;
             self.bytes += m.bytes;
+            if delayed {
+                late.push((seq, *m));
+            } else {
+                prompt.push((seq, *m));
+            }
+            if arrivals > 1 {
+                late.push((seq, *m)); // the duplicate copy trails the batch
+            }
         }
+
+        // Run the observed schedule through the receiver-side dedup:
+        // every message is accepted exactly once no matter how the wire
+        // reordered or duplicated it.
+        let mut inbox = Inbox::new();
+        for (seq, m) in prompt.into_iter().chain(late) {
+            if !inbox.accept(seq, m) {
+                self.faults.dedup_suppressed += 1;
+            }
+        }
+        debug_assert_eq!(
+            inbox.accepted().len(),
+            batch.len(),
+            "reliable delivery must hand every message to the application exactly once"
+        );
+
         if let Some(log) = self.log.as_mut() {
             for m in batch {
                 if log.len() < self.log_capacity {
@@ -129,17 +316,28 @@ impl Net {
         }
         let max_calls = *calls.iter().max().unwrap_or(&0) as f64;
         let max_bytes = *load.iter().max().unwrap_or(&0) as f64;
-        self.net_call_seconds * max_calls + max_bytes / self.bytes_per_sec
+        Ok(self.net_call_seconds * max_calls + max_bytes / self.bytes_per_sec + stall_seconds)
     }
 
-    /// Total messages delivered.
+    /// Total messages delivered to the application (fault-invariant:
+    /// retransmissions and duplicates never reach this counter).
     pub fn messages(&self) -> u64 {
         self.messages
     }
 
-    /// Total payload bytes delivered.
+    /// Total payload bytes delivered to the application.
     pub fn bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// Sequence numbers issued so far.
+    pub fn sequenced(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Injected-fault counters.
+    pub fn fault_counters(&self) -> &FaultCounters {
+        &self.faults
     }
 
     /// The message log, if enabled.
@@ -166,18 +364,24 @@ mod tests {
         }
     }
 
+    fn quiet(nodes: usize, log: Option<usize>) -> Net {
+        Net::new(nodes, 25e-6, 20e6, log, None)
+    }
+
     #[test]
     fn empty_batch_is_free() {
-        let mut net = Net::new(4, 25e-6, 20e6, None);
-        assert_eq!(net.deliver(Vec::new()), 0.0);
+        let mut net = quiet(4, None);
+        assert_eq!(net.deliver(1, Vec::new()).unwrap(), 0.0);
         assert_eq!(net.messages(), 0);
     }
 
     #[test]
     fn superstep_time_tracks_the_busiest_endpoint() {
-        let mut net = Net::new(4, 1e-6, 1e6, None);
+        let mut net = Net::new(4, 1e-6, 1e6, None, None);
         // Node 0 sends to everyone: three calls at its port, 3 kB out.
-        let t = net.deliver(vec![msg(0, 1, 1000), msg(0, 2, 1000), msg(0, 3, 1000)]);
+        let t = net
+            .deliver(1, vec![msg(0, 1, 1000), msg(0, 2, 1000), msg(0, 3, 1000)])
+            .unwrap();
         assert!((t - (3.0 * 1e-6 + 3000.0 / 1e6)).abs() < 1e-12);
         assert_eq!(net.messages(), 3);
         assert_eq!(net.bytes(), 3000);
@@ -188,18 +392,84 @@ mod tests {
         let batch = vec![msg(2, 1, 64), msg(0, 3, 8), msg(1, 0, 16)];
         let mut rev = batch.clone();
         rev.reverse();
-        let mut a = Net::new(4, 25e-6, 20e6, Some(16));
-        let mut b = Net::new(4, 25e-6, 20e6, Some(16));
-        assert_eq!(a.deliver(batch), b.deliver(rev));
+        let mut a = quiet(4, Some(16));
+        let mut b = quiet(4, Some(16));
+        assert_eq!(a.deliver(1, batch).unwrap(), b.deliver(1, rev).unwrap());
         assert_eq!(a.log(), b.log());
     }
 
     #[test]
     fn bounded_log_drops_and_counts() {
-        let mut net = Net::new(2, 25e-6, 20e6, Some(1));
-        net.deliver(vec![msg(0, 1, 8), msg(1, 0, 8)]);
+        let mut net = quiet(2, Some(1));
+        net.deliver(1, vec![msg(0, 1, 8), msg(1, 0, 8)]).unwrap();
         assert_eq!(net.log().unwrap().len(), 1);
         assert_eq!(net.dropped(), 1);
         assert_eq!(net.messages(), 2, "accounting sees every message");
+    }
+
+    #[test]
+    fn drops_cost_timeouts_but_not_application_messages() {
+        let plan = FaultPlan::seeded(11).drop_per_mille(400).retries(32);
+        let mut lossy = Net::new(4, 1e-6, 1e6, Some(64), Some(plan.clone()));
+        let mut clean = Net::new(4, 1e-6, 1e6, Some(64), None);
+        let batch: Vec<Message> = (0..32).map(|i| msg(i % 4, (i + 1) % 4, 100)).collect();
+        let t_lossy = lossy.deliver(1, batch.clone()).unwrap();
+        let t_clean = clean.deliver(1, batch).unwrap();
+        let c = *lossy.fault_counters();
+        assert!(c.drops > 0, "a 40% drop rate over 32 messages must fire");
+        assert_eq!(c.retries, c.drops, "every lost copy was retransmitted");
+        assert!(
+            t_lossy >= t_clean + c.drops as f64 * plan.retry_timeout_seconds,
+            "timeouts must show up in the superstep time"
+        );
+        assert_eq!(
+            lossy.messages(),
+            clean.messages(),
+            "reliable delivery keeps the application-level count fault-invariant"
+        );
+        assert_eq!(lossy.log(), clean.log(), "same messages reach the log");
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_by_seq_dedup() {
+        let plan = FaultPlan::seeded(5).duplicate_per_mille(1000);
+        let mut net = Net::new(2, 1e-6, 1e6, None, Some(plan));
+        net.deliver(1, vec![msg(0, 1, 8), msg(1, 0, 8)]).unwrap();
+        let c = *net.fault_counters();
+        assert_eq!(c.duplicates, 2, "every message was duplicated");
+        assert_eq!(c.dedup_suppressed, 2, "every duplicate was suppressed");
+        assert_eq!(net.messages(), 2);
+    }
+
+    #[test]
+    fn always_drop_exhausts_the_budget_with_a_typed_error() {
+        let plan = FaultPlan::seeded(1).drop_per_mille(1000).retries(3);
+        let mut net = Net::new(2, 1e-6, 1e6, None, Some(plan));
+        let err = net
+            .deliver(7, vec![msg(0, 1, 8)])
+            .expect_err("certain loss must not loop forever");
+        assert_eq!(err.attempts, 4, "original send plus three retries");
+        assert_eq!(err.budget, 3);
+        assert_eq!(err.superstep, 7);
+        let text = err.to_string();
+        assert!(text.contains("retry budget"), "explains itself: {text}");
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible() {
+        let plan = FaultPlan::seeded(99)
+            .drop_per_mille(100)
+            .duplicate_per_mille(100)
+            .delay_per_mille(100);
+        let run = || {
+            let mut net = Net::new(4, 1e-6, 1e6, Some(64), Some(plan.clone()));
+            let mut times = Vec::new();
+            for step in 1..=8 {
+                let batch: Vec<Message> = (0..16).map(|i| msg(i % 4, (i + 2) % 4, 64)).collect();
+                times.push(net.deliver(step, batch).unwrap().to_bits());
+            }
+            (times, *net.fault_counters(), net.log().unwrap().to_vec())
+        };
+        assert_eq!(run(), run());
     }
 }

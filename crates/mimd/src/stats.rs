@@ -37,10 +37,37 @@ pub struct MimdStats {
     /// Global reductions.
     pub reductions: u64,
     /// Point-to-point messages delivered (tree edges, halo rows, router
-    /// fragments, host element traffic).
+    /// fragments, host element traffic). Fault-invariant: reliable
+    /// delivery hides retransmissions and duplicates from this count.
     pub messages: u64,
     /// Total payload bytes those messages carried.
     pub bytes: u64,
+    /// Supersteps executed (runtime calls that hit a barrier).
+    pub supersteps: u64,
+    /// Message delivery attempts an injected fault dropped.
+    pub msgs_dropped: u64,
+    /// Messages an injected fault duplicated on the wire.
+    pub msgs_duplicated: u64,
+    /// Messages an injected fault delayed past their batch (reorders).
+    pub msgs_delayed: u64,
+    /// Retransmissions after acknowledgement timeouts.
+    pub retries: u64,
+    /// Duplicate deliveries the sequence-number dedup suppressed.
+    pub dedup_suppressed: u64,
+    /// Nodes an injected fault killed mid-superstep.
+    pub node_kills: u64,
+    /// Node restarts performed (checkpoint restore + superstep replay).
+    pub node_restarts: u64,
+    /// Nodes an injected fault stalled at a barrier.
+    pub node_stalls: u64,
+    /// Barrier checkpoints captured.
+    pub checkpoints: u64,
+    /// Bytes of sharded state the checkpoints captured.
+    pub checkpoint_bytes: u64,
+    /// Seconds spent restoring checkpoints and replaying supersteps
+    /// after kills (a subset of the phase times, kept separately so
+    /// recovery overhead is visible).
+    pub recovery_seconds: f64,
     /// Per-node compute busy seconds (index = node).
     pub node_busy_seconds: Vec<f64>,
 }
@@ -61,8 +88,29 @@ impl MimdStats {
             reductions: 0,
             messages: 0,
             bytes: 0,
+            supersteps: 0,
+            msgs_dropped: 0,
+            msgs_duplicated: 0,
+            msgs_delayed: 0,
+            retries: 0,
+            dedup_suppressed: 0,
+            node_kills: 0,
+            node_restarts: 0,
+            node_stalls: 0,
+            checkpoints: 0,
+            checkpoint_bytes: 0,
+            recovery_seconds: 0.0,
             node_busy_seconds: vec![0.0; nodes],
         }
+    }
+
+    /// Total injected faults of every flavour.
+    pub fn faults_injected(&self) -> u64 {
+        self.msgs_dropped
+            + self.msgs_duplicated
+            + self.msgs_delayed
+            + self.node_kills
+            + self.node_stalls
     }
 
     /// Total modelled elapsed seconds — derived, so the phase
@@ -114,6 +162,30 @@ impl MimdStats {
             return Err(format!(
                 "comm breakdown {parts} exceeds comm_calls {}",
                 self.comm_calls
+            ));
+        }
+        if self.dedup_suppressed != self.msgs_duplicated {
+            return Err(format!(
+                "{} duplicates injected but {} suppressed: dedup must absorb every one",
+                self.msgs_duplicated, self.dedup_suppressed
+            ));
+        }
+        if self.retries != self.msgs_dropped {
+            return Err(format!(
+                "{} drops but {} retransmissions: a completed run retries every loss",
+                self.msgs_dropped, self.retries
+            ));
+        }
+        if self.node_restarts != self.node_kills {
+            return Err(format!(
+                "{} kills but {} restarts: a completed run recovers every killed node",
+                self.node_kills, self.node_restarts
+            ));
+        }
+        if self.recovery_seconds > self.network_seconds + self.compute_seconds + 1e-12 {
+            return Err(format!(
+                "recovery {}s exceeds the phases it is attributed inside",
+                self.recovery_seconds
             ));
         }
         Ok(())

@@ -8,7 +8,7 @@
 //! cargo run --release --example game_of_life [steps]
 //! ```
 
-use f90y_core::{workloads, Compiler, Pipeline};
+use f90y_core::{workloads, Compiler, Pipeline, Target};
 
 fn render(grid: &[f64], n: usize) -> String {
     let mut out = String::new();
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let src = workloads::life_source(n, steps);
     let exe = Compiler::new(Pipeline::F90y).compile(&src)?;
-    let run = exe.run(64)?;
+    let run = exe.session(Target::Cm2 { nodes: 64 }).run()?.into_cm2();
     let g = run.finals.final_array("g")?;
 
     println!("Game of Life, {n}x{n} torus, {steps} generations:\n");

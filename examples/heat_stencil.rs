@@ -8,7 +8,7 @@
 //! cargo run --release --example heat_stencil [grid] [steps]
 //! ```
 
-use f90y_core::{workloads, Compiler, Pipeline};
+use f90y_core::{workloads, Compiler, Pipeline, Target};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("\nnode code:\n\n{}", exe.compiled.listings());
 
-    let run = exe.run(1024)?;
+    let run = exe.session(Target::Cm2 { nodes: 1024 }).run()?.into_cm2();
     let t = run.finals.final_array("t")?;
     let mean: f64 = t.iter().sum::<f64>() / t.len() as f64;
     println!("after {steps} steps: mean temperature {mean:.4} (diffusion preserves the mean)");

@@ -12,7 +12,7 @@
 //! cargo run --release --example library_routines
 //! ```
 
-use f90y_core::{Compiler, Pipeline};
+use f90y_core::{Compiler, Pipeline, Target};
 
 const SOURCE: &str = "
 PROGRAM driver
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         exe.compiled.total_node_instructions()
     );
 
-    let run = exe.run(256)?;
+    let run = exe.session(Target::Cm2 { nodes: 256 }).run()?.into_cm2();
     println!(
         "after smooth·smooth·rescale: MINVAL = {}, MAXVAL = {}",
         run.finals.final_scalar("lo")?,

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use f90y_core::{Compiler, Pipeline};
+use f90y_core::{Compiler, Pipeline, Target};
 use f90y_nir::pretty::print_imp;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", exe.compiled.listings());
 
     // Run on a 256-node machine and read the results back.
-    let run = exe.run(256)?;
+    let run = exe.session(Target::Cm2 { nodes: 256 }).run()?.into_cm2();
     let l = run.finals.final_array("l")?;
     let k = run.finals.final_array("k")?;
     println!("=== Execution on a 256-node CM/2 ===\n");

@@ -8,7 +8,7 @@
 //! ```
 
 use f90y_cm5::{run_and_estimate, split_block, Cm5Config};
-use f90y_core::{workloads, Compiler, Pipeline};
+use f90y_core::{workloads, Compiler, Pipeline, Target};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let src = workloads::swe_source(256, 3);
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         split.control_args
     );
 
-    let cm2 = exe.run(2048)?;
+    let cm2 = exe.session(Target::Cm2 { nodes: 2048 }).run()?.into_cm2();
     println!("CM/2, 2048 nodes: {:>7.2} GFLOPS", cm2.gflops);
 
     for nodes in [64, 256, 1024] {
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // program, so its numbers come from counted messages, not a model.
     println!();
     for nodes in [16, 64] {
-        let mimd = exe.run_mimd(nodes)?;
+        let mimd = exe.session(Target::Cm5Mimd { nodes }).run()?.into_mimd();
         assert_eq!(
             mimd.finals.final_array("p")?,
             cm2.finals.final_array("p")?,

@@ -5,7 +5,7 @@
 //! cargo run --release --example swe [grid] [steps]
 //! ```
 
-use f90y_core::{workloads, Compiler, Pipeline};
+use f90y_core::{workloads, Compiler, Pipeline, Target};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for pipeline in [Pipeline::StarLisp, Pipeline::Cmf, Pipeline::F90y] {
         let exe = Compiler::new(pipeline).compile(&src)?;
-        let run = exe.run(nodes)?;
+        let run = exe.session(Target::Cm2 { nodes }).run()?.into_cm2();
         println!(
             "{:<24} {:>7.2} GFLOPS   {:>3} computation phases/step group   \
              {:>9} dispatches   {:>9} comm calls",

@@ -1,0 +1,182 @@
+//! The fault-injection acceptance suite: deterministic fault plans
+//! within their recovery budgets must be *invisible* in the results —
+//! final arrays bit-identical to a fault-free run at every node count —
+//! while exhausted budgets must surface as a typed
+//! [`RunError::Unrecoverable`], never as a hang or silent corruption.
+
+use f90y_core::{workloads, Compiler, FaultPlan, Pipeline, RunError, Target, Telemetry};
+
+fn f90y(src: &str) -> f90y_core::Executable {
+    Compiler::new(Pipeline::F90y)
+        .compile(src)
+        .expect("compiles")
+}
+
+/// A hostile but in-budget plan: 10% drops, 3% duplicates, 2% delays,
+/// one node stalled, and — on partitions that have node 1 — two kills.
+fn hostile_plan(seed: u64, nodes: usize) -> FaultPlan {
+    let mut plan = FaultPlan::seeded(seed)
+        .drop_per_mille(100)
+        .duplicate_per_mille(30)
+        .delay_per_mille(20)
+        .stall(2, 0, 50.0e-6);
+    if nodes > 1 {
+        plan = plan.kill(3, 1).kill(7, 0);
+    }
+    plan
+}
+
+/// Finals bit-identical between the fault-free run and a hostile
+/// in-budget fault run, for N ∈ {4, 16, 64}.
+fn assert_faults_invisible(exe: &f90y_core::Executable, arrays: &[&str]) {
+    for nodes in [4usize, 16, 64] {
+        let clean = exe
+            .session(Target::Cm5Mimd { nodes })
+            .run()
+            .expect("fault-free run")
+            .into_mimd();
+        let faulty = exe
+            .session(Target::Cm5Mimd { nodes })
+            .faults(hostile_plan(0xBAD5EED, nodes))
+            .run()
+            .expect("fault run recovers in budget")
+            .into_mimd();
+        for &name in arrays {
+            assert_eq!(
+                faulty.finals.final_array(name).unwrap(),
+                clean.finals.final_array(name).unwrap(),
+                "array '{name}' diverged under faults at {nodes} nodes"
+            );
+        }
+        faulty.stats.verify().expect("stats invariants");
+        assert!(
+            faulty.stats.faults_injected() > 0,
+            "the plan must actually inject something at {nodes} nodes"
+        );
+        assert_eq!(faulty.stats.node_kills, 2, "both kills fire");
+        assert_eq!(faulty.stats.node_restarts, 2, "every kill is recovered");
+        assert!(
+            faulty.stats.checkpoints > 0,
+            "kill plans checkpoint every superstep"
+        );
+        assert!(faulty.stats.recovery_seconds > 0.0);
+        // Reliability costs time, never correctness: the modelled clock
+        // must move strictly forward relative to the clean run.
+        assert!(faulty.elapsed_seconds > clean.elapsed_seconds);
+    }
+}
+
+#[test]
+fn swe_finals_survive_hostile_fault_plans() {
+    let exe = f90y(&workloads::swe_source(64, 3));
+    assert_faults_invisible(&exe, &["u", "v", "p"]);
+}
+
+#[test]
+fn fig9_finals_survive_hostile_fault_plans() {
+    let exe = f90y(workloads::fig9_source());
+    assert_faults_invisible(&exe, &["a", "b", "c"]);
+}
+
+#[test]
+fn heat_finals_survive_hostile_fault_plans() {
+    let exe = f90y(&workloads::heat_source(48, 3));
+    assert_faults_invisible(&exe, &["t"]);
+}
+
+#[test]
+fn fault_telemetry_is_deterministic_and_namespaced() {
+    let exe = f90y(&workloads::swe_source(32, 2));
+    let observe = || {
+        let mut tel = Telemetry::new();
+        exe.session(Target::Cm5Mimd { nodes: 16 })
+            .faults(hostile_plan(42, 16))
+            .telemetry(&mut tel)
+            .run()
+            .expect("fault run");
+        tel.report()
+    };
+    let a = observe();
+    let b = observe();
+    for key in [
+        "mimd.fault.injected",
+        "mimd.fault.msgs_dropped",
+        "mimd.fault.msgs_duplicated",
+        "mimd.fault.msgs_delayed",
+        "mimd.fault.retries",
+        "mimd.fault.dedup_suppressed",
+        "mimd.fault.node_kills",
+        "mimd.fault.node_restarts",
+        "mimd.fault.node_stalls",
+        "mimd.fault.checkpoints",
+        "mimd.fault.checkpoint_bytes",
+    ] {
+        assert!(a.counter(key).is_some(), "{key} must be emitted");
+        assert_eq!(
+            a.counter(key),
+            b.counter(key),
+            "{key} must be identical across identical runs"
+        );
+    }
+    assert!(a.counter("mimd.fault.injected").unwrap() > 0);
+    assert_eq!(
+        a.counter("mimd.fault.retries"),
+        a.counter("mimd.fault.msgs_dropped"),
+        "a completed run retries every loss exactly once"
+    );
+    assert_eq!(
+        a.counter("mimd.fault.dedup_suppressed"),
+        a.counter("mimd.fault.msgs_duplicated"),
+        "dedup absorbs every duplicate"
+    );
+    assert_eq!(
+        a.gauge("mimd.fault.recovery_seconds"),
+        b.gauge("mimd.fault.recovery_seconds")
+    );
+}
+
+#[test]
+fn exhausted_retry_budget_is_a_typed_error_not_a_hang() {
+    let exe = f90y(&workloads::swe_source(32, 2));
+    // Every message dropped, zero retries allowed: unrecoverable.
+    let err = exe
+        .session(Target::Cm5Mimd { nodes: 4 })
+        .faults(FaultPlan::seeded(1).drop_per_mille(1000).retries(0))
+        .run()
+        .expect_err("cannot deliver anything");
+    match err {
+        RunError::Unrecoverable(msg) => {
+            assert!(
+                msg.contains("retry budget"),
+                "error should blame the retry budget: {msg}"
+            );
+        }
+        other => panic!("expected RunError::Unrecoverable, got: {other}"),
+    }
+}
+
+#[test]
+fn exhausted_restart_budget_is_a_typed_error_not_a_hang() {
+    let exe = f90y(&workloads::swe_source(32, 2));
+    // Three kills against a budget of two restarts.
+    let err = exe
+        .session(Target::Cm5Mimd { nodes: 4 })
+        .faults(
+            FaultPlan::seeded(1)
+                .kill(1, 0)
+                .kill(2, 1)
+                .kill(3, 2)
+                .restarts(2),
+        )
+        .run()
+        .expect_err("third kill exceeds the restart budget");
+    match err {
+        RunError::Unrecoverable(msg) => {
+            assert!(
+                msg.contains("restart"),
+                "error should blame the restart budget: {msg}"
+            );
+        }
+        other => panic!("expected RunError::Unrecoverable, got: {other}"),
+    }
+}

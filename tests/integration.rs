@@ -1,7 +1,7 @@
 //! Repo-level integration tests: the full pipeline across crates, the
 //! paper's worked examples end-to-end, and cross-pipeline agreement.
 
-use f90y_core::{workloads, Compiler, Pipeline};
+use f90y_core::{workloads, Compiler, Pipeline, Target};
 
 fn f90y(src: &str) -> f90y_core::Executable {
     Compiler::new(Pipeline::F90y)
@@ -17,8 +17,16 @@ fn f90y(src: &str) -> f90y_core::Executable {
 fn section21_f77_and_f90_forms_agree_on_the_machine() {
     let e77 = f90y(workloads::fig_section21_f77());
     let e90 = f90y(workloads::fig_section21_f90());
-    let r77 = e77.run(32).unwrap();
-    let r90 = e90.run(32).unwrap();
+    let r77 = e77
+        .session(Target::Cm2 { nodes: 32 })
+        .run()
+        .unwrap()
+        .into_cm2();
+    let r90 = e90
+        .session(Target::Cm2 { nodes: 32 })
+        .run()
+        .unwrap()
+        .into_cm2();
     assert_eq!(
         r77.finals.final_array("k").unwrap(),
         r90.finals.final_array("k").unwrap()
@@ -59,7 +67,11 @@ fn all_three_pipelines_agree_on_every_workload() {
         let mut reference: Option<Vec<(String, f90y_backend::fe::Final)>> = None;
         for p in [Pipeline::F90y, Pipeline::Cmf, Pipeline::StarLisp] {
             let exe = Compiler::new(p).compile(&src).unwrap();
-            let run = exe.run(16).unwrap();
+            let run = exe
+                .session(Target::Cm2 { nodes: 16 })
+                .run()
+                .unwrap()
+                .into_cm2();
             let mut finals: Vec<(String, f90y_backend::fe::Final)> = run
                 .finals
                 .finals()
@@ -81,7 +93,7 @@ fn results_are_node_count_invariant() {
     let exe = f90y(&workloads::swe_source(32, 2));
     let mut previous: Option<Vec<f64>> = None;
     for nodes in [1usize, 2, 16, 128, 2048] {
-        let run = exe.run(nodes).unwrap();
+        let run = exe.session(Target::Cm2 { nodes }).run().unwrap().into_cm2();
         let p = run.finals.final_array("p").unwrap();
         if let Some(prev) = &previous {
             assert_eq!(prev, &p, "results changed at {nodes} nodes");
@@ -96,7 +108,12 @@ fn performance_ordering_holds_at_scale() {
     let mut gflops = Vec::new();
     for p in [Pipeline::F90y, Pipeline::Cmf, Pipeline::StarLisp] {
         let exe = Compiler::new(p).compile(&src).unwrap();
-        gflops.push(exe.run(2048).unwrap().gflops);
+        gflops.push(
+            exe.session(Target::Cm2 { nodes: 2048 })
+                .run()
+                .unwrap()
+                .gflops(),
+        );
     }
     assert!(
         gflops[0] > gflops[1] && gflops[1] > gflops[2],
@@ -109,7 +126,11 @@ fn more_nodes_are_never_slower() {
     let exe = f90y(&workloads::swe_source(128, 2));
     let mut last = f64::INFINITY;
     for nodes in [16usize, 64, 256, 1024] {
-        let t = exe.run(nodes).unwrap().elapsed_seconds;
+        let t = exe
+            .session(Target::Cm2 { nodes })
+            .run()
+            .unwrap()
+            .elapsed_seconds();
         assert!(
             t <= last * 1.0001,
             "scaling regressed at {nodes} nodes: {t} vs {last}"
@@ -124,7 +145,11 @@ fn larger_problems_sustain_higher_gflops() {
     let mut last = 0.0;
     for n in [64usize, 128, 256] {
         let exe = f90y(&workloads::swe_source(n, 2));
-        let g = exe.run(2048).unwrap().gflops;
+        let g = exe
+            .session(Target::Cm2 { nodes: 2048 })
+            .run()
+            .unwrap()
+            .gflops();
         assert!(
             g > last,
             "GFLOPS must grow with problem size: {g} vs {last}"
@@ -165,7 +190,11 @@ fn transform_report_reflects_swe_structure() {
 #[test]
 fn cm5_estimates_are_consistent_with_cm2_results() {
     let exe = f90y(&workloads::heat_source(64, 2));
-    let cm2 = exe.run(256).unwrap();
+    let cm2 = exe
+        .session(Target::Cm2 { nodes: 256 })
+        .run()
+        .unwrap()
+        .into_cm2();
     let (run5, stats5) =
         f90y_cm5::run_and_estimate(&exe.compiled, &f90y_cm5::Cm5Config::new(256)).unwrap();
     assert_eq!(
@@ -188,7 +217,10 @@ fn telemetry_covers_every_stage_and_round_trips() {
     let exe = Compiler::new(Pipeline::F90y)
         .compile_with(&src, &mut tel)
         .expect("compiles");
-    exe.run_with(64, &mut tel).expect("runs");
+    exe.session(Target::Cm2 { nodes: 64 })
+        .telemetry(&mut tel)
+        .run()
+        .expect("runs");
     let report = tel.report();
 
     // Every pipeline stage ran inside a span with a nonzero duration.
@@ -264,14 +296,23 @@ fn disabled_telemetry_is_a_true_no_op() {
     let exe = Compiler::new(Pipeline::F90y)
         .compile_with(&src, &mut tel)
         .expect("compiles");
-    let instrumented = exe.run_with(32, &mut tel).expect("runs");
+    let instrumented = exe
+        .session(Target::Cm2 { nodes: 32 })
+        .telemetry(&mut tel)
+        .run()
+        .expect("runs")
+        .into_cm2();
     let report = tel.report();
     assert!(report.spans.is_empty());
     assert!(report.counters.is_empty());
     assert!(report.gauges.is_empty());
 
     // And the results are identical to the uninstrumented path.
-    let plain = f90y(&src).run(32).expect("runs");
+    let plain = f90y(&src)
+        .session(Target::Cm2 { nodes: 32 })
+        .run()
+        .expect("runs")
+        .into_cm2();
     assert_eq!(plain.stats, instrumented.stats);
     assert_eq!(
         plain.finals.final_array("t").unwrap(),

@@ -5,7 +5,7 @@
 //! the engine counts real messages, the estimator counts trace events,
 //! and both see the identical host program.
 
-use f90y_core::{workloads, Compiler, Pipeline, Telemetry};
+use f90y_core::{workloads, Compiler, Pipeline, Target, Telemetry};
 
 fn f90y(src: &str) -> f90y_core::Executable {
     Compiler::new(Pipeline::F90y)
@@ -16,7 +16,11 @@ fn f90y(src: &str) -> f90y_core::Executable {
 /// Bit-identical finals on SIMD and MIMD targets for N ∈ {4, 16, 64},
 /// and comm-call agreement with the estimator's trace within ±10%.
 fn assert_mimd_matches(exe: &f90y_core::Executable, arrays: &[&str]) {
-    let simd = exe.run(64).expect("CM/2 run");
+    let simd = exe
+        .session(Target::Cm2 { nodes: 64 })
+        .run()
+        .expect("CM/2 run")
+        .into_cm2();
 
     // The estimator's communication count: traced comm events.
     let mut cm = f90y_cm2::Cm2::new(f90y_cm2::Cm2Config::slicewise(64));
@@ -39,7 +43,11 @@ fn assert_mimd_matches(exe: &f90y_core::Executable, arrays: &[&str]) {
         .count() as f64;
 
     for nodes in [4usize, 16, 64] {
-        let mimd = exe.run_mimd(nodes).expect("MIMD run");
+        let mimd = exe
+            .session(Target::Cm5Mimd { nodes })
+            .run()
+            .expect("MIMD run")
+            .into_mimd();
         for &name in arrays {
             assert_eq!(
                 mimd.finals.final_array(name).unwrap(),
@@ -78,7 +86,12 @@ fn heat_stencil_matches_bit_for_bit() {
 fn mimd_telemetry_lands_under_its_own_namespace() {
     let exe = f90y(&workloads::swe_source(32, 2));
     let mut tel = Telemetry::new();
-    let run = exe.run_mimd_with(16, &mut tel).expect("MIMD run");
+    let run = exe
+        .session(Target::Cm5Mimd { nodes: 16 })
+        .telemetry(&mut tel)
+        .run()
+        .expect("MIMD run")
+        .into_mimd();
     let report = tel.report();
 
     assert_eq!(report.counter("mimd.nodes"), Some(16));
@@ -111,8 +124,16 @@ fn mimd_scaling_shrinks_elapsed_time() {
     // Weak form of the paper's scaling claim: on a fixed-size problem,
     // more nodes must not be slower, and the compute phase must shrink.
     let exe = f90y(&workloads::swe_source(64, 3));
-    let small = exe.run_mimd(4).expect("4 nodes");
-    let large = exe.run_mimd(64).expect("64 nodes");
+    let small = exe
+        .session(Target::Cm5Mimd { nodes: 4 })
+        .run()
+        .expect("4 nodes")
+        .into_mimd();
+    let large = exe
+        .session(Target::Cm5Mimd { nodes: 64 })
+        .run()
+        .expect("64 nodes")
+        .into_mimd();
     assert!(
         large.stats.compute_seconds < small.stats.compute_seconds,
         "compute must scale down: {} vs {}",

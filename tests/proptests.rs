@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 
-use f90y_core::{Compiler, Pipeline};
+use f90y_core::{Compiler, Pipeline, Target};
 use f90y_nir::eval::Evaluator;
 use f90y_nir::SectionRange;
 use f90y_nir::Shape;
@@ -100,7 +100,11 @@ proptest! {
 
         for pipeline in [Pipeline::F90y, Pipeline::Cmf, Pipeline::StarLisp] {
             let exe = Compiler::new(pipeline).compile(&src).expect("compiles");
-            let run = exe.run(8).expect("runs");
+            let run = exe
+                .session(Target::Cm2 { nodes: 8 })
+                .run()
+                .expect("runs")
+                .into_cm2();
             for name in ["a", "b", "c"] {
                 let expect = ev.final_array_f64(name).expect("captured");
                 let got = run.finals.final_array(name).expect("captured");
