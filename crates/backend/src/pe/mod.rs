@@ -13,8 +13,11 @@
 
 pub mod emit;
 pub mod lower;
+pub mod pass;
 pub mod peephole;
 pub mod vir;
+
+pub use pass::{vir_pass_by_name, VirPass, VIR_PASS_NAMES};
 
 use f90y_nir::typecheck::Ctx;
 use f90y_nir::{MoveClause, Shape, Value};
@@ -112,8 +115,13 @@ pub struct CompiledBlock {
     pub scalar_params: Vec<Value>,
     /// The clauses this sub-block implements.
     pub clauses: Vec<MoveClause>,
-    /// Code-generation statistics.
+    /// Code-generation statistics (a derived view over `vir_passes`,
+    /// plus the emitter's spill/register/instruction counts).
     pub stats: PeStats,
+    /// Per-pass reports from the named VIR peephole passes, in
+    /// execution order — the same report shape the NIR pass manager
+    /// produces (see [`pass`]).
+    pub vir_passes: Vec<f90y_transform::PassReport>,
 }
 
 /// Compile a computation block, splitting it as needed to fit the
@@ -178,16 +186,20 @@ fn try_compile(
     options: PeOptions,
 ) -> Result<CompiledBlock, BackendError> {
     let mut lowered = lower::lower_block(shape, clauses, ctx)?;
+    let vir_passes = pass::run_vir_passes(
+        &pass::passes_for(options),
+        &mut lowered.ops,
+        &lowered.array_params,
+    );
     let mut stats = PeStats::default();
-    stats.dead_ops_removed += peephole::dead_code(&mut lowered.ops);
-    if options.fuse_madd {
-        stats.madds_fused = peephole::fuse_madd(&mut lowered.ops);
+    for report in &vir_passes {
+        match report.name.as_str() {
+            "vir-dce" => stats.dead_ops_removed += report.rewrites,
+            "fuse-madd" => stats.madds_fused += report.rewrites,
+            "chain-loads" => stats.loads_chained += report.rewrites,
+            _ => {}
+        }
     }
-    if options.chain_loads {
-        stats.loads_chained = peephole::chain_loads(&mut lowered.ops, &lowered.array_params);
-    }
-    // Fusing multiplies can orphan immediates; sweep once more.
-    stats.dead_ops_removed += peephole::dead_code(&mut lowered.ops);
     let routine = emit::emit_with(name, &lowered, options.overlap)?;
     let mut vregs = std::collections::BTreeSet::new();
     for instr in routine.body() {
@@ -208,6 +220,7 @@ fn try_compile(
         scalar_params: lowered.scalar_params,
         clauses: clauses.to_vec(),
         stats,
+        vir_passes,
     })
 }
 

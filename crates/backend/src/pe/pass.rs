@@ -1,0 +1,199 @@
+//! Named VIR-level peephole passes.
+//!
+//! The PE code generator's peephole rewrites ([`crate::pe::peephole`])
+//! get the same structure as the middle end's NIR passes: each is a
+//! named [`VirPass`] whose run produces a
+//! [`f90y_transform::PassOutcome`], and a block's pass sequence yields
+//! per-pass [`f90y_transform::PassReport`]s — so `fuse-madd` statistics
+//! read exactly like `blocking-fuse` statistics one layer up, and a
+//! harness can account for every rewrite in the whole compiler with one
+//! report shape.
+
+use f90y_transform::{PassOutcome, PassReport};
+
+use crate::pe::peephole;
+use crate::pe::vir::VirOp;
+use crate::ArrayParam;
+
+/// A named rewriting pass over one lowered block's VIR.
+pub trait VirPass {
+    /// The registered name (kebab-case, `vir-*`/peephole namespace).
+    fn name(&self) -> &'static str;
+
+    /// Apply the pass to the block's operations.
+    fn run(&self, ops: &mut Vec<VirOp>, params: &[ArrayParam]) -> PassOutcome;
+}
+
+/// Dead-code elimination: drop operations whose results are never used
+/// (iterated to a fixpoint inside the pass).
+struct VirDcePass;
+
+impl VirPass for VirDcePass {
+    fn name(&self) -> &'static str {
+        "vir-dce"
+    }
+
+    fn run(&self, ops: &mut Vec<VirOp>, _params: &[ArrayParam]) -> PassOutcome {
+        PassOutcome::rewrites(peephole::dead_code(ops))
+    }
+}
+
+/// Chained multiply-add recognition (paper §5.2).
+struct FuseMaddPass;
+
+impl VirPass for FuseMaddPass {
+    fn name(&self) -> &'static str {
+        "fuse-madd"
+    }
+
+    fn run(&self, ops: &mut Vec<VirOp>, _params: &[ArrayParam]) -> PassOutcome {
+        PassOutcome::rewrites(peephole::fuse_madd(ops))
+    }
+}
+
+/// Fold single-use loads into memory operands of their consumers.
+struct ChainLoadsPass;
+
+impl VirPass for ChainLoadsPass {
+    fn name(&self) -> &'static str {
+        "chain-loads"
+    }
+
+    fn run(&self, ops: &mut Vec<VirOp>, params: &[ArrayParam]) -> PassOutcome {
+        PassOutcome::rewrites(peephole::chain_loads(ops, params))
+    }
+}
+
+/// Every registered VIR pass name, in default order.
+pub const VIR_PASS_NAMES: &[&str] = &["vir-dce", "fuse-madd", "chain-loads"];
+
+/// Look a VIR pass up by its registered name.
+#[must_use]
+pub fn vir_pass_by_name(name: &str) -> Option<Box<dyn VirPass>> {
+    match name {
+        "vir-dce" => Some(Box::new(VirDcePass)),
+        "fuse-madd" => Some(Box::new(FuseMaddPass)),
+        "chain-loads" => Some(Box::new(ChainLoadsPass)),
+        _ => None,
+    }
+}
+
+/// The pass sequence the [`crate::pe::PeOptions`] switches describe:
+/// a dead-code sweep, the enabled peepholes, then a final sweep (fusing
+/// multiplies can orphan immediates).
+#[must_use]
+pub fn passes_for(options: crate::pe::PeOptions) -> Vec<Box<dyn VirPass>> {
+    let mut passes: Vec<Box<dyn VirPass>> = vec![Box::new(VirDcePass)];
+    if options.fuse_madd {
+        passes.push(Box::new(FuseMaddPass));
+    }
+    if options.chain_loads {
+        passes.push(Box::new(ChainLoadsPass));
+    }
+    passes.push(Box::new(VirDcePass));
+    passes
+}
+
+/// Run a pass sequence over one block's VIR; one report per pass run,
+/// in execution order — the same shape the NIR pass manager produces.
+pub fn run_vir_passes(
+    passes: &[Box<dyn VirPass>],
+    ops: &mut Vec<VirOp>,
+    params: &[ArrayParam],
+) -> Vec<PassReport> {
+    passes
+        .iter()
+        .map(|p| {
+            let outcome = p.run(ops, params);
+            PassReport {
+                name: p.name().to_string(),
+                rewrites: outcome.rewrites,
+                counters: outcome
+                    .counters
+                    .into_iter()
+                    .map(|(n, v)| (n.to_string(), v))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pe::vir::{VBin, Vr};
+    use crate::pe::PeOptions;
+
+    fn madd_shape_ops() -> Vec<VirOp> {
+        vec![
+            VirOp::LoadVar {
+                param: 0,
+                dst: Vr(0),
+                chained: false,
+            },
+            VirOp::Imm {
+                value: 3.0,
+                dst: Vr(1),
+            },
+            VirOp::Imm {
+                value: 4.0,
+                dst: Vr(2),
+            },
+            VirOp::Bin {
+                op: VBin::Mul,
+                a: Vr(0),
+                b: Vr(1),
+                dst: Vr(3),
+            },
+            VirOp::Bin {
+                op: VBin::Add,
+                a: Vr(3),
+                b: Vr(2),
+                dst: Vr(4),
+            },
+            VirOp::Store {
+                param: 1,
+                src: Vr(4),
+            },
+        ]
+    }
+
+    fn madd_params() -> Vec<ArrayParam> {
+        vec![ArrayParam::Read("a".into()), ArrayParam::Write("b".into())]
+    }
+
+    #[test]
+    fn the_full_sequence_reports_each_pass_by_name() {
+        let mut ops = madd_shape_ops();
+        let params = madd_params();
+        let reports = run_vir_passes(&passes_for(PeOptions::full()), &mut ops, &params);
+        let names: Vec<&str> = reports.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["vir-dce", "fuse-madd", "chain-loads", "vir-dce"]);
+        let fused: usize = reports
+            .iter()
+            .filter(|r| r.name == "fuse-madd")
+            .map(|r| r.rewrites)
+            .sum();
+        assert_eq!(fused, 1);
+        assert!(ops.iter().any(|o| matches!(o, VirOp::Madd { .. })));
+    }
+
+    #[test]
+    fn naive_options_run_only_the_dce_sweeps() {
+        let mut ops = madd_shape_ops();
+        let params = madd_params();
+        let reports = run_vir_passes(&passes_for(PeOptions::naive()), &mut ops, &params);
+        let names: Vec<&str> = reports.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["vir-dce", "vir-dce"]);
+        assert!(!ops.iter().any(|o| matches!(o, VirOp::Madd { .. })));
+    }
+
+    #[test]
+    fn unknown_vir_pass_names_resolve_to_none() {
+        assert!(vir_pass_by_name("fuse-madd").is_some());
+        assert!(vir_pass_by_name("no-such-pass").is_none());
+        for name in VIR_PASS_NAMES {
+            assert!(vir_pass_by_name(name).is_some());
+        }
+    }
+}

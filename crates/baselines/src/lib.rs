@@ -31,7 +31,6 @@ use f90y_backend::pe::PeOptions;
 use f90y_backend::{BackendError, CompiledProgram};
 use f90y_cm2::{Cm2, Cm2Config};
 use f90y_nir::Imp;
-use f90y_transform::OptimizeOptions;
 
 /// Which comparator system to model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,8 +60,7 @@ impl Baseline {
 ///
 /// Fails as `f90y_backend::compile` does.
 pub fn compile_cmf(nir: &Imp) -> Result<CompiledProgram, BackendError> {
-    let (per_stmt, _) =
-        f90y_transform::optimize_with_options(nir, OptimizeOptions::per_statement())?;
+    let (per_stmt, _) = f90y_transform::per_statement_passes().run(nir)?;
     f90y_backend::compile_with_options(&per_stmt, PeOptions::full())
 }
 
@@ -74,8 +72,7 @@ pub fn compile_cmf(nir: &Imp) -> Result<CompiledProgram, BackendError> {
 ///
 /// Fails as `f90y_backend::compile` does.
 pub fn compile_starlisp(nir: &Imp) -> Result<CompiledProgram, BackendError> {
-    let (per_stmt, _) =
-        f90y_transform::optimize_with_options(nir, OptimizeOptions::per_statement())?;
+    let (per_stmt, _) = f90y_transform::per_statement_passes().run(nir)?;
     f90y_backend::compile_with_options(&per_stmt, PeOptions::naive())
 }
 

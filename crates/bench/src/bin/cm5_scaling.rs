@@ -16,7 +16,7 @@
 //! `target/telemetry/cm5_scaling_<workload>_n<N>.json`.
 
 use f90y_bench::{compile, emit_telemetry, rule};
-use f90y_core::{workloads, Executable, FaultPlan, Pipeline, Target};
+use f90y_core::{workloads, Compiler, Executable, FaultPlan, Pipeline, Target};
 use f90y_obs::Telemetry;
 
 const NODE_COUNTS: [usize; 3] = [4, 16, 64];
@@ -116,6 +116,86 @@ fn fault_sweep(title: &str, exe: &Executable, nodes: usize, check: &[&str]) {
     rule(76);
 }
 
+/// Count the runtime communication calls in a compiled host program.
+fn count_comm(stmts: &[f90y_backend::HostStmt]) -> usize {
+    use f90y_backend::HostStmt;
+    stmts
+        .iter()
+        .map(|s| match s {
+            HostStmt::Comm { .. } => 1,
+            HostStmt::Do { body, .. } | HostStmt::While { body, .. } => count_comm(body),
+            HostStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => count_comm(then_body) + count_comm(else_body),
+            HostStmt::WithDecl { body, .. } | HostStmt::WithDomain { body, .. } => count_comm(body),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// The comm-cse ablation: the same workload with and without the
+/// hoist-deduplication pass, comparing communication calls (static,
+/// per host program) and messages/halo exchanges (dynamic, on the
+/// MIMD engine) at each node count. Finals must stay bit-identical.
+fn cse_ablation(title: &str, src: &str, check: &[&str]) {
+    let with_cse = compile(src, Pipeline::F90y);
+    let without_cse = Compiler::new(Pipeline::F90y)
+        .passes(["comm-split", "mask-pad", "blocking", "dce-temps"])
+        .compile(src)
+        .expect("compiles without comm-cse");
+
+    println!("\n{title} — comm-cse ablation:");
+    println!(
+        "  comm calls in the host program: {} without comm-cse, {} with \
+         ({} hoists merged, {} temps deleted)",
+        count_comm(&without_cse.compiled.host),
+        count_comm(&with_cse.compiled.host),
+        with_cse.report.comm_merged,
+        with_cse.report.temps_deleted,
+    );
+    rule(72);
+    println!(
+        "{:>6} {:>16} {:>16} {:>14} {:>14}",
+        "nodes", "halos (off)", "halos (on)", "msgs (off)", "msgs (on)"
+    );
+    rule(72);
+    for nodes in NODE_COUNTS {
+        let off = without_cse
+            .session(Target::Cm5Mimd { nodes })
+            .run()
+            .expect("MIMD run without comm-cse")
+            .into_mimd();
+        let on = with_cse
+            .session(Target::Cm5Mimd { nodes })
+            .run()
+            .expect("MIMD run with comm-cse")
+            .into_mimd();
+        for &name in check {
+            assert_eq!(
+                on.finals.final_array(name).expect("final array"),
+                off.finals.final_array(name).expect("final array"),
+                "comm-cse changed array '{name}' at {nodes} nodes"
+            );
+        }
+        assert!(
+            on.stats.messages <= off.stats.messages,
+            "comm-cse must not add messages at {nodes} nodes"
+        );
+        println!(
+            "{:>6} {:>16} {:>16} {:>14} {:>14}",
+            nodes,
+            off.stats.halo_exchanges,
+            on.stats.halo_exchanges,
+            off.stats.messages,
+            on.stats.messages,
+        );
+    }
+    rule(72);
+    println!("finals bit-identical with and without comm-cse at every node count");
+}
+
 fn main() {
     println!("CM/5 MIMD scaling — sharded execution with counted messages");
 
@@ -127,4 +207,10 @@ fn main() {
 
     fault_sweep("SWE 64x64, 3 steps", &swe, 16, &["u", "v", "p"]);
     fault_sweep("Fig. 9 blocked stencil", &fig9, 16, &["a", "b", "c"]);
+
+    cse_ablation(
+        "SWE 64x64, 3 steps",
+        &workloads::swe_source(64, 3),
+        &["u", "v", "p"],
+    );
 }

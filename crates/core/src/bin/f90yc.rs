@@ -7,6 +7,10 @@
 //!   --target cm2|cm5               execution engine         (default cm2)
 //!   --nodes N                      nodes, power of 2        (default 2048)
 //!   --emit nir|opt|peac|host       print a stage and stop
+//!   --passes a,b,c                 override the middle-end pass list
+//!   --emit-after <pass>            print the NIR after that pass and stop
+//!   --print-ir-after-all           print the NIR after every pass, then go on
+//!   --verify-passes                check types/shapes/behaviour between passes
 //!   --run                          execute and report       (default)
 //!   --validate                     also check against the reference evaluator
 //!   --finals a,b,c                 print these variables after the run
@@ -17,12 +21,21 @@
 //!   --fault-kill STEP:NODE         kill NODE at superstep STEP (repeatable)
 //! ```
 //!
+//! Pass names: `comm-split`, `comm-cse`, `mask-pad`, `blocking-reorder`,
+//! `blocking-fuse`, `dce-temps`, plus the pseudo-name `blocking` for the
+//! reorder/fuse fixpoint group. `--passes`, `--emit-after` and
+//! `--verify-passes` also accept `--flag=value` spelling, and inter-pass
+//! verification can be forced globally with `F90Y_VERIFY_PASSES=1`.
+//!
 //! Examples:
 //!
 //! ```text
 //! cargo run -p f90y-core --bin f90yc -- --emit peac prog.f90
 //! echo 'INTEGER K(64,64)
 //! K = 2*K + 5' | cargo run -p f90y-core --bin f90yc -- --validate -
+//! cargo run -p f90y-core --bin f90yc -- --emit-after=blocking-fuse prog.f90
+//! cargo run -p f90y-core --bin f90yc -- --passes=comm-split,mask-pad \
+//!     --verify-passes prog.f90
 //! cargo run -p f90y-core --bin f90yc -- --target cm5 --nodes 64 prog.f90
 //! cargo run -p f90y-core --bin f90yc -- --target cm5 --nodes 16 \
 //!     --fault-seed 7 --fault-drop 20 --fault-kill 3:1 prog.f90
@@ -31,7 +44,9 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use f90y_core::{Compiler, FaultPlan, JsonSink, Pipeline, PrettySink, Run, Target, Telemetry};
+use f90y_core::{
+    Compiler, DumpPoint, FaultPlan, JsonSink, Pipeline, PrettySink, Run, Target, Telemetry,
+};
 
 /// Which execution engine runs the compiled program.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -47,6 +62,10 @@ struct Options {
     target: TargetKind,
     nodes: usize,
     emit: Option<String>,
+    passes: Option<Vec<String>>,
+    emit_after: Option<String>,
+    print_ir_after_all: bool,
+    verify_passes: bool,
     validate: bool,
     finals: Vec<String>,
     timings: bool,
@@ -80,6 +99,10 @@ const USAGE: &str = "usage: f90yc [options] <file.f90 | ->
   --target cm2|cm5               execution engine         (default cm2)
   --nodes N                      nodes, power of 2        (default 2048)
   --emit nir|opt|peac|host       print a stage and stop
+  --passes a,b,c                 override the middle-end pass list
+  --emit-after <pass>            print the NIR after that pass and stop
+  --print-ir-after-all           print the NIR after every pass, then go on
+  --verify-passes                check types/shapes/behaviour between passes
   --validate                     also check against the reference evaluator
   --finals a,b,c                 print these variables after the run
   --timings                      print a phase-timing/counter table on stderr
@@ -99,6 +122,10 @@ fn parse_args() -> Options {
         target: TargetKind::Cm2,
         nodes: 2048,
         emit: None,
+        passes: None,
+        emit_after: None,
+        print_ir_after_all: false,
+        verify_passes: false,
         validate: false,
         finals: Vec::new(),
         timings: false,
@@ -136,6 +163,16 @@ fn parse_args() -> Options {
                 }
                 _ => usage(),
             },
+            "--passes" => match args.next() {
+                Some(list) => opts.passes = Some(split_names(&list)),
+                None => usage(),
+            },
+            "--emit-after" => match args.next() {
+                Some(p) => opts.emit_after = Some(p),
+                None => usage(),
+            },
+            "--print-ir-after-all" => opts.print_ir_after_all = true,
+            "--verify-passes" => opts.verify_passes = true,
             "--validate" => opts.validate = true,
             "--timings" => opts.timings = true,
             "--emit-telemetry" => match args.next() {
@@ -162,10 +199,17 @@ fn parse_args() -> Options {
                 println!("{USAGE}");
                 std::process::exit(0);
             }
-            other if !other.starts_with('-') || other == "-" => {
-                opts.input = Some(other.to_string())
+            other => {
+                if let Some(list) = other.strip_prefix("--passes=") {
+                    opts.passes = Some(split_names(list));
+                } else if let Some(p) = other.strip_prefix("--emit-after=") {
+                    opts.emit_after = Some(p.to_string());
+                } else if !other.starts_with('-') || other == "-" {
+                    opts.input = Some(other.to_string());
+                } else {
+                    usage();
+                }
             }
-            _ => usage(),
         }
     }
     if opts.input.is_none() {
@@ -182,6 +226,15 @@ fn parse_args() -> Options {
 fn parse_kill(spec: &str) -> Option<(u64, usize)> {
     let (step, node) = spec.split_once(':')?;
     Some((step.parse().ok()?, node.parse().ok()?))
+}
+
+/// Split a comma-separated pass list, ignoring empty segments.
+fn split_names(list: &str) -> Vec<String> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -210,13 +263,50 @@ fn main() -> ExitCode {
         Telemetry::disabled()
     };
 
-    let exe = match Compiler::new(opts.pipeline).compile_with(&source, &mut tel) {
+    let mut compiler = Compiler::new(opts.pipeline).verify_passes(opts.verify_passes);
+    if let Some(names) = &opts.passes {
+        compiler = compiler.passes(names.iter().cloned());
+    }
+    if let Some(pass) = &opts.emit_after {
+        compiler = compiler.dump_ir(DumpPoint::After(pass.clone()));
+    } else if opts.print_ir_after_all {
+        compiler = compiler.dump_ir(DumpPoint::All);
+    }
+    let exe = match compiler.compile_with(&source, &mut tel) {
         Ok(exe) => exe,
         Err(e) => {
             eprintln!("f90yc: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(pass) = &opts.emit_after {
+        match exe.pass_reports.dump_after(pass) {
+            Some(dump) => {
+                println!("{dump}");
+                return finish(&tel, &opts);
+            }
+            None => {
+                let ran: Vec<&str> = exe
+                    .pass_reports
+                    .passes
+                    .iter()
+                    .map(|p| p.name.as_str())
+                    .collect();
+                eprintln!(
+                    "f90yc: pass '{pass}' did not run (pipeline ran: {})",
+                    ran.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if opts.print_ir_after_all {
+        for (i, (pass, dump)) in exe.pass_reports.dumps.iter().enumerate() {
+            println!(";; --- IR after {pass} (run {i}) ---");
+            println!("{dump}");
+        }
+    }
 
     match opts.emit.as_deref() {
         Some("nir") => {

@@ -64,7 +64,7 @@ pub use f90y_cm2::{Cm2, Cm2Config, MachineStats};
 pub use f90y_mimd::{FaultPlan, MimdConfig, MimdStats};
 pub use f90y_nir::Imp;
 pub use f90y_obs::{EventSink, JsonSink, PrettySink, Telemetry, TelemetryReport};
-pub use f90y_transform::TransformReport;
+pub use f90y_transform::{DumpPoint, PassManager, PassReport, PipelineReport, TransformReport};
 
 use f90y_backend::fe::HostExecutor;
 use f90y_baselines::Baseline;
@@ -215,20 +215,76 @@ impl From<RunError> for CompileError {
 }
 
 /// The compiler driver.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Compiler {
     pipeline: Pipeline,
+    passes: Option<Vec<String>>,
+    verify: bool,
+    dump: DumpPoint,
 }
 
 impl Compiler {
-    /// A driver for the given pipeline.
+    /// A driver for the given pipeline, with that pipeline's default
+    /// middle-end passes (see [`Compiler::passes`] to override them).
     pub fn new(pipeline: Pipeline) -> Self {
-        Compiler { pipeline }
+        Compiler {
+            pipeline,
+            passes: None,
+            verify: false,
+            dump: DumpPoint::None,
+        }
     }
 
     /// The selected pipeline.
     pub fn pipeline(&self) -> Pipeline {
         self.pipeline
+    }
+
+    /// Override the middle-end pass list (registered pass names plus
+    /// the `blocking` pseudo-name for the reorder/fuse fixpoint group).
+    /// Unknown names fail at [`Compiler::compile`] time.
+    #[must_use]
+    pub fn passes<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
+        self.passes = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Enable inter-pass verification: after every middle-end pass the
+    /// type and shape checkers re-run and evaluator finals are compared
+    /// against the input program's; a miscompiling pass fails the build
+    /// with an error naming it. Also switched on by the
+    /// `F90Y_VERIFY_PASSES` environment variable (any value but `0`).
+    #[must_use]
+    pub fn verify_passes(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Capture pretty-printed NIR dumps after the named pass (or after
+    /// every pass); they land in [`Executable::pass_reports`].
+    #[must_use]
+    pub fn dump_ir(mut self, dump: DumpPoint) -> Self {
+        self.dump = dump;
+        self
+    }
+
+    /// The configured middle end as a [`PassManager`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown pass name from [`Compiler::passes`].
+    fn pass_manager(&self) -> Result<PassManager, f90y_nir::NirError> {
+        let mgr = match &self.passes {
+            Some(names) => PassManager::from_names(names)?,
+            None => match self.pipeline {
+                Pipeline::F90y => f90y_transform::default_passes(),
+                // The baseline compilers model per-statement
+                // compilation: no deduplication, no blocking.
+                Pipeline::Cmf | Pipeline::StarLisp => f90y_transform::per_statement_passes(),
+            },
+        };
+        let verify = self.verify || env_verify_passes();
+        Ok(mgr.verify(verify).dump(self.dump.clone()))
     }
 
     /// Compile Fortran 90 source to an executable for the simulated
@@ -275,19 +331,16 @@ impl Compiler {
         tel.finish(span);
 
         let span = tel.start("compile.transform");
-        let (optimized, report) = match self.pipeline {
-            Pipeline::F90y => f90y_transform::optimize_with_report(&nir)?,
-            Pipeline::Cmf | Pipeline::StarLisp => f90y_transform::optimize_with_options(
-                &nir,
-                f90y_transform::OptimizeOptions::per_statement(),
-            )?,
-        };
+        let (optimized, pass_reports) = self.pass_manager()?.run_with(&nir, tel)?;
+        let report = TransformReport::from_pipeline(&pass_reports);
         tel.finish(span);
         if tel.is_enabled() {
             tel.count("transform.moves_before", report.moves_before as u64);
             tel.count("transform.moves_after", report.moves_after as u64);
             tel.count("transform.comm_temps", report.comm_temps as u64);
+            tel.count("transform.comm_merged", report.comm_merged as u64);
             tel.count("transform.masked_pads", report.masked_pads as u64);
+            tel.count("transform.temps_deleted", report.temps_deleted as u64);
             tel.count("transform.blocking_swaps", report.swaps as u64);
             tel.count("transform.blocks_after", report.blocks_after as u64);
             tel.count("transform.clauses_after", report.clauses_after as u64);
@@ -319,9 +372,18 @@ impl Compiler {
             nir,
             optimized,
             report,
+            pass_reports,
             compiled,
         })
     }
+}
+
+/// Whether the `F90Y_VERIFY_PASSES` environment variable asks for
+/// inter-pass verification (set to anything but `0` or empty).
+fn env_verify_passes() -> bool {
+    std::env::var("F90Y_VERIFY_PASSES")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
 }
 
 /// Executable statements in a parsed file (main program plus
@@ -369,8 +431,11 @@ pub struct Executable {
     pub nir: Imp,
     /// The NIR after the transformation pipeline.
     pub optimized: Imp,
-    /// What the transformations did.
+    /// What the transformations did, summed up (a derived view over
+    /// [`Executable::pass_reports`]).
     pub report: TransformReport,
+    /// The middle end's per-pass reports and captured IR dumps.
+    pub pass_reports: PipelineReport,
     /// The node routines and host program.
     pub compiled: CompiledProgram,
 }

@@ -274,6 +274,72 @@ mod tests {
         }
     }
 
+    /// The comm-cse satellite: the SWE time step re-reads the same
+    /// shifted arrays (`CSHIFT(p, DIM=1, SHIFT=-1)` feeds `cu`, `z` and
+    /// `h`), so deduplicating identical hoists must shrink both the
+    /// temporary count and the Fig. 11 partition's communication side.
+    #[test]
+    fn swe_comm_cse_prunes_temporaries_and_comm_phases() {
+        let src = swe_source(8, 1);
+        let with_cse = Compiler::new(Pipeline::F90y).compile(&src).unwrap();
+        let without_cse = Compiler::new(Pipeline::F90y)
+            .passes(["comm-split", "mask-pad", "blocking", "dce-temps"])
+            .compile(&src)
+            .unwrap();
+        assert!(with_cse.report.comm_merged > 0, "SWE must trigger comm-cse");
+
+        // Fewer tmp* declarations survive in the optimized NIR.
+        let count_tmps = |imp: &f90y_nir::Imp| {
+            let mut n = 0usize;
+            imp.walk(&mut |i| {
+                if let f90y_nir::Imp::WithDecl(d, _) = i {
+                    n += d
+                        .bindings()
+                        .iter()
+                        .filter(|(id, _, _)| id.starts_with("tmp"))
+                        .count();
+                }
+            });
+            n
+        };
+        let tmps_with = count_tmps(&with_cse.optimized);
+        let tmps_without = count_tmps(&without_cse.optimized);
+        assert!(
+            tmps_with < tmps_without,
+            "comm-cse must delete temporaries: {tmps_with} vs {tmps_without}"
+        );
+
+        // Strictly fewer runtime communication calls in the partition.
+        fn count_comm(stmts: &[f90y_backend::HostStmt]) -> usize {
+            use f90y_backend::HostStmt;
+            stmts
+                .iter()
+                .map(|s| match s {
+                    HostStmt::Comm { .. } => 1,
+                    HostStmt::Do { body, .. } | HostStmt::While { body, .. } => count_comm(body),
+                    HostStmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => count_comm(then_body) + count_comm(else_body),
+                    HostStmt::WithDecl { body, .. } | HostStmt::WithDomain { body, .. } => {
+                        count_comm(body)
+                    }
+                    _ => 0,
+                })
+                .sum()
+        }
+        let comm_with = count_comm(&with_cse.compiled.host);
+        let comm_without = count_comm(&without_cse.compiled.host);
+        assert!(
+            comm_with < comm_without,
+            "comm-cse must cut communication phases: {comm_with} vs {comm_without}"
+        );
+
+        // And the cleanup must not change what the program computes.
+        with_cse.validate().unwrap();
+    }
+
     #[test]
     fn swe_blocking_groups_statements() {
         let exe = Compiler::new(Pipeline::F90y)

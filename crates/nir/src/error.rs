@@ -19,6 +19,10 @@ pub enum NirError {
     /// A runtime evaluation error (division by zero, bad intrinsic
     /// argument, out-of-bounds subscript).
     Eval(String),
+    /// An inter-pass verification failure: a transformation produced a
+    /// program that no longer checks, or whose observable behaviour
+    /// diverged from its input's. The message names the offending pass.
+    Verify(String),
 }
 
 impl fmt::Display for NirError {
@@ -30,6 +34,7 @@ impl fmt::Display for NirError {
             NirError::Shape(msg) => write!(f, "shape error: {msg}"),
             NirError::Malformed(msg) => write!(f, "malformed NIR: {msg}"),
             NirError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            NirError::Verify(msg) => write!(f, "pass verification failed: {msg}"),
         }
     }
 }

@@ -137,6 +137,13 @@ impl Evaluator {
         }
     }
 
+    /// All captured final values, in no particular order.  Used by the
+    /// pass-verification machinery to compare observable behaviour
+    /// before and after a transformation.
+    pub fn finals(&self) -> impl Iterator<Item = (&str, &Cell)> {
+        self.finals.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Pre-bind a variable in the outermost scope (for harnesses that
     /// inject input data).
     pub fn preset(&mut self, id: &str, ty: Type, cell: Cell) {

@@ -71,6 +71,7 @@ pub mod shapecheck;
 pub mod typecheck;
 pub mod types;
 pub mod value;
+pub mod verify;
 
 pub use array::{ArrayData, Scalar};
 pub use decl::Decl;

@@ -1,0 +1,164 @@
+//! Inter-pass verification hooks.
+//!
+//! The pass manager in `f90y-transform` calls into this module between
+//! passes: [`check_static`] re-runs the type and shape checkers over the
+//! rewritten program, and [`snapshot`]/[`compare_snapshots`] run the
+//! reference evaluator and compare the observable final values of every
+//! variable the two programs have in common.  A pass that miscompiles a
+//! program therefore fails loudly at its own boundary, with a
+//! [`NirError::Verify`] naming it, instead of surfacing later as a wrong
+//! answer on the simulator.
+//!
+//! The comparison is over the *intersection* of captured variables:
+//! passes are allowed to introduce or delete compiler temporaries
+//! (`comm-split` adds them, `dce-temps` removes them), but must leave
+//! every surviving variable bit-identical.
+
+use std::collections::HashMap;
+
+use crate::error::NirError;
+use crate::eval::{Cell, Evaluator};
+use crate::imp::Imp;
+use crate::{shapecheck, typecheck};
+
+/// The observable outcome of running a program: every variable's final
+/// value, captured when its declaring scope exited.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    finals: HashMap<String, Cell>,
+}
+
+impl Snapshot {
+    /// The number of captured variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.finals.len()
+    }
+
+    /// Whether nothing was captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.finals.is_empty()
+    }
+
+    /// The captured final value of a variable, if any.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<&Cell> {
+        self.finals.get(id)
+    }
+}
+
+/// Re-run the static checkers (types, then shapes) over a program.
+///
+/// # Errors
+///
+/// Propagates the first [`NirError`] either checker raises.
+pub fn check_static(imp: &Imp) -> Result<(), NirError> {
+    typecheck::check(imp)?;
+    shapecheck::check(imp)
+}
+
+/// Run the reference evaluator and capture every final value.
+///
+/// # Errors
+///
+/// Propagates any dynamic error the evaluator raises.
+pub fn snapshot(imp: &Imp) -> Result<Snapshot, NirError> {
+    let mut ev = Evaluator::new();
+    ev.run(imp)?;
+    let finals = ev
+        .finals()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    Ok(Snapshot { finals })
+}
+
+/// Compare two snapshots over their common variables.
+///
+/// # Errors
+///
+/// Returns [`NirError::Verify`] naming `pass` when any variable present
+/// in both snapshots has diverged.
+pub fn compare_snapshots(pass: &str, before: &Snapshot, after: &Snapshot) -> Result<(), NirError> {
+    let mut names: Vec<&String> = before
+        .finals
+        .keys()
+        .filter(|k| after.finals.contains_key(*k))
+        .collect();
+    names.sort();
+    for name in names {
+        if before.finals[name] != after.finals[name] {
+            return Err(NirError::Verify(format!(
+                "pass '{pass}' changed the final value of '{name}'"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    fn little_program(k_init: i32) -> Imp {
+        // L = 6 ; K = 2*K + <k_init> over K(16), L(16)
+        with_domain(
+            "alpha",
+            interval(1, 16),
+            with_decl(
+                declset(vec![
+                    decl("k", dfield(domain("alpha"), int32())),
+                    decl("l", dfield(domain("alpha"), int32())),
+                ]),
+                seq(vec![
+                    mv(avar("l", everywhere()), int(6)),
+                    mv(
+                        avar("k", everywhere()),
+                        add(mul(int(2), ld("k", everywhere())), int(k_init)),
+                    ),
+                ]),
+            ),
+        )
+    }
+
+    #[test]
+    fn static_check_passes_on_well_formed_program() {
+        check_static(&little_program(5)).unwrap();
+    }
+
+    #[test]
+    fn identical_programs_compare_equal() {
+        let p = little_program(5);
+        let before = snapshot(&p).unwrap();
+        let after = snapshot(&p).unwrap();
+        compare_snapshots("noop", &before, &after).unwrap();
+        assert!(before.get("k").is_some());
+        assert!(!before.is_empty());
+        assert_eq!(before.len(), after.len());
+    }
+
+    #[test]
+    fn divergence_is_reported_with_the_pass_name() {
+        let before = snapshot(&little_program(5)).unwrap();
+        let after = snapshot(&little_program(7)).unwrap();
+        let err = compare_snapshots("evil-pass", &before, &after).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("evil-pass"), "message was: {msg}");
+        assert!(msg.contains("'k'"), "message was: {msg}");
+    }
+
+    #[test]
+    fn extra_temporaries_are_ignored() {
+        // A snapshot with an extra variable (a compiler temp) still
+        // compares equal over the intersection, in both directions.
+        let p = little_program(5);
+        let before = snapshot(&p).unwrap();
+        let mut extra = before.clone();
+        extra
+            .finals
+            .insert("tmp0".into(), Cell::Scalar(crate::array::Scalar::F64(1.0)));
+        compare_snapshots("comm-split", &before, &extra).unwrap();
+        compare_snapshots("dce-temps", &extra, &before).unwrap();
+    }
+}

@@ -92,8 +92,31 @@ pub fn reorder_stmts(
     Ok(hoists)
 }
 
+/// What one [`fuse`] run did and found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// Statements merged into a preceding like-shape block by this run
+    /// (zero means the list was already fully fused — the fixpoint
+    /// convergence signal).
+    pub merges: usize,
+    /// Multi-clause computation blocks present after the run.
+    pub blocks: usize,
+    /// Total clauses inside those blocks.
+    pub clauses: usize,
+}
+
+impl FuseStats {
+    /// Accumulate another list's stats (used when a pass runs over
+    /// every nested statement list).
+    pub fn absorb(&mut self, other: FuseStats) {
+        self.merges += other.merges;
+        self.blocks += other.blocks;
+        self.clauses += other.clauses;
+    }
+}
+
 /// Fuse adjacent like-shape computation moves into multi-clause `MOVE`
-/// blocks. Returns `(blocks_with_multiple_clauses, clauses_in_them)`.
+/// blocks.
 ///
 /// Fusion is sound here because computation phases are grid-local: each
 /// point is independent, so executing the clauses pointwise-sequentially
@@ -103,7 +126,7 @@ pub fn reorder_stmts(
 /// # Errors
 ///
 /// Fails on static errors while classifying shapes.
-pub fn fuse(body: &mut ProgramBody) -> Result<(usize, usize), NirError> {
+pub fn fuse(body: &mut ProgramBody) -> Result<FuseStats, NirError> {
     let mut ctx = body.ctx()?;
     fuse_stmts(&mut body.stmts, &mut ctx)
 }
@@ -117,10 +140,11 @@ pub fn fuse(body: &mut ProgramBody) -> Result<(usize, usize), NirError> {
 pub fn fuse_stmts(
     stmts: &mut Vec<Imp>,
     ctx: &mut f90y_nir::typecheck::Ctx,
-) -> Result<(usize, usize), NirError> {
+) -> Result<FuseStats, NirError> {
     let taken = std::mem::take(stmts);
     let mut out: Vec<Imp> = Vec::with_capacity(taken.len());
     let mut out_keys: Vec<Key> = Vec::with_capacity(taken.len());
+    let mut stats = FuseStats::default();
 
     for stmt in taken {
         let key = key_of(&classify_stmt(&stmt, ctx)?);
@@ -128,6 +152,7 @@ pub fn fuse_stmts(
             if matches!(key, Key::Compute(_)) && *prev_key == key {
                 if let Imp::Move(cur) = stmt {
                     prev.extend(cur);
+                    stats.merges += 1;
                     continue;
                 }
             }
@@ -136,18 +161,16 @@ pub fn fuse_stmts(
         out_keys.push(key);
     }
 
-    let mut blocks = 0usize;
-    let mut clauses = 0usize;
     for s in &out {
         if let Imp::Move(cs) = s {
             if cs.len() > 1 {
-                blocks += 1;
-                clauses += cs.len();
+                stats.blocks += 1;
+                stats.clauses += cs.len();
             }
         }
     }
     *stmts = out;
-    Ok((blocks, clauses))
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -188,9 +211,10 @@ mod tests {
         let mut body = ProgramBody::decompose(&p).unwrap();
         let swaps = reorder(&mut body).unwrap();
         assert!(swaps >= 1);
-        let (blocks, clauses) = fuse(&mut body).unwrap();
-        assert_eq!(blocks, 2, "one 8-block and one 4-block");
-        assert_eq!(clauses, 4);
+        let stats = fuse(&mut body).unwrap();
+        assert_eq!(stats.blocks, 2, "one 8-block and one 4-block");
+        assert_eq!(stats.clauses, 4);
+        assert_eq!(stats.merges, 2);
         assert_eq!(body.stmts.len(), 2);
 
         let out = body.recompose();
@@ -230,8 +254,9 @@ mod tests {
         let mut body = ProgramBody::decompose(&p).unwrap();
         let hoists = reorder(&mut body).unwrap();
         assert_eq!(hoists, 0, "the scalar write must stay between the moves");
-        let (blocks, _) = fuse(&mut body).unwrap();
-        assert_eq!(blocks, 0);
+        let stats = fuse(&mut body).unwrap();
+        assert_eq!(stats.blocks, 0);
+        assert_eq!(stats.merges, 0);
     }
 
     #[test]
@@ -254,8 +279,8 @@ mod tests {
         ));
         let mut body = ProgramBody::decompose(&p).unwrap();
         reorder(&mut body).unwrap();
-        let (blocks, _) = fuse(&mut body).unwrap();
-        assert_eq!(blocks, 1);
+        let stats = fuse(&mut body).unwrap();
+        assert_eq!(stats.blocks, 1);
         let mut ev = Evaluator::new();
         ev.run(&body.recompose()).unwrap();
         assert!(ev.final_array_f64("b").unwrap().iter().all(|&x| x == 7.0));

@@ -1,0 +1,449 @@
+//! Communication common-subexpression elimination.
+//!
+//! [`crate::comm_split`] hoists every `CSHIFT`/`EOSHIFT` occurrence into
+//! its own fresh temporary, even when two occurrences are textually
+//! identical — the SWE kernel, for example, shifts the same pressure
+//! array by the same offset in several update equations, and each shift
+//! becomes its own communication phase.  This pass deduplicates them:
+//! when a hoisted definition `tmpN = CSHIFT(a, s, d)` repeats an earlier
+//! definition `tmpM = CSHIFT(a, s, d)` that is still *available* (no
+//! intervening write to `a`, `s`, `d` or `tmpM`), the later definition
+//! is deleted and every subsequent read of `tmpN` is rewired to `tmpM` —
+//! one temporary, one comm phase, directly cutting router/NEWS traffic
+//! in the CM/2 cost model and MIMD message counts.
+//!
+//! Soundness notes:
+//!
+//! * Only transformation-introduced temporaries ([`ProgramBody::temps`])
+//!   are merged — user variables are observable output.
+//! * Each such temporary is written by exactly one hoisted definition
+//!   program-wide, so once a duplicate definition is deleted, the
+//!   canonical temporary holds the right value at every later program
+//!   point of the list (and inside nested bodies), even if the shifted
+//!   array is overwritten in between: the substitution is value-based.
+//! * Availability is tracked per statement list and invalidated by any
+//!   write to a variable the defining expression reads; nested bodies
+//!   are scanned with a fresh availability map (a definition inside a
+//!   branch may not execute).
+
+use std::collections::{HashMap, HashSet};
+
+use f90y_nir::deps::RwSets;
+use f90y_nir::{FieldAction, Imp, LValue, NirError, Value};
+
+use crate::program::ProgramBody;
+
+/// Run the pass; returns the number of duplicate communication
+/// definitions merged away.
+///
+/// # Errors
+///
+/// Infallible today; the `Result` matches the other passes' signatures.
+pub fn run(body: &mut ProgramBody) -> Result<usize, NirError> {
+    let temps: HashSet<String> = body.temps.iter().cloned().collect();
+    let mut merged = 0usize;
+    cse_list(&mut body.stmts, &temps, &mut merged);
+    Ok(merged)
+}
+
+/// One available hoisted definition: the canonical temporary and the
+/// identifiers its defining expression reads (for invalidation).
+struct Available {
+    temp: String,
+    reads: HashSet<String>,
+}
+
+fn cse_list(stmts: &mut Vec<Imp>, temps: &HashSet<String>, merged: &mut usize) {
+    // Key: canonical text of the defining expression.
+    let mut avail: HashMap<String, Available> = HashMap::new();
+    // Active rewirings tmpN -> tmpM, applied to everything downstream.
+    let mut subst: HashMap<String, String> = HashMap::new();
+
+    let taken = std::mem::take(stmts);
+    let mut out: Vec<Imp> = Vec::with_capacity(taken.len());
+    for mut stmt in taken {
+        if !subst.is_empty() {
+            subst_imp(&mut stmt, &subst);
+        }
+
+        let def = comm_def(&stmt, temps).map(|(temp, src)| (temp, format!("{src:?}")));
+        if let Some((temp, key)) = &def {
+            if let Some(a) = avail.get(key) {
+                if a.temp != *temp {
+                    // Duplicate: delete the definition and rewire every
+                    // later read. The dead declaration is swept by
+                    // `dce-temps`.
+                    subst.insert(temp.clone(), a.temp.clone());
+                    *merged += 1;
+                    continue;
+                }
+            }
+        }
+
+        // Recurse into nested bodies with their own availability scope
+        // (the substitution was already applied above).
+        each_nested_list(&mut stmt, &mut |list| cse_list(list, temps, merged));
+
+        // Invalidate whatever this statement may overwrite — *before*
+        // recording the statement's own definition, so a hoist does not
+        // kill its own availability by writing its temporary.
+        let rw = RwSets::of(&stmt);
+        let written: HashSet<&String> = rw.written_idents().collect();
+        if !written.is_empty() {
+            avail.retain(|_, a| {
+                !written.contains(&a.temp) && written.is_disjoint(&a.reads.iter().collect())
+            });
+        }
+        if let Some((temp, key)) = def {
+            avail.insert(
+                key,
+                Available {
+                    temp,
+                    reads: rw.read_idents().cloned().collect(),
+                },
+            );
+        }
+        out.push(stmt);
+    }
+    *stmts = out;
+}
+
+/// `Some((temp, src))` when the statement is a hoisted communication
+/// definition `MOVE[(True, (cshift|eoshift(...), AVAR(temp, everywhere)))]`
+/// into a transformation temporary.
+fn comm_def<'a>(stmt: &'a Imp, temps: &HashSet<String>) -> Option<(String, &'a Value)> {
+    let Imp::Move(clauses) = stmt else {
+        return None;
+    };
+    let [clause] = clauses.as_slice() else {
+        return None;
+    };
+    if !clause.is_unmasked() {
+        return None;
+    }
+    let Value::FcnCall(name, _) = &clause.src else {
+        return None;
+    };
+    if !matches!(name.as_str(), "cshift" | "eoshift") {
+        return None;
+    }
+    let LValue::AVar(dst, FieldAction::Everywhere) = &clause.dst else {
+        return None;
+    };
+    if !temps.contains(dst) {
+        return None;
+    }
+    Some((dst.clone(), &clause.src))
+}
+
+/// Apply `f` to every nested statement list of one statement (loop and
+/// branch bodies), without touching the statement's own values.
+fn each_nested_list(stmt: &mut Imp, f: &mut impl FnMut(&mut Vec<Imp>)) {
+    match stmt {
+        Imp::Do(_, _, b) | Imp::While(_, b) | Imp::WithDecl(_, b) | Imp::WithDomain(_, _, b) => {
+            nested_boxed(b, f);
+        }
+        Imp::IfThenElse(_, t, e) => {
+            nested_boxed(t, f);
+            nested_boxed(e, f);
+        }
+        _ => {}
+    }
+}
+
+fn nested_boxed(b: &mut Box<Imp>, f: &mut impl FnMut(&mut Vec<Imp>)) {
+    let mut stmts = match std::mem::replace(b.as_mut(), Imp::Skip) {
+        Imp::Sequentially(xs) => xs,
+        Imp::Skip => Vec::new(),
+        other => vec![other],
+    };
+    f(&mut stmts);
+    **b = Imp::seq(stmts);
+}
+
+/// Rewire array-variable reads through the substitution, everywhere in
+/// a statement (sources, masks, subscripts, conditions, nested bodies).
+fn subst_imp(stmt: &mut Imp, subst: &HashMap<String, String>) {
+    match stmt {
+        Imp::Program(b) => subst_imp(b, subst),
+        Imp::Skip => {}
+        Imp::Sequentially(xs) | Imp::Concurrently(xs) => {
+            for x in xs {
+                subst_imp(x, subst);
+            }
+        }
+        Imp::Move(clauses) => {
+            for c in clauses {
+                subst_value(&mut c.mask, subst);
+                subst_value(&mut c.src, subst);
+                if let LValue::AVar(_, FieldAction::Subscript(ixs)) = &mut c.dst {
+                    for ix in ixs {
+                        subst_value(ix, subst);
+                    }
+                }
+            }
+        }
+        Imp::IfThenElse(c, t, e) => {
+            subst_value(c, subst);
+            subst_imp(t, subst);
+            subst_imp(e, subst);
+        }
+        Imp::While(c, b) => {
+            subst_value(c, subst);
+            subst_imp(b, subst);
+        }
+        Imp::Do(_, _, b) => subst_imp(b, subst),
+        Imp::WithDecl(_, b) | Imp::WithDomain(_, _, b) => subst_imp(b, subst),
+    }
+}
+
+fn subst_value(v: &mut Value, subst: &HashMap<String, String>) {
+    match v {
+        Value::AVar(id, fa) => {
+            if let Some(canon) = subst.get(id) {
+                *id = canon.clone();
+            }
+            if let FieldAction::Subscript(ixs) = fa {
+                for ix in ixs {
+                    subst_value(ix, subst);
+                }
+            }
+        }
+        Value::SVar(_) | Value::Scalar(_) | Value::LocalUnder(_, _) | Value::DoIndex(_, _) => {}
+        Value::Unary(_, a) => subst_value(a, subst),
+        Value::Binary(_, a, b) => {
+            subst_value(a, subst);
+            subst_value(b, subst);
+        }
+        Value::FcnCall(_, args) => {
+            for (_, a) in args {
+                subst_value(a, subst);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm_split;
+    use f90y_nir::build::*;
+    use f90y_nir::eval::Evaluator;
+
+    fn cshift_call(arr: &str, shift: i32, dim: i32) -> Value {
+        fcncall(
+            "cshift",
+            vec![
+                (float64(), ld(arr, everywhere())),
+                (int32(), int(shift)),
+                (int32(), int(dim)),
+            ],
+        )
+    }
+
+    /// Two statements each reading the *same* shift of `v`: after
+    /// comm-split there are two identical hoisted definitions; comm-cse
+    /// merges them into one.
+    fn repeated_shift_program() -> Imp {
+        program(with_domain(
+            "s",
+            interval(1, 16),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("y", dfield(domain("s"), float64())),
+                    decl("z", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("v", everywhere()), local_under(domain("s"), 1)),
+                    mv(
+                        avar("y", everywhere()),
+                        add(ld("v", everywhere()), cshift_call("v", -1, 1)),
+                    ),
+                    mv(
+                        avar("z", everywhere()),
+                        sub(ld("v", everywhere()), cshift_call("v", -1, 1)),
+                    ),
+                ]),
+            ),
+        ))
+    }
+
+    #[test]
+    fn identical_hoists_share_one_temporary() {
+        let p = repeated_shift_program();
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        assert_eq!(comm_split::run(&mut body).unwrap(), 2);
+        assert_eq!(run(&mut body).unwrap(), 1);
+        // One hoisted definition left; both computes read tmp0.
+        let comm_defs = body
+            .stmts
+            .iter()
+            .filter(|s| comm_def(s, &body.temps.iter().cloned().collect()).is_some())
+            .count();
+        assert_eq!(comm_defs, 1);
+
+        let out = body.recompose();
+        f90y_nir::typecheck::check(&out).unwrap();
+        let mut ev1 = Evaluator::new();
+        ev1.run(&p).unwrap();
+        let mut ev2 = Evaluator::new();
+        ev2.run(&out).unwrap();
+        for name in ["y", "z"] {
+            assert_eq!(
+                ev1.final_array_f64(name).unwrap(),
+                ev2.final_array_f64(name).unwrap(),
+                "{name} differs after comm-cse"
+            );
+        }
+    }
+
+    #[test]
+    fn intervening_writes_block_the_merge() {
+        // v is rewritten between the two shifts: the second shift reads
+        // different data and must keep its own temporary.
+        let p = program(with_domain(
+            "s",
+            interval(1, 16),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("y", dfield(domain("s"), float64())),
+                    decl("z", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("v", everywhere()), local_under(domain("s"), 1)),
+                    mv(
+                        avar("y", everywhere()),
+                        add(ld("v", everywhere()), cshift_call("v", -1, 1)),
+                    ),
+                    mv(avar("v", everywhere()), f64c(3.0)),
+                    mv(
+                        avar("z", everywhere()),
+                        sub(ld("v", everywhere()), cshift_call("v", -1, 1)),
+                    ),
+                ]),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        assert_eq!(comm_split::run(&mut body).unwrap(), 2);
+        assert_eq!(
+            run(&mut body).unwrap(),
+            0,
+            "the write to v kills availability"
+        );
+
+        let out = body.recompose();
+        let mut ev1 = Evaluator::new();
+        ev1.run(&p).unwrap();
+        let mut ev2 = Evaluator::new();
+        ev2.run(&out).unwrap();
+        for name in ["y", "z"] {
+            assert_eq!(
+                ev1.final_array_f64(name).unwrap(),
+                ev2.final_array_f64(name).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn different_shifts_do_not_merge() {
+        let p = program(with_domain(
+            "s",
+            interval(1, 16),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("y", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("v", everywhere()), local_under(domain("s"), 1)),
+                    mv(
+                        avar("y", everywhere()),
+                        add(cshift_call("v", -1, 1), cshift_call("v", 1, 1)),
+                    ),
+                ]),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        assert_eq!(comm_split::run(&mut body).unwrap(), 2);
+        assert_eq!(run(&mut body).unwrap(), 0);
+    }
+
+    #[test]
+    fn merges_reach_inside_serial_do_bodies() {
+        // The SWE shape: repeated identical shifts inside a time-step DO.
+        let p = program(with_domain(
+            "s",
+            interval(1, 16),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("y", dfield(domain("s"), float64())),
+                    decl("z", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("v", everywhere()), local_under(domain("s"), 1)),
+                    do_over(
+                        "t",
+                        serial_interval(1, 3),
+                        seq(vec![
+                            mv(
+                                avar("y", everywhere()),
+                                add(ld("v", everywhere()), cshift_call("v", 1, 1)),
+                            ),
+                            mv(
+                                avar("z", everywhere()),
+                                sub(ld("y", everywhere()), cshift_call("v", 1, 1)),
+                            ),
+                            mv(
+                                avar("v", everywhere()),
+                                add(ld("z", everywhere()), f64c(0.5)),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        assert_eq!(comm_split::run(&mut body).unwrap(), 2);
+        assert_eq!(run(&mut body).unwrap(), 1);
+
+        let out = body.recompose();
+        f90y_nir::typecheck::check(&out).unwrap();
+        let mut ev1 = Evaluator::new();
+        ev1.run(&p).unwrap();
+        let mut ev2 = Evaluator::new();
+        ev2.run(&out).unwrap();
+        for name in ["v", "y", "z"] {
+            assert_eq!(
+                ev1.final_array_f64(name).unwrap(),
+                ev2.final_array_f64(name).unwrap(),
+                "{name} differs after comm-cse in a DO body"
+            );
+        }
+    }
+
+    #[test]
+    fn user_variables_are_never_merged() {
+        // Two user-written identical comm statements (no comm-split):
+        // nothing is in `temps`, so nothing merges.
+        let p = program(with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("a", dfield(domain("s"), float64())),
+                    decl("b", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("a", everywhere()), cshift_call("v", 1, 1)),
+                    mv(avar("b", everywhere()), cshift_call("v", 1, 1)),
+                ]),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        assert_eq!(run(&mut body).unwrap(), 0);
+    }
+}

@@ -5,43 +5,62 @@
 //! as possible, forming computation phases sometimes punctuated by
 //! communication."
 //!
-//! The pipeline ([`optimize`]) runs four passes:
+//! The middle end is a [`pass::PassManager`] over named, individually
+//! verifiable passes (see [`pass`] for the registry and the
+//! verification contract). The default pipeline ([`optimize`],
+//! [`default_passes`]) runs:
 //!
-//! 1. [`comm_split`] — hoist communication intrinsics (`cshift`,
-//!    `eoshift`) out of computation expressions into moves to fresh
-//!    temporaries, separating communication phases from computation
-//!    phases (this produces the `tmp0`/`tmp1` temporaries visible in
-//!    the paper's Figure 12 NIR excerpt);
-//! 2. [`mask_pad`] — pad computations over array subsections to
-//!    full-array operations under generated parity masks, "increasing
-//!    the pool of sibling computations which could be implemented in the
-//!    same computation block" (Fig. 10);
-//! 3. [`blocking`]`::reorder` — dependence-respecting code motion that
-//!    groups computations over like shapes (Fig. 9: "we can move the
-//!    like-domain MOVEs together");
-//! 4. [`blocking`]`::fuse` — compose adjacent like-shape grid-local
-//!    moves into single multi-clause `MOVE` blocks, each of which the
-//!    back end compiles to one PEAC routine.
+//! 1. `comm-split` ([`comm_split`]) — hoist communication intrinsics
+//!    (`cshift`, `eoshift`) out of computation expressions into moves
+//!    to fresh temporaries, separating communication phases from
+//!    computation phases (this produces the `tmp0`/`tmp1` temporaries
+//!    visible in the paper's Figure 12 NIR excerpt);
+//! 2. `comm-cse` ([`comm_cse`]) — deduplicate textually identical
+//!    hoisted shifts so repeated shifts of the same array share one
+//!    temporary and one communication phase;
+//! 3. `mask-pad` ([`mask_pad`]) — pad computations over array
+//!    subsections to full-array operations under generated parity
+//!    masks, "increasing the pool of sibling computations which could
+//!    be implemented in the same computation block" (Fig. 10);
+//! 4. `fixpoint(blocking-reorder, blocking-fuse)` ([`blocking`]) —
+//!    dependence-respecting code motion that groups computations over
+//!    like shapes (Fig. 9), then fusion of adjacent like-shape moves
+//!    into multi-clause `MOVE` blocks, iterated to convergence;
+//! 5. `dce-temps` ([`dce`]) — delete temporaries the passes above left
+//!    dead.
 //!
-//! Every pass is semantics-preserving; the test suite checks
+//! Every pass is semantics-preserving; the pass manager can check this
+//! *between* passes (type + shape checks and evaluator-equivalence spot
+//! checks) when verification is enabled, and the test suite checks
 //! evaluator-equivalence on the paper's programs and on random programs.
 
 pub mod blocking;
+pub mod comm_cse;
 pub mod comm_split;
+pub mod dce;
 pub mod mask_pad;
+pub mod pass;
 pub mod program;
 
 use f90y_nir::{Imp, NirError};
+use f90y_obs::Telemetry;
 
+pub use pass::{DumpPoint, PassManager, PassOutcome, PassReport, PipelineReport};
 pub use program::{ProgramBody, StmtClass};
 
 /// A report of what the pipeline did, for the Fig. 9/Fig. 11 harnesses.
+///
+/// Since the pass-manager refactor this is a *derived view* over the
+/// per-pass [`PassReport`]s (see [`TransformReport::from_pipeline`]);
+/// the harness-facing counters keep their historical names.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransformReport {
     /// `MOVE` statements before any transformation.
     pub moves_before: usize,
     /// Communication temporaries introduced.
     pub comm_temps: usize,
+    /// Duplicate communication hoists merged by `comm-cse`.
+    pub comm_merged: usize,
     /// Section assignments padded to masked full-array moves.
     pub masked_pads: usize,
     /// Adjacent-statement swaps performed by the blocking reorder.
@@ -50,47 +69,55 @@ pub struct TransformReport {
     pub blocks_after: usize,
     /// Total clauses inside those blocks.
     pub clauses_after: usize,
+    /// Dead temporaries deleted by `dce-temps`.
+    pub temps_deleted: usize,
     /// `MOVE` statements after the full pipeline.
     pub moves_after: usize,
 }
 
-/// Which passes to run — the full prototype pipeline by default; the
-/// baseline compilers disable blocking (CMF-like per-statement
-/// compilation keeps communication extraction and mask padding but
-/// never groups statements).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct OptimizeOptions {
-    /// Hoist communication intrinsics into temporaries.
-    pub comm_split: bool,
-    /// Pad section assignments to masked full-array moves.
-    pub mask_pad: bool,
-    /// Reorder and fuse like-shape computations.
-    pub blocking: bool,
-}
-
-impl OptimizeOptions {
-    /// The full Fortran-90-Y pipeline.
-    pub fn full() -> Self {
-        OptimizeOptions {
-            comm_split: true,
-            mask_pad: true,
-            blocking: true,
-        }
-    }
-
-    /// Per-statement compilation: everything except blocking.
-    pub fn per_statement() -> Self {
-        OptimizeOptions {
-            blocking: false,
-            ..OptimizeOptions::full()
+impl TransformReport {
+    /// Derive the harness view from a pipeline report: sums over every
+    /// run of each pass, except the fusion block/clause counts, which
+    /// are absolute and come from the last `blocking-fuse` run.
+    #[must_use]
+    pub fn from_pipeline(p: &PipelineReport) -> Self {
+        let last_fuse = p.last_run_of("blocking-fuse");
+        TransformReport {
+            moves_before: p.moves_before,
+            comm_temps: p.rewrites_of("comm-split"),
+            comm_merged: p.rewrites_of("comm-cse"),
+            masked_pads: p.rewrites_of("mask-pad"),
+            swaps: p.rewrites_of("blocking-reorder"),
+            blocks_after: last_fuse.and_then(|r| r.counter("blocks")).unwrap_or(0) as usize,
+            clauses_after: last_fuse.and_then(|r| r.counter("clauses")).unwrap_or(0) as usize,
+            temps_deleted: p.rewrites_of("dce-temps"),
+            moves_after: p.moves_after,
         }
     }
 }
 
-impl Default for OptimizeOptions {
-    fn default() -> Self {
-        OptimizeOptions::full()
-    }
+/// The full Fortran-90-Y pipeline:
+/// `comm-split, comm-cse, mask-pad, fixpoint(blocking-reorder,
+/// blocking-fuse), dce-temps`.
+#[must_use]
+pub fn default_passes() -> PassManager {
+    PassManager::from_names(&[
+        "comm-split",
+        "comm-cse",
+        "mask-pad",
+        "blocking",
+        "dce-temps",
+    ])
+    .expect("default pass names are registered")
+}
+
+/// Per-statement compilation, as the CMF/\*Lisp baselines model it:
+/// communication extraction and mask padding, but no deduplication and
+/// no blocking — every statement stays its own phase.
+#[must_use]
+pub fn per_statement_passes() -> PassManager {
+    PassManager::from_names(&["comm-split", "mask-pad"])
+        .expect("per-statement pass names are registered")
 }
 
 /// Run the full optimization pipeline.
@@ -109,118 +136,101 @@ pub fn optimize(imp: &Imp) -> Result<Imp, NirError> {
 ///
 /// As [`optimize`].
 pub fn optimize_with_report(imp: &Imp) -> Result<(Imp, TransformReport), NirError> {
-    optimize_with_options(imp, OptimizeOptions::full())
+    let (out, pipeline) = default_passes().run(imp)?;
+    Ok((out, TransformReport::from_pipeline(&pipeline)))
 }
 
-/// Run a configured subset of the pipeline.
+/// Which passes to run — the full prototype pipeline by default; the
+/// baseline compilers disable blocking (CMF-like per-statement
+/// compilation keeps communication extraction and mask padding but
+/// never groups statements).
+#[deprecated(
+    since = "0.3.0",
+    note = "build a `PassManager` instead: `default_passes()`, \
+            `per_statement_passes()` or `PassManager::from_names(...)`"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizeOptions {
+    /// Hoist communication intrinsics into temporaries.
+    pub comm_split: bool,
+    /// Pad section assignments to masked full-array moves.
+    pub mask_pad: bool,
+    /// Reorder and fuse like-shape computations.
+    pub blocking: bool,
+}
+
+#[allow(deprecated)]
+impl OptimizeOptions {
+    /// The full Fortran-90-Y pipeline.
+    pub fn full() -> Self {
+        OptimizeOptions {
+            comm_split: true,
+            mask_pad: true,
+            blocking: true,
+        }
+    }
+
+    /// Per-statement compilation: everything except blocking.
+    pub fn per_statement() -> Self {
+        OptimizeOptions {
+            blocking: false,
+            ..OptimizeOptions::full()
+        }
+    }
+
+    /// The equivalent pass manager (the migration path).
+    fn to_manager(self) -> PassManager {
+        let mut names: Vec<&str> = Vec::new();
+        if self.comm_split {
+            names.push("comm-split");
+        }
+        if self.mask_pad {
+            names.push("mask-pad");
+        }
+        if self.blocking {
+            names.push("blocking");
+        }
+        PassManager::from_names(&names).expect("shim pass names are registered")
+    }
+}
+
+#[allow(deprecated)]
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        OptimizeOptions::full()
+    }
+}
+
+/// Run a configured subset of the historical four-pass pipeline.
 ///
 /// # Errors
 ///
 /// As [`optimize`].
+#[deprecated(
+    since = "0.3.0",
+    note = "build a `PassManager` instead and call `.run(imp)`"
+)]
+#[allow(deprecated)]
 pub fn optimize_with_options(
     imp: &Imp,
     options: OptimizeOptions,
 ) -> Result<(Imp, TransformReport), NirError> {
-    let mut report = TransformReport {
-        moves_before: imp.count_moves(),
-        ..Default::default()
-    };
-
-    let mut body = ProgramBody::decompose(imp)?;
-    if options.comm_split {
-        report.comm_temps = comm_split::run(&mut body)?;
-    }
-
-    // Mask-pad, reorder and fuse the top-level statement list, then the
-    // body of every nested loop/branch (the paper's benchmarks keep
-    // their computations inside a serial time-step DO, so blocking must
-    // reach them there).
-    let mut ctx = body.ctx()?;
-    optimize_stmt_list(&mut body.stmts, &mut ctx, &mut report, options)?;
-
-    let out = body.recompose();
-    report.moves_after = out.count_moves();
-    Ok((out, report))
+    let (out, pipeline) = options.to_manager().run(imp)?;
+    Ok((out, TransformReport::from_pipeline(&pipeline)))
 }
 
-fn optimize_stmt_list(
-    stmts: &mut Vec<Imp>,
-    ctx: &mut f90y_nir::typecheck::Ctx,
-    report: &mut TransformReport,
-    options: OptimizeOptions,
-) -> Result<(), NirError> {
-    if options.mask_pad {
-        report.masked_pads += mask_pad::run_stmts(stmts, ctx)?;
-    }
-    if options.blocking {
-        report.swaps += blocking::reorder_stmts(stmts, ctx)?;
-        let (blocks, clauses) = blocking::fuse_stmts(stmts, ctx)?;
-        report.blocks_after += blocks;
-        report.clauses_after += clauses;
-    }
-    for s in stmts {
-        optimize_nested(s, ctx, report, options)?;
-    }
-    Ok(())
-}
-
-fn optimize_nested(
-    stmt: &mut Imp,
-    ctx: &mut f90y_nir::typecheck::Ctx,
-    report: &mut TransformReport,
-    options: OptimizeOptions,
-) -> Result<(), NirError> {
-    match stmt {
-        Imp::Do(dom, shape, b) => {
-            let resolved = ctx.resolve(shape)?;
-            ctx.push_do(dom.clone(), resolved);
-            let r = optimize_boxed(b, ctx, report, options);
-            ctx.pop_do();
-            r
-        }
-        Imp::While(_, b) => optimize_boxed(b, ctx, report, options),
-        Imp::IfThenElse(_, t, e) => {
-            optimize_boxed(t, ctx, report, options)?;
-            optimize_boxed(e, ctx, report, options)
-        }
-        Imp::WithDecl(d, b) => {
-            // Bind the locals in a clone (scoping without frames).
-            let mut inner = ctx.clone();
-            for (id, ty, _) in d.bindings() {
-                let resolved = match ty {
-                    f90y_nir::Type::Scalar(s) => f90y_nir::Type::Scalar(*s),
-                    f90y_nir::Type::DField { shape, elem } => f90y_nir::Type::DField {
-                        shape: inner.resolve(shape)?,
-                        elem: elem.clone(),
-                    },
-                };
-                inner.bind_var(id.clone(), resolved);
-            }
-            optimize_boxed(b, &mut inner, report, options)
-        }
-        Imp::WithDomain(name, shape, b) => {
-            let mut inner = ctx.clone();
-            inner.bind_domain(name.clone(), shape)?;
-            optimize_boxed(b, &mut inner, report, options)
-        }
-        _ => Ok(()),
-    }
-}
-
-fn optimize_boxed(
-    b: &mut Imp,
-    ctx: &mut f90y_nir::typecheck::Ctx,
-    report: &mut TransformReport,
-    options: OptimizeOptions,
-) -> Result<(), NirError> {
-    let mut stmts = match std::mem::replace(b, Imp::Skip) {
-        Imp::Sequentially(xs) => xs,
-        Imp::Skip => Vec::new(),
-        other => vec![other],
-    };
-    optimize_stmt_list(&mut stmts, ctx, report, options)?;
-    *b = Imp::seq(stmts);
-    Ok(())
+/// [`optimize_with_report`] with telemetry: pass spans and `pass.*`
+/// counters land in `tel` (see [`PassManager::run_with`]).
+///
+/// # Errors
+///
+/// As [`optimize`].
+pub fn optimize_with_telemetry(
+    imp: &Imp,
+    tel: &mut Telemetry,
+) -> Result<(Imp, TransformReport), NirError> {
+    let (out, pipeline) = default_passes().run_with(imp, tel)?;
+    Ok((out, TransformReport::from_pipeline(&pipeline)))
 }
 
 #[cfg(test)]

@@ -1,0 +1,737 @@
+//! The pass manager: named, verifiable, observable NIR passes.
+//!
+//! The paper's thesis is that a formally specified pipeline of
+//! semantics-preserving NIR transformations can be prototyped rapidly
+//! *because each stage is checkable in isolation* (§4.2, Figs. 9–11).
+//! This module gives the middle end that structure: every
+//! transformation is a named [`Pass`] over a [`ProgramBody`]; a
+//! [`PassManager`] runs a configured sequence of them (with optional
+//! fixpoint groups iterated to convergence), collects a [`PassReport`]
+//! per run, captures pretty-printed IR dumps after any or every pass,
+//! emits a `pass.*` telemetry namespace through `f90y-obs`, and — when
+//! verification is enabled — re-runs the type and shape checkers plus
+//! an evaluator-equivalence spot check *between* passes, so a
+//! miscompiling pass fails loudly at its own boundary with a
+//! [`NirError::Verify`] naming it.
+//!
+//! Named passes (see [`pass_by_name`]):
+//!
+//! | name               | effect                                             |
+//! |--------------------|----------------------------------------------------|
+//! | `comm-split`       | hoist `CSHIFT`/`EOSHIFT` into temporaries          |
+//! | `comm-cse`         | deduplicate identical hoisted shifts               |
+//! | `mask-pad`         | pad section assignments to masked full-array moves |
+//! | `blocking-reorder` | group like-shape computations by code motion       |
+//! | `blocking-fuse`    | fuse adjacent like-shape moves into blocks         |
+//! | `dce-temps`        | delete temporaries left dead by the passes above   |
+//!
+//! The pseudo-name `blocking` names the fixpoint group
+//! `fixpoint(blocking-reorder, blocking-fuse)`.
+
+use f90y_nir::verify::{check_static, compare_snapshots, snapshot, Snapshot};
+use f90y_nir::{pretty, Imp, NirError};
+use f90y_obs::Telemetry;
+
+use crate::program::ProgramBody;
+use crate::{blocking, comm_cse, comm_split, dce, mask_pad};
+
+/// What one run of one pass did: a primary rewrite count (zero means
+/// the pass found nothing to do — the fixpoint convergence signal) and
+/// optional named counters.
+#[derive(Debug, Clone, Default)]
+pub struct PassOutcome {
+    /// Number of rewrites applied.
+    pub rewrites: usize,
+    /// Extra pass-specific statistics.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl PassOutcome {
+    /// An outcome with only a rewrite count.
+    #[must_use]
+    pub fn rewrites(n: usize) -> Self {
+        PassOutcome {
+            rewrites: n,
+            counters: Vec::new(),
+        }
+    }
+}
+
+/// One executed pass's report, as recorded by the manager. A pass
+/// inside a fixpoint group appears once per iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassReport {
+    /// The pass's registered name.
+    pub name: String,
+    /// Number of rewrites this run applied.
+    pub rewrites: usize,
+    /// Extra pass-specific statistics.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl PassReport {
+    /// The value of a named counter, if the pass reported it.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// A named NIR-to-NIR transformation over a decomposed program body.
+pub trait Pass {
+    /// The registered name (kebab-case; used by `--passes`,
+    /// `--emit-after` and the `pass.*` telemetry namespace).
+    fn name(&self) -> &'static str;
+
+    /// Apply the pass.
+    ///
+    /// # Errors
+    ///
+    /// Fails on static errors while analysing the program.
+    fn run(&self, body: &mut ProgramBody) -> Result<PassOutcome, NirError>;
+}
+
+struct CommSplitPass;
+
+impl Pass for CommSplitPass {
+    fn name(&self) -> &'static str {
+        "comm-split"
+    }
+
+    fn run(&self, body: &mut ProgramBody) -> Result<PassOutcome, NirError> {
+        let introduced = comm_split::run(body)?;
+        Ok(PassOutcome {
+            rewrites: introduced,
+            counters: vec![("temps_introduced", introduced as u64)],
+        })
+    }
+}
+
+struct CommCsePass;
+
+impl Pass for CommCsePass {
+    fn name(&self) -> &'static str {
+        "comm-cse"
+    }
+
+    fn run(&self, body: &mut ProgramBody) -> Result<PassOutcome, NirError> {
+        Ok(PassOutcome::rewrites(comm_cse::run(body)?))
+    }
+}
+
+struct MaskPadPass;
+
+impl Pass for MaskPadPass {
+    fn name(&self) -> &'static str {
+        "mask-pad"
+    }
+
+    fn run(&self, body: &mut ProgramBody) -> Result<PassOutcome, NirError> {
+        let mut padded = 0usize;
+        body.for_each_stmt_list(&mut |stmts, ctx| {
+            padded += mask_pad::run_stmts(stmts, ctx)?;
+            Ok(())
+        })?;
+        Ok(PassOutcome::rewrites(padded))
+    }
+}
+
+struct BlockingReorderPass;
+
+impl Pass for BlockingReorderPass {
+    fn name(&self) -> &'static str {
+        "blocking-reorder"
+    }
+
+    fn run(&self, body: &mut ProgramBody) -> Result<PassOutcome, NirError> {
+        let mut hoists = 0usize;
+        body.for_each_stmt_list(&mut |stmts, ctx| {
+            hoists += blocking::reorder_stmts(stmts, ctx)?;
+            Ok(())
+        })?;
+        Ok(PassOutcome::rewrites(hoists))
+    }
+}
+
+struct BlockingFusePass;
+
+impl Pass for BlockingFusePass {
+    fn name(&self) -> &'static str {
+        "blocking-fuse"
+    }
+
+    fn run(&self, body: &mut ProgramBody) -> Result<PassOutcome, NirError> {
+        let mut total = blocking::FuseStats::default();
+        body.for_each_stmt_list(&mut |stmts, ctx| {
+            total.absorb(blocking::fuse_stmts(stmts, ctx)?);
+            Ok(())
+        })?;
+        Ok(PassOutcome {
+            rewrites: total.merges,
+            counters: vec![
+                ("blocks", total.blocks as u64),
+                ("clauses", total.clauses as u64),
+            ],
+        })
+    }
+}
+
+struct DceTempsPass;
+
+impl Pass for DceTempsPass {
+    fn name(&self) -> &'static str {
+        "dce-temps"
+    }
+
+    fn run(&self, body: &mut ProgramBody) -> Result<PassOutcome, NirError> {
+        let stats = dce::run(body)?;
+        Ok(PassOutcome {
+            rewrites: stats.temps_deleted,
+            counters: vec![
+                ("temps_deleted", stats.temps_deleted as u64),
+                ("clauses_removed", stats.clauses_removed as u64),
+            ],
+        })
+    }
+}
+
+/// Every registered pass name, in default pipeline order.
+pub const PASS_NAMES: &[&str] = &[
+    "comm-split",
+    "comm-cse",
+    "mask-pad",
+    "blocking-reorder",
+    "blocking-fuse",
+    "dce-temps",
+];
+
+/// Look a pass up by its registered name.
+#[must_use]
+pub fn pass_by_name(name: &str) -> Option<Box<dyn Pass>> {
+    match name {
+        "comm-split" => Some(Box::new(CommSplitPass)),
+        "comm-cse" => Some(Box::new(CommCsePass)),
+        "mask-pad" => Some(Box::new(MaskPadPass)),
+        "blocking-reorder" => Some(Box::new(BlockingReorderPass)),
+        "blocking-fuse" => Some(Box::new(BlockingFusePass)),
+        "dce-temps" => Some(Box::new(DceTempsPass)),
+        _ => None,
+    }
+}
+
+/// Which IR dumps the manager captures (pretty-printed NIR of the whole
+/// recomposed program, as `--emit nir` would print it).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum DumpPoint {
+    /// Capture nothing (the default).
+    #[default]
+    None,
+    /// Capture the program after every run of the named pass.
+    After(String),
+    /// Capture after every run of every pass.
+    All,
+}
+
+/// One scheduling unit: a single pass, or a group iterated to a
+/// fixpoint (re-run until an iteration applies zero rewrites, with a
+/// safety cap).
+enum Unit {
+    Single(Box<dyn Pass>),
+    Fixpoint(Vec<Box<dyn Pass>>),
+}
+
+/// What the whole pipeline did: per-run pass reports (in execution
+/// order), captured dumps, and the before/after `MOVE` counts.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// `MOVE` statements before any transformation.
+    pub moves_before: usize,
+    /// `MOVE` statements after the full pipeline.
+    pub moves_after: usize,
+    /// One entry per executed pass run, in order.
+    pub passes: Vec<PassReport>,
+    /// Captured `(pass name, pretty-printed NIR)` dumps, in order.
+    pub dumps: Vec<(String, String)>,
+    /// Whether inter-pass verification ran.
+    pub verified: bool,
+}
+
+impl PipelineReport {
+    /// Total rewrites across every run of the named pass.
+    #[must_use]
+    pub fn rewrites_of(&self, name: &str) -> usize {
+        self.passes
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.rewrites)
+            .sum()
+    }
+
+    /// The report of the *last* run of the named pass, if it ran.
+    #[must_use]
+    pub fn last_run_of(&self, name: &str) -> Option<&PassReport> {
+        self.passes.iter().rev().find(|p| p.name == name)
+    }
+
+    /// The dump captured after the *last* run of the named pass.
+    #[must_use]
+    pub fn dump_after(&self, name: &str) -> Option<&str> {
+        self.dumps
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.as_str())
+    }
+}
+
+/// How many times a fixpoint group may iterate before the manager gives
+/// up (a diverging pass pair is a bug; the cap turns it into a loud
+/// stop instead of a hang).
+pub const MAX_FIXPOINT_ITERS: usize = 10;
+
+/// A configured sequence of passes. Build one with [`PassManager::new`]
+/// plus [`PassManager::add`]/[`PassManager::add_fixpoint`], or from
+/// names with [`PassManager::from_names`].
+#[derive(Default)]
+pub struct PassManager {
+    units: Vec<Unit>,
+    verify: bool,
+    dump: DumpPoint,
+}
+
+impl PassManager {
+    /// An empty manager (no passes, no verification, no dumps).
+    #[must_use]
+    pub fn new() -> Self {
+        PassManager::default()
+    }
+
+    /// Append a single pass.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // `add` as in "add a pass", not `+`
+    pub fn add(mut self, pass: Box<dyn Pass>) -> Self {
+        self.units.push(Unit::Single(pass));
+        self
+    }
+
+    /// Append a fixpoint group: the passes are run in order, repeatedly,
+    /// until one full iteration applies zero rewrites (capped at
+    /// [`MAX_FIXPOINT_ITERS`] iterations).
+    #[must_use]
+    pub fn add_fixpoint(mut self, passes: Vec<Box<dyn Pass>>) -> Self {
+        self.units.push(Unit::Fixpoint(passes));
+        self
+    }
+
+    /// Enable or disable inter-pass verification: after every pass run,
+    /// re-run the type and shape checkers and compare evaluator finals
+    /// with the input program's (over the variables both have).
+    #[must_use]
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Configure IR dump capture.
+    #[must_use]
+    pub fn dump(mut self, dump: DumpPoint) -> Self {
+        self.dump = dump;
+        self
+    }
+
+    /// Build a manager from pass names. Each name is a registered pass;
+    /// the pseudo-name `blocking` adds the
+    /// `fixpoint(blocking-reorder, blocking-fuse)` group.
+    ///
+    /// # Errors
+    ///
+    /// [`NirError::Malformed`] on an unknown name.
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> Result<Self, NirError> {
+        let mut mgr = PassManager::new();
+        for name in names {
+            let name = name.as_ref();
+            if name == "blocking" {
+                mgr = mgr.add_fixpoint(vec![
+                    pass_by_name("blocking-reorder").expect("registered"),
+                    pass_by_name("blocking-fuse").expect("registered"),
+                ]);
+                continue;
+            }
+            let pass = pass_by_name(name).ok_or_else(|| {
+                NirError::Malformed(format!(
+                    "unknown pass '{name}' (known: {}, blocking)",
+                    PASS_NAMES.join(", ")
+                ))
+            })?;
+            mgr = mgr.add(pass);
+        }
+        Ok(mgr)
+    }
+
+    /// The names of the scheduled passes, in order (fixpoint groups
+    /// rendered as `fixpoint(a, b)`).
+    #[must_use]
+    pub fn pass_names(&self) -> Vec<String> {
+        self.units
+            .iter()
+            .map(|u| match u {
+                Unit::Single(p) => p.name().to_string(),
+                Unit::Fixpoint(ps) => format!(
+                    "fixpoint({})",
+                    ps.iter().map(|p| p.name()).collect::<Vec<_>>().join(", ")
+                ),
+            })
+            .collect()
+    }
+
+    /// Run the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the program is not a lowered unit, on a static error
+    /// inside a pass, or — with verification enabled — with
+    /// [`NirError::Verify`] naming the pass whose output no longer
+    /// checks or whose observable behaviour diverged.
+    pub fn run(&self, imp: &Imp) -> Result<(Imp, PipelineReport), NirError> {
+        self.run_with(imp, &mut Telemetry::disabled())
+    }
+
+    /// [`PassManager::run`] with telemetry: every pass run executes in a
+    /// `compile.transform.pass.<name>` span and lands its rewrite count
+    /// and counters under `pass.<name>.*`.
+    ///
+    /// # Errors
+    ///
+    /// As [`PassManager::run`].
+    pub fn run_with(
+        &self,
+        imp: &Imp,
+        tel: &mut Telemetry,
+    ) -> Result<(Imp, PipelineReport), NirError> {
+        let mut report = PipelineReport {
+            moves_before: imp.count_moves(),
+            verified: self.verify,
+            ..Default::default()
+        };
+
+        // The behavioural baseline for equivalence spot checks. Programs
+        // the evaluator cannot run (a dynamic error in the *input*) get
+        // static checking only — there is no behaviour to preserve.
+        let baseline: Option<Snapshot> = if self.verify {
+            snapshot(imp).ok()
+        } else {
+            None
+        };
+
+        let mut body = ProgramBody::decompose(imp)?;
+        for unit in &self.units {
+            match unit {
+                Unit::Single(pass) => {
+                    self.run_pass(
+                        pass.as_ref(),
+                        &mut body,
+                        baseline.as_ref(),
+                        &mut report,
+                        tel,
+                    )?;
+                }
+                Unit::Fixpoint(passes) => {
+                    for _ in 0..MAX_FIXPOINT_ITERS {
+                        let mut rewrites = 0usize;
+                        for pass in passes {
+                            rewrites += self.run_pass(
+                                pass.as_ref(),
+                                &mut body,
+                                baseline.as_ref(),
+                                &mut report,
+                                tel,
+                            )?;
+                        }
+                        if rewrites == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        let out = body.recompose();
+        report.moves_after = out.count_moves();
+        Ok((out, report))
+    }
+
+    /// Run one pass, record its report, capture dumps, verify.
+    fn run_pass(
+        &self,
+        pass: &dyn Pass,
+        body: &mut ProgramBody,
+        baseline: Option<&Snapshot>,
+        report: &mut PipelineReport,
+        tel: &mut Telemetry,
+    ) -> Result<usize, NirError> {
+        let name = pass.name();
+        let span = tel.start(&format!("compile.transform.pass.{name}"));
+        let outcome = pass.run(body)?;
+        tel.finish(span);
+        if tel.is_enabled() {
+            tel.count(&format!("pass.{name}.rewrites"), outcome.rewrites as u64);
+            for (counter, value) in &outcome.counters {
+                tel.count(&format!("pass.{name}.{counter}"), *value);
+            }
+        }
+        let rewrites = outcome.rewrites;
+        report.passes.push(PassReport {
+            name: name.to_string(),
+            rewrites,
+            counters: outcome
+                .counters
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+        });
+
+        let wants_dump = match &self.dump {
+            DumpPoint::None => false,
+            DumpPoint::After(n) => n == name,
+            DumpPoint::All => true,
+        };
+        if wants_dump || self.verify {
+            let current = body.recompose();
+            if wants_dump {
+                report
+                    .dumps
+                    .push((name.to_string(), pretty::print_imp(&current)));
+            }
+            if self.verify {
+                check_static(&current).map_err(|e| {
+                    NirError::Verify(format!("pass '{name}' broke the static checks: {e}"))
+                })?;
+                if let Some(before) = baseline {
+                    let after = snapshot(&current).map_err(|e| {
+                        NirError::Verify(format!(
+                            "pass '{name}' made the program fail at run time: {e}"
+                        ))
+                    })?;
+                    compare_snapshots(name, before, &after)?;
+                }
+            }
+        }
+        Ok(rewrites)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90y_nir::build::*;
+    use f90y_nir::eval::Evaluator;
+    use f90y_nir::{LValue, Value};
+
+    fn cshift_call(arr: &str, shift: i32, dim: i32) -> Value {
+        fcncall(
+            "cshift",
+            vec![
+                (float64(), ld(arr, everywhere())),
+                (int32(), int(shift)),
+                (int32(), int(dim)),
+            ],
+        )
+    }
+
+    fn repeated_shift_program() -> Imp {
+        program(with_domain(
+            "s",
+            interval(1, 16),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("y", dfield(domain("s"), float64())),
+                    decl("z", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("v", everywhere()), local_under(domain("s"), 1)),
+                    mv(
+                        avar("y", everywhere()),
+                        add(ld("v", everywhere()), cshift_call("v", -1, 1)),
+                    ),
+                    mv(
+                        avar("z", everywhere()),
+                        sub(ld("v", everywhere()), cshift_call("v", -1, 1)),
+                    ),
+                ]),
+            ),
+        ))
+    }
+
+    fn default_manager() -> PassManager {
+        PassManager::from_names(&[
+            "comm-split",
+            "comm-cse",
+            "mask-pad",
+            "blocking",
+            "dce-temps",
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_runs_and_reports_per_pass() {
+        let p = repeated_shift_program();
+        let (out, report) = default_manager().run(&p).unwrap();
+        assert_eq!(report.moves_before, 3);
+        assert_eq!(report.rewrites_of("comm-split"), 2);
+        assert_eq!(report.rewrites_of("comm-cse"), 1);
+        assert_eq!(report.rewrites_of("dce-temps"), 1);
+        // The fixpoint group ran each blocking pass at least once.
+        assert!(report.last_run_of("blocking-reorder").is_some());
+        assert!(report.last_run_of("blocking-fuse").is_some());
+
+        let mut ev1 = Evaluator::new();
+        ev1.run(&p).unwrap();
+        let mut ev2 = Evaluator::new();
+        ev2.run(&out).unwrap();
+        for name in ["y", "z"] {
+            assert_eq!(
+                ev1.final_array_f64(name).unwrap(),
+                ev2.final_array_f64(name).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn verification_passes_on_the_honest_pipeline() {
+        let p = repeated_shift_program();
+        let (_, report) = default_manager().verify(true).run(&p).unwrap();
+        assert!(report.verified);
+    }
+
+    #[test]
+    fn dumps_are_captured_after_the_named_pass() {
+        let p = repeated_shift_program();
+        let (_, report) = default_manager()
+            .dump(DumpPoint::After("blocking-fuse".into()))
+            .run(&p)
+            .unwrap();
+        let dump = report.dump_after("blocking-fuse").unwrap();
+        assert!(dump.contains("MOVE"), "dump should be pretty NIR:\n{dump}");
+        assert!(report.dump_after("comm-split").is_none());
+    }
+
+    #[test]
+    fn dump_all_captures_every_run() {
+        let p = repeated_shift_program();
+        let (_, report) = default_manager().dump(DumpPoint::All).run(&p).unwrap();
+        assert_eq!(report.dumps.len(), report.passes.len());
+    }
+
+    #[test]
+    fn unknown_pass_names_are_rejected() {
+        let err = PassManager::from_names(&["comm-split", "no-such-pass"])
+            .err()
+            .expect("unknown names must be rejected");
+        assert!(err.to_string().contains("no-such-pass"));
+    }
+
+    /// A deliberately miscompiling pass: it flips a constant in the
+    /// first top-level move, silently changing program behaviour while
+    /// remaining statically well-typed.
+    struct EvilConstantFlip;
+
+    impl Pass for EvilConstantFlip {
+        fn name(&self) -> &'static str {
+            "evil-constant-flip"
+        }
+
+        fn run(&self, body: &mut ProgramBody) -> Result<PassOutcome, NirError> {
+            for s in &mut body.stmts {
+                if let Imp::Move(clauses) = s {
+                    for c in &mut clauses.iter_mut() {
+                        if matches!(c.src, Value::Scalar(_)) {
+                            c.src = f64c(123456.0);
+                            return Ok(PassOutcome::rewrites(1));
+                        }
+                    }
+                }
+            }
+            Ok(PassOutcome::rewrites(0))
+        }
+    }
+
+    /// A deliberately ill-typing pass: it retargets a move at an
+    /// undeclared variable, which the static checkers must reject.
+    struct EvilUnboundWrite;
+
+    impl Pass for EvilUnboundWrite {
+        fn name(&self) -> &'static str {
+            "evil-unbound-write"
+        }
+
+        fn run(&self, body: &mut ProgramBody) -> Result<PassOutcome, NirError> {
+            if let Some(Imp::Move(clauses)) = body.stmts.first_mut() {
+                if let Some(c) = clauses.first_mut() {
+                    c.dst = LValue::SVar("no_such_variable".into());
+                    return Ok(PassOutcome::rewrites(1));
+                }
+            }
+            Ok(PassOutcome::rewrites(0))
+        }
+    }
+
+    fn constant_program() -> Imp {
+        program(with_domain(
+            "s",
+            interval(1, 8),
+            with_decl(
+                declset(vec![decl("a", dfield(domain("s"), float64()))]),
+                seq(vec![mv(avar("a", everywhere()), f64c(1.0))]),
+            ),
+        ))
+    }
+
+    #[test]
+    fn a_semantically_broken_pass_is_caught_and_named() {
+        let p = constant_program();
+        let mgr = PassManager::new()
+            .add(Box::new(EvilConstantFlip))
+            .verify(true);
+        let err = mgr.run(&p).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("evil-constant-flip"),
+            "the error must name the offending pass, got: {msg}"
+        );
+        assert!(matches!(err, NirError::Verify(_)));
+        // Without verification, the miscompile sails through silently —
+        // which is exactly why the verification mode exists.
+        let mgr = PassManager::new().add(Box::new(EvilConstantFlip));
+        assert!(mgr.run(&p).is_ok());
+    }
+
+    #[test]
+    fn a_statically_broken_pass_is_caught_and_named() {
+        let p = constant_program();
+        let mgr = PassManager::new()
+            .add(Box::new(EvilUnboundWrite))
+            .verify(true);
+        let err = mgr.run(&p).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("evil-unbound-write"),
+            "the error must name the offending pass, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn telemetry_lands_in_the_pass_namespace() {
+        let p = repeated_shift_program();
+        let mut tel = Telemetry::new();
+        default_manager().run_with(&p, &mut tel).unwrap();
+        let rep = tel.report();
+        assert_eq!(rep.counter("pass.comm-split.rewrites"), Some(2));
+        assert_eq!(rep.counter("pass.comm-cse.rewrites"), Some(1));
+        assert!(rep.counter("pass.blocking-fuse.blocks").is_some());
+    }
+}

@@ -28,6 +28,11 @@ pub struct ProgramBody {
     pub stmts: Vec<Imp>,
     /// Whether the original was wrapped in `PROGRAM`.
     pub programmed: bool,
+    /// Names of transformation-introduced temporaries (in introduction
+    /// order). Cleanup passes (`comm-cse`, `dce-temps`) restrict
+    /// themselves to these: user variables are observable output and
+    /// must never be merged or deleted.
+    pub temps: Vec<String>,
 }
 
 /// How a statement participates in phase partitioning (paper §4.2: each
@@ -91,6 +96,7 @@ impl ProgramBody {
             binders,
             stmts,
             programmed,
+            temps: Vec::new(),
         })
     }
 
@@ -134,7 +140,12 @@ impl ProgramBody {
     }
 
     /// Add a declaration for a transformation-introduced temporary.
+    /// The declared names are recorded in [`ProgramBody::temps`] so the
+    /// cleanup passes know which variables they may merge or delete.
     pub fn add_temp_decl(&mut self, d: Decl) {
+        for (id, _, _) in d.bindings() {
+            self.temps.push(id.clone());
+        }
         // Append into the innermost DECLSET binder (lowered units have
         // exactly one); create one if the program had none.
         for b in self.binders.iter_mut().rev() {
@@ -184,6 +195,142 @@ impl ProgramBody {
     pub fn classify(&self, stmt: &Imp, ctx: &mut Ctx) -> Result<StmtClass, NirError> {
         classify_stmt(stmt, ctx)
     }
+
+    /// Remove the named declarations from the binders (used by
+    /// `dce-temps` once a temporary has no remaining reads or writes).
+    /// Returns how many declarations were removed.
+    pub fn remove_decls(&mut self, names: &std::collections::HashSet<String>) -> usize {
+        let mut removed = 0usize;
+        for b in &mut self.binders {
+            if let Binder::Decls(d) = b {
+                let pruned = prune_decl(
+                    std::mem::replace(d, Decl::DeclSet(Vec::new())),
+                    names,
+                    &mut removed,
+                )
+                .unwrap_or(Decl::DeclSet(Vec::new()));
+                *b = Binder::Decls(pruned);
+            }
+        }
+        self.temps.retain(|t| !names.contains(t));
+        removed
+    }
+
+    /// Apply `f` to every statement list of the body, pre-order: the
+    /// top-level list first, then the body of every nested loop, branch
+    /// and binder, with the static context extended accordingly.
+    ///
+    /// This is the traversal every list-at-a-time pass shares (the
+    /// paper's benchmarks keep their computations inside a serial
+    /// time-step `DO`, so passes must reach them there).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error `f` or a context extension raises.
+    pub fn for_each_stmt_list<F>(&mut self, f: &mut F) -> Result<(), NirError>
+    where
+        F: FnMut(&mut Vec<Imp>, &mut Ctx) -> Result<(), NirError>,
+    {
+        let mut ctx = self.ctx()?;
+        walk_stmt_lists(&mut self.stmts, &mut ctx, f)
+    }
+}
+
+fn prune_decl(
+    d: Decl,
+    names: &std::collections::HashSet<String>,
+    removed: &mut usize,
+) -> Option<Decl> {
+    match d {
+        Decl::Decl(id, ty) => {
+            if names.contains(&id) {
+                *removed += 1;
+                None
+            } else {
+                Some(Decl::Decl(id, ty))
+            }
+        }
+        Decl::Initialized(id, ty, v) => {
+            if names.contains(&id) {
+                *removed += 1;
+                None
+            } else {
+                Some(Decl::Initialized(id, ty, v))
+            }
+        }
+        Decl::DeclSet(ds) => Some(Decl::DeclSet(
+            ds.into_iter()
+                .filter_map(|d| prune_decl(d, names, removed))
+                .collect(),
+        )),
+    }
+}
+
+/// [`ProgramBody::for_each_stmt_list`] over an explicit list and
+/// context (used for recursion and by callers that manage their own
+/// context).
+///
+/// # Errors
+///
+/// Propagates the first error `f` or a context extension raises.
+pub fn walk_stmt_lists<F>(stmts: &mut Vec<Imp>, ctx: &mut Ctx, f: &mut F) -> Result<(), NirError>
+where
+    F: FnMut(&mut Vec<Imp>, &mut Ctx) -> Result<(), NirError>,
+{
+    f(stmts, ctx)?;
+    for s in stmts.iter_mut() {
+        walk_nested(s, ctx, f)?;
+    }
+    Ok(())
+}
+
+fn walk_nested<F>(stmt: &mut Imp, ctx: &mut Ctx, f: &mut F) -> Result<(), NirError>
+where
+    F: FnMut(&mut Vec<Imp>, &mut Ctx) -> Result<(), NirError>,
+{
+    match stmt {
+        Imp::Do(dom, shape, b) => {
+            let resolved = ctx.resolve(shape)?;
+            ctx.push_do(dom.clone(), resolved);
+            let r = walk_boxed(b, ctx, f);
+            ctx.pop_do();
+            r
+        }
+        Imp::While(_, b) => walk_boxed(b, ctx, f),
+        Imp::IfThenElse(_, t, e) => {
+            walk_boxed(t, ctx, f)?;
+            walk_boxed(e, ctx, f)
+        }
+        Imp::WithDecl(d, b) => {
+            // Bind the locals in a clone (scoping without frames).
+            let mut inner = ctx.clone();
+            for (id, ty, _) in d.bindings() {
+                let resolved = resolve_type(ty, &inner)?;
+                inner.bind_var(id.clone(), resolved);
+            }
+            walk_boxed(b, &mut inner, f)
+        }
+        Imp::WithDomain(name, shape, b) => {
+            let mut inner = ctx.clone();
+            inner.bind_domain(name.clone(), shape)?;
+            walk_boxed(b, &mut inner, f)
+        }
+        _ => Ok(()),
+    }
+}
+
+fn walk_boxed<F>(b: &mut Box<Imp>, ctx: &mut Ctx, f: &mut F) -> Result<(), NirError>
+where
+    F: FnMut(&mut Vec<Imp>, &mut Ctx) -> Result<(), NirError>,
+{
+    let mut stmts = match std::mem::replace(b.as_mut(), Imp::Skip) {
+        Imp::Sequentially(xs) => xs,
+        Imp::Skip => Vec::new(),
+        other => vec![other],
+    };
+    let r = walk_stmt_lists(&mut stmts, ctx, f);
+    **b = Imp::seq(stmts);
+    r
 }
 
 /// Classify a statement against a context (see [`StmtClass`]).

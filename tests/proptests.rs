@@ -160,8 +160,66 @@ proptest! {
         }
     }
 
-    /// The blocking transformation preserves the number of clauses (no
-    /// computation is lost or duplicated).
+    /// The full default pass list under `--verify-passes` never trips
+    /// the inter-pass checks on a random well-formed program: every
+    /// pass preserves static well-formedness and final values, and the
+    /// verifier must agree.
+    #[test]
+    fn verified_pipeline_never_trips_on_random_programs(src in arb_program()) {
+        let unit = f90y_frontend::parse(&src).expect("parses");
+        let nir = match f90y_lowering::lower(&unit) {
+            Ok(n) => n,
+            Err(_) => return Ok(()),
+        };
+        let result = f90y_transform::default_passes().verify(true).run(&nir);
+        prop_assert!(
+            result.is_ok(),
+            "inter-pass verification fired on a correct pipeline: {}\n{src}",
+            result.err().map(|e| e.to_string()).unwrap_or_default()
+        );
+        let (_, report) = result.unwrap();
+        prop_assert!(report.verified);
+    }
+
+    /// `dce-temps` never changes what the evaluator computes: running
+    /// it after the rest of the pipeline leaves every final array
+    /// bit-identical.
+    #[test]
+    fn dce_temps_preserves_evaluator_results(src in arb_program()) {
+        let unit = f90y_frontend::parse(&src).expect("parses");
+        let nir = match f90y_lowering::lower(&unit) {
+            Ok(n) => n,
+            Err(_) => return Ok(()),
+        };
+        let (pre, _) = f90y_transform::PassManager::from_names(&[
+            "comm-split", "comm-cse", "mask-pad", "blocking",
+        ])
+        .expect("known names")
+        .run(&nir)
+        .expect("optimizes");
+        let (post, report) = f90y_transform::PassManager::from_names(&["dce-temps"])
+            .expect("known name")
+            .run(&pre)
+            .expect("dce runs");
+
+        let mut ev_pre = Evaluator::new();
+        ev_pre.run(&pre).expect("pre-dce program evaluates");
+        let mut ev_post = Evaluator::new();
+        ev_post.run(&post).expect("post-dce program evaluates");
+        for name in ["a", "b", "c"] {
+            let before = ev_pre.final_array_f64(name).expect("captured");
+            let after = ev_post.final_array_f64(name).expect("captured");
+            prop_assert_eq!(
+                before, after,
+                "dce-temps changed {} (deleted {} temps)\n{}",
+                name, report.rewrites_of("dce-temps"), src
+            );
+        }
+    }
+
+    /// The blocking transformation never duplicates computation, and
+    /// the cleanup passes (comm-cse, dce-temps) only ever remove
+    /// clauses.
     #[test]
     fn transforms_conserve_clauses(src in arb_program()) {
         let unit = f90y_frontend::parse(&src).expect("parses");
@@ -169,7 +227,7 @@ proptest! {
             Ok(n) => n,
             Err(_) => return Ok(()),
         };
-        let (optimized, _) = f90y_transform::optimize_with_report(&nir).expect("optimizes");
+        let (optimized, report) = f90y_transform::optimize_with_report(&nir).expect("optimizes");
         let count_clauses = |imp: &f90y_nir::Imp| {
             let mut n = 0usize;
             imp.walk(&mut |i| {
@@ -180,14 +238,24 @@ proptest! {
             n
         };
         // comm_split adds one clause per hoisted temporary; blocking
-        // must not change the count further. Compare against the
-        // per-statement pipeline, which runs the same comm_split and
-        // mask padding.
-        let (per_stmt, _) = f90y_transform::optimize_with_options(
-            &nir,
-            f90y_transform::OptimizeOptions::per_statement(),
-        )
-        .expect("optimizes");
-        prop_assert_eq!(count_clauses(&optimized), count_clauses(&per_stmt));
+        // must not change the count further, while comm-cse and
+        // dce-temps strictly remove. Compare against the per-statement
+        // pipeline, which runs the same comm_split and mask padding but
+        // none of the cleanups.
+        let (per_stmt, _) = f90y_transform::per_statement_passes()
+            .run(&nir)
+            .expect("optimizes");
+        let full = count_clauses(&optimized);
+        let per = count_clauses(&per_stmt);
+        prop_assert!(
+            full <= per,
+            "full pipeline produced {} clauses, per-statement {}", full, per
+        );
+        let removed = report.comm_merged + report.temps_deleted;
+        prop_assert!(
+            per - full <= removed,
+            "clause deficit {} exceeds what cse/dce account for ({})",
+            per - full, removed
+        );
     }
 }
