@@ -1,0 +1,113 @@
+//! Static legality audit for middle-end passes.
+//!
+//! `--verify-passes` checks behaviour with the reference evaluator; the
+//! audit checks *def-use legality* statically: a pass must not reorder or
+//! rewrite code so that a read which used to be reached by a definition
+//! no longer is. The check is a baseline comparison — lowered programs
+//! legitimately read zero-initialised arrays, so only *newly* undefined
+//! reads (relative to the pass pipeline's input) are violations.
+
+use std::collections::BTreeSet;
+
+use f90y_nir::{Ident, Imp, NirError};
+
+use crate::index::StmtIndex;
+use crate::reaching::ReachingFacts;
+
+/// Def-use facts of one program snapshot, for before/after comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFacts {
+    /// Variables with at least one read that may see no definition.
+    undef_reads: BTreeSet<Ident>,
+}
+
+impl AuditFacts {
+    /// Compute the audit facts of a program.
+    #[must_use]
+    pub fn of(root: &Imp) -> AuditFacts {
+        let index = StmtIndex::of(root);
+        let facts = ReachingFacts::compute(root, &index);
+        AuditFacts {
+            undef_reads: facts.uninit_uses.iter().map(|(_, v)| v.clone()).collect(),
+        }
+    }
+
+    /// Check a pass's output against the pipeline-input baseline.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`NirError::Verify`] naming the pass when `after`
+    /// contains a possibly-undefined read of a variable that the
+    /// baseline program always defined before reading.
+    pub fn check_pass(&self, pass: &str, after: &Imp) -> Result<(), NirError> {
+        let now = AuditFacts::of(after);
+        if let Some(var) = now.undef_reads.difference(&self.undef_reads).next() {
+            return Err(NirError::Verify(format!(
+                "pass '{pass}' broke def-use legality: a read of '{var}' is no \
+                 longer reached by any definition"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90y_nir::build::*;
+
+    fn def_then_use() -> Imp {
+        with_decl(
+            declset(vec![decl("x", int32()), decl("y", int32())]),
+            seq(vec![mv(svar_lv("x"), int(1)), mv(svar_lv("y"), svar("x"))]),
+        )
+    }
+
+    fn use_then_def() -> Imp {
+        with_decl(
+            declset(vec![decl("x", int32()), decl("y", int32())]),
+            seq(vec![mv(svar_lv("y"), svar("x")), mv(svar_lv("x"), int(1))]),
+        )
+    }
+
+    #[test]
+    fn identity_passes_the_audit() {
+        let p = def_then_use();
+        let base = AuditFacts::of(&p);
+        assert!(base.check_pass("noop", &p).is_ok());
+    }
+
+    #[test]
+    fn illegal_swap_fails_naming_the_pass() {
+        let base = AuditFacts::of(&def_then_use());
+        let err = base
+            .check_pass("evil-swap", &use_then_def())
+            .expect_err("the swap must be caught");
+        let msg = err.to_string();
+        assert!(msg.contains("evil-swap"), "got: {msg}");
+        assert!(msg.contains("'x'"), "got: {msg}");
+    }
+
+    #[test]
+    fn preexisting_undefined_reads_are_not_blamed_on_the_pass() {
+        // The baseline itself reads x before defining it; a pass that
+        // keeps doing so is not a regression.
+        let p = use_then_def();
+        let base = AuditFacts::of(&p);
+        assert!(base.check_pass("noop", &p).is_ok());
+        // But it still cannot introduce a *new* one.
+        let q = with_decl(
+            declset(vec![
+                decl("x", int32()),
+                decl("y", int32()),
+                decl("z", int32()),
+            ]),
+            seq(vec![
+                mv(svar_lv("y"), svar("x")),
+                mv(svar_lv("x"), int(1)),
+                mv(svar_lv("w"), svar("z")),
+            ]),
+        );
+        assert!(base.check_pass("evil", &q).is_err());
+    }
+}

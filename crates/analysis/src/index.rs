@@ -1,0 +1,103 @@
+//! Stable statement identities for one analysed NIR tree.
+//!
+//! Dataflow facts need to name statements, but NIR nodes carry no ids.
+//! A [`StmtIndex`] assigns every [`Imp`] node of one *unmoved* tree its
+//! pre-order position, using node addresses as identity. The indexed tree
+//! must outlive the index and must not be mutated while facts keyed by
+//! the index are in use; every analysis in this crate walks the same
+//! borrowed root the index was built from.
+
+use std::collections::HashMap;
+
+use f90y_nir::Imp;
+
+/// Pre-order statement numbering over one borrowed NIR tree.
+pub struct StmtIndex<'a> {
+    ids: HashMap<*const Imp, usize>,
+    nodes: Vec<&'a Imp>,
+}
+
+impl<'a> StmtIndex<'a> {
+    /// Number every node of `root` (including `root` itself) pre-order.
+    #[must_use]
+    pub fn of(root: &'a Imp) -> Self {
+        let mut nodes = Vec::new();
+        root.walk(&mut |n| nodes.push(n));
+        let ids = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (std::ptr::from_ref::<Imp>(n), i))
+            .collect();
+        StmtIndex { ids, nodes }
+    }
+
+    /// The id of a node of the indexed tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` does not belong to the indexed tree.
+    #[must_use]
+    pub fn id(&self, node: &Imp) -> usize {
+        self.ids[&std::ptr::from_ref::<Imp>(node)]
+    }
+
+    /// The node with the given id.
+    #[must_use]
+    pub fn node(&self, id: usize) -> &'a Imp {
+        self.nodes[id]
+    }
+
+    /// Number of indexed statements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tree has no statements (impossible: the root
+    /// itself is always indexed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90y_nir::build::*;
+
+    #[test]
+    fn preorder_ids_are_stable_and_dense() {
+        let p = program(seq(vec![
+            mv(svar_lv("a"), int(1)),
+            ifte(
+                boolc(true),
+                mv(svar_lv("b"), int(2)),
+                mv(svar_lv("c"), int(3)),
+            ),
+        ]));
+        let index = StmtIndex::of(&p);
+        // Program, Sequentially, Move a, IfThenElse, Move b, Move c.
+        assert_eq!(index.len(), 6);
+        assert!(!index.is_empty());
+        assert_eq!(index.id(&p), 0);
+        let mut seen = Vec::new();
+        p.walk(&mut |n| {
+            seen.push(index.id(n));
+            assert!(std::ptr::eq(index.node(index.id(n)), n));
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn equal_but_distinct_nodes_get_distinct_ids() {
+        let p = seq(vec![mv(svar_lv("a"), int(1)), mv(svar_lv("a"), int(1))]);
+        let index = StmtIndex::of(&p);
+        if let Imp::Sequentially(xs) = &p {
+            assert_eq!(xs[0], xs[1]);
+            assert_ne!(index.id(&xs[0]), index.id(&xs[1]));
+        } else {
+            panic!("expected Sequentially");
+        }
+    }
+}

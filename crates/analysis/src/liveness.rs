@@ -1,0 +1,516 @@
+//! Backward dataflow: per-variable liveness at section granularity.
+//!
+//! The lattice element per variable is a [`LiveInfo`]: a `whole` bit plus
+//! a set of live [`f90y_nir::SectionRange`] rectangles, reusing [`Access`] (and its
+//! `overlaps` test) from `f90y_nir::deps` as the granularity of facts. A
+//! store is *dead* when nothing it writes overlaps anything live after
+//! it; an unmasked whole-variable store additionally *kills* liveness
+//! above it.
+//!
+//! The analysis serves two clients with one walk:
+//!
+//! * **Diagnostics** — every dead store to a user variable becomes a
+//!   `W-DEADSTORE` candidate (see [`crate::lint()`]).
+//! * **`dce-temps`** — compiler temporaries (*ghosts*) whose stores are
+//!   all dead are *faint*: their defining stores generate no liveness, so
+//!   a chain `t1 = …; t2 = t1; (t2 never read)` dies together in one
+//!   pass, exactly like the transitive syntactic scan it replaces.
+//!
+//! Scope exits keep every non-ghost variable observable (the reference
+//! evaluator snapshots finals at scope exit), so only ghosts can be
+//! faint.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use f90y_nir::deps::Access;
+use f90y_nir::imp::LValue;
+use f90y_nir::value::FieldAction;
+use f90y_nir::{Ident, Imp, Value};
+
+use crate::index::StmtIndex;
+
+/// What is live of one variable at a program point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LiveInfo {
+    whole: bool,
+    sections: BTreeSet<Vec<f90y_nir::SectionRange>>,
+}
+
+impl LiveInfo {
+    fn add(&mut self, a: &Access) {
+        match a {
+            Access::Whole => self.whole = true,
+            Access::Section(s) => {
+                self.sections.insert(s.clone());
+            }
+        }
+    }
+
+    /// `true` when a write of `w` may be read afterwards.
+    fn is_live(&self, w: &Access) -> bool {
+        if self.whole {
+            return true;
+        }
+        self.sections
+            .iter()
+            .any(|s| Access::Section(s.clone()).overlaps(w))
+    }
+
+    fn join(&mut self, other: &LiveInfo) {
+        self.whole |= other.whole;
+        for s in &other.sections {
+            self.sections.insert(s.clone());
+        }
+    }
+}
+
+/// Per-variable liveness at one program point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Live {
+    map: BTreeMap<Ident, LiveInfo>,
+}
+
+impl Live {
+    fn join(&mut self, other: &Live) {
+        for (id, info) in &other.map {
+            self.map.entry(id.clone()).or_default().join(info);
+        }
+    }
+
+    fn add(&mut self, id: &Ident, a: &Access) {
+        self.map.entry(id.clone()).or_default().add(a);
+    }
+
+    fn is_live(&self, id: &str, w: &Access) -> bool {
+        self.map.get(id).is_some_and(|info| info.is_live(w))
+    }
+}
+
+/// One store whose value is provably never read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadStore {
+    /// Statement id of the `MOVE` (per the analysed [`StmtIndex`]).
+    pub stmt: usize,
+    /// Clause index within the `MOVE`.
+    pub clause: usize,
+    /// The variable written.
+    pub var: Ident,
+}
+
+/// The result of the liveness analysis over one tree.
+pub struct Liveness {
+    /// Dead stores to non-ghost variables, in program order.
+    pub dead_stores: Vec<DeadStore>,
+    /// Variables with at least one live (non-suppressed) read.
+    pub used: HashSet<Ident>,
+    /// Ghosts with a store that `dce` cannot strip (masked, sectioned or
+    /// scalar destinations); they must survive even if never read.
+    pub pinned: HashSet<Ident>,
+    /// Number of dataflow facts recorded, for telemetry.
+    pub fact_count: usize,
+}
+
+impl Liveness {
+    /// Run the analysis with no ghosts: every variable is observable.
+    #[must_use]
+    pub fn of(root: &Imp, index: &StmtIndex<'_>) -> Liveness {
+        Liveness::with_ghosts(root, index, &HashSet::new())
+    }
+
+    /// Run the analysis treating `ghosts` (compiler temporaries) as
+    /// unobservable at scope exit and faint-eligible.
+    #[must_use]
+    pub fn with_ghosts(root: &Imp, index: &StmtIndex<'_>, ghosts: &HashSet<Ident>) -> Liveness {
+        let mut a = Analyzer {
+            index,
+            ghosts,
+            record: true,
+            out: Liveness {
+                dead_stores: Vec::new(),
+                used: HashSet::new(),
+                pinned: HashSet::new(),
+                fact_count: 0,
+            },
+        };
+        a.flow_back(root, Live::default());
+        a.out.dead_stores.sort_by_key(|d| (d.stmt, d.clause));
+        a.out
+    }
+}
+
+/// The subset of `temps` that liveness proves *faint*: never read along
+/// any path (directly or through other faint temps) and strippable.
+#[must_use]
+pub fn faint_temps(root: &Imp, temps: &HashSet<Ident>) -> HashSet<Ident> {
+    let index = StmtIndex::of(root);
+    let live = Liveness::with_ghosts(root, &index, temps);
+    temps
+        .iter()
+        .filter(|t| !live.used.contains(*t) && !live.pinned.contains(*t))
+        .cloned()
+        .collect()
+}
+
+struct Analyzer<'a, 'i, 'g> {
+    index: &'i StmtIndex<'a>,
+    ghosts: &'g HashSet<Ident>,
+    record: bool,
+    out: Liveness,
+}
+
+impl Analyzer<'_, '_, '_> {
+    /// Add every read of `v` to `live` at access granularity.
+    fn gen_value(&mut self, v: &Value, live: &mut Live) {
+        v.walk(&mut |node| match node {
+            Value::SVar(id) => {
+                live.add(id, &Access::Whole);
+                if self.record {
+                    self.out.fact_count += 1;
+                    self.out.used.insert(id.clone());
+                }
+            }
+            Value::AVar(id, fa) => {
+                live.add(id, &Access::of_field_action(fa));
+                if self.record {
+                    self.out.fact_count += 1;
+                    self.out.used.insert(id.clone());
+                }
+            }
+            _ => {}
+        });
+    }
+
+    /// Backward transfer: liveness before `imp`, given liveness after.
+    fn flow_back(&mut self, imp: &Imp, out: Live) -> Live {
+        match imp {
+            Imp::Skip => out,
+            Imp::Program(b) => self.flow_back(b, out),
+            Imp::Sequentially(xs) => xs.iter().rev().fold(out, |l, x| self.flow_back(x, l)),
+            Imp::Concurrently(xs) => {
+                // Sibling statements are unordered: no kill may cross
+                // them, so keep the common live-out and add every
+                // sibling's gens.
+                let mut res = out.clone();
+                for x in xs {
+                    let li = self.flow_back(x, out.clone());
+                    res.join(&li);
+                }
+                res
+            }
+            Imp::Move(clauses) => {
+                let id = self.index.id(imp);
+                let mut live = out;
+                for (ci, c) in clauses.iter().enumerate().rev() {
+                    let var = c.dst.ident();
+                    let (waccess, strippable) = match &c.dst {
+                        LValue::SVar(_) => (Access::Whole, false),
+                        LValue::AVar(_, fa) => (
+                            Access::of_field_action(fa),
+                            fa.is_everywhere() && c.is_unmasked(),
+                        ),
+                    };
+                    let strong = c.is_unmasked()
+                        && matches!(
+                            &c.dst,
+                            LValue::SVar(_) | LValue::AVar(_, FieldAction::Everywhere)
+                        );
+                    let ghost = self.ghosts.contains(var);
+                    let dead = !live.is_live(var, &waccess);
+                    if self.record {
+                        self.out.fact_count += 1;
+                        if dead && !ghost {
+                            self.out.dead_stores.push(DeadStore {
+                                stmt: id,
+                                clause: ci,
+                                var: var.clone(),
+                            });
+                        }
+                        if ghost && !strippable {
+                            self.out.pinned.insert(var.clone());
+                        }
+                    }
+                    if strong {
+                        live.map.remove(var);
+                    }
+                    // A dead strippable ghost store generates nothing:
+                    // its operand reads die with it (faint chains).
+                    let suppress = dead && strong && ghost && strippable;
+                    if !suppress {
+                        self.gen_value(&c.mask, &mut live);
+                        self.gen_value(&c.src, &mut live);
+                        if let LValue::AVar(_, FieldAction::Subscript(ixs)) = &c.dst {
+                            for ix in ixs {
+                                self.gen_value(ix, &mut live);
+                            }
+                        }
+                    }
+                }
+                live
+            }
+            Imp::IfThenElse(c, t, e) => {
+                let mut lt = self.flow_back(t, out.clone());
+                let le = self.flow_back(e, out);
+                lt.join(&le);
+                self.gen_value(c, &mut lt);
+                lt
+            }
+            Imp::While(c, b) => {
+                let head = self.converge(b, Some(c), &out);
+                if self.record {
+                    let _ = self.flow_back(b, head.clone());
+                    // Re-gen the condition with recording on (no change
+                    // to the converged state, but `used` must see it).
+                    let mut h = head.clone();
+                    self.gen_value(c, &mut h);
+                    return h;
+                }
+                head
+            }
+            Imp::Do(_, _, b) => {
+                let head = self.converge(b, None, &out);
+                if self.record {
+                    let _ = self.flow_back(b, head.clone());
+                }
+                head
+            }
+            Imp::WithDecl(d, b) => {
+                let bindings = d.bindings();
+                let mut inner_out = out.clone();
+                let mut saved = Vec::new();
+                for (name, _, _) in &bindings {
+                    saved.push(((*name).clone(), inner_out.map.remove(*name)));
+                    if !self.ghosts.contains(*name) {
+                        // Finals are captured at scope exit: the whole
+                        // variable is observable there.
+                        inner_out.add(name, &Access::Whole);
+                    }
+                }
+                let mut live = self.flow_back(b, inner_out);
+                for (name, _, init) in bindings.iter().rev() {
+                    let ghost = self.ghosts.contains(*name);
+                    let dead = !live.is_live(name, &Access::Whole);
+                    // The declaration bounds the variable's lifetime.
+                    live.map.remove(*name);
+                    if let Some(v) = init {
+                        // Initializers are definitions, not stores the
+                        // linter should flag; only faint ghosts suppress
+                        // their reads.
+                        if !(dead && ghost) {
+                            self.gen_value(v, &mut live);
+                        }
+                        if self.record {
+                            self.out.fact_count += 1;
+                        }
+                    }
+                }
+                for (name, prev) in saved.into_iter().rev() {
+                    if let Some(info) = prev {
+                        live.map.entry(name).or_default().join(&info);
+                    }
+                }
+                live
+            }
+            Imp::WithDomain(_, _, b) => self.flow_back(b, out),
+        }
+    }
+
+    /// Converge the loop-head liveness `H = out ∪ gens(cond) ∪
+    /// flow_back(body, H)` with recording off.
+    fn converge(&mut self, body: &Imp, cond: Option<&Value>, out: &Live) -> Live {
+        let saved = self.record;
+        self.record = false;
+        let mut head = out.clone();
+        if let Some(c) = cond {
+            self.gen_value(c, &mut head);
+        }
+        loop {
+            let mut next = out.clone();
+            if let Some(c) = cond {
+                self.gen_value(c, &mut next);
+            }
+            let body_in = self.flow_back(body, head.clone());
+            next.join(&body_in);
+            if next == head {
+                break;
+            }
+            head = next;
+        }
+        self.record = saved;
+        head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90y_nir::build::*;
+    use f90y_nir::SectionRange;
+
+    fn dead_vars(p: &Imp) -> Vec<(Ident, usize)> {
+        let index = StmtIndex::of(p);
+        let l = Liveness::of(p, &index);
+        l.dead_stores
+            .iter()
+            .map(|d| (d.var.clone(), d.stmt))
+            .collect()
+    }
+
+    #[test]
+    fn overwritten_store_is_dead() {
+        let p = with_decl(
+            decl("x", int32()),
+            seq(vec![mv(svar_lv("x"), int(1)), mv(svar_lv("x"), int(2))]),
+        );
+        let dead = dead_vars(&p);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].0, "x");
+    }
+
+    #[test]
+    fn store_read_before_kill_is_live() {
+        let p = with_decl(
+            declset(vec![decl("x", int32()), decl("y", int32())]),
+            seq(vec![
+                mv(svar_lv("x"), int(1)),
+                mv(svar_lv("y"), svar("x")),
+                mv(svar_lv("x"), int(2)),
+            ]),
+        );
+        assert!(dead_vars(&p).is_empty());
+    }
+
+    #[test]
+    fn scope_exit_keeps_user_variables_live() {
+        // The final store is the observable result: not dead.
+        let p = with_decl(decl("x", int32()), mv(svar_lv("x"), int(1)));
+        assert!(dead_vars(&p).is_empty());
+    }
+
+    #[test]
+    fn undeclared_tail_store_is_dead_at_program_end() {
+        // No enclosing declaration: nothing is observable at the end.
+        let p = seq(vec![mv(svar_lv("x"), int(1))]);
+        let dead = dead_vars(&p);
+        assert_eq!(dead.len(), 1);
+    }
+
+    #[test]
+    fn masked_store_does_not_kill() {
+        let p = with_decl(
+            decl("a", dfield(interval(1, 8), int32())),
+            seq(vec![
+                mv(avar("a", everywhere()), int(1)),
+                mv_masked(ld("m", everywhere()), avar("a", everywhere()), int(2)),
+            ]),
+        );
+        // The unmasked store is still observable where the mask is
+        // false: not dead.
+        assert!(dead_vars(&p).is_empty());
+    }
+
+    #[test]
+    fn disjoint_section_read_leaves_store_dead() {
+        let odd = section(vec![SectionRange::strided(1, 31, 2)]);
+        let even = section(vec![SectionRange::strided(2, 32, 2)]);
+        // a(odd) = 1; b = a(even); a = 0 — the odd store is never read
+        // before the whole-array kill.
+        let p = with_decl(
+            declset(vec![
+                decl("a", dfield(interval(1, 32), int32())),
+                decl("b", dfield(interval(1, 32), int32())),
+            ]),
+            seq(vec![
+                mv(avar("a", odd.clone()), int(1)),
+                mv(avar("b", everywhere()), ld("a", even)),
+                mv(avar("a", everywhere()), int(0)),
+            ]),
+        );
+        let dead = dead_vars(&p);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].0, "a");
+        // An overlapping read keeps it live.
+        let q = with_decl(
+            declset(vec![
+                decl("a", dfield(interval(1, 32), int32())),
+                decl("b", dfield(interval(1, 32), int32())),
+            ]),
+            seq(vec![
+                mv(avar("a", odd.clone()), int(1)),
+                mv(avar("b", everywhere()), ld("a", odd)),
+                mv(avar("a", everywhere()), int(0)),
+            ]),
+        );
+        assert!(dead_vars(&q).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_read_keeps_store_live() {
+        // DO { y = x; x = y + 1 } under a decl of x: the store to x is
+        // read on the next trip.
+        let p = with_decl(
+            declset(vec![decl("x", int32()), decl("y", int32())]),
+            do_over(
+                "i",
+                serial_interval(1, 4),
+                seq(vec![
+                    mv(svar_lv("y"), svar("x")),
+                    mv(svar_lv("x"), add(svar("y"), int(1))),
+                ]),
+            ),
+        );
+        assert!(dead_vars(&p).is_empty());
+    }
+
+    #[test]
+    fn faint_chains_die_together() {
+        // t1 = a; t2 = t1; nothing reads t2.
+        let temps: HashSet<Ident> = ["t1".to_string(), "t2".to_string()].into();
+        let p = with_decl(
+            declset(vec![
+                decl("a", dfield(interval(1, 8), int32())),
+                decl("t1", dfield(interval(1, 8), int32())),
+                decl("t2", dfield(interval(1, 8), int32())),
+            ]),
+            seq(vec![
+                mv(avar("a", everywhere()), int(1)),
+                mv(avar("t1", everywhere()), ld("a", everywhere())),
+                mv(avar("t2", everywhere()), ld("t1", everywhere())),
+            ]),
+        );
+        let faint = faint_temps(&p, &temps);
+        assert_eq!(faint, temps);
+    }
+
+    #[test]
+    fn live_temp_anchors_its_chain() {
+        let temps: HashSet<Ident> = ["t1".to_string(), "t2".to_string()].into();
+        let p = with_decl(
+            declset(vec![
+                decl("a", dfield(interval(1, 8), int32())),
+                decl("b", dfield(interval(1, 8), int32())),
+                decl("t1", dfield(interval(1, 8), int32())),
+                decl("t2", dfield(interval(1, 8), int32())),
+            ]),
+            seq(vec![
+                mv(avar("t1", everywhere()), int(1)),
+                mv(avar("t2", everywhere()), ld("t1", everywhere())),
+                mv(avar("b", everywhere()), ld("t2", everywhere())),
+            ]),
+        );
+        let faint = faint_temps(&p, &temps);
+        assert!(faint.is_empty(), "got {faint:?}");
+    }
+
+    #[test]
+    fn pinned_ghosts_are_not_faint() {
+        // A temp written through a mask cannot be stripped even when
+        // never read.
+        let temps: HashSet<Ident> = ["t1".to_string()].into();
+        let p = with_decl(
+            decl("t1", dfield(interval(1, 8), int32())),
+            mv_masked(ld("m", everywhere()), avar("t1", everywhere()), int(1)),
+        );
+        let faint = faint_temps(&p, &temps);
+        assert!(faint.is_empty());
+    }
+}

@@ -1,0 +1,561 @@
+//! Forward dataflow: reaching definitions and def-use facts.
+//!
+//! The lattice element per variable is a [`DefState`]: the set of
+//! definition sites (statement id, clause index) that may reach a program
+//! point, plus a `maybe_uninit` bit recording whether some path reaches
+//! the point with *no* definition at all. Joins are set union; a variable
+//! absent from one side of a join is uninitialised on that side.
+//!
+//! A definition is *strong* (kills every earlier definition) when it is an
+//! unmasked move to a scalar or to a whole array (`everywhere`); masked,
+//! sectioned and subscripted writes are weak and accumulate. Loops are
+//! solved by fixpoint iteration with facts recorded only from the
+//! converged state, so a use inside a `WHILE` body sees the definitions
+//! flowing around the back edge.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use f90y_nir::imp::LValue;
+use f90y_nir::shape::DomainEnv;
+use f90y_nir::value::FieldAction;
+use f90y_nir::{Ident, Imp, Shape, Type, Value};
+
+use crate::index::StmtIndex;
+
+/// A definition site: `(statement id, clause-or-binding index)`.
+pub type DefId = (usize, usize);
+
+/// The definitions of one variable that may reach a program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefState {
+    /// Definition sites that may reach here.
+    pub defs: BTreeSet<DefId>,
+    /// `true` when some path reaches here without defining the variable.
+    pub maybe_uninit: bool,
+}
+
+impl DefState {
+    /// The state of a variable never defined: no sites, maybe uninit.
+    #[must_use]
+    pub fn uninit() -> Self {
+        DefState {
+            defs: BTreeSet::new(),
+            maybe_uninit: true,
+        }
+    }
+
+    /// The state after one dominating strong definition.
+    #[must_use]
+    pub fn single(d: DefId) -> Self {
+        DefState {
+            defs: BTreeSet::from([d]),
+            maybe_uninit: false,
+        }
+    }
+
+    fn join(&self, other: &DefState) -> DefState {
+        DefState {
+            defs: self.defs.union(&other.defs).copied().collect(),
+            maybe_uninit: self.maybe_uninit || other.maybe_uninit,
+        }
+    }
+}
+
+/// Per-variable reaching-definition states at one program point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Defs {
+    map: BTreeMap<Ident, DefState>,
+}
+
+impl Defs {
+    /// The state of one variable; an unknown variable is uninitialised.
+    #[must_use]
+    pub fn state(&self, id: &str) -> DefState {
+        self.map.get(id).cloned().unwrap_or_else(DefState::uninit)
+    }
+
+    /// Pointwise join; a variable absent on one side is uninitialised
+    /// there.
+    #[must_use]
+    pub fn join(&self, other: &Defs) -> Defs {
+        let mut map = BTreeMap::new();
+        for (id, a) in &self.map {
+            let joined = match other.map.get(id) {
+                Some(b) => a.join(b),
+                None => a.join(&DefState::uninit()),
+            };
+            map.insert(id.clone(), joined);
+        }
+        for (id, b) in &other.map {
+            if !self.map.contains_key(id) {
+                map.insert(id.clone(), b.join(&DefState::uninit()));
+            }
+        }
+        Defs { map }
+    }
+}
+
+/// The result of the reaching-definitions analysis over one tree.
+pub struct ReachingFacts {
+    /// Entry state (before any clause executes) of every `MOVE`, by
+    /// statement id.
+    pub at_move: HashMap<usize, Defs>,
+    /// `(statement id, variable)` pairs where a read may see no
+    /// definition along some path.
+    pub uninit_uses: BTreeSet<(usize, Ident)>,
+    /// Variables declared with a scalar type anywhere in the tree.
+    pub scalars: HashSet<Ident>,
+    /// Number of dataflow facts recorded (reads resolved + definitions
+    /// applied), for telemetry.
+    pub fact_count: usize,
+}
+
+impl ReachingFacts {
+    /// Run the analysis over `root`, keyed by `index` (which must have
+    /// been built from the same `root`).
+    #[must_use]
+    pub fn compute(root: &Imp, index: &StmtIndex<'_>) -> ReachingFacts {
+        let mut a = Analyzer {
+            index,
+            domains: Vec::new(),
+            record: true,
+            facts: ReachingFacts {
+                at_move: HashMap::new(),
+                uninit_uses: BTreeSet::new(),
+                scalars: HashSet::new(),
+                fact_count: 0,
+            },
+        };
+        a.flow(root, Defs::default());
+        a.facts
+    }
+}
+
+struct Analyzer<'a, 'i> {
+    index: &'i StmtIndex<'a>,
+    /// Innermost-last stack of `WITH_DOMAIN` bindings, pre-resolved.
+    domains: Vec<(Ident, Shape)>,
+    record: bool,
+    facts: ReachingFacts,
+}
+
+impl Analyzer<'_, '_> {
+    fn domain_env(&self) -> DomainEnv {
+        self.domains.iter().cloned().collect()
+    }
+
+    /// Record every variable read in `v` against `state`, flagging reads
+    /// that may see no definition.
+    fn record_reads(&mut self, stmt: usize, v: &Value, state: &Defs) {
+        let mut reads = Vec::new();
+        v.walk(&mut |node| match node {
+            Value::SVar(id) | Value::AVar(id, _) => reads.push(id.clone()),
+            _ => {}
+        });
+        for id in reads {
+            if self.record {
+                self.facts.fact_count += 1;
+                if state.state(&id).maybe_uninit {
+                    self.facts.uninit_uses.insert((stmt, id));
+                }
+            }
+        }
+    }
+
+    /// Forward transfer: the state after executing `imp` from `state`.
+    fn flow(&mut self, imp: &Imp, state: Defs) -> Defs {
+        match imp {
+            Imp::Skip => state,
+            Imp::Program(b) => self.flow(b, state),
+            Imp::Sequentially(xs) => xs.iter().fold(state, |s, x| self.flow(x, s)),
+            Imp::Concurrently(xs) => {
+                // The statements are independent by construction; reads
+                // must not observe sibling writes, so flow each from the
+                // common entry and join the exits.
+                let mut out = state.clone();
+                for x in xs {
+                    out = out.join(&self.flow(x, state.clone()));
+                }
+                out
+            }
+            Imp::Move(clauses) => {
+                let id = self.index.id(imp);
+                if self.record {
+                    self.facts.at_move.insert(id, state.clone());
+                }
+                // Clauses execute in order — the evaluator applies each
+                // clause's write before the next clause's reads, and
+                // blocking-fuse relies on exactly that when it merges
+                // `tnew = …; t = tnew` into one MOVE — so each clause
+                // reads the state left by the ones before it.
+                let mut out = state;
+                for (ci, c) in clauses.iter().enumerate() {
+                    self.record_reads(id, &c.mask, &out);
+                    self.record_reads(id, &c.src, &out);
+                    if let LValue::AVar(_, FieldAction::Subscript(ixs)) = &c.dst {
+                        for ix in ixs {
+                            self.record_reads(id, ix, &out);
+                        }
+                    }
+                    let var = c.dst.ident().clone();
+                    let strong = c.is_unmasked()
+                        && matches!(
+                            &c.dst,
+                            LValue::SVar(_) | LValue::AVar(_, FieldAction::Everywhere)
+                        );
+                    if self.record {
+                        self.facts.fact_count += 1;
+                    }
+                    if strong {
+                        out.map.insert(var, DefState::single((id, ci)));
+                    } else {
+                        let entry = out.map.entry(var).or_insert_with(DefState::uninit);
+                        entry.defs.insert((id, ci));
+                    }
+                }
+                out
+            }
+            Imp::IfThenElse(c, t, e) => {
+                let id = self.index.id(imp);
+                self.record_reads(id, c, &state);
+                let st = self.flow(t, state.clone());
+                let se = self.flow(e, state);
+                st.join(&se)
+            }
+            Imp::While(c, b) => {
+                let id = self.index.id(imp);
+                let entry = self.converge(b, state);
+                // The condition is evaluated at the loop head on every
+                // trip; the converged entry covers all of them.
+                self.record_reads(id, c, &entry);
+                if self.record {
+                    let _ = self.flow(b, entry.clone());
+                }
+                // Zero iterations are always possible.
+                entry
+            }
+            Imp::Do(_, shape, b) => {
+                let entry = self.converge(b, state);
+                let nonempty = shape
+                    .resolve(&self.domain_env())
+                    .map(|s| s.size() > 0)
+                    .unwrap_or(false);
+                if self.record || nonempty {
+                    let out = self.flow(b, entry.clone());
+                    if nonempty {
+                        // The body ran at least once: definitions made on
+                        // every trip have landed by the exit.
+                        return out;
+                    }
+                }
+                entry
+            }
+            Imp::WithDecl(d, b) => {
+                let id = self.index.id(imp);
+                let mut inner = state.clone();
+                let bindings = d.bindings();
+                for (bi, (name, ty, init)) in bindings.iter().enumerate() {
+                    if matches!(ty, Type::Scalar(_)) {
+                        self.facts.scalars.insert((*name).clone());
+                    }
+                    if let Some(v) = init {
+                        self.record_reads(id, v, &state);
+                        if self.record {
+                            self.facts.fact_count += 1;
+                        }
+                        inner
+                            .map
+                            .insert((*name).clone(), DefState::single((id, bi)));
+                    } else {
+                        inner.map.insert((*name).clone(), DefState::uninit());
+                    }
+                }
+                let out = self.flow(b, inner);
+                // Restore the outer view of shadowed names; the locals
+                // go out of scope.
+                let mut restored = out;
+                for (name, _, _) in &bindings {
+                    match state.map.get(*name) {
+                        Some(prev) => {
+                            restored.map.insert((*name).clone(), prev.clone());
+                        }
+                        None => {
+                            restored.map.remove(*name);
+                        }
+                    }
+                }
+                restored
+            }
+            Imp::WithDomain(name, shape, b) => {
+                let resolved = shape
+                    .resolve(&self.domain_env())
+                    .unwrap_or_else(|_| shape.clone());
+                self.domains.push((name.clone(), resolved));
+                let out = self.flow(b, state);
+                self.domains.pop();
+                out
+            }
+        }
+    }
+
+    /// Iterate `entry = entry ⊔ flow(body, entry)` to a fixpoint with
+    /// recording off, returning the converged loop-head state.
+    fn converge(&mut self, body: &Imp, state: Defs) -> Defs {
+        let saved = self.record;
+        self.record = false;
+        let mut entry = state;
+        loop {
+            let out = self.flow(body, entry.clone());
+            let joined = entry.join(&out);
+            if joined == entry {
+                break;
+            }
+            entry = joined;
+        }
+        self.record = saved;
+        entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90y_nir::build::*;
+
+    fn facts(p: &Imp) -> (ReachingFacts, Vec<Ident>) {
+        let index = StmtIndex::of(p);
+        let f = ReachingFacts::compute(p, &index);
+        let uninit_vars: Vec<Ident> = f.uninit_uses.iter().map(|(_, v)| v.clone()).collect();
+        (f, uninit_vars)
+    }
+
+    #[test]
+    fn straight_line_def_then_use_is_clean() {
+        let p = with_decl(
+            decl("x", int32()),
+            seq(vec![mv(svar_lv("x"), int(1)), mv(svar_lv("y"), svar("x"))]),
+        );
+        let (_, uninit) = facts(&p);
+        assert!(uninit.is_empty(), "got {uninit:?}");
+    }
+
+    #[test]
+    fn use_before_def_is_flagged() {
+        let p = with_decl(
+            decl("x", int32()),
+            seq(vec![mv(svar_lv("y"), svar("x")), mv(svar_lv("x"), int(1))]),
+        );
+        let (f, uninit) = facts(&p);
+        assert_eq!(uninit, vec!["x".to_string()]);
+        assert!(f.scalars.contains("x"));
+    }
+
+    #[test]
+    fn one_sided_branch_definition_is_maybe_uninit() {
+        let p = with_decl(
+            decl("x", int32()),
+            seq(vec![
+                ifte(svar("p"), mv(svar_lv("x"), int(1)), Imp::Skip),
+                mv(svar_lv("y"), svar("x")),
+            ]),
+        );
+        let (_, uninit) = facts(&p);
+        assert!(uninit.contains(&"x".to_string()));
+        // Both-sided definitions are clean.
+        let q = with_decl(
+            decl("x", int32()),
+            seq(vec![
+                ifte(
+                    svar("p"),
+                    mv(svar_lv("x"), int(1)),
+                    mv(svar_lv("x"), int(2)),
+                ),
+                mv(svar_lv("y"), svar("x")),
+            ]),
+        );
+        let (_, uninit) = facts(&q);
+        assert!(!uninit.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn initializers_define_their_variable() {
+        let p = with_decl(
+            initialized("x", int32(), int(7)),
+            mv(svar_lv("y"), svar("x")),
+        );
+        let (_, uninit) = facts(&p);
+        assert!(!uninit.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn while_body_definition_does_not_reach_after_the_loop() {
+        // WHILE p { x = 1 }; y = x — zero iterations leave x undefined.
+        let p = with_decl(
+            decl("x", int32()),
+            seq(vec![
+                while_loop(svar("p"), mv(svar_lv("x"), int(1))),
+                mv(svar_lv("y"), svar("x")),
+            ]),
+        );
+        let (_, uninit) = facts(&p);
+        assert!(uninit.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn nonempty_serial_do_definitely_defines() {
+        // DO i over 1..4 { x = i }; y = x — the loop provably runs.
+        let p = with_decl(
+            decl("x", int32()),
+            seq(vec![
+                do_over("i", serial_interval(1, 4), mv(svar_lv("x"), int(1))),
+                mv(svar_lv("y"), svar("x")),
+            ]),
+        );
+        let (_, uninit) = facts(&p);
+        assert!(!uninit.contains(&"x".to_string()));
+        // An empty loop cannot define.
+        let q = with_decl(
+            decl("x", int32()),
+            seq(vec![
+                do_over("i", serial_interval(5, 4), mv(svar_lv("x"), int(1))),
+                mv(svar_lv("y"), svar("x")),
+            ]),
+        );
+        let (_, uninit) = facts(&q);
+        assert!(uninit.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn loop_carried_use_sees_the_back_edge_definition() {
+        // DO { y = x; x = 1 } — the read of x on trip 2 sees trip 1's
+        // write, but trip 1's read is still uninitialised.
+        let p = with_decl(
+            decl("x", int32()),
+            do_over(
+                "i",
+                serial_interval(1, 4),
+                seq(vec![mv(svar_lv("y"), svar("x")), mv(svar_lv("x"), int(1))]),
+            ),
+        );
+        let (f, uninit) = facts(&p);
+        assert!(uninit.contains(&"x".to_string()));
+        // The converged entry state at the read still carries the
+        // back-edge definition site.
+        let read_id = f
+            .uninit_uses
+            .iter()
+            .find(|(_, v)| v == "x")
+            .map(|(s, _)| *s)
+            .unwrap();
+        let entry = f.at_move.get(&read_id).unwrap();
+        assert!(!entry.state("x").defs.is_empty());
+        assert!(entry.state("x").maybe_uninit);
+    }
+
+    #[test]
+    fn masked_writes_are_weak_definitions() {
+        let p = with_domain(
+            "alpha",
+            interval(1, 8),
+            with_decl(
+                declset(vec![
+                    decl("a", dfield(domain("alpha"), int32())),
+                    decl("m", dfield(domain("alpha"), logical32())),
+                ]),
+                seq(vec![
+                    mv_masked(ld("m", everywhere()), avar("a", everywhere()), int(1)),
+                    mv(avar("b", everywhere()), ld("a", everywhere())),
+                ]),
+            ),
+        );
+        let (f, uninit) = facts(&p);
+        // The masked write does not strongly define a.
+        assert!(uninit.contains(&"a".to_string()));
+        // But it is not a *scalar*, so the lint layer will not warn.
+        assert!(!f.scalars.contains("a"));
+        // An unmasked everywhere write strongly defines.
+        let q = with_domain(
+            "alpha",
+            interval(1, 8),
+            with_decl(
+                decl("a", dfield(domain("alpha"), int32())),
+                seq(vec![
+                    mv(avar("a", everywhere()), int(1)),
+                    mv(avar("b", everywhere()), ld("a", everywhere())),
+                ]),
+            ),
+        );
+        let (_, uninit) = facts(&q);
+        assert!(!uninit.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn concurrent_siblings_do_not_define_each_other() {
+        let p = with_decl(
+            declset(vec![decl("x", int32()), decl("y", int32())]),
+            conc(vec![mv(svar_lv("x"), int(1)), mv(svar_lv("z"), svar("x"))]),
+        );
+        let (_, uninit) = facts(&p);
+        assert!(uninit.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn fused_move_clauses_execute_in_order() {
+        // MOVE[(tnew ← t), (t ← tnew)]: blocking-fuse emits this shape,
+        // and the evaluator applies clause writes in order, so the
+        // second clause's read of tnew sees the first clause's
+        // definition — not an uninitialised variable.
+        let p = with_decl(
+            declset(vec![
+                decl("t", dfield(interval(1, 8), int32())),
+                decl("tnew", dfield(interval(1, 8), int32())),
+            ]),
+            seq(vec![
+                mv(avar("t", everywhere()), int(0)),
+                mv_multi(vec![
+                    f90y_nir::imp::MoveClause::unmasked(
+                        avar("tnew", everywhere()),
+                        ld("t", everywhere()),
+                    ),
+                    f90y_nir::imp::MoveClause::unmasked(
+                        avar("t", everywhere()),
+                        ld("tnew", everywhere()),
+                    ),
+                ]),
+            ]),
+        );
+        let (_, uninit) = facts(&p);
+        assert!(uninit.is_empty(), "got {uninit:?}");
+    }
+
+    #[test]
+    fn move_entry_states_distinguish_redefinition() {
+        // t = shift(a); a = 0; u = shift(a) — the two shift sources read
+        // different reaching definitions of a.
+        let p = with_decl(
+            decl("a", dfield(interval(1, 8), int32())),
+            seq(vec![
+                mv(avar("a", everywhere()), int(1)),
+                mv(
+                    avar("t", everywhere()),
+                    fcncall("cshift", vec![(int32(), ld("a", everywhere()))]),
+                ),
+                mv(avar("a", everywhere()), int(0)),
+                mv(
+                    avar("u", everywhere()),
+                    fcncall("cshift", vec![(int32(), ld("a", everywhere()))]),
+                ),
+            ]),
+        );
+        let index = StmtIndex::of(&p);
+        let f = ReachingFacts::compute(&p, &index);
+        let mut move_ids: Vec<usize> = f.at_move.keys().copied().collect();
+        move_ids.sort_unstable();
+        assert_eq!(move_ids.len(), 4);
+        let t_def = f.at_move[&move_ids[1]].state("a");
+        let u_def = f.at_move[&move_ids[3]].state("a");
+        assert_ne!(t_def, u_def);
+        assert!(!t_def.maybe_uninit);
+        assert!(!u_def.maybe_uninit);
+    }
+}

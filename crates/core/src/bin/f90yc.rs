@@ -7,10 +7,13 @@
 //!   --target cm2|cm5               execution engine         (default cm2)
 //!   --nodes N                      nodes, power of 2        (default 2048)
 //!   --emit nir|opt|peac|host       print a stage and stop
+//!   --lint[=deny]                  print W-RACE/W-UNINIT/W-DEADSTORE
+//!                                  diagnostics and stop (=deny exits 1 on any)
 //!   --passes a,b,c                 override the middle-end pass list
 //!   --emit-after <pass>            print the NIR after that pass and stop
 //!   --print-ir-after-all           print the NIR after every pass, then go on
 //!   --verify-passes                check types/shapes/behaviour between passes
+//!   --audit-passes                 check def-use legality between passes
 //!   --run                          execute and report       (default)
 //!   --validate                     also check against the reference evaluator
 //!   --finals a,b,c                 print these variables after the run
@@ -24,8 +27,16 @@
 //! Pass names: `comm-split`, `comm-cse`, `mask-pad`, `blocking-reorder`,
 //! `blocking-fuse`, `dce-temps`, plus the pseudo-name `blocking` for the
 //! reorder/fuse fixpoint group. `--passes`, `--emit-after` and
-//! `--verify-passes` also accept `--flag=value` spelling, and inter-pass
-//! verification can be forced globally with `F90Y_VERIFY_PASSES=1`.
+//! `--verify-passes` also accept `--flag=value` spelling; inter-pass
+//! verification can be forced globally with `F90Y_VERIFY_PASSES=1` and
+//! the static def-use audit with `F90Y_AUDIT_PASSES=1`.
+//!
+//! `--lint` parses and lowers only, then runs the `f90y-analysis`
+//! diagnostics engine over the lowered NIR: each warning carries a
+//! stable code (`W-RACE`, `W-UNINIT`, `W-DEADSTORE`) and the offending
+//! statement, and `--timings` additionally shows the `analysis.*`
+//! counters. `--lint=deny` turns any warning into exit status 1 — the
+//! CI spelling.
 //!
 //! Examples:
 //!
@@ -33,6 +44,8 @@
 //! cargo run -p f90y-core --bin f90yc -- --emit peac prog.f90
 //! echo 'INTEGER K(64,64)
 //! K = 2*K + 5' | cargo run -p f90y-core --bin f90yc -- --validate -
+//! cargo run -p f90y-core --bin f90yc -- --lint prog.f90
+//! cargo run -p f90y-core --bin f90yc -- --lint=deny --timings prog.f90
 //! cargo run -p f90y-core --bin f90yc -- --emit-after=blocking-fuse prog.f90
 //! cargo run -p f90y-core --bin f90yc -- --passes=comm-split,mask-pad \
 //!     --verify-passes prog.f90
@@ -46,6 +59,7 @@ use std::process::ExitCode;
 
 use f90y_core::{
     Compiler, DumpPoint, FaultPlan, JsonSink, Pipeline, PrettySink, Run, Target, Telemetry,
+    WarnCode,
 };
 
 /// Which execution engine runs the compiled program.
@@ -62,10 +76,13 @@ struct Options {
     target: TargetKind,
     nodes: usize,
     emit: Option<String>,
+    lint: bool,
+    lint_deny: bool,
     passes: Option<Vec<String>>,
     emit_after: Option<String>,
     print_ir_after_all: bool,
     verify_passes: bool,
+    audit_passes: bool,
     validate: bool,
     finals: Vec<String>,
     timings: bool,
@@ -99,10 +116,13 @@ const USAGE: &str = "usage: f90yc [options] <file.f90 | ->
   --target cm2|cm5               execution engine         (default cm2)
   --nodes N                      nodes, power of 2        (default 2048)
   --emit nir|opt|peac|host       print a stage and stop
+  --lint[=deny]                  print W-RACE/W-UNINIT/W-DEADSTORE
+                                 diagnostics and stop (=deny exits 1 on any)
   --passes a,b,c                 override the middle-end pass list
   --emit-after <pass>            print the NIR after that pass and stop
   --print-ir-after-all           print the NIR after every pass, then go on
   --verify-passes                check types/shapes/behaviour between passes
+  --audit-passes                 check def-use legality between passes
   --validate                     also check against the reference evaluator
   --finals a,b,c                 print these variables after the run
   --timings                      print a phase-timing/counter table on stderr
@@ -122,10 +142,13 @@ fn parse_args() -> Options {
         target: TargetKind::Cm2,
         nodes: 2048,
         emit: None,
+        lint: false,
+        lint_deny: false,
         passes: None,
         emit_after: None,
         print_ir_after_all: false,
         verify_passes: false,
+        audit_passes: false,
         validate: false,
         finals: Vec::new(),
         timings: false,
@@ -173,6 +196,12 @@ fn parse_args() -> Options {
             },
             "--print-ir-after-all" => opts.print_ir_after_all = true,
             "--verify-passes" => opts.verify_passes = true,
+            "--audit-passes" => opts.audit_passes = true,
+            "--lint" => opts.lint = true,
+            "--lint=deny" => {
+                opts.lint = true;
+                opts.lint_deny = true;
+            }
             "--validate" => opts.validate = true,
             "--timings" => opts.timings = true,
             "--emit-telemetry" => match args.next() {
@@ -263,9 +292,48 @@ fn main() -> ExitCode {
         Telemetry::disabled()
     };
 
-    let mut compiler = Compiler::new(opts.pipeline).verify_passes(opts.verify_passes);
+    let mut compiler = Compiler::new(opts.pipeline)
+        .verify_passes(opts.verify_passes)
+        .audit_passes(opts.audit_passes);
     if let Some(names) = &opts.passes {
         compiler = compiler.passes(names.iter().cloned());
+    }
+
+    if opts.lint {
+        let report = match compiler.lint_with(&source, &mut tel) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("f90yc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        if report.is_clean() {
+            println!(
+                "lint: clean ({} statements analysed, {} dataflow facts)",
+                report.stmts_analyzed, report.facts
+            );
+        } else {
+            let by_code: Vec<String> = [WarnCode::Race, WarnCode::Uninit, WarnCode::DeadStore]
+                .iter()
+                .filter_map(|&c| {
+                    let n = report.count_of(c);
+                    (n > 0).then(|| format!("{c}: {n}"))
+                })
+                .collect();
+            println!(
+                "lint: {} warning(s) ({})",
+                report.diagnostics.len(),
+                by_code.join(", ")
+            );
+        }
+        let sinks = finish(&tel, &opts);
+        if opts.lint_deny && !report.is_clean() {
+            return ExitCode::FAILURE;
+        }
+        return sinks;
     }
     if let Some(pass) = &opts.emit_after {
         compiler = compiler.dump_ir(DumpPoint::After(pass.clone()));

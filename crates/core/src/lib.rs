@@ -58,6 +58,7 @@ pub mod workloads;
 use std::error::Error;
 use std::fmt;
 
+pub use f90y_analysis::{Diagnostic, LintReport, WarnCode};
 pub use f90y_backend::fe::HostRun;
 pub use f90y_backend::CompiledProgram;
 pub use f90y_cm2::{Cm2, Cm2Config, MachineStats};
@@ -220,6 +221,7 @@ pub struct Compiler {
     pipeline: Pipeline,
     passes: Option<Vec<String>>,
     verify: bool,
+    audit: bool,
     dump: DumpPoint,
 }
 
@@ -231,6 +233,7 @@ impl Compiler {
             pipeline,
             passes: None,
             verify: false,
+            audit: false,
             dump: DumpPoint::None,
         }
     }
@@ -260,6 +263,18 @@ impl Compiler {
         self
     }
 
+    /// Enable the static def-use legality audit: after every middle-end
+    /// pass, reaching-definition facts are recomputed and a pass that
+    /// leaves a read no longer covered by any definition fails the
+    /// build with an error naming it — the static sibling of
+    /// [`Compiler::verify_passes`]. Also switched on by the
+    /// `F90Y_AUDIT_PASSES` environment variable (any value but `0`).
+    #[must_use]
+    pub fn audit_passes(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
     /// Capture pretty-printed NIR dumps after the named pass (or after
     /// every pass); they land in [`Executable::pass_reports`].
     #[must_use]
@@ -284,7 +299,40 @@ impl Compiler {
             },
         };
         let verify = self.verify || env_verify_passes();
-        Ok(mgr.verify(verify).dump(self.dump.clone()))
+        let audit = self.audit || env_audit_passes();
+        Ok(mgr.verify(verify).audit(audit).dump(self.dump.clone()))
+    }
+
+    /// Lint Fortran 90 source without compiling it to the machine:
+    /// parse, lower to NIR, and run the `f90y-analysis` diagnostics
+    /// engine (`W-RACE`, `W-UNINIT`, `W-DEADSTORE`) over the lowered
+    /// program. The middle end does not run — diagnostics describe the
+    /// program as written, not as optimized.
+    ///
+    /// # Errors
+    ///
+    /// Fails on syntax or semantic-lowering errors; a program that
+    /// merely warns still returns `Ok` (inspect
+    /// [`LintReport::is_clean`]).
+    pub fn lint(&self, source: &str) -> Result<LintReport, CompileError> {
+        self.lint_with(source, &mut Telemetry::disabled())
+    }
+
+    /// [`Compiler::lint`] with telemetry: the analysis runs inside an
+    /// `analysis.lint` span and lands `analysis.*` counters (statements
+    /// analysed, dataflow facts computed, warnings by code).
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiler::lint`].
+    pub fn lint_with(&self, source: &str, tel: &mut Telemetry) -> Result<LintReport, CompileError> {
+        let span = tel.start("compile.frontend.parse");
+        let file = f90y_frontend::parse_file(source)?;
+        tel.finish(span);
+        let span = tel.start("compile.lowering");
+        let nir = f90y_lowering::lower_file(&file)?;
+        tel.finish(span);
+        Ok(f90y_analysis::lint_with(&nir, tel))
     }
 
     /// Compile Fortran 90 source to an executable for the simulated
@@ -382,6 +430,14 @@ impl Compiler {
 /// inter-pass verification (set to anything but `0` or empty).
 fn env_verify_passes() -> bool {
     std::env::var("F90Y_VERIFY_PASSES")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Whether the `F90Y_AUDIT_PASSES` environment variable asks for the
+/// static def-use legality audit (set to anything but `0` or empty).
+fn env_audit_passes() -> bool {
+    std::env::var("F90Y_AUDIT_PASSES")
         .map(|v| !v.is_empty() && v != "0")
         .unwrap_or(false)
 }

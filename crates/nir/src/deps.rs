@@ -30,6 +30,14 @@ pub enum Access {
 }
 
 impl Access {
+    /// The access a field action denotes: constant subscripts shrink to
+    /// a degenerate one-element section per axis; dynamic subscripts
+    /// and `everywhere` are conservatively the whole variable.
+    #[must_use]
+    pub fn of_field_action(fa: &FieldAction) -> Access {
+        access_of_field_action(fa)
+    }
+
     /// `true` when the two accesses may touch a common element.
     pub fn overlaps(&self, other: &Access) -> bool {
         match (self, other) {
@@ -90,6 +98,28 @@ impl RwSets {
     /// Identifiers written (possibly partially).
     pub fn written_idents(&self) -> impl Iterator<Item = &Ident> {
         self.writes.keys()
+    }
+
+    /// Every read, per identifier, at access granularity.
+    pub fn reads(&self) -> impl Iterator<Item = (&Ident, &[Access])> {
+        self.reads.iter().map(|(id, a)| (id, a.as_slice()))
+    }
+
+    /// Every write, per identifier, at access granularity.
+    pub fn writes(&self) -> impl Iterator<Item = (&Ident, &[Access])> {
+        self.writes.iter().map(|(id, a)| (id, a.as_slice()))
+    }
+
+    /// The recorded read accesses of one identifier, if any.
+    #[must_use]
+    pub fn reads_of(&self, id: &str) -> Option<&[Access]> {
+        self.reads.get(id).map(Vec::as_slice)
+    }
+
+    /// The recorded write accesses of one identifier, if any.
+    #[must_use]
+    pub fn writes_of(&self, id: &str) -> Option<&[Access]> {
+        self.writes.get(id).map(Vec::as_slice)
     }
 
     /// `true` when some write of `self` may touch an element that
@@ -286,6 +316,64 @@ mod tests {
             int(1),
         );
         assert!(!commutes(&a, &b));
+    }
+
+    #[test]
+    fn rank_mismatch_is_conservative() {
+        use crate::value::SectionRange;
+        // A rank-1 section against a rank-2 section: never provably
+        // disjoint, even when the first axes are.
+        let r1 = Access::Section(vec![SectionRange::new(1, 4)]);
+        let r2 = Access::Section(vec![SectionRange::new(9, 12), SectionRange::new(1, 8)]);
+        assert!(r1.overlaps(&r2));
+        assert!(r2.overlaps(&r1));
+        // And anything against Whole overlaps.
+        assert!(Access::Whole.overlaps(&r1));
+        assert!(r1.overlaps(&Access::Whole));
+        assert!(Access::Whole.overlaps(&Access::Whole));
+    }
+
+    #[test]
+    fn degenerate_sections_overlap_exactly() {
+        use crate::value::SectionRange;
+        let point = |i| Access::Section(vec![SectionRange::new(i, i)]);
+        assert!(point(3).overlaps(&point(3)));
+        assert!(!point(3).overlaps(&point(4)));
+        // A point inside / outside a strided section.
+        let evens = Access::Section(vec![SectionRange::strided(2, 32, 2)]);
+        assert!(point(4).overlaps(&evens));
+        assert!(!point(5).overlaps(&evens));
+    }
+
+    #[test]
+    fn negative_stride_sections_normalize_before_overlap() {
+        use crate::value::SectionRange;
+        // B(10:2:-2) and B(9:1:-2) — descending parity sections are
+        // disjoint once normalized.
+        let desc_even = Access::Section(vec![SectionRange::normalized(10, 2, -2)]);
+        let desc_odd = Access::Section(vec![SectionRange::normalized(9, 1, -2)]);
+        assert!(!desc_even.overlaps(&desc_odd));
+        // A descending section still overlaps its ascending mirror.
+        let asc_even = Access::Section(vec![SectionRange::strided(2, 10, 2)]);
+        assert!(desc_even.overlaps(&asc_even));
+    }
+
+    #[test]
+    fn access_iterators_expose_granular_sets() {
+        use crate::value::SectionRange;
+        let stmt = mv(
+            avar("b", section(vec![SectionRange::new(1, 16)])),
+            ld("a", everywhere()),
+        );
+        let rw = RwSets::of(&stmt);
+        let writes: Vec<_> = rw.writes().collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(
+            rw.writes_of("b"),
+            Some(&[Access::Section(vec![SectionRange::new(1, 16)])][..])
+        );
+        assert_eq!(rw.reads_of("a"), Some(&[Access::Whole][..]));
+        assert_eq!(rw.reads_of("b"), None);
     }
 
     #[test]

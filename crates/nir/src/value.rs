@@ -60,7 +60,7 @@ impl fmt::Display for Const {
 /// section syntax (`A(1:32:2, :)`); the mask-padding transformation of the
 /// paper's §4.2 (Fig. 10) rewrites them into `everywhere` accesses guarded
 /// by a parity mask before any backend sees them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SectionRange {
     /// Inclusive lower bound.
     pub lo: i64,
@@ -84,6 +84,37 @@ impl SectionRange {
     pub fn strided(lo: i64, hi: i64, step: i64) -> Self {
         assert!(step >= 1, "section stride must be positive, got {step}");
         SectionRange { lo, hi, step }
+    }
+
+    /// The section `lo : hi : step` of Fortran section syntax, for any
+    /// non-zero `step`, normalized to the ascending representation this
+    /// type stores. A negative stride selects the same index *set* as
+    /// its ascending mirror (`9:1:-2` selects `{9,7,5,3,1}` = `1:9:2`),
+    /// which is all the dependence analyses care about; order within a
+    /// section never matters to overlap tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step == 0`.
+    pub fn normalized(lo: i64, hi: i64, step: i64) -> Self {
+        assert!(step != 0, "section stride must be non-zero");
+        if step > 0 {
+            return SectionRange { lo, hi, step };
+        }
+        let step = -step;
+        if hi > lo {
+            // Empty under a negative stride; keep a canonical empty.
+            return SectionRange { lo: 1, hi: 0, step };
+        }
+        // Descending lo..=hi by step: lowest selected index is the last
+        // one reached from `lo` going down.
+        let count = (lo - hi) / step; // full steps that stay in range
+        let lowest = lo - count * step;
+        SectionRange {
+            lo: lowest,
+            hi: lo,
+            step,
+        }
     }
 
     /// Number of selected indices.
@@ -355,6 +386,63 @@ mod tests {
         let a = SectionRange::new(1, 100);
         assert!(e.disjoint(&a));
         assert!(a.disjoint(&e));
+    }
+
+    #[test]
+    fn normalized_mirrors_negative_strides() {
+        // 9:1:-2 selects {9,7,5,3,1} = 1:9:2.
+        let s = SectionRange::normalized(9, 1, -2);
+        assert_eq!(s, SectionRange::strided(1, 9, 2));
+        assert_eq!(s.len(), 5);
+        // 9:2:-2 selects {9,7,5,3} = 3:9:2 — the low end snaps to the
+        // lowest *reached* index, not the written bound.
+        let s = SectionRange::normalized(9, 2, -2);
+        assert_eq!(s, SectionRange::strided(3, 9, 2));
+        assert_eq!(s.len(), 4);
+        // A positive stride passes through unchanged.
+        assert_eq!(
+            SectionRange::normalized(2, 8, 3),
+            SectionRange::strided(2, 8, 3)
+        );
+    }
+
+    #[test]
+    fn normalized_negative_stride_preserves_disjointness() {
+        // 10:2:-2 = {2,4,6,8,10}; 9:1:-2 = {1,3,5,7,9}: disjoint.
+        let even = SectionRange::normalized(10, 2, -2);
+        let odd = SectionRange::normalized(9, 1, -2);
+        assert!(even.disjoint(&odd));
+        // Reversed traversal never changes the selected set: a section
+        // overlaps its own mirror.
+        let fwd = SectionRange::strided(1, 9, 2);
+        assert!(!fwd.disjoint(&odd));
+    }
+
+    #[test]
+    fn normalized_empty_descending_section() {
+        // 1:9:-2 is empty (cannot count down from 1 to 9).
+        let e = SectionRange::normalized(1, 9, -2);
+        assert!(e.is_empty());
+        assert!(e.disjoint(&SectionRange::new(1, 100)));
+    }
+
+    #[test]
+    fn degenerate_single_element_sections() {
+        let p = SectionRange::new(5, 5);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(5));
+        // A point is disjoint from a strided section exactly when the
+        // section skips it.
+        assert!(p.disjoint(&SectionRange::strided(2, 10, 2)));
+        assert!(!p.disjoint(&SectionRange::strided(1, 9, 2)));
+        // Two distinct points are disjoint; the same point is not.
+        assert!(p.disjoint(&SectionRange::new(6, 6)));
+        assert!(!p.disjoint(&SectionRange::new(5, 5)));
+        // Degenerate via a negative stride.
+        assert_eq!(
+            SectionRange::normalized(5, 5, -3),
+            SectionRange::strided(5, 5, 3)
+        );
     }
 
     #[test]

@@ -274,6 +274,16 @@ impl TelemetryReport {
             .sum()
     }
 
+    /// The counters under a `prefix.` namespace, in name order.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        let dotted = format!("{prefix}.");
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(&dotted))
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect()
+    }
+
     /// Serialise to JSON.
     pub fn to_json(&self) -> String {
         use json::Json;

@@ -21,14 +21,27 @@
 //!   canonical temporary holds the right value at every later program
 //!   point of the list (and inside nested bodies), even if the shifted
 //!   array is overwritten in between: the substitution is value-based.
-//! * Availability is tracked per statement list and invalidated by any
-//!   write to a variable the defining expression reads; nested bodies
-//!   are scanned with a fresh availability map (a definition inside a
-//!   branch may not execute).
+//! * The "source unmodified" test is the reaching-definition analysis
+//!   of `f90y-analysis`: a later definition merges into an earlier one
+//!   only when (a) the earlier temporary's definition is the sole
+//!   definition reaching the later site, (b) every variable the
+//!   defining expression reads sees the *same* definition set at both
+//!   sites, and (c) none of those definitions lies between the two
+//!   sites — weak (masked) updates saturate the may-def sets inside
+//!   loops, so set equality alone would miss a masked rewrite between
+//!   the hoists.  Candidates are still paired per statement list (a
+//!   definition inside a branch may not execute), with nested bodies
+//!   scanned under a fresh availability map.
+//!
+//! The pass runs in two phases: a read-only planning walk over a frozen
+//! snapshot of the program (statement ids and dataflow facts refer to
+//! that snapshot), then a rewrite phase that deletes the doomed
+//! definitions and rewires every read. The dead declarations are swept
+//! by `dce-temps`.
 
 use std::collections::{HashMap, HashSet};
 
-use f90y_nir::deps::RwSets;
+use f90y_analysis::{DefState, ReachingFacts, StmtIndex};
 use f90y_nir::{FieldAction, Imp, LValue, NirError, Value};
 
 use crate::program::ProgramBody;
@@ -41,71 +54,134 @@ use crate::program::ProgramBody;
 /// Infallible today; the `Result` matches the other passes' signatures.
 pub fn run(body: &mut ProgramBody) -> Result<usize, NirError> {
     let temps: HashSet<String> = body.temps.iter().cloned().collect();
-    let mut merged = 0usize;
-    cse_list(&mut body.stmts, &temps, &mut merged);
-    Ok(merged)
+    if temps.is_empty() {
+        return Ok(0);
+    }
+
+    // Phase 1: plan merges against reaching-definition facts computed
+    // over a frozen snapshot of the whole program.
+    let frozen = body.recompose();
+    let index = StmtIndex::of(&frozen);
+    let facts = ReachingFacts::compute(&frozen, &index);
+    let mut plan: HashMap<String, String> = HashMap::new();
+    plan_list(&top_list(&frozen), &index, &facts, &temps, &mut plan);
+    if plan.is_empty() {
+        return Ok(0);
+    }
+
+    // Phase 2: delete the doomed definitions and rewire every read to
+    // the canonical temporary.
+    let doomed: HashSet<String> = plan.keys().cloned().collect();
+    remove_doomed(&mut body.stmts, &temps, &doomed);
+    for s in &mut body.stmts {
+        subst_imp(s, &plan);
+    }
+    Ok(plan.len())
 }
 
-/// One available hoisted definition: the canonical temporary and the
-/// identifiers its defining expression reads (for invalidation).
-struct Available {
-    temp: String,
-    reads: HashSet<String>,
-}
-
-fn cse_list(stmts: &mut Vec<Imp>, temps: &HashSet<String>, merged: &mut usize) {
-    // Key: canonical text of the defining expression.
-    let mut avail: HashMap<String, Available> = HashMap::new();
-    // Active rewirings tmpN -> tmpM, applied to everything downstream.
-    let mut subst: HashMap<String, String> = HashMap::new();
-
-    let taken = std::mem::take(stmts);
-    let mut out: Vec<Imp> = Vec::with_capacity(taken.len());
-    for mut stmt in taken {
-        if !subst.is_empty() {
-            subst_imp(&mut stmt, &subst);
-        }
-
-        let def = comm_def(&stmt, temps).map(|(temp, src)| (temp, format!("{src:?}")));
-        if let Some((temp, key)) = &def {
-            if let Some(a) = avail.get(key) {
-                if a.temp != *temp {
-                    // Duplicate: delete the definition and rewire every
-                    // later read. The dead declaration is swept by
-                    // `dce-temps`.
-                    subst.insert(temp.clone(), a.temp.clone());
-                    *merged += 1;
+/// Plan merges within one statement list. `avail` maps the canonical
+/// text of a (rewired) defining expression to the canonical temporary
+/// and its defining statement's id in the frozen snapshot.
+fn plan_list(
+    stmts: &[&Imp],
+    index: &StmtIndex<'_>,
+    facts: &ReachingFacts,
+    temps: &HashSet<String>,
+    plan: &mut HashMap<String, String>,
+) {
+    let mut avail: HashMap<String, (String, usize)> = HashMap::new();
+    for stmt in stmts {
+        if let Some((temp, src)) = comm_def(stmt, temps) {
+            let sid = index.id(stmt);
+            let mut src = src.clone();
+            subst_value(&mut src, plan);
+            let key = format!("{src:?}");
+            if let Some((canon, canon_sid)) = avail.get(&key) {
+                if *canon != temp && still_available(facts, *canon_sid, sid, canon, &src) {
+                    plan.insert(temp, canon.clone());
                     continue;
                 }
             }
+            avail.insert(key, (temp, sid));
+            continue;
         }
-
-        // Recurse into nested bodies with their own availability scope
-        // (the substitution was already applied above).
-        each_nested_list(&mut stmt, &mut |list| cse_list(list, temps, merged));
-
-        // Invalidate whatever this statement may overwrite — *before*
-        // recording the statement's own definition, so a hoist does not
-        // kill its own availability by writing its temporary.
-        let rw = RwSets::of(&stmt);
-        let written: HashSet<&String> = rw.written_idents().collect();
-        if !written.is_empty() {
-            avail.retain(|_, a| {
-                !written.contains(&a.temp) && written.is_disjoint(&a.reads.iter().collect())
-            });
+        // Nested bodies get their own availability scope.
+        for list in nested_lists(stmt) {
+            plan_list(&list, index, facts, temps, plan);
         }
-        if let Some((temp, key)) = def {
-            avail.insert(
-                key,
-                Available {
-                    temp,
-                    reads: rw.read_idents().cloned().collect(),
-                },
-            );
-        }
-        out.push(stmt);
     }
-    *stmts = out;
+}
+
+/// The reaching-definition "source unmodified" test: the canonical
+/// definition at `canon_sid` still holds the value the duplicate at
+/// `sid` would recompute.
+fn still_available(
+    facts: &ReachingFacts,
+    canon_sid: usize,
+    sid: usize,
+    canon: &str,
+    src: &Value,
+) -> bool {
+    let (Some(d1), Some(d2)) = (facts.at_move.get(&canon_sid), facts.at_move.get(&sid)) else {
+        return false;
+    };
+    // The canonical temporary must be defined, here, by exactly its one
+    // hoisted definition (clause 0 of that statement) on every path.
+    if d2.state(canon) != DefState::single((canon_sid, 0)) {
+        return false;
+    }
+    // Every variable the expression reads must see the same definitions
+    // at both sites, and none of those definitions may sit *between*
+    // the two sites in the frozen snapshot's pre-order. Set equality
+    // alone is not enough under weak (masked or partial-section)
+    // updates: inside a loop the may-def set saturates, so a masked
+    // rewrite between the hoists leaves both sets equal even though the
+    // value changed.
+    src.reads().iter().all(|v| {
+        let s2 = d2.state(v);
+        d1.state(v) == s2 && s2.defs.iter().all(|&(d, _)| !(canon_sid < d && d < sid))
+    })
+}
+
+/// The top-level statement list of a recomposed program: descend through
+/// the outer `PROGRAM` / domain / declaration binders.
+fn top_list(root: &Imp) -> Vec<&Imp> {
+    let mut cur = root;
+    loop {
+        match cur {
+            Imp::Program(b) | Imp::WithDecl(_, b) | Imp::WithDomain(_, _, b) => cur = b,
+            other => return list_of(other),
+        }
+    }
+}
+
+/// The nested statement lists of one statement (loop and branch bodies),
+/// mirroring [`each_nested_list`] on the frozen snapshot.
+fn nested_lists(stmt: &Imp) -> Vec<Vec<&Imp>> {
+    match stmt {
+        Imp::Do(_, _, b) | Imp::While(_, b) | Imp::WithDecl(_, b) | Imp::WithDomain(_, _, b) => {
+            vec![list_of(b)]
+        }
+        Imp::IfThenElse(_, t, e) => vec![list_of(t), list_of(e)],
+        _ => Vec::new(),
+    }
+}
+
+fn list_of(b: &Imp) -> Vec<&Imp> {
+    match b {
+        Imp::Sequentially(xs) => xs.iter().collect(),
+        Imp::Skip => Vec::new(),
+        other => vec![other],
+    }
+}
+
+/// Delete every doomed hoisted definition, recursively through nested
+/// bodies.
+fn remove_doomed(stmts: &mut Vec<Imp>, temps: &HashSet<String>, doomed: &HashSet<String>) {
+    stmts.retain(|s| !matches!(comm_def(s, temps), Some((t, _)) if doomed.contains(&t)));
+    for s in stmts {
+        each_nested_list(s, &mut |list| remove_doomed(list, temps, doomed));
+    }
 }
 
 /// `Some((temp, src))` when the statement is a hoisted communication
@@ -420,6 +496,73 @@ mod tests {
                 ev1.final_array_f64(name).unwrap(),
                 ev2.final_array_f64(name).unwrap(),
                 "{name} differs after comm-cse in a DO body"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_intervening_writes_in_a_loop_block_the_merge() {
+        // The red-black shape: inside a serial DO, v is rewritten only
+        // under a mask between two identical shifts. Weak updates never
+        // kill reaching definitions, so the may-def sets at both hoist
+        // sites saturate to the same set across iterations — the pass
+        // must still refuse the merge.
+        let p = program(with_domain(
+            "s",
+            interval(1, 16),
+            with_decl(
+                declset(vec![
+                    decl("v", dfield(domain("s"), float64())),
+                    decl("m", dfield(domain("s"), logical32())),
+                    decl("y", dfield(domain("s"), float64())),
+                    decl("z", dfield(domain("s"), float64())),
+                ]),
+                seq(vec![
+                    mv(avar("v", everywhere()), local_under(domain("s"), 1)),
+                    mv(
+                        avar("m", everywhere()),
+                        bin(f90y_nir::BinOp::Gt, ld("v", everywhere()), f64c(8.0)),
+                    ),
+                    do_over(
+                        "t",
+                        serial_interval(1, 3),
+                        seq(vec![
+                            mv(
+                                avar("y", everywhere()),
+                                add(ld("v", everywhere()), cshift_call("v", 1, 1)),
+                            ),
+                            mv_masked(
+                                ld("m", everywhere()),
+                                avar("v", everywhere()),
+                                add(ld("v", everywhere()), f64c(1.0)),
+                            ),
+                            mv(
+                                avar("z", everywhere()),
+                                sub(ld("v", everywhere()), cshift_call("v", 1, 1)),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
+        ));
+        let mut body = ProgramBody::decompose(&p).unwrap();
+        assert_eq!(comm_split::run(&mut body).unwrap(), 2);
+        assert_eq!(
+            run(&mut body).unwrap(),
+            0,
+            "the masked write to v between the shifts kills availability"
+        );
+
+        let out = body.recompose();
+        let mut ev1 = Evaluator::new();
+        ev1.run(&p).unwrap();
+        let mut ev2 = Evaluator::new();
+        ev2.run(&out).unwrap();
+        for name in ["v", "y", "z"] {
+            assert_eq!(
+                ev1.final_array_f64(name).unwrap(),
+                ev2.final_array_f64(name).unwrap(),
+                "{name} differs after comm-cse"
             );
         }
     }

@@ -12,13 +12,20 @@
 //! never touched.  Writes are removed at clause granularity, so a dead
 //! definition that fusion absorbed into a multi-clause block is
 //! stripped without disturbing its siblings; statements left with no
-//! clauses are removed outright.  Removal iterates to a fixpoint — a
-//! temporary read only by another dead temporary's definition dies on
-//! the next round.
+//! clauses are removed outright.
+//!
+//! Deadness is decided by the backward liveness analysis of
+//! `f90y-analysis` ([`f90y_analysis::faint_temps`]): a temporary is
+//! *faint* when no path reads it, directly or through other faint
+//! temporaries — the suppression of a faint definition's operand reads
+//! makes a whole chain `tmp1 = shift(v); tmp2 = f(tmp1)` die in a
+//! single pass, where the older purely syntactic scan iterated to a
+//! fixpoint.  That scan survives as [`dead_temps_syntactic`], the
+//! oracle the property tests compare against: liveness must delete a
+//! superset (or equal set) of what the syntactic scan would.
 
 use std::collections::HashSet;
 
-use f90y_nir::deps::RwSets;
 use f90y_nir::{FieldAction, Imp, LValue, NirError};
 
 use crate::program::ProgramBody;
@@ -39,35 +46,89 @@ pub struct DceStats {
 /// Infallible today; the `Result` matches the other passes' signatures.
 pub fn run(body: &mut ProgramBody) -> Result<DceStats, NirError> {
     let mut stats = DceStats::default();
+    if body.temps.is_empty() {
+        return Ok(stats);
+    }
+    let ghosts: HashSet<String> = body.temps.iter().cloned().collect();
+    let faint = f90y_analysis::faint_temps(&body.recompose(), &ghosts);
+    if faint.is_empty() {
+        return Ok(stats);
+    }
+    for s in &mut body.stmts {
+        strip_dead_writes(s, &faint, &mut stats.clauses_removed);
+    }
+    body.stmts
+        .retain(|s| !matches!(s, Imp::Move(cs) if cs.is_empty()));
+    stats.temps_deleted += body.remove_decls(&faint);
+    Ok(stats)
+}
+
+/// The pre-liveness syntactic scan, kept as a property-test oracle.
+///
+/// A temporary is dead when no statement reads it, where reads inside
+/// an unmasked whole-array definition of an already-dead temporary do
+/// not count (iterated to a fixpoint, so chains die together — this
+/// mirrors the old strip-and-rescan loop).  The liveness-driven pass
+/// must delete a superset (or equal set) of these.
+#[must_use]
+pub fn dead_temps_syntactic(body: &ProgramBody) -> HashSet<String> {
+    let temps: HashSet<String> = body.temps.iter().cloned().collect();
+    if temps.is_empty() {
+        return HashSet::new();
+    }
+    let mut dead: HashSet<String> = HashSet::new();
     loop {
-        let dead = dead_temps(body);
-        if dead.is_empty() {
-            return Ok(stats);
+        let mut reads: HashSet<String> = HashSet::new();
+        for s in &body.stmts {
+            collect_live_reads(s, &dead, &mut reads);
         }
-        for s in &mut body.stmts {
-            strip_dead_writes(s, &dead, &mut stats.clauses_removed);
+        let next: HashSet<String> = temps
+            .iter()
+            .filter(|t| !reads.contains(*t))
+            .cloned()
+            .collect();
+        if next == dead {
+            return dead;
         }
-        body.stmts
-            .retain(|s| !matches!(s, Imp::Move(cs) if cs.is_empty()));
-        stats.temps_deleted += body.remove_decls(&dead);
+        dead = next;
     }
 }
 
-/// Transformation temporaries with no read anywhere in the program.
-fn dead_temps(body: &ProgramBody) -> HashSet<String> {
-    if body.temps.is_empty() {
-        return HashSet::new();
-    }
-    let mut reads: HashSet<String> = HashSet::new();
-    for s in &body.stmts {
-        let rw = RwSets::of(s);
-        reads.extend(rw.read_idents().cloned());
-    }
-    body.temps
-        .iter()
-        .filter(|t| !reads.contains(*t))
-        .cloned()
-        .collect()
+/// Collect every identifier read by `stmt`, skipping the operands of
+/// clauses that are strippable definitions of already-dead temporaries.
+fn collect_live_reads(stmt: &Imp, dead: &HashSet<String>, reads: &mut HashSet<String>) {
+    stmt.walk(&mut |n| match n {
+        Imp::Move(clauses) => {
+            for c in clauses {
+                let strippable_dead = matches!(
+                    &c.dst,
+                    LValue::AVar(id, FieldAction::Everywhere)
+                        if dead.contains(id) && c.is_unmasked()
+                );
+                if strippable_dead {
+                    continue;
+                }
+                reads.extend(c.mask.reads().into_iter().cloned());
+                reads.extend(c.src.reads().into_iter().cloned());
+                if let LValue::AVar(_, FieldAction::Subscript(ixs)) = &c.dst {
+                    for ix in ixs {
+                        reads.extend(ix.reads().into_iter().cloned());
+                    }
+                }
+            }
+        }
+        Imp::IfThenElse(c, _, _) | Imp::While(c, _) => {
+            reads.extend(c.reads().into_iter().cloned());
+        }
+        Imp::WithDecl(d, _) => {
+            for (_, _, init) in d.bindings() {
+                if let Some(v) = init {
+                    reads.extend(v.reads().into_iter().cloned());
+                }
+            }
+        }
+        _ => {}
+    });
 }
 
 /// Remove every unmasked whole-array write to a dead temporary, at

@@ -14,6 +14,13 @@
 //! miscompiling pass fails loudly at its own boundary with a
 //! [`NirError::Verify`] naming it.
 //!
+//! Verification has a cheaper static sibling, the *legality audit*
+//! ([`PassManager::audit`]): each pass's output is checked against the
+//! pipeline input's def-use facts (`f90y-analysis` reaching
+//! definitions), and a pass that leaves a read no longer reached by any
+//! definition — an illegal reordering, for example — fails by name the
+//! same way, without running the evaluator.
+//!
 //! Named passes (see [`pass_by_name`]):
 //!
 //! | name               | effect                                             |
@@ -28,6 +35,7 @@
 //! The pseudo-name `blocking` names the fixpoint group
 //! `fixpoint(blocking-reorder, blocking-fuse)`.
 
+use f90y_analysis::AuditFacts;
 use f90y_nir::verify::{check_static, compare_snapshots, snapshot, Snapshot};
 use f90y_nir::{pretty, Imp, NirError};
 use f90y_obs::Telemetry;
@@ -257,6 +265,8 @@ pub struct PipelineReport {
     pub dumps: Vec<(String, String)>,
     /// Whether inter-pass verification ran.
     pub verified: bool,
+    /// Whether the static def-use legality audit ran.
+    pub audited: bool,
 }
 
 impl PipelineReport {
@@ -299,6 +309,7 @@ pub const MAX_FIXPOINT_ITERS: usize = 10;
 pub struct PassManager {
     units: Vec<Unit>,
     verify: bool,
+    audit: bool,
     dump: DumpPoint,
 }
 
@@ -332,6 +343,16 @@ impl PassManager {
     #[must_use]
     pub fn verify(mut self, on: bool) -> Self {
         self.verify = on;
+        self
+    }
+
+    /// Enable or disable the static legality audit: after every pass
+    /// run, recompute def-use facts and fail — naming the pass — when a
+    /// read that the pipeline input always defined beforehand is no
+    /// longer reached by any definition.
+    #[must_use]
+    pub fn audit(mut self, on: bool) -> Self {
+        self.audit = on;
         self
     }
 
@@ -414,6 +435,7 @@ impl PassManager {
         let mut report = PipelineReport {
             moves_before: imp.count_moves(),
             verified: self.verify,
+            audited: self.audit,
             ..Default::default()
         };
 
@@ -422,6 +444,12 @@ impl PassManager {
         // static checking only — there is no behaviour to preserve.
         let baseline: Option<Snapshot> = if self.verify {
             snapshot(imp).ok()
+        } else {
+            None
+        };
+        // The def-use baseline for the static legality audit.
+        let audit_baseline: Option<AuditFacts> = if self.audit {
+            Some(AuditFacts::of(imp))
         } else {
             None
         };
@@ -434,6 +462,7 @@ impl PassManager {
                         pass.as_ref(),
                         &mut body,
                         baseline.as_ref(),
+                        audit_baseline.as_ref(),
                         &mut report,
                         tel,
                     )?;
@@ -446,6 +475,7 @@ impl PassManager {
                                 pass.as_ref(),
                                 &mut body,
                                 baseline.as_ref(),
+                                audit_baseline.as_ref(),
                                 &mut report,
                                 tel,
                             )?;
@@ -463,12 +493,13 @@ impl PassManager {
         Ok((out, report))
     }
 
-    /// Run one pass, record its report, capture dumps, verify.
+    /// Run one pass, record its report, capture dumps, verify, audit.
     fn run_pass(
         &self,
         pass: &dyn Pass,
         body: &mut ProgramBody,
         baseline: Option<&Snapshot>,
+        audit_baseline: Option<&AuditFacts>,
         report: &mut PipelineReport,
         tel: &mut Telemetry,
     ) -> Result<usize, NirError> {
@@ -498,12 +529,15 @@ impl PassManager {
             DumpPoint::After(n) => n == name,
             DumpPoint::All => true,
         };
-        if wants_dump || self.verify {
+        if wants_dump || self.verify || self.audit {
             let current = body.recompose();
             if wants_dump {
                 report
                     .dumps
                     .push((name.to_string(), pretty::print_imp(&current)));
+            }
+            if let Some(facts) = audit_baseline {
+                facts.check_pass(name, &current)?;
             }
             if self.verify {
                 check_static(&current).map_err(|e| {
@@ -722,6 +756,59 @@ mod tests {
             msg.contains("evil-unbound-write"),
             "the error must name the offending pass, got: {msg}"
         );
+    }
+
+    /// A deliberately illegal reordering: it swaps the first two
+    /// statements, moving a use of `x` above its only definition. The
+    /// program stays well-typed and the *evaluator* baseline would also
+    /// catch it — the audit catches it statically, without running
+    /// anything.
+    struct EvilSwap;
+
+    impl Pass for EvilSwap {
+        fn name(&self) -> &'static str {
+            "evil-swap"
+        }
+
+        fn run(&self, body: &mut ProgramBody) -> Result<PassOutcome, NirError> {
+            if body.stmts.len() >= 2 {
+                body.stmts.swap(0, 1);
+                return Ok(PassOutcome::rewrites(1));
+            }
+            Ok(PassOutcome::rewrites(0))
+        }
+    }
+
+    fn scalar_def_then_use_program() -> Imp {
+        program(with_decl(
+            declset(vec![decl("x", int32()), decl("y", int32())]),
+            seq(vec![mv(svar_lv("x"), int(1)), mv(svar_lv("y"), svar("x"))]),
+        ))
+    }
+
+    #[test]
+    fn the_audit_catches_an_illegal_reordering_statically() {
+        let p = scalar_def_then_use_program();
+        let mgr = PassManager::new().add(Box::new(EvilSwap)).audit(true);
+        let err = mgr.run(&p).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("evil-swap"),
+            "the audit must name the offending pass, got: {msg}"
+        );
+        assert!(msg.contains("def-use"), "got: {msg}");
+        // Without the audit (and without verification), the reorder
+        // sails through silently.
+        let mgr = PassManager::new().add(Box::new(EvilSwap));
+        assert!(mgr.run(&p).is_ok());
+    }
+
+    #[test]
+    fn the_audit_passes_on_the_default_pipeline() {
+        let p = repeated_shift_program();
+        let (_, report) = default_manager().audit(true).run(&p).unwrap();
+        assert!(report.audited);
+        assert!(!report.passes.is_empty());
     }
 
     #[test]

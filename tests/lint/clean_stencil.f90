@@ -1,0 +1,10 @@
+PROGRAM clean_stencil
+REAL t(16,16), tnew(16,16)
+REAL kappa
+kappa = 0.1
+FORALL (i=1:16, j=1:16) t(i,j) = i*j
+! The canonical clean idiom: shifts of t land in a distinct array, so
+! no statement reads what it writes.
+tnew = t + kappa*(CSHIFT(t, DIM=1, SHIFT=1) + CSHIFT(t, DIM=1, SHIFT=-1) - 2.0*t)
+t = tnew
+END PROGRAM clean_stencil

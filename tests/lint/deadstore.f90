@@ -1,0 +1,7 @@
+PROGRAM deadstore
+REAL x, y
+! The first store to x is never read before the second one kills it.
+x = 1.0
+x = 2.0
+y = x
+END PROGRAM deadstore

@@ -1,0 +1,8 @@
+PROGRAM race_section
+REAL a(32)
+FORALL (i=1:32) a(i) = i
+! A misaligned section copy: the written elements 1:31 overlap the
+! read elements 2:32 without being identical, so the parallel move
+! reads values the same statement overwrites.
+a(1:31) = a(2:32)
+END PROGRAM race_section

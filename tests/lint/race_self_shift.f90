@@ -1,0 +1,8 @@
+PROGRAM race_self_shift
+REAL a(32,32)
+FORALL (i=1:32, j=1:32) a(i,j) = i + j
+! A parallel assignment whose read set reaches its own write set
+! through a circular shift: every element reads a neighbour that the
+! same statement overwrites.
+a = CSHIFT(a, DIM=1, SHIFT=1)
+END PROGRAM race_self_shift

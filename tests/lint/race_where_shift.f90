@@ -1,0 +1,9 @@
+PROGRAM race_where_shift
+REAL a(32,32)
+FORALL (i=1:32, j=1:32) a(i,j) = i - j
+! The shift race hides under a mask: the masked update still reads
+! neighbours the same parallel statement may overwrite.
+WHERE (a > 0.0)
+  a = CSHIFT(a, DIM=2, SHIFT=-1)
+END WHERE
+END PROGRAM race_where_shift

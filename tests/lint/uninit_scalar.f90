@@ -1,0 +1,8 @@
+PROGRAM uninit_scalar
+REAL a(16)
+REAL s, t
+! s is read before any path assigns it (arrays are zero-initialised
+! by the language model, scalars reported).
+t = s + 1.0
+a = t
+END PROGRAM uninit_scalar

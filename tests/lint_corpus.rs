@@ -1,0 +1,126 @@
+//! The `--lint` negative-test corpus and the zero-false-positive sweep.
+//!
+//! Each seeded source under `tests/lint/` must produce *exactly* its
+//! intended warning codes, and every shipped workload and paper figure
+//! must lint clean — the diagnostics are only useful if the warnings
+//! mean something and the clean programs stay quiet.
+//!
+//! The third `W-RACE` rule (two `WHERE` branches with provably
+//! overlapping masks writing the same section) cannot be seeded from
+//! source: lowering emits complementary `m` / `.NOT. m` masks for
+//! `WHERE`/`ELSEWHERE`, which the rule deliberately exempts. It is
+//! covered by the `f90y-analysis` unit tests on hand-built NIR.
+
+use f90y_core::{workloads, Compiler, Pipeline, WarnCode};
+
+fn lint(source: &str) -> f90y_core::LintReport {
+    Compiler::new(Pipeline::F90y)
+        .lint(source)
+        .expect("corpus sources must parse and lower")
+}
+
+/// The warning codes of a report, in diagnostic order.
+fn codes(source: &str) -> Vec<WarnCode> {
+    lint(source).diagnostics.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn self_shift_race_is_flagged() {
+    assert_eq!(
+        codes(include_str!("lint/race_self_shift.f90")),
+        vec![WarnCode::Race]
+    );
+}
+
+#[test]
+fn misaligned_section_race_is_flagged() {
+    assert_eq!(
+        codes(include_str!("lint/race_section.f90")),
+        vec![WarnCode::Race]
+    );
+}
+
+#[test]
+fn masked_self_shift_race_is_flagged() {
+    assert_eq!(
+        codes(include_str!("lint/race_where_shift.f90")),
+        vec![WarnCode::Race]
+    );
+}
+
+#[test]
+fn uninitialised_scalar_read_is_flagged() {
+    let report = lint(include_str!("lint/uninit_scalar.f90"));
+    assert_eq!(
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect::<Vec<_>>(),
+        vec![WarnCode::Uninit]
+    );
+    let d = &report.diagnostics[0];
+    assert_eq!(d.var, "s");
+    assert!(
+        d.stmt.as_deref().is_some_and(|s| s.contains("MOVE")),
+        "the diagnostic must carry the offending statement, got {:?}",
+        d.stmt
+    );
+}
+
+#[test]
+fn dead_store_is_flagged() {
+    let report = lint(include_str!("lint/deadstore.f90"));
+    assert_eq!(
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect::<Vec<_>>(),
+        vec![WarnCode::DeadStore]
+    );
+    assert_eq!(report.diagnostics[0].var, "x");
+}
+
+#[test]
+fn seeded_diagnostics_render_their_codes() {
+    let report = lint(include_str!("lint/race_self_shift.f90"));
+    let text = report.diagnostics[0].to_string();
+    assert!(text.contains("warning[W-RACE]"), "got: {text}");
+}
+
+#[test]
+fn clean_corpus_file_is_clean() {
+    assert!(lint(include_str!("lint/clean_stencil.f90")).is_clean());
+}
+
+/// The zero-false-positive sweep: every shipped workload generator,
+/// paper figure and example source must lint clean.
+#[test]
+fn shipped_sources_lint_clean() {
+    let sources: Vec<(String, String)> = vec![
+        ("swe".into(), workloads::swe_source(8, 2)),
+        ("heat".into(), workloads::heat_source(8, 3)),
+        ("life".into(), workloads::life_source(8, 2)),
+        ("redblack".into(), workloads::redblack_source(8, 2)),
+        ("fig_2_1_f77".into(), workloads::fig_section21_f77().into()),
+        ("fig_2_1_f90".into(), workloads::fig_section21_f90().into()),
+        ("fig7".into(), workloads::fig7_source().into()),
+        ("fig9".into(), workloads::fig9_source().into()),
+        ("fig10".into(), workloads::fig10_source().into()),
+        ("fig12".into(), workloads::fig12_source(8)),
+        (
+            "quickstart".into(),
+            "INTEGER K(64,64)\nK = 2*K + 5\n".into(),
+        ),
+    ];
+    for (name, src) in sources {
+        let report = lint(&src);
+        assert!(
+            report.is_clean(),
+            "{name} must lint clean, got: {:#?}",
+            report.diagnostics
+        );
+        assert!(report.stmts_analyzed > 0, "{name} analysed no statements");
+    }
+}

@@ -80,6 +80,38 @@ fn arb_program() -> impl Strategy<Value = String> {
     })
 }
 
+/// Remove clause `clause` of the statement whose pre-order id is
+/// `target`, mirroring the numbering of [`f90y_analysis::StmtIndex`]
+/// (which follows `Imp::walk` exactly).
+fn remove_clause(imp: &mut f90y_nir::Imp, target: usize, clause: usize, counter: &mut usize) {
+    use f90y_nir::Imp;
+    let my_id = *counter;
+    *counter += 1;
+    if my_id == target {
+        if let Imp::Move(cs) = imp {
+            cs.remove(clause);
+        }
+        return;
+    }
+    match imp {
+        Imp::Program(b)
+        | Imp::Do(_, _, b)
+        | Imp::WithDecl(_, b)
+        | Imp::WithDomain(_, _, b)
+        | Imp::While(_, b) => remove_clause(b, target, clause, counter),
+        Imp::Sequentially(xs) | Imp::Concurrently(xs) => {
+            for x in xs {
+                remove_clause(x, target, clause, counter);
+            }
+        }
+        Imp::IfThenElse(_, t, e) => {
+            remove_clause(t, target, clause, counter);
+            remove_clause(e, target, clause, counter);
+        }
+        Imp::Move(_) | Imp::Skip => {}
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -256,6 +288,74 @@ proptest! {
             per - full <= removed,
             "clause deficit {} exceeds what cse/dce account for ({})",
             per - full, removed
+        );
+    }
+
+    /// Every store the liveness analysis flags as `W-DEADSTORE` really
+    /// is dead: deleting the flagged clause (one at a time) leaves the
+    /// evaluator's final arrays and scalars bit-identical.
+    #[test]
+    fn flagged_dead_stores_are_deletable(src in arb_program()) {
+        let unit = f90y_frontend::parse(&src).expect("parses");
+        let nir = match f90y_lowering::lower(&unit) {
+            Ok(n) => n,
+            Err(_) => return Ok(()),
+        };
+        let index = f90y_analysis::StmtIndex::of(&nir);
+        let live = f90y_analysis::Liveness::of(&nir, &index);
+        if live.dead_stores.is_empty() {
+            return Ok(());
+        }
+        let mut ev_ref = Evaluator::new();
+        ev_ref.run(&nir).expect("reference evaluation succeeds");
+
+        for ds in &live.dead_stores {
+            let mut pruned = nir.clone();
+            let mut counter = 0usize;
+            remove_clause(&mut pruned, ds.stmt, ds.clause, &mut counter);
+            let mut ev = Evaluator::new();
+            ev.run(&pruned).expect("pruned program evaluates");
+            for name in ["a", "b", "c"] {
+                prop_assert_eq!(
+                    ev_ref.final_array_f64(name).expect("captured"),
+                    ev.final_array_f64(name).expect("captured"),
+                    "deleting flagged dead store to '{}' (stmt {}) changed {}\n{}",
+                    ds.var, ds.stmt, name, src
+                );
+            }
+            prop_assert_eq!(
+                ev_ref.final_scalar_f64("s").expect("captured"),
+                ev.final_scalar_f64("s").expect("captured"),
+                "deleting flagged dead store to '{}' (stmt {}) changed s\n{}",
+                ds.var, ds.stmt, src
+            );
+        }
+    }
+
+    /// The liveness-driven `dce-temps` is at least as strong as the old
+    /// syntactic scan: every temp the fixpoint of "no remaining reads"
+    /// finds faint is also faint under the dataflow analysis.
+    #[test]
+    fn liveness_dce_subsumes_the_syntactic_scan(src in arb_program()) {
+        let unit = f90y_frontend::parse(&src).expect("parses");
+        let nir = match f90y_lowering::lower(&unit) {
+            Ok(n) => n,
+            Err(_) => return Ok(()),
+        };
+        let mut body = match f90y_transform::ProgramBody::decompose(&nir) {
+            Ok(b) => b,
+            Err(_) => return Ok(()),
+        };
+        f90y_transform::comm_split::run(&mut body).expect("comm-split runs");
+        f90y_transform::comm_cse::run(&mut body).expect("comm-cse runs");
+        let syntactic = f90y_transform::dce::dead_temps_syntactic(&body);
+        let ghosts: std::collections::HashSet<String> =
+            body.temps.iter().cloned().collect();
+        let faint = f90y_analysis::faint_temps(&body.recompose(), &ghosts);
+        prop_assert!(
+            syntactic.is_subset(&faint),
+            "syntactic scan found dead temps the liveness analysis kept: {:?}\n{}",
+            syntactic.difference(&faint).collect::<Vec<_>>(), src
         );
     }
 }
