@@ -1,0 +1,37 @@
+//! `bench_swe` — emit the machine-readable SWE benchmark artefact.
+//!
+//! Writes [`f90y_bench::swe_bench_json`] to the given path (default
+//! `BENCH_swe.json`). Every value is modelled — derived from the
+//! simulated cycle/superstep clocks, never wall time — so the file is
+//! byte-identical across regenerations and CI can `git diff` it as a
+//! perf-trajectory gate.
+//!
+//! ```text
+//! cargo run -p f90y-bench --release --bin bench_swe [path]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_swe.json".to_string());
+    let json = f90y_bench::swe_bench_json();
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            println!(
+                "wrote {path} ({} bytes): swe {}x{} on {} nodes, schema {}",
+                json.len(),
+                f90y_bench::BENCH_GRID,
+                f90y_bench::BENCH_GRID,
+                f90y_bench::BENCH_NODES,
+                f90y_bench::BENCH_SCHEMA,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_swe: cannot write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

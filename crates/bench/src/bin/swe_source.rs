@@ -1,0 +1,18 @@
+//! `swe_source` — print the benchmark SWE workload as Fortran-90 text.
+//!
+//! Emits [`f90y_core::workloads::swe_source`] at the committed
+//! benchmark configuration ([`f90y_bench::BENCH_GRID`]²,
+//! [`f90y_bench::BENCH_STEPS`] steps) so shell pipelines and CI can
+//! drive `f90yc` over exactly the workload `BENCH_swe.json` records:
+//!
+//! ```text
+//! cargo run -p f90y-bench --release --bin swe_source > swe.f90
+//! f90yc --target cm5 --nodes 16 --emit-trace=swe.trace.json swe.f90
+//! ```
+
+fn main() {
+    print!(
+        "{}",
+        f90y_core::workloads::swe_source(f90y_bench::BENCH_GRID, f90y_bench::BENCH_STEPS)
+    );
+}

@@ -1,0 +1,204 @@
+//! `validate_artifacts` — CI gate for the flight-recorder artefacts.
+//!
+//! ```text
+//! validate_artifacts --bench BENCH_swe.json [--trace run.trace.json]
+//! ```
+//!
+//! Checks, exiting 1 on the first violation:
+//!
+//! * `--bench`: the file parses, carries the `f90y-bench-v1` schema
+//!   tag and every required section, its trace block is internally
+//!   consistent (`sends == recvs == paired_flows == cm5.messages`,
+//!   `fnv1a64:` digest), and regenerating the report in-process
+//!   reproduces the committed bytes exactly — the determinism gate.
+//! * `--trace`: the Chrome trace-event JSON parses, and its flow
+//!   events form a bijection — every flow id occurs exactly once as a
+//!   send (`"ph":"s"`) and exactly once as a receive (`"ph":"f"`).
+//!   With `--bench` also given, the flow count must equal the bench
+//!   report's `cm5.messages`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use f90y_obs::json::{parse, Json};
+
+/// Look up a field of a JSON object.
+fn field<'a>(doc: &'a Json, name: &str) -> Option<&'a Json> {
+    match doc {
+        Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// A field that must be a number (all bench counts are).
+fn num_field(doc: &Json, name: &str) -> Result<f64, String> {
+    match field(doc, name) {
+        Some(Json::Num(n)) => Ok(*n),
+        Some(other) => Err(format!("field '{name}' is not a number: {other}")),
+        None => Err(format!("field '{name}' is missing")),
+    }
+}
+
+/// Validate the bench report and return its `cm5.messages` count.
+fn check_bench(path: &str) -> Result<u64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+
+    match field(&doc, "schema") {
+        Some(Json::Str(s)) if s == f90y_bench::BENCH_SCHEMA => {}
+        Some(other) => return Err(format!("unexpected schema tag {other}")),
+        None => return Err("schema tag missing".into()),
+    }
+    for section in [
+        "workload", "grid", "steps", "nodes", "cm2", "cm5", "passes", "trace",
+    ] {
+        if field(&doc, section).is_none() {
+            return Err(format!("section '{section}' missing"));
+        }
+    }
+
+    let cm5 = field(&doc, "cm5").expect("checked above");
+    let messages = num_field(cm5, "messages")? as u64;
+    let trace = field(&doc, "trace").expect("checked above");
+    let sends = num_field(trace, "sends")? as u64;
+    let recvs = num_field(trace, "recvs")? as u64;
+    let paired = num_field(trace, "paired_flows")? as u64;
+    if sends != paired || recvs != paired {
+        return Err(format!(
+            "trace block inconsistent: sends {sends}, recvs {recvs}, paired {paired}"
+        ));
+    }
+    if messages != paired {
+        return Err(format!(
+            "cm5.messages {messages} != trace.paired_flows {paired}"
+        ));
+    }
+    match field(trace, "digest") {
+        Some(Json::Str(d)) if d.starts_with("fnv1a64:") => {}
+        Some(other) => return Err(format!("trace digest malformed: {other}")),
+        None => return Err("trace digest missing".into()),
+    }
+
+    // Determinism gate: regenerating must reproduce the bytes exactly.
+    let regenerated = f90y_bench::swe_bench_json();
+    if regenerated != text {
+        return Err(format!(
+            "{path} is stale: regeneration differs ({} vs {} bytes) — \
+             run `cargo run -p f90y-bench --release --bin bench_swe`",
+            text.len(),
+            regenerated.len()
+        ));
+    }
+    Ok(messages)
+}
+
+/// Validate the Chrome trace's flow-event bijection; return the flow
+/// count.
+fn check_trace(path: &str) -> Result<u64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let events = match field(&doc, "traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => return Err("traceEvents array missing".into()),
+    };
+
+    let mut starts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut finishes: BTreeMap<u64, u64> = BTreeMap::new();
+    for ev in events {
+        let ph = match field(ev, "ph") {
+            Some(Json::Str(ph)) => ph.as_str(),
+            _ => continue,
+        };
+        if ph != "s" && ph != "f" {
+            continue;
+        }
+        let id = num_field(ev, "id")? as u64;
+        *if ph == "s" {
+            starts.entry(id).or_insert(0)
+        } else {
+            finishes.entry(id).or_insert(0)
+        } += 1;
+    }
+    for (id, n) in &starts {
+        if *n != 1 {
+            return Err(format!("flow id {id} sent {n} times"));
+        }
+        match finishes.get(id) {
+            Some(1) => {}
+            Some(n) => return Err(format!("flow id {id} received {n} times")),
+            None => return Err(format!("flow id {id} sent but never received")),
+        }
+    }
+    for id in finishes.keys() {
+        if !starts.contains_key(id) {
+            return Err(format!("flow id {id} received but never sent"));
+        }
+    }
+    if starts.is_empty() {
+        return Err("trace has no flow events — nothing was messaged".into());
+    }
+    Ok(starts.len() as u64)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: validate_artifacts --bench <BENCH_swe.json> [--trace <trace.json>]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut bench: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bench" => match args.next() {
+                Some(p) => bench = Some(p),
+                None => usage(),
+            },
+            "--trace" => match args.next() {
+                Some(p) => trace = Some(p),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if bench.is_none() && trace.is_none() {
+        usage();
+    }
+
+    let mut bench_messages = None;
+    if let Some(path) = &bench {
+        match check_bench(path) {
+            Ok(messages) => {
+                println!("OK {path}: schema, consistency and regeneration checks pass");
+                bench_messages = Some(messages);
+            }
+            Err(e) => {
+                eprintln!("validate_artifacts: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &trace {
+        match check_trace(path) {
+            Ok(flows) => {
+                println!("OK {path}: {flows} flow edges, every send pairs with one receive");
+                if let Some(messages) = bench_messages {
+                    if flows != messages {
+                        eprintln!(
+                            "validate_artifacts: {path} has {flows} flows but the bench \
+                             report counts {messages} messages"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    println!("OK cross-check: trace flows == bench cm5.messages ({flows})");
+                }
+            }
+            Err(e) => {
+                eprintln!("validate_artifacts: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

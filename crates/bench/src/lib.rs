@@ -24,7 +24,8 @@
 
 use std::path::PathBuf;
 
-use f90y_core::{Compiler, Executable, Pipeline, RunReport, Target};
+use f90y_core::{workloads, Compiler, Executable, Pipeline, RunReport, Target, TraceBuffer};
+use f90y_obs::json::Json;
 use f90y_obs::{JsonSink, Telemetry};
 
 /// Compile a source text under a pipeline, panicking with context on
@@ -108,6 +109,141 @@ pub const HEADLINE_STEPS: usize = 3;
 /// Headline machine size (the full CM-2 of the paper).
 pub const HEADLINE_NODES: usize = 2048;
 
+/// Schema tag stamped into every machine-readable benchmark artefact;
+/// bump it when the field set changes shape.
+pub const BENCH_SCHEMA: &str = "f90y-bench-v1";
+/// Grid size of the committed `BENCH_swe.json` trajectory point.
+pub const BENCH_GRID: usize = 64;
+/// Time steps of the committed trajectory point.
+pub const BENCH_STEPS: usize = 2;
+/// Node count of the committed trajectory point.
+pub const BENCH_NODES: usize = 16;
+
+/// Shorthand for a JSON number field from a count.
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+/// Build the machine-readable SWE benchmark report: the shallow-water
+/// workload at [`BENCH_GRID`]²×[`BENCH_STEPS`] compiled once and run on
+/// [`BENCH_NODES`] nodes of both engines, with the middle-end pass
+/// summary and the flight-recorder digest of the MIMD run. Every value
+/// derives from the simulated machine model — no wall-clock time — so
+/// regenerating the report is byte-identical and `git diff` doubles as
+/// a perf-trajectory check.
+///
+/// # Panics
+///
+/// Panics if the workload fails to compile or run, or if the recorded
+/// trace fails flow pairing — a committed artefact must never encode a
+/// broken run.
+pub fn swe_bench_json() -> String {
+    let src = workloads::swe_source(BENCH_GRID, BENCH_STEPS);
+    let exe = compile(&src, Pipeline::F90y);
+
+    let cm2 = exe
+        .session(Target::Cm2 { nodes: BENCH_NODES })
+        .run()
+        .expect("CM/2 SWE run")
+        .into_cm2();
+
+    let mut tel = Telemetry::new();
+    let mut buf = TraceBuffer::new();
+    let cm5 = exe
+        .session(Target::Cm5Mimd { nodes: BENCH_NODES })
+        .telemetry(&mut tel)
+        .trace(&mut buf)
+        .run()
+        .expect("CM/5 SWE run")
+        .into_mimd();
+    let trace = buf.trace.expect("trace captured");
+    let paired = trace.verify_flow_pairing().expect("flows pair") as u64;
+    assert_eq!(paired, cm5.stats.messages, "trace vs counter divergence");
+
+    let passes: Vec<Json> = exe
+        .pass_reports
+        .passes
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(p.name.clone())),
+                ("rewrites".into(), num(p.rewrites as u64)),
+            ])
+        })
+        .collect();
+    let total_rewrites: u64 = exe
+        .pass_reports
+        .passes
+        .iter()
+        .map(|p| p.rewrites as u64)
+        .sum();
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(BENCH_SCHEMA.into())),
+        ("workload".into(), Json::Str("swe".into())),
+        ("pipeline".into(), Json::Str("f90y".into())),
+        ("grid".into(), num(BENCH_GRID as u64)),
+        ("steps".into(), num(BENCH_STEPS as u64)),
+        ("nodes".into(), num(BENCH_NODES as u64)),
+        (
+            "cm2".into(),
+            Json::Obj(vec![
+                ("gflops".into(), Json::Num(cm2.gflops)),
+                ("modelled_seconds".into(), Json::Num(cm2.elapsed_seconds)),
+                ("host_fraction".into(), Json::Num(cm2.host_fraction)),
+                ("node_cycles".into(), num(cm2.stats.node_cycles())),
+                ("compute_cycles".into(), num(cm2.stats.compute_cycles)),
+                ("comm_cycles".into(), num(cm2.stats.comm_cycles)),
+                (
+                    "dispatch_overhead_cycles".into(),
+                    num(cm2.stats.dispatch_overhead_cycles),
+                ),
+                ("host_cycles".into(), num(cm2.stats.host_cycles)),
+                ("flops".into(), num(cm2.stats.flops)),
+                ("dispatches".into(), num(cm2.stats.dispatches)),
+                ("comm_calls".into(), num(cm2.stats.comm_calls)),
+                ("reductions".into(), num(cm2.stats.reductions)),
+            ]),
+        ),
+        (
+            "cm5".into(),
+            Json::Obj(vec![
+                ("gflops".into(), Json::Num(cm5.gflops)),
+                ("modelled_seconds".into(), Json::Num(cm5.elapsed_seconds)),
+                ("supersteps".into(), num(cm5.stats.supersteps)),
+                ("flops".into(), num(cm5.stats.flops)),
+                ("dispatches".into(), num(cm5.stats.dispatches)),
+                ("comm_calls".into(), num(cm5.stats.comm_calls)),
+                ("halo_exchanges".into(), num(cm5.stats.halo_exchanges)),
+                ("router_batches".into(), num(cm5.stats.router_batches)),
+                ("reductions".into(), num(cm5.stats.reductions)),
+                ("messages".into(), num(cm5.stats.messages)),
+                ("bytes".into(), num(cm5.stats.bytes)),
+            ]),
+        ),
+        (
+            "passes".into(),
+            Json::Obj(vec![
+                ("count".into(), num(passes.len() as u64)),
+                ("total_rewrites".into(), num(total_rewrites)),
+                ("pipeline".into(), Json::Arr(passes)),
+            ]),
+        ),
+        (
+            "trace".into(),
+            Json::Obj(vec![
+                ("clock".into(), Json::Str(trace.clock().as_str().into())),
+                ("events".into(), num(trace.len() as u64)),
+                ("sends".into(), num(trace.sends() as u64)),
+                ("recvs".into(), num(trace.recvs() as u64)),
+                ("paired_flows".into(), num(paired)),
+                ("digest".into(), Json::Str(trace.digest())),
+            ]),
+        ),
+    ]);
+    format!("{doc}\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +254,23 @@ mod tests {
         assert_eq!(exe.compiled.blocks.len(), 1);
         assert!(report.stats.node_cycles() > 0);
         assert!(!breakdown(&report).is_empty());
+    }
+
+    #[test]
+    fn swe_bench_json_is_byte_identical_across_generations() {
+        let first = swe_bench_json();
+        let second = swe_bench_json();
+        assert_eq!(first, second, "BENCH_swe.json must regenerate exactly");
+        let doc = f90y_obs::json::parse(&first).expect("valid JSON");
+        match &doc {
+            Json::Obj(fields) => {
+                let schema = fields.iter().find(|(k, _)| k == "schema");
+                assert!(
+                    matches!(schema, Some((_, Json::Str(s))) if s == BENCH_SCHEMA),
+                    "schema tag present"
+                );
+            }
+            other => panic!("expected an object, got {other:?}"),
+        }
     }
 }

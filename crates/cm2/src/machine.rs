@@ -2,6 +2,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use f90y_obs::trace::{Actor, ClockDomain, Trace, TraceEvent as FlightEvent};
+use f90y_peac::profile::OpcodeProfile;
+
 use crate::config::Cm2Config;
 use crate::costs;
 use crate::layout::Layout;
@@ -254,6 +257,11 @@ pub struct Cm2 {
     pub(crate) stats: MachineStats,
     pub(crate) trace: Option<Vec<TraceEvent>>,
     pub(crate) profile: Option<CycleProfile>,
+    /// The flight recorder: cycle-clocked phase events for the obs
+    /// trace layer (distinct from `trace`, the estimator replay log).
+    pub(crate) flight: Option<Trace>,
+    /// Per-routine opcode histograms, recorded at dispatch time.
+    pub(crate) opcodes: Option<BTreeMap<String, OpcodeProfile>>,
     /// Compute cycles accumulated since the last communication call,
     /// available to hide pipelined communication behind (§5.3.2 model).
     pub(crate) overlap_pool: u64,
@@ -269,6 +277,8 @@ impl Cm2 {
             stats: MachineStats::default(),
             trace: None,
             profile: None,
+            flight: None,
+            opcodes: None,
             overlap_pool: 0,
         }
     }
@@ -294,6 +304,54 @@ impl Cm2 {
     /// The cycle profile, if profiling was enabled.
     pub fn profile(&self) -> Option<&CycleProfile> {
         self.profile.as_ref()
+    }
+
+    /// Start the flight recorder (clears any previous flight trace).
+    /// Events are stamped with the machine's deterministic cycle clock.
+    pub fn enable_flight_recorder(&mut self) {
+        self.flight = Some(Trace::new(ClockDomain::Cycle));
+    }
+
+    /// The flight-recorder trace, if enabled.
+    pub fn flight(&self) -> Option<&Trace> {
+        self.flight.as_ref()
+    }
+
+    /// Take ownership of the flight-recorder trace, leaving it disabled.
+    pub fn take_flight(&mut self) -> Option<Trace> {
+        self.flight.take()
+    }
+
+    /// Start per-routine opcode profiling (clears any previous map).
+    pub fn enable_opcode_profile(&mut self) {
+        self.opcodes = Some(BTreeMap::new());
+    }
+
+    /// Per-routine opcode histograms, if opcode profiling was enabled.
+    /// Each routine's cycle sum equals the compute cycles the machine
+    /// charged for that routine's dispatches, to the cycle.
+    pub fn opcode_profiles(&self) -> Option<&BTreeMap<String, OpcodeProfile>> {
+        self.opcodes.as_ref()
+    }
+
+    /// The flight recorder's clock: all simulated cycles charged so far
+    /// (PE-array node cycles plus host cycles).
+    pub(crate) fn flight_clock(&self) -> u64 {
+        self.stats.node_cycles() + self.stats.host_cycles
+    }
+
+    /// Record a phase slice on the flight recorder spanning from
+    /// `start` (a clock captured before charging) to the current clock.
+    pub(crate) fn flight_phase(&mut self, actor: Actor, label: &str, start: u64) {
+        let end = self.flight_clock();
+        if let Some(t) = &mut self.flight {
+            t.record(FlightEvent::Phase {
+                actor,
+                label: label.to_string(),
+                start,
+                end,
+            });
+        }
     }
 
     pub(crate) fn record(&mut self, e: TraceEvent) {
@@ -350,11 +408,19 @@ impl Cm2 {
     }
 
     /// Reset the accounting (arrays survive). An enabled cycle profile
-    /// is cleared with the stats so the sums-to-total invariant holds.
+    /// is cleared with the stats so the sums-to-total invariant holds;
+    /// likewise the flight recorder and opcode histograms, whose clocks
+    /// and totals are derived from the stats.
     pub fn reset_stats(&mut self) {
         self.stats = MachineStats::default();
         if let Some(p) = &mut self.profile {
             *p = CycleProfile::default();
+        }
+        if let Some(t) = &mut self.flight {
+            *t = Trace::new(ClockDomain::Cycle);
+        }
+        if let Some(m) = &mut self.opcodes {
+            m.clear();
         }
     }
 

@@ -7,6 +7,7 @@
 //! These are those runtime entry points, with the cost model of
 //! [`crate::costs`] attached.
 
+use f90y_obs::trace::Actor;
 use f90y_peac::costs::body_cycles;
 use f90y_peac::isa::Routine;
 use f90y_peac::sim::{run_routine, NodeMemory};
@@ -96,12 +97,19 @@ impl Cm2 {
             + costs::DISPATCH_PER_ARG_CYCLES
                 * (routine.nargs_ptr() + routine.nargs_scalar()) as u64;
         let phase = format!("dispatch.{}", routine.name());
+        let t0 = self.flight_clock();
         self.charge_dispatch_overhead(
             &phase,
             (overhead as f64 * self.config.dispatch_multiplier) as u64,
         );
         let compute = (body as f64 * iters as f64 * self.config.compute_multiplier) as u64;
         self.charge_compute(&phase, compute);
+        self.flight_phase(Actor::Machine, &phase, t0);
+        if let Some(map) = &mut self.opcodes {
+            map.entry(routine.name().to_string())
+                .or_default()
+                .record_scaled(routine.body(), iters, compute);
+        }
         self.overlap_pool = self.overlap_pool.saturating_add(compute);
         let flops_per_elem: u64 = routine
             .body()
@@ -210,7 +218,9 @@ impl Cm2 {
             self.overlap_pool -= hidden;
             cost -= hidden;
         }
+        let t0 = self.flight_clock();
         self.charge_comm("news", cost);
+        self.flight_phase(Actor::Machine, "news", t0);
         self.stats.comm_calls += 1;
         self.record(crate::machine::TraceEvent::GridComm {
             iterations: layout.iterations_per_node(),
@@ -233,7 +243,9 @@ impl Cm2 {
         let layout = self.layout(src)?;
         let id = self.alloc_with_bounds(&dims, &lower);
         self.array_mut(id)?.data = data;
+        let t0 = self.flight_clock();
         self.charge_comm("router", costs::router_comm_cycles(&layout));
+        self.flight_phase(Actor::Machine, "router", t0);
         self.stats.comm_calls += 1;
         self.record(crate::machine::TraceEvent::Router {
             subgrid: layout.subgrid(),
@@ -251,7 +263,9 @@ impl Cm2 {
     /// Fails on stale handles.
     pub fn charge_router_move(&mut self, id: ArrayId) -> Result<(), Cm2Error> {
         let layout = self.layout(id)?;
+        let t0 = self.flight_clock();
         self.charge_comm("router", costs::router_comm_cycles(&layout));
+        self.flight_phase(Actor::Machine, "router", t0);
         self.stats.comm_calls += 1;
         self.record(crate::machine::TraceEvent::Router {
             subgrid: layout.subgrid(),
@@ -274,10 +288,12 @@ impl Cm2 {
             }
         };
         let layout = self.layout(src)?;
+        let t0 = self.flight_clock();
         self.charge_comm(
             "reduce",
             costs::reduction_cycles(&layout, self.config.nodes),
         );
+        self.flight_phase(Actor::Machine, "reduce", t0);
         self.stats.reductions += 1;
         self.record(crate::machine::TraceEvent::Reduce {
             iterations: layout.iterations_per_node(),
@@ -303,7 +319,9 @@ impl Cm2 {
             data.push((lower[axis] + coord as i64) as f64);
         }
         let layout = crate::layout::Layout::blockwise(total, self.config.nodes);
+        let t0 = self.flight_clock();
         self.charge_comm("coord", costs::coordinate_gen_cycles(&layout));
+        self.flight_phase(Actor::Machine, "coord", t0);
         let id = self.alloc_with_bounds(dims, lower);
         self.array_mut(id).expect("array just allocated").data = data;
         self.coord_cache.insert(key, id);
@@ -312,7 +330,9 @@ impl Cm2 {
 
     /// Charge host-side work: `n` host program operations.
     pub fn charge_host_ops(&mut self, n: u64) {
+        let t0 = self.flight_clock();
         self.charge_host("host", n * costs::HOST_OP_CYCLES);
+        self.flight_phase(Actor::Host, "host", t0);
         self.record(crate::machine::TraceEvent::HostOps(n));
     }
 
@@ -328,8 +348,10 @@ impl Cm2 {
             .data
             .get(flat)
             .ok_or_else(|| Cm2Error::Runtime(format!("element {flat} out of range")))?;
+        let t0 = self.flight_clock();
         self.charge_host("host", costs::HOST_OP_CYCLES);
         self.charge_comm("host", costs::WIRE_CYCLES_PER_ELEM);
+        self.flight_phase(Actor::Host, "host", t0);
         Ok(v)
     }
 
@@ -339,8 +361,10 @@ impl Cm2 {
     ///
     /// Fails on stale handles or out-of-range flat index.
     pub fn host_write_elem(&mut self, id: ArrayId, flat: usize, v: f64) -> Result<(), Cm2Error> {
+        let t0 = self.flight_clock();
         self.charge_host("host", costs::HOST_OP_CYCLES);
         self.charge_comm("host", costs::WIRE_CYCLES_PER_ELEM);
+        self.flight_phase(Actor::Host, "host", t0);
         let arr = self.array_mut(id)?;
         let slot = arr
             .data
@@ -594,6 +618,82 @@ mod tests {
         let data = cm.read(cc).unwrap();
         assert_eq!(data[0], 1.0);
         assert_eq!(data[1], 2.0); // column 2
+    }
+
+    #[test]
+    fn flight_phases_tile_the_cycle_clock() {
+        use f90y_obs::trace::TraceEvent as E;
+        let mut cm = machine();
+        cm.enable_flight_recorder();
+        let a = cm.alloc_from(&[64], (0..64).map(|i| i as f64).collect());
+        let b = cm.alloc(&[64]);
+        cm.dispatch(&add_one_routine(), &[a, b], &[]).unwrap();
+        cm.cshift(a, 0, 1).unwrap();
+        cm.reduce(a, ReduceOp::Sum).unwrap();
+        cm.host_read_elem(a, 0).unwrap();
+        let phases: Vec<(String, u64, u64)> = cm
+            .flight()
+            .unwrap()
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                E::Phase {
+                    label, start, end, ..
+                } => Some((label.clone(), *start, *end)),
+                _ => None,
+            })
+            .collect();
+        let labels: Vec<&str> = phases.iter().map(|p| p.0.as_str()).collect();
+        assert_eq!(labels, ["dispatch.inc", "news", "reduce", "host"]);
+        // The clock only moves through charge_* calls, so consecutive
+        // phases tile the cycle axis with no gaps or overlaps.
+        assert_eq!(phases[0].1, 0);
+        for w in phases.windows(2) {
+            assert_eq!(w[1].1, w[0].2, "phase {} starts off-clock", w[1].0);
+        }
+        let s = cm.stats();
+        assert_eq!(
+            phases.last().unwrap().2,
+            s.node_cycles() + s.host_cycles,
+            "last phase ends at the final clock"
+        );
+    }
+
+    #[test]
+    fn opcode_profile_reconciles_with_cycle_profile_to_the_cycle() {
+        let mut cm = machine();
+        cm.enable_profile();
+        cm.enable_opcode_profile();
+        let a = cm.alloc_from(&[100], (0..100).map(|i| i as f64).collect());
+        let b = cm.alloc(&[100]);
+        let routine = add_one_routine();
+        cm.dispatch(&routine, &[a, b], &[]).unwrap();
+        cm.dispatch(&routine, &[b, a], &[]).unwrap();
+        let ops = cm.opcode_profiles().unwrap();
+        let hist = ops.get("inc").expect("routine profiled");
+        let charged = cm
+            .profile()
+            .unwrap()
+            .phase("dispatch.inc")
+            .unwrap()
+            .compute_cycles;
+        assert!(charged > 0);
+        assert_eq!(hist.total_cycles(), charged);
+    }
+
+    #[test]
+    fn reset_stats_clears_flight_and_opcode_state() {
+        let mut cm = machine();
+        cm.enable_flight_recorder();
+        cm.enable_opcode_profile();
+        let a = cm.alloc(&[64]);
+        let b = cm.alloc(&[64]);
+        cm.dispatch(&add_one_routine(), &[a, b], &[]).unwrap();
+        assert!(!cm.flight().unwrap().events().is_empty());
+        assert!(!cm.opcode_profiles().unwrap().is_empty());
+        cm.reset_stats();
+        assert!(cm.flight().unwrap().events().is_empty());
+        assert!(cm.opcode_profiles().unwrap().is_empty());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   --finals a,b,c                 print these variables after the run
 //!   --timings                      print a phase-timing/counter table on stderr
 //!   --emit-telemetry <path>        write the telemetry report as JSON
+//!   --emit-trace <path>            write a Chrome trace-event JSON flight
+//!                                  recording of the run (open in Perfetto)
+//!   --emit-trace-jsonl <path>      write the flight recording as compact JSONL
+//!   --profile                      print a PEAC opcode/cycle hot-spot report
+//!                                  (cm2 only), cross-checked to the cycle
 //!   --fault-seed S                 seed a deterministic fault plan (cm5 only)
 //!   --fault-drop P                 drop P‰ of messages      (implies a plan)
 //!   --fault-kill STEP:NODE         kill NODE at superstep STEP (repeatable)
@@ -58,9 +63,10 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use f90y_core::{
-    Compiler, DumpPoint, FaultPlan, JsonSink, Pipeline, PrettySink, Run, Target, Telemetry,
-    WarnCode,
+    ChromeTraceSink, Cm2, Compiler, DumpPoint, FaultPlan, JsonSink, JsonlTraceSink, Pipeline,
+    PrettySink, Run, Target, Telemetry, WarnCode,
 };
+use f90y_peac::OpcodeProfile;
 
 /// Which execution engine runs the compiled program.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -87,6 +93,9 @@ struct Options {
     finals: Vec<String>,
     timings: bool,
     emit_telemetry: Option<String>,
+    emit_trace: Option<String>,
+    emit_trace_jsonl: Option<String>,
+    profile: bool,
     fault_seed: Option<u64>,
     fault_drop: Option<u16>,
     fault_kills: Vec<(u64, usize)>,
@@ -127,6 +136,11 @@ const USAGE: &str = "usage: f90yc [options] <file.f90 | ->
   --finals a,b,c                 print these variables after the run
   --timings                      print a phase-timing/counter table on stderr
   --emit-telemetry <path>        write the telemetry report as JSON
+  --emit-trace <path>            write a Chrome trace-event JSON flight
+                                 recording of the run (open in Perfetto)
+  --emit-trace-jsonl <path>      write the flight recording as compact JSONL
+  --profile                      print a PEAC opcode/cycle hot-spot report
+                                 (cm2 only), cross-checked to the cycle
   --fault-seed S                 seed a deterministic fault plan (cm5 only)
   --fault-drop P                 drop P per-mille of messages (implies a plan)
   --fault-kill STEP:NODE         kill NODE at superstep STEP (repeatable)";
@@ -153,6 +167,9 @@ fn parse_args() -> Options {
         finals: Vec::new(),
         timings: false,
         emit_telemetry: None,
+        emit_trace: None,
+        emit_trace_jsonl: None,
+        profile: false,
         fault_seed: None,
         fault_drop: None,
         fault_kills: Vec::new(),
@@ -208,6 +225,15 @@ fn parse_args() -> Options {
                 Some(path) => opts.emit_telemetry = Some(path),
                 None => usage(),
             },
+            "--emit-trace" => match args.next() {
+                Some(path) => opts.emit_trace = Some(path),
+                None => usage(),
+            },
+            "--emit-trace-jsonl" => match args.next() {
+                Some(path) => opts.emit_trace_jsonl = Some(path),
+                None => usage(),
+            },
+            "--profile" => opts.profile = true,
             "--finals" => match args.next() {
                 Some(list) => opts.finals = list.split(',').map(str::to_string).collect(),
                 None => usage(),
@@ -233,6 +259,10 @@ fn parse_args() -> Options {
                     opts.passes = Some(split_names(list));
                 } else if let Some(p) = other.strip_prefix("--emit-after=") {
                     opts.emit_after = Some(p.to_string());
+                } else if let Some(p) = other.strip_prefix("--emit-trace=") {
+                    opts.emit_trace = Some(p.to_string());
+                } else if let Some(p) = other.strip_prefix("--emit-trace-jsonl=") {
+                    opts.emit_trace_jsonl = Some(p.to_string());
                 } else if !other.starts_with('-') || other == "-" {
                     opts.input = Some(other.to_string());
                 } else {
@@ -246,6 +276,10 @@ fn parse_args() -> Options {
     }
     if opts.target == TargetKind::Cm2 && opts.fault_plan().is_some() {
         eprintln!("f90yc: fault injection needs --target cm5");
+        std::process::exit(2);
+    }
+    if opts.target == TargetKind::Cm5 && opts.profile {
+        eprintln!("f90yc: --profile attributes PEAC opcode cycles and needs --target cm2");
         std::process::exit(2);
     }
     opts
@@ -402,9 +436,46 @@ fn main() -> ExitCode {
         TargetKind::Cm2 => Target::Cm2 { nodes: opts.nodes },
         TargetKind::Cm5 => Target::Cm5Mimd { nodes: opts.nodes },
     };
+    let mut chrome_sink = match &opts.emit_trace {
+        Some(path) => match ChromeTraceSink::create(path) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                eprintln!("f90yc: cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let mut jsonl_sink = match &opts.emit_trace_jsonl {
+        Some(path) => match JsonlTraceSink::create(path) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                eprintln!("f90yc: cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let mut profiled_cm = if opts.profile {
+        let mut cm = exe.pipeline.machine(opts.nodes);
+        cm.enable_profile();
+        cm.enable_opcode_profile();
+        Some(cm)
+    } else {
+        None
+    };
     let mut session = exe.session(target).telemetry(&mut tel);
     if let Some(plan) = opts.fault_plan() {
         session = session.faults(plan);
+    }
+    if let Some(sink) = chrome_sink.as_mut() {
+        session = session.trace(sink);
+    }
+    if let Some(sink) = jsonl_sink.as_mut() {
+        session = session.trace(sink);
+    }
+    if let Some(cm) = profiled_cm.as_mut() {
+        session = session.on_machine(cm);
     }
     let run = match session.run() {
         Ok(r) => r,
@@ -455,6 +526,12 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(cm) = &profiled_cm {
+        if let Err(e) = print_profile(cm) {
+            eprintln!("f90yc: PROFILE RECONCILIATION FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let finals = run.finals();
     for name in &opts.finals {
         match finals.final_array(name) {
@@ -480,6 +557,124 @@ fn main() -> ExitCode {
         println!("validated against the NIR reference evaluator");
     }
     finish(&tel, &opts)
+}
+
+/// How many hot statements and hot opcodes the `--profile` report
+/// shows.
+const PROFILE_TOP_K: usize = 8;
+
+/// Print the PEAC hot-spot report: the comm/compute cycle split from
+/// the [`CycleProfile`](f90y_cm2::CycleProfile), the top-K dispatched
+/// statements by compute-cycle share, and the per-opcode histogram —
+/// after cross-checking every routine's opcode cycle total against the
+/// cycle profile's `dispatch.*` compute cycles.
+///
+/// # Errors
+///
+/// Returns a description of the first routine whose opcode histogram
+/// does not reconcile with the cycle profile to the cycle.
+fn print_profile(cm: &Cm2) -> Result<(), String> {
+    let profile = cm
+        .profile()
+        .ok_or_else(|| "cycle profile was not recorded".to_string())?;
+    let opcodes = cm
+        .opcode_profiles()
+        .ok_or_else(|| "opcode profile was not recorded".to_string())?;
+
+    // Reconcile: each routine's opcode cycles must equal the cycle
+    // profile's compute attribution for that dispatch phase, exactly.
+    let mut dispatch_compute: u64 = 0;
+    for (name, hist) in opcodes {
+        let phase = format!("dispatch.{name}");
+        let attributed = profile.phase(&phase).map(|p| p.compute_cycles).unwrap_or(0);
+        if hist.total_cycles() != attributed {
+            return Err(format!(
+                "routine '{name}': opcode histogram has {} cycles but the cycle \
+                 profile attributes {attributed}",
+                hist.total_cycles()
+            ));
+        }
+        dispatch_compute += attributed;
+    }
+    if dispatch_compute != profile.compute_total() {
+        return Err(format!(
+            "opcode histograms cover {dispatch_compute} compute cycles but the \
+             cycle profile totals {}",
+            profile.compute_total()
+        ));
+    }
+
+    let compute = profile.compute_total();
+    let comm = profile.comm_total();
+    let overhead = profile.dispatch_overhead_total();
+    let host = profile.host_total();
+    let all = compute + comm + overhead + host;
+    let pct = |c: u64| {
+        if all == 0 {
+            0.0
+        } else {
+            100.0 * c as f64 / all as f64
+        }
+    };
+    println!(
+        "profile: {all} modelled cycles on {} CM/2 nodes",
+        cm.config().nodes
+    );
+    println!(
+        "  compute {compute} ({:.1}%) | comm {comm} ({:.1}%) | dispatch overhead \
+         {overhead} ({:.1}%) | host {host} ({:.1}%)",
+        pct(compute),
+        pct(comm),
+        pct(overhead),
+        pct(host)
+    );
+
+    // Top-K dispatched statements by compute-cycle share.
+    let mut hot: Vec<(&str, u64, u64)> = opcodes
+        .iter()
+        .map(|(name, hist)| (name.as_str(), hist.total_cycles(), hist.total_hits()))
+        .collect();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    println!("  hot statements (by compute-cycle share):");
+    for (rank, (name, cycles, hits)) in hot.iter().take(PROFILE_TOP_K).enumerate() {
+        let share = if compute == 0 {
+            0.0
+        } else {
+            100.0 * *cycles as f64 / compute as f64
+        };
+        println!(
+            "    {:>2}. {name:<24} {cycles:>12} cycles  {share:>5.1}%  ({hits} ops)",
+            rank + 1
+        );
+    }
+    if hot.len() > PROFILE_TOP_K {
+        println!("    … and {} more", hot.len() - PROFILE_TOP_K);
+    }
+
+    // Per-opcode histogram, merged across every routine.
+    let mut merged = OpcodeProfile::new();
+    for hist in opcodes.values() {
+        merged.merge(hist);
+    }
+    let mut rows: Vec<_> = merged.rows().collect();
+    rows.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then(a.0.cmp(b.0)));
+    println!("  hot opcodes:");
+    for (mnemonic, row) in rows.iter().take(PROFILE_TOP_K) {
+        let share = if compute == 0 {
+            0.0
+        } else {
+            100.0 * row.cycles as f64 / compute as f64
+        };
+        println!(
+            "    {mnemonic:<16} {:>12} cycles  {share:>5.1}%  ({} hits)",
+            row.cycles, row.hits
+        );
+    }
+    println!(
+        "  reconciled: opcode cycle totals match the cycle profile to the cycle \
+         ({dispatch_compute} == {compute})"
+    );
+    Ok(())
 }
 
 /// Deliver collected telemetry to the requested sinks.

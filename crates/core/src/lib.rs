@@ -64,6 +64,9 @@ pub use f90y_backend::CompiledProgram;
 pub use f90y_cm2::{Cm2, Cm2Config, MachineStats};
 pub use f90y_mimd::{FaultPlan, MimdConfig, MimdStats};
 pub use f90y_nir::Imp;
+pub use f90y_obs::trace::{
+    Actor, ChromeTraceSink, ClockDomain, JsonlTraceSink, Trace, TraceBuffer, TraceEvent, TraceSink,
+};
 pub use f90y_obs::{EventSink, JsonSink, PrettySink, Telemetry, TelemetryReport};
 pub use f90y_transform::{DumpPoint, PassManager, PassReport, PipelineReport, TransformReport};
 
@@ -171,6 +174,9 @@ pub enum RunError {
     Validation(String),
     /// The NIR reference evaluator itself failed.
     Reference(f90y_nir::NirError),
+    /// A configured trace sink failed to accept the run's trace (an
+    /// I/O error writing the export).
+    Trace(std::io::Error),
 }
 
 impl fmt::Display for RunError {
@@ -181,6 +187,7 @@ impl fmt::Display for RunError {
             RunError::Unrecoverable(m) => write!(f, "unrecoverable fault: {m}"),
             RunError::Validation(m) => write!(f, "validation failed: {m}"),
             RunError::Reference(e) => write!(f, "reference evaluator: {e}"),
+            RunError::Trace(e) => write!(f, "trace sink: {e}"),
         }
     }
 }
@@ -210,6 +217,9 @@ impl From<RunError> for CompileError {
             ),
             RunError::InvalidSession(m) | RunError::Validation(m) => {
                 CompileError::Backend(f90y_backend::BackendError::Host(m))
+            }
+            RunError::Trace(e) => {
+                CompileError::Backend(f90y_backend::BackendError::Host(e.to_string()))
             }
         }
     }
@@ -508,6 +518,7 @@ impl Executable {
             tel: None,
             faults: None,
             machine: None,
+            sinks: Vec::new(),
         }
     }
 
@@ -522,7 +533,8 @@ impl Executable {
     )]
     pub fn run(&self, nodes: usize) -> Result<RunReport, CompileError> {
         let mut cm = self.pipeline.machine(nodes);
-        self.run_cm2_impl(&mut cm, &mut Telemetry::disabled())
+        self.run_cm2_impl(&mut cm, &mut Telemetry::disabled(), false)
+            .map(|(r, _)| r)
             .map_err(CompileError::from)
     }
 
@@ -537,7 +549,9 @@ impl Executable {
     )]
     pub fn run_with(&self, nodes: usize, tel: &mut Telemetry) -> Result<RunReport, CompileError> {
         let mut cm = self.pipeline.machine(nodes);
-        self.run_cm2_impl(&mut cm, tel).map_err(CompileError::from)
+        self.run_cm2_impl(&mut cm, tel, false)
+            .map(|(r, _)| r)
+            .map_err(CompileError::from)
     }
 
     /// Run on an existing machine (stats accumulate).
@@ -550,7 +564,8 @@ impl Executable {
         note = "use `exe.session(Target::Cm2 { nodes }).on_machine(cm).run()`"
     )]
     pub fn run_on(&self, cm: &mut Cm2) -> Result<RunReport, CompileError> {
-        self.run_cm2_impl(cm, &mut Telemetry::disabled())
+        self.run_cm2_impl(cm, &mut Telemetry::disabled(), false)
+            .map(|(r, _)| r)
             .map_err(CompileError::from)
     }
 
@@ -568,7 +583,9 @@ impl Executable {
         cm: &mut Cm2,
         tel: &mut Telemetry,
     ) -> Result<RunReport, CompileError> {
-        self.run_cm2_impl(cm, tel).map_err(CompileError::from)
+        self.run_cm2_impl(cm, tel, false)
+            .map(|(r, _)| r)
+            .map_err(CompileError::from)
     }
 
     /// The CM/2 execution behind every session: runs inside a `run`
@@ -576,17 +593,28 @@ impl Executable {
     /// — with a recording collector — the machine's per-phase cycle
     /// profile is enabled for the run and lands as `sim.phase.<tag>.*`
     /// counters whose sums equal the `sim.*` category totals exactly.
-    fn run_cm2_impl(&self, cm: &mut Cm2, tel: &mut Telemetry) -> Result<RunReport, RunError> {
+    /// With `want_trace`, the machine's cycle-clocked flight recorder
+    /// is enabled for the run and its trace returned alongside.
+    fn run_cm2_impl(
+        &self,
+        cm: &mut Cm2,
+        tel: &mut Telemetry,
+        want_trace: bool,
+    ) -> Result<(RunReport, Option<Trace>), RunError> {
         if tel.is_enabled() {
             // A fresh profile for this run, so phase sums equal the
             // stats delta reported below.
             cm.enable_profile();
+        }
+        if want_trace {
+            cm.enable_flight_recorder();
         }
         let span = tel.start("run");
         let before = cm.stats();
         let finals = HostExecutor::new(cm).run(&self.compiled)?;
         let after = cm.stats();
         tel.finish(span);
+        let trace = if want_trace { cm.take_flight() } else { None };
         let stats = MachineStats {
             compute_cycles: after.compute_cycles - before.compute_cycles,
             comm_cycles: after.comm_cycles - before.comm_cycles,
@@ -627,13 +655,16 @@ impl Executable {
             }
         }
         let clock = cm.config().clock_hz;
-        Ok(RunReport {
-            gflops: stats.gflops(clock),
-            elapsed_seconds: stats.elapsed_seconds(clock),
-            host_fraction: stats.host_fraction(clock),
-            stats,
-            finals,
-        })
+        Ok((
+            RunReport {
+                gflops: stats.gflops(clock),
+                elapsed_seconds: stats.elapsed_seconds(clock),
+                host_fraction: stats.host_fraction(clock),
+                stats,
+                finals,
+            },
+            trace,
+        ))
     }
 
     /// Run on the CM/5 MIMD execution engine with the given node count
@@ -649,7 +680,8 @@ impl Executable {
         note = "use `exe.session(Target::Cm5Mimd { nodes }).run()`"
     )]
     pub fn run_mimd(&self, nodes: usize) -> Result<MimdRunReport, CompileError> {
-        self.run_mimd_impl(nodes, None, &mut Telemetry::disabled())
+        self.run_mimd_impl(nodes, None, &mut Telemetry::disabled(), false)
+            .map(|(r, _)| r)
             .map_err(CompileError::from)
     }
 
@@ -667,7 +699,8 @@ impl Executable {
         nodes: usize,
         tel: &mut Telemetry,
     ) -> Result<MimdRunReport, CompileError> {
-        self.run_mimd_impl(nodes, None, tel)
+        self.run_mimd_impl(nodes, None, tel, false)
+            .map(|(r, _)| r)
             .map_err(CompileError::from)
     }
 
@@ -682,17 +715,22 @@ impl Executable {
         nodes: usize,
         faults: Option<FaultPlan>,
         tel: &mut Telemetry,
-    ) -> Result<MimdRunReport, RunError> {
+        want_trace: bool,
+    ) -> Result<(MimdRunReport, Option<Trace>), RunError> {
         let fault_run = faults.is_some();
         let mut config = f90y_mimd::MimdConfig::new(nodes);
         if let Some(plan) = faults {
             config = config.with_faults(plan);
         }
         let mut machine = f90y_mimd::MimdMachine::new(config);
+        if want_trace {
+            machine.enable_trace();
+        }
         let span = tel.start("run.mimd");
         let result = HostExecutor::new(&mut machine).run(&self.compiled);
         tel.finish(span);
         let finals = result.map_err(RunError::from)?;
+        let trace = machine.take_trace();
         let stats = machine.stats().clone();
         if tel.is_enabled() {
             tel.count("mimd.nodes", nodes as u64);
@@ -731,12 +769,31 @@ impl Executable {
                 tel.gauge("mimd.fault.recovery_seconds", stats.recovery_seconds);
             }
         }
-        Ok(MimdRunReport {
-            gflops: stats.gflops(),
-            elapsed_seconds: stats.elapsed_seconds(),
-            stats,
-            finals,
-        })
+        Ok((
+            MimdRunReport {
+                gflops: stats.gflops(),
+                elapsed_seconds: stats.elapsed_seconds(),
+                stats,
+                finals,
+            },
+            trace,
+        ))
+    }
+
+    /// The compile-time pass events a traced session prepends to its
+    /// machine trace: one [`TraceEvent::Pass`] per middle-end pass, in
+    /// pipeline order.
+    fn pass_trace_events(&self) -> Vec<TraceEvent> {
+        self.pass_reports
+            .passes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TraceEvent::Pass {
+                ordinal: i as u64,
+                name: p.name.clone(),
+                rewrites: p.rewrites as u64,
+            })
+            .collect()
     }
 
     /// Validate the compiled program against the NIR reference
@@ -824,6 +881,7 @@ pub struct Session<'a> {
     tel: Option<&'a mut Telemetry>,
     faults: Option<FaultPlan>,
     machine: Option<&'a mut Cm2>,
+    sinks: Vec<&'a mut dyn TraceSink>,
 }
 
 impl<'a> Session<'a> {
@@ -840,6 +898,19 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Record the run's flight-recorder trace and deliver it to `sink`
+    /// when the run finishes. Superstep-clocked on [`Target::Cm5Mimd`]
+    /// (per-node phases, send/recv flow edges, fault and recovery
+    /// events), cycle-clocked on [`Target::Cm2`] (runtime-call phase
+    /// slices), and always prefixed with one [`TraceEvent::Pass`] per
+    /// middle-end pass. Chain several times to feed several sinks from
+    /// one run (e.g. a [`ChromeTraceSink`] and a [`JsonlTraceSink`]).
+    #[must_use]
+    pub fn trace(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.sinks.push(sink);
         self
     }
 
@@ -869,10 +940,12 @@ impl<'a> Session<'a> {
             tel,
             faults,
             machine,
+            mut sinks,
         } = self;
         let mut local = Telemetry::disabled();
         let tel = tel.unwrap_or(&mut local);
-        match target {
+        let want_trace = !sinks.is_empty();
+        let (run, trace) = match target {
             Target::Cm2 { nodes } => {
                 if faults.is_some() {
                     return Err(RunError::InvalidSession(
@@ -881,7 +954,7 @@ impl<'a> Session<'a> {
                             .into(),
                     ));
                 }
-                match machine {
+                let (report, trace) = match machine {
                     Some(cm) => {
                         let have = cm.config().nodes;
                         if have != nodes {
@@ -890,13 +963,14 @@ impl<'a> Session<'a> {
                                  asks for {nodes} nodes"
                             )));
                         }
-                        exe.run_cm2_impl(cm, tel).map(Run::Cm2)
+                        exe.run_cm2_impl(cm, tel, want_trace)?
                     }
                     None => {
                         let mut cm = exe.pipeline.machine(nodes);
-                        exe.run_cm2_impl(&mut cm, tel).map(Run::Cm2)
+                        exe.run_cm2_impl(&mut cm, tel, want_trace)?
                     }
-                }
+                };
+                (Run::Cm2(report), trace)
             }
             Target::Cm5Mimd { nodes } => {
                 if machine.is_some() {
@@ -914,9 +988,17 @@ impl<'a> Session<'a> {
                 if let Some(plan) = &faults {
                     plan.validate(nodes).map_err(RunError::InvalidSession)?;
                 }
-                exe.run_mimd_impl(nodes, faults, tel).map(Run::Mimd)
+                let (report, trace) = exe.run_mimd_impl(nodes, faults, tel, want_trace)?;
+                (Run::Mimd(report), trace)
+            }
+        };
+        if let Some(mut trace) = trace {
+            trace.prepend(exe.pass_trace_events());
+            for sink in &mut sinks {
+                sink.emit(&trace).map_err(RunError::Trace)?;
             }
         }
+        Ok(run)
     }
 }
 

@@ -1,0 +1,141 @@
+//! End-to-end tests of the session flight recorder: a traced SWE run
+//! on the MIMD engine must pair every message send with exactly one
+//! receive, agree with the `mimd.*` telemetry counters, and export a
+//! well-formed Chrome trace; the CM/2 target must produce a
+//! cycle-clocked trace from the same `.trace(sink)` chainer.
+
+use f90y_core::{
+    workloads, ChromeTraceSink, ClockDomain, Compiler, JsonlTraceSink, Pipeline, Target, Telemetry,
+    Trace, TraceBuffer, TraceEvent,
+};
+
+fn traced_swe(nodes: usize) -> (Trace, Telemetry) {
+    let exe = Compiler::new(Pipeline::F90y)
+        .compile(&workloads::swe_source(32, 2))
+        .expect("swe compiles");
+    let mut tel = Telemetry::new();
+    let mut buf = TraceBuffer::default();
+    exe.session(Target::Cm5Mimd { nodes })
+        .telemetry(&mut tel)
+        .trace(&mut buf)
+        .run()
+        .expect("swe runs");
+    (buf.trace.expect("trace captured"), tel)
+}
+
+#[test]
+fn traced_swe_pairs_every_send_with_exactly_one_recv() {
+    let (trace, tel) = traced_swe(16);
+    assert_eq!(trace.clock(), ClockDomain::Superstep);
+    let paired = trace.verify_flow_pairing().expect("flows pair");
+    assert_eq!(trace.sends(), paired);
+    assert_eq!(trace.recvs(), paired);
+    let messages = tel
+        .report()
+        .counter("mimd.messages")
+        .expect("mimd.messages counter");
+    assert_eq!(paired as u64, messages, "trace flows == telemetry count");
+    assert!(paired > 0, "SWE halo exchange must message on 16 nodes");
+}
+
+#[test]
+fn traced_run_prepends_one_pass_event_per_middle_end_pass() {
+    let (trace, _) = traced_swe(16);
+    let passes: Vec<_> = trace
+        .events()
+        .iter()
+        .take_while(|e| matches!(e, TraceEvent::Pass { .. }))
+        .collect();
+    assert!(!passes.is_empty(), "pass events lead the trace");
+    for (i, ev) in passes.iter().enumerate() {
+        if let TraceEvent::Pass { ordinal, name, .. } = ev {
+            assert_eq!(*ordinal, i as u64);
+            assert!(!name.is_empty());
+        }
+    }
+    // No Pass events after the machine section begins.
+    let tail_passes = trace
+        .events()
+        .iter()
+        .skip(passes.len())
+        .filter(|e| matches!(e, TraceEvent::Pass { .. }))
+        .count();
+    assert_eq!(tail_passes, 0);
+}
+
+#[test]
+fn chrome_export_carries_flow_edges_and_loads_as_json() {
+    let (trace, _) = traced_swe(16);
+    let chrome = trace.to_chrome_json();
+    assert!(chrome.starts_with('{') && chrome.ends_with('}'));
+    assert!(chrome.contains("\"traceEvents\""));
+    let starts = chrome.matches("\"ph\":\"s\"").count();
+    let finishes = chrome.matches("\"ph\":\"f\"").count();
+    let paired = trace.verify_flow_pairing().unwrap();
+    assert_eq!(starts, paired, "one flow start per message");
+    assert_eq!(finishes, paired, "one flow finish per message");
+}
+
+#[test]
+fn traced_swe_is_deterministic_across_runs() {
+    let (a, _) = traced_swe(16);
+    let (b, _) = traced_swe(16);
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.to_chrome_json(), b.to_chrome_json());
+}
+
+#[test]
+fn one_session_feeds_chrome_and_jsonl_sinks_together() {
+    let exe = Compiler::new(Pipeline::F90y)
+        .compile(&workloads::swe_source(16, 1))
+        .expect("swe compiles");
+    let mut chrome = ChromeTraceSink::new(Vec::new());
+    let mut jsonl = JsonlTraceSink::new(Vec::new());
+    let mut buf = TraceBuffer::default();
+    exe.session(Target::Cm5Mimd { nodes: 4 })
+        .trace(&mut chrome)
+        .trace(&mut jsonl)
+        .trace(&mut buf)
+        .run()
+        .expect("swe runs");
+    let trace = buf.trace.expect("trace captured");
+    let chrome = String::from_utf8(chrome.into_inner()).unwrap();
+    let jsonl = String::from_utf8(jsonl.into_inner()).unwrap();
+    assert_eq!(chrome, format!("{}\n", trace.to_chrome_json()));
+    assert_eq!(jsonl, trace.to_jsonl());
+    // JSONL: one header line plus one line per event.
+    assert_eq!(jsonl.lines().count(), trace.len() + 1);
+}
+
+#[test]
+fn cm2_sessions_trace_on_the_cycle_clock() {
+    let exe = Compiler::new(Pipeline::F90y)
+        .compile(&workloads::swe_source(16, 1))
+        .expect("swe compiles");
+    let mut buf = TraceBuffer::default();
+    exe.session(Target::Cm2 { nodes: 16 })
+        .trace(&mut buf)
+        .run()
+        .expect("swe runs");
+    let trace = buf.trace.expect("trace captured");
+    assert_eq!(trace.clock(), ClockDomain::Cycle);
+    let phases = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Phase { .. }))
+        .count();
+    assert!(phases > 0, "CM/2 runtime calls appear as phase slices");
+}
+
+#[test]
+fn untraced_sessions_stay_untraced() {
+    let exe = Compiler::new(Pipeline::F90y)
+        .compile(&workloads::swe_source(16, 1))
+        .expect("swe compiles");
+    // No .trace() chainer: the machines must not pay for recording.
+    let run = exe
+        .session(Target::Cm5Mimd { nodes: 4 })
+        .run()
+        .expect("swe runs");
+    assert!(run.into_mimd().stats.supersteps > 0);
+}

@@ -48,6 +48,7 @@ use std::collections::{HashMap, HashSet};
 use f90y_backend::Machine;
 use f90y_cm2::runtime::{shift_data, ReduceOp};
 use f90y_cm2::Cm2Error;
+use f90y_obs::trace::{Actor, ClockDomain, Trace, TraceEvent};
 use f90y_peac::isa::Instr;
 use f90y_peac::sim::{run_routine, NodeMemory};
 use f90y_peac::Routine;
@@ -123,6 +124,8 @@ pub struct MimdMachine {
     fired_kills: HashSet<usize>,
     /// Plan stall entries already fired.
     fired_stalls: HashSet<usize>,
+    /// The flight recorder, clocked by the superstep counter.
+    trace: Option<Trace>,
 }
 
 impl MimdMachine {
@@ -158,6 +161,56 @@ impl MimdMachine {
             restarts_used: 0,
             fired_kills: HashSet::new(),
             fired_stalls: HashSet::new(),
+            trace: None,
+        }
+    }
+
+    /// Start the flight recorder (clears any previous trace). Events
+    /// are stamped with the superstep clock: each runtime call's phase
+    /// occupies `[step, step + 1)` on every node's track, and its
+    /// messages record send/recv flow edges within that window.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::new(ClockDomain::Superstep));
+    }
+
+    /// The flight-recorder trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Take ownership of the flight-recorder trace, leaving it disabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Record the current superstep as a phase slice on every node's
+    /// track (the engine is bulk-synchronous: all nodes participate in
+    /// every superstep).
+    fn trace_phase_all_nodes(&mut self, label: &str) {
+        let step = self.superstep;
+        let nodes = self.config.nodes;
+        if let Some(t) = &mut self.trace {
+            for k in 0..nodes {
+                t.record(TraceEvent::Phase {
+                    actor: Actor::Node(k),
+                    label: label.to_string(),
+                    start: step,
+                    end: step + 1,
+                });
+            }
+        }
+    }
+
+    /// Record the current superstep as a phase slice on the host track.
+    fn trace_phase_host(&mut self, label: &str) {
+        let step = self.superstep;
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent::Phase {
+                actor: Actor::Host,
+                label: label.to_string(),
+                start: step,
+                end: step + 1,
+            });
         }
     }
 
@@ -266,7 +319,9 @@ impl MimdMachine {
     }
 
     fn deliver(&mut self, batch: Vec<Message>) -> Result<(), Cm2Error> {
-        let result = self.net.deliver(self.superstep, batch);
+        let result = self
+            .net
+            .deliver_traced(self.superstep, batch, self.trace.as_mut());
         self.sync_net_stats();
         match result {
             Ok(secs) => {
@@ -301,6 +356,13 @@ impl MimdMachine {
                 self.stats.node_stalls += 1;
                 self.stats.compute_seconds += secs;
                 self.stats.node_busy_seconds[node] += secs;
+                if let Some(t) = &mut self.trace {
+                    t.record(TraceEvent::Fault {
+                        step,
+                        actor: Actor::Node(node),
+                        kind: "stall".into(),
+                    });
+                }
             }
         }
         if !plan.has_kills() {
@@ -309,6 +371,12 @@ impl MimdMachine {
         let ckpt = self.checkpoint();
         self.stats.checkpoints += 1;
         self.stats.checkpoint_bytes += ckpt.bytes();
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent::Checkpoint {
+                step,
+                bytes: ckpt.bytes(),
+            });
+        }
         // Agreeing to cut a checkpoint is one barrier synchronization.
         self.stats.network_seconds += self.config.net_call_seconds;
         let kills: Vec<usize> = plan
@@ -340,6 +408,13 @@ impl MimdMachine {
             self.stats.node_kills += 1;
             self.stats.node_restarts += 1;
             restored_bytes += ckpt.node_bytes(node);
+            if let Some(t) = &mut self.trace {
+                t.record(TraceEvent::Fault {
+                    step,
+                    actor: Actor::Node(node),
+                    kind: "kill".into(),
+                });
+            }
         }
         self.restarts_used += kills.len() as u32;
         // Recovery: re-ship the killed nodes' checkpointed shards, then
@@ -348,6 +423,12 @@ impl MimdMachine {
             plan.retry_timeout_seconds + restored_bytes as f64 / self.config.network_bytes_per_sec;
         self.stats.network_seconds += restore_secs;
         self.stats.recovery_seconds += restore_secs;
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent::Restore {
+                step,
+                bytes: restored_bytes,
+            });
+        }
         self.restore(&ckpt);
         body(self)
     }
@@ -493,6 +574,11 @@ impl MimdMachine {
             .collect();
         self.charge_compute(&busy);
         self.stats.comm_calls += 1;
+        self.trace_phase_all_nodes(if batch.is_empty() {
+            "shift.local"
+        } else {
+            "halo"
+        });
         if !batch.is_empty() {
             self.stats.halo_exchanges += 1;
         }
@@ -590,6 +676,7 @@ impl MimdMachine {
         let flops_per_elem: u64 = routine.body().iter().map(Instr::flops_per_elem).sum();
         self.stats.flops += flops_per_elem * (map.rows() * inner) as u64;
         self.stats.dispatches += 1;
+        self.trace_phase_all_nodes(&format!("dispatch.{}", routine.name()));
         Ok(())
     }
 
@@ -647,6 +734,7 @@ impl MimdMachine {
         self.deliver(batch)?;
         self.stats.comm_calls += 1;
         self.stats.reductions += 1;
+        self.trace_phase_all_nodes("reduce");
         Ok(value)
     }
 
@@ -680,6 +768,7 @@ impl MimdMachine {
         self.deliver(batch)?;
         self.stats.comm_calls += 1;
         self.stats.router_batches += 1;
+        self.trace_phase_all_nodes("router");
         Ok(())
     }
 
@@ -703,6 +792,7 @@ impl MimdMachine {
             bytes: 8,
             kind: MessageKind::HostElem,
         }])?;
+        self.trace_phase_host("host.read");
         Ok(v)
     }
 
@@ -728,6 +818,7 @@ impl MimdMachine {
             bytes: 8,
             kind: MessageKind::HostElem,
         }])?;
+        self.trace_phase_host("host.write");
         Ok(())
     }
 }
@@ -847,5 +938,120 @@ impl Machine for MimdMachine {
 
     fn host_write_elem(&mut self, id: MimdId, flat: usize, v: f64) -> Result<(), Cm2Error> {
         self.run_superstep(|m| m.host_write_step(id, flat, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use f90y_peac::isa::{Mem, Operand, VReg};
+
+    fn inc_routine() -> Routine {
+        Routine::new(
+            "inc",
+            2,
+            0,
+            vec![
+                Instr::Fimmv {
+                    value: 1.0,
+                    dst: VReg(1),
+                },
+                Instr::Flodv {
+                    src: Mem::arg(0),
+                    dst: VReg(0),
+                    overlapped: false,
+                },
+                Instr::Faddv {
+                    a: Operand::V(VReg(0)),
+                    b: Operand::V(VReg(1)),
+                    dst: VReg(2),
+                },
+                Instr::Fstrv {
+                    src: VReg(2),
+                    dst: Mem::arg(1),
+                    overlapped: false,
+                },
+            ],
+        )
+        .expect("valid routine")
+    }
+
+    fn drive(m: &mut MimdMachine) {
+        let a = m.alloc_from(&[16], (0..16).map(|i| i as f64).collect());
+        let b = m.alloc_with_bounds(&[16], &[1]);
+        m.dispatch(&inc_routine(), &[a, b], &[]).unwrap();
+        let s = m.cshift(a, 0, 1).unwrap();
+        m.reduce(s, ReduceOp::Sum).unwrap();
+        m.host_read_elem(a, 3).unwrap();
+    }
+
+    #[test]
+    fn traced_run_pairs_every_send_with_one_recv() {
+        let mut m = MimdMachine::new(MimdConfig::new(4));
+        m.enable_trace();
+        drive(&mut m);
+        let messages = m.stats().messages;
+        let trace = m.take_trace().unwrap();
+        let paired = trace.verify_flow_pairing().unwrap();
+        assert_eq!(paired as u64, messages, "one flow edge per message");
+        assert_eq!(trace.sends(), trace.recvs());
+        let has = |label: &str| {
+            trace
+                .events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Phase { label: l, .. } if l == label))
+        };
+        assert!(has("dispatch.inc"));
+        assert!(has("halo"));
+        assert!(has("reduce"));
+        assert!(has("host.read"));
+    }
+
+    #[test]
+    fn traced_run_is_deterministic() {
+        let run = || {
+            let mut m = MimdMachine::new(MimdConfig::new(4));
+            m.enable_trace();
+            drive(&mut m);
+            m.take_trace().unwrap().digest()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn faulty_run_traces_recovery_and_still_pairs_flows() {
+        let plan = FaultPlan::seeded(7)
+            .drop_per_mille(200)
+            .retries(16)
+            .kill(2, 1)
+            .restarts(1);
+        let mut m = MimdMachine::new(MimdConfig::new(4).with_faults(plan));
+        m.enable_trace();
+        drive(&mut m);
+        let trace = m.take_trace().unwrap();
+        trace.verify_flow_pairing().unwrap();
+        let kind_of = |want: &str| {
+            trace
+                .events()
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Fault { kind, .. } if kind == want))
+                .count()
+        };
+        assert_eq!(kind_of("kill"), 1, "the planned kill is in the trace");
+        assert!(
+            trace
+                .events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Checkpoint { .. })),
+            "kill plans checkpoint every superstep"
+        );
+        assert!(
+            trace
+                .events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Restore { .. })),
+            "the kill forces a restore"
+        );
     }
 }

@@ -37,7 +37,18 @@
 
 use std::fmt;
 
+use f90y_obs::trace::{Actor, Trace, TraceEvent};
+
 use crate::fault::{FaultCounters, FaultPlan};
+
+/// The flight-recorder actor for a message endpoint.
+fn actor_of(endpoint: usize) -> Actor {
+    if endpoint == HOST {
+        Actor::Host
+    } else {
+        Actor::Node(endpoint)
+    }
+}
 
 /// What a message carries (for the log and the per-kind counters).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,10 +216,26 @@ impl Net {
     ///
     /// [`Unrecoverable`] when some message was dropped on every
     /// delivery attempt the retry budget allows.
-    pub fn deliver(
+    pub fn deliver(&mut self, superstep: u64, batch: Vec<Message>) -> Result<f64, Unrecoverable> {
+        self.deliver_traced(superstep, batch, None)
+    }
+
+    /// [`Net::deliver`] with an optional flight recorder attached: each
+    /// message records one [`TraceEvent::Send`] at injection and exactly
+    /// one [`TraceEvent::Recv`] when the receiver's dedup accepts it
+    /// (so sends pair bijectively with receives no matter how the wire
+    /// drops, duplicates or delays copies), and every injected fault
+    /// records a [`TraceEvent::Fault`].
+    ///
+    /// # Errors
+    ///
+    /// [`Unrecoverable`] when some message was dropped on every
+    /// delivery attempt the retry budget allows.
+    pub fn deliver_traced(
         &mut self,
         superstep: u64,
         mut batch: Vec<Message>,
+        mut trace: Option<&mut Trace>,
     ) -> Result<f64, Unrecoverable> {
         if batch.is_empty() {
             return Ok(0.0);
@@ -236,6 +263,16 @@ impl Net {
         for (i, m) in batch.iter().enumerate() {
             let seq = first_seq + i as u64;
             let (s, d) = (slot(m.src, self.nodes), slot(m.dst, self.nodes));
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(TraceEvent::Send {
+                    seq,
+                    src: actor_of(m.src),
+                    dst: actor_of(m.dst),
+                    step: superstep,
+                    bytes: m.bytes,
+                    kind: m.kind.to_string(),
+                });
+            }
             let mut sends = 1u64;
             let mut arrivals = 1u64;
             let mut delayed = false;
@@ -246,6 +283,13 @@ impl Net {
                 let mut attempt = 0u32;
                 while plan.drops(superstep, seq, attempt, m.kind) {
                     self.faults.drops += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(TraceEvent::Fault {
+                            step: superstep,
+                            actor: actor_of(m.src),
+                            kind: "drop".into(),
+                        });
+                    }
                     stall_seconds += plan.retry_timeout_seconds;
                     attempt += 1;
                     if attempt > plan.max_retries {
@@ -262,11 +306,25 @@ impl Net {
                 }
                 if plan.duplicates(superstep, seq, m.kind) {
                     self.faults.duplicates += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(TraceEvent::Fault {
+                            step: superstep,
+                            actor: actor_of(m.src),
+                            kind: "duplicate".into(),
+                        });
+                    }
                     sends += 1;
                     arrivals += 1;
                 }
                 if plan.delays(superstep, seq, m.kind) {
                     self.faults.delays += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(TraceEvent::Fault {
+                            step: superstep,
+                            actor: actor_of(m.dst),
+                            kind: "delay".into(),
+                        });
+                    }
                     stall_seconds += plan.retry_timeout_seconds;
                     delayed = true;
                 }
@@ -295,7 +353,18 @@ impl Net {
         // reordered or duplicated it.
         let mut inbox = Inbox::new();
         for (seq, m) in prompt.into_iter().chain(late) {
-            if !inbox.accept(seq, m) {
+            if inbox.accept(seq, m) {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(TraceEvent::Recv {
+                        seq,
+                        src: actor_of(m.src),
+                        dst: actor_of(m.dst),
+                        step: superstep,
+                        bytes: m.bytes,
+                        kind: m.kind.to_string(),
+                    });
+                }
+            } else {
                 self.faults.dedup_suppressed += 1;
             }
         }

@@ -31,7 +31,11 @@ impl fmt::Display for Json {
             Json::Null => write!(f, "null"),
             Json::Bool(b) => write!(f, "{b}"),
             Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                if !n.is_finite() {
+                    // JSON has no NaN/±inf; `null` keeps the document
+                    // well-formed instead of emitting a bare `NaN`.
+                    write!(f, "null")
+                } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
                     write!(f, "{}", *n as i64)
                 } else {
                     write!(f, "{n}")
@@ -317,6 +321,27 @@ mod tests {
         assert_eq!(Json::Num(42.0).to_string(), "42");
         assert_eq!(Json::Num(-3.0).to_string(), "-3");
         assert_eq!(Json::Num(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn non_finite_numbers_emit_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).to_string(), "null");
+        // The emitted document stays parseable.
+        let doc = Json::Obj(vec![("x".into(), Json::Num(f64::NAN))]);
+        assert_eq!(
+            parse(&doc.to_string()).unwrap(),
+            Json::Obj(vec![("x".into(), Json::Null)])
+        );
+    }
+
+    #[test]
+    fn control_characters_escape_on_emit() {
+        let doc = Json::Str("a\u{1}b\u{7f}\n".into());
+        let text = doc.to_string();
+        assert_eq!(text, "\"a\\u0001b\u{7f}\\n\"");
+        assert_eq!(parse(&text).unwrap(), doc);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod json;
 pub mod sink;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -157,17 +158,20 @@ impl Telemetry {
         *self.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
-    /// Set the named gauge (last write wins).
+    /// Set the named gauge (last write wins). Non-finite values
+    /// (NaN/±inf) are rejected: they have no JSON representation, so
+    /// accepting them would poison every report downstream.
     pub fn gauge(&mut self, name: &str, value: f64) {
-        if !self.enabled {
+        if !self.enabled || !value.is_finite() {
             return;
         }
         self.gauges.insert(name.to_string(), value);
     }
 
-    /// Record the larger of the current gauge and `value`.
+    /// Record the larger of the current gauge and `value` (non-finite
+    /// values are rejected, as in [`Telemetry::gauge`]).
     pub fn gauge_max(&mut self, name: &str, value: f64) {
-        if !self.enabled {
+        if !self.enabled || !value.is_finite() {
             return;
         }
         let slot = self
@@ -181,9 +185,10 @@ impl Telemetry {
 
     /// Record the smaller of the current gauge and `value` (the
     /// counterpart of [`Telemetry::gauge_max`], e.g. the least-loaded
-    /// node of a MIMD run).
+    /// node of a MIMD run; non-finite values are rejected, as in
+    /// [`Telemetry::gauge`]).
     pub fn gauge_min(&mut self, name: &str, value: f64) {
-        if !self.enabled {
+        if !self.enabled || !value.is_finite() {
             return;
         }
         let slot = self.gauges.entry(name.to_string()).or_insert(f64::INFINITY);
@@ -284,7 +289,12 @@ impl TelemetryReport {
             .collect()
     }
 
-    /// Serialise to JSON.
+    /// Serialise to JSON. Counters and gauges emit sorted by name
+    /// regardless of the report's in-memory order (reports parsed from
+    /// foreign documents may arrive unsorted), so two equivalent
+    /// reports serialise byte-identically; spans keep start order,
+    /// which the depth hierarchy depends on and which is already
+    /// deterministic.
     pub fn to_json(&self) -> String {
         use json::Json;
         let spans = Json::Arr(
@@ -299,14 +309,18 @@ impl TelemetryReport {
                 })
                 .collect(),
         );
+        let mut sorted_counters: Vec<_> = self.counters.clone();
+        sorted_counters.sort_by(|a, b| a.0.cmp(&b.0));
         let counters = Json::Obj(
-            self.counters
+            sorted_counters
                 .iter()
                 .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
                 .collect(),
         );
+        let mut sorted_gauges: Vec<_> = self.gauges.clone();
+        sorted_gauges.sort_by(|a, b| a.0.cmp(&b.0));
         let gauges = Json::Obj(
-            self.gauges
+            sorted_gauges
                 .iter()
                 .map(|(k, v)| (k.clone(), Json::Num(*v)))
                 .collect(),
@@ -481,6 +495,37 @@ mod tests {
         let report = tel.report();
         let parsed = TelemetryReport::from_json(&report.to_json()).unwrap();
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn non_finite_gauges_are_rejected() {
+        let mut tel = Telemetry::new();
+        tel.gauge("g", f64::NAN);
+        tel.gauge("h", f64::INFINITY);
+        tel.gauge_max("m", f64::NEG_INFINITY);
+        tel.gauge_min("n", f64::NAN);
+        assert!(tel.report().gauges.is_empty());
+        // A finite write after a rejected one still lands.
+        tel.gauge("g", 1.5);
+        tel.gauge("g", f64::NAN);
+        assert_eq!(tel.report().gauge("g"), Some(1.5));
+    }
+
+    #[test]
+    fn to_json_sorts_unsorted_reports() {
+        // A report built by hand (or parsed from a foreign document)
+        // can hold entries out of name order; serialisation must not
+        // leak that order.
+        let report = TelemetryReport {
+            spans: Vec::new(),
+            counters: vec![("zeta".into(), 2), ("alpha".into(), 1)],
+            gauges: vec![("late".into(), 1.0), ("early".into(), 0.5)],
+        };
+        let text = report.to_json();
+        assert!(text.find("alpha").unwrap() < text.find("zeta").unwrap());
+        assert!(text.find("early").unwrap() < text.find("late").unwrap());
+        let round = TelemetryReport::from_json(&text).unwrap();
+        assert_eq!(round.to_json(), text);
     }
 
     #[test]

@@ -113,15 +113,22 @@ impl<W: Write> EventSink for PrettySink<W> {
             let label = format!("{indent}{}", span.name);
             writeln!(w, "{label:<44} {:>12}", format_duration(span.nanos))?;
         }
+        // Sort by name on the way out: a report parsed from a foreign
+        // document may hold its entries unsorted, and the table's
+        // contract is byte-identical output for equivalent reports.
         if !report.counters.is_empty() {
             writeln!(w, "counters")?;
-            for (name, value) in &report.counters {
+            let mut counters: Vec<_> = report.counters.iter().collect();
+            counters.sort_by(|a, b| a.0.cmp(&b.0));
+            for (name, value) in counters {
                 writeln!(w, "  {name:<42} {value:>12}")?;
             }
         }
         if !report.gauges.is_empty() {
             writeln!(w, "gauges")?;
-            for (name, value) in &report.gauges {
+            let mut gauges: Vec<_> = report.gauges.iter().collect();
+            gauges.sort_by(|a, b| a.0.cmp(&b.0));
+            for (name, value) in gauges {
                 writeln!(w, "  {name:<42} {value:>12.2}")?;
             }
         }
@@ -198,6 +205,20 @@ mod tests {
         // Indentation tracks span depth.
         assert!(text.contains("\n  compile "));
         assert!(text.contains("\n    compile.frontend "));
+    }
+
+    #[test]
+    fn pretty_sink_sorts_unsorted_reports() {
+        let report = TelemetryReport {
+            spans: Vec::new(),
+            counters: vec![("zeta".into(), 2), ("alpha".into(), 1)],
+            gauges: vec![("late".into(), 1.0), ("early".into(), 0.5)],
+        };
+        let mut sink = PrettySink::new(Vec::new());
+        sink.emit(&report).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.find("alpha").unwrap() < text.find("zeta").unwrap());
+        assert!(text.find("early").unwrap() < text.find("late").unwrap());
     }
 
     #[test]

@@ -1,0 +1,851 @@
+//! The flight recorder: typed trace events on the simulated clock.
+//!
+//! The paper's argument is built on knowing *where cycles go*; spans and
+//! counters (see [`crate::Telemetry`]) aggregate that, but pipeline
+//! tuning also wants the event-level record — which node did what,
+//! when, and because of which message. This module is that record:
+//!
+//! * [`TraceEvent`] — typed events stamped with the **deterministic
+//!   simulated clock** ([`ClockDomain::Superstep`] for the MIMD engine,
+//!   [`ClockDomain::Cycle`] for the CM/2 simulator). Superstep begin/end
+//!   per node, message send/recv carrying `(seq, src, dst)` so sends
+//!   pair with receives as causal flow edges, halo/reduction/router
+//!   phases, fault injections, checkpoint/restore, and per-pass
+//!   middle-end events.
+//! * [`Trace`] — the ordered event log with two exporters:
+//!   [`Trace::to_chrome_json`] (Chrome trace-event JSON: tracks =
+//!   nodes, slices = supersteps/phases, flow events = messages; loads
+//!   directly in Perfetto or `chrome://tracing`) and
+//!   [`Trace::to_jsonl`] (compact JSONL for programmatic diffing).
+//! * [`TraceSink`] — where traces go once a run finishes:
+//!   [`ChromeTraceSink`], [`JsonlTraceSink`], or an in-memory
+//!   [`TraceBuffer`] for tests and harnesses.
+//!
+//! Every timestamp derives from the simulated clock, never wall time,
+//! so two identical runs produce byte-identical traces and
+//! [`Trace::digest`] is a stable fingerprint of a run's behaviour.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::json::Json;
+
+/// Which simulated clock stamps a trace's events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// MIMD time: one tick per runtime call (superstep).
+    Superstep,
+    /// CM/2 time: accumulated machine cycles.
+    Cycle,
+}
+
+impl ClockDomain {
+    /// Stable lower-case name used in both export formats.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClockDomain::Superstep => "superstep",
+            ClockDomain::Cycle => "cycle",
+        }
+    }
+}
+
+/// Who an event happened on — one track per actor in the Chrome export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Actor {
+    /// The front-end host (partition manager / control processor).
+    Host,
+    /// One processing node of a MIMD partition.
+    Node(usize),
+    /// The whole lockstep PE array of the SIMD machine.
+    Machine,
+    /// The compiler (per-pass middle-end events).
+    Compiler,
+}
+
+impl fmt::Display for Actor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Actor::Host => write!(f, "host"),
+            Actor::Node(k) => write!(f, "node{k}"),
+            Actor::Machine => write!(f, "machine"),
+            Actor::Compiler => write!(f, "compiler"),
+        }
+    }
+}
+
+impl Actor {
+    /// Chrome process id: the compiler is its own process, everything
+    /// that runs on the machine shares one.
+    fn pid(self) -> u64 {
+        match self {
+            Actor::Compiler => 0,
+            _ => 1,
+        }
+    }
+
+    /// Chrome thread id (the track within the process).
+    fn tid(self) -> u64 {
+        match self {
+            Actor::Compiler | Actor::Host => 0,
+            Actor::Machine => 1,
+            Actor::Node(k) => k as u64 + 1,
+        }
+    }
+
+    /// Human track label for the Chrome `thread_name` metadata.
+    fn track_name(self) -> String {
+        match self {
+            Actor::Host => "host".into(),
+            Actor::Node(k) => format!("node {k}"),
+            Actor::Machine => "pe array".into(),
+            Actor::Compiler => "passes".into(),
+        }
+    }
+}
+
+/// One event in a [`Trace`]. All clock fields are in the trace's
+/// [`ClockDomain`] units.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A phase slice `[start, end)` on `actor`'s track: a superstep's
+    /// dispatch/halo/reduce/router/host work on a MIMD node, or a
+    /// runtime call's cycle interval on the CM/2.
+    Phase {
+        /// Whose track the slice belongs on.
+        actor: Actor,
+        /// Dotted phase label, e.g. `dispatch.b0` or `halo`.
+        label: String,
+        /// Clock value at phase begin.
+        start: u64,
+        /// Clock value at phase end (`>= start`).
+        end: u64,
+    },
+    /// A message injected into the network — the `s` end of a causal
+    /// flow edge, paired with the [`TraceEvent::Recv`] of equal `seq`.
+    Send {
+        /// Network-wide sequence number (unique per message).
+        seq: u64,
+        /// Sending actor.
+        src: Actor,
+        /// Receiving actor.
+        dst: Actor,
+        /// Superstep (or clock value) of the exchange.
+        step: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Message kind (`halo`, `broadcast`, `reduce-tree`, …).
+        kind: String,
+    },
+    /// A message accepted by its destination — the `f` end of the flow
+    /// edge started by the [`TraceEvent::Send`] of equal `seq`.
+    Recv {
+        /// Network-wide sequence number (matches the send).
+        seq: u64,
+        /// Sending actor.
+        src: Actor,
+        /// Receiving actor.
+        dst: Actor,
+        /// Superstep (or clock value) of the exchange.
+        step: u64,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Message kind (`halo`, `broadcast`, `reduce-tree`, …).
+        kind: String,
+    },
+    /// A deterministic fault injection (message drop/duplicate/delay,
+    /// node kill or stall) from an active fault plan.
+    Fault {
+        /// Clock value at injection.
+        step: u64,
+        /// The actor the fault hit.
+        actor: Actor,
+        /// Fault kind (`drop`, `duplicate`, `delay`, `kill`, `stall`).
+        kind: String,
+    },
+    /// A recovery checkpoint was taken before a doomed superstep.
+    Checkpoint {
+        /// Clock value at the checkpoint.
+        step: u64,
+        /// Bytes captured.
+        bytes: u64,
+    },
+    /// State was restored from the superstep's checkpoint after a kill.
+    Restore {
+        /// Clock value at the restore.
+        step: u64,
+        /// Bytes restored.
+        bytes: u64,
+    },
+    /// One middle-end pass execution (clocked by its ordinal, on the
+    /// [`Actor::Compiler`] track).
+    Pass {
+        /// Zero-based position in the pass pipeline.
+        ordinal: u64,
+        /// The pass's registered name.
+        name: String,
+        /// Rewrites the pass applied.
+        rewrites: u64,
+    },
+}
+
+/// An ordered, append-only event log on one simulated clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    clock: ClockDomain,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace on the given clock.
+    pub fn new(clock: ClockDomain) -> Self {
+        Trace {
+            clock,
+            events: Vec::new(),
+        }
+    }
+
+    /// The clock domain stamping this trace's events.
+    pub fn clock(&self) -> ClockDomain {
+        self.clock
+    }
+
+    /// Append one event.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The events in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Prepend events (used to put compile-time pass events ahead of
+    /// the run's machine events).
+    pub fn prepend(&mut self, events: Vec<TraceEvent>) {
+        let mut all = events;
+        all.append(&mut self.events);
+        self.events = all;
+    }
+
+    /// Number of [`TraceEvent::Send`] events.
+    pub fn sends(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Send { .. }))
+            .count()
+    }
+
+    /// Number of [`TraceEvent::Recv`] events.
+    pub fn recvs(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Recv { .. }))
+            .count()
+    }
+
+    /// Check the causal-flow invariant: every send pairs with exactly
+    /// one receive of the same `seq`, and vice versa. Returns the
+    /// number of paired messages.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation.
+    pub fn verify_flow_pairing(&self) -> Result<usize, String> {
+        use std::collections::BTreeMap;
+        let mut sends: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut recvs: BTreeMap<u64, usize> = BTreeMap::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Send { seq, .. } => *sends.entry(*seq).or_insert(0) += 1,
+                TraceEvent::Recv { seq, .. } => *recvs.entry(*seq).or_insert(0) += 1,
+                _ => {}
+            }
+        }
+        for (seq, n) in &sends {
+            if *n != 1 {
+                return Err(format!("seq {seq} sent {n} times"));
+            }
+            match recvs.get(seq) {
+                Some(1) => {}
+                Some(n) => return Err(format!("seq {seq} received {n} times")),
+                None => return Err(format!("seq {seq} sent but never received")),
+            }
+        }
+        for seq in recvs.keys() {
+            if !sends.contains_key(seq) {
+                return Err(format!("seq {seq} received but never sent"));
+            }
+        }
+        Ok(sends.len())
+    }
+
+    /// Derived Chrome timestamp in microseconds: supersteps are scaled
+    /// so each superstep occupies 1000µs of display time; cycles map
+    /// 1:1 (one µs per cycle keeps slices readable at CM/2 scale).
+    fn ts_scale(&self) -> u64 {
+        match self.clock {
+            ClockDomain::Superstep => 1000,
+            ClockDomain::Cycle => 1,
+        }
+    }
+
+    /// Export as a Chrome trace-event JSON document (object format),
+    /// loadable in Perfetto or `chrome://tracing`. Tracks are actors,
+    /// slices are phases, flow arrows (`s`/`f` pairs keyed by message
+    /// `seq`) are messages. All timestamps derive from the simulated
+    /// clock, so the output is byte-identical across identical runs.
+    pub fn to_chrome_json(&self) -> String {
+        let scale = self.ts_scale();
+        let mut events: Vec<Json> = Vec::new();
+
+        // Track metadata: name processes and every thread we will use.
+        let mut actors: Vec<Actor> = Vec::new();
+        for e in &self.events {
+            let mut seen = |a: Actor| {
+                if !actors.contains(&a) {
+                    actors.push(a);
+                }
+            };
+            match e {
+                TraceEvent::Phase { actor, .. } | TraceEvent::Fault { actor, .. } => seen(*actor),
+                TraceEvent::Send { src, dst, .. } | TraceEvent::Recv { src, dst, .. } => {
+                    seen(*src);
+                    seen(*dst);
+                }
+                TraceEvent::Checkpoint { .. } | TraceEvent::Restore { .. } => seen(Actor::Host),
+                TraceEvent::Pass { .. } => seen(Actor::Compiler),
+            }
+        }
+        actors.sort();
+        let mut pids: Vec<u64> = actors.iter().map(|a| a.pid()).collect();
+        pids.dedup();
+        for pid in pids {
+            let name = if pid == 0 { "compiler" } else { "machine" };
+            events.push(meta_event("process_name", pid, 0, name));
+        }
+        for a in &actors {
+            events.push(meta_event("thread_name", a.pid(), a.tid(), &a.track_name()));
+        }
+
+        for e in &self.events {
+            match e {
+                TraceEvent::Phase {
+                    actor,
+                    label,
+                    start,
+                    end,
+                } => {
+                    events.push(Json::Obj(vec![
+                        ("ph".into(), Json::Str("X".into())),
+                        ("pid".into(), Json::Num(actor.pid() as f64)),
+                        ("tid".into(), Json::Num(actor.tid() as f64)),
+                        ("ts".into(), Json::Num((start * scale) as f64)),
+                        ("dur".into(), Json::Num(((end - start) * scale) as f64)),
+                        ("name".into(), Json::Str(label.clone())),
+                        ("cat".into(), Json::Str("phase".into())),
+                    ]));
+                }
+                TraceEvent::Send {
+                    seq,
+                    src,
+                    dst,
+                    step,
+                    bytes,
+                    kind,
+                } => {
+                    events.push(flow_event(
+                        "s", *seq, *src, *dst, *step, *bytes, kind, scale,
+                    ));
+                }
+                TraceEvent::Recv {
+                    seq,
+                    src,
+                    dst,
+                    step,
+                    bytes,
+                    kind,
+                } => {
+                    events.push(flow_event(
+                        "f", *seq, *src, *dst, *step, *bytes, kind, scale,
+                    ));
+                }
+                TraceEvent::Fault { step, actor, kind } => {
+                    events.push(Json::Obj(vec![
+                        ("ph".into(), Json::Str("i".into())),
+                        ("s".into(), Json::Str("t".into())),
+                        ("pid".into(), Json::Num(actor.pid() as f64)),
+                        ("tid".into(), Json::Num(actor.tid() as f64)),
+                        ("ts".into(), Json::Num((step * scale + scale / 2) as f64)),
+                        ("name".into(), Json::Str(format!("fault.{kind}"))),
+                        ("cat".into(), Json::Str("fault".into())),
+                    ]));
+                }
+                TraceEvent::Checkpoint { step, bytes } => {
+                    events.push(instant_event("checkpoint", *step, *bytes, scale));
+                }
+                TraceEvent::Restore { step, bytes } => {
+                    events.push(instant_event("restore", *step, *bytes, scale));
+                }
+                TraceEvent::Pass {
+                    ordinal,
+                    name,
+                    rewrites,
+                } => {
+                    events.push(Json::Obj(vec![
+                        ("ph".into(), Json::Str("X".into())),
+                        ("pid".into(), Json::Num(0.0)),
+                        ("tid".into(), Json::Num(0.0)),
+                        ("ts".into(), Json::Num((ordinal * 1000) as f64)),
+                        ("dur".into(), Json::Num(1000.0)),
+                        ("name".into(), Json::Str(name.clone())),
+                        ("cat".into(), Json::Str("pass".into())),
+                        (
+                            "args".into(),
+                            Json::Obj(vec![("rewrites".into(), Json::Num(*rewrites as f64))]),
+                        ),
+                    ]));
+                }
+            }
+        }
+
+        Json::Obj(vec![
+            ("displayTimeUnit".into(), Json::Str("ms".into())),
+            (
+                "otherData".into(),
+                Json::Obj(vec![(
+                    "clock".into(),
+                    Json::Str(self.clock.as_str().into()),
+                )]),
+            ),
+            ("traceEvents".into(), Json::Arr(events)),
+        ])
+        .to_string()
+    }
+
+    /// Export as compact JSONL: a header line carrying the clock
+    /// domain, then one JSON object per event in record order. The
+    /// format diffs line-by-line and is the input to [`Trace::digest`].
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let header = Json::Obj(vec![
+            ("ev".into(), Json::Str("trace".into())),
+            ("clock".into(), Json::Str(self.clock.as_str().into())),
+            ("events".into(), Json::Num(self.events.len() as f64)),
+        ]);
+        out.push_str(&header.to_string());
+        out.push('\n');
+        for e in &self.events {
+            let obj = match e {
+                TraceEvent::Phase {
+                    actor,
+                    label,
+                    start,
+                    end,
+                } => Json::Obj(vec![
+                    ("ev".into(), Json::Str("phase".into())),
+                    ("actor".into(), Json::Str(actor.to_string())),
+                    ("label".into(), Json::Str(label.clone())),
+                    ("start".into(), Json::Num(*start as f64)),
+                    ("end".into(), Json::Num(*end as f64)),
+                ]),
+                TraceEvent::Send {
+                    seq,
+                    src,
+                    dst,
+                    step,
+                    bytes,
+                    kind,
+                } => message_line("send", *seq, *src, *dst, *step, *bytes, kind),
+                TraceEvent::Recv {
+                    seq,
+                    src,
+                    dst,
+                    step,
+                    bytes,
+                    kind,
+                } => message_line("recv", *seq, *src, *dst, *step, *bytes, kind),
+                TraceEvent::Fault { step, actor, kind } => Json::Obj(vec![
+                    ("ev".into(), Json::Str("fault".into())),
+                    ("step".into(), Json::Num(*step as f64)),
+                    ("actor".into(), Json::Str(actor.to_string())),
+                    ("kind".into(), Json::Str(kind.clone())),
+                ]),
+                TraceEvent::Checkpoint { step, bytes } => Json::Obj(vec![
+                    ("ev".into(), Json::Str("checkpoint".into())),
+                    ("step".into(), Json::Num(*step as f64)),
+                    ("bytes".into(), Json::Num(*bytes as f64)),
+                ]),
+                TraceEvent::Restore { step, bytes } => Json::Obj(vec![
+                    ("ev".into(), Json::Str("restore".into())),
+                    ("step".into(), Json::Num(*step as f64)),
+                    ("bytes".into(), Json::Num(*bytes as f64)),
+                ]),
+                TraceEvent::Pass {
+                    ordinal,
+                    name,
+                    rewrites,
+                } => Json::Obj(vec![
+                    ("ev".into(), Json::Str("pass".into())),
+                    ("ordinal".into(), Json::Num(*ordinal as f64)),
+                    ("name".into(), Json::Str(name.clone())),
+                    ("rewrites".into(), Json::Num(*rewrites as f64)),
+                ]),
+            };
+            out.push_str(&obj.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A deterministic fingerprint of the run's behaviour: FNV-1a (64
+    /// bit) over the JSONL export, rendered as `fnv1a64:<hex>`.
+    pub fn digest(&self) -> String {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.to_jsonl().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("fnv1a64:{hash:016x}")
+    }
+}
+
+fn meta_event(what: &str, pid: u64, tid: u64, name: &str) -> Json {
+    Json::Obj(vec![
+        ("ph".into(), Json::Str("M".into())),
+        ("pid".into(), Json::Num(pid as f64)),
+        ("tid".into(), Json::Num(tid as f64)),
+        ("name".into(), Json::Str(what.into())),
+        (
+            "args".into(),
+            Json::Obj(vec![("name".into(), Json::Str(name.into()))]),
+        ),
+    ])
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flow_event(
+    ph: &str,
+    seq: u64,
+    src: Actor,
+    dst: Actor,
+    step: u64,
+    bytes: u64,
+    kind: &str,
+    scale: u64,
+) -> Json {
+    // The send sits earlier in the superstep's display window than the
+    // receive so Perfetto draws the arrow forward in time.
+    let (actor, quarter) = if ph == "s" { (src, 1) } else { (dst, 3) };
+    let mut fields = vec![
+        ("ph".into(), Json::Str(ph.into())),
+        ("pid".into(), Json::Num(actor.pid() as f64)),
+        ("tid".into(), Json::Num(actor.tid() as f64)),
+        (
+            "ts".into(),
+            Json::Num((step * scale + quarter * scale / 4) as f64),
+        ),
+        ("id".into(), Json::Num(seq as f64)),
+        ("name".into(), Json::Str(kind.into())),
+        ("cat".into(), Json::Str("msg".into())),
+        (
+            "args".into(),
+            Json::Obj(vec![("bytes".into(), Json::Num(bytes as f64))]),
+        ),
+    ];
+    if ph == "f" {
+        // Bind to the enclosing slice rather than the next one.
+        fields.insert(1, ("bp".into(), Json::Str("e".into())));
+    }
+    Json::Obj(fields)
+}
+
+fn instant_event(name: &str, step: u64, bytes: u64, scale: u64) -> Json {
+    Json::Obj(vec![
+        ("ph".into(), Json::Str("i".into())),
+        ("s".into(), Json::Str("g".into())),
+        ("pid".into(), Json::Num(1.0)),
+        ("tid".into(), Json::Num(0.0)),
+        ("ts".into(), Json::Num((step * scale + scale / 2) as f64)),
+        ("name".into(), Json::Str(name.into())),
+        ("cat".into(), Json::Str("recovery".into())),
+        (
+            "args".into(),
+            Json::Obj(vec![("bytes".into(), Json::Num(bytes as f64))]),
+        ),
+    ])
+}
+
+fn message_line(
+    ev: &str,
+    seq: u64,
+    src: Actor,
+    dst: Actor,
+    step: u64,
+    bytes: u64,
+    kind: &str,
+) -> Json {
+    Json::Obj(vec![
+        ("ev".into(), Json::Str(ev.into())),
+        ("seq".into(), Json::Num(seq as f64)),
+        ("src".into(), Json::Str(src.to_string())),
+        ("dst".into(), Json::Str(dst.to_string())),
+        ("step".into(), Json::Num(step as f64)),
+        ("bytes".into(), Json::Num(bytes as f64)),
+        ("kind".into(), Json::Str(kind.into())),
+    ])
+}
+
+/// Consumes a finished run's trace (the flight-recorder counterpart of
+/// [`crate::EventSink`]).
+pub trait TraceSink {
+    /// Deliver one trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying writer.
+    fn emit(&mut self, trace: &Trace) -> io::Result<()>;
+}
+
+/// Writes Chrome trace-event JSON (see [`Trace::to_chrome_json`]).
+pub struct ChromeTraceSink<W: Write> {
+    writer: W,
+}
+
+impl ChromeTraceSink<File> {
+    /// A sink that writes (truncating) to the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(ChromeTraceSink {
+            writer: File::create(path)?,
+        })
+    }
+}
+
+impl<W: Write> ChromeTraceSink<W> {
+    /// A sink over any writer.
+    pub fn new(writer: W) -> Self {
+        ChromeTraceSink { writer }
+    }
+
+    /// Unwrap the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for ChromeTraceSink<W> {
+    fn emit(&mut self, trace: &Trace) -> io::Result<()> {
+        writeln!(self.writer, "{}", trace.to_chrome_json())?;
+        self.writer.flush()
+    }
+}
+
+/// Writes compact JSONL (see [`Trace::to_jsonl`]).
+pub struct JsonlTraceSink<W: Write> {
+    writer: W,
+}
+
+impl JsonlTraceSink<File> {
+    /// A sink that writes (truncating) to the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlTraceSink {
+            writer: File::create(path)?,
+        })
+    }
+}
+
+impl<W: Write> JsonlTraceSink<W> {
+    /// A sink over any writer.
+    pub fn new(writer: W) -> Self {
+        JsonlTraceSink { writer }
+    }
+
+    /// Unwrap the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlTraceSink<W> {
+    fn emit(&mut self, trace: &Trace) -> io::Result<()> {
+        self.writer.write_all(trace.to_jsonl().as_bytes())?;
+        self.writer.flush()
+    }
+}
+
+/// An in-memory sink: keeps a clone of the delivered trace for tests
+/// and harnesses to inspect.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    /// The last trace delivered, if any.
+    pub trace: Option<Trace>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        TraceBuffer::default()
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn emit(&mut self, trace: &Trace) -> io::Result<()> {
+        self.trace = Some(trace.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(ClockDomain::Superstep);
+        t.record(TraceEvent::Phase {
+            actor: Actor::Node(0),
+            label: "dispatch.b0".into(),
+            start: 1,
+            end: 2,
+        });
+        t.record(TraceEvent::Send {
+            seq: 0,
+            src: Actor::Node(0),
+            dst: Actor::Node(1),
+            step: 2,
+            bytes: 64,
+            kind: "halo".into(),
+        });
+        t.record(TraceEvent::Recv {
+            seq: 0,
+            src: Actor::Node(0),
+            dst: Actor::Node(1),
+            step: 2,
+            bytes: 64,
+            kind: "halo".into(),
+        });
+        t.record(TraceEvent::Checkpoint {
+            step: 3,
+            bytes: 128,
+        });
+        t.record(TraceEvent::Fault {
+            step: 3,
+            actor: Actor::Node(1),
+            kind: "kill".into(),
+        });
+        t.record(TraceEvent::Restore {
+            step: 3,
+            bytes: 128,
+        });
+        t.record(TraceEvent::Pass {
+            ordinal: 0,
+            name: "comm-split".into(),
+            rewrites: 2,
+        });
+        t
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_flow_pairs() {
+        let doc = json::parse(&sample().to_chrome_json()).unwrap();
+        let json::Json::Obj(fields) = doc else {
+            panic!("object expected")
+        };
+        let events = fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .unwrap();
+        let json::Json::Arr(items) = events else {
+            panic!("array expected")
+        };
+        let mut sends = 0;
+        let mut recvs = 0;
+        for item in items {
+            let json::Json::Obj(f) = item else {
+                panic!("event object expected")
+            };
+            match f.iter().find(|(k, _)| k == "ph").map(|(_, v)| v) {
+                Some(json::Json::Str(s)) if s == "s" => sends += 1,
+                Some(json::Json::Str(s)) if s == "f" => recvs += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(sends, 1);
+        assert_eq!(recvs, 1);
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse() {
+        let text = sample().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + sample().len());
+        for line in lines {
+            json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.digest(), b.digest());
+        let mut c = sample();
+        c.record(TraceEvent::Checkpoint { step: 9, bytes: 1 });
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn flow_pairing_verifies_and_rejects() {
+        assert_eq!(sample().verify_flow_pairing().unwrap(), 1);
+        let mut t = sample();
+        t.record(TraceEvent::Send {
+            seq: 7,
+            src: Actor::Host,
+            dst: Actor::Node(0),
+            step: 4,
+            bytes: 8,
+            kind: "broadcast".into(),
+        });
+        assert!(t.verify_flow_pairing().is_err());
+    }
+
+    #[test]
+    fn buffer_sink_captures() {
+        let mut sink = TraceBuffer::new();
+        sink.emit(&sample()).unwrap();
+        assert_eq!(sink.trace.as_ref().unwrap().len(), sample().len());
+    }
+
+    #[test]
+    fn prepend_puts_pass_events_first() {
+        let mut t = Trace::new(ClockDomain::Superstep);
+        t.record(TraceEvent::Checkpoint { step: 1, bytes: 0 });
+        t.prepend(vec![TraceEvent::Pass {
+            ordinal: 0,
+            name: "p".into(),
+            rewrites: 0,
+        }]);
+        assert!(matches!(t.events()[0], TraceEvent::Pass { .. }));
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the telemetry report serialisation: the JSON
+//! round-trip must be lossless for any report the collector can
+//! produce, including nested spans and dotted (prefixed) counter names.
+
+use proptest::prelude::*;
+
+use f90y_obs::{SpanReport, TelemetryReport};
+
+/// A plausible dotted phase/counter name: one to three segments drawn
+/// from the namespaces the pipeline actually uses, so prefixed counters
+/// (`sim.phase.<tag>.<cat>`) are well represented.
+fn name_strategy() -> impl Strategy<Value = String> {
+    let seg = prop_oneof![
+        Just("compile"),
+        Just("frontend"),
+        Just("sim"),
+        Just("mimd"),
+        Just("phase"),
+        Just("cycles"),
+        Just("dispatch"),
+        Just("halo \"q\"\n"), // exercises string escaping
+    ];
+    proptest::collection::vec(seg, 1..4).prop_map(|parts| parts.join("."))
+}
+
+/// Spans with depths forming a valid nesting sequence: each span's
+/// depth is at most one deeper than its predecessor's, starting at 0 —
+/// exactly the shape `Telemetry::report` can emit.
+fn spans_strategy() -> impl Strategy<Value = Vec<SpanReport>> {
+    proptest::collection::vec((name_strategy(), 0u64..4, 0u64..5_000_000_000), 0..8).prop_map(
+        |raw| {
+            let mut depth_cap = 0usize;
+            raw.into_iter()
+                .map(|(name, depth, nanos)| {
+                    let depth = (depth as usize).min(depth_cap);
+                    depth_cap = depth + 1;
+                    SpanReport {
+                        name,
+                        depth,
+                        nanos: u128::from(nanos),
+                    }
+                })
+                .collect()
+        },
+    )
+}
+
+fn report_strategy() -> impl Strategy<Value = TelemetryReport> {
+    let counters = proptest::collection::vec((name_strategy(), 0u64..1_000_000_000), 0..8);
+    let gauges = proptest::collection::vec((name_strategy(), -1.0e12f64..1.0e12), 0..8);
+    (spans_strategy(), counters, gauges).prop_map(|(spans, mut counters, mut gauges)| {
+        // The collector stores counters/gauges in BTreeMaps: names are
+        // unique and sorted. Mirror that so round-trip equality is an
+        // honest check rather than an artifact of duplicate keys.
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        counters.dedup_by(|a, b| a.0 == b.0);
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.dedup_by(|a, b| a.0 == b.0);
+        TelemetryReport {
+            spans,
+            counters,
+            gauges,
+        }
+    })
+}
+
+proptest! {
+    /// `from_json(to_json(r))` is the identity on collector-shaped
+    /// reports.
+    #[test]
+    fn json_round_trip_is_lossless(report in report_strategy()) {
+        let text = report.to_json();
+        let parsed = TelemetryReport::from_json(&text).expect("emitted JSON parses");
+        prop_assert_eq!(&parsed.spans, &report.spans);
+        prop_assert_eq!(&parsed.counters, &report.counters);
+        // Gauges round-trip through the f64 formatter losslessly
+        // (Rust's shortest-round-trip float printing).
+        prop_assert_eq!(&parsed.gauges, &report.gauges);
+    }
+
+    /// Serialisation is canonical: a second emit of the parsed report
+    /// is byte-identical to the first emit.
+    #[test]
+    fn json_emit_is_canonical(report in report_strategy()) {
+        let text = report.to_json();
+        let parsed = TelemetryReport::from_json(&text).expect("emitted JSON parses");
+        prop_assert_eq!(parsed.to_json(), text);
+    }
+}

@@ -365,6 +365,41 @@ pub enum Instr {
 }
 
 impl Instr {
+    /// The assembler mnemonic, as in [`Routine::listing`] — the bucket
+    /// key for opcode-level profiling (see [`crate::profile`]). Spill
+    /// traffic gets its own `.spill` buckets because the cost model
+    /// prices it differently from ordinary loads and stores.
+    pub fn mnemonic(&self) -> &'static str {
+        use Instr::*;
+        match self {
+            Flodv { .. } => "flodv",
+            Fstrv { .. } => "fstrv",
+            Faddv { .. } => "faddv",
+            Fsubv { .. } => "fsubv",
+            Fmulv { .. } => "fmulv",
+            Fdivv { .. } => "fdivv",
+            Fmaxv { .. } => "fmaxv",
+            Fminv { .. } => "fminv",
+            Fmaddv { .. } => "fmaddv",
+            Fnegv { .. } => "fnegv",
+            Fabsv { .. } => "fabsv",
+            Ftruncv { .. } => "ftruncv",
+            Fcmpv { .. } => "fcmpv",
+            Fselv { .. } => "fselv",
+            Fimmv { .. } => "fimmv",
+            Flib { op, .. } => match op {
+                LibOp::Sqrt => "fsqrtv",
+                LibOp::Sin => "fsinv",
+                LibOp::Cos => "fcosv",
+                LibOp::Exp => "fexpv",
+                LibOp::Log => "flogv",
+                LibOp::Pow => "fpowv",
+            },
+            SpillStore { .. } => "fstrv.spill",
+            SpillLoad { .. } => "flodv.spill",
+        }
+    }
+
     /// The register this instruction defines, if any.
     pub fn def(&self) -> Option<VReg> {
         use Instr::*;

@@ -20,7 +20,10 @@
 //! * [`sim`] — an *executing* simulator: a routine runs its virtual
 //!   subgrid loop over real `f64` node memory, producing both numerical
 //!   results (for translation validation against the NIR evaluator) and
-//!   a deterministic cycle count (for the performance tables).
+//!   a deterministic cycle count (for the performance tables);
+//! * [`profile`] — the opt-in opcode profiler: per-opcode hit/cycle
+//!   histograms whose sums reconcile with the simulator's and the
+//!   machine's cycle charges exactly.
 //!
 //! ## Example
 //!
@@ -47,12 +50,14 @@
 pub mod asm;
 pub mod costs;
 pub mod isa;
+pub mod profile;
 pub mod sim;
 pub mod validate;
 
 pub use asm::parse_listing;
 pub use isa::{CmpOp, Instr, Mem, Operand, PReg, Routine, SReg, VReg};
-pub use sim::{run_routine, ExecStats, NodeMemory};
+pub use profile::{OpcodeProfile, OpcodeRow};
+pub use sim::{run_routine, run_routine_profiled, ExecStats, NodeMemory};
 
 use std::error::Error;
 use std::fmt;

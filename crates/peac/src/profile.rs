@@ -1,0 +1,264 @@
+//! The opt-in opcode profiler: per-opcode hit/cycle histograms.
+//!
+//! The cost model of [`crate::costs`] prices every instruction, and the
+//! simulator's [`crate::sim::ExecStats`] reports the total; this module
+//! fills the gap between them — *which opcodes* the cycles went to.
+//! Two recording modes cover the two cycle domains:
+//!
+//! * [`OpcodeProfile::record_exec`] — raw PEAC cycles, bucket sums
+//!   equal to [`crate::sim::ExecStats::cycles`] exactly (used by
+//!   [`crate::sim::run_routine_profiled`]);
+//! * [`OpcodeProfile::record_scaled`] — the same shape scaled to an
+//!   externally charged total (the CM/2 machine applies a compute
+//!   multiplier and truncates to whole cycles; proportional integer
+//!   attribution keeps the bucket sums equal to that charge **to the
+//!   cycle**, with any rounding remainder assigned to the loop-overhead
+//!   bucket).
+//!
+//! Per-iteration loop overhead ([`crate::costs::LOOP_OVERHEAD_CYCLES`])
+//! is a first-class bucket named [`LOOP_BUCKET`]; without it, opcode
+//! sums could never reconcile with routine totals.
+
+use std::collections::BTreeMap;
+
+use crate::costs;
+use crate::isa::Instr;
+
+/// The histogram bucket carrying per-iteration loop overhead (and any
+/// integer rounding remainder from [`OpcodeProfile::record_scaled`]).
+pub const LOOP_BUCKET: &str = "loop";
+
+/// One histogram row: executions and cycles attributed to an opcode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpcodeRow {
+    /// Dynamic executions (instruction occurrences × loop iterations).
+    pub hits: u64,
+    /// Cycles attributed to this opcode.
+    pub cycles: u64,
+}
+
+/// A per-opcode hit/cycle histogram, keyed by assembler mnemonic
+/// (see [`Instr::mnemonic`]) plus the [`LOOP_BUCKET`] row.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpcodeProfile {
+    rows: BTreeMap<&'static str, OpcodeRow>,
+}
+
+impl OpcodeProfile {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        OpcodeProfile::default()
+    }
+
+    /// Record one execution of `body` over `iterations` subgrid-loop
+    /// iterations at raw PEAC cycle prices. After this call the
+    /// histogram's cycle sum has grown by exactly
+    /// `costs::body_cycles(body) * iterations` — the simulator's own
+    /// total for the same run.
+    pub fn record_exec(&mut self, body: &[Instr], iterations: u64) {
+        if iterations == 0 {
+            return;
+        }
+        for i in body {
+            let row = self.rows.entry(i.mnemonic()).or_default();
+            row.hits += iterations;
+            row.cycles += costs::instr_cycles(i) * iterations;
+        }
+        let row = self.rows.entry(LOOP_BUCKET).or_default();
+        row.hits += iterations;
+        row.cycles += costs::LOOP_OVERHEAD_CYCLES * iterations;
+    }
+
+    /// Record one execution of `body` over `iterations` iterations,
+    /// attributing exactly `total_cycles` across the opcodes in
+    /// proportion to their raw cost. Integer division floors each
+    /// bucket; the remainder lands in [`LOOP_BUCKET`], so the
+    /// histogram's cycle sum grows by exactly `total_cycles` — this is
+    /// what lets machine-level charges (which scale and truncate)
+    /// reconcile with the histogram to the cycle.
+    pub fn record_scaled(&mut self, body: &[Instr], iterations: u64, total_cycles: u64) {
+        let raw_total = costs::body_cycles(body).saturating_mul(iterations);
+        if raw_total == 0 {
+            if total_cycles > 0 {
+                self.rows.entry(LOOP_BUCKET).or_default().cycles += total_cycles;
+            }
+            return;
+        }
+        let scale = |raw: u64| -> u64 {
+            ((u128::from(raw) * u128::from(total_cycles)) / u128::from(raw_total)) as u64
+        };
+        let mut assigned = 0u64;
+        for i in body {
+            let raw = costs::instr_cycles(i) * iterations;
+            let share = scale(raw);
+            assigned += share;
+            let row = self.rows.entry(i.mnemonic()).or_default();
+            row.hits += iterations;
+            row.cycles += share;
+        }
+        let loop_raw = costs::LOOP_OVERHEAD_CYCLES * iterations;
+        let loop_share = scale(loop_raw);
+        assigned += loop_share;
+        let row = self.rows.entry(LOOP_BUCKET).or_default();
+        row.hits += iterations;
+        row.cycles += loop_share + (total_cycles - assigned);
+    }
+
+    /// The rows in mnemonic order.
+    pub fn rows(&self) -> impl Iterator<Item = (&'static str, OpcodeRow)> + '_ {
+        self.rows.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// One row by mnemonic.
+    pub fn row(&self, mnemonic: &str) -> Option<OpcodeRow> {
+        self.rows.get(mnemonic).copied()
+    }
+
+    /// Sum of all rows' cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.rows.values().map(|r| r.cycles).sum()
+    }
+
+    /// Sum of all rows' hits.
+    pub fn total_hits(&self) -> u64 {
+        self.rows.values().map(|r| r.hits).sum()
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &OpcodeProfile) {
+        for (k, v) in &other.rows {
+            let row = self.rows.entry(k).or_default();
+            row.hits += v.hits;
+            row.cycles += v.cycles;
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Mem, Operand, Routine, VReg};
+
+    fn body() -> Vec<Instr> {
+        vec![
+            Instr::Flodv {
+                src: Mem::arg(0),
+                dst: VReg(0),
+                overlapped: false,
+            },
+            Instr::Fmulv {
+                a: Operand::V(VReg(0)),
+                b: Operand::V(VReg(0)),
+                dst: VReg(1),
+            },
+            Instr::Fdivv {
+                a: Operand::V(VReg(1)),
+                b: Operand::V(VReg(0)),
+                dst: VReg(2),
+            },
+            Instr::Fstrv {
+                src: VReg(2),
+                dst: Mem::arg(1),
+                overlapped: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn exec_totals_match_body_cycles() {
+        let body = body();
+        let mut p = OpcodeProfile::new();
+        p.record_exec(&body, 7);
+        assert_eq!(p.total_cycles(), costs::body_cycles(&body) * 7);
+        assert_eq!(p.row("fdivv").unwrap().cycles, costs::FDIV_CYCLES * 7);
+        assert_eq!(p.row(LOOP_BUCKET).unwrap().hits, 7);
+    }
+
+    #[test]
+    fn scaled_totals_match_exactly_even_when_truncation_rounds() {
+        let body = body();
+        // A total that is NOT a multiple of the raw cost: proportional
+        // floor division must still account for every cycle.
+        for total in [0u64, 1, 97, 1000, 12_345] {
+            let mut p = OpcodeProfile::new();
+            p.record_scaled(&body, 3, total);
+            assert_eq!(p.total_cycles(), total, "total {total}");
+        }
+    }
+
+    #[test]
+    fn scaled_accumulates_across_dispatches() {
+        let body = body();
+        let mut p = OpcodeProfile::new();
+        p.record_scaled(&body, 3, 100);
+        p.record_scaled(&body, 5, 201);
+        assert_eq!(p.total_cycles(), 301);
+        assert_eq!(p.row("fmulv").unwrap().hits, 8);
+    }
+
+    #[test]
+    fn zero_iterations_record_nothing_raw_but_keep_scaled_totals() {
+        let mut p = OpcodeProfile::new();
+        p.record_exec(&body(), 0);
+        assert!(p.is_empty());
+        p.record_scaled(&body(), 0, 42);
+        assert_eq!(p.total_cycles(), 42);
+        assert_eq!(p.row(LOOP_BUCKET).unwrap().cycles, 42);
+    }
+
+    #[test]
+    fn merge_sums_rows() {
+        let mut a = OpcodeProfile::new();
+        a.record_exec(&body(), 2);
+        let mut b = OpcodeProfile::new();
+        b.record_exec(&body(), 3);
+        let mut m = OpcodeProfile::new();
+        m.merge(&a);
+        m.merge(&b);
+        assert_eq!(m.total_cycles(), a.total_cycles() + b.total_cycles());
+        assert_eq!(m.row("flodv").unwrap().hits, 5);
+    }
+
+    #[test]
+    fn spills_bucket_separately_from_plain_memory() {
+        let r = Routine::new(
+            "s",
+            1,
+            0,
+            vec![
+                Instr::Flodv {
+                    src: Mem::arg(0),
+                    dst: VReg(0),
+                    overlapped: false,
+                },
+                Instr::SpillStore {
+                    src: VReg(0),
+                    slot: 0,
+                    overlapped: false,
+                },
+                Instr::SpillLoad {
+                    slot: 0,
+                    dst: VReg(1),
+                    overlapped: false,
+                },
+            ],
+        )
+        .expect("valid");
+        let mut p = OpcodeProfile::new();
+        p.record_exec(r.body(), 1);
+        assert_eq!(
+            p.row("fstrv.spill").unwrap().cycles,
+            costs::SPILL_HALF_CYCLES
+        );
+        assert_eq!(
+            p.row("flodv.spill").unwrap().cycles,
+            costs::SPILL_HALF_CYCLES
+        );
+        assert_eq!(p.row("flodv").unwrap().cycles, costs::MEM_CYCLES);
+    }
+}

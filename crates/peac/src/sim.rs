@@ -157,6 +157,27 @@ pub fn run_routine(
     })
 }
 
+/// [`run_routine`] with the opt-in opcode profiler: on success the
+/// run's per-opcode hit/cycle histogram is folded into `profile`, whose
+/// cycle sum grows by exactly [`ExecStats::cycles`] (the per-iteration
+/// loop overhead gets its own [`crate::profile::LOOP_BUCKET`] row).
+///
+/// # Errors
+///
+/// As [`run_routine`]; on error nothing is recorded.
+pub fn run_routine_profiled(
+    routine: &Routine,
+    mem: &mut NodeMemory,
+    ptr_args: &[Ptr],
+    scalar_args: &[f64],
+    n_elems: usize,
+    profile: &mut crate::profile::OpcodeProfile,
+) -> Result<ExecStats, PeacError> {
+    let stats = run_routine(routine, mem, ptr_args, scalar_args, n_elems)?;
+    profile.record_exec(routine.body(), stats.iterations);
+    Ok(stats)
+}
+
 fn load_vec(mem: &NodeMemory, pointers: &[usize], m: &Mem) -> Result<[f64; VLEN], PeacError> {
     let base = pointers[m.ptr.0 as usize];
     let slice = mem
