@@ -1,0 +1,153 @@
+//! `bench_serve` — the serving-layer load generator (DESIGN.md §13).
+//!
+//! Three modes:
+//!
+//! ```text
+//! bench_serve [--out BENCH_serve.json] [--log serve.requests.jsonl]
+//! bench_serve --smoke --emit-requests
+//! bench_serve --smoke --check <responses.ndjson>
+//! ```
+//!
+//! The default mode replays the 50-request mixed workload (SWE, Fig. 9,
+//! heat, Life, red-black, compile-only, lint-only across three tenants)
+//! through an in-process deterministic engine and writes two artefacts:
+//! the committed `BENCH_serve.json` (p50/p99 latency in simulated
+//! units, cache hit rate, fairness spread — byte-identical across
+//! regenerations, so CI gates it with `git diff`) and a per-request
+//! response log carrying each request's cache outcome, charge and
+//! flight-recorder digest.
+//!
+//! The smoke modes drive the *real* `f90y-served` binary end-to-end in
+//! CI: `--emit-requests` prints the workload as NDJSON request lines to
+//! pipe into the service, and `--check` verifies the service's NDJSON
+//! responses — every id answered exactly once, no failures, the
+//! repeated sources actually hit the cache, and the lint request warns.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use f90y_serve::protocol::Response;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_serve [--out <BENCH_serve.json>] [--log <serve.requests.jsonl>]\n\
+         \x20      bench_serve --smoke --emit-requests\n\
+         \x20      bench_serve --smoke --check <responses.ndjson>"
+    );
+    std::process::exit(2);
+}
+
+/// Verify the responses `f90y-served` produced for the smoke workload.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let expected = f90y_bench::serve_workload();
+
+    let mut seen: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut hits = 0u64;
+    let mut lint_warned = 0u64;
+    for line in text.lines() {
+        match Response::parse(line).map_err(|e| format!("bad response line: {e}: {line}"))? {
+            Response::Done(d) => {
+                *seen.entry(d.id).or_insert(0) += 1;
+                if d.cache == "hit" {
+                    hits += 1;
+                }
+                if !d.warnings.is_empty() {
+                    lint_warned += 1;
+                }
+            }
+            Response::Error(e) => {
+                return Err(format!(
+                    "request {} failed: {:?}: {}",
+                    e.id, e.kind, e.message
+                ))
+            }
+        }
+    }
+
+    for req in &expected {
+        match seen.get(&req.id) {
+            Some(1) => {}
+            Some(n) => return Err(format!("request {} answered {n} times", req.id)),
+            None => return Err(format!("request {} never answered", req.id)),
+        }
+    }
+    if seen.len() != expected.len() {
+        return Err(format!(
+            "{} responses for {} requests",
+            seen.len(),
+            expected.len()
+        ));
+    }
+    if hits == 0 {
+        return Err("the workload repeats sources but nothing hit the cache".into());
+    }
+    if lint_warned == 0 {
+        return Err("the lint requests produced no warnings".into());
+    }
+    println!(
+        "OK {path}: {} responses, {hits} cache hits, {lint_warned} lint warnings",
+        expected.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("--smoke") {
+        return match args.get(1).map(String::as_str) {
+            Some("--emit-requests") if args.len() == 2 => {
+                for req in f90y_bench::serve_workload() {
+                    println!("{}", req.to_json());
+                }
+                ExitCode::SUCCESS
+            }
+            Some("--check") => match args.get(2) {
+                Some(path) if args.len() == 3 => match check(path) {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("bench_serve: {e}");
+                        ExitCode::FAILURE
+                    }
+                },
+                _ => usage(),
+            },
+            _ => usage(),
+        };
+    }
+
+    let mut out = "BENCH_serve.json".to_string();
+    let mut log = "serve.requests.jsonl".to_string();
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--out" => match iter.next() {
+                Some(p) => out = p,
+                None => usage(),
+            },
+            "--log" => match iter.next() {
+                Some(p) => log = p,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let artefacts = f90y_bench::serve_bench();
+    if let Err(e) = std::fs::write(&out, &artefacts.report) {
+        eprintln!("bench_serve: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&log, &artefacts.request_log) {
+        eprintln!("bench_serve: cannot write {log}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out} ({} bytes) and {log} ({} request lines), schema {}",
+        artefacts.report.len(),
+        artefacts.request_log.lines().count(),
+        f90y_bench::BENCH_SCHEMA,
+    );
+    ExitCode::SUCCESS
+}

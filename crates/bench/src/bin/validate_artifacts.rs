@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! validate_artifacts --bench BENCH_swe.json [--trace run.trace.json]
+//!                    [--serve BENCH_serve.json]
 //! ```
 //!
 //! Checks, exiting 1 on the first violation:
@@ -16,6 +17,13 @@
 //!   send (`"ph":"s"`) and exactly once as a receive (`"ph":"f"`).
 //!   With `--bench` also given, the flow count must equal the bench
 //!   report's `cm5.messages`.
+//! * `--serve`: the serving benchmark parses, carries the schema tag
+//!   and every section, records zero failed requests, a cache hit
+//!   rate at or above the 50 % acceptance floor with at least one hit
+//!   (the workload repeats sources — a hitless replay means the cache
+//!   key over-discriminates), ordered latency percentiles, and
+//!   regenerating the replay in-process reproduces the committed
+//!   bytes exactly.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -140,14 +148,95 @@ fn check_trace(path: &str) -> Result<u64, String> {
     Ok(starts.len() as u64)
 }
 
+/// Validate the serving benchmark (DESIGN.md §13).
+fn check_serve(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+
+    match field(&doc, "schema") {
+        Some(Json::Str(s)) if s == f90y_bench::BENCH_SCHEMA => {}
+        Some(other) => return Err(format!("unexpected schema tag {other}")),
+        None => return Err("schema tag missing".into()),
+    }
+    match field(&doc, "workload") {
+        Some(Json::Str(s)) if s == "serve" => {}
+        other => return Err(format!("workload tag is not 'serve': {other:?}")),
+    }
+    for section in ["config", "requests", "cache", "latency", "fairness"] {
+        if field(&doc, section).is_none() {
+            return Err(format!("section '{section}' missing"));
+        }
+    }
+
+    let requests = field(&doc, "requests").expect("checked above");
+    let total = num_field(requests, "total")? as u64;
+    let answered = num_field(requests, "run")? as u64
+        + num_field(requests, "compile")? as u64
+        + num_field(requests, "lint")? as u64;
+    if answered != total {
+        return Err(format!(
+            "request kinds sum to {answered} but total is {total}"
+        ));
+    }
+    if num_field(requests, "errors")? as u64 != 0 {
+        return Err("a committed replay must have zero failed requests".into());
+    }
+
+    let cache = field(&doc, "cache").expect("checked above");
+    if num_field(cache, "hits")? as u64 == 0 {
+        return Err("the workload repeats sources: at least one hit required".into());
+    }
+    let hit_rate = num_field(cache, "hit_rate")?;
+    if hit_rate < 0.5 {
+        return Err(format!(
+            "cache hit rate {hit_rate} is below the 50% acceptance floor"
+        ));
+    }
+
+    let latency = field(&doc, "latency").expect("checked above");
+    for block in [
+        "compile_units",
+        "run_units",
+        "queue_wait_units",
+        "latency_units",
+    ] {
+        let b = field(latency, block).ok_or_else(|| format!("latency block '{block}' missing"))?;
+        let p50 = num_field(b, "p50")?;
+        let p99 = num_field(b, "p99")?;
+        let max = num_field(b, "max")?;
+        if p50 > p99 || p99 > max {
+            return Err(format!(
+                "latency block '{block}' is unordered: p50 {p50}, p99 {p99}, max {max}"
+            ));
+        }
+    }
+
+    // Determinism gate: replaying the workload must reproduce the
+    // committed bytes exactly.
+    let regenerated = f90y_bench::serve_bench_json();
+    if regenerated != text {
+        return Err(format!(
+            "{path} is stale: regeneration differs ({} vs {} bytes) — \
+             run `cargo run -p f90y-bench --release --bin bench_serve`",
+            text.len(),
+            regenerated.len()
+        ));
+    }
+    Ok(())
+}
+
 fn usage() -> ! {
-    eprintln!("usage: validate_artifacts --bench <BENCH_swe.json> [--trace <trace.json>]");
+    eprintln!(
+        "usage: validate_artifacts --bench <BENCH_swe.json> [--trace <trace.json>] \
+         [--serve <BENCH_serve.json>]"
+    );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut bench: Option<String> = None;
     let mut trace: Option<String> = None;
+    let mut serve: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -159,10 +248,14 @@ fn main() -> ExitCode {
                 Some(p) => trace = Some(p),
                 None => usage(),
             },
+            "--serve" => match args.next() {
+                Some(p) => serve = Some(p),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
-    if bench.is_none() && trace.is_none() {
+    if bench.is_none() && trace.is_none() && serve.is_none() {
         usage();
     }
 
@@ -193,6 +286,17 @@ fn main() -> ExitCode {
                     }
                     println!("OK cross-check: trace flows == bench cm5.messages ({flows})");
                 }
+            }
+            Err(e) => {
+                eprintln!("validate_artifacts: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &serve {
+        match check_serve(path) {
+            Ok(()) => {
+                println!("OK {path}: schema, hit-rate, latency and regeneration checks pass");
             }
             Err(e) => {
                 eprintln!("validate_artifacts: {path}: {e}");

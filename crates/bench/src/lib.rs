@@ -19,6 +19,7 @@
 //! | `ablation_spill` | §5.2 claim: 18-cycle spills, overlap placement |
 //! | `ablation_blocking` | §6 claim: blocking amortises dispatch |
 //! | `table_cm5` | §5.3.1 CM/5 retarget |
+//! | `bench_serve` | §7 service replay: cache, fairness, latency |
 //!
 //! The shared helpers here keep the binaries small and consistent.
 
@@ -27,6 +28,9 @@ use std::path::PathBuf;
 use f90y_core::{workloads, Compiler, Executable, Pipeline, RunReport, Target, TraceBuffer};
 use f90y_obs::json::Json;
 use f90y_obs::{JsonSink, Telemetry};
+
+pub mod serve_bench;
+pub use serve_bench::{serve_bench, serve_bench_json, serve_workload, ServeBenchArtifacts};
 
 /// Compile a source text under a pipeline, panicking with context on
 /// failure (harness-level ergonomics).

@@ -1,0 +1,368 @@
+//! Serving-layer benchmark: replay a mixed multi-tenant workload
+//! through the deterministic [`f90y_serve::engine::Engine`] and report
+//! latency percentiles, cache effectiveness and fairness — all in
+//! simulated machine-time units, never wall clock, so the emitted
+//! `BENCH_serve.json` regenerates byte-identically and `git diff`
+//! doubles as the CI gate (DESIGN.md §13).
+//!
+//! The workload mixes the paper's programs — the §6 shallow-water
+//! kernel, the Figure 9 blocking example, the heat stencil — with
+//! Game-of-Life, red-black relaxation, compile-only warmups and
+//! lint-only requests, spread across three tenants with heavy source
+//! repetition (that repetition is what the compile cache exists for;
+//! the committed artefact proves a ≥50 % hit rate).
+
+use std::sync::mpsc::channel;
+
+use f90y_core::{workloads, Pipeline, Target};
+use f90y_obs::json::Json;
+use f90y_serve::engine::{Engine, ServeConfig};
+use f90y_serve::protocol::{Request, RequestKind, Response};
+
+use crate::BENCH_SCHEMA;
+
+/// Tenants of the benchmark workload, charged round-robin.
+pub const SERVE_TENANTS: [&str; 3] = ["ames", "ncar", "yale"];
+
+/// Compile-cache residency bound used by the benchmark engine.
+pub const SERVE_CACHE_CAPACITY: usize = 32;
+
+/// A lint-only request body: the self-shift race from the lint corpus,
+/// guaranteed to produce a `W-RACE` diagnostic.
+const LINT_SOURCE: &str = "REAL A(8,8)\nA = CSHIFT(A, DIM=1, SHIFT=1)\n";
+
+/// Build the 50-request mixed workload. Deterministic: same requests,
+/// same ids, same tenants every time. Sources repeat heavily across
+/// tenants so the compile cache gets real traffic; the mix covers both
+/// targets, compile-only warmups and lint-only requests.
+pub fn serve_workload() -> Vec<Request> {
+    use RequestKind::{Compile, Lint, Run};
+    let cm2 = Target::Cm2 { nodes: 16 };
+    let cm5 = Target::Cm5Mimd { nodes: 16 };
+    let cm5_wide = Target::Cm5Mimd { nodes: 32 };
+
+    let swe = workloads::swe_source(16, 1);
+    let fig9 = workloads::fig9_source().to_string();
+    let heat = workloads::heat_source(24, 2);
+    let life = workloads::life_source(12, 1);
+    let redblack = workloads::redblack_source(16, 2);
+
+    // One group per (kind, program, target); the repeat count is the
+    // group's length. 7 distinct cache keys serve 46 cacheable
+    // requests — the hit rate the committed artefact asserts.
+    let groups: Vec<Vec<(RequestKind, String, Target)>> = vec![
+        vec![(Run, swe.clone(), cm2); 12],
+        vec![(Compile, swe.clone(), cm2); 2],
+        vec![(Run, swe, cm5_wide); 4],
+        vec![(Run, fig9, cm2); 9],
+        vec![(Run, heat.clone(), cm2); 6],
+        vec![(Run, heat, cm5); 4],
+        vec![(Run, life, cm2); 5],
+        vec![(Run, redblack, cm2); 4],
+        vec![(Lint, LINT_SOURCE.to_string(), cm2); 4],
+    ];
+
+    // Interleave round-robin across groups so the stream is genuinely
+    // mixed — a cold compile, a repeat, a lint, a retarget — rather
+    // than sorted by program.
+    let mut groups: Vec<_> = groups.into_iter().map(Vec::into_iter).collect();
+    let mut jobs = Vec::new();
+    loop {
+        let before = jobs.len();
+        for g in &mut groups {
+            if let Some(job) = g.next() {
+                jobs.push(job);
+            }
+        }
+        if jobs.len() == before {
+            break;
+        }
+    }
+
+    jobs.into_iter()
+        .enumerate()
+        .map(|(i, (kind, source, target))| Request {
+            id: (i + 1) as u64,
+            tenant: SERVE_TENANTS[i % SERVE_TENANTS.len()].to_string(),
+            kind,
+            source,
+            pipeline: Pipeline::F90y,
+            passes: None,
+            target,
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile of a sorted slice (0 when empty).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Shorthand for a JSON number field from a count.
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+/// A `{count, p50, p99, max}` block over a sample of simulated units.
+fn latency_block(mut sample: Vec<u64>) -> Json {
+    sample.sort_unstable();
+    Json::Obj(vec![
+        ("count".into(), num(sample.len() as u64)),
+        ("p50".into(), num(percentile(&sample, 50.0))),
+        ("p99".into(), num(percentile(&sample, 99.0))),
+        ("max".into(), num(sample.last().copied().unwrap_or(0))),
+    ])
+}
+
+/// The two artefacts of one benchmark replay.
+pub struct ServeBenchArtifacts {
+    /// The `BENCH_serve.json` body (committed, diffed in CI).
+    pub report: String,
+    /// One response line per request — the per-request log with cache
+    /// outcome, charge and flight-recorder digest (CI upload).
+    pub request_log: String,
+}
+
+/// Replay the mixed workload through a deterministic drain-mode engine
+/// and build both artefacts. Every number derives from the virtual
+/// charge clock and the simulated machines — regeneration is
+/// byte-identical.
+///
+/// # Panics
+///
+/// Panics if any request is refused or fails: a committed artefact must
+/// never encode a broken replay.
+pub fn serve_bench() -> ServeBenchArtifacts {
+    let engine = Engine::new(ServeConfig {
+        cache_capacity: SERVE_CACHE_CAPACITY,
+        ..ServeConfig::deterministic()
+    });
+    let requests = serve_workload();
+    let total = requests.len() as u64;
+
+    let (tx, rx) = channel();
+    for req in requests {
+        engine
+            .submit(req, tx.clone())
+            .expect("the bench workload fits the queue");
+    }
+    drop(tx);
+    engine.drain();
+    let responses: Vec<Response> = rx.iter().collect();
+    assert_eq!(responses.len() as u64, total, "every request answers");
+
+    let mut runs = 0u64;
+    let mut compiles = 0u64;
+    let mut lints = 0u64;
+    let mut compile_units = Vec::new();
+    let mut run_units = Vec::new();
+    let mut queue_wait_units = Vec::new();
+    let mut latency_units = Vec::new();
+    for resp in &responses {
+        let done = match resp {
+            Response::Done(d) => d,
+            Response::Error(e) => panic!("bench request {} failed: {e:?}", e.id),
+        };
+        match done.kind {
+            RequestKind::Run => runs += 1,
+            RequestKind::Compile => compiles += 1,
+            RequestKind::Lint => lints += 1,
+        }
+        if done.cache == "miss" {
+            compile_units.push(done.compile_units);
+        }
+        if done.kind == RequestKind::Run {
+            run_units.push(done.run_units);
+        }
+        queue_wait_units.push(done.queue_wait_units);
+        latency_units.push(done.latency_units);
+    }
+
+    let stats = engine.stats();
+    let tel = engine.telemetry_report();
+    let tenants: Vec<(String, Json)> = stats
+        .tenants
+        .iter()
+        .map(|(name, charge)| (name.clone(), num(*charge)))
+        .collect();
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(BENCH_SCHEMA.into())),
+        ("workload".into(), Json::Str("serve".into())),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("mode".into(), Json::Str("deterministic-drain".into())),
+                ("cache_capacity".into(), num(SERVE_CACHE_CAPACITY as u64)),
+                (
+                    "tenants".into(),
+                    Json::Arr(
+                        SERVE_TENANTS
+                            .iter()
+                            .map(|t| Json::Str((*t).into()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "requests".into(),
+            Json::Obj(vec![
+                ("total".into(), num(total)),
+                ("run".into(), num(runs)),
+                ("compile".into(), num(compiles)),
+                ("lint".into(), num(lints)),
+                ("errors".into(), num(0)),
+            ]),
+        ),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), num(stats.cache.hits)),
+                ("misses".into(), num(stats.cache.misses)),
+                ("evictions".into(), num(stats.cache.evictions)),
+                ("hit_rate".into(), Json::Num(stats.cache.hit_rate())),
+            ]),
+        ),
+        (
+            "latency".into(),
+            Json::Obj(vec![
+                ("compile_units".into(), latency_block(compile_units)),
+                ("run_units".into(), latency_block(run_units)),
+                ("queue_wait_units".into(), latency_block(queue_wait_units)),
+                ("latency_units".into(), latency_block(latency_units)),
+            ]),
+        ),
+        (
+            "fairness".into(),
+            Json::Obj(vec![
+                ("tenants".into(), Json::Obj(tenants)),
+                ("spread".into(), num(stats.fairness_spread())),
+                ("clock".into(), num(stats.clock)),
+            ]),
+        ),
+        (
+            "telemetry".into(),
+            Json::Obj(vec![
+                (
+                    "requests".into(),
+                    num(tel.counter("serve.requests").unwrap_or(0)),
+                ),
+                (
+                    "cache_hits".into(),
+                    num(tel.counter("serve.cache.hit").unwrap_or(0)),
+                ),
+                (
+                    "cache_misses".into(),
+                    num(tel.counter("serve.cache.miss").unwrap_or(0)),
+                ),
+            ]),
+        ),
+    ]);
+
+    let mut request_log = String::new();
+    for resp in &responses {
+        request_log.push_str(&resp.to_json());
+        request_log.push('\n');
+    }
+    ServeBenchArtifacts {
+        report: format!("{doc}\n"),
+        request_log,
+    }
+}
+
+/// The `BENCH_serve.json` body alone — the regeneration gate used by
+/// `validate_artifacts --serve`.
+pub fn serve_bench_json() -> String {
+    serve_bench().report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90y_obs::json::parse;
+
+    fn field<'a>(doc: &'a Json, name: &str) -> &'a Json {
+        match doc {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("field '{name}' missing")),
+            other => panic!("expected an object, got {other}"),
+        }
+    }
+
+    fn num_of(doc: &Json, name: &str) -> f64 {
+        match field(doc, name) {
+            Json::Num(n) => *n,
+            other => panic!("field '{name}' is not a number: {other}"),
+        }
+    }
+
+    #[test]
+    fn workload_is_fifty_mixed_requests() {
+        let reqs = serve_workload();
+        assert_eq!(reqs.len(), 50);
+        // Ids are 1..=50, each exactly once.
+        let ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (1..=50).collect::<Vec<u64>>());
+        // Every kind and both targets appear.
+        assert!(reqs.iter().any(|r| r.kind == RequestKind::Run));
+        assert!(reqs.iter().any(|r| r.kind == RequestKind::Compile));
+        assert!(reqs.iter().any(|r| r.kind == RequestKind::Lint));
+        assert!(reqs
+            .iter()
+            .any(|r| matches!(r.target, Target::Cm5Mimd { .. })));
+        // Every request line round-trips through the wire protocol.
+        for req in &reqs {
+            let back = Request::parse(&req.to_json()).expect("round trip");
+            assert_eq!(back.id, req.id);
+            assert_eq!(back.source, req.source);
+        }
+    }
+
+    #[test]
+    fn serve_bench_regenerates_byte_identically() {
+        let first = serve_bench();
+        let second = serve_bench();
+        assert_eq!(
+            first.report, second.report,
+            "BENCH_serve.json must regenerate exactly"
+        );
+        assert_eq!(first.request_log, second.request_log, "request log too");
+    }
+
+    #[test]
+    fn serve_bench_meets_the_acceptance_floor() {
+        let art = serve_bench();
+        let doc = parse(&art.report).expect("valid JSON");
+        let cache = field(&doc, "cache");
+        assert!(
+            num_of(cache, "hit_rate") >= 0.5,
+            "the ISSUE's acceptance floor: hit rate >= 50%"
+        );
+        assert!(num_of(cache, "hits") >= 1.0);
+        let latency = field(&doc, "latency");
+        for block in ["compile_units", "run_units", "latency_units"] {
+            let b = field(latency, block);
+            assert!(num_of(b, "p50") > 0.0, "{block} p50 is populated");
+            assert!(
+                num_of(b, "p99") >= num_of(b, "p50"),
+                "{block} percentiles are ordered"
+            );
+        }
+        let requests = field(&doc, "requests");
+        assert_eq!(num_of(requests, "total"), 50.0);
+        assert_eq!(num_of(requests, "errors"), 0.0);
+        // One log line per request, each with a parseable response.
+        assert_eq!(art.request_log.lines().count(), 50);
+        for line in art.request_log.lines() {
+            Response::parse(line).expect("log lines are response lines");
+        }
+    }
+}

@@ -1111,6 +1111,21 @@ pub struct RunReport {
 mod tests {
     use super::*;
 
+    /// The serving layer (`f90y-serve`) shares one compiled artifact
+    /// across worker threads as an `Arc<Executable>`; this compile-time
+    /// audit keeps `Executable` — and transitively the NIR, the pass
+    /// reports and the compiled program — `Send + Sync`. If any layer
+    /// grows interior mutability, this stops building and names it.
+    #[test]
+    fn executable_is_send_sync_for_artifact_sharing() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Executable>();
+        assert_send_sync::<Compiler>();
+        assert_send_sync::<CompileError>();
+        assert_send_sync::<RunError>();
+        assert_send_sync::<Run>();
+    }
+
     #[test]
     fn quickstart_compiles_and_runs() {
         let exe = Compiler::new(Pipeline::F90y)

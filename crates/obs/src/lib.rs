@@ -197,6 +197,23 @@ impl Telemetry {
         }
     }
 
+    /// Fold another collector's report into this one: counters add,
+    /// gauges keep their maximum. Spans are *not* absorbed — they are
+    /// wall-clock hierarchies private to their collector. This is the
+    /// aggregation path a long-running service uses to roll per-request
+    /// telemetry up into one service-lifetime view (`f90y-serve`).
+    pub fn absorb(&mut self, report: &TelemetryReport) {
+        if !self.enabled {
+            return;
+        }
+        for (name, value) in &report.counters {
+            self.count(name, *value);
+        }
+        for (name, value) in &report.gauges {
+            self.gauge_max(name, *value);
+        }
+    }
+
     /// Freeze the current state into a report. Open spans are reported
     /// with their duration so far.
     pub fn report(&self) -> TelemetryReport {
@@ -403,6 +420,30 @@ impl TelemetryReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn absorb_adds_counters_and_maxes_gauges() {
+        let mut per_request = Telemetry::new();
+        per_request.count("serve.requests", 1);
+        per_request.count("sim.flops", 100);
+        per_request.gauge("serve.queue.depth", 3.0);
+
+        let mut service = Telemetry::new();
+        service.count("sim.flops", 50);
+        service.gauge_max("serve.queue.depth", 7.0);
+        service.absorb(&per_request.report());
+        service.absorb(&per_request.report());
+
+        let report = service.report();
+        assert_eq!(report.counter("serve.requests"), Some(2));
+        assert_eq!(report.counter("sim.flops"), Some(250));
+        assert_eq!(report.gauge("serve.queue.depth"), Some(7.0));
+        assert!(report.spans.is_empty(), "spans are not absorbed");
+
+        let mut disabled = Telemetry::disabled();
+        disabled.absorb(&per_request.report());
+        assert!(disabled.report().counters.is_empty());
+    }
 
     #[test]
     fn spans_nest_and_time() {

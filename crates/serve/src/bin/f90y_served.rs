@@ -1,0 +1,209 @@
+//! `f90y-served` — the long-running compile-and-run service.
+//!
+//! ```text
+//! f90y-served [options]
+//!   --listen ADDR     serve TCP connections on ADDR (e.g. 127.0.0.1:9090)
+//!                     instead of the default stdin/stdout pipe mode
+//!   --workers N       worker threads                       (default 2)
+//!   --queue N         pending-queue bound (backpressure)   (default 256)
+//!   --cache N         compile-cache residency bound        (default 64)
+//! ```
+//!
+//! **Pipe mode** (default): one JSON request per stdin line, one JSON
+//! response per stdout line; responses may arrive out of order (match
+//! them by `id`). EOF on stdin drains the queue and exits. One-liner:
+//!
+//! ```text
+//! echo '{"id":1,"source":"REAL A(8)\nA = A + 1.0\n"}' | f90y-served
+//! ```
+//!
+//! **TCP mode** (`--listen`): the same newline-delimited protocol per
+//! connection; each connection gets its own response stream. The
+//! process runs until killed.
+//!
+//! Malformed lines get a typed `protocol` error response; an
+//! over-capacity submit gets a typed `overloaded` response immediately
+//! — the service never buffers unboundedly and never hangs a client.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+
+use f90y_serve::engine::{Engine, ServeConfig};
+use f90y_serve::protocol::{ErrorKind, Request, Response};
+
+struct Options {
+    listen: Option<String>,
+    config: ServeConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: f90y-served [--listen ADDR] [--workers N] [--queue N] [--cache N]\n\
+         pipe mode (default): newline-delimited JSON requests on stdin, responses on stdout"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        listen: None,
+        config: ServeConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |what: &str| -> usize {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => n,
+                None => {
+                    eprintln!("f90y-served: {what} needs a number");
+                    usage();
+                }
+            }
+        };
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => opts.listen = Some(addr),
+                None => usage(),
+            },
+            "--workers" => opts.config.workers = num("--workers"),
+            "--queue" => opts.config.queue_capacity = num("--queue").max(1),
+            "--cache" => opts.config.cache_capacity = num("--cache"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("f90y-served: unknown option '{other}'");
+                usage();
+            }
+        }
+    }
+    if opts.config.workers == 0 {
+        // The service needs someone to do the work; 0 is the embedded
+        // deterministic mode, not a server mode.
+        opts.config.workers = 1;
+    }
+    opts
+}
+
+/// Feed one line to the engine, routing parse failures and admission
+/// refusals straight back as typed responses.
+fn dispatch(engine: &Engine, line: &str, reply: &Sender<Response>) {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return;
+    }
+    let req = match Request::parse(trimmed) {
+        Ok(req) => req,
+        Err(message) => {
+            // No parseable id; 0 flags "unattributable" to the client.
+            let _ = reply.send(Response::error(0, ErrorKind::Protocol, message));
+            return;
+        }
+    };
+    if let Err(overloaded) = engine.submit(req, reply.clone()) {
+        let _ = reply.send(overloaded);
+    }
+}
+
+/// Pipe mode: stdin → engine → stdout until EOF, then drain and exit.
+fn serve_pipe(engine: Engine) -> ExitCode {
+    let (tx, rx) = channel::<Response>();
+    let writer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        for response in rx {
+            let mut out = stdout.lock();
+            if writeln!(out, "{}", response.to_json())
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                return;
+            }
+        }
+    });
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(line) => dispatch(&engine, &line, &tx),
+            Err(e) => {
+                eprintln!("f90y-served: stdin: {e}");
+                break;
+            }
+        }
+    }
+    // EOF: let queued work finish, then close the response stream.
+    engine.shutdown();
+    drop(tx);
+    let _ = writer.join();
+    ExitCode::SUCCESS
+}
+
+/// One TCP connection: reader loop on this thread, writer on another.
+fn serve_connection(engine: &Engine, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("f90y-served: {peer}: {e}");
+            return;
+        }
+    };
+    let (tx, rx) = channel::<Response>();
+    let writer = std::thread::spawn(move || {
+        let mut out = write_half;
+        for response in rx {
+            if writeln!(out, "{}", response.to_json()).is_err() {
+                return;
+            }
+        }
+    });
+    for line in BufReader::new(stream).lines() {
+        match line {
+            Ok(line) => dispatch(engine, &line, &tx),
+            Err(_) => break,
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// TCP mode: accept loop, one reader thread per connection.
+fn serve_tcp(engine: Engine, addr: &str) -> ExitCode {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("f90y-served: cannot listen on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "f90y-served: listening on {}",
+        listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.into())
+    );
+    let engine = Arc::new(engine);
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || serve_connection(&engine, stream));
+            }
+            Err(e) => eprintln!("f90y-served: accept: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let engine = Engine::new(opts.config);
+    match &opts.listen {
+        Some(addr) => serve_tcp(engine, addr),
+        None => serve_pipe(engine),
+    }
+}

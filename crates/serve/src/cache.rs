@@ -1,0 +1,259 @@
+//! The content-hash compile cache (DESIGN.md §13).
+//!
+//! A compiled [`Executable`] is a pure function of `(source, pipeline,
+//! pass list, target, nodes)` — the whole pipeline is deterministic —
+//! so the cache key is an FNV-1a-64 over exactly those components and a
+//! hit can hand out a shared `Arc<Executable>` with no recompilation
+//! and no cloning of program IR (`Executable: Send + Sync`; the
+//! compile-time assertion lives in `tests/send_sync.rs`).
+//!
+//! The target and node count are part of the key even though codegen
+//! does not depend on them: a served artifact is *the thing a request
+//! names*, and two requests that differ anywhere in the tuple must not
+//! alias (the discrimination tests in `tests/cache_key.rs` pin this).
+//! Hash collisions cannot alias either — every entry stores its full
+//! composed key text and a lookup compares it before handing the
+//! artifact out.
+//!
+//! Residency is a bounded LRU: each entry carries a monotonic
+//! last-touch stamp; inserting past capacity evicts the least recently
+//! touched entry. Hits, misses and evictions are counted and surface
+//! as `serve.cache.*` telemetry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use f90y_core::Executable;
+
+use crate::protocol::Request;
+
+/// The composed cache key: the FNV-1a-64 hash used for bucketing plus
+/// the full component text compared on lookup (collision safety).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    /// `fnv1a64` over [`CacheKey::text`].
+    pub hash: u64,
+    /// `source ‖ '\0' ‖ pipeline ‖ '\0' ‖ passes ‖ '\0' ‖ target ‖ '\0' ‖ nodes`.
+    pub text: String,
+}
+
+/// FNV-1a, 64 bit — the same function the flight recorder uses for
+/// trace digests, so every fingerprint in the system reads alike.
+pub fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl CacheKey {
+    /// The key for a request: every component that can change the
+    /// served artifact, NUL-separated (NUL cannot appear in any
+    /// component, so the composition is injective).
+    pub fn for_request(req: &Request) -> CacheKey {
+        let (target, nodes) = req.target_parts();
+        let passes = match &req.passes {
+            Some(names) => names.join(","),
+            None => "<default>".to_string(),
+        };
+        let text = format!(
+            "{}\0{}\0{}\0{}\0{}",
+            req.source,
+            req.pipeline_name(),
+            passes,
+            target,
+            nodes
+        );
+        CacheKey {
+            hash: fnv1a64(text.bytes()),
+            text,
+        }
+    }
+
+    /// The key rendered as `fnv1a64:<hex>` for logs and responses.
+    pub fn rendered(&self) -> String {
+        format!("fnv1a64:{:016x}", self.hash)
+    }
+}
+
+/// Hit/miss/eviction counters, readable while the service runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a shared artifact.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller compiles and inserts).
+    pub misses: u64,
+    /// Entries pushed out by the LRU bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over all lookups, 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    key_text: String,
+    exe: Arc<Executable>,
+    touched: u64,
+}
+
+/// A bounded LRU mapping [`CacheKey`] → shared [`Executable`].
+pub struct CompileCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<u64, Entry>,
+    stats: CacheStats,
+}
+
+impl CompileCache {
+    /// An empty cache holding at most `capacity` artifacts
+    /// (`capacity == 0` disables caching: every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        CompileCache {
+            capacity,
+            clock: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look `key` up, counting a hit or a miss and refreshing the
+    /// entry's LRU stamp on a hit.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<Arc<Executable>> {
+        self.clock += 1;
+        match self.entries.get_mut(&key.hash) {
+            Some(entry) if entry.key_text == key.text => {
+                entry.touched = self.clock;
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.exe))
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly compiled artifact, evicting the least recently
+    /// touched entry if the cache is at capacity.
+    pub fn insert(&mut self, key: &CacheKey, exe: Arc<Executable>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if !self.entries.contains_key(&key.hash) && self.entries.len() >= self.capacity {
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(h, _)| h)
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key.hash,
+            Entry {
+                key_text: key.text.clone(),
+                exe,
+                touched: self.clock,
+            },
+        );
+    }
+
+    /// Resident artifact count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f90y_core::{Compiler, Pipeline};
+
+    fn request(source: &str) -> Request {
+        Request::parse(&format!(
+            r#"{{"id":1,"source":{}}}"#,
+            f90y_obs::json::Json::Str(source.into())
+        ))
+        .unwrap()
+    }
+
+    fn compiled(source: &str) -> Arc<Executable> {
+        Arc::new(Compiler::new(Pipeline::F90y).compile(source).unwrap())
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut cache = CompileCache::new(2);
+        let sources = [
+            "REAL A(8)\nA = A + 1.0\n",
+            "REAL B(8)\nB = B + 2.0\n",
+            "REAL C(8)\nC = C + 3.0\n",
+        ];
+        let keys: Vec<CacheKey> = sources
+            .iter()
+            .map(|s| CacheKey::for_request(&request(s)))
+            .collect();
+        cache.insert(&keys[0], compiled(sources[0]));
+        cache.insert(&keys[1], compiled(sources[1]));
+        // Touch [0] so [1] becomes the LRU victim.
+        assert!(cache.lookup(&keys[0]).is_some());
+        cache.insert(&keys[2], compiled(sources[2]));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(
+            cache.lookup(&keys[0]).is_some(),
+            "recently touched survives"
+        );
+        assert!(cache.lookup(&keys[1]).is_none(), "LRU victim evicted");
+        assert!(cache.lookup(&keys[2]).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = CompileCache::new(0);
+        let key = CacheKey::for_request(&request("REAL A(8)\nA = A\n"));
+        cache.insert(&key, compiled("REAL A(8)\nA = A\n"));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&key).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn colliding_hash_with_different_text_misses() {
+        let mut cache = CompileCache::new(4);
+        let key_a = CacheKey::for_request(&request("REAL A(8)\nA = A + 1.0\n"));
+        cache.insert(&key_a, compiled("REAL A(8)\nA = A + 1.0\n"));
+        // Forge a key with the same hash but different text: the full
+        // comparison must refuse to alias.
+        let forged = CacheKey {
+            hash: key_a.hash,
+            text: "something else".into(),
+        };
+        assert!(cache.lookup(&forged).is_none());
+        assert!(cache.lookup(&key_a).is_some());
+    }
+}

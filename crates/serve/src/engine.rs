@@ -1,0 +1,549 @@
+//! The serving engine: admission, fair scheduling, execution
+//! (DESIGN.md §13).
+//!
+//! ## The scheduler invariant
+//!
+//! Every completed request charges its tenant **simulated machine
+//! time** — CM/2 node cycles or CM/5 MIMD supersteps for runs, modelled
+//! compile units for fresh compiles, at least 1 unit always — and the
+//! scheduler invariably dispatches the pending request whose tenant has
+//! the **least accumulated charge** (ties broken by submission order).
+//! The fairness bound that follows, and that `tests/fairness.rs` pins:
+//! once a request from the least-charged tenant is pending, at most
+//! `workers` other requests (the ones already in flight) start before
+//! it. A tenant that just ran a 512² grid carries its cost as charge,
+//! so a 16² tenant's next request overtakes every queued request of the
+//! heavy tenant.
+//!
+//! ## The backpressure contract
+//!
+//! The pending queue holds at most `queue_capacity` requests.
+//! [`Engine::submit`] never blocks and never buffers beyond the bound:
+//! an over-capacity submit returns a typed
+//! [`Overloaded`](ErrorKind::Overloaded) response immediately. Shed
+//! load is observable (`serve.overloaded` counter) and re-submittable
+//! by the client; it is never a hang.
+//!
+//! ## Virtual clock
+//!
+//! The engine keeps a virtual clock in charge units: each completion
+//! advances it by the request's charge. Latency figures in responses
+//! (`queue_wait_units`, `latency_units`) are measured on this clock, so
+//! a deterministic drain (workers = 0, [`Engine::drain`]) yields
+//! byte-identical latency distributions — that is what `bench_serve`
+//! commits to `BENCH_serve.json`.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use f90y_backend::fe::{Final, HostRun};
+use f90y_core::{Compiler, Executable, Run, TraceBuffer};
+use f90y_obs::{Telemetry, TelemetryReport};
+
+use crate::cache::{fnv1a64, CacheKey, CacheStats, CompileCache};
+use crate::protocol::{Done, ErrorKind, Request, RequestKind, Response};
+
+/// Engine sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Pending-queue bound; submits past it are refused `Overloaded`.
+    pub queue_capacity: usize,
+    /// Compile-cache residency bound (artifacts, not bytes).
+    pub cache_capacity: usize,
+    /// Worker threads. `0` means no threads are spawned and the caller
+    /// drives execution with [`Engine::drain`] — fully deterministic.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 256,
+            cache_capacity: 64,
+            workers: 2,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The deterministic single-lane configuration used by the bench
+    /// and the differential tests: no worker threads, caller drains.
+    pub fn deterministic() -> Self {
+        ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// One queued request awaiting dispatch.
+struct Queued {
+    req: Request,
+    reply: Sender<Response>,
+    seq: u64,
+    submit_clock: u64,
+}
+
+/// Scheduler state under the engine's mutex.
+struct SchedState {
+    queue_capacity: usize,
+    pending: Vec<Queued>,
+    /// Accumulated charge per tenant — the fairness ledger.
+    tenants: BTreeMap<String, u64>,
+    /// Virtual clock in charge units.
+    clock: u64,
+    in_flight: usize,
+    next_seq: u64,
+    accepted: u64,
+    rejected: u64,
+    completed: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    work: Condvar,
+    cache: Mutex<CompileCache>,
+    telemetry: Mutex<Telemetry>,
+}
+
+/// A point-in-time view of the engine's counters.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests refused `Overloaded`.
+    pub rejected: u64,
+    /// Requests answered (success or typed failure).
+    pub completed: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Per-tenant accumulated machine-time charge.
+    pub tenants: BTreeMap<String, u64>,
+    /// The virtual clock, in charge units.
+    pub clock: u64,
+}
+
+impl ServeStats {
+    /// Fairness spread: max − min accumulated charge across tenants
+    /// (0 with fewer than two tenants).
+    pub fn fairness_spread(&self) -> u64 {
+        let max = self.tenants.values().max().copied().unwrap_or(0);
+        let min = self.tenants.values().min().copied().unwrap_or(0);
+        max - min
+    }
+}
+
+/// The multi-tenant compile-and-run engine.
+pub struct Engine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Build an engine and spawn its worker threads (none when
+    /// `config.workers == 0`; see [`Engine::drain`]).
+    pub fn new(config: ServeConfig) -> Engine {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                queue_capacity: config.queue_capacity,
+                pending: Vec::new(),
+                tenants: BTreeMap::new(),
+                clock: 0,
+                in_flight: 0,
+                next_seq: 0,
+                accepted: 0,
+                rejected: 0,
+                completed: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            cache: Mutex::new(CompileCache::new(config.cache_capacity)),
+            telemetry: Mutex::new(Telemetry::new()),
+        });
+        let handles = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("f90y-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Engine { shared, handles }
+    }
+
+    /// Admit a request, or refuse it immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed `Overloaded` response (already carrying the
+    /// request's id) when the pending queue is at capacity. The refusal
+    /// is instantaneous — this method never blocks on queue room.
+    // The Err is the ready-to-send wire payload, not a diagnostic —
+    // callers forward it to the client verbatim, so boxing would only
+    // add an allocation on the shed path.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, req: Request, reply: Sender<Response>) -> Result<(), Response> {
+        let mut state = self.shared.state.lock().expect("engine lock");
+        if state.pending.len() >= state.queue_capacity {
+            state.rejected += 1;
+            let mut tel = self.shared.telemetry.lock().expect("telemetry lock");
+            tel.count("serve.overloaded", 1);
+            return Err(Response::error(
+                req.id,
+                ErrorKind::Overloaded,
+                format!(
+                    "queue full ({} pending); shed, resubmit later",
+                    state.pending.len()
+                ),
+            ));
+        }
+        state.accepted += 1;
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let submit_clock = state.clock;
+        state.pending.push(Queued {
+            req,
+            reply,
+            seq,
+            submit_clock,
+        });
+        let depth = state.pending.len() as f64;
+        drop(state);
+        {
+            let mut tel = self.shared.telemetry.lock().expect("telemetry lock");
+            tel.count("serve.accepted", 1);
+            tel.gauge_max("serve.queue.depth", depth);
+        }
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Drive execution on the caller's thread until the queue is empty
+    /// (the deterministic mode; meaningful with `workers == 0`, safe —
+    /// just redundant — alongside workers). Requests are dispatched in
+    /// exactly the scheduler's fairness order.
+    pub fn drain(&self) {
+        loop {
+            let picked = {
+                let mut state = self.shared.state.lock().expect("engine lock");
+                pick_next(&mut state)
+            };
+            match picked {
+                Some(q) => process(&self.shared, q),
+                None => break,
+            }
+        }
+    }
+
+    /// A snapshot of the engine counters.
+    pub fn stats(&self) -> ServeStats {
+        let state = self.shared.state.lock().expect("engine lock");
+        ServeStats {
+            accepted: state.accepted,
+            rejected: state.rejected,
+            completed: state.completed,
+            cache: self.shared.cache.lock().expect("cache lock").stats(),
+            tenants: state.tenants.clone(),
+            clock: state.clock,
+        }
+    }
+
+    /// A snapshot of the service-lifetime telemetry (per-request
+    /// reports absorbed into one view).
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        self.shared
+            .telemetry
+            .lock()
+            .expect("telemetry lock")
+            .report()
+    }
+
+    /// Stop accepting work, let in-flight and queued requests finish,
+    /// and join the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("engine lock");
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Pick the pending request whose tenant carries the least charge,
+/// breaking ties by submission order. Returns `None` on an empty queue.
+fn pick_next(state: &mut SchedState) -> Option<Queued> {
+    if state.pending.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    let mut best_key = (u64::MAX, u64::MAX);
+    for (i, q) in state.pending.iter().enumerate() {
+        let charge = state.tenants.get(&q.req.tenant).copied().unwrap_or(0);
+        let key = (charge, q.seq);
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    state.in_flight += 1;
+    Some(state.pending.remove(best))
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let picked = {
+            let mut state = shared.state.lock().expect("engine lock");
+            loop {
+                if let Some(q) = pick_next(&mut state) {
+                    break Some(q);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.work.wait(state).expect("engine lock");
+            }
+        };
+        match picked {
+            Some(q) => process(shared, q),
+            None => return,
+        }
+    }
+}
+
+/// Execute one request end to end and deliver its response.
+fn process(shared: &Shared, q: Queued) {
+    let Queued {
+        req,
+        reply,
+        seq: _,
+        submit_clock,
+    } = q;
+    let start_clock = shared.state.lock().expect("engine lock").clock;
+
+    let mut tel = Telemetry::new();
+    let span = tel.start("serve.request");
+    let outcome = execute(shared, &req, &mut tel);
+    tel.finish(span);
+    tel.count("serve.requests", 1);
+
+    // Charge the tenant and advance the virtual clock, then stamp the
+    // scheduling fields into the response.
+    let charged = match &outcome {
+        Ok(done) => done.charged_units.max(1),
+        // Failures charge one unit: error spam cannot starve paying
+        // tenants, but it cannot ride free either.
+        Err(_) => 1,
+    };
+    let response = {
+        let mut state = shared.state.lock().expect("engine lock");
+        *state.tenants.entry(req.tenant.clone()).or_insert(0) += charged;
+        state.clock += charged;
+        state.in_flight -= 1;
+        state.completed += 1;
+        let clock = state.clock;
+        drop(state);
+        match outcome {
+            Ok(mut done) => {
+                done.charged_units = charged;
+                done.queue_wait_units = start_clock - submit_clock;
+                done.latency_units = clock - submit_clock;
+                Response::Done(done)
+            }
+            Err(resp) => resp,
+        }
+    };
+    {
+        let mut service = shared.telemetry.lock().expect("telemetry lock");
+        service.absorb(&tel.report());
+        if matches!(response, Response::Error(_)) {
+            service.count("serve.failed", 1);
+        }
+    }
+    // A dropped receiver (client hung up) is not the engine's problem.
+    let _ = reply.send(response);
+    shared.work.notify_all();
+}
+
+/// The request body: cache, compile, run/lint. Returns either a `Done`
+/// payload with the scheduling fields zeroed (filled by [`process`]) or
+/// a complete error response.
+#[allow(clippy::result_large_err)]
+fn execute(shared: &Shared, req: &Request, tel: &mut Telemetry) -> Result<Done, Response> {
+    if req.kind == RequestKind::Lint {
+        let report = Compiler::new(req.pipeline)
+            .lint_with(&req.source, tel)
+            .map_err(|e| Response::error(req.id, ErrorKind::Compile, e.to_string()))?;
+        tel.count("serve.lints", 1);
+        let warnings = report
+            .diagnostics
+            .iter()
+            .map(|d| d.code.to_string())
+            .collect();
+        return Ok(Done {
+            id: req.id,
+            tenant: req.tenant.clone(),
+            kind: req.kind,
+            cache: "bypass",
+            compile_units: report.stmts_analyzed as u64 + 1,
+            run_units: 0,
+            charged_units: report.stmts_analyzed as u64 + 1,
+            queue_wait_units: 0,
+            latency_units: 0,
+            gflops: None,
+            fingerprint: None,
+            trace_digest: None,
+            warnings,
+        });
+    }
+
+    // Compile through the content-hash cache.
+    let key = CacheKey::for_request(req);
+    let cached = shared.cache.lock().expect("cache lock").lookup(&key);
+    let (exe, cache_outcome, compile_units) = match cached {
+        Some(exe) => {
+            tel.count("serve.cache.hit", 1);
+            (exe, "hit", 0)
+        }
+        None => {
+            tel.count("serve.cache.miss", 1);
+            let mut compiler = Compiler::new(req.pipeline);
+            if let Some(passes) = &req.passes {
+                compiler = compiler.passes(passes.iter().cloned());
+            }
+            let exe = compiler
+                .compile_with(&req.source, tel)
+                .map_err(|e| Response::error(req.id, ErrorKind::Compile, e.to_string()))?;
+            let exe = Arc::new(exe);
+            let evicted_before;
+            {
+                let mut cache = shared.cache.lock().expect("cache lock");
+                evicted_before = cache.stats().evictions;
+                cache.insert(&key, Arc::clone(&exe));
+                let evictions = cache.stats().evictions - evicted_before;
+                if evictions > 0 {
+                    tel.count("serve.cache.evict", evictions);
+                }
+            }
+            let units = compile_cost(&exe);
+            (exe, "miss", units)
+        }
+    };
+
+    if req.kind == RequestKind::Compile {
+        return Ok(Done {
+            id: req.id,
+            tenant: req.tenant.clone(),
+            kind: req.kind,
+            cache: cache_outcome,
+            compile_units,
+            run_units: 0,
+            charged_units: compile_units,
+            queue_wait_units: 0,
+            latency_units: 0,
+            gflops: None,
+            fingerprint: Some(executable_fingerprint(&exe)),
+            trace_digest: None,
+            warnings: Vec::new(),
+        });
+    }
+
+    // Run on the requested target, tracing for the digest.
+    let mut buf = TraceBuffer::new();
+    let run = exe
+        .session(req.target)
+        .telemetry(tel)
+        .trace(&mut buf)
+        .run()
+        .map_err(|e| Response::error(req.id, ErrorKind::Run, e.to_string()))?;
+    let run_units = simulated_units(&run);
+    let trace_digest = buf.trace.as_ref().map(|t| t.digest());
+    Ok(Done {
+        id: req.id,
+        tenant: req.tenant.clone(),
+        kind: req.kind,
+        cache: cache_outcome,
+        compile_units,
+        run_units,
+        charged_units: compile_units + run_units,
+        queue_wait_units: 0,
+        latency_units: 0,
+        gflops: Some(run.gflops()),
+        fingerprint: Some(finals_fingerprint(run.finals())),
+        trace_digest,
+        warnings: Vec::new(),
+    })
+}
+
+/// Simulated machine time of a run: node cycles on the CM/2, supersteps
+/// on the CM/5 MIMD engine (each target's own clock domain — the same
+/// units its flight recorder stamps).
+pub fn simulated_units(run: &Run) -> u64 {
+    match run {
+        Run::Cm2(r) => r.stats.node_cycles(),
+        Run::Mimd(r) => r.stats.supersteps,
+    }
+}
+
+/// Modelled compile cost in units: generated PEAC instructions plus
+/// middle-end rewrites plus dispatch blocks — deterministic, derived
+/// from the artifact, never from wall time.
+pub fn compile_cost(exe: &Executable) -> u64 {
+    let rewrites: u64 = exe
+        .pass_reports
+        .passes
+        .iter()
+        .map(|p| p.rewrites as u64)
+        .sum();
+    exe.compiled.total_node_instructions() as u64 + rewrites + exe.compiled.blocks.len() as u64
+}
+
+/// `fnv1a64:` fingerprint of a run's final values: names sorted, each
+/// value's IEEE-754 bit pattern hashed exactly — two runs fingerprint
+/// equal iff their finals are bit-identical.
+pub fn finals_fingerprint(finals: &HostRun) -> String {
+    let mut names: Vec<&String> = finals.finals().keys().collect();
+    names.sort();
+    let mut bytes: Vec<u8> = Vec::new();
+    for name in names {
+        bytes.extend_from_slice(name.as_bytes());
+        bytes.push(0);
+        match &finals.finals()[name] {
+            Final::Array(values) => {
+                for v in values {
+                    bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            Final::Scalar(v) => bytes.extend_from_slice(&v.to_bits().to_le_bytes()),
+        }
+        bytes.push(0);
+    }
+    format!("fnv1a64:{:016x}", fnv1a64(bytes))
+}
+
+/// `fnv1a64:` fingerprint of a compiled artifact: the optimized NIR's
+/// canonical pretty-print plus the generated instruction count. Two
+/// compiles of the same key must fingerprint identically (the eviction
+/// determinism gate in `tests/cache_key.rs`).
+pub fn executable_fingerprint(exe: &Executable) -> String {
+    let mut text = exe.optimized.to_string();
+    text.push('\0');
+    text.push_str(&exe.compiled.total_node_instructions().to_string());
+    format!("fnv1a64:{:016x}", fnv1a64(text.bytes()))
+}

@@ -1,0 +1,57 @@
+//! # f90y-serve — the compiler as a multi-tenant service
+//!
+//! Everything before this crate turns one source text into one run; this
+//! crate turns the [`Session`](f90y_core::Session)/[`Target`](f90y_core::Target) seam into a
+//! long-running **compile-and-run service**: many concurrent requests,
+//! many tenants, one machine room (DESIGN.md §13).
+//!
+//! Three mechanisms carry the load story:
+//!
+//! * **Content-hash compile cache** ([`cache`]): requests are keyed by
+//!   `fnv1a64(source ‖ pipeline ‖ passes ‖ target ‖ nodes)` and the
+//!   compiled [`Executable`](f90y_core::Executable) is shared between
+//!   requests as an `Arc` — `Executable` is `Send + Sync`, so cached
+//!   artifacts cross worker threads without cloning program IR. A
+//!   bounded LRU with hit/miss/eviction counters keeps residency honest.
+//! * **Fair machine-time scheduling** ([`engine`]): every run charges
+//!   its tenant *simulated* machine time — node cycles on the CM/2,
+//!   supersteps on the CM/5 MIMD engine — and the scheduler always
+//!   dispatches the pending request whose tenant has been charged
+//!   least. One tenant's 512² grid cannot starve another's 16² request.
+//! * **Admission control** ([`engine`]): the pending queue is bounded;
+//!   an over-capacity submit is refused *immediately* with a typed
+//!   [`protocol::ErrorKind::Overloaded`] response — load is shed, never
+//!   buffered unboundedly, and a refusal is never a hang.
+//!
+//! The wire format is newline-delimited JSON ([`protocol`]); the
+//! `f90y-served` binary speaks it on stdin/stdout (pipe mode) or a TCP
+//! listener. Every request runs inside a `serve.request` telemetry span
+//! and — for run requests — records its flight-recorder trace, whose
+//! [`digest`](f90y_obs::trace::Trace::digest) is returned to the client.
+//!
+//! ```
+//! use f90y_serve::engine::{Engine, ServeConfig};
+//! use f90y_serve::protocol::{Request, Response};
+//!
+//! // A deterministic single-lane engine (workers = 0: callers drain).
+//! let engine = Engine::new(ServeConfig::deterministic());
+//! let (tx, rx) = std::sync::mpsc::channel();
+//! let req = Request::parse(
+//!     r#"{"id":1,"tenant":"alice","kind":"run","source":"REAL A(8)\nA = A + 1.0\n"}"#,
+//! )?;
+//! engine.submit(req, tx).expect("queue has room");
+//! engine.drain();
+//! match rx.recv()? {
+//!     Response::Done(d) => assert_eq!(d.id, 1),
+//!     Response::Error(e) => panic!("{e:?}"),
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod protocol;
+
+pub use cache::{CacheKey, CacheStats, CompileCache};
+pub use engine::{Engine, ServeConfig, ServeStats};
+pub use protocol::{ErrorKind, Request, RequestKind, Response};

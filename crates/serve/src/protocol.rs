@@ -1,0 +1,507 @@
+//! The newline-delimited JSON wire protocol (DESIGN.md §13).
+//!
+//! One request per line, one response per line; responses carry the
+//! request's `id` and may arrive out of order (the engine schedules by
+//! tenant fairness, not arrival). The serialisation rides on
+//! [`f90y_obs::json`] so the workspace stays dependency-free.
+//!
+//! ## Request
+//!
+//! ```json
+//! {"id":1,"tenant":"alice","kind":"run","source":"REAL A(8)\nA = A + 1.0\n",
+//!  "pipeline":"f90y","target":"cm2","nodes":16}
+//! ```
+//!
+//! * `id` — client-chosen, echoed verbatim (required).
+//! * `tenant` — fairness accounting bucket (default `"anon"`).
+//! * `kind` — `"run"` (compile + execute), `"compile"` (compile only,
+//!   warms the cache), `"lint"` (diagnostics only, never cached).
+//! * `source` — Fortran 90 text (required).
+//! * `pipeline` — `"f90y"` | `"cmf"` | `"starlisp"` (default `"f90y"`).
+//! * `passes` — optional explicit middle-end pass list.
+//! * `target` — `"cm2"` | `"cm5"` (default `"cm2"`); `nodes` (default 16).
+//!
+//! ## Response
+//!
+//! `{"id":…,"ok":true,…}` with cache outcome, modelled cost/latency
+//! units, finals fingerprint and trace digest — or `{"id":…,"ok":false,
+//! "error":{"kind":…,"message":…}}` with a typed [`ErrorKind`].
+
+use f90y_core::{Pipeline, Target};
+use f90y_obs::json::{parse, Json, JsonError};
+
+/// What a request asks the service to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Compile (through the cache) and execute on the target.
+    Run,
+    /// Compile only — warms the cache, returns the artifact fingerprint.
+    Compile,
+    /// Lint only — diagnostics, never cached, never executed.
+    Lint,
+}
+
+impl RequestKind {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestKind::Run => "run",
+            RequestKind::Compile => "compile",
+            RequestKind::Lint => "lint",
+        }
+    }
+}
+
+/// One parsed service request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Fairness accounting bucket.
+    pub tenant: String,
+    /// What to do.
+    pub kind: RequestKind,
+    /// Fortran 90 source text.
+    pub source: String,
+    /// Compiler model.
+    pub pipeline: Pipeline,
+    /// Explicit middle-end pass list (`None` = the pipeline default).
+    pub passes: Option<Vec<String>>,
+    /// Where to run (also part of the cache key).
+    pub target: Target,
+}
+
+/// Look up a field of a JSON object.
+fn field<'a>(doc: &'a Json, name: &str) -> Option<&'a Json> {
+    match doc {
+        Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn str_field(doc: &Json, name: &str) -> Option<String> {
+    match field(doc, name) {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+impl Request {
+    /// Parse one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed JSON, a missing
+    /// required field, or an unknown enum spelling — the engine wraps
+    /// it in an [`ErrorKind::Protocol`] response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = parse(line).map_err(|e: JsonError| e.to_string())?;
+        if !matches!(doc, Json::Obj(_)) {
+            return Err("request must be a JSON object".into());
+        }
+        let id = match field(&doc, "id") {
+            Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
+            Some(other) => return Err(format!("'id' must be a non-negative integer, got {other}")),
+            None => return Err("'id' is required".into()),
+        };
+        let source = match str_field(&doc, "source") {
+            Some(s) if !s.is_empty() => s,
+            Some(_) => return Err("'source' must be non-empty".into()),
+            None => return Err("'source' is required".into()),
+        };
+        let tenant = str_field(&doc, "tenant").unwrap_or_else(|| "anon".into());
+        let kind = match str_field(&doc, "kind").as_deref() {
+            None | Some("run") => RequestKind::Run,
+            Some("compile") => RequestKind::Compile,
+            Some("lint") => RequestKind::Lint,
+            Some(other) => return Err(format!("unknown kind '{other}'")),
+        };
+        let pipeline = match str_field(&doc, "pipeline").as_deref() {
+            None | Some("f90y") => Pipeline::F90y,
+            Some("cmf") => Pipeline::Cmf,
+            Some("starlisp") => Pipeline::StarLisp,
+            Some(other) => return Err(format!("unknown pipeline '{other}'")),
+        };
+        let passes = match field(&doc, "passes") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(items)) => {
+                let mut names = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        Json::Str(s) => names.push(s.clone()),
+                        other => return Err(format!("'passes' entries must be strings: {other}")),
+                    }
+                }
+                Some(names)
+            }
+            Some(other) => return Err(format!("'passes' must be an array, got {other}")),
+        };
+        let nodes = match field(&doc, "nodes") {
+            None => 16,
+            Some(Json::Num(n)) if *n >= 1.0 && n.fract() == 0.0 => *n as usize,
+            Some(other) => return Err(format!("'nodes' must be a positive integer, got {other}")),
+        };
+        let target = match str_field(&doc, "target").as_deref() {
+            None | Some("cm2") => Target::Cm2 { nodes },
+            Some("cm5") => Target::Cm5Mimd { nodes },
+            Some(other) => return Err(format!("unknown target '{other}'")),
+        };
+        Ok(Request {
+            id,
+            tenant,
+            kind,
+            source,
+            pipeline,
+            passes,
+            target,
+        })
+    }
+
+    /// Wire spelling of the pipeline.
+    pub fn pipeline_name(&self) -> &'static str {
+        match self.pipeline {
+            Pipeline::F90y => "f90y",
+            Pipeline::Cmf => "cmf",
+            Pipeline::StarLisp => "starlisp",
+        }
+    }
+
+    /// Wire spelling of the target kind plus node count.
+    pub fn target_parts(&self) -> (&'static str, usize) {
+        match self.target {
+            Target::Cm2 { nodes } => ("cm2", nodes),
+            Target::Cm5Mimd { nodes } => ("cm5", nodes),
+        }
+    }
+
+    /// Serialise back to one request line (the load generator's side).
+    pub fn to_json(&self) -> String {
+        let (target, nodes) = self.target_parts();
+        let mut fields = vec![
+            ("id".into(), Json::Num(self.id as f64)),
+            ("tenant".into(), Json::Str(self.tenant.clone())),
+            ("kind".into(), Json::Str(self.kind.as_str().into())),
+            ("source".into(), Json::Str(self.source.clone())),
+            ("pipeline".into(), Json::Str(self.pipeline_name().into())),
+            ("target".into(), Json::Str(target.into())),
+            ("nodes".into(), Json::Num(nodes as f64)),
+        ];
+        if let Some(passes) = &self.passes {
+            fields.push((
+                "passes".into(),
+                Json::Arr(passes.iter().map(|p| Json::Str(p.clone())).collect()),
+            ));
+        }
+        Json::Obj(fields).to_string()
+    }
+}
+
+/// Typed failure categories — the client can branch on `error.kind`
+/// without parsing prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The admission queue is full; resubmit later. The request was
+    /// refused *before* any work — backpressure, not failure.
+    Overloaded,
+    /// The request line itself is malformed.
+    Protocol,
+    /// The source failed to compile (or lint-parse).
+    Compile,
+    /// The compiled program's run failed (bad session config, fault
+    /// budget exhaustion, dynamic error).
+    Run,
+}
+
+impl ErrorKind {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Compile => "compile",
+            ErrorKind::Run => "run",
+        }
+    }
+}
+
+/// A successful response's payload.
+#[derive(Debug, Clone)]
+pub struct Done {
+    /// Echoed request id.
+    pub id: u64,
+    /// Echoed tenant.
+    pub tenant: String,
+    /// Echoed request kind.
+    pub kind: RequestKind,
+    /// `"hit"`, `"miss"`, or `"bypass"` (lint never touches the cache).
+    pub cache: &'static str,
+    /// Modelled compile cost in units (0 on a cache hit).
+    pub compile_units: u64,
+    /// Simulated machine time of the run: CM/2 node cycles or MIMD
+    /// supersteps (0 for compile/lint requests).
+    pub run_units: u64,
+    /// What the tenant was charged (`compile_units + run_units`, min 1).
+    pub charged_units: u64,
+    /// Virtual machine-time units spent waiting in the queue.
+    pub queue_wait_units: u64,
+    /// Virtual submission-to-completion units (wait + service).
+    pub latency_units: u64,
+    /// Sustained model GFLOPS (run requests only).
+    pub gflops: Option<f64>,
+    /// `fnv1a64:` fingerprint — finals for a run, the compiled artifact
+    /// for a compile-only request.
+    pub fingerprint: Option<String>,
+    /// The run's flight-recorder digest (run requests only).
+    pub trace_digest: Option<String>,
+    /// Lint warning codes (lint requests only).
+    pub warnings: Vec<String>,
+}
+
+/// A failed response's payload.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Echoed request id.
+    pub id: u64,
+    /// What category of failure.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// One response line, success or typed failure.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// The request completed.
+    Done(Done),
+    /// The request was refused or failed.
+    Error(Failure),
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Done(d) => d.id,
+            Response::Error(e) => e.id,
+        }
+    }
+
+    /// Shorthand for a typed failure.
+    pub fn error(id: u64, kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response::Error(Failure {
+            id,
+            kind,
+            message: message.into(),
+        })
+    }
+
+    /// Serialise to one response line.
+    pub fn to_json(&self) -> String {
+        match self {
+            Response::Done(d) => {
+                let mut fields = vec![
+                    ("id".into(), Json::Num(d.id as f64)),
+                    ("ok".into(), Json::Bool(true)),
+                    ("tenant".into(), Json::Str(d.tenant.clone())),
+                    ("kind".into(), Json::Str(d.kind.as_str().into())),
+                    ("cache".into(), Json::Str(d.cache.into())),
+                    ("compile_units".into(), Json::Num(d.compile_units as f64)),
+                    ("run_units".into(), Json::Num(d.run_units as f64)),
+                    ("charged_units".into(), Json::Num(d.charged_units as f64)),
+                    (
+                        "queue_wait_units".into(),
+                        Json::Num(d.queue_wait_units as f64),
+                    ),
+                    ("latency_units".into(), Json::Num(d.latency_units as f64)),
+                ];
+                if let Some(g) = d.gflops {
+                    fields.push(("gflops".into(), Json::Num(g)));
+                }
+                if let Some(fp) = &d.fingerprint {
+                    fields.push(("fingerprint".into(), Json::Str(fp.clone())));
+                }
+                if let Some(digest) = &d.trace_digest {
+                    fields.push(("trace_digest".into(), Json::Str(digest.clone())));
+                }
+                if !d.warnings.is_empty() {
+                    fields.push((
+                        "warnings".into(),
+                        Json::Arr(d.warnings.iter().map(|w| Json::Str(w.clone())).collect()),
+                    ));
+                }
+                Json::Obj(fields).to_string()
+            }
+            Response::Error(e) => Json::Obj(vec![
+                ("id".into(), Json::Num(e.id as f64)),
+                ("ok".into(), Json::Bool(false)),
+                (
+                    "error".into(),
+                    Json::Obj(vec![
+                        ("kind".into(), Json::Str(e.kind.as_str().into())),
+                        ("message".into(), Json::Str(e.message.clone())),
+                    ]),
+                ),
+            ])
+            .to_string(),
+        }
+    }
+
+    /// Parse one response line (the load generator's side).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or a shape that is neither a
+    /// `Done` nor an `Error` response.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let doc = parse(line).map_err(|e| e.to_string())?;
+        let id = match field(&doc, "id") {
+            Some(Json::Num(n)) => *n as u64,
+            _ => return Err("'id' missing".into()),
+        };
+        let ok = match field(&doc, "ok") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("'ok' missing".into()),
+        };
+        if !ok {
+            let err = field(&doc, "error").ok_or("'error' missing")?;
+            let kind = match str_field(err, "kind").as_deref() {
+                Some("overloaded") => ErrorKind::Overloaded,
+                Some("protocol") => ErrorKind::Protocol,
+                Some("compile") => ErrorKind::Compile,
+                Some("run") => ErrorKind::Run,
+                other => return Err(format!("unknown error kind {other:?}")),
+            };
+            return Ok(Response::Error(Failure {
+                id,
+                kind,
+                message: str_field(err, "message").unwrap_or_default(),
+            }));
+        }
+        let num = |name: &str| match field(&doc, name) {
+            Some(Json::Num(n)) => *n as u64,
+            _ => 0,
+        };
+        let kind = match str_field(&doc, "kind").as_deref() {
+            Some("compile") => RequestKind::Compile,
+            Some("lint") => RequestKind::Lint,
+            _ => RequestKind::Run,
+        };
+        let cache = match str_field(&doc, "cache").as_deref() {
+            Some("hit") => "hit",
+            Some("bypass") => "bypass",
+            _ => "miss",
+        };
+        let warnings = match field(&doc, "warnings") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .filter_map(|w| match w {
+                    Json::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(Response::Done(Done {
+            id,
+            tenant: str_field(&doc, "tenant").unwrap_or_default(),
+            kind,
+            cache,
+            compile_units: num("compile_units"),
+            run_units: num("run_units"),
+            charged_units: num("charged_units"),
+            queue_wait_units: num("queue_wait_units"),
+            latency_units: num("latency_units"),
+            gflops: match field(&doc, "gflops") {
+                Some(Json::Num(n)) => Some(*n),
+                _ => None,
+            },
+            fingerprint: str_field(&doc, "fingerprint"),
+            trace_digest: str_field(&doc, "trace_digest"),
+            warnings,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request::parse(
+            r#"{"id":7,"tenant":"t","kind":"compile","source":"REAL A(8)\nA = A\n",
+                "pipeline":"cmf","target":"cm5","nodes":8,"passes":["comm-split"]}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, 7);
+        assert_eq!(req.kind, RequestKind::Compile);
+        assert_eq!(req.pipeline, Pipeline::Cmf);
+        assert_eq!(req.target, Target::Cm5Mimd { nodes: 8 });
+        assert_eq!(req.passes.as_deref(), Some(&["comm-split".to_string()][..]));
+        let again = Request::parse(&req.to_json()).unwrap();
+        assert_eq!(again.source, req.source);
+        assert_eq!(again.target, req.target);
+    }
+
+    #[test]
+    fn request_defaults_apply() {
+        let req = Request::parse(r#"{"id":1,"source":"REAL A(8)\nA = A\n"}"#).unwrap();
+        assert_eq!(req.tenant, "anon");
+        assert_eq!(req.kind, RequestKind::Run);
+        assert_eq!(req.pipeline, Pipeline::F90y);
+        assert_eq!(req.target, Target::Cm2 { nodes: 16 });
+    }
+
+    #[test]
+    fn request_rejects_malformed_lines() {
+        for bad in [
+            "not json",
+            "[]",
+            r#"{"source":"x"}"#,
+            r#"{"id":1}"#,
+            r#"{"id":1,"source":""}"#,
+            r#"{"id":1,"source":"x","kind":"dance"}"#,
+            r#"{"id":1,"source":"x","pipeline":"gcc"}"#,
+            r#"{"id":1,"source":"x","target":"gpu"}"#,
+            r#"{"id":-3,"source":"x"}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let done = Response::Done(Done {
+            id: 3,
+            tenant: "alice".into(),
+            kind: RequestKind::Run,
+            cache: "hit",
+            compile_units: 0,
+            run_units: 1234,
+            charged_units: 1234,
+            queue_wait_units: 10,
+            latency_units: 1244,
+            gflops: Some(3.5),
+            fingerprint: Some("fnv1a64:dead".into()),
+            trace_digest: Some("fnv1a64:beef".into()),
+            warnings: vec![],
+        });
+        match Response::parse(&done.to_json()).unwrap() {
+            Response::Done(d) => {
+                assert_eq!(d.id, 3);
+                assert_eq!(d.cache, "hit");
+                assert_eq!(d.run_units, 1234);
+                assert_eq!(d.fingerprint.as_deref(), Some("fnv1a64:dead"));
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        let err = Response::error(9, ErrorKind::Overloaded, "queue full");
+        match Response::parse(&err.to_json()).unwrap() {
+            Response::Error(e) => {
+                assert_eq!(e.id, 9);
+                assert_eq!(e.kind, ErrorKind::Overloaded);
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Cache-key discrimination and determinism (ISSUE 7 satellite).
+//!
+//! * Byte-identical requests must **hit**.
+//! * A change anywhere in `(source, pipeline, passes, target, nodes)`
+//!   must **miss** — the key discriminates every component.
+//! * Eviction keeps determinism: re-compiling an evicted key yields a
+//!   bit-identical artifact fingerprint.
+//! * The differential acceptance gate: a run served from cache has
+//!   finals bit-identical to a freshly compiled run.
+
+use std::sync::mpsc::channel;
+
+use f90y_serve::cache::CacheKey;
+use f90y_serve::engine::{Engine, ServeConfig};
+use f90y_serve::protocol::{Request, Response};
+
+const SOURCE: &str = "REAL A(8,8), S\nA = A + 1.5\nS = SUM(A)\n";
+
+/// Submit one request line to a drained deterministic engine and
+/// return its response.
+fn ask(engine: &Engine, line: &str) -> Response {
+    let (tx, rx) = channel();
+    let req = Request::parse(line).expect("request parses");
+    engine.submit(req, tx).expect("queue has room");
+    engine.drain();
+    rx.recv().expect("one response")
+}
+
+fn done(resp: Response) -> f90y_serve::protocol::Done {
+    match resp {
+        Response::Done(d) => d,
+        Response::Error(e) => panic!("request failed: {e:?}"),
+    }
+}
+
+fn line(id: u64, source: &str, extra: &str) -> String {
+    let src = f90y_obs::json::Json::Str(source.into());
+    format!(r#"{{"id":{id},"tenant":"t","source":{src}{extra}}}"#)
+}
+
+#[test]
+fn key_discriminates_every_component() {
+    let base = Request::parse(&line(1, SOURCE, "")).unwrap();
+    let base_key = CacheKey::for_request(&base);
+
+    // Byte-identical request: identical key.
+    let again = Request::parse(&line(2, SOURCE, "")).unwrap();
+    assert_eq!(CacheKey::for_request(&again), base_key, "id is not keyed");
+
+    // Every varied component must change the key.
+    let variants = [
+        line(1, "REAL A(8,8), S\nA = A + 2.5\nS = SUM(A)\n", ""),
+        line(1, SOURCE, r#","pipeline":"cmf""#),
+        line(1, SOURCE, r#","passes":["comm-split","blocking"]"#),
+        line(1, SOURCE, r#","target":"cm5""#),
+        line(1, SOURCE, r#","nodes":32"#),
+    ];
+    for v in &variants {
+        let req = Request::parse(v).unwrap();
+        assert_ne!(
+            CacheKey::for_request(&req),
+            base_key,
+            "variant must change the key: {v}"
+        );
+    }
+}
+
+#[test]
+fn engine_hits_on_identical_requests_and_misses_on_variants() {
+    let engine = Engine::new(ServeConfig::deterministic());
+
+    let first = done(ask(&engine, &line(1, SOURCE, "")));
+    assert_eq!(first.cache, "miss");
+    assert!(first.compile_units > 0, "a fresh compile has a cost");
+
+    let second = done(ask(&engine, &line(2, SOURCE, "")));
+    assert_eq!(second.cache, "hit", "byte-identical request must hit");
+    assert_eq!(second.compile_units, 0, "a hit charges no compile units");
+
+    // Different pass pipeline, target, and node count each miss.
+    for (id, extra) in [
+        (3, r#","passes":["comm-split","mask-pad","blocking"]"#),
+        (4, r#","target":"cm5""#),
+        (5, r#","nodes":32"#),
+        (6, r#","pipeline":"cmf""#),
+    ] {
+        let resp = done(ask(&engine, &line(id, SOURCE, extra)));
+        assert_eq!(resp.cache, "miss", "variant {extra} must miss");
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.cache.misses, 5);
+}
+
+#[test]
+fn eviction_keeps_artifact_fingerprints_deterministic() {
+    // Capacity 1: the second distinct program evicts the first.
+    let engine = Engine::new(ServeConfig {
+        cache_capacity: 1,
+        ..ServeConfig::deterministic()
+    });
+    let compile =
+        |id: u64, source: &str| done(ask(&engine, &line(id, source, r#","kind":"compile""#)));
+
+    let first = compile(1, SOURCE);
+    assert_eq!(first.cache, "miss");
+    let fp_first = first
+        .fingerprint
+        .expect("compile responses carry a fingerprint");
+    assert!(fp_first.starts_with("fnv1a64:"));
+
+    let other = compile(2, "REAL B(4,4)\nB = B * 3.0\n");
+    assert_eq!(other.cache, "miss");
+    assert!(engine.stats().cache.evictions >= 1, "capacity 1 must evict");
+
+    // The evicted key recompiles to a bit-identical artifact.
+    let again = compile(3, SOURCE);
+    assert_eq!(again.cache, "miss", "evicted entry is gone");
+    assert_eq!(
+        again.fingerprint.expect("fingerprint"),
+        fp_first,
+        "re-compile after eviction must be bit-identical"
+    );
+}
+
+#[test]
+fn cached_and_fresh_runs_have_bit_identical_finals() {
+    // The acceptance differential: run once compiled fresh, once from
+    // cache, and once on a cache-disabled engine — all three finals
+    // fingerprints must be equal, on both targets.
+    for target in ["", r#","target":"cm5""#] {
+        let engine = Engine::new(ServeConfig::deterministic());
+        let fresh = done(ask(&engine, &line(1, SOURCE, target)));
+        assert_eq!(fresh.cache, "miss");
+        let cached = done(ask(&engine, &line(2, SOURCE, target)));
+        assert_eq!(cached.cache, "hit");
+
+        let uncached_engine = Engine::new(ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::deterministic()
+        });
+        let uncached = done(ask(&uncached_engine, &line(3, SOURCE, target)));
+        assert_eq!(uncached.cache, "miss");
+
+        let fp = fresh.fingerprint.expect("fingerprint");
+        assert_eq!(
+            cached.fingerprint.as_deref(),
+            Some(fp.as_str()),
+            "cache-served finals must be bit-identical (target {target:?})"
+        );
+        assert_eq!(
+            uncached.fingerprint.as_deref(),
+            Some(fp.as_str()),
+            "cache-disabled finals must be bit-identical (target {target:?})"
+        );
+        // The run's behaviour (trace digest) matches too, not just the
+        // final values.
+        assert_eq!(fresh.trace_digest, cached.trace_digest);
+        assert_eq!(fresh.trace_digest, uncached.trace_digest);
+    }
+}

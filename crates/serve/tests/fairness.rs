@@ -1,0 +1,210 @@
+//! Fairness and backpressure (ISSUE 7 satellite).
+//!
+//! The scheduler's documented bound: once a request from the
+//! least-charged tenant is pending, at most `workers` requests of other
+//! tenants start before it (the ones already in flight). In the
+//! deterministic drain mode `workers` is effectively 1 — so after a
+//! heavy tenant's first grid completes, **every** pending light-tenant
+//! request runs before that tenant's next one.
+//!
+//! The backpressure contract: a submit past the queue bound returns a
+//! typed `Overloaded` response immediately — never a block, never a
+//! hang — and the shed request is counted.
+
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::time::Duration;
+
+use f90y_core::workloads;
+use f90y_obs::json::Json;
+use f90y_serve::engine::{Engine, ServeConfig};
+use f90y_serve::protocol::{ErrorKind, Request, Response};
+
+fn run_request(id: u64, tenant: &str, source: &str) -> Request {
+    let src = Json::Str(source.into());
+    Request::parse(&format!(
+        r#"{{"id":{id},"tenant":"{tenant}","source":{src},"nodes":16}}"#
+    ))
+    .expect("request parses")
+}
+
+#[test]
+fn a_huge_grid_does_not_starve_small_tenants() {
+    let engine = Engine::new(ServeConfig::deterministic());
+    let (tx, rx) = channel();
+
+    // Tenant "big" queues three 512²-grid runs; tenant "small" queues
+    // four 16² runs strictly *after* them.
+    let big_src = workloads::heat_source(512, 1);
+    let small_src = workloads::heat_source(16, 1);
+    for id in [100, 101, 102] {
+        engine
+            .submit(run_request(id, "big", &big_src), tx.clone())
+            .expect("room");
+    }
+    for id in [1, 2, 3, 4] {
+        engine
+            .submit(run_request(id, "small", &small_src), tx.clone())
+            .expect("room");
+    }
+    engine.drain();
+    drop(tx);
+
+    let order: Vec<u64> = rx.iter().map(|r| r.id()).collect();
+    assert_eq!(order.len(), 7, "every request answered");
+
+    // All tenants start at charge 0, so submission order wins the first
+    // pick: big's first grid runs. From then on "big" carries its cost
+    // as charge, so ALL of small's requests overtake big's remaining
+    // two — the documented bound (≤ 1 other-tenant start in drain mode).
+    assert_eq!(order[0], 100, "first pick is FIFO among equals");
+    assert_eq!(
+        &order[1..5],
+        &[1, 2, 3, 4],
+        "small tenant overtakes the heavy tenant's queued grids: {order:?}"
+    );
+    assert_eq!(&order[5..], &[101, 102], "heavy tenant finishes last");
+
+    // The ledger shows why: big's accumulated machine time dwarfs
+    // small's, and the spread is exactly their difference.
+    let stats = engine.stats();
+    let big_charge = stats.tenants["big"];
+    let small_charge = stats.tenants["small"];
+    assert!(
+        big_charge > 10 * small_charge,
+        "512² must cost an order of magnitude more than 4×16²: {big_charge} vs {small_charge}"
+    );
+    assert_eq!(stats.fairness_spread(), big_charge - small_charge);
+}
+
+#[test]
+fn queue_overflow_returns_typed_overloaded_immediately() {
+    let engine = Engine::new(ServeConfig {
+        queue_capacity: 3,
+        ..ServeConfig::deterministic()
+    });
+    let (tx, rx) = channel();
+    let src = "REAL A(8)\nA = A + 1.0\n";
+    for id in 1..=3 {
+        engine
+            .submit(run_request(id, "t", src), tx.clone())
+            .expect("under capacity");
+    }
+    // The 4th must be refused *now* (no worker is draining — a blocking
+    // submit would deadlock this single-threaded test, which is the
+    // point: refusal never blocks).
+    let refused = engine
+        .submit(run_request(4, "t", src), tx.clone())
+        .expect_err("queue is full");
+    match &refused {
+        Response::Error(e) => {
+            assert_eq!(e.id, 4);
+            assert_eq!(e.kind, ErrorKind::Overloaded);
+        }
+        other => panic!("expected a typed Overloaded error, got {other:?}"),
+    }
+    assert_eq!(engine.stats().rejected, 1);
+
+    // Shed load is shed, not queued: draining answers exactly 3.
+    engine.drain();
+    drop(tx);
+    assert_eq!(rx.iter().count(), 3);
+    assert_eq!(engine.stats().completed, 3);
+}
+
+/// Deterministic splitmix64 — the same generator the fault plans use,
+/// so the stress mix is reproducible from its seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn seeded_concurrent_stress_answers_every_request_or_sheds_typed() {
+    // 4 client threads × 15 requests against 2 workers and a small
+    // queue: every submit either lands in the queue (and is answered)
+    // or is refused with a typed Overloaded — accepted + rejected must
+    // equal submitted, and nothing hangs.
+    let engine = std::sync::Arc::new(Engine::new(ServeConfig {
+        queue_capacity: 8,
+        cache_capacity: 16,
+        workers: 2,
+    }));
+    let sources = [
+        "REAL A(8)\nA = A + 1.0\n",
+        "REAL B(8,8)\nB = B * 2.0\n",
+        "INTEGER K(4,4)\nK = 2*K + 5\n",
+    ];
+    let tenants = ["alice", "bob", "carol"];
+
+    let mut handles = Vec::new();
+    for thread_id in 0..4u64 {
+        let engine = std::sync::Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = 0xf90_0000 + thread_id;
+            let (tx, rx) = channel();
+            let mut accepted = 0u64;
+            let mut shed = 0u64;
+            for i in 0..15u64 {
+                let id = thread_id * 1000 + i;
+                let source = sources[(splitmix64(&mut rng) % 3) as usize];
+                let tenant = tenants[(splitmix64(&mut rng) % 3) as usize];
+                match engine.submit(run_request(id, tenant, source), tx.clone()) {
+                    Ok(()) => accepted += 1,
+                    Err(Response::Error(e)) => {
+                        assert_eq!(e.kind, ErrorKind::Overloaded, "only backpressure sheds");
+                        shed += 1;
+                    }
+                    Err(other) => panic!("unexpected refusal {other:?}"),
+                }
+            }
+            drop(tx);
+            // Every accepted request must answer; a hang here is the bug
+            // this test exists to catch, so fail loudly instead.
+            let mut answers = 0u64;
+            loop {
+                match rx.recv_timeout(Duration::from_secs(120)) {
+                    Ok(Response::Done(_)) => answers += 1,
+                    Ok(Response::Error(e)) => panic!("in-queue request failed: {e:?}"),
+                    Err(RecvTimeoutError::Disconnected) => break,
+                    Err(RecvTimeoutError::Timeout) => {
+                        panic!("request unanswered after 120s — the engine hung")
+                    }
+                }
+                if answers == accepted {
+                    break;
+                }
+            }
+            assert_eq!(answers, accepted);
+            (accepted, shed)
+        }));
+    }
+    let mut total_accepted = 0;
+    let mut total_shed = 0;
+    for h in handles {
+        let (accepted, shed) = h.join().expect("client thread");
+        total_accepted += accepted;
+        total_shed += shed;
+    }
+    assert_eq!(
+        total_accepted + total_shed,
+        60,
+        "every submit accounted for"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.accepted, total_accepted);
+    assert_eq!(stats.rejected, total_shed);
+    assert_eq!(stats.completed, total_accepted);
+    // Three distinct programs repeated 60× across a 16-slot cache: the
+    // repeats must hit.
+    assert!(
+        stats.cache.hits > 0,
+        "repeated sources must hit the cache: {:?}",
+        stats.cache
+    );
+    // The service telemetry absorbed every request's report.
+    let tel = engine.telemetry_report();
+    assert_eq!(tel.counter("serve.requests"), Some(total_accepted));
+}

@@ -1,0 +1,56 @@
+//! Compile-time thread-safety audit (ISSUE 7 satellite).
+//!
+//! The compile cache hands one `Arc<Executable>` to many worker
+//! threads, so `Executable` — and transitively everything it closes
+//! over: the NIR, the pass reports, the PEAC routines and the host
+//! program — must be `Send + Sync`. These assertions are evaluated at
+//! compile time; if any layer grows an `Rc`, a `RefCell` or a raw
+//! pointer, this test stops building and names the offending type.
+
+use std::sync::Arc;
+
+use f90y_core::Executable;
+use f90y_serve::engine::Engine;
+use f90y_serve::protocol::{Request, Response};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn cached_artifacts_cross_threads_without_cloning() {
+    // The artifact itself, shared form included.
+    assert_send_sync::<Executable>();
+    assert_send_sync::<Arc<Executable>>();
+    // The engine is shared by reference across connection handlers.
+    assert_send_sync::<Engine>();
+    // Requests and responses travel between threads over channels.
+    assert_send_sync::<Request>();
+    assert_send_sync::<Response>();
+}
+
+#[test]
+fn a_compiled_artifact_really_runs_from_another_thread() {
+    use f90y_core::{Compiler, Pipeline, Target};
+
+    let exe = Arc::new(
+        Compiler::new(Pipeline::F90y)
+            .compile("REAL A(16)\nA = A + 2.0\n")
+            .expect("compiles"),
+    );
+    let shared = Arc::clone(&exe);
+    let handle = std::thread::spawn(move || {
+        let run = shared
+            .session(Target::Cm2 { nodes: 8 })
+            .run()
+            .expect("runs on a worker thread");
+        run.finals().final_array("a").expect("finals")
+    });
+    let theirs = handle.join().expect("worker thread");
+    let ours = exe
+        .session(Target::Cm2 { nodes: 8 })
+        .run()
+        .expect("runs on the main thread")
+        .finals()
+        .final_array("a")
+        .expect("finals");
+    assert_eq!(ours, theirs, "shared artifact runs identically anywhere");
+}

@@ -1,0 +1,122 @@
+//! End-to-end smoke tests for the `f90y-served` binary: pipe mode over
+//! stdin/stdout, and TCP mode over a real socket.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+use f90y_serve::protocol::Response;
+
+const SERVED: &str = env!("CARGO_BIN_EXE_f90y-served");
+
+fn requests() -> Vec<String> {
+    let src = |s: &str| f90y_obs::json::Json::Str(s.into()).to_string();
+    let a = src("REAL A(8)\nA = A + 1.0\n");
+    let lint = src("REAL A(8,8)\nA = CSHIFT(A, DIM=1, SHIFT=1)\n");
+    vec![
+        format!(r#"{{"id":1,"tenant":"alice","source":{a}}}"#),
+        format!(r#"{{"id":2,"tenant":"bob","source":{a}}}"#),
+        format!(r#"{{"id":3,"tenant":"alice","kind":"lint","source":{lint}}}"#),
+        format!(r#"{{"id":4,"tenant":"bob","source":{a},"target":"cm5","nodes":4}}"#),
+        "this is not json".to_string(),
+    ]
+}
+
+/// Every request gets exactly one response; the repeated source hits
+/// the cache; the junk line gets a typed protocol error.
+fn check_responses(lines: &[String]) {
+    assert_eq!(lines.len(), 5, "one response per request line: {lines:?}");
+    let mut hits = 0;
+    let mut protocol_errors = 0;
+    let mut lint_warnings = 0;
+    for line in lines {
+        match Response::parse(line).expect("response parses") {
+            Response::Done(d) => {
+                if d.cache == "hit" {
+                    hits += 1;
+                }
+                if !d.warnings.is_empty() {
+                    lint_warnings += 1;
+                }
+            }
+            Response::Error(e) => {
+                assert_eq!(e.kind, f90y_serve::protocol::ErrorKind::Protocol);
+                protocol_errors += 1;
+            }
+        }
+    }
+    assert_eq!(hits, 1, "ids 1 and 2 share a source: exactly one hit");
+    assert_eq!(protocol_errors, 1, "the junk line errors");
+    assert_eq!(lint_warnings, 1, "the lint request warns (W-RACE)");
+}
+
+#[test]
+fn pipe_mode_answers_every_line_then_exits_on_eof() {
+    let mut child = Command::new(SERVED)
+        .args(["--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn f90y-served");
+    {
+        let stdin = child.stdin.as_mut().expect("stdin");
+        for line in requests() {
+            writeln!(stdin, "{line}").expect("write request");
+        }
+    }
+    child.stdin.take(); // EOF: the service drains and exits.
+    let output = child.wait_with_output().expect("served exits");
+    assert!(output.status.success(), "clean exit on EOF");
+    let lines: Vec<String> = String::from_utf8(output.stdout)
+        .expect("utf-8")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    check_responses(&lines);
+}
+
+struct KillOnDrop(Child);
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn tcp_mode_serves_a_connection() {
+    let mut child = Command::new(SERVED)
+        .args(["--listen", "127.0.0.1:0", "--workers", "1"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn f90y-served");
+    // The service prints "listening on <addr>" once bound.
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).expect("read banner");
+    let child = KillOnDrop(child);
+    let addr = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in banner")
+        .to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    for line in requests() {
+        writeln!(stream, "{line}").expect("send request");
+    }
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut body = String::new();
+    BufReader::new(&mut stream)
+        .read_to_string(&mut body)
+        .expect("read responses");
+    let lines: Vec<String> = body.lines().map(str::to_string).collect();
+    check_responses(&lines);
+    drop(child);
+}
