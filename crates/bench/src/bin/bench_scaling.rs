@@ -1,0 +1,41 @@
+//! `bench_scaling` — emit the machine-readable host-core scaling
+//! artefact.
+//!
+//! Writes [`f90y_bench::scaling_bench_json`] to the given path (default
+//! `BENCH_scaling.json`). The file records determinism evidence only —
+//! finals fingerprints, flight-recorder digests, message and superstep
+//! counts across host-thread counts — never wall time, so it is
+//! byte-identical across regenerations and CI can `git diff` it as a
+//! determinism gate. Wall-clock speedup lives in the `cm5_scaling`
+//! harness, which measures rather than commits it.
+//!
+//! ```text
+//! cargo run -p f90y-bench --release --bin bench_scaling [path]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scaling.json".to_string());
+    let json = f90y_bench::scaling_bench_json();
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            println!(
+                "wrote {path} ({} bytes): swe {}x{} on {} nodes, host threads {:?}, schema {}",
+                json.len(),
+                f90y_bench::BENCH_GRID,
+                f90y_bench::BENCH_GRID,
+                f90y_bench::BENCH_NODES,
+                f90y_bench::BENCH_HOST_THREADS,
+                f90y_bench::BENCH_SCHEMA,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_scaling: cannot write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

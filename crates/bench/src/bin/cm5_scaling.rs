@@ -12,11 +12,17 @@
 //! re-checking that finals stay bit-identical — the numbers behind the
 //! EXPERIMENTS.md fault-overhead table.
 //!
+//! A final host-core sweep runs the large SWE workload at increasing
+//! `host_threads`, re-checks that finals and flight-recorder digests
+//! are bit-identical at every width, asserts the wall-clock speedup on
+//! multi-core hosts, and rewrites `BENCH_scaling.json` (determinism
+//! evidence only — the committed file never carries wall time).
+//!
 //! Telemetry for each node count lands under
 //! `target/telemetry/cm5_scaling_<workload>_n<N>.json`.
 
 use f90y_bench::{compile, emit_telemetry, rule};
-use f90y_core::{workloads, Compiler, Executable, FaultPlan, Pipeline, Target};
+use f90y_core::{workloads, Compiler, Executable, FaultPlan, Pipeline, Target, TraceBuffer};
 use f90y_obs::Telemetry;
 
 const NODE_COUNTS: [usize; 3] = [4, 16, 64];
@@ -116,6 +122,108 @@ fn fault_sweep(title: &str, exe: &Executable, nodes: usize, check: &[&str]) {
     rule(76);
 }
 
+/// Node count of the host-core sweep: big enough that the per-superstep
+/// compute phase dominates thread-pool overhead.
+const HOST_SWEEP_NODES: usize = 1024;
+
+/// Minimum wall-clock speedup the sweep must show at its widest thread
+/// count on a host with at least [`SPEEDUP_MIN_CORES`] cores.
+const SPEEDUP_MIN: f64 = 2.0;
+const SPEEDUP_MIN_CORES: usize = 4;
+
+/// Host-core sweep: the same MIMD run at increasing `host_threads`.
+/// Results must be bit-identical — finals and flight-recorder digests
+/// are re-checked at every width — while wall-clock time drops on
+/// multi-core hosts (asserted ≥[`SPEEDUP_MIN`]x at the widest count on
+/// [`SPEEDUP_MIN_CORES`]+ cores). Wall-clock numbers are printed, never
+/// committed: the committed `BENCH_scaling.json` carries determinism
+/// evidence only.
+fn host_sweep(title: &str, exe: &Executable, nodes: usize, check: &[&str]) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= cores)
+        .collect();
+
+    println!("\n{title} — host-core sweep at {nodes} nodes ({cores} cores available):");
+    rule(70);
+    println!(
+        "{:>8} {:>12} {:>9} {:>12} {:>24}",
+        "threads", "wall-clock", "speedup", "finals", "trace digest"
+    );
+    rule(70);
+
+    let mut base: Option<(f64, Vec<Vec<f64>>, String)> = None;
+    let mut last_speedup = 1.0;
+    for &threads in &counts {
+        // Timed run, untraced: the flight recorder must not bill the
+        // thread pool for its own bookkeeping.
+        let start = std::time::Instant::now();
+        let run = exe
+            .session(Target::Cm5Mimd { nodes })
+            .host_threads(threads)
+            .run()
+            .expect("MIMD run")
+            .into_mimd();
+        let wall = start.elapsed().as_secs_f64();
+
+        // Separate traced run for the digest, excluded from the timing.
+        let mut buf = TraceBuffer::new();
+        exe.session(Target::Cm5Mimd { nodes })
+            .host_threads(threads)
+            .trace(&mut buf)
+            .run()
+            .expect("traced MIMD run");
+        let digest = buf.trace.expect("trace captured").digest();
+
+        let finals: Vec<Vec<f64>> = check
+            .iter()
+            .map(|&name| run.finals.final_array(name).expect("final array"))
+            .collect();
+        let speedup = match &base {
+            None => {
+                base = Some((wall, finals, digest.clone()));
+                1.0
+            }
+            Some((base_wall, base_finals, base_digest)) => {
+                assert_eq!(
+                    &finals, base_finals,
+                    "host_threads={threads} changed final values at {nodes} nodes"
+                );
+                assert_eq!(
+                    &digest, base_digest,
+                    "host_threads={threads} changed the trace digest at {nodes} nodes"
+                );
+                base_wall / wall
+            }
+        };
+        last_speedup = speedup;
+        println!(
+            "{threads:>8} {wall:>11.3}s {speedup:>8.2}x {:>12} {digest:>24}",
+            "identical"
+        );
+    }
+    rule(70);
+    println!("finals and trace digests bit-identical at every host-thread count");
+
+    if cores >= SPEEDUP_MIN_CORES {
+        assert!(
+            last_speedup >= SPEEDUP_MIN,
+            "expected >= {SPEEDUP_MIN}x wall-clock speedup at {} host threads \
+             on a {cores}-core host, measured {last_speedup:.2}x",
+            counts.last().expect("at least one thread count"),
+        );
+        println!(
+            "speedup {last_speedup:.2}x at {} threads (>= {SPEEDUP_MIN}x required on {cores} cores)",
+            counts.last().expect("at least one thread count"),
+        );
+    } else {
+        println!("speedup assertion skipped: only {cores} core(s) available");
+    }
+}
+
 /// Count the runtime communication calls in a compiled host program.
 fn count_comm(stmts: &[f90y_backend::HostStmt]) -> usize {
     use f90y_backend::HostStmt;
@@ -213,4 +321,18 @@ fn main() {
         &workloads::swe_source(64, 3),
         &["u", "v", "p"],
     );
+
+    let big = compile(&workloads::swe_source(HOST_SWEEP_NODES, 1), Pipeline::F90y);
+    host_sweep(
+        &format!("SWE {HOST_SWEEP_NODES}x{HOST_SWEEP_NODES}, 1 step"),
+        &big,
+        HOST_SWEEP_NODES,
+        &["u", "v", "p"],
+    );
+
+    let json = f90y_bench::scaling_bench_json();
+    match std::fs::write("BENCH_scaling.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_scaling.json ({} bytes)", json.len()),
+        Err(e) => println!("\nBENCH_scaling.json not written ({e}) — read-only checkout?"),
+    }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! validate_artifacts --bench BENCH_swe.json [--trace run.trace.json]
 //!                    [--serve BENCH_serve.json]
+//!                    [--scaling BENCH_scaling.json]
 //! ```
 //!
 //! Checks, exiting 1 on the first violation:
@@ -24,6 +25,12 @@
 //!   key over-discriminates), ordered latency percentiles, and
 //!   regenerating the replay in-process reproduces the committed
 //!   bytes exactly.
+//! * `--scaling`: the host-core scaling report parses, carries the
+//!   schema tag, sweeps every `f90y_bench::BENCH_HOST_THREADS` count,
+//!   records identical fingerprints, trace digests, message and
+//!   superstep counts at every width (the determinism claim the
+//!   artefact exists to witness), and regenerating the sweep
+//!   in-process reproduces the committed bytes exactly.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -225,10 +232,96 @@ fn check_serve(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate the host-core scaling report (the determinism artefact).
+fn check_scaling(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+
+    match field(&doc, "schema") {
+        Some(Json::Str(s)) if s == f90y_bench::BENCH_SCHEMA => {}
+        Some(other) => return Err(format!("unexpected schema tag {other}")),
+        None => return Err("schema tag missing".into()),
+    }
+    match field(&doc, "workload") {
+        Some(Json::Str(s)) if s == "scaling" => {}
+        other => return Err(format!("workload tag is not 'scaling': {other:?}")),
+    }
+    for section in ["grid", "steps", "nodes", "sweep"] {
+        if field(&doc, section).is_none() {
+            return Err(format!("section '{section}' missing"));
+        }
+    }
+
+    let entries = match field(&doc, "sweep") {
+        Some(Json::Arr(entries)) => entries,
+        _ => return Err("'sweep' is not an array".into()),
+    };
+    let expected: Vec<u64> = f90y_bench::BENCH_HOST_THREADS
+        .iter()
+        .map(|&t| t as u64)
+        .collect();
+    let swept: Result<Vec<u64>, String> = entries
+        .iter()
+        .map(|e| num_field(e, "host_threads").map(|n| n as u64))
+        .collect();
+    if swept? != expected {
+        return Err(format!("sweep must cover host_threads {expected:?}"));
+    }
+
+    // The determinism claim: every width records identical evidence.
+    let mut baseline: Option<(String, String, u64, u64)> = None;
+    for entry in entries {
+        let threads = num_field(entry, "host_threads")? as u64;
+        let fingerprint = match field(entry, "fingerprint") {
+            Some(Json::Str(s)) if s.starts_with("fnv1a64:") => s.clone(),
+            other => {
+                return Err(format!(
+                    "fingerprint malformed at {threads} threads: {other:?}"
+                ))
+            }
+        };
+        let digest = match field(entry, "trace_digest") {
+            Some(Json::Str(s)) if s.starts_with("fnv1a64:") => s.clone(),
+            other => {
+                return Err(format!(
+                    "trace digest malformed at {threads} threads: {other:?}"
+                ))
+            }
+        };
+        let observed = (
+            fingerprint,
+            digest,
+            num_field(entry, "messages")? as u64,
+            num_field(entry, "supersteps")? as u64,
+        );
+        match &baseline {
+            None => baseline = Some(observed),
+            Some(base) if base != &observed => {
+                return Err(format!(
+                    "sweep entries diverge at {threads} threads: {observed:?} vs {base:?}"
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+
+    // Determinism gate: regenerating must reproduce the bytes exactly.
+    let regenerated = f90y_bench::scaling_bench_json();
+    if regenerated != text {
+        return Err(format!(
+            "{path} is stale: regeneration differs ({} vs {} bytes) — \
+             run `cargo run -p f90y-bench --release --bin bench_scaling`",
+            text.len(),
+            regenerated.len()
+        ));
+    }
+    Ok(())
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: validate_artifacts --bench <BENCH_swe.json> [--trace <trace.json>] \
-         [--serve <BENCH_serve.json>]"
+         [--serve <BENCH_serve.json>] [--scaling <BENCH_scaling.json>]"
     );
     std::process::exit(2);
 }
@@ -237,6 +330,7 @@ fn main() -> ExitCode {
     let mut bench: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut serve: Option<String> = None;
+    let mut scaling: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -252,10 +346,14 @@ fn main() -> ExitCode {
                 Some(p) => serve = Some(p),
                 None => usage(),
             },
+            "--scaling" => match args.next() {
+                Some(p) => scaling = Some(p),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
-    if bench.is_none() && trace.is_none() && serve.is_none() {
+    if bench.is_none() && trace.is_none() && serve.is_none() && scaling.is_none() {
         usage();
     }
 
@@ -297,6 +395,20 @@ fn main() -> ExitCode {
         match check_serve(path) {
             Ok(()) => {
                 println!("OK {path}: schema, hit-rate, latency and regeneration checks pass");
+            }
+            Err(e) => {
+                eprintln!("validate_artifacts: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &scaling {
+        match check_scaling(path) {
+            Ok(()) => {
+                println!(
+                    "OK {path}: every host-thread count records identical determinism \
+                     evidence and regeneration reproduces the bytes"
+                );
             }
             Err(e) => {
                 eprintln!("validate_artifacts: {path}: {e}");

@@ -123,6 +123,9 @@ pub const BENCH_STEPS: usize = 2;
 /// Node count of the committed trajectory point.
 pub const BENCH_NODES: usize = 16;
 
+/// Host-thread counts of the committed `BENCH_scaling.json` sweep.
+pub const BENCH_HOST_THREADS: [usize; 4] = [1, 2, 4, 8];
+
 /// Shorthand for a JSON number field from a count.
 fn num(n: u64) -> Json {
     Json::Num(n as f64)
@@ -248,6 +251,73 @@ pub fn swe_bench_json() -> String {
     format!("{doc}\n")
 }
 
+/// Build the machine-readable host-core scaling report: the SWE
+/// workload at [`BENCH_GRID`]²×[`BENCH_STEPS`] on [`BENCH_NODES`] MIMD
+/// nodes, swept over [`BENCH_HOST_THREADS`] host worker threads. The
+/// committed artefact records only *determinism evidence* — finals
+/// fingerprint, flight-recorder digest, message count and superstep
+/// count per thread count, all required identical — never wall-clock
+/// time, so regeneration is byte-identical on any host and `git diff`
+/// doubles as a determinism gate. (Wall-clock speedups are measured,
+/// printed and asserted by the `cm5_scaling` harness instead.)
+///
+/// # Panics
+///
+/// Panics if the workload fails to compile or run, or if any thread
+/// count changes any recorded value — a committed artefact must never
+/// encode a nondeterministic engine.
+pub fn scaling_bench_json() -> String {
+    let src = workloads::swe_source(BENCH_GRID, BENCH_STEPS);
+    let exe = compile(&src, Pipeline::F90y);
+
+    let mut entries: Vec<Json> = Vec::new();
+    let mut baseline: Option<(String, String, u64, u64)> = None;
+    for &threads in &BENCH_HOST_THREADS {
+        let mut buf = TraceBuffer::new();
+        let run = exe
+            .session(Target::Cm5Mimd { nodes: BENCH_NODES })
+            .host_threads(threads)
+            .trace(&mut buf)
+            .run()
+            .expect("CM/5 scaling run")
+            .into_mimd();
+        let digest = buf.trace.expect("trace captured").digest();
+        let fingerprint = f90y_serve::engine::finals_fingerprint(&run.finals);
+        let observed = (
+            fingerprint.clone(),
+            digest.clone(),
+            run.stats.messages,
+            run.stats.supersteps,
+        );
+        match &baseline {
+            None => baseline = Some(observed),
+            Some(base) => assert_eq!(
+                &observed, base,
+                "host_threads={threads} perturbed an observable \
+                 (fingerprint, digest, messages, supersteps)"
+            ),
+        }
+        entries.push(Json::Obj(vec![
+            ("host_threads".into(), num(threads as u64)),
+            ("fingerprint".into(), Json::Str(fingerprint)),
+            ("trace_digest".into(), Json::Str(digest)),
+            ("messages".into(), num(run.stats.messages)),
+            ("supersteps".into(), num(run.stats.supersteps)),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(BENCH_SCHEMA.into())),
+        ("workload".into(), Json::Str("scaling".into())),
+        ("pipeline".into(), Json::Str("f90y".into())),
+        ("grid".into(), num(BENCH_GRID as u64)),
+        ("steps".into(), num(BENCH_STEPS as u64)),
+        ("nodes".into(), num(BENCH_NODES as u64)),
+        ("sweep".into(), Json::Arr(entries)),
+    ]);
+    format!("{doc}\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +346,21 @@ mod tests {
             }
             other => panic!("expected an object, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn scaling_bench_json_is_byte_identical_across_generations() {
+        let first = scaling_bench_json();
+        let second = scaling_bench_json();
+        assert_eq!(first, second, "BENCH_scaling.json must regenerate exactly");
+        let doc = f90y_obs::json::parse(&first).expect("valid JSON");
+        let Json::Obj(fields) = &doc else {
+            panic!("expected an object");
+        };
+        let sweep = fields.iter().find(|(k, _)| k == "sweep");
+        let Some((_, Json::Arr(entries))) = sweep else {
+            panic!("sweep array present");
+        };
+        assert_eq!(entries.len(), BENCH_HOST_THREADS.len());
     }
 }

@@ -89,6 +89,7 @@ pub fn serve_workload() -> Vec<Request> {
             pipeline: Pipeline::F90y,
             passes: None,
             target,
+            host_threads: 1,
         })
         .collect()
 }

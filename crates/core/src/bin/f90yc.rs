@@ -6,6 +6,9 @@
 //!   --pipeline f90y|cmf|starlisp   compiler to model       (default f90y)
 //!   --target cm2|cm5               execution engine         (default cm2)
 //!   --nodes N                      nodes, power of 2        (default 2048)
+//!   --host-threads N               host worker threads for the MIMD
+//!                                  compute phase (cm5 only, default 1;
+//!                                  results are bit-identical at any N)
 //!   --emit nir|opt|peac|host       print a stage and stop
 //!   --lint[=deny]                  print W-RACE/W-UNINIT/W-DEADSTORE
 //!                                  diagnostics and stop (=deny exits 1 on any)
@@ -55,6 +58,8 @@
 //! cargo run -p f90y-core --bin f90yc -- --passes=comm-split,mask-pad \
 //!     --verify-passes prog.f90
 //! cargo run -p f90y-core --bin f90yc -- --target cm5 --nodes 64 prog.f90
+//! cargo run -p f90y-core --bin f90yc -- --target cm5 --nodes 64 \
+//!     --host-threads 4 prog.f90
 //! cargo run -p f90y-core --bin f90yc -- --target cm5 --nodes 16 \
 //!     --fault-seed 7 --fault-drop 20 --fault-kill 3:1 prog.f90
 //! ```
@@ -81,6 +86,7 @@ struct Options {
     pipeline: Pipeline,
     target: TargetKind,
     nodes: usize,
+    host_threads: usize,
     emit: Option<String>,
     lint: bool,
     lint_deny: bool,
@@ -124,6 +130,9 @@ const USAGE: &str = "usage: f90yc [options] <file.f90 | ->
   --pipeline f90y|cmf|starlisp   compiler to model       (default f90y)
   --target cm2|cm5               execution engine         (default cm2)
   --nodes N                      nodes, power of 2        (default 2048)
+  --host-threads N               host worker threads for the MIMD
+                                 compute phase (cm5 only, default 1;
+                                 results are bit-identical at any N)
   --emit nir|opt|peac|host       print a stage and stop
   --lint[=deny]                  print W-RACE/W-UNINIT/W-DEADSTORE
                                  diagnostics and stop (=deny exits 1 on any)
@@ -155,6 +164,7 @@ fn parse_args() -> Options {
         pipeline: Pipeline::F90y,
         target: TargetKind::Cm2,
         nodes: 2048,
+        host_threads: 1,
         emit: None,
         lint: false,
         lint_deny: false,
@@ -196,6 +206,10 @@ fn parse_args() -> Options {
             "--nodes" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) => opts.nodes = n,
                 None => usage(),
+            },
+            "--host-threads" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => opts.host_threads = n,
+                _ => usage(),
             },
             "--emit" => match args.next() {
                 Some(e) if ["nir", "opt", "peac", "host"].contains(&e.as_str()) => {
@@ -280,6 +294,12 @@ fn parse_args() -> Options {
     }
     if opts.target == TargetKind::Cm5 && opts.profile {
         eprintln!("f90yc: --profile attributes PEAC opcode cycles and needs --target cm2");
+        std::process::exit(2);
+    }
+    if opts.target == TargetKind::Cm2 && opts.host_threads > 1 {
+        eprintln!(
+            "f90yc: --host-threads parallelises the MIMD compute phase and needs --target cm5"
+        );
         std::process::exit(2);
     }
     opts
@@ -464,7 +484,10 @@ fn main() -> ExitCode {
     } else {
         None
     };
-    let mut session = exe.session(target).telemetry(&mut tel);
+    let mut session = exe
+        .session(target)
+        .host_threads(opts.host_threads)
+        .telemetry(&mut tel);
     if let Some(plan) = opts.fault_plan() {
         session = session.faults(plan);
     }

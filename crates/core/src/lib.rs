@@ -205,26 +205,6 @@ impl From<f90y_backend::BackendError> for RunError {
     }
 }
 
-/// The lossy bridge the deprecated `run*` shims use to keep their
-/// historical [`CompileError`] signatures.
-impl From<RunError> for CompileError {
-    fn from(e: RunError) -> Self {
-        match e {
-            RunError::Execution(b) => CompileError::Backend(b),
-            RunError::Reference(n) => CompileError::Transform(n),
-            RunError::Unrecoverable(m) => CompileError::Backend(
-                f90y_backend::BackendError::Machine(f90y_cm2::Cm2Error::Unrecoverable(m)),
-            ),
-            RunError::InvalidSession(m) | RunError::Validation(m) => {
-                CompileError::Backend(f90y_backend::BackendError::Host(m))
-            }
-            RunError::Trace(e) => {
-                CompileError::Backend(f90y_backend::BackendError::Host(e.to_string()))
-            }
-        }
-    }
-}
-
 /// The compiler driver.
 #[derive(Debug, Clone)]
 pub struct Compiler {
@@ -508,8 +488,8 @@ pub struct Executable {
 
 impl Executable {
     /// Open a [`Session`] on `target` — the one entry point for running
-    /// a compiled program (it replaced the deprecated `run*` family).
-    /// Chain [`Session::telemetry`], [`Session::faults`] or
+    /// a compiled program. Chain [`Session::telemetry`],
+    /// [`Session::faults`], [`Session::host_threads`] or
     /// [`Session::on_machine`] to configure, then [`Session::run`].
     pub fn session(&self, target: Target) -> Session<'_> {
         Session {
@@ -519,73 +499,8 @@ impl Executable {
             faults: None,
             machine: None,
             sinks: Vec::new(),
+            host_threads: 1,
         }
-    }
-
-    /// Run on a fresh machine with the given node count.
-    ///
-    /// # Errors
-    ///
-    /// Fails on any dynamic error during host execution.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `exe.session(Target::Cm2 { nodes }).run()`"
-    )]
-    pub fn run(&self, nodes: usize) -> Result<RunReport, CompileError> {
-        let mut cm = self.pipeline.machine(nodes);
-        self.run_cm2_impl(&mut cm, &mut Telemetry::disabled(), false)
-            .map(|(r, _)| r)
-            .map_err(CompileError::from)
-    }
-
-    /// [`Executable::run`] with telemetry.
-    ///
-    /// # Errors
-    ///
-    /// As [`Executable::run`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `exe.session(Target::Cm2 { nodes }).telemetry(tel).run()`"
-    )]
-    pub fn run_with(&self, nodes: usize, tel: &mut Telemetry) -> Result<RunReport, CompileError> {
-        let mut cm = self.pipeline.machine(nodes);
-        self.run_cm2_impl(&mut cm, tel, false)
-            .map(|(r, _)| r)
-            .map_err(CompileError::from)
-    }
-
-    /// Run on an existing machine (stats accumulate).
-    ///
-    /// # Errors
-    ///
-    /// Fails on any dynamic error during host execution.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `exe.session(Target::Cm2 { nodes }).on_machine(cm).run()`"
-    )]
-    pub fn run_on(&self, cm: &mut Cm2) -> Result<RunReport, CompileError> {
-        self.run_cm2_impl(cm, &mut Telemetry::disabled(), false)
-            .map(|(r, _)| r)
-            .map_err(CompileError::from)
-    }
-
-    /// [`Executable::run_on`] with telemetry.
-    ///
-    /// # Errors
-    ///
-    /// As [`Executable::run_on`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `exe.session(Target::Cm2 { nodes }).on_machine(cm).telemetry(tel).run()`"
-    )]
-    pub fn run_on_with(
-        &self,
-        cm: &mut Cm2,
-        tel: &mut Telemetry,
-    ) -> Result<RunReport, CompileError> {
-        self.run_cm2_impl(cm, tel, false)
-            .map(|(r, _)| r)
-            .map_err(CompileError::from)
     }
 
     /// The CM/2 execution behind every session: runs inside a `run`
@@ -667,58 +582,24 @@ impl Executable {
         ))
     }
 
-    /// Run on the CM/5 MIMD execution engine with the given node count
-    /// (genuinely distributed: sharded arrays, halo exchanges, combine
-    /// trees — see `f90y-mimd`). Final values are bit-identical to the
-    /// CM/2 target's; the accounting is the MIMD machine's own.
-    ///
-    /// # Errors
-    ///
-    /// Fails on any dynamic error during host execution.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `exe.session(Target::Cm5Mimd { nodes }).run()`"
-    )]
-    pub fn run_mimd(&self, nodes: usize) -> Result<MimdRunReport, CompileError> {
-        self.run_mimd_impl(nodes, None, &mut Telemetry::disabled(), false)
-            .map(|(r, _)| r)
-            .map_err(CompileError::from)
-    }
-
-    /// [`Executable::run_mimd`] with telemetry.
-    ///
-    /// # Errors
-    ///
-    /// As [`Executable::run_mimd`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `exe.session(Target::Cm5Mimd { nodes }).telemetry(tel).run()`"
-    )]
-    pub fn run_mimd_with(
-        &self,
-        nodes: usize,
-        tel: &mut Telemetry,
-    ) -> Result<MimdRunReport, CompileError> {
-        self.run_mimd_impl(nodes, None, tel, false)
-            .map(|(r, _)| r)
-            .map_err(CompileError::from)
-    }
-
     /// The MIMD execution behind every session: runs inside a
     /// `run.mimd` span and the machine's counters land under `mimd.*` —
     /// message/byte/collective counts plus per-phase seconds (as
     /// gauges) and the busiest/least-busy node times. With a fault
     /// plan, the injection and recovery counters additionally land
-    /// under `mimd.fault.*`.
+    /// under `mimd.fault.*`. `host_threads` sets the host-side compute
+    /// pool width (wall-clock only; deliberately *not* a telemetry
+    /// counter, so reports stay bit-identical across widths).
     fn run_mimd_impl(
         &self,
         nodes: usize,
         faults: Option<FaultPlan>,
+        host_threads: usize,
         tel: &mut Telemetry,
         want_trace: bool,
     ) -> Result<(MimdRunReport, Option<Trace>), RunError> {
         let fault_run = faults.is_some();
-        let mut config = f90y_mimd::MimdConfig::new(nodes);
+        let mut config = f90y_mimd::MimdConfig::new(nodes).with_host_threads(host_threads);
         if let Some(plan) = faults {
             config = config.with_faults(plan);
         }
@@ -882,6 +763,7 @@ pub struct Session<'a> {
     faults: Option<FaultPlan>,
     machine: Option<&'a mut Cm2>,
     sinks: Vec<&'a mut dyn TraceSink>,
+    host_threads: usize,
 }
 
 impl<'a> Session<'a> {
@@ -898,6 +780,22 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Execute each superstep's compute phase on `n` host worker
+    /// threads ([`Target::Cm5Mimd`] only; default 1 = sequential).
+    /// Purely a wall-clock knob: node shards partition over the
+    /// workers and results merge at the barrier in node-index order,
+    /// so finals, telemetry and trace digests are bit-identical at
+    /// any width — including under a fault plan. Validated by
+    /// [`Session::run`] (`n ≥ 1`). Sessions that keep the default can
+    /// be widened globally with `F90Y_HOST_THREADS=<n>` (the CI hook
+    /// for re-running whole suites parallel); an explicit call here
+    /// always wins.
+    #[must_use]
+    pub fn host_threads(mut self, n: usize) -> Self {
+        self.host_threads = n;
         self
     }
 
@@ -929,10 +827,11 @@ impl<'a> Session<'a> {
     ///
     /// [`RunError::InvalidSession`] when the configuration is
     /// inconsistent (non-power-of-two MIMD node count, a fault plan on
-    /// the CM/2 target or targeting absent nodes, a provided machine of
-    /// the wrong size); [`RunError::Unrecoverable`] when an injected
-    /// fault plan exhausts its recovery budgets;
-    /// [`RunError::Execution`] on any other dynamic error.
+    /// the CM/2 target or targeting absent nodes, a zero or CM/2
+    /// `host_threads` setting, a provided machine of the wrong size);
+    /// [`RunError::Unrecoverable`] when an injected fault plan
+    /// exhausts its recovery budgets; [`RunError::Execution`] on any
+    /// other dynamic error.
     pub fn run(self) -> Result<Run, RunError> {
         let Session {
             exe,
@@ -941,7 +840,13 @@ impl<'a> Session<'a> {
             faults,
             machine,
             mut sinks,
+            host_threads,
         } = self;
+        if host_threads == 0 {
+            return Err(RunError::InvalidSession(
+                "host_threads must be at least 1 (1 = sequential)".into(),
+            ));
+        }
         let mut local = Telemetry::disabled();
         let tel = tel.unwrap_or(&mut local);
         let want_trace = !sinks.is_empty();
@@ -953,6 +858,12 @@ impl<'a> Session<'a> {
                          has no message layer to perturb"
                             .into(),
                     ));
+                }
+                if host_threads > 1 {
+                    return Err(RunError::InvalidSession(format!(
+                        "host_threads({host_threads}) applies to Target::Cm5Mimd only — \
+                         the SIMD machine's cycle model is single-image"
+                    )));
                 }
                 let (report, trace) = match machine {
                     Some(cm) => {
@@ -988,7 +899,22 @@ impl<'a> Session<'a> {
                 if let Some(plan) = &faults {
                     plan.validate(nodes).map_err(RunError::InvalidSession)?;
                 }
-                let (report, trace) = exe.run_mimd_impl(nodes, faults, tel, want_trace)?;
+                // CI hook: `F90Y_HOST_THREADS` re-runs any MIMD suite
+                // with a parallel compute phase without touching call
+                // sites (results are bit-identical at any width, so
+                // this can never change what a test observes). An
+                // explicit `.host_threads()` call always wins.
+                let host_threads = if host_threads == 1 {
+                    std::env::var("F90Y_HOST_THREADS")
+                        .ok()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or(1)
+                } else {
+                    host_threads
+                };
+                let (report, trace) =
+                    exe.run_mimd_impl(nodes, faults, host_threads, tel, want_trace)?;
                 (Run::Mimd(report), trace)
             }
         };
@@ -1163,29 +1089,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_run() {
-        let exe = Compiler::new(Pipeline::F90y)
-            .compile("REAL A(8)\nA = A + 1.0\n")
-            .unwrap();
-        #[allow(deprecated)]
-        let run = exe.run(8).unwrap();
-        assert!(run
-            .finals
-            .final_array("a")
-            .unwrap()
-            .iter()
-            .all(|&x| x == 1.0));
-        #[allow(deprecated)]
-        let run = exe.run_mimd(8).unwrap();
-        assert!(run
-            .finals
-            .final_array("a")
-            .unwrap()
-            .iter()
-            .all(|&x| x == 1.0));
-    }
-
-    #[test]
     fn session_rejects_inconsistent_configurations() {
         let exe = Compiler::new(Pipeline::F90y)
             .compile("REAL A(8)\nA = A + 1.0\n")
@@ -1215,6 +1118,50 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, RunError::InvalidSession(_)));
+        // Zero host threads.
+        let err = exe
+            .session(Target::Cm5Mimd { nodes: 8 })
+            .host_threads(0)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidSession(_)));
+        // A host pool on the single-image SIMD target.
+        let err = exe
+            .session(Target::Cm2 { nodes: 8 })
+            .host_threads(2)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidSession(_)));
+    }
+
+    #[test]
+    fn host_threads_change_nothing_observable() {
+        let exe = Compiler::new(Pipeline::F90y)
+            .compile("REAL A(32,32), S\nA = A + 3.0\nA = CSHIFT(A, 1, 1)\nS = SUM(A)\n")
+            .unwrap();
+        let observe = |threads: usize| {
+            let mut tel = Telemetry::new();
+            let run = exe
+                .session(Target::Cm5Mimd { nodes: 16 })
+                .host_threads(threads)
+                .telemetry(&mut tel)
+                .run()
+                .unwrap();
+            let finals: Vec<u64> = run
+                .finals()
+                .final_array("a")
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            // Spans carry wall-clock nanos, so compare only the
+            // deterministic halves of the report.
+            let report = tel.report();
+            (finals, report.counters, report.gauges)
+        };
+        let baseline = observe(1);
+        assert_eq!(observe(2), baseline);
+        assert_eq!(observe(8), baseline);
     }
 
     #[test]

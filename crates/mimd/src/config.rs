@@ -41,6 +41,13 @@ pub struct MimdConfig {
     /// restored from barrier checkpoints, so in-budget plans leave
     /// final values bit-identical to a fault-free run.
     pub fault_plan: Option<FaultPlan>,
+    /// Host worker threads executing the per-node compute phase of each
+    /// superstep (1 = fully sequential, today's behavior). Purely a
+    /// host-side throughput knob: node shards are partitioned over the
+    /// workers, results merge at the barrier in node-index order, and
+    /// messages are sequenced canonically by `(src, dst)` — so finals,
+    /// telemetry and trace digests are bit-identical at any value.
+    pub host_threads: usize,
 }
 
 impl MimdConfig {
@@ -66,6 +73,7 @@ impl MimdConfig {
             cp_per_arg_cycles: 10,
             message_log_capacity: None,
             fault_plan: None,
+            host_threads: 1,
         }
     }
 
@@ -79,6 +87,20 @@ impl MimdConfig {
     /// Same partition, with the given fault plan injected.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Same partition, computing each superstep on `host_threads` host
+    /// workers. Results are identical at any value; only wall-clock
+    /// changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `host_threads` is zero (the session layer rejects
+    /// this with a typed error before it can reach here).
+    pub fn with_host_threads(mut self, host_threads: usize) -> Self {
+        assert!(host_threads >= 1, "host_threads must be at least 1");
+        self.host_threads = host_threads;
         self
     }
 
@@ -105,5 +127,17 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         MimdConfig::new(48);
+    }
+
+    #[test]
+    fn host_threads_defaults_to_sequential() {
+        assert_eq!(MimdConfig::new(4).host_threads, 1);
+        assert_eq!(MimdConfig::new(4).with_host_threads(8).host_threads, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_host_threads() {
+        MimdConfig::new(4).with_host_threads(0);
     }
 }

@@ -22,6 +22,10 @@
 //!   point-to-point messages with sequence-numbered, acknowledged,
 //!   deduplicated delivery; busiest-endpoint superstep timing; an
 //!   optional bounded log;
+//! * [`pool`] — the deterministic host thread pool the compute phase
+//!   of every superstep fans out on ([`MimdConfig::host_threads`];
+//!   results merge at the barrier in node-index order, so thread count
+//!   never changes what a run produces);
 //! * [`fault`] — [`FaultPlan`]: seeded, reproducible fault injection
 //!   (message drops/duplicates/delays, node kills and stalls), every
 //!   decision a pure function of `(seed, superstep, msg_seq)`;
@@ -66,6 +70,7 @@ pub mod config;
 pub mod fault;
 pub mod machine;
 pub mod net;
+pub mod pool;
 pub mod shard;
 pub mod stats;
 

@@ -29,6 +29,20 @@
 //! clock and no randomness anywhere — two runs of one program produce
 //! identical arrays, stats and message logs.
 //!
+//! ## Host parallelism
+//!
+//! The compute phase of every superstep — per-node routine execution
+//! in dispatches, slab construction in shifts — fans out over
+//! [`MimdConfig::host_threads`] host workers via [`crate::pool`].
+//! Between barriers the nodes share nothing mutable; results merge at
+//! the barrier in node-index order and messages are sequenced
+//! canonically by `(src, dst)` before delivery (see [`crate::net`]),
+//! so the thread count changes wall-clock time only: finals,
+//! telemetry and trace digests are bit-identical at any value,
+//! including under fault injection (superstep bodies are pure
+//! functions of the machine state, so checkpoint/replay reproduces
+//! them exactly regardless of how wide they ran).
+//!
 //! ## Fault recovery
 //!
 //! With a [`crate::fault::FaultPlan`] in the configuration, each
@@ -50,12 +64,14 @@ use f90y_cm2::runtime::{shift_data, ReduceOp};
 use f90y_cm2::Cm2Error;
 use f90y_obs::trace::{Actor, ClockDomain, Trace, TraceEvent};
 use f90y_peac::isa::Instr;
-use f90y_peac::sim::{run_routine, NodeMemory};
+use f90y_peac::sim::NodeMemory;
+use f90y_peac::threaded::CompiledBlock;
 use f90y_peac::Routine;
 
 use crate::checkpoint::{Checkpoint, CheckpointEntry};
 use crate::config::MimdConfig;
 use crate::net::{Message, MessageKind, Net, HOST};
+use crate::pool;
 use crate::shard::ShardMap;
 use crate::stats::MimdStats;
 
@@ -515,14 +531,22 @@ impl MimdMachine {
         let inner = arr.inner();
         let rows = arr.rows();
 
+        let host_threads = self.config.host_threads;
         let (shards, batch) = if axis == 0 {
             // Halo exchange: destination row `a` takes source row
             // `a + shift`; rows outside the local slab arrive as ghost
-            // rows, one message per (owner → needer) pair.
-            let mut shards = Vec::with_capacity(nodes);
-            let mut ghosts: HashMap<(usize, usize), u64> = HashMap::new();
-            for k in 0..nodes {
+            // rows, one message per (owner → needer) pair. Slab
+            // construction only reads the source array, so the nodes
+            // build concurrently on the host pool; ghost counts merge
+            // at the barrier in node order (delivery re-sorts the
+            // batch by `(src, dst)` before sequencing anyway — see
+            // `Net::deliver_traced` — so batch assembly order cannot
+            // perturb the trace).
+            // One shard slab plus its (owner, ghost-row-count) tallies.
+            type SlabAndGhosts = (Vec<f64>, Vec<(usize, u64)>);
+            let per_node: Vec<SlabAndGhosts> = pool::run_indexed(host_threads, nodes, |k| {
                 let mut slab = Vec::with_capacity(map.rows_of(k) * inner);
+                let mut ghosts: Vec<(usize, u64)> = Vec::new();
                 for a in map.row_start(k)..map.row_end(k) {
                     let src_row = a as i64 + shift;
                     match boundary {
@@ -533,35 +557,42 @@ impl MimdMachine {
                             let r = src_row.rem_euclid(rows.max(1) as i64) as usize;
                             let owner = map.owner(r);
                             if owner != k {
-                                *ghosts.entry((owner, k)).or_insert(0) += 1;
+                                // Few distinct owners per node
+                                // (|shift| is small): linear scan.
+                                match ghosts.iter_mut().find(|(o, _)| *o == owner) {
+                                    Some((_, n)) => *n += 1,
+                                    None => ghosts.push((owner, 1)),
+                                }
                             }
                             slab.extend_from_slice(arr.row(&map, r));
                         }
                     }
                 }
+                (slab, ghosts)
+            });
+            let mut shards = Vec::with_capacity(nodes);
+            let mut batch = Vec::new();
+            for (k, (slab, ghosts)) in per_node.into_iter().enumerate() {
                 shards.push(slab);
+                for (owner, ghost_rows) in ghosts {
+                    batch.push(Message {
+                        src: owner,
+                        dst: k,
+                        bytes: ghost_rows * inner as u64 * 8,
+                        kind: MessageKind::Halo,
+                    });
+                }
             }
-            let batch = ghosts
-                .into_iter()
-                .map(|((owner, k), ghost_rows)| Message {
-                    src: owner,
-                    dst: k,
-                    bytes: ghost_rows * inner as u64 * 8,
-                    kind: MessageKind::Halo,
-                })
-                .collect();
             (shards, batch)
         } else {
             // Inner-axis shifts never cross a slab boundary: each node
             // shifts its own slab, viewed as an array whose outer
             // extent is its row count.
-            let shards = (0..nodes)
-                .map(|k| {
-                    let mut local_dims = dims.clone();
-                    local_dims[0] = map.rows_of(k);
-                    shift_data(&arr.shards[k], &local_dims, axis, shift, boundary)
-                })
-                .collect();
+            let shards = pool::run_indexed(host_threads, nodes, |k| {
+                let mut local_dims = dims.clone();
+                local_dims[0] = map.rows_of(k);
+                shift_data(&arr.shards[k], &local_dims, axis, shift, boundary)
+            });
             (shards, Vec::new())
         };
 
@@ -640,36 +671,56 @@ impl MimdMachine {
             as f64
             / self.config.sparc_clock_hz;
 
-        // Every node runs the routine over its slab. An array passed
-        // through several pointer arguments shares one node buffer,
-        // exactly as on the SIMD machine.
+        // Every node runs the routine over its slab — concurrently on
+        // the host pool when `host_threads > 1`. The routine compiles
+        // once to threaded code and every worker shares the block; a
+        // node only reads the arrays and writes its own private
+        // memory, so the compute phase is embarrassingly parallel and
+        // the barrier merge below (node-index order, first error wins)
+        // makes the thread count unobservable. An array passed through
+        // several pointer arguments shares one node buffer, exactly as
+        // on the SIMD machine.
+        let block = CompiledBlock::compile(routine);
         let beats = Self::beats_per_elem(routine);
+        let mut unique: Vec<MimdId> = Vec::new();
+        for &id in ptr_args {
+            if !unique.contains(&id) {
+                unique.push(id);
+            }
+        }
+        let arg_slots: Vec<usize> = ptr_args
+            .iter()
+            .map(|id| unique.iter().position(|u| u == id).expect("just inserted"))
+            .collect();
+        let arrays = &self.arrays;
+        let vus_per_node = self.config.vus_per_node as f64;
+        let vu_clock_hz = self.config.vu_clock_hz;
+        let results = pool::run_indexed(
+            self.config.host_threads,
+            nodes,
+            |k| -> Result<(Vec<Vec<f64>>, f64), Cm2Error> {
+                let elems = map.rows_of(k) * inner;
+                if elems == 0 {
+                    return Ok((Vec::new(), 0.0));
+                }
+                let mut mem = NodeMemory::new();
+                let bases: Vec<usize> = unique
+                    .iter()
+                    .map(|id| mem.alloc(&arrays.get(&id.0).expect("checked above").shards[k]))
+                    .collect();
+                let arg_bases: Vec<usize> = arg_slots.iter().map(|&s| bases[s]).collect();
+                block.run(&mut mem, &arg_bases, scalar_args, elems)?;
+                let outputs: Vec<Vec<f64>> = bases.iter().map(|&b| mem.read(b, elems)).collect();
+                Ok((outputs, beats * (elems as f64 / vus_per_node) / vu_clock_hz))
+            },
+        );
         let mut busy = vec![0.0; nodes];
-        for (k, b) in busy.iter_mut().enumerate() {
-            let elems = map.rows_of(k) * inner;
-            if elems == 0 {
-                continue;
-            }
-            let mut mem = NodeMemory::new();
-            let mut base_of: HashMap<MimdId, usize> = HashMap::new();
-            let mut bases = Vec::with_capacity(ptr_args.len());
-            for &id in ptr_args {
-                let base = match base_of.get(&id) {
-                    Some(&b) => b,
-                    None => {
-                        let b = mem.alloc(&self.array(id)?.shards[k]);
-                        base_of.insert(id, b);
-                        b
-                    }
-                };
-                bases.push(base);
-            }
-            run_routine(routine, &mut mem, &bases, scalar_args, elems)?;
-            for (&id, &base) in base_of.iter() {
-                let out = mem.read(base, elems);
+        for (k, result) in results.into_iter().enumerate() {
+            let (outputs, b) = result?;
+            busy[k] = b;
+            for (id, out) in unique.iter().zip(outputs) {
                 self.arrays.get_mut(&id.0).expect("checked above").shards[k].copy_from_slice(&out);
             }
-            *b = beats * (elems as f64 / self.config.vus_per_node as f64) / self.config.vu_clock_hz;
         }
         self.charge_compute(&busy);
 
@@ -686,7 +737,9 @@ impl MimdMachine {
         // The value folds in canonical element order — shard
         // concatenation *is* row-major order — so it is bit-identical
         // to the single-image runtime's fold, the determinism the CM-5
-        // control network guaranteed in hardware.
+        // control network guaranteed in hardware. Deliberately kept
+        // sequential at any `host_threads`: parallel partial sums
+        // would change the FP rounding, breaking bit-identity.
         let elems = arr.shards.iter().flat_map(|s| s.iter().copied());
         let value = match op {
             ReduceOp::Sum => elems.sum(),
@@ -1017,6 +1070,26 @@ mod tests {
             m.take_trace().unwrap().digest()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn host_threads_leave_trace_and_finals_bit_identical() {
+        let run = |threads: usize| {
+            let mut m = MimdMachine::new(MimdConfig::new(4).with_host_threads(threads));
+            m.enable_trace();
+            drive(&mut m);
+            let mut ids: Vec<usize> = m.arrays.keys().copied().collect();
+            ids.sort_unstable();
+            let finals: Vec<Vec<u64>> = ids
+                .iter()
+                .map(|id| m.arrays[id].gather().iter().map(|x| x.to_bits()).collect())
+                .collect();
+            (m.take_trace().unwrap().digest(), finals, m.stats().clone())
+        };
+        let baseline = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), baseline, "host_threads={threads}");
+        }
     }
 
     #[test]

@@ -202,6 +202,19 @@ impl Telemetry {
     /// wall-clock hierarchies private to their collector. This is the
     /// aggregation path a long-running service uses to roll per-request
     /// telemetry up into one service-lifetime view (`f90y-serve`).
+    ///
+    /// # Merge-order contract
+    ///
+    /// Absorption is commutative and associative: counter addition and
+    /// gauge maximisation do not depend on the order reports arrive,
+    /// and [`TelemetryReport::to_json`] re-sorts names on the way out.
+    /// A host that collects per-worker reports from a parallel run
+    /// (`Session::host_threads > 1`) may therefore absorb them in any
+    /// order — worker scheduling can never perturb the rolled-up
+    /// report. (Flight-recorder *traces* make the opposite choice:
+    /// their event order is significant, so the simulation merges
+    /// shard events at the barrier sorted by actor id, then sequence
+    /// number — see `trace::Trace`.)
     pub fn absorb(&mut self, report: &TelemetryReport) {
         if !self.enabled {
             return;
@@ -443,6 +456,30 @@ mod tests {
         let mut disabled = Telemetry::disabled();
         disabled.absorb(&per_request.report());
         assert!(disabled.report().counters.is_empty());
+    }
+
+    #[test]
+    fn absorb_is_order_independent() {
+        // The merge-order contract: per-worker reports from a parallel
+        // run may be absorbed in any order with byte-identical results.
+        let mut workers = Vec::new();
+        for w in 0..3u64 {
+            let mut tel = Telemetry::new();
+            tel.count("sim.flops", 100 * (w + 1));
+            tel.count("mimd.messages", 7);
+            tel.gauge_max("mimd.node_busy_max", w as f64);
+            workers.push(tel.report());
+        }
+        let fold = |order: &[usize]| {
+            let mut total = Telemetry::new();
+            for &i in order {
+                total.absorb(&workers[i]);
+            }
+            total.report().to_json()
+        };
+        let forward = fold(&[0, 1, 2]);
+        assert_eq!(fold(&[2, 1, 0]), forward);
+        assert_eq!(fold(&[1, 2, 0]), forward);
     }
 
     #[test]

@@ -191,6 +191,20 @@ pub enum TraceEvent {
 }
 
 /// An ordered, append-only event log on one simulated clock.
+///
+/// # Merge-order contract
+///
+/// Record order is significant: [`Trace::digest`] hashes events in the
+/// order they were recorded, so two traces holding the same events in
+/// different orders have different digests. A producer that computes
+/// events concurrently (e.g. the MIMD engine's `host_threads > 1`
+/// compute phase) must therefore serialise them into one canonical
+/// order before recording — the convention across this workspace is
+/// **sorted by actor id, then per-actor sequence number**, applied at
+/// the superstep barrier. That keeps digests bit-identical at any
+/// host-thread count. (Telemetry makes the opposite choice: counter
+/// and gauge absorption is order-independent — see
+/// [`crate::Telemetry::absorb`].)
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     clock: ClockDomain,
@@ -694,6 +708,11 @@ impl<W: Write> TraceSink for JsonlTraceSink<W> {
 
 /// An in-memory sink: keeps a clone of the delivered trace for tests
 /// and harnesses to inspect.
+///
+/// The buffered trace inherits the producer's merge-order contract
+/// (see [`Trace`]): events arrive already serialised by actor id, then
+/// sequence number, so `buffer.trace.digest()` compares stably across
+/// runs and across host-thread counts.
 #[derive(Debug, Default)]
 pub struct TraceBuffer {
     /// The last trace delivered, if any.
@@ -762,6 +781,33 @@ mod tests {
             rewrites: 2,
         });
         t
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_record_order() {
+        // Why the merge-order contract exists: the digest hashes events
+        // in record order, so a parallel producer that merged shard
+        // events in scheduling order (instead of actor-id-then-seq
+        // order) would leak thread timing into the digest.
+        let send = |src: usize, seq: u64| TraceEvent::Send {
+            seq,
+            src: Actor::Node(src),
+            dst: Actor::Node(src + 1),
+            step: 1,
+            bytes: 8,
+            kind: "halo".into(),
+        };
+        let mut canonical = Trace::new(ClockDomain::Superstep);
+        canonical.record(send(0, 0));
+        canonical.record(send(1, 0));
+        let mut same = Trace::new(ClockDomain::Superstep);
+        same.record(send(0, 0));
+        same.record(send(1, 0));
+        let mut swapped = Trace::new(ClockDomain::Superstep);
+        swapped.record(send(1, 0));
+        swapped.record(send(0, 0));
+        assert_eq!(canonical.digest(), same.digest());
+        assert_ne!(canonical.digest(), swapped.digest());
     }
 
     #[test]

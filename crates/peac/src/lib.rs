@@ -21,6 +21,10 @@
 //!   subgrid loop over real `f64` node memory, producing both numerical
 //!   results (for translation validation against the NIR evaluator) and
 //!   a deterministic cycle count (for the performance tables);
+//! * [`threaded`] — the threaded-code engine under it:
+//!   [`CompiledBlock`] pre-resolves a routine into a `Vec` of op
+//!   thunks, compiled once and shared (`Send + Sync`) across every
+//!   node of a dispatch;
 //! * [`profile`] — the opt-in opcode profiler: per-opcode hit/cycle
 //!   histograms whose sums reconcile with the simulator's and the
 //!   machine's cycle charges exactly.
@@ -52,12 +56,14 @@ pub mod costs;
 pub mod isa;
 pub mod profile;
 pub mod sim;
+pub mod threaded;
 pub mod validate;
 
 pub use asm::parse_listing;
 pub use isa::{CmpOp, Instr, Mem, Operand, PReg, Routine, SReg, VReg};
 pub use profile::{OpcodeProfile, OpcodeRow};
 pub use sim::{run_routine, run_routine_profiled, ExecStats, NodeMemory};
+pub use threaded::CompiledBlock;
 
 use std::error::Error;
 use std::fmt;

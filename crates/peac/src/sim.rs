@@ -10,15 +10,20 @@
 //! iteration computes the pad lanes too (harmlessly — each array has its
 //! own pad region, and IEEE arithmetic on garbage lanes cannot fault),
 //! exactly like real vector hardware running a full final beat.
+//!
+//! Execution itself lives in [`crate::threaded`]: the body compiles
+//! once into a [`CompiledBlock`] of pre-resolved op thunks and the
+//! loop runs those — [`run_routine`] keeps the historical one-shot
+//! API on top.
 
-use crate::costs;
-use crate::isa::{Instr, Mem, Operand, Routine, VLEN};
+use crate::isa::{Routine, VLEN};
+use crate::threaded::CompiledBlock;
 use crate::PeacError;
 
 /// A processing node's local memory: a flat `f64` heap.
 #[derive(Debug, Clone, Default)]
 pub struct NodeMemory {
-    heap: Vec<f64>,
+    pub(crate) heap: Vec<f64>,
 }
 
 /// A base offset into a [`NodeMemory`] heap, as passed over the IFIFO to
@@ -103,6 +108,11 @@ impl ExecStats {
 /// fill the scalar registers. All pointer streams advance one vector per
 /// iteration.
 ///
+/// Since the threaded-code rework this is a thin wrapper: it compiles
+/// the routine to a [`CompiledBlock`] and runs it once. Callers that
+/// dispatch the same routine to many nodes should compile once with
+/// [`CompiledBlock::compile`] and share the block instead.
+///
 /// # Errors
 ///
 /// Fails when arguments do not match the routine signature or a pointer
@@ -114,47 +124,7 @@ pub fn run_routine(
     scalar_args: &[f64],
     n_elems: usize,
 ) -> Result<ExecStats, PeacError> {
-    if ptr_args.len() != routine.nargs_ptr() {
-        return Err(PeacError::Fault(format!(
-            "routine '{}' expects {} pointer arguments, got {}",
-            routine.name(),
-            routine.nargs_ptr(),
-            ptr_args.len()
-        )));
-    }
-    if scalar_args.len() != routine.nargs_scalar() {
-        return Err(PeacError::Fault(format!(
-            "routine '{}' expects {} scalar arguments, got {}",
-            routine.name(),
-            routine.nargs_scalar(),
-            scalar_args.len()
-        )));
-    }
-    let iterations = n_elems.div_ceil(VLEN);
-    let mut pointers: Vec<usize> = ptr_args.to_vec();
-    let mut spill = vec![[0.0f64; VLEN]; routine.spill_slots() as usize];
-    let mut vregs = [[0.0f64; VLEN]; crate::isa::NUM_VREGS as usize];
-
-    let body = routine.body();
-    for _ in 0..iterations {
-        // Per-iteration pointer cursor: each stream advances once per
-        // iteration regardless of how many instructions touch it —
-        // within an iteration all touches of aPn see the same vector.
-        for i in body {
-            step(i, mem, &pointers, scalar_args, &mut vregs, &mut spill)?;
-        }
-        for p in &mut pointers {
-            *p += VLEN;
-        }
-    }
-
-    let flops_per_elem: u64 = body.iter().map(Instr::flops_per_elem).sum();
-    Ok(ExecStats {
-        iterations: iterations as u64,
-        cycles: iterations as u64 * costs::body_cycles(body),
-        flops: flops_per_elem * n_elems as u64,
-        instructions: iterations as u64 * body.len() as u64,
-    })
+    CompiledBlock::compile(routine).run(mem, ptr_args, scalar_args, n_elems)
 }
 
 /// [`run_routine`] with the opt-in opcode profiler: on success the
@@ -178,170 +148,10 @@ pub fn run_routine_profiled(
     Ok(stats)
 }
 
-fn load_vec(mem: &NodeMemory, pointers: &[usize], m: &Mem) -> Result<[f64; VLEN], PeacError> {
-    let base = pointers[m.ptr.0 as usize];
-    let slice = mem
-        .heap
-        .get(base..base + VLEN)
-        .ok_or_else(|| PeacError::Fault(format!("pointer {} ran off the heap", m.ptr)))?;
-    let mut v = [0.0; VLEN];
-    v.copy_from_slice(slice);
-    Ok(v)
-}
-
-fn store_vec(
-    mem: &mut NodeMemory,
-    pointers: &[usize],
-    m: &Mem,
-    v: &[f64; VLEN],
-) -> Result<(), PeacError> {
-    let base = pointers[m.ptr.0 as usize];
-    let slice = mem
-        .heap
-        .get_mut(base..base + VLEN)
-        .ok_or_else(|| PeacError::Fault(format!("pointer {} ran off the heap", m.ptr)))?;
-    slice.copy_from_slice(v);
-    Ok(())
-}
-
-fn step(
-    i: &Instr,
-    mem: &mut NodeMemory,
-    pointers: &[usize],
-    sregs: &[f64],
-    vregs: &mut [[f64; VLEN]],
-    spill: &mut [[f64; VLEN]],
-) -> Result<(), PeacError> {
-    use Instr::*;
-    let operand =
-        |o: &Operand, mem: &NodeMemory, vregs: &[[f64; VLEN]]| -> Result<[f64; VLEN], PeacError> {
-            Ok(match o {
-                Operand::V(r) => vregs[r.0 as usize],
-                Operand::S(r) => [sregs[r.0 as usize]; VLEN],
-                Operand::M(m) => load_vec_raw(mem, pointers, m)?,
-            })
-        };
-    match i {
-        Flodv { src, dst, .. } => {
-            vregs[dst.0 as usize] = load_vec(mem, pointers, src)?;
-        }
-        Fstrv { src, dst, .. } => {
-            let v = vregs[src.0 as usize];
-            store_vec(mem, pointers, dst, &v)?;
-        }
-        Faddv { a, b, dst } => {
-            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
-            vregs[dst.0 as usize] = lanewise(x, y, |p, q| p + q);
-        }
-        Fsubv { a, b, dst } => {
-            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
-            vregs[dst.0 as usize] = lanewise(x, y, |p, q| p - q);
-        }
-        Fmulv { a, b, dst } => {
-            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
-            vregs[dst.0 as usize] = lanewise(x, y, |p, q| p * q);
-        }
-        Fdivv { a, b, dst } => {
-            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
-            vregs[dst.0 as usize] = lanewise(x, y, |p, q| p / q);
-        }
-        Fmaxv { a, b, dst } => {
-            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
-            vregs[dst.0 as usize] = lanewise(x, y, f64::max);
-        }
-        Fminv { a, b, dst } => {
-            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
-            vregs[dst.0 as usize] = lanewise(x, y, f64::min);
-        }
-        Fmaddv { a, b, c, dst } => {
-            let x = operand(a, mem, vregs)?;
-            let y = operand(b, mem, vregs)?;
-            let z = operand(c, mem, vregs)?;
-            let mut out = [0.0; VLEN];
-            for l in 0..VLEN {
-                out[l] = x[l] * y[l] + z[l];
-            }
-            vregs[dst.0 as usize] = out;
-        }
-        Fnegv { a, dst } => {
-            let x = operand(a, mem, vregs)?;
-            vregs[dst.0 as usize] = x.map(|p| -p);
-        }
-        Fabsv { a, dst } => {
-            let x = operand(a, mem, vregs)?;
-            vregs[dst.0 as usize] = x.map(f64::abs);
-        }
-        Ftruncv { a, dst } => {
-            let x = operand(a, mem, vregs)?;
-            vregs[dst.0 as usize] = x.map(f64::trunc);
-        }
-        Fcmpv { op, a, b, dst } => {
-            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
-            let mut out = [0.0; VLEN];
-            for l in 0..VLEN {
-                out[l] = if op.apply(x[l], y[l]) { 1.0 } else { 0.0 };
-            }
-            vregs[dst.0 as usize] = out;
-        }
-        Fselv { mask, a, b, dst } => {
-            let m = vregs[mask.0 as usize];
-            let (x, y) = (operand(a, mem, vregs)?, operand(b, mem, vregs)?);
-            let mut out = [0.0; VLEN];
-            for l in 0..VLEN {
-                out[l] = if m[l] != 0.0 { x[l] } else { y[l] };
-            }
-            vregs[dst.0 as usize] = out;
-        }
-        Fimmv { value, dst } => {
-            vregs[dst.0 as usize] = [*value; VLEN];
-        }
-        Flib { op, a, b, dst } => {
-            let x = operand(a, mem, vregs)?;
-            let y = match b {
-                Some(b) => Some(operand(b, mem, vregs)?),
-                None => None,
-            };
-            let mut out = [0.0; VLEN];
-            for l in 0..VLEN {
-                out[l] = match op {
-                    crate::isa::LibOp::Sqrt => x[l].sqrt(),
-                    crate::isa::LibOp::Sin => x[l].sin(),
-                    crate::isa::LibOp::Cos => x[l].cos(),
-                    crate::isa::LibOp::Exp => x[l].exp(),
-                    crate::isa::LibOp::Log => x[l].ln(),
-                    crate::isa::LibOp::Pow => {
-                        x[l].powf(y.expect("validator guarantees Pow arity")[l])
-                    }
-                };
-            }
-            vregs[dst.0 as usize] = out;
-        }
-        SpillStore { src, slot, .. } => {
-            spill[*slot as usize] = vregs[src.0 as usize];
-        }
-        SpillLoad { slot, dst, .. } => {
-            vregs[dst.0 as usize] = spill[*slot as usize];
-        }
-    }
-    Ok(())
-}
-
-fn load_vec_raw(mem: &NodeMemory, pointers: &[usize], m: &Mem) -> Result<[f64; VLEN], PeacError> {
-    load_vec(mem, pointers, m)
-}
-
-fn lanewise(a: [f64; VLEN], b: [f64; VLEN], f: impl Fn(f64, f64) -> f64) -> [f64; VLEN] {
-    let mut out = [0.0; VLEN];
-    for l in 0..VLEN {
-        out[l] = f(a[l], b[l]);
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::isa::{CmpOp, Operand, SReg, VReg};
+    use crate::isa::{CmpOp, Instr, Mem, Operand, SReg, VReg};
 
     fn routine(nptr: usize, nsc: usize, body: Vec<Instr>) -> Routine {
         Routine::new("t", nptr, nsc, body).expect("valid test routine")

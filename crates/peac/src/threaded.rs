@@ -1,0 +1,432 @@
+//! Threaded-code dispatch: a routine compiled once into op thunks.
+//!
+//! The original simulator re-matched every instruction of the body on
+//! every virtual subgrid iteration — decode cost paid `iterations ×
+//! body.len()` times per dispatch. [`CompiledBlock::compile`] pays it
+//! once: each instruction becomes a closure ("thunk") with its operand
+//! kind, register indices and immediates already resolved, and the hot
+//! loop is nothing but `for op in ops { op(ctx)? }`.
+//!
+//! The block is immutable after compilation and its thunks are
+//! `Send + Sync`, so one compiled block is shared by every simulated
+//! node of a dispatch — the MIMD engine compiles per dispatch, then
+//! fans the same block out across host worker threads. Semantics and
+//! cycle accounting are exactly the interpreter's: the same lanewise
+//! IEEE arithmetic, the same bounds-checked pointer streams, the same
+//! [`ExecStats`] formulas — the pinning tests in [`crate::sim`] run
+//! through this path.
+
+use crate::costs;
+use crate::isa::{Instr, LibOp, Operand, PReg, Routine, NUM_VREGS, VLEN};
+use crate::sim::{ExecStats, NodeMemory, Ptr};
+use crate::PeacError;
+
+/// A pre-decoded operand: which file and which index, resolved at
+/// compile time so the hot loop never inspects the ISA enum again.
+#[derive(Debug, Clone, Copy)]
+enum Src {
+    /// Vector register lane array.
+    V(usize),
+    /// Broadcast scalar register.
+    S(usize),
+    /// Chained in-memory operand through pointer register `PReg`
+    /// (kept for the fault message), stream index `usize`.
+    M(usize, PReg),
+}
+
+impl Src {
+    fn decode(o: &Operand) -> Src {
+        match o {
+            Operand::V(r) => Src::V(r.0 as usize),
+            Operand::S(r) => Src::S(r.0 as usize),
+            Operand::M(m) => Src::M(m.ptr.0 as usize, m.ptr),
+        }
+    }
+}
+
+/// The per-iteration execution state a thunk reads and writes.
+struct Ctx<'a> {
+    heap: &'a mut [f64],
+    pointers: &'a [usize],
+    sregs: &'a [f64],
+    vregs: &'a mut [[f64; VLEN]],
+    spill: &'a mut [[f64; VLEN]],
+}
+
+fn off_heap(reg: PReg) -> PeacError {
+    PeacError::Fault(format!("pointer {reg} ran off the heap"))
+}
+
+fn load(heap: &[f64], base: usize, reg: PReg) -> Result<[f64; VLEN], PeacError> {
+    let slice = heap.get(base..base + VLEN).ok_or_else(|| off_heap(reg))?;
+    let mut v = [0.0; VLEN];
+    v.copy_from_slice(slice);
+    Ok(v)
+}
+
+fn fetch(s: Src, ctx: &Ctx) -> Result<[f64; VLEN], PeacError> {
+    Ok(match s {
+        Src::V(r) => ctx.vregs[r],
+        Src::S(r) => [ctx.sregs[r]; VLEN],
+        Src::M(p, reg) => load(ctx.heap, ctx.pointers[p], reg)?,
+    })
+}
+
+type Thunk = Box<dyn Fn(&mut Ctx) -> Result<(), PeacError> + Send + Sync>;
+
+/// A lanewise binary op with both operands pre-decoded; `f` is a plain
+/// `fn` pointer, so the closure stays small and copy-free.
+fn binop(a: &Operand, b: &Operand, dst: usize, f: fn(f64, f64) -> f64) -> Thunk {
+    let (a, b) = (Src::decode(a), Src::decode(b));
+    Box::new(move |ctx| {
+        let (x, y) = (fetch(a, ctx)?, fetch(b, ctx)?);
+        let mut out = [0.0; VLEN];
+        for l in 0..VLEN {
+            out[l] = f(x[l], y[l]);
+        }
+        ctx.vregs[dst] = out;
+        Ok(())
+    })
+}
+
+fn unop(a: &Operand, dst: usize, f: fn(f64) -> f64) -> Thunk {
+    let a = Src::decode(a);
+    Box::new(move |ctx| {
+        ctx.vregs[dst] = fetch(a, ctx)?.map(f);
+        Ok(())
+    })
+}
+
+fn compile_instr(i: &Instr) -> Thunk {
+    use Instr::*;
+    match i {
+        Flodv { src, dst, .. } => {
+            let (p, reg, dst) = (src.ptr.0 as usize, src.ptr, dst.0 as usize);
+            Box::new(move |ctx| {
+                ctx.vregs[dst] = load(ctx.heap, ctx.pointers[p], reg)?;
+                Ok(())
+            })
+        }
+        Fstrv { src, dst, .. } => {
+            let (s, p, reg) = (src.0 as usize, dst.ptr.0 as usize, dst.ptr);
+            Box::new(move |ctx| {
+                let v = ctx.vregs[s];
+                let base = ctx.pointers[p];
+                let slice = ctx
+                    .heap
+                    .get_mut(base..base + VLEN)
+                    .ok_or_else(|| off_heap(reg))?;
+                slice.copy_from_slice(&v);
+                Ok(())
+            })
+        }
+        Faddv { a, b, dst } => binop(a, b, dst.0 as usize, |p, q| p + q),
+        Fsubv { a, b, dst } => binop(a, b, dst.0 as usize, |p, q| p - q),
+        Fmulv { a, b, dst } => binop(a, b, dst.0 as usize, |p, q| p * q),
+        Fdivv { a, b, dst } => binop(a, b, dst.0 as usize, |p, q| p / q),
+        Fmaxv { a, b, dst } => binop(a, b, dst.0 as usize, f64::max),
+        Fminv { a, b, dst } => binop(a, b, dst.0 as usize, f64::min),
+        Fmaddv { a, b, c, dst } => {
+            let (a, b, c) = (Src::decode(a), Src::decode(b), Src::decode(c));
+            let dst = dst.0 as usize;
+            Box::new(move |ctx| {
+                let x = fetch(a, ctx)?;
+                let y = fetch(b, ctx)?;
+                let z = fetch(c, ctx)?;
+                let mut out = [0.0; VLEN];
+                for l in 0..VLEN {
+                    out[l] = x[l] * y[l] + z[l];
+                }
+                ctx.vregs[dst] = out;
+                Ok(())
+            })
+        }
+        Fnegv { a, dst } => unop(a, dst.0 as usize, |p| -p),
+        Fabsv { a, dst } => unop(a, dst.0 as usize, f64::abs),
+        Ftruncv { a, dst } => unop(a, dst.0 as usize, f64::trunc),
+        Fcmpv { op, a, b, dst } => {
+            let op = *op;
+            let (a, b) = (Src::decode(a), Src::decode(b));
+            let dst = dst.0 as usize;
+            Box::new(move |ctx| {
+                let (x, y) = (fetch(a, ctx)?, fetch(b, ctx)?);
+                let mut out = [0.0; VLEN];
+                for l in 0..VLEN {
+                    out[l] = if op.apply(x[l], y[l]) { 1.0 } else { 0.0 };
+                }
+                ctx.vregs[dst] = out;
+                Ok(())
+            })
+        }
+        Fselv { mask, a, b, dst } => {
+            let mask = mask.0 as usize;
+            let (a, b) = (Src::decode(a), Src::decode(b));
+            let dst = dst.0 as usize;
+            Box::new(move |ctx| {
+                let m = ctx.vregs[mask];
+                let (x, y) = (fetch(a, ctx)?, fetch(b, ctx)?);
+                let mut out = [0.0; VLEN];
+                for l in 0..VLEN {
+                    out[l] = if m[l] != 0.0 { x[l] } else { y[l] };
+                }
+                ctx.vregs[dst] = out;
+                Ok(())
+            })
+        }
+        Fimmv { value, dst } => {
+            let (v, dst) = ([*value; VLEN], dst.0 as usize);
+            Box::new(move |ctx| {
+                ctx.vregs[dst] = v;
+                Ok(())
+            })
+        }
+        Flib { op, a, b, dst } => {
+            let op = *op;
+            let a = Src::decode(a);
+            let b = b.as_ref().map(Src::decode);
+            let dst = dst.0 as usize;
+            Box::new(move |ctx| {
+                let x = fetch(a, ctx)?;
+                let y = match b {
+                    Some(b) => Some(fetch(b, ctx)?),
+                    None => None,
+                };
+                let mut out = [0.0; VLEN];
+                for l in 0..VLEN {
+                    out[l] = match op {
+                        LibOp::Sqrt => x[l].sqrt(),
+                        LibOp::Sin => x[l].sin(),
+                        LibOp::Cos => x[l].cos(),
+                        LibOp::Exp => x[l].exp(),
+                        LibOp::Log => x[l].ln(),
+                        LibOp::Pow => x[l].powf(y.expect("validator guarantees Pow arity")[l]),
+                    };
+                }
+                ctx.vregs[dst] = out;
+                Ok(())
+            })
+        }
+        SpillStore { src, slot, .. } => {
+            let (s, slot) = (src.0 as usize, *slot as usize);
+            Box::new(move |ctx| {
+                ctx.spill[slot] = ctx.vregs[s];
+                Ok(())
+            })
+        }
+        SpillLoad { slot, dst, .. } => {
+            let (slot, dst) = (*slot as usize, dst.0 as usize);
+            Box::new(move |ctx| {
+                ctx.vregs[dst] = ctx.spill[slot];
+                Ok(())
+            })
+        }
+    }
+}
+
+/// A routine compiled to threaded code: one thunk per instruction,
+/// operands pre-resolved, signature and cost constants captured.
+///
+/// `Send + Sync` by construction — compile once, execute from many
+/// threads (each [`CompiledBlock::run`] call owns its registers,
+/// pointers and spill slots; only the read-only thunks are shared).
+pub struct CompiledBlock {
+    name: String,
+    nargs_ptr: usize,
+    nargs_scalar: usize,
+    spill_slots: usize,
+    ops: Vec<Thunk>,
+    body_len: u64,
+    body_cycles: u64,
+    flops_per_elem: u64,
+}
+
+impl CompiledBlock {
+    /// Compile `routine`'s body into threaded code.
+    #[must_use]
+    pub fn compile(routine: &Routine) -> CompiledBlock {
+        let body = routine.body();
+        CompiledBlock {
+            name: routine.name().to_string(),
+            nargs_ptr: routine.nargs_ptr(),
+            nargs_scalar: routine.nargs_scalar(),
+            spill_slots: routine.spill_slots() as usize,
+            ops: body.iter().map(compile_instr).collect(),
+            body_len: body.len() as u64,
+            body_cycles: costs::body_cycles(body),
+            flops_per_elem: body.iter().map(Instr::flops_per_elem).sum(),
+        }
+    }
+
+    /// The compiled routine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execute the virtual subgrid loop over `n_elems` elements —
+    /// identical semantics, faults and [`ExecStats`] to the historical
+    /// interpreter (see [`crate::sim::run_routine`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when arguments do not match the routine signature or a
+    /// pointer stream runs off the heap.
+    pub fn run(
+        &self,
+        mem: &mut NodeMemory,
+        ptr_args: &[Ptr],
+        scalar_args: &[f64],
+        n_elems: usize,
+    ) -> Result<ExecStats, PeacError> {
+        if ptr_args.len() != self.nargs_ptr {
+            return Err(PeacError::Fault(format!(
+                "routine '{}' expects {} pointer arguments, got {}",
+                self.name,
+                self.nargs_ptr,
+                ptr_args.len()
+            )));
+        }
+        if scalar_args.len() != self.nargs_scalar {
+            return Err(PeacError::Fault(format!(
+                "routine '{}' expects {} scalar arguments, got {}",
+                self.name,
+                self.nargs_scalar,
+                scalar_args.len()
+            )));
+        }
+        let iterations = n_elems.div_ceil(VLEN);
+        let mut pointers: Vec<usize> = ptr_args.to_vec();
+        let mut spill = vec![[0.0f64; VLEN]; self.spill_slots];
+        let mut vregs = [[0.0f64; VLEN]; NUM_VREGS as usize];
+
+        for _ in 0..iterations {
+            // Per-iteration pointer cursor: each stream advances once
+            // per iteration regardless of how many thunks touch it.
+            {
+                let mut ctx = Ctx {
+                    heap: mem.heap.as_mut_slice(),
+                    pointers: &pointers,
+                    sregs: scalar_args,
+                    vregs: &mut vregs,
+                    spill: &mut spill,
+                };
+                for op in &self.ops {
+                    op(&mut ctx)?;
+                }
+            }
+            for p in &mut pointers {
+                *p += VLEN;
+            }
+        }
+
+        Ok(ExecStats {
+            iterations: iterations as u64,
+            cycles: iterations as u64 * self.body_cycles,
+            flops: self.flops_per_elem * n_elems as u64,
+            instructions: iterations as u64 * self.body_len,
+        })
+    }
+}
+
+impl std::fmt::Debug for CompiledBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledBlock")
+            .field("name", &self.name)
+            .field("ops", &self.ops.len())
+            .field("body_cycles", &self.body_cycles)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, Mem, Operand, VReg};
+    use crate::sim::run_routine;
+
+    fn saxpyish() -> Routine {
+        // z = s*x + y, with y as a chained memory operand; streams are
+        // single-direction so the output is a distinct pointer.
+        Routine::new(
+            "t",
+            3,
+            1,
+            vec![
+                Instr::Flodv {
+                    src: Mem::arg(0),
+                    dst: VReg(0),
+                    overlapped: false,
+                },
+                Instr::Fmaddv {
+                    a: Operand::S(crate::isa::SReg(0)),
+                    b: Operand::V(VReg(0)),
+                    c: Operand::M(Mem::arg(1)),
+                    dst: VReg(1),
+                },
+                Instr::Fstrv {
+                    src: VReg(1),
+                    dst: Mem::arg(2),
+                    overlapped: false,
+                },
+            ],
+        )
+        .expect("valid test routine")
+    }
+
+    #[test]
+    fn block_is_send_sync_and_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledBlock>();
+
+        // One block, many threads, disjoint memories: every node must
+        // compute the identical bits.
+        let block = CompiledBlock::compile(&saxpyish());
+        let outputs: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let block = &block;
+                    scope.spawn(move || {
+                        let mut mem = NodeMemory::new();
+                        let x = mem.alloc(&[1.0, 2.0, 3.0, 4.0]);
+                        let y = mem.alloc(&[0.5, 0.5, 0.5, 0.5]);
+                        let z = mem.alloc_zeroed(4);
+                        block.run(&mut mem, &[x, y, z], &[3.0], 4).unwrap();
+                        mem.read(z, 4)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for out in &outputs {
+            assert_eq!(out, &vec![3.5, 6.5, 9.5, 12.5]);
+        }
+    }
+
+    #[test]
+    fn stats_match_the_interpreter_formulas() {
+        let r = saxpyish();
+        let block = CompiledBlock::compile(&r);
+        let mut mem = NodeMemory::new();
+        let x = mem.alloc(&[0.0; 10]);
+        let y = mem.alloc(&[0.0; 10]);
+        let z = mem.alloc_zeroed(10);
+        let fast = block.run(&mut mem, &[x, y, z], &[1.0], 10).unwrap();
+
+        let mut mem2 = NodeMemory::new();
+        let x2 = mem2.alloc(&[0.0; 10]);
+        let y2 = mem2.alloc(&[0.0; 10]);
+        let z2 = mem2.alloc_zeroed(10);
+        let slow = run_routine(&r, &mut mem2, &[x2, y2, z2], &[1.0], 10).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.iterations, 3);
+    }
+
+    #[test]
+    fn arity_and_bounds_faults_are_preserved() {
+        let block = CompiledBlock::compile(&saxpyish());
+        let mut mem = NodeMemory::new();
+        assert!(block.run(&mut mem, &[], &[1.0], 4).is_err());
+        // Pointer past the heap: the stream bounds check must fire.
+        let err = block.run(&mut mem, &[1_000_000, 0, 0], &[1.0], 4);
+        assert!(matches!(err, Err(PeacError::Fault(m)) if m.contains("ran off the heap")));
+    }
+}

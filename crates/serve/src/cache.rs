@@ -51,7 +51,10 @@ pub fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
 impl CacheKey {
     /// The key for a request: every component that can change the
     /// served artifact, NUL-separated (NUL cannot appear in any
-    /// component, so the composition is injective).
+    /// component, so the composition is injective). `host_threads` is
+    /// deliberately excluded — it is a run-time throughput knob that
+    /// never changes the compiled artifact, so requests differing only
+    /// in thread count share one cache entry.
     pub fn for_request(req: &Request) -> CacheKey {
         let (target, nodes) = req.target_parts();
         let passes = match &req.passes {

@@ -464,10 +464,13 @@ fn execute(shared: &Shared, req: &Request, tel: &mut Telemetry) -> Result<Done, 
         });
     }
 
-    // Run on the requested target, tracing for the digest.
+    // Run on the requested target, tracing for the digest. The
+    // host-thread count is applied here, after the cache: it changes
+    // wall-clock only, never the artifact or the results.
     let mut buf = TraceBuffer::new();
     let run = exe
         .session(req.target)
+        .host_threads(req.host_threads)
         .telemetry(tel)
         .trace(&mut buf)
         .run()

@@ -20,6 +20,10 @@
 //! * `pipeline` — `"f90y"` | `"cmf"` | `"starlisp"` (default `"f90y"`).
 //! * `passes` — optional explicit middle-end pass list.
 //! * `target` — `"cm2"` | `"cm5"` (default `"cm2"`); `nodes` (default 16).
+//! * `host_threads` — host worker threads for the MIMD compute phase
+//!   (default 1). A pure throughput knob: results, fingerprints and
+//!   trace digests are bit-identical at any value, so it is *not* part
+//!   of the compile-cache key.
 //!
 //! ## Response
 //!
@@ -69,6 +73,10 @@ pub struct Request {
     pub passes: Option<Vec<String>>,
     /// Where to run (also part of the cache key).
     pub target: Target,
+    /// Host worker threads for the MIMD compute phase (default 1).
+    /// Deliberately *not* part of the cache key: the artifact and every
+    /// observable result are bit-identical at any value.
+    pub host_threads: usize,
 }
 
 /// Look up a field of a JSON object.
@@ -146,6 +154,18 @@ impl Request {
             Some("cm5") => Target::Cm5Mimd { nodes },
             Some(other) => return Err(format!("unknown target '{other}'")),
         };
+        let host_threads = match field(&doc, "host_threads") {
+            None => 1,
+            Some(Json::Num(n)) if *n >= 1.0 && n.fract() == 0.0 => *n as usize,
+            Some(other) => {
+                return Err(format!(
+                    "'host_threads' must be a positive integer, got {other}"
+                ))
+            }
+        };
+        if host_threads > 1 && matches!(target, Target::Cm2 { .. }) {
+            return Err("'host_threads' applies to target \"cm5\" only".into());
+        }
         Ok(Request {
             id,
             tenant,
@@ -154,6 +174,7 @@ impl Request {
             pipeline,
             passes,
             target,
+            host_threads,
         })
     }
 
@@ -186,6 +207,9 @@ impl Request {
             ("target".into(), Json::Str(target.into())),
             ("nodes".into(), Json::Num(nodes as f64)),
         ];
+        if self.host_threads != 1 {
+            fields.push(("host_threads".into(), Json::Num(self.host_threads as f64)));
+        }
         if let Some(passes) = &self.passes {
             fields.push((
                 "passes".into(),
@@ -450,6 +474,23 @@ mod tests {
         assert_eq!(req.kind, RequestKind::Run);
         assert_eq!(req.pipeline, Pipeline::F90y);
         assert_eq!(req.target, Target::Cm2 { nodes: 16 });
+        assert_eq!(req.host_threads, 1);
+    }
+
+    #[test]
+    fn request_host_threads_round_trip() {
+        let req = Request::parse(
+            r#"{"id":2,"source":"REAL A(8)\nA = A\n","target":"cm5","nodes":8,
+                "host_threads":4}"#,
+        )
+        .unwrap();
+        assert_eq!(req.host_threads, 4);
+        let again = Request::parse(&req.to_json()).unwrap();
+        assert_eq!(again.host_threads, 4);
+        // The default value stays off the wire so existing golden
+        // request lines keep their exact bytes.
+        let default = Request::parse(r#"{"id":3,"source":"x"}"#).unwrap();
+        assert!(!default.to_json().contains("host_threads"));
     }
 
     #[test]
@@ -464,6 +505,9 @@ mod tests {
             r#"{"id":1,"source":"x","pipeline":"gcc"}"#,
             r#"{"id":1,"source":"x","target":"gpu"}"#,
             r#"{"id":-3,"source":"x"}"#,
+            r#"{"id":1,"source":"x","host_threads":0}"#,
+            r#"{"id":1,"source":"x","host_threads":1.5}"#,
+            r#"{"id":1,"source":"x","target":"cm2","host_threads":2}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "should reject: {bad}");
         }

@@ -140,85 +140,6 @@ pub fn optimize_with_report(imp: &Imp) -> Result<(Imp, TransformReport), NirErro
     Ok((out, TransformReport::from_pipeline(&pipeline)))
 }
 
-/// Which passes to run — the full prototype pipeline by default; the
-/// baseline compilers disable blocking (CMF-like per-statement
-/// compilation keeps communication extraction and mask padding but
-/// never groups statements).
-#[deprecated(
-    since = "0.3.0",
-    note = "build a `PassManager` instead: `default_passes()`, \
-            `per_statement_passes()` or `PassManager::from_names(...)`"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct OptimizeOptions {
-    /// Hoist communication intrinsics into temporaries.
-    pub comm_split: bool,
-    /// Pad section assignments to masked full-array moves.
-    pub mask_pad: bool,
-    /// Reorder and fuse like-shape computations.
-    pub blocking: bool,
-}
-
-#[allow(deprecated)]
-impl OptimizeOptions {
-    /// The full Fortran-90-Y pipeline.
-    pub fn full() -> Self {
-        OptimizeOptions {
-            comm_split: true,
-            mask_pad: true,
-            blocking: true,
-        }
-    }
-
-    /// Per-statement compilation: everything except blocking.
-    pub fn per_statement() -> Self {
-        OptimizeOptions {
-            blocking: false,
-            ..OptimizeOptions::full()
-        }
-    }
-
-    /// The equivalent pass manager (the migration path).
-    fn to_manager(self) -> PassManager {
-        let mut names: Vec<&str> = Vec::new();
-        if self.comm_split {
-            names.push("comm-split");
-        }
-        if self.mask_pad {
-            names.push("mask-pad");
-        }
-        if self.blocking {
-            names.push("blocking");
-        }
-        PassManager::from_names(&names).expect("shim pass names are registered")
-    }
-}
-
-#[allow(deprecated)]
-impl Default for OptimizeOptions {
-    fn default() -> Self {
-        OptimizeOptions::full()
-    }
-}
-
-/// Run a configured subset of the historical four-pass pipeline.
-///
-/// # Errors
-///
-/// As [`optimize`].
-#[deprecated(
-    since = "0.3.0",
-    note = "build a `PassManager` instead and call `.run(imp)`"
-)]
-#[allow(deprecated)]
-pub fn optimize_with_options(
-    imp: &Imp,
-    options: OptimizeOptions,
-) -> Result<(Imp, TransformReport), NirError> {
-    let (out, pipeline) = options.to_manager().run(imp)?;
-    Ok((out, TransformReport::from_pipeline(&pipeline)))
-}
-
 /// [`optimize_with_report`] with telemetry: pass spans and `pass.*`
 /// counters land in `tel` (see [`PassManager::run_with`]).
 ///

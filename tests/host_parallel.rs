@@ -1,0 +1,128 @@
+//! Host-parallel determinism suite: `Session::host_threads(n)` must be
+//! a pure wall-clock knob. For the paper's workloads, every observable
+//! of a CM/5 MIMD run — final array bits, the `mimd.messages` telemetry
+//! counter and the flight-recorder trace digest — must be bit-identical
+//! across host thread counts, at every node count, with and without a
+//! hostile (but in-budget) fault plan. The shard-per-worker engine
+//! earns this by keeping superstep compute pure and merging shard
+//! results and messages at the barrier in canonical sender order
+//! (DESIGN.md §14).
+
+use f90y_core::{workloads, Compiler, FaultPlan, Pipeline, Target, Telemetry, TraceBuffer};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const NODE_COUNTS: [usize; 2] = [16, 64];
+
+fn f90y(src: &str) -> f90y_core::Executable {
+    Compiler::new(Pipeline::F90y)
+        .compile(src)
+        .expect("compiles")
+}
+
+/// A hostile but in-budget fault plan: drops, duplicates and delays
+/// well inside the default retry budget, so the run completes and must
+/// complete *identically* at any host-thread count.
+fn hostile_plan() -> FaultPlan {
+    FaultPlan::seeded(0xDE7E_12A1)
+        .drop_per_mille(80)
+        .duplicate_per_mille(30)
+        .delay_per_mille(20)
+}
+
+/// Everything a client can observe about a MIMD run: the named finals
+/// as exact bit patterns, the message counter, and the trace digest.
+fn observe(
+    exe: &f90y_core::Executable,
+    nodes: usize,
+    threads: usize,
+    faults: Option<FaultPlan>,
+    arrays: &[&str],
+) -> (Vec<Vec<u64>>, u64, String) {
+    let mut tel = Telemetry::new();
+    let mut buf = TraceBuffer::new();
+    let mut session = exe
+        .session(Target::Cm5Mimd { nodes })
+        .host_threads(threads)
+        .telemetry(&mut tel)
+        .trace(&mut buf);
+    if let Some(plan) = faults {
+        session = session.faults(plan);
+    }
+    let run = session.run().expect("MIMD run").into_mimd();
+    let finals: Vec<Vec<u64>> = arrays
+        .iter()
+        .map(|&name| {
+            run.finals
+                .final_array(name)
+                .expect("final array")
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        })
+        .collect();
+    let messages = tel
+        .report()
+        .counter("mimd.messages")
+        .expect("mimd.messages counter");
+    let digest = buf.trace.expect("trace captured").digest();
+    (finals, messages, digest)
+}
+
+/// The core claim: sweeping `host_threads` over [`THREAD_COUNTS`] at
+/// every node count in [`NODE_COUNTS`], with and without faults,
+/// changes nothing observable.
+fn assert_thread_invariant(source: &str, arrays: &[&str], what: &str) {
+    let exe = f90y(source);
+    for nodes in NODE_COUNTS {
+        for faults in [false, true] {
+            let plan = || faults.then(hostile_plan);
+            let baseline = observe(&exe, nodes, THREAD_COUNTS[0], plan(), arrays);
+            assert!(baseline.1 > 0, "{what}: no messages at {nodes} nodes");
+            for &threads in &THREAD_COUNTS[1..] {
+                let observed = observe(&exe, nodes, threads, plan(), arrays);
+                assert_eq!(
+                    observed, baseline,
+                    "{what}: host_threads={threads} diverged from sequential \
+                     at {nodes} nodes (faults: {faults})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn swe_is_thread_invariant() {
+    assert_thread_invariant(&workloads::swe_source(64, 2), &["u", "v", "p"], "SWE 64x64");
+}
+
+#[test]
+fn fig9_stencil_is_thread_invariant() {
+    assert_thread_invariant(workloads::fig9_source(), &["a", "b", "c"], "Fig. 9 stencil");
+}
+
+#[test]
+fn heat_is_thread_invariant() {
+    assert_thread_invariant(&workloads::heat_source(64, 2), &["t"], "heat 64x64");
+}
+
+/// The faulted runs above share one seed; this check varies the plan
+/// shape (kills force checkpoint/restore) to pin down that recovery
+/// replay is also thread-count-invariant.
+#[test]
+fn recovery_replay_is_thread_invariant() {
+    let exe = f90y(&workloads::swe_source(64, 2));
+    let plan = || {
+        FaultPlan::seeded(7)
+            .drop_per_mille(50)
+            .kill(2, 1)
+            .restarts(2)
+    };
+    let baseline = observe(&exe, 16, 1, Some(plan()), &["u", "v", "p"]);
+    for threads in [2usize, 8] {
+        let observed = observe(&exe, 16, threads, Some(plan()), &["u", "v", "p"]);
+        assert_eq!(
+            observed, baseline,
+            "checkpoint/restore replay diverged at host_threads={threads}"
+        );
+    }
+}
