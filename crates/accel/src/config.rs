@@ -1,0 +1,77 @@
+//! Configuration of the simulated accelerator.
+
+use f90y_hal::AccelCosts;
+
+/// Machine constants of an accelerator partition.
+///
+/// All numbers come from the accelerator capability manifest
+/// ([`f90y_hal::ACCEL`]): a 100 MHz device behind a ~50 MB/s host bus,
+/// paying explicit kernel-launch and DMA-setup overheads. "Node" here is
+/// a device compute unit — the manifest's unit of independent progress —
+/// and the per-kernel subgrid loop divides elements over the units the
+/// way the CM/2 divides them over PEs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelConfig {
+    /// Number of device compute units (a power of two, per the
+    /// manifest's node constraints).
+    pub compute_units: usize,
+    /// The cost table (from the manifest; a copy so tests can perturb
+    /// it without a second registry).
+    pub costs: AccelCosts,
+}
+
+impl AccelConfig {
+    /// An accelerator with `compute_units` units and the manifest cost
+    /// table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the unit count violates the manifest's node
+    /// constraints (a power of two in the manifest's range; the session
+    /// layer rejects this with a typed error before it can reach here).
+    pub fn new(compute_units: usize) -> Self {
+        if let Err(msg) = f90y_hal::ACCEL.check_nodes(compute_units) {
+            panic!("{msg}");
+        }
+        AccelConfig {
+            compute_units,
+            costs: f90y_hal::ACCEL
+                .accel
+                .expect("Accel manifest has a cost block"),
+        }
+    }
+
+    /// Peak GFLOPS (one chained multiply-add per unit per device cycle).
+    pub fn peak_gflops(&self) -> f64 {
+        self.compute_units as f64 * 2.0 * self.costs.device_clock_hz / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_backed_constants() {
+        let c = AccelConfig::new(64);
+        assert_eq!(c.compute_units, 64);
+        assert_eq!(c.costs.device_clock_hz.to_bits(), 100.0e6_f64.to_bits());
+        assert_eq!(c.costs.kernel_launch_cycles, 600);
+        assert_eq!(c.costs.transfer_setup_cycles, 2000);
+        assert_eq!(c.costs.transfer_cycles_per_elem, 16);
+        // 64 units × 200 MFLOPS.
+        assert!((c.peak_gflops() - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        AccelConfig::new(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "got 8192")]
+    fn rejects_oversized_partitions() {
+        AccelConfig::new(8192);
+    }
+}

@@ -1,0 +1,37 @@
+//! `bench_accel` — emit the machine-readable accelerator artefact.
+//!
+//! Writes [`f90y_bench::accel_bench_json`] to the given path (default
+//! `BENCH_accel.json`). Every value is modelled — kernel-launch and
+//! transfer counts, device cycles from the manifest cost table, never
+//! wall time — so the file is byte-identical across regenerations and
+//! CI can `git diff` it as a gate (`validate_artifacts --accel`).
+//!
+//! ```text
+//! cargo run -p f90y-bench --release --bin bench_accel [path]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_accel.json".to_string());
+    let json = f90y_bench::accel_bench_json();
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            println!(
+                "wrote {path} ({} bytes): swe {}x{} on {} accel units, schema {}",
+                json.len(),
+                f90y_bench::BENCH_GRID,
+                f90y_bench::BENCH_GRID,
+                f90y_bench::BENCH_NODES,
+                f90y_bench::BENCH_SCHEMA,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_accel: cannot write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

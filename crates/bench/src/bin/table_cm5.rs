@@ -10,8 +10,8 @@
 //! end."
 
 use f90y_bench::{compile, rule};
-use f90y_cm5::{run_and_estimate, split_block, Cm5Config};
 use f90y_core::{workloads, Pipeline, Target};
+use f90y_mimd::{run_and_estimate, split_block, MimdConfig};
 
 fn main() {
     println!("§5.3.1 — CM/5 retarget: same compiled program, new cost model");
@@ -58,8 +58,8 @@ fn main() {
         cm2_run.gflops / f90y_cm2::Cm2Config::full_slicewise().peak_gflops() * 100.0,
     );
     for nodes in [64usize, 256, 1024] {
-        let config = Cm5Config::new(nodes);
-        let (_, stats) = run_and_estimate(&exe.compiled, &config).expect("estimates");
+        let config = MimdConfig::new(nodes);
+        let (_, stats) = run_and_estimate(&exe.compiled, nodes).expect("estimates");
         println!(
             "{:>8} {:>12.3} {:>11.4}s {:>11.4}s {:>11.4}s {:>11.4}s {:>9.1}%",
             nodes,
@@ -72,9 +72,7 @@ fn main() {
         );
     }
     rule(86);
-    let full = run_and_estimate(&exe.compiled, &Cm5Config::new(1024))
-        .expect("estimates")
-        .1;
+    let full = run_and_estimate(&exe.compiled, 1024).expect("estimates").1;
     assert!(
         full.gflops() > cm2_run.gflops,
         "a full CM/5 ({:.2} GF) should outrun the full CM/2 ({:.2} GF) on the same program",

@@ -4,6 +4,7 @@
 //! validate_artifacts --bench BENCH_swe.json [--trace run.trace.json]
 //!                    [--serve BENCH_serve.json]
 //!                    [--scaling BENCH_scaling.json]
+//!                    [--accel BENCH_accel.json]
 //! ```
 //!
 //! Checks, exiting 1 on the first violation:
@@ -31,6 +32,12 @@
 //!   superstep counts at every width (the determinism claim the
 //!   artefact exists to witness), and regenerating the sweep
 //!   in-process reproduces the committed bytes exactly.
+//! * `--accel`: the accelerator report parses, carries the schema tag,
+//!   records at least one kernel launch and one host↔device transfer,
+//!   a device-cycle breakdown that sums exactly, a well-formed finals
+//!   fingerprint asserted equal to the CM/2's, and regenerating the
+//!   run in-process reproduces the committed bytes exactly. Counts and
+//!   cycles only — never wall-clock time.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -318,10 +325,82 @@ fn check_scaling(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate the accelerator artefact (the third-target gate).
+fn check_accel(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+
+    match field(&doc, "schema") {
+        Some(Json::Str(s)) if s == f90y_bench::BENCH_SCHEMA => {}
+        Some(other) => return Err(format!("unexpected schema tag {other}")),
+        None => return Err("schema tag missing".into()),
+    }
+    match field(&doc, "workload") {
+        Some(Json::Str(s)) if s == "accel" => {}
+        other => return Err(format!("workload tag is not 'accel': {other:?}")),
+    }
+    for section in ["grid", "steps", "units", "accel", "finals"] {
+        if field(&doc, section).is_none() {
+            return Err(format!("section '{section}' missing"));
+        }
+    }
+
+    let accel = field(&doc, "accel").expect("checked above");
+    if num_field(accel, "kernel_launches")? as u64 == 0 {
+        return Err("an array program must launch at least one kernel".into());
+    }
+    let h2d = num_field(accel, "h2d_transfers")? as u64;
+    let d2h = num_field(accel, "d2h_transfers")? as u64;
+    if h2d + d2h == 0 {
+        return Err("reading finals back must cross the host\u{2194}device bus".into());
+    }
+    if d2h > 0 && num_field(accel, "d2h_bytes")? as u64 == 0 {
+        return Err("transfers counted but no bytes moved".into());
+    }
+    let breakdown = num_field(accel, "kernel_cycles")? as u64
+        + num_field(accel, "launch_cycles")? as u64
+        + num_field(accel, "comm_cycles")? as u64
+        + num_field(accel, "transfer_cycles")? as u64;
+    let device = num_field(accel, "device_cycles")? as u64;
+    if breakdown != device {
+        return Err(format!(
+            "device-cycle breakdown sums to {breakdown}, device_cycles says {device}"
+        ));
+    }
+
+    let finals = field(&doc, "finals").expect("checked above");
+    match field(finals, "fingerprint") {
+        Some(Json::Str(fp)) if fp.starts_with("fnv1a64:") => {}
+        other => return Err(format!("finals fingerprint malformed: {other:?}")),
+    }
+    match field(finals, "matches_cm2") {
+        Some(Json::Bool(true)) => {}
+        other => {
+            return Err(format!(
+                "the artefact must witness CM/2-identical finals: {other:?}"
+            ))
+        }
+    }
+
+    // Determinism gate: regenerating must reproduce the bytes exactly
+    // (and re-asserts the finals differential in-process).
+    let regenerated = f90y_bench::accel_bench_json();
+    if regenerated != text {
+        return Err(format!(
+            "{path} is stale: regeneration differs ({} vs {} bytes) — \
+             run `cargo run -p f90y-bench --release --bin bench_accel`",
+            text.len(),
+            regenerated.len()
+        ));
+    }
+    Ok(())
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: validate_artifacts --bench <BENCH_swe.json> [--trace <trace.json>] \
-         [--serve <BENCH_serve.json>] [--scaling <BENCH_scaling.json>]"
+         [--serve <BENCH_serve.json>] [--scaling <BENCH_scaling.json>] \
+         [--accel <BENCH_accel.json>]"
     );
     std::process::exit(2);
 }
@@ -331,6 +410,7 @@ fn main() -> ExitCode {
     let mut trace: Option<String> = None;
     let mut serve: Option<String> = None;
     let mut scaling: Option<String> = None;
+    let mut accel: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -350,10 +430,15 @@ fn main() -> ExitCode {
                 Some(p) => scaling = Some(p),
                 None => usage(),
             },
+            "--accel" => match args.next() {
+                Some(p) => accel = Some(p),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
-    if bench.is_none() && trace.is_none() && serve.is_none() && scaling.is_none() {
+    if bench.is_none() && trace.is_none() && serve.is_none() && scaling.is_none() && accel.is_none()
+    {
         usage();
     }
 
@@ -408,6 +493,20 @@ fn main() -> ExitCode {
                 println!(
                     "OK {path}: every host-thread count records identical determinism \
                      evidence and regeneration reproduces the bytes"
+                );
+            }
+            Err(e) => {
+                eprintln!("validate_artifacts: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &accel {
+        match check_accel(path) {
+            Ok(()) => {
+                println!(
+                    "OK {path}: launches, transfers, cycle breakdown, CM/2-identical \
+                     finals and regeneration checks pass"
                 );
             }
             Err(e) => {

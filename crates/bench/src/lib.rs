@@ -20,6 +20,7 @@
 //! | `ablation_blocking` | §6 claim: blocking amortises dispatch |
 //! | `table_cm5` | §5.3.1 CM/5 retarget |
 //! | `bench_serve` | §7 service replay: cache, fairness, latency |
+//! | `bench_accel` | §5.3 retarget claim pushed to a third (accelerator) target |
 //!
 //! The shared helpers here keep the binaries small and consistent.
 
@@ -318,6 +319,85 @@ pub fn scaling_bench_json() -> String {
     format!("{doc}\n")
 }
 
+/// Build the machine-readable accelerator benchmark report: the SWE
+/// workload at [`BENCH_GRID`]²×[`BENCH_STEPS`] on [`BENCH_NODES`]
+/// device compute units of the `Target::Accel` model. The committed
+/// artefact records the accelerator's *structure* — kernel-launch and
+/// host↔device transfer counts, byte traffic, device-cycle breakdown —
+/// plus the finals fingerprint, which is asserted bit-identical to the
+/// CM/2's before anything is emitted. Every value derives from the
+/// manifest-driven simulated clock — no wall-clock time — so
+/// regeneration is byte-identical and `git diff` doubles as the CI
+/// gate (`validate_artifacts --accel`).
+///
+/// # Panics
+///
+/// Panics if the workload fails to compile or run, if the accelerator's
+/// finals diverge from the CM/2's, or if the transfer ledger breaks its
+/// invariants — a committed artefact must never encode a broken run.
+pub fn accel_bench_json() -> String {
+    let src = workloads::swe_source(BENCH_GRID, BENCH_STEPS);
+    let exe = compile(&src, Pipeline::F90y);
+
+    let cm2 = exe
+        .session(Target::Cm2 { nodes: BENCH_NODES })
+        .run()
+        .expect("CM/2 SWE run")
+        .into_cm2();
+    let accel = exe
+        .session(Target::Accel { nodes: BENCH_NODES })
+        .run()
+        .expect("Accel SWE run")
+        .into_accel();
+    accel.stats.verify().expect("transfer-ledger invariants");
+
+    let fingerprint = f90y_serve::engine::finals_fingerprint(&accel.finals);
+    let cm2_fingerprint = f90y_serve::engine::finals_fingerprint(&cm2.finals);
+    assert_eq!(
+        fingerprint, cm2_fingerprint,
+        "accel finals must be bit-identical to the CM/2's"
+    );
+
+    let s = &accel.stats;
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str(BENCH_SCHEMA.into())),
+        ("workload".into(), Json::Str("accel".into())),
+        ("pipeline".into(), Json::Str("f90y".into())),
+        ("grid".into(), num(BENCH_GRID as u64)),
+        ("steps".into(), num(BENCH_STEPS as u64)),
+        ("units".into(), num(BENCH_NODES as u64)),
+        (
+            "accel".into(),
+            Json::Obj(vec![
+                ("gflops".into(), Json::Num(accel.gflops)),
+                ("modelled_seconds".into(), Json::Num(accel.elapsed_seconds)),
+                ("device_cycles".into(), num(s.device_cycles())),
+                ("kernel_cycles".into(), num(s.kernel_cycles)),
+                ("launch_cycles".into(), num(s.launch_cycles)),
+                ("comm_cycles".into(), num(s.comm_cycles)),
+                ("transfer_cycles".into(), num(s.transfer_cycles)),
+                ("host_cycles".into(), num(s.host_cycles)),
+                ("flops".into(), num(s.flops)),
+                ("kernel_launches".into(), num(s.kernel_launches)),
+                ("h2d_transfers".into(), num(s.h2d_transfers)),
+                ("h2d_bytes".into(), num(s.h2d_bytes)),
+                ("d2h_transfers".into(), num(s.d2h_transfers)),
+                ("d2h_bytes".into(), num(s.d2h_bytes)),
+                ("comm_calls".into(), num(s.comm_calls)),
+                ("reductions".into(), num(s.reductions)),
+            ]),
+        ),
+        (
+            "finals".into(),
+            Json::Obj(vec![
+                ("fingerprint".into(), Json::Str(fingerprint)),
+                ("matches_cm2".into(), Json::Bool(true)),
+            ]),
+        ),
+    ]);
+    format!("{doc}\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +426,19 @@ mod tests {
             }
             other => panic!("expected an object, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn accel_bench_json_is_byte_identical_across_generations() {
+        let first = accel_bench_json();
+        let second = accel_bench_json();
+        assert_eq!(first, second, "BENCH_accel.json must regenerate exactly");
+        let doc = f90y_obs::json::parse(&first).expect("valid JSON");
+        let Json::Obj(fields) = &doc else {
+            panic!("expected an object");
+        };
+        let workload = fields.iter().find(|(k, _)| k == "workload");
+        assert!(matches!(workload, Some((_, Json::Str(s))) if s == "accel"));
     }
 
     #[test]

@@ -90,6 +90,7 @@ pub fn serve_workload() -> Vec<Request> {
             passes: None,
             target,
             host_threads: 1,
+            faults: None,
         })
         .collect()
 }

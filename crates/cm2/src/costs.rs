@@ -5,9 +5,16 @@
 //! experiment tables depend on the *ratios*. Communication is charged in
 //! node cycles (the whole machine runs in SIMD lockstep, so elapsed time
 //! is per-node busy time).
+//!
+//! Since the HAL refactor the numbers themselves live in the CM/2
+//! capability manifest ([`f90y_hal::CM2`]) — machine facts are data,
+//! not code — and this module re-exposes them under their historical
+//! names with their justifications, plus the [`Layout`]-aware wrappers
+//! the runtime charges through. The golden tests in `f90y-hal` pin the
+//! manifest-derived table to the pre-refactor constants.
 
 use crate::layout::Layout;
-use f90y_peac::costs::MEM_CYCLES;
+use f90y_hal::CM2_SIMD_COSTS;
 use f90y_peac::isa::VLEN;
 
 /// Cycles of sequencer + IFIFO overhead to call one PEAC routine
@@ -16,34 +23,34 @@ use f90y_peac::isa::VLEN;
 /// blocking transformation amortises). CM documentation puts elementwise
 /// operation launch overhead at one to two hundred microseconds; 1000
 /// node cycles at 7 MHz is ~140 µs per dispatch.
-pub const DISPATCH_BASE_CYCLES: u64 = 1000;
+pub const DISPATCH_BASE_CYCLES: u64 = CM2_SIMD_COSTS.dispatch_base_cycles;
 
 /// Additional cycles per routine argument pushed over the IFIFO
 /// (pointer or broadcast scalar).
-pub const DISPATCH_PER_ARG_CYCLES: u64 = 40;
+pub const DISPATCH_PER_ARG_CYCLES: u64 = CM2_SIMD_COSTS.dispatch_per_arg_cycles;
 
 /// Cycles of runtime-library entry overhead for a communication or
 /// reduction call (argument marshalling, geometry/grid-mapping lookup,
 /// send/receive buffer setup): ~170 µs at 7 MHz, the same order as a
 /// PEAC dispatch plus the NEWS setup work.
-pub const RT_CALL_CYCLES: u64 = 1200;
+pub const RT_CALL_CYCLES: u64 = CM2_SIMD_COSTS.rt_call_cycles;
 
 /// Cycles to move one 64-bit element over a hypercube dimension's two
 /// 1-bit wires: 64 bits / 2 wires = 32 cycles.
-pub const WIRE_CYCLES_PER_ELEM: u64 = 32;
+pub const WIRE_CYCLES_PER_ELEM: u64 = CM2_SIMD_COSTS.wire_cycles_per_elem;
 
 /// Router multiplier over grid (NEWS) communication: a general
 /// permutation traverses ~log₂(P)/2 dimensions with conflicts, where
 /// grid neighbours need one. The paper (§2.2): special-purpose
 /// communication "can be substantially faster than the worst-case router
 /// alternative".
-pub const ROUTER_FACTOR: u64 = 6;
+pub const ROUTER_FACTOR: u64 = CM2_SIMD_COSTS.router_factor;
 
 /// Node cycles for a PEAC routine dispatch executing `iterations`
 /// subgrid-loop iterations of a body costing `body_cycles` per
 /// iteration.
 pub fn dispatch_cycles(nargs: usize, body_cycles: u64, iterations: u64) -> u64 {
-    DISPATCH_BASE_CYCLES + DISPATCH_PER_ARG_CYCLES * nargs as u64 + body_cycles * iterations
+    CM2_SIMD_COSTS.dispatch_cycles(nargs, body_cycles, iterations)
 }
 
 /// Node cycles for a grid (NEWS) `CSHIFT`/`EOSHIFT` by `shift` along
@@ -51,25 +58,23 @@ pub fn dispatch_cycles(nargs: usize, body_cycles: u64, iterations: u64) -> u64 {
 /// through the vector unit) and serialises its boundary-crossing
 /// elements onto the wires.
 pub fn grid_comm_cycles(layout: &Layout, axis: usize, shift: i64) -> u64 {
-    let local_copy = 2 * layout.iterations_per_node() * MEM_CYCLES;
-    let wire = layout.crossing_per_node(axis, shift) * WIRE_CYCLES_PER_ELEM;
-    RT_CALL_CYCLES + local_copy + wire
+    CM2_SIMD_COSTS.grid_comm_cycles(
+        layout.iterations_per_node(),
+        layout.crossing_per_node(axis, shift),
+    )
 }
 
 /// Node cycles for a general router copy moving every element to an
 /// arbitrary destination (the fallback when no grid pattern applies).
 pub fn router_comm_cycles(layout: &Layout) -> u64 {
-    RT_CALL_CYCLES + layout.subgrid() as u64 * WIRE_CYCLES_PER_ELEM * ROUTER_FACTOR
+    CM2_SIMD_COSTS.router_comm_cycles(layout.subgrid())
 }
 
 /// Node cycles for a full reduction (`SUM`/`MAXVAL`/`MINVAL`): a local
 /// vector reduction pass over the subgrid, then log₂(P) combine steps
 /// over the hypercube.
 pub fn reduction_cycles(layout: &Layout, nodes: usize) -> u64 {
-    let local = layout.iterations_per_node() * (MEM_CYCLES + f90y_peac::costs::VOP_CYCLES);
-    let combine = (nodes.max(2).trailing_zeros() as u64)
-        * (WIRE_CYCLES_PER_ELEM + f90y_peac::costs::VOP_CYCLES);
-    RT_CALL_CYCLES + local + combine
+    CM2_SIMD_COSTS.reduction_cycles(layout.iterations_per_node(), nodes)
 }
 
 /// Node cycles to materialise a coordinate subgrid (`local_under`): one
@@ -77,7 +82,7 @@ pub fn reduction_cycles(layout: &Layout, nodes: usize) -> u64 {
 /// runtime caches these; so does [`crate::machine::Cm2`], charging this
 /// once per (shape, axis).
 pub fn coordinate_gen_cycles(layout: &Layout) -> u64 {
-    RT_CALL_CYCLES + layout.iterations_per_node() * (f90y_peac::costs::VOP_CYCLES + MEM_CYCLES)
+    CM2_SIMD_COSTS.coordinate_gen_cycles(layout.iterations_per_node())
 }
 
 /// Host-side cycles for one host program operation (scalar arithmetic,
@@ -86,10 +91,10 @@ pub fn coordinate_gen_cycles(layout: &Layout) -> u64 {
 /// register use" (§5.2), so charge a flat, deliberately unflattering
 /// cost per host op. The host SPARC runs at its own clock; see
 /// [`crate::machine::MachineStats::elapsed_seconds`].
-pub const HOST_OP_CYCLES: u64 = 8;
+pub const HOST_OP_CYCLES: u64 = CM2_SIMD_COSTS.host_op_cycles;
 
 /// Host clock in Hz (a Sun-4 front end, ~25 MHz SPARC).
-pub const HOST_CLOCK_HZ: f64 = 25.0e6;
+pub const HOST_CLOCK_HZ: f64 = CM2_SIMD_COSTS.host_clock_hz;
 
 /// Convenience: how many vector iterations an elementwise pass needs.
 pub fn elementwise_iterations(layout: &Layout) -> u64 {
@@ -131,5 +136,19 @@ mod tests {
         let small = Layout::blockwise(2048 * 8, 2048);
         let large = Layout::blockwise(2048 * 64, 2048);
         assert!(reduction_cycles(&large, 2048) > reduction_cycles(&small, 2048));
+    }
+
+    #[test]
+    fn manifest_backed_constants_keep_their_pre_hal_values() {
+        // The historical names must read the same numbers the module
+        // hard-coded before the HAL refactor (the full cost-table
+        // golden lives in f90y-hal).
+        assert_eq!(DISPATCH_BASE_CYCLES, 1000);
+        assert_eq!(DISPATCH_PER_ARG_CYCLES, 40);
+        assert_eq!(RT_CALL_CYCLES, 1200);
+        assert_eq!(WIRE_CYCLES_PER_ELEM, 32);
+        assert_eq!(ROUTER_FACTOR, 6);
+        assert_eq!(HOST_OP_CYCLES, 8);
+        assert_eq!(HOST_CLOCK_HZ.to_bits(), 25.0e6_f64.to_bits());
     }
 }

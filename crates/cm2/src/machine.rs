@@ -197,56 +197,11 @@ impl CycleProfile {
 }
 
 /// One machine-level event, recorded when tracing is enabled. Traces
-/// let retargeting studies (the CM/5 estimator) replay a run under a
-/// different cost model without re-executing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceEvent {
-    /// The machine the trace was captured on: always the first event,
-    /// so replay consumers (the CM/5 estimator) can reject traces whose
-    /// subgrid geometry was baked in for a different node count.
-    Machine {
-        /// Node count of the traced machine.
-        nodes: usize,
-    },
-    /// A PEAC routine dispatch.
-    Dispatch {
-        /// Per-node subgrid-loop iterations.
-        iterations: u64,
-        /// Total (machine-wide) elements computed.
-        elements: usize,
-        /// Charged vector-arithmetic instructions in the body.
-        arith: u64,
-        /// Charged (non-overlapped) memory instructions in the body.
-        mem: u64,
-        /// Division instructions in the body.
-        div: u64,
-        /// Library-call instructions in the body.
-        lib: u64,
-        /// Routine arguments pushed.
-        nargs: usize,
-        /// Machine-wide flops the dispatch performed.
-        flops: u64,
-    },
-    /// A grid (NEWS) communication.
-    GridComm {
-        /// Per-node subgrid vectors copied.
-        iterations: u64,
-        /// Per-node boundary elements crossing the network.
-        crossing: u64,
-    },
-    /// A router-path data movement.
-    Router {
-        /// Per-node elements moved.
-        subgrid: usize,
-    },
-    /// A global reduction.
-    Reduce {
-        /// Per-node subgrid vectors scanned.
-        iterations: u64,
-    },
-    /// Host work (front-end operations).
-    HostOps(u64),
-}
+/// let retargeting studies replay a run under a different cost model
+/// without re-executing ([`f90y_hal::replay()`]). The event vocabulary
+/// lives in the HAL so any machine can emit replay traces; re-exported
+/// here under its historical path.
+pub use f90y_hal::TraceEvent;
 
 /// A simulated CM/2: configuration, CM memory, and accounting.
 #[derive(Debug)]

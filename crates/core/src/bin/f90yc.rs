@@ -2,9 +2,13 @@
 //!
 //! ```text
 //! f90yc [options] <file.f90 | ->
+//! f90yc --list-targets
 //!
 //!   --pipeline f90y|cmf|starlisp   compiler to model       (default f90y)
-//!   --target cm2|cm5               execution engine         (default cm2)
+//!   --target cm2|cm5|accel         execution engine         (default cm2)
+//!   --list-targets                 print every registered target manifest
+//!                                  (name, vector width, topology, node
+//!                                  constraints) and exit
 //!   --nodes N                      nodes, power of 2        (default 2048)
 //!   --host-threads N               host worker threads for the MIMD
 //!                                  compute phase (cm5 only, default 1;
@@ -80,6 +84,8 @@ enum TargetKind {
     Cm2,
     /// The CM/5 MIMD engine: sharded arrays, real message passing.
     Cm5,
+    /// The accelerator model: kernel launches over device memory.
+    Accel,
 }
 
 struct Options {
@@ -126,9 +132,13 @@ impl Options {
 }
 
 const USAGE: &str = "usage: f90yc [options] <file.f90 | ->
+       f90yc --list-targets
 
   --pipeline f90y|cmf|starlisp   compiler to model       (default f90y)
-  --target cm2|cm5               execution engine         (default cm2)
+  --target cm2|cm5|accel         execution engine         (default cm2)
+  --list-targets                 print every registered target manifest
+                                 (name, vector width, topology, node
+                                 constraints) and exit
   --nodes N                      nodes, power of 2        (default 2048)
   --host-threads N               host worker threads for the MIMD
                                  compute phase (cm5 only, default 1;
@@ -200,8 +210,13 @@ fn parse_args() -> Options {
                 opts.target = match args.next().as_deref() {
                     Some("cm2") => TargetKind::Cm2,
                     Some("cm5") => TargetKind::Cm5,
+                    Some("accel") => TargetKind::Accel,
                     _ => usage(),
                 }
+            }
+            "--list-targets" => {
+                print_targets();
+                std::process::exit(0);
             }
             "--nodes" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) => opts.nodes = n,
@@ -288,21 +303,48 @@ fn parse_args() -> Options {
     if opts.input.is_none() {
         usage();
     }
-    if opts.target == TargetKind::Cm2 && opts.fault_plan().is_some() {
+    if opts.target != TargetKind::Cm5 && opts.fault_plan().is_some() {
         eprintln!("f90yc: fault injection needs --target cm5");
         std::process::exit(2);
     }
-    if opts.target == TargetKind::Cm5 && opts.profile {
+    if opts.target != TargetKind::Cm2 && opts.profile {
         eprintln!("f90yc: --profile attributes PEAC opcode cycles and needs --target cm2");
         std::process::exit(2);
     }
-    if opts.target == TargetKind::Cm2 && opts.host_threads > 1 {
+    if opts.target != TargetKind::Cm5 && opts.host_threads > 1 {
         eprintln!(
             "f90yc: --host-threads parallelises the MIMD compute phase and needs --target cm5"
         );
         std::process::exit(2);
     }
     opts
+}
+
+/// Print every registered target manifest — the machine facts the
+/// session layer validates against, straight from the HAL registry.
+fn print_targets() {
+    let registry = f90y_core::Registry::builtin();
+    println!("registered targets ({}):", registry.len());
+    for m in registry.iter() {
+        println!("\n  {} — {} ({} model)", m.name, m.display, m.kind);
+        println!(
+            "    vector width:   {} lanes × {} unit(s)/node",
+            m.vector_lanes, m.units_per_node
+        );
+        println!(
+            "    clock:          {:.0} MHz {}",
+            m.clock_hz / 1e6,
+            match m.kind {
+                f90y_hal::TargetKind::Simd => "node",
+                f90y_hal::TargetKind::Mimd => "vector unit",
+                f90y_hal::TargetKind::Accel => "device",
+            }
+        );
+        println!("    topology:       {}", m.topology);
+        println!("    nodes:          {}", m.nodes.describe());
+        let regions: Vec<&str> = m.memory_regions.iter().map(|r| r.name).collect();
+        println!("    memory regions: {}", regions.join(", "));
+    }
 }
 
 /// Parse a `STEP:NODE` kill spec.
@@ -455,6 +497,7 @@ fn main() -> ExitCode {
     let target = match opts.target {
         TargetKind::Cm2 => Target::Cm2 { nodes: opts.nodes },
         TargetKind::Cm5 => Target::Cm5Mimd { nodes: opts.nodes },
+        TargetKind::Accel => Target::Accel { nodes: opts.nodes },
     };
     let mut chrome_sink = match &opts.emit_trace {
         Some(path) => match ChromeTraceSink::create(path) {
@@ -548,6 +591,18 @@ fn main() -> ExitCode {
                 );
             }
         }
+        Run::Accel(r) => println!(
+            "{} on {} accel units: {:.4} GFLOPS sustained ({:.3} ms modelled, \
+             {} kernel launches, {} H2D + {} D2H transfers, {} bytes moved)",
+            opts.pipeline.name(),
+            opts.nodes,
+            r.gflops,
+            r.elapsed_seconds * 1e3,
+            r.stats.kernel_launches,
+            r.stats.h2d_transfers,
+            r.stats.d2h_transfers,
+            r.stats.h2d_bytes + r.stats.d2h_bytes,
+        ),
     }
     if let Some(cm) = &profiled_cm {
         if let Err(e) = print_profile(cm) {

@@ -58,10 +58,12 @@ pub mod workloads;
 use std::error::Error;
 use std::fmt;
 
+pub use f90y_accel::{Accel, AccelConfig, AccelStats};
 pub use f90y_analysis::{Diagnostic, LintReport, WarnCode};
 pub use f90y_backend::fe::HostRun;
 pub use f90y_backend::CompiledProgram;
 pub use f90y_cm2::{Cm2, Cm2Config, MachineStats};
+pub use f90y_hal::{Registry, TargetManifest};
 pub use f90y_mimd::{FaultPlan, MimdConfig, MimdStats};
 pub use f90y_nir::Imp;
 pub use f90y_obs::trace::{
@@ -661,6 +663,59 @@ impl Executable {
         ))
     }
 
+    /// The accelerator execution behind every session: runs inside a
+    /// `run.accel` span and the machine's counters land under
+    /// `accel.*` — kernel-launch and transfer counts, byte totals, and
+    /// per-category device cycles. With `want_trace`, the device's
+    /// cycle-clocked flight recorder is enabled for the run (kernel,
+    /// shift/gather/reduce and h2d/d2h transfer phases tiling the
+    /// clock) and its trace returned alongside.
+    fn run_accel_impl(
+        &self,
+        nodes: usize,
+        tel: &mut Telemetry,
+        want_trace: bool,
+    ) -> Result<(AccelRunReport, Option<Trace>), RunError> {
+        let config = f90y_accel::AccelConfig::new(nodes);
+        let mut machine = f90y_accel::Accel::new(config.clone());
+        if want_trace {
+            machine.enable_flight_recorder();
+        }
+        let span = tel.start("run.accel");
+        let result = HostExecutor::new(&mut machine).run(&self.compiled);
+        tel.finish(span);
+        let finals = result.map_err(RunError::from)?;
+        let trace = machine.take_flight();
+        let stats = machine.stats();
+        if tel.is_enabled() {
+            tel.count("accel.units", nodes as u64);
+            tel.count("accel.flops", stats.flops);
+            tel.count("accel.kernel_launches", stats.kernel_launches);
+            tel.count("accel.kernel_cycles", stats.kernel_cycles);
+            tel.count("accel.launch_cycles", stats.launch_cycles);
+            tel.count("accel.comm_cycles", stats.comm_cycles);
+            tel.count("accel.transfer_cycles", stats.transfer_cycles);
+            tel.count("accel.host_cycles", stats.host_cycles);
+            tel.count("accel.h2d_transfers", stats.h2d_transfers);
+            tel.count("accel.h2d_bytes", stats.h2d_bytes);
+            tel.count("accel.d2h_transfers", stats.d2h_transfers);
+            tel.count("accel.d2h_bytes", stats.d2h_bytes);
+            tel.count("accel.comm_calls", stats.comm_calls);
+            tel.count("accel.reductions", stats.reductions);
+            tel.gauge("accel.elapsed_seconds", stats.elapsed_seconds(&config));
+            tel.gauge("accel.gflops", stats.gflops(&config));
+        }
+        Ok((
+            AccelRunReport {
+                gflops: stats.gflops(&config),
+                elapsed_seconds: stats.elapsed_seconds(&config),
+                stats,
+                finals,
+            },
+            trace,
+        ))
+    }
+
     /// The compile-time pass events a traced session prepends to its
     /// machine trace: one [`TraceEvent::Pass`] per middle-end pass, in
     /// pipeline order.
@@ -734,6 +789,14 @@ pub enum Target {
     /// arrays, halo exchanges, combine trees (see `f90y-mimd`).
     Cm5Mimd {
         /// Processing-node count (must be a power of two).
+        nodes: usize,
+    },
+    /// The accelerator model: array statements as kernel launches over
+    /// device memory, with every host↔device byte an explicit transfer
+    /// on the simulated clock (see `f90y-accel`).
+    Accel {
+        /// Device compute-unit count (must satisfy the manifest's node
+        /// constraints: a power of two).
         nodes: usize,
     },
 }
@@ -917,6 +980,33 @@ impl<'a> Session<'a> {
                     exe.run_mimd_impl(nodes, faults, host_threads, tel, want_trace)?;
                 (Run::Mimd(report), trace)
             }
+            Target::Accel { nodes } => {
+                if faults.is_some() {
+                    return Err(RunError::InvalidSession(
+                        "fault plans apply to Target::Cm5Mimd only — the accelerator \
+                         model has no message layer to perturb"
+                            .into(),
+                    ));
+                }
+                if host_threads > 1 {
+                    return Err(RunError::InvalidSession(format!(
+                        "host_threads({host_threads}) applies to Target::Cm5Mimd only — \
+                         the accelerator's device clock is single-image"
+                    )));
+                }
+                if machine.is_some() {
+                    return Err(RunError::InvalidSession(
+                        "on_machine provides a CM/2; it cannot host a Target::Accel \
+                         session"
+                            .into(),
+                    ));
+                }
+                f90y_hal::ACCEL
+                    .check_nodes(nodes)
+                    .map_err(RunError::InvalidSession)?;
+                let (report, trace) = exe.run_accel_impl(nodes, tel, want_trace)?;
+                (Run::Accel(report), trace)
+            }
         };
         if let Some(mut trace) = trace {
             trace.prepend(exe.pass_trace_events());
@@ -936,6 +1026,8 @@ pub enum Run {
     Cm2(RunReport),
     /// A CM/5 MIMD-engine run.
     Mimd(MimdRunReport),
+    /// An accelerator run.
+    Accel(AccelRunReport),
 }
 
 impl Run {
@@ -944,6 +1036,7 @@ impl Run {
         match self {
             Run::Cm2(r) => &r.finals,
             Run::Mimd(r) => &r.finals,
+            Run::Accel(r) => &r.finals,
         }
     }
 
@@ -952,6 +1045,7 @@ impl Run {
         match self {
             Run::Cm2(r) => r.gflops,
             Run::Mimd(r) => r.gflops,
+            Run::Accel(r) => r.gflops,
         }
     }
 
@@ -960,6 +1054,7 @@ impl Run {
         match self {
             Run::Cm2(r) => r.elapsed_seconds,
             Run::Mimd(r) => r.elapsed_seconds,
+            Run::Accel(r) => r.elapsed_seconds,
         }
     }
 
@@ -967,15 +1062,24 @@ impl Run {
     pub fn as_cm2(&self) -> Option<&RunReport> {
         match self {
             Run::Cm2(r) => Some(r),
-            Run::Mimd(_) => None,
+            _ => None,
         }
     }
 
     /// The MIMD report, when the session targeted the MIMD engine.
     pub fn as_mimd(&self) -> Option<&MimdRunReport> {
         match self {
-            Run::Cm2(_) => None,
             Run::Mimd(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The accelerator report, when the session targeted the
+    /// accelerator.
+    pub fn as_accel(&self) -> Option<&AccelRunReport> {
+        match self {
+            Run::Accel(r) => Some(r),
+            _ => None,
         }
     }
 
@@ -983,11 +1087,12 @@ impl Run {
     ///
     /// # Panics
     ///
-    /// Panics when the session ran on the MIMD engine.
+    /// Panics when the session ran on another target.
     pub fn into_cm2(self) -> RunReport {
         match self {
             Run::Cm2(r) => r,
             Run::Mimd(_) => panic!("session ran on Target::Cm5Mimd; use into_mimd()"),
+            Run::Accel(_) => panic!("session ran on Target::Accel; use into_accel()"),
         }
     }
 
@@ -995,13 +1100,41 @@ impl Run {
     ///
     /// # Panics
     ///
-    /// Panics when the session ran on the CM/2.
+    /// Panics when the session ran on another target.
     pub fn into_mimd(self) -> MimdRunReport {
         match self {
             Run::Cm2(_) => panic!("session ran on Target::Cm2; use into_cm2()"),
             Run::Mimd(r) => r,
+            Run::Accel(_) => panic!("session ran on Target::Accel; use into_accel()"),
         }
     }
+
+    /// Unwrap the accelerator report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session ran on another target.
+    pub fn into_accel(self) -> AccelRunReport {
+        match self {
+            Run::Cm2(_) => panic!("session ran on Target::Cm2; use into_cm2()"),
+            Run::Mimd(_) => panic!("session ran on Target::Cm5Mimd; use into_mimd()"),
+            Run::Accel(r) => r,
+        }
+    }
+}
+
+/// One accelerator run's results and accounting.
+#[derive(Debug)]
+pub struct AccelRunReport {
+    /// Sustained GFLOPS over the run.
+    pub gflops: f64,
+    /// Modelled elapsed time in seconds.
+    pub elapsed_seconds: f64,
+    /// The device's counters (launches, transfers, per-category
+    /// cycles).
+    pub stats: f90y_accel::AccelStats,
+    /// Final variable values.
+    pub finals: HostRun,
 }
 
 /// One MIMD run's results and accounting.
@@ -1132,6 +1265,63 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, RunError::InvalidSession(_)));
+    }
+
+    #[test]
+    fn accel_sessions_reject_inapplicable_options_with_typed_errors() {
+        let exe = Compiler::new(Pipeline::F90y)
+            .compile("REAL A(8)\nA = A + 1.0\n")
+            .unwrap();
+        // Faults are a message-layer concept; the accelerator opts out
+        // with a typed error, like the CM/2.
+        let err = exe
+            .session(Target::Accel { nodes: 8 })
+            .faults(FaultPlan::seeded(1))
+            .run()
+            .unwrap_err();
+        let msg = match err {
+            RunError::InvalidSession(m) => m,
+            other => panic!("expected InvalidSession, got {other:?}"),
+        };
+        assert!(msg.contains("no message layer"), "{msg}");
+        // Host pools and borrowed CM/2s are equally inapplicable.
+        let err = exe
+            .session(Target::Accel { nodes: 8 })
+            .host_threads(4)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidSession(_)));
+        let mut cm = Pipeline::F90y.machine(8);
+        let err = exe
+            .session(Target::Accel { nodes: 8 })
+            .on_machine(&mut cm)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, RunError::InvalidSession(_)));
+        // Node counts are checked against the manifest, not a panic.
+        let err = exe.session(Target::Accel { nodes: 6 }).run().unwrap_err();
+        let msg = match err {
+            RunError::InvalidSession(m) => m,
+            other => panic!("expected InvalidSession, got {other:?}"),
+        };
+        assert!(msg.contains("power of two"), "{msg}");
+    }
+
+    #[test]
+    fn accel_sessions_report_launches_and_transfers() {
+        let exe = Compiler::new(Pipeline::F90y)
+            .compile("REAL A(32,32), S\nA = A + 3.0\nS = SUM(A)\n")
+            .unwrap();
+        let cm2 = exe.session(Target::Cm2 { nodes: 16 }).run().unwrap();
+        let accel = exe.session(Target::Accel { nodes: 16 }).run().unwrap();
+        assert_eq!(
+            cm2.finals().final_array("a").unwrap(),
+            accel.finals().final_array("a").unwrap()
+        );
+        let report = accel.into_accel();
+        assert!(report.stats.kernel_launches > 0);
+        assert!(report.stats.d2h_transfers > 0, "finals cross the bus");
+        assert!(report.gflops > 0.0);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! # f90y-hal — target hardware abstraction layer
+//!
+//! The paper's retargeting claim (§5.3.1) is that the front end is
+//! machine-independent: porting the compiler to the CM/5 "retains the
+//! majority of its structure" because machine facts are concentrated in
+//! the back end. This crate takes that concentration one step further
+//! (ROADMAP item 3): every machine fact the backends used to hard-code —
+//! vector width, clock rates, comm topology, per-operation dispatch and
+//! transfer costs — lives here as *data*, in a [`TargetManifest`], and
+//! the machine crates consume manifests instead of scattering constants.
+//!
+//! * [`manifest`] — the manifest schema ([`TargetManifest`], cost
+//!   blocks, node constraints, topology, memory regions), the builtin
+//!   CM/2 / CM/5 / Accel manifests, and the [`Registry`] keyed by
+//!   manifest name.
+//! * [`mod@replay`] — the machine-level [`TraceEvent`] log a SIMD run emits
+//!   and the generalized replay estimator ([`replay::replay`]) that
+//!   re-times a trace under any manifest carrying a MIMD cost block.
+//!   For the CM/5 manifest it reproduces the retired `f90y-cm5`
+//!   estimator's numbers bit for bit (golden tests pin this).
+//!
+//! The manifests are `const` — a manifest is a claim about a machine,
+//! not a runtime object — so backends can define their own public cost
+//! constants as field reads and the compiler proves the tables agree.
+
+pub mod manifest;
+pub mod replay;
+
+pub use manifest::{
+    AccelCosts, MemoryRegion, MimdCosts, NodeConstraints, Registry, SimdCosts, TargetKind,
+    TargetManifest, Topology, ACCEL, ACCEL_COSTS, CM2, CM2_SIMD_COSTS, CM5, CM5_MIMD_COSTS,
+};
+pub use replay::{replay, ReplayError, ReplayStats, TraceEvent};

@@ -1,0 +1,607 @@
+//! Capability manifests: machine facts as data.
+//!
+//! A [`TargetManifest`] records everything a backend needs to know
+//! about its machine that is a *fact about the hardware* rather than an
+//! algorithm: clocks, vector width, node-count constraints, comm
+//! topology, memory regions, and the per-operation cost tables. The
+//! three builtin manifests ([`CM2`], [`CM5`], [`ACCEL`]) are `const`;
+//! the [`Registry`] keys them by name for `f90yc --list-targets` and
+//! the serve protocol.
+//!
+//! The cost blocks are split by execution model rather than forced into
+//! one shape — a SIMD sequencer's IFIFO overhead and an accelerator's
+//! host↔device transfer setup are different *kinds* of fact:
+//!
+//! * [`SimdCosts`] — the CM/2 model: dispatch/IFIFO overhead, runtime
+//!   call entry, hypercube wire cycles, router multiplier, host costs.
+//!   Its methods are the cycle formulas `f90y-cm2` charges.
+//! * [`MimdCosts`] — the CM/5 model: SPARC/VU clocks, fat-tree
+//!   bandwidth, control-processor dispatch, and the replay beat
+//!   weights [`crate::replay::replay`] uses.
+//! * [`AccelCosts`] — the accelerator model (after ForOpenCL, see
+//!   PAPERS.md): device clock, kernel-launch overhead, and explicit
+//!   host↔device transfer costs per call and per element.
+
+use std::fmt;
+
+use f90y_peac::costs::{MEM_CYCLES, VOP_CYCLES};
+
+/// The execution model a manifest describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Lockstep SIMD: one sequencer, one cycle clock (CM/2).
+    Simd,
+    /// Distributed MIMD: per-node programs, superstep clock (CM/5).
+    Mimd,
+    /// Host-directed accelerator: kernel launches over device memory
+    /// with explicit host↔device transfers.
+    Accel,
+}
+
+impl fmt::Display for TargetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetKind::Simd => write!(f, "SIMD"),
+            TargetKind::Mimd => write!(f, "MIMD"),
+            TargetKind::Accel => write!(f, "accelerator"),
+        }
+    }
+}
+
+/// The communication topology connecting a machine's nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Boolean hypercube, two wires per dimension (the CM-2's NEWS grid
+    /// and general router both ride it).
+    Hypercube,
+    /// Fat-tree data network plus a combine-capable control network
+    /// (CM-5).
+    FatTree,
+    /// A single shared host↔device bus: every byte between host and
+    /// device memory crosses it as an explicit transfer.
+    HostBus,
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Hypercube => write!(f, "boolean hypercube (2 wires/dim)"),
+            Topology::FatTree => write!(f, "fat tree + control network"),
+            Topology::HostBus => write!(f, "host\u{2194}device bus"),
+        }
+    }
+}
+
+/// What node counts a target accepts. "Node" is the manifest's unit of
+/// independent progress: a slicewise PE on the CM/2, a SPARC node on
+/// the CM/5, a compute unit on the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeConstraints {
+    /// Smallest accepted node count.
+    pub min: usize,
+    /// Largest accepted node count.
+    pub max: usize,
+    /// Whether the count must be a power of two (layout splitting and
+    /// combine trees assume it on every builtin target).
+    pub power_of_two: bool,
+}
+
+impl NodeConstraints {
+    /// Human-readable form for `--list-targets` and error messages.
+    pub fn describe(&self) -> String {
+        if self.power_of_two {
+            format!("power of two in {}..={}", self.min, self.max)
+        } else {
+            format!("{}..={}", self.min, self.max)
+        }
+    }
+
+    /// Whether `nodes` satisfies the constraints.
+    pub fn allows(&self, nodes: usize) -> bool {
+        nodes >= self.min && nodes <= self.max && (!self.power_of_two || nodes.is_power_of_two())
+    }
+}
+
+/// One addressable memory region of a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRegion {
+    /// Short name (`"cm"`, `"device"`, `"host"`, …).
+    pub name: &'static str,
+    /// What lives there and how it is reached.
+    pub note: &'static str,
+}
+
+/// The CM/2 (SIMD) cost block: every constant `f90y-cm2`'s cost model
+/// charges, with the cycle formulas as methods. The constants'
+/// justifications live with the re-exports in `f90y_cm2::costs`; here
+/// they are plain machine facts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimdCosts {
+    /// Sequencer + IFIFO overhead to call one PEAC routine.
+    pub dispatch_base_cycles: u64,
+    /// Additional cycles per routine argument pushed over the IFIFO.
+    pub dispatch_per_arg_cycles: u64,
+    /// Runtime-library entry overhead for a communication or reduction
+    /// call.
+    pub rt_call_cycles: u64,
+    /// Cycles to move one 64-bit element over a hypercube dimension's
+    /// two 1-bit wires.
+    pub wire_cycles_per_elem: u64,
+    /// Router multiplier over grid (NEWS) communication.
+    pub router_factor: u64,
+    /// Host-side cycles per host program operation.
+    pub host_op_cycles: u64,
+    /// Host (front end) clock in Hz.
+    pub host_clock_hz: f64,
+}
+
+impl SimdCosts {
+    /// Node cycles for a PEAC routine dispatch executing `iterations`
+    /// subgrid-loop iterations of a body costing `body_cycles` per
+    /// iteration.
+    pub fn dispatch_cycles(&self, nargs: usize, body_cycles: u64, iterations: u64) -> u64 {
+        self.dispatch_base_cycles
+            + self.dispatch_per_arg_cycles * nargs as u64
+            + body_cycles * iterations
+    }
+
+    /// Node cycles for a grid (NEWS) shift: every node copies its
+    /// subgrid (in/out through the vector unit) and serialises its
+    /// boundary-crossing elements onto the wires.
+    pub fn grid_comm_cycles(&self, iterations_per_node: u64, crossing_per_node: u64) -> u64 {
+        let local_copy = 2 * iterations_per_node * MEM_CYCLES;
+        let wire = crossing_per_node * self.wire_cycles_per_elem;
+        self.rt_call_cycles + local_copy + wire
+    }
+
+    /// Node cycles for a general router copy moving every subgrid
+    /// element to an arbitrary destination.
+    pub fn router_comm_cycles(&self, subgrid: usize) -> u64 {
+        self.rt_call_cycles + subgrid as u64 * self.wire_cycles_per_elem * self.router_factor
+    }
+
+    /// Node cycles for a full reduction: a local vector pass over the
+    /// subgrid, then log₂(P) combine steps over the hypercube.
+    pub fn reduction_cycles(&self, iterations_per_node: u64, nodes: usize) -> u64 {
+        let local = iterations_per_node * (MEM_CYCLES + VOP_CYCLES);
+        let combine =
+            (nodes.max(2).trailing_zeros() as u64) * (self.wire_cycles_per_elem + VOP_CYCLES);
+        self.rt_call_cycles + local + combine
+    }
+
+    /// Node cycles to materialise a coordinate subgrid: one generation
+    /// pass writing the subgrid through the vector unit.
+    pub fn coordinate_gen_cycles(&self, iterations_per_node: u64) -> u64 {
+        self.rt_call_cycles + iterations_per_node * (VOP_CYCLES + MEM_CYCLES)
+    }
+}
+
+/// The CM/5 (MIMD) cost block: the machine constants `f90y-mimd`'s
+/// engine configures itself with, plus the beat weights the replay
+/// estimator applies to a traced SIMD run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MimdCosts {
+    /// Node SPARC clock (33 MHz).
+    pub sparc_clock_hz: f64,
+    /// Vector-unit clock (16 MHz).
+    pub vu_clock_hz: f64,
+    /// Vector units per node (4).
+    pub vus_per_node: usize,
+    /// Fat-tree per-node bandwidth in bytes/second (~20 MB/s).
+    pub network_bytes_per_sec: f64,
+    /// Network latency per communication call, in seconds (software
+    /// overhead of the data-network send/receive path).
+    pub net_call_seconds: f64,
+    /// Control-processor dispatch overhead per block launch, in SPARC
+    /// cycles: the CM-5's active-message dispatch was far leaner than
+    /// the CM-2 IFIFO protocol.
+    pub cp_dispatch_cycles: u64,
+    /// Per-argument broadcast cost in control-processor cycles.
+    pub cp_per_arg_cycles: u64,
+    /// Replay beat weight for memory instructions: each VU has its own
+    /// memory port, so a word streams at half a beat.
+    pub mem_beat_weight: f64,
+    /// Replay beat weight for divide instructions (extra beats).
+    pub div_beat_weight: f64,
+    /// Replay beat weight for library-call instructions.
+    pub lib_beat_weight: f64,
+    /// SPARC cycles per replayed host operation (the partition manager
+    /// does host work at SPARC speed).
+    pub host_op_sparc_cycles: f64,
+    /// Bytes per element on the wire (64-bit reals).
+    pub element_bytes: f64,
+}
+
+/// The accelerator cost block (modeled on ForOpenCL's host/device
+/// split): a device clock, kernel-launch overhead, and explicit
+/// host↔device transfer costs. The numbers describe a generic
+/// early-1990s-budget attached array processor scaled to the same
+/// arithmetic as the CM targets, so cross-target tables stay readable;
+/// only the *structure* (launches and transfers on a simulated clock)
+/// is the point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelCosts {
+    /// Device clock in Hz.
+    pub device_clock_hz: f64,
+    /// Device cycles of launch overhead per kernel (queue submission,
+    /// argument binding, scheduling).
+    pub kernel_launch_cycles: u64,
+    /// Additional launch cycles per kernel argument.
+    pub launch_per_arg_cycles: u64,
+    /// Device cycles of setup per host↔device transfer call (DMA
+    /// programming, synchronisation).
+    pub transfer_setup_cycles: u64,
+    /// Device cycles per 64-bit element crossing the host↔device bus.
+    pub transfer_cycles_per_elem: u64,
+    /// Device cycles of entry overhead per device-side communication or
+    /// reduction call (shift, gather, reduce, coordinate generation).
+    pub comm_call_cycles: u64,
+    /// Extra per-element factor a general gather pays over a structured
+    /// shift (arbitrary addressing defeats coalescing).
+    pub gather_factor: u64,
+    /// Host-side cycles per host program operation.
+    pub host_op_cycles: u64,
+    /// Host clock in Hz.
+    pub host_clock_hz: f64,
+}
+
+/// Everything the toolchain knows about one target, as data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetManifest {
+    /// Registry key and wire name (`"cm2"`, `"cm5"`, `"accel"`).
+    pub name: &'static str,
+    /// Human-readable machine name.
+    pub display: &'static str,
+    /// Execution model.
+    pub kind: TargetKind,
+    /// Vector lanes per issue slot (the PEAC `VLEN` — every builtin
+    /// target executes PEAC routines over `VLEN`-element vectors).
+    pub vector_lanes: usize,
+    /// Parallel vector units per node (1 except the CM/5's 4 VUs).
+    pub units_per_node: usize,
+    /// The primary compute clock in Hz (node clock for CM/2, VU clock
+    /// for CM/5, device clock for Accel).
+    pub clock_hz: f64,
+    /// Accepted node counts.
+    pub nodes: NodeConstraints,
+    /// Communication topology.
+    pub topology: Topology,
+    /// Addressable memory regions.
+    pub memory_regions: &'static [MemoryRegion],
+    /// SIMD cost block, when the target has one.
+    pub simd: Option<SimdCosts>,
+    /// MIMD cost block, when the target has one.
+    pub mimd: Option<MimdCosts>,
+    /// Accelerator cost block, when the target has one.
+    pub accel: Option<AccelCosts>,
+}
+
+impl TargetManifest {
+    /// Check a node count against [`TargetManifest::nodes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the message session validation and config constructors
+    /// surface, naming the constraint and the offending count.
+    pub fn check_nodes(&self, nodes: usize) -> Result<(), String> {
+        if self.nodes.allows(nodes) {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} node count must be a {}, got {nodes}",
+                self.display,
+                self.nodes.describe()
+            ))
+        }
+    }
+}
+
+/// The CM/2 SIMD cost table (the constants `f90y_cm2::costs` re-exports
+/// with their justifications).
+pub const CM2_SIMD_COSTS: SimdCosts = SimdCosts {
+    dispatch_base_cycles: 1000,
+    dispatch_per_arg_cycles: 40,
+    rt_call_cycles: 1200,
+    wire_cycles_per_elem: 32,
+    router_factor: 6,
+    host_op_cycles: 8,
+    host_clock_hz: 25.0e6,
+};
+
+/// The CM/5 MIMD cost table (the constants the retired `f90y-cm5` crate
+/// hard-coded, plus the replay beat weights that were literals in its
+/// estimator).
+pub const CM5_MIMD_COSTS: MimdCosts = MimdCosts {
+    sparc_clock_hz: 33.0e6,
+    vu_clock_hz: 16.0e6,
+    vus_per_node: 4,
+    network_bytes_per_sec: 20.0e6,
+    net_call_seconds: 25.0e-6,
+    cp_dispatch_cycles: 400,
+    cp_per_arg_cycles: 10,
+    mem_beat_weight: 0.5,
+    div_beat_weight: 5.0,
+    lib_beat_weight: 10.0,
+    host_op_sparc_cycles: 2.0,
+    element_bytes: 8.0,
+};
+
+/// The accelerator cost table. A 100 MHz device clock puts one kernel
+/// launch (~600 cycles ≈ 6 µs) and one transfer setup (~2000 cycles ≈
+/// 20 µs) in the range early DMA-attached array processors paid, and
+/// 16 cycles per 64-bit element models a ~50 MB/s host bus.
+pub const ACCEL_COSTS: AccelCosts = AccelCosts {
+    device_clock_hz: 100.0e6,
+    kernel_launch_cycles: 600,
+    launch_per_arg_cycles: 20,
+    transfer_setup_cycles: 2000,
+    transfer_cycles_per_elem: 16,
+    comm_call_cycles: 800,
+    gather_factor: 4,
+    host_op_cycles: 8,
+    host_clock_hz: 25.0e6,
+};
+
+/// The CM/2 manifest: the paper's primary target (§2.2).
+pub const CM2: TargetManifest = TargetManifest {
+    name: "cm2",
+    display: "CM/2",
+    kind: TargetKind::Simd,
+    vector_lanes: f90y_peac::isa::VLEN,
+    units_per_node: 1,
+    clock_hz: 7.0e6,
+    nodes: NodeConstraints {
+        min: 1,
+        max: 2048,
+        power_of_two: true,
+    },
+    topology: Topology::Hypercube,
+    memory_regions: &[
+        MemoryRegion {
+            name: "cm",
+            note: "distributed PE memory, blockwise layouts",
+        },
+        MemoryRegion {
+            name: "host",
+            note: "front-end memory; element access crosses the IFIFO",
+        },
+    ],
+    simd: Some(CM2_SIMD_COSTS),
+    mimd: None,
+    accel: None,
+};
+
+/// The CM/5 manifest: the paper's retarget (§5.3.1). The constraint
+/// range covers simulator partitions; real CM-5s shipped 32–1024
+/// nodes, which [`crate::replay()`] callers conventionally respect.
+pub const CM5: TargetManifest = TargetManifest {
+    name: "cm5",
+    display: "CM/5",
+    kind: TargetKind::Mimd,
+    vector_lanes: f90y_peac::isa::VLEN,
+    units_per_node: 4,
+    clock_hz: 16.0e6,
+    nodes: NodeConstraints {
+        min: 1,
+        max: 1024,
+        power_of_two: true,
+    },
+    topology: Topology::FatTree,
+    memory_regions: &[
+        MemoryRegion {
+            name: "node",
+            note: "per-node SPARC+VU memory, sharded arrays with halos",
+        },
+        MemoryRegion {
+            name: "host",
+            note: "partition-manager memory",
+        },
+    ],
+    simd: None,
+    mimd: Some(CM5_MIMD_COSTS),
+    accel: None,
+};
+
+/// The accelerator manifest: the ForOpenCL-style third target. Nodes
+/// are device compute units; arrays live in device memory and every
+/// host access is an explicit bus transfer.
+pub const ACCEL: TargetManifest = TargetManifest {
+    name: "accel",
+    display: "Accel",
+    kind: TargetKind::Accel,
+    vector_lanes: f90y_peac::isa::VLEN,
+    units_per_node: 1,
+    clock_hz: 100.0e6,
+    nodes: NodeConstraints {
+        min: 1,
+        max: 4096,
+        power_of_two: true,
+    },
+    topology: Topology::HostBus,
+    memory_regions: &[
+        MemoryRegion {
+            name: "device",
+            note: "device-global memory; kernel operands live here",
+        },
+        MemoryRegion {
+            name: "host",
+            note: "host memory; crossing the bus is a charged transfer",
+        },
+    ],
+    simd: None,
+    mimd: None,
+    accel: Some(ACCEL_COSTS),
+};
+
+/// The backend registry: every manifest the toolchain can target,
+/// keyed by name. `f90yc --list-targets` prints it; the serve protocol
+/// and `core::Target` validation consult it.
+#[derive(Debug, Clone, Copy)]
+pub struct Registry {
+    manifests: &'static [TargetManifest],
+}
+
+/// The builtin manifests in registration order.
+pub const BUILTIN_MANIFESTS: &[TargetManifest] = &[CM2, CM5, ACCEL];
+
+impl Registry {
+    /// The registry of builtin targets.
+    pub fn builtin() -> Registry {
+        Registry {
+            manifests: BUILTIN_MANIFESTS,
+        }
+    }
+
+    /// Look a manifest up by its registry name.
+    pub fn get(&self, name: &str) -> Option<&'static TargetManifest> {
+        self.manifests.iter().find(|m| m.name == name)
+    }
+
+    /// All registered manifests, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &'static TargetManifest> {
+        self.manifests.iter()
+    }
+
+    /// Number of registered manifests.
+    pub fn len(&self) -> usize {
+        self.manifests.len()
+    }
+
+    /// Whether the registry is empty (never true for the builtin set).
+    pub fn is_empty(&self) -> bool {
+        self.manifests.is_empty()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The golden tables: the manifest-derived numbers must stay
+    // byte-identical to the constants the backends hard-coded before
+    // the HAL refactor. A change here is a cost-model change and must
+    // be made deliberately, in the manifest, with the benchmarks
+    // regenerated.
+
+    #[test]
+    fn cm2_cost_table_matches_the_pre_hal_constants() {
+        let c = CM2.simd.expect("CM/2 has a SIMD cost block");
+        assert_eq!(c.dispatch_base_cycles, 1000);
+        assert_eq!(c.dispatch_per_arg_cycles, 40);
+        assert_eq!(c.rt_call_cycles, 1200);
+        assert_eq!(c.wire_cycles_per_elem, 32);
+        assert_eq!(c.router_factor, 6);
+        assert_eq!(c.host_op_cycles, 8);
+        assert_eq!(c.host_clock_hz.to_bits(), 25.0e6_f64.to_bits());
+        assert_eq!(CM2.clock_hz.to_bits(), 7.0e6_f64.to_bits());
+    }
+
+    #[test]
+    fn cm5_cost_table_matches_the_pre_hal_constants() {
+        let c = CM5.mimd.expect("CM/5 has a MIMD cost block");
+        assert_eq!(c.sparc_clock_hz.to_bits(), 33.0e6_f64.to_bits());
+        assert_eq!(c.vu_clock_hz.to_bits(), 16.0e6_f64.to_bits());
+        assert_eq!(c.vus_per_node, 4);
+        assert_eq!(c.network_bytes_per_sec.to_bits(), 20.0e6_f64.to_bits());
+        assert_eq!(c.net_call_seconds.to_bits(), 25.0e-6_f64.to_bits());
+        assert_eq!(c.cp_dispatch_cycles, 400);
+        assert_eq!(c.cp_per_arg_cycles, 10);
+        // The replay weights were literals in the retired estimator.
+        assert_eq!(c.mem_beat_weight.to_bits(), 0.5_f64.to_bits());
+        assert_eq!(c.div_beat_weight.to_bits(), 5.0_f64.to_bits());
+        assert_eq!(c.lib_beat_weight.to_bits(), 10.0_f64.to_bits());
+        assert_eq!(c.host_op_sparc_cycles.to_bits(), 2.0_f64.to_bits());
+        assert_eq!(c.element_bytes.to_bits(), 8.0_f64.to_bits());
+    }
+
+    #[test]
+    fn cm2_cycle_formulas_match_the_pre_hal_functions() {
+        // The formulas as f90y-cm2's costs.rs wrote them before the
+        // refactor, inlined here as the golden reference.
+        let c = CM2_SIMD_COSTS;
+        for nargs in [0usize, 1, 4, 9] {
+            for body in [0u64, 6, 60, 600] {
+                for iters in [0u64, 1, 32, 4096] {
+                    assert_eq!(
+                        c.dispatch_cycles(nargs, body, iters),
+                        1000 + 40 * nargs as u64 + body * iters
+                    );
+                }
+            }
+        }
+        for iters in [0u64, 1, 32, 4096] {
+            for crossing in [0u64, 1, 64, 2048] {
+                assert_eq!(
+                    c.grid_comm_cycles(iters, crossing),
+                    1200 + 2 * iters * MEM_CYCLES + crossing * 32
+                );
+            }
+            for nodes in [1usize, 2, 16, 2048] {
+                assert_eq!(
+                    c.reduction_cycles(iters, nodes),
+                    1200 + iters * (MEM_CYCLES + VOP_CYCLES)
+                        + (nodes.max(2).trailing_zeros() as u64) * (32 + VOP_CYCLES)
+                );
+            }
+            assert_eq!(
+                c.coordinate_gen_cycles(iters),
+                1200 + iters * (VOP_CYCLES + MEM_CYCLES)
+            );
+        }
+        for subgrid in [0usize, 1, 1024] {
+            assert_eq!(
+                c.router_comm_cycles(subgrid),
+                1200 + subgrid as u64 * 32 * 6
+            );
+        }
+    }
+
+    #[test]
+    fn registry_resolves_every_builtin_by_name() {
+        let r = Registry::builtin();
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        for name in ["cm2", "cm5", "accel"] {
+            let m = r.get(name).expect("builtin registered");
+            assert_eq!(m.name, name);
+        }
+        assert!(r.get("gpu").is_none());
+        let names: Vec<&str> = r.iter().map(|m| m.name).collect();
+        assert_eq!(names, ["cm2", "cm5", "accel"]);
+    }
+
+    #[test]
+    fn node_constraints_enforce_range_and_power_of_two() {
+        assert!(CM2.check_nodes(1).is_ok());
+        assert!(CM2.check_nodes(2048).is_ok());
+        assert!(CM2.check_nodes(4096).is_err());
+        assert!(CM2.check_nodes(100).is_err());
+        let msg = ACCEL.check_nodes(3).unwrap_err();
+        assert!(
+            msg.contains("power of two in 1..=4096") && msg.contains("got 3"),
+            "constraint error should name the rule and the count: {msg}"
+        );
+    }
+
+    #[test]
+    fn manifests_describe_distinct_machines() {
+        assert_eq!(CM2.kind, TargetKind::Simd);
+        assert_eq!(CM5.kind, TargetKind::Mimd);
+        assert_eq!(ACCEL.kind, TargetKind::Accel);
+        assert_eq!(CM2.topology, Topology::Hypercube);
+        assert_eq!(CM5.topology, Topology::FatTree);
+        assert_eq!(ACCEL.topology, Topology::HostBus);
+        for m in BUILTIN_MANIFESTS {
+            assert_eq!(m.vector_lanes, f90y_peac::isa::VLEN);
+            assert!(m.memory_regions.len() >= 2);
+            assert!(!format!("{}", m.topology).is_empty());
+            assert!(!format!("{}", m.kind).is_empty());
+        }
+    }
+}

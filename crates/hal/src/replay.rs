@@ -1,0 +1,384 @@
+//! Trace replay: re-time a SIMD run under another manifest's cost
+//! model.
+//!
+//! The paper's §5.3.1 port argument: the compiled program is machine-
+//! independent, so retargeting is a *cost-model* port. A traced CM/2
+//! run records machine-level events ([`TraceEvent`]); [`replay`] walks
+//! them under any manifest carrying a [`MimdCosts`] block and produces
+//! the re-timed accounting. For [`crate::CM5`] this reproduces the
+//! retired `f90y-cm5` analytic estimator bit for bit (the golden test
+//! below pins the arithmetic).
+//!
+//! [`MimdCosts`]: crate::manifest::MimdCosts
+
+use std::error::Error;
+use std::fmt;
+
+use f90y_peac::isa::VLEN;
+
+use crate::manifest::TargetManifest;
+
+/// One machine-level event, recorded when tracing is enabled. Traces
+/// let retargeting studies replay a run under a different cost model
+/// without re-executing. Defined here (not in the machine crate)
+/// because the event vocabulary is the HAL's: every machine that wants
+/// replay-retargeting emits it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The machine the trace was captured on: always the first event,
+    /// so replay consumers can reject traces whose subgrid geometry was
+    /// baked in for a different node count.
+    Machine {
+        /// Node count of the traced machine.
+        nodes: usize,
+    },
+    /// A PEAC routine dispatch.
+    Dispatch {
+        /// Per-node subgrid-loop iterations.
+        iterations: u64,
+        /// Total (machine-wide) elements computed.
+        elements: usize,
+        /// Charged vector-arithmetic instructions in the body.
+        arith: u64,
+        /// Charged (non-overlapped) memory instructions in the body.
+        mem: u64,
+        /// Division instructions in the body.
+        div: u64,
+        /// Library-call instructions in the body.
+        lib: u64,
+        /// Routine arguments pushed.
+        nargs: usize,
+        /// Machine-wide flops the dispatch performed.
+        flops: u64,
+    },
+    /// A grid (NEWS) communication.
+    GridComm {
+        /// Per-node subgrid vectors copied.
+        iterations: u64,
+        /// Per-node boundary elements crossing the network.
+        crossing: u64,
+    },
+    /// A router-path data movement.
+    Router {
+        /// Per-node elements moved.
+        subgrid: usize,
+    },
+    /// A global reduction.
+    Reduce {
+        /// Per-node subgrid vectors scanned.
+        iterations: u64,
+    },
+    /// Host work (front-end operations).
+    HostOps(u64),
+}
+
+/// Replay time accounting produced by [`replay`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReplayStats {
+    /// Seconds of vector-unit time (the critical path of compute).
+    pub vu_seconds: f64,
+    /// Seconds of node-SPARC time *not hidden* behind the VUs.
+    pub sparc_exposed_seconds: f64,
+    /// Seconds of control-processor dispatch time.
+    pub control_seconds: f64,
+    /// Seconds of network communication time.
+    pub network_seconds: f64,
+    /// Machine-wide flops.
+    pub flops: u64,
+}
+
+impl ReplayStats {
+    /// Total modelled elapsed seconds.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.vu_seconds + self.sparc_exposed_seconds + self.control_seconds + self.network_seconds
+    }
+
+    /// Sustained GFLOPS.
+    pub fn gflops(&self) -> f64 {
+        let s = self.elapsed_seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.flops as f64 / s / 1e9
+        }
+    }
+}
+
+/// Errors from the replay estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayError(pub(crate) String);
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace replay error: {}", self.0)
+    }
+}
+
+impl Error for ReplayError {}
+
+/// Replay a traced SIMD run under `manifest`'s MIMD cost model, for a
+/// partition of `nodes` nodes.
+///
+/// The trace must come from a machine with the **same node count** as
+/// the partition being estimated: per-node subgrid geometry is baked
+/// into the events.
+///
+/// # Errors
+///
+/// Fails when the trace is empty (tracing was not enabled), when the
+/// manifest has no MIMD cost block, or when the trace was captured on
+/// a machine whose node count disagrees with `nodes`.
+pub fn replay(
+    trace: &[TraceEvent],
+    manifest: &TargetManifest,
+    nodes: usize,
+) -> Result<ReplayStats, ReplayError> {
+    let c = manifest.mimd.ok_or_else(|| {
+        ReplayError(format!(
+            "manifest '{}' has no MIMD replay cost block",
+            manifest.name
+        ))
+    })?;
+    if trace.is_empty() {
+        return Err(ReplayError(
+            "empty trace (enable_trace before running)".into(),
+        ));
+    }
+    let mut s = ReplayStats::default();
+    let vus = c.vus_per_node as f64;
+    for e in trace {
+        match *e {
+            TraceEvent::Machine {
+                nodes: traced_nodes,
+            } => {
+                if traced_nodes != nodes {
+                    return Err(ReplayError(format!(
+                        "node count mismatch: trace node count is {traced_nodes} but config \
+                         node count is {nodes}: per-node subgrid geometry is baked into the \
+                         events, so the replay would mis-time every dispatch; re-trace \
+                         on a matching machine"
+                    )));
+                }
+            }
+            TraceEvent::Dispatch {
+                iterations,
+                arith,
+                mem,
+                div,
+                lib,
+                nargs,
+                flops,
+                ..
+            } => {
+                // Subgrid elements per node = iterations × VLEN lanes;
+                // the vector units share them, each pipelining one
+                // element per cycle per instruction. Divides and
+                // library calls cost extra beats; memory instructions
+                // stream at the manifest's beat weight (each VU has its
+                // own memory port on the CM-5, hence the half-beat).
+                let elems_per_node = iterations as f64 * VLEN as f64;
+                let per_vu = elems_per_node / vus;
+                let beats = arith as f64 * per_vu
+                    + mem as f64 * per_vu * c.mem_beat_weight
+                    + div as f64 * per_vu * c.div_beat_weight
+                    + lib as f64 * per_vu * c.lib_beat_weight;
+                s.vu_seconds += beats / c.vu_clock_hz;
+                // SPARC bookkeeping: pointer updates + loop control per
+                // iteration (iterations now per-VU), largely overlapped
+                // with VU compute; charge the excess only.
+                let sparc_ops = (nargs as f64 + 2.0) * (iterations as f64 / vus).max(1.0);
+                let sparc_secs = sparc_ops / c.sparc_clock_hz;
+                let vu_secs = beats / c.vu_clock_hz;
+                if sparc_secs > vu_secs {
+                    s.sparc_exposed_seconds += sparc_secs - vu_secs;
+                }
+                s.control_seconds += (c.cp_dispatch_cycles + c.cp_per_arg_cycles * nargs as u64)
+                    as f64
+                    / c.sparc_clock_hz;
+                s.flops += flops;
+            }
+            TraceEvent::GridComm {
+                iterations,
+                crossing,
+            } => {
+                // Local copy streams through the VUs (in and out, hence
+                // the 2); crossing elements ride the network.
+                let local = iterations as f64 * VLEN as f64 * 2.0 / vus / c.vu_clock_hz;
+                let wire = crossing as f64 * c.element_bytes / c.network_bytes_per_sec;
+                s.network_seconds += c.net_call_seconds + local + wire;
+            }
+            TraceEvent::Router { subgrid } => {
+                // Every element traverses the network.
+                s.network_seconds +=
+                    c.net_call_seconds + subgrid as f64 * c.element_bytes / c.network_bytes_per_sec;
+            }
+            TraceEvent::Reduce { iterations } => {
+                let local = iterations as f64 * VLEN as f64 / vus / c.vu_clock_hz;
+                // The target's control network reduces in hardware.
+                s.network_seconds += c.net_call_seconds + local;
+            }
+            TraceEvent::HostOps(n) => {
+                s.sparc_exposed_seconds += n as f64 * c.host_op_sparc_cycles / c.sparc_clock_hz;
+            }
+        }
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{CM2, CM5};
+
+    fn synthetic_trace(nodes: usize) -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Machine { nodes },
+            TraceEvent::Dispatch {
+                iterations: 128,
+                elements: 128 * VLEN * nodes,
+                arith: 5,
+                mem: 3,
+                div: 1,
+                lib: 2,
+                nargs: 4,
+                flops: 123_456,
+            },
+            TraceEvent::GridComm {
+                iterations: 128,
+                crossing: 64,
+            },
+            TraceEvent::Router { subgrid: 512 },
+            TraceEvent::Reduce { iterations: 128 },
+            TraceEvent::HostOps(37),
+            // A dispatch small enough that SPARC bookkeeping is
+            // exposed past the VU time.
+            TraceEvent::Dispatch {
+                iterations: 1,
+                elements: VLEN * nodes,
+                arith: 1,
+                mem: 0,
+                div: 0,
+                lib: 0,
+                nargs: 9,
+                flops: 4,
+            },
+        ]
+    }
+
+    /// The golden reference: the retired `f90y-cm5` estimator's
+    /// arithmetic, inlined with its original literals, applied to the
+    /// same events. `replay` under the CM/5 manifest must agree to the
+    /// bit.
+    fn pre_hal_cm5_estimate(trace: &[TraceEvent]) -> ReplayStats {
+        let (sparc_clock, vu_clock, vus, net_bps) = (33.0e6_f64, 16.0e6_f64, 4.0_f64, 20.0e6_f64);
+        let (net_call, cp_dispatch, cp_per_arg) = (25.0e-6_f64, 400u64, 10u64);
+        let mut s = ReplayStats::default();
+        for e in trace {
+            match *e {
+                TraceEvent::Machine { .. } => {}
+                TraceEvent::Dispatch {
+                    iterations,
+                    arith,
+                    mem,
+                    div,
+                    lib,
+                    nargs,
+                    flops,
+                    ..
+                } => {
+                    let elems_per_node = iterations as f64 * VLEN as f64;
+                    let per_vu = elems_per_node / vus;
+                    let beats = arith as f64 * per_vu
+                        + mem as f64 * per_vu * 0.5
+                        + div as f64 * per_vu * 5.0
+                        + lib as f64 * per_vu * 10.0;
+                    s.vu_seconds += beats / vu_clock;
+                    let sparc_ops = (nargs as f64 + 2.0) * (iterations as f64 / vus).max(1.0);
+                    let sparc_secs = sparc_ops / sparc_clock;
+                    let vu_secs = beats / vu_clock;
+                    if sparc_secs > vu_secs {
+                        s.sparc_exposed_seconds += sparc_secs - vu_secs;
+                    }
+                    s.control_seconds +=
+                        (cp_dispatch + cp_per_arg * nargs as u64) as f64 / sparc_clock;
+                    s.flops += flops;
+                }
+                TraceEvent::GridComm {
+                    iterations,
+                    crossing,
+                } => {
+                    let local = iterations as f64 * VLEN as f64 * 2.0 / vus / vu_clock;
+                    let wire = crossing as f64 * 8.0 / net_bps;
+                    s.network_seconds += net_call + local + wire;
+                }
+                TraceEvent::Router { subgrid } => {
+                    s.network_seconds += net_call + subgrid as f64 * 8.0 / net_bps;
+                }
+                TraceEvent::Reduce { iterations } => {
+                    let local = iterations as f64 * VLEN as f64 / vus / vu_clock;
+                    s.network_seconds += net_call + local;
+                }
+                TraceEvent::HostOps(n) => {
+                    s.sparc_exposed_seconds += n as f64 * 2.0 / sparc_clock;
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn cm5_replay_is_bit_identical_to_the_pre_hal_estimator() {
+        let trace = synthetic_trace(64);
+        let got = replay(&trace, &CM5, 64).expect("replay succeeds");
+        let want = pre_hal_cm5_estimate(&trace);
+        assert_eq!(got.vu_seconds.to_bits(), want.vu_seconds.to_bits());
+        assert_eq!(
+            got.sparc_exposed_seconds.to_bits(),
+            want.sparc_exposed_seconds.to_bits()
+        );
+        assert_eq!(
+            got.control_seconds.to_bits(),
+            want.control_seconds.to_bits()
+        );
+        assert_eq!(
+            got.network_seconds.to_bits(),
+            want.network_seconds.to_bits()
+        );
+        assert_eq!(got.flops, want.flops);
+        assert_eq!(
+            got.elapsed_seconds().to_bits(),
+            want.elapsed_seconds().to_bits()
+        );
+        assert!(got.gflops() > 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        let err = replay(&[], &CM5, 64).expect_err("empty trace rejected");
+        assert!(err.to_string().contains("empty trace"));
+    }
+
+    #[test]
+    fn node_count_mismatch_is_an_error() {
+        let trace = synthetic_trace(64);
+        let err = replay(&trace, &CM5, 256).expect_err("mismatch rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("trace node count is 64"), "{msg}");
+        assert!(msg.contains("config node count is 256"), "{msg}");
+        assert!(replay(&trace, &CM5, 64).is_ok());
+    }
+
+    #[test]
+    fn manifest_without_mimd_costs_is_an_error() {
+        let trace = synthetic_trace(64);
+        let err = replay(&trace, &CM2, 64).expect_err("no MIMD block");
+        assert!(err.to_string().contains("no MIMD replay cost block"));
+    }
+
+    #[test]
+    fn zero_work_replay_reports_zero_gflops() {
+        let stats = ReplayStats::default();
+        assert_eq!(stats.gflops(), 0.0);
+        assert_eq!(stats.elapsed_seconds(), 0.0);
+    }
+}

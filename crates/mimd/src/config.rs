@@ -4,12 +4,14 @@ use crate::fault::FaultPlan;
 
 /// Machine constants of a CM/5 partition running the MIMD engine.
 ///
-/// The compute and network constants deliberately mirror the analytic
-/// estimator in `f90y-cm5` (33 MHz SPARC, 16 MHz vector units, four VUs
-/// per node, ~20 MB/s fat-tree bandwidth per node): the two crates model
-/// the *same machine* from opposite ends — the estimator replays a SIMD
-/// trace, this engine actually executes multi-node — and the
-/// differential tests lean on the constants agreeing.
+/// The compute and network constants come from the CM/5 capability
+/// manifest ([`f90y_hal::CM5`]: 33 MHz SPARC, 16 MHz vector units, four
+/// VUs per node, ~20 MB/s fat-tree bandwidth per node) — the same data
+/// the analytic replay estimator ([`f90y_hal::replay()`]) prices events
+/// with. The two model the *same machine* from opposite ends — the
+/// estimator replays a SIMD trace, this engine actually executes
+/// multi-node — and the differential tests lean on the constants
+/// agreeing because both read one manifest.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MimdConfig {
     /// Number of processing nodes (any power of two ≥ 1; scaled-down
@@ -62,15 +64,18 @@ impl MimdConfig {
             nodes.is_power_of_two(),
             "MIMD node count must be a power of two, got {nodes}"
         );
+        let costs = f90y_hal::CM5
+            .mimd
+            .expect("CM/5 manifest has a MIMD cost block");
         MimdConfig {
             nodes,
-            sparc_clock_hz: 33.0e6,
-            vu_clock_hz: 16.0e6,
-            vus_per_node: 4,
-            network_bytes_per_sec: 20.0e6,
-            net_call_seconds: 25.0e-6,
-            cp_dispatch_cycles: 400,
-            cp_per_arg_cycles: 10,
+            sparc_clock_hz: costs.sparc_clock_hz,
+            vu_clock_hz: costs.vu_clock_hz,
+            vus_per_node: costs.vus_per_node,
+            network_bytes_per_sec: costs.network_bytes_per_sec,
+            net_call_seconds: costs.net_call_seconds,
+            cp_dispatch_cycles: costs.cp_dispatch_cycles,
+            cp_per_arg_cycles: costs.cp_per_arg_cycles,
             message_log_capacity: None,
             fault_plan: None,
             host_threads: 1,
@@ -127,6 +132,21 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         MimdConfig::new(48);
+    }
+
+    #[test]
+    fn manifest_backed_constants_keep_their_pre_hal_values() {
+        // The config must read the same numbers it hard-coded before
+        // the HAL refactor (the full cost-table golden lives in
+        // f90y-hal).
+        let c = MimdConfig::new(64);
+        assert_eq!(c.sparc_clock_hz.to_bits(), 33.0e6_f64.to_bits());
+        assert_eq!(c.vu_clock_hz.to_bits(), 16.0e6_f64.to_bits());
+        assert_eq!(c.vus_per_node, 4);
+        assert_eq!(c.network_bytes_per_sec.to_bits(), 20.0e6_f64.to_bits());
+        assert_eq!(c.net_call_seconds.to_bits(), 25.0e-6_f64.to_bits());
+        assert_eq!(c.cp_dispatch_cycles, 400);
+        assert_eq!(c.cp_per_arg_cycles, 10);
     }
 
     #[test]

@@ -4,10 +4,11 @@
 //! CM/2 to the MIMD CM/5: "one part will go to the control processor,
 //! as before; a second part will be executed on the SPARC node
 //! processor, and a third part will carry out floating point vector
-//! operations on the CM/5 vector datapaths." The `f90y-cm5` crate
-//! models that machine *analytically* (it replays a CM/2 trace under a
-//! CM/5 cost model); this crate models it *operationally*: N simulated
-//! nodes each own a slab of every array and really execute the compiled
+//! operations on the CM/5 vector datapaths." The [`retarget`] module
+//! models that machine *analytically* (it replays a CM/2 trace under
+//! the manifest-driven CM/5 cost model, [`f90y_hal::CM5`]); the rest of
+//! this crate models it *operationally*: N simulated nodes each own a
+//! slab of every array and really execute the compiled
 //! program — per-node PEAC blocks, ghost-row halo exchanges behind
 //! `CSHIFT`/`EOSHIFT`, all-to-all router batches, log₂ N combine trees
 //! for reductions, and a host/control-processor protocol of broadcast
@@ -15,8 +16,8 @@
 //!
 //! The crate divides into
 //!
-//! * [`config`] — the machine constants (shared with the analytic
-//!   model, so the two can be cross-checked);
+//! * [`config`] — the machine constants (read from the CM/5 capability
+//!   manifest, so engine and analytic model can be cross-checked);
 //! * [`shard`] — the outer-axis slab decomposition every array uses;
 //! * [`net`] — the deterministic message layer: batches of explicit
 //!   point-to-point messages with sequence-numbered, acknowledged,
@@ -34,6 +35,8 @@
 //! * [`machine`] — [`MimdMachine`], implementing the backend's
 //!   [`f90y_backend::Machine`] trait so the *identical* compiled host
 //!   program drives either target;
+//! * [`retarget`] — the paper's three-way block split and the analytic
+//!   replay estimator (folded in from the retired `f90y-cm5` crate);
 //! * [`stats`] — [`MimdStats`]: per-phase and per-node time
 //!   attribution plus message/byte/fault counters.
 //!
@@ -71,6 +74,7 @@ pub mod fault;
 pub mod machine;
 pub mod net;
 pub mod pool;
+pub mod retarget;
 pub mod shard;
 pub mod stats;
 
@@ -79,6 +83,7 @@ pub use config::MimdConfig;
 pub use fault::{FaultCounters, FaultPlan};
 pub use machine::{MimdId, MimdMachine};
 pub use net::{Inbox, Message, MessageKind, Unrecoverable};
+pub use retarget::{estimate, run_and_estimate, split_block, NodeSplit};
 pub use stats::MimdStats;
 
 use f90y_backend::fe::{HostExecutor, HostRun};

@@ -51,10 +51,12 @@ pub fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
 impl CacheKey {
     /// The key for a request: every component that can change the
     /// served artifact, NUL-separated (NUL cannot appear in any
-    /// component, so the composition is injective). `host_threads` is
-    /// deliberately excluded — it is a run-time throughput knob that
-    /// never changes the compiled artifact, so requests differing only
-    /// in thread count share one cache entry.
+    /// component, so the composition is injective). `host_threads` and
+    /// the fault-plan fields are deliberately excluded — they are
+    /// run-time knobs that never change the compiled artifact, so
+    /// requests differing only in them share one cache entry (the audit
+    /// test in `tests/cache_key.rs` pins this for every non-semantic
+    /// field).
     pub fn for_request(req: &Request) -> CacheKey {
         let (target, nodes) = req.target_parts();
         let passes = match &req.passes {

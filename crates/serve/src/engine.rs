@@ -465,14 +465,18 @@ fn execute(shared: &Shared, req: &Request, tel: &mut Telemetry) -> Result<Done, 
     }
 
     // Run on the requested target, tracing for the digest. The
-    // host-thread count is applied here, after the cache: it changes
-    // wall-clock only, never the artifact or the results.
+    // host-thread count and fault plan are applied here, after the
+    // cache: they perturb the run, never the artifact.
     let mut buf = TraceBuffer::new();
-    let run = exe
+    let mut session = exe
         .session(req.target)
         .host_threads(req.host_threads)
         .telemetry(tel)
-        .trace(&mut buf)
+        .trace(&mut buf);
+    if let Some(plan) = &req.faults {
+        session = session.faults(plan.clone());
+    }
+    let run = session
         .run()
         .map_err(|e| Response::error(req.id, ErrorKind::Run, e.to_string()))?;
     let run_units = simulated_units(&run);
@@ -495,12 +499,14 @@ fn execute(shared: &Shared, req: &Request, tel: &mut Telemetry) -> Result<Done, 
 }
 
 /// Simulated machine time of a run: node cycles on the CM/2, supersteps
-/// on the CM/5 MIMD engine (each target's own clock domain — the same
-/// units its flight recorder stamps).
+/// on the CM/5 MIMD engine, device cycles on the accelerator (each
+/// target's own clock domain — the same units its flight recorder
+/// stamps).
 pub fn simulated_units(run: &Run) -> u64 {
     match run {
         Run::Cm2(r) => r.stats.node_cycles(),
         Run::Mimd(r) => r.stats.supersteps,
+        Run::Accel(r) => r.stats.device_cycles(),
     }
 }
 

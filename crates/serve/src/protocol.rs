@@ -19,11 +19,18 @@
 //! * `source` — Fortran 90 text (required).
 //! * `pipeline` — `"f90y"` | `"cmf"` | `"starlisp"` (default `"f90y"`).
 //! * `passes` — optional explicit middle-end pass list.
-//! * `target` — `"cm2"` | `"cm5"` (default `"cm2"`); `nodes` (default 16).
+//! * `target` — `"cm2"` | `"cm5"` | `"accel"` (default `"cm2"`);
+//!   `nodes` (default 16). The spellings are the HAL registry names.
 //! * `host_threads` — host worker threads for the MIMD compute phase
 //!   (default 1). A pure throughput knob: results, fingerprints and
 //!   trace digests are bit-identical at any value, so it is *not* part
 //!   of the compile-cache key.
+//! * `fault_seed`, `fault_drop_per_mille` — message-fault plan for the
+//!   MIMD engine. Only `"cm5"` has a message layer, so these fields on
+//!   a `"cm2"` or `"accel"` request are a typed protocol error, the
+//!   same rejection the Session API gives. Like `host_threads`, they
+//!   perturb the run, never the artifact, and stay out of the cache
+//!   key.
 //!
 //! ## Response
 //!
@@ -31,7 +38,7 @@
 //! units, finals fingerprint and trace digest — or `{"id":…,"ok":false,
 //! "error":{"kind":…,"message":…}}` with a typed [`ErrorKind`].
 
-use f90y_core::{Pipeline, Target};
+use f90y_core::{FaultPlan, Pipeline, Target};
 use f90y_obs::json::{parse, Json, JsonError};
 
 /// What a request asks the service to do.
@@ -77,6 +84,11 @@ pub struct Request {
     /// Deliberately *not* part of the cache key: the artifact and every
     /// observable result are bit-identical at any value.
     pub host_threads: usize,
+    /// Message-fault plan for the MIMD engine (`"cm5"` requests only;
+    /// the other targets have no message layer to perturb). Like
+    /// `host_threads`, never part of the cache key: faults perturb the
+    /// run, not the compiled artifact.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Look up a field of a JSON object.
@@ -152,6 +164,7 @@ impl Request {
         let target = match str_field(&doc, "target").as_deref() {
             None | Some("cm2") => Target::Cm2 { nodes },
             Some("cm5") => Target::Cm5Mimd { nodes },
+            Some("accel") => Target::Accel { nodes },
             Some(other) => return Err(format!("unknown target '{other}'")),
         };
         let host_threads = match field(&doc, "host_threads") {
@@ -163,9 +176,39 @@ impl Request {
                 ))
             }
         };
-        if host_threads > 1 && matches!(target, Target::Cm2 { .. }) {
+        if host_threads > 1 && !matches!(target, Target::Cm5Mimd { .. }) {
             return Err("'host_threads' applies to target \"cm5\" only".into());
         }
+        let fault_seed = match field(&doc, "fault_seed") {
+            None => None,
+            Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            Some(other) => {
+                return Err(format!(
+                    "'fault_seed' must be a non-negative integer, got {other}"
+                ))
+            }
+        };
+        let fault_drop = match field(&doc, "fault_drop_per_mille") {
+            None => None,
+            Some(Json::Num(n)) if (0.0..=1000.0).contains(n) && n.fract() == 0.0 => Some(*n as u16),
+            Some(other) => {
+                return Err(format!(
+                    "'fault_drop_per_mille' must be an integer in 0..=1000, got {other}"
+                ))
+            }
+        };
+        let faults = if fault_seed.is_some() || fault_drop.is_some() {
+            if !matches!(target, Target::Cm5Mimd { .. }) {
+                return Err(
+                    "fault-plan fields ('fault_seed', 'fault_drop_per_mille') apply to \
+                     target \"cm5\" only — the other targets have no message layer"
+                        .into(),
+                );
+            }
+            Some(FaultPlan::seeded(fault_seed.unwrap_or(0)).drop_per_mille(fault_drop.unwrap_or(0)))
+        } else {
+            None
+        };
         Ok(Request {
             id,
             tenant,
@@ -175,6 +218,7 @@ impl Request {
             passes,
             target,
             host_threads,
+            faults,
         })
     }
 
@@ -187,11 +231,13 @@ impl Request {
         }
     }
 
-    /// Wire spelling of the target kind plus node count.
+    /// Wire spelling of the target kind plus node count (the HAL
+    /// registry names).
     pub fn target_parts(&self) -> (&'static str, usize) {
         match self.target {
             Target::Cm2 { nodes } => ("cm2", nodes),
             Target::Cm5Mimd { nodes } => ("cm5", nodes),
+            Target::Accel { nodes } => ("accel", nodes),
         }
     }
 
@@ -209,6 +255,15 @@ impl Request {
         ];
         if self.host_threads != 1 {
             fields.push(("host_threads".into(), Json::Num(self.host_threads as f64)));
+        }
+        if let Some(plan) = &self.faults {
+            fields.push(("fault_seed".into(), Json::Num(plan.seed as f64)));
+            if plan.drop_per_mille != 0 {
+                fields.push((
+                    "fault_drop_per_mille".into(),
+                    Json::Num(f64::from(plan.drop_per_mille)),
+                ));
+            }
         }
         if let Some(passes) = &self.passes {
             fields.push((
@@ -508,8 +563,49 @@ mod tests {
             r#"{"id":1,"source":"x","host_threads":0}"#,
             r#"{"id":1,"source":"x","host_threads":1.5}"#,
             r#"{"id":1,"source":"x","target":"cm2","host_threads":2}"#,
+            r#"{"id":1,"source":"x","target":"accel","host_threads":2}"#,
+            r#"{"id":1,"source":"x","fault_drop_per_mille":1001}"#,
+            r#"{"id":1,"source":"x","fault_seed":-1}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn request_accepts_the_accel_target() {
+        let req =
+            Request::parse(r#"{"id":4,"source":"REAL A(8)\nA = A\n","target":"accel","nodes":32}"#)
+                .unwrap();
+        assert_eq!(req.target, Target::Accel { nodes: 32 });
+        assert_eq!(req.target_parts(), ("accel", 32));
+        let again = Request::parse(&req.to_json()).unwrap();
+        assert_eq!(again.target, req.target);
+    }
+
+    #[test]
+    fn fault_fields_build_a_plan_on_cm5_only() {
+        let req = Request::parse(
+            r#"{"id":5,"source":"x","target":"cm5","nodes":8,
+                "fault_seed":7,"fault_drop_per_mille":50}"#,
+        )
+        .unwrap();
+        let plan = req.faults.clone().expect("fault plan built");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.drop_per_mille, 50);
+        let again = Request::parse(&req.to_json()).unwrap();
+        assert_eq!(again.faults, req.faults);
+        // No fault fields: no plan, and nothing on the wire.
+        let quiet = Request::parse(r#"{"id":6,"source":"x","target":"cm5"}"#).unwrap();
+        assert!(quiet.faults.is_none());
+        assert!(!quiet.to_json().contains("fault"));
+        // The typed rejection: targets without a message layer.
+        for target in ["cm2", "accel"] {
+            let line = format!(r#"{{"id":7,"source":"x","target":"{target}","fault_seed":1}}"#);
+            let err = Request::parse(&line).unwrap_err();
+            assert!(
+                err.contains("\"cm5\" only"),
+                "{target} must reject fault fields, got: {err}"
+            );
         }
     }
 

@@ -53,6 +53,7 @@ fn key_discriminates_every_component() {
         line(1, SOURCE, r#","pipeline":"cmf""#),
         line(1, SOURCE, r#","passes":["comm-split","blocking"]"#),
         line(1, SOURCE, r#","target":"cm5""#),
+        line(1, SOURCE, r#","target":"accel""#),
         line(1, SOURCE, r#","nodes":32"#),
     ];
     for v in &variants {
@@ -61,6 +62,30 @@ fn key_discriminates_every_component() {
             CacheKey::for_request(&req),
             base_key,
             "variant must change the key: {v}"
+        );
+    }
+}
+
+#[test]
+fn non_semantic_fields_stay_out_of_the_key() {
+    // The audit: every wire field that perturbs the run but not the
+    // compiled artifact must share one cache entry with its default.
+    // A new protocol field either changes the artifact (add it to the
+    // key and to `key_discriminates_every_component`) or it does not
+    // (add it here).
+    let base = Request::parse(&line(1, SOURCE, r#","target":"cm5""#)).unwrap();
+    let base_key = CacheKey::for_request(&base);
+    let non_semantic = [
+        r#","target":"cm5","host_threads":4"#,
+        r#","target":"cm5","fault_seed":9"#,
+        r#","target":"cm5","fault_seed":9,"fault_drop_per_mille":100"#,
+    ];
+    for extra in &non_semantic {
+        let req = Request::parse(&line(2, SOURCE, extra)).unwrap();
+        assert_eq!(
+            CacheKey::for_request(&req),
+            base_key,
+            "non-semantic field must not change the key: {extra}"
         );
     }
 }
@@ -128,8 +153,8 @@ fn eviction_keeps_artifact_fingerprints_deterministic() {
 fn cached_and_fresh_runs_have_bit_identical_finals() {
     // The acceptance differential: run once compiled fresh, once from
     // cache, and once on a cache-disabled engine — all three finals
-    // fingerprints must be equal, on both targets.
-    for target in ["", r#","target":"cm5""#] {
+    // fingerprints must be equal, on every target.
+    for target in ["", r#","target":"cm5""#, r#","target":"accel""#] {
         let engine = Engine::new(ServeConfig::deterministic());
         let fresh = done(ask(&engine, &line(1, SOURCE, target)));
         assert_eq!(fresh.cache, "miss");

@@ -7,8 +7,8 @@
 //! cargo run --release --example retarget_cm5
 //! ```
 
-use f90y_cm5::{run_and_estimate, split_block, Cm5Config};
 use f90y_core::{workloads, Compiler, Pipeline, Target};
+use f90y_mimd::{run_and_estimate, split_block, MimdConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let src = workloads::swe_source(256, 3);
@@ -31,8 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("CM/2, 2048 nodes: {:>7.2} GFLOPS", cm2.gflops);
 
     for nodes in [64, 256, 1024] {
-        let config = Cm5Config::new(nodes);
-        let (run, stats) = run_and_estimate(&exe.compiled, &config)?;
+        let config = MimdConfig::new(nodes);
+        let (run, stats) = run_and_estimate(&exe.compiled, nodes)?;
         // The data is identical on both machines.
         assert_eq!(
             run.final_array("p")?,

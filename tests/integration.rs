@@ -195,8 +195,7 @@ fn cm5_estimates_are_consistent_with_cm2_results() {
         .run()
         .unwrap()
         .into_cm2();
-    let (run5, stats5) =
-        f90y_cm5::run_and_estimate(&exe.compiled, &f90y_cm5::Cm5Config::new(256)).unwrap();
+    let (run5, stats5) = f90y_mimd::run_and_estimate(&exe.compiled, 256).unwrap();
     assert_eq!(
         cm2.finals.final_array("t").unwrap(),
         run5.final_array("t").unwrap()

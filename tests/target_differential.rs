@@ -1,0 +1,142 @@
+//! The three-way target differential: for the paper's workloads, the
+//! NIR reference evaluator, the CM/2 SIMD simulator, the CM/5 MIMD
+//! engine, and the accelerator model must all compute bit-identical
+//! finals at every node count. The targets differ in *everything the
+//! manifest describes* — clocks, topology, launch and transfer costs —
+//! and in nothing the program can observe.
+//!
+//! The fingerprint here is the serve protocol's FNV-1a over the finals
+//! bytes (inlined to keep this suite free of a serve dev-dependency),
+//! so equality below is exactly the equality `f90y-serve` clients see.
+
+use f90y_core::{workloads, Compiler, Pipeline, Target};
+
+fn f90y(src: &str) -> f90y_core::Executable {
+    Compiler::new(Pipeline::F90y)
+        .compile(src)
+        .expect("compiles")
+}
+
+/// FNV-1a 64 over a run's finals — `f90y_serve::engine::
+/// finals_fingerprint` replicated byte for byte (sorted names, NUL
+/// separators, IEEE-754 bit patterns little-endian), so equality here
+/// is exactly the fingerprint equality serve clients observe.
+fn fingerprint(finals: &f90y_backend::fe::HostRun) -> String {
+    let mut names: Vec<&String> = finals.finals().keys().collect();
+    names.sort();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for name in names {
+        eat(name.as_bytes());
+        eat(&[0]);
+        match &finals.finals()[name] {
+            f90y_backend::fe::Final::Array(values) => {
+                for v in values {
+                    eat(&v.to_bits().to_le_bytes());
+                }
+            }
+            f90y_backend::fe::Final::Scalar(v) => eat(&v.to_bits().to_le_bytes()),
+        }
+        eat(&[0]);
+    }
+    format!("fnv1a64:{hash:016x}")
+}
+
+/// Run one workload on all three machine targets at N ∈ {4, 16, 64},
+/// plus the reference evaluator, and assert one common fingerprint.
+fn assert_three_way(exe: &f90y_core::Executable, arrays: &[&str]) {
+    // The machine-independent reference: the NIR evaluator.
+    exe.validate().expect("reference evaluator agrees");
+
+    let reference = exe
+        .session(Target::Cm2 { nodes: 64 })
+        .run()
+        .expect("CM/2 run")
+        .into_cm2();
+    let want = fingerprint(&reference.finals);
+
+    for nodes in [4usize, 16, 64] {
+        let cm2 = exe
+            .session(Target::Cm2 { nodes })
+            .run()
+            .expect("CM/2 run")
+            .into_cm2();
+        let mimd = exe
+            .session(Target::Cm5Mimd { nodes })
+            .run()
+            .expect("CM/5 run")
+            .into_mimd();
+        let accel = exe
+            .session(Target::Accel { nodes })
+            .run()
+            .expect("Accel run")
+            .into_accel();
+
+        for (target, finals) in [
+            ("cm2", &cm2.finals),
+            ("cm5", &mimd.finals),
+            ("accel", &accel.finals),
+        ] {
+            for &name in arrays {
+                assert_eq!(
+                    finals.final_array(name).unwrap(),
+                    reference.finals.final_array(name).unwrap(),
+                    "array '{name}' diverged on {target} at {nodes} nodes"
+                );
+            }
+            assert_eq!(
+                fingerprint(finals),
+                want,
+                "fingerprint diverged on {target} at {nodes} nodes"
+            );
+        }
+        accel.stats.verify().expect("accel stats invariants");
+        assert!(
+            accel.stats.kernel_launches > 0,
+            "the accelerator must run its arrays through kernel launches"
+        );
+        assert!(
+            accel.stats.d2h_transfers > 0,
+            "reading finals back must cross the bus"
+        );
+    }
+}
+
+#[test]
+fn swe_finals_agree_across_all_targets() {
+    let exe = f90y(&workloads::swe_source(64, 3));
+    assert_three_way(&exe, &["u", "v", "p"]);
+}
+
+#[test]
+fn fig9_finals_agree_across_all_targets() {
+    let exe = f90y(workloads::fig9_source());
+    assert_three_way(&exe, &["a", "b", "c"]);
+}
+
+#[test]
+fn heat_finals_agree_across_all_targets() {
+    let exe = f90y(&workloads::heat_source(48, 3));
+    assert_three_way(&exe, &["t"]);
+}
+
+#[test]
+fn accel_costs_differ_even_when_answers_agree() {
+    // Same answers, different machine: the accelerator's clock must
+    // show launch and transfer time no other target reports.
+    let exe = f90y(&workloads::heat_source(32, 2));
+    let accel = exe
+        .session(Target::Accel { nodes: 16 })
+        .run()
+        .expect("Accel run")
+        .into_accel();
+    assert!(accel.stats.launch_cycles > 0);
+    assert!(accel.stats.transfer_cycles > 0);
+    assert!(accel.stats.h2d_bytes + accel.stats.d2h_bytes > 0);
+    assert!(accel.elapsed_seconds > 0.0);
+}
