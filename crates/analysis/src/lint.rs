@@ -41,16 +41,26 @@ pub enum WarnCode {
     Uninit,
     /// Store whose value is never read.
     DeadStore,
+    /// Halo wider than 1 on an array/axis that also has a 1-wide plan.
+    WideHalo,
+    /// A duplicate shift the middle end could not merge.
+    RedundantComm,
+    /// Transpose-shaped (all-to-all) communication on a mesh topology.
+    AllToAll,
 }
 
 impl WarnCode {
-    /// The stable code string (`W-RACE`, `W-UNINIT`, `W-DEADSTORE`).
+    /// The stable code string (`W-RACE`, `W-UNINIT`, `W-DEADSTORE`,
+    /// `W-WIDE-HALO`, `W-REDUNDANT-COMM`, `W-ALLTOALL`).
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             WarnCode::Race => "W-RACE",
             WarnCode::Uninit => "W-UNINIT",
             WarnCode::DeadStore => "W-DEADSTORE",
+            WarnCode::WideHalo => "W-WIDE-HALO",
+            WarnCode::RedundantComm => "W-REDUNDANT-COMM",
+            WarnCode::AllToAll => "W-ALLTOALL",
         }
     }
 }
@@ -127,6 +137,26 @@ pub fn lint_with(root: &Imp, tel: &mut Telemetry) -> LintReport {
 
         for (stmt, var) in &reaching.uninit_uses {
             if !reaching.scalars.contains(var) {
+                // Arrays are zero-initialised by the language model, so
+                // a plain never-written array read stays exempt. The
+                // weak-update case is different: when *every* reaching
+                // write is masked, the elements the masks never covered
+                // are read as silent zeros — flag whole-array reads in
+                // that state.
+                if masked_only_whole_array_read(&reaching, &index, *stmt, var) {
+                    found.push((
+                        *stmt,
+                        Diagnostic {
+                            code: WarnCode::Uninit,
+                            var: var.clone(),
+                            message: format!(
+                                "whole array '{var}' is read although every write that can \
+                                 reach it is masked; elements no mask covered are silently zero"
+                            ),
+                            stmt: Some(pretty_stmt(index.node(*stmt))),
+                        },
+                    ));
+                }
                 continue;
             }
             found.push((
@@ -168,7 +198,14 @@ pub fn lint_with(root: &Imp, tel: &mut Telemetry) -> LintReport {
         let facts = reaching.fact_count + liveness.fact_count;
         tel.count("analysis.stmts", index.len() as u64);
         tel.count("analysis.facts", facts as u64);
-        for code in [WarnCode::Race, WarnCode::Uninit, WarnCode::DeadStore] {
+        for code in [
+            WarnCode::Race,
+            WarnCode::Uninit,
+            WarnCode::DeadStore,
+            WarnCode::WideHalo,
+            WarnCode::RedundantComm,
+            WarnCode::AllToAll,
+        ] {
             let n = diagnostics.iter().filter(|d| d.code == code).count();
             if n > 0 {
                 tel.count(&format!("analysis.warnings.{code}"), n as u64);
@@ -181,6 +218,50 @@ pub fn lint_with(root: &Imp, tel: &mut Telemetry) -> LintReport {
             facts,
         }
     })
+}
+
+/// The weak-update test behind the array `W-UNINIT` rule: at `stmt`,
+/// `var` is read whole (`everywhere`) while its reaching definitions
+/// are non-empty, still maybe-uninitialised, and *all masked* — no
+/// unmasked write (not even a sectioned or subscripted one) and no
+/// initializer can reach the read.
+fn masked_only_whole_array_read(
+    reaching: &ReachingFacts,
+    index: &StmtIndex<'_>,
+    stmt: usize,
+    var: &str,
+) -> bool {
+    let Some(entry) = reaching.at_move.get(&stmt) else {
+        return false;
+    };
+    let state = entry.state(var);
+    if state.defs.is_empty() || !state.maybe_uninit {
+        return false;
+    }
+    let all_masked = state.defs.iter().all(|(sid, ci)| match index.node(*sid) {
+        Imp::Move(clauses) => clauses.get(*ci).is_some_and(|c| !c.is_unmasked()),
+        // A WITH_DECL initializer is a strong definition.
+        _ => false,
+    });
+    if !all_masked {
+        return false;
+    }
+    let Imp::Move(clauses) = index.node(stmt) else {
+        return false;
+    };
+    let mut whole_read = false;
+    let mut check = |v: &Value| {
+        v.walk(&mut |x| {
+            if matches!(x, Value::AVar(id, FieldAction::Everywhere) if id == var) {
+                whole_read = true;
+            }
+        });
+    };
+    for c in clauses {
+        check(&c.mask);
+        check(&c.src);
+    }
+    whole_read
 }
 
 /// First line of the statement's pretty form, truncated for display.
@@ -790,6 +871,72 @@ mod tests {
         let p = with_decl(
             decl_arr("a", 8),
             mv(avar("b", everywhere()), ld("a", everywhere())),
+        );
+        let r = lint(&p);
+        assert_eq!(r.count_of(WarnCode::Uninit), 0);
+    }
+
+    #[test]
+    fn masked_only_writes_flag_a_whole_array_read() {
+        // WHERE (m) a = 1; b = a — every element the mask skipped is a
+        // silent zero on the read. The weak-update case PR 5 left open.
+        let p = with_decl(
+            declset(vec![
+                decl_arr("a", 8),
+                decl_arr("b", 8),
+                decl("m", dfield(interval(1, 8), logical32())),
+            ]),
+            seq(vec![
+                mv(avar("m", everywhere()), int(1)),
+                mv_masked(ld("m", everywhere()), avar("a", everywhere()), int(1)),
+                mv(avar("b", everywhere()), ld("a", everywhere())),
+            ]),
+        );
+        let r = lint(&p);
+        assert_eq!(r.count_of(WarnCode::Uninit), 1);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == WarnCode::Uninit)
+            .unwrap();
+        assert_eq!(d.var, "a");
+        assert!(d.message.contains("masked"));
+    }
+
+    #[test]
+    fn subscripted_init_loop_is_exempt_from_the_array_rule() {
+        // An unmasked (if weak) subscripted init is a deliberate fill,
+        // not a masked write: the zero-init model stays in force.
+        let p = with_decl(
+            declset(vec![decl_arr("a", 8), decl_arr("b", 8)]),
+            seq(vec![
+                do_over(
+                    "i",
+                    serial_interval(1, 8),
+                    mv(avar("a", subscript(vec![do_index("i", 1)])), int(1)),
+                ),
+                mv(avar("b", everywhere()), ld("a", everywhere())),
+            ]),
+        );
+        let r = lint(&p);
+        assert_eq!(r.count_of(WarnCode::Uninit), 0);
+    }
+
+    #[test]
+    fn strong_def_after_masked_write_is_exempt() {
+        let m = ld("m", everywhere());
+        let p = with_decl(
+            declset(vec![
+                decl_arr("a", 8),
+                decl_arr("b", 8),
+                decl("m", dfield(interval(1, 8), logical32())),
+            ]),
+            seq(vec![
+                mv(avar("m", everywhere()), int(1)),
+                mv_masked(m, avar("a", everywhere()), int(1)),
+                mv(avar("a", everywhere()), int(2)),
+                mv(avar("b", everywhere()), ld("a", everywhere())),
+            ]),
         );
         let r = lint(&p);
         assert_eq!(r.count_of(WarnCode::Uninit), 0);

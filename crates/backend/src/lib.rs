@@ -44,6 +44,7 @@
 pub mod fe;
 pub mod machine;
 pub mod pe;
+pub mod plan;
 pub mod split;
 
 pub use machine::Machine;

@@ -5,6 +5,7 @@
 //!                    [--serve BENCH_serve.json]
 //!                    [--scaling BENCH_scaling.json]
 //!                    [--accel BENCH_accel.json]
+//!                    [--comm BENCH_swe.json]
 //! ```
 //!
 //! Checks, exiting 1 on the first violation:
@@ -38,6 +39,11 @@
 //!   fingerprint asserted equal to the CM/2's, and regenerating the
 //!   run in-process reproduces the committed bytes exactly. Counts and
 //!   cycles only — never wall-clock time.
+//! * `--comm`: the bench report's `static_comm` block is present and
+//!   reconciled — every `predicted_*` counter equals its `observed_*`
+//!   twin — and recompiling the workload in-process reproduces the
+//!   committed predictions from the communication-plan analysis alone
+//!   (no run): the plan↔trace reconciliation gate (DESIGN.md §16).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -72,7 +78,15 @@ fn check_bench(path: &str) -> Result<u64, String> {
         None => return Err("schema tag missing".into()),
     }
     for section in [
-        "workload", "grid", "steps", "nodes", "cm2", "cm5", "passes", "trace",
+        "workload",
+        "grid",
+        "steps",
+        "nodes",
+        "cm2",
+        "cm5",
+        "static_comm",
+        "passes",
+        "trace",
     ] {
         if field(&doc, section).is_none() {
             return Err(format!("section '{section}' missing"));
@@ -396,11 +410,84 @@ fn check_accel(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate the static communication-plan reconciliation (`--comm`).
+fn check_comm(path: &str) -> Result<(), String> {
+    use f90y_core::{Target, TargetPrediction};
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+
+    let sc = field(&doc, "static_comm").ok_or(
+        "section 'static_comm' missing — regenerate with \
+         `cargo run -p f90y-bench --release --bin bench_swe`",
+    )?;
+    match field(sc, "reconciled") {
+        Some(Json::Bool(true)) => {}
+        other => return Err(format!("'static_comm.reconciled' must be true: {other:?}")),
+    }
+
+    // Every predicted counter must equal its observed twin.
+    for (engine, counters) in [
+        ("cm2", &["dispatches", "comm_calls", "reductions"][..]),
+        (
+            "cm5",
+            &[
+                "supersteps",
+                "messages",
+                "halo_exchanges",
+                "router_batches",
+                "comm_calls",
+            ][..],
+        ),
+    ] {
+        let block = field(sc, engine).ok_or_else(|| format!("'static_comm.{engine}' missing"))?;
+        for counter in counters {
+            let predicted = num_field(block, &format!("predicted_{counter}"))? as u64;
+            let observed = num_field(block, &format!("observed_{counter}"))? as u64;
+            if predicted != observed {
+                return Err(format!(
+                    "static_comm.{engine}.{counter}: predicted {predicted} != \
+                     observed {observed} — the static plan diverged from the machine"
+                ));
+            }
+        }
+    }
+
+    // Recompute the prediction in-process from the analysis alone — no
+    // run — and hold it to the committed numbers.
+    let src = f90y_core::workloads::swe_source(f90y_bench::BENCH_GRID, f90y_bench::BENCH_STEPS);
+    let exe = f90y_bench::compile(&src, f90y_core::Pipeline::F90y);
+    let nodes = f90y_bench::BENCH_NODES;
+    let p5 = exe
+        .predict(Target::Cm5Mimd { nodes })
+        .map_err(|e| format!("no exact static plan for the committed workload: {e}"))?;
+    let TargetPrediction::Cm5 {
+        supersteps,
+        messages,
+        ..
+    } = p5
+    else {
+        return Err("CM/5 target folded to a non-CM/5 prediction".into());
+    };
+    let cm5 = field(sc, "cm5").expect("checked above");
+    let committed_supersteps = num_field(cm5, "predicted_supersteps")? as u64;
+    let committed_messages = num_field(cm5, "predicted_messages")? as u64;
+    if (supersteps, messages) != (committed_supersteps, committed_messages) {
+        return Err(format!(
+            "{path} is stale: in-process prediction ({supersteps} supersteps, \
+             {messages} messages) differs from the committed block \
+             ({committed_supersteps}, {committed_messages}) — \
+             run `cargo run -p f90y-bench --release --bin bench_swe`"
+        ));
+    }
+    Ok(())
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: validate_artifacts --bench <BENCH_swe.json> [--trace <trace.json>] \
          [--serve <BENCH_serve.json>] [--scaling <BENCH_scaling.json>] \
-         [--accel <BENCH_accel.json>]"
+         [--accel <BENCH_accel.json>] [--comm <BENCH_swe.json>]"
     );
     std::process::exit(2);
 }
@@ -411,6 +498,7 @@ fn main() -> ExitCode {
     let mut serve: Option<String> = None;
     let mut scaling: Option<String> = None;
     let mut accel: Option<String> = None;
+    let mut comm: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -434,10 +522,19 @@ fn main() -> ExitCode {
                 Some(p) => accel = Some(p),
                 None => usage(),
             },
+            "--comm" => match args.next() {
+                Some(p) => comm = Some(p),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
-    if bench.is_none() && trace.is_none() && serve.is_none() && scaling.is_none() && accel.is_none()
+    if bench.is_none()
+        && trace.is_none()
+        && serve.is_none()
+        && scaling.is_none()
+        && accel.is_none()
+        && comm.is_none()
     {
         usage();
     }
@@ -507,6 +604,20 @@ fn main() -> ExitCode {
                 println!(
                     "OK {path}: launches, transfers, cycle breakdown, CM/2-identical \
                      finals and regeneration checks pass"
+                );
+            }
+            Err(e) => {
+                eprintln!("validate_artifacts: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &comm {
+        match check_comm(path) {
+            Ok(()) => {
+                println!(
+                    "OK {path}: static communication plan reconciles with the observed \
+                     counters, and the in-process prediction matches the committed block"
                 );
             }
             Err(e) => {

@@ -26,7 +26,9 @@
 
 use std::path::PathBuf;
 
-use f90y_core::{workloads, Compiler, Executable, Pipeline, RunReport, Target, TraceBuffer};
+use f90y_core::{
+    workloads, Compiler, Executable, Pipeline, RunReport, Target, TargetPrediction, TraceBuffer,
+};
 use f90y_obs::json::Json;
 use f90y_obs::{JsonSink, Telemetry};
 
@@ -135,7 +137,11 @@ fn num(n: u64) -> Json {
 /// Build the machine-readable SWE benchmark report: the shallow-water
 /// workload at [`BENCH_GRID`]²×[`BENCH_STEPS`] compiled once and run on
 /// [`BENCH_NODES`] nodes of both engines, with the middle-end pass
-/// summary and the flight-recorder digest of the MIMD run. Every value
+/// summary, the flight-recorder digest of the MIMD run, and the
+/// `static_comm` block: the communication-plan analysis' predicted
+/// counters next to the observed ones, asserted bit-equal in-process
+/// before anything is emitted (the `validate_artifacts --comm` gate
+/// re-checks the committed copy). Every value
 /// derives from the simulated machine model — no wall-clock time — so
 /// regenerating the report is byte-identical and `git diff` doubles as
 /// a perf-trajectory check.
@@ -167,6 +173,67 @@ pub fn swe_bench_json() -> String {
     let trace = buf.trace.expect("trace captured");
     let paired = trace.verify_flow_pairing().expect("flows pair") as u64;
     assert_eq!(paired, cm5.stats.messages, "trace vs counter divergence");
+
+    // The static admission oracle (DESIGN.md §16), reconciled before
+    // anything is emitted: the communication-plan prediction must equal
+    // the observed machine counters bit-exactly on both engines.
+    let TargetPrediction::Cm2 {
+        dispatches: p2_dispatches,
+        comm_calls: p2_comm_calls,
+        reductions: p2_reductions,
+    } = exe
+        .predict(Target::Cm2 { nodes: BENCH_NODES })
+        .expect("SWE has an exact static plan")
+    else {
+        unreachable!("CM/2 target folds to a CM/2 prediction")
+    };
+    assert_eq!(
+        (p2_dispatches, p2_comm_calls, p2_reductions),
+        (
+            cm2.stats.dispatches,
+            cm2.stats.comm_calls,
+            cm2.stats.reductions,
+        ),
+        "CM/2 static plan diverged from the run"
+    );
+    let TargetPrediction::Cm5 {
+        dispatches: p5_dispatches,
+        comm_calls: p5_comm_calls,
+        halo_exchanges: p5_halo_exchanges,
+        router_batches: p5_router_batches,
+        reductions: p5_reductions,
+        supersteps: p5_supersteps,
+        messages: p5_messages,
+    } = exe
+        .predict(Target::Cm5Mimd { nodes: BENCH_NODES })
+        .expect("SWE has an exact static plan")
+    else {
+        unreachable!("CM/5 target folds to a CM/5 prediction")
+    };
+    assert_eq!(
+        (
+            p5_supersteps,
+            p5_messages,
+            p5_halo_exchanges,
+            p5_router_batches
+        ),
+        (
+            cm5.stats.supersteps,
+            cm5.stats.messages,
+            cm5.stats.halo_exchanges,
+            cm5.stats.router_batches,
+        ),
+        "CM/5 static plan diverged from the run"
+    );
+    assert_eq!(
+        (p5_dispatches, p5_comm_calls, p5_reductions),
+        (
+            cm5.stats.dispatches,
+            cm5.stats.comm_calls,
+            cm5.stats.reductions,
+        ),
+        "CM/5 static plan diverged from the run"
+    );
 
     let passes: Vec<Json> = exe
         .pass_reports
@@ -227,6 +294,44 @@ pub fn swe_bench_json() -> String {
                 ("reductions".into(), num(cm5.stats.reductions)),
                 ("messages".into(), num(cm5.stats.messages)),
                 ("bytes".into(), num(cm5.stats.bytes)),
+            ]),
+        ),
+        (
+            "static_comm".into(),
+            Json::Obj(vec![
+                ("reconciled".into(), Json::Bool(true)),
+                (
+                    "cm2".into(),
+                    Json::Obj(vec![
+                        ("predicted_dispatches".into(), num(p2_dispatches)),
+                        ("observed_dispatches".into(), num(cm2.stats.dispatches)),
+                        ("predicted_comm_calls".into(), num(p2_comm_calls)),
+                        ("observed_comm_calls".into(), num(cm2.stats.comm_calls)),
+                        ("predicted_reductions".into(), num(p2_reductions)),
+                        ("observed_reductions".into(), num(cm2.stats.reductions)),
+                    ]),
+                ),
+                (
+                    "cm5".into(),
+                    Json::Obj(vec![
+                        ("predicted_supersteps".into(), num(p5_supersteps)),
+                        ("observed_supersteps".into(), num(cm5.stats.supersteps)),
+                        ("predicted_messages".into(), num(p5_messages)),
+                        ("observed_messages".into(), num(cm5.stats.messages)),
+                        ("predicted_halo_exchanges".into(), num(p5_halo_exchanges)),
+                        (
+                            "observed_halo_exchanges".into(),
+                            num(cm5.stats.halo_exchanges),
+                        ),
+                        ("predicted_router_batches".into(), num(p5_router_batches)),
+                        (
+                            "observed_router_batches".into(),
+                            num(cm5.stats.router_batches),
+                        ),
+                        ("predicted_comm_calls".into(), num(p5_comm_calls)),
+                        ("observed_comm_calls".into(), num(cm5.stats.comm_calls)),
+                    ]),
+                ),
             ]),
         ),
         (

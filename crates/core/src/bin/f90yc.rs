@@ -14,8 +14,16 @@
 //!                                  compute phase (cm5 only, default 1;
 //!                                  results are bit-identical at any N)
 //!   --emit nir|opt|peac|host       print a stage and stop
-//!   --lint[=deny]                  print W-RACE/W-UNINIT/W-DEADSTORE
-//!                                  diagnostics and stop (=deny exits 1 on any)
+//!   --lint[=deny|=json]            print diagnostics and stop (W-RACE,
+//!                                  W-UNINIT, W-DEADSTORE, W-WIDE-HALO,
+//!                                  W-REDUNDANT-COMM, W-ALLTOALL; =deny
+//!                                  exits 1 on any, =json prints the
+//!                                  f90y-lint-v1 document)
+//!   --analyze-comm[=json]          print the static communication plan —
+//!                                  classified ops, per-target predicted
+//!                                  counters at --nodes, modelled comm
+//!                                  seconds — and stop (=json prints the
+//!                                  f90y-comm-plan-v1 document)
 //!   --passes a,b,c                 override the middle-end pass list
 //!   --emit-after <pass>            print the NIR after that pass and stop
 //!   --print-ir-after-all           print the NIR after every pass, then go on
@@ -43,12 +51,49 @@
 //! verification can be forced globally with `F90Y_VERIFY_PASSES=1` and
 //! the static def-use audit with `F90Y_AUDIT_PASSES=1`.
 //!
-//! `--lint` parses and lowers only, then runs the `f90y-analysis`
-//! diagnostics engine over the lowered NIR: each warning carries a
-//! stable code (`W-RACE`, `W-UNINIT`, `W-DEADSTORE`) and the offending
-//! statement, and `--timings` additionally shows the `analysis.*`
-//! counters. `--lint=deny` turns any warning into exit status 1 — the
-//! CI spelling.
+//! `--lint` parses and lowers, then runs the `f90y-analysis`
+//! diagnostics engine over the lowered NIR (`W-RACE`, `W-UNINIT`,
+//! `W-DEADSTORE`) plus the communication lints over the *optimized*
+//! NIR (`W-WIDE-HALO`, `W-REDUNDANT-COMM`, `W-ALLTOALL`, judged
+//! against the selected `--target`'s topology): each warning carries a
+//! stable code and the offending statement, and `--timings`
+//! additionally shows the `analysis.*` counters. `--lint=deny` turns
+//! any warning into exit status 1 — the CI spelling.
+//!
+//! `--lint=json` emits one `f90y-lint-v1` JSON document on stdout:
+//!
+//! ```json
+//! {"schema":"f90y-lint-v1","clean":false,"stmts_analyzed":12,"facts":34,
+//!  "warnings":1,"diagnostics":[{"code":"W-RACE","var":"a",
+//!  "message":"…","stmt":"MOVE …","phase":"lowered"}]}
+//! ```
+//!
+//! `phase` is `"lowered"` for the dataflow codes and `"optimized"` for
+//! the communication codes; `stmt` is `null` when no single statement
+//! anchors the warning. The schema is stable: fields are only added,
+//! never renamed or removed.
+//!
+//! `--analyze-comm` compiles through the middle end, computes the
+//! static communication plan of the optimized program, prices it
+//! against every registered target manifest, and folds the backend's
+//! exact static profile into per-target predicted counters at
+//! `--nodes` (the same numbers the machines will report — see the
+//! plan↔trace reconciliation suite). `--analyze-comm=json` emits one
+//! `f90y-comm-plan-v1` document:
+//!
+//! ```json
+//! {"schema":"f90y-comm-plan-v1","nodes":16,"exact":true,
+//!  "ops":[{"stmt":3,"kind":"halo","axis":1,"width":1,"shift":1,
+//!  "eoshift":false,"array":"a","multiplicity":1,"in_while":false}],
+//!  "halo_widths":[{"array":"a","axis":1,"width":1}],
+//!  "priced_seconds":{"cm2":0.001,"cm5":0.0001,"accel":0.00001},
+//!  "predicted":{"cm2":{…},"cm5":{…},"accel":{…}},"plan_error":null}
+//! ```
+//!
+//! `axis` is 1-based (the Fortran `DIM` convention); `width` is `null`
+//! for a dynamic shift distance; `predicted` is `null` — and
+//! `plan_error` a message — when control flow depends on machine data
+//! and no exact static plan exists.
 //!
 //! Examples:
 //!
@@ -72,8 +117,9 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use f90y_core::{
-    ChromeTraceSink, Cm2, Compiler, DumpPoint, FaultPlan, JsonSink, JsonlTraceSink, Pipeline,
-    PrettySink, Run, Target, Telemetry, WarnCode,
+    comm_plan, price, ChromeTraceSink, Cm2, CommKind, CommOp, CommPlan, Compiler, Diagnostic,
+    DumpPoint, Executable, FaultPlan, JsonSink, JsonlTraceSink, LintReport, Pipeline, PrettySink,
+    Run, Target, TargetPrediction, Telemetry, WarnCode,
 };
 use f90y_peac::OpcodeProfile;
 
@@ -96,6 +142,9 @@ struct Options {
     emit: Option<String>,
     lint: bool,
     lint_deny: bool,
+    lint_json: bool,
+    analyze_comm: bool,
+    analyze_comm_json: bool,
     passes: Option<Vec<String>>,
     emit_after: Option<String>,
     print_ir_after_all: bool,
@@ -144,8 +193,13 @@ const USAGE: &str = "usage: f90yc [options] <file.f90 | ->
                                  compute phase (cm5 only, default 1;
                                  results are bit-identical at any N)
   --emit nir|opt|peac|host       print a stage and stop
-  --lint[=deny]                  print W-RACE/W-UNINIT/W-DEADSTORE
-                                 diagnostics and stop (=deny exits 1 on any)
+  --lint[=deny|=json]            print diagnostics and stop (W-RACE, W-UNINIT,
+                                 W-DEADSTORE, W-WIDE-HALO, W-REDUNDANT-COMM,
+                                 W-ALLTOALL; =deny exits 1 on any, =json
+                                 prints the f90y-lint-v1 document)
+  --analyze-comm[=json]          print the static communication plan (ops,
+                                 per-target predicted counters at --nodes,
+                                 modelled comm seconds) and stop
   --passes a,b,c                 override the middle-end pass list
   --emit-after <pass>            print the NIR after that pass and stop
   --print-ir-after-all           print the NIR after every pass, then go on
@@ -178,6 +232,9 @@ fn parse_args() -> Options {
         emit: None,
         lint: false,
         lint_deny: false,
+        lint_json: false,
+        analyze_comm: false,
+        analyze_comm_json: false,
         passes: None,
         emit_after: None,
         print_ir_after_all: false,
@@ -247,6 +304,15 @@ fn parse_args() -> Options {
             "--lint=deny" => {
                 opts.lint = true;
                 opts.lint_deny = true;
+            }
+            "--lint=json" => {
+                opts.lint = true;
+                opts.lint_json = true;
+            }
+            "--analyze-comm" => opts.analyze_comm = true,
+            "--analyze-comm=json" => {
+                opts.analyze_comm = true;
+                opts.analyze_comm_json = true;
             }
             "--validate" => opts.validate = true,
             "--timings" => opts.timings = true,
@@ -403,30 +469,52 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        for d in &report.diagnostics {
-            println!("{d}");
-        }
-        if report.is_clean() {
-            println!(
-                "lint: clean ({} statements analysed, {} dataflow facts)",
-                report.stmts_analyzed, report.facts
-            );
+        let comm = match compiler.lint_comm(&source, target_topology(opts.target)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("f90yc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let clean = report.is_clean() && comm.is_empty();
+        if opts.lint_json {
+            println!("{}", lint_json(&report, &comm));
         } else {
-            let by_code: Vec<String> = [WarnCode::Race, WarnCode::Uninit, WarnCode::DeadStore]
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            for d in &comm {
+                println!("{d}");
+            }
+            if clean {
+                println!(
+                    "lint: clean ({} statements analysed, {} dataflow facts)",
+                    report.stmts_analyzed, report.facts
+                );
+            } else {
+                let by_code: Vec<String> = [
+                    WarnCode::Race,
+                    WarnCode::Uninit,
+                    WarnCode::DeadStore,
+                    WarnCode::WideHalo,
+                    WarnCode::RedundantComm,
+                    WarnCode::AllToAll,
+                ]
                 .iter()
                 .filter_map(|&c| {
-                    let n = report.count_of(c);
+                    let n = report.count_of(c) + comm.iter().filter(|d| d.code == c).count();
                     (n > 0).then(|| format!("{c}: {n}"))
                 })
                 .collect();
-            println!(
-                "lint: {} warning(s) ({})",
-                report.diagnostics.len(),
-                by_code.join(", ")
-            );
+                println!(
+                    "lint: {} warning(s) ({})",
+                    report.diagnostics.len() + comm.len(),
+                    by_code.join(", ")
+                );
+            }
         }
         let sinks = finish(&tel, &opts);
-        if opts.lint_deny && !report.is_clean() {
+        if opts.lint_deny && !clean {
             return ExitCode::FAILURE;
         }
         return sinks;
@@ -470,6 +558,11 @@ fn main() -> ExitCode {
             println!(";; --- IR after {pass} (run {i}) ---");
             println!("{dump}");
         }
+    }
+
+    if opts.analyze_comm {
+        print_comm_analysis(&exe, &opts);
+        return finish(&tel, &opts);
     }
 
     match opts.emit.as_deref() {
@@ -753,6 +846,300 @@ fn print_profile(cm: &Cm2) -> Result<(), String> {
          ({dispatch_compute} == {compute})"
     );
     Ok(())
+}
+
+/// The network topology of the selected target's manifest — what the
+/// communication lints judge transpose-shaped traffic against.
+fn target_topology(target: TargetKind) -> f90y_core::Topology {
+    match target {
+        TargetKind::Cm2 => f90y_hal::CM2.topology,
+        TargetKind::Cm5 => f90y_hal::CM5.topology,
+        TargetKind::Accel => f90y_hal::ACCEL.topology,
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The `f90y-lint-v1` document: classic dataflow diagnostics (over the
+/// lowered NIR) and communication diagnostics (over the optimized NIR)
+/// in one array, tagged by `phase`.
+fn lint_json(report: &LintReport, comm: &[Diagnostic]) -> String {
+    let mut out = format!(
+        "{{\"schema\":\"f90y-lint-v1\",\"clean\":{},\"stmts_analyzed\":{},\
+         \"facts\":{},\"warnings\":{},\"diagnostics\":[",
+        report.is_clean() && comm.is_empty(),
+        report.stmts_analyzed,
+        report.facts,
+        report.diagnostics.len() + comm.len()
+    );
+    let all = report
+        .diagnostics
+        .iter()
+        .map(|d| ("lowered", d))
+        .chain(comm.iter().map(|d| ("optimized", d)));
+    for (i, (phase, d)) in all.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"code\":{},\"var\":{},\"message\":{},\"stmt\":{},\"phase\":{}}}",
+            json_str(&d.code.to_string()),
+            json_str(&d.var),
+            json_str(&d.message),
+            d.stmt.as_deref().map_or_else(|| "null".into(), json_str),
+            json_str(phase)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One comm op as a `f90y-comm-plan-v1` JSON object (`axis` 1-based).
+fn op_json(op: &CommOp) -> String {
+    let (kind, extra) = match &op.kind {
+        CommKind::Halo { axis, width } => (
+            "halo",
+            format!(
+                ",\"axis\":{},\"width\":{}",
+                axis + 1,
+                width.map_or_else(|| "null".into(), |w: u64| w.to_string())
+            ),
+        ),
+        CommKind::Broadcast => ("broadcast", String::new()),
+        CommKind::Reduce { op } => ("reduce", format!(",\"op\":{}", json_str(op))),
+        CommKind::AllToAll => ("alltoall", String::new()),
+    };
+    format!(
+        "{{\"stmt\":{},\"kind\":{}{extra},\"array\":{},\"shift\":{},\"eoshift\":{},\
+         \"multiplicity\":{},\"in_while\":{}}}",
+        op.stmt,
+        json_str(kind),
+        op.array.as_deref().map_or_else(|| "null".into(), json_str),
+        op.shift.map_or_else(|| "null".into(), |s| s.to_string()),
+        op.eoshift,
+        op.multiplicity,
+        op.in_while
+    )
+}
+
+/// One predicted-counter block as JSON.
+fn prediction_json(p: &TargetPrediction) -> String {
+    match *p {
+        TargetPrediction::Cm2 {
+            dispatches,
+            comm_calls,
+            reductions,
+        } => format!(
+            "{{\"dispatches\":{dispatches},\"comm_calls\":{comm_calls},\
+             \"reductions\":{reductions}}}"
+        ),
+        TargetPrediction::Cm5 {
+            dispatches,
+            comm_calls,
+            halo_exchanges,
+            router_batches,
+            reductions,
+            supersteps,
+            messages,
+        } => format!(
+            "{{\"dispatches\":{dispatches},\"comm_calls\":{comm_calls},\
+             \"halo_exchanges\":{halo_exchanges},\"router_batches\":{router_batches},\
+             \"reductions\":{reductions},\"supersteps\":{supersteps},\
+             \"messages\":{messages}}}"
+        ),
+        TargetPrediction::Accel {
+            kernel_launches,
+            h2d_transfers,
+            d2h_transfers,
+            comm_calls,
+            reductions,
+        } => format!(
+            "{{\"kernel_launches\":{kernel_launches},\"h2d_transfers\":{h2d_transfers},\
+             \"d2h_transfers\":{d2h_transfers},\"comm_calls\":{comm_calls},\
+             \"reductions\":{reductions}}}"
+        ),
+    }
+}
+
+/// The `f90y-comm-plan-v1` document.
+fn comm_json(
+    plan: &CommPlan,
+    priced: &[(&str, f64)],
+    predicted: Option<&(TargetPrediction, TargetPrediction, TargetPrediction)>,
+    plan_error: Option<&f90y_core::PlanError>,
+    nodes: usize,
+) -> String {
+    let ops: Vec<String> = plan.ops.iter().map(op_json).collect();
+    let widths: Vec<String> = plan
+        .halo_widths
+        .iter()
+        .map(|((a, ax), w)| {
+            format!(
+                "{{\"array\":{},\"axis\":{},\"width\":{w}}}",
+                json_str(a),
+                ax + 1
+            )
+        })
+        .collect();
+    let secs: Vec<String> = priced
+        .iter()
+        .map(|(n, s)| format!("{}:{s}", json_str(n)))
+        .collect();
+    let predicted = match predicted {
+        Some((cm2, cm5, accel)) => format!(
+            "{{\"cm2\":{},\"cm5\":{},\"accel\":{}}}",
+            prediction_json(cm2),
+            prediction_json(cm5),
+            prediction_json(accel)
+        ),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"schema\":\"f90y-comm-plan-v1\",\"nodes\":{nodes},\"exact\":{},\
+         \"stmts_analyzed\":{},\"ops\":[{}],\"halo_widths\":[{}],\
+         \"priced_seconds\":{{{}}},\"predicted\":{predicted},\"plan_error\":{}}}",
+        plan.exact,
+        plan.stmts_analyzed,
+        ops.join(","),
+        widths.join(","),
+        secs.join(","),
+        plan_error.map_or_else(|| "null".into(), |e| json_str(&e.to_string()))
+    )
+}
+
+/// The `--analyze-comm` report: the NIR-level plan, its model price
+/// against every registered manifest, and the exact per-target
+/// predicted counters from the backend's static profile.
+fn print_comm_analysis(exe: &Executable, opts: &Options) {
+    let plan = comm_plan(&exe.optimized);
+    let nodes = opts.nodes;
+    let registry = f90y_core::Registry::builtin();
+    let priced: Vec<(&str, f64)> = registry
+        .iter()
+        .map(|m| (m.name, price(&plan, m, nodes).total_seconds))
+        .collect();
+    let profile = exe.static_profile();
+    let predicted = profile.as_ref().ok().map(|p| {
+        (
+            f90y_core::predict::fold(p, Target::Cm2 { nodes }),
+            f90y_core::predict::fold(p, Target::Cm5Mimd { nodes }),
+            f90y_core::predict::fold(p, Target::Accel { nodes }),
+        )
+    });
+
+    if opts.analyze_comm_json {
+        println!(
+            "{}",
+            comm_json(
+                &plan,
+                &priced,
+                predicted.as_ref(),
+                profile.as_ref().err(),
+                nodes
+            )
+        );
+        return;
+    }
+
+    println!(
+        "static communication plan: {} op(s){}",
+        plan.ops.len(),
+        if plan.exact {
+            ""
+        } else {
+            " (inexact: data-dependent control flow)"
+        }
+    );
+    if !plan.ops.is_empty() {
+        println!(
+            "  {:>4}  {:<28} {:<12} {:>6} {:>7}",
+            "stmt", "op", "array", "shift", "mult"
+        );
+        for op in &plan.ops {
+            println!(
+                "  {:>4}  {:<28} {:<12} {:>6} {:>7}",
+                op.stmt,
+                op.kind.to_string(),
+                op.array.as_deref().unwrap_or("-"),
+                op.shift.map_or_else(|| "-".into(), |s| s.to_string()),
+                op.multiplicity
+            );
+        }
+    }
+    if !plan.halo_widths.is_empty() {
+        let widths: Vec<String> = plan
+            .halo_widths
+            .iter()
+            .map(|((a, ax), w)| format!("{a} axis {}: {w}", ax + 1))
+            .collect();
+        println!("halo widths: {}", widths.join(", "));
+    }
+    let secs: Vec<String> = priced
+        .iter()
+        .map(|(n, s)| format!("{n} {s:.3e}s"))
+        .collect();
+    println!("modelled comm time @ {nodes} nodes: {}", secs.join(" | "));
+    match (&predicted, profile.as_ref().err()) {
+        (Some((cm2, cm5, accel)), _) => {
+            println!("predicted counters @ {nodes} nodes:");
+            if let TargetPrediction::Cm2 {
+                dispatches,
+                comm_calls,
+                reductions,
+            } = cm2
+            {
+                println!(
+                    "  cm2:   {dispatches} dispatches, {comm_calls} comm calls, \
+                     {reductions} reductions"
+                );
+            }
+            if let TargetPrediction::Cm5 {
+                supersteps,
+                messages,
+                halo_exchanges,
+                router_batches,
+                ..
+            } = cm5
+            {
+                println!(
+                    "  cm5:   {supersteps} supersteps, {messages} messages, \
+                     {halo_exchanges} halo exchanges, {router_batches} router batches"
+                );
+            }
+            if let TargetPrediction::Accel {
+                kernel_launches,
+                h2d_transfers,
+                d2h_transfers,
+                comm_calls,
+                ..
+            } = accel
+            {
+                println!(
+                    "  accel: {kernel_launches} kernel launches, {h2d_transfers} H2D + \
+                     {d2h_transfers} D2H transfers, {comm_calls} comm calls"
+                );
+            }
+        }
+        (None, Some(e)) => println!("no exact static prediction: {e}"),
+        (None, None) => unreachable!("profile is Ok or Err"),
+    }
 }
 
 /// Deliver collected telemetry to the requested sinks.

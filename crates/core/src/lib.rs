@@ -53,17 +53,21 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod predict;
 pub mod workloads;
 
 use std::error::Error;
 use std::fmt;
 
 pub use f90y_accel::{Accel, AccelConfig, AccelStats};
-pub use f90y_analysis::{Diagnostic, LintReport, WarnCode};
+pub use f90y_analysis::{
+    comm_lints, comm_plan, price, CommKind, CommOp, CommPlan, Diagnostic, LintReport, PricedPlan,
+    WarnCode,
+};
 pub use f90y_backend::fe::HostRun;
 pub use f90y_backend::CompiledProgram;
 pub use f90y_cm2::{Cm2, Cm2Config, MachineStats};
-pub use f90y_hal::{Registry, TargetManifest};
+pub use f90y_hal::{Registry, TargetManifest, Topology};
 pub use f90y_mimd::{FaultPlan, MimdConfig, MimdStats};
 pub use f90y_nir::Imp;
 pub use f90y_obs::trace::{
@@ -71,6 +75,8 @@ pub use f90y_obs::trace::{
 };
 pub use f90y_obs::{EventSink, JsonSink, PrettySink, Telemetry, TelemetryReport};
 pub use f90y_transform::{DumpPoint, PassManager, PassReport, PipelineReport, TransformReport};
+
+pub use predict::{PlanError, StaticProfile, TargetPrediction};
 
 use f90y_backend::fe::HostExecutor;
 use f90y_baselines::Baseline;
@@ -325,6 +331,31 @@ impl Compiler {
         let nir = f90y_lowering::lower_file(&file)?;
         tel.finish(span);
         Ok(f90y_analysis::lint_with(&nir, tel))
+    }
+
+    /// Communication diagnostics (`W-WIDE-HALO`, `W-REDUNDANT-COMM`,
+    /// `W-ALLTOALL`): run the configured middle end, then the comm
+    /// lints over the *optimized* NIR — unlike [`Compiler::lint`],
+    /// these describe the program as the machine will run it, flagging
+    /// exactly the communication the pipeline had its chance to
+    /// improve and did not. `topology` decides whether transpose-shaped
+    /// traffic warrants `W-ALLTOALL` (it does on a hypercube mesh).
+    ///
+    /// # Errors
+    ///
+    /// Fails on syntax, semantic or transformation errors; a program
+    /// that merely warns still returns `Ok`.
+    pub fn lint_comm(
+        &self,
+        source: &str,
+        topology: Topology,
+    ) -> Result<Vec<Diagnostic>, CompileError> {
+        let file = f90y_frontend::parse_file(source)?;
+        let nir = f90y_lowering::lower_file(&file)?;
+        let (optimized, _) = self
+            .pass_manager()?
+            .run_with(&nir, &mut Telemetry::disabled())?;
+        Ok(comm_lints(&optimized, topology))
     }
 
     /// Compile Fortran 90 source to an executable for the simulated

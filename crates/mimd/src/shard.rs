@@ -76,6 +76,37 @@ impl ShardMap {
     }
 }
 
+/// Messages an outer-axis shift of `shift` over `rows` rows sharded
+/// across `nodes` nodes exchanges: one `Halo` message per distinct
+/// (owner → needer) node pair, exactly as the engine's shift step
+/// batches them. `wrap` is `true` for `CSHIFT` (rows wrap around) and
+/// `false` for `EOSHIFT` (end-off rows are boundary-filled locally and
+/// never travel).
+///
+/// This is the static side of the plan↔trace reconciliation: the
+/// engine counts these messages by running; this function counts them
+/// from geometry alone, and the two must always agree.
+pub fn halo_messages(rows: usize, nodes: usize, shift: i64, wrap: bool) -> usize {
+    let map = ShardMap::new(rows, nodes);
+    let mut pairs = 0;
+    for k in 0..nodes {
+        let mut owners: Vec<usize> = Vec::new();
+        for a in map.row_start(k)..map.row_end(k) {
+            let src_row = a as i64 + shift;
+            if !wrap && (src_row < 0 || src_row >= rows as i64) {
+                continue;
+            }
+            let r = src_row.rem_euclid(rows.max(1) as i64) as usize;
+            let owner = map.owner(r);
+            if owner != k && !owners.contains(&owner) {
+                owners.push(owner);
+            }
+        }
+        pairs += owners.len();
+    }
+    pairs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +134,37 @@ mod tests {
         let max = *sizes.iter().max().unwrap();
         assert!(max - min <= 1, "unbalanced slabs: {sizes:?}");
         assert_eq!(sizes.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn halo_messages_matches_the_engine() {
+        use crate::config::MimdConfig;
+        use crate::machine::MimdMachine;
+        use f90y_backend::Machine;
+
+        for nodes in [1usize, 2, 4, 8, 16] {
+            for rows in [4usize, 8, 16, 17] {
+                for shift in [-5i64, -1, 1, 2, 7] {
+                    for wrap in [true, false] {
+                        let mut m = MimdMachine::new(MimdConfig::new(nodes));
+                        let id = m.alloc(&[rows, 3]);
+                        let before = m.stats().messages;
+                        let shifted = if wrap {
+                            m.cshift(id, 0, shift).unwrap()
+                        } else {
+                            m.eoshift(id, 0, shift, 0.0).unwrap()
+                        };
+                        let observed = m.stats().messages - before;
+                        let predicted = halo_messages(rows, nodes, shift, wrap) as u64;
+                        assert_eq!(
+                            predicted, observed,
+                            "rows={rows} nodes={nodes} shift={shift} wrap={wrap}"
+                        );
+                        m.free(shifted).unwrap();
+                    }
+                }
+            }
+        }
     }
 
     #[test]

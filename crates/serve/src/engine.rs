@@ -15,6 +15,16 @@
 //! so a 16² tenant's next request overtakes every queued request of the
 //! heavy tenant.
 //!
+//! ## Static admission
+//!
+//! A request that *fails* mid-run is charged the statically predicted
+//! cost of the run it asked for — the communication-plan analysis'
+//! per-target cost units (DESIGN.md §16) — not a flat 1-unit floor.
+//! Tenants cannot probe expensive workloads for free by making them
+//! fail, yet cheap error spam still costs only its honest minimum.
+//! Successful requests are charged actual simulated machine time, so
+//! the committed `BENCH_serve.json` distributions are untouched.
+//!
 //! ## The backpressure contract
 //!
 //! The pending queue holds at most `queue_capacity` requests.
@@ -347,9 +357,11 @@ fn process(shared: &Shared, q: Queued) {
     // scheduling fields into the response.
     let charged = match &outcome {
         Ok(done) => done.charged_units.max(1),
-        // Failures charge one unit: error spam cannot starve paying
-        // tenants, but it cannot ride free either.
-        Err(_) => 1,
+        // Failures charge the statically predicted cost of the work
+        // they asked for (min 1): error spam cannot starve paying
+        // tenants, and a 512²-grid run that dies mid-flight cannot
+        // ride a flat 1-unit floor either — static admission.
+        Err((_, predicted)) => (*predicted).max(1),
     };
     let response = {
         let mut state = shared.state.lock().expect("engine lock");
@@ -366,7 +378,7 @@ fn process(shared: &Shared, q: Queued) {
                 done.latency_units = clock - submit_clock;
                 Response::Done(done)
             }
-            Err(resp) => resp,
+            Err((resp, _)) => resp,
         }
     };
     {
@@ -382,14 +394,21 @@ fn process(shared: &Shared, q: Queued) {
 }
 
 /// The request body: cache, compile, run/lint. Returns either a `Done`
-/// payload with the scheduling fields zeroed (filled by [`process`]) or
-/// a complete error response.
+/// payload with the scheduling fields zeroed (filled by [`process`])
+/// or a complete error response paired with the statically predicted
+/// cost known at the point of failure (0 when nothing compiled yet) —
+/// [`process`] charges the failing tenant that prediction.
 #[allow(clippy::result_large_err)]
-fn execute(shared: &Shared, req: &Request, tel: &mut Telemetry) -> Result<Done, Response> {
+fn execute(shared: &Shared, req: &Request, tel: &mut Telemetry) -> Result<Done, (Response, u64)> {
     if req.kind == RequestKind::Lint {
         let report = Compiler::new(req.pipeline)
             .lint_with(&req.source, tel)
-            .map_err(|e| Response::error(req.id, ErrorKind::Compile, e.to_string()))?;
+            .map_err(|e| {
+                (
+                    Response::error(req.id, ErrorKind::Compile, e.to_string()),
+                    0,
+                )
+            })?;
         tel.count("serve.lints", 1);
         let warnings = report
             .diagnostics
@@ -404,6 +423,7 @@ fn execute(shared: &Shared, req: &Request, tel: &mut Telemetry) -> Result<Done, 
             compile_units: report.stmts_analyzed as u64 + 1,
             run_units: 0,
             charged_units: report.stmts_analyzed as u64 + 1,
+            predicted_units: 0,
             queue_wait_units: 0,
             latency_units: 0,
             gflops: None,
@@ -427,9 +447,12 @@ fn execute(shared: &Shared, req: &Request, tel: &mut Telemetry) -> Result<Done, 
             if let Some(passes) = &req.passes {
                 compiler = compiler.passes(passes.iter().cloned());
             }
-            let exe = compiler
-                .compile_with(&req.source, tel)
-                .map_err(|e| Response::error(req.id, ErrorKind::Compile, e.to_string()))?;
+            let exe = compiler.compile_with(&req.source, tel).map_err(|e| {
+                (
+                    Response::error(req.id, ErrorKind::Compile, e.to_string()),
+                    0,
+                )
+            })?;
             let exe = Arc::new(exe);
             let evicted_before;
             {
@@ -446,6 +469,11 @@ fn execute(shared: &Shared, req: &Request, tel: &mut Telemetry) -> Result<Done, 
         }
     };
 
+    // The static admission estimate: what the communication-plan
+    // analysis says this run will cost, before it runs. Programs with
+    // data-dependent control flow have no exact plan and predict 0.
+    let predicted_units = exe.predict(req.target).map_or(0, |p| p.cost_units());
+
     if req.kind == RequestKind::Compile {
         return Ok(Done {
             id: req.id,
@@ -455,6 +483,7 @@ fn execute(shared: &Shared, req: &Request, tel: &mut Telemetry) -> Result<Done, 
             compile_units,
             run_units: 0,
             charged_units: compile_units,
+            predicted_units,
             queue_wait_units: 0,
             latency_units: 0,
             gflops: None,
@@ -476,9 +505,12 @@ fn execute(shared: &Shared, req: &Request, tel: &mut Telemetry) -> Result<Done, 
     if let Some(plan) = &req.faults {
         session = session.faults(plan.clone());
     }
-    let run = session
-        .run()
-        .map_err(|e| Response::error(req.id, ErrorKind::Run, e.to_string()))?;
+    let run = session.run().map_err(|e| {
+        (
+            Response::error(req.id, ErrorKind::Run, e.to_string()),
+            predicted_units,
+        )
+    })?;
     let run_units = simulated_units(&run);
     let trace_digest = buf.trace.as_ref().map(|t| t.digest());
     Ok(Done {
@@ -489,6 +521,7 @@ fn execute(shared: &Shared, req: &Request, tel: &mut Telemetry) -> Result<Done, 
         compile_units,
         run_units,
         charged_units: compile_units + run_units,
+        predicted_units,
         queue_wait_units: 0,
         latency_units: 0,
         gflops: Some(run.gflops()),

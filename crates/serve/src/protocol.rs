@@ -35,7 +35,9 @@
 //! ## Response
 //!
 //! `{"id":…,"ok":true,…}` with cache outcome, modelled cost/latency
-//! units, finals fingerprint and trace digest — or `{"id":…,"ok":false,
+//! units, the statically predicted run cost (`predicted_units`,
+//! present when the communication-plan analysis found an exact static
+//! plan), finals fingerprint and trace digest — or `{"id":…,"ok":false,
 //! "error":{"kind":…,"message":…}}` with a typed [`ErrorKind`].
 
 use f90y_core::{FaultPlan, Pipeline, Target};
@@ -321,6 +323,11 @@ pub struct Done {
     pub run_units: u64,
     /// What the tenant was charged (`compile_units + run_units`, min 1).
     pub charged_units: u64,
+    /// Statically predicted run cost in scheduler units, from the
+    /// communication-plan analysis (`0` when the program has no exact
+    /// static plan, and for lint requests). A run that *fails* is
+    /// charged this amount (min 1) — static admission, DESIGN.md §16.
+    pub predicted_units: u64,
     /// Virtual machine-time units spent waiting in the queue.
     pub queue_wait_units: u64,
     /// Virtual submission-to-completion units (wait + service).
@@ -393,6 +400,14 @@ impl Response {
                     ),
                     ("latency_units".into(), Json::Num(d.latency_units as f64)),
                 ];
+                // Zero stays off the wire so pre-analysis golden
+                // response lines keep their exact bytes.
+                if d.predicted_units != 0 {
+                    fields.push((
+                        "predicted_units".into(),
+                        Json::Num(d.predicted_units as f64),
+                    ));
+                }
                 if let Some(g) = d.gflops {
                     fields.push(("gflops".into(), Json::Num(g)));
                 }
@@ -488,6 +503,7 @@ impl Response {
             compile_units: num("compile_units"),
             run_units: num("run_units"),
             charged_units: num("charged_units"),
+            predicted_units: num("predicted_units"),
             queue_wait_units: num("queue_wait_units"),
             latency_units: num("latency_units"),
             gflops: match field(&doc, "gflops") {
@@ -619,6 +635,7 @@ mod tests {
             compile_units: 0,
             run_units: 1234,
             charged_units: 1234,
+            predicted_units: 1234,
             queue_wait_units: 10,
             latency_units: 1244,
             gflops: Some(3.5),
@@ -631,8 +648,23 @@ mod tests {
                 assert_eq!(d.id, 3);
                 assert_eq!(d.cache, "hit");
                 assert_eq!(d.run_units, 1234);
+                assert_eq!(d.predicted_units, 1234);
                 assert_eq!(d.fingerprint.as_deref(), Some("fnv1a64:dead"));
             }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        // A zero prediction (no exact static plan) stays off the wire
+        // and parses back as zero.
+        let unplanned = Response::Done(Done {
+            predicted_units: 0,
+            ..match done {
+                Response::Done(d) => d,
+                Response::Error(_) => unreachable!(),
+            }
+        });
+        assert!(!unplanned.to_json().contains("predicted_units"));
+        match Response::parse(&unplanned.to_json()).unwrap() {
+            Response::Done(d) => assert_eq!(d.predicted_units, 0),
             other => panic!("expected Done, got {other:?}"),
         }
         let err = Response::error(9, ErrorKind::Overloaded, "queue full");

@@ -111,6 +111,72 @@ fn queue_overflow_returns_typed_overloaded_immediately() {
     assert_eq!(engine.stats().completed, 3);
 }
 
+#[test]
+fn a_successful_run_reports_its_static_prediction() {
+    // On the CM/5 the static comm-plan prediction's cost units ARE
+    // supersteps, and run_units are supersteps too — so for a program
+    // with an exact static plan (no cache-miss compile on a hit), the
+    // two must agree exactly.
+    let engine = Engine::new(ServeConfig::deterministic());
+    let (tx, rx) = channel();
+    let src = Json::Str(workloads::heat_source(16, 2));
+    let line = format!(r#"{{"id":1,"tenant":"t","source":{src},"target":"cm5","nodes":16}}"#);
+    engine
+        .submit(Request::parse(&line).expect("parses"), tx.clone())
+        .expect("room");
+    engine.drain();
+    drop(tx);
+    let done = match rx.iter().next().expect("answered") {
+        Response::Done(d) => d,
+        other => panic!("expected Done, got {other:?}"),
+    };
+    assert!(done.predicted_units > 0, "heat has an exact static plan");
+    assert_eq!(
+        done.predicted_units, done.run_units,
+        "CM/5 prediction units are supersteps — they must equal the run's"
+    );
+}
+
+#[test]
+fn a_failing_run_is_charged_its_predicted_cost_not_the_one_unit_floor() {
+    // A drop-everything fault plan guarantees the CM/5 run dies with a
+    // typed Run error after compiling fine. Static admission charges
+    // the tenant the *predicted* cost of the run it asked for, so the
+    // failure costs far more than the old flat 1 unit.
+    let engine = Engine::new(ServeConfig::deterministic());
+    let (tx, rx) = channel();
+    let src = Json::Str(workloads::heat_source(32, 2));
+    let line = format!(
+        r#"{{"id":9,"tenant":"prober","source":{src},"target":"cm5","nodes":16,
+            "fault_drop_per_mille":1000}}"#
+    );
+    engine
+        .submit(Request::parse(&line).expect("parses"), tx.clone())
+        .expect("room");
+    engine.drain();
+    drop(tx);
+    match rx.iter().next().expect("answered") {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::Run, "{e:?}"),
+        other => panic!("expected a Run failure, got {other:?}"),
+    }
+    let charge = engine.stats().tenants["prober"];
+    assert!(
+        charge > 1,
+        "a failing 32² run must be charged its prediction, not 1: {charge}"
+    );
+
+    // The same failure on a fresh tenant matches an honest prediction:
+    // compile the identical source and compare against the ledger.
+    let exe = f90y_core::Compiler::new(f90y_core::Pipeline::F90y)
+        .compile(&workloads::heat_source(32, 2))
+        .expect("compiles");
+    let predicted = exe
+        .predict(f90y_core::Target::Cm5Mimd { nodes: 16 })
+        .expect("exact plan")
+        .cost_units();
+    assert_eq!(charge, predicted.max(1), "failure charge IS the prediction");
+}
+
 /// Deterministic splitmix64 — the same generator the fault plans use,
 /// so the stress mix is reproducible from its seed.
 fn splitmix64(state: &mut u64) -> u64 {

@@ -35,7 +35,7 @@
 //! The pseudo-name `blocking` names the fixpoint group
 //! `fixpoint(blocking-reorder, blocking-fuse)`.
 
-use f90y_analysis::AuditFacts;
+use f90y_analysis::{AuditFacts, CommFacts};
 use f90y_nir::verify::{check_static, compare_snapshots, snapshot, Snapshot};
 use f90y_nir::{pretty, Imp, NirError};
 use f90y_obs::Telemetry;
@@ -447,9 +447,10 @@ impl PassManager {
         } else {
             None
         };
-        // The def-use baseline for the static legality audit.
-        let audit_baseline: Option<AuditFacts> = if self.audit {
-            Some(AuditFacts::of(imp))
+        // The def-use and communication-plan baselines for the static
+        // legality audit.
+        let audit_baseline: Option<(AuditFacts, CommFacts)> = if self.audit {
+            Some((AuditFacts::of(imp), CommFacts::of(imp)))
         } else {
             None
         };
@@ -499,7 +500,7 @@ impl PassManager {
         pass: &dyn Pass,
         body: &mut ProgramBody,
         baseline: Option<&Snapshot>,
-        audit_baseline: Option<&AuditFacts>,
+        audit_baseline: Option<&(AuditFacts, CommFacts)>,
         report: &mut PipelineReport,
         tel: &mut Telemetry,
     ) -> Result<usize, NirError> {
@@ -536,8 +537,9 @@ impl PassManager {
                     .dumps
                     .push((name.to_string(), pretty::print_imp(&current)));
             }
-            if let Some(facts) = audit_baseline {
-                facts.check_pass(name, &current)?;
+            if let Some((defuse, comm)) = audit_baseline {
+                defuse.check_pass(name, &current)?;
+                comm.check_pass(name, &current).map_err(NirError::Verify)?;
             }
             if self.verify {
                 check_static(&current).map_err(|e| {
@@ -800,6 +802,64 @@ mod tests {
         // Without the audit (and without verification), the reorder
         // sails through silently.
         let mgr = PassManager::new().add(Box::new(EvilSwap));
+        assert!(mgr.run(&p).is_ok());
+    }
+
+    /// A deliberately comm-plan-breaking pass: it stretches the first
+    /// shift's distance from -1 to -2. The program stays well-typed and
+    /// every read stays defined — only the communication plan changes,
+    /// so only the comm-facts audit can catch it.
+    struct EvilShiftStretch;
+
+    impl Pass for EvilShiftStretch {
+        fn name(&self) -> &'static str {
+            "evil-shift-stretch"
+        }
+
+        fn run(&self, body: &mut ProgramBody) -> Result<PassOutcome, NirError> {
+            fn stretch(v: &mut Value) -> bool {
+                match v {
+                    Value::FcnCall(name, args) => {
+                        if name == "cshift" {
+                            if let Some((_, dist)) = args.get_mut(1) {
+                                *dist = int(-2);
+                                return true;
+                            }
+                        }
+                        args.iter_mut().any(|(_, a)| stretch(a))
+                    }
+                    Value::Unary(_, a) => stretch(a),
+                    Value::Binary(_, a, b) => stretch(a) || stretch(b),
+                    _ => false,
+                }
+            }
+            for s in &mut body.stmts {
+                let Imp::Move(clauses) = s else { continue };
+                for c in &mut clauses.iter_mut() {
+                    if stretch(&mut c.src) {
+                        return Ok(PassOutcome::rewrites(1));
+                    }
+                }
+            }
+            Ok(PassOutcome::rewrites(0))
+        }
+    }
+
+    #[test]
+    fn the_audit_catches_a_comm_plan_break_by_name() {
+        let p = repeated_shift_program();
+        let mgr = PassManager::new()
+            .add(Box::new(EvilShiftStretch))
+            .audit(true);
+        let err = mgr.run(&p).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("evil-shift-stretch"),
+            "the audit must name the offending pass, got: {msg}"
+        );
+        assert!(msg.contains("communication plan"), "got: {msg}");
+        // Without the audit the retargeted shift sails through.
+        let mgr = PassManager::new().add(Box::new(EvilShiftStretch));
         assert!(mgr.run(&p).is_ok());
     }
 

@@ -1,0 +1,136 @@
+//! The plan↔trace reconciliation suite (DESIGN.md §16): the static
+//! communication-plan prediction must equal the machine's dynamic
+//! counters **bit-exactly** on every shipped workload, under every
+//! pipeline, at every node count, on every target.
+//!
+//! The static side never runs anything: [`Executable::predict`] folds
+//! the backend's data-free interpretation of the compiled host program
+//! into per-target counters. The dynamic side is the machine itself,
+//! plus the flight recorder — on the CM/5 the predicted message count
+//! is also held to the recorder's `Send` event count, so the
+//! prediction, the counters and the trace all agree or the suite
+//! fails naming the divergent counter.
+
+use f90y_core::{workloads, Compiler, Pipeline, Target, TargetPrediction, TraceBuffer};
+
+const PIPELINES: [Pipeline; 3] = [Pipeline::F90y, Pipeline::Cmf, Pipeline::StarLisp];
+const NODE_COUNTS: [usize; 3] = [4, 16, 64];
+
+/// Compile `src` under every pipeline and hold the static prediction
+/// equal to the dynamic counters on every target at every node count.
+fn assert_plan_reconciles(name: &str, src: &str) {
+    for pipeline in PIPELINES {
+        let exe = Compiler::new(pipeline)
+            .compile(src)
+            .unwrap_or_else(|e| panic!("{name} fails to compile under {}: {e}", pipeline.name()));
+        for nodes in NODE_COUNTS {
+            let ctx = format!("{name} / {} / {nodes} nodes", pipeline.name());
+
+            let p = exe
+                .predict(Target::Cm2 { nodes })
+                .unwrap_or_else(|e| panic!("{ctx}: no exact static plan: {e}"));
+            let r = exe
+                .session(Target::Cm2 { nodes })
+                .run()
+                .expect("CM/2 run")
+                .into_cm2();
+            assert_eq!(
+                p,
+                TargetPrediction::Cm2 {
+                    dispatches: r.stats.dispatches,
+                    comm_calls: r.stats.comm_calls,
+                    reductions: r.stats.reductions,
+                },
+                "{ctx}: CM/2 plan diverged from the machine"
+            );
+
+            let p = exe
+                .predict(Target::Cm5Mimd { nodes })
+                .unwrap_or_else(|e| panic!("{ctx}: no exact static plan: {e}"));
+            let mut buf = TraceBuffer::new();
+            let r = exe
+                .session(Target::Cm5Mimd { nodes })
+                .trace(&mut buf)
+                .run()
+                .expect("CM/5 run")
+                .into_mimd();
+            assert_eq!(
+                p,
+                TargetPrediction::Cm5 {
+                    dispatches: r.stats.dispatches,
+                    comm_calls: r.stats.comm_calls,
+                    halo_exchanges: r.stats.halo_exchanges,
+                    router_batches: r.stats.router_batches,
+                    reductions: r.stats.reductions,
+                    supersteps: r.stats.supersteps,
+                    messages: r.stats.messages,
+                },
+                "{ctx}: CM/5 plan diverged from the machine"
+            );
+            // The third witness: the flight recorder's Send events.
+            let trace = buf.trace.expect("trace captured");
+            assert_eq!(
+                trace.sends() as u64,
+                r.stats.messages,
+                "{ctx}: flight recorder diverged from the counter"
+            );
+            if let TargetPrediction::Cm5 { messages, .. } = p {
+                assert_eq!(
+                    messages,
+                    trace.sends() as u64,
+                    "{ctx}: static plan diverged from the flight recorder"
+                );
+            }
+
+            let p = exe
+                .predict(Target::Accel { nodes })
+                .unwrap_or_else(|e| panic!("{ctx}: no exact static plan: {e}"));
+            let r = exe
+                .session(Target::Accel { nodes })
+                .run()
+                .expect("Accel run")
+                .into_accel();
+            assert_eq!(
+                p,
+                TargetPrediction::Accel {
+                    kernel_launches: r.stats.kernel_launches,
+                    h2d_transfers: r.stats.h2d_transfers,
+                    d2h_transfers: r.stats.d2h_transfers,
+                    comm_calls: r.stats.comm_calls,
+                    reductions: r.stats.reductions,
+                },
+                "{ctx}: accelerator plan diverged from the machine"
+            );
+        }
+    }
+}
+
+#[test]
+fn swe_plan_reconciles_with_every_machine() {
+    assert_plan_reconciles("swe", &workloads::swe_source(8, 2));
+}
+
+#[test]
+fn fig9_plan_reconciles_with_every_machine() {
+    assert_plan_reconciles("fig9", workloads::fig9_source());
+}
+
+#[test]
+fn fig12_plan_reconciles_with_every_machine() {
+    assert_plan_reconciles("fig12", &workloads::fig12_source(8));
+}
+
+#[test]
+fn heat_plan_reconciles_with_every_machine() {
+    assert_plan_reconciles("heat", &workloads::heat_source(8, 2));
+}
+
+#[test]
+fn life_plan_reconciles_with_every_machine() {
+    assert_plan_reconciles("life", &workloads::life_source(8, 2));
+}
+
+#[test]
+fn redblack_plan_reconciles_with_every_machine() {
+    assert_plan_reconciles("redblack", &workloads::redblack_source(8, 2));
+}

@@ -1,0 +1,8 @@
+PROGRAM alltoall
+REAL a(16,16), b(16,16)
+FORALL (i=1:16, j=1:16) a(i,j) = i - j
+! TRANSPOSE is all-to-all communication: on a hypercube/mesh topology
+! every element crosses the general router (W-ALLTOALL). The same
+! program is quiet under a fat-tree target.
+b = TRANSPOSE(a)
+END PROGRAM alltoall

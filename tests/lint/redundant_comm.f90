@@ -1,0 +1,11 @@
+PROGRAM redundant_comm
+REAL a(16,16), b(16,16), c(16,16)
+FORALL (i=1:16, j=1:16) a(i,j) = i * j
+! 'a' is shifted once outside the loop, then re-shifted identically
+! inside it with no intervening write to 'a': the inner exchange moves
+! bytes the outer one already moved (W-REDUNDANT-COMM).
+b = CSHIFT(a, DIM=1, SHIFT=1)
+DO 10 k = 1, 4
+  c = c + CSHIFT(a, DIM=1, SHIFT=1)
+10 CONTINUE
+END PROGRAM redundant_comm

@@ -1,0 +1,8 @@
+PROGRAM wide_halo
+REAL a(16,16), b(16,16)
+FORALL (i=1:16, j=1:16) a(i,j) = i + j
+! The same array and axis move with width 1 and width 2: the 2-wide
+! halo could ride the 1-wide exchange and usually means a missed
+! stencil restructuring (W-WIDE-HALO).
+b = CSHIFT(a, DIM=1, SHIFT=1) + CSHIFT(a, DIM=1, SHIFT=2)
+END PROGRAM wide_halo

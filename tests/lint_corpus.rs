@@ -3,7 +3,11 @@
 //! Each seeded source under `tests/lint/` must produce *exactly* its
 //! intended warning codes, and every shipped workload and paper figure
 //! must lint clean — the diagnostics are only useful if the warnings
-//! mean something and the clean programs stay quiet.
+//! mean something and the clean programs stay quiet. Data-flow codes
+//! run on the lowered NIR (`Compiler::lint`); the communication codes
+//! (`W-WIDE-HALO`, `W-REDUNDANT-COMM`, `W-ALLTOALL`) run on the
+//! optimized NIR against a target topology (`Compiler::lint_comm`),
+//! exactly as `f90yc --lint` merges them.
 //!
 //! The third `W-RACE` rule (two `WHERE` branches with provably
 //! overlapping masks writing the same section) cannot be seeded from
@@ -11,7 +15,7 @@
 //! `WHERE`/`ELSEWHERE`, which the rule deliberately exempts. It is
 //! covered by the `f90y-analysis` unit tests on hand-built NIR.
 
-use f90y_core::{workloads, Compiler, Pipeline, WarnCode};
+use f90y_core::{workloads, Compiler, Pipeline, Topology, WarnCode};
 
 fn lint(source: &str) -> f90y_core::LintReport {
     Compiler::new(Pipeline::F90y)
@@ -22,6 +26,17 @@ fn lint(source: &str) -> f90y_core::LintReport {
 /// The warning codes of a report, in diagnostic order.
 fn codes(source: &str) -> Vec<WarnCode> {
     lint(source).diagnostics.iter().map(|d| d.code).collect()
+}
+
+/// The communication warning codes of the optimized program under a
+/// target topology, in diagnostic order.
+fn comm_codes(source: &str, topology: Topology) -> Vec<WarnCode> {
+    Compiler::new(Pipeline::F90y)
+        .lint_comm(source, topology)
+        .expect("corpus sources must compile through the middle end")
+        .iter()
+        .map(|d| d.code)
+        .collect()
 }
 
 #[test]
@@ -83,6 +98,42 @@ fn dead_store_is_flagged() {
 }
 
 #[test]
+fn wide_halo_is_flagged() {
+    let src = include_str!("lint/wide_halo.f90");
+    assert_eq!(
+        comm_codes(src, Topology::Hypercube),
+        vec![WarnCode::WideHalo]
+    );
+    // The width mismatch is a topology-independent structural fact.
+    assert_eq!(comm_codes(src, Topology::FatTree), vec![WarnCode::WideHalo]);
+    assert!(codes(src).is_empty(), "no data-flow warnings expected");
+}
+
+#[test]
+fn redundant_comm_is_flagged() {
+    let src = include_str!("lint/redundant_comm.f90");
+    assert_eq!(
+        comm_codes(src, Topology::Hypercube),
+        vec![WarnCode::RedundantComm]
+    );
+    assert!(codes(src).is_empty(), "no data-flow warnings expected");
+}
+
+#[test]
+fn alltoall_is_flagged_on_the_hypercube_only() {
+    let src = include_str!("lint/alltoall.f90");
+    assert_eq!(
+        comm_codes(src, Topology::Hypercube),
+        vec![WarnCode::AllToAll]
+    );
+    // A fat tree or a host bus absorbs the transpose: same program,
+    // quiet plan — the warning is topology-conditional by design.
+    assert!(comm_codes(src, Topology::FatTree).is_empty());
+    assert!(comm_codes(src, Topology::HostBus).is_empty());
+    assert!(codes(src).is_empty(), "no data-flow warnings expected");
+}
+
+#[test]
 fn seeded_diagnostics_render_their_codes() {
     let report = lint(include_str!("lint/race_self_shift.f90"));
     let text = report.diagnostics[0].to_string();
@@ -122,5 +173,16 @@ fn shipped_sources_lint_clean() {
             report.diagnostics
         );
         assert!(report.stmts_analyzed > 0, "{name} analysed no statements");
+        // The communication codes must stay quiet too, under every
+        // topology a shipped manifest declares — zero false positives.
+        for topology in [Topology::Hypercube, Topology::FatTree, Topology::HostBus] {
+            let comm = Compiler::new(Pipeline::F90y)
+                .lint_comm(&src, topology)
+                .expect("shipped sources compile");
+            assert!(
+                comm.is_empty(),
+                "{name} must produce no comm warnings under {topology}: {comm:#?}"
+            );
+        }
     }
 }
